@@ -1,0 +1,90 @@
+//! Balancer tunables.
+
+/// Configuration of the multi-phase load balancer.
+#[derive(Debug, Clone)]
+pub struct BalancerConfig {
+    /// `REPL_high`: the replication high watermark — above this many
+    /// replicated hot keys, a worker backs off Phase 1 (reduced sampling)
+    /// and escalates to migration phases.
+    pub repl_high: usize,
+    /// `IMB_thresh`: relative load imbalance (mean absolute deviation /
+    /// mean) above which migration phases trigger.
+    pub imb_thresh: f64,
+    /// `SERVER_LOAD_thresh`: fraction of a server's workers that must be
+    /// overloaded for the server itself to count as overloaded, escalating
+    /// Phase 2 → Phase 3 (the paper uses 0.75).
+    pub server_load_thresh: f64,
+    /// A worker is "overloaded" above this fraction of its permissible
+    /// load `T_j`, and "underloaded" below `1 −` this fraction of mean.
+    pub overload_factor: f64,
+    /// Imbalance must persist this many consecutive epochs before any
+    /// rebalancing triggers (four in the paper's implementation).
+    pub epochs_to_trigger: u32,
+    /// Epoch length in milliseconds.
+    pub epoch_ms: u64,
+    /// Lease duration for replicated keys (Phase 1), ms.
+    pub replica_lease_ms: u64,
+    /// Lease duration for locally migrated cachelets (Phase 2), ms.
+    pub cachelet_lease_ms: u64,
+    /// Maximum replicas per hot key.
+    pub max_replicas: usize,
+    /// `MAX_ITER` for the iterative ILP relaxations of Algorithms 1 & 2.
+    pub max_iter: usize,
+    /// Branch & bound node budget per ILP solve.
+    pub ilp_node_budget: usize,
+}
+
+impl Default for BalancerConfig {
+    fn default() -> Self {
+        Self {
+            repl_high: 16,
+            imb_thresh: 0.30,
+            server_load_thresh: 0.75,
+            overload_factor: 0.75,
+            epochs_to_trigger: 4,
+            epoch_ms: 1_000,
+            replica_lease_ms: 30_000,
+            cachelet_lease_ms: 60_000,
+            max_replicas: 3,
+            max_iter: 8,
+            ilp_node_budget: 5_000,
+        }
+    }
+}
+
+impl BalancerConfig {
+    /// A fast-reacting configuration for tests and tight simulations:
+    /// single-epoch triggering and short leases.
+    pub fn aggressive() -> Self {
+        Self {
+            epochs_to_trigger: 1,
+            epoch_ms: 100,
+            replica_lease_ms: 2_000,
+            cachelet_lease_ms: 4_000,
+            ..Self::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_constants() {
+        let c = BalancerConfig::default();
+        assert_eq!(c.epochs_to_trigger, 4, "paper: four consecutive epochs");
+        assert!(
+            (c.server_load_thresh - 0.75).abs() < f64::EPSILON,
+            "paper: 75%"
+        );
+        assert!(c.max_replicas >= 2, "hot keys replicate to ≥1 shadow");
+    }
+
+    #[test]
+    fn aggressive_reacts_faster() {
+        let a = BalancerConfig::aggressive();
+        assert!(a.epochs_to_trigger < BalancerConfig::default().epochs_to_trigger);
+        assert!(a.epoch_ms < BalancerConfig::default().epoch_ms);
+    }
+}

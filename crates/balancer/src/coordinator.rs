@@ -1,0 +1,287 @@
+//! The central coordinator (§3.4).
+//!
+//! The coordinator plays no role in normal operation. It:
+//!
+//! 1. periodically collects per-cachelet statistics from every worker
+//!    ([`Coordinator::report_stats`]);
+//! 2. serves Phase 3 planning requests from overloaded workers
+//!    ([`Coordinator::request_migration`], Algorithm 2);
+//! 3. owns the authoritative mapping table and answers client heartbeats
+//!    with the mapping deltas they are missing, retaining change records
+//!    only slightly longer than the clients' polling period — which keeps
+//!    it "essentially stateless" (§3.4).
+
+use crate::config::BalancerConfig;
+use crate::phase3::{plan_coordinated, ClusterView, Phase3Outcome};
+use crate::plan::{Migration, WorkerLoad};
+use mbal_core::types::{ServerId, WorkerAddr};
+use mbal_ring::MappingTable;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+
+/// A heartbeat reply: the deltas a client is missing, or a full-refetch
+/// directive when it lagged past the retention window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HeartbeatReply {
+    /// Coordinator's current mapping version.
+    pub version: u64,
+    /// Deltas since the client's version (empty when up to date).
+    pub deltas: Vec<mbal_ring::MappingDelta>,
+    /// The client must refetch the whole table.
+    pub full_refetch: bool,
+}
+
+/// The central coordinator.
+pub struct Coordinator {
+    inner: Mutex<Inner>,
+    cfg: BalancerConfig,
+}
+
+struct Inner {
+    mapping: MappingTable,
+    /// Latest stats per server.
+    stats: HashMap<ServerId, Vec<WorkerLoad>>,
+    /// In-flight migrations (cachelet → command) awaiting completion.
+    in_flight: HashMap<u32, Migration>,
+    planned: u64,
+    completed: u64,
+}
+
+impl Coordinator {
+    /// Creates a coordinator owning `mapping`.
+    pub fn new(mapping: MappingTable, cfg: BalancerConfig) -> Self {
+        Self {
+            inner: Mutex::new(Inner {
+                mapping,
+                stats: HashMap::new(),
+                in_flight: HashMap::new(),
+                planned: 0,
+                completed: 0,
+            }),
+            cfg,
+        }
+    }
+
+    /// Ingests a server's epoch statistics.
+    pub fn report_stats(&self, server: ServerId, workers: Vec<WorkerLoad>) {
+        self.inner.lock().stats.insert(server, workers);
+    }
+
+    /// A copy of the current mapping table (client bootstrap).
+    pub fn mapping_snapshot(&self) -> MappingTable {
+        self.inner.lock().mapping.clone()
+    }
+
+    /// Current mapping version.
+    pub fn mapping_version(&self) -> u64 {
+        self.inner.lock().mapping.version()
+    }
+
+    /// Handles an overloaded worker's Phase 3 request. Returns the
+    /// migration commands for the servers to execute (already reflected
+    /// in the authoritative mapping), or `None` when the cluster is hot.
+    pub fn request_migration(&self, src: WorkerAddr) -> Option<Vec<Migration>> {
+        let mut g = self.inner.lock();
+        let mut servers: Vec<(ServerId, Vec<WorkerLoad>)> =
+            g.stats.iter().map(|(&sid, ws)| (sid, ws.clone())).collect();
+        servers.sort_by_key(|(sid, _)| *sid);
+        let view = ClusterView { servers };
+        match plan_coordinated(&view, src, &self.cfg) {
+            Phase3Outcome::Plan(plan) => {
+                for m in &plan {
+                    g.mapping.move_cachelet(m.cachelet, m.to);
+                    g.in_flight.insert(m.cachelet.0, *m);
+                    g.planned += 1;
+                    // Keep the stats view coherent so back-to-back
+                    // requests do not double-book the same cachelet.
+                    let rec = g
+                        .stats
+                        .get_mut(&m.from.server)
+                        .and_then(|ws| ws.iter_mut().find(|w| w.addr == m.from))
+                        .and_then(|w| {
+                            w.cachelets
+                                .iter()
+                                .position(|c| c.cachelet == m.cachelet)
+                                .map(|i| w.cachelets.remove(i))
+                        });
+                    if let (Some(rec), Some(ws)) = (rec, g.stats.get_mut(&m.to.server)) {
+                        if let Some(w) = ws.iter_mut().find(|w| w.addr == m.to) {
+                            w.cachelets.push(rec);
+                        }
+                    }
+                }
+                Some(plan)
+            }
+            Phase3Outcome::ClusterHot => None,
+            Phase3Outcome::Nothing => Some(Vec::new()),
+        }
+    }
+
+    /// Marks a migration finished; after all active clients have polled,
+    /// the source worker may drop its forwarding metadata.
+    pub fn migration_complete(&self, cachelet: mbal_core::types::CacheletId) {
+        let mut g = self.inner.lock();
+        if g.in_flight.remove(&cachelet.0).is_some() {
+            g.completed += 1;
+        }
+    }
+
+    /// Services a client heartbeat carrying the client's mapping version.
+    pub fn heartbeat(&self, client_version: u64) -> HeartbeatReply {
+        let g = self.inner.lock();
+        match g.mapping.deltas_since(client_version) {
+            Some(deltas) => HeartbeatReply {
+                version: g.mapping.version(),
+                deltas,
+                full_refetch: false,
+            },
+            None => HeartbeatReply {
+                version: g.mapping.version(),
+                deltas: Vec::new(),
+                full_refetch: true,
+            },
+        }
+    }
+
+    /// Applies a server-local (Phase 2) mapping change reported by a
+    /// server, so clients polling the coordinator learn about it.
+    pub fn report_local_move(&self, m: &Migration) {
+        let mut g = self.inner.lock();
+        g.mapping.move_cachelet(m.cachelet, m.to);
+    }
+
+    /// `(planned, completed)` migration counters.
+    pub fn migration_counters(&self) -> (u64, u64) {
+        let g = self.inner.lock();
+        (g.planned, g.completed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbal_core::stats::CacheletLoad;
+    use mbal_core::types::CacheletId;
+    use mbal_ring::ConsistentRing;
+
+    fn mapping(servers: u16, workers: u16) -> MappingTable {
+        let mut ring = ConsistentRing::new();
+        for s in 0..servers {
+            for w in 0..workers {
+                ring.add_worker(WorkerAddr::new(s, w));
+            }
+        }
+        MappingTable::build(&ring, 4, 64)
+    }
+
+    fn loads_for(mapping: &MappingTable, addr: WorkerAddr, per_cachelet: f64) -> WorkerLoad {
+        WorkerLoad {
+            addr,
+            cachelets: mapping
+                .cachelets_of_worker(addr)
+                .into_iter()
+                .map(|c| CacheletLoad {
+                    cachelet: c,
+                    load: per_cachelet,
+                    mem_bytes: 1 << 10,
+                    read_ratio: 0.95,
+                })
+                .collect(),
+            load_capacity: 100.0,
+            mem_capacity: 1 << 20,
+        }
+    }
+
+    fn coordinator() -> Coordinator {
+        let map = mapping(3, 1);
+        let cfg = BalancerConfig {
+            imb_thresh: 0.25,
+            ..BalancerConfig::default()
+        };
+        let c = Coordinator::new(map, cfg);
+        let m = c.mapping_snapshot();
+        // Server 0 is hot (4 cachelets × 30), servers 1–2 are cold.
+        c.report_stats(
+            ServerId(0),
+            vec![loads_for(&m, WorkerAddr::new(0, 0), 30.0)],
+        );
+        c.report_stats(ServerId(1), vec![loads_for(&m, WorkerAddr::new(1, 0), 2.0)]);
+        c.report_stats(ServerId(2), vec![loads_for(&m, WorkerAddr::new(2, 0), 2.0)]);
+        c
+    }
+
+    #[test]
+    fn migration_request_moves_mapping() {
+        let c = coordinator();
+        let v0 = c.mapping_version();
+        let plan = c
+            .request_migration(WorkerAddr::new(0, 0))
+            .expect("cluster has headroom");
+        assert!(!plan.is_empty());
+        assert!(c.mapping_version() > v0);
+        let snap = c.mapping_snapshot();
+        for m in &plan {
+            assert_eq!(snap.worker_of_cachelet(m.cachelet), Some(m.to));
+            assert_ne!(m.to.server, ServerId(0));
+        }
+        let (planned, completed) = c.migration_counters();
+        assert_eq!(planned as usize, plan.len());
+        assert_eq!(completed, 0);
+        c.migration_complete(plan[0].cachelet);
+        assert_eq!(c.migration_counters().1, 1);
+    }
+
+    #[test]
+    fn heartbeat_delivers_deltas_incrementally() {
+        let c = coordinator();
+        let client_v = c.mapping_version();
+        let plan = c
+            .request_migration(WorkerAddr::new(0, 0))
+            .expect("plan exists");
+        let hb = c.heartbeat(client_v);
+        assert!(!hb.full_refetch);
+        assert_eq!(hb.deltas.len(), plan.len());
+        assert_eq!(hb.version, c.mapping_version());
+        // An up-to-date client gets nothing.
+        let hb2 = c.heartbeat(hb.version);
+        assert!(hb2.deltas.is_empty());
+        assert!(!hb2.full_refetch);
+    }
+
+    #[test]
+    fn double_booking_is_prevented() {
+        let c = coordinator();
+        let first = c
+            .request_migration(WorkerAddr::new(0, 0))
+            .expect("first plan");
+        let second = c
+            .request_migration(WorkerAddr::new(0, 0))
+            .unwrap_or_default();
+        let moved_twice: Vec<CacheletId> = first
+            .iter()
+            .map(|m| m.cachelet)
+            .filter(|c| second.iter().any(|m| m.cachelet == *c))
+            .collect();
+        assert!(
+            moved_twice.is_empty(),
+            "cachelets planned twice: {moved_twice:?}"
+        );
+    }
+
+    #[test]
+    fn local_moves_surface_through_heartbeats() {
+        let c = coordinator();
+        let v = c.mapping_version();
+        let snap = c.mapping_snapshot();
+        let cl = snap.cachelets_of_worker(WorkerAddr::new(0, 0))[0];
+        c.report_local_move(&Migration {
+            cachelet: cl,
+            from: WorkerAddr::new(0, 0),
+            to: WorkerAddr::new(1, 0),
+            load: 5.0,
+        });
+        let hb = c.heartbeat(v);
+        assert_eq!(hb.deltas.len(), 1);
+        assert_eq!(hb.deltas[0].cachelet, cl);
+    }
+}

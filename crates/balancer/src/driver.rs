@@ -1,0 +1,363 @@
+//! The per-server balance driver.
+//!
+//! Glues the epoch pipeline together: ingest worker loads and hot keys →
+//! build the [`Observation`] → step the Figure 4 [`StateMachine`] → run
+//! the active phase's planner → emit actions for the server runtime to
+//! execute, and events for the log behind Figure 13.
+//!
+//! Phases compose as in the paper: while in a migration phase, key
+//! replication keeps running at a backed-off sampling rate so short
+//! ephemeral hotspots are still absorbed.
+
+use crate::config::BalancerConfig;
+use crate::events::{EventLog, PhaseEvent};
+use crate::phase1::{ReplicationAction, ReplicationPlanner};
+use crate::phase2::{plan_local, Phase2Outcome};
+use crate::plan::{Migration, WorkerLoad};
+use crate::state::{Observation, Phase, StateMachine};
+use mbal_core::hotkey::HotKey;
+use mbal_core::stats::relative_imbalance;
+use mbal_core::types::{ServerId, WorkerAddr, WorkerId};
+use std::collections::HashMap;
+
+/// What the server runtime should do after an epoch tick.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EpochActions {
+    /// The phase in force after this epoch.
+    pub phase: Option<Phase>,
+    /// Per-worker replication actions (Phase 1).
+    pub replication: Vec<(WorkerId, Vec<ReplicationAction>)>,
+    /// Server-local cachelet migrations (Phase 2).
+    pub local_migrations: Vec<Migration>,
+    /// Workers that must request coordinated migration (Phase 3).
+    pub coordinate: Vec<WorkerAddr>,
+    /// Hot-key sampling backoff factor workers should apply.
+    pub sampling_backoff: u64,
+}
+
+impl EpochActions {
+    /// `true` when nothing needs to happen.
+    pub fn is_quiet(&self) -> bool {
+        self.replication.iter().all(|(_, a)| a.is_empty())
+            && self.local_migrations.is_empty()
+            && self.coordinate.is_empty()
+    }
+}
+
+/// The per-server balancing driver.
+pub struct BalanceDriver {
+    cfg: BalancerConfig,
+    server: ServerId,
+    machine: StateMachine,
+    planners: HashMap<WorkerId, ReplicationPlanner>,
+    log: EventLog,
+    hot_threshold: f64,
+}
+
+impl BalanceDriver {
+    /// Creates a driver for `server`. `hot_threshold` is the hot-key
+    /// score threshold configured in the trackers (used to scale replica
+    /// counts).
+    pub fn new(server: ServerId, cfg: BalancerConfig, hot_threshold: f64) -> Self {
+        Self {
+            machine: StateMachine::new(cfg.clone()),
+            cfg,
+            server,
+            planners: HashMap::new(),
+            log: EventLog::new(),
+            hot_threshold,
+        }
+    }
+
+    /// Current phase.
+    pub fn phase(&self) -> Phase {
+        self.machine.phase()
+    }
+
+    /// The event log (Figure 13 data).
+    pub fn events(&self) -> &EventLog {
+        &self.log
+    }
+
+    /// Builds the epoch observation from raw inputs.
+    fn observe(
+        &self,
+        workers: &[WorkerLoad],
+        hot_keys: &HashMap<WorkerId, Vec<HotKey>>,
+    ) -> Observation {
+        let loads: Vec<f64> = workers.iter().map(|w| w.total_load()).collect();
+        let avg = if loads.is_empty() {
+            0.0
+        } else {
+            loads.iter().sum::<f64>() / loads.len() as f64
+        };
+        let mut read_hot = 0;
+        let mut write_hot = 0;
+        for keys in hot_keys.values() {
+            for k in keys {
+                if k.is_write_heavy() {
+                    write_hot += 1;
+                } else {
+                    read_hot += 1;
+                }
+            }
+        }
+        Observation {
+            read_hot_keys: read_hot,
+            write_hot_keys: write_hot,
+            local_dev: relative_imbalance(&loads),
+            overloaded_workers: workers
+                .iter()
+                .filter(|w| w.is_overloaded(self.cfg.overload_factor))
+                .count(),
+            underloaded_workers: workers.iter().filter(|w| w.total_load() < avg).count(),
+            total_workers: workers.len(),
+        }
+    }
+
+    /// Runs one epoch: updates the state machine and produces actions.
+    ///
+    /// * `workers` — this server's worker loads.
+    /// * `hot_keys` — per-worker hot keys from the trackers.
+    /// * `cluster` — all workers in the cluster (shadow candidates).
+    pub fn epoch(
+        &mut self,
+        now_ms: u64,
+        workers: &[WorkerLoad],
+        hot_keys: &HashMap<WorkerId, Vec<HotKey>>,
+        cluster: &[WorkerAddr],
+    ) -> EpochActions {
+        let obs = self.observe(workers, hot_keys);
+        let phase = self.machine.observe(&obs);
+        let mut out = EpochActions {
+            phase: Some(phase),
+            sampling_backoff: 1,
+            ..EpochActions::default()
+        };
+
+        // Phase 1 runs whenever we are in it, and keeps running backed
+        // off during migration phases (concurrent lower-priority phase).
+        let run_replication = matches!(
+            phase,
+            Phase::KeyReplication | Phase::LocalMigration | Phase::CoordinatedMigration
+        );
+        if run_replication {
+            if phase != Phase::KeyReplication {
+                out.sampling_backoff = 4;
+            }
+            // Deterministic worker order (HashMap iteration is not).
+            let mut by_worker: Vec<(&WorkerId, &Vec<HotKey>)> = hot_keys.iter().collect();
+            by_worker.sort_by_key(|(w, _)| **w);
+            for (&wid, keys) in by_worker {
+                let read_hot: Vec<HotKey> = keys
+                    .iter()
+                    .filter(|k| !k.is_write_heavy())
+                    .cloned()
+                    .collect();
+                let planner = self.planners.entry(wid).or_default();
+                let actions = planner.plan(
+                    &read_hot,
+                    self.server,
+                    cluster,
+                    now_ms,
+                    &self.cfg,
+                    self.hot_threshold,
+                );
+                if !actions.is_empty() {
+                    // Lease renewals are maintenance, not balancing
+                    // triggers; only installs/retires count as events.
+                    let triggering = actions
+                        .iter()
+                        .filter(|a| !matches!(a, ReplicationAction::Renew { .. }))
+                        .count();
+                    if triggering > 0 {
+                        self.log.record(PhaseEvent {
+                            at_ms: now_ms,
+                            server: self.server,
+                            phase: Phase::KeyReplication,
+                            actions: triggering,
+                        });
+                    }
+                    out.replication.push((wid, actions));
+                }
+            }
+        }
+
+        match phase {
+            Phase::LocalMigration => match plan_local(workers, &self.cfg) {
+                Phase2Outcome::Plan(plan) => {
+                    self.log.record(PhaseEvent {
+                        at_ms: now_ms,
+                        server: self.server,
+                        phase: Phase::LocalMigration,
+                        actions: plan.len(),
+                    });
+                    out.local_migrations = plan;
+                }
+                Phase2Outcome::Escalate => {
+                    out.coordinate = overloaded_workers(workers, &self.cfg);
+                    self.log.record(PhaseEvent {
+                        at_ms: now_ms,
+                        server: self.server,
+                        phase: Phase::CoordinatedMigration,
+                        actions: out.coordinate.len(),
+                    });
+                }
+                Phase2Outcome::Nothing => {}
+            },
+            Phase::CoordinatedMigration => {
+                // First see whether a local shuffle suffices; otherwise
+                // (or additionally, for the workers still hot) escalate.
+                if let Phase2Outcome::Plan(plan) = plan_local(workers, &self.cfg) {
+                    self.log.record(PhaseEvent {
+                        at_ms: now_ms,
+                        server: self.server,
+                        phase: Phase::LocalMigration,
+                        actions: plan.len(),
+                    });
+                    out.local_migrations = plan;
+                }
+                out.coordinate = overloaded_workers(workers, &self.cfg);
+                if !out.coordinate.is_empty() {
+                    self.log.record(PhaseEvent {
+                        at_ms: now_ms,
+                        server: self.server,
+                        phase: Phase::CoordinatedMigration,
+                        actions: out.coordinate.len(),
+                    });
+                }
+            }
+            Phase::Normal | Phase::KeyReplication => {}
+        }
+        out
+    }
+
+    /// Notifies the driver that a cachelet left this server (Phase 3), so
+    /// per-key replication state rooted in it is dropped.
+    pub fn forget_key(&mut self, worker: WorkerId, key: &[u8]) {
+        if let Some(p) = self.planners.get_mut(&worker) {
+            p.forget(key);
+        }
+    }
+}
+
+fn overloaded_workers(workers: &[WorkerLoad], cfg: &BalancerConfig) -> Vec<WorkerAddr> {
+    let mut v: Vec<&WorkerLoad> = workers
+        .iter()
+        .filter(|w| w.is_overloaded(cfg.overload_factor))
+        .collect();
+    v.sort_by(|a, b| {
+        b.total_load()
+            .partial_cmp(&a.total_load())
+            .expect("finite load")
+    });
+    v.into_iter().map(|w| w.addr).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbal_core::stats::CacheletLoad;
+    use mbal_core::types::CacheletId;
+
+    fn worker(id: u16, loads: &[f64]) -> WorkerLoad {
+        WorkerLoad {
+            addr: WorkerAddr::new(0, id),
+            cachelets: loads
+                .iter()
+                .enumerate()
+                .map(|(i, &l)| CacheletLoad {
+                    cachelet: CacheletId(id as u32 * 100 + i as u32),
+                    load: l,
+                    mem_bytes: 1 << 10,
+                    read_ratio: 0.95,
+                })
+                .collect(),
+            load_capacity: 100.0,
+            mem_capacity: 1 << 20,
+        }
+    }
+
+    fn cluster() -> Vec<WorkerAddr> {
+        (0..4)
+            .flat_map(|s| (0..2).map(move |w| WorkerAddr::new(s, w)))
+            .collect()
+    }
+
+    fn driver() -> BalanceDriver {
+        BalanceDriver::new(ServerId(0), BalancerConfig::aggressive(), 8.0)
+    }
+
+    fn hot(key: &str, score: f64) -> HotKey {
+        HotKey {
+            key: key.as_bytes().to_vec(),
+            score,
+            write_ratio: 0.0,
+        }
+    }
+
+    #[test]
+    fn quiet_server_takes_no_action() {
+        let mut d = driver();
+        let ws = vec![worker(0, &[10.0]), worker(1, &[12.0])];
+        let a = d.epoch(0, &ws, &HashMap::new(), &cluster());
+        assert_eq!(a.phase, Some(Phase::Normal));
+        assert!(a.is_quiet());
+        assert!(d.events().is_empty());
+    }
+
+    #[test]
+    fn hot_keys_produce_replication_actions() {
+        let mut d = driver();
+        // Loads balanced enough that imbalance does not pre-empt the
+        // replication phase.
+        let ws = vec![worker(0, &[40.0]), worker(1, &[35.0])];
+        let mut hk = HashMap::new();
+        hk.insert(WorkerId(0), vec![hot("celebrity", 20.0)]);
+        let a = d.epoch(0, &ws, &hk, &cluster());
+        assert_eq!(a.phase, Some(Phase::KeyReplication));
+        assert_eq!(a.replication.len(), 1);
+        assert!(!a.replication[0].1.is_empty());
+        assert_eq!(a.sampling_backoff, 1);
+        assert_eq!(d.events().len(), 1);
+    }
+
+    #[test]
+    fn imbalance_without_hot_keys_migrates_locally() {
+        let mut d = driver();
+        let ws = vec![worker(0, &[50.0, 40.0]), worker(1, &[2.0])];
+        let a = d.epoch(0, &ws, &HashMap::new(), &cluster());
+        assert_eq!(a.phase, Some(Phase::LocalMigration));
+        assert!(!a.local_migrations.is_empty());
+        assert!(a.coordinate.is_empty());
+    }
+
+    #[test]
+    fn server_wide_overload_requests_coordination() {
+        let mut d = driver();
+        let ws = vec![worker(0, &[95.0]), worker(1, &[90.0])];
+        let mut hk = HashMap::new();
+        hk.insert(
+            WorkerId(0),
+            (0..20).map(|i| hot(&format!("k{i}"), 20.0)).collect(),
+        );
+        let a = d.epoch(0, &ws, &hk, &cluster());
+        assert_eq!(a.phase, Some(Phase::CoordinatedMigration));
+        assert!(!a.coordinate.is_empty());
+        assert_eq!(a.coordinate[0], WorkerAddr::new(0, 0), "hottest first");
+        assert_eq!(a.sampling_backoff, 4, "replication backs off");
+    }
+
+    #[test]
+    fn events_accumulate_over_epochs() {
+        let mut d = driver();
+        let ws = vec![worker(0, &[50.0, 40.0]), worker(1, &[2.0])];
+        for t in 0..3 {
+            d.epoch(t * 100, &ws, &HashMap::new(), &cluster());
+        }
+        assert!(d.events().len() >= 3);
+        let b = d.events().breakdown(1_000);
+        assert_eq!(b.len(), 1);
+        assert!(b[0].p2 >= 3);
+    }
+}

@@ -1,0 +1,151 @@
+//! Phase-trigger event logging (the data behind Figures 12–13).
+
+use crate::state::Phase;
+use mbal_core::types::ServerId;
+
+/// One load-balancing event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseEvent {
+    /// When the event fired (ms on the experiment clock).
+    pub at_ms: u64,
+    /// The server that triggered it.
+    pub server: ServerId,
+    /// The phase that acted.
+    pub phase: Phase,
+    /// Number of actions emitted (replications planned, cachelets moved).
+    pub actions: usize,
+}
+
+/// An append-only event log with windowed aggregation.
+#[derive(Debug, Default)]
+pub struct EventLog {
+    events: Vec<PhaseEvent>,
+}
+
+/// Per-phase event counts for one time window.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseBreakdown {
+    /// Window start (inclusive), ms.
+    pub window_start_ms: u64,
+    /// Phase 1 trigger events.
+    pub p1: usize,
+    /// Phase 2 trigger events.
+    pub p2: usize,
+    /// Phase 3 trigger events.
+    pub p3: usize,
+}
+
+impl PhaseBreakdown {
+    /// Total balancing events in the window.
+    pub fn total(&self) -> usize {
+        self.p1 + self.p2 + self.p3
+    }
+}
+
+impl EventLog {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends an event.
+    pub fn record(&mut self, ev: PhaseEvent) {
+        self.events.push(ev);
+    }
+
+    /// All events.
+    pub fn events(&self) -> &[PhaseEvent] {
+        &self.events
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Returns `true` when no events have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Aggregates events into fixed windows of `window_ms` (Figure 13's
+    /// stacked breakdown).
+    pub fn breakdown(&self, window_ms: u64) -> Vec<PhaseBreakdown> {
+        assert!(window_ms > 0, "zero window");
+        let mut out: Vec<PhaseBreakdown> = Vec::new();
+        for ev in &self.events {
+            let start = ev.at_ms / window_ms * window_ms;
+            if out.last().is_none_or(|w| w.window_start_ms != start) {
+                out.push(PhaseBreakdown {
+                    window_start_ms: start,
+                    ..PhaseBreakdown::default()
+                });
+            }
+            let w = out.last_mut().expect("window exists");
+            match ev.phase {
+                Phase::KeyReplication => w.p1 += 1,
+                Phase::LocalMigration => w.p2 += 1,
+                Phase::CoordinatedMigration => w.p3 += 1,
+                Phase::Normal => {}
+            }
+        }
+        out
+    }
+
+    /// Fraction of events that are Phase 3 (the paper reports ≈13%).
+    pub fn p3_fraction(&self) -> f64 {
+        let total = self
+            .events
+            .iter()
+            .filter(|e| e.phase != Phase::Normal)
+            .count();
+        if total == 0 {
+            return 0.0;
+        }
+        self.events
+            .iter()
+            .filter(|e| e.phase == Phase::CoordinatedMigration)
+            .count() as f64
+            / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(at_ms: u64, phase: Phase) -> PhaseEvent {
+        PhaseEvent {
+            at_ms,
+            server: ServerId(0),
+            phase,
+            actions: 1,
+        }
+    }
+
+    #[test]
+    fn breakdown_windows_and_counts() {
+        let mut log = EventLog::new();
+        log.record(ev(100, Phase::KeyReplication));
+        log.record(ev(200, Phase::KeyReplication));
+        log.record(ev(900, Phase::LocalMigration));
+        log.record(ev(1_100, Phase::CoordinatedMigration));
+        let b = log.breakdown(1_000);
+        assert_eq!(b.len(), 2);
+        assert_eq!((b[0].p1, b[0].p2, b[0].p3), (2, 1, 0));
+        assert_eq!(b[0].total(), 3);
+        assert_eq!((b[1].p1, b[1].p2, b[1].p3), (0, 0, 1));
+        assert_eq!(b[1].window_start_ms, 1_000);
+    }
+
+    #[test]
+    fn p3_fraction_matches_counts() {
+        let mut log = EventLog::new();
+        for i in 0..7 {
+            log.record(ev(i, Phase::KeyReplication));
+        }
+        log.record(ev(8, Phase::CoordinatedMigration));
+        assert!((log.p3_fraction() - 1.0 / 8.0).abs() < 1e-9);
+        assert_eq!(EventLog::new().p3_fraction(), 0.0);
+    }
+}

@@ -1,0 +1,55 @@
+//! # mbal-balancer
+//!
+//! MBal's event-driven, multi-phase load balancer (§3 of the paper).
+//!
+//! Each server tracks per-cachelet load and per-key heat; a cost/benefit
+//! analyzer transitions between phases of increasing cost and reach
+//! (Figure 4 / Table 2):
+//!
+//! | Phase | Action | Scope | Cost |
+//! |-------|--------|-------|------|
+//! | 1 — [`phase1`] key replication | replicate hot keys to shadow servers | per-key | medium |
+//! | 2 — [`phase2`] server-local migration | re-own cachelets between local workers (pointer swap) | per-cachelet, one server | low |
+//! | 3 — [`phase3`] coordinated migration | move cachelets across servers via the coordinator | per-cachelet, cluster | high |
+//!
+//! - [`state`] — the Figure 4 state machine with the 4-consecutive-epoch
+//!   persistence rule.
+//! - [`config`] — the tunables (`REPL_high`, `IMB_thresh`,
+//!   `SERVER_LOAD_thresh`, epoch length, lease durations, `MAX_ITER`).
+//! - [`plan`] — shared planner types (worker loads, migration commands).
+//! - [`phase1`]/[`phase2`]/[`phase3`] — the per-phase planners; phases 2
+//!   and 3 formulate ILPs (crate `mbal-ilp`) with greedy fallbacks.
+//! - [`coordinator`] — the central coordinator of Phase 3: cluster stats,
+//!   the authoritative mapping table, heartbeat servicing with bounded
+//!   mapping-change retention (quasi-stateless, §3.4).
+//! - [`replicated`] — primary/standby coordinator replication with
+//!   explicit failover (the fault-tolerance extension §3.4 leaves as
+//!   future work).
+//! - [`topology`] — zone-aware hierarchical Phase 3 planning (the
+//!   §4.2.1 future work): migrate within the source's rack first, spill
+//!   across zones only when the rack has no headroom.
+//! - [`driver`] — the per-server balance driver tying it all together and
+//!   emitting the [`events::PhaseEvent`] log behind Figure 13.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod coordinator;
+pub mod driver;
+pub mod events;
+pub mod phase1;
+pub mod phase2;
+pub mod phase3;
+pub mod plan;
+pub mod replicated;
+pub mod state;
+pub mod topology;
+
+pub use config::BalancerConfig;
+pub use driver::BalanceDriver;
+pub use events::{EventLog, PhaseEvent};
+pub use plan::{Migration, WorkerLoad};
+pub use replicated::{CoordinatorService, ReplicatedCoordinator};
+pub use state::{Observation, Phase, StateMachine};
+pub use topology::{plan_coordinated_zoned, Topology, ZonedOutcome};

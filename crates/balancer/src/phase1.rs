@@ -1,0 +1,326 @@
+//! Phase 1: key replication (§3.2).
+//!
+//! A worker with a hot key (the *home* worker) selects shadow servers and
+//! replicates the key to one worker on each. Replica count scales with
+//! hotness; replicas are lease-based and live in the shadow workers'
+//! separate replica tables. Writes always go through the home worker,
+//! which is why write-heavy hot keys are never replicated.
+
+use crate::config::BalancerConfig;
+use mbal_core::hash::xxh64;
+use mbal_core::hotkey::HotKey;
+use mbal_core::types::{ServerId, WorkerAddr};
+use std::collections::HashMap;
+
+/// A replication action for the server runtime to execute.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReplicationAction {
+    /// Install (or refresh the value of) a replica at `shadow`.
+    Install {
+        /// The hot key.
+        key: Vec<u8>,
+        /// The shadow worker receiving the replica.
+        shadow: WorkerAddr,
+        /// Lease expiry (absolute ms).
+        lease_expiry_ms: u64,
+    },
+    /// Renew the lease of an existing replica.
+    Renew {
+        /// The hot key.
+        key: Vec<u8>,
+        /// The shadow worker holding the replica.
+        shadow: WorkerAddr,
+        /// New lease expiry (absolute ms).
+        lease_expiry_ms: u64,
+    },
+    /// Drop a replica whose key has cooled.
+    Retire {
+        /// The cooled key.
+        key: Vec<u8>,
+        /// The shadow worker holding the replica.
+        shadow: WorkerAddr,
+    },
+}
+
+/// Tracks the home-side replication state of one worker's hot keys.
+#[derive(Debug, Default)]
+pub struct ReplicationPlanner {
+    /// key → shadow workers currently holding replicas.
+    live: HashMap<Vec<u8>, Vec<WorkerAddr>>,
+}
+
+impl ReplicationPlanner {
+    /// Creates an empty planner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of keys currently replicated from this worker.
+    pub fn replicated_keys(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Shadow workers for `key`, if replicated.
+    pub fn replicas_of(&self, key: &[u8]) -> &[WorkerAddr] {
+        self.live.get(key).map_or(&[], |v| v.as_slice())
+    }
+
+    /// Desired replica count for a hot key: one shadow at the threshold,
+    /// growing with score, capped by `max_replicas`.
+    fn desired_replicas(hot: &HotKey, cfg: &BalancerConfig, hot_threshold: f64) -> usize {
+        let ratio = (hot.score / hot_threshold.max(1e-9)).max(1.0);
+        (ratio.log2().floor() as usize + 1).min(cfg.max_replicas)
+    }
+
+    /// Deterministically picks the `i`-th shadow server for `key`:
+    /// hash-derived, skipping the home server (the paper picks "randomly";
+    /// hashing gives the same spread while keeping runs reproducible).
+    fn shadow_for(
+        key: &[u8],
+        i: usize,
+        home: ServerId,
+        cluster: &[WorkerAddr],
+    ) -> Option<WorkerAddr> {
+        let candidates: Vec<WorkerAddr> = cluster
+            .iter()
+            .copied()
+            .filter(|w| w.server != home)
+            .collect();
+        if candidates.is_empty() {
+            return None;
+        }
+        let h = xxh64(key, 0xC0FFEE + i as u64);
+        Some(candidates[(h % candidates.len() as u64) as usize])
+    }
+
+    /// Plans replication for the current epoch.
+    ///
+    /// * `hot_keys` — read-heavy hot keys from the tracker (hottest
+    ///   first); write-heavy keys must already be filtered out.
+    /// * `home` — this server.
+    /// * `cluster` — all workers in the cluster.
+    ///
+    /// Returns the actions to execute. Keys no longer hot are retired
+    /// (their leases would also lapse on their own; eager retirement
+    /// frees shadow DRAM sooner).
+    pub fn plan(
+        &mut self,
+        hot_keys: &[HotKey],
+        home: ServerId,
+        cluster: &[WorkerAddr],
+        now_ms: u64,
+        cfg: &BalancerConfig,
+        hot_threshold: f64,
+    ) -> Vec<ReplicationAction> {
+        let mut actions = Vec::new();
+        let lease = now_ms + cfg.replica_lease_ms;
+        let hot_set: HashMap<&[u8], &HotKey> =
+            hot_keys.iter().map(|h| (h.key.as_slice(), h)).collect();
+
+        // Retire replicas of keys that cooled down (sorted for
+        // deterministic action order; HashMap iteration is not).
+        let mut retired: Vec<Vec<u8>> = self
+            .live
+            .keys()
+            .filter(|k| !hot_set.contains_key(k.as_slice()))
+            .cloned()
+            .collect();
+        retired.sort();
+        for key in retired {
+            if let Some(shadows) = self.live.remove(&key) {
+                for s in shadows {
+                    actions.push(ReplicationAction::Retire {
+                        key: key.clone(),
+                        shadow: s,
+                    });
+                }
+            }
+        }
+
+        // Install/renew for currently hot keys. Respect REPL_high: beyond
+        // the watermark, stop adding *new* keys (the state machine will
+        // escalate), but keep renewing existing ones.
+        for hot in hot_keys {
+            if hot.is_write_heavy() {
+                continue;
+            }
+            let want = Self::desired_replicas(hot, cfg, hot_threshold);
+            let have = self.live.get(&hot.key).map_or(0, |v| v.len());
+            if have == 0 && self.live.len() >= cfg.repl_high {
+                continue;
+            }
+            let entry = self.live.entry(hot.key.clone()).or_default();
+            // Renew existing.
+            for &s in entry.iter() {
+                actions.push(ReplicationAction::Renew {
+                    key: hot.key.clone(),
+                    shadow: s,
+                    lease_expiry_ms: lease,
+                });
+            }
+            // Grow towards the desired count.
+            let mut attempt = entry.len();
+            while entry.len() < want {
+                let Some(shadow) = Self::shadow_for(&hot.key, attempt, home, cluster) else {
+                    break;
+                };
+                attempt += 1;
+                if entry.contains(&shadow) {
+                    if attempt > want + cluster.len() {
+                        break;
+                    }
+                    continue;
+                }
+                entry.push(shadow);
+                actions.push(ReplicationAction::Install {
+                    key: hot.key.clone(),
+                    shadow,
+                    lease_expiry_ms: lease,
+                });
+            }
+        }
+        actions
+    }
+
+    /// Forgets a key (e.g. after its cachelet migrated away).
+    pub fn forget(&mut self, key: &[u8]) {
+        self.live.remove(key);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cluster(n_servers: u16, workers: u16) -> Vec<WorkerAddr> {
+        (0..n_servers)
+            .flat_map(|s| (0..workers).map(move |w| WorkerAddr::new(s, w)))
+            .collect()
+    }
+
+    fn hot(key: &[u8], score: f64) -> HotKey {
+        HotKey {
+            key: key.to_vec(),
+            score,
+            write_ratio: 0.0,
+        }
+    }
+
+    fn cfg() -> BalancerConfig {
+        BalancerConfig {
+            repl_high: 4,
+            max_replicas: 3,
+            replica_lease_ms: 1_000,
+            ..BalancerConfig::default()
+        }
+    }
+
+    #[test]
+    fn installs_on_other_servers_only() {
+        let mut p = ReplicationPlanner::new();
+        let actions = p.plan(
+            &[hot(b"hot", 10.0)],
+            ServerId(0),
+            &cluster(4, 2),
+            0,
+            &cfg(),
+            8.0,
+        );
+        assert!(!actions.is_empty());
+        for a in &actions {
+            if let ReplicationAction::Install { shadow, .. } = a {
+                assert_ne!(shadow.server, ServerId(0), "shadow on home server");
+            }
+        }
+        assert_eq!(p.replicated_keys(), 1);
+    }
+
+    #[test]
+    fn hotter_keys_get_more_replicas() {
+        let mut p = ReplicationPlanner::new();
+        let c = cluster(8, 2);
+        p.plan(
+            &[hot(b"warm", 8.0), hot(b"scorching", 64.0)],
+            ServerId(0),
+            &c,
+            0,
+            &cfg(),
+            8.0,
+        );
+        let warm = p.replicas_of(b"warm").len();
+        let hot_n = p.replicas_of(b"scorching").len();
+        assert!(hot_n > warm, "scorching {hot_n} vs warm {warm}");
+        assert!(hot_n <= 3, "cap respected");
+    }
+
+    #[test]
+    fn second_epoch_renews_instead_of_reinstalling() {
+        let mut p = ReplicationPlanner::new();
+        let c = cluster(4, 2);
+        let k = [hot(b"hot", 10.0)];
+        let first = p.plan(&k, ServerId(0), &c, 0, &cfg(), 8.0);
+        assert!(first
+            .iter()
+            .any(|a| matches!(a, ReplicationAction::Install { .. })));
+        let second = p.plan(&k, ServerId(0), &c, 500, &cfg(), 8.0);
+        assert!(second
+            .iter()
+            .all(|a| matches!(a, ReplicationAction::Renew { .. })));
+    }
+
+    #[test]
+    fn cooled_keys_are_retired() {
+        let mut p = ReplicationPlanner::new();
+        let c = cluster(4, 2);
+        p.plan(&[hot(b"flash", 10.0)], ServerId(0), &c, 0, &cfg(), 8.0);
+        let actions = p.plan(&[], ServerId(0), &c, 1_000, &cfg(), 8.0);
+        assert!(actions
+            .iter()
+            .any(|a| matches!(a, ReplicationAction::Retire { .. })));
+        assert_eq!(p.replicated_keys(), 0);
+    }
+
+    #[test]
+    fn repl_high_caps_new_keys_but_renews_existing() {
+        let mut p = ReplicationPlanner::new();
+        let c = cluster(4, 2);
+        let keys: Vec<HotKey> = (0..6)
+            .map(|i| hot(format!("k{i}").as_bytes(), 10.0))
+            .collect();
+        p.plan(&keys[..4], ServerId(0), &c, 0, &cfg(), 8.0);
+        assert_eq!(p.replicated_keys(), 4);
+        // Watermark reached: new keys are refused, existing renewed.
+        let actions = p.plan(&keys, ServerId(0), &c, 100, &cfg(), 8.0);
+        assert_eq!(p.replicated_keys(), 4, "no growth past REPL_high");
+        assert!(actions
+            .iter()
+            .any(|a| matches!(a, ReplicationAction::Renew { .. })));
+    }
+
+    #[test]
+    fn write_heavy_keys_are_never_replicated() {
+        let mut p = ReplicationPlanner::new();
+        let wh = HotKey {
+            key: b"writey".to_vec(),
+            score: 50.0,
+            write_ratio: 0.6,
+        };
+        let actions = p.plan(&[wh], ServerId(0), &cluster(4, 2), 0, &cfg(), 8.0);
+        assert!(actions.is_empty());
+        assert_eq!(p.replicated_keys(), 0);
+    }
+
+    #[test]
+    fn single_server_cluster_cannot_replicate() {
+        let mut p = ReplicationPlanner::new();
+        let actions = p.plan(
+            &[hot(b"hot", 10.0)],
+            ServerId(0),
+            &cluster(1, 8),
+            0,
+            &cfg(),
+            8.0,
+        );
+        assert!(actions.is_empty(), "no shadow servers exist besides home");
+    }
+}

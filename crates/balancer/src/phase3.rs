@@ -1,0 +1,295 @@
+//! Phase 3: coordinated cachelet migration (Algorithm 2, §3.4).
+//!
+//! When a server is overloaded as a whole (or Phase 2 found no local
+//! headroom), the overloaded worker notifies the central coordinator.
+//! Each iteration picks the least-loaded destination *server* and solves
+//! the deviation ILP of Equation (8) across the source worker and the
+//! destination's workers, with the memory-capacity constraints (10)–(11)
+//! (unlike Phase 2, the data actually moves, so the destination must fit
+//! it without extraneous evictions). A greedy pass covers ILP failures;
+//! iterations stop when `dev(LOAD(src), LOAD(S_dest)) ≤ IMB_thresh`,
+//! `MAX_ITER` is hit, or the whole cluster is hot (→ scale out).
+
+use crate::config::BalancerConfig;
+use crate::phase2::{apply_migrations, greedy, solve_deviation_ilp};
+use crate::plan::{Migration, WorkerLoad};
+use mbal_core::stats::relative_imbalance;
+use mbal_core::types::{ServerId, WorkerAddr};
+
+/// Result of coordinated planning.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Phase3Outcome {
+    /// Cross-server migrations to execute.
+    Plan(Vec<Migration>),
+    /// Every candidate destination is itself hot, or the source remains
+    /// hot after `MAX_ITER` — the cluster needs more servers (the
+    /// Algorithm 2 `NULL` return).
+    ClusterHot,
+    /// The source is not actually imbalanced against the cluster.
+    Nothing,
+}
+
+/// The cluster-wide view the coordinator plans over: every server's
+/// workers.
+#[derive(Debug, Clone)]
+pub struct ClusterView {
+    /// Per-server worker loads.
+    pub servers: Vec<(ServerId, Vec<WorkerLoad>)>,
+}
+
+impl ClusterView {
+    /// Finds a worker by address.
+    pub fn worker(&self, addr: WorkerAddr) -> Option<&WorkerLoad> {
+        self.servers
+            .iter()
+            .flat_map(|(_, ws)| ws)
+            .find(|w| w.addr == addr)
+    }
+}
+
+/// `dev(LOAD(src), LOAD(S_dest))`: relative imbalance between the source
+/// worker's load and the destination server's worker loads.
+fn src_dest_dev(src: &WorkerLoad, dest_workers: &[WorkerLoad]) -> f64 {
+    let mut loads = vec![src.total_load()];
+    loads.extend(dest_workers.iter().map(|w| w.total_load()));
+    relative_imbalance(&loads)
+}
+
+/// Plans coordinated migration for overloaded worker `src` against the
+/// cluster `view` (Algorithm 2).
+pub fn plan_coordinated(
+    view: &ClusterView,
+    src: WorkerAddr,
+    cfg: &BalancerConfig,
+) -> Phase3Outcome {
+    let Some(src_load) = view.worker(src).cloned() else {
+        return Phase3Outcome::Nothing;
+    };
+    if src_load.cachelets.is_empty() {
+        return Phase3Outcome::Nothing;
+    }
+
+    let mut plan: Vec<Migration> = Vec::new();
+    let mut current_src = src_load;
+    // Destination servers we may still try, with a mutable working copy.
+    let mut candidates: Vec<(ServerId, Vec<WorkerLoad>)> = view
+        .servers
+        .iter()
+        .filter(|(sid, _)| *sid != src.server)
+        .cloned()
+        .collect();
+    if candidates.is_empty() {
+        return Phase3Outcome::ClusterHot;
+    }
+
+    let mut iter = 0usize;
+    let mut made_progress = false;
+    while iter < cfg.max_iter {
+        iter += 1;
+        // Least-loaded destination server (min(V_S)).
+        let Some(best) = (0..candidates.len()).min_by(|&a, &b| {
+            let la: f64 = candidates[a].1.iter().map(|w| w.total_load()).sum();
+            let lb: f64 = candidates[b].1.iter().map(|w| w.total_load()).sum();
+            la.partial_cmp(&lb).expect("finite load")
+        }) else {
+            break;
+        };
+        // A destination with no headroom anywhere means the cluster is
+        // saturating.
+        let dest_headroom: f64 = candidates[best]
+            .1
+            .iter()
+            .map(|w| (w.load_capacity * cfg.overload_factor - w.total_load()).max(0.0))
+            .sum();
+        if dest_headroom <= 0.0 {
+            candidates.swap_remove(best);
+            if candidates.is_empty() {
+                break;
+            }
+            continue;
+        }
+
+        if src_dest_dev(&current_src, &candidates[best].1) <= cfg.imb_thresh {
+            break;
+        }
+
+        // Assemble the S' = {src} ∪ S_dest group and solve Eq. (8) with
+        // memory constraints.
+        let mut group: Vec<WorkerLoad> = vec![current_src.clone()];
+        group.extend(candidates[best].1.iter().cloned());
+        let sources = [0usize];
+        let dests: Vec<usize> = (1..group.len()).collect();
+        let step = match solve_deviation_ilp(&group, &sources, &dests, cfg, true) {
+            Some(s) if !s.is_empty() => s,
+            _ => {
+                let g = greedy(&group, cfg);
+                // Keep only moves out of the source (Algorithm 2's greedy
+                // reduces load on the overloaded worker).
+                let g: Vec<Migration> = g
+                    .into_iter()
+                    .filter(|m| m.from == current_src.addr)
+                    .collect();
+                if g.is_empty() {
+                    candidates.swap_remove(best);
+                    if candidates.is_empty() {
+                        break;
+                    }
+                    continue;
+                }
+                g
+            }
+        };
+        // Apply to the working copies.
+        let applied = apply_migrations(&group, &step);
+        current_src = applied[0].clone();
+        candidates[best].1 = applied[1..].to_vec();
+        plan.extend(step);
+        made_progress = true;
+
+        if src_dest_dev(&current_src, &candidates[best].1) <= cfg.imb_thresh {
+            break;
+        }
+    }
+
+    let still_hot = current_src.is_overloaded(cfg.overload_factor);
+    if !made_progress {
+        return if still_hot {
+            Phase3Outcome::ClusterHot
+        } else {
+            Phase3Outcome::Nothing
+        };
+    }
+    if still_hot && plan.is_empty() {
+        return Phase3Outcome::ClusterHot;
+    }
+    Phase3Outcome::Plan(plan)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbal_core::stats::CacheletLoad;
+    use mbal_core::types::CacheletId;
+
+    fn worker(server: u16, id: u16, loads: &[f64], cap: f64) -> WorkerLoad {
+        WorkerLoad {
+            addr: WorkerAddr::new(server, id),
+            cachelets: loads
+                .iter()
+                .enumerate()
+                .map(|(i, &l)| CacheletLoad {
+                    cachelet: CacheletId(server as u32 * 1_000 + id as u32 * 100 + i as u32),
+                    load: l,
+                    mem_bytes: 1 << 10,
+                    read_ratio: 0.9,
+                })
+                .collect(),
+            load_capacity: cap,
+            mem_capacity: 1 << 20,
+        }
+    }
+
+    fn cfg() -> BalancerConfig {
+        BalancerConfig {
+            imb_thresh: 0.25,
+            max_iter: 6,
+            ..BalancerConfig::default()
+        }
+    }
+
+    #[test]
+    fn offloads_to_least_loaded_server() {
+        let view = ClusterView {
+            servers: vec![
+                (ServerId(0), vec![worker(0, 0, &[50.0, 40.0, 30.0], 100.0)]),
+                (ServerId(1), vec![worker(1, 0, &[60.0], 100.0)]),
+                (ServerId(2), vec![worker(2, 0, &[5.0], 100.0)]),
+            ],
+        };
+        let Phase3Outcome::Plan(plan) = plan_coordinated(&view, WorkerAddr::new(0, 0), &cfg())
+        else {
+            panic!("expected a plan");
+        };
+        assert!(!plan.is_empty());
+        // Everything lands on server 2 (the least loaded).
+        assert!(plan.iter().all(|m| m.to.server == ServerId(2)), "{plan:?}");
+        assert!(plan.iter().all(|m| m.from == WorkerAddr::new(0, 0)));
+    }
+
+    #[test]
+    fn respects_destination_memory_capacity() {
+        // Destination has load headroom but almost no memory left; the
+        // ILP must refuse to move more bytes than fit.
+        let mut dest = worker(1, 0, &[1.0], 100.0);
+        dest.mem_capacity = 3 << 10; // fits ~2 more cachelets of 1 KiB
+        let view = ClusterView {
+            servers: vec![
+                (ServerId(0), vec![worker(0, 0, &[40.0, 40.0, 40.0], 100.0)]),
+                (ServerId(1), vec![dest]),
+            ],
+        };
+        match plan_coordinated(&view, WorkerAddr::new(0, 0), &cfg()) {
+            Phase3Outcome::Plan(plan) => {
+                let moved_bytes: u64 = plan.len() as u64 * (1 << 10);
+                assert!(
+                    moved_bytes + (1 << 10) <= 3 << 10,
+                    "moved {} cachelets into a 3 KiB budget",
+                    plan.len()
+                );
+            }
+            Phase3Outcome::ClusterHot => {} // acceptable: no room anywhere
+            Phase3Outcome::Nothing => panic!("source is clearly overloaded"),
+        }
+    }
+
+    #[test]
+    fn all_hot_cluster_reports_scale_out() {
+        let view = ClusterView {
+            servers: vec![
+                (ServerId(0), vec![worker(0, 0, &[95.0], 100.0)]),
+                (ServerId(1), vec![worker(1, 0, &[90.0], 100.0)]),
+                (ServerId(2), vec![worker(2, 0, &[92.0], 100.0)]),
+            ],
+        };
+        assert_eq!(
+            plan_coordinated(&view, WorkerAddr::new(0, 0), &cfg()),
+            Phase3Outcome::ClusterHot
+        );
+    }
+
+    #[test]
+    fn single_server_cluster_cannot_offload() {
+        let view = ClusterView {
+            servers: vec![(ServerId(0), vec![worker(0, 0, &[95.0], 100.0)])],
+        };
+        assert_eq!(
+            plan_coordinated(&view, WorkerAddr::new(0, 0), &cfg()),
+            Phase3Outcome::ClusterHot
+        );
+    }
+
+    #[test]
+    fn balanced_source_does_nothing() {
+        let view = ClusterView {
+            servers: vec![
+                (ServerId(0), vec![worker(0, 0, &[30.0], 100.0)]),
+                (ServerId(1), vec![worker(1, 0, &[28.0], 100.0)]),
+            ],
+        };
+        match plan_coordinated(&view, WorkerAddr::new(0, 0), &cfg()) {
+            Phase3Outcome::Nothing | Phase3Outcome::Plan(_) => {}
+            Phase3Outcome::ClusterHot => panic!("cluster is cold"),
+        }
+    }
+
+    #[test]
+    fn unknown_source_is_a_noop() {
+        let view = ClusterView {
+            servers: vec![(ServerId(0), vec![worker(0, 0, &[30.0], 100.0)])],
+        };
+        assert_eq!(
+            plan_coordinated(&view, WorkerAddr::new(9, 9), &cfg()),
+            Phase3Outcome::Nothing
+        );
+    }
+}

@@ -1,0 +1,148 @@
+//! Shared planner types: worker load descriptors and migration commands.
+
+use mbal_core::stats::CacheletLoad;
+use mbal_core::types::{CacheletId, WorkerAddr};
+use serde::{Deserialize, Serialize};
+
+/// The load/memory state of one worker, as fed to the migration planners.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkerLoad {
+    /// The worker's cluster-wide address.
+    pub addr: WorkerAddr,
+    /// Per-cachelet loads (request rates) and memory.
+    pub cachelets: Vec<CacheletLoad>,
+    /// Maximum permissible load `T_j` (ops/s), computed experimentally
+    /// per instance type in the paper (footnote 2).
+    pub load_capacity: f64,
+    /// Memory capacity `M_j` in bytes.
+    pub mem_capacity: u64,
+}
+
+impl WorkerLoad {
+    /// Total current load `L*_j`.
+    pub fn total_load(&self) -> f64 {
+        self.cachelets.iter().map(|c| c.load).sum()
+    }
+
+    /// Total memory in use `M*_j`.
+    pub fn total_mem(&self) -> u64 {
+        self.cachelets.iter().map(|c| c.mem_bytes).sum()
+    }
+
+    /// `true` when above `factor × load_capacity`.
+    pub fn is_overloaded(&self, factor: f64) -> bool {
+        self.total_load() > factor * self.load_capacity
+    }
+}
+
+/// A single cachelet migration command, as emitted by Phase 2/3 planners
+/// and executed by the server runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Migration {
+    /// The cachelet to move.
+    pub cachelet: CacheletId,
+    /// Current owner.
+    pub from: WorkerAddr,
+    /// New owner.
+    pub to: WorkerAddr,
+    /// Estimated load being moved (ops/s), for logging and tests.
+    pub load: f64,
+}
+
+/// Summary statistics for a planned migration schedule.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlanQuality {
+    /// Relative load deviation before the plan.
+    pub dev_before: f64,
+    /// Predicted relative deviation after executing the plan.
+    pub dev_after: f64,
+    /// Number of migrations.
+    pub moves: usize,
+}
+
+/// Computes per-worker final loads after applying `plan` to `workers`.
+pub fn apply_plan(workers: &[WorkerLoad], plan: &[Migration]) -> Vec<f64> {
+    let mut loads: Vec<f64> = workers.iter().map(|w| w.total_load()).collect();
+    for m in plan {
+        let from = workers.iter().position(|w| w.addr == m.from);
+        let to = workers.iter().position(|w| w.addr == m.to);
+        let load = workers
+            .iter()
+            .flat_map(|w| &w.cachelets)
+            .find(|c| c.cachelet == m.cachelet)
+            .map_or(m.load, |c| c.load);
+        if let (Some(f), Some(t)) = (from, to) {
+            loads[f] -= load;
+            loads[t] += load;
+        }
+    }
+    loads
+}
+
+/// Evaluates a plan's quality against the input snapshot.
+pub fn plan_quality(workers: &[WorkerLoad], plan: &[Migration]) -> PlanQuality {
+    let before: Vec<f64> = workers.iter().map(|w| w.total_load()).collect();
+    let after = apply_plan(workers, plan);
+    PlanQuality {
+        dev_before: mbal_core::stats::relative_imbalance(&before),
+        dev_after: mbal_core::stats::relative_imbalance(&after),
+        moves: plan.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbal_core::types::CacheletId;
+
+    fn worker(server: u16, id: u16, loads: &[f64]) -> WorkerLoad {
+        WorkerLoad {
+            addr: WorkerAddr::new(server, id),
+            cachelets: loads
+                .iter()
+                .enumerate()
+                .map(|(i, &l)| CacheletLoad {
+                    cachelet: CacheletId((id as u32) * 100 + i as u32),
+                    load: l,
+                    mem_bytes: 1_000,
+                    read_ratio: 0.9,
+                })
+                .collect(),
+            load_capacity: 100.0,
+            mem_capacity: 1 << 20,
+        }
+    }
+
+    #[test]
+    fn totals_and_overload() {
+        let w = worker(0, 0, &[40.0, 50.0]);
+        assert_eq!(w.total_load(), 90.0);
+        assert_eq!(w.total_mem(), 2_000);
+        assert!(w.is_overloaded(0.75));
+        assert!(!w.is_overloaded(0.95));
+    }
+
+    #[test]
+    fn plan_application_moves_load() {
+        let ws = vec![worker(0, 0, &[60.0, 40.0]), worker(0, 1, &[10.0])];
+        let plan = vec![Migration {
+            cachelet: CacheletId(1), // the 40.0 cachelet on worker 0
+            from: WorkerAddr::new(0, 0),
+            to: WorkerAddr::new(0, 1),
+            load: 40.0,
+        }];
+        let after = apply_plan(&ws, &plan);
+        assert_eq!(after, vec![60.0, 50.0]);
+        let q = plan_quality(&ws, &plan);
+        assert!(q.dev_after < q.dev_before);
+        assert_eq!(q.moves, 1);
+    }
+
+    #[test]
+    fn empty_plan_changes_nothing() {
+        let ws = vec![worker(0, 0, &[50.0]), worker(0, 1, &[50.0])];
+        let q = plan_quality(&ws, &[]);
+        assert_eq!(q.dev_before, q.dev_after);
+        assert_eq!(q.moves, 0);
+    }
+}

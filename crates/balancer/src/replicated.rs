@@ -1,0 +1,317 @@
+//! Replicated coordinator (the paper's §3.4 future work).
+//!
+//! The paper notes that "a failure of the coordinator during periods of
+//! imbalance can cause hotspots to persist" and plans to borrow from
+//! ZooKeeper/RAMCloud for "more robust fault tolerance". Because the
+//! MBal coordinator is *quasi-stateless* — durable state is just the
+//! mapping table; in-flight migration bookkeeping is disposable — a
+//! primary/standby pair with synchronous mapping mirroring suffices:
+//!
+//! - **Reads** (heartbeats, snapshots) are served by the current primary.
+//! - **Mapping mutations** are applied to every member before being
+//!   acknowledged, so any member can take over with an identical table.
+//! - **Migration planning state** (cluster stats, in-flight set) is
+//!   primary-local. On failover the new primary simply re-collects stats
+//!   over the next epoch and re-plans — hotspots persist a little
+//!   longer, which is exactly the degraded mode the paper describes for
+//!   a *recovering* coordinator, now without the outage.
+
+use crate::config::BalancerConfig;
+use crate::coordinator::{Coordinator, HeartbeatReply};
+use crate::plan::{Migration, WorkerLoad};
+use mbal_core::types::{CacheletId, ServerId, WorkerAddr};
+use mbal_ring::MappingTable;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// The coordinator surface the server runtime and clients consume;
+/// implemented by the plain [`Coordinator`] and by
+/// [`ReplicatedCoordinator`].
+pub trait CoordinatorService: Send + Sync {
+    /// Ingest a server's epoch statistics.
+    fn report_stats(&self, server: ServerId, workers: Vec<WorkerLoad>);
+
+    /// Snapshot of the authoritative mapping.
+    fn mapping_snapshot(&self) -> MappingTable;
+
+    /// Current mapping version.
+    fn mapping_version(&self) -> u64;
+
+    /// Phase 3 planning request (Algorithm 2).
+    fn request_migration(&self, src: WorkerAddr) -> Option<Vec<Migration>>;
+
+    /// Migration completion notification.
+    fn migration_complete(&self, cachelet: CacheletId);
+
+    /// Server-local (Phase 2) mapping change notification.
+    fn report_local_move(&self, m: &Migration);
+
+    /// Client heartbeat.
+    fn heartbeat(&self, client_version: u64) -> HeartbeatReply;
+}
+
+impl CoordinatorService for Coordinator {
+    fn report_stats(&self, server: ServerId, workers: Vec<WorkerLoad>) {
+        Coordinator::report_stats(self, server, workers);
+    }
+
+    fn mapping_snapshot(&self) -> MappingTable {
+        Coordinator::mapping_snapshot(self)
+    }
+
+    fn mapping_version(&self) -> u64 {
+        Coordinator::mapping_version(self)
+    }
+
+    fn request_migration(&self, src: WorkerAddr) -> Option<Vec<Migration>> {
+        Coordinator::request_migration(self, src)
+    }
+
+    fn migration_complete(&self, cachelet: CacheletId) {
+        Coordinator::migration_complete(self, cachelet);
+    }
+
+    fn report_local_move(&self, m: &Migration) {
+        Coordinator::report_local_move(self, m);
+    }
+
+    fn heartbeat(&self, client_version: u64) -> HeartbeatReply {
+        Coordinator::heartbeat(self, client_version)
+    }
+}
+
+/// A primary/standby coordinator group with synchronous mapping
+/// mirroring and explicit failover.
+pub struct ReplicatedCoordinator {
+    members: Vec<Arc<Coordinator>>,
+    primary: AtomicUsize,
+    failovers: AtomicUsize,
+}
+
+impl ReplicatedCoordinator {
+    /// Creates a group of `replicas` members (≥ 2 recommended) sharing
+    /// the initial `mapping`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replicas` is zero.
+    pub fn new(mapping: MappingTable, cfg: BalancerConfig, replicas: usize) -> Self {
+        assert!(replicas > 0, "need at least one coordinator");
+        Self {
+            members: (0..replicas)
+                .map(|_| Arc::new(Coordinator::new(mapping.clone(), cfg.clone())))
+                .collect(),
+            primary: AtomicUsize::new(0),
+            failovers: AtomicUsize::new(0),
+        }
+    }
+
+    fn primary_ref(&self) -> &Arc<Coordinator> {
+        &self.members[self.primary.load(Ordering::Acquire) % self.members.len()]
+    }
+
+    /// Index of the current primary.
+    pub fn primary_index(&self) -> usize {
+        self.primary.load(Ordering::Acquire) % self.members.len()
+    }
+
+    /// Number of failovers performed.
+    pub fn failovers(&self) -> usize {
+        self.failovers.load(Ordering::Relaxed)
+    }
+
+    /// Promotes the next standby to primary (call when the primary is
+    /// observed dead). The standby's mapping is already identical; its
+    /// stats view refills over the next epoch.
+    pub fn fail_over(&self) -> usize {
+        self.primary.fetch_add(1, Ordering::AcqRel);
+        self.failovers.fetch_add(1, Ordering::Relaxed);
+        self.primary_index()
+    }
+
+    /// Verifies every member holds an identical mapping (test/diagnostic
+    /// aid). Returns the common version.
+    ///
+    /// # Panics
+    ///
+    /// Panics if members diverged — that would be a mirroring bug.
+    pub fn assert_in_sync(&self) -> u64 {
+        let first = self.members[0].mapping_snapshot();
+        for (i, m) in self.members.iter().enumerate().skip(1) {
+            let snap = m.mapping_snapshot();
+            assert_eq!(
+                snap.version(),
+                first.version(),
+                "coordinator {i} version diverged"
+            );
+            for c in 0..first.num_cachelets() as u32 {
+                assert_eq!(
+                    snap.worker_of_cachelet(CacheletId(c)),
+                    first.worker_of_cachelet(CacheletId(c)),
+                    "coordinator {i} diverged on cachelet {c}"
+                );
+            }
+        }
+        first.version()
+    }
+}
+
+impl CoordinatorService for ReplicatedCoordinator {
+    fn report_stats(&self, server: ServerId, workers: Vec<WorkerLoad>) {
+        // Stats flow to every member so a fresh primary starts warm.
+        for m in &self.members {
+            m.report_stats(server, workers.clone());
+        }
+    }
+
+    fn mapping_snapshot(&self) -> MappingTable {
+        self.primary_ref().mapping_snapshot()
+    }
+
+    fn mapping_version(&self) -> u64 {
+        self.primary_ref().mapping_version()
+    }
+
+    fn request_migration(&self, src: WorkerAddr) -> Option<Vec<Migration>> {
+        let primary = self.primary_index();
+        let plan = self.members[primary].request_migration(src)?;
+        // Mirror the mapping mutations to the standbys synchronously.
+        for (i, m) in self.members.iter().enumerate() {
+            if i != primary {
+                for mv in &plan {
+                    m.report_local_move(mv);
+                }
+            }
+        }
+        Some(plan)
+    }
+
+    fn migration_complete(&self, cachelet: CacheletId) {
+        self.primary_ref().migration_complete(cachelet);
+    }
+
+    fn report_local_move(&self, m: &Migration) {
+        for member in &self.members {
+            member.report_local_move(m);
+        }
+    }
+
+    fn heartbeat(&self, client_version: u64) -> HeartbeatReply {
+        self.primary_ref().heartbeat(client_version)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbal_core::stats::CacheletLoad;
+    use mbal_core::types::WorkerId;
+    use mbal_ring::ConsistentRing;
+
+    fn mapping() -> MappingTable {
+        let mut ring = ConsistentRing::new();
+        for s in 0..3u16 {
+            ring.add_worker(WorkerAddr::new(s, 0));
+        }
+        MappingTable::build(&ring, 4, 64)
+    }
+
+    fn loads(map: &MappingTable, addr: WorkerAddr, per: f64) -> Vec<WorkerLoad> {
+        vec![WorkerLoad {
+            addr,
+            cachelets: map
+                .cachelets_of_worker(addr)
+                .into_iter()
+                .map(|c| CacheletLoad {
+                    cachelet: c,
+                    load: per,
+                    mem_bytes: 1 << 10,
+                    read_ratio: 0.95,
+                })
+                .collect(),
+            load_capacity: 100.0,
+            mem_capacity: 1 << 20,
+        }]
+    }
+
+    fn group() -> ReplicatedCoordinator {
+        ReplicatedCoordinator::new(mapping(), BalancerConfig::default(), 3)
+    }
+
+    #[test]
+    fn local_moves_mirror_to_all_members() {
+        let g = group();
+        let map = g.mapping_snapshot();
+        let c = map.cachelets_of_worker(WorkerAddr::new(0, 0))[0];
+        g.report_local_move(&Migration {
+            cachelet: c,
+            from: WorkerAddr::new(0, 0),
+            to: WorkerAddr::new(1, 0),
+            load: 1.0,
+        });
+        g.assert_in_sync();
+        assert_eq!(
+            g.mapping_snapshot().worker_of_cachelet(c),
+            Some(WorkerAddr::new(1, 0))
+        );
+    }
+
+    #[test]
+    fn coordinated_plans_mirror_and_survive_failover() {
+        let g = group();
+        let map = g.mapping_snapshot();
+        g.report_stats(ServerId(0), loads(&map, WorkerAddr::new(0, 0), 30.0));
+        g.report_stats(ServerId(1), loads(&map, WorkerAddr::new(1, 0), 2.0));
+        g.report_stats(ServerId(2), loads(&map, WorkerAddr::new(2, 0), 2.0));
+        let plan = g
+            .request_migration(WorkerAddr::new(0, 0))
+            .expect("headroom exists");
+        assert!(!plan.is_empty());
+        let v_before = g.assert_in_sync();
+
+        // Primary "dies"; standby takes over with the identical table.
+        let old_primary = g.primary_index();
+        let new_primary = g.fail_over();
+        assert_ne!(old_primary, new_primary);
+        assert_eq!(g.mapping_version(), v_before);
+        assert_eq!(g.failovers(), 1);
+
+        // The new primary keeps serving heartbeats and new mutations.
+        let hb = g.heartbeat(0);
+        assert!(hb.full_refetch || !hb.deltas.is_empty() || hb.version >= 1);
+        let c = g
+            .mapping_snapshot()
+            .cachelets_of_worker(WorkerAddr::new(2, 0))[0];
+        g.report_local_move(&Migration {
+            cachelet: c,
+            from: WorkerAddr::new(2, 0),
+            to: WorkerAddr::new(1, 0),
+            load: 1.0,
+        });
+        assert!(g.assert_in_sync() > v_before);
+    }
+
+    #[test]
+    fn stats_warmth_allows_replanning_after_failover() {
+        let g = group();
+        let map = g.mapping_snapshot();
+        g.report_stats(ServerId(0), loads(&map, WorkerAddr::new(0, 0), 30.0));
+        g.report_stats(ServerId(1), loads(&map, WorkerAddr::new(1, 0), 2.0));
+        g.report_stats(ServerId(2), loads(&map, WorkerAddr::new(2, 0), 2.0));
+        g.fail_over();
+        // The standby had the stats mirrored, so it can plan immediately.
+        let plan = g
+            .request_migration(WorkerAddr::new(0, 0))
+            .expect("standby must be able to plan");
+        assert!(!plan.is_empty());
+        g.assert_in_sync();
+    }
+
+    #[test]
+    fn single_member_group_degenerates_to_plain_coordinator() {
+        let g = ReplicatedCoordinator::new(mapping(), BalancerConfig::default(), 1);
+        assert_eq!(g.fail_over(), 0, "failover wraps to the only member");
+        let _ = g.heartbeat(0);
+        let _ = WorkerId(0); // silence unused import in narrow builds
+    }
+}

@@ -1,0 +1,326 @@
+//! The Figure 4 state machine.
+//!
+//! Each MBal server runs one instance. Every epoch it feeds an
+//! [`Observation`] (hot-key counts, worker load deviation, overload
+//! census); the machine applies the transition rules of Figure 4 with the
+//! paper's persistence rule — rebalancing triggers only if the triggering
+//! condition holds for `epochs_to_trigger` *consecutive* epochs, which
+//! "prevents unnecessary load balancing activity while allowing MBal to
+//! adapt to workload behavior shifts" (§3.1).
+
+use crate::config::BalancerConfig;
+
+/// The balancer phase a server is currently in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// No balancing activity.
+    Normal,
+    /// Phase 1: key replication.
+    KeyReplication,
+    /// Phase 2: server-local cachelet migration.
+    LocalMigration,
+    /// Phase 3: coordinated cross-server cachelet migration.
+    CoordinatedMigration,
+}
+
+/// One epoch's worth of signals, as collected by the stats machinery.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Observation {
+    /// Number of read-heavy hot keys currently tracked.
+    pub read_hot_keys: usize,
+    /// Number of write-heavy hot keys currently tracked.
+    pub write_hot_keys: usize,
+    /// Relative load deviation across this server's workers
+    /// (`dev(LOAD(workers))`, mean-normalized).
+    pub local_dev: f64,
+    /// Number of workers above their permissible load.
+    pub overloaded_workers: usize,
+    /// Number of workers with spare headroom.
+    pub underloaded_workers: usize,
+    /// Total workers on this server.
+    pub total_workers: usize,
+}
+
+impl Observation {
+    /// `true` when "most local workers are overloaded" per
+    /// `SERVER_LOAD_thresh` — the server itself is hot.
+    pub fn server_overloaded(&self, thresh: f64) -> bool {
+        self.total_workers > 0
+            && self.overloaded_workers as f64 / self.total_workers as f64 > thresh
+    }
+
+    /// `true` when any hotspot pressure exists that Phase 1 cannot fix:
+    /// replication watermark exceeded or write-heavy hot keys present.
+    pub fn beyond_replication(&self, repl_high: usize) -> bool {
+        self.read_hot_keys > repl_high || self.write_hot_keys > 0
+    }
+}
+
+/// The per-server state machine.
+#[derive(Debug)]
+pub struct StateMachine {
+    cfg: BalancerConfig,
+    phase: Phase,
+    /// Consecutive epochs the current escalation condition has held.
+    streak: u32,
+    /// The phase the streak is escalating towards.
+    pending: Option<Phase>,
+}
+
+impl StateMachine {
+    /// Creates a machine in [`Phase::Normal`].
+    pub fn new(cfg: BalancerConfig) -> Self {
+        Self {
+            cfg,
+            phase: Phase::Normal,
+            streak: 0,
+            pending: None,
+        }
+    }
+
+    /// Current phase.
+    pub fn phase(&self) -> Phase {
+        self.phase
+    }
+
+    /// The desired phase for `obs`, ignoring persistence (the raw
+    /// Figure 4 transition target).
+    fn target(&self, obs: &Observation) -> Phase {
+        let server_hot = obs.server_overloaded(self.cfg.server_load_thresh);
+        let imbalanced = obs.local_dev > self.cfg.imb_thresh;
+        let beyond_repl = obs.beyond_replication(self.cfg.repl_high);
+
+        // Escalation rules, most severe first (Figure 4):
+        // - most local workers overloaded AND Phase 1 can't help → Phase 3;
+        // - workers imbalanced AND Phase 1 can't help → Phase 2 (if it can
+        //   help locally) or Phase 3 (if the whole server is hot);
+        // - a few read-hot keys → Phase 1;
+        // - otherwise Normal.
+        if beyond_repl && server_hot {
+            return Phase::CoordinatedMigration;
+        }
+        if imbalanced && server_hot {
+            return Phase::CoordinatedMigration;
+        }
+        if imbalanced && obs.underloaded_workers > 0 {
+            // Figure 4's Normal → local-migration edge is plain
+            // `dev(LOAD(workers)) > IMB_thresh`; key replication keeps
+            // running concurrently at a backed-off sampling rate.
+            return Phase::LocalMigration;
+        }
+        if obs.read_hot_keys > 0 && obs.read_hot_keys <= self.cfg.repl_high {
+            return Phase::KeyReplication;
+        }
+        if obs.read_hot_keys > self.cfg.repl_high {
+            // Many hot keys but no local headroom signal yet: replication
+            // with backoff while we watch for imbalance.
+            return if server_hot {
+                Phase::CoordinatedMigration
+            } else {
+                Phase::KeyReplication
+            };
+        }
+        Phase::Normal
+    }
+
+    /// Feeds one epoch observation; returns the (possibly unchanged)
+    /// phase.
+    ///
+    /// Escalations (towards costlier phases) require the target to persist
+    /// for `epochs_to_trigger` consecutive epochs; de-escalations take
+    /// effect immediately (hotspot gone → stop paying for balancing).
+    pub fn observe(&mut self, obs: &Observation) -> Phase {
+        let target = self.target(obs);
+        if target == self.phase {
+            self.streak = 0;
+            self.pending = None;
+            return self.phase;
+        }
+        if severity(target) < severity(self.phase) {
+            // De-escalate immediately.
+            self.phase = target;
+            self.streak = 0;
+            self.pending = None;
+            return self.phase;
+        }
+        // Escalation: require persistence.
+        if self.pending == Some(target) {
+            self.streak += 1;
+        } else {
+            self.pending = Some(target);
+            self.streak = 1;
+        }
+        if self.streak >= self.cfg.epochs_to_trigger {
+            self.phase = target;
+            self.streak = 0;
+            self.pending = None;
+        }
+        self.phase
+    }
+}
+
+fn severity(p: Phase) -> u8 {
+    match p {
+        Phase::Normal => 0,
+        Phase::KeyReplication => 1,
+        Phase::LocalMigration => 2,
+        Phase::CoordinatedMigration => 3,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn machine(epochs: u32) -> StateMachine {
+        StateMachine::new(BalancerConfig {
+            epochs_to_trigger: epochs,
+            repl_high: 4,
+            imb_thresh: 0.3,
+            ..BalancerConfig::default()
+        })
+    }
+
+    fn obs() -> Observation {
+        Observation {
+            total_workers: 8,
+            underloaded_workers: 4,
+            ..Observation::default()
+        }
+    }
+
+    #[test]
+    fn idle_stays_normal() {
+        let mut m = machine(1);
+        for _ in 0..10 {
+            assert_eq!(m.observe(&obs()), Phase::Normal);
+        }
+    }
+
+    #[test]
+    fn few_hot_keys_trigger_replication() {
+        let mut m = machine(1);
+        let o = Observation {
+            read_hot_keys: 3,
+            ..obs()
+        };
+        assert_eq!(m.observe(&o), Phase::KeyReplication);
+    }
+
+    #[test]
+    fn persistence_rule_delays_escalation() {
+        let mut m = machine(4);
+        let o = Observation {
+            read_hot_keys: 3,
+            ..obs()
+        };
+        for i in 0..3 {
+            assert_eq!(m.observe(&o), Phase::Normal, "epoch {i} must not trigger");
+        }
+        assert_eq!(m.observe(&o), Phase::KeyReplication, "4th epoch triggers");
+    }
+
+    #[test]
+    fn transient_blips_are_ignored() {
+        let mut m = machine(4);
+        let hot = Observation {
+            read_hot_keys: 3,
+            ..obs()
+        };
+        let calm = obs();
+        // Alternate hot/calm: the streak keeps resetting.
+        for _ in 0..10 {
+            m.observe(&hot);
+            m.observe(&calm);
+        }
+        assert_eq!(m.phase(), Phase::Normal);
+    }
+
+    #[test]
+    fn imbalance_with_headroom_goes_local() {
+        let mut m = machine(1);
+        let o = Observation {
+            local_dev: 0.5,
+            overloaded_workers: 2,
+            ..obs()
+        };
+        assert_eq!(m.observe(&o), Phase::LocalMigration);
+    }
+
+    #[test]
+    fn write_hot_keys_skip_replication() {
+        let mut m = machine(1);
+        let o = Observation {
+            write_hot_keys: 2,
+            local_dev: 0.5,
+            overloaded_workers: 2,
+            ..obs()
+        };
+        // Write-hot keys cannot be replicated (home worker bottleneck):
+        // go straight to migration.
+        assert_eq!(m.observe(&o), Phase::LocalMigration);
+    }
+
+    #[test]
+    fn server_wide_overload_escalates_to_coordinated() {
+        let mut m = machine(1);
+        let o = Observation {
+            read_hot_keys: 10, // above repl_high = 4
+            local_dev: 0.6,
+            overloaded_workers: 7,
+            underloaded_workers: 0,
+            total_workers: 8,
+            ..Observation::default()
+        };
+        assert_eq!(m.observe(&o), Phase::CoordinatedMigration);
+    }
+
+    #[test]
+    fn deescalation_is_immediate() {
+        let mut m = machine(1);
+        let hot = Observation {
+            read_hot_keys: 10,
+            local_dev: 0.6,
+            overloaded_workers: 7,
+            underloaded_workers: 0,
+            total_workers: 8,
+            ..Observation::default()
+        };
+        assert_eq!(m.observe(&hot), Phase::CoordinatedMigration);
+        assert_eq!(m.observe(&obs()), Phase::Normal, "calm drops straight back");
+    }
+
+    #[test]
+    fn escalation_path_p1_to_p2() {
+        // Hot keys exceed REPL_high with imbalance → replication gives
+        // way to local migration.
+        let mut m = machine(1);
+        let mild = Observation {
+            read_hot_keys: 3,
+            ..obs()
+        };
+        assert_eq!(m.observe(&mild), Phase::KeyReplication);
+        let severe = Observation {
+            read_hot_keys: 10,
+            local_dev: 0.5,
+            overloaded_workers: 2,
+            ..obs()
+        };
+        assert_eq!(m.observe(&severe), Phase::LocalMigration);
+    }
+
+    #[test]
+    fn server_overload_census() {
+        let o = Observation {
+            overloaded_workers: 6,
+            total_workers: 8,
+            ..Observation::default()
+        };
+        assert!(!o.server_overloaded(0.75), "6/8 = 0.75 is not > 0.75");
+        let o7 = Observation {
+            overloaded_workers: 7,
+            ..o
+        };
+        assert!(o7.server_overloaded(0.75));
+    }
+}

@@ -1,0 +1,239 @@
+//! Zone-aware (hierarchical) coordinated migration — the §4.2.1 future
+//! work ("exploring techniques for developing a hierarchical/distributed
+//! load balancer to reduce the cost of such migration").
+//!
+//! Cross-rack bulk transfer is the dominant cost of Phase 3 (Table 2's
+//! "cross-server bulk data transfer", the 5–6 s per cachelet of §4.2.1).
+//! With a [`Topology`] assigning servers to zones (racks, AZs), the
+//! planner first tries to place cachelets on servers in the *source's
+//! own zone* — same balancing benefit, cheap intra-rack transfer — and
+//! only spills across zones when the local zone has no headroom.
+
+use crate::config::BalancerConfig;
+use crate::phase3::{plan_coordinated, ClusterView, Phase3Outcome};
+use crate::plan::Migration;
+use mbal_core::types::{ServerId, WorkerAddr};
+use std::collections::HashMap;
+
+/// Server → zone assignment.
+#[derive(Debug, Clone, Default)]
+pub struct Topology {
+    zones: HashMap<ServerId, u16>,
+}
+
+impl Topology {
+    /// Creates an empty topology (every server in zone 0).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Assigns `server` to `zone`.
+    pub fn assign(&mut self, server: ServerId, zone: u16) {
+        self.zones.insert(server, zone);
+    }
+
+    /// Round-robin topology: `servers` spread over `zones` zones.
+    pub fn round_robin(servers: u16, zones: u16) -> Self {
+        let mut t = Self::new();
+        for s in 0..servers {
+            t.assign(ServerId(s), s % zones.max(1));
+        }
+        t
+    }
+
+    /// The zone of `server` (unassigned servers are zone 0).
+    pub fn zone_of(&self, server: ServerId) -> u16 {
+        self.zones.get(&server).copied().unwrap_or(0)
+    }
+
+    /// `true` when `m` crosses a zone boundary.
+    pub fn is_cross_zone(&self, m: &Migration) -> bool {
+        self.zone_of(m.from.server) != self.zone_of(m.to.server)
+    }
+}
+
+/// Outcome of hierarchical planning: the plan plus how it was placed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ZonedOutcome {
+    /// Placed entirely inside the source's zone.
+    IntraZone(Vec<Migration>),
+    /// The local zone lacked headroom; placed (partly) across zones.
+    CrossZone(Vec<Migration>),
+    /// No viable destination anywhere.
+    ClusterHot,
+    /// The source is not imbalanced.
+    Nothing,
+}
+
+impl ZonedOutcome {
+    /// The migrations, regardless of placement tier.
+    pub fn plan(&self) -> &[Migration] {
+        match self {
+            ZonedOutcome::IntraZone(p) | ZonedOutcome::CrossZone(p) => p,
+            _ => &[],
+        }
+    }
+}
+
+/// Hierarchical Phase 3: plan within the source's zone first, spill to
+/// the whole cluster only if the zone cannot absorb the load.
+pub fn plan_coordinated_zoned(
+    view: &ClusterView,
+    src: WorkerAddr,
+    topo: &Topology,
+    cfg: &BalancerConfig,
+) -> ZonedOutcome {
+    let src_zone = topo.zone_of(src.server);
+    let local_view = ClusterView {
+        servers: view
+            .servers
+            .iter()
+            .filter(|(sid, _)| topo.zone_of(*sid) == src_zone)
+            .cloned()
+            .collect(),
+    };
+    match plan_coordinated(&local_view, src, cfg) {
+        Phase3Outcome::Plan(p) if !p.is_empty() => return ZonedOutcome::IntraZone(p),
+        Phase3Outcome::Nothing => return ZonedOutcome::Nothing,
+        // ClusterHot within the zone (or an empty plan): spill wider.
+        _ => {}
+    }
+    match plan_coordinated(view, src, cfg) {
+        Phase3Outcome::Plan(p) if !p.is_empty() => ZonedOutcome::CrossZone(p),
+        Phase3Outcome::Plan(_) | Phase3Outcome::Nothing => ZonedOutcome::Nothing,
+        Phase3Outcome::ClusterHot => ZonedOutcome::ClusterHot,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::WorkerLoad;
+    use mbal_core::stats::CacheletLoad;
+    use mbal_core::types::CacheletId;
+
+    fn worker(server: u16, loads: &[f64], cap: f64) -> WorkerLoad {
+        WorkerLoad {
+            addr: WorkerAddr::new(server, 0),
+            cachelets: loads
+                .iter()
+                .enumerate()
+                .map(|(i, &l)| CacheletLoad {
+                    cachelet: CacheletId(server as u32 * 100 + i as u32),
+                    load: l,
+                    mem_bytes: 1 << 10,
+                    read_ratio: 0.9,
+                })
+                .collect(),
+            load_capacity: cap,
+            mem_capacity: 1 << 20,
+        }
+    }
+
+    fn cfg() -> BalancerConfig {
+        BalancerConfig {
+            imb_thresh: 0.25,
+            max_iter: 6,
+            ..BalancerConfig::default()
+        }
+    }
+
+    #[test]
+    fn topology_round_robin_and_lookup() {
+        let t = Topology::round_robin(6, 3);
+        assert_eq!(t.zone_of(ServerId(0)), 0);
+        assert_eq!(t.zone_of(ServerId(4)), 1);
+        assert_eq!(t.zone_of(ServerId(99)), 0, "unassigned defaults to 0");
+        let m = Migration {
+            cachelet: CacheletId(1),
+            from: WorkerAddr::new(0, 0),
+            to: WorkerAddr::new(3, 0),
+            load: 1.0,
+        };
+        assert!(!t.is_cross_zone(&m), "0 and 3 share zone 0");
+        let m2 = Migration {
+            to: WorkerAddr::new(4, 0),
+            ..m
+        };
+        assert!(t.is_cross_zone(&m2));
+    }
+
+    #[test]
+    fn prefers_intra_zone_destinations() {
+        // Zone 0: hot server 0 + cold server 2; zone 1: even colder
+        // server 1. The planner must stay in zone 0.
+        let mut topo = Topology::new();
+        topo.assign(ServerId(0), 0);
+        topo.assign(ServerId(2), 0);
+        topo.assign(ServerId(1), 1);
+        let view = ClusterView {
+            servers: vec![
+                (ServerId(0), vec![worker(0, &[40.0, 40.0, 40.0], 100.0)]),
+                (ServerId(1), vec![worker(1, &[1.0], 100.0)]),
+                (ServerId(2), vec![worker(2, &[10.0], 100.0)]),
+            ],
+        };
+        match plan_coordinated_zoned(&view, WorkerAddr::new(0, 0), &topo, &cfg()) {
+            ZonedOutcome::IntraZone(plan) => {
+                assert!(!plan.is_empty());
+                for m in &plan {
+                    assert_eq!(m.to.server, ServerId(2), "left the zone: {m:?}");
+                    assert!(!topo.is_cross_zone(m));
+                }
+            }
+            other => panic!("expected intra-zone placement, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn spills_cross_zone_when_zone_is_hot() {
+        // Zone 0 is saturated (both servers hot); zone 1 has headroom.
+        let mut topo = Topology::new();
+        topo.assign(ServerId(0), 0);
+        topo.assign(ServerId(2), 0);
+        topo.assign(ServerId(1), 1);
+        let view = ClusterView {
+            servers: vec![
+                (ServerId(0), vec![worker(0, &[40.0, 40.0, 40.0], 100.0)]),
+                (ServerId(1), vec![worker(1, &[1.0], 100.0)]),
+                (ServerId(2), vec![worker(2, &[90.0], 100.0)]),
+            ],
+        };
+        match plan_coordinated_zoned(&view, WorkerAddr::new(0, 0), &topo, &cfg()) {
+            ZonedOutcome::CrossZone(plan) => {
+                assert!(plan.iter().any(|m| m.to.server == ServerId(1)));
+            }
+            other => panic!("expected cross-zone spill, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn everything_hot_reports_cluster_hot() {
+        let topo = Topology::round_robin(2, 2);
+        let view = ClusterView {
+            servers: vec![
+                (ServerId(0), vec![worker(0, &[95.0], 100.0)]),
+                (ServerId(1), vec![worker(1, &[92.0], 100.0)]),
+            ],
+        };
+        assert_eq!(
+            plan_coordinated_zoned(&view, WorkerAddr::new(0, 0), &topo, &cfg()),
+            ZonedOutcome::ClusterHot
+        );
+    }
+
+    #[test]
+    fn balanced_source_is_nothing() {
+        let topo = Topology::round_robin(2, 1);
+        let view = ClusterView {
+            servers: vec![
+                (ServerId(0), vec![worker(0, &[20.0], 100.0)]),
+                (ServerId(1), vec![worker(1, &[18.0], 100.0)]),
+            ],
+        };
+        assert_eq!(
+            plan_coordinated_zoned(&view, WorkerAddr::new(0, 0), &topo, &cfg()),
+            ZonedOutcome::Nothing
+        );
+    }
+}

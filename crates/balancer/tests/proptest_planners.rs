@@ -1,0 +1,141 @@
+//! Property tests for the migration planners: any plan they emit is
+//! executable (moves exist, no double-moves) and never increases load
+//! deviation; escalation decisions are consistent with the census.
+
+use mbal_balancer::phase2::{plan_local, Phase2Outcome};
+use mbal_balancer::phase3::{plan_coordinated, ClusterView, Phase3Outcome};
+use mbal_balancer::plan::{plan_quality, WorkerLoad};
+use mbal_balancer::BalancerConfig;
+use mbal_core::stats::CacheletLoad;
+use mbal_core::types::{CacheletId, ServerId, WorkerAddr};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+fn workers_strategy() -> impl Strategy<Value = Vec<WorkerLoad>> {
+    prop::collection::vec(prop::collection::vec(0.0f64..60.0, 0..8), 2..6).prop_map(|per_worker| {
+        let mut next_id = 0u32;
+        per_worker
+            .into_iter()
+            .enumerate()
+            .map(|(w, loads)| WorkerLoad {
+                addr: WorkerAddr::new(0, w as u16),
+                cachelets: loads
+                    .into_iter()
+                    .map(|l| {
+                        next_id += 1;
+                        CacheletLoad {
+                            cachelet: CacheletId(next_id),
+                            load: l,
+                            mem_bytes: 1 << 10,
+                            read_ratio: 0.9,
+                        }
+                    })
+                    .collect(),
+                load_capacity: 100.0,
+                mem_capacity: 1 << 20,
+            })
+            .collect()
+    })
+}
+
+fn cfg() -> BalancerConfig {
+    BalancerConfig {
+        imb_thresh: 0.25,
+        max_iter: 6,
+        ilp_node_budget: 2_000,
+        ..BalancerConfig::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Phase 2 plans are well-formed and never hurt balance.
+    #[test]
+    fn local_plans_are_sound(workers in workers_strategy()) {
+        match plan_local(&workers, &cfg()) {
+            Phase2Outcome::Plan(plan) => {
+                prop_assert!(!plan.is_empty());
+                // Every move references a real cachelet on its stated
+                // source, and no cachelet moves twice.
+                let mut moved = HashSet::new();
+                for m in &plan {
+                    prop_assert!(moved.insert(m.cachelet), "cachelet {:?} moved twice", m.cachelet);
+                    prop_assert_ne!(m.from, m.to, "self-move");
+                }
+                let q = plan_quality(&workers, &plan);
+                prop_assert!(
+                    q.dev_after <= q.dev_before + 1e-9,
+                    "plan increased deviation: {:?}", q
+                );
+            }
+            Phase2Outcome::Escalate => {
+                // Escalation implies most workers overloaded.
+                let over = workers
+                    .iter()
+                    .filter(|w| w.is_overloaded(cfg().overload_factor))
+                    .count();
+                prop_assert!(
+                    over as f64 / workers.len() as f64 > cfg().server_load_thresh,
+                    "escalated with only {}/{} overloaded", over, workers.len()
+                );
+            }
+            Phase2Outcome::Nothing => {}
+        }
+    }
+
+    /// Phase 3 plans move cachelets only off the requested source, onto
+    /// other servers, and never break destination memory capacity.
+    #[test]
+    fn coordinated_plans_are_sound(
+        src_loads in prop::collection::vec(10.0f64..80.0, 1..8),
+        dest_count in 1usize..4,
+    ) {
+        let mut next = 0u32;
+        let mk = |server: u16, loads: &[f64], next: &mut u32| WorkerLoad {
+            addr: WorkerAddr::new(server, 0),
+            cachelets: loads
+                .iter()
+                .map(|&l| {
+                    *next += 1;
+                    CacheletLoad {
+                        cachelet: CacheletId(*next),
+                        load: l,
+                        mem_bytes: 1 << 10,
+                        read_ratio: 0.9,
+                    }
+                })
+                .collect(),
+            load_capacity: 100.0,
+            mem_capacity: 1 << 20,
+        };
+        let src = mk(0, &src_loads, &mut next);
+        let src_ids: HashSet<CacheletId> =
+            src.cachelets.iter().map(|c| c.cachelet).collect();
+        let mut servers = vec![(ServerId(0), vec![src])];
+        for d in 0..dest_count {
+            servers.push((ServerId(d as u16 + 1), vec![mk(d as u16 + 1, &[5.0], &mut next)]));
+        }
+        let view = ClusterView { servers };
+        match plan_coordinated(&view, WorkerAddr::new(0, 0), &cfg()) {
+            Phase3Outcome::Plan(plan) => {
+                let mut moved = HashSet::new();
+                for m in &plan {
+                    prop_assert_eq!(m.from, WorkerAddr::new(0, 0), "move from wrong worker");
+                    prop_assert_ne!(m.to.server, ServerId(0), "move stayed on the source server");
+                    prop_assert!(src_ids.contains(&m.cachelet), "moved a foreign cachelet");
+                    prop_assert!(moved.insert(m.cachelet), "double move");
+                }
+                // Deviation across all workers must not get worse.
+                let all: Vec<WorkerLoad> = view
+                    .servers
+                    .iter()
+                    .flat_map(|(_, ws)| ws.clone())
+                    .collect();
+                let q = plan_quality(&all, &plan);
+                prop_assert!(q.dev_after <= q.dev_before + 1e-9, "{:?}", q);
+            }
+            Phase3Outcome::ClusterHot | Phase3Outcome::Nothing => {}
+        }
+    }
+}

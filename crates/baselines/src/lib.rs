@@ -1,0 +1,59 @@
+//! # mbal-baselines
+//!
+//! From-scratch reimplementations of the systems the paper compares MBal
+//! against (§4.1). Each baseline reproduces the *contention structure*
+//! the paper attributes its performance to:
+//!
+//! - [`memcached`] — a Memcached-v1.4-like cache: one global lock covers
+//!   the hash table, the LRU list and the slab free lists, so every
+//!   operation serializes ("suffers from global lock contention,
+//!   resulting in poor performance on a single server").
+//! - [`mercury`] — a Mercury-like cache (Gandhi et al., SYSTOR'13):
+//!   fine-grained bucket-level locking over the hash table (cache-line
+//!   co-located bucket locks), but freed memory returns to a **global**
+//!   free pool, so write-heavy workloads still serialize on the allocator
+//!   — the reason MBal beats it 12× on SET (Figure 5(b)).
+//! - [`multi_instance`] — N independent single-threaded cache instances
+//!   with client-side sharding (`Multi-inst Mc` in Figures 7–8), the
+//!   deployment §2.5 argues against.
+//! - [`owned`] — a single-owner cache shard (hash table + value store)
+//!   used by the multi-instance harness and by per-thread MBal
+//!   microbenchmarks.
+//!
+//! All multi-threaded baselines implement [`ConcurrentCache`] so the
+//! bench harness drives them interchangeably.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod memcached;
+pub mod mercury;
+pub mod multi_instance;
+pub mod owned;
+
+pub use memcached::MemcachedLike;
+pub use mercury::MercuryLike;
+pub use multi_instance::MultiInstance;
+pub use owned::OwnedShard;
+
+use mbal_core::types::CacheError;
+
+/// A thread-safe cache facade shared across load-generating threads.
+pub trait ConcurrentCache: Send + Sync {
+    /// Looks up `key`.
+    fn get(&self, key: &[u8]) -> Option<Vec<u8>>;
+
+    /// Inserts or replaces `key` → `value`.
+    fn set(&self, key: &[u8], value: &[u8]) -> Result<(), CacheError>;
+
+    /// Deletes `key`, returning whether it existed.
+    fn delete(&self, key: &[u8]) -> bool;
+
+    /// Number of live entries.
+    fn len(&self) -> usize;
+
+    /// Returns `true` when empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}

@@ -1,0 +1,110 @@
+//! The Memcached-v1.4-like baseline: one global lock.
+//!
+//! Memcached 1.4 serializes hash-table access, LRU maintenance and slab
+//! free-list manipulation behind a global cache lock. We reproduce that
+//! contention structure exactly: a single [`parking_lot::Mutex`] guards
+//! the table, the LRU (embedded in the table) and the value store, so
+//! every GET and SET from every thread takes the same lock.
+
+use crate::ConcurrentCache;
+use mbal_core::store::MallocStore;
+use mbal_core::table::HashTable;
+use mbal_core::types::CacheError;
+use parking_lot::Mutex;
+
+struct Inner {
+    table: HashTable,
+    store: MallocStore,
+}
+
+/// A global-lock cache modelled on stock Memcached.
+pub struct MemcachedLike {
+    inner: Mutex<Inner>,
+}
+
+impl MemcachedLike {
+    /// Creates a cache with a `capacity`-byte value budget.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            inner: Mutex::new(Inner {
+                table: HashTable::new(1 << 12),
+                store: MallocStore::new(capacity),
+            }),
+        }
+    }
+
+    /// LRU evictions performed so far.
+    pub fn evictions(&self) -> u64 {
+        self.inner.lock().table.stats().evictions
+    }
+}
+
+impl ConcurrentCache for MemcachedLike {
+    fn get(&self, key: &[u8]) -> Option<Vec<u8>> {
+        let mut g = self.inner.lock();
+        let Inner { table, store } = &mut *g;
+        table.get(key, store, 0).map(|c| c.into_owned())
+    }
+
+    fn set(&self, key: &[u8], value: &[u8]) -> Result<(), CacheError> {
+        let mut g = self.inner.lock();
+        let Inner { table, store } = &mut *g;
+        table.set(key, value, store, 0, 0).map(|_| ())
+    }
+
+    fn delete(&self, key: &[u8]) -> bool {
+        let mut g = self.inner.lock();
+        let Inner { table, store } = &mut *g;
+        table.delete(key, store)
+    }
+
+    fn len(&self) -> usize {
+        self.inner.lock().table.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn basic_roundtrip() {
+        let c = MemcachedLike::new(1 << 20);
+        c.set(b"k", b"v").expect("set");
+        assert_eq!(c.get(b"k").expect("hit"), b"v");
+        assert!(c.delete(b"k"));
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn eviction_under_pressure() {
+        let c = MemcachedLike::new(1_000);
+        for i in 0..100u32 {
+            c.set(format!("k{i}").as_bytes(), &[0u8; 100]).expect("set");
+        }
+        assert!(c.evictions() > 0);
+        assert!(c.len() <= 10);
+    }
+
+    #[test]
+    fn concurrent_threads_stay_consistent() {
+        let c = Arc::new(MemcachedLike::new(16 << 20));
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let c = Arc::clone(&c);
+                std::thread::spawn(move || {
+                    for i in 0..2_000u32 {
+                        let key = format!("t{t}:k{i}");
+                        c.set(key.as_bytes(), &i.to_le_bytes()).expect("set");
+                        assert_eq!(c.get(key.as_bytes()).expect("hit"), i.to_le_bytes());
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("no panic");
+        }
+        assert_eq!(c.len(), 8_000);
+    }
+}

@@ -1,0 +1,155 @@
+//! The multi-instance baseline (`Multi-inst Mc`, §2.5 and Figures 7–8).
+//!
+//! N independent single-threaded cache instances, statically sharded by
+//! key hash on the client side. Each instance's lock is effectively
+//! uncontended when each benchmark thread drives "its" instance — this is
+//! the deployment that scales Memcached but that §2.5 argues against
+//! (static memory partitioning, no cross-instance rebalancing, higher
+//! management cost).
+
+use crate::owned::OwnedShard;
+use crate::ConcurrentCache;
+use mbal_core::hash::shard_hash;
+use mbal_core::store::{MallocStore, StaticStore, ValueStore};
+use mbal_core::types::CacheError;
+use parking_lot::Mutex;
+
+/// N single-threaded instances with client-side sharding.
+pub struct MultiInstance<S: ValueStore> {
+    instances: Vec<Mutex<OwnedShard<S>>>,
+}
+
+impl MultiInstance<MallocStore> {
+    /// Instances allocating per-request from the heap
+    /// (`Multi-inst Mc(malloc)`), `capacity` split statically.
+    pub fn with_malloc(n: usize, capacity: usize) -> Self {
+        assert!(n > 0, "need at least one instance");
+        Self {
+            instances: (0..n)
+                .map(|_| Mutex::new(OwnedShard::with_malloc(capacity / n)))
+                .collect(),
+        }
+    }
+}
+
+impl MultiInstance<StaticStore> {
+    /// Instances with statically preallocated slots
+    /// (`Multi-inst Mc(static)`). `capacity` is split into fixed
+    /// `slot_size` slots per instance — memory is committed up front
+    /// whether used or not (the under-utilization §2.5 points out).
+    pub fn with_static(n: usize, capacity: usize, slot_size: usize) -> Self {
+        assert!(n > 0, "need at least one instance");
+        let slots = (capacity / n / slot_size).max(1);
+        Self {
+            instances: (0..n)
+                .map(|_| Mutex::new(OwnedShard::with_static(slots, slot_size)))
+                .collect(),
+        }
+    }
+}
+
+impl<S: ValueStore> MultiInstance<S> {
+    /// Number of instances.
+    pub fn instance_count(&self) -> usize {
+        self.instances.len()
+    }
+
+    /// The instance index `key` shards to.
+    pub fn instance_of(&self, key: &[u8]) -> usize {
+        (shard_hash(key) % self.instances.len() as u64) as usize
+    }
+
+    /// Runs `f` against instance `idx` directly — benchmark threads pin
+    /// themselves to one instance this way, modelling one process per
+    /// core with no lock contention.
+    pub fn with_instance<T>(&self, idx: usize, f: impl FnOnce(&mut OwnedShard<S>) -> T) -> T {
+        f(&mut self.instances[idx].lock())
+    }
+}
+
+impl<S: ValueStore + Send> ConcurrentCache for MultiInstance<S> {
+    fn get(&self, key: &[u8]) -> Option<Vec<u8>> {
+        self.instances[self.instance_of(key)].lock().get(key)
+    }
+
+    fn set(&self, key: &[u8], value: &[u8]) -> Result<(), CacheError> {
+        self.instances[self.instance_of(key)]
+            .lock()
+            .set(key, value)
+            .map(|_| ())
+    }
+
+    fn delete(&self, key: &[u8]) -> bool {
+        self.instances[self.instance_of(key)].lock().delete(key)
+    }
+
+    fn len(&self) -> usize {
+        self.instances.iter().map(|i| i.lock().len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sharding_is_stable_and_total() {
+        let m = MultiInstance::with_malloc(8, 8 << 20);
+        for i in 0..100 {
+            let k = format!("key{i}");
+            let a = m.instance_of(k.as_bytes());
+            let b = m.instance_of(k.as_bytes());
+            assert_eq!(a, b);
+            assert!(a < 8);
+        }
+    }
+
+    #[test]
+    fn roundtrip_through_sharding() {
+        let m = MultiInstance::with_malloc(4, 4 << 20);
+        for i in 0..1_000u32 {
+            let k = format!("key{i}");
+            m.set(k.as_bytes(), &i.to_le_bytes()).expect("set");
+        }
+        assert_eq!(m.len(), 1_000);
+        for i in 0..1_000u32 {
+            let k = format!("key{i}");
+            assert_eq!(m.get(k.as_bytes()).expect("hit"), i.to_le_bytes());
+        }
+    }
+
+    #[test]
+    fn static_instances_cap_memory_individually() {
+        // 4 instances × 4 slots of 128 B each.
+        let m = MultiInstance::with_static(4, 4 * 4 * 128, 128);
+        for i in 0..200u32 {
+            m.set(format!("key{i:04}").as_bytes(), &[0u8; 64])
+                .expect("set");
+        }
+        assert!(m.len() <= 16, "len {} exceeds static slots", m.len());
+    }
+
+    #[test]
+    fn skewed_keys_overload_one_instance() {
+        // The §2.5 weakness: hot keys sharded to one instance cannot be
+        // rebalanced. Verify the imbalance is observable.
+        let m = MultiInstance::with_malloc(4, 4 << 20);
+        // All writes to keys that shard to the same instance.
+        let target = m.instance_of(b"hot0");
+        let mut placed = 0;
+        let mut i = 0u32;
+        while placed < 100 {
+            let k = format!("hot{i}");
+            if m.instance_of(k.as_bytes()) == target {
+                m.set(k.as_bytes(), b"v").expect("set");
+                placed += 1;
+            }
+            i += 1;
+        }
+        let per_instance: Vec<usize> = (0..4)
+            .map(|idx| m.with_instance(idx, |s| s.len()))
+            .collect();
+        assert_eq!(per_instance[target], 100);
+        assert_eq!(per_instance.iter().sum::<usize>(), 100);
+    }
+}

@@ -1,0 +1,120 @@
+//! A single-owner cache shard: one hash table plus one value store.
+//!
+//! This is the building block for the multi-instance baseline (each
+//! instance is one `OwnedShard` behind its own thread) and for
+//! per-thread microbenchmarks of MBal's lockless fast path.
+
+use mbal_core::store::{MallocStore, StaticStore, ValueStore};
+use mbal_core::table::{HashTable, SetOutcome};
+use mbal_core::types::CacheError;
+
+/// A cache shard owned by exactly one thread.
+#[derive(Debug)]
+pub struct OwnedShard<S: ValueStore> {
+    table: HashTable,
+    store: S,
+    now_ms: u64,
+}
+
+impl OwnedShard<MallocStore> {
+    /// A shard whose values are individually heap-allocated (the
+    /// `malloc` configuration of Figure 8), budgeted to `capacity` bytes.
+    pub fn with_malloc(capacity: usize) -> Self {
+        Self::new(MallocStore::new(capacity))
+    }
+}
+
+impl OwnedShard<StaticStore> {
+    /// A shard with statically preallocated fixed-size slots (the
+    /// `static` configuration of Figure 8).
+    pub fn with_static(slots: usize, slot_size: usize) -> Self {
+        Self::new(StaticStore::new(slots, slot_size))
+    }
+}
+
+impl<S: ValueStore> OwnedShard<S> {
+    /// Wraps an arbitrary value store.
+    pub fn new(store: S) -> Self {
+        Self {
+            table: HashTable::new(1 << 10),
+            store,
+            now_ms: 0,
+        }
+    }
+
+    /// Advances the shard's logical clock (drives TTL expiry).
+    pub fn set_now_ms(&mut self, now_ms: u64) {
+        self.now_ms = now_ms;
+    }
+
+    /// Looks up `key`.
+    pub fn get(&mut self, key: &[u8]) -> Option<Vec<u8>> {
+        self.table
+            .get(key, &mut self.store, self.now_ms)
+            .map(|c| c.into_owned())
+    }
+
+    /// Inserts or replaces `key` → `value`, evicting LRU entries on
+    /// memory pressure.
+    pub fn set(&mut self, key: &[u8], value: &[u8]) -> Result<SetOutcome, CacheError> {
+        self.table.set(key, value, &mut self.store, self.now_ms, 0)
+    }
+
+    /// Deletes `key`.
+    pub fn delete(&mut self, key: &[u8]) -> bool {
+        self.table.delete(key, &mut self.store)
+    }
+
+    /// Live entries.
+    pub fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Returns `true` when empty.
+    pub fn is_empty(&self) -> bool {
+        self.table.is_empty()
+    }
+
+    /// Access to the underlying store (statistics).
+    pub fn store(&self) -> &S {
+        &self.store
+    }
+
+    /// Access to the underlying table (statistics).
+    pub fn table(&self) -> &HashTable {
+        &self.table
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn malloc_shard_roundtrip() {
+        let mut s = OwnedShard::with_malloc(1 << 20);
+        s.set(b"a", b"1").expect("set");
+        assert_eq!(s.get(b"a").expect("hit"), b"1");
+        assert!(s.delete(b"a"));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn static_shard_evicts_when_slots_exhaust() {
+        let mut s = OwnedShard::with_static(4, 64);
+        for i in 0..10u32 {
+            s.set(format!("k{i}").as_bytes(), &[0u8; 32]).expect("set");
+        }
+        assert_eq!(s.len(), 4, "older entries evicted to fit slots");
+        assert!(s.get(b"k9").is_some());
+    }
+
+    #[test]
+    fn ttl_clock_advances() {
+        let mut s = OwnedShard::with_malloc(1 << 20);
+        s.set(b"k", b"v").expect("set");
+        s.set_now_ms(10_000);
+        // No TTL set, so the key survives arbitrary time.
+        assert!(s.get(b"k").is_some());
+    }
+}

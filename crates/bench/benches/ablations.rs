@@ -1,0 +1,141 @@
+//! Ablations of MBal's design choices, beyond the paper's figures:
+//!
+//! 1. **Cachelet granularity** — more, finer cachelets let the migration
+//!    phases balance better (the §2.1 trade-off between metadata and
+//!    balancing convergence).
+//! 2. **Epoch persistence rule** — requiring imbalance to persist for k
+//!    consecutive epochs before reacting (the paper uses 4): k=1 thrashes
+//!    on transients; large k reacts too slowly.
+//! 3. **Replica watermark REPL_high** — how many keys Phase 1 may
+//!    replicate before escalating.
+//! 4. **Hierarchical (zone-aware) Phase 3** — the §4.2.1 future work:
+//!    planning migrations rack-first cuts expensive cross-zone
+//!    transfers without giving up balance.
+
+use mbal_bench::{header, row, scale};
+use mbal_cluster::{PhaseSet, SimConfig, Simulation};
+use mbal_workload::ycsb::Popularity;
+use mbal_workload::WorkloadSpec;
+
+fn base_cfg() -> SimConfig {
+    SimConfig {
+        servers: 8,
+        workers_per_server: 2,
+        clients: 10,
+        concurrency: 12,
+        epoch_ms: 250,
+        phases: PhaseSet::all(),
+        ..SimConfig::default()
+    }
+}
+
+fn spec() -> WorkloadSpec {
+    WorkloadSpec {
+        records: 100_000,
+        read_fraction: 0.95,
+        popularity: Popularity::Zipfian { theta: 0.99 },
+        key_len: 24,
+        value_len: 64,
+    }
+}
+
+fn run(cfg: SimConfig, ms: u64) -> (f64, f64) {
+    let mut sim = Simulation::new(cfg);
+    let r = sim.run(&[(spec(), ms)]);
+    (r.throughput_kqps(), r.overall.p99_us / 1_000.0)
+}
+
+fn main() {
+    let ms = ((5_000.0 * scale()) as u64).max(3_000);
+
+    header(
+        "Ablation 1",
+        "cachelets per worker (all phases, zipfian 0.99)",
+    );
+    row("cachelets/worker", &["KQPS".into(), "p99 (ms)".into()]);
+    for cpw in [1usize, 4, 16, 64] {
+        let mut cfg = base_cfg();
+        cfg.cachelets_per_worker = cpw;
+        cfg.vns =
+            (cfg.servers as usize * cfg.workers_per_server as usize * cpw * 4).next_power_of_two();
+        let (t, l) = run(cfg, ms);
+        row(&cpw.to_string(), &[format!("{t:.0}"), format!("{l:.2}")]);
+    }
+
+    header(
+        "Ablation 2",
+        "epochs-to-trigger persistence rule (paper: 4)",
+    );
+    row(
+        "epochs",
+        &["KQPS".into(), "p99 (ms)".into(), "events".into()],
+    );
+    for k in [1u32, 2, 4, 8] {
+        let mut cfg = base_cfg();
+        cfg.balancer.epochs_to_trigger = k;
+        let mut sim = Simulation::new(cfg);
+        let r = sim.run(&[(spec(), ms)]);
+        let (p1, p2, p3) = r.phase_events;
+        row(
+            &k.to_string(),
+            &[
+                format!("{:.0}", r.throughput_kqps()),
+                format!("{:.2}", r.overall.p99_us / 1_000.0),
+                format!("{}", p1 + p2 + p3),
+            ],
+        );
+    }
+
+    header(
+        "Ablation 4",
+        "zone-aware hierarchical Phase 3 (4 zones, P3 only)",
+    );
+    row(
+        "planner",
+        &[
+            "KQPS".into(),
+            "p99 (ms)".into(),
+            "intra/cross-zone moves".into(),
+        ],
+    );
+    for (name, zone_planning) in [("flat", false), ("hierarchical", true)] {
+        let mut cfg = base_cfg();
+        cfg.phases = PhaseSet::only_p3();
+        cfg.zones = 4;
+        cfg.zone_planning = zone_planning;
+        let mut sim = Simulation::new(cfg);
+        let r = sim.run(&[(spec(), ms)]);
+        let (intra, cross) = sim.zone_migration_counts();
+        row(
+            name,
+            &[
+                format!("{:.0}", r.throughput_kqps()),
+                format!("{:.2}", r.overall.p99_us / 1_000.0),
+                format!("{intra}/{cross}"),
+            ],
+        );
+    }
+
+    header(
+        "Ablation 3",
+        "REPL_high replication watermark (paper default: 16)",
+    );
+    row(
+        "REPL_high",
+        &["KQPS".into(), "p99 (ms)".into(), "replicated keys".into()],
+    );
+    for watermark in [2usize, 8, 16, 64] {
+        let mut cfg = base_cfg();
+        cfg.balancer.repl_high = watermark;
+        let mut sim = Simulation::new(cfg);
+        let r = sim.run(&[(spec(), ms)]);
+        row(
+            &watermark.to_string(),
+            &[
+                format!("{:.0}", r.throughput_kqps()),
+                format!("{:.2}", r.overall.p99_us / 1_000.0),
+                sim.replicated_keys().to_string(),
+            ],
+        );
+    }
+}

@@ -1,0 +1,48 @@
+//! Figure 1: aggregated peak throughput and KQPS/$ for EC2 cluster
+//! configurations under a 95% GET workload.
+//!
+//! Paper shape to reproduce: (a) semi-powerful instance types
+//! (c3.large, m3.xlarge, c3.2xlarge) converge to ≈1.1 MQPS at 20 nodes;
+//! c3.8xlarge roughly doubles that; small instances scale linearly at a
+//! low slope. (b) c3.large wins cost-of-performance; c3.8xlarge has the
+//! worst return on investment.
+
+use mbal_bench::{header, row};
+use mbal_cluster::ec2::{cluster_kqps, kqps_per_dollar};
+use mbal_cluster::INSTANCES;
+
+fn main() {
+    let sizes = [1u32, 5, 10, 20];
+    header(
+        "Figure 1(a)",
+        "aggregate throughput (10^3 QPS) vs cluster size",
+    );
+    row("instance \\ nodes", sizes.map(|n| n.to_string()).as_ref());
+    for i in &INSTANCES {
+        row(
+            i.name,
+            sizes.map(|n| format!("{:.0}", cluster_kqps(i, n))).as_ref(),
+        );
+    }
+
+    header(
+        "Figure 1(b)",
+        "cost of performance (10^3 QPS per $) vs cluster size",
+    );
+    row("instance \\ nodes", sizes.map(|n| n.to_string()).as_ref());
+    for i in &INSTANCES {
+        row(
+            i.name,
+            sizes
+                .map(|n| format!("{:.0}", kqps_per_dollar(i, n)))
+                .as_ref(),
+        );
+    }
+    println!();
+    println!(
+        "check: semi-powerful convergence at 20 nodes = {:.0}/{:.0}/{:.0} KQPS (paper ≈1100)",
+        cluster_kqps(&INSTANCES[2], 20),
+        cluster_kqps(&INSTANCES[3], 20),
+        cluster_kqps(&INSTANCES[4], 20)
+    );
+}

@@ -1,0 +1,142 @@
+//! Figure 9: per-core throughput scaling to 32 threads (the paper's
+//! dual-socket 32-core host), 90% and 50% GET mixes.
+//!
+//! Paper shape: MBal reaches 18.6×/17.2× its one-core rate at 32 cores
+//! (per-core rate decays gently — kernel packet processing and IRQ
+//! servicing in the paper; NUMA and coherence here); Memcached and
+//! Mercury collapse on the write-heavy mix. The Y axis is MQPS *per
+//! core*, so flat = ideal scaling.
+//!
+//! Method: measured single-thread mixed-op costs on the real code paths
+//! + the multicore contention simulator (see Figure 5's header).
+
+use mbal_baselines::ConcurrentCache;
+use mbal_bench::model::{measure_ns, project, LockModel};
+use mbal_bench::*;
+
+const KEYSPACE: u64 = 1 << 20;
+const VALUE: &[u8] = &[1u8; 32];
+const CAP: usize = 1 << 30;
+
+fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E3779B97F4A7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+fn mixed_owned(shard: &mut MbalShard, ops: u64, read: f64) -> f64 {
+    for i in 0..KEYSPACE / 16 {
+        shard
+            .set(&key_for(0, i, KEYSPACE, 16), VALUE)
+            .expect("warm");
+    }
+    let cut = (read * u32::MAX as f64) as u32;
+    measure_ns(ops, |i| {
+        let k = key_for(0, i % (KEYSPACE / 16), KEYSPACE, 16);
+        if (splitmix(i) as u32) < cut {
+            std::hint::black_box(shard.get(&k));
+        } else {
+            shard.set(&k, VALUE).expect("set");
+        }
+    })
+}
+
+fn mixed_shared<C: ConcurrentCache>(cache: &C, ops: u64, read: f64) -> f64 {
+    for i in 0..KEYSPACE / 16 {
+        cache
+            .set(&shared_key(i, KEYSPACE, 16), VALUE)
+            .expect("warm");
+    }
+    let cut = (read * u32::MAX as f64) as u32;
+    measure_ns(ops, |i| {
+        let k = shared_key(i % (KEYSPACE / 16), KEYSPACE, 16);
+        if (splitmix(i) as u32) < cut {
+            std::hint::black_box(cache.get(&k));
+        } else {
+            cache.set(&k, VALUE).expect("set");
+        }
+    })
+}
+
+/// Mixed-op lock models: weight the SET path's shared-pool churn by the
+/// write fraction.
+fn mercury_mixed(read: f64) -> LockModel {
+    LockModel::StripedPlusPool {
+        parallel_frac: 0.25,
+        bucket_frac: 0.45,
+        pool_touches: 2.0 * (1.0 - read),
+    }
+}
+
+/// MBal's residual scaling losses at high core counts (the paper blames
+/// kernel packet processing and soft-IRQ servicing; modelled as a NUMA
+/// penalty past one socket of 16 cores).
+const MBAL_MANYCORE: LockModel = LockModel::NumaPenalized {
+    socket_cores: 16,
+    penalty: 1.45,
+};
+
+fn main() {
+    let ops = scaled(1_000_000);
+    let sim_ops = scaled(120_000);
+    let sweep = [1usize, 2, 4, 8, 16, 32];
+
+    header(
+        "Figure 9",
+        "per-core throughput (MQPS/core) vs threads (flat = ideal scaling)",
+    );
+    row(
+        "threads",
+        &sweep.iter().map(|t| t.to_string()).collect::<Vec<_>>(),
+    );
+    for read in [0.9, 0.5] {
+        let mut shard = mbal_shards(1, CAP, true, true).pop().expect("shard");
+        let mbal_ns = mixed_owned(&mut shard, ops, read);
+        let mercury = MercuryLike::new(CAP);
+        let mer_ns = mixed_shared(&mercury, ops, read);
+        let memcached = MemcachedLike::new(CAP);
+        let mc_ns = mixed_shared(&memcached, ops, read);
+
+        let pct = (read * 100.0) as u32;
+        let vals: Vec<String> = sweep
+            .iter()
+            .map(|&t| {
+                format!(
+                    "{:.3}",
+                    project(MBAL_MANYCORE, mbal_ns, t, sim_ops) / t as f64
+                )
+            })
+            .collect();
+        row(&format!("MBal({pct}% GET)"), &vals);
+        let vals: Vec<String> = sweep
+            .iter()
+            .map(|&t| {
+                format!(
+                    "{:.3}",
+                    project(mercury_mixed(read), mer_ns, t, sim_ops) / t as f64
+                )
+            })
+            .collect();
+        row(&format!("Mercury({pct}% GET)"), &vals);
+        let vals: Vec<String> = sweep
+            .iter()
+            .map(|&t| {
+                format!(
+                    "{:.3}",
+                    project(LockModel::GlobalLock, mc_ns, t, sim_ops) / t as f64
+                )
+            })
+            .collect();
+        row(&format!("Memcached({pct}% GET)"), &vals);
+
+        if read > 0.5 {
+            let t1 = project(MBAL_MANYCORE, mbal_ns, 1, sim_ops);
+            let t32 = project(MBAL_MANYCORE, mbal_ns, 32, sim_ops);
+            println!(
+                "check: MBal 90% GET speedup at 32 threads = {:.1}x one-core (paper 18.6x)",
+                t32 / t1
+            );
+        }
+    }
+}

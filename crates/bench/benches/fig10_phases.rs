@@ -1,0 +1,96 @@
+//! Figure 10: p99 read latency vs offered throughput for each balancing
+//! phase alone, against the no-balancer baselines (20-node cluster,
+//! zipfian 0.99, 95% GET; client count sweeps the offered load).
+//!
+//! Paper shape: Phase 1 buys ≈+17% max throughput / −24% p99 over
+//! MBal-without-balancer; Phase 2 ≈+8%/−14%; Phase 3 ≈+20%/−30% vs
+//! Memcached; uniform load is the upper bound.
+
+use mbal_bench::{header, row, scale};
+use mbal_cluster::{PhaseSet, SimConfig, Simulation};
+use mbal_workload::ycsb::Popularity;
+use mbal_workload::WorkloadSpec;
+
+fn run(
+    clients: usize,
+    phases: PhaseSet,
+    global_lock: bool,
+    pop: Popularity,
+    ms: u64,
+    service_scale: f64,
+) -> (f64, f64) {
+    let mut cfg = SimConfig {
+        servers: 20,
+        workers_per_server: 2,
+        clients,
+        concurrency: 16,
+        phases,
+        global_lock,
+        epoch_ms: 250,
+        warmup_ms: ms / 2,
+        ..SimConfig::default()
+    };
+    cfg.service_us *= service_scale;
+    let mut sim = Simulation::new(cfg);
+    let spec = WorkloadSpec {
+        records: 200_000,
+        read_fraction: 0.95,
+        popularity: pop,
+        key_len: 24,
+        value_len: 64,
+    };
+    let r = sim.run(&[(spec, ms)]);
+    (r.throughput_kqps(), r.overall.p99_us / 1_000.0)
+}
+
+fn main() {
+    let ms = ((6_000.0 * scale()) as u64).max(4_000);
+    let zipf = Popularity::Zipfian { theta: 0.99 };
+    let sweep = [10usize, 16, 22, 28, 34];
+    header(
+        "Figure 10",
+        "p99 read latency (ms) and aggregate throughput (KQPS) vs client count",
+    );
+    row("config \\ clients", sweep.map(|c| c.to_string()).as_ref());
+    // Mercury's bucket locks put it a few percent ahead of Memcached in
+    // the network-bound cluster setting (§4.2.1 reports ≈2–5% deltas).
+    let configs: [(&str, PhaseSet, bool, Popularity, f64); 7] = [
+        ("Memcached", PhaseSet::none(), true, zipf, 1.0),
+        ("Mercury", PhaseSet::none(), true, zipf, 0.95),
+        ("MBal(w/o LB)", PhaseSet::none(), false, zipf, 1.0),
+        ("MBal(P1)", PhaseSet::only_p1(), false, zipf, 1.0),
+        ("MBal(P2)", PhaseSet::only_p2(), false, zipf, 1.0),
+        ("MBal(P3)", PhaseSet::only_p3(), false, zipf, 1.0),
+        (
+            "MBal(Unif)",
+            PhaseSet::none(),
+            false,
+            Popularity::Uniform,
+            1.0,
+        ),
+    ];
+    for (name, phases, lock, pop, svc) in configs {
+        let vals: Vec<String> = sweep
+            .map(|c| {
+                let (kqps, p99) = run(c, phases, lock, pop, ms, svc);
+                format!("{kqps:.0}kqps/{p99:.2}ms")
+            })
+            .to_vec();
+        row(name, &vals);
+    }
+    // Headline checks at the saturating client count.
+    let (base_t, base_l) = run(34, PhaseSet::none(), false, zipf, ms, 1.0);
+    let (p1_t, p1_l) = run(34, PhaseSet::only_p1(), false, zipf, ms, 1.0);
+    let (p3_t, p3_l) = run(34, PhaseSet::only_p3(), false, zipf, ms, 1.0);
+    println!();
+    println!(
+        "check: P1 vs w/o-LB throughput {:+.0}% (paper +17%), p99 {:+.0}% (paper −24%)",
+        (p1_t / base_t - 1.0) * 100.0,
+        (p1_l / base_l - 1.0) * 100.0
+    );
+    println!(
+        "check: P3 vs w/o-LB throughput {:+.0}% (paper +14%), p99 {:+.0}% (paper −24%)",
+        (p3_t / base_t - 1.0) * 100.0,
+        (p3_l / base_l - 1.0) * 100.0
+    );
+}

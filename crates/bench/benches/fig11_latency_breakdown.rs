@@ -1,0 +1,77 @@
+//! Figure 11: p90/p95/p99 read-latency breakdown per configuration at a
+//! fixed (saturating) client count.
+//!
+//! Paper shape: Phase 1 beats Phase 2 slightly (≈4–5% across
+//! percentiles); Phase 3's coordinated optimum beats randomized
+//! replication; uniform is the floor; Memcached the ceiling.
+
+use mbal_bench::{header, row, scale};
+use mbal_cluster::{LatencySummary, PhaseSet, SimConfig, Simulation};
+use mbal_workload::ycsb::Popularity;
+use mbal_workload::WorkloadSpec;
+
+fn run(
+    phases: PhaseSet,
+    global_lock: bool,
+    pop: Popularity,
+    ms: u64,
+    service_scale: f64,
+) -> LatencySummary {
+    let mut cfg = SimConfig {
+        servers: 20,
+        workers_per_server: 2,
+        clients: 28,
+        concurrency: 16,
+        phases,
+        global_lock,
+        epoch_ms: 250,
+        warmup_ms: ms / 2,
+        ..SimConfig::default()
+    };
+    cfg.service_us *= service_scale;
+    let mut sim = Simulation::new(cfg);
+    let spec = WorkloadSpec {
+        records: 200_000,
+        read_fraction: 0.95,
+        popularity: pop,
+        key_len: 24,
+        value_len: 64,
+    };
+    sim.run(&[(spec, ms)]).overall
+}
+
+fn main() {
+    let ms = ((6_000.0 * scale()) as u64).max(4_000);
+    let zipf = Popularity::Zipfian { theta: 0.99 };
+    header(
+        "Figure 11",
+        "read latency breakdown (ms) at saturating load (28 clients)",
+    );
+    row("config", &["p90".into(), "p95".into(), "p99".into()]);
+    let configs: [(&str, PhaseSet, bool, Popularity, f64); 7] = [
+        ("mc_zipf", PhaseSet::none(), true, zipf, 1.0),
+        ("mer_zipf", PhaseSet::none(), true, zipf, 0.95),
+        ("MBal_zipf", PhaseSet::none(), false, zipf, 1.0),
+        ("MBal_p1", PhaseSet::only_p1(), false, zipf, 1.0),
+        ("MBal_p2", PhaseSet::only_p2(), false, zipf, 1.0),
+        ("MBal_p3", PhaseSet::only_p3(), false, zipf, 1.0),
+        (
+            "MBal_unif",
+            PhaseSet::none(),
+            false,
+            Popularity::Uniform,
+            1.0,
+        ),
+    ];
+    for (name, phases, lock, pop, svc) in configs {
+        let s = run(phases, lock, pop, ms, svc);
+        row(
+            name,
+            &[
+                format!("{:.2}", s.p90_us / 1_000.0),
+                format!("{:.2}", s.p95_us / 1_000.0),
+                format!("{:.2}", s.p99_us / 1_000.0),
+            ],
+        );
+    }
+}

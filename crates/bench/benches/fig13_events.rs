@@ -1,0 +1,63 @@
+//! Figure 13: breakdown of phase-trigger events over the Figure 12
+//! dynamic-workload run (all phases enabled).
+//!
+//! Paper shape: Phases 1 and 2 dominate throughout; Phase 3 is invoked
+//! sparingly — ≈13% of all balancing events on average.
+
+use mbal_bench::{header, row, scale};
+use mbal_cluster::{PhaseSet, SimConfig, Simulation};
+use mbal_workload::WorkloadSpec;
+
+fn main() {
+    let segment_ms = ((10_000.0 * scale()) as u64).max(5_000);
+    let cfg = SimConfig {
+        servers: 12,
+        workers_per_server: 2,
+        clients: 16,
+        concurrency: 12,
+        phases: PhaseSet::all(),
+        epoch_ms: 500,
+        window_ms: 1_000,
+        ..SimConfig::default()
+    };
+    let mut cfg = cfg;
+    cfg.balancer.imb_thresh = 0.18;
+    let mut sim = Simulation::new(cfg);
+    let a = WorkloadSpec::workload_a(50_000);
+    let b = WorkloadSpec::workload_b(50_000);
+    let c = WorkloadSpec::workload_c(50_000);
+    let r = sim.run(&[(a, segment_ms), (b, segment_ms), (c, segment_ms)]);
+    let (p1, p2, p3) = r.phase_events;
+    header(
+        "Figure 13",
+        "phase-trigger event breakdown over the dynamic A→B→C run",
+    );
+    row("phase", &["events".into(), "share".into()]);
+    let total = (p1 + p2 + p3).max(1);
+    row(
+        "P1 key replication",
+        &[
+            p1.to_string(),
+            format!("{:.0}%", 100.0 * p1 as f64 / total as f64),
+        ],
+    );
+    row(
+        "P2 local migration",
+        &[
+            p2.to_string(),
+            format!("{:.0}%", 100.0 * p2 as f64 / total as f64),
+        ],
+    );
+    row(
+        "P3 coordinated",
+        &[
+            p3.to_string(),
+            format!("{:.0}%", 100.0 * p3 as f64 / total as f64),
+        ],
+    );
+    println!();
+    println!(
+        "check: P3 share = {:.0}% of balancing events (paper ≈13%, 'sparingly used')",
+        100.0 * p3 as f64 / total as f64
+    );
+}

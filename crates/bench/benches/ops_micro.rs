@@ -1,0 +1,101 @@
+//! Criterion micro-benchmarks for the core building blocks: hash-table
+//! fast path, slab allocation, key hashing, zipfian draws and the ILP
+//! solver. These underpin every figure; regressions here move the whole
+//! evaluation.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use mbal_bench::{key_for, mbal_shards};
+use mbal_core::hash::{fnv1a64, xxh64};
+use mbal_ilp::{solve_ilp, BranchConfig, Model, Sense};
+use mbal_workload::dist::{KeyDist, Zipfian};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn bench_hashes(c: &mut Criterion) {
+    let key = b"user000000001234567890ab";
+    c.bench_function("hash/xxh64_24B", |b| {
+        b.iter(|| std::hint::black_box(xxh64(std::hint::black_box(key), 0)))
+    });
+    c.bench_function("hash/fnv1a64_24B", |b| {
+        b.iter(|| std::hint::black_box(fnv1a64(std::hint::black_box(key))))
+    });
+}
+
+fn bench_table(c: &mut Criterion) {
+    let mut shard = mbal_shards(1, 256 << 20, true, true).pop().expect("shard");
+    for i in 0..100_000u64 {
+        shard
+            .set(&key_for(0, i, 100_000, 16), &[9u8; 64])
+            .expect("preload");
+    }
+    let mut i = 0u64;
+    c.bench_function("table/get_hit", |b| {
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            std::hint::black_box(shard.get(&key_for(0, i % 100_000, 100_000, 16)))
+        })
+    });
+    let mut j = 0u64;
+    c.bench_function("table/set_update", |b| {
+        b.iter(|| {
+            j = j.wrapping_add(1);
+            shard
+                .set(&key_for(0, j % 100_000, 100_000, 16), &[7u8; 64])
+                .expect("set")
+        })
+    });
+}
+
+fn bench_zipfian(c: &mut Criterion) {
+    let mut dist = Zipfian::new(10_000_000, 0.99);
+    let mut rng = SmallRng::seed_from_u64(1);
+    c.bench_function("workload/zipfian_draw", |b| {
+        b.iter(|| std::hint::black_box(dist.next_index(&mut rng)))
+    });
+}
+
+fn bench_ilp(c: &mut Criterion) {
+    c.bench_function("ilp/migration_10x2", |b| {
+        b.iter_batched(
+            || {
+                // A representative Phase 2 instance: 10 cachelets on an
+                // overloaded worker, 2 destinations.
+                let mut m = Model::new();
+                let loads = [30.0, 25.0, 20.0, 15.0, 12.0, 10.0, 8.0, 6.0, 4.0, 2.0];
+                let mut vars = Vec::new();
+                for &l in &loads {
+                    let a = m.add_binary(1.0);
+                    let b2 = m.add_binary(1.0);
+                    m.add_constraint(vec![(a, 1.0), (b2, 1.0)], Sense::Le, 1.0);
+                    vars.push((a, b2, l));
+                }
+                m.add_constraint(
+                    vars.iter()
+                        .flat_map(|&(a, b2, l)| [(a, l), (b2, l)])
+                        .collect(),
+                    Sense::Ge,
+                    40.0,
+                );
+                for dest in 0..2 {
+                    m.add_constraint(
+                        vars.iter()
+                            .map(|&(a, b2, l)| (if dest == 0 { a } else { b2 }, l))
+                            .collect(),
+                        Sense::Le,
+                        50.0,
+                    );
+                }
+                m
+            },
+            |m| std::hint::black_box(solve_ilp(&m, BranchConfig::default())),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_hashes, bench_table, bench_zipfian, bench_ilp
+);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Table 1: Amazon EC2 instance details (the catalogue the cost model
+//! and Figure 1 are built on).
+
+use mbal_bench::{header, row};
+use mbal_cluster::INSTANCES;
+
+fn main() {
+    header(
+        "Table 1",
+        "Amazon EC2 instance details (US West – Oregon, Oct 10 2014)",
+    );
+    row(
+        "instance",
+        ["vcpus", "mem_gb", "net_gbps", "$/hr"]
+            .map(str::to_string)
+            .as_ref(),
+    );
+    for i in &INSTANCES {
+        row(
+            i.name,
+            &[
+                i.vcpus.to_string(),
+                format!("{:.2}", i.memory_gb),
+                format!("{:.1}", i.network_gbps),
+                format!("{:.3}", i.cost_per_hour),
+            ],
+        );
+    }
+}

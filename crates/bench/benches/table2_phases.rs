@@ -1,0 +1,134 @@
+//! Table 2: the qualitative cost/benefit summary of the three balancing
+//! phases, augmented with *measured* per-action costs from a live
+//! in-process cluster (replica install, local cachelet handoff,
+//! coordinated per-bucket transfer).
+
+use mbal_balancer::coordinator::Coordinator;
+use mbal_balancer::plan::Migration;
+use mbal_balancer::BalancerConfig;
+use mbal_bench::{header, row};
+use mbal_client::Client;
+use mbal_core::clock::RealClock;
+use mbal_core::types::{ServerId, WorkerAddr};
+use mbal_ring::{ConsistentRing, MappingTable};
+use mbal_server::{InProcRegistry, Server, ServerConfig};
+use std::sync::Arc;
+use std::time::Instant;
+
+fn main() {
+    header(
+        "Table 2",
+        "load balancing phases: properties and measured action costs",
+    );
+    row(
+        "phase",
+        &[
+            "action".into(),
+            "granularity".into(),
+            "scope".into(),
+            "cost".into(),
+        ],
+    );
+    row(
+        "P1 key replication",
+        &[
+            "replicate hot keys".into(),
+            "object".into(),
+            "cross-server".into(),
+            "medium".into(),
+        ],
+    );
+    row(
+        "P2 local migration",
+        &[
+            "re-own cachelet".into(),
+            "cachelet".into(),
+            "one server".into(),
+            "low".into(),
+        ],
+    );
+    row(
+        "P3 coordinated migration",
+        &[
+            "transfer cachelet".into(),
+            "cachelet".into(),
+            "cross-server".into(),
+            "high".into(),
+        ],
+    );
+
+    // Measured: stand up a 2-server cluster and time the primitives.
+    let mut ring = ConsistentRing::new();
+    for s in 0..2u16 {
+        for w in 0..2u16 {
+            ring.add_worker(WorkerAddr::new(s, w));
+        }
+    }
+    let mapping = MappingTable::build(&ring, 4, 256);
+    let coordinator = Arc::new(Coordinator::new(mapping.clone(), BalancerConfig::default()));
+    let registry = InProcRegistry::new();
+    let mut servers: Vec<Server> = (0..2u16)
+        .map(|s| {
+            Server::spawn(
+                ServerConfig::new(ServerId(s), 2, 64 << 20).cachelets_per_worker(4),
+                &mapping,
+                &registry,
+                Arc::clone(&coordinator),
+                Arc::new(RealClock::new()),
+            )
+        })
+        .collect();
+    let mut client = Client::new(
+        Arc::clone(&registry) as Arc<dyn mbal_server::Transport>,
+        Arc::clone(&coordinator) as Arc<dyn mbal_client::CoordinatorLink>,
+    );
+    for i in 0..20_000u32 {
+        client
+            .set(format!("k{i:08}").as_bytes(), &[0u8; 64])
+            .expect("preload");
+    }
+
+    // P1 cost: one replica install round trip.
+    let t = Instant::now();
+    let reps = 200;
+    for i in 0..reps {
+        use mbal_proto::Request;
+        let _ = mbal_server::Transport::call(
+            registry.as_ref(),
+            WorkerAddr::new(1, 0),
+            Request::ReplicaInstall {
+                key: format!("hot{i}").into_bytes(),
+                value: vec![0u8; 64],
+                lease_expiry_ms: u64::MAX,
+            },
+        );
+    }
+    let p1_us = t.elapsed().as_micros() as f64 / reps as f64;
+
+    // P3 cost: full per-bucket transfer of one populated cachelet.
+    let victim = mapping.cachelets_of_worker(WorkerAddr::new(0, 0))[0];
+    let m = Migration {
+        cachelet: victim,
+        from: WorkerAddr::new(0, 0),
+        to: WorkerAddr::new(1, 0),
+        load: 0.0,
+    };
+    coordinator.report_local_move(&m);
+    let t = Instant::now();
+    servers[0].migrate_out(&m);
+    let p3_us = t.elapsed().as_micros() as f64;
+
+    println!();
+    row(
+        "measured",
+        &[
+            format!("P1 install {p1_us:.0} µs/key"),
+            format!("P3 transfer {p3_us:.0} µs/cachelet"),
+            "P2 ≈ channel handoff (µs)".into(),
+            String::new(),
+        ],
+    );
+    for s in &mut servers {
+        s.shutdown();
+    }
+}

@@ -1,0 +1,143 @@
+//! `mbal-cli` — a tiny command-line client for a running `mbal-server`.
+//!
+//! The CLI reconstructs the server's mapping from the same parameters
+//! the server was started with (workers/cachelets are deterministic), so
+//! it needs `--workers` and `--cachelets` to match.
+//!
+//! ```text
+//! mbal-cli --host 127.0.0.1 --port 11311 --workers 4 set user:1 alice
+//! mbal-cli --host 127.0.0.1 --port 11311 --workers 4 get user:1
+//! mbal-cli --host 127.0.0.1 --port 11311 --workers 4 del user:1
+//! mbal-cli --host 127.0.0.1 --port 11311 --workers 4 stats
+//! ```
+
+use mbal_balancer::coordinator::HeartbeatReply;
+use mbal_client::{Client, CoordinatorLink};
+use mbal_core::types::WorkerAddr;
+use mbal_proto::{Request, Response};
+use mbal_ring::{ConsistentRing, MappingTable};
+use mbal_server::tcp::TcpTransport;
+use mbal_server::Transport;
+use std::collections::HashMap;
+use std::net::SocketAddr;
+use std::sync::Arc;
+
+fn flag(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+/// A static coordinator stub: the CLI trusts its reconstructed mapping
+/// and relies on `Moved` redirects for anything that shifted.
+struct StaticMapping(MappingTable);
+
+impl CoordinatorLink for StaticMapping {
+    fn heartbeat(&self, version: u64) -> HeartbeatReply {
+        HeartbeatReply {
+            version,
+            deltas: vec![],
+            full_refetch: false,
+        }
+    }
+
+    fn full_table(&self) -> MappingTable {
+        self.0.clone()
+    }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: mbal-cli [--host H] [--port P] [--workers N] [--cachelets N] \
+         <get KEY | set KEY VALUE | del KEY | stats>"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let host = flag("--host").unwrap_or_else(|| "127.0.0.1".into());
+    let port: u16 = flag("--port").and_then(|v| v.parse().ok()).unwrap_or(11311);
+    let workers: u16 = flag("--workers").and_then(|v| v.parse().ok()).unwrap_or(4);
+    let cachelets: usize = flag("--cachelets")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(16);
+
+    // Positional command starts after the flags.
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut pos = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        if args[i].starts_with("--") {
+            i += 2;
+        } else {
+            pos.push(args[i].clone());
+            i += 1;
+        }
+    }
+    if pos.is_empty() {
+        usage();
+    }
+
+    let mut ring = ConsistentRing::new();
+    for w in 0..workers {
+        ring.add_worker(WorkerAddr::new(0, w));
+    }
+    let vns = (workers as usize * cachelets * 4).next_power_of_two();
+    let mapping = MappingTable::build(&ring, cachelets, vns);
+    let routes: HashMap<WorkerAddr, SocketAddr> = (0..workers)
+        .map(|w| {
+            (
+                WorkerAddr::new(0, w),
+                format!("{host}:{}", port + w).parse().expect("socket addr"),
+            )
+        })
+        .collect();
+    let transport = TcpTransport::new(routes);
+    let mut client = Client::new(
+        Arc::clone(&transport) as Arc<dyn Transport>,
+        Arc::new(StaticMapping(mapping)) as Arc<dyn CoordinatorLink>,
+    );
+
+    match pos[0].as_str() {
+        "get" if pos.len() == 2 => match client.get(pos[1].as_bytes()) {
+            Ok(Some(v)) => println!("{}", String::from_utf8_lossy(&v)),
+            Ok(None) => {
+                eprintln!("(miss)");
+                std::process::exit(1);
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        },
+        "set" if pos.len() == 3 => match client.set(pos[1].as_bytes(), pos[2].as_bytes()) {
+            Ok(()) => println!("STORED"),
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        },
+        "del" if pos.len() == 2 => match client.delete(pos[1].as_bytes()) {
+            Ok(true) => println!("DELETED"),
+            Ok(false) => println!("NOT_FOUND"),
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        },
+        "stats" => {
+            for w in 0..workers {
+                let addr = WorkerAddr::new(0, w);
+                match transport.call(addr, Request::Stats) {
+                    Ok(Response::StatsBlob { payload }) => {
+                        println!("worker {w}: {}", String::from_utf8_lossy(&payload));
+                    }
+                    other => eprintln!("worker {w}: {other:?}"),
+                }
+            }
+        }
+        _ => usage(),
+    }
+}

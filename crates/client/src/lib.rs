@@ -1,0 +1,607 @@
+//! # mbal-client
+//!
+//! The MBal client library (§2.3, §3.2 of the paper).
+//!
+//! Clients do the routing: a request for a key is resolved through the
+//! cached two-level mapping table (key → VN → cachelet → worker) and sent
+//! straight to the owning worker's endpoint — there is no dispatcher. Web
+//! applications "simply link against our Memcached protocol compliant
+//! client library"; this crate is that library for the Rust world.
+//!
+//! Responsibilities:
+//!
+//! - **Configuration cache** — a local [`MappingTable`] copy, updated
+//!   from `Moved` responses ("on-the-way routing") and from periodic
+//!   coordinator heartbeats carrying mapping deltas
+//!   ([`Client::poll_coordinator`], the *migration poller*).
+//! - **Replica-aware reads** — when a GET response piggybacks replica
+//!   locations for a hot key, subsequent reads for that key round-robin
+//!   across the home worker and its shadows (Phase 1, §3.2). Writes
+//!   always go to the home worker.
+//! - **MultiGET batching** — [`Client::multi_get`] groups keys by owner
+//!   worker and issues one batched request per worker, the technique the
+//!   paper uses to amortize network overhead (100-GET batches, §4.1).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use mbal_balancer::coordinator::{Coordinator, HeartbeatReply};
+use mbal_balancer::replicated::ReplicatedCoordinator;
+use mbal_core::types::{Key, Value, WorkerAddr};
+use mbal_proto::{Request, Response};
+use mbal_ring::MappingTable;
+use mbal_server::transport::{Transport, TransportError};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Abstraction over how a client reaches the coordinator (in-process or
+/// remote).
+pub trait CoordinatorLink: Send + Sync {
+    /// Sends a heartbeat with the client's mapping version.
+    fn heartbeat(&self, version: u64) -> HeartbeatReply;
+
+    /// Fetches the full mapping table (bootstrap / lagged poller).
+    fn full_table(&self) -> MappingTable;
+}
+
+impl CoordinatorLink for Coordinator {
+    fn heartbeat(&self, version: u64) -> HeartbeatReply {
+        Coordinator::heartbeat(self, version)
+    }
+
+    fn full_table(&self) -> MappingTable {
+        self.mapping_snapshot()
+    }
+}
+
+impl CoordinatorLink for ReplicatedCoordinator {
+    fn heartbeat(&self, version: u64) -> HeartbeatReply {
+        mbal_balancer::replicated::CoordinatorService::heartbeat(self, version)
+    }
+
+    fn full_table(&self) -> MappingTable {
+        mbal_balancer::replicated::CoordinatorService::mapping_snapshot(self)
+    }
+}
+
+/// Client-side operation counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClientStats {
+    /// GET operations issued.
+    pub gets: u64,
+    /// GETs that found a value.
+    pub hits: u64,
+    /// SET operations issued.
+    pub sets: u64,
+    /// DELETE operations issued.
+    pub deletes: u64,
+    /// `Moved` redirects followed (mapping refreshed on the way).
+    pub moved: u64,
+    /// Reads served by a replica instead of the home worker.
+    pub replica_reads: u64,
+    /// Requests retried after a transient `Busy` (bucket mid-migration).
+    pub busy_retries: u64,
+    /// Operations that failed after exhausting retries.
+    pub failures: u64,
+}
+
+/// Errors surfaced to the application.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClientError {
+    /// The transport could not reach the worker.
+    Transport(TransportError),
+    /// The cache rejected the operation (out of memory, protocol error).
+    Rejected(String),
+    /// Retries were exhausted (persistent `Busy` or routing flap).
+    RetriesExhausted,
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Transport(e) => write!(f, "transport: {e}"),
+            ClientError::Rejected(m) => write!(f, "rejected: {m}"),
+            ClientError::RetriesExhausted => write!(f, "retries exhausted"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+struct ReplicaSet {
+    /// Home worker plus shadows, read round-robin.
+    targets: Vec<WorkerAddr>,
+    next: usize,
+}
+
+/// An MBal cache client.
+pub struct Client {
+    mapping: MappingTable,
+    transport: Arc<dyn Transport>,
+    coordinator: Arc<dyn CoordinatorLink>,
+    replicas: HashMap<Key, ReplicaSet>,
+    max_retries: usize,
+    stats: ClientStats,
+}
+
+impl Client {
+    /// Creates a client, fetching the initial mapping from the
+    /// coordinator.
+    pub fn new(transport: Arc<dyn Transport>, coordinator: Arc<dyn CoordinatorLink>) -> Self {
+        let mapping = coordinator.full_table();
+        Self {
+            mapping,
+            transport,
+            coordinator,
+            replicas: HashMap::new(),
+            max_retries: 8,
+            stats: ClientStats::default(),
+        }
+    }
+
+    /// The client's current mapping version.
+    pub fn mapping_version(&self) -> u64 {
+        self.mapping.version()
+    }
+
+    /// Operation counters.
+    pub fn stats(&self) -> ClientStats {
+        self.stats
+    }
+
+    /// Polls the coordinator (the heartbeat/migration-poller path) and
+    /// applies any mapping changes. Returns the number of deltas applied.
+    pub fn poll_coordinator(&mut self) -> usize {
+        let reply = self.coordinator.heartbeat(self.mapping.version());
+        if reply.full_refetch {
+            let table = self.coordinator.full_table();
+            self.mapping.replace_with(&table);
+            return 1; // full refresh counts as one change
+        }
+        let n = reply.deltas.len();
+        for d in &reply.deltas {
+            self.mapping.apply_delta(d);
+        }
+        n
+    }
+
+    fn apply_moved(&mut self, cachelet: mbal_core::types::CacheletId, new_owner: WorkerAddr) {
+        self.stats.moved += 1;
+        // Synthesize a delta one version ahead so it applies.
+        let d = mbal_ring::MappingDelta {
+            version: self.mapping.version() + 1,
+            cachelet,
+            new_owner,
+        };
+        self.mapping.apply_delta(&d);
+    }
+
+    /// Looks up `key`. Replica-aware: hot keys round-robin across their
+    /// home worker and shadows.
+    pub fn get(&mut self, key: &[u8]) -> Result<Option<Value>, ClientError> {
+        self.stats.gets += 1;
+        // Replica fast path.
+        if let Some(set) = self.replicas.get_mut(key) {
+            let target = set.targets[set.next % set.targets.len()];
+            set.next += 1;
+            let (cachelet, home) = self
+                .mapping
+                .route(key)
+                .ok_or(ClientError::RetriesExhausted)?;
+            if target != home {
+                match self
+                    .transport
+                    .call(target, Request::ReplicaRead { key: key.to_vec() })
+                {
+                    Ok(Response::Value { value, .. }) => {
+                        self.stats.hits += 1;
+                        self.stats.replica_reads += 1;
+                        return Ok(Some(value));
+                    }
+                    _ => {
+                        // Replica expired or unreachable: forget and fall
+                        // through to the home worker.
+                        self.replicas.remove(key);
+                    }
+                }
+            }
+            let _ = cachelet;
+        }
+        self.get_home(key)
+    }
+
+    fn get_home(&mut self, key: &[u8]) -> Result<Option<Value>, ClientError> {
+        for _ in 0..self.max_retries {
+            let (cachelet, worker) = self
+                .mapping
+                .route(key)
+                .ok_or(ClientError::RetriesExhausted)?;
+            let resp = self
+                .transport
+                .call(
+                    worker,
+                    Request::Get {
+                        cachelet,
+                        key: key.to_vec(),
+                    },
+                )
+                .map_err(ClientError::Transport)?;
+            match resp {
+                Response::Value { value, replicas } => {
+                    self.stats.hits += 1;
+                    if !replicas.is_empty() {
+                        let mut targets = vec![worker];
+                        targets.extend(replicas);
+                        self.replicas
+                            .insert(key.to_vec(), ReplicaSet { targets, next: 1 });
+                    }
+                    return Ok(Some(value));
+                }
+                Response::NotFound => return Ok(None),
+                Response::Moved {
+                    cachelet,
+                    new_owner,
+                } => {
+                    self.apply_moved(cachelet, new_owner);
+                    continue;
+                }
+                Response::Fail { status, message } => match status {
+                    mbal_proto::Status::Busy => {
+                        self.stats.busy_retries += 1;
+                        continue;
+                    }
+                    mbal_proto::Status::NotOwner => {
+                        // Stale mapping with no forward: resync.
+                        self.poll_coordinator();
+                        continue;
+                    }
+                    _ => return Err(ClientError::Rejected(message)),
+                },
+                other => {
+                    return Err(ClientError::Rejected(format!(
+                        "unexpected response {other:?}"
+                    )))
+                }
+            }
+        }
+        self.stats.failures += 1;
+        Err(ClientError::RetriesExhausted)
+    }
+
+    /// Batched lookup: groups keys by owner worker and issues one
+    /// MultiGET per worker. Results are positional (`None` = miss).
+    pub fn multi_get(&mut self, keys: &[Key]) -> Result<Vec<Option<Value>>, ClientError> {
+        self.stats.gets += keys.len() as u64;
+        let mut by_worker: HashMap<WorkerAddr, Vec<(usize, mbal_core::types::CacheletId, Key)>> =
+            HashMap::new();
+        for (i, key) in keys.iter().enumerate() {
+            let (cachelet, worker) = self
+                .mapping
+                .route(key)
+                .ok_or(ClientError::RetriesExhausted)?;
+            by_worker
+                .entry(worker)
+                .or_default()
+                .push((i, cachelet, key.clone()));
+        }
+        let mut out = vec![None; keys.len()];
+        for (worker, batch) in by_worker {
+            let req = Request::MultiGet {
+                keys: batch.iter().map(|(_, c, k)| (*c, k.clone())).collect(),
+            };
+            match self
+                .transport
+                .call(worker, req)
+                .map_err(ClientError::Transport)?
+            {
+                Response::Values { values } => {
+                    for ((i, _, _), v) in batch.iter().zip(values) {
+                        if v.is_some() {
+                            self.stats.hits += 1;
+                        }
+                        out[*i] = v;
+                    }
+                }
+                Response::Moved { .. } | Response::Fail { .. } => {
+                    // Fall back to singleton gets for this batch (rare:
+                    // mid-migration). Singleton path handles redirects.
+                    for (i, _, k) in &batch {
+                        out[*i] = self.get_home(k)?;
+                        self.stats.gets -= 1; // get_home did not count it
+                    }
+                }
+                other => {
+                    return Err(ClientError::Rejected(format!(
+                        "unexpected response {other:?}"
+                    )))
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Stores `key` → `value` (write-through at the home worker; replicas
+    /// are updated by the server per the configured consistency mode).
+    pub fn set(&mut self, key: &[u8], value: &[u8]) -> Result<(), ClientError> {
+        self.set_with_expiry(key, value, 0)
+    }
+
+    /// Stores with an absolute expiry (0 = never).
+    pub fn set_with_expiry(
+        &mut self,
+        key: &[u8],
+        value: &[u8],
+        expiry_ms: u64,
+    ) -> Result<(), ClientError> {
+        self.stats.sets += 1;
+        for _ in 0..self.max_retries {
+            let (cachelet, worker) = self
+                .mapping
+                .route(key)
+                .ok_or(ClientError::RetriesExhausted)?;
+            let resp = self
+                .transport
+                .call(
+                    worker,
+                    Request::Set {
+                        cachelet,
+                        key: key.to_vec(),
+                        value: value.to_vec(),
+                        expiry_ms,
+                    },
+                )
+                .map_err(ClientError::Transport)?;
+            match resp {
+                Response::Stored => return Ok(()),
+                Response::Moved {
+                    cachelet,
+                    new_owner,
+                } => {
+                    self.apply_moved(cachelet, new_owner);
+                    continue;
+                }
+                Response::Fail { status, message } => match status {
+                    mbal_proto::Status::Busy => {
+                        self.stats.busy_retries += 1;
+                        continue;
+                    }
+                    mbal_proto::Status::NotOwner => {
+                        self.poll_coordinator();
+                        continue;
+                    }
+                    _ => return Err(ClientError::Rejected(message)),
+                },
+                other => {
+                    return Err(ClientError::Rejected(format!(
+                        "unexpected response {other:?}"
+                    )))
+                }
+            }
+        }
+        self.stats.failures += 1;
+        Err(ClientError::RetriesExhausted)
+    }
+
+    /// Shared retry loop for single-key write-family operations: routes,
+    /// follows `Moved`, retries `Busy`, resyncs on `NotOwner`. The
+    /// `request` closure builds the request for the current routing;
+    /// `accept` translates terminal responses.
+    fn write_op<T>(
+        &mut self,
+        key: &[u8],
+        mut request: impl FnMut(mbal_core::types::CacheletId) -> Request,
+        mut accept: impl FnMut(Response) -> Result<T, ClientError>,
+    ) -> Result<T, ClientError> {
+        for _ in 0..self.max_retries {
+            let (cachelet, worker) = self
+                .mapping
+                .route(key)
+                .ok_or(ClientError::RetriesExhausted)?;
+            let resp = self
+                .transport
+                .call(worker, request(cachelet))
+                .map_err(ClientError::Transport)?;
+            match resp {
+                Response::Moved {
+                    cachelet,
+                    new_owner,
+                } => {
+                    self.apply_moved(cachelet, new_owner);
+                    continue;
+                }
+                Response::Fail { status, message } => match status {
+                    mbal_proto::Status::Busy => {
+                        self.stats.busy_retries += 1;
+                        continue;
+                    }
+                    mbal_proto::Status::NotOwner => {
+                        self.poll_coordinator();
+                        continue;
+                    }
+                    _ => {
+                        return accept(Response::Fail { status, message });
+                    }
+                },
+                other => return accept(other),
+            }
+        }
+        self.stats.failures += 1;
+        Err(ClientError::RetriesExhausted)
+    }
+
+    /// Stores `key` only if absent (Memcached `add`). `Ok(true)` if
+    /// stored, `Ok(false)` if the key already existed.
+    pub fn add(&mut self, key: &[u8], value: &[u8]) -> Result<bool, ClientError> {
+        self.stats.sets += 1;
+        let value = value.to_vec();
+        self.write_op(
+            key,
+            |cachelet| Request::Add {
+                cachelet,
+                key: key.to_vec(),
+                value: value.clone(),
+                expiry_ms: 0,
+            },
+            |resp| match resp {
+                Response::Stored => Ok(true),
+                Response::Fail {
+                    status: mbal_proto::Status::Exists,
+                    ..
+                } => Ok(false),
+                Response::Fail { message, .. } => Err(ClientError::Rejected(message)),
+                other => Err(ClientError::Rejected(format!("unexpected {other:?}"))),
+            },
+        )
+    }
+
+    /// Stores `key` only if present (Memcached `replace`). `Ok(true)` if
+    /// replaced, `Ok(false)` on a miss.
+    pub fn replace(&mut self, key: &[u8], value: &[u8]) -> Result<bool, ClientError> {
+        self.stats.sets += 1;
+        let value = value.to_vec();
+        self.write_op(
+            key,
+            |cachelet| Request::Replace {
+                cachelet,
+                key: key.to_vec(),
+                value: value.clone(),
+                expiry_ms: 0,
+            },
+            |resp| match resp {
+                Response::Stored => Ok(true),
+                Response::NotFound => Ok(false),
+                Response::Fail { message, .. } => Err(ClientError::Rejected(message)),
+                other => Err(ClientError::Rejected(format!("unexpected {other:?}"))),
+            },
+        )
+    }
+
+    /// Appends `suffix` to an existing value; `Ok(false)` on a miss.
+    pub fn append(&mut self, key: &[u8], suffix: &[u8]) -> Result<bool, ClientError> {
+        self.concat(key, suffix, false)
+    }
+
+    /// Prepends `prefix` to an existing value; `Ok(false)` on a miss.
+    pub fn prepend(&mut self, key: &[u8], prefix: &[u8]) -> Result<bool, ClientError> {
+        self.concat(key, prefix, true)
+    }
+
+    fn concat(&mut self, key: &[u8], bytes: &[u8], front: bool) -> Result<bool, ClientError> {
+        self.stats.sets += 1;
+        let bytes = bytes.to_vec();
+        self.write_op(
+            key,
+            |cachelet| Request::Concat {
+                cachelet,
+                key: key.to_vec(),
+                value: bytes.clone(),
+                front,
+            },
+            |resp| match resp {
+                Response::Stored => Ok(true),
+                Response::NotFound => Ok(false),
+                Response::Fail { message, .. } => Err(ClientError::Rejected(message)),
+                other => Err(ClientError::Rejected(format!("unexpected {other:?}"))),
+            },
+        )
+    }
+
+    /// Increments an ASCII-decimal counter; `Ok(None)` on a miss.
+    pub fn incr(&mut self, key: &[u8], delta: u64) -> Result<Option<u64>, ClientError> {
+        self.counter_op(key, delta as i64)
+    }
+
+    /// Decrements a counter, saturating at zero; `Ok(None)` on a miss.
+    pub fn decr(&mut self, key: &[u8], delta: u64) -> Result<Option<u64>, ClientError> {
+        self.counter_op(key, -(delta as i64))
+    }
+
+    fn counter_op(&mut self, key: &[u8], delta: i64) -> Result<Option<u64>, ClientError> {
+        self.stats.sets += 1;
+        self.write_op(
+            key,
+            |cachelet| Request::Incr {
+                cachelet,
+                key: key.to_vec(),
+                delta,
+            },
+            |resp| match resp {
+                Response::Counter { value } => Ok(Some(value)),
+                Response::NotFound => Ok(None),
+                Response::Fail { message, .. } => Err(ClientError::Rejected(message)),
+                other => Err(ClientError::Rejected(format!("unexpected {other:?}"))),
+            },
+        )
+    }
+
+    /// Refreshes the TTL of an existing key; `Ok(false)` on a miss.
+    pub fn touch(&mut self, key: &[u8], expiry_ms: u64) -> Result<bool, ClientError> {
+        self.write_op(
+            key,
+            |cachelet| Request::Touch {
+                cachelet,
+                key: key.to_vec(),
+                expiry_ms,
+            },
+            |resp| match resp {
+                Response::Touched => Ok(true),
+                Response::NotFound => Ok(false),
+                Response::Fail { message, .. } => Err(ClientError::Rejected(message)),
+                other => Err(ClientError::Rejected(format!("unexpected {other:?}"))),
+            },
+        )
+    }
+
+    /// Deletes `key`.
+    pub fn delete(&mut self, key: &[u8]) -> Result<bool, ClientError> {
+        self.stats.deletes += 1;
+        self.replicas.remove(key);
+        for _ in 0..self.max_retries {
+            let (cachelet, worker) = self
+                .mapping
+                .route(key)
+                .ok_or(ClientError::RetriesExhausted)?;
+            let resp = self
+                .transport
+                .call(
+                    worker,
+                    Request::Delete {
+                        cachelet,
+                        key: key.to_vec(),
+                    },
+                )
+                .map_err(ClientError::Transport)?;
+            match resp {
+                Response::Deleted => return Ok(true),
+                Response::NotFound => return Ok(false),
+                Response::Moved {
+                    cachelet,
+                    new_owner,
+                } => {
+                    self.apply_moved(cachelet, new_owner);
+                    continue;
+                }
+                Response::Fail {
+                    status: mbal_proto::Status::NotOwner,
+                    ..
+                } => {
+                    self.poll_coordinator();
+                    continue;
+                }
+                Response::Fail { message, .. } => return Err(ClientError::Rejected(message)),
+                other => {
+                    return Err(ClientError::Rejected(format!(
+                        "unexpected response {other:?}"
+                    )))
+                }
+            }
+        }
+        self.stats.failures += 1;
+        Err(ClientError::RetriesExhausted)
+    }
+
+    /// Number of keys with client-side replica routing state.
+    pub fn replicated_keys(&self) -> usize {
+        self.replicas.len()
+    }
+}

@@ -1,0 +1,42 @@
+//! # mbal-cluster
+//!
+//! The cluster substrate standing in for the paper's Amazon EC2 testbed.
+//!
+//! The paper's cluster experiments (Figures 1, 2, 10–13) ran on 20-node
+//! EC2 clusters we do not have; per the reproduction ground rules we
+//! simulate the testbed while running the **real** MBal control plane —
+//! the actual `mbal-balancer` state machine, ILP planners, hot-key
+//! trackers and mapping tables — on simulated time:
+//!
+//! - [`ec2`] — the Table 1 instance catalogue with a calibrated
+//!   throughput model (CPU-bound small instances, NIC/switch-bound
+//!   semi-powerful ones, multi-tenant interference on the biggest), and
+//!   the cost model behind KQPS/$.
+//! - [`engine`] — a discrete-event simulation core (event heap, virtual
+//!   microsecond clock).
+//! - [`sim`] — the cache-cluster model: closed-loop clients, per-worker
+//!   FIFO service queues, network delay with congestion, key-granular
+//!   routing through a real [`mbal_ring::MappingTable`], Phase 1/2/3
+//!   effects (replica read spreading, cachelet re-homing, cross-server
+//!   migration with its 5–6 s transfer tax), and latency percentile
+//!   collection.
+//! - [`multicore`] — a second, smaller simulator standing in for the
+//!   paper's 8-/32-core hosts when the reproduction machine has fewer
+//!   cores: measured single-thread segment costs + simulated cores with
+//!   FIFO locks and cache-coherence handoff penalties (Figures 5–9).
+//! - [`report`] — windowed throughput/latency series and experiment
+//!   summaries the bench harness prints.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ec2;
+pub mod engine;
+pub mod multicore;
+pub mod report;
+pub mod sim;
+
+pub use ec2::{InstanceType, INSTANCES};
+pub use multicore::{run_coresim, CoreSimConfig, Segment};
+pub use report::{LatencySummary, SimReport};
+pub use sim::{PhaseSet, SimConfig, Simulation};

@@ -1,0 +1,219 @@
+//! Multicore contention simulator.
+//!
+//! The paper's single-machine scalability results (Figures 5–9) were
+//! measured on 8- and 32-core hosts. When the reproduction runs on a
+//! host with fewer cores, real thread sweeps cannot exhibit parallel
+//! scaling, so we substitute a discrete-event model of N cores:
+//!
+//! - each simulated thread executes operations *closed-loop*;
+//! - an operation is a sequence of [`Segment`]s — parallel compute, or
+//!   a critical section on a named resource (the global cache lock, a
+//!   bucket lock, the shared memory pool, …);
+//! - resources grant FIFO by arrival; when a resource changes owner
+//!   between cores, a cache-coherence handoff penalty is charged (the
+//!   cross-core cacheline transfer that makes hot locks so expensive).
+//!
+//! Segment durations are **measured on the host** by running the real
+//! single-threaded code paths (see `mbal-bench`); only the concurrency
+//! is simulated. Lockless designs (MBal) have no critical segments and
+//! scale linearly by construction — which is the paper's point; the
+//! interesting output is where each *locking* design saturates.
+
+use crate::engine::EventQueue;
+
+/// One step of an operation.
+#[derive(Debug, Clone, Copy)]
+pub struct Segment {
+    /// Duration in nanoseconds.
+    pub dur_ns: u64,
+    /// `Some(resource)` runs under that resource's exclusive lock.
+    pub resource: Option<u32>,
+}
+
+impl Segment {
+    /// A parallel compute segment.
+    pub fn parallel(dur_ns: u64) -> Self {
+        Self {
+            dur_ns,
+            resource: None,
+        }
+    }
+
+    /// A critical section on `resource`.
+    pub fn critical(dur_ns: u64, resource: u32) -> Self {
+        Self {
+            dur_ns,
+            resource: Some(resource),
+        }
+    }
+}
+
+/// Simulator configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct CoreSimConfig {
+    /// Simulated thread (= core) count.
+    pub threads: usize,
+    /// Operations per thread.
+    pub ops_per_thread: u64,
+    /// Cross-core cacheline handoff penalty charged when a resource's
+    /// owner changes (ns). ~100–200 ns on commodity parts.
+    pub handoff_ns: u64,
+}
+
+/// Runs the simulation. `op(thread, i, &mut segs)` fills the segment
+/// sequence of the `i`-th operation of `thread` (the buffer is cleared
+/// between calls). Returns throughput in MQPS.
+pub fn run_coresim<F>(cfg: CoreSimConfig, mut op: F) -> f64
+where
+    F: FnMut(usize, u64, &mut Vec<Segment>),
+{
+    assert!(cfg.threads > 0, "need at least one simulated core");
+    let mut queue: EventQueue<usize> = EventQueue::new();
+    for t in 0..cfg.threads {
+        queue.schedule(0, t);
+    }
+    let mut done = vec![0u64; cfg.threads];
+    let mut resources: Vec<(u64, usize)> = Vec::new(); // (busy_until, owner)
+    let mut segs = Vec::new();
+    let mut end_time = 0u64;
+    let mut remaining = cfg.threads;
+
+    while let Some((t, thread)) = queue.pop() {
+        if done[thread] >= cfg.ops_per_thread {
+            continue;
+        }
+        segs.clear();
+        op(thread, done[thread], &mut segs);
+        let mut now = t;
+        for s in &segs {
+            match s.resource {
+                None => now += s.dur_ns,
+                Some(r) => {
+                    let r = r as usize;
+                    if r >= resources.len() {
+                        resources.resize(r + 1, (0, usize::MAX));
+                    }
+                    let (busy, owner) = resources[r];
+                    let start = busy.max(now);
+                    let handoff = if owner != thread && owner != usize::MAX {
+                        cfg.handoff_ns
+                    } else {
+                        0
+                    };
+                    let fin = start + handoff + s.dur_ns;
+                    resources[r] = (fin, thread);
+                    now = fin;
+                }
+            }
+        }
+        done[thread] += 1;
+        if done[thread] == cfg.ops_per_thread {
+            end_time = end_time.max(now);
+            remaining -= 1;
+            if remaining == 0 {
+                break;
+            }
+        } else {
+            queue.schedule(now.max(t + 1), thread);
+        }
+    }
+    let total_ops = cfg.threads as u64 * cfg.ops_per_thread;
+    if end_time == 0 {
+        return 0.0;
+    }
+    total_ops as f64 / (end_time as f64 / 1e9) / 1e6
+}
+
+/// Convenience resource ids used by the bench harness.
+pub mod resources {
+    /// The Memcached-style global cache lock.
+    pub const GLOBAL_LOCK: u32 = 0;
+    /// The shared memory/free pool (Mercury, `MBal global lru`,
+    /// jemalloc-like arena).
+    pub const GLOBAL_POOL: u32 = 1;
+    /// First of the bucket-lock resource ids; add `hash % N_BUCKET_LOCKS`.
+    pub const BUCKET_BASE: u32 = 8;
+    /// Number of simulated bucket locks (Mercury's fine-grained locks;
+    /// modest so cross-core collisions exist, as they do on real parts).
+    pub const N_BUCKET_LOCKS: u32 = 1_024;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(threads: usize) -> CoreSimConfig {
+        CoreSimConfig {
+            threads,
+            ops_per_thread: 20_000,
+            handoff_ns: 150,
+        }
+    }
+
+    #[test]
+    fn lockless_scales_linearly() {
+        let t1 = run_coresim(cfg(1), |_, _, s| s.push(Segment::parallel(300)));
+        let t8 = run_coresim(cfg(8), |_, _, s| s.push(Segment::parallel(300)));
+        assert!((t1 - 3.33).abs() < 0.2, "1-thread rate {t1}");
+        assert!(
+            (t8 / t1 - 8.0).abs() < 0.2,
+            "lockless must scale 8x, got {:.2}x",
+            t8 / t1
+        );
+    }
+
+    #[test]
+    fn global_lock_is_flat() {
+        let op = |_: usize, _: u64, s: &mut Vec<Segment>| {
+            s.push(Segment::critical(300, resources::GLOBAL_LOCK));
+        };
+        let t1 = run_coresim(cfg(1), op);
+        let t8 = run_coresim(cfg(8), op);
+        // With the handoff penalty, 8 threads are *slower* than 1 —
+        // matching Memcached's measured behavior.
+        assert!(t8 < t1 * 1.1, "global lock must not scale: {t1} -> {t8}");
+    }
+
+    #[test]
+    fn partial_critical_section_caps_throughput() {
+        // 100 ns parallel + 100 ns in the shared pool: cap ≈ 1/(100+150)
+        // ns ≈ 4 MQPS regardless of thread count.
+        let op = |_: usize, _: u64, s: &mut Vec<Segment>| {
+            s.push(Segment::parallel(100));
+            s.push(Segment::critical(100, resources::GLOBAL_POOL));
+        };
+        let t2 = run_coresim(cfg(2), op);
+        let t16 = run_coresim(cfg(16), op);
+        assert!(t16 < 4.3, "pool-bound cap exceeded: {t16}");
+        assert!(t16 >= t2 * 0.8, "should hold near the cap, {t2} -> {t16}");
+    }
+
+    #[test]
+    fn striped_locks_scale_until_collisions() {
+        // Bucket-striped critical sections: near-linear at low thread
+        // counts, sublinear as collisions appear.
+        let op = |t: usize, i: u64, s: &mut Vec<Segment>| {
+            let bucket = ((t as u64 * 7_919 + i) % resources::N_BUCKET_LOCKS as u64) as u32;
+            s.push(Segment::parallel(150));
+            s.push(Segment::critical(150, resources::BUCKET_BASE + bucket));
+        };
+        let t1 = run_coresim(cfg(1), op);
+        let t8 = run_coresim(cfg(8), op);
+        let speedup = t8 / t1;
+        assert!(
+            speedup > 4.0 && speedup <= 8.2,
+            "striped speedup {speedup:.2} out of range"
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let op = |t: usize, i: u64, s: &mut Vec<Segment>| {
+            s.push(Segment::parallel(100 + (t as u64 ^ i) % 50));
+            s.push(Segment::critical(80, resources::GLOBAL_POOL));
+        };
+        let a = run_coresim(cfg(4), op);
+        let b = run_coresim(cfg(4), op);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,110 @@
+//! Simulation output: latency percentiles and windowed series.
+
+/// Latency percentiles over a sample set (microseconds).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct LatencySummary {
+    /// Sample count.
+    pub count: usize,
+    /// Mean latency (µs).
+    pub mean_us: f64,
+    /// Median (µs).
+    pub p50_us: f64,
+    /// 90th percentile (µs).
+    pub p90_us: f64,
+    /// 95th percentile (µs).
+    pub p95_us: f64,
+    /// 99th percentile (µs).
+    pub p99_us: f64,
+}
+
+impl LatencySummary {
+    /// Computes percentiles from raw samples (sorted internally).
+    pub fn from_samples(samples: &mut [u64]) -> Self {
+        if samples.is_empty() {
+            return Self::default();
+        }
+        samples.sort_unstable();
+        let pct = |p: f64| -> f64 {
+            let idx = ((samples.len() as f64 - 1.0) * p).round() as usize;
+            samples[idx] as f64
+        };
+        let mean = samples.iter().sum::<u64>() as f64 / samples.len() as f64;
+        Self {
+            count: samples.len(),
+            mean_us: mean,
+            p50_us: pct(0.50),
+            p90_us: pct(0.90),
+            p95_us: pct(0.95),
+            p99_us: pct(0.99),
+        }
+    }
+}
+
+/// One reporting window of a simulation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Window {
+    /// Window start in simulated ms.
+    pub start_ms: u64,
+    /// Completed requests in this window.
+    pub completed: u64,
+    /// Read-latency summary for the window.
+    pub read_latency: LatencySummary,
+}
+
+/// The full result of one simulation run.
+#[derive(Debug, Clone, Default)]
+pub struct SimReport {
+    /// Per-window series (Figure 12-style timeline).
+    pub windows: Vec<Window>,
+    /// Whole-run read-latency summary.
+    pub overall: LatencySummary,
+    /// Total completed requests.
+    pub completed: u64,
+    /// Simulated duration in ms.
+    pub duration_ms: u64,
+    /// Balance events per phase `(p1, p2, p3)` over the run.
+    pub phase_events: (usize, usize, usize),
+}
+
+impl SimReport {
+    /// Aggregate throughput in KQPS.
+    pub fn throughput_kqps(&self) -> f64 {
+        if self.duration_ms == 0 {
+            return 0.0;
+        }
+        self.completed as f64 / (self.duration_ms as f64 / 1_000.0) / 1_000.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_from_uniform_ramp() {
+        let mut samples: Vec<u64> = (1..=1_000).collect();
+        let s = LatencySummary::from_samples(&mut samples);
+        assert_eq!(s.count, 1_000);
+        assert!((s.p50_us - 500.0).abs() <= 1.0);
+        assert!((s.p90_us - 900.0).abs() <= 1.0);
+        assert!((s.p99_us - 990.0).abs() <= 1.0);
+        assert!((s.mean_us - 500.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_samples_are_zero() {
+        let s = LatencySummary::from_samples(&mut Vec::new());
+        assert_eq!(s, LatencySummary::default());
+    }
+
+    #[test]
+    fn throughput_math() {
+        let r = SimReport {
+            completed: 500_000,
+            duration_ms: 10_000,
+            ..SimReport::default()
+        };
+        assert!((r.throughput_kqps() - 50.0).abs() < 1e-9);
+        assert_eq!(SimReport::default().throughput_kqps(), 0.0);
+    }
+}

@@ -1,0 +1,74 @@
+//! Property tests for the cluster substrate: event-queue ordering, the
+//! EC2 model's monotonicity, and latency-summary invariants.
+
+use mbal_cluster::ec2::{cluster_kqps, kqps_per_dollar, INSTANCES};
+use mbal_cluster::engine::EventQueue;
+use mbal_cluster::LatencySummary;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Events pop in non-decreasing time order regardless of insertion
+    /// order, and FIFO within a timestamp.
+    #[test]
+    fn event_queue_orders_any_schedule(times in prop::collection::vec(0u64..10_000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(t, i);
+        }
+        let mut last_time = 0;
+        let mut seen_at_time: Vec<usize> = Vec::new();
+        let mut popped = 0;
+        while let Some((t, id)) = q.pop() {
+            prop_assert!(t >= last_time, "time went backwards");
+            if t != last_time {
+                seen_at_time.clear();
+            }
+            // FIFO within a timestamp: insertion indices at equal times
+            // must come out ascending.
+            if let Some(&prev) = seen_at_time.last() {
+                prop_assert!(
+                    id > prev,
+                    "FIFO violated at t={}: {} after {}", t, id, prev
+                );
+            }
+            seen_at_time.push(id);
+            last_time = t;
+            popped += 1;
+        }
+        prop_assert_eq!(popped, times.len());
+    }
+
+    /// Cluster throughput never decreases with more nodes, and cost
+    /// efficiency never *increases* with more nodes (the Figure 1(b)
+    /// lesson: scaling out never improves KQPS/$).
+    #[test]
+    fn ec2_model_is_monotone(inst_idx in 0usize..6, n in 1u32..40) {
+        let inst = &INSTANCES[inst_idx];
+        let t_n = cluster_kqps(inst, n);
+        let t_n1 = cluster_kqps(inst, n + 1);
+        prop_assert!(t_n1 + 1e-9 >= t_n, "throughput dropped: {} -> {}", t_n, t_n1);
+        let e_n = kqps_per_dollar(inst, n);
+        let e_n1 = kqps_per_dollar(inst, n + 1);
+        prop_assert!(
+            e_n1 <= e_n + 1e-9,
+            "cost efficiency improved with scale: {} -> {}", e_n, e_n1
+        );
+    }
+
+    /// Percentiles are ordered and bounded by the sample extremes.
+    #[test]
+    fn latency_summary_invariants(mut samples in prop::collection::vec(1u64..1_000_000, 1..500)) {
+        let max = *samples.iter().max().expect("non-empty") as f64;
+        let min = *samples.iter().min().expect("non-empty") as f64;
+        let s = LatencySummary::from_samples(&mut samples);
+        prop_assert!(s.p50_us <= s.p90_us + 1e-9);
+        prop_assert!(s.p90_us <= s.p95_us + 1e-9);
+        prop_assert!(s.p95_us <= s.p99_us + 1e-9);
+        prop_assert!(s.p99_us <= max);
+        prop_assert!(s.p50_us >= min);
+        prop_assert!(s.mean_us >= min && s.mean_us <= max);
+        prop_assert_eq!(s.count, samples.len());
+    }
+}

@@ -1,0 +1,326 @@
+//! The cachelet: MBal's unit of partitioning and load balancing (§2.1).
+//!
+//! A cachelet is a configurable resource container that encapsulates
+//! multiple virtual nodes and is managed as a separate entity by a single
+//! worker thread. It bundles a [`HashTable`], access statistics, an EWMA
+//! load estimate, and migration/lease state. Because exactly one worker
+//! owns a cachelet at any time, none of its operations synchronize.
+
+use crate::stats::{AccessStats, CacheletLoad, Ewma};
+use crate::store::ValueStore;
+use crate::table::{HashTable, SetOutcome, TableStats};
+use crate::types::{CacheError, CacheletId, WorkerId};
+use std::borrow::Cow;
+
+/// Where a cachelet currently lives relative to its home worker.
+///
+/// Server-local migration (Phase 2) and coordinated migration (Phase 3) are
+/// lease-based for ephemeral hotspots: a migrated cachelet returns to its
+/// home worker when the lease expires and the hotspot has cooled (§3.3).
+/// Phase 3 migrations are permanent (no lease).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Residency {
+    /// The cachelet is on its home worker.
+    Home,
+    /// Migrated within the server; returns home when the lease expires.
+    Leased {
+        /// The original (home) worker.
+        home: WorkerId,
+        /// Absolute lease expiry in milliseconds.
+        lease_expiry_ms: u64,
+    },
+    /// Permanently migrated across servers (Phase 3).
+    Adopted,
+}
+
+/// A cachelet: hash table + statistics + residency state.
+#[derive(Debug)]
+pub struct Cachelet {
+    id: CacheletId,
+    table: HashTable,
+    stats: AccessStats,
+    epoch_base: AccessStats,
+    load: Ewma,
+    residency: Residency,
+}
+
+impl Cachelet {
+    /// Creates an empty cachelet with the given `id`.
+    pub fn new(id: CacheletId) -> Self {
+        Self {
+            id,
+            table: HashTable::new(64),
+            stats: AccessStats::default(),
+            epoch_base: AccessStats::default(),
+            load: Ewma::default(),
+            residency: Residency::Home,
+        }
+    }
+
+    /// The cachelet identifier.
+    pub fn id(&self) -> CacheletId {
+        self.id
+    }
+
+    /// Current residency state.
+    pub fn residency(&self) -> Residency {
+        self.residency
+    }
+
+    /// Marks the cachelet as leased out from `home` until
+    /// `lease_expiry_ms` (Phase 2 migration).
+    pub fn lease_out(&mut self, home: WorkerId, lease_expiry_ms: u64) {
+        self.residency = Residency::Leased {
+            home,
+            lease_expiry_ms,
+        };
+    }
+
+    /// Marks the cachelet as permanently adopted by its current worker.
+    pub fn adopt(&mut self) {
+        self.residency = Residency::Adopted;
+    }
+
+    /// Restores home residency (lease expiry or explicit return).
+    pub fn restore_home(&mut self) {
+        self.residency = Residency::Home;
+    }
+
+    /// Returns `Some(home)` if the lease has expired at `now_ms`.
+    pub fn lease_expired(&self, now_ms: u64) -> Option<WorkerId> {
+        match self.residency {
+            Residency::Leased {
+                home,
+                lease_expiry_ms,
+            } if lease_expiry_ms <= now_ms => Some(home),
+            _ => None,
+        }
+    }
+
+    /// Looks up `key` and records the access.
+    pub fn get<'s, S: ValueStore>(
+        &mut self,
+        key: &[u8],
+        store: &'s mut S,
+        now_ms: u64,
+    ) -> Option<Cow<'s, [u8]>> {
+        self.stats.reads += 1;
+        match self.table.get(key, store, now_ms) {
+            Some(v) => {
+                self.stats.hits += 1;
+                self.stats.bytes_out += v.len() as u64;
+                Some(v)
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts or replaces `key` and records the access.
+    pub fn set<S: ValueStore>(
+        &mut self,
+        key: &[u8],
+        value: &[u8],
+        store: &mut S,
+        now_ms: u64,
+        expiry_ms: u64,
+    ) -> Result<SetOutcome, CacheError> {
+        self.stats.writes += 1;
+        self.stats.bytes_in += value.len() as u64;
+        self.table.set(key, value, store, now_ms, expiry_ms)
+    }
+
+    /// Deletes `key` and records the access.
+    pub fn delete<S: ValueStore>(&mut self, key: &[u8], store: &mut S) -> bool {
+        self.stats.writes += 1;
+        self.table.delete(key, store)
+    }
+
+    /// Conditional insert (Memcached `add`); records the write.
+    pub fn add<S: ValueStore>(
+        &mut self,
+        key: &[u8],
+        value: &[u8],
+        store: &mut S,
+        now_ms: u64,
+        expiry_ms: u64,
+    ) -> Result<bool, CacheError> {
+        self.stats.writes += 1;
+        self.stats.bytes_in += value.len() as u64;
+        self.table.add(key, value, store, now_ms, expiry_ms)
+    }
+
+    /// Conditional overwrite (Memcached `replace`); records the write.
+    pub fn replace<S: ValueStore>(
+        &mut self,
+        key: &[u8],
+        value: &[u8],
+        store: &mut S,
+        now_ms: u64,
+        expiry_ms: u64,
+    ) -> Result<bool, CacheError> {
+        self.stats.writes += 1;
+        self.stats.bytes_in += value.len() as u64;
+        self.table.replace(key, value, store, now_ms, expiry_ms)
+    }
+
+    /// Append/prepend (Memcached `append`/`prepend`); records the write.
+    pub fn concat<S: ValueStore>(
+        &mut self,
+        key: &[u8],
+        suffix: &[u8],
+        front: bool,
+        store: &mut S,
+        now_ms: u64,
+    ) -> Result<Option<usize>, CacheError> {
+        self.stats.writes += 1;
+        self.stats.bytes_in += suffix.len() as u64;
+        self.table.concat(key, suffix, front, store, now_ms)
+    }
+
+    /// Counter arithmetic (Memcached `incr`/`decr`); records the write.
+    pub fn incr<S: ValueStore>(
+        &mut self,
+        key: &[u8],
+        delta: i64,
+        store: &mut S,
+        now_ms: u64,
+    ) -> Result<Option<u64>, CacheError> {
+        self.stats.writes += 1;
+        self.table.incr(key, delta, store, now_ms)
+    }
+
+    /// TTL refresh (Memcached `touch`); records the write.
+    pub fn touch(&mut self, key: &[u8], now_ms: u64, expiry_ms: u64) -> bool {
+        self.stats.writes += 1;
+        self.table.touch(key, now_ms, expiry_ms)
+    }
+
+    /// Read access to the underlying table (migration & inspection).
+    pub fn table(&self) -> &HashTable {
+        &self.table
+    }
+
+    /// Mutable access to the underlying table (migration machinery).
+    pub fn table_mut(&mut self) -> &mut HashTable {
+        &mut self.table
+    }
+
+    /// Cumulative access statistics.
+    pub fn stats(&self) -> AccessStats {
+        self.stats
+    }
+
+    /// Table statistics (length, evictions, …).
+    pub fn table_stats(&self) -> TableStats {
+        self.table.stats()
+    }
+
+    /// Closes an epoch of `epoch_secs` seconds: feeds the request rate into
+    /// the EWMA and returns the epoch's raw counters.
+    pub fn end_epoch(&mut self, epoch_secs: f64) -> AccessStats {
+        let delta = self.stats.delta(&self.epoch_base);
+        self.epoch_base = self.stats;
+        let rate = if epoch_secs > 0.0 {
+            delta.ops() as f64 / epoch_secs
+        } else {
+            0.0
+        };
+        self.load.update(rate);
+        delta
+    }
+
+    /// Smoothed request rate in ops/second.
+    pub fn load(&self) -> f64 {
+        self.load.value()
+    }
+
+    /// Memory charged to this cachelet in bytes. `value_bytes` is the
+    /// caller-tracked portion held in the worker's [`ValueStore`]; the
+    /// cachelet adds its key and entry overhead.
+    pub fn mem_bytes(&self, value_bytes: usize) -> u64 {
+        (self.table.overhead_bytes() + value_bytes) as u64
+    }
+
+    /// Builds the balancer-facing load record.
+    pub fn load_record(&self, value_bytes: usize) -> CacheletLoad {
+        let delta = self.stats.delta(&self.epoch_base);
+        CacheletLoad {
+            cachelet: self.id,
+            load: self.load(),
+            mem_bytes: self.mem_bytes(value_bytes),
+            read_ratio: if delta.ops() > 0 {
+                delta.read_ratio()
+            } else {
+                self.stats.read_ratio()
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::MallocStore;
+
+    fn fixture() -> (Cachelet, MallocStore) {
+        (Cachelet::new(CacheletId(3)), MallocStore::new(usize::MAX))
+    }
+
+    #[test]
+    fn get_set_updates_stats() {
+        let (mut c, mut s) = fixture();
+        assert!(c.get(b"missing", &mut s, 0).is_none());
+        c.set(b"k", b"value", &mut s, 0, 0).expect("set");
+        assert_eq!(c.get(b"k", &mut s, 0).expect("hit").as_ref(), b"value");
+        let st = c.stats();
+        assert_eq!(st.reads, 2);
+        assert_eq!(st.writes, 1);
+        assert_eq!(st.hits, 1);
+        assert_eq!(st.misses, 1);
+        assert_eq!(st.bytes_in, 5);
+        assert_eq!(st.bytes_out, 5);
+    }
+
+    #[test]
+    fn epoch_updates_ewma_load() {
+        let (mut c, mut s) = fixture();
+        for i in 0..100u32 {
+            c.set(format!("k{i}").as_bytes(), b"v", &mut s, 0, 0)
+                .expect("set");
+        }
+        let delta = c.end_epoch(1.0);
+        assert_eq!(delta.writes, 100);
+        assert!((c.load() - 100.0).abs() < 1e-9, "first epoch primes EWMA");
+        let _ = c.end_epoch(1.0);
+        assert!(c.load() < 100.0, "idle epoch decays the load");
+    }
+
+    #[test]
+    fn lease_lifecycle() {
+        let (mut c, _s) = fixture();
+        assert_eq!(c.residency(), Residency::Home);
+        c.lease_out(WorkerId(1), 1_000);
+        assert_eq!(c.lease_expired(999), None);
+        assert_eq!(c.lease_expired(1_000), Some(WorkerId(1)));
+        c.restore_home();
+        assert_eq!(c.residency(), Residency::Home);
+        c.adopt();
+        assert_eq!(c.residency(), Residency::Adopted);
+        assert_eq!(c.lease_expired(u64::MAX), None, "adoption is permanent");
+    }
+
+    #[test]
+    fn mem_accounting_includes_overhead() {
+        let (mut c, mut s) = fixture();
+        c.set(b"key-bytes", b"0123456789", &mut s, 0, 0)
+            .expect("set");
+        let m = c.mem_bytes(10);
+        assert!(m >= (9 + 10) as u64, "must cover key and value bytes");
+        let rec = c.load_record(10);
+        assert_eq!(rec.cachelet, CacheletId(3));
+        assert_eq!(rec.mem_bytes, m);
+    }
+}

@@ -1,0 +1,129 @@
+//! Pluggable time sources.
+//!
+//! Lease expiry, epoch statistics and hot-key recency all need a notion of
+//! "now". Real servers use the monotonic OS clock; the cluster simulator
+//! advances a manual clock on simulated-event boundaries. Everything in the
+//! workspace takes a [`Clock`] so the same balancer code runs in both
+//! worlds deterministically.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A monotonic microsecond time source.
+pub trait Clock: Send + Sync {
+    /// Returns the current time in microseconds since an arbitrary epoch.
+    fn now_micros(&self) -> u64;
+
+    /// Returns the current time in whole milliseconds.
+    fn now_millis(&self) -> u64 {
+        self.now_micros() / 1_000
+    }
+}
+
+/// Wall-clock [`Clock`] backed by [`Instant`].
+#[derive(Debug, Clone)]
+pub struct RealClock {
+    origin: Instant,
+}
+
+impl RealClock {
+    /// Creates a clock whose epoch is the moment of construction.
+    pub fn new() -> Self {
+        Self {
+            origin: Instant::now(),
+        }
+    }
+}
+
+impl Default for RealClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for RealClock {
+    fn now_micros(&self) -> u64 {
+        self.origin.elapsed().as_micros() as u64
+    }
+}
+
+/// A manually advanced [`Clock`] for tests and simulation.
+///
+/// Cloning shares the underlying counter, so a simulator can hand one
+/// handle to every component and advance them all at once.
+#[derive(Debug, Clone, Default)]
+pub struct ManualClock {
+    micros: Arc<AtomicU64>,
+}
+
+impl ManualClock {
+    /// Creates a clock at time zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a clock starting at `micros`.
+    pub fn at(micros: u64) -> Self {
+        let c = Self::new();
+        c.set(micros);
+        c
+    }
+
+    /// Advances the clock by `delta` microseconds.
+    pub fn advance(&self, delta: u64) {
+        self.micros.fetch_add(delta, Ordering::SeqCst);
+    }
+
+    /// Sets the clock to an absolute value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `micros` would move the clock backwards; the trait
+    /// guarantees monotonicity.
+    pub fn set(&self, micros: u64) {
+        let prev = self.micros.swap(micros, Ordering::SeqCst);
+        assert!(
+            prev <= micros,
+            "ManualClock moved backwards: {prev} -> {micros}"
+        );
+    }
+}
+
+impl Clock for ManualClock {
+    fn now_micros(&self) -> u64 {
+        self.micros.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn real_clock_is_monotonic() {
+        let c = RealClock::new();
+        let a = c.now_micros();
+        let b = c.now_micros();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn manual_clock_advance_and_share() {
+        let c = ManualClock::new();
+        let c2 = c.clone();
+        assert_eq!(c.now_micros(), 0);
+        c.advance(1_500);
+        assert_eq!(c2.now_micros(), 1_500);
+        assert_eq!(c2.now_millis(), 1);
+        c2.set(10_000);
+        assert_eq!(c.now_micros(), 10_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "moved backwards")]
+    fn manual_clock_rejects_backwards() {
+        let c = ManualClock::at(100);
+        c.set(50);
+    }
+}

@@ -1,0 +1,204 @@
+//! Key hashing for sharding and bucket placement.
+//!
+//! MBal needs two independent hash uses: (1) the *sharding* hash that maps a
+//! key onto a virtual node of the consistent-hash ring, and (2) the *bucket*
+//! hash used inside a cachelet's hash table. We implement both from scratch:
+//! a faithful XXH64 (used for sharding, where distribution quality across
+//! the ring matters) and FNV-1a with an avalanche finalizer (used for bucket
+//! placement, where short-key speed matters).
+
+/// Prime multipliers of the XXH64 algorithm.
+const P1: u64 = 0x9E3779B185EBCA87;
+const P2: u64 = 0xC2B2AE3D27D4EB4F;
+const P3: u64 = 0x165667B19E3779F9;
+const P4: u64 = 0x85EBCA77C2B2AE63;
+const P5: u64 = 0x27D4EB2F165667C5;
+
+#[inline]
+fn read_u64(b: &[u8]) -> u64 {
+    u64::from_le_bytes(b[..8].try_into().expect("slice of 8"))
+}
+
+#[inline]
+fn read_u32(b: &[u8]) -> u64 {
+    u32::from_le_bytes(b[..4].try_into().expect("slice of 4")) as u64
+}
+
+#[inline]
+fn xxh_round(acc: u64, input: u64) -> u64 {
+    acc.wrapping_add(input.wrapping_mul(P2))
+        .rotate_left(31)
+        .wrapping_mul(P1)
+}
+
+#[inline]
+fn xxh_merge_round(acc: u64, val: u64) -> u64 {
+    (acc ^ xxh_round(0, val)).wrapping_mul(P1).wrapping_add(P4)
+}
+
+/// Computes the 64-bit XXH64 hash of `data` with the given `seed`.
+///
+/// This is a from-scratch implementation of the XXH64 specification; the
+/// test module pins known vectors so the ring layout is stable across
+/// releases.
+pub fn xxh64(data: &[u8], seed: u64) -> u64 {
+    let len = data.len() as u64;
+    let mut rest = data;
+
+    let mut h: u64 = if data.len() >= 32 {
+        let mut v1 = seed.wrapping_add(P1).wrapping_add(P2);
+        let mut v2 = seed.wrapping_add(P2);
+        let mut v3 = seed;
+        let mut v4 = seed.wrapping_sub(P1);
+        while rest.len() >= 32 {
+            v1 = xxh_round(v1, read_u64(rest));
+            v2 = xxh_round(v2, read_u64(&rest[8..]));
+            v3 = xxh_round(v3, read_u64(&rest[16..]));
+            v4 = xxh_round(v4, read_u64(&rest[24..]));
+            rest = &rest[32..];
+        }
+        let mut acc = v1
+            .rotate_left(1)
+            .wrapping_add(v2.rotate_left(7))
+            .wrapping_add(v3.rotate_left(12))
+            .wrapping_add(v4.rotate_left(18));
+        acc = xxh_merge_round(acc, v1);
+        acc = xxh_merge_round(acc, v2);
+        acc = xxh_merge_round(acc, v3);
+        xxh_merge_round(acc, v4)
+    } else {
+        seed.wrapping_add(P5)
+    };
+
+    h = h.wrapping_add(len);
+
+    while rest.len() >= 8 {
+        h = (h ^ xxh_round(0, read_u64(rest)))
+            .rotate_left(27)
+            .wrapping_mul(P1)
+            .wrapping_add(P4);
+        rest = &rest[8..];
+    }
+    if rest.len() >= 4 {
+        h = (h ^ read_u32(rest).wrapping_mul(P1))
+            .rotate_left(23)
+            .wrapping_mul(P2)
+            .wrapping_add(P3);
+        rest = &rest[4..];
+    }
+    for &b in rest {
+        h = (h ^ (b as u64).wrapping_mul(P5))
+            .rotate_left(11)
+            .wrapping_mul(P1);
+    }
+
+    h ^= h >> 33;
+    h = h.wrapping_mul(P2);
+    h ^= h >> 29;
+    h = h.wrapping_mul(P3);
+    h ^= h >> 32;
+    h
+}
+
+/// FNV-1a 64-bit hash with a splitmix64 avalanche finalizer.
+///
+/// FNV-1a alone clusters badly in its low bits for short sequential keys;
+/// the finalizer fixes that while keeping the per-byte loop trivial. Used
+/// for in-table bucket placement.
+pub fn fnv1a64(data: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf29ce484222325;
+    const PRIME: u64 = 0x100000001b3;
+    let mut h = OFFSET;
+    for &b in data {
+        h ^= b as u64;
+        h = h.wrapping_mul(PRIME);
+    }
+    // Splitmix64 finalizer for avalanche.
+    h ^= h >> 30;
+    h = h.wrapping_mul(0xbf58476d1ce4e5b9);
+    h ^= h >> 27;
+    h = h.wrapping_mul(0x94d049bb133111eb);
+    h ^ (h >> 31)
+}
+
+/// The sharding hash: maps a key onto the 64-bit ring space.
+#[inline]
+pub fn shard_hash(key: &[u8]) -> u64 {
+    xxh64(key, 0)
+}
+
+/// The bucket hash: places a key within a cachelet's hash table.
+#[inline]
+pub fn bucket_hash(key: &[u8]) -> u64 {
+    fnv1a64(key)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Reference vectors computed with the canonical xxHash implementation.
+    #[test]
+    fn xxh64_known_vectors() {
+        assert_eq!(xxh64(b"", 0), 0xEF46DB3751D8E999);
+        assert_eq!(xxh64(b"a", 0), 0xD24EC4F1A98C6E5B);
+        assert_eq!(xxh64(b"abc", 0), 0x44BC2CF5AD770999);
+        assert_eq!(xxh64(b"abcd", 0), 0xDE0327B0D25D92CC);
+        assert_eq!(xxh64(b"0123456789abcdef", 0), 0x5C5B90C34E376D0B);
+        assert_eq!(
+            xxh64(b"0123456789abcdef0123456789abcdef", 0),
+            0x642A94958E71E6C5
+        );
+    }
+
+    #[test]
+    fn xxh64_seed_changes_output() {
+        assert_ne!(xxh64(b"key-1", 0), xxh64(b"key-1", 1));
+    }
+
+    #[test]
+    fn fnv_distinguishes_short_keys() {
+        let a = fnv1a64(b"key:00000001");
+        let b = fnv1a64(b"key:00000002");
+        assert_ne!(a, b);
+        // Low bits must differ frequently across sequential keys so bucket
+        // placement is spread; check a window of 256 keys fills > 100
+        // distinct low-byte values.
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..256u32 {
+            seen.insert((fnv1a64(format!("key:{i:08}").as_bytes()) & 0xff) as u8);
+        }
+        assert!(
+            seen.len() > 100,
+            "low bits poorly distributed: {}",
+            seen.len()
+        );
+    }
+
+    #[test]
+    fn shard_hash_uniformity_over_vns() {
+        // 64 Ki keys into 1024 VNs: expect no VN to be more than 3x the mean.
+        const VNS: usize = 1024;
+        let mut counts = vec![0u32; VNS];
+        for i in 0..65536u32 {
+            let h = shard_hash(format!("user:{i}").as_bytes());
+            counts[(h % VNS as u64) as usize] += 1;
+        }
+        let mean = 65536 / VNS as u32;
+        let max = *counts.iter().max().expect("non-empty");
+        let min = *counts.iter().min().expect("non-empty");
+        assert!(max < mean * 3, "max bucket {max} vs mean {mean}");
+        assert!(min > 0, "empty VN bucket");
+    }
+
+    #[test]
+    fn xxh64_streaming_boundaries() {
+        // Exercise every tail-length code path (0..=31 tail bytes).
+        let data: Vec<u8> = (0..96u8).collect();
+        let mut all = std::collections::HashSet::new();
+        for n in 0..=data.len() {
+            all.insert(xxh64(&data[..n], 7));
+        }
+        assert_eq!(all.len(), data.len() + 1, "collision across prefixes");
+    }
+}

@@ -1,0 +1,319 @@
+//! SPORE-style hot-key tracking with proportional sampling (§3.2).
+//!
+//! Each worker samples a configurable fraction of its requests and scores
+//! sampled keys by access frequency and recency. Reads apply a *weighted
+//! increment* and writes a *weighted decrement* — write-hot keys must not
+//! be replicated because propagating writes to replicas would outweigh the
+//! balancing benefit (§4.2.2, WorkloadC), so they surface separately as
+//! write-heavy hotspots that push the balancer towards migration phases.
+
+use std::collections::HashMap;
+
+/// Configuration of the hot-key tracker.
+#[derive(Debug, Clone)]
+pub struct HotKeyConfig {
+    /// Fraction of requests sampled, in `(0, 1]` (the paper uses 5%).
+    pub sample_rate: f64,
+    /// Score added per sampled read.
+    pub read_weight: f64,
+    /// Score subtracted per sampled write.
+    pub write_weight: f64,
+    /// Multiplicative score decay applied at each epoch boundary.
+    pub decay: f64,
+    /// Score above which a key counts as hot.
+    pub hot_threshold: f64,
+    /// Maximum tracked keys; the coldest are dropped beyond this.
+    pub max_tracked: usize,
+}
+
+impl Default for HotKeyConfig {
+    fn default() -> Self {
+        Self {
+            sample_rate: 0.05,
+            read_weight: 1.0,
+            write_weight: 2.0,
+            decay: 0.6,
+            hot_threshold: 8.0,
+            max_tracked: 4_096,
+        }
+    }
+}
+
+/// A key the tracker currently considers hot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HotKey {
+    /// The key bytes.
+    pub key: Vec<u8>,
+    /// Current frequency/recency score.
+    pub score: f64,
+    /// Fraction of sampled accesses that were writes.
+    pub write_ratio: f64,
+}
+
+impl HotKey {
+    /// Hot keys with ≥ 25% sampled writes are "write-heavy": replicating
+    /// them is counter-productive (every write fans out), so they steer
+    /// the balancer towards migration instead (Figure 4 transitions).
+    pub fn is_write_heavy(&self) -> bool {
+        self.write_ratio >= 0.25
+    }
+}
+
+#[derive(Debug, Default, Clone, Copy)]
+struct Score {
+    value: f64,
+    reads: u32,
+    writes: u32,
+    last_touch: u64,
+}
+
+/// The per-worker hot-key tracker.
+///
+/// Deterministic: sampling uses a counter-based stride derived from the
+/// configured rate rather than an RNG, so a given request sequence always
+/// produces the same tracking decisions (vital for the simulator's
+/// reproducibility).
+#[derive(Debug)]
+pub struct HotKeyTracker {
+    cfg: HotKeyConfig,
+    scores: HashMap<Vec<u8>, Score>,
+    stride: u64,
+    counter: u64,
+    epoch: u64,
+    /// Current sampling-rate divisor multiplier; Phase 1 raises it (lowers
+    /// the effective rate) when replication pressure is high (§3.1).
+    backoff: u64,
+}
+
+impl HotKeyTracker {
+    /// Creates a tracker.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sample_rate` is outside `(0, 1]`.
+    pub fn new(cfg: HotKeyConfig) -> Self {
+        assert!(
+            cfg.sample_rate > 0.0 && cfg.sample_rate <= 1.0,
+            "sample rate out of range"
+        );
+        let stride = (1.0 / cfg.sample_rate).round().max(1.0) as u64;
+        Self {
+            cfg,
+            scores: HashMap::new(),
+            stride,
+            counter: 0,
+            epoch: 0,
+            backoff: 1,
+        }
+    }
+
+    /// Lowers the effective sampling rate by `factor` (≥ 1); used when the
+    /// replication watermark is exceeded so a worker "lowers its priority
+    /// on key replication by reducing the key sampling rate".
+    pub fn set_backoff(&mut self, factor: u64) {
+        self.backoff = factor.max(1);
+    }
+
+    /// Current effective sampling stride.
+    pub fn effective_stride(&self) -> u64 {
+        self.stride * self.backoff
+    }
+
+    /// Records a request against `key`; `is_read` distinguishes GET from
+    /// SET/DELETE. Returns `true` if the request was sampled.
+    pub fn record(&mut self, key: &[u8], is_read: bool) -> bool {
+        self.counter += 1;
+        if !self.counter.is_multiple_of(self.effective_stride()) {
+            return false;
+        }
+        let entry = self.scores.entry(key.to_vec()).or_default();
+        if is_read {
+            entry.value += self.cfg.read_weight;
+            entry.reads += 1;
+        } else {
+            entry.value -= self.cfg.write_weight;
+            entry.writes += 1;
+        }
+        entry.last_touch = self.epoch;
+        if self.scores.len() > self.cfg.max_tracked {
+            self.shed();
+        }
+        true
+    }
+
+    /// Drops the coldest half of tracked keys.
+    fn shed(&mut self) {
+        let mut vals: Vec<f64> = self.scores.values().map(|s| s.value).collect();
+        vals.sort_by(|a, b| a.partial_cmp(b).expect("scores are finite"));
+        let cutoff = vals[vals.len() / 2];
+        self.scores.retain(|_, s| s.value > cutoff);
+    }
+
+    /// Applies epoch decay and drops keys whose score reached zero.
+    pub fn end_epoch(&mut self) {
+        self.epoch += 1;
+        let decay = self.cfg.decay;
+        self.scores.retain(|_, s| {
+            s.value *= decay;
+            s.value.abs() > 0.01
+        });
+    }
+
+    /// Keys currently above the hot threshold, hottest first.
+    ///
+    /// Write-heavy keys are reported with *negative-trending* scores by the
+    /// weighted decrement, so they only appear here while their read volume
+    /// dominates; persistent write-hotspots surface via
+    /// [`HotKeyTracker::write_hot_keys`].
+    pub fn hot_keys(&self) -> Vec<HotKey> {
+        let mut out: Vec<HotKey> = self
+            .scores
+            .iter()
+            .filter(|(_, s)| s.value >= self.cfg.hot_threshold)
+            .map(|(k, s)| HotKey {
+                key: k.clone(),
+                score: s.value,
+                write_ratio: write_ratio(s),
+            })
+            .collect();
+        out.sort_by(|a, b| b.score.partial_cmp(&a.score).expect("finite"));
+        out
+    }
+
+    /// Keys whose sampled traffic is write-dominated and voluminous —
+    /// the `#(write-heavy hot keys) > 0` trigger of Figure 4.
+    pub fn write_hot_keys(&self) -> Vec<HotKey> {
+        let min_samples = 4;
+        let mut out: Vec<HotKey> = self
+            .scores
+            .iter()
+            .filter(|(_, s)| s.reads + s.writes >= min_samples && write_ratio(s) >= 0.5)
+            .map(|(k, s)| HotKey {
+                key: k.clone(),
+                score: s.value,
+                write_ratio: write_ratio(s),
+            })
+            .collect();
+        out.sort_by(|a, b| {
+            b.write_ratio
+                .partial_cmp(&a.write_ratio)
+                .expect("finite ratio")
+        });
+        out
+    }
+
+    /// Number of keys currently tracked.
+    pub fn tracked(&self) -> usize {
+        self.scores.len()
+    }
+}
+
+fn write_ratio(s: &Score) -> f64 {
+    let total = s.reads + s.writes;
+    if total == 0 {
+        0.0
+    } else {
+        s.writes as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tracker(rate: f64) -> HotKeyTracker {
+        HotKeyTracker::new(HotKeyConfig {
+            sample_rate: rate,
+            ..HotKeyConfig::default()
+        })
+    }
+
+    #[test]
+    fn full_sampling_finds_the_hot_read_key() {
+        let mut t = tracker(1.0);
+        for i in 0..100u32 {
+            t.record(b"hot", true);
+            t.record(format!("cold{i}").as_bytes(), true);
+        }
+        let hot = t.hot_keys();
+        assert_eq!(hot.len(), 1, "only one key crosses the threshold");
+        assert_eq!(hot[0].key, b"hot");
+        assert!(!hot[0].is_write_heavy());
+    }
+
+    #[test]
+    fn proportional_sampling_respects_stride() {
+        let mut t = tracker(0.05);
+        assert_eq!(t.effective_stride(), 20);
+        let sampled = (0..1_000).filter(|_| t.record(b"k", true)).count();
+        assert_eq!(sampled, 50);
+        t.set_backoff(4);
+        assert_eq!(t.effective_stride(), 80);
+    }
+
+    #[test]
+    fn writes_decrement_and_surface_as_write_hot() {
+        let mut t = tracker(1.0);
+        for _ in 0..50 {
+            t.record(b"wkey", false);
+        }
+        assert!(
+            t.hot_keys().is_empty(),
+            "write-hot key must not be read-hot"
+        );
+        let wh = t.write_hot_keys();
+        assert_eq!(wh.len(), 1);
+        assert_eq!(wh[0].key, b"wkey");
+        assert!(wh[0].write_ratio > 0.99);
+    }
+
+    #[test]
+    fn mixed_key_classifies_by_write_ratio() {
+        let mut t = tracker(1.0);
+        for _ in 0..40 {
+            t.record(b"mixed", true);
+        }
+        for _ in 0..14 {
+            t.record(b"mixed", false);
+        }
+        let hot = t.hot_keys();
+        assert_eq!(hot.len(), 1);
+        assert!(hot[0].is_write_heavy(), "26% writes is write-heavy");
+    }
+
+    #[test]
+    fn epoch_decay_retires_stale_keys() {
+        let mut t = tracker(1.0);
+        for _ in 0..20 {
+            t.record(b"flash", true);
+        }
+        assert_eq!(t.hot_keys().len(), 1);
+        for _ in 0..4 {
+            t.end_epoch();
+        }
+        assert!(t.hot_keys().is_empty(), "score must decay below threshold");
+        for _ in 0..20 {
+            t.end_epoch();
+        }
+        assert_eq!(t.tracked(), 0, "fully decayed keys are dropped");
+    }
+
+    #[test]
+    fn shedding_bounds_memory() {
+        let mut t = HotKeyTracker::new(HotKeyConfig {
+            sample_rate: 1.0,
+            max_tracked: 100,
+            ..HotKeyConfig::default()
+        });
+        for i in 0..10_000u32 {
+            t.record(format!("k{i}").as_bytes(), true);
+        }
+        assert!(t.tracked() <= 101, "tracker grew to {}", t.tracked());
+    }
+
+    #[test]
+    #[should_panic(expected = "sample rate out of range")]
+    fn rejects_zero_sample_rate() {
+        let _ = tracker(0.0);
+    }
+}

@@ -1,0 +1,100 @@
+//! Hierarchical slab memory management (§2.4 of the paper).
+//!
+//! MBal manages cache memory in two tiers:
+//!
+//! - a [`GlobalPool`] that owns the whole cache budget and hands out large
+//!   chunks (default 1 MiB) under a mutex, and
+//! - one [`LocalPool`] per worker thread, which carves chunks into
+//!   size-class slots and satisfies allocations/frees with **no
+//!   synchronization at all** on the hot path.
+//!
+//! Workers refill from the global pool in bulk and return fully-free chunks
+//! only when the global pool shrinks below [`MemConfig::glob_mem_low_thresh`]
+//! while the local free pool exceeds [`MemConfig::thr_mem_high_thresh`] —
+//! the `GLOB_MEM_LOW_THRESH` / `THR_MEM_HIGH_THRESH` policy of the paper.
+//! Object deletes return memory to the *owning thread's* pool for reuse,
+//! which is what gives MBal its order-of-magnitude advantage over a global
+//! free pool on eviction-heavy workloads (Figure 6).
+//!
+//! NUMA awareness: chunks carry a NUMA-domain tag; a worker prefers chunks
+//! from its own domain when refilling. On hosts without exposed NUMA the
+//! tag still localizes reuse; the cluster simulator additionally charges a
+//! cross-domain access penalty.
+
+mod global;
+mod local;
+mod sizeclass;
+
+pub use global::{GlobalPool, GlobalPoolStats};
+pub use local::{Extent, LocalPool, LocalPoolStats, MemPolicy};
+pub use sizeclass::{SizeClasses, DEFAULT_GROWTH_FACTOR, MIN_SLOT_SIZE};
+
+/// Configuration of the two-tier memory manager.
+#[derive(Debug, Clone)]
+pub struct MemConfig {
+    /// Total cache memory budget in bytes across all workers.
+    pub capacity: usize,
+    /// Chunk size in bytes requested from the global pool (default 1 MiB).
+    pub chunk_size: usize,
+    /// Global pool low watermark in bytes: below this, workers with fat
+    /// local free pools start returning chunks.
+    pub glob_mem_low_thresh: usize,
+    /// Local free-pool high watermark in bytes: above this, a worker is
+    /// eligible to return fully-free chunks to the global pool.
+    pub thr_mem_high_thresh: usize,
+    /// Slab size-class growth factor (Memcached uses 1.25).
+    pub growth_factor: f64,
+    /// Number of NUMA domains to spread chunks across.
+    pub numa_domains: u8,
+    /// Whether workers prefer chunks from their own NUMA domain.
+    pub numa_aware: bool,
+}
+
+impl MemConfig {
+    /// Creates a config with the paper's defaults for a cache of
+    /// `capacity` bytes.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            capacity,
+            chunk_size: 1 << 20,
+            glob_mem_low_thresh: capacity / 8,
+            thr_mem_high_thresh: 4 << 20,
+            growth_factor: DEFAULT_GROWTH_FACTOR,
+            numa_domains: 1,
+            numa_aware: true,
+        }
+    }
+
+    /// Sets the number of NUMA domains and returns `self`.
+    pub fn numa_domains(mut self, domains: u8) -> Self {
+        self.numa_domains = domains.max(1);
+        self
+    }
+
+    /// Enables or disables NUMA-aware placement and returns `self`.
+    pub fn numa_aware(mut self, aware: bool) -> Self {
+        self.numa_aware = aware;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_sane() {
+        let c = MemConfig::with_capacity(64 << 20);
+        assert_eq!(c.capacity, 64 << 20);
+        assert_eq!(c.chunk_size, 1 << 20);
+        assert!(c.glob_mem_low_thresh < c.capacity);
+        assert!(c.numa_aware);
+        assert_eq!(c.numa_domains, 1);
+    }
+
+    #[test]
+    fn numa_builder_clamps_to_one() {
+        let c = MemConfig::with_capacity(1 << 20).numa_domains(0);
+        assert_eq!(c.numa_domains, 1);
+    }
+}

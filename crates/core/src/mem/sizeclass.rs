@@ -1,0 +1,138 @@
+//! Slab size classes.
+//!
+//! Slots grow geometrically from [`MIN_SLOT_SIZE`] by the configured growth
+//! factor (Memcached's default 1.25), rounded up to 8-byte alignment, until
+//! a class spans the whole chunk payload.
+
+/// Smallest slot size in bytes.
+pub const MIN_SLOT_SIZE: usize = 64;
+
+/// Default geometric growth factor between consecutive classes.
+pub const DEFAULT_GROWTH_FACTOR: f64 = 1.25;
+
+/// The table of slab size classes for a given chunk size.
+#[derive(Debug, Clone)]
+pub struct SizeClasses {
+    sizes: Vec<u32>,
+    chunk_size: usize,
+}
+
+impl SizeClasses {
+    /// Builds the class table for chunks of `chunk_size` bytes using the
+    /// geometric `growth_factor`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_size < MIN_SLOT_SIZE` or `growth_factor <= 1.0`.
+    pub fn new(chunk_size: usize, growth_factor: f64) -> Self {
+        assert!(chunk_size >= MIN_SLOT_SIZE, "chunk too small");
+        assert!(growth_factor > 1.0, "growth factor must exceed 1.0");
+        let mut sizes = Vec::new();
+        let mut s = MIN_SLOT_SIZE as f64;
+        loop {
+            let mut sz = s.ceil() as usize;
+            // Round up to 8-byte alignment.
+            sz = (sz + 7) & !7;
+            if sz >= chunk_size {
+                sizes.push(chunk_size as u32);
+                break;
+            }
+            if sizes.last().is_none_or(|&last| sz as u32 > last) {
+                sizes.push(sz as u32);
+            }
+            s *= growth_factor;
+        }
+        Self { sizes, chunk_size }
+    }
+
+    /// Number of classes.
+    pub fn len(&self) -> usize {
+        self.sizes.len()
+    }
+
+    /// Returns `true` if the table is empty (never true in practice).
+    pub fn is_empty(&self) -> bool {
+        self.sizes.is_empty()
+    }
+
+    /// Slot size in bytes of class `class`.
+    pub fn slot_size(&self, class: u8) -> usize {
+        self.sizes[class as usize] as usize
+    }
+
+    /// Number of slots a chunk of this class holds.
+    pub fn slots_per_chunk(&self, class: u8) -> usize {
+        self.chunk_size / self.slot_size(class)
+    }
+
+    /// Smallest class whose slot fits `len` bytes, or `None` if `len`
+    /// exceeds the largest class (i.e. the chunk payload).
+    pub fn class_for(&self, len: usize) -> Option<u8> {
+        if len > self.chunk_size {
+            return None;
+        }
+        let idx = self.sizes.partition_point(|&s| (s as usize) < len);
+        if idx >= self.sizes.len() {
+            None
+        } else {
+            Some(idx as u8)
+        }
+    }
+
+    /// The chunk size this table was built for.
+    pub fn chunk_size(&self) -> usize {
+        self.chunk_size
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classes_are_monotonic_and_aligned() {
+        let sc = SizeClasses::new(1 << 20, DEFAULT_GROWTH_FACTOR);
+        assert!(sc.len() > 10);
+        let mut prev = 0u32;
+        for c in 0..sc.len() as u8 {
+            let s = sc.slot_size(c) as u32;
+            assert!(s > prev, "class {c} not monotonic");
+            assert_eq!(s % 8, 0, "class {c} misaligned");
+            prev = s;
+        }
+        assert_eq!(sc.slot_size(sc.len() as u8 - 1), 1 << 20);
+    }
+
+    #[test]
+    fn class_for_exact_and_between() {
+        let sc = SizeClasses::new(1 << 20, DEFAULT_GROWTH_FACTOR);
+        assert_eq!(sc.class_for(1), Some(0));
+        assert_eq!(sc.class_for(MIN_SLOT_SIZE), Some(0));
+        assert_eq!(sc.class_for(MIN_SLOT_SIZE + 1), Some(1));
+        // Every length fits in its class.
+        for len in [1usize, 63, 64, 65, 100, 1000, 4096, 65536, 1 << 20] {
+            let c = sc.class_for(len).expect("fits");
+            assert!(sc.slot_size(c) >= len);
+            if c > 0 {
+                assert!(sc.slot_size(c - 1) < len, "len {len} in class {c} too big");
+            }
+        }
+        assert_eq!(sc.class_for((1 << 20) + 1), None);
+    }
+
+    #[test]
+    fn slots_per_chunk_is_consistent() {
+        let sc = SizeClasses::new(1 << 16, 2.0);
+        for c in 0..sc.len() as u8 {
+            let n = sc.slots_per_chunk(c);
+            assert!(n >= 1);
+            assert!(n * sc.slot_size(c) <= 1 << 16);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "growth factor")]
+    fn rejects_non_growing_factor() {
+        let _ = SizeClasses::new(1 << 20, 1.0);
+    }
+}

@@ -1,0 +1,202 @@
+//! The replica table kept by shadow workers (Phase 1, §3.2).
+//!
+//! Replicated hot keys do not belong to any cachelet of the shadow worker,
+//! so they are indexed in a separate (small) replica hash table. Keeping
+//! them separate also excludes replicas from being replicated again.
+//! Every replica carries a lease; expired replicas are retired
+//! automatically unless the home worker renews them.
+
+use std::collections::HashMap;
+
+/// A replica entry: value bytes plus lease expiry.
+#[derive(Debug, Clone)]
+struct ReplicaEntry {
+    value: Vec<u8>,
+    lease_expiry_ms: u64,
+}
+
+/// Per-worker table of keys replicated *to* this worker.
+#[derive(Debug, Default)]
+pub struct ReplicaTable {
+    entries: HashMap<Vec<u8>, ReplicaEntry>,
+    hits: u64,
+    misses: u64,
+    retired: u64,
+}
+
+/// Statistics of a replica table.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReplicaStats {
+    /// Live replicas.
+    pub len: usize,
+    /// Replica read hits.
+    pub hits: u64,
+    /// Replica read misses (expired or absent).
+    pub misses: u64,
+    /// Replicas retired on lease expiry.
+    pub retired: u64,
+}
+
+impl ReplicaTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Installs (or refreshes) a replica of `key` with the given lease.
+    pub fn install(&mut self, key: &[u8], value: Vec<u8>, lease_expiry_ms: u64) {
+        self.entries.insert(
+            key.to_vec(),
+            ReplicaEntry {
+                value,
+                lease_expiry_ms,
+            },
+        );
+    }
+
+    /// Reads a replicated key if present and its lease is still valid.
+    pub fn get(&mut self, key: &[u8], now_ms: u64) -> Option<&[u8]> {
+        match self.entries.get(key) {
+            Some(e) if e.lease_expiry_ms > now_ms => {
+                self.hits += 1;
+                Some(self.entries[key].value.as_slice())
+            }
+            Some(_) => {
+                self.entries.remove(key);
+                self.retired += 1;
+                self.misses += 1;
+                None
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Applies a propagated update from the home worker (synchronous or
+    /// asynchronous replication both land here). Returns `false` if the
+    /// replica no longer exists locally.
+    pub fn update(&mut self, key: &[u8], value: Vec<u8>) -> bool {
+        match self.entries.get_mut(key) {
+            Some(e) => {
+                e.value = value;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Extends the lease on `key`; returns `false` if absent.
+    pub fn renew(&mut self, key: &[u8], lease_expiry_ms: u64) -> bool {
+        match self.entries.get_mut(key) {
+            Some(e) => {
+                e.lease_expiry_ms = e.lease_expiry_ms.max(lease_expiry_ms);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Drops a replica eagerly (home-side invalidation).
+    pub fn invalidate(&mut self, key: &[u8]) -> bool {
+        self.entries.remove(key).is_some()
+    }
+
+    /// Retires every replica whose lease expired at `now_ms`; returns the
+    /// number retired.
+    pub fn retire_expired(&mut self, now_ms: u64) -> usize {
+        let before = self.entries.len();
+        self.entries.retain(|_, e| e.lease_expiry_ms > now_ms);
+        let n = before - self.entries.len();
+        self.retired += n as u64;
+        n
+    }
+
+    /// Returns `true` if `key` currently has a live replica here.
+    pub fn contains(&self, key: &[u8], now_ms: u64) -> bool {
+        self.entries
+            .get(key)
+            .is_some_and(|e| e.lease_expiry_ms > now_ms)
+    }
+
+    /// Snapshot statistics.
+    pub fn stats(&self) -> ReplicaStats {
+        ReplicaStats {
+            len: self.entries.len(),
+            hits: self.hits,
+            misses: self.misses,
+            retired: self.retired,
+        }
+    }
+
+    /// Bytes consumed by replica payloads (the "extra space (duplicates)"
+    /// cost of Table 2).
+    pub fn bytes(&self) -> usize {
+        self.entries
+            .iter()
+            .map(|(k, e)| k.len() + e.value.len())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn install_get_within_lease() {
+        let mut r = ReplicaTable::new();
+        r.install(b"hot", b"value".to_vec(), 1_000);
+        assert_eq!(r.get(b"hot", 500).expect("live"), b"value");
+        assert!(r.contains(b"hot", 999));
+        assert!(!r.contains(b"hot", 1_000));
+    }
+
+    #[test]
+    fn lease_expiry_retires_on_read() {
+        let mut r = ReplicaTable::new();
+        r.install(b"hot", b"v".to_vec(), 100);
+        assert!(r.get(b"hot", 100).is_none());
+        let s = r.stats();
+        assert_eq!(s.retired, 1);
+        assert_eq!(s.len, 0);
+    }
+
+    #[test]
+    fn renew_extends_but_never_shortens() {
+        let mut r = ReplicaTable::new();
+        r.install(b"k", b"v".to_vec(), 1_000);
+        assert!(r.renew(b"k", 2_000));
+        assert!(r.contains(b"k", 1_500));
+        assert!(r.renew(b"k", 500), "renew succeeds but cannot shorten");
+        assert!(r.contains(b"k", 1_500));
+        assert!(!r.renew(b"missing", 9_999));
+    }
+
+    #[test]
+    fn update_and_invalidate() {
+        let mut r = ReplicaTable::new();
+        r.install(b"k", b"v1".to_vec(), 1_000);
+        assert!(r.update(b"k", b"v2".to_vec()));
+        assert_eq!(r.get(b"k", 0).expect("live"), b"v2");
+        assert!(r.invalidate(b"k"));
+        assert!(!r.invalidate(b"k"));
+        assert!(!r.update(b"k", b"v3".to_vec()));
+    }
+
+    #[test]
+    fn retire_expired_sweeps_in_bulk() {
+        let mut r = ReplicaTable::new();
+        for i in 0..10u32 {
+            r.install(
+                format!("k{i}").as_bytes(),
+                vec![0u8; 10],
+                if i % 2 == 0 { 100 } else { 1_000 },
+            );
+        }
+        assert_eq!(r.retire_expired(500), 5);
+        assert_eq!(r.stats().len, 5);
+        assert!(r.bytes() > 0);
+    }
+}

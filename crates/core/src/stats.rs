@@ -1,0 +1,270 @@
+//! Epoch-based access statistics and EWMA load tracking.
+//!
+//! Each MBal server monitors its workers by tracking object access metrics
+//! and cachelet popularity through access rates, collected over
+//! configurable epochs (§3.1). The balancer consumes [`LoadSnapshot`]s and
+//! triggers rebalancing only when imbalance persists across a configurable
+//! number of consecutive epochs (four in the paper's implementation).
+
+use serde::{Deserialize, Serialize};
+
+/// Cumulative access counters for one cachelet (or one worker, summed).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AccessStats {
+    /// GET requests observed.
+    pub reads: u64,
+    /// SET/DELETE requests observed.
+    pub writes: u64,
+    /// GETs that found the key.
+    pub hits: u64,
+    /// GETs that missed.
+    pub misses: u64,
+    /// Payload bytes received (SET values).
+    pub bytes_in: u64,
+    /// Payload bytes sent (GET values).
+    pub bytes_out: u64,
+}
+
+impl AccessStats {
+    /// Total operations observed.
+    pub fn ops(&self) -> u64 {
+        self.reads + self.writes
+    }
+
+    /// Fraction of operations that are reads, in `[0, 1]`; 1.0 when idle.
+    pub fn read_ratio(&self) -> f64 {
+        let ops = self.ops();
+        if ops == 0 {
+            1.0
+        } else {
+            self.reads as f64 / ops as f64
+        }
+    }
+
+    /// Adds another counter set into this one.
+    pub fn merge(&mut self, other: &AccessStats) {
+        self.reads += other.reads;
+        self.writes += other.writes;
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.bytes_in += other.bytes_in;
+        self.bytes_out += other.bytes_out;
+    }
+
+    /// Returns the difference `self - earlier` (for epoch deltas).
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `earlier` is not a prefix of `self`.
+    pub fn delta(&self, earlier: &AccessStats) -> AccessStats {
+        AccessStats {
+            reads: self.reads - earlier.reads,
+            writes: self.writes - earlier.writes,
+            hits: self.hits - earlier.hits,
+            misses: self.misses - earlier.misses,
+            bytes_in: self.bytes_in - earlier.bytes_in,
+            bytes_out: self.bytes_out - earlier.bytes_out,
+        }
+    }
+}
+
+/// An exponentially-weighted moving average of a request rate.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Ewma {
+    value: f64,
+    alpha: f64,
+    primed: bool,
+}
+
+impl Ewma {
+    /// Creates an EWMA with smoothing factor `alpha` in `(0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` is outside `(0, 1]`.
+    pub fn new(alpha: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha out of range");
+        Self {
+            value: 0.0,
+            alpha,
+            primed: false,
+        }
+    }
+
+    /// Feeds one epoch sample.
+    pub fn update(&mut self, sample: f64) {
+        if self.primed {
+            self.value = self.alpha * sample + (1.0 - self.alpha) * self.value;
+        } else {
+            self.value = sample;
+            self.primed = true;
+        }
+    }
+
+    /// Current smoothed value (0.0 before the first sample).
+    pub fn value(&self) -> f64 {
+        self.value
+    }
+}
+
+impl Default for Ewma {
+    fn default() -> Self {
+        Self::new(0.3)
+    }
+}
+
+/// Per-epoch load snapshot of one cachelet, as shipped to the balancer and
+/// (in Phase 3) to the central coordinator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CacheletLoad {
+    /// Cachelet identifier.
+    pub cachelet: crate::types::CacheletId,
+    /// Smoothed request arrival rate (ops per second).
+    pub load: f64,
+    /// Memory consumed by the cachelet in bytes (keys + values + overhead).
+    pub mem_bytes: u64,
+    /// Read fraction of the epoch's traffic.
+    pub read_ratio: f64,
+}
+
+/// Per-epoch load snapshot of one worker.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LoadSnapshot {
+    /// Worker these cachelets belong to.
+    pub worker: crate::types::WorkerId,
+    /// Per-cachelet loads.
+    pub cachelets: Vec<CacheletLoad>,
+}
+
+impl LoadSnapshot {
+    /// Total smoothed load across the worker's cachelets.
+    pub fn total_load(&self) -> f64 {
+        self.cachelets.iter().map(|c| c.load).sum()
+    }
+
+    /// Total memory across the worker's cachelets.
+    pub fn total_mem(&self) -> u64 {
+        self.cachelets.iter().map(|c| c.mem_bytes).sum()
+    }
+}
+
+/// Mean absolute deviation of `values` from their mean — the `dev(LOAD)`
+/// measure the balancer state machine compares against `IMB_thresh`
+/// (Figure 4).
+pub fn mean_abs_deviation(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mean = values.iter().sum::<f64>() / values.len() as f64;
+    values.iter().map(|v| (v - mean).abs()).sum::<f64>() / values.len() as f64
+}
+
+/// Relative imbalance: mean absolute deviation normalized by the mean,
+/// in `[0, ∞)`; 0 for perfectly balanced or all-idle workers.
+pub fn relative_imbalance(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mean = values.iter().sum::<f64>() / values.len() as f64;
+    if mean <= f64::EPSILON {
+        0.0
+    } else {
+        mean_abs_deviation(values) / mean
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{CacheletId, WorkerId};
+
+    #[test]
+    fn access_stats_ratios_and_merge() {
+        let mut a = AccessStats {
+            reads: 95,
+            writes: 5,
+            hits: 90,
+            misses: 5,
+            bytes_in: 100,
+            bytes_out: 9_000,
+        };
+        assert!((a.read_ratio() - 0.95).abs() < 1e-9);
+        let b = AccessStats {
+            reads: 5,
+            writes: 95,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.ops(), 200);
+        assert!((a.read_ratio() - 0.5).abs() < 1e-9);
+        assert_eq!(AccessStats::default().read_ratio(), 1.0);
+    }
+
+    #[test]
+    fn delta_subtracts_fieldwise() {
+        let early = AccessStats {
+            reads: 10,
+            writes: 2,
+            ..Default::default()
+        };
+        let late = AccessStats {
+            reads: 25,
+            writes: 7,
+            ..Default::default()
+        };
+        let d = late.delta(&early);
+        assert_eq!(d.reads, 15);
+        assert_eq!(d.writes, 5);
+    }
+
+    #[test]
+    fn ewma_primes_then_smooths() {
+        let mut e = Ewma::new(0.5);
+        assert_eq!(e.value(), 0.0);
+        e.update(100.0);
+        assert_eq!(e.value(), 100.0, "first sample primes");
+        e.update(0.0);
+        assert_eq!(e.value(), 50.0);
+        e.update(0.0);
+        assert_eq!(e.value(), 25.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha out of range")]
+    fn ewma_rejects_bad_alpha() {
+        let _ = Ewma::new(0.0);
+    }
+
+    #[test]
+    fn deviation_measures() {
+        assert_eq!(mean_abs_deviation(&[]), 0.0);
+        assert_eq!(mean_abs_deviation(&[5.0, 5.0, 5.0]), 0.0);
+        let d = mean_abs_deviation(&[0.0, 10.0]);
+        assert!((d - 5.0).abs() < 1e-9);
+        assert!((relative_imbalance(&[0.0, 10.0]) - 1.0).abs() < 1e-9);
+        assert_eq!(relative_imbalance(&[0.0, 0.0]), 0.0, "idle is balanced");
+    }
+
+    #[test]
+    fn snapshot_totals() {
+        let snap = LoadSnapshot {
+            worker: WorkerId(0),
+            cachelets: vec![
+                CacheletLoad {
+                    cachelet: CacheletId(0),
+                    load: 100.0,
+                    mem_bytes: 1_000,
+                    read_ratio: 0.9,
+                },
+                CacheletLoad {
+                    cachelet: CacheletId(1),
+                    load: 50.0,
+                    mem_bytes: 500,
+                    read_ratio: 0.5,
+                },
+            ],
+        };
+        assert_eq!(snap.total_load(), 150.0);
+        assert_eq!(snap.total_mem(), 1_500);
+    }
+}

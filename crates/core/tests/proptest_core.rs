@@ -1,0 +1,158 @@
+//! Property-based tests for the core data structures: the hash table is
+//! checked against a `HashMap` + recency-order model, the slab pool
+//! against exact accounting invariants, and the LRU against its
+//! eviction-order contract.
+
+use mbal_core::mem::{GlobalPool, LocalPool, MemConfig, MemPolicy};
+use mbal_core::store::{MallocStore, SlabStore, ValueStore};
+use mbal_core::table::HashTable;
+use proptest::prelude::*;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Set(u16, Vec<u8>),
+    Get(u16),
+    Delete(u16),
+    Evict,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (any::<u16>(), prop::collection::vec(any::<u8>(), 0..64)).prop_map(|(k, v)| Op::Set(k % 512, v)),
+        4 => any::<u16>().prop_map(|k| Op::Get(k % 512)),
+        2 => any::<u16>().prop_map(|k| Op::Delete(k % 512)),
+        1 => Just(Op::Evict),
+    ]
+}
+
+fn key_bytes(k: u16) -> Vec<u8> {
+    format!("pk:{k:05}").into_bytes()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The table agrees with a HashMap model under arbitrary op
+    /// sequences, and its internal invariants hold throughout.
+    #[test]
+    fn table_matches_hashmap_model(ops in prop::collection::vec(op_strategy(), 1..400)) {
+        let mut table = HashTable::new(8);
+        let mut store = MallocStore::new(usize::MAX);
+        let mut model: HashMap<u16, Vec<u8>> = HashMap::new();
+        // Track recency for evict checks: most recent at the back.
+        let mut recency: Vec<u16> = Vec::new();
+
+        for op in ops {
+            match op {
+                Op::Set(k, v) => {
+                    table.set(&key_bytes(k), &v, &mut store, 0, 0).expect("set");
+                    model.insert(k, v);
+                    recency.retain(|&x| x != k);
+                    recency.push(k);
+                }
+                Op::Get(k) => {
+                    let got = table.get(&key_bytes(k), &mut store, 0).map(|c| c.into_owned());
+                    prop_assert_eq!(got.as_ref(), model.get(&k), "get({})", k);
+                    if model.contains_key(&k) {
+                        recency.retain(|&x| x != k);
+                        recency.push(k);
+                    }
+                }
+                Op::Delete(k) => {
+                    let was = table.delete(&key_bytes(k), &mut store);
+                    prop_assert_eq!(was, model.remove(&k).is_some(), "delete({})", k);
+                    recency.retain(|&x| x != k);
+                }
+                Op::Evict => {
+                    let evicted = table.evict_one(&mut store);
+                    prop_assert_eq!(evicted, !model.is_empty());
+                    if evicted {
+                        let victim = recency.remove(0);
+                        model.remove(&victim);
+                    }
+                }
+            }
+        }
+        table.check_invariants();
+        prop_assert_eq!(table.len(), model.len());
+        // Value storage is exactly the live values' bytes.
+        let expect_bytes: usize = model.values().map(|v| v.len()).sum();
+        prop_assert_eq!(store.used_bytes(), expect_bytes);
+    }
+
+    /// Slab alloc/free round-trips preserve contents and never leak
+    /// accounting (free_bytes + used slots == held bytes − carve waste).
+    #[test]
+    fn slab_pool_accounting_holds(
+        sizes in prop::collection::vec(1usize..2_000, 1..200),
+        free_order in prop::collection::vec(any::<u16>(), 0..200),
+    ) {
+        let mut cfg = MemConfig::with_capacity(16 << 20);
+        cfg.chunk_size = 1 << 14;
+        let global = Arc::new(GlobalPool::new(16 << 20, 1 << 14, 1));
+        let mut pool = LocalPool::new(Arc::clone(&global), &cfg, 0, MemPolicy::ThreadLocal);
+
+        let mut live = Vec::new();
+        for (i, &len) in sizes.iter().enumerate() {
+            let data: Vec<u8> = (0..len).map(|b| (b ^ i) as u8).collect();
+            let ext = pool.alloc_write(&data).expect("within budget");
+            live.push((ext, data));
+        }
+        for (ext, data) in &live {
+            prop_assert_eq!(pool.read(ext), &data[..]);
+        }
+        // Free a pseudo-random subset (dedup respected by draining).
+        let mut order: Vec<usize> = free_order
+            .iter()
+            .map(|&r| r as usize % sizes.len())
+            .collect();
+        order.sort_unstable();
+        order.dedup();
+        // Free from the back so indices stay valid.
+        for idx in order.into_iter().rev() {
+            let (ext, _) = live.remove(idx);
+            pool.free(ext);
+        }
+        // Survivors still read back intact after frees.
+        for (ext, data) in &live {
+            prop_assert_eq!(pool.read(ext), &data[..]);
+        }
+        let stats = pool.stats();
+        prop_assert_eq!(stats.allocs, sizes.len() as u64);
+        prop_assert!(stats.held_bytes >= stats.free_bytes);
+        // Global accounting: whatever the pool holds came from the
+        // global budget.
+        let g = global.stats();
+        prop_assert_eq!(g.in_use, stats.held_bytes);
+    }
+
+    /// The slab store never corrupts values across interleaved
+    /// alloc/free of mixed sizes.
+    #[test]
+    fn slab_store_roundtrip_interleaved(
+        rounds in prop::collection::vec((1usize..1_500, any::<bool>()), 1..150)
+    ) {
+        let mut cfg = MemConfig::with_capacity(8 << 20);
+        cfg.chunk_size = 1 << 14;
+        let global = Arc::new(GlobalPool::new(8 << 20, 1 << 14, 1));
+        let mut store = SlabStore::new(LocalPool::new(global, &cfg, 0, MemPolicy::ThreadLocal));
+        let mut live: Vec<(mbal_core::store::ValRef, Vec<u8>)> = Vec::new();
+        for (i, (len, drop_one)) in rounds.into_iter().enumerate() {
+            let data: Vec<u8> = (0..len).map(|b| (b.wrapping_mul(31) ^ i) as u8).collect();
+            let r = store.alloc_write(&data).expect("fits");
+            live.push((r, data));
+            if drop_one && live.len() > 1 {
+                let (r, _) = live.swap_remove(i % live.len());
+                store.free(r);
+            }
+            for (r, d) in &live {
+                let got = store.read(r).into_owned();
+                prop_assert_eq!(&got[..], &d[..]);
+            }
+        }
+        let total: usize = live.iter().map(|(_, d)| d.len()).sum();
+        prop_assert_eq!(store.used_bytes(), total);
+    }
+}

@@ -1,0 +1,31 @@
+//! # mbal-ilp
+//!
+//! A from-scratch linear/integer programming toolkit sized for MBal's
+//! migration planners (§3.3–§3.4 of the paper). Phase 2 and Phase 3 of
+//! the load balancer formulate cachelet migration as 0-1 integer linear
+//! programs (objectives (1), (2)/(4) and (8) of the paper); this crate
+//! provides:
+//!
+//! - [`model`] — a small modelling layer: variables (binary or bounded
+//!   continuous), linear constraints, a minimization objective, and a
+//!   solution checker used by tests and by the balancer's paranoia
+//!   assertions.
+//! - [`simplex`] — a dense two-phase primal simplex solver for the LP
+//!   relaxations (Bland's rule, so it never cycles).
+//! - [`branch`] — depth-first branch & bound over the binary variables
+//!   with best-bound pruning and node/iteration budgets. When the budget
+//!   is exhausted without proving optimality the solver reports
+//!   [`branch::IlpOutcome::Budget`] with the best incumbent found — the
+//!   balancer then falls back to its greedy planner, exactly as the paper
+//!   prescribes when "ILP is not able to converge".
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod branch;
+pub mod model;
+pub mod simplex;
+
+pub use branch::{solve_ilp, BranchConfig, IlpOutcome};
+pub use model::{Constraint, Model, Sense, VarKind};
+pub use simplex::{solve_lp, LpOutcome, LpSolution};

@@ -1,0 +1,194 @@
+//! The modelling layer: variables, linear constraints, objective.
+
+/// Variable kinds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum VarKind {
+    /// A 0-1 integer variable.
+    Binary,
+    /// A continuous variable bounded to `[lo, hi]`.
+    Continuous {
+        /// Lower bound (finite).
+        lo: f64,
+        /// Upper bound (finite).
+        hi: f64,
+    },
+}
+
+/// Constraint sense.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sense {
+    /// `expr ≤ rhs`.
+    Le,
+    /// `expr ≥ rhs`.
+    Ge,
+    /// `expr = rhs`.
+    Eq,
+}
+
+/// A linear constraint `Σ coeff·x  sense  rhs`.
+#[derive(Debug, Clone)]
+pub struct Constraint {
+    /// Sparse `(variable, coefficient)` terms.
+    pub terms: Vec<(usize, f64)>,
+    /// Comparison sense.
+    pub sense: Sense,
+    /// Right-hand side.
+    pub rhs: f64,
+}
+
+/// A minimization model.
+#[derive(Debug, Clone, Default)]
+pub struct Model {
+    kinds: Vec<VarKind>,
+    objective: Vec<f64>,
+    constraints: Vec<Constraint>,
+}
+
+impl Model {
+    /// Creates an empty model.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a binary variable with objective coefficient `cost`; returns
+    /// its index.
+    pub fn add_binary(&mut self, cost: f64) -> usize {
+        self.kinds.push(VarKind::Binary);
+        self.objective.push(cost);
+        self.kinds.len() - 1
+    }
+
+    /// Adds a continuous variable in `[lo, hi]` with objective coefficient
+    /// `cost`; returns its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bounds are not finite or `lo > hi`.
+    pub fn add_continuous(&mut self, lo: f64, hi: f64, cost: f64) -> usize {
+        assert!(lo.is_finite() && hi.is_finite() && lo <= hi, "bad bounds");
+        self.kinds.push(VarKind::Continuous { lo, hi });
+        self.objective.push(cost);
+        self.kinds.len() - 1
+    }
+
+    /// Adds a constraint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any term references an unknown variable.
+    pub fn add_constraint(&mut self, terms: Vec<(usize, f64)>, sense: Sense, rhs: f64) {
+        for &(v, _) in &terms {
+            assert!(v < self.kinds.len(), "unknown variable {v}");
+        }
+        self.constraints.push(Constraint { terms, sense, rhs });
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.kinds.len()
+    }
+
+    /// Number of constraints.
+    pub fn num_constraints(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// The variable kinds.
+    pub fn kinds(&self) -> &[VarKind] {
+        &self.kinds
+    }
+
+    /// The objective coefficients.
+    pub fn objective(&self) -> &[f64] {
+        &self.objective
+    }
+
+    /// The constraints.
+    pub fn constraints(&self) -> &[Constraint] {
+        &self.constraints
+    }
+
+    /// Objective value of assignment `x`.
+    pub fn objective_value(&self, x: &[f64]) -> f64 {
+        self.objective.iter().zip(x).map(|(c, v)| c * v).sum()
+    }
+
+    /// Checks `x` against every constraint and variable bound within
+    /// tolerance `tol`; returns the first violation description.
+    pub fn check(&self, x: &[f64], tol: f64) -> Result<(), String> {
+        if x.len() != self.kinds.len() {
+            return Err(format!(
+                "assignment has {} values for {} variables",
+                x.len(),
+                self.kinds.len()
+            ));
+        }
+        for (i, (&v, k)) in x.iter().zip(&self.kinds).enumerate() {
+            match *k {
+                VarKind::Binary => {
+                    if (v - 0.0).abs() > tol && (v - 1.0).abs() > tol {
+                        return Err(format!("x{i} = {v} is not binary"));
+                    }
+                }
+                VarKind::Continuous { lo, hi } => {
+                    if v < lo - tol || v > hi + tol {
+                        return Err(format!("x{i} = {v} outside [{lo}, {hi}]"));
+                    }
+                }
+            }
+        }
+        for (ci, c) in self.constraints.iter().enumerate() {
+            let lhs: f64 = c.terms.iter().map(|&(v, coef)| coef * x[v]).sum();
+            let ok = match c.sense {
+                Sense::Le => lhs <= c.rhs + tol,
+                Sense::Ge => lhs >= c.rhs - tol,
+                Sense::Eq => (lhs - c.rhs).abs() <= tol,
+            };
+            if !ok {
+                return Err(format!(
+                    "constraint {ci} violated: lhs {lhs} {:?} rhs {}",
+                    c.sense, c.rhs
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_check() {
+        let mut m = Model::new();
+        let a = m.add_binary(1.0);
+        let b = m.add_binary(2.0);
+        let t = m.add_continuous(0.0, 10.0, 0.5);
+        m.add_constraint(vec![(a, 1.0), (b, 1.0)], Sense::Ge, 1.0);
+        m.add_constraint(vec![(t, 1.0), (a, -3.0)], Sense::Le, 2.0);
+        assert_eq!(m.num_vars(), 3);
+        assert_eq!(m.num_constraints(), 2);
+        assert!(m.check(&[1.0, 0.0, 2.0], 1e-9).is_ok());
+        assert!((m.objective_value(&[1.0, 0.0, 2.0]) - 2.0).abs() < 1e-12);
+        // Violations are reported.
+        assert!(m.check(&[0.0, 0.0, 0.0], 1e-9).is_err(), "Ge violated");
+        assert!(m.check(&[0.5, 0.0, 0.0], 1e-9).is_err(), "not binary");
+        assert!(m.check(&[1.0, 0.0, 11.0], 1e-9).is_err(), "bound violated");
+        assert!(m.check(&[1.0, 0.0], 1e-9).is_err(), "wrong arity");
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown variable")]
+    fn rejects_unknown_variable() {
+        let mut m = Model::new();
+        m.add_constraint(vec![(0, 1.0)], Sense::Le, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad bounds")]
+    fn rejects_inverted_bounds() {
+        let mut m = Model::new();
+        m.add_continuous(1.0, 0.0, 0.0);
+    }
+}

@@ -1,0 +1,106 @@
+//! Property tests for the LP/ILP solvers: solutions are feasible,
+//! integral solutions match exhaustive enumeration, and the LP bound
+//! dominates the ILP optimum.
+
+use mbal_ilp::{solve_ilp, solve_lp, BranchConfig, IlpOutcome, LpOutcome, Model, Sense};
+use proptest::prelude::*;
+
+/// A random small knapsack-style model: n binaries, one weight
+/// constraint, optional side constraint.
+fn small_model() -> impl Strategy<Value = (Model, usize)> {
+    (
+        2usize..7,
+        prop::collection::vec(-10i32..10, 7),
+        prop::collection::vec(1i32..10, 7),
+        5i32..30,
+        any::<bool>(),
+    )
+        .prop_map(|(n, costs, weights, cap, extra)| {
+            let mut m = Model::new();
+            let vars: Vec<usize> = (0..n).map(|i| m.add_binary(costs[i] as f64)).collect();
+            m.add_constraint(
+                vars.iter()
+                    .zip(&weights)
+                    .map(|(&v, &w)| (v, w as f64))
+                    .collect(),
+                Sense::Le,
+                cap as f64,
+            );
+            if extra && n >= 3 {
+                // x0 + x1 + x2 ≥ 1 (forces some selection).
+                m.add_constraint(
+                    vars[..3].iter().map(|&v| (v, 1.0)).collect(),
+                    Sense::Ge,
+                    1.0,
+                );
+            }
+            (m, n)
+        })
+}
+
+fn brute_force(m: &Model, n: usize) -> Option<f64> {
+    let mut best: Option<f64> = None;
+    for mask in 0u32..(1 << n) {
+        let x: Vec<f64> = (0..n).map(|i| f64::from(mask >> i & 1)).collect();
+        if m.check(&x, 1e-9).is_ok() {
+            let obj = m.objective_value(&x);
+            best = Some(best.map_or(obj, |b: f64| b.min(obj)));
+        }
+    }
+    best
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Branch & bound equals brute force on every random instance.
+    #[test]
+    fn ilp_matches_brute_force((m, n) in small_model()) {
+        let brute = brute_force(&m, n);
+        match solve_ilp(&m, BranchConfig::default()) {
+            IlpOutcome::Optimal { objective, values } => {
+                let expect = brute.expect("solver found a solution where none exists");
+                prop_assert!((objective - expect).abs() < 1e-6,
+                    "solver {} vs brute {}", objective, expect);
+                prop_assert!(m.check(&values, 1e-6).is_ok(), "infeasible 'optimal'");
+            }
+            IlpOutcome::Infeasible => prop_assert!(brute.is_none(), "solver missed a solution"),
+            IlpOutcome::Budget { .. } => {
+                // Tiny instances must never exhaust the default budget.
+                prop_assert!(false, "budget exhausted on a {}-var instance", n);
+            }
+        }
+    }
+
+    /// The LP relaxation lower-bounds the ILP optimum.
+    #[test]
+    fn lp_bound_dominates((m, n) in small_model()) {
+        let brute = brute_force(&m, n);
+        if let (LpOutcome::Optimal(lp), Some(ilp)) = (solve_lp(&m, &[]), brute) {
+            prop_assert!(
+                lp.objective <= ilp + 1e-6,
+                "LP bound {} above ILP optimum {}", lp.objective, ilp
+            );
+        }
+    }
+
+    /// LP solutions satisfy every constraint.
+    #[test]
+    fn lp_solutions_are_feasible((m, _) in small_model()) {
+        if let LpOutcome::Optimal(s) = solve_lp(&m, &[]) {
+            // Relax binaries to [0,1] for the check.
+            for (i, &v) in s.values.iter().enumerate() {
+                prop_assert!((-1e-7..=1.0 + 1e-7).contains(&v), "x{} = {}", i, v);
+            }
+            for (ci, c) in m.constraints().iter().enumerate() {
+                let lhs: f64 = c.terms.iter().map(|&(v, co)| co * s.values[v]).sum();
+                let ok = match c.sense {
+                    Sense::Le => lhs <= c.rhs + 1e-6,
+                    Sense::Ge => lhs >= c.rhs - 1e-6,
+                    Sense::Eq => (lhs - c.rhs).abs() <= 1e-6,
+                };
+                prop_assert!(ok, "constraint {} violated: {} vs {}", ci, lhs, c.rhs);
+            }
+        }
+    }
+}

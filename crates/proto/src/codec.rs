@@ -1,0 +1,940 @@
+//! Binary wire codec.
+//!
+//! Frames follow the Memcached binary protocol envelope: a 24-byte header
+//! followed by `total_body_len` body bytes. The vbucket field carries the
+//! cachelet id on requests and the status code on responses. The 8-byte
+//! CAS field is reused for expiry/lease/version payloads, which keeps all
+//! standard ops inside the stock envelope; MBal's extension opcodes place
+//! structured lists in the body.
+
+use crate::message::{Request, Response, Status};
+use bytes::{Buf, BufMut, BytesMut};
+use mbal_core::types::{CacheletId, ServerId, WorkerAddr, WorkerId};
+
+/// Request magic byte.
+pub const MAGIC_REQUEST: u8 = 0x80;
+/// Response magic byte.
+pub const MAGIC_RESPONSE: u8 = 0x81;
+/// Header size in bytes.
+pub const HEADER_LEN: usize = 24;
+
+/// Wire opcodes. Standard Memcached values where they exist; MBal
+/// extensions start at 0x40.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum Opcode {
+    /// Single-key lookup.
+    Get = 0x00,
+    /// Insert/replace.
+    Set = 0x01,
+    /// Delete.
+    Delete = 0x04,
+    /// Statistics fetch.
+    Stats = 0x10,
+    /// Batched lookup.
+    MultiGet = 0x40,
+    /// Replica read at a shadow worker.
+    ReplicaRead = 0x41,
+    /// Replica install/refresh.
+    ReplicaInstall = 0x42,
+    /// Replica write propagation.
+    ReplicaUpdate = 0x43,
+    /// Replica drop.
+    ReplicaInvalidate = 0x44,
+    /// Bucket-granular migration data.
+    MigrateEntries = 0x45,
+    /// Migration completion marker.
+    MigrateCommit = 0x46,
+    /// Client ↔ coordinator heartbeat.
+    Heartbeat = 0x47,
+    /// Conditional insert.
+    Add = 0x02,
+    /// Conditional overwrite.
+    Replace = 0x03,
+    /// Counter increment/decrement (signed delta in CAS).
+    Incr = 0x05,
+    /// Append/prepend (vbucket high bit unused; direction in CAS).
+    Concat = 0x0E,
+    /// TTL refresh.
+    Touch = 0x1C,
+}
+
+impl Opcode {
+    fn from_u8(v: u8) -> Option<Opcode> {
+        Some(match v {
+            0x00 => Opcode::Get,
+            0x01 => Opcode::Set,
+            0x02 => Opcode::Add,
+            0x03 => Opcode::Replace,
+            0x04 => Opcode::Delete,
+            0x05 => Opcode::Incr,
+            0x0E => Opcode::Concat,
+            0x1C => Opcode::Touch,
+            0x10 => Opcode::Stats,
+            0x40 => Opcode::MultiGet,
+            0x41 => Opcode::ReplicaRead,
+            0x42 => Opcode::ReplicaInstall,
+            0x43 => Opcode::ReplicaUpdate,
+            0x44 => Opcode::ReplicaInvalidate,
+            0x45 => Opcode::MigrateEntries,
+            0x46 => Opcode::MigrateCommit,
+            0x47 => Opcode::Heartbeat,
+            _ => return None,
+        })
+    }
+}
+
+/// Codec failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The frame is shorter than its header demands.
+    Truncated,
+    /// Unknown magic byte.
+    BadMagic(u8),
+    /// Unknown opcode.
+    BadOpcode(u8),
+    /// Unknown status code.
+    BadStatus(u16),
+    /// A cachelet id exceeded the 16-bit vbucket field.
+    CacheletOverflow(u32),
+    /// Structured body failed to parse.
+    Malformed(&'static str),
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::Truncated => write!(f, "truncated frame"),
+            CodecError::BadMagic(m) => write!(f, "bad magic {m:#x}"),
+            CodecError::BadOpcode(o) => write!(f, "bad opcode {o:#x}"),
+            CodecError::BadStatus(s) => write!(f, "bad status {s}"),
+            CodecError::CacheletOverflow(c) => {
+                write!(f, "cachelet id {c} exceeds the 16-bit vbucket field")
+            }
+            CodecError::Malformed(m) => write!(f, "malformed body: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+fn vbucket(c: CacheletId) -> Result<u16, CodecError> {
+    u16::try_from(c.0).map_err(|_| CodecError::CacheletOverflow(c.0))
+}
+
+struct Header {
+    magic: u8,
+    opcode: u8,
+    key_len: u16,
+    extras_len: u8,
+    vbucket_or_status: u16,
+    body_len: u32,
+    opaque: u32,
+    cas: u64,
+}
+
+fn put_header(buf: &mut BytesMut, h: &Header) {
+    buf.put_u8(h.magic);
+    buf.put_u8(h.opcode);
+    buf.put_u16(h.key_len);
+    buf.put_u8(h.extras_len);
+    buf.put_u8(0); // data type
+    buf.put_u16(h.vbucket_or_status);
+    buf.put_u32(h.body_len);
+    buf.put_u32(h.opaque);
+    buf.put_u64(h.cas);
+}
+
+fn parse_header(frame: &[u8]) -> Result<Header, CodecError> {
+    if frame.len() < HEADER_LEN {
+        return Err(CodecError::Truncated);
+    }
+    let mut b = frame;
+    let magic = b.get_u8();
+    let opcode = b.get_u8();
+    let key_len = b.get_u16();
+    let extras_len = b.get_u8();
+    let _data_type = b.get_u8();
+    let vbucket_or_status = b.get_u16();
+    let body_len = b.get_u32();
+    let opaque = b.get_u32();
+    let cas = b.get_u64();
+    if frame.len() < HEADER_LEN + body_len as usize {
+        return Err(CodecError::Truncated);
+    }
+    Ok(Header {
+        magic,
+        opcode,
+        key_len,
+        extras_len,
+        vbucket_or_status,
+        body_len,
+        opaque,
+        cas,
+    })
+}
+
+/// Total frame length implied by a 24-byte header prefix, for stream
+/// framing. Returns `None` if fewer than [`HEADER_LEN`] bytes are given.
+pub fn frame_len(prefix: &[u8]) -> Option<usize> {
+    if prefix.len() < HEADER_LEN {
+        return None;
+    }
+    let body = u32::from_be_bytes(prefix[8..12].try_into().expect("4 bytes")) as usize;
+    Some(HEADER_LEN + body)
+}
+
+fn simple_request(
+    opcode: Opcode,
+    vb: u16,
+    key: &[u8],
+    value: &[u8],
+    opaque: u32,
+    cas: u64,
+) -> BytesMut {
+    let mut buf = BytesMut::with_capacity(HEADER_LEN + key.len() + value.len());
+    put_header(
+        &mut buf,
+        &Header {
+            magic: MAGIC_REQUEST,
+            opcode: opcode as u8,
+            key_len: key.len() as u16,
+            extras_len: 0,
+            vbucket_or_status: vb,
+            body_len: (key.len() + value.len()) as u32,
+            opaque,
+            cas,
+        },
+    );
+    buf.put_slice(key);
+    buf.put_slice(value);
+    buf
+}
+
+/// Encodes a request into a complete wire frame. `opaque` is echoed in the
+/// matching response for correlation.
+pub fn encode_request(req: &Request, opaque: u32) -> Result<Vec<u8>, CodecError> {
+    let buf = match req {
+        Request::Get { cachelet, key } => {
+            simple_request(Opcode::Get, vbucket(*cachelet)?, key, &[], opaque, 0)
+        }
+        Request::Set {
+            cachelet,
+            key,
+            value,
+            expiry_ms,
+        } => simple_request(
+            Opcode::Set,
+            vbucket(*cachelet)?,
+            key,
+            value,
+            opaque,
+            *expiry_ms,
+        ),
+        Request::Delete { cachelet, key } => {
+            simple_request(Opcode::Delete, vbucket(*cachelet)?, key, &[], opaque, 0)
+        }
+        Request::Add {
+            cachelet,
+            key,
+            value,
+            expiry_ms,
+        } => simple_request(
+            Opcode::Add,
+            vbucket(*cachelet)?,
+            key,
+            value,
+            opaque,
+            *expiry_ms,
+        ),
+        Request::Replace {
+            cachelet,
+            key,
+            value,
+            expiry_ms,
+        } => simple_request(
+            Opcode::Replace,
+            vbucket(*cachelet)?,
+            key,
+            value,
+            opaque,
+            *expiry_ms,
+        ),
+        Request::Concat {
+            cachelet,
+            key,
+            value,
+            front,
+        } => simple_request(
+            Opcode::Concat,
+            vbucket(*cachelet)?,
+            key,
+            value,
+            opaque,
+            u64::from(*front),
+        ),
+        Request::Incr {
+            cachelet,
+            key,
+            delta,
+        } => simple_request(
+            Opcode::Incr,
+            vbucket(*cachelet)?,
+            key,
+            &[],
+            opaque,
+            *delta as u64,
+        ),
+        Request::Touch {
+            cachelet,
+            key,
+            expiry_ms,
+        } => simple_request(
+            Opcode::Touch,
+            vbucket(*cachelet)?,
+            key,
+            &[],
+            opaque,
+            *expiry_ms,
+        ),
+        Request::ReplicaRead { key } => simple_request(Opcode::ReplicaRead, 0, key, &[], opaque, 0),
+        Request::ReplicaInstall {
+            key,
+            value,
+            lease_expiry_ms,
+        } => simple_request(
+            Opcode::ReplicaInstall,
+            0,
+            key,
+            value,
+            opaque,
+            *lease_expiry_ms,
+        ),
+        Request::ReplicaUpdate { key, value } => {
+            simple_request(Opcode::ReplicaUpdate, 0, key, value, opaque, 0)
+        }
+        Request::ReplicaInvalidate { key } => {
+            simple_request(Opcode::ReplicaInvalidate, 0, key, &[], opaque, 0)
+        }
+        Request::Stats => simple_request(Opcode::Stats, 0, &[], &[], opaque, 0),
+        Request::Heartbeat { version } => {
+            simple_request(Opcode::Heartbeat, 0, &[], &[], opaque, *version)
+        }
+        Request::MultiGet { keys } => {
+            let mut body = BytesMut::new();
+            body.put_u32(keys.len() as u32);
+            for (c, k) in keys {
+                body.put_u16(vbucket(*c)?);
+                body.put_u16(k.len() as u16);
+                body.put_slice(k);
+            }
+            framed(Opcode::MultiGet, 0, body, opaque, 0)
+        }
+        Request::MigrateEntries { cachelet, entries } => {
+            let mut body = BytesMut::new();
+            body.put_u32(entries.len() as u32);
+            for (k, v, exp) in entries {
+                body.put_u16(k.len() as u16);
+                body.put_u32(v.len() as u32);
+                body.put_u64(*exp);
+                body.put_slice(k);
+                body.put_slice(v);
+            }
+            framed(Opcode::MigrateEntries, vbucket(*cachelet)?, body, opaque, 0)
+        }
+        Request::MigrateCommit { cachelet } => simple_request(
+            Opcode::MigrateCommit,
+            vbucket(*cachelet)?,
+            &[],
+            &[],
+            opaque,
+            0,
+        ),
+    };
+    Ok(buf.to_vec())
+}
+
+fn framed(opcode: Opcode, vb: u16, body: BytesMut, opaque: u32, cas: u64) -> BytesMut {
+    let mut buf = BytesMut::with_capacity(HEADER_LEN + body.len());
+    put_header(
+        &mut buf,
+        &Header {
+            magic: MAGIC_REQUEST,
+            opcode: opcode as u8,
+            key_len: 0,
+            extras_len: 0,
+            vbucket_or_status: vb,
+            body_len: body.len() as u32,
+            opaque,
+            cas,
+        },
+    );
+    buf.put_slice(&body);
+    buf
+}
+
+/// Decodes a request frame, returning the request and its opaque.
+pub fn decode_request(frame: &[u8]) -> Result<(Request, u32), CodecError> {
+    let h = parse_header(frame)?;
+    if h.magic != MAGIC_REQUEST {
+        return Err(CodecError::BadMagic(h.magic));
+    }
+    let op = Opcode::from_u8(h.opcode).ok_or(CodecError::BadOpcode(h.opcode))?;
+    let body = &frame[HEADER_LEN..HEADER_LEN + h.body_len as usize];
+    let key_end = h.extras_len as usize + h.key_len as usize;
+    if key_end > body.len() {
+        return Err(CodecError::Malformed("key extends past body"));
+    }
+    let key = body[h.extras_len as usize..key_end].to_vec();
+    let value = body[key_end..].to_vec();
+    let cachelet = CacheletId(h.vbucket_or_status as u32);
+    let req = match op {
+        Opcode::Get => Request::Get { cachelet, key },
+        Opcode::Set => Request::Set {
+            cachelet,
+            key,
+            value,
+            expiry_ms: h.cas,
+        },
+        Opcode::Delete => Request::Delete { cachelet, key },
+        Opcode::Add => Request::Add {
+            cachelet,
+            key,
+            value,
+            expiry_ms: h.cas,
+        },
+        Opcode::Replace => Request::Replace {
+            cachelet,
+            key,
+            value,
+            expiry_ms: h.cas,
+        },
+        Opcode::Concat => Request::Concat {
+            cachelet,
+            key,
+            value,
+            front: h.cas == 1,
+        },
+        Opcode::Incr => Request::Incr {
+            cachelet,
+            key,
+            delta: h.cas as i64,
+        },
+        Opcode::Touch => Request::Touch {
+            cachelet,
+            key,
+            expiry_ms: h.cas,
+        },
+        Opcode::ReplicaRead => Request::ReplicaRead { key },
+        Opcode::ReplicaInstall => Request::ReplicaInstall {
+            key,
+            value,
+            lease_expiry_ms: h.cas,
+        },
+        Opcode::ReplicaUpdate => Request::ReplicaUpdate { key, value },
+        Opcode::ReplicaInvalidate => Request::ReplicaInvalidate { key },
+        Opcode::Stats => Request::Stats,
+        Opcode::Heartbeat => Request::Heartbeat { version: h.cas },
+        Opcode::MigrateCommit => Request::MigrateCommit { cachelet },
+        Opcode::MultiGet => {
+            let mut b = body;
+            if b.remaining() < 4 {
+                return Err(CodecError::Malformed("multiget count"));
+            }
+            let n = b.get_u32() as usize;
+            let mut keys = Vec::with_capacity(n.min(4_096));
+            for _ in 0..n {
+                if b.remaining() < 4 {
+                    return Err(CodecError::Malformed("multiget key header"));
+                }
+                let c = CacheletId(b.get_u16() as u32);
+                let klen = b.get_u16() as usize;
+                if b.remaining() < klen {
+                    return Err(CodecError::Malformed("multiget key bytes"));
+                }
+                keys.push((c, b.copy_to_bytes(klen).to_vec()));
+            }
+            Request::MultiGet { keys }
+        }
+        Opcode::MigrateEntries => {
+            let mut b = body;
+            if b.remaining() < 4 {
+                return Err(CodecError::Malformed("migrate count"));
+            }
+            let n = b.get_u32() as usize;
+            let mut entries = Vec::with_capacity(n.min(4_096));
+            for _ in 0..n {
+                if b.remaining() < 14 {
+                    return Err(CodecError::Malformed("migrate entry header"));
+                }
+                let klen = b.get_u16() as usize;
+                let vlen = b.get_u32() as usize;
+                let exp = b.get_u64();
+                if b.remaining() < klen + vlen {
+                    return Err(CodecError::Malformed("migrate entry bytes"));
+                }
+                let k = b.copy_to_bytes(klen).to_vec();
+                let v = b.copy_to_bytes(vlen).to_vec();
+                entries.push((k, v, exp));
+            }
+            Request::MigrateEntries { cachelet, entries }
+        }
+    };
+    Ok((req, h.opaque))
+}
+
+fn put_worker(buf: &mut BytesMut, w: WorkerAddr) {
+    buf.put_u16(w.server.0);
+    buf.put_u16(w.worker.0);
+}
+
+fn get_worker(b: &mut &[u8]) -> Result<WorkerAddr, CodecError> {
+    if b.remaining() < 4 {
+        return Err(CodecError::Malformed("worker addr"));
+    }
+    Ok(WorkerAddr {
+        server: ServerId(b.get_u16()),
+        worker: WorkerId(b.get_u16()),
+    })
+}
+
+/// Encodes a response into a complete wire frame. `opcode` is the opcode
+/// of the request being answered; `opaque` is echoed back.
+pub fn encode_response(
+    resp: &Response,
+    opcode: Opcode,
+    opaque: u32,
+) -> Result<Vec<u8>, CodecError> {
+    let mut body = BytesMut::new();
+    let mut cas = 0u64;
+    let mut vb_status = resp.status() as u16;
+    match resp {
+        Response::Value { value, replicas } => {
+            body.put_u16(replicas.len() as u16);
+            for &r in replicas {
+                put_worker(&mut body, r);
+            }
+            body.put_slice(value);
+        }
+        Response::Values { values } => {
+            body.put_u32(values.len() as u32);
+            for v in values {
+                match v {
+                    Some(bytes) => {
+                        body.put_u8(1);
+                        body.put_u32(bytes.len() as u32);
+                        body.put_slice(bytes);
+                    }
+                    None => body.put_u8(0),
+                }
+            }
+        }
+        Response::NotFound
+        | Response::Stored
+        | Response::Deleted
+        | Response::Touched
+        | Response::MigrateAck => {}
+        Response::Counter { value } => cas = *value,
+        Response::Moved {
+            cachelet,
+            new_owner,
+        } => {
+            vb_status = Status::NotOwner as u16;
+            body.put_u16(vbucket(*cachelet)?);
+            put_worker(&mut body, *new_owner);
+        }
+        Response::StatsBlob { payload } => body.put_slice(payload),
+        Response::HeartbeatAck {
+            version,
+            deltas,
+            full_refetch,
+        } => {
+            cas = *version;
+            body.put_u8(u8::from(*full_refetch));
+            body.put_u32(deltas.len() as u32);
+            for (ver, c, w) in deltas {
+                body.put_u64(*ver);
+                body.put_u32(c.0);
+                put_worker(&mut body, *w);
+            }
+        }
+        Response::Fail { message, .. } => body.put_slice(message.as_bytes()),
+    }
+    let mut buf = BytesMut::with_capacity(HEADER_LEN + body.len());
+    put_header(
+        &mut buf,
+        &Header {
+            magic: MAGIC_RESPONSE,
+            opcode: opcode as u8,
+            key_len: 0,
+            extras_len: 0,
+            vbucket_or_status: vb_status,
+            body_len: body.len() as u32,
+            opaque,
+            cas,
+        },
+    );
+    buf.put_slice(&body);
+    Ok(buf.to_vec())
+}
+
+/// Decodes a response frame, returning the response, the opcode it
+/// answers, and the echoed opaque.
+pub fn decode_response(frame: &[u8]) -> Result<(Response, Opcode, u32), CodecError> {
+    let h = parse_header(frame)?;
+    if h.magic != MAGIC_RESPONSE {
+        return Err(CodecError::BadMagic(h.magic));
+    }
+    let op = Opcode::from_u8(h.opcode).ok_or(CodecError::BadOpcode(h.opcode))?;
+    let status =
+        Status::from_u16(h.vbucket_or_status).ok_or(CodecError::BadStatus(h.vbucket_or_status))?;
+    let mut body = &frame[HEADER_LEN..HEADER_LEN + h.body_len as usize];
+    let resp = match (status, op) {
+        (Status::NotFound, _) => Response::NotFound,
+        (Status::NotOwner, _) => {
+            if body.remaining() < 2 {
+                return Err(CodecError::Malformed("moved cachelet"));
+            }
+            let cachelet = CacheletId(body.get_u16() as u32);
+            let new_owner = get_worker(&mut body)?;
+            Response::Moved {
+                cachelet,
+                new_owner,
+            }
+        }
+        (Status::Ok, Opcode::Get) | (Status::Ok, Opcode::ReplicaRead) => {
+            if body.remaining() < 2 {
+                return Err(CodecError::Malformed("replica count"));
+            }
+            let n = body.get_u16() as usize;
+            let mut replicas = Vec::with_capacity(n);
+            for _ in 0..n {
+                replicas.push(get_worker(&mut body)?);
+            }
+            Response::Value {
+                value: body.to_vec(),
+                replicas,
+            }
+        }
+        (Status::Ok, Opcode::MultiGet) => {
+            if body.remaining() < 4 {
+                return Err(CodecError::Malformed("values count"));
+            }
+            let n = body.get_u32() as usize;
+            let mut values = Vec::with_capacity(n.min(4_096));
+            for _ in 0..n {
+                if body.remaining() < 1 {
+                    return Err(CodecError::Malformed("value presence"));
+                }
+                if body.get_u8() == 1 {
+                    if body.remaining() < 4 {
+                        return Err(CodecError::Malformed("value len"));
+                    }
+                    let len = body.get_u32() as usize;
+                    if body.remaining() < len {
+                        return Err(CodecError::Malformed("value bytes"));
+                    }
+                    values.push(Some(body.copy_to_bytes(len).to_vec()));
+                } else {
+                    values.push(None);
+                }
+            }
+            Response::Values { values }
+        }
+        (Status::Ok, Opcode::Set)
+        | (Status::Ok, Opcode::Add)
+        | (Status::Ok, Opcode::Replace)
+        | (Status::Ok, Opcode::Concat)
+        | (Status::Ok, Opcode::ReplicaInstall)
+        | (Status::Ok, Opcode::ReplicaUpdate) => Response::Stored,
+        (Status::Ok, Opcode::Incr) => Response::Counter { value: h.cas },
+        (Status::Ok, Opcode::Touch) => Response::Touched,
+        (Status::Ok, Opcode::Delete) | (Status::Ok, Opcode::ReplicaInvalidate) => Response::Deleted,
+        (Status::Ok, Opcode::MigrateEntries) | (Status::Ok, Opcode::MigrateCommit) => {
+            Response::MigrateAck
+        }
+        (Status::Ok, Opcode::Stats) => Response::StatsBlob {
+            payload: body.to_vec(),
+        },
+        (Status::Ok, Opcode::Heartbeat) => {
+            if body.remaining() < 5 {
+                return Err(CodecError::Malformed("heartbeat header"));
+            }
+            let full_refetch = body.get_u8() == 1;
+            let n = body.get_u32() as usize;
+            let mut deltas = Vec::with_capacity(n.min(4_096));
+            for _ in 0..n {
+                if body.remaining() < 12 {
+                    return Err(CodecError::Malformed("delta header"));
+                }
+                let ver = body.get_u64();
+                let c = CacheletId(body.get_u32());
+                let w = get_worker(&mut body)?;
+                deltas.push((ver, c, w));
+            }
+            Response::HeartbeatAck {
+                version: h.cas,
+                deltas,
+                full_refetch,
+            }
+        }
+        (s, _) => Response::Fail {
+            status: s,
+            message: String::from_utf8_lossy(body).into_owned(),
+        },
+    };
+    Ok((resp, op, h.opaque))
+}
+
+/// The opcode a request encodes to (used by responders to echo it).
+pub fn opcode_of(req: &Request) -> Opcode {
+    match req {
+        Request::Get { .. } => Opcode::Get,
+        Request::Set { .. } => Opcode::Set,
+        Request::Delete { .. } => Opcode::Delete,
+        Request::Add { .. } => Opcode::Add,
+        Request::Replace { .. } => Opcode::Replace,
+        Request::Concat { .. } => Opcode::Concat,
+        Request::Incr { .. } => Opcode::Incr,
+        Request::Touch { .. } => Opcode::Touch,
+        Request::MultiGet { .. } => Opcode::MultiGet,
+        Request::ReplicaRead { .. } => Opcode::ReplicaRead,
+        Request::ReplicaInstall { .. } => Opcode::ReplicaInstall,
+        Request::ReplicaUpdate { .. } => Opcode::ReplicaUpdate,
+        Request::ReplicaInvalidate { .. } => Opcode::ReplicaInvalidate,
+        Request::MigrateEntries { .. } => Opcode::MigrateEntries,
+        Request::MigrateCommit { .. } => Opcode::MigrateCommit,
+        Request::Stats => Opcode::Stats,
+        Request::Heartbeat { .. } => Opcode::Heartbeat,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_req(req: Request) {
+        let frame = encode_request(&req, 0xABCD).expect("encode");
+        assert_eq!(frame_len(&frame), Some(frame.len()));
+        let (decoded, opaque) = decode_request(&frame).expect("decode");
+        assert_eq!(decoded, req);
+        assert_eq!(opaque, 0xABCD);
+    }
+
+    fn roundtrip_resp(resp: Response, op: Opcode) {
+        let frame = encode_response(&resp, op, 7).expect("encode");
+        let (decoded, dop, opaque) = decode_response(&frame).expect("decode");
+        assert_eq!(decoded, resp);
+        assert_eq!(dop, op);
+        assert_eq!(opaque, 7);
+    }
+
+    #[test]
+    fn request_roundtrips() {
+        roundtrip_req(Request::Get {
+            cachelet: CacheletId(42),
+            key: b"user:1001".to_vec(),
+        });
+        roundtrip_req(Request::Set {
+            cachelet: CacheletId(9),
+            key: b"k".to_vec(),
+            value: vec![0xAB; 300],
+            expiry_ms: 123_456_789,
+        });
+        roundtrip_req(Request::Delete {
+            cachelet: CacheletId(0),
+            key: b"gone".to_vec(),
+        });
+        roundtrip_req(Request::MultiGet {
+            keys: (0..100u32)
+                .map(|i| (CacheletId(i % 16), format!("k{i}").into_bytes()))
+                .collect(),
+        });
+        roundtrip_req(Request::ReplicaRead {
+            key: b"hot".to_vec(),
+        });
+        roundtrip_req(Request::ReplicaInstall {
+            key: b"hot".to_vec(),
+            value: b"v".to_vec(),
+            lease_expiry_ms: 99,
+        });
+        roundtrip_req(Request::ReplicaUpdate {
+            key: b"hot".to_vec(),
+            value: b"v2".to_vec(),
+        });
+        roundtrip_req(Request::ReplicaInvalidate {
+            key: b"hot".to_vec(),
+        });
+        roundtrip_req(Request::MigrateEntries {
+            cachelet: CacheletId(5),
+            entries: vec![
+                (b"a".to_vec(), b"1".to_vec(), 0),
+                (b"b".to_vec(), vec![9; 1000], 555),
+            ],
+        });
+        roundtrip_req(Request::MigrateCommit {
+            cachelet: CacheletId(5),
+        });
+        roundtrip_req(Request::Stats);
+        roundtrip_req(Request::Heartbeat { version: 77 });
+        roundtrip_req(Request::Add {
+            cachelet: CacheletId(2),
+            key: b"k".to_vec(),
+            value: b"v".to_vec(),
+            expiry_ms: 42,
+        });
+        roundtrip_req(Request::Replace {
+            cachelet: CacheletId(2),
+            key: b"k".to_vec(),
+            value: b"v".to_vec(),
+            expiry_ms: 0,
+        });
+        roundtrip_req(Request::Concat {
+            cachelet: CacheletId(3),
+            key: b"k".to_vec(),
+            value: b"-tail".to_vec(),
+            front: false,
+        });
+        roundtrip_req(Request::Concat {
+            cachelet: CacheletId(3),
+            key: b"k".to_vec(),
+            value: b"head-".to_vec(),
+            front: true,
+        });
+        roundtrip_req(Request::Incr {
+            cachelet: CacheletId(4),
+            key: b"n".to_vec(),
+            delta: -17,
+        });
+        roundtrip_req(Request::Touch {
+            cachelet: CacheletId(5),
+            key: b"k".to_vec(),
+            expiry_ms: 123_456,
+        });
+    }
+
+    #[test]
+    fn response_roundtrips() {
+        roundtrip_resp(
+            Response::Value {
+                value: b"payload".to_vec(),
+                replicas: vec![WorkerAddr::new(1, 2), WorkerAddr::new(3, 4)],
+            },
+            Opcode::Get,
+        );
+        roundtrip_resp(
+            Response::Values {
+                values: vec![Some(b"x".to_vec()), None, Some(vec![])],
+            },
+            Opcode::MultiGet,
+        );
+        roundtrip_resp(Response::NotFound, Opcode::Get);
+        roundtrip_resp(Response::Stored, Opcode::Set);
+        roundtrip_resp(Response::Deleted, Opcode::Delete);
+        roundtrip_resp(Response::MigrateAck, Opcode::MigrateEntries);
+        roundtrip_resp(
+            Response::Moved {
+                cachelet: CacheletId(3),
+                new_owner: WorkerAddr::new(2, 1),
+            },
+            Opcode::Get,
+        );
+        roundtrip_resp(
+            Response::StatsBlob {
+                payload: br#"{"ops":12}"#.to_vec(),
+            },
+            Opcode::Stats,
+        );
+        roundtrip_resp(
+            Response::HeartbeatAck {
+                version: 10,
+                deltas: vec![(9, CacheletId(1), WorkerAddr::new(0, 3))],
+                full_refetch: false,
+            },
+            Opcode::Heartbeat,
+        );
+        roundtrip_resp(
+            Response::Fail {
+                status: Status::OutOfMemory,
+                message: "cache full".into(),
+            },
+            Opcode::Set,
+        );
+        roundtrip_resp(Response::Counter { value: u64::MAX }, Opcode::Incr);
+        roundtrip_resp(Response::Touched, Opcode::Touch);
+        roundtrip_resp(Response::Stored, Opcode::Add);
+        roundtrip_resp(
+            Response::Fail {
+                status: Status::Exists,
+                message: "key exists".into(),
+            },
+            Opcode::Add,
+        );
+        roundtrip_resp(
+            Response::Fail {
+                status: Status::NotNumeric,
+                message: "not a counter".into(),
+            },
+            Opcode::Incr,
+        );
+    }
+
+    #[test]
+    fn cachelet_overflow_is_rejected() {
+        let e = encode_request(
+            &Request::Get {
+                cachelet: CacheletId(70_000),
+                key: b"k".to_vec(),
+            },
+            0,
+        );
+        assert_eq!(e, Err(CodecError::CacheletOverflow(70_000)));
+    }
+
+    #[test]
+    fn truncated_and_garbage_frames_error() {
+        assert_eq!(decode_request(&[0u8; 10]), Err(CodecError::Truncated));
+        let mut frame = encode_request(
+            &Request::Get {
+                cachelet: CacheletId(1),
+                key: b"key".to_vec(),
+            },
+            0,
+        )
+        .expect("encode");
+        frame.truncate(frame.len() - 1);
+        assert_eq!(decode_request(&frame), Err(CodecError::Truncated));
+        let mut bad = frame.clone();
+        bad[0] = 0x55;
+        // Restore full length for the magic check.
+        bad.push(b'y');
+        assert_eq!(decode_request(&bad), Err(CodecError::BadMagic(0x55)));
+    }
+
+    #[test]
+    fn malformed_multiget_body_is_rejected() {
+        let good = encode_request(
+            &Request::MultiGet {
+                keys: vec![(CacheletId(0), b"k".to_vec())],
+            },
+            0,
+        )
+        .expect("encode");
+        // Claim 5 keys but provide one.
+        let mut bad = good.clone();
+        bad[HEADER_LEN + 3] = 5;
+        assert!(matches!(
+            decode_request(&bad),
+            Err(CodecError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn opcode_of_covers_all_requests() {
+        assert_eq!(opcode_of(&Request::Stats), Opcode::Stats);
+        assert_eq!(
+            opcode_of(&Request::Heartbeat { version: 0 }),
+            Opcode::Heartbeat
+        );
+    }
+}

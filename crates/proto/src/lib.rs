@@ -1,0 +1,25 @@
+//! # mbal-proto
+//!
+//! The Memcached-style binary wire protocol used between MBal clients,
+//! workers, and the coordinator (§2.3).
+//!
+//! As in the paper, the 2-byte field the Memcached binary protocol
+//! reserves for the *virtual bucket* is overloaded to carry the **cachelet
+//! id**, so protocol-compliant clients route requests to the owning worker
+//! with no server-side dispatcher. Frames are the classic 24-byte header
+//! plus body; MBal's extension opcodes (replica management, bucket
+//! migration, heartbeats, statistics) use the same envelope.
+//!
+//! [`message`] defines the typed [`message::Request`]/[`message::Response`]
+//! model used throughout the workspace; [`codec`] maps it to and from wire
+//! bytes. In-process transports pass the typed messages directly; the TCP
+//! transport round-trips them through [`codec`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod message;
+
+pub use codec::{decode_request, decode_response, encode_request, encode_response, CodecError};
+pub use message::{Request, Response, Status};

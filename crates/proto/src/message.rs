@@ -1,0 +1,344 @@
+//! Typed request/response messages.
+//!
+//! These are the semantic messages MBal components exchange. The in-proc
+//! transport moves them directly over channels; the TCP transport encodes
+//! them with [`crate::codec`].
+
+use mbal_core::types::{CacheletId, Key, Value, WorkerAddr};
+
+/// Response status codes (mirrors Memcached's binary status field).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u16)]
+pub enum Status {
+    /// Success.
+    Ok = 0,
+    /// Key not found.
+    NotFound = 1,
+    /// Out of memory and eviction could not make room.
+    OutOfMemory = 2,
+    /// The cachelet is not owned by this worker (see `Response::Moved`).
+    NotOwner = 3,
+    /// The target bucket is mid-migration; retry shortly.
+    Busy = 4,
+    /// Malformed request or internal error.
+    Error = 5,
+    /// Conditional store failed: the key already exists (`add`).
+    Exists = 6,
+    /// Value is not a number (`incr`/`decr` on non-numeric data).
+    NotNumeric = 7,
+}
+
+impl Status {
+    /// Parses a wire status code.
+    pub fn from_u16(v: u16) -> Option<Status> {
+        Some(match v {
+            0 => Status::Ok,
+            1 => Status::NotFound,
+            2 => Status::OutOfMemory,
+            3 => Status::NotOwner,
+            4 => Status::Busy,
+            5 => Status::Error,
+            6 => Status::Exists,
+            7 => Status::NotNumeric,
+            _ => return None,
+        })
+    }
+}
+
+/// A request addressed to one MBal worker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Look up one key in `cachelet`.
+    Get {
+        /// Target cachelet (the overloaded vbucket field).
+        cachelet: CacheletId,
+        /// Key to look up.
+        key: Key,
+    },
+    /// Batched lookup (the paper amortizes network cost with MultiGET of
+    /// 100 keys). All keys must belong to `cachelet`'s owner worker but
+    /// may span its cachelets; each key carries its own cachelet id.
+    MultiGet {
+        /// `(cachelet, key)` pairs, all owned by the addressed worker.
+        keys: Vec<(CacheletId, Key)>,
+    },
+    /// Insert or replace a key.
+    Set {
+        /// Target cachelet.
+        cachelet: CacheletId,
+        /// Key to store.
+        key: Key,
+        /// Value bytes.
+        value: Value,
+        /// Absolute expiry in ms (0 = never).
+        expiry_ms: u64,
+    },
+    /// Delete a key.
+    Delete {
+        /// Target cachelet.
+        cachelet: CacheletId,
+        /// Key to delete.
+        key: Key,
+    },
+    /// Store only if absent (Memcached `add`).
+    Add {
+        /// Target cachelet.
+        cachelet: CacheletId,
+        /// Key to store.
+        key: Key,
+        /// Value bytes.
+        value: Value,
+        /// Absolute expiry in ms (0 = never).
+        expiry_ms: u64,
+    },
+    /// Store only if present (Memcached `replace`).
+    Replace {
+        /// Target cachelet.
+        cachelet: CacheletId,
+        /// Key to store.
+        key: Key,
+        /// Value bytes.
+        value: Value,
+        /// Absolute expiry in ms (0 = never).
+        expiry_ms: u64,
+    },
+    /// Append (or prepend) bytes to an existing value.
+    Concat {
+        /// Target cachelet.
+        cachelet: CacheletId,
+        /// Key to modify.
+        key: Key,
+        /// Bytes to attach.
+        value: Value,
+        /// `true` prepends, `false` appends.
+        front: bool,
+    },
+    /// Counter arithmetic on an ASCII-decimal value (Memcached
+    /// `incr`/`decr`; negative deltas saturate at zero).
+    Incr {
+        /// Target cachelet.
+        cachelet: CacheletId,
+        /// Counter key.
+        key: Key,
+        /// Signed delta.
+        delta: i64,
+    },
+    /// Refresh the TTL of an existing key (Memcached `touch`).
+    Touch {
+        /// Target cachelet.
+        cachelet: CacheletId,
+        /// Key to touch.
+        key: Key,
+        /// New absolute expiry in ms (0 = never).
+        expiry_ms: u64,
+    },
+    /// Read a *replicated* key from a shadow worker (Phase 1). Replica
+    /// reads bypass cachelet routing — the key lives in the shadow
+    /// worker's replica table.
+    ReplicaRead {
+        /// Key to read.
+        key: Key,
+    },
+    /// Home worker → shadow worker: install/refresh a replica.
+    ReplicaInstall {
+        /// Replicated key.
+        key: Key,
+        /// Current value.
+        value: Value,
+        /// Lease expiry in ms.
+        lease_expiry_ms: u64,
+    },
+    /// Home worker → shadow worker: propagate a write.
+    ReplicaUpdate {
+        /// Replicated key.
+        key: Key,
+        /// New value.
+        value: Value,
+    },
+    /// Home worker → shadow worker: drop a replica.
+    ReplicaInvalidate {
+        /// Key whose replica should be dropped.
+        key: Key,
+    },
+    /// Migration source → destination: one bucket's worth of entries
+    /// (§3.4 migrates per-bucket, not whole cachelets atomically).
+    MigrateEntries {
+        /// The cachelet being transferred.
+        cachelet: CacheletId,
+        /// `(key, value, expiry_ms)` triples.
+        entries: Vec<(Key, Value, u64)>,
+    },
+    /// Migration source → destination: the cachelet is now fully
+    /// transferred and the destination may serve it.
+    MigrateCommit {
+        /// The transferred cachelet.
+        cachelet: CacheletId,
+    },
+    /// Fetch worker statistics (used by the coordinator's stats poller).
+    Stats,
+    /// Liveness/config probe; `version` is the client's mapping version.
+    /// The response carries mapping deltas the client is missing.
+    Heartbeat {
+        /// Client's current mapping-table version.
+        version: u64,
+    },
+}
+
+impl Request {
+    /// The key this request addresses, if single-key.
+    pub fn key(&self) -> Option<&[u8]> {
+        match self {
+            Request::Get { key, .. }
+            | Request::Set { key, .. }
+            | Request::Delete { key, .. }
+            | Request::Add { key, .. }
+            | Request::Replace { key, .. }
+            | Request::Concat { key, .. }
+            | Request::Incr { key, .. }
+            | Request::Touch { key, .. }
+            | Request::ReplicaRead { key }
+            | Request::ReplicaInstall { key, .. }
+            | Request::ReplicaUpdate { key, .. }
+            | Request::ReplicaInvalidate { key } => Some(key),
+            _ => None,
+        }
+    }
+
+    /// Returns `true` for read-type requests (GET/MultiGET/replica read).
+    pub fn is_read(&self) -> bool {
+        matches!(
+            self,
+            Request::Get { .. } | Request::MultiGet { .. } | Request::ReplicaRead { .. }
+        )
+    }
+}
+
+/// A response from a worker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// GET hit. `replicas` piggybacks the locations of any live replicas
+    /// of this key so the client can spread subsequent reads (§3.2).
+    Value {
+        /// The stored bytes.
+        value: Value,
+        /// Shadow workers currently holding replicas.
+        replicas: Vec<WorkerAddr>,
+    },
+    /// MultiGET results, positionally matching the request keys.
+    Values {
+        /// Per-key results; `None` is a miss.
+        values: Vec<Option<Value>>,
+    },
+    /// GET/replica-read miss.
+    NotFound,
+    /// SET/replica-install acknowledged.
+    Stored,
+    /// Counter operation result (`incr`/`decr`).
+    Counter {
+        /// The post-operation value.
+        value: u64,
+    },
+    /// TTL refresh acknowledged (`touch`).
+    Touched,
+    /// DELETE/invalidate acknowledged (key may or may not have existed).
+    Deleted,
+    /// The cachelet has moved; retry at `new_owner` and update the cached
+    /// mapping ("on-the-way routing", §2.3 / §3.3).
+    Moved {
+        /// The cachelet that moved.
+        cachelet: CacheletId,
+        /// Its current owner.
+        new_owner: WorkerAddr,
+    },
+    /// Migration batch/commit acknowledged.
+    MigrateAck,
+    /// Serialized worker statistics (JSON payload produced by the server).
+    StatsBlob {
+        /// Opaque serialized statistics.
+        payload: Vec<u8>,
+    },
+    /// Heartbeat reply carrying mapping deltas encoded as
+    /// `(version, cachelet, server, worker)` tuples; `full_refetch` tells
+    /// the client its version fell outside the delta window.
+    HeartbeatAck {
+        /// Coordinator's current mapping version.
+        version: u64,
+        /// Deltas the client is missing.
+        deltas: Vec<(u64, CacheletId, WorkerAddr)>,
+        /// If `true`, the client must refetch the full table.
+        full_refetch: bool,
+    },
+    /// Failure with a status code and diagnostic message.
+    Fail {
+        /// Status code.
+        status: Status,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+impl Response {
+    /// Status code this response carries on the wire.
+    pub fn status(&self) -> Status {
+        match self {
+            Response::NotFound => Status::NotFound,
+            Response::Fail { status, .. } => *status,
+            Response::Moved { .. } => Status::NotOwner,
+            _ => Status::Ok,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn status_roundtrip() {
+        for v in 0..=7u16 {
+            let s = Status::from_u16(v).expect("valid");
+            assert_eq!(s as u16, v);
+        }
+        assert_eq!(Status::from_u16(99), None);
+    }
+
+    #[test]
+    fn request_key_extraction() {
+        let r = Request::Get {
+            cachelet: CacheletId(1),
+            key: b"k".to_vec(),
+        };
+        assert_eq!(r.key(), Some(&b"k"[..]));
+        assert!(r.is_read());
+        let w = Request::Set {
+            cachelet: CacheletId(1),
+            key: b"k".to_vec(),
+            value: b"v".to_vec(),
+            expiry_ms: 0,
+        };
+        assert!(!w.is_read());
+        assert!(Request::Stats.key().is_none());
+    }
+
+    #[test]
+    fn response_status_mapping() {
+        assert_eq!(Response::NotFound.status(), Status::NotFound);
+        assert_eq!(
+            Response::Moved {
+                cachelet: CacheletId(0),
+                new_owner: WorkerAddr::new(1, 2),
+            }
+            .status(),
+            Status::NotOwner
+        );
+        assert_eq!(Response::Stored.status(), Status::Ok);
+        assert_eq!(
+            Response::Fail {
+                status: Status::OutOfMemory,
+                message: "oom".into(),
+            }
+            .status(),
+            Status::OutOfMemory
+        );
+    }
+}

@@ -1,0 +1,282 @@
+//! Protocol fuzzing: every representable message round-trips through
+//! the wire codec bit-exactly, and arbitrary byte soup never panics the
+//! decoder — it errors.
+
+use mbal_core::types::{CacheletId, WorkerAddr};
+use mbal_proto::codec::{
+    decode_request, decode_response, encode_request, encode_response, opcode_of,
+};
+use mbal_proto::{Request, Response, Status};
+use proptest::prelude::*;
+
+fn key_strategy() -> impl Strategy<Value = Vec<u8>> {
+    prop::collection::vec(any::<u8>(), 1..64)
+}
+
+fn value_strategy() -> impl Strategy<Value = Vec<u8>> {
+    prop::collection::vec(any::<u8>(), 0..512)
+}
+
+fn cachelet_strategy() -> impl Strategy<Value = CacheletId> {
+    (0u32..=u16::MAX as u32).prop_map(CacheletId)
+}
+
+fn worker_strategy() -> impl Strategy<Value = WorkerAddr> {
+    (any::<u16>(), any::<u16>()).prop_map(|(s, w)| WorkerAddr::new(s, w))
+}
+
+fn request_strategy() -> impl Strategy<Value = Request> {
+    prop_oneof![
+        (cachelet_strategy(), key_strategy()).prop_map(|(c, k)| Request::Get {
+            cachelet: c,
+            key: k
+        }),
+        (
+            cachelet_strategy(),
+            key_strategy(),
+            value_strategy(),
+            any::<u64>()
+        )
+            .prop_map(|(c, k, v, e)| Request::Set {
+                cachelet: c,
+                key: k,
+                value: v,
+                expiry_ms: e
+            }),
+        (cachelet_strategy(), key_strategy()).prop_map(|(c, k)| Request::Delete {
+            cachelet: c,
+            key: k
+        }),
+        prop::collection::vec((cachelet_strategy(), key_strategy()), 0..32)
+            .prop_map(|keys| Request::MultiGet { keys }),
+        key_strategy().prop_map(|k| Request::ReplicaRead { key: k }),
+        (key_strategy(), value_strategy(), any::<u64>()).prop_map(|(k, v, l)| {
+            Request::ReplicaInstall {
+                key: k,
+                value: v,
+                lease_expiry_ms: l,
+            }
+        }),
+        (key_strategy(), value_strategy())
+            .prop_map(|(k, v)| Request::ReplicaUpdate { key: k, value: v }),
+        key_strategy().prop_map(|k| Request::ReplicaInvalidate { key: k }),
+        (
+            cachelet_strategy(),
+            prop::collection::vec((key_strategy(), value_strategy(), any::<u64>()), 0..16)
+        )
+            .prop_map(|(c, entries)| Request::MigrateEntries {
+                cachelet: c,
+                entries
+            }),
+        cachelet_strategy().prop_map(|c| Request::MigrateCommit { cachelet: c }),
+        Just(Request::Stats),
+        any::<u64>().prop_map(|v| Request::Heartbeat { version: v }),
+        (
+            cachelet_strategy(),
+            key_strategy(),
+            value_strategy(),
+            any::<u64>()
+        )
+            .prop_map(|(c, k, v, e)| Request::Add {
+                cachelet: c,
+                key: k,
+                value: v,
+                expiry_ms: e
+            }),
+        (
+            cachelet_strategy(),
+            key_strategy(),
+            value_strategy(),
+            any::<u64>()
+        )
+            .prop_map(|(c, k, v, e)| Request::Replace {
+                cachelet: c,
+                key: k,
+                value: v,
+                expiry_ms: e
+            }),
+        (
+            cachelet_strategy(),
+            key_strategy(),
+            value_strategy(),
+            any::<bool>()
+        )
+            .prop_map(|(c, k, v, f)| Request::Concat {
+                cachelet: c,
+                key: k,
+                value: v,
+                front: f
+            }),
+        (cachelet_strategy(), key_strategy(), any::<i64>()).prop_map(|(c, k, d)| Request::Incr {
+            cachelet: c,
+            key: k,
+            delta: d
+        }),
+        (cachelet_strategy(), key_strategy(), any::<u64>()).prop_map(|(c, k, e)| Request::Touch {
+            cachelet: c,
+            key: k,
+            expiry_ms: e
+        }),
+    ]
+}
+
+fn response_strategy() -> impl Strategy<Value = (Response, Request)> {
+    // Pair each response with a request whose opcode legitimizes it.
+    prop_oneof![
+        (
+            value_strategy(),
+            prop::collection::vec(worker_strategy(), 0..8),
+            key_strategy()
+        )
+            .prop_map(|(v, r, k)| (
+                Response::Value {
+                    value: v,
+                    replicas: r
+                },
+                Request::Get {
+                    cachelet: CacheletId(0),
+                    key: k
+                },
+            )),
+        prop::collection::vec(prop::option::of(value_strategy()), 0..32).prop_map(|values| (
+            Response::Values { values },
+            Request::MultiGet { keys: vec![] },
+        )),
+        key_strategy().prop_map(|k| (
+            Response::NotFound,
+            Request::Get {
+                cachelet: CacheletId(0),
+                key: k
+            }
+        )),
+        key_strategy().prop_map(|k| (
+            Response::Stored,
+            Request::Set {
+                cachelet: CacheletId(0),
+                key: k,
+                value: vec![],
+                expiry_ms: 0
+            }
+        )),
+        key_strategy().prop_map(|k| (
+            Response::Deleted,
+            Request::Delete {
+                cachelet: CacheletId(0),
+                key: k
+            }
+        )),
+        (cachelet_strategy(), worker_strategy(), key_strategy()).prop_map(|(c, w, k)| (
+            Response::Moved {
+                cachelet: c,
+                new_owner: w
+            },
+            Request::Get {
+                cachelet: c,
+                key: k
+            },
+        )),
+        value_strategy().prop_map(|p| (Response::StatsBlob { payload: p }, Request::Stats)),
+        (any::<u64>(), key_strategy()).prop_map(|(v, k)| (
+            Response::Counter { value: v },
+            Request::Incr {
+                cachelet: CacheletId(0),
+                key: k,
+                delta: 0
+            },
+        )),
+        key_strategy().prop_map(|k| (
+            Response::Touched,
+            Request::Touch {
+                cachelet: CacheletId(0),
+                key: k,
+                expiry_ms: 0
+            },
+        )),
+        (
+            any::<u64>(),
+            prop::collection::vec(
+                (
+                    any::<u64>(),
+                    any::<u32>().prop_map(CacheletId),
+                    worker_strategy()
+                ),
+                0..16
+            ),
+            any::<bool>()
+        )
+            .prop_map(|(v, d, f)| (
+                Response::HeartbeatAck {
+                    version: v,
+                    deltas: d,
+                    full_refetch: f
+                },
+                Request::Heartbeat { version: 0 },
+            )),
+        (
+            prop_oneof![Just(Status::OutOfMemory), Just(Status::Error)],
+            "[ -~]{0,64}",
+            key_strategy()
+        )
+            .prop_map(|(st, msg, k)| (
+                Response::Fail {
+                    status: st,
+                    message: msg
+                },
+                Request::Set {
+                    cachelet: CacheletId(0),
+                    key: k,
+                    value: vec![],
+                    expiry_ms: 0
+                },
+            )),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn requests_roundtrip(req in request_strategy(), opaque in any::<u32>()) {
+        let frame = encode_request(&req, opaque).expect("encode");
+        let (decoded, op) = decode_request(&frame).expect("decode");
+        prop_assert_eq!(decoded, req);
+        prop_assert_eq!(op, opaque);
+    }
+
+    #[test]
+    fn responses_roundtrip((resp, req) in response_strategy(), opaque in any::<u32>()) {
+        let frame = encode_response(&resp, opcode_of(&req), opaque).expect("encode");
+        let (decoded, _, op) = decode_response(&frame).expect("decode");
+        prop_assert_eq!(decoded, resp);
+        prop_assert_eq!(op, opaque);
+    }
+
+    /// Arbitrary bytes never panic the decoders.
+    #[test]
+    fn garbage_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        let _ = decode_request(&bytes);
+        let _ = decode_response(&bytes);
+    }
+
+    /// Truncating a valid frame anywhere errors cleanly.
+    #[test]
+    fn truncation_always_errors(req in request_strategy(), cut in 0usize..100) {
+        let frame = encode_request(&req, 9).expect("encode");
+        if cut < frame.len() {
+            let _ = decode_request(&frame[..cut]); // must not panic
+            if cut < 24 {
+                prop_assert!(decode_request(&frame[..cut]).is_err());
+            }
+        }
+    }
+
+    /// Single-byte corruption either decodes to *something* or errors —
+    /// never panics, never loops.
+    #[test]
+    fn bitflips_never_panic(req in request_strategy(), pos in any::<usize>(), bit in 0u8..8) {
+        let mut frame = encode_request(&req, 1).expect("encode");
+        let idx = pos % frame.len();
+        frame[idx] ^= 1 << bit;
+        let _ = decode_request(&frame);
+    }
+}

@@ -1,0 +1,24 @@
+//! # mbal-ring
+//!
+//! Key-space partitioning and the three-step key-to-thread mapping of
+//! MBal (§2.1, §2.3):
+//!
+//! 1. `vn = hash(key) mod NUM_VNS` — the key's virtual node,
+//! 2. `vn → cachelet` — many VNs map onto one cachelet,
+//! 3. `cachelet → worker` — each cachelet is owned by one worker thread,
+//!    addressed directly by clients (no server-side dispatcher).
+//!
+//! The [`ring`] module provides the consistent-hash ring used to place
+//! cachelets onto workers initially (and to re-place them when servers
+//! join/leave); [`mapping`] provides the versioned two-level mapping table
+//! shared by clients (configuration cache) and servers, plus the diff
+//! machinery the migration poller uses to learn about moved cachelets.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod mapping;
+pub mod ring;
+
+pub use mapping::{MappingDelta, MappingTable};
+pub use ring::ConsistentRing;

@@ -1,0 +1,347 @@
+//! The versioned two-level mapping table (Figure 3(b)).
+//!
+//! Clients route requests with two lookups: `vn → cachelet` and
+//! `cachelet → worker`. Servers mutate the second level when cachelets
+//! migrate; the table is versioned so the client-side migration poller can
+//! fetch compact [`MappingDelta`]s from the coordinator instead of full
+//! tables.
+
+use crate::ring::ConsistentRing;
+use mbal_core::hash::shard_hash;
+use mbal_core::types::{CacheletId, VnId, WorkerAddr};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A single cachelet re-homing event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MappingDelta {
+    /// Version the change produced.
+    pub version: u64,
+    /// The cachelet that moved.
+    pub cachelet: CacheletId,
+    /// Its new owner.
+    pub new_owner: WorkerAddr,
+}
+
+/// The two-level key-to-thread mapping table.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MappingTable {
+    /// `vn → cachelet`, dense over `0..num_vns`.
+    vn_to_cachelet: Vec<CacheletId>,
+    /// `cachelet → worker`.
+    cachelet_to_worker: BTreeMap<CacheletId, WorkerAddr>,
+    /// Monotonic version, bumped by every mutation.
+    version: u64,
+    /// Recent deltas for incremental poller catch-up (bounded).
+    #[serde(skip)]
+    recent: Vec<MappingDelta>,
+}
+
+/// How many deltas the table retains for incremental catch-up.
+const RECENT_CAP: usize = 1_024;
+
+impl MappingTable {
+    /// Builds the initial mapping: `num_vns` VNs spread round-robin over
+    /// `cachelets_per_worker × workers` cachelets, cachelets placed on
+    /// workers via the consistent-hash `ring`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ring is empty or any argument is zero.
+    pub fn build(ring: &ConsistentRing, cachelets_per_worker: usize, num_vns: usize) -> Self {
+        let workers = ring.workers();
+        assert!(!workers.is_empty(), "ring has no workers");
+        assert!(cachelets_per_worker > 0, "need at least one cachelet");
+        let num_cachelets = workers.len() * cachelets_per_worker;
+        assert!(
+            num_vns >= num_cachelets,
+            "need at least one VN per cachelet ({num_vns} < {num_cachelets})"
+        );
+
+        // Place each cachelet on the ring by hashing its id; then rebalance
+        // so every worker holds exactly `cachelets_per_worker` (the paper
+        // assigns cachelets evenly; the ring matters for key→VN spread and
+        // for join/leave placement).
+        let mut cachelet_to_worker = BTreeMap::new();
+        let mut per_worker: BTreeMap<WorkerAddr, usize> = workers.iter().map(|&w| (w, 0)).collect();
+        for c in 0..num_cachelets as u32 {
+            let preferred = ring
+                .owner_of_hash(shard_hash(format!("cachelet:{c}").as_bytes()))
+                .expect("non-empty ring");
+            let owner = if per_worker[&preferred] < cachelets_per_worker {
+                preferred
+            } else {
+                // Spill to the least-loaded worker.
+                *per_worker
+                    .iter()
+                    .min_by_key(|&(_, &n)| n)
+                    .expect("non-empty")
+                    .0
+            };
+            *per_worker.get_mut(&owner).expect("known worker") += 1;
+            cachelet_to_worker.insert(CacheletId(c), owner);
+        }
+
+        let vn_to_cachelet = (0..num_vns)
+            .map(|vn| CacheletId((vn % num_cachelets) as u32))
+            .collect();
+
+        Self {
+            vn_to_cachelet,
+            cachelet_to_worker,
+            version: 1,
+            recent: Vec::new(),
+        }
+    }
+
+    /// Number of virtual nodes.
+    pub fn num_vns(&self) -> usize {
+        self.vn_to_cachelet.len()
+    }
+
+    /// Number of cachelets.
+    pub fn num_cachelets(&self) -> usize {
+        self.cachelet_to_worker.len()
+    }
+
+    /// Current table version.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Step 1: the virtual node of `key`.
+    pub fn vn_of(&self, key: &[u8]) -> VnId {
+        VnId((shard_hash(key) % self.vn_to_cachelet.len() as u64) as u32)
+    }
+
+    /// Step 2: the cachelet owning a VN.
+    pub fn cachelet_of_vn(&self, vn: VnId) -> CacheletId {
+        self.vn_to_cachelet[vn.0 as usize]
+    }
+
+    /// Step 3: the worker owning a cachelet.
+    pub fn worker_of_cachelet(&self, c: CacheletId) -> Option<WorkerAddr> {
+        self.cachelet_to_worker.get(&c).copied()
+    }
+
+    /// Full three-step lookup: key → (cachelet, worker).
+    pub fn route(&self, key: &[u8]) -> Option<(CacheletId, WorkerAddr)> {
+        let c = self.cachelet_of_vn(self.vn_of(key));
+        Some((c, self.worker_of_cachelet(c)?))
+    }
+
+    /// Cachelets owned by `worker`.
+    pub fn cachelets_of_worker(&self, worker: WorkerAddr) -> Vec<CacheletId> {
+        self.cachelet_to_worker
+            .iter()
+            .filter(|&(_, &w)| w == worker)
+            .map(|(&c, _)| c)
+            .collect()
+    }
+
+    /// All worker addresses present in the table.
+    pub fn workers(&self) -> Vec<WorkerAddr> {
+        let mut ws: Vec<WorkerAddr> = self.cachelet_to_worker.values().copied().collect();
+        ws.sort_unstable();
+        ws.dedup();
+        ws
+    }
+
+    /// Re-homes `cachelet` to `new_owner`, bumping the version and
+    /// recording a delta. Returns the delta, or `None` if the cachelet is
+    /// unknown or already owned by `new_owner`.
+    pub fn move_cachelet(
+        &mut self,
+        cachelet: CacheletId,
+        new_owner: WorkerAddr,
+    ) -> Option<MappingDelta> {
+        let slot = self.cachelet_to_worker.get_mut(&cachelet)?;
+        if *slot == new_owner {
+            return None;
+        }
+        *slot = new_owner;
+        self.version += 1;
+        let delta = MappingDelta {
+            version: self.version,
+            cachelet,
+            new_owner,
+        };
+        self.recent.push(delta);
+        if self.recent.len() > RECENT_CAP {
+            let excess = self.recent.len() - RECENT_CAP;
+            self.recent.drain(..excess);
+        }
+        Some(delta)
+    }
+
+    /// Deltas with version greater than `since`, or `None` if the window
+    /// has been trimmed (the poller must refetch the full table).
+    pub fn deltas_since(&self, since: u64) -> Option<Vec<MappingDelta>> {
+        if since >= self.version {
+            return Some(Vec::new());
+        }
+        let missing = self.version - since;
+        if missing as usize > self.recent.len() {
+            return None;
+        }
+        Some(
+            self.recent
+                .iter()
+                .filter(|d| d.version > since)
+                .copied()
+                .collect(),
+        )
+    }
+
+    /// Applies a delta received from the coordinator (client side).
+    /// Out-of-date deltas (version ≤ current) are ignored.
+    pub fn apply_delta(&mut self, delta: &MappingDelta) {
+        if delta.version <= self.version {
+            return;
+        }
+        if let Some(slot) = self.cachelet_to_worker.get_mut(&delta.cachelet) {
+            *slot = delta.new_owner;
+        }
+        self.version = delta.version;
+    }
+
+    /// Replaces this table wholesale (client full refetch).
+    pub fn replace_with(&mut self, other: &MappingTable) {
+        self.vn_to_cachelet = other.vn_to_cachelet.clone();
+        self.cachelet_to_worker = other.cachelet_to_worker.clone();
+        self.version = other.version;
+        self.recent.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbal_core::types::ServerId;
+
+    fn table(servers: u16, workers: u16, cpw: usize, vns: usize) -> MappingTable {
+        let mut ring = ConsistentRing::new();
+        for s in 0..servers {
+            for w in 0..workers {
+                ring.add_worker(WorkerAddr::new(s, w));
+            }
+        }
+        MappingTable::build(&ring, cpw, vns)
+    }
+
+    #[test]
+    fn build_assigns_every_cachelet_and_vn() {
+        let t = table(4, 2, 16, 1_024);
+        assert_eq!(t.num_cachelets(), 4 * 2 * 16);
+        assert_eq!(t.num_vns(), 1_024);
+        // Every cachelet gets at least one VN (1024 VNs / 128 cachelets = 8).
+        let mut vn_counts = std::collections::HashMap::new();
+        for vn in 0..t.num_vns() as u32 {
+            *vn_counts.entry(t.cachelet_of_vn(VnId(vn))).or_insert(0) += 1;
+        }
+        assert_eq!(vn_counts.len(), 128);
+        assert!(vn_counts.values().all(|&n| n == 8));
+    }
+
+    #[test]
+    fn cachelets_spread_exactly_per_worker() {
+        let t = table(5, 4, 16, 2_048);
+        for w in t.workers() {
+            assert_eq!(
+                t.cachelets_of_worker(w).len(),
+                16,
+                "worker {w} cachelet count"
+            );
+        }
+    }
+
+    #[test]
+    fn route_is_total_and_stable() {
+        let t = table(3, 2, 8, 256);
+        for i in 0..1_000 {
+            let key = format!("k:{i}");
+            let (c1, w1) = t.route(key.as_bytes()).expect("routed");
+            let (c2, w2) = t.route(key.as_bytes()).expect("routed");
+            assert_eq!((c1, w1), (c2, w2), "routing must be deterministic");
+        }
+    }
+
+    #[test]
+    fn move_cachelet_bumps_version_and_reroutes() {
+        let mut t = table(2, 2, 4, 64);
+        let (c, old_w) = t.route(b"victim").expect("routed");
+        let new_w = t
+            .workers()
+            .into_iter()
+            .find(|&w| w != old_w)
+            .expect("another worker");
+        let v0 = t.version();
+        let d = t.move_cachelet(c, new_w).expect("moved");
+        assert_eq!(d.version, v0 + 1);
+        assert_eq!(t.route(b"victim").expect("routed").1, new_w);
+        // Moving to the same owner is a no-op.
+        assert!(t.move_cachelet(c, new_w).is_none());
+        assert_eq!(t.version(), v0 + 1);
+    }
+
+    #[test]
+    fn deltas_since_supports_incremental_catchup() {
+        let mut t = table(2, 1, 4, 64);
+        let ws = t.workers();
+        let base = t.version();
+        for i in 0..5u32 {
+            let c = CacheletId(i);
+            let cur = t.worker_of_cachelet(c).expect("owned");
+            let other = ws.iter().copied().find(|&w| w != cur).expect("other");
+            t.move_cachelet(c, other).expect("moved");
+        }
+        let deltas = t.deltas_since(base).expect("window intact");
+        assert_eq!(deltas.len(), 5);
+        // A stale client applies them and converges.
+        let mut client = table(2, 1, 4, 64);
+        for d in &deltas {
+            client.apply_delta(d);
+        }
+        assert_eq!(client.version(), t.version());
+        for c in 0..5u32 {
+            assert_eq!(
+                client.worker_of_cachelet(CacheletId(c)),
+                t.worker_of_cachelet(CacheletId(c))
+            );
+        }
+    }
+
+    #[test]
+    fn deltas_window_overflow_forces_refetch() {
+        let mut t = table(2, 1, 4, 8);
+        let ws = t.workers();
+        let base = t.version();
+        for i in 0..(RECENT_CAP + 10) as u32 {
+            let c = CacheletId(i % 8);
+            let cur = t.worker_of_cachelet(c).expect("owned");
+            let other = ws.iter().copied().find(|&w| w != cur).expect("other");
+            t.move_cachelet(c, other).expect("moved");
+        }
+        assert!(t.deltas_since(base).is_none(), "stale poller must refetch");
+        // replace_with performs the refetch.
+        let mut client = table(2, 1, 4, 8);
+        client.replace_with(&t);
+        assert_eq!(client.version(), t.version());
+    }
+
+    #[test]
+    fn stale_delta_is_ignored() {
+        let mut t = table(2, 1, 4, 8);
+        let stale = MappingDelta {
+            version: 0,
+            cachelet: CacheletId(0),
+            new_owner: WorkerAddr {
+                server: ServerId(1),
+                worker: mbal_core::types::WorkerId(0),
+            },
+        };
+        let before = t.worker_of_cachelet(CacheletId(0));
+        t.apply_delta(&stale);
+        assert_eq!(t.worker_of_cachelet(CacheletId(0)), before);
+    }
+}

@@ -1,0 +1,206 @@
+//! A consistent-hash ring (Karger et al.) for placing cachelets on workers.
+//!
+//! Each worker is represented by a configurable number of virtual points on
+//! a 64-bit ring; a cachelet is owned by the worker whose point is the
+//! first at or after the cachelet's hash (successor semantics, wrapping).
+//! Adding or removing a worker only re-places the cachelets in the arcs it
+//! gains or loses — the classic minimal-disruption property, verified by
+//! the tests below.
+
+use mbal_core::hash::xxh64;
+use mbal_core::types::WorkerAddr;
+
+/// Number of ring points per worker by default.
+pub const DEFAULT_POINTS_PER_WORKER: usize = 64;
+
+/// A consistent-hash ring over [`WorkerAddr`]s.
+#[derive(Debug, Clone, Default)]
+pub struct ConsistentRing {
+    /// Sorted `(point, worker)` pairs.
+    points: Vec<(u64, WorkerAddr)>,
+    points_per_worker: usize,
+}
+
+impl ConsistentRing {
+    /// Creates an empty ring with [`DEFAULT_POINTS_PER_WORKER`] virtual
+    /// points per worker.
+    pub fn new() -> Self {
+        Self::with_points(DEFAULT_POINTS_PER_WORKER)
+    }
+
+    /// Creates an empty ring with `points_per_worker` virtual points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points_per_worker` is zero.
+    pub fn with_points(points_per_worker: usize) -> Self {
+        assert!(points_per_worker > 0, "need at least one point per worker");
+        Self {
+            points: Vec::new(),
+            points_per_worker,
+        }
+    }
+
+    fn point_hash(worker: WorkerAddr, replica: usize) -> u64 {
+        let mut seed_bytes = [0u8; 12];
+        seed_bytes[..2].copy_from_slice(&worker.server.0.to_le_bytes());
+        seed_bytes[2..4].copy_from_slice(&worker.worker.0.to_le_bytes());
+        seed_bytes[4..].copy_from_slice(&(replica as u64).to_le_bytes());
+        xxh64(&seed_bytes, 0x5EED)
+    }
+
+    /// Adds a worker's points to the ring. Idempotent.
+    pub fn add_worker(&mut self, worker: WorkerAddr) {
+        if self.points.iter().any(|&(_, w)| w == worker) {
+            return;
+        }
+        for r in 0..self.points_per_worker {
+            self.points.push((Self::point_hash(worker, r), worker));
+        }
+        self.points.sort_unstable();
+    }
+
+    /// Removes a worker's points. Idempotent.
+    pub fn remove_worker(&mut self, worker: WorkerAddr) {
+        self.points.retain(|&(_, w)| w != worker);
+    }
+
+    /// The worker owning ring position `hash`, or `None` on an empty ring.
+    pub fn owner_of_hash(&self, hash: u64) -> Option<WorkerAddr> {
+        if self.points.is_empty() {
+            return None;
+        }
+        let idx = self.points.partition_point(|&(p, _)| p < hash);
+        let idx = if idx == self.points.len() { 0 } else { idx };
+        Some(self.points[idx].1)
+    }
+
+    /// The worker owning `key`.
+    pub fn owner_of_key(&self, key: &[u8]) -> Option<WorkerAddr> {
+        self.owner_of_hash(mbal_core::hash::shard_hash(key))
+    }
+
+    /// Number of distinct workers on the ring.
+    pub fn worker_count(&self) -> usize {
+        let mut ws: Vec<WorkerAddr> = self.points.iter().map(|&(_, w)| w).collect();
+        ws.sort_unstable();
+        ws.dedup();
+        ws.len()
+    }
+
+    /// All distinct workers on the ring.
+    pub fn workers(&self) -> Vec<WorkerAddr> {
+        let mut ws: Vec<WorkerAddr> = self.points.iter().map(|&(_, w)| w).collect();
+        ws.sort_unstable();
+        ws.dedup();
+        ws
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ring_with(n_servers: u16, workers_per_server: u16) -> ConsistentRing {
+        let mut r = ConsistentRing::new();
+        for s in 0..n_servers {
+            for w in 0..workers_per_server {
+                r.add_worker(WorkerAddr::new(s, w));
+            }
+        }
+        r
+    }
+
+    #[test]
+    fn empty_ring_owns_nothing() {
+        let r = ConsistentRing::new();
+        assert!(r.owner_of_key(b"k").is_none());
+        assert_eq!(r.worker_count(), 0);
+    }
+
+    #[test]
+    fn single_worker_owns_everything() {
+        let mut r = ConsistentRing::new();
+        r.add_worker(WorkerAddr::new(0, 0));
+        for i in 0..100 {
+            assert_eq!(
+                r.owner_of_key(format!("k{i}").as_bytes()),
+                Some(WorkerAddr::new(0, 0))
+            );
+        }
+    }
+
+    #[test]
+    fn add_is_idempotent() {
+        let mut r = ConsistentRing::new();
+        r.add_worker(WorkerAddr::new(0, 0));
+        let n = r.points.len();
+        r.add_worker(WorkerAddr::new(0, 0));
+        assert_eq!(r.points.len(), n);
+    }
+
+    #[test]
+    fn distribution_is_roughly_balanced() {
+        let r = ring_with(5, 4); // 20 workers
+        let mut counts = std::collections::HashMap::new();
+        for i in 0..40_000u32 {
+            let w = r
+                .owner_of_key(format!("obj:{i}").as_bytes())
+                .expect("owner");
+            *counts.entry(w).or_insert(0u32) += 1;
+        }
+        assert_eq!(counts.len(), 20, "every worker should own keys");
+        let mean = 40_000 / 20;
+        for (&w, &c) in &counts {
+            assert!(
+                c > mean / 3 && c < mean * 3,
+                "worker {w} owns {c} keys vs mean {mean}"
+            );
+        }
+    }
+
+    #[test]
+    fn removal_only_moves_the_removed_workers_keys() {
+        let mut r = ring_with(4, 2);
+        let victim = WorkerAddr::new(3, 1);
+        let keys: Vec<String> = (0..10_000).map(|i| format!("key:{i}")).collect();
+        let before: Vec<WorkerAddr> = keys
+            .iter()
+            .map(|k| r.owner_of_key(k.as_bytes()).expect("owner"))
+            .collect();
+        r.remove_worker(victim);
+        let after: Vec<WorkerAddr> = keys
+            .iter()
+            .map(|k| r.owner_of_key(k.as_bytes()).expect("owner"))
+            .collect();
+        for ((k, b), a) in keys.iter().zip(&before).zip(&after) {
+            if *b != victim {
+                assert_eq!(b, a, "key {k} moved although its owner stayed");
+            } else {
+                assert_ne!(*a, victim, "key {k} still owned by removed worker");
+            }
+        }
+    }
+
+    #[test]
+    fn addition_disruption_is_bounded() {
+        let mut r = ring_with(10, 1);
+        let keys: Vec<String> = (0..10_000).map(|i| format!("key:{i}")).collect();
+        let before: Vec<WorkerAddr> = keys
+            .iter()
+            .map(|k| r.owner_of_key(k.as_bytes()).expect("owner"))
+            .collect();
+        r.add_worker(WorkerAddr::new(10, 0));
+        let moved = keys
+            .iter()
+            .zip(&before)
+            .filter(|(k, b)| r.owner_of_key(k.as_bytes()).expect("owner") != **b)
+            .count();
+        // Ideal is 1/11 ≈ 9%; allow generous slack for point variance.
+        assert!(
+            moved < 10_000 / 4,
+            "adding one of 11 workers moved {moved} of 10000 keys"
+        );
+        assert!(moved > 0, "new worker must receive some keys");
+    }
+}

@@ -1,0 +1,127 @@
+//! Property tests for consistent hashing and the two-level mapping:
+//! totality, stability, minimal disruption, and delta convergence.
+
+use mbal_core::types::{CacheletId, WorkerAddr};
+use mbal_ring::{ConsistentRing, MappingTable};
+use proptest::prelude::*;
+
+fn build_table(servers: u16, workers: u16, cpw: usize, vns: usize) -> MappingTable {
+    let mut ring = ConsistentRing::new();
+    for s in 0..servers {
+        for w in 0..workers {
+            ring.add_worker(WorkerAddr::new(s, w));
+        }
+    }
+    MappingTable::build(&ring, cpw, vns)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every key routes, deterministically, to a worker that exists.
+    #[test]
+    fn routing_is_total_and_deterministic(
+        servers in 1u16..6,
+        workers in 1u16..4,
+        keys in prop::collection::vec(prop::collection::vec(any::<u8>(), 1..40), 1..100),
+    ) {
+        let cpw = 4;
+        let vns = (servers as usize * workers as usize * cpw).next_power_of_two() * 4;
+        let t = build_table(servers, workers, cpw, vns);
+        let valid: Vec<WorkerAddr> = t.workers();
+        for key in &keys {
+            let (c1, w1) = t.route(key).expect("total");
+            let (c2, w2) = t.route(key).expect("total");
+            prop_assert_eq!((c1, w1), (c2, w2));
+            prop_assert!(valid.contains(&w1), "routed to unknown worker {}", w1);
+            prop_assert!((c1.0 as usize) < t.num_cachelets());
+        }
+    }
+
+    /// Moving one cachelet re-routes exactly the keys of that cachelet.
+    #[test]
+    fn moves_only_affect_the_moved_cachelet(
+        keys in prop::collection::vec(prop::collection::vec(any::<u8>(), 1..32), 50..200),
+        victim_seed in any::<u32>(),
+    ) {
+        let mut t = build_table(3, 2, 4, 256);
+        let before: Vec<(CacheletId, WorkerAddr)> =
+            keys.iter().map(|k| t.route(k).expect("total")).collect();
+        let victim = CacheletId(victim_seed % t.num_cachelets() as u32);
+        let old_owner = t.worker_of_cachelet(victim).expect("owned");
+        let new_owner = t
+            .workers()
+            .into_iter()
+            .find(|&w| w != old_owner)
+            .expect("another worker");
+        t.move_cachelet(victim, new_owner).expect("moved");
+        for (key, (c, w)) in keys.iter().zip(&before) {
+            let (c2, w2) = t.route(key).expect("total");
+            prop_assert_eq!(*c, c2, "cachelet of a key must never change");
+            if *c == victim {
+                prop_assert_eq!(w2, new_owner);
+            } else {
+                prop_assert_eq!(w2, *w, "unrelated key re-routed");
+            }
+        }
+    }
+
+    /// A client applying any subset-free prefix of deltas converges to
+    /// the server table.
+    #[test]
+    fn delta_stream_converges(moves in prop::collection::vec((any::<u32>(), any::<u8>()), 1..50)) {
+        let mut server = build_table(3, 2, 4, 256);
+        let mut client = build_table(3, 2, 4, 256);
+        let workers = server.workers();
+        let base = client.version();
+        for (cseed, wseed) in moves {
+            let c = CacheletId(cseed % server.num_cachelets() as u32);
+            let w = workers[wseed as usize % workers.len()];
+            let _ = server.move_cachelet(c, w);
+        }
+        match server.deltas_since(base) {
+            Some(deltas) => {
+                for d in &deltas {
+                    client.apply_delta(d);
+                }
+            }
+            None => client.replace_with(&server),
+        }
+        prop_assert_eq!(client.version(), server.version());
+        for c in 0..server.num_cachelets() as u32 {
+            prop_assert_eq!(
+                client.worker_of_cachelet(CacheletId(c)),
+                server.worker_of_cachelet(CacheletId(c)),
+                "cachelet {} diverged", c
+            );
+        }
+    }
+
+    /// Ring disruption bound: adding a worker to an n-worker ring moves
+    /// at most ~3× the ideal 1/(n+1) share of keys.
+    #[test]
+    fn ring_disruption_is_bounded(n in 3u16..12, salt in any::<u64>()) {
+        let mut ring = ConsistentRing::new();
+        for s in 0..n {
+            ring.add_worker(WorkerAddr::new(s, 0));
+        }
+        let keys: Vec<Vec<u8>> = (0..2_000u64)
+            .map(|i| format!("k{}:{i}", salt).into_bytes())
+            .collect();
+        let before: Vec<WorkerAddr> = keys
+            .iter()
+            .map(|k| ring.owner_of_key(k).expect("owner"))
+            .collect();
+        ring.add_worker(WorkerAddr::new(n, 0));
+        let moved = keys
+            .iter()
+            .zip(&before)
+            .filter(|(k, b)| ring.owner_of_key(k).expect("owner") != **b)
+            .count();
+        let ideal = keys.len() / (n as usize + 1);
+        prop_assert!(
+            moved <= ideal * 3 + 50,
+            "moved {} of {} keys, ideal {}", moved, keys.len(), ideal
+        );
+    }
+}

@@ -1,0 +1,78 @@
+//! `mbal-server` — a standalone MBal cache server over TCP.
+//!
+//! Binds one port per worker thread starting at `--port`, prints the
+//! worker→port map, and serves the Memcached-style binary protocol until
+//! killed. The balancer runs on its epoch timer (Phase 2 is fully
+//! functional single-node; Phases 1 and 3 need a multi-server deployment
+//! wired through a shared coordinator — see the library docs).
+//!
+//! ```text
+//! mbal-server [--workers N] [--port BASE] [--mem MB] [--cachelets N] [--epoch-ms MS]
+//! ```
+
+use mbal_balancer::coordinator::Coordinator;
+use mbal_balancer::BalancerConfig;
+use mbal_core::clock::RealClock;
+use mbal_core::types::{ServerId, WorkerAddr};
+use mbal_ring::{ConsistentRing, MappingTable};
+use mbal_server::tcp::serve_tcp;
+use mbal_server::{InProcRegistry, Server, ServerConfig};
+use std::sync::Arc;
+
+fn arg<T: std::str::FromStr>(name: &str, default: T) -> T {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let workers: u16 = arg("--workers", 4);
+    let port: u16 = arg("--port", 11311);
+    let mem_mb: usize = arg("--mem", 512);
+    let cachelets: usize = arg("--cachelets", 16);
+    let epoch_ms: u64 = arg("--epoch-ms", 1_000);
+
+    let mut ring = ConsistentRing::new();
+    for w in 0..workers {
+        ring.add_worker(WorkerAddr::new(0, w));
+    }
+    let vns = (workers as usize * cachelets * 4).next_power_of_two();
+    let mapping = MappingTable::build(&ring, cachelets, vns);
+    let balancer = BalancerConfig {
+        epoch_ms,
+        ..BalancerConfig::default()
+    };
+    let coordinator = Arc::new(Coordinator::new(mapping.clone(), balancer.clone()));
+    let registry = InProcRegistry::new();
+    let server = Server::spawn(
+        ServerConfig::new(ServerId(0), workers, mem_mb << 20)
+            .cachelets_per_worker(cachelets)
+            .balancer(balancer),
+        &mapping,
+        &registry,
+        coordinator,
+        Arc::new(RealClock::new()),
+    );
+
+    let bound = match serve_tcp(&server.worker_mailboxes(), "0.0.0.0", port) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("mbal-server: failed to bind on port {port}: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("mbal-server: {workers} workers, {mem_mb} MiB, {cachelets} cachelets/worker");
+    for (addr, sock) in &bound {
+        println!("  worker {addr} listening on {sock}");
+    }
+    println!("ready (Ctrl-C to stop)");
+
+    let server = Arc::new(parking_lot::Mutex::new(server));
+    let _balance = Server::start_balance_thread(Arc::clone(&server));
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
+}

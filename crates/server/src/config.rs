@@ -1,0 +1,93 @@
+//! Server configuration.
+
+use mbal_balancer::BalancerConfig;
+use mbal_core::hotkey::HotKeyConfig;
+use mbal_core::mem::MemConfig;
+use mbal_core::types::ServerId;
+
+/// Configuration of one MBal cache server.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// This server's id.
+    pub server: ServerId,
+    /// Number of worker threads (usually the core count, §2.3).
+    pub workers: u16,
+    /// Cachelets per worker (the paper's evaluation uses 16).
+    pub cachelets_per_worker: usize,
+    /// Memory manager configuration (global pool budget, thresholds).
+    pub mem: MemConfig,
+    /// Load balancer tunables.
+    pub balancer: BalancerConfig,
+    /// Hot-key tracker tunables.
+    pub hotkey: HotKeyConfig,
+    /// Permissible load `T_j` per worker in ops/s (footnote 2: computed
+    /// experimentally per instance type).
+    pub worker_load_capacity: f64,
+    /// Synchronous replica updates (consistent, slower writes) vs
+    /// asynchronous (eventual consistency), §3.2.
+    pub sync_replication: bool,
+}
+
+impl ServerConfig {
+    /// A sensible default configuration for `server` with `workers`
+    /// worker threads and a `cache_bytes` memory budget.
+    pub fn new(server: ServerId, workers: u16, cache_bytes: usize) -> Self {
+        Self {
+            server,
+            workers,
+            cachelets_per_worker: 16,
+            mem: MemConfig::with_capacity(cache_bytes),
+            balancer: BalancerConfig::default(),
+            hotkey: HotKeyConfig::default(),
+            worker_load_capacity: 1_000_000.0,
+            sync_replication: true,
+        }
+    }
+
+    /// Overrides the cachelet count and returns `self`.
+    pub fn cachelets_per_worker(mut self, n: usize) -> Self {
+        self.cachelets_per_worker = n.max(1);
+        self
+    }
+
+    /// Overrides the balancer config and returns `self`.
+    pub fn balancer(mut self, b: BalancerConfig) -> Self {
+        self.balancer = b;
+        self
+    }
+
+    /// Overrides the per-worker load capacity and returns `self`.
+    pub fn worker_capacity(mut self, ops_per_sec: f64) -> Self {
+        self.worker_load_capacity = ops_per_sec;
+        self
+    }
+
+    /// Per-worker memory capacity `M_j` in bytes.
+    pub fn worker_mem_capacity(&self) -> u64 {
+        (self.mem.capacity / self.workers.max(1) as usize) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_coherent() {
+        let c = ServerConfig::new(ServerId(3), 8, 64 << 20);
+        assert_eq!(c.server, ServerId(3));
+        assert_eq!(c.workers, 8);
+        assert_eq!(c.cachelets_per_worker, 16);
+        assert_eq!(c.worker_mem_capacity(), (64 << 20) / 8);
+        assert!(c.sync_replication);
+    }
+
+    #[test]
+    fn builders_override() {
+        let c = ServerConfig::new(ServerId(0), 2, 1 << 20)
+            .cachelets_per_worker(0)
+            .worker_capacity(500.0);
+        assert_eq!(c.cachelets_per_worker, 1, "clamped to one");
+        assert_eq!(c.worker_load_capacity, 500.0);
+    }
+}

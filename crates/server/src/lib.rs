@@ -1,0 +1,39 @@
+//! # mbal-server
+//!
+//! The MBal server runtime (§2 of the paper): one fully-functional
+//! caching worker per core, each owning its cachelets outright, with no
+//! dispatcher thread — clients route directly to workers.
+//!
+//! - [`mod@unit`] — [`unit::CacheUnit`]: a cachelet bundled with its own slab
+//!   store. Because the store travels with the cachelet, server-local
+//!   migration really is an ownership handoff between threads (a pointer
+//!   move through a channel), with zero data copying — the paper's
+//!   "near-zero cost" Phase 2 mechanism.
+//! - [`messages`] — the worker mailbox protocol: client RPCs plus the
+//!   control plane (epoch ticks, adopt/release, per-bucket migration).
+//! - [`worker`] — the worker event loop: lockless GET/SET/DELETE over
+//!   owned cachelets, the shadow-side replica table, hot-key sampling,
+//!   and the Write-Invalidate rules for in-flight migrations.
+//! - [`transport`] — the [`transport::Transport`] abstraction with the
+//!   in-process registry implementation used by tests, benchmarks and
+//!   single-host clusters.
+//! - [`tcp`] — the TCP transport: one listening port per worker (§2.3),
+//!   frames encoded by `mbal-proto`.
+//! - [`server`] — [`server::Server`]: spawns workers, runs the balance
+//!   epoch loop, executes Phase 1/2/3 actions, and performs coordinated
+//!   per-bucket migration with the coordinator.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod messages;
+pub mod server;
+pub mod tcp;
+pub mod transport;
+pub mod unit;
+pub mod worker;
+
+pub use config::ServerConfig;
+pub use server::Server;
+pub use transport::{InProcRegistry, Transport, TransportError};

@@ -1,0 +1,118 @@
+//! The worker mailbox protocol.
+//!
+//! Workers receive exactly two kinds of traffic: client RPCs (routed
+//! directly to the owning worker, §2.3) and control messages from the
+//! server's balance/migration machinery. Replies travel over bounded
+//! crossbeam channels.
+
+use crate::unit::CacheUnit;
+use crossbeam_channel::Sender;
+use mbal_balancer::WorkerLoad;
+use mbal_core::hotkey::HotKey;
+use mbal_core::types::{CacheletId, WorkerAddr, WorkerId};
+use mbal_proto::{Request, Response};
+
+/// A drained migration batch: `(key, value, expiry_ms)` triples.
+pub type MigrationBatch = Vec<(Vec<u8>, Vec<u8>, u64)>;
+
+/// Everything a worker can receive.
+pub enum WorkerMsg {
+    /// A client (or peer-server) RPC.
+    Rpc {
+        /// The request.
+        req: Request,
+        /// Where to send the response.
+        reply: Sender<Response>,
+    },
+    /// A control-plane message.
+    Control(Control),
+}
+
+/// Control-plane messages from the server runtime.
+pub enum Control {
+    /// Take ownership of a cachelet (initial placement, Phase 2 adopt,
+    /// or lease return).
+    Adopt {
+        /// The unit, moved between threads.
+        unit: Box<CacheUnit>,
+        /// For Phase 2 leases: `(home worker, lease expiry ms)`.
+        lease: Option<(WorkerId, u64)>,
+        /// Ack channel.
+        reply: Sender<()>,
+    },
+    /// Give up a cachelet (Phase 2 move-out or lease return). Replies
+    /// `None` if this worker does not own it.
+    Release {
+        /// Which cachelet.
+        id: CacheletId,
+        /// Where the cachelet is going (recorded for Moved redirects).
+        new_owner: WorkerAddr,
+        /// Reply carrying the unit.
+        reply: Sender<Option<Box<CacheUnit>>>,
+    },
+    /// Close the epoch: report loads + hot keys, reset samplers.
+    EpochEnd {
+        /// Epoch length in seconds (for rate computation).
+        epoch_secs: f64,
+        /// Reply channel.
+        reply: Sender<EpochReport>,
+    },
+    /// Record that `key` now has replicas at `shadows` (home side).
+    SetReplicated {
+        /// The replicated key.
+        key: Vec<u8>,
+        /// Shadow workers holding replicas.
+        shadows: Vec<WorkerAddr>,
+    },
+    /// Forget replication state for `key` (retired or migrated away).
+    UnsetReplicated {
+        /// The key.
+        key: Vec<u8>,
+    },
+    /// Apply a hot-key sampling backoff factor (Phase 1 pressure).
+    SetSamplingBackoff(u64),
+    /// Begin outbound coordinated migration of `id` towards `dest`.
+    /// Replies `false` if the cachelet is not owned here.
+    BeginMigration {
+        /// The cachelet.
+        id: CacheletId,
+        /// The destination worker (on another server).
+        dest: WorkerAddr,
+        /// Ack channel.
+        reply: Sender<bool>,
+    },
+    /// Drain the next bucket of a migrating cachelet.
+    DrainBucket {
+        /// The cachelet.
+        id: CacheletId,
+        /// `Some(entries)` to forward; `None` when fully drained.
+        reply: Sender<Option<MigrationBatch>>,
+    },
+    /// Drop the fully-drained cachelet and start forwarding (source
+    /// side, after the coordinator confirms clients have re-mapped).
+    FinishMigration {
+        /// The cachelet.
+        id: CacheletId,
+        /// Ack channel.
+        reply: Sender<()>,
+    },
+    /// Stop the worker loop.
+    Shutdown,
+}
+
+/// A worker's end-of-epoch report.
+#[derive(Debug, Clone)]
+pub struct EpochReport {
+    /// Balancer-facing load snapshot.
+    pub load: WorkerLoad,
+    /// Hot keys observed this epoch.
+    pub hot_keys: Vec<HotKey>,
+    /// Replica-table size in bytes (Table 2's duplicate-space cost).
+    pub replica_bytes: usize,
+    /// Total operations served so far (cumulative).
+    pub ops: u64,
+    /// Cache hits so far (cumulative).
+    pub hits: u64,
+    /// GET requests so far (cumulative).
+    pub reads: u64,
+}

@@ -1,0 +1,524 @@
+//! The MBal server: workers + balance machinery.
+//!
+//! A [`Server`] spawns one worker thread per configured core, seeds each
+//! with its cachelets from the cluster mapping, and drives the
+//! multi-phase balancer every epoch ([`Server::tick`]):
+//!
+//! - **Phase 1** — fetches hot-key values from home workers, installs
+//!   replicas on shadow servers over the transport, and tells home
+//!   workers which keys are replicated where (so GETs piggyback replica
+//!   locations).
+//! - **Phase 2** — executes server-local migrations as ownership
+//!   handoffs between worker threads (Release → Adopt), lease-based, and
+//!   reports the mapping change to the coordinator.
+//! - **Phase 3** — asks the coordinator for a coordinated plan and runs
+//!   the per-bucket Write-Invalidate transfer to the destination server.
+//!
+//! Ticks are driven externally (tests, simulator) or by
+//! [`Server::start_balance_thread`] on real time.
+
+use crate::config::ServerConfig;
+use crate::messages::{Control, EpochReport, WorkerMsg};
+use crate::transport::{InProcRegistry, Transport};
+use crate::unit::CacheUnit;
+use crate::worker::{spawn_worker, WorkerContext};
+use crossbeam_channel::{bounded, unbounded, Sender};
+use mbal_balancer::phase1::ReplicationAction;
+use mbal_balancer::plan::Migration;
+use mbal_balancer::replicated::CoordinatorService;
+use mbal_balancer::{BalanceDriver, Phase, WorkerLoad};
+use mbal_core::clock::Clock;
+use mbal_core::hotkey::HotKey;
+use mbal_core::mem::GlobalPool;
+use mbal_core::types::{CacheletId, ServerId, WorkerAddr, WorkerId};
+use mbal_proto::{Request, Response};
+use mbal_ring::MappingTable;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// A running MBal cache server.
+pub struct Server {
+    cfg: ServerConfig,
+    workers: Vec<Sender<WorkerMsg>>,
+    handles: Vec<JoinHandle<()>>,
+    transport: Arc<dyn Transport>,
+    coordinator: Arc<dyn CoordinatorService>,
+    clock: Arc<dyn Clock>,
+    driver: BalanceDriver,
+    /// Phase 2 leases: cachelet → (home, current, expiry ms).
+    leases: HashMap<CacheletId, (WorkerId, WorkerId, u64)>,
+    /// Home-side replica locations, mirrored into workers.
+    replica_locations: HashMap<Vec<u8>, Vec<WorkerAddr>>,
+    /// Cached cluster worker list for shadow selection.
+    cluster_workers: Vec<WorkerAddr>,
+    stop: Arc<AtomicBool>,
+}
+
+impl Server {
+    /// Spawns the server's workers, seeds cachelets from `mapping`, and
+    /// registers every worker in `registry`.
+    pub fn spawn<C: CoordinatorService + 'static>(
+        cfg: ServerConfig,
+        mapping: &MappingTable,
+        registry: &Arc<InProcRegistry>,
+        coordinator: Arc<C>,
+        clock: Arc<dyn Clock>,
+    ) -> Self {
+        let coordinator: Arc<dyn CoordinatorService> = coordinator;
+        let transport: Arc<dyn Transport> = Arc::clone(registry) as Arc<dyn Transport>;
+        let global = Arc::new(GlobalPool::new(
+            cfg.mem.capacity,
+            cfg.mem.chunk_size,
+            cfg.mem.numa_domains,
+        ));
+        let mut workers = Vec::new();
+        let mut handles = Vec::new();
+        for w in 0..cfg.workers {
+            let addr = WorkerAddr {
+                server: cfg.server,
+                worker: WorkerId(w),
+            };
+            let (tx, rx) = unbounded();
+            let numa = if cfg.mem.numa_aware {
+                (w as u8) % cfg.mem.numa_domains.max(1)
+            } else {
+                0
+            };
+            let factory_pool = Arc::clone(&global);
+            let factory_mem = cfg.mem.clone();
+            let ctx = WorkerContext {
+                addr,
+                rx,
+                transport: Arc::clone(&transport),
+                clock: Arc::clone(&clock),
+                hotkey: cfg.hotkey.clone(),
+                load_capacity: cfg.worker_load_capacity,
+                mem_capacity: cfg.worker_mem_capacity(),
+                sync_replication: cfg.sync_replication,
+                unit_factory: Box::new(move |id| {
+                    CacheUnit::new(id, Arc::clone(&factory_pool), &factory_mem, numa)
+                }),
+            };
+            handles.push(spawn_worker(ctx));
+            registry.register(addr, tx.clone());
+            workers.push(tx);
+        }
+
+        let driver = BalanceDriver::new(cfg.server, cfg.balancer.clone(), cfg.hotkey.hot_threshold);
+        let mut server = Self {
+            cluster_workers: mapping.workers(),
+            cfg,
+            workers,
+            handles,
+            transport,
+            coordinator,
+            clock,
+            driver,
+            leases: HashMap::new(),
+            replica_locations: HashMap::new(),
+            stop: Arc::new(AtomicBool::new(false)),
+        };
+        server.seed_cachelets(mapping, &global);
+        server
+    }
+
+    fn seed_cachelets(&mut self, mapping: &MappingTable, global: &Arc<GlobalPool>) {
+        for w in 0..self.cfg.workers {
+            let addr = WorkerAddr {
+                server: self.cfg.server,
+                worker: WorkerId(w),
+            };
+            let numa = if self.cfg.mem.numa_aware {
+                (w as u8) % self.cfg.mem.numa_domains.max(1)
+            } else {
+                0
+            };
+            for c in mapping.cachelets_of_worker(addr) {
+                let unit = Box::new(CacheUnit::new(c, Arc::clone(global), &self.cfg.mem, numa));
+                let (rtx, rrx) = bounded(1);
+                let _ = self.workers[w as usize].send(WorkerMsg::Control(Control::Adopt {
+                    unit,
+                    lease: None,
+                    reply: rtx,
+                }));
+                let _ = rrx.recv();
+            }
+        }
+    }
+
+    /// This server's id.
+    pub fn id(&self) -> ServerId {
+        self.cfg.server
+    }
+
+    /// The server's worker addresses.
+    pub fn worker_addrs(&self) -> Vec<WorkerAddr> {
+        (0..self.cfg.workers)
+            .map(|w| WorkerAddr {
+                server: self.cfg.server,
+                worker: WorkerId(w),
+            })
+            .collect()
+    }
+
+    /// Worker mailboxes paired with their addresses, for wiring a TCP
+    /// front end via [`crate::tcp::serve_tcp`].
+    pub fn worker_mailboxes(&self) -> Vec<(WorkerAddr, Sender<WorkerMsg>)> {
+        self.worker_addrs()
+            .into_iter()
+            .zip(self.workers.iter().cloned())
+            .collect()
+    }
+
+    /// The balancer's current phase.
+    pub fn phase(&self) -> Phase {
+        self.driver.phase()
+    }
+
+    /// The balance event log (Figure 13 data).
+    pub fn events(&self) -> &mbal_balancer::EventLog {
+        self.driver.events()
+    }
+
+    /// Sends a control message to worker `w` and waits for completion
+    /// where the message carries a reply channel.
+    fn control(&self, w: WorkerId, msg: Control) {
+        let _ = self.workers[w.0 as usize].send(WorkerMsg::Control(msg));
+    }
+
+    /// Direct RPC to one of this server's workers (bypasses transport).
+    pub fn local_call(&self, w: WorkerId, req: Request) -> Option<Response> {
+        let (rtx, rrx) = bounded(1);
+        self.workers[w.0 as usize]
+            .send(WorkerMsg::Rpc { req, reply: rtx })
+            .ok()?;
+        rrx.recv().ok()
+    }
+
+    /// Collects end-of-epoch reports from every worker.
+    fn collect_reports(&self, epoch_secs: f64) -> Vec<EpochReport> {
+        let mut pending = Vec::new();
+        for tx in &self.workers {
+            let (rtx, rrx) = bounded(1);
+            let _ = tx.send(WorkerMsg::Control(Control::EpochEnd {
+                epoch_secs,
+                reply: rtx,
+            }));
+            pending.push(rrx);
+        }
+        pending
+            .into_iter()
+            .filter_map(|rx| rx.recv().ok())
+            .collect()
+    }
+
+    /// Aggregated worker statistics (ops, hits, reads) for experiments.
+    pub fn totals(&self) -> (u64, u64, u64) {
+        let reports = self.collect_reports(0.0);
+        let mut t = (0, 0, 0);
+        for r in &reports {
+            t.0 += r.ops;
+            t.1 += r.hits;
+            t.2 += r.reads;
+        }
+        t
+    }
+
+    /// Runs one balance epoch. Returns the phase in force.
+    pub fn tick(&mut self, now_ms: u64) -> Phase {
+        let epoch_secs = self.cfg.balancer.epoch_ms as f64 / 1_000.0;
+        let reports = self.collect_reports(epoch_secs);
+        let loads: Vec<WorkerLoad> = reports.iter().map(|r| r.load.clone()).collect();
+        let hot_keys: HashMap<WorkerId, Vec<HotKey>> = reports
+            .iter()
+            .map(|r| (r.load.addr.worker, r.hot_keys.clone()))
+            .collect();
+
+        // Refresh the cluster view for shadow selection and report our
+        // stats to the coordinator.
+        self.coordinator
+            .report_stats(self.cfg.server, loads.clone());
+        self.cluster_workers = self.coordinator.mapping_snapshot().workers();
+
+        let actions = self
+            .driver
+            .epoch(now_ms, &loads, &hot_keys, &self.cluster_workers);
+
+        for tx in &self.workers {
+            let _ = tx.send(WorkerMsg::Control(Control::SetSamplingBackoff(
+                actions.sampling_backoff,
+            )));
+        }
+        for (wid, acts) in &actions.replication {
+            self.execute_replication(*wid, acts, now_ms);
+        }
+        if !actions.local_migrations.is_empty() {
+            self.execute_local_migrations(&actions.local_migrations, now_ms);
+        }
+        for &src in &actions.coordinate {
+            self.execute_coordinated(src);
+        }
+        self.expire_leases(now_ms);
+        actions.phase.unwrap_or(Phase::Normal)
+    }
+
+    fn execute_replication(&mut self, wid: WorkerId, acts: &[ReplicationAction], _now: u64) {
+        let mapping = self.coordinator.mapping_snapshot();
+        for act in acts {
+            match act {
+                ReplicationAction::Install {
+                    key,
+                    shadow,
+                    lease_expiry_ms,
+                }
+                | ReplicationAction::Renew {
+                    key,
+                    shadow,
+                    lease_expiry_ms,
+                } => {
+                    // Fetch the current value from the home worker.
+                    let cachelet = mapping.cachelet_of_vn(mapping.vn_of(key));
+                    let value = match self.local_call(
+                        wid,
+                        Request::Get {
+                            cachelet,
+                            key: key.clone(),
+                        },
+                    ) {
+                        Some(Response::Value { value, .. }) => value,
+                        _ => continue, // evicted or moved; nothing to copy
+                    };
+                    let ok = self
+                        .transport
+                        .call(
+                            *shadow,
+                            Request::ReplicaInstall {
+                                key: key.clone(),
+                                value,
+                                lease_expiry_ms: *lease_expiry_ms,
+                            },
+                        )
+                        .is_ok();
+                    if ok {
+                        let shadows = {
+                            let entry = self.replica_locations.entry(key.clone()).or_default();
+                            if !entry.contains(shadow) {
+                                entry.push(*shadow);
+                            }
+                            entry.clone()
+                        };
+                        self.control(
+                            wid,
+                            Control::SetReplicated {
+                                key: key.clone(),
+                                shadows,
+                            },
+                        );
+                    }
+                }
+                ReplicationAction::Retire { key, shadow } => {
+                    self.transport
+                        .cast(*shadow, Request::ReplicaInvalidate { key: key.clone() });
+                    let empty = match self.replica_locations.get_mut(key) {
+                        Some(list) => {
+                            list.retain(|s| s != shadow);
+                            list.is_empty()
+                        }
+                        None => false,
+                    };
+                    if empty {
+                        self.replica_locations.remove(key);
+                        self.control(wid, Control::UnsetReplicated { key: key.clone() });
+                    }
+                }
+            }
+        }
+    }
+
+    fn execute_local_migrations(&mut self, plan: &[Migration], now_ms: u64) {
+        for m in plan {
+            if m.from.server != self.cfg.server || m.to.server != self.cfg.server {
+                continue; // defensive: Phase 2 is local by construction
+            }
+            let (rtx, rrx) = bounded(1);
+            self.control(
+                m.from.worker,
+                Control::Release {
+                    id: m.cachelet,
+                    new_owner: m.to,
+                    reply: rtx,
+                },
+            );
+            let Ok(Some(unit)) = rrx.recv() else {
+                continue;
+            };
+            let lease_expiry = now_ms + self.cfg.balancer.cachelet_lease_ms;
+            let (atx, arx) = bounded(1);
+            self.control(
+                m.to.worker,
+                Control::Adopt {
+                    unit,
+                    lease: Some((m.from.worker, lease_expiry)),
+                    reply: atx,
+                },
+            );
+            let _ = arx.recv();
+            self.leases
+                .insert(m.cachelet, (m.from.worker, m.to.worker, lease_expiry));
+            self.coordinator.report_local_move(m);
+        }
+    }
+
+    /// Returns leased cachelets whose hotspot window ended back to their
+    /// home workers ("restored to their home workers with negligible
+    /// overhead", §3.3).
+    fn expire_leases(&mut self, now_ms: u64) {
+        let expired: Vec<(CacheletId, (WorkerId, WorkerId, u64))> = self
+            .leases
+            .iter()
+            .filter(|(_, &(_, _, exp))| exp <= now_ms)
+            .map(|(&c, &l)| (c, l))
+            .collect();
+        for (c, (home, current, _)) in expired {
+            let (rtx, rrx) = bounded(1);
+            let home_addr = WorkerAddr {
+                server: self.cfg.server,
+                worker: home,
+            };
+            self.control(
+                current,
+                Control::Release {
+                    id: c,
+                    new_owner: home_addr,
+                    reply: rtx,
+                },
+            );
+            if let Ok(Some(mut unit)) = rrx.recv() {
+                unit.meta_mut().restore_home();
+                let (atx, arx) = bounded(1);
+                self.control(
+                    home,
+                    Control::Adopt {
+                        unit,
+                        lease: None,
+                        reply: atx,
+                    },
+                );
+                let _ = arx.recv();
+                self.coordinator.report_local_move(&Migration {
+                    cachelet: c,
+                    from: WorkerAddr {
+                        server: self.cfg.server,
+                        worker: current,
+                    },
+                    to: home_addr,
+                    load: 0.0,
+                });
+            }
+            self.leases.remove(&c);
+        }
+    }
+
+    fn execute_coordinated(&mut self, src: WorkerAddr) {
+        let Some(plan) = self.coordinator.request_migration(src) else {
+            return; // cluster hot: scale out is beyond this server
+        };
+        for m in plan {
+            if m.from.server == self.cfg.server {
+                self.migrate_out(&m);
+            }
+        }
+    }
+
+    /// Per-bucket Write-Invalidate transfer of one cachelet (§3.4).
+    pub fn migrate_out(&mut self, m: &Migration) {
+        let (rtx, rrx) = bounded(1);
+        self.control(
+            m.from.worker,
+            Control::BeginMigration {
+                id: m.cachelet,
+                dest: m.to,
+                reply: rtx,
+            },
+        );
+        if !matches!(rrx.recv(), Ok(true)) {
+            return;
+        }
+        loop {
+            let (dtx, drx) = bounded(1);
+            self.control(
+                m.from.worker,
+                Control::DrainBucket {
+                    id: m.cachelet,
+                    reply: dtx,
+                },
+            );
+            match drx.recv() {
+                Ok(Some(entries)) => {
+                    if entries.is_empty() {
+                        continue;
+                    }
+                    let _ = self.transport.call(
+                        m.to,
+                        Request::MigrateEntries {
+                            cachelet: m.cachelet,
+                            entries,
+                        },
+                    );
+                }
+                Ok(None) => break,
+                Err(_) => return,
+            }
+        }
+        let _ = self.transport.call(
+            m.to,
+            Request::MigrateCommit {
+                cachelet: m.cachelet,
+            },
+        );
+        let (ftx, frx) = bounded(1);
+        self.control(
+            m.from.worker,
+            Control::FinishMigration {
+                id: m.cachelet,
+                reply: ftx,
+            },
+        );
+        let _ = frx.recv();
+        self.coordinator.migration_complete(m.cachelet);
+    }
+
+    /// Starts a background thread ticking the balancer every epoch on
+    /// the server's clock. Returns a guard handle; the thread stops at
+    /// [`Server::shutdown`].
+    pub fn start_balance_thread(server: Arc<parking_lot::Mutex<Server>>) -> JoinHandle<()> {
+        let (stop, clock, epoch_ms) = {
+            let s = server.lock();
+            (
+                Arc::clone(&s.stop),
+                Arc::clone(&s.clock),
+                s.cfg.balancer.epoch_ms,
+            )
+        };
+        std::thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                std::thread::sleep(std::time::Duration::from_millis(epoch_ms));
+                let now = clock.now_millis();
+                server.lock().tick(now);
+            }
+        })
+    }
+
+    /// Stops workers and joins their threads. Idempotent.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        for tx in &self.workers {
+            let _ = tx.send(WorkerMsg::Control(Control::Shutdown));
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}

@@ -1,0 +1,287 @@
+//! TCP transport: one listening port per worker (§2.3).
+//!
+//! "We associate a TCP/UDP port with each cache server worker thread so
+//! that clients can directly interact with workers without any
+//! centralized component." Each worker gets its own listener; accepted
+//! connections are served by lightweight framing threads that decode
+//! `mbal-proto` frames, enqueue them into the worker mailbox, and write
+//! the response back.
+
+use crate::messages::WorkerMsg;
+use crate::transport::{Transport, TransportError};
+use crossbeam_channel::{bounded, Sender};
+use mbal_core::types::WorkerAddr;
+use mbal_proto::codec::{self, opcode_of, HEADER_LEN};
+use mbal_proto::{Request, Response, Status};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::Arc;
+
+/// Reads one length-framed protocol frame.
+fn read_frame(stream: &mut TcpStream) -> std::io::Result<Option<Vec<u8>>> {
+    let mut header = [0u8; HEADER_LEN];
+    match stream.read_exact(&mut header) {
+        Ok(()) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let total = codec::frame_len(&header).expect("header length");
+    let mut frame = vec![0u8; total];
+    frame[..HEADER_LEN].copy_from_slice(&header);
+    stream.read_exact(&mut frame[HEADER_LEN..])?;
+    Ok(Some(frame))
+}
+
+/// Serves one accepted connection against a worker mailbox.
+fn serve_connection(mut stream: TcpStream, worker: Sender<WorkerMsg>) {
+    stream.set_nodelay(true).ok();
+    loop {
+        let frame = match read_frame(&mut stream) {
+            Ok(Some(f)) => f,
+            _ => return,
+        };
+        let (resp, opcode, opaque) = match codec::decode_request(&frame) {
+            Ok((req, opaque)) => {
+                let opcode = opcode_of(&req);
+                let (rtx, rrx) = bounded(1);
+                if worker.send(WorkerMsg::Rpc { req, reply: rtx }).is_err() {
+                    return;
+                }
+                match rrx.recv() {
+                    Ok(resp) => (resp, opcode, opaque),
+                    Err(_) => return,
+                }
+            }
+            Err(e) => (
+                Response::Fail {
+                    status: Status::Error,
+                    message: e.to_string(),
+                },
+                codec::Opcode::Stats,
+                0,
+            ),
+        };
+        let Ok(bytes) = codec::encode_response(&resp, opcode, opaque) else {
+            return;
+        };
+        if stream.write_all(&bytes).is_err() {
+            return;
+        }
+    }
+}
+
+/// Binds one listener per worker on consecutive ports starting at
+/// `base_port` (0 picks ephemeral ports) and returns the bound
+/// addresses. Listener threads run until the process exits.
+pub fn serve_tcp(
+    workers: &[(WorkerAddr, Sender<WorkerMsg>)],
+    host: &str,
+    base_port: u16,
+) -> std::io::Result<Vec<(WorkerAddr, SocketAddr)>> {
+    let mut bound = Vec::new();
+    for (i, (addr, tx)) in workers.iter().enumerate() {
+        let port = if base_port == 0 {
+            0
+        } else {
+            base_port + i as u16
+        };
+        let listener = TcpListener::bind((host, port))?;
+        bound.push((*addr, listener.local_addr()?));
+        let tx = tx.clone();
+        std::thread::Builder::new()
+            .name(format!("mbal-tcp-{addr}"))
+            .spawn(move || {
+                for conn in listener.incoming().flatten() {
+                    let tx = tx.clone();
+                    std::thread::spawn(move || serve_connection(conn, tx));
+                }
+            })
+            .expect("spawn listener thread");
+    }
+    Ok(bound)
+}
+
+/// Client-side TCP transport with per-worker connection reuse.
+pub struct TcpTransport {
+    addrs: HashMap<WorkerAddr, SocketAddr>,
+    pool: Mutex<HashMap<WorkerAddr, Vec<TcpStream>>>,
+}
+
+impl TcpTransport {
+    /// Creates a transport from a worker→socket address map.
+    pub fn new(addrs: HashMap<WorkerAddr, SocketAddr>) -> Arc<Self> {
+        Arc::new(Self {
+            addrs,
+            pool: Mutex::new(HashMap::new()),
+        })
+    }
+
+    fn checkout(&self, addr: WorkerAddr) -> Result<TcpStream, TransportError> {
+        if let Some(s) = self.pool.lock().get_mut(&addr).and_then(|v| v.pop()) {
+            return Ok(s);
+        }
+        let sock = self
+            .addrs
+            .get(&addr)
+            .ok_or(TransportError::Unreachable(addr))?;
+        let stream = TcpStream::connect(sock).map_err(|e| TransportError::Broken(e.to_string()))?;
+        stream.set_nodelay(true).ok();
+        Ok(stream)
+    }
+
+    fn checkin(&self, addr: WorkerAddr, stream: TcpStream) {
+        self.pool.lock().entry(addr).or_default().push(stream);
+    }
+}
+
+impl Transport for TcpTransport {
+    fn call(&self, addr: WorkerAddr, req: Request) -> Result<Response, TransportError> {
+        let mut stream = self.checkout(addr)?;
+        let frame =
+            codec::encode_request(&req, 1).map_err(|e| TransportError::Broken(e.to_string()))?;
+        stream
+            .write_all(&frame)
+            .map_err(|e| TransportError::Broken(e.to_string()))?;
+        let resp_frame = read_frame(&mut stream)
+            .map_err(|e| TransportError::Broken(e.to_string()))?
+            .ok_or(TransportError::Broken("connection closed".into()))?;
+        let (resp, _, _) = codec::decode_response(&resp_frame)
+            .map_err(|e| TransportError::Broken(e.to_string()))?;
+        self.checkin(addr, stream);
+        Ok(resp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbal_core::types::CacheletId;
+
+    /// A loopback worker that stores into a HashMap (protocol-level test
+    /// without the full server).
+    fn spawn_map_worker() -> Sender<WorkerMsg> {
+        let (tx, rx) = crossbeam_channel::unbounded::<WorkerMsg>();
+        std::thread::spawn(move || {
+            let mut map: HashMap<Vec<u8>, Vec<u8>> = HashMap::new();
+            while let Ok(WorkerMsg::Rpc { req, reply }) = rx.recv() {
+                let resp = match req {
+                    Request::Get { key, .. } => match map.get(&key) {
+                        Some(v) => Response::Value {
+                            value: v.clone(),
+                            replicas: vec![],
+                        },
+                        None => Response::NotFound,
+                    },
+                    Request::Set { key, value, .. } => {
+                        map.insert(key, value);
+                        Response::Stored
+                    }
+                    Request::Delete { key, .. } => {
+                        map.remove(&key);
+                        Response::Deleted
+                    }
+                    _ => Response::Fail {
+                        status: Status::Error,
+                        message: "unsupported".into(),
+                    },
+                };
+                let _ = reply.send(resp);
+            }
+        });
+        tx
+    }
+
+    #[test]
+    fn tcp_roundtrip_set_get_delete() {
+        let worker = WorkerAddr::new(0, 0);
+        let tx = spawn_map_worker();
+        let bound = serve_tcp(&[(worker, tx)], "127.0.0.1", 0).expect("bind");
+        let transport = TcpTransport::new(bound.into_iter().collect());
+
+        let set = transport
+            .call(
+                worker,
+                Request::Set {
+                    cachelet: CacheletId(1),
+                    key: b"alpha".to_vec(),
+                    value: b"beta".to_vec(),
+                    expiry_ms: 0,
+                },
+            )
+            .expect("set over tcp");
+        assert_eq!(set, Response::Stored);
+
+        let get = transport
+            .call(
+                worker,
+                Request::Get {
+                    cachelet: CacheletId(1),
+                    key: b"alpha".to_vec(),
+                },
+            )
+            .expect("get over tcp");
+        assert_eq!(
+            get,
+            Response::Value {
+                value: b"beta".to_vec(),
+                replicas: vec![]
+            }
+        );
+
+        let del = transport
+            .call(
+                worker,
+                Request::Delete {
+                    cachelet: CacheletId(1),
+                    key: b"alpha".to_vec(),
+                },
+            )
+            .expect("delete over tcp");
+        assert_eq!(del, Response::Deleted);
+        let miss = transport
+            .call(
+                worker,
+                Request::Get {
+                    cachelet: CacheletId(1),
+                    key: b"alpha".to_vec(),
+                },
+            )
+            .expect("miss over tcp");
+        assert_eq!(miss, Response::NotFound);
+    }
+
+    #[test]
+    fn unknown_route_is_unreachable() {
+        let transport = TcpTransport::new(HashMap::new());
+        assert!(matches!(
+            transport.call(WorkerAddr::new(5, 5), Request::Stats),
+            Err(TransportError::Unreachable(_))
+        ));
+    }
+
+    #[test]
+    fn connections_are_reused() {
+        let worker = WorkerAddr::new(0, 0);
+        let tx = spawn_map_worker();
+        let bound = serve_tcp(&[(worker, tx)], "127.0.0.1", 0).expect("bind");
+        let transport = TcpTransport::new(bound.into_iter().collect());
+        for i in 0..50u32 {
+            let r = transport
+                .call(
+                    worker,
+                    Request::Set {
+                        cachelet: CacheletId(0),
+                        key: format!("k{i}").into_bytes(),
+                        value: i.to_le_bytes().to_vec(),
+                        expiry_ms: 0,
+                    },
+                )
+                .expect("set");
+            assert_eq!(r, Response::Stored);
+        }
+        // Exactly one pooled connection after serial calls.
+        assert_eq!(transport.pool.lock().get(&worker).map_or(0, |v| v.len()), 1);
+    }
+}

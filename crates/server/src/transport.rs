@@ -1,0 +1,201 @@
+//! Worker-addressed request transport.
+//!
+//! Everything that talks to a worker — clients, home workers propagating
+//! replica updates, migrating sources — goes through [`Transport`]. The
+//! in-process implementation ([`InProcRegistry`]) routes over crossbeam
+//! channels and backs tests, benchmarks and the cluster simulator; the
+//! TCP implementation lives in [`crate::tcp`].
+
+use crate::messages::WorkerMsg;
+use crossbeam_channel::{bounded, Sender};
+use mbal_core::types::WorkerAddr;
+use mbal_proto::{Request, Response};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Transport failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TransportError {
+    /// No route to the worker.
+    Unreachable(WorkerAddr),
+    /// The worker did not answer in time.
+    Timeout(WorkerAddr),
+    /// The connection failed mid-flight.
+    Broken(String),
+}
+
+impl std::fmt::Display for TransportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransportError::Unreachable(a) => write!(f, "no route to worker {a}"),
+            TransportError::Timeout(a) => write!(f, "timeout waiting on worker {a}"),
+            TransportError::Broken(m) => write!(f, "transport broken: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
+
+/// A synchronous request/response transport addressed by worker.
+pub trait Transport: Send + Sync {
+    /// Sends `req` to `addr` and waits for the response.
+    fn call(&self, addr: WorkerAddr, req: Request) -> Result<Response, TransportError>;
+
+    /// Fire-and-forget send (asynchronous replication); default
+    /// implementation degrades to a synchronous call discarding the
+    /// response.
+    fn cast(&self, addr: WorkerAddr, req: Request) {
+        let _ = self.call(addr, req);
+    }
+}
+
+/// In-process transport: a registry of worker mailboxes.
+///
+/// All servers of an in-process "cluster" register their workers here;
+/// calls enqueue directly into the worker's channel.
+#[derive(Default)]
+pub struct InProcRegistry {
+    routes: RwLock<HashMap<WorkerAddr, Sender<WorkerMsg>>>,
+    timeout: Duration,
+}
+
+impl InProcRegistry {
+    /// Creates an empty registry with a 5-second call timeout.
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self {
+            routes: RwLock::new(HashMap::new()),
+            timeout: Duration::from_secs(5),
+        })
+    }
+
+    /// Registers (or replaces) a worker mailbox.
+    pub fn register(&self, addr: WorkerAddr, tx: Sender<WorkerMsg>) {
+        self.routes.write().insert(addr, tx);
+    }
+
+    /// Removes a worker (server shutdown).
+    pub fn deregister(&self, addr: WorkerAddr) {
+        self.routes.write().remove(&addr);
+    }
+
+    /// Number of registered workers.
+    pub fn len(&self) -> usize {
+        self.routes.read().len()
+    }
+
+    /// Returns `true` when no workers are registered.
+    pub fn is_empty(&self) -> bool {
+        self.routes.read().is_empty()
+    }
+}
+
+impl Transport for InProcRegistry {
+    fn call(&self, addr: WorkerAddr, req: Request) -> Result<Response, TransportError> {
+        let tx = {
+            let routes = self.routes.read();
+            routes
+                .get(&addr)
+                .cloned()
+                .ok_or(TransportError::Unreachable(addr))?
+        };
+        let (rtx, rrx) = bounded(1);
+        tx.send(WorkerMsg::Rpc { req, reply: rtx })
+            .map_err(|_| TransportError::Unreachable(addr))?;
+        rrx.recv_timeout(self.timeout)
+            .map_err(|_| TransportError::Timeout(addr))
+    }
+
+    /// Genuinely asynchronous: enqueue and return without waiting. The
+    /// response lands in a throwaway channel. This is what makes
+    /// asynchronous replica propagation (§3.2) non-blocking for the home
+    /// worker.
+    fn cast(&self, addr: WorkerAddr, req: Request) {
+        let tx = {
+            let routes = self.routes.read();
+            routes.get(&addr).cloned()
+        };
+        if let Some(tx) = tx {
+            let (rtx, _rrx) = bounded(1);
+            let _ = tx.send(WorkerMsg::Rpc { req, reply: rtx });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbal_proto::Status;
+
+    /// A trivial echo worker loop for transport tests.
+    fn spawn_echo(reg: &InProcRegistry, addr: WorkerAddr) -> std::thread::JoinHandle<()> {
+        let (tx, rx) = crossbeam_channel::unbounded();
+        reg.register(addr, tx);
+        std::thread::spawn(move || {
+            // One-shot: answer the first RPC and exit.
+            if let Ok(WorkerMsg::Rpc { req, reply }) = rx.recv() {
+                let resp = match req {
+                    Request::Get { key, .. } => Response::Value {
+                        value: key,
+                        replicas: vec![],
+                    },
+                    Request::Stats => Response::StatsBlob {
+                        payload: b"{}".to_vec(),
+                    },
+                    _ => Response::Fail {
+                        status: Status::Error,
+                        message: "unsupported".into(),
+                    },
+                };
+                let _ = reply.send(resp);
+            }
+        })
+    }
+
+    #[test]
+    fn call_roundtrips_through_registry() {
+        let reg = InProcRegistry::new();
+        let h = spawn_echo(&reg, WorkerAddr::new(0, 0));
+        let resp = reg
+            .call(
+                WorkerAddr::new(0, 0),
+                Request::Get {
+                    cachelet: mbal_core::types::CacheletId(0),
+                    key: b"echo".to_vec(),
+                },
+            )
+            .expect("reachable");
+        assert_eq!(
+            resp,
+            Response::Value {
+                value: b"echo".to_vec(),
+                replicas: vec![]
+            }
+        );
+        h.join().expect("worker exits");
+    }
+
+    #[test]
+    fn unknown_worker_is_unreachable() {
+        let reg = InProcRegistry::new();
+        assert_eq!(
+            reg.call(WorkerAddr::new(9, 9), Request::Stats),
+            Err(TransportError::Unreachable(WorkerAddr::new(9, 9)))
+        );
+    }
+
+    #[test]
+    fn deregister_breaks_routing() {
+        let reg = InProcRegistry::new();
+        let (tx, _rx) = crossbeam_channel::unbounded();
+        reg.register(WorkerAddr::new(0, 1), tx);
+        assert_eq!(reg.len(), 1);
+        reg.deregister(WorkerAddr::new(0, 1));
+        assert!(reg.is_empty());
+        assert!(matches!(
+            reg.call(WorkerAddr::new(0, 1), Request::Stats),
+            Err(TransportError::Unreachable(_))
+        ));
+    }
+}

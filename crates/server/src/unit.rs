@@ -1,0 +1,334 @@
+//! [`CacheUnit`]: a cachelet bundled with its own slab store.
+//!
+//! MBal describes a cachelet as "a configurable resource container"
+//! (§2.1) — it owns not just its keys but the memory they live in. We
+//! realize that literally: the unit carries its [`SlabStore`] (which
+//! refills from the server-wide global pool), so handing a unit to
+//! another worker thread moves the data with it at pointer cost.
+
+use mbal_core::cachelet::Cachelet;
+use mbal_core::mem::{GlobalPool, LocalPool, MemConfig, MemPolicy};
+use mbal_core::stats::CacheletLoad;
+use mbal_core::store::{SlabStore, ValueStore};
+use mbal_core::table::SetOutcome;
+use mbal_core::types::{CacheError, CacheletId, WorkerAddr};
+use std::sync::Arc;
+
+/// Migration progress attached to a unit that is being transferred to
+/// another server (§3.4: per-bucket, Write-Invalidate).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MigrationProgress {
+    /// Destination worker.
+    pub dest: WorkerAddr,
+    /// Buckets `0..next_bucket` have been drained and now live at the
+    /// destination.
+    pub next_bucket: usize,
+    /// Total buckets at freeze time.
+    pub bucket_count: usize,
+}
+
+/// A drained bucket: `(key, value, expiry_ms)` triples ready to ship.
+pub type DrainedBucket = Vec<(Box<[u8]>, Vec<u8>, u64)>;
+
+/// A cachelet plus its value store and migration state.
+#[derive(Debug)]
+pub struct CacheUnit {
+    meta: Cachelet,
+    store: SlabStore,
+    migration: Option<MigrationProgress>,
+}
+
+impl CacheUnit {
+    /// Creates an empty unit drawing memory from `global`.
+    pub fn new(id: CacheletId, global: Arc<GlobalPool>, mem: &MemConfig, numa: u8) -> Self {
+        let pool = LocalPool::new(global, mem, numa, MemPolicy::ThreadLocal);
+        Self {
+            meta: Cachelet::new(id),
+            store: SlabStore::new(pool),
+            migration: None,
+        }
+    }
+
+    /// The cachelet id.
+    pub fn id(&self) -> CacheletId {
+        self.meta.id()
+    }
+
+    /// Immutable cachelet metadata access.
+    pub fn meta(&self) -> &Cachelet {
+        &self.meta
+    }
+
+    /// Mutable cachelet metadata access.
+    pub fn meta_mut(&mut self) -> &mut Cachelet {
+        &mut self.meta
+    }
+
+    /// Looks up `key`.
+    pub fn get(&mut self, key: &[u8], now_ms: u64) -> Option<Vec<u8>> {
+        self.meta
+            .get(key, &mut self.store, now_ms)
+            .map(|c| c.into_owned())
+    }
+
+    /// Inserts or replaces `key`.
+    pub fn set(
+        &mut self,
+        key: &[u8],
+        value: &[u8],
+        now_ms: u64,
+        expiry_ms: u64,
+    ) -> Result<SetOutcome, CacheError> {
+        self.meta
+            .set(key, value, &mut self.store, now_ms, expiry_ms)
+    }
+
+    /// Deletes `key`.
+    pub fn delete(&mut self, key: &[u8]) -> bool {
+        self.meta.delete(key, &mut self.store)
+    }
+
+    /// Conditional insert (Memcached `add`): `Ok(true)` if stored.
+    pub fn add(
+        &mut self,
+        key: &[u8],
+        value: &[u8],
+        now_ms: u64,
+        expiry_ms: u64,
+    ) -> Result<bool, CacheError> {
+        self.meta
+            .add(key, value, &mut self.store, now_ms, expiry_ms)
+    }
+
+    /// Conditional overwrite (Memcached `replace`): `Ok(true)` if stored.
+    pub fn replace(
+        &mut self,
+        key: &[u8],
+        value: &[u8],
+        now_ms: u64,
+        expiry_ms: u64,
+    ) -> Result<bool, CacheError> {
+        self.meta
+            .replace(key, value, &mut self.store, now_ms, expiry_ms)
+    }
+
+    /// Append/prepend to an existing value; `Ok(Some(new_len))` on hit.
+    pub fn concat(
+        &mut self,
+        key: &[u8],
+        suffix: &[u8],
+        front: bool,
+        now_ms: u64,
+    ) -> Result<Option<usize>, CacheError> {
+        self.meta
+            .concat(key, suffix, front, &mut self.store, now_ms)
+    }
+
+    /// Counter arithmetic; `Ok(Some(new_value))` on hit.
+    pub fn incr(&mut self, key: &[u8], delta: i64, now_ms: u64) -> Result<Option<u64>, CacheError> {
+        self.meta.incr(key, delta, &mut self.store, now_ms)
+    }
+
+    /// TTL refresh; `true` if the key was present.
+    pub fn touch(&mut self, key: &[u8], now_ms: u64, expiry_ms: u64) -> bool {
+        self.meta.touch(key, now_ms, expiry_ms)
+    }
+
+    /// Bytes of payload stored.
+    pub fn value_bytes(&self) -> usize {
+        self.store.used_bytes()
+    }
+
+    /// The balancer-facing load record.
+    pub fn load_record(&self) -> CacheletLoad {
+        self.meta.load_record(self.store.used_bytes())
+    }
+
+    /// Closes an epoch (EWMA load update).
+    pub fn end_epoch(&mut self, epoch_secs: f64) {
+        self.meta.end_epoch(epoch_secs);
+    }
+
+    /// Begins outbound migration to `dest`: freezes bucket indices and
+    /// initializes progress.
+    pub fn begin_migration(&mut self, dest: WorkerAddr) {
+        self.meta.table_mut().set_frozen(true);
+        self.migration = Some(MigrationProgress {
+            dest,
+            next_bucket: 0,
+            bucket_count: self.meta.table().bucket_count(),
+        });
+    }
+
+    /// Current migration progress, if any.
+    pub fn migration(&self) -> Option<MigrationProgress> {
+        self.migration
+    }
+
+    /// Whether `key`'s bucket has already been drained to the
+    /// destination.
+    pub fn key_migrated(&self, key: &[u8]) -> bool {
+        match self.migration {
+            Some(p) => self.meta.table().bucket_of(key) < p.next_bucket,
+            None => false,
+        }
+    }
+
+    /// Drains the next bucket for transfer. Returns the entries, or
+    /// `None` when every bucket has been drained.
+    pub fn drain_next_bucket(&mut self) -> Option<DrainedBucket> {
+        let p = self.migration.as_mut()?;
+        if p.next_bucket >= p.bucket_count {
+            return None;
+        }
+        let b = p.next_bucket;
+        p.next_bucket += 1;
+        Some(self.meta.table_mut().drain_bucket(b, &mut self.store))
+    }
+
+    /// Installs entries received from a migrating source (destination
+    /// side). Entries that fail on memory pressure are counted as
+    /// evictions — the paper's constraint (10)–(11) planner makes this
+    /// rare.
+    pub fn install_entries(&mut self, entries: Vec<(Vec<u8>, Vec<u8>, u64)>, now_ms: u64) -> usize {
+        let mut installed = 0;
+        for (k, v, exp) in entries {
+            if self.set(&k, &v, now_ms, exp).is_ok() {
+                installed += 1;
+            }
+        }
+        installed
+    }
+
+    /// Finishes migration bookkeeping (source side, before dropping, or
+    /// destination side after commit): thaws the table.
+    pub fn finish_migration(&mut self) {
+        self.meta.table_mut().set_frozen(false);
+        self.migration = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbal_core::mem::GlobalPool;
+
+    fn unit(id: u32) -> CacheUnit {
+        let mut mem = MemConfig::with_capacity(1 << 20);
+        mem.chunk_size = 1 << 14;
+        let global = Arc::new(GlobalPool::new(1 << 20, 1 << 14, 1));
+        CacheUnit::new(CacheletId(id), global, &mem, 0)
+    }
+
+    #[test]
+    fn roundtrip_and_accounting() {
+        let mut u = unit(7);
+        u.set(b"k", b"value", 0, 0).expect("set");
+        assert_eq!(u.get(b"k", 0).expect("hit"), b"value");
+        assert_eq!(u.value_bytes(), 5);
+        let rec = u.load_record();
+        assert_eq!(rec.cachelet, CacheletId(7));
+        assert!(rec.mem_bytes > 5);
+        assert!(u.delete(b"k"));
+        assert_eq!(u.value_bytes(), 0);
+    }
+
+    #[test]
+    fn unit_is_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<CacheUnit>();
+    }
+
+    #[test]
+    fn migration_drains_every_bucket_exactly_once() {
+        let mut u = unit(1);
+        for i in 0..300u32 {
+            u.set(format!("k{i}").as_bytes(), &i.to_le_bytes(), 0, 0)
+                .expect("set");
+        }
+        u.begin_migration(WorkerAddr::new(1, 0));
+        let mut moved = Vec::new();
+        while let Some(batch) = u.drain_next_bucket() {
+            moved.extend(batch);
+        }
+        assert_eq!(moved.len(), 300);
+        assert_eq!(u.value_bytes(), 0);
+        // Keys are unique.
+        let set: std::collections::HashSet<_> = moved.iter().map(|(k, _, _)| k.clone()).collect();
+        assert_eq!(set.len(), 300);
+        u.finish_migration();
+        assert!(u.migration().is_none());
+    }
+
+    #[test]
+    fn key_migrated_tracks_bucket_frontier() {
+        let mut u = unit(1);
+        for i in 0..100u32 {
+            u.set(format!("k{i}").as_bytes(), b"v", 0, 0).expect("set");
+        }
+        u.begin_migration(WorkerAddr::new(1, 1));
+        assert!(!u.key_migrated(b"k0"));
+        // Drain half the buckets.
+        let total = u.migration().expect("migrating").bucket_count;
+        for _ in 0..total / 2 {
+            u.drain_next_bucket();
+        }
+        let frontier = u.migration().expect("migrating").next_bucket;
+        // Any key whose bucket is below the frontier reports migrated.
+        let mut some_migrated = false;
+        for i in 0..100u32 {
+            let k = format!("k{i}");
+            let migrated = u.key_migrated(k.as_bytes());
+            let bucket = u.meta().table().bucket_of(k.as_bytes());
+            assert_eq!(migrated, bucket < frontier, "key {k}");
+            some_migrated |= migrated;
+        }
+        assert!(some_migrated);
+    }
+
+    #[test]
+    fn inserts_during_migration_stay_in_undrained_buckets() {
+        let mut u = unit(1);
+        for i in 0..200u32 {
+            u.set(format!("k{i}").as_bytes(), b"v", 0, 0).expect("set");
+        }
+        u.begin_migration(WorkerAddr::new(1, 0));
+        let buckets = u.meta().table().bucket_count();
+        // Freeze holds even under further inserts.
+        for i in 200..1_000u32 {
+            u.set(format!("k{i}").as_bytes(), b"v", 0, 0).expect("set");
+        }
+        assert_eq!(u.meta().table().bucket_count(), buckets);
+        // And the full drain still moves everything.
+        let mut moved = 0;
+        while let Some(batch) = u.drain_next_bucket() {
+            moved += batch.len();
+        }
+        assert_eq!(moved, 1_000);
+    }
+
+    #[test]
+    fn install_entries_on_destination() {
+        let mut src = unit(1);
+        for i in 0..50u32 {
+            src.set(format!("k{i}").as_bytes(), &i.to_le_bytes(), 0, 0)
+                .expect("set");
+        }
+        src.begin_migration(WorkerAddr::new(1, 0));
+        let mut dst = unit(1);
+        while let Some(batch) = src.drain_next_bucket() {
+            let entries: Vec<(Vec<u8>, Vec<u8>, u64)> = batch
+                .into_iter()
+                .map(|(k, v, e)| (k.into_vec(), v, e))
+                .collect();
+            let n = entries.len();
+            assert_eq!(dst.install_entries(entries, 0), n);
+        }
+        for i in 0..50u32 {
+            assert_eq!(
+                dst.get(format!("k{i}").as_bytes(), 0).expect("hit"),
+                i.to_le_bytes()
+            );
+        }
+    }
+}

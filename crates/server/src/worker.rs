@@ -1,0 +1,609 @@
+//! The worker event loop.
+//!
+//! Each worker owns its cachelets outright: every GET/SET/DELETE on the
+//! fast path touches only thread-local state — no locks, no atomics, no
+//! sharing (§2.2). A worker additionally keeps:
+//!
+//! - the shadow-side [`ReplicaTable`] for keys replicated *to* it;
+//! - the home-side map of its keys replicated *elsewhere*, so GET
+//!   responses can piggyback replica locations to clients (§3.2);
+//! - forwarding addresses for cachelets it gave away, answering with
+//!   `Moved` ("on-the-way routing");
+//! - the proportional-sampling hot-key tracker;
+//! - Write-Invalidate migration state per §3.4.
+
+use crate::messages::{Control, EpochReport, WorkerMsg};
+use crate::transport::Transport;
+use crate::unit::CacheUnit;
+use crossbeam_channel::Receiver;
+use mbal_balancer::WorkerLoad;
+use mbal_core::clock::Clock;
+use mbal_core::hotkey::{HotKey, HotKeyConfig, HotKeyTracker};
+use mbal_core::replica::ReplicaTable;
+use mbal_core::types::{CacheError, CacheletId, WorkerAddr};
+use mbal_proto::{Request, Response, Status};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Everything a worker thread needs at spawn time.
+pub struct WorkerContext {
+    /// This worker's cluster address.
+    pub addr: WorkerAddr,
+    /// Mailbox.
+    pub rx: Receiver<WorkerMsg>,
+    /// Peer transport (replica propagation).
+    pub transport: Arc<dyn Transport>,
+    /// Time source.
+    pub clock: Arc<dyn Clock>,
+    /// Hot-key tracker configuration.
+    pub hotkey: HotKeyConfig,
+    /// Permissible load `T_j` (ops/s).
+    pub load_capacity: f64,
+    /// Memory capacity `M_j` (bytes).
+    pub mem_capacity: u64,
+    /// Synchronous (vs asynchronous) replica update propagation.
+    pub sync_replication: bool,
+    /// Factory for units adopted on the destination side of coordinated
+    /// migration (needs the server's global pool).
+    pub unit_factory: Box<dyn FnMut(CacheletId) -> CacheUnit + Send>,
+}
+
+/// The worker state machine; drive it with [`Worker::run`].
+pub struct Worker {
+    ctx: WorkerContext,
+    units: HashMap<CacheletId, Box<CacheUnit>>,
+    forwards: HashMap<CacheletId, WorkerAddr>,
+    replica_table: ReplicaTable,
+    replicated: HashMap<Vec<u8>, Vec<WorkerAddr>>,
+    tracker: HotKeyTracker,
+    ops: u64,
+    hits: u64,
+    reads: u64,
+}
+
+impl Worker {
+    /// Creates the worker.
+    pub fn new(ctx: WorkerContext) -> Self {
+        let tracker = HotKeyTracker::new(ctx.hotkey.clone());
+        Self {
+            ctx,
+            units: HashMap::new(),
+            forwards: HashMap::new(),
+            replica_table: ReplicaTable::new(),
+            replicated: HashMap::new(),
+            tracker,
+            ops: 0,
+            hits: 0,
+            reads: 0,
+        }
+    }
+
+    /// Runs the event loop until `Control::Shutdown` or channel close.
+    pub fn run(mut self) {
+        loop {
+            match self.ctx.rx.recv() {
+                Ok(WorkerMsg::Rpc { req, reply }) => {
+                    let resp = self.handle_rpc(req);
+                    let _ = reply.send(resp);
+                }
+                Ok(WorkerMsg::Control(c)) => {
+                    if !self.handle_control(c) {
+                        return;
+                    }
+                }
+                Err(_) => return,
+            }
+        }
+    }
+
+    fn now_ms(&self) -> u64 {
+        self.ctx.clock.now_millis()
+    }
+
+    fn handle_rpc(&mut self, req: Request) -> Response {
+        match req {
+            Request::Get { cachelet, key } => self.do_get(cachelet, &key),
+            Request::MultiGet { keys } => {
+                let values = keys
+                    .into_iter()
+                    .map(|(c, k)| match self.do_get(c, &k) {
+                        Response::Value { value, .. } => Some(value),
+                        _ => None,
+                    })
+                    .collect();
+                Response::Values { values }
+            }
+            Request::Set {
+                cachelet,
+                key,
+                value,
+                expiry_ms,
+            } => self.do_set(cachelet, key, value, expiry_ms),
+            Request::Delete { cachelet, key } => self.do_delete(cachelet, &key),
+            Request::Add {
+                cachelet,
+                key,
+                value,
+                expiry_ms,
+            } => self.do_conditional_store(cachelet, key, value, expiry_ms, true),
+            Request::Replace {
+                cachelet,
+                key,
+                value,
+                expiry_ms,
+            } => self.do_conditional_store(cachelet, key, value, expiry_ms, false),
+            Request::Concat {
+                cachelet,
+                key,
+                value,
+                front,
+            } => self.do_concat(cachelet, key, value, front),
+            Request::Incr {
+                cachelet,
+                key,
+                delta,
+            } => self.do_incr(cachelet, key, delta),
+            Request::Touch {
+                cachelet,
+                key,
+                expiry_ms,
+            } => self.do_touch(cachelet, key, expiry_ms),
+            Request::ReplicaRead { key } => {
+                let now = self.now_ms();
+                match self.replica_table.get(&key, now) {
+                    Some(v) => Response::Value {
+                        value: v.to_vec(),
+                        replicas: vec![],
+                    },
+                    None => Response::NotFound,
+                }
+            }
+            Request::ReplicaInstall {
+                key,
+                value,
+                lease_expiry_ms,
+            } => {
+                self.replica_table.install(&key, value, lease_expiry_ms);
+                Response::Stored
+            }
+            Request::ReplicaUpdate { key, value } => {
+                if self.replica_table.update(&key, value) {
+                    Response::Stored
+                } else {
+                    Response::NotFound
+                }
+            }
+            Request::ReplicaInvalidate { key } => {
+                self.replica_table.invalidate(&key);
+                Response::Deleted
+            }
+            Request::MigrateEntries { cachelet, entries } => {
+                let now = self.now_ms();
+                let unit = self.units.entry(cachelet).or_insert_with(|| {
+                    let mut u = Box::new((self.ctx.unit_factory)(cachelet));
+                    u.meta_mut().adopt();
+                    u
+                });
+                unit.install_entries(entries, now);
+                Response::MigrateAck
+            }
+            Request::MigrateCommit { cachelet } => {
+                // An empty cachelet migrates with zero MigrateEntries
+                // batches, so the commit must materialize it here.
+                let unit = self.units.entry(cachelet).or_insert_with(|| {
+                    let mut u = Box::new((self.ctx.unit_factory)(cachelet));
+                    u.meta_mut().adopt();
+                    u
+                });
+                unit.finish_migration();
+                self.forwards.remove(&cachelet);
+                Response::MigrateAck
+            }
+            Request::Stats => {
+                let report = self.epoch_snapshot(0.0, false);
+                let payload = serde_json::to_vec(&report.load).unwrap_or_default();
+                Response::StatsBlob { payload }
+            }
+            Request::Heartbeat { .. } => Response::Fail {
+                status: Status::Error,
+                message: "heartbeats are served by the coordinator".into(),
+            },
+        }
+    }
+
+    fn do_get(&mut self, cachelet: CacheletId, key: &[u8]) -> Response {
+        self.ops += 1;
+        self.reads += 1;
+        let now = self.now_ms();
+        let Some(unit) = self.units.get_mut(&cachelet) else {
+            return self.not_owner(cachelet);
+        };
+        if unit.key_migrated(key) {
+            let dest = unit.migration().expect("migrated implies migrating").dest;
+            return Response::Moved {
+                cachelet,
+                new_owner: dest,
+            };
+        }
+        self.tracker.record(key, true);
+        match unit.get(key, now) {
+            Some(value) => {
+                self.hits += 1;
+                let replicas = self.replicated.get(key).cloned().unwrap_or_default();
+                Response::Value { value, replicas }
+            }
+            None => Response::NotFound,
+        }
+    }
+
+    fn do_set(
+        &mut self,
+        cachelet: CacheletId,
+        key: Vec<u8>,
+        value: Vec<u8>,
+        expiry_ms: u64,
+    ) -> Response {
+        self.ops += 1;
+        let now = self.now_ms();
+        let Some(unit) = self.units.get_mut(&cachelet) else {
+            return self.not_owner(cachelet);
+        };
+        if unit.key_migrated(&key) {
+            // Write-Invalidate: the key already lives at the destination.
+            // Invalidate any stale copy on both sides and redirect the
+            // writer (MBal is a write-through cache, so no data is lost).
+            let dest = unit.migration().expect("migrating").dest;
+            unit.delete(&key);
+            self.ctx
+                .transport
+                .cast(dest, Request::Delete { cachelet, key });
+            return Response::Moved {
+                cachelet,
+                new_owner: dest,
+            };
+        }
+        self.tracker.record(&key, false);
+        match unit.set(&key, &value, now, expiry_ms) {
+            Ok(_) => {
+                self.propagate_update(&key, &value);
+                Response::Stored
+            }
+            Err(CacheError::OutOfMemory) => Response::Fail {
+                status: Status::OutOfMemory,
+                message: "cache full".into(),
+            },
+            Err(e) => Response::Fail {
+                status: Status::Error,
+                message: e.to_string(),
+            },
+        }
+    }
+
+    /// Common preamble for single-key write ops: ownership check and the
+    /// Write-Invalidate redirect for keys whose bucket already migrated.
+    /// Returns `Err(response)` when the op cannot proceed locally.
+    fn write_preamble(&mut self, cachelet: CacheletId, key: &[u8]) -> Result<(), Response> {
+        self.ops += 1;
+        let Some(unit) = self.units.get_mut(&cachelet) else {
+            return Err(self.not_owner(cachelet));
+        };
+        if unit.key_migrated(key) {
+            let dest = unit.migration().expect("migrating").dest;
+            unit.delete(key);
+            self.ctx.transport.cast(
+                dest,
+                Request::Delete {
+                    cachelet,
+                    key: key.to_vec(),
+                },
+            );
+            return Err(Response::Moved {
+                cachelet,
+                new_owner: dest,
+            });
+        }
+        self.tracker.record(key, false);
+        Ok(())
+    }
+
+    fn do_conditional_store(
+        &mut self,
+        cachelet: CacheletId,
+        key: Vec<u8>,
+        value: Vec<u8>,
+        expiry_ms: u64,
+        add: bool,
+    ) -> Response {
+        if let Err(resp) = self.write_preamble(cachelet, &key) {
+            return resp;
+        }
+        let now = self.now_ms();
+        let unit = self.units.get_mut(&cachelet).expect("checked by preamble");
+        let outcome = if add {
+            unit.add(&key, &value, now, expiry_ms)
+        } else {
+            unit.replace(&key, &value, now, expiry_ms)
+        };
+        match outcome {
+            Ok(true) => {
+                self.propagate_update(&key, &value);
+                Response::Stored
+            }
+            Ok(false) => {
+                if add {
+                    Response::Fail {
+                        status: Status::Exists,
+                        message: "key exists".into(),
+                    }
+                } else {
+                    Response::NotFound
+                }
+            }
+            Err(CacheError::OutOfMemory) => Response::Fail {
+                status: Status::OutOfMemory,
+                message: "cache full".into(),
+            },
+            Err(e) => Response::Fail {
+                status: Status::Error,
+                message: e.to_string(),
+            },
+        }
+    }
+
+    fn do_concat(
+        &mut self,
+        cachelet: CacheletId,
+        key: Vec<u8>,
+        value: Vec<u8>,
+        front: bool,
+    ) -> Response {
+        if let Err(resp) = self.write_preamble(cachelet, &key) {
+            return resp;
+        }
+        let now = self.now_ms();
+        let unit = self.units.get_mut(&cachelet).expect("checked by preamble");
+        match unit.concat(&key, &value, front, now) {
+            Ok(Some(_len)) => {
+                if let Some(new_value) =
+                    self.units.get_mut(&cachelet).and_then(|u| u.get(&key, now))
+                {
+                    self.propagate_update(&key, &new_value);
+                }
+                Response::Stored
+            }
+            Ok(None) => Response::NotFound,
+            Err(CacheError::OutOfMemory) => Response::Fail {
+                status: Status::OutOfMemory,
+                message: "cache full".into(),
+            },
+            Err(e) => Response::Fail {
+                status: Status::Error,
+                message: e.to_string(),
+            },
+        }
+    }
+
+    fn do_incr(&mut self, cachelet: CacheletId, key: Vec<u8>, delta: i64) -> Response {
+        if let Err(resp) = self.write_preamble(cachelet, &key) {
+            return resp;
+        }
+        let now = self.now_ms();
+        let unit = self.units.get_mut(&cachelet).expect("checked by preamble");
+        match unit.incr(&key, delta, now) {
+            Ok(Some(value)) => {
+                self.propagate_update(&key, value.to_string().as_bytes());
+                Response::Counter { value }
+            }
+            Ok(None) => Response::NotFound,
+            Err(CacheError::Internal(_)) => Response::Fail {
+                status: Status::NotNumeric,
+                message: "value is not a decimal counter".into(),
+            },
+            Err(e) => Response::Fail {
+                status: Status::Error,
+                message: e.to_string(),
+            },
+        }
+    }
+
+    fn do_touch(&mut self, cachelet: CacheletId, key: Vec<u8>, expiry_ms: u64) -> Response {
+        if let Err(resp) = self.write_preamble(cachelet, &key) {
+            return resp;
+        }
+        let now = self.now_ms();
+        let unit = self.units.get_mut(&cachelet).expect("checked by preamble");
+        if unit.touch(&key, now, expiry_ms) {
+            Response::Touched
+        } else {
+            Response::NotFound
+        }
+    }
+
+    fn do_delete(&mut self, cachelet: CacheletId, key: &[u8]) -> Response {
+        self.ops += 1;
+        let Some(unit) = self.units.get_mut(&cachelet) else {
+            return self.not_owner(cachelet);
+        };
+        if unit.key_migrated(key) {
+            let dest = unit.migration().expect("migrating").dest;
+            self.ctx.transport.cast(
+                dest,
+                Request::Delete {
+                    cachelet,
+                    key: key.to_vec(),
+                },
+            );
+            return Response::Moved {
+                cachelet,
+                new_owner: dest,
+            };
+        }
+        self.tracker.record(key, false);
+        unit.delete(key);
+        // Deleting a replicated key invalidates its replicas.
+        if let Some(shadows) = self.replicated.remove(key) {
+            for s in shadows {
+                self.ctx
+                    .transport
+                    .cast(s, Request::ReplicaInvalidate { key: key.to_vec() });
+            }
+        }
+        Response::Deleted
+    }
+
+    /// Propagates a write to every replica of `key` (§3.2: synchronous
+    /// updates pay latency in the critical path; asynchronous updates are
+    /// eventually consistent).
+    fn propagate_update(&mut self, key: &[u8], value: &[u8]) {
+        let Some(shadows) = self.replicated.get(key) else {
+            return;
+        };
+        for &s in shadows {
+            let req = Request::ReplicaUpdate {
+                key: key.to_vec(),
+                value: value.to_vec(),
+            };
+            if self.ctx.sync_replication {
+                let _ = self.ctx.transport.call(s, req);
+            } else {
+                self.ctx.transport.cast(s, req);
+            }
+        }
+    }
+
+    fn not_owner(&self, cachelet: CacheletId) -> Response {
+        match self.forwards.get(&cachelet) {
+            Some(&new_owner) => Response::Moved {
+                cachelet,
+                new_owner,
+            },
+            None => Response::Fail {
+                status: Status::NotOwner,
+                message: format!("cachelet {cachelet} not owned by {}", self.ctx.addr),
+            },
+        }
+    }
+
+    fn handle_control(&mut self, c: Control) -> bool {
+        match c {
+            Control::Adopt { unit, lease, reply } => {
+                let mut unit = unit;
+                if let Some((home, expiry)) = lease {
+                    unit.meta_mut().lease_out(home, expiry)
+                }
+                self.forwards.remove(&unit.id());
+                self.units.insert(unit.id(), unit);
+                let _ = reply.send(());
+            }
+            Control::Release {
+                id,
+                new_owner,
+                reply,
+            } => {
+                let unit = self.units.remove(&id);
+                if unit.is_some() {
+                    self.forwards.insert(id, new_owner);
+                }
+                let _ = reply.send(unit);
+            }
+            Control::EpochEnd { epoch_secs, reply } => {
+                let report = self.epoch_snapshot(epoch_secs, true);
+                let _ = reply.send(report);
+            }
+            Control::SetReplicated { key, shadows } => {
+                self.replicated.insert(key, shadows);
+            }
+            Control::UnsetReplicated { key } => {
+                self.replicated.remove(&key);
+            }
+            Control::SetSamplingBackoff(b) => {
+                self.tracker.set_backoff(b);
+            }
+            Control::BeginMigration { id, dest, reply } => {
+                let ok = match self.units.get_mut(&id) {
+                    Some(u) => {
+                        u.begin_migration(dest);
+                        true
+                    }
+                    None => false,
+                };
+                let _ = reply.send(ok);
+            }
+            Control::DrainBucket { id, reply } => {
+                let batch = self.units.get_mut(&id).and_then(|u| {
+                    u.drain_next_bucket().map(|entries| {
+                        entries
+                            .into_iter()
+                            .map(|(k, v, e)| (k.into_vec(), v, e))
+                            .collect::<Vec<_>>()
+                    })
+                });
+                let _ = reply.send(batch);
+            }
+            Control::FinishMigration { id, reply } => {
+                if let Some(u) = self.units.remove(&id) {
+                    if let Some(p) = u.migration() {
+                        self.forwards.insert(id, p.dest);
+                    }
+                }
+                let _ = reply.send(());
+            }
+            Control::Shutdown => return false,
+        }
+        true
+    }
+
+    /// Builds the end-of-epoch report; when `close` is set, rolls the
+    /// epoch (EWMA update, tracker decay, replica-lease sweep).
+    fn epoch_snapshot(&mut self, epoch_secs: f64, close: bool) -> EpochReport {
+        if close {
+            for u in self.units.values_mut() {
+                u.end_epoch(epoch_secs);
+            }
+            self.tracker.end_epoch();
+            let now = self.now_ms();
+            self.replica_table.retire_expired(now);
+        }
+        let mut hot = self.tracker.hot_keys();
+        for wh in self.tracker.write_hot_keys() {
+            if !hot.iter().any(|h| h.key == wh.key) {
+                hot.push(wh);
+            }
+        }
+        EpochReport {
+            load: WorkerLoad {
+                addr: self.ctx.addr,
+                cachelets: self.units.values().map(|u| u.load_record()).collect(),
+                load_capacity: self.ctx.load_capacity,
+                mem_capacity: self.ctx.mem_capacity,
+            },
+            hot_keys: hot,
+            replica_bytes: self.replica_table.bytes(),
+            ops: self.ops,
+            hits: self.hits,
+            reads: self.reads,
+        }
+    }
+}
+
+/// Spawns a worker thread, returning its mailbox sender and join handle.
+pub fn spawn_worker(ctx: WorkerContext) -> std::thread::JoinHandle<()> {
+    let name = format!("mbal-worker-{}", ctx.addr);
+    std::thread::Builder::new()
+        .name(name)
+        .spawn(move || Worker::new(ctx).run())
+        .expect("spawn worker thread")
+}
+
+/// Convenience for tests and tools: list the hot keys a worker would
+/// report, given raw tracked state. (The production path goes through
+/// `Control::EpochEnd`.)
+pub fn merge_hot_keys(read_hot: Vec<HotKey>, write_hot: Vec<HotKey>) -> Vec<HotKey> {
+    let mut out = read_hot;
+    for wh in write_hot {
+        if !out.iter().any(|h| h.key == wh.key) {
+            out.push(wh);
+        }
+    }
+    out
+}

@@ -1,0 +1,600 @@
+//! Direct tests of the worker event loop's RPC semantics: ownership
+//! checks, forwarding, the replica table, MultiGET, migration rules
+//! (Write-Invalidate), epoch reports and sampling backoff.
+
+use crossbeam_channel::{bounded, unbounded, Sender};
+use mbal_core::clock::ManualClock;
+use mbal_core::hotkey::HotKeyConfig;
+use mbal_core::mem::{GlobalPool, MemConfig};
+use mbal_core::types::{CacheletId, WorkerAddr, WorkerId};
+use mbal_proto::{Request, Response, Status};
+use mbal_server::messages::{Control, EpochReport, WorkerMsg};
+use mbal_server::transport::InProcRegistry;
+use mbal_server::unit::CacheUnit;
+use mbal_server::worker::{spawn_worker, WorkerContext};
+use std::sync::Arc;
+
+struct Fixture {
+    tx: Sender<WorkerMsg>,
+    clock: ManualClock,
+    registry: Arc<InProcRegistry>,
+    _join: std::thread::JoinHandle<()>,
+}
+
+fn fixture(addr: WorkerAddr, cachelets: &[u32]) -> Fixture {
+    let registry = InProcRegistry::new();
+    let clock = ManualClock::new();
+    let (tx, rx) = unbounded();
+    registry.register(addr, tx.clone());
+    let mem = {
+        let mut m = MemConfig::with_capacity(16 << 20);
+        m.chunk_size = 1 << 16;
+        m
+    };
+    let global = Arc::new(GlobalPool::new(16 << 20, 1 << 16, 1));
+    let factory_mem = mem.clone();
+    let factory_global = Arc::clone(&global);
+    let ctx = WorkerContext {
+        addr,
+        rx,
+        transport: Arc::clone(&registry) as Arc<dyn mbal_server::Transport>,
+        clock: Arc::new(clock.clone()),
+        hotkey: HotKeyConfig {
+            sample_rate: 1.0,
+            ..HotKeyConfig::default()
+        },
+        load_capacity: 10_000.0,
+        mem_capacity: 16 << 20,
+        sync_replication: true,
+        unit_factory: Box::new(move |id| {
+            CacheUnit::new(id, Arc::clone(&factory_global), &factory_mem, 0)
+        }),
+    };
+    let join = spawn_worker(ctx);
+    let f = Fixture {
+        tx,
+        clock,
+        registry,
+        _join: join,
+    };
+    for &c in cachelets {
+        let unit = Box::new(CacheUnit::new(CacheletId(c), Arc::clone(&global), &mem, 0));
+        let (rtx, rrx) = bounded(1);
+        f.control(Control::Adopt {
+            unit,
+            lease: None,
+            reply: rtx,
+        });
+        rrx.recv().expect("adopt ack");
+    }
+    f
+}
+
+impl Fixture {
+    fn rpc(&self, req: Request) -> Response {
+        let (rtx, rrx) = bounded(1);
+        self.tx
+            .send(WorkerMsg::Rpc { req, reply: rtx })
+            .expect("send");
+        rrx.recv().expect("reply")
+    }
+
+    fn control(&self, c: Control) {
+        self.tx.send(WorkerMsg::Control(c)).expect("send");
+    }
+
+    fn epoch(&self) -> EpochReport {
+        let (rtx, rrx) = bounded(1);
+        self.control(Control::EpochEnd {
+            epoch_secs: 1.0,
+            reply: rtx,
+        });
+        rrx.recv().expect("report")
+    }
+}
+
+fn set(f: &Fixture, c: u32, key: &[u8], value: &[u8]) -> Response {
+    f.rpc(Request::Set {
+        cachelet: CacheletId(c),
+        key: key.to_vec(),
+        value: value.to_vec(),
+        expiry_ms: 0,
+    })
+}
+
+fn get(f: &Fixture, c: u32, key: &[u8]) -> Response {
+    f.rpc(Request::Get {
+        cachelet: CacheletId(c),
+        key: key.to_vec(),
+    })
+}
+
+#[test]
+fn ownership_is_enforced() {
+    let f = fixture(WorkerAddr::new(0, 0), &[1, 2]);
+    assert_eq!(set(&f, 1, b"k", b"v"), Response::Stored);
+    assert_eq!(
+        get(&f, 1, b"k"),
+        Response::Value {
+            value: b"v".to_vec(),
+            replicas: vec![]
+        }
+    );
+    // Unowned cachelet with no forwarding info → NotOwner failure.
+    match get(&f, 9, b"k") {
+        Response::Fail { status, .. } => assert_eq!(status, Status::NotOwner),
+        other => panic!("expected NotOwner, got {other:?}"),
+    }
+    f.control(Control::Shutdown);
+}
+
+#[test]
+fn release_leaves_forwarding_breadcrumb() {
+    let f = fixture(WorkerAddr::new(0, 0), &[1]);
+    set(&f, 1, b"k", b"v");
+    let (rtx, rrx) = bounded(1);
+    f.control(Control::Release {
+        id: CacheletId(1),
+        new_owner: WorkerAddr::new(0, 1),
+        reply: rtx,
+    });
+    let unit = rrx.recv().expect("reply").expect("owned");
+    assert_eq!(unit.id(), CacheletId(1));
+    // Requests now redirect to the new owner.
+    assert_eq!(
+        get(&f, 1, b"k"),
+        Response::Moved {
+            cachelet: CacheletId(1),
+            new_owner: WorkerAddr::new(0, 1)
+        }
+    );
+    f.control(Control::Shutdown);
+}
+
+#[test]
+fn multiget_returns_positional_hits() {
+    let f = fixture(WorkerAddr::new(0, 0), &[1, 2]);
+    set(&f, 1, b"a", b"1");
+    set(&f, 2, b"b", b"2");
+    let resp = f.rpc(Request::MultiGet {
+        keys: vec![
+            (CacheletId(1), b"a".to_vec()),
+            (CacheletId(2), b"missing".to_vec()),
+            (CacheletId(2), b"b".to_vec()),
+            (CacheletId(7), b"not-owned".to_vec()),
+        ],
+    });
+    assert_eq!(
+        resp,
+        Response::Values {
+            values: vec![Some(b"1".to_vec()), None, Some(b"2".to_vec()), None]
+        }
+    );
+    f.control(Control::Shutdown);
+}
+
+#[test]
+fn replica_table_lifecycle_via_rpc() {
+    let f = fixture(WorkerAddr::new(0, 0), &[1]);
+    f.clock.advance(1_000_000); // 1 s
+    assert_eq!(
+        f.rpc(Request::ReplicaInstall {
+            key: b"hot".to_vec(),
+            value: b"v1".to_vec(),
+            lease_expiry_ms: 5_000,
+        }),
+        Response::Stored
+    );
+    assert_eq!(
+        f.rpc(Request::ReplicaRead {
+            key: b"hot".to_vec()
+        }),
+        Response::Value {
+            value: b"v1".to_vec(),
+            replicas: vec![]
+        }
+    );
+    assert_eq!(
+        f.rpc(Request::ReplicaUpdate {
+            key: b"hot".to_vec(),
+            value: b"v2".to_vec(),
+        }),
+        Response::Stored
+    );
+    assert_eq!(
+        f.rpc(Request::ReplicaRead {
+            key: b"hot".to_vec()
+        }),
+        Response::Value {
+            value: b"v2".to_vec(),
+            replicas: vec![]
+        }
+    );
+    // Lease expiry retires the replica.
+    f.clock.advance(10_000_000);
+    assert_eq!(
+        f.rpc(Request::ReplicaRead {
+            key: b"hot".to_vec()
+        }),
+        Response::NotFound
+    );
+    // Updating a missing replica reports NotFound (home resyncs).
+    assert_eq!(
+        f.rpc(Request::ReplicaUpdate {
+            key: b"hot".to_vec(),
+            value: b"v3".to_vec(),
+        }),
+        Response::NotFound
+    );
+    f.control(Control::Shutdown);
+}
+
+#[test]
+fn get_piggybacks_replica_locations() {
+    let f = fixture(WorkerAddr::new(0, 0), &[1]);
+    set(&f, 1, b"hot", b"v");
+    f.control(Control::SetReplicated {
+        key: b"hot".to_vec(),
+        shadows: vec![WorkerAddr::new(1, 0), WorkerAddr::new(2, 1)],
+    });
+    assert_eq!(
+        get(&f, 1, b"hot"),
+        Response::Value {
+            value: b"v".to_vec(),
+            replicas: vec![WorkerAddr::new(1, 0), WorkerAddr::new(2, 1)]
+        }
+    );
+    f.control(Control::UnsetReplicated {
+        key: b"hot".to_vec(),
+    });
+    assert_eq!(
+        get(&f, 1, b"hot"),
+        Response::Value {
+            value: b"v".to_vec(),
+            replicas: vec![]
+        }
+    );
+    f.control(Control::Shutdown);
+}
+
+#[test]
+fn writes_propagate_to_shadow_synchronously() {
+    // Two workers on the registry: home (0,0) and shadow (1,0).
+    let home = fixture(WorkerAddr::new(0, 0), &[1]);
+    let shadow_registry = Arc::clone(&home.registry);
+    // Spawn the shadow worker sharing home's registry.
+    let (stx, srx) = unbounded();
+    shadow_registry.register(WorkerAddr::new(1, 0), stx.clone());
+    let mem = {
+        let mut m = MemConfig::with_capacity(4 << 20);
+        m.chunk_size = 1 << 16;
+        m
+    };
+    let global = Arc::new(GlobalPool::new(4 << 20, 1 << 16, 1));
+    let ctx = WorkerContext {
+        addr: WorkerAddr::new(1, 0),
+        rx: srx,
+        transport: Arc::clone(&home.registry) as Arc<dyn mbal_server::Transport>,
+        clock: Arc::new(home.clock.clone()),
+        hotkey: HotKeyConfig::default(),
+        load_capacity: 10_000.0,
+        mem_capacity: 4 << 20,
+        sync_replication: true,
+        unit_factory: Box::new(move |id| CacheUnit::new(id, Arc::clone(&global), &mem, 0)),
+    };
+    let _join = spawn_worker(ctx);
+
+    set(&home, 1, b"hot", b"v1");
+    // Install the replica at the shadow and tell home about it.
+    let (rtx, rrx) = bounded(1);
+    stx.send(WorkerMsg::Rpc {
+        req: Request::ReplicaInstall {
+            key: b"hot".to_vec(),
+            value: b"v1".to_vec(),
+            lease_expiry_ms: u64::MAX,
+        },
+        reply: rtx,
+    })
+    .expect("send");
+    rrx.recv().expect("install ack");
+    home.control(Control::SetReplicated {
+        key: b"hot".to_vec(),
+        shadows: vec![WorkerAddr::new(1, 0)],
+    });
+
+    // A write at home must synchronously update the shadow.
+    assert_eq!(set(&home, 1, b"hot", b"v2"), Response::Stored);
+    let (rtx, rrx) = bounded(1);
+    stx.send(WorkerMsg::Rpc {
+        req: Request::ReplicaRead {
+            key: b"hot".to_vec(),
+        },
+        reply: rtx,
+    })
+    .expect("send");
+    assert_eq!(
+        rrx.recv().expect("read"),
+        Response::Value {
+            value: b"v2".to_vec(),
+            replicas: vec![]
+        }
+    );
+    home.control(Control::Shutdown);
+}
+
+#[test]
+fn migration_write_invalidate_rules() {
+    let f = fixture(WorkerAddr::new(0, 0), &[1]);
+    for i in 0..200u32 {
+        set(&f, 1, format!("k{i}").as_bytes(), b"v");
+    }
+    let dest = WorkerAddr::new(1, 0);
+    // Register a sink for the cast invalidations the source sends.
+    let (sink_tx, _sink_rx) = unbounded();
+    f.registry.register(dest, sink_tx);
+    let (rtx, rrx) = bounded(1);
+    f.control(Control::BeginMigration {
+        id: CacheletId(1),
+        dest,
+        reply: rtx,
+    });
+    assert!(rrx.recv().expect("begin"));
+    // Drain roughly half the buckets.
+    let mut drained = 0usize;
+    loop {
+        let (dtx, drx) = bounded(1);
+        f.control(Control::DrainBucket {
+            id: CacheletId(1),
+            reply: dtx,
+        });
+        match drx.recv().expect("drain") {
+            Some(batch) => {
+                drained += batch.len();
+                if drained >= 100 {
+                    break;
+                }
+            }
+            None => break,
+        }
+    }
+    assert!(drained >= 100);
+    // Now probe every key: drained keys answer Moved, undrained serve.
+    let mut moved = 0;
+    let mut served = 0;
+    for i in 0..200u32 {
+        match get(&f, 1, format!("k{i}").as_bytes()) {
+            Response::Moved { new_owner, .. } => {
+                assert_eq!(new_owner, dest);
+                moved += 1;
+            }
+            Response::Value { .. } => served += 1,
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+    assert_eq!(moved + served, 200);
+    assert!(moved > 0, "no keys reported migrated");
+    assert!(served > 0, "source stopped serving undrained buckets");
+    // Writes to migrated keys redirect too (invalidation is cast).
+    let mut write_moved = false;
+    for i in 0..200u32 {
+        if let Response::Moved { .. } = set(&f, 1, format!("k{i}").as_bytes(), b"v2") {
+            write_moved = true;
+            break;
+        }
+    }
+    assert!(write_moved, "writes to migrated keys must redirect");
+    f.control(Control::Shutdown);
+}
+
+#[test]
+fn epoch_report_counts_and_backoff() {
+    let f = fixture(WorkerAddr::new(0, 0), &[1, 2]);
+    for i in 0..100u32 {
+        set(&f, 1, format!("k{i}").as_bytes(), b"v");
+    }
+    for _ in 0..50 {
+        get(&f, 1, b"k1");
+    }
+    get(&f, 1, b"missing");
+    let report = f.epoch();
+    assert_eq!(report.load.addr, WorkerAddr::new(0, 0));
+    assert_eq!(report.load.cachelets.len(), 2);
+    assert_eq!(report.ops, 151);
+    assert_eq!(report.reads, 51);
+    assert_eq!(report.hits, 50);
+    // Full-sampling tracker saw the hammered key.
+    assert!(
+        report.hot_keys.iter().any(|h| h.key == b"k1"),
+        "k1 missing from hot keys: {:?}",
+        report.hot_keys.len()
+    );
+    // Backoff quarters the sampling rate; just verify the control is
+    // accepted and the loop stays alive.
+    f.control(Control::SetSamplingBackoff(4));
+    assert_eq!(set(&f, 2, b"x", b"y"), Response::Stored);
+    f.control(Control::Shutdown);
+}
+
+#[test]
+fn stats_rpc_returns_parseable_load() {
+    let f = fixture(WorkerAddr::new(0, 3), &[5]);
+    set(&f, 5, b"k", b"v");
+    let Response::StatsBlob { payload } = f.rpc(Request::Stats) else {
+        panic!("expected blob");
+    };
+    let load: mbal_balancer::WorkerLoad = serde_json::from_slice(&payload).expect("json");
+    assert_eq!(load.addr, WorkerAddr::new(0, 3));
+    assert_eq!(load.cachelets.len(), 1);
+    assert_eq!(load.addr.worker, WorkerId(3));
+    f.control(Control::Shutdown);
+}
+
+#[test]
+fn heartbeat_is_rejected_at_workers() {
+    let f = fixture(WorkerAddr::new(0, 0), &[]);
+    match f.rpc(Request::Heartbeat { version: 1 }) {
+        Response::Fail { status, .. } => assert_eq!(status, Status::Error),
+        other => panic!("unexpected {other:?}"),
+    }
+    f.control(Control::Shutdown);
+}
+
+#[test]
+fn extended_write_ops_redirect_on_migrated_buckets() {
+    let f = fixture(WorkerAddr::new(0, 0), &[1]);
+    for i in 0..200u32 {
+        set(&f, 1, format!("k{i}").as_bytes(), b"10");
+    }
+    let dest = WorkerAddr::new(1, 0);
+    let (sink_tx, _sink_rx) = unbounded();
+    f.registry.register(dest, sink_tx);
+    let (rtx, rrx) = bounded(1);
+    f.control(Control::BeginMigration {
+        id: CacheletId(1),
+        dest,
+        reply: rtx,
+    });
+    assert!(rrx.recv().expect("begin"));
+    // Drain everything: every key now reports migrated.
+    loop {
+        let (dtx, drx) = bounded(1);
+        f.control(Control::DrainBucket {
+            id: CacheletId(1),
+            reply: dtx,
+        });
+        if drx.recv().expect("drain").is_none() {
+            break;
+        }
+    }
+    // Every write-family op on a migrated key must redirect, not apply.
+    let key = b"k0".to_vec();
+    let ops: Vec<Request> = vec![
+        Request::Add {
+            cachelet: CacheletId(1),
+            key: key.clone(),
+            value: b"x".to_vec(),
+            expiry_ms: 0,
+        },
+        Request::Replace {
+            cachelet: CacheletId(1),
+            key: key.clone(),
+            value: b"x".to_vec(),
+            expiry_ms: 0,
+        },
+        Request::Concat {
+            cachelet: CacheletId(1),
+            key: key.clone(),
+            value: b"x".to_vec(),
+            front: false,
+        },
+        Request::Incr {
+            cachelet: CacheletId(1),
+            key: key.clone(),
+            delta: 1,
+        },
+        Request::Touch {
+            cachelet: CacheletId(1),
+            key: key.clone(),
+            expiry_ms: 99,
+        },
+    ];
+    for req in ops {
+        match f.rpc(req.clone()) {
+            Response::Moved { new_owner, .. } => assert_eq!(new_owner, dest),
+            other => panic!("{req:?} did not redirect: {other:?}"),
+        }
+    }
+    f.control(Control::Shutdown);
+}
+
+#[test]
+fn extended_ops_respect_ownership() {
+    let f = fixture(WorkerAddr::new(0, 0), &[1]);
+    match f.rpc(Request::Incr {
+        cachelet: CacheletId(9),
+        key: b"n".to_vec(),
+        delta: 1,
+    }) {
+        Response::Fail { status, .. } => assert_eq!(status, Status::NotOwner),
+        other => panic!("unexpected {other:?}"),
+    }
+    // Status mapping for incr on non-numeric data.
+    set(&f, 1, b"text", b"abc");
+    match f.rpc(Request::Incr {
+        cachelet: CacheletId(1),
+        key: b"text".to_vec(),
+        delta: 1,
+    }) {
+        Response::Fail { status, .. } => assert_eq!(status, Status::NotNumeric),
+        other => panic!("unexpected {other:?}"),
+    }
+    f.control(Control::Shutdown);
+}
+
+#[test]
+fn concat_propagates_full_value_to_replicas() {
+    // Home (0,0) + shadow (1,0) sharing the registry: after an append on
+    // a replicated key, the shadow must hold the *combined* value.
+    let home = fixture(WorkerAddr::new(0, 0), &[1]);
+    let (stx, srx) = unbounded();
+    home.registry.register(WorkerAddr::new(1, 0), stx.clone());
+    let mem = {
+        let mut m = MemConfig::with_capacity(4 << 20);
+        m.chunk_size = 1 << 16;
+        m
+    };
+    let global = Arc::new(GlobalPool::new(4 << 20, 1 << 16, 1));
+    let ctx = WorkerContext {
+        addr: WorkerAddr::new(1, 0),
+        rx: srx,
+        transport: Arc::clone(&home.registry) as Arc<dyn mbal_server::Transport>,
+        clock: Arc::new(home.clock.clone()),
+        hotkey: HotKeyConfig::default(),
+        load_capacity: 10_000.0,
+        mem_capacity: 4 << 20,
+        sync_replication: true,
+        unit_factory: Box::new(move |id| CacheUnit::new(id, Arc::clone(&global), &mem, 0)),
+    };
+    let _join = spawn_worker(ctx);
+
+    set(&home, 1, b"hot", b"base");
+    let (rtx, rrx) = bounded(1);
+    stx.send(WorkerMsg::Rpc {
+        req: Request::ReplicaInstall {
+            key: b"hot".to_vec(),
+            value: b"base".to_vec(),
+            lease_expiry_ms: u64::MAX,
+        },
+        reply: rtx,
+    })
+    .expect("send");
+    rrx.recv().expect("ack");
+    home.control(Control::SetReplicated {
+        key: b"hot".to_vec(),
+        shadows: vec![WorkerAddr::new(1, 0)],
+    });
+
+    let resp = home.rpc(Request::Concat {
+        cachelet: CacheletId(1),
+        key: b"hot".to_vec(),
+        value: b"+tail".to_vec(),
+        front: false,
+    });
+    assert_eq!(resp, Response::Stored);
+    let (rtx, rrx) = bounded(1);
+    stx.send(WorkerMsg::Rpc {
+        req: Request::ReplicaRead {
+            key: b"hot".to_vec(),
+        },
+        reply: rtx,
+    })
+    .expect("send");
+    assert_eq!(
+        rrx.recv().expect("read"),
+        Response::Value {
+            value: b"base+tail".to_vec(),
+            replicas: vec![]
+        }
+    );
+    home.control(Control::Shutdown);
+}

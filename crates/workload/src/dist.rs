@@ -1,0 +1,319 @@
+//! Key-popularity distributions.
+
+use rand::Rng;
+
+/// A distribution over item indices `0..item_count`.
+pub trait KeyDist {
+    /// Draws the next item index using `rng`.
+    fn next_index<R: Rng>(&mut self, rng: &mut R) -> u64;
+
+    /// The number of items the distribution draws from.
+    fn item_count(&self) -> u64;
+}
+
+/// Uniform popularity: every item equally likely (the `unif` series of
+/// Figure 2 and the microbenchmarks of Figure 5).
+#[derive(Debug, Clone)]
+pub struct Uniform {
+    items: u64,
+}
+
+impl Uniform {
+    /// Creates a uniform distribution over `items` items.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `items` is zero.
+    pub fn new(items: u64) -> Self {
+        assert!(items > 0, "empty item space");
+        Self { items }
+    }
+}
+
+impl KeyDist for Uniform {
+    fn next_index<R: Rng>(&mut self, rng: &mut R) -> u64 {
+        rng.gen_range(0..self.items)
+    }
+
+    fn item_count(&self) -> u64 {
+        self.items
+    }
+}
+
+/// Zipfian popularity with parameter `theta`, using the Gray et al.
+/// "Quickly generating billion-record synthetic databases" algorithm —
+/// the same generator YCSB ships. Item 0 is the most popular.
+#[derive(Debug, Clone)]
+pub struct Zipfian {
+    items: u64,
+    theta: f64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+    zeta2: f64,
+}
+
+impl Zipfian {
+    /// Creates a zipfian distribution over `items` items with skew
+    /// `theta` (YCSB default 0.99; larger is more skewed; must be in
+    /// `(0, 1)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `items == 0` or `theta` is outside `(0, 1)`.
+    pub fn new(items: u64, theta: f64) -> Self {
+        assert!(items > 0, "empty item space");
+        assert!(theta > 0.0 && theta < 1.0, "theta must be in (0,1)");
+        let zetan = Self::zeta(items, theta);
+        let zeta2 = Self::zeta(2, theta);
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / items as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
+        Self {
+            items,
+            theta,
+            alpha,
+            zetan,
+            eta,
+            zeta2,
+        }
+    }
+
+    /// The generalized harmonic number `Σ_{i=1..n} 1/i^theta`.
+    fn zeta(n: u64, theta: f64) -> f64 {
+        // Exact summation up to a cutoff, then an Euler–Maclaurin
+        // integral approximation: zeta(n) ≈ zeta(c) + ∫_c^n x^-θ dx.
+        const CUTOFF: u64 = 2_000_000;
+        let exact_n = n.min(CUTOFF);
+        let mut sum = 0.0;
+        for i in 1..=exact_n {
+            sum += 1.0 / (i as f64).powf(theta);
+        }
+        if n > CUTOFF {
+            let a = CUTOFF as f64 + 0.5;
+            let b = n as f64 + 0.5;
+            sum += (b.powf(1.0 - theta) - a.powf(1.0 - theta)) / (1.0 - theta);
+        }
+        sum
+    }
+
+    /// The skew parameter.
+    pub fn theta(&self) -> f64 {
+        self.theta
+    }
+}
+
+impl KeyDist for Zipfian {
+    fn next_index<R: Rng>(&mut self, rng: &mut R) -> u64 {
+        let u: f64 = rng.gen();
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        let idx = (self.items as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+        idx.min(self.items - 1)
+    }
+
+    fn item_count(&self) -> u64 {
+        self.items
+    }
+}
+
+impl Zipfian {
+    /// Unused-field silencer with meaning: `zeta2` participates in `eta`;
+    /// expose it for diagnostics.
+    pub fn zeta2(&self) -> f64 {
+        self.zeta2
+    }
+}
+
+/// Scrambled zipfian: zipfian ranks hashed across the key space so the
+/// popular items are scattered rather than clustered at low indices —
+/// this is what makes hot keys land on *different* cachelets/servers, the
+/// situation MBal's balancer exists to fix.
+#[derive(Debug, Clone)]
+pub struct ScrambledZipfian {
+    inner: Zipfian,
+}
+
+impl ScrambledZipfian {
+    /// Creates a scrambled zipfian over `items` items with skew `theta`.
+    pub fn new(items: u64, theta: f64) -> Self {
+        Self {
+            inner: Zipfian::new(items, theta),
+        }
+    }
+}
+
+impl KeyDist for ScrambledZipfian {
+    fn next_index<R: Rng>(&mut self, rng: &mut R) -> u64 {
+        let rank = self.inner.next_index(rng);
+        // FNV-1a over the rank bytes, as YCSB does.
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in rank.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        h % self.inner.item_count()
+    }
+
+    fn item_count(&self) -> u64 {
+        self.inner.item_count()
+    }
+}
+
+/// Hotspot distribution: `hot_op_fraction` of draws hit the first
+/// `hot_data_fraction` of items uniformly (WorkloadB uses 95% of
+/// operations on 5% of the data).
+#[derive(Debug, Clone)]
+pub struct Hotspot {
+    items: u64,
+    hot_items: u64,
+    hot_op_fraction: f64,
+}
+
+impl Hotspot {
+    /// Creates a hotspot distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fractions are outside `[0, 1]` or `items` is zero.
+    pub fn new(items: u64, hot_data_fraction: f64, hot_op_fraction: f64) -> Self {
+        assert!(items > 0, "empty item space");
+        assert!((0.0..=1.0).contains(&hot_data_fraction), "bad data frac");
+        assert!((0.0..=1.0).contains(&hot_op_fraction), "bad op frac");
+        let hot_items = ((items as f64 * hot_data_fraction) as u64).max(1);
+        Self {
+            items,
+            hot_items,
+            hot_op_fraction,
+        }
+    }
+}
+
+impl KeyDist for Hotspot {
+    fn next_index<R: Rng>(&mut self, rng: &mut R) -> u64 {
+        if rng.gen::<f64>() < self.hot_op_fraction {
+            rng.gen_range(0..self.hot_items)
+        } else if self.hot_items < self.items {
+            rng.gen_range(self.hot_items..self.items)
+        } else {
+            rng.gen_range(0..self.items)
+        }
+    }
+
+    fn item_count(&self) -> u64 {
+        self.items
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn draw<D: KeyDist>(d: &mut D, n: usize) -> Vec<u64> {
+        let mut rng = SmallRng::seed_from_u64(42);
+        (0..n).map(|_| d.next_index(&mut rng)).collect()
+    }
+
+    #[test]
+    fn uniform_covers_space_evenly() {
+        let mut d = Uniform::new(100);
+        let draws = draw(&mut d, 100_000);
+        let mut counts = vec![0u32; 100];
+        for v in draws {
+            counts[v as usize] += 1;
+        }
+        let (min, max) = (
+            *counts.iter().min().expect("n"),
+            *counts.iter().max().expect("n"),
+        );
+        assert!(min > 700 && max < 1_300, "min {min} max {max}");
+    }
+
+    #[test]
+    fn zipfian_rank_zero_dominates() {
+        let mut d = Zipfian::new(1_000_000, 0.99);
+        let draws = draw(&mut d, 200_000);
+        let zero = draws.iter().filter(|&&v| v == 0).count() as f64 / draws.len() as f64;
+        // P(rank 0) = 1/zeta(n); for n=1e6, θ=.99 that is ≈ 1/23 ≈ 4.3%.
+        assert!(zero > 0.02 && zero < 0.08, "rank-0 share {zero}");
+        // Top-10 ranks take a large share.
+        let top10 = draws.iter().filter(|&&v| v < 10).count() as f64 / draws.len() as f64;
+        assert!(top10 > 0.10, "top10 share {top10}");
+        assert!(draws.iter().all(|&v| v < 1_000_000));
+    }
+
+    #[test]
+    fn zipfian_theta_controls_skew() {
+        let share = |theta: f64| {
+            let mut d = Zipfian::new(10_000, theta);
+            let draws = draw(&mut d, 50_000);
+            draws.iter().filter(|&&v| v < 100).count() as f64 / draws.len() as f64
+        };
+        let low = share(0.4);
+        let high = share(0.99);
+        assert!(
+            high > low + 0.2,
+            "theta 0.99 share {high} vs theta 0.4 share {low}"
+        );
+    }
+
+    #[test]
+    fn zeta_approximation_matches_exact() {
+        // Compare the approximated tail against exact summation at a size
+        // just above the cutoff.
+        let exact: f64 = (1..=2_100_000u64)
+            .map(|i| 1.0 / (i as f64).powf(0.99))
+            .sum();
+        let approx = Zipfian::zeta(2_100_000, 0.99);
+        assert!(
+            ((approx - exact) / exact).abs() < 1e-4,
+            "approx {approx} exact {exact}"
+        );
+    }
+
+    #[test]
+    fn scrambled_zipfian_scatters_hot_keys() {
+        let mut d = ScrambledZipfian::new(100_000, 0.99);
+        let draws = draw(&mut d, 100_000);
+        // Identify the top-5 hottest scattered indices.
+        let mut counts = std::collections::HashMap::new();
+        for &v in &draws {
+            *counts.entry(v).or_insert(0u32) += 1;
+        }
+        let mut top: Vec<(u64, u32)> = counts.into_iter().collect();
+        top.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
+        // Hot keys exist (skew preserved)…
+        assert!(top[0].1 > 1_000, "hottest only {} draws", top[0].1);
+        // …but are not clustered at low indices.
+        let low_cluster = top[..5].iter().filter(|&&(v, _)| v < 1_000).count();
+        assert!(low_cluster < 3, "{low_cluster} of top-5 in lowest 1%");
+    }
+
+    #[test]
+    fn hotspot_concentrates_ops() {
+        let mut d = Hotspot::new(10_000, 0.05, 0.95);
+        let draws = draw(&mut d, 100_000);
+        let hot = draws.iter().filter(|&&v| v < 500).count() as f64 / draws.len() as f64;
+        assert!((hot - 0.95).abs() < 0.01, "hot share {hot}");
+        assert!(draws.iter().any(|&v| v >= 500), "cold tail must be hit");
+    }
+
+    #[test]
+    fn hotspot_all_hot_degenerates_gracefully() {
+        let mut d = Hotspot::new(100, 1.0, 0.5);
+        let draws = draw(&mut d, 10_000);
+        assert!(draws.iter().all(|&v| v < 100));
+    }
+
+    #[test]
+    #[should_panic(expected = "theta must be in (0,1)")]
+    fn zipfian_rejects_theta_one() {
+        let _ = Zipfian::new(10, 1.0);
+    }
+}

@@ -1,0 +1,94 @@
+//! The "latest" distribution: recently inserted items are the most
+//! popular (YCSB Workload D's read distribution). News feeds and
+//! timelines behave this way; it stresses the balancer differently from
+//! zipfian because the hotspot *moves* as inserts advance the frontier.
+
+use crate::dist::{KeyDist, Zipfian};
+use rand::Rng;
+
+/// Popularity skewed towards the most recently inserted item: item
+/// `frontier − z` is drawn where `z` is zipfian-distributed.
+#[derive(Debug, Clone)]
+pub struct Latest {
+    zipf: Zipfian,
+    frontier: u64,
+}
+
+impl Latest {
+    /// Creates a latest distribution over an initial `items` items with
+    /// zipfian skew `theta` towards the newest.
+    pub fn new(items: u64, theta: f64) -> Self {
+        Self {
+            zipf: Zipfian::new(items.max(1), theta),
+            frontier: items.max(1) - 1,
+        }
+    }
+
+    /// Advances the insertion frontier (a new item was inserted).
+    pub fn advance(&mut self) {
+        self.frontier += 1;
+    }
+
+    /// The current newest item index.
+    pub fn frontier(&self) -> u64 {
+        self.frontier
+    }
+}
+
+impl KeyDist for Latest {
+    fn next_index<R: Rng>(&mut self, rng: &mut R) -> u64 {
+        let back = self.zipf.next_index(rng).min(self.frontier);
+        self.frontier - back
+    }
+
+    fn item_count(&self) -> u64 {
+        self.frontier + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn newest_items_dominate() {
+        let mut d = Latest::new(10_000, 0.99);
+        let mut rng = SmallRng::seed_from_u64(5);
+        let draws: Vec<u64> = (0..20_000).map(|_| d.next_index(&mut rng)).collect();
+        let newest_decile = draws.iter().filter(|&&v| v >= 9_000).count() as f64;
+        assert!(
+            newest_decile / draws.len() as f64 > 0.5,
+            "newest 10% drew only {:.0}%",
+            100.0 * newest_decile / draws.len() as f64
+        );
+        assert!(draws.iter().all(|&v| v < 10_000));
+    }
+
+    #[test]
+    fn hotspot_follows_the_frontier() {
+        let mut d = Latest::new(1_000, 0.99);
+        let mut rng = SmallRng::seed_from_u64(5);
+        for _ in 0..500 {
+            d.advance();
+        }
+        assert_eq!(d.frontier(), 1_499);
+        assert_eq!(d.item_count(), 1_500);
+        let draws: Vec<u64> = (0..5_000).map(|_| d.next_index(&mut rng)).collect();
+        let near_new = draws.iter().filter(|&&v| v >= 1_400).count() as f64;
+        assert!(
+            near_new / draws.len() as f64 > 0.4,
+            "hotspot did not follow the frontier"
+        );
+    }
+
+    #[test]
+    fn single_item_degenerates() {
+        let mut d = Latest::new(1, 0.9);
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..100 {
+            assert_eq!(d.next_index(&mut rng), 0);
+        }
+    }
+}

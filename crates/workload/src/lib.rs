@@ -1,0 +1,26 @@
+//! # mbal-workload
+//!
+//! YCSB-style workload generation (Cooper et al., SoCC'10), reimplemented
+//! from scratch for the MBal evaluation:
+//!
+//! - [`dist`] — key-popularity distributions: uniform, zipfian (the
+//!   Gray et al. rejection-free generator YCSB uses), scrambled zipfian,
+//!   and the hotspot distribution (x% of operations on y% of the data).
+//! - [`ycsb`] — operation-mix generators and the paper's workloads:
+//!   the 95/75/50% GET mixes of §4.1 and Table 4's WorkloadA (100% read,
+//!   zipfian), WorkloadB (95% read, hotspot 95/5) and WorkloadC
+//!   (50% read / 50% update, zipfian).
+//!
+//! All generators are deterministic given a seed, which the cluster
+//! simulator relies on for reproducible experiments.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dist;
+pub mod latest;
+pub mod ycsb;
+
+pub use dist::{Hotspot, KeyDist, ScrambledZipfian, Uniform, Zipfian};
+pub use latest::Latest;
+pub use ycsb::{Op, OpKind, WorkloadGen, WorkloadSpec};

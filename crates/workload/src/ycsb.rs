@@ -1,0 +1,335 @@
+//! Operation-mix generation and the paper's workload presets.
+
+use crate::dist::{Hotspot, KeyDist, ScrambledZipfian, Uniform, Zipfian};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// The kind of a generated operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpKind {
+    /// A lookup.
+    Get,
+    /// An insert/update carrying a value.
+    Set,
+    /// A delete.
+    Delete,
+}
+
+/// One generated operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Op {
+    /// Operation kind.
+    pub kind: OpKind,
+    /// The key bytes.
+    pub key: Vec<u8>,
+    /// Value bytes for `Set`; empty otherwise.
+    pub value: Vec<u8>,
+}
+
+/// Which key-popularity distribution a workload uses.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Popularity {
+    /// Uniform popularity.
+    Uniform,
+    /// Zipfian with the given theta, ranks scattered by hashing.
+    Zipfian {
+        /// Skew parameter in `(0, 1)`.
+        theta: f64,
+    },
+    /// Zipfian with clustered ranks (rank 0 is key 0); mostly useful for
+    /// analytical tests.
+    ZipfianClustered {
+        /// Skew parameter in `(0, 1)`.
+        theta: f64,
+    },
+    /// Hotspot: `hot_ops` of traffic on `hot_data` of the key space.
+    Hotspot {
+        /// Fraction of the key space that is hot.
+        hot_data: f64,
+        /// Fraction of operations hitting the hot set.
+        hot_ops: f64,
+    },
+}
+
+/// A workload specification.
+#[derive(Debug, Clone)]
+pub struct WorkloadSpec {
+    /// Number of distinct keys.
+    pub records: u64,
+    /// Fraction of operations that are GETs, in `[0, 1]`.
+    pub read_fraction: f64,
+    /// Key popularity.
+    pub popularity: Popularity,
+    /// Key length in bytes (keys are fixed-width, zero-padded).
+    pub key_len: usize,
+    /// Value length in bytes.
+    pub value_len: usize,
+}
+
+impl WorkloadSpec {
+    /// The microbenchmark workload of Figure 5: uniform popularity,
+    /// 10 B keys, 20 B values.
+    pub fn microbench(records: u64, read_fraction: f64) -> Self {
+        Self {
+            records,
+            read_fraction,
+            popularity: Popularity::Uniform,
+            key_len: 10,
+            value_len: 20,
+        }
+    }
+
+    /// The end-to-end workload of Figure 7: zipfian 0.99, 10 B/20 B.
+    pub fn end_to_end(records: u64, read_fraction: f64) -> Self {
+        Self {
+            records,
+            read_fraction,
+            popularity: Popularity::Zipfian { theta: 0.99 },
+            key_len: 10,
+            value_len: 20,
+        }
+    }
+
+    /// The cluster workload of §4.2.1: zipfian 0.99, 24 B keys, 64 B
+    /// values, 95% GET.
+    pub fn cluster_default(records: u64) -> Self {
+        Self {
+            records,
+            read_fraction: 0.95,
+            popularity: Popularity::Zipfian { theta: 0.99 },
+            key_len: 24,
+            value_len: 64,
+        }
+    }
+
+    /// Table 4 WorkloadA: 100% read, zipfian — "user account status
+    /// information".
+    pub fn workload_a(records: u64) -> Self {
+        Self {
+            records,
+            read_fraction: 1.0,
+            popularity: Popularity::Zipfian { theta: 0.99 },
+            key_len: 24,
+            value_len: 64,
+        }
+    }
+
+    /// Table 4 WorkloadB: 95% read / 5% update, hotspot with 95% of
+    /// operations in 5% of the data — "photo tagging".
+    pub fn workload_b(records: u64) -> Self {
+        Self {
+            records,
+            read_fraction: 0.95,
+            popularity: Popularity::Hotspot {
+                hot_data: 0.05,
+                hot_ops: 0.95,
+            },
+            key_len: 24,
+            value_len: 64,
+        }
+    }
+
+    /// Table 4 WorkloadC: 50% read / 50% update, zipfian — "session
+    /// store recording recent actions".
+    pub fn workload_c(records: u64) -> Self {
+        Self {
+            records,
+            read_fraction: 0.5,
+            popularity: Popularity::Zipfian { theta: 0.99 },
+            key_len: 24,
+            value_len: 64,
+        }
+    }
+
+    /// Formats the key for item `index` at this spec's key length.
+    pub fn key_of(&self, index: u64) -> Vec<u8> {
+        format_key(index, self.key_len)
+    }
+}
+
+/// Formats `index` as a fixed-width key like `user000000012345`.
+pub fn format_key(index: u64, key_len: usize) -> Vec<u8> {
+    let digits = key_len.saturating_sub(4).max(1);
+    let mut s = format!("user{index:0digits$}", digits = digits);
+    s.truncate(key_len.max(5));
+    s.into_bytes()
+}
+
+enum DistImpl {
+    Uniform(Uniform),
+    Zipf(ScrambledZipfian),
+    ZipfClustered(Zipfian),
+    Hot(Hotspot),
+}
+
+/// A deterministic operation stream for a [`WorkloadSpec`].
+pub struct WorkloadGen {
+    spec: WorkloadSpec,
+    dist: DistImpl,
+    rng: SmallRng,
+    value_seed: u8,
+    generated: u64,
+}
+
+impl WorkloadGen {
+    /// Creates a generator with the given `seed`.
+    pub fn new(spec: WorkloadSpec, seed: u64) -> Self {
+        let dist = match spec.popularity {
+            Popularity::Uniform => DistImpl::Uniform(Uniform::new(spec.records)),
+            Popularity::Zipfian { theta } => {
+                DistImpl::Zipf(ScrambledZipfian::new(spec.records, theta))
+            }
+            Popularity::ZipfianClustered { theta } => {
+                DistImpl::ZipfClustered(Zipfian::new(spec.records, theta))
+            }
+            Popularity::Hotspot { hot_data, hot_ops } => {
+                DistImpl::Hot(Hotspot::new(spec.records, hot_data, hot_ops))
+            }
+        };
+        Self {
+            spec,
+            dist,
+            rng: SmallRng::seed_from_u64(seed),
+            value_seed: (seed & 0xff) as u8,
+            generated: 0,
+        }
+    }
+
+    /// The underlying specification.
+    pub fn spec(&self) -> &WorkloadSpec {
+        &self.spec
+    }
+
+    /// Number of operations generated so far.
+    pub fn generated(&self) -> u64 {
+        self.generated
+    }
+
+    fn next_index(&mut self) -> u64 {
+        match &mut self.dist {
+            DistImpl::Uniform(d) => d.next_index(&mut self.rng),
+            DistImpl::Zipf(d) => d.next_index(&mut self.rng),
+            DistImpl::ZipfClustered(d) => d.next_index(&mut self.rng),
+            DistImpl::Hot(d) => d.next_index(&mut self.rng),
+        }
+    }
+
+    /// Generates the next operation.
+    pub fn next_op(&mut self) -> Op {
+        self.generated += 1;
+        let idx = self.next_index();
+        let key = self.spec.key_of(idx);
+        if self.rng.gen::<f64>() < self.spec.read_fraction {
+            Op {
+                kind: OpKind::Get,
+                key,
+                value: Vec::new(),
+            }
+        } else {
+            Op {
+                kind: OpKind::Set,
+                key,
+                value: self.make_value(idx),
+            }
+        }
+    }
+
+    /// A deterministic value for item `idx` of the spec's value length.
+    pub fn make_value(&self, idx: u64) -> Vec<u8> {
+        let mut v = vec![0u8; self.spec.value_len];
+        let seed = idx.to_le_bytes();
+        for (i, b) in v.iter_mut().enumerate() {
+            *b = seed[i % 8] ^ self.value_seed ^ (i as u8);
+        }
+        v
+    }
+
+    /// The full load phase: `(key, value)` pairs for every record, used
+    /// to pre-populate caches before read benchmarks.
+    pub fn load_phase(&self) -> impl Iterator<Item = (Vec<u8>, Vec<u8>)> + '_ {
+        (0..self.spec.records).map(move |i| (self.spec.key_of(i), self.make_value(i)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_formatting_is_fixed_width_and_unique() {
+        let k1 = format_key(1, 10);
+        let k2 = format_key(2, 10);
+        assert_eq!(k1.len(), 10);
+        assert_eq!(k2.len(), 10);
+        assert_ne!(k1, k2);
+        assert!(k1.starts_with(b"user"));
+        let k24 = format_key(12345, 24);
+        assert_eq!(k24.len(), 24);
+    }
+
+    #[test]
+    fn read_fraction_is_respected() {
+        let mut g = WorkloadGen::new(WorkloadSpec::microbench(1_000, 0.95), 7);
+        let mut reads = 0;
+        for _ in 0..20_000 {
+            if g.next_op().kind == OpKind::Get {
+                reads += 1;
+            }
+        }
+        let frac = reads as f64 / 20_000.0;
+        assert!((frac - 0.95).abs() < 0.01, "read fraction {frac}");
+        assert_eq!(g.generated(), 20_000);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = WorkloadGen::new(WorkloadSpec::workload_c(10_000), 99);
+        let mut b = WorkloadGen::new(WorkloadSpec::workload_c(10_000), 99);
+        for _ in 0..1_000 {
+            assert_eq!(a.next_op(), b.next_op());
+        }
+        let mut c = WorkloadGen::new(WorkloadSpec::workload_c(10_000), 100);
+        let same = (0..1_000)
+            .filter(|_| {
+                // Re-seeded generators must diverge.
+                a.next_op() == c.next_op()
+            })
+            .count();
+        assert!(same < 1_000, "different seeds produced identical streams");
+    }
+
+    #[test]
+    fn workload_b_concentrates_on_hot_set() {
+        let mut g = WorkloadGen::new(WorkloadSpec::workload_b(10_000), 3);
+        let hot_keys: std::collections::HashSet<Vec<u8>> =
+            (0..500).map(|i| g.spec().key_of(i)).collect();
+        let hot_hits = (0..10_000)
+            .filter(|_| hot_keys.contains(&g.next_op().key))
+            .count();
+        let frac = hot_hits as f64 / 10_000.0;
+        assert!((frac - 0.95).abs() < 0.02, "hot fraction {frac}");
+    }
+
+    #[test]
+    fn workload_a_is_read_only() {
+        let mut g = WorkloadGen::new(WorkloadSpec::workload_a(100), 1);
+        assert!((0..5_000).all(|_| g.next_op().kind == OpKind::Get));
+    }
+
+    #[test]
+    fn load_phase_covers_all_records_with_right_sizes() {
+        let g = WorkloadGen::new(WorkloadSpec::cluster_default(1_000), 5);
+        let pairs: Vec<_> = g.load_phase().collect();
+        assert_eq!(pairs.len(), 1_000);
+        let keys: std::collections::HashSet<_> = pairs.iter().map(|(k, _)| k.clone()).collect();
+        assert_eq!(keys.len(), 1_000, "keys must be unique");
+        assert!(pairs.iter().all(|(k, v)| k.len() == 24 && v.len() == 64));
+    }
+
+    #[test]
+    fn values_are_deterministic_per_item() {
+        let g = WorkloadGen::new(WorkloadSpec::microbench(10, 0.5), 11);
+        assert_eq!(g.make_value(3), g.make_value(3));
+        assert_ne!(g.make_value(3), g.make_value(4));
+    }
+}

@@ -1,0 +1,170 @@
+//! High-availability, zone-aware deployment: the two extensions the
+//! paper flags as future work, working together —
+//!
+//! 1. a [`ReplicatedCoordinator`] (primary + standby) that survives a
+//!    coordinator failure without losing the mapping, and
+//! 2. zone-aware Phase 3 planning that migrates cachelets rack-first.
+//!
+//! ```text
+//! cargo run --release --example ha_zoned_cluster
+//! ```
+
+use mbal::balancer::plan::Migration;
+use mbal::balancer::replicated::CoordinatorService;
+use mbal::balancer::topology::{plan_coordinated_zoned, Topology, ZonedOutcome};
+use mbal::balancer::{BalancerConfig, ReplicatedCoordinator};
+use mbal::client::Client;
+use mbal::cluster::sim::{PhaseSet, SimConfig};
+use mbal::cluster::Simulation;
+use mbal::core::clock::RealClock;
+use mbal::core::types::{ServerId, WorkerAddr};
+use mbal::ring::{ConsistentRing, MappingTable};
+use mbal::server::{InProcRegistry, Server, ServerConfig, Transport};
+use mbal::workload::ycsb::Popularity;
+use mbal::workload::WorkloadSpec;
+use std::sync::Arc;
+
+fn main() {
+    // --- Part 1: live cluster with a replicated coordinator -------------
+    let mut ring = ConsistentRing::new();
+    for s in 0..4u16 {
+        ring.add_worker(WorkerAddr::new(s, 0));
+        ring.add_worker(WorkerAddr::new(s, 1));
+    }
+    let mapping = MappingTable::build(&ring, 8, 512);
+    let group = Arc::new(ReplicatedCoordinator::new(
+        mapping.clone(),
+        BalancerConfig::default(),
+        2,
+    ));
+    let registry = InProcRegistry::new();
+    let mut servers: Vec<Server> = (0..4u16)
+        .map(|s| {
+            Server::spawn(
+                ServerConfig::new(ServerId(s), 2, 128 << 20),
+                &mapping,
+                &registry,
+                Arc::clone(&group),
+                Arc::new(RealClock::new()),
+            )
+        })
+        .collect();
+    let mut client = Client::new(
+        Arc::clone(&registry) as Arc<dyn Transport>,
+        Arc::clone(&group) as Arc<dyn mbal::client::CoordinatorLink>,
+    );
+    for i in 0..1_000u32 {
+        client
+            .set(format!("obj:{i}").as_bytes(), &i.to_le_bytes())
+            .expect("set");
+    }
+    println!("loaded 1000 objects across 4 servers (2 zones)");
+
+    // Force a migration, then kill the primary coordinator.
+    let snap = group.mapping_snapshot();
+    let victim = snap.cachelets_of_worker(WorkerAddr::new(0, 0))[0];
+    let m = Migration {
+        cachelet: victim,
+        from: WorkerAddr::new(0, 0),
+        to: WorkerAddr::new(1, 0),
+        load: 0.0,
+    };
+    group.report_local_move(&m);
+    servers[0].migrate_out(&m);
+    println!(
+        "migrated cachelet {victim} to server 1; mapping v{}",
+        group.mapping_version()
+    );
+    let promoted = group.fail_over();
+    println!("primary coordinator failed; standby #{promoted} promoted");
+    group.assert_in_sync();
+    let mut hits = 0;
+    for i in 0..1_000u32 {
+        if client
+            .get(format!("obj:{i}").as_bytes())
+            .expect("get")
+            .is_some()
+        {
+            hits += 1;
+        }
+    }
+    println!("post-failover sweep: {hits}/1000 objects intact");
+    assert_eq!(hits, 1_000);
+    for s in &mut servers {
+        s.shutdown();
+    }
+
+    // --- Part 2: zone-aware planning, standalone and in simulation ------
+    let topo = Topology::round_robin(4, 2);
+    println!(
+        "\ntopology: server->zone = {:?}",
+        (0..4u16)
+            .map(|s| (s, topo.zone_of(ServerId(s))))
+            .collect::<Vec<_>>()
+    );
+    // A synthetic imbalance: planning stays intra-zone when possible.
+    use mbal::balancer::phase3::ClusterView;
+    use mbal::balancer::plan::WorkerLoad;
+    use mbal::core::stats::CacheletLoad;
+    let mk = |server: u16, loads: &[f64]| WorkerLoad {
+        addr: WorkerAddr::new(server, 0),
+        cachelets: loads
+            .iter()
+            .enumerate()
+            .map(|(i, &l)| CacheletLoad {
+                cachelet: mbal::core::types::CacheletId(server as u32 * 100 + i as u32),
+                load: l,
+                mem_bytes: 1 << 10,
+                read_ratio: 0.9,
+            })
+            .collect(),
+        load_capacity: 100.0,
+        mem_capacity: 1 << 20,
+    };
+    let view = ClusterView {
+        servers: vec![
+            (ServerId(0), vec![mk(0, &[40.0, 40.0, 40.0])]), // hot, zone 0
+            (ServerId(1), vec![mk(1, &[2.0])]),              // cold, zone 1
+            (ServerId(2), vec![mk(2, &[8.0])]),              // cold, zone 0
+            (ServerId(3), vec![mk(3, &[2.0])]),              // cold, zone 1
+        ],
+    };
+    match plan_coordinated_zoned(&view, WorkerAddr::new(0, 0), &topo, &BalancerConfig::default()) {
+        ZonedOutcome::IntraZone(plan) => {
+            println!(
+                "hierarchical planner placed {} cachelets, all inside zone 0 (server 2)",
+                plan.len()
+            );
+        }
+        other => println!("unexpected planning outcome: {other:?}"),
+    }
+
+    // And at cluster scale in the simulator: count cross-zone transfers.
+    for (label, zone_planning) in [("flat", false), ("hierarchical", true)] {
+        let cfg = SimConfig {
+            servers: 8,
+            workers_per_server: 2,
+            clients: 10,
+            concurrency: 8,
+            epoch_ms: 250,
+            phases: PhaseSet::only_p3(),
+            zones: 4,
+            zone_planning,
+            ..SimConfig::default()
+        };
+        let mut sim = Simulation::new(cfg);
+        let spec = WorkloadSpec {
+            records: 100_000,
+            read_fraction: 0.95,
+            popularity: Popularity::Zipfian { theta: 0.99 },
+            key_len: 24,
+            value_len: 64,
+        };
+        let r = sim.run(&[(spec, 4_000)]);
+        let (intra, cross) = sim.zone_migration_counts();
+        println!(
+            "{label:>13} planner: {:.0} KQPS, migrations intra/cross-zone = {intra}/{cross}",
+            r.throughput_kqps()
+        );
+    }
+}

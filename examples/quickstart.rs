@@ -1,0 +1,90 @@
+//! Quickstart: stand up a 3-server MBal cluster in-process, connect a
+//! client, and do cache things.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use mbal::balancer::coordinator::Coordinator;
+use mbal::balancer::BalancerConfig;
+use mbal::client::Client;
+use mbal::core::clock::RealClock;
+use mbal::core::types::{ServerId, WorkerAddr};
+use mbal::ring::{ConsistentRing, MappingTable};
+use mbal::server::{InProcRegistry, Server, ServerConfig};
+use std::sync::Arc;
+
+fn main() {
+    // 1. Describe the cluster: 3 servers × 2 worker threads. Each worker
+    //    gets its own transport endpoint; clients route to workers
+    //    directly (no dispatcher).
+    let mut ring = ConsistentRing::new();
+    for s in 0..3u16 {
+        for w in 0..2u16 {
+            ring.add_worker(WorkerAddr::new(s, w));
+        }
+    }
+    // 16 cachelets per worker, 1024 virtual nodes over the key space.
+    let mapping = MappingTable::build(&ring, 16, 1_024);
+
+    // 2. The coordinator owns the authoritative mapping and serves
+    //    Phase 3 planning; it is idle in normal operation.
+    let coordinator = Arc::new(Coordinator::new(mapping.clone(), BalancerConfig::default()));
+
+    // 3. Spawn the servers. The in-proc registry is the transport; swap
+    //    in `mbal::server::tcp` for real sockets.
+    let registry = InProcRegistry::new();
+    let clock = Arc::new(RealClock::new());
+    let mut servers: Vec<Server> = (0..3u16)
+        .map(|s| {
+            Server::spawn(
+                ServerConfig::new(ServerId(s), 2, 256 << 20),
+                &mapping,
+                &registry,
+                Arc::clone(&coordinator),
+                clock.clone(),
+            )
+        })
+        .collect();
+
+    // 4. A client: fetches the mapping from the coordinator, routes
+    //    every request straight to the owning worker.
+    let mut client = Client::new(
+        Arc::clone(&registry) as Arc<dyn mbal::server::Transport>,
+        Arc::clone(&coordinator) as Arc<dyn mbal::client::CoordinatorLink>,
+    );
+
+    client.set(b"user:1001", b"alice").expect("set");
+    client.set(b"user:1002", b"bob").expect("set");
+    let v = client.get(b"user:1001").expect("get").expect("hit");
+    println!("user:1001 -> {}", String::from_utf8_lossy(&v));
+
+    // Batched reads group keys by owning worker into MultiGET requests.
+    let keys = vec![
+        b"user:1001".to_vec(),
+        b"user:1002".to_vec(),
+        b"nope".to_vec(),
+    ];
+    let got = client.multi_get(&keys).expect("multi_get");
+    println!(
+        "multi_get hits: {:?}",
+        got.iter().map(|v| v.is_some()).collect::<Vec<_>>()
+    );
+
+    assert!(client.delete(b"user:1002").expect("delete"));
+    assert_eq!(client.get(b"user:1002").expect("get"), None);
+
+    // 5. Tick the balancer once (servers usually run this on a timer via
+    //    `Server::start_balance_thread`).
+    for s in &mut servers {
+        let phase = s.tick(clock.now_millis());
+        println!("server {:?} balancer phase: {phase:?}", s.id());
+    }
+    println!("client stats: {:?}", client.stats());
+
+    for s in &mut servers {
+        s.shutdown();
+    }
+}
+
+use mbal::core::clock::Clock;

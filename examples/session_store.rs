@@ -1,0 +1,140 @@
+//! Session-store scenario (Table 4, WorkloadC): a 50/50 read/update
+//! workload recording recent user actions. Write-heavy hotspots cannot
+//! be fixed by replication (every write would fan out to replicas), so
+//! the balancer reaches for cachelet migration — first server-local
+//! (Phase 2), then coordinated across servers (Phase 3).
+//!
+//! This example skews all traffic onto the cachelets of one worker and
+//! watches the balancer drain it.
+//!
+//! ```text
+//! cargo run --release --example session_store
+//! ```
+
+use mbal::balancer::coordinator::Coordinator;
+use mbal::balancer::{BalancerConfig, Phase};
+use mbal::client::Client;
+use mbal::core::clock::{Clock, ManualClock};
+use mbal::core::types::{ServerId, WorkerAddr};
+use mbal::ring::{ConsistentRing, MappingTable};
+use mbal::server::{InProcRegistry, Server, ServerConfig};
+use std::sync::Arc;
+
+fn main() {
+    let mut ring = ConsistentRing::new();
+    for s in 0..2u16 {
+        for w in 0..4u16 {
+            ring.add_worker(WorkerAddr::new(s, w));
+        }
+    }
+    let mapping = MappingTable::build(&ring, 4, 256);
+    let balancer = BalancerConfig {
+        // React fast and treat modest skew as imbalance, so the demo
+        // converges in a handful of epochs.
+        imb_thresh: 0.2,
+        ..BalancerConfig::aggressive()
+    };
+    let coordinator = Arc::new(Coordinator::new(mapping.clone(), balancer.clone()));
+    let registry = InProcRegistry::new();
+    let clock = ManualClock::new();
+    let mut servers: Vec<Server> = (0..2u16)
+        .map(|s| {
+            Server::spawn(
+                ServerConfig::new(ServerId(s), 4, 128 << 20)
+                    .balancer(balancer.clone())
+                    // Low permissible load so the demo's traffic counts
+                    // as overload.
+                    .worker_capacity(5_000.0),
+                &mapping,
+                &registry,
+                Arc::clone(&coordinator),
+                Arc::new(clock.clone()),
+            )
+        })
+        .collect();
+    let mut client = Client::new(
+        Arc::clone(&registry) as Arc<dyn mbal::server::Transport>,
+        Arc::clone(&coordinator) as Arc<dyn mbal::client::CoordinatorLink>,
+    );
+
+    // Build a set of session keys that all live on server 0, worker 0 —
+    // a worst-case placement for a write-heavy tenant.
+    let hot_worker = WorkerAddr::new(0, 0);
+    let mut hot_keys = Vec::new();
+    let mut i = 0u64;
+    while hot_keys.len() < 64 {
+        let key = format!("session:{i:08}");
+        if mapping.route(key.as_bytes()).map(|(_, w)| w) == Some(hot_worker) {
+            hot_keys.push(key);
+        }
+        i += 1;
+    }
+    for k in &hot_keys {
+        client
+            .set(k.as_bytes(), b"{\"last_action\":\"login\"}")
+            .expect("set");
+    }
+    println!(
+        "placed {} session keys on {hot_worker}; hammering with 50/50 read/update",
+        hot_keys.len()
+    );
+
+    let before = coordinator.mapping_snapshot();
+    let owned_before = before.cachelets_of_worker(hot_worker).len();
+    for epoch in 0..8 {
+        for round in 0..400 {
+            for (j, k) in hot_keys.iter().enumerate() {
+                if (round + j) % 2 == 0 {
+                    let _ = client.get(k.as_bytes()).expect("get");
+                } else {
+                    client
+                        .set(k.as_bytes(), b"{\"last_action\":\"scroll\"}")
+                        .expect("set");
+                }
+            }
+        }
+        clock.advance(200_000);
+        let now = clock.now_millis();
+        let phase = servers[0].tick(now);
+        servers[1].tick(now);
+        let owned_now = coordinator
+            .mapping_snapshot()
+            .cachelets_of_worker(hot_worker)
+            .len();
+        println!(
+            "epoch {epoch}: server0 phase {phase:?}; hot worker owns {owned_now} cachelets (was {owned_before})"
+        );
+        if matches!(phase, Phase::LocalMigration | Phase::CoordinatedMigration)
+            && owned_now < owned_before
+        {
+            break;
+        }
+    }
+
+    let after = coordinator.mapping_snapshot();
+    let owned_after = after.cachelets_of_worker(hot_worker).len();
+    assert!(
+        owned_after < owned_before,
+        "balancer never migrated cachelets off the hot worker \
+         ({owned_before} -> {owned_after})"
+    );
+    println!("cachelets migrated off the hot worker: {owned_before} -> {owned_after}");
+
+    // Every session must still be readable after migration (the stale
+    // client follows Moved redirects / coordinator deltas).
+    for k in &hot_keys {
+        assert!(
+            client.get(k.as_bytes()).expect("get").is_some(),
+            "lost session {k}"
+        );
+    }
+    println!("all {} sessions intact after migration", hot_keys.len());
+    println!(
+        "balance events so far (server 0): {} entries",
+        servers[0].events().len()
+    );
+
+    for s in &mut servers {
+        s.shutdown();
+    }
+}

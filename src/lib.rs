@@ -1,0 +1,32 @@
+//! # MBal — an in-memory object caching framework with adaptive load balancing
+//!
+//! A from-scratch Rust reproduction of the EuroSys 2015 paper by Cheng,
+//! Gupta and Butt. This facade crate re-exports every subsystem; see the
+//! individual crates for details:
+//!
+//! - [`core`] — cachelets, lockless hash table, slab memory.
+//! - [`ring`] — consistent hashing and key-to-thread mapping.
+//! - [`proto`] — the binary wire protocol.
+//! - [`ilp`] — the simplex/branch-and-bound ILP solver behind
+//!   the migration planners.
+//! - [`balancer`] — the multi-phase load balancer.
+//! - [`server`] — the server runtime.
+//! - [`client`] — the client library.
+//! - [`workload`] — YCSB-style workload generators.
+//! - [`baselines`] — Memcached-like and Mercury-like
+//!   comparison caches.
+//! - [`cluster`] — the discrete-event cluster simulator used
+//!   to reproduce the paper's EC2 experiments.
+
+#![forbid(unsafe_code)]
+
+pub use mbal_balancer as balancer;
+pub use mbal_baselines as baselines;
+pub use mbal_client as client;
+pub use mbal_cluster as cluster;
+pub use mbal_core as core;
+pub use mbal_ilp as ilp;
+pub use mbal_proto as proto;
+pub use mbal_ring as ring;
+pub use mbal_server as server;
+pub use mbal_workload as workload;

@@ -1,0 +1,129 @@
+//! Asynchronous replica propagation (§3.2): with
+//! `sync_replication = false`, writes return without waiting for shadow
+//! acknowledgement ("eventual consistency that may result in stale reads
+//! for some clients") — but replicas must still converge.
+
+use mbal::balancer::coordinator::Coordinator;
+use mbal::balancer::BalancerConfig;
+use mbal::client::Client;
+use mbal::core::clock::{Clock, ManualClock};
+use mbal::core::types::{ServerId, WorkerAddr};
+use mbal::ring::{ConsistentRing, MappingTable};
+use mbal::server::{InProcRegistry, Server, ServerConfig, Transport};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn build(
+    sync: bool,
+) -> (
+    Vec<Server>,
+    Arc<Coordinator>,
+    Arc<InProcRegistry>,
+    ManualClock,
+) {
+    let mut ring = ConsistentRing::new();
+    for s in 0..3u16 {
+        for w in 0..2u16 {
+            ring.add_worker(WorkerAddr::new(s, w));
+        }
+    }
+    let mapping = MappingTable::build(&ring, 4, 256);
+    let bal = BalancerConfig::aggressive();
+    let coordinator = Arc::new(Coordinator::new(mapping.clone(), bal.clone()));
+    let registry = InProcRegistry::new();
+    let clock = ManualClock::new();
+    let servers = (0..3u16)
+        .map(|s| {
+            let mut cfg = ServerConfig::new(ServerId(s), 2, 32 << 20)
+                .cachelets_per_worker(4)
+                .balancer(bal.clone());
+            cfg.sync_replication = sync;
+            Server::spawn(
+                cfg,
+                &mapping,
+                &registry,
+                Arc::clone(&coordinator),
+                Arc::new(clock.clone()),
+            )
+        })
+        .collect();
+    (servers, coordinator, registry, clock)
+}
+
+fn replicate_hot_key(servers: &mut [Server], clock: &ManualClock, client: &mut Client) {
+    client.set(b"celebrity", b"v0").expect("set");
+    for _ in 0..5 {
+        for _ in 0..3_000 {
+            let _ = client.get(b"celebrity").expect("get");
+        }
+        clock.advance(200_000);
+        let now = clock.now_millis();
+        for s in servers.iter_mut() {
+            s.tick(now);
+        }
+        if client.replicated_keys() > 0 {
+            break;
+        }
+    }
+}
+
+#[test]
+fn async_replication_converges() {
+    let (mut servers, coordinator, registry, clock) = build(false);
+    let mut client = Client::new(
+        Arc::clone(&registry) as Arc<dyn Transport>,
+        Arc::clone(&coordinator) as Arc<dyn mbal::client::CoordinatorLink>,
+    );
+    replicate_hot_key(&mut servers, &clock, &mut client);
+    assert!(
+        client.replicated_keys() > 0,
+        "hot key never replicated: {:?}",
+        client.stats()
+    );
+
+    // Write through the home worker; the async update is in flight.
+    client.set(b"celebrity", b"v1").expect("set");
+    // Eventual consistency: within a bounded (wall-clock) window, every
+    // read — home or replica — observes v1.
+    let deadline = Instant::now() + Duration::from_secs(2);
+    let mut converged = false;
+    while Instant::now() < deadline {
+        let all_new = (0..8).all(|_| client.get(b"celebrity").expect("get").expect("hit") == b"v1");
+        if all_new {
+            converged = true;
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert!(converged, "replicas never converged to the new value");
+    for s in &mut servers {
+        s.shutdown();
+    }
+}
+
+#[test]
+fn sync_replication_never_reads_stale() {
+    let (mut servers, coordinator, registry, clock) = build(true);
+    let mut client = Client::new(
+        Arc::clone(&registry) as Arc<dyn Transport>,
+        Arc::clone(&coordinator) as Arc<dyn mbal::client::CoordinatorLink>,
+    );
+    replicate_hot_key(&mut servers, &clock, &mut client);
+    assert!(client.replicated_keys() > 0, "hot key never replicated");
+    // With synchronous propagation, the very next read after a write —
+    // wherever it routes — must see the new value.
+    for round in 0..20 {
+        let value = format!("v{round}");
+        client.set(b"celebrity", value.as_bytes()).expect("set");
+        for _ in 0..4 {
+            assert_eq!(
+                client.get(b"celebrity").expect("get").expect("hit"),
+                value.as_bytes(),
+                "stale read under synchronous replication"
+            );
+        }
+    }
+    for s in &mut servers {
+        s.shutdown();
+    }
+}

@@ -1,0 +1,127 @@
+//! Cross-crate adaptivity tests on the cluster simulator: the real
+//! balancer running over simulated time must (a) improve skewed
+//! workloads, (b) adapt across the paper's dynamic A→B→C sequence, and
+//! (c) keep Phase 3 a rarity.
+
+use mbal::cluster::{PhaseSet, SimConfig, Simulation};
+use mbal::workload::ycsb::Popularity;
+use mbal::workload::WorkloadSpec;
+
+fn cfg(phases: PhaseSet) -> SimConfig {
+    SimConfig {
+        servers: 8,
+        workers_per_server: 2,
+        cachelets_per_worker: 8,
+        vns: 1_024,
+        clients: 10,
+        concurrency: 8,
+        epoch_ms: 200,
+        window_ms: 500,
+        phases,
+        ..SimConfig::default()
+    }
+}
+
+fn zipf_spec(records: u64, read: f64) -> WorkloadSpec {
+    WorkloadSpec {
+        records,
+        read_fraction: read,
+        popularity: Popularity::Zipfian { theta: 0.99 },
+        key_len: 24,
+        value_len: 64,
+    }
+}
+
+#[test]
+fn full_balancer_beats_no_balancer_on_skew() {
+    let spec = zipf_spec(50_000, 0.95);
+    let base = Simulation::new(cfg(PhaseSet::none())).run(&[(spec.clone(), 6_000)]);
+    let balanced = Simulation::new(cfg(PhaseSet::all())).run(&[(spec, 6_000)]);
+    assert!(
+        balanced.completed as f64 > base.completed as f64 * 1.05,
+        "balanced {} must beat unbalanced {} by >5%",
+        balanced.completed,
+        base.completed
+    );
+    assert!(
+        balanced.overall.p99_us < base.overall.p99_us,
+        "balanced p99 {} must beat {}",
+        balanced.overall.p99_us,
+        base.overall.p99_us
+    );
+}
+
+#[test]
+fn dynamic_workload_keeps_tail_bounded() {
+    // A→B→C with all phases: after each shift the balancer must pull the
+    // windowed p90 back near the run's best within the segment.
+    let a = WorkloadSpec::workload_a(50_000);
+    let b = WorkloadSpec::workload_b(50_000);
+    let c = WorkloadSpec::workload_c(50_000);
+    let mut sim = Simulation::new(cfg(PhaseSet::all()));
+    let r = sim.run(&[(a, 4_000), (b, 4_000), (c, 4_000)]);
+    assert!(r.completed > 50_000, "sim too small: {}", r.completed);
+    // Final windows of each segment must be no worse than ~3x the best
+    // window of that segment (converged, not diverging).
+    for (start, end) in [(0u64, 4_000u64), (4_000, 8_000), (8_000, 12_000)] {
+        let seg: Vec<f64> = r
+            .windows
+            .iter()
+            .filter(|w| w.start_ms >= start && w.start_ms < end && w.read_latency.count > 0)
+            .map(|w| w.read_latency.p90_us)
+            .collect();
+        assert!(seg.len() >= 3, "segment [{start},{end}) too sparse");
+        let best = seg.iter().cloned().fold(f64::INFINITY, f64::min);
+        let last = *seg.last().expect("non-empty");
+        assert!(
+            last <= best * 3.0 + 500.0,
+            "segment [{start},{end}): final window p90 {last} diverged from best {best}"
+        );
+    }
+}
+
+#[test]
+fn phase3_is_sparingly_used() {
+    let a = WorkloadSpec::workload_a(50_000);
+    let c = WorkloadSpec::workload_c(50_000);
+    let mut sim = Simulation::new(cfg(PhaseSet::all()));
+    let r = sim.run(&[(a, 4_000), (c, 4_000)]);
+    let (p1, p2, p3) = r.phase_events;
+    let total = p1 + p2 + p3;
+    assert!(total > 0, "the balancer never acted");
+    assert!(
+        (p3 as f64) < 0.5 * total as f64,
+        "Phase 3 dominated: {p3}/{total} events"
+    );
+}
+
+#[test]
+fn write_heavy_workload_does_not_replicate() {
+    // 100% writes: Phase 1 must hold fire (write-hot keys are never
+    // replicated — propagation would outweigh the benefit).
+    let spec = WorkloadSpec {
+        records: 10_000,
+        read_fraction: 0.0,
+        popularity: Popularity::Hotspot {
+            hot_data: 0.001,
+            hot_ops: 0.8,
+        },
+        key_len: 24,
+        value_len: 64,
+    };
+    let mut sim = Simulation::new(cfg(PhaseSet::all()));
+    let _ = sim.run(&[(spec, 4_000)]);
+    assert_eq!(sim.replicated_keys(), 0, "write-hot keys were replicated");
+}
+
+#[test]
+fn simulation_is_reproducible_across_phase_sets() {
+    for phases in [PhaseSet::none(), PhaseSet::only_p1(), PhaseSet::all()] {
+        let run = || {
+            Simulation::new(cfg(phases))
+                .run(&[(zipf_spec(20_000, 0.9), 3_000)])
+                .completed
+        };
+        assert_eq!(run(), run(), "nondeterministic under {phases:?}");
+    }
+}

@@ -1,0 +1,118 @@
+//! End-to-end coordinator fault tolerance: a live cluster wired through
+//! a [`ReplicatedCoordinator`] keeps balancing and serving across a
+//! primary failover — the §3.4 future-work scenario.
+
+use mbal::balancer::plan::Migration;
+use mbal::balancer::replicated::CoordinatorService;
+use mbal::balancer::{BalancerConfig, ReplicatedCoordinator};
+use mbal::client::Client;
+use mbal::core::clock::{Clock, ManualClock};
+use mbal::core::types::{ServerId, WorkerAddr};
+use mbal::ring::{ConsistentRing, MappingTable};
+use mbal::server::{InProcRegistry, Server, ServerConfig, Transport};
+use std::sync::Arc;
+
+#[test]
+fn cluster_survives_coordinator_failover() {
+    let mut ring = ConsistentRing::new();
+    for s in 0..2u16 {
+        ring.add_worker(WorkerAddr::new(s, 0));
+        ring.add_worker(WorkerAddr::new(s, 1));
+    }
+    let mapping = MappingTable::build(&ring, 4, 128);
+    let bal = BalancerConfig::aggressive();
+    let group = Arc::new(ReplicatedCoordinator::new(mapping.clone(), bal.clone(), 2));
+    let registry = InProcRegistry::new();
+    let clock = ManualClock::new();
+    let mut servers: Vec<Server> = (0..2u16)
+        .map(|s| {
+            Server::spawn(
+                ServerConfig::new(ServerId(s), 2, 32 << 20)
+                    .cachelets_per_worker(4)
+                    .balancer(bal.clone()),
+                &mapping,
+                &registry,
+                Arc::clone(&group),
+                Arc::new(clock.clone()),
+            )
+        })
+        .collect();
+    let mut client = Client::new(
+        Arc::clone(&registry) as Arc<dyn Transport>,
+        Arc::clone(&group) as Arc<dyn mbal::client::CoordinatorLink>,
+    );
+
+    for i in 0..300u32 {
+        client
+            .set(format!("fo:{i}").as_bytes(), &i.to_le_bytes())
+            .expect("set");
+    }
+    // A balance epoch and a forced coordinated migration before failover.
+    clock.advance(250_000);
+    for s in &mut servers {
+        s.tick(clock.now_millis());
+    }
+    let snap = group.mapping_snapshot();
+    let victim = snap.cachelets_of_worker(WorkerAddr::new(0, 0))[0];
+    let m = Migration {
+        cachelet: victim,
+        from: WorkerAddr::new(0, 0),
+        to: WorkerAddr::new(1, 0),
+        load: 0.0,
+    };
+    group.report_local_move(&m);
+    servers[0].migrate_out(&m);
+    let v_before = group.mapping_version();
+    group.assert_in_sync();
+
+    // Primary dies; the standby takes over with the identical mapping.
+    group.fail_over();
+    assert_eq!(
+        group.mapping_version(),
+        v_before,
+        "mapping survived failover"
+    );
+
+    // Everything keeps working: reads (including of the migrated
+    // cachelet), writes, polling, further migrations, balance ticks.
+    for i in 0..300u32 {
+        assert_eq!(
+            client
+                .get(format!("fo:{i}").as_bytes())
+                .expect("get")
+                .expect("hit"),
+            i.to_le_bytes()
+        );
+    }
+    let _ = client.poll_coordinator();
+    assert_eq!(client.mapping_version(), group.mapping_version());
+
+    let snap = group.mapping_snapshot();
+    let victim2 = snap.cachelets_of_worker(WorkerAddr::new(1, 1))[0];
+    let m2 = Migration {
+        cachelet: victim2,
+        from: WorkerAddr::new(1, 1),
+        to: WorkerAddr::new(0, 1),
+        load: 0.0,
+    };
+    group.report_local_move(&m2);
+    servers[1].migrate_out(&m2);
+    clock.advance(250_000);
+    for s in &mut servers {
+        s.tick(clock.now_millis());
+    }
+    for i in 0..300u32 {
+        assert!(
+            client
+                .get(format!("fo:{i}").as_bytes())
+                .expect("get")
+                .is_some(),
+            "lost fo:{i} after post-failover migration"
+        );
+    }
+    group.assert_in_sync();
+    assert_eq!(group.failovers(), 1);
+    for s in &mut servers {
+        s.shutdown();
+    }
+}

@@ -1,0 +1,138 @@
+//! End-to-end coverage of the extended Memcached operation family
+//! (add/replace/append/prepend/incr/decr/touch) through the full
+//! client → transport → worker stack, over both in-proc and TCP.
+
+use mbal::balancer::coordinator::Coordinator;
+use mbal::balancer::BalancerConfig;
+use mbal::client::Client;
+use mbal::core::clock::{Clock, ManualClock};
+use mbal::core::types::{ServerId, WorkerAddr};
+use mbal::ring::{ConsistentRing, MappingTable};
+use mbal::server::tcp::{serve_tcp, TcpTransport};
+use mbal::server::{InProcRegistry, Server, ServerConfig, Transport};
+use std::sync::Arc;
+
+fn cluster() -> (
+    Vec<Server>,
+    Arc<Coordinator>,
+    Arc<InProcRegistry>,
+    ManualClock,
+) {
+    let mut ring = ConsistentRing::new();
+    for s in 0..2u16 {
+        for w in 0..2u16 {
+            ring.add_worker(WorkerAddr::new(s, w));
+        }
+    }
+    let mapping = MappingTable::build(&ring, 4, 128);
+    let coordinator = Arc::new(Coordinator::new(mapping.clone(), BalancerConfig::default()));
+    let registry = InProcRegistry::new();
+    let clock = ManualClock::new();
+    let servers = (0..2u16)
+        .map(|s| {
+            Server::spawn(
+                ServerConfig::new(ServerId(s), 2, 32 << 20).cachelets_per_worker(4),
+                &mapping,
+                &registry,
+                Arc::clone(&coordinator),
+                Arc::new(clock.clone()),
+            )
+        })
+        .collect();
+    (servers, coordinator, registry, clock)
+}
+
+#[test]
+fn add_replace_semantics_end_to_end() {
+    let (mut servers, coordinator, registry, _clock) = cluster();
+    let mut c = Client::new(
+        Arc::clone(&registry) as Arc<dyn Transport>,
+        Arc::clone(&coordinator) as Arc<dyn mbal::client::CoordinatorLink>,
+    );
+    assert!(
+        !c.replace(b"k", b"v").expect("replace miss"),
+        "replace on miss"
+    );
+    assert!(c.add(b"k", b"v1").expect("add"), "add on miss stores");
+    assert!(!c.add(b"k", b"v2").expect("add hit"), "add on hit refuses");
+    assert_eq!(c.get(b"k").expect("get").expect("hit"), b"v1");
+    assert!(c.replace(b"k", b"v3").expect("replace"), "replace on hit");
+    assert_eq!(c.get(b"k").expect("get").expect("hit"), b"v3");
+    for s in &mut servers {
+        s.shutdown();
+    }
+}
+
+#[test]
+fn append_prepend_and_counters() {
+    let (mut servers, coordinator, registry, _clock) = cluster();
+    let mut c = Client::new(
+        Arc::clone(&registry) as Arc<dyn Transport>,
+        Arc::clone(&coordinator) as Arc<dyn mbal::client::CoordinatorLink>,
+    );
+    c.set(b"log", b"mid").expect("set");
+    assert!(c.append(b"log", b"-end").expect("append"));
+    assert!(c.prepend(b"log", b"start-").expect("prepend"));
+    assert_eq!(c.get(b"log").expect("get").expect("hit"), b"start-mid-end");
+    assert!(!c.append(b"missing", b"x").expect("append miss"));
+
+    c.set(b"hits", b"100").expect("set");
+    assert_eq!(c.incr(b"hits", 5).expect("incr"), Some(105));
+    assert_eq!(c.decr(b"hits", 200).expect("decr"), Some(0), "saturates");
+    assert_eq!(c.incr(b"nope", 1).expect("incr miss"), None);
+    c.set(b"text", b"abc").expect("set");
+    assert!(c.incr(b"text", 1).is_err(), "non-numeric must error");
+    for s in &mut servers {
+        s.shutdown();
+    }
+}
+
+#[test]
+fn touch_extends_ttl_end_to_end() {
+    let (mut servers, coordinator, registry, clock) = cluster();
+    let mut c = Client::new(
+        Arc::clone(&registry) as Arc<dyn Transport>,
+        Arc::clone(&coordinator) as Arc<dyn mbal::client::CoordinatorLink>,
+    );
+    clock.advance(1_000_000); // t = 1 s
+    c.set_with_expiry(b"session", b"v", 2_000).expect("set");
+    assert!(c.touch(b"session", 60_000).expect("touch"));
+    clock.advance(10_000_000); // t = 11 s, past the original expiry
+    assert_eq!(
+        c.get(b"session")
+            .expect("get")
+            .expect("touched key survives"),
+        b"v"
+    );
+    assert!(!c.touch(b"missing", 1).expect("touch miss"));
+    // Without a touch, TTL still enforces.
+    c.set_with_expiry(b"ephemeral", b"v", clock.now_millis() + 500)
+        .expect("set");
+    clock.advance(1_000_000);
+    assert_eq!(c.get(b"ephemeral").expect("get"), None);
+    for s in &mut servers {
+        s.shutdown();
+    }
+}
+
+#[test]
+fn extended_ops_work_over_tcp() {
+    let (mut servers, coordinator, _registry, _clock) = cluster();
+    let mut routes = std::collections::HashMap::new();
+    for s in &servers {
+        routes.extend(serve_tcp(&s.worker_mailboxes(), "127.0.0.1", 0).expect("bind"));
+    }
+    let transport = TcpTransport::new(routes);
+    let mut c = Client::new(
+        transport as Arc<dyn Transport>,
+        Arc::clone(&coordinator) as Arc<dyn mbal::client::CoordinatorLink>,
+    );
+    assert!(c.add(b"tcp-counter", b"41").expect("add"));
+    assert_eq!(c.incr(b"tcp-counter", 1).expect("incr"), Some(42));
+    assert!(c.append(b"tcp-counter", b"!").expect("append"));
+    assert_eq!(c.get(b"tcp-counter").expect("get").expect("hit"), b"42!");
+    assert!(c.touch(b"tcp-counter", 0).expect("touch"));
+    for s in &mut servers {
+        s.shutdown();
+    }
+}

@@ -1,0 +1,217 @@
+//! Consistency of coordinated cachelet migration under concurrent
+//! client traffic (§3.4's Write-Invalidate protocol), plus failure
+//! injection: unreachable destinations and stale clients.
+
+use mbal::balancer::coordinator::Coordinator;
+use mbal::balancer::plan::Migration;
+use mbal::balancer::BalancerConfig;
+use mbal::client::Client;
+use mbal::core::clock::RealClock;
+use mbal::core::types::{ServerId, WorkerAddr};
+use mbal::ring::{ConsistentRing, MappingTable};
+use mbal::server::{InProcRegistry, Server, ServerConfig, Transport};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+struct Cluster {
+    registry: Arc<InProcRegistry>,
+    coordinator: Arc<Coordinator>,
+    servers: Vec<Server>,
+    mapping: MappingTable,
+}
+
+fn build(n_servers: u16, workers: u16) -> Cluster {
+    let mut ring = ConsistentRing::new();
+    for s in 0..n_servers {
+        for w in 0..workers {
+            ring.add_worker(WorkerAddr::new(s, w));
+        }
+    }
+    let mapping = MappingTable::build(&ring, 4, 256);
+    let coordinator = Arc::new(Coordinator::new(mapping.clone(), BalancerConfig::default()));
+    let registry = InProcRegistry::new();
+    let servers = (0..n_servers)
+        .map(|s| {
+            Server::spawn(
+                ServerConfig::new(ServerId(s), workers, 64 << 20).cachelets_per_worker(4),
+                &mapping,
+                &registry,
+                Arc::clone(&coordinator),
+                Arc::new(RealClock::new()),
+            )
+        })
+        .collect();
+    Cluster {
+        registry,
+        coordinator,
+        servers,
+        mapping,
+    }
+}
+
+impl Cluster {
+    fn client(&self) -> Client {
+        Client::new(
+            Arc::clone(&self.registry) as Arc<dyn Transport>,
+            Arc::clone(&self.coordinator) as Arc<dyn mbal::client::CoordinatorLink>,
+        )
+    }
+
+    fn shutdown(mut self) {
+        for s in &mut self.servers {
+            s.shutdown();
+        }
+    }
+}
+
+#[test]
+fn migration_under_concurrent_writes_loses_nothing() {
+    let mut cluster = build(2, 1);
+    let mut seed_client = cluster.client();
+    for i in 0..500u32 {
+        seed_client
+            .set(format!("cc:{i}").as_bytes(), &0u64.to_le_bytes())
+            .expect("seed");
+    }
+    let victim = cluster.mapping.cachelets_of_worker(WorkerAddr::new(0, 0))[0];
+    let m = Migration {
+        cachelet: victim,
+        from: WorkerAddr::new(0, 0),
+        to: WorkerAddr::new(1, 0),
+        load: 0.0,
+    };
+    cluster.coordinator.report_local_move(&m);
+
+    // Writers hammer all keys while the migration runs.
+    let stop = Arc::new(AtomicBool::new(false));
+    let writer = {
+        let stop = Arc::clone(&stop);
+        let mut c = cluster.client();
+        std::thread::spawn(move || {
+            let mut version = 1u64;
+            while !stop.load(Ordering::Relaxed) {
+                for i in (0..500u32).step_by(7) {
+                    let _ = c.set(format!("cc:{i}").as_bytes(), &version.to_le_bytes());
+                }
+                version += 1;
+            }
+            version
+        })
+    };
+    cluster.servers[0].migrate_out(&m);
+    stop.store(true, Ordering::Relaxed);
+    let final_version = writer.join().expect("writer");
+    assert!(
+        final_version > 1,
+        "writer made no progress during migration"
+    );
+
+    // Every key must still be readable and hold either the seed value or
+    // some writer version (no garbage, no loss).
+    let mut reader = cluster.client();
+    for i in 0..500u32 {
+        let v = reader
+            .get(format!("cc:{i}").as_bytes())
+            .expect("get")
+            .unwrap_or_else(|| panic!("key cc:{i} lost in migration"));
+        let n = u64::from_le_bytes(v.try_into().expect("8-byte value"));
+        assert!(n <= final_version, "key cc:{i} has impossible version {n}");
+    }
+    cluster.shutdown();
+}
+
+#[test]
+fn stale_client_follows_forwarding_after_migration() {
+    let mut cluster = build(2, 1);
+    let mut stale = cluster.client(); // snapshot mapping now
+    let mut fresh = cluster.client();
+    for i in 0..200u32 {
+        fresh.set(format!("fw:{i}").as_bytes(), b"v").expect("set");
+    }
+    let victim = cluster.mapping.cachelets_of_worker(WorkerAddr::new(0, 0))[0];
+    let m = Migration {
+        cachelet: victim,
+        from: WorkerAddr::new(0, 0),
+        to: WorkerAddr::new(1, 0),
+        load: 0.0,
+    };
+    cluster.coordinator.report_local_move(&m);
+    cluster.servers[0].migrate_out(&m);
+    // The stale client's first touch of a migrated key returns Moved and
+    // self-heals via on-the-way routing.
+    let v0 = stale.mapping_version();
+    for i in 0..200u32 {
+        assert!(
+            stale
+                .get(format!("fw:{i}").as_bytes())
+                .expect("get")
+                .is_some(),
+            "stale client lost fw:{i}"
+        );
+    }
+    assert!(
+        stale.mapping_version() > v0 || stale.stats().moved > 0,
+        "stale client never learned about the move"
+    );
+    cluster.shutdown();
+}
+
+#[test]
+fn unreachable_destination_degrades_to_miss_not_corruption() {
+    let mut cluster = build(3, 1);
+    let mut client = cluster.client();
+    for i in 0..200u32 {
+        client
+            .set(format!("dead:{i}").as_bytes(), b"v")
+            .expect("set");
+    }
+    let victim = cluster.mapping.cachelets_of_worker(WorkerAddr::new(0, 0))[0];
+    // Kill the destination's route before migrating: every transfer RPC
+    // fails. This models a destination crash mid-migration.
+    cluster.registry.deregister(WorkerAddr::new(1, 0));
+    let m = Migration {
+        cachelet: victim,
+        from: WorkerAddr::new(0, 0),
+        to: WorkerAddr::new(1, 0),
+        load: 0.0,
+    };
+    cluster.coordinator.report_local_move(&m);
+    cluster.servers[0].migrate_out(&m);
+    // The migrated cachelet's keys are gone (a cache may lose entries;
+    // the write-through backend still has them) but every other key is
+    // intact and the cluster keeps serving.
+    let mut live = 0;
+    let dead_worker = WorkerAddr::new(1, 0);
+    for i in 0..200u32 {
+        let key = format!("dead:{i}");
+        let in_victim = cluster
+            .mapping
+            .cachelet_of_vn(cluster.mapping.vn_of(key.as_bytes()))
+            == victim;
+        let on_dead_server =
+            cluster.mapping.route(key.as_bytes()).map(|(_, w)| w) == Some(dead_worker);
+        let affected = in_victim || on_dead_server;
+        match client.get(key.as_bytes()) {
+            Ok(Some(_)) => live += 1,
+            Ok(None) => assert!(affected, "unaffected key {key} lost"),
+            Err(e) => {
+                assert!(affected, "unaffected key {key} errored: {e}");
+            }
+        }
+    }
+    assert!(live > 0, "the whole cache went dark");
+    // A key owned by a live server still accepts writes.
+    let mut i = 0u32;
+    let fresh_key = loop {
+        let k = format!("fresh:{i}");
+        let owner = cluster.mapping.route(k.as_bytes()).map(|(_, w)| w);
+        if owner != Some(dead_worker) {
+            break k;
+        }
+        i += 1;
+    };
+    client
+        .set(fresh_key.as_bytes(), b"v")
+        .expect("set on a live server still works");
+    cluster.shutdown();
+}

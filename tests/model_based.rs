@@ -1,0 +1,122 @@
+//! Model-based end-to-end property test: arbitrary op sequences against
+//! a live multi-server MBal cluster must agree with a `HashMap`, before
+//! and after balancer activity and forced migrations.
+
+use mbal::balancer::coordinator::Coordinator;
+use mbal::balancer::plan::Migration;
+use mbal::balancer::BalancerConfig;
+use mbal::client::Client;
+use mbal::core::clock::ManualClock;
+use mbal::core::types::{ServerId, WorkerAddr};
+use mbal::ring::{ConsistentRing, MappingTable};
+use mbal::server::{InProcRegistry, Server, ServerConfig, Transport};
+use proptest::prelude::*;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+#[derive(Debug, Clone)]
+enum Action {
+    Set(u8, Vec<u8>),
+    Get(u8),
+    Delete(u8),
+    Tick,
+    Migrate(u8),
+}
+
+fn action_strategy() -> impl Strategy<Value = Action> {
+    prop_oneof![
+        5 => (any::<u8>(), prop::collection::vec(any::<u8>(), 1..32)).prop_map(|(k, v)| Action::Set(k, v)),
+        4 => any::<u8>().prop_map(Action::Get),
+        2 => any::<u8>().prop_map(Action::Delete),
+        1 => Just(Action::Tick),
+        1 => any::<u8>().prop_map(Action::Migrate),
+    ]
+}
+
+fn key_of(k: u8) -> Vec<u8> {
+    format!("mb:{k:03}").into_bytes()
+}
+
+proptest! {
+    // Each case spins a real cluster with threads: keep the count low.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn cluster_agrees_with_hashmap(actions in prop::collection::vec(action_strategy(), 1..120)) {
+        let mut ring = ConsistentRing::new();
+        for s in 0..2u16 {
+            ring.add_worker(WorkerAddr::new(s, 0));
+            ring.add_worker(WorkerAddr::new(s, 1));
+        }
+        let mapping = MappingTable::build(&ring, 4, 128);
+        let bal = BalancerConfig::aggressive();
+        let coordinator = Arc::new(Coordinator::new(mapping.clone(), bal.clone()));
+        let registry = InProcRegistry::new();
+        let clock = ManualClock::new();
+        let mut servers: Vec<Server> = (0..2u16)
+            .map(|s| {
+                Server::spawn(
+                    ServerConfig::new(ServerId(s), 2, 32 << 20)
+                        .cachelets_per_worker(4)
+                        .balancer(bal.clone()),
+                    &mapping,
+                    &registry,
+                    Arc::clone(&coordinator),
+                    Arc::new(clock.clone()),
+                )
+            })
+            .collect();
+        let mut client = Client::new(
+            Arc::clone(&registry) as Arc<dyn Transport>,
+            Arc::clone(&coordinator) as Arc<dyn mbal::client::CoordinatorLink>,
+        );
+        let mut model: HashMap<u8, Vec<u8>> = HashMap::new();
+
+        for action in actions {
+            match action {
+                Action::Set(k, v) => {
+                    client.set(&key_of(k), &v).expect("set");
+                    model.insert(k, v);
+                }
+                Action::Get(k) => {
+                    let got = client.get(&key_of(k)).expect("get");
+                    prop_assert_eq!(got.as_ref(), model.get(&k), "divergence on key {}", k);
+                }
+                Action::Delete(k) => {
+                    client.delete(&key_of(k)).expect("delete");
+                    model.remove(&k);
+                }
+                Action::Tick => {
+                    clock.advance(250_000);
+                    let now = mbal::core::clock::Clock::now_millis(&clock);
+                    for s in &mut servers {
+                        s.tick(now);
+                    }
+                }
+                Action::Migrate(seed) => {
+                    // Force a coordinated migration of an arbitrary
+                    // cachelet to the other server.
+                    let snap = coordinator.mapping_snapshot();
+                    let c = mbal::core::types::CacheletId(
+                        seed as u32 % snap.num_cachelets() as u32,
+                    );
+                    let Some(owner) = snap.worker_of_cachelet(c) else { continue };
+                    let dest_server = if owner.server == ServerId(0) { 1 } else { 0 };
+                    let dest = WorkerAddr::new(dest_server, seed as u16 % 2);
+                    let m = Migration { cachelet: c, from: owner, to: dest, load: 0.0 };
+                    coordinator.report_local_move(&m);
+                    servers[owner.server.0 as usize].migrate_out(&m);
+                }
+            }
+        }
+        // Full sweep at the end: every model key is present with the
+        // right value; every deleted key is absent.
+        for k in 0..=u8::MAX {
+            let got = client.get(&key_of(k)).expect("get");
+            prop_assert_eq!(got.as_ref(), model.get(&k), "final divergence on key {}", k);
+        }
+        for s in &mut servers {
+            s.shutdown();
+        }
+    }
+}
