@@ -1,0 +1,132 @@
+//! Beyond the paper's figures: serial round-trips vs one pipelined
+//! `Transport::call_many` for MultiGET (§4.1 client batching), measured
+//! over both the in-process registry and real TCP sockets. The batch
+//! pays one mailbox enqueue (in-proc) or one frame flush + one response
+//! drain (TCP) regardless of size, so the per-GET cost should fall
+//! steeply from B=1 to B=64.
+
+use mbal_balancer::coordinator::Coordinator;
+use mbal_balancer::BalancerConfig;
+use mbal_bench::{header, row, scaled};
+use mbal_core::clock::RealClock;
+use mbal_core::types::{CacheletId, ServerId, WorkerAddr};
+use mbal_proto::Request;
+use mbal_ring::{ConsistentRing, MappingTable};
+use mbal_server::tcp::{serve_tcp, TcpTransport};
+use mbal_server::transport::DEFAULT_DEADLINE;
+use mbal_server::{InProcRegistry, Server, ServerConfig, Transport};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+const BATCHES: [usize; 3] = [1, 8, 64];
+
+fn bench_transport(
+    name: &str,
+    transport: &dyn Transport,
+    worker: WorkerAddr,
+    keys: &[(CacheletId, Vec<u8>)],
+    total_ops: u64,
+) {
+    header(
+        &format!("MultiGET batching — {name}"),
+        "mean µs per GET, one call per key vs one call_many per batch",
+    );
+    row(
+        "batch size",
+        &[
+            "serial µs/op".into(),
+            "batched µs/op".into(),
+            "speedup".into(),
+        ],
+    );
+    for &b in &BATCHES {
+        let rounds = (total_ops as usize / b).max(1);
+        let start = Instant::now();
+        for r in 0..rounds {
+            for i in 0..b {
+                let (c, k) = &keys[(r * b + i) % keys.len()];
+                transport
+                    .call(
+                        worker,
+                        Request::Get {
+                            cachelet: *c,
+                            key: k.clone(),
+                        },
+                    )
+                    .expect("serial get");
+            }
+        }
+        let serial_us = start.elapsed().as_micros() as f64 / (rounds * b) as f64;
+
+        let start = Instant::now();
+        for r in 0..rounds {
+            let reqs: Vec<Request> = (0..b)
+                .map(|i| {
+                    let (c, k) = &keys[(r * b + i) % keys.len()];
+                    Request::Get {
+                        cachelet: *c,
+                        key: k.clone(),
+                    }
+                })
+                .collect();
+            let out = transport.call_many(worker, reqs, DEFAULT_DEADLINE);
+            assert!(out.iter().all(|o| o.is_ok()), "batched get failed");
+        }
+        let batched_us = start.elapsed().as_micros() as f64 / (rounds * b) as f64;
+
+        row(
+            &format!("B={b}"),
+            &[
+                format!("{serial_us:.2}"),
+                format!("{batched_us:.2}"),
+                format!("{:.2}x", serial_us / batched_us.max(0.01)),
+            ],
+        );
+    }
+}
+
+fn main() {
+    let mut ring = ConsistentRing::new();
+    ring.add_worker(WorkerAddr::new(0, 0));
+    let mapping = MappingTable::build(&ring, 8, 256);
+    let coordinator = Arc::new(Coordinator::new(mapping.clone(), BalancerConfig::default()));
+    let registry = InProcRegistry::new();
+    let mut server = Server::spawn(
+        ServerConfig::new(ServerId(0), 1, 64 << 20).cachelets_per_worker(8),
+        &mapping,
+        &registry,
+        Arc::clone(&coordinator),
+        Arc::new(RealClock::new()),
+    );
+    let worker = WorkerAddr::new(0, 0);
+
+    // Seed a keyset; with a single worker every key homes there.
+    let keys: Vec<(CacheletId, Vec<u8>)> = (0..256u32)
+        .map(|i| {
+            let key = format!("mget:{i:06}").into_bytes();
+            let (cachelet, _) = mapping.route(&key).expect("routed");
+            registry
+                .call(
+                    worker,
+                    Request::Set {
+                        cachelet,
+                        key: key.clone(),
+                        value: vec![7u8; 64],
+                        expiry_ms: 0,
+                    },
+                )
+                .expect("seed");
+            (cachelet, key)
+        })
+        .collect();
+
+    let total_ops = scaled(30_000);
+    bench_transport("in-proc", registry.as_ref(), worker, &keys, total_ops);
+
+    let bound = serve_tcp(&server.worker_mailboxes(), "127.0.0.1", 0).expect("bind");
+    let tcp = TcpTransport::new(bound.into_iter().collect::<HashMap<_, _>>());
+    bench_transport("TCP", tcp.as_ref(), worker, &keys, total_ops);
+
+    server.shutdown();
+}

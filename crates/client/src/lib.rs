@@ -30,7 +30,7 @@ use mbal_balancer::replicated::ReplicatedCoordinator;
 use mbal_core::types::{Key, Value, WorkerAddr};
 use mbal_proto::{Request, Response};
 use mbal_ring::MappingTable;
-use mbal_server::transport::{Transport, TransportError};
+use mbal_server::transport::{Transport, TransportError, DEFAULT_DEADLINE};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -269,7 +269,12 @@ impl Client {
     }
 
     /// Batched lookup: groups keys by owner worker and issues one
-    /// MultiGET per worker. Results are positional (`None` = miss).
+    /// pipelined `call_many` batch of GETs per worker — one request
+    /// flush and one response drain per worker, the paper's MultiGET
+    /// amortization (§4.1). Results are positional (`None` = miss).
+    /// Per-operation failures — redirects, mid-migration buckets, a
+    /// connection dropped mid-batch — fall back to the singleton path
+    /// for the affected keys only, instead of poisoning the whole batch.
     pub fn multi_get(&mut self, keys: &[Key]) -> Result<Vec<Option<Value>>, ClientError> {
         self.stats.gets += keys.len() as u64;
         let mut by_worker: HashMap<WorkerAddr, Vec<(usize, mbal_core::types::CacheletId, Key)>> =
@@ -286,34 +291,43 @@ impl Client {
         }
         let mut out = vec![None; keys.len()];
         for (worker, batch) in by_worker {
-            let req = Request::MultiGet {
-                keys: batch.iter().map(|(_, c, k)| (*c, k.clone())).collect(),
-            };
-            match self
-                .transport
-                .call(worker, req)
-                .map_err(ClientError::Transport)?
-            {
-                Response::Values { values } => {
-                    for ((i, _, _), v) in batch.iter().zip(values) {
-                        if v.is_some() {
-                            self.stats.hits += 1;
+            let reqs: Vec<Request> = batch
+                .iter()
+                .map(|(_, c, k)| Request::Get {
+                    cachelet: *c,
+                    key: k.clone(),
+                })
+                .collect();
+            let results = self.transport.call_many(worker, reqs, DEFAULT_DEADLINE);
+            for ((i, _, k), result) in batch.iter().zip(results) {
+                match result {
+                    Ok(Response::Value { value, replicas }) => {
+                        self.stats.hits += 1;
+                        if !replicas.is_empty() {
+                            let mut targets = vec![worker];
+                            targets.extend(replicas);
+                            self.replicas
+                                .insert(k.clone(), ReplicaSet { targets, next: 1 });
                         }
-                        out[*i] = v;
+                        out[*i] = Some(value);
                     }
-                }
-                Response::Moved { .. } | Response::Fail { .. } => {
-                    // Fall back to singleton gets for this batch (rare:
-                    // mid-migration). Singleton path handles redirects.
-                    for (i, _, k) in &batch {
+                    Ok(Response::NotFound) => out[*i] = None,
+                    Ok(Response::Moved {
+                        cachelet,
+                        new_owner,
+                    }) => {
+                        // Singleton path follows the redirect chain.
+                        self.apply_moved(cachelet, new_owner);
                         out[*i] = self.get_home(k)?;
-                        self.stats.gets -= 1; // get_home did not count it
                     }
-                }
-                other => {
-                    return Err(ClientError::Rejected(format!(
-                        "unexpected response {other:?}"
-                    )))
+                    Ok(Response::Fail { .. }) | Err(_) => {
+                        out[*i] = self.get_home(k)?;
+                    }
+                    Ok(other) => {
+                        return Err(ClientError::Rejected(format!(
+                            "unexpected response {other:?}"
+                        )))
+                    }
                 }
             }
         }

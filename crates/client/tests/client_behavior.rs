@@ -14,10 +14,17 @@ use std::collections::VecDeque;
 use std::sync::Arc;
 
 /// A transport that replays scripted responses and records the calls.
+/// Batches (`call_many`) are recorded whole and answered dynamically
+/// with full hits, so grouping nondeterminism cannot skew scripted
+/// tests; `batch_fail_from` injects per-op failures from that batch
+/// index on (a mid-batch connection drop, as the TCP transport reports
+/// it).
 #[derive(Default)]
 struct MockTransport {
     script: Mutex<VecDeque<Response>>,
     calls: Mutex<Vec<(WorkerAddr, Request)>>,
+    batches: Mutex<Vec<(WorkerAddr, Vec<Request>)>>,
+    batch_fail_from: Mutex<Option<usize>>,
 }
 
 impl MockTransport {
@@ -25,6 +32,8 @@ impl MockTransport {
         Arc::new(Self {
             script: Mutex::new(script.into()),
             calls: Mutex::new(Vec::new()),
+            batches: Mutex::new(Vec::new()),
+            batch_fail_from: Mutex::new(None),
         })
     }
 
@@ -35,21 +44,33 @@ impl MockTransport {
 
 impl Transport for MockTransport {
     fn call(&self, addr: WorkerAddr, req: Request) -> Result<Response, TransportError> {
-        // MultiGet batch sizes (and their per-worker order) depend on
-        // internal grouping; answer them dynamically with full hits so
-        // scripted tests stay order-independent.
-        if let Request::MultiGet { keys } = &req {
-            let n = keys.len();
-            self.calls.lock().push((addr, req));
-            return Ok(Response::Values {
-                values: vec![Some(b"v".to_vec()); n],
-            });
-        }
         self.calls.lock().push((addr, req));
         self.script
             .lock()
             .pop_front()
             .ok_or(TransportError::Timeout(addr))
+    }
+
+    fn call_many(
+        &self,
+        addr: WorkerAddr,
+        reqs: Vec<Request>,
+        _deadline: std::time::Duration,
+    ) -> Vec<Result<Response, TransportError>> {
+        let fail_from = *self.batch_fail_from.lock();
+        let out = reqs
+            .iter()
+            .enumerate()
+            .map(|(i, _)| match fail_from {
+                Some(f) if i >= f => Err(TransportError::Broken("mid-batch drop".into())),
+                _ => Ok(Response::Value {
+                    value: b"v".to_vec(),
+                    replicas: vec![],
+                }),
+            })
+            .collect();
+        self.batches.lock().push((addr, reqs));
+        out
     }
 }
 
@@ -288,8 +309,6 @@ fn multi_get_batches_by_worker() {
         keys.push(k);
         i += 1;
     }
-    // MultiGet responses are synthesized by the mock (full hits), so
-    // batch-order nondeterminism cannot skew positions.
     let mut per_worker: std::collections::HashMap<WorkerAddr, usize> = Default::default();
     for k in &keys {
         *per_worker.entry(map.route(k).expect("r").1).or_insert(0) += 1;
@@ -297,11 +316,55 @@ fn multi_get_batches_by_worker() {
     let got = client.multi_get(&keys).expect("multi_get");
     assert_eq!(got.len(), keys.len());
     assert!(got.iter().all(|v| v.is_some()));
-    let calls = transport.calls();
-    assert_eq!(calls.len(), per_worker.len(), "one MultiGet per worker");
-    for (_, req) in calls {
-        assert!(matches!(req, Request::MultiGet { .. }));
+    assert_eq!(transport.calls().len(), 0, "no singleton calls on success");
+    let batches = transport.batches.lock();
+    assert_eq!(batches.len(), per_worker.len(), "one call_many per worker");
+    for (worker, reqs) in batches.iter() {
+        assert_eq!(reqs.len(), per_worker[worker], "whole group in one batch");
+        assert!(reqs.iter().all(|r| matches!(r, Request::Get { .. })));
     }
+}
+
+#[test]
+fn multi_get_mid_batch_failure_degrades_per_key() {
+    let (mut client, transport, map) = client_with(vec![]);
+    // Keys all owned by one worker, so the batch layout is known.
+    let target = map.workers()[0];
+    let mut keys = Vec::new();
+    let mut i = 0u32;
+    while keys.len() < 4 {
+        let k = format!("one:{i}").into_bytes();
+        if map.route(&k).expect("routed").1 == target {
+            keys.push(k);
+        }
+        i += 1;
+    }
+    // Ops 2.. of the batch fail (connection dropped mid-batch); the two
+    // failed keys fall back to singleton gets, scripted as hits.
+    *transport.batch_fail_from.lock() = Some(2);
+    *transport.script.lock() = vec![
+        Response::Value {
+            value: b"f".to_vec(),
+            replicas: vec![],
+        },
+        Response::Value {
+            value: b"f".to_vec(),
+            replicas: vec![],
+        },
+    ]
+    .into();
+    let got = client.multi_get(&keys).expect("multi_get");
+    assert_eq!(got.len(), 4);
+    assert_eq!(got[0], Some(b"v".to_vec()));
+    assert_eq!(got[1], Some(b"v".to_vec()));
+    assert_eq!(got[2], Some(b"f".to_vec()), "failed op recovered per-key");
+    assert_eq!(got[3], Some(b"f".to_vec()), "failed op recovered per-key");
+    assert_eq!(transport.batches.lock().len(), 1, "batch issued once");
+    assert_eq!(
+        transport.calls().len(),
+        2,
+        "one fallback call per failed op"
+    );
 }
 
 #[test]

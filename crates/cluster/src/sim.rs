@@ -17,6 +17,11 @@
 //! - **Phase 3** — cachelet re-homed across servers; source and
 //!   destination workers are taxed busy for the transfer duration
 //!   (the paper measured 5–6 s per cachelet at peak load).
+//!
+//! With [`SimConfig::multiget_batch`] > 1 each client slot draws a
+//! whole batch per issue, groups the reads per worker, and pays one
+//! round-trip plus one NIC charge per group (the §4.1 MultiGET path as
+//! carried by `Transport::call_many`); writes stay singletons.
 
 use crate::engine::EventQueue;
 use crate::report::{LatencySummary, SimReport, Window};
@@ -99,6 +104,11 @@ pub struct SimConfig {
     pub clients: usize,
     /// Outstanding requests per client.
     pub concurrency: usize,
+    /// Keys per client MultiGET. At 1 every request is a singleton
+    /// round-trip; above 1 each slot issues batches whose reads are
+    /// grouped per worker and pipelined — one RTT + one NIC charge per
+    /// group, per-key service time at the worker.
+    pub multiget_batch: usize,
     /// Mean service time per request at a worker (µs).
     pub service_us: f64,
     /// Per-request NIC serialization time at a server (µs).
@@ -151,6 +161,7 @@ impl Default for SimConfig {
             vns: 4_096,
             clients: 12,
             concurrency: 16,
+            multiget_batch: 1,
             service_us: 40.0,
             nic_us: 8.0,
             rtt_us: 200.0,
@@ -197,6 +208,12 @@ enum Event {
         slot: u32,
         issued_at: u64,
         is_read: bool,
+        /// How many ops this response carries (batch groups complete as
+        /// a unit).
+        ops: u32,
+        /// Whether this completion re-arms the slot. Exactly one leg of
+        /// a batch fan-out — the slowest — reissues.
+        reissue: bool,
     },
     /// Balancer epoch boundary.
     EpochTick,
@@ -334,38 +351,94 @@ impl Simulation {
             }
             match ev {
                 Event::Issue { slot } => {
-                    let gen = &mut gens[phase_of(t)];
-                    let op = gen.next_op();
-                    let is_read = op.kind == mbal_workload::OpKind::Get;
-                    // Key index back from the generated key: the sim uses
-                    // the generator's key bytes directly.
-                    let key = op.key;
-                    let target = self.route(&key, is_read);
-                    let completion = self.serve(t, target, &key, is_read);
-                    self.queue.schedule(
-                        completion,
-                        Event::Complete {
-                            slot,
-                            issued_at: t,
-                            is_read,
-                        },
-                    );
+                    let batch = self.cfg.multiget_batch.max(1);
+                    if batch == 1 {
+                        let gen = &mut gens[phase_of(t)];
+                        let op = gen.next_op();
+                        let is_read = op.kind == mbal_workload::OpKind::Get;
+                        // Key index back from the generated key: the sim uses
+                        // the generator's key bytes directly.
+                        let key = op.key;
+                        let target = self.route(&key, is_read);
+                        let completion = self.serve(t, target, &key, is_read);
+                        self.queue.schedule(
+                            completion,
+                            Event::Complete {
+                                slot,
+                                issued_at: t,
+                                is_read,
+                                ops: 1,
+                                reissue: true,
+                            },
+                        );
+                    } else {
+                        // MultiGET client: draw the whole batch, group
+                        // the reads per worker, and ship each group as
+                        // one pipelined request. Writes stay singleton
+                        // round-trips. The slot re-arms when its slowest
+                        // leg returns.
+                        let gen = &mut gens[phase_of(t)];
+                        let mut groups: Vec<(usize, Vec<Vec<u8>>)> = Vec::new();
+                        let mut legs: Vec<(u64, u32, bool)> = Vec::new();
+                        for _ in 0..batch {
+                            let op = gen.next_op();
+                            let is_read = op.kind == mbal_workload::OpKind::Get;
+                            let key = op.key;
+                            let target = self.route(&key, is_read);
+                            if is_read {
+                                match groups.iter_mut().find(|(w, _)| *w == target) {
+                                    Some((_, keys)) => keys.push(key),
+                                    None => groups.push((target, vec![key])),
+                                }
+                            } else {
+                                legs.push((self.serve(t, target, &key, false), 1, false));
+                            }
+                        }
+                        for (widx, keys) in &groups {
+                            let completion = self.serve_batch(t, *widx, keys);
+                            legs.push((completion, keys.len() as u32, true));
+                        }
+                        let mut slowest = 0;
+                        for i in 1..legs.len() {
+                            if legs[i].0 >= legs[slowest].0 {
+                                slowest = i;
+                            }
+                        }
+                        for (i, (completion, ops, is_read)) in legs.into_iter().enumerate() {
+                            self.queue.schedule(
+                                completion,
+                                Event::Complete {
+                                    slot,
+                                    issued_at: t,
+                                    is_read,
+                                    ops,
+                                    reissue: i == slowest,
+                                },
+                            );
+                        }
+                    }
                 }
                 Event::Complete {
                     slot,
                     issued_at,
                     is_read,
+                    ops,
+                    reissue,
                 } => {
-                    completed += 1;
-                    window_completed += 1;
+                    completed += ops as u64;
+                    window_completed += ops as u64;
                     if t >= warmup_us {
-                        steady_completed += 1;
+                        steady_completed += ops as u64;
                     }
                     if is_read {
                         let lat = t - issued_at;
-                        window_samples.push(lat);
+                        for _ in 0..ops {
+                            window_samples.push(lat);
+                        }
                     }
-                    self.queue.schedule(t, Event::Issue { slot });
+                    if reissue {
+                        self.queue.schedule(t, Event::Issue { slot });
+                    }
                 }
                 Event::EpochTick => {
                     self.run_balancers(t);
@@ -458,6 +531,51 @@ impl Simulation {
         acct.tracker.record(key, is_read);
         let cachelet = self.mapping.cachelet_of_vn(self.mapping.vn_of(key));
         *acct.cachelet_ops.entry(cachelet.0).or_insert(0) += 1;
+        done + half_rtt
+    }
+
+    /// Timing model for one pipelined MultiGET group: the coalesced
+    /// frame pays one half-RTT and one NIC serialization charge, the
+    /// worker serves the keys back to back, and the whole response
+    /// batch travels home in one half-RTT — the batch amortizes the
+    /// per-request network costs that [`Simulation::serve`] charges per
+    /// key.
+    fn serve_batch(&mut self, t: u64, widx: usize, keys: &[Vec<u8>]) -> u64 {
+        let half_rtt = (self.cfg.rtt_us / 2.0) as u64;
+        let (sidx, effective_widx) = {
+            let addr = self.workers[widx].addr;
+            let sidx = addr.server.0 as usize;
+            let w = if self.cfg.global_lock {
+                sidx * self.cfg.workers_per_server as usize
+            } else {
+                widx
+            };
+            (sidx, w)
+        };
+        let arrive_nic = t + half_rtt;
+        let nic_done = self.nic_busy[sidx].max(arrive_nic) + self.cfg.nic_us as u64;
+        self.nic_busy[sidx] = nic_done;
+        let slow = t < self.workers[widx].slow_until;
+        let mut service_total: u64 = 0;
+        for _ in keys {
+            let mut service =
+                (-(self.rng.gen::<f64>().max(1e-12)).ln() * self.cfg.service_us).min(50_000.0);
+            if slow {
+                service *= MIGRATION_SLOWDOWN;
+            }
+            service_total += service as u64 + 1;
+        }
+        let w = &mut self.workers[effective_widx];
+        let start = w.busy_until.max(nic_done);
+        let done = start + service_total;
+        w.busy_until = done;
+        let acct = &mut self.workers[widx];
+        for key in keys {
+            acct.epoch_ops += 1;
+            acct.tracker.record(key, true);
+            let cachelet = self.mapping.cachelet_of_vn(self.mapping.vn_of(key));
+            *acct.cachelet_ops.entry(cachelet.0).or_insert(0) += 1;
+        }
         done + half_rtt
     }
 
@@ -819,6 +937,28 @@ mod tests {
         assert!(
             intra + cross > 0,
             "no migrations happened at all — the scenario regressed"
+        );
+    }
+
+    #[test]
+    fn multiget_batching_amortizes_round_trips() {
+        // §4.1 / Figure 5 effect: on an RTT-dominated network, shipping
+        // eight keys per pipelined request completes far more ops than
+        // one round-trip per key — the closed-loop clients spend the
+        // same wall-clock waiting but each wait buys a whole batch.
+        let mk = |batch| {
+            let mut cfg = small_cfg(PhaseSet::none());
+            cfg.rtt_us = 1_000.0;
+            cfg.multiget_batch = batch;
+            let mut sim = Simulation::new(cfg);
+            sim.run(&[(spec(1.0, Popularity::Uniform), 3_000)])
+                .completed
+        };
+        let serial = mk(1);
+        let batched = mk(8);
+        assert!(
+            batched as f64 > serial as f64 * 2.0,
+            "batched MultiGET {batched} should clearly beat serial {serial}"
         );
     }
 

@@ -17,6 +17,10 @@ pub const MAGIC_REQUEST: u8 = 0x80;
 pub const MAGIC_RESPONSE: u8 = 0x81;
 /// Header size in bytes.
 pub const HEADER_LEN: usize = 24;
+/// Upper bound on a single frame accepted off the wire. Body lengths are
+/// attacker-controlled u32s; without a cap a malicious header could make
+/// the framing layer allocate 4 GiB before reading a single body byte.
+pub const MAX_FRAME_LEN: usize = 64 << 20;
 
 /// Wire opcodes. Standard Memcached values where they exist; MBal
 /// extensions start at 0x40.
@@ -47,6 +51,12 @@ pub enum Opcode {
     MigrateCommit = 0x46,
     /// Client ↔ coordinator heartbeat.
     Heartbeat = 0x47,
+    /// Batched-RPC envelope: the body carries a count plus that many
+    /// complete request sub-frames, each with its own opaque. Responses
+    /// are *not* wrapped — the responder pipelines one response frame
+    /// per sub-request (echoing its opaque) so a connection drop
+    /// mid-batch still yields per-operation outcomes.
+    Batch = 0x48,
     /// Conditional insert.
     Add = 0x02,
     /// Conditional overwrite.
@@ -79,6 +89,7 @@ impl Opcode {
             0x45 => Opcode::MigrateEntries,
             0x46 => Opcode::MigrateCommit,
             0x47 => Opcode::Heartbeat,
+            0x48 => Opcode::Batch,
             _ => return None,
         })
     }
@@ -436,6 +447,11 @@ pub fn decode_request(frame: &[u8]) -> Result<(Request, u32), CodecError> {
         Opcode::Stats => Request::Stats,
         Opcode::Heartbeat => Request::Heartbeat { version: h.cas },
         Opcode::MigrateCommit => Request::MigrateCommit { cachelet },
+        Opcode::Batch => {
+            return Err(CodecError::Malformed(
+                "batch envelopes must go through decode_batch_request",
+            ))
+        }
         Opcode::MultiGet => {
             let mut b = body;
             if b.remaining() < 4 {
@@ -481,6 +497,57 @@ pub fn decode_request(frame: &[u8]) -> Result<(Request, u32), CodecError> {
         }
     };
     Ok((req, h.opaque))
+}
+
+/// Encodes a pipelined batch of requests into one [`Opcode::Batch`]
+/// envelope frame: a `u32` count followed by that many complete request
+/// sub-frames. Each sub-frame's opaque is its index in `reqs`; responders
+/// answer with one ordinary response frame per sub-request, echoing that
+/// opaque, so callers can correlate per-operation outcomes even when the
+/// connection dies mid-batch.
+pub fn encode_batch_request(reqs: &[Request]) -> Result<Vec<u8>, CodecError> {
+    let mut body = BytesMut::new();
+    body.put_u32(reqs.len() as u32);
+    for (i, req) in reqs.iter().enumerate() {
+        body.put_slice(&encode_request(req, i as u32)?);
+    }
+    Ok(framed(Opcode::Batch, 0, body, 0, 0).to_vec())
+}
+
+/// Decodes an [`Opcode::Batch`] envelope into its sub-requests and their
+/// opaques (batch indices when produced by [`encode_batch_request`]).
+pub fn decode_batch_request(frame: &[u8]) -> Result<Vec<(Request, u32)>, CodecError> {
+    let h = parse_header(frame)?;
+    if h.magic != MAGIC_REQUEST {
+        return Err(CodecError::BadMagic(h.magic));
+    }
+    if h.opcode != Opcode::Batch as u8 {
+        return Err(CodecError::BadOpcode(h.opcode));
+    }
+    let mut body = &frame[HEADER_LEN..HEADER_LEN + h.body_len as usize];
+    if body.remaining() < 4 {
+        return Err(CodecError::Malformed("batch count"));
+    }
+    let n = body.get_u32() as usize;
+    let mut reqs = Vec::with_capacity(n.min(4_096));
+    for _ in 0..n {
+        let sub_len = frame_len(body).ok_or(CodecError::Malformed("batch sub-header"))?;
+        if body.len() < sub_len {
+            return Err(CodecError::Malformed("batch sub-frame bytes"));
+        }
+        reqs.push(decode_request(&body[..sub_len])?);
+        body.advance(sub_len);
+    }
+    if body.has_remaining() {
+        return Err(CodecError::Malformed("trailing bytes after batch"));
+    }
+    Ok(reqs)
+}
+
+/// Cheap opcode-byte check for a batch envelope; callers still run the
+/// full [`decode_batch_request`] decoder afterwards.
+pub fn is_batch(frame: &[u8]) -> bool {
+    frame.len() >= 2 && frame[0] == MAGIC_REQUEST && frame[1] == Opcode::Batch as u8
 }
 
 fn put_worker(buf: &mut BytesMut, w: WorkerAddr) {
@@ -677,6 +744,11 @@ pub fn decode_response(frame: &[u8]) -> Result<(Response, Opcode, u32), CodecErr
                 deltas,
                 full_refetch,
             }
+        }
+        (Status::Ok, Opcode::Batch) => {
+            return Err(CodecError::Malformed(
+                "batch envelopes are answered per sub-request, never as a unit",
+            ))
         }
         (s, _) => Response::Fail {
             status: s,
@@ -926,6 +998,86 @@ mod tests {
         assert!(matches!(
             decode_request(&bad),
             Err(CodecError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn batch_roundtrips() {
+        let reqs = vec![
+            Request::Get {
+                cachelet: CacheletId(1),
+                key: b"a".to_vec(),
+            },
+            Request::Set {
+                cachelet: CacheletId(2),
+                key: b"b".to_vec(),
+                value: b"payload".to_vec(),
+                expiry_ms: 9,
+            },
+            Request::Incr {
+                cachelet: CacheletId(3),
+                key: b"n".to_vec(),
+                delta: -4,
+            },
+            Request::Stats,
+        ];
+        let frame = encode_batch_request(&reqs).expect("encode");
+        assert_eq!(frame_len(&frame), Some(frame.len()));
+        assert!(is_batch(&frame));
+        let decoded = decode_batch_request(&frame).expect("decode");
+        assert_eq!(decoded.len(), reqs.len());
+        for (i, (req, opaque)) in decoded.into_iter().enumerate() {
+            assert_eq!(req, reqs[i]);
+            assert_eq!(opaque, i as u32);
+        }
+    }
+
+    #[test]
+    fn empty_batch_roundtrips() {
+        let frame = encode_batch_request(&[]).expect("encode");
+        assert_eq!(decode_batch_request(&frame).expect("decode"), vec![]);
+    }
+
+    #[test]
+    fn batch_frames_are_rejected_by_the_single_decoders() {
+        let frame = encode_batch_request(&[Request::Stats]).expect("encode");
+        assert!(matches!(
+            decode_request(&frame),
+            Err(CodecError::Malformed(_))
+        ));
+        let mut resp = frame.clone();
+        resp[0] = MAGIC_RESPONSE;
+        // Status field (vbucket) is 0 == Ok for a batch-shaped response.
+        assert!(matches!(
+            decode_response(&resp),
+            Err(CodecError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn malformed_batch_bodies_error() {
+        let good = encode_batch_request(&[Request::Stats]).expect("encode");
+        // Claim three sub-frames but carry one.
+        let mut short = good.clone();
+        short[HEADER_LEN + 3] = 3;
+        assert!(matches!(
+            decode_batch_request(&short),
+            Err(CodecError::Malformed(_))
+        ));
+        // Trailing garbage after the advertised sub-frames.
+        let mut trailing = good.clone();
+        trailing.extend_from_slice(&[0xEE; 3]);
+        let body_len = u32::from_be_bytes(trailing[8..12].try_into().unwrap()) + 3;
+        trailing[8..12].copy_from_slice(&body_len.to_be_bytes());
+        assert!(matches!(
+            decode_batch_request(&trailing),
+            Err(CodecError::Malformed(_))
+        ));
+        // Wrong opcode for the batch decoder.
+        let single = encode_request(&Request::Stats, 0).expect("encode");
+        assert!(matches!(
+            decode_batch_request(&single),
+            Err(CodecError::BadOpcode(_))
         ));
     }
 

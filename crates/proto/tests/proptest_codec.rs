@@ -4,7 +4,8 @@
 
 use mbal_core::types::{CacheletId, WorkerAddr};
 use mbal_proto::codec::{
-    decode_request, decode_response, encode_request, encode_response, opcode_of,
+    decode_batch_request, decode_request, decode_response, encode_batch_request, encode_request,
+    encode_response, opcode_of,
 };
 use mbal_proto::{Request, Response, Status};
 use proptest::prelude::*;
@@ -278,5 +279,49 @@ proptest! {
         let idx = pos % frame.len();
         frame[idx] ^= 1 << bit;
         let _ = decode_request(&frame);
+    }
+
+    /// Batch envelopes round-trip: same requests, same order, and each
+    /// sub-request's opaque is its index in the batch.
+    #[test]
+    fn batches_roundtrip(reqs in prop::collection::vec(request_strategy(), 0..16)) {
+        let frame = encode_batch_request(&reqs).expect("encode");
+        let decoded = decode_batch_request(&frame).expect("decode");
+        prop_assert_eq!(decoded.len(), reqs.len());
+        for (i, ((got, opaque), want)) in decoded.into_iter().zip(&reqs).enumerate() {
+            prop_assert_eq!(&got, want);
+            prop_assert_eq!(opaque, i as u32);
+        }
+    }
+
+    /// Arbitrary bytes never panic the batch decoder either.
+    #[test]
+    fn batch_garbage_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        let _ = decode_batch_request(&bytes);
+    }
+
+    /// A batch frame truncated anywhere — mid-header, mid-count, or
+    /// mid-sub-frame — errors cleanly, never panics.
+    #[test]
+    fn batch_truncation_always_errors(
+        reqs in prop::collection::vec(request_strategy(), 1..8),
+        cut in any::<usize>(),
+    ) {
+        let frame = encode_batch_request(&reqs).expect("encode");
+        let cut = cut % frame.len();
+        prop_assert!(decode_batch_request(&frame[..cut]).is_err());
+    }
+
+    /// Single-byte corruption of a batch frame never panics the decoder.
+    #[test]
+    fn batch_bitflips_never_panic(
+        reqs in prop::collection::vec(request_strategy(), 1..8),
+        pos in any::<usize>(),
+        bit in 0u8..8,
+    ) {
+        let mut frame = encode_batch_request(&reqs).expect("encode");
+        let idx = pos % frame.len();
+        frame[idx] ^= 1 << bit;
+        let _ = decode_batch_request(&frame);
     }
 }

@@ -14,11 +14,13 @@
 //! - [`worker`] — the worker event loop: lockless GET/SET/DELETE over
 //!   owned cachelets, the shadow-side replica table, hot-key sampling,
 //!   and the Write-Invalidate rules for in-flight migrations.
-//! - [`transport`] — the [`transport::Transport`] abstraction with the
-//!   in-process registry implementation used by tests, benchmarks and
-//!   single-host clusters.
+//! - [`transport`] — the [`transport::Transport`] abstraction — unary,
+//!   batched ([`transport::Transport::call_many`]) and deadline-aware —
+//!   with the in-process registry implementation used by tests,
+//!   benchmarks and single-host clusters.
 //! - [`tcp`] — the TCP transport: one listening port per worker (§2.3),
-//!   frames encoded by `mbal-proto`.
+//!   frames encoded by `mbal-proto`, pooled connections, pipelined
+//!   batch envelopes (one flush per batch) and bounded connect retry.
 //! - [`server`] — [`server::Server`]: spawns workers, runs the balance
 //!   epoch loop, executes Phase 1/2/3 actions, and performs coordinated
 //!   per-bucket migration with the coordinator.

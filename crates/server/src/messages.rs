@@ -24,6 +24,16 @@ pub enum WorkerMsg {
         /// Where to send the response.
         reply: Sender<Response>,
     },
+    /// A pipelined batch of RPCs: one mailbox enqueue, one reply carrying
+    /// a response per request in order. The worker drains the whole batch
+    /// through its fast path before replying, so a batch costs one
+    /// channel round-trip instead of `n`.
+    RpcBatch {
+        /// The requests, answered in order.
+        reqs: Vec<Request>,
+        /// Where to send the responses (same length and order as `reqs`).
+        reply: Sender<Vec<Response>>,
+    },
     /// A control-plane message.
     Control(Control),
 }

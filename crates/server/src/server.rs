@@ -19,7 +19,7 @@
 
 use crate::config::ServerConfig;
 use crate::messages::{Control, EpochReport, WorkerMsg};
-use crate::transport::{InProcRegistry, Transport};
+use crate::transport::{InProcRegistry, Transport, DEFAULT_DEADLINE};
 use crate::unit::CacheUnit;
 use crate::worker::{spawn_worker, WorkerContext};
 use crossbeam_channel::{bounded, unbounded, Sender};
@@ -37,6 +37,10 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+
+/// How many drained buckets a coordinated migration accumulates before
+/// flushing them to the destination as one pipelined batch.
+const MIGRATE_FLUSH_BATCH: usize = 8;
 
 /// A running MBal cache server.
 pub struct Server {
@@ -266,6 +270,10 @@ impl Server {
 
     fn execute_replication(&mut self, wid: WorkerId, acts: &[ReplicationAction], _now: u64) {
         let mapping = self.coordinator.mapping_snapshot();
+        // Phase 1 batching: fetch every hot-key value from the home
+        // worker first, group the installs by shadow, and ship one
+        // pipelined batch per shadow instead of one round-trip per key.
+        let mut by_shadow: HashMap<WorkerAddr, Vec<(Vec<u8>, Request)>> = HashMap::new();
         for act in acts {
             match act {
                 ReplicationAction::Install {
@@ -290,33 +298,14 @@ impl Server {
                         Some(Response::Value { value, .. }) => value,
                         _ => continue, // evicted or moved; nothing to copy
                     };
-                    let ok = self
-                        .transport
-                        .call(
-                            *shadow,
-                            Request::ReplicaInstall {
-                                key: key.clone(),
-                                value,
-                                lease_expiry_ms: *lease_expiry_ms,
-                            },
-                        )
-                        .is_ok();
-                    if ok {
-                        let shadows = {
-                            let entry = self.replica_locations.entry(key.clone()).or_default();
-                            if !entry.contains(shadow) {
-                                entry.push(*shadow);
-                            }
-                            entry.clone()
-                        };
-                        self.control(
-                            wid,
-                            Control::SetReplicated {
-                                key: key.clone(),
-                                shadows,
-                            },
-                        );
-                    }
+                    by_shadow.entry(*shadow).or_default().push((
+                        key.clone(),
+                        Request::ReplicaInstall {
+                            key: key.clone(),
+                            value,
+                            lease_expiry_ms: *lease_expiry_ms,
+                        },
+                    ));
                 }
                 ReplicationAction::Retire { key, shadow } => {
                     self.transport
@@ -332,6 +321,22 @@ impl Server {
                         self.replica_locations.remove(key);
                         self.control(wid, Control::UnsetReplicated { key: key.clone() });
                     }
+                }
+            }
+        }
+        for (shadow, installs) in by_shadow {
+            let (keys, reqs): (Vec<Vec<u8>>, Vec<Request>) = installs.into_iter().unzip();
+            let results = self.transport.call_many(shadow, reqs, DEFAULT_DEADLINE);
+            for (key, result) in keys.into_iter().zip(results) {
+                if result.is_ok() {
+                    let shadows = {
+                        let entry = self.replica_locations.entry(key.clone()).or_default();
+                        if !entry.contains(&shadow) {
+                            entry.push(shadow);
+                        }
+                        entry.clone()
+                    };
+                    self.control(wid, Control::SetReplicated { key, shadows });
                 }
             }
         }
@@ -433,6 +438,10 @@ impl Server {
     }
 
     /// Per-bucket Write-Invalidate transfer of one cachelet (§3.4).
+    /// Drained buckets accumulate into pipelined `MigrateEntries`
+    /// batches of [`MIGRATE_FLUSH_BATCH`], so the transfer pays one
+    /// round-trip per flush instead of per bucket; the commit travels
+    /// under an explicit deadline.
     pub fn migrate_out(&mut self, m: &Migration) {
         let (rtx, rrx) = bounded(1);
         self.control(
@@ -446,6 +455,7 @@ impl Server {
         if !matches!(rrx.recv(), Ok(true)) {
             return;
         }
+        let mut pending: Vec<Request> = Vec::new();
         loop {
             let (dtx, drx) = bounded(1);
             self.control(
@@ -460,23 +470,31 @@ impl Server {
                     if entries.is_empty() {
                         continue;
                     }
-                    let _ = self.transport.call(
-                        m.to,
-                        Request::MigrateEntries {
-                            cachelet: m.cachelet,
-                            entries,
-                        },
-                    );
+                    pending.push(Request::MigrateEntries {
+                        cachelet: m.cachelet,
+                        entries,
+                    });
+                    if pending.len() >= MIGRATE_FLUSH_BATCH {
+                        let _ = self.transport.call_many(
+                            m.to,
+                            std::mem::take(&mut pending),
+                            DEFAULT_DEADLINE,
+                        );
+                    }
                 }
                 Ok(None) => break,
                 Err(_) => return,
             }
         }
-        let _ = self.transport.call(
+        if !pending.is_empty() {
+            let _ = self.transport.call_many(m.to, pending, DEFAULT_DEADLINE);
+        }
+        let _ = self.transport.call_with_deadline(
             m.to,
             Request::MigrateCommit {
                 cachelet: m.cachelet,
             },
+            DEFAULT_DEADLINE,
         );
         let (ftx, frx) = bounded(1);
         self.control(

@@ -6,32 +6,126 @@
 //! connections are served by lightweight framing threads that decode
 //! `mbal-proto` frames, enqueue them into the worker mailbox, and write
 //! the response back.
+//!
+//! Batches travel as one [`codec::Opcode::Batch`] envelope per
+//! direction-in, and as pipelined individual response frames (written in
+//! a single flush) direction-out, so a connection drop mid-batch still
+//! yields per-operation outcomes via opaque correlation.
 
 use crate::messages::WorkerMsg;
-use crate::transport::{Transport, TransportError};
-use crossbeam_channel::{bounded, Sender};
+use crate::transport::{batch_errs, Transport, TransportError, DEFAULT_DEADLINE};
+use crossbeam_channel::{bounded, Receiver, Sender};
 use mbal_core::types::WorkerAddr;
 use mbal_proto::codec::{self, opcode_of, HEADER_LEN};
 use mbal_proto::{Request, Response, Status};
 use parking_lot::Mutex;
 use std::collections::HashMap;
-use std::io::{Read, Write};
+use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
-/// Reads one length-framed protocol frame.
+/// Connect attempts per call before giving up on a worker.
+const CONNECT_RETRIES: u32 = 3;
+/// Base backoff between connect attempts; doubles each retry.
+const RETRY_BACKOFF: Duration = Duration::from_millis(10);
+/// Read timeout on cast-pump connections, so one dead shadow cannot
+/// stall the pump indefinitely.
+const CAST_READ_TIMEOUT: Duration = Duration::from_secs(1);
+
+/// Per-operation results of a batch exchange.
+type BatchOutcome = Vec<Result<Response, TransportError>>;
+
+/// Reads one length-framed protocol frame. Returns `Ok(None)` on a clean
+/// EOF at a frame boundary. Malformed headers (bad magic, or a body
+/// length past [`codec::MAX_FRAME_LEN`]) surface as
+/// [`ErrorKind::InvalidData`] rather than a panic or a multi-gigabyte
+/// allocation, so one hostile byte stream can never take down a framing
+/// thread or the worker behind it.
 fn read_frame(stream: &mut TcpStream) -> std::io::Result<Option<Vec<u8>>> {
     let mut header = [0u8; HEADER_LEN];
     match stream.read_exact(&mut header) {
         Ok(()) => {}
-        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) if e.kind() == ErrorKind::UnexpectedEof => return Ok(None),
         Err(e) => return Err(e),
     }
-    let total = codec::frame_len(&header).expect("header length");
+    if header[0] != codec::MAGIC_REQUEST && header[0] != codec::MAGIC_RESPONSE {
+        return Err(std::io::Error::new(
+            ErrorKind::InvalidData,
+            format!("bad magic {:#x}", header[0]),
+        ));
+    }
+    let total = match codec::frame_len(&header) {
+        Some(t) if t <= codec::MAX_FRAME_LEN => t,
+        Some(t) => {
+            return Err(std::io::Error::new(
+                ErrorKind::InvalidData,
+                format!(
+                    "frame of {t} bytes exceeds the {} byte cap",
+                    codec::MAX_FRAME_LEN
+                ),
+            ))
+        }
+        None => {
+            return Err(std::io::Error::new(
+                ErrorKind::InvalidData,
+                "short frame header",
+            ))
+        }
+    };
     let mut frame = vec![0u8; total];
     frame[..HEADER_LEN].copy_from_slice(&header);
     stream.read_exact(&mut frame[HEADER_LEN..])?;
     Ok(Some(frame))
+}
+
+/// Best-effort `Fail` response describing a protocol error; the caller
+/// drops the connection right after (resynchronising a byte stream past
+/// a malformed frame is guesswork).
+fn send_protocol_error(stream: &mut TcpStream, message: &str) {
+    let resp = Response::Fail {
+        status: Status::Error,
+        message: message.to_string(),
+    };
+    if let Ok(bytes) = codec::encode_response(&resp, codec::Opcode::Stats, 0) {
+        let _ = stream.write_all(&bytes);
+    }
+}
+
+/// Serves one decoded batch: a single mailbox enqueue, then one response
+/// frame per sub-request — all encoded into one buffer and flushed with
+/// a single write. Returns `false` when the connection or worker is gone.
+fn serve_batch(
+    stream: &mut TcpStream,
+    worker: &Sender<WorkerMsg>,
+    subs: Vec<(Request, u32)>,
+) -> bool {
+    let mut opcodes = Vec::with_capacity(subs.len());
+    let mut opaques = Vec::with_capacity(subs.len());
+    let mut reqs = Vec::with_capacity(subs.len());
+    for (req, opaque) in subs {
+        opcodes.push(opcode_of(&req));
+        opaques.push(opaque);
+        reqs.push(req);
+    }
+    let (rtx, rrx) = bounded(1);
+    if worker
+        .send(WorkerMsg::RpcBatch { reqs, reply: rtx })
+        .is_err()
+    {
+        return false;
+    }
+    let Ok(resps) = rrx.recv() else {
+        return false;
+    };
+    let mut out = Vec::new();
+    for (i, resp) in resps.iter().enumerate().take(opcodes.len()) {
+        match codec::encode_response(resp, opcodes[i], opaques[i]) {
+            Ok(bytes) => out.extend_from_slice(&bytes),
+            Err(_) => return false,
+        }
+    }
+    stream.write_all(&out).is_ok()
 }
 
 /// Serves one accepted connection against a worker mailbox.
@@ -40,8 +134,27 @@ fn serve_connection(mut stream: TcpStream, worker: Sender<WorkerMsg>) {
     loop {
         let frame = match read_frame(&mut stream) {
             Ok(Some(f)) => f,
-            _ => return,
+            Ok(None) => return,
+            Err(e) if e.kind() == ErrorKind::InvalidData => {
+                send_protocol_error(&mut stream, &e.to_string());
+                return;
+            }
+            Err(_) => return,
         };
+        if codec::is_batch(&frame) {
+            match codec::decode_batch_request(&frame) {
+                Ok(subs) => {
+                    if !serve_batch(&mut stream, &worker, subs) {
+                        return;
+                    }
+                }
+                Err(e) => {
+                    send_protocol_error(&mut stream, &e.to_string());
+                    return;
+                }
+            }
+            continue;
+        }
         let (resp, opcode, opaque) = match codec::decode_request(&frame) {
             Ok((req, opaque)) => {
                 let opcode = opcode_of(&req);
@@ -54,14 +167,10 @@ fn serve_connection(mut stream: TcpStream, worker: Sender<WorkerMsg>) {
                     Err(_) => return,
                 }
             }
-            Err(e) => (
-                Response::Fail {
-                    status: Status::Error,
-                    message: e.to_string(),
-                },
-                codec::Opcode::Stats,
-                0,
-            ),
+            Err(e) => {
+                send_protocol_error(&mut stream, &e.to_string());
+                return;
+            }
         };
         let Ok(bytes) = codec::encode_response(&resp, opcode, opaque) else {
             return;
@@ -103,32 +212,234 @@ pub fn serve_tcp(
     Ok(bound)
 }
 
-/// Client-side TCP transport with per-worker connection reuse.
+/// Maps an I/O failure to a transport error, classifying read/write
+/// timeouts as [`TransportError::Timeout`].
+fn io_err(addr: WorkerAddr, e: &std::io::Error) -> TransportError {
+    match e.kind() {
+        ErrorKind::WouldBlock | ErrorKind::TimedOut => TransportError::Timeout(addr),
+        _ => TransportError::Broken(e.to_string()),
+    }
+}
+
+/// Applies the remaining deadline budget to both stream directions,
+/// failing with [`TransportError::Timeout`] once it is exhausted (a zero
+/// socket timeout would be rejected by the OS as "no timeout").
+fn set_stream_deadline(
+    stream: &TcpStream,
+    deadline: Instant,
+    addr: WorkerAddr,
+) -> Result<(), TransportError> {
+    let now = Instant::now();
+    if now >= deadline {
+        return Err(TransportError::Timeout(addr));
+    }
+    let left = deadline - now;
+    stream
+        .set_read_timeout(Some(left))
+        .map_err(|e| TransportError::Broken(e.to_string()))?;
+    stream
+        .set_write_timeout(Some(left))
+        .map_err(|e| TransportError::Broken(e.to_string()))?;
+    Ok(())
+}
+
+/// One request/response exchange. On failure the `bool` is `true` when
+/// the frame never fully left this side — the worker cannot have seen a
+/// complete frame, so resending on a fresh connection is safe even for
+/// non-idempotent ops — and `false` once the worker may have executed
+/// the request.
+fn exchange_one(
+    stream: &mut TcpStream,
+    frame: &[u8],
+    deadline: Instant,
+    addr: WorkerAddr,
+) -> Result<Response, (bool, TransportError)> {
+    set_stream_deadline(stream, deadline, addr).map_err(|e| (true, e))?;
+    stream
+        .write_all(frame)
+        .map_err(|e| (true, io_err(addr, &e)))?;
+    set_stream_deadline(stream, deadline, addr).map_err(|e| (false, e))?;
+    let resp_frame = read_frame(stream)
+        .map_err(|e| (false, io_err(addr, &e)))?
+        .ok_or_else(|| (false, TransportError::Broken("connection closed".into())))?;
+    let (resp, _, _) = codec::decode_response(&resp_frame)
+        .map_err(|e| (false, TransportError::Broken(e.to_string())))?;
+    Ok(resp)
+}
+
+/// Overwrites every not-yet-answered slot with `e`.
+fn fill_pending(out: &mut [Result<Response, TransportError>], e: TransportError) {
+    for slot in out.iter_mut() {
+        if slot.is_err() {
+            *slot = Err(e.clone());
+        }
+    }
+}
+
+/// Sends one batch envelope and drains its pipelined responses,
+/// correlating by opaque. Write-side failures return `Err((retry_safe,
+/// err))` so the caller can resend the whole batch on a fresh
+/// connection; once response bytes start flowing, failures degrade to
+/// per-operation errors inside the returned vector instead — the batch
+/// is never resent then, because some of its writes may already have
+/// executed.
+fn exchange_batch(
+    stream: &mut TcpStream,
+    frame: &[u8],
+    n: usize,
+    deadline: Instant,
+    addr: WorkerAddr,
+) -> Result<BatchOutcome, (bool, TransportError)> {
+    set_stream_deadline(stream, deadline, addr).map_err(|e| (true, e))?;
+    stream
+        .write_all(frame)
+        .map_err(|e| (true, io_err(addr, &e)))?;
+    let mut out: BatchOutcome = batch_errs(
+        n,
+        TransportError::Broken("no response before the connection died".into()),
+    );
+    for got in 0..n {
+        if let Err(e) = set_stream_deadline(stream, deadline, addr) {
+            fill_pending(&mut out, e);
+            return Ok(out);
+        }
+        let resp_frame = match read_frame(stream) {
+            Ok(Some(f)) => f,
+            Ok(None) => {
+                fill_pending(
+                    &mut out,
+                    TransportError::Broken(format!(
+                        "connection closed after {got} of {n} batch responses"
+                    )),
+                );
+                return Ok(out);
+            }
+            Err(e) => {
+                fill_pending(&mut out, io_err(addr, &e));
+                return Ok(out);
+            }
+        };
+        match codec::decode_response(&resp_frame) {
+            Ok((resp, _, opaque)) => {
+                if let Some(slot) = out.get_mut(opaque as usize) {
+                    *slot = Ok(resp);
+                }
+            }
+            Err(e) => {
+                fill_pending(&mut out, TransportError::Broken(e.to_string()));
+                return Ok(out);
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Drains fire-and-forget casts over dedicated connections, so a slow or
+/// dead shadow never blocks the worker that enqueued the cast. Each
+/// response is read (with a bounded timeout) and discarded to keep the
+/// stream framed; failures drop the connection and the cast —
+/// asynchronous replication is best-effort (§3.2). The pump exits when
+/// the owning transport is dropped.
+fn cast_pump(addrs: HashMap<WorkerAddr, SocketAddr>, rx: Receiver<(WorkerAddr, Request)>) {
+    let mut conns: HashMap<WorkerAddr, TcpStream> = HashMap::new();
+    while let Ok((addr, req)) = rx.recv() {
+        let Ok(frame) = codec::encode_request(&req, 0) else {
+            continue;
+        };
+        let Some(&sock) = addrs.get(&addr) else {
+            continue;
+        };
+        // A pooled pump connection may have gone stale while idle; retry
+        // once on a fresh one.
+        for _ in 0..2 {
+            if !conns.contains_key(&addr) {
+                match TcpStream::connect(sock) {
+                    Ok(s) => {
+                        s.set_nodelay(true).ok();
+                        s.set_read_timeout(Some(CAST_READ_TIMEOUT)).ok();
+                        conns.insert(addr, s);
+                    }
+                    Err(_) => break,
+                }
+            }
+            let stream = conns.get_mut(&addr).expect("just inserted");
+            if stream.write_all(&frame).is_ok() {
+                if !matches!(read_frame(stream), Ok(Some(_))) {
+                    conns.remove(&addr);
+                }
+                break;
+            }
+            conns.remove(&addr);
+        }
+    }
+}
+
+/// Client-side TCP transport with per-worker connection pooling,
+/// per-call deadlines, bounded connect retry/backoff, pipelined batches,
+/// and a background cast pump for genuinely non-blocking casts.
 pub struct TcpTransport {
     addrs: HashMap<WorkerAddr, SocketAddr>,
     pool: Mutex<HashMap<WorkerAddr, Vec<TcpStream>>>,
+    cast_tx: Sender<(WorkerAddr, Request)>,
 }
 
 impl TcpTransport {
-    /// Creates a transport from a worker→socket address map.
+    /// Creates a transport from a worker→socket address map and spawns
+    /// its cast pump thread (which exits when the transport is dropped).
     pub fn new(addrs: HashMap<WorkerAddr, SocketAddr>) -> Arc<Self> {
+        let (cast_tx, cast_rx) = crossbeam_channel::unbounded();
+        let pump_addrs = addrs.clone();
+        std::thread::Builder::new()
+            .name("mbal-cast-pump".into())
+            .spawn(move || cast_pump(pump_addrs, cast_rx))
+            .expect("spawn cast pump");
         Arc::new(Self {
             addrs,
             pool: Mutex::new(HashMap::new()),
+            cast_tx,
         })
     }
 
-    fn checkout(&self, addr: WorkerAddr) -> Result<TcpStream, TransportError> {
-        if let Some(s) = self.pool.lock().get_mut(&addr).and_then(|v| v.pop()) {
-            return Ok(s);
-        }
-        let sock = self
+    /// Opens a fresh connection with bounded retry/backoff under the
+    /// deadline.
+    fn connect(&self, addr: WorkerAddr, deadline: Instant) -> Result<TcpStream, TransportError> {
+        let sock = *self
             .addrs
             .get(&addr)
             .ok_or(TransportError::Unreachable(addr))?;
-        let stream = TcpStream::connect(sock).map_err(|e| TransportError::Broken(e.to_string()))?;
-        stream.set_nodelay(true).ok();
-        Ok(stream)
+        let mut backoff = RETRY_BACKOFF;
+        let mut last = TransportError::Unreachable(addr);
+        for attempt in 0..CONNECT_RETRIES {
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(TransportError::Timeout(addr));
+            }
+            match TcpStream::connect_timeout(&sock, deadline - now) {
+                Ok(s) => {
+                    s.set_nodelay(true).ok();
+                    return Ok(s);
+                }
+                Err(e) => last = io_err(addr, &e),
+            }
+            if attempt + 1 < CONNECT_RETRIES {
+                std::thread::sleep(backoff.min(deadline.saturating_duration_since(Instant::now())));
+                backoff *= 2;
+            }
+        }
+        Err(last)
+    }
+
+    /// Pops a pooled connection or dials a fresh one; the flag says
+    /// which, so callers know whether a stale-connection retry applies.
+    fn checkout(
+        &self,
+        addr: WorkerAddr,
+        deadline: Instant,
+    ) -> Result<(TcpStream, bool), TransportError> {
+        if let Some(s) = self.pool.lock().get_mut(&addr).and_then(|v| v.pop()) {
+            return Ok((s, true));
+        }
+        Ok((self.connect(addr, deadline)?, false))
     }
 
     fn checkin(&self, addr: WorkerAddr, stream: TcpStream) {
@@ -138,19 +449,94 @@ impl TcpTransport {
 
 impl Transport for TcpTransport {
     fn call(&self, addr: WorkerAddr, req: Request) -> Result<Response, TransportError> {
-        let mut stream = self.checkout(addr)?;
+        self.call_with_deadline(addr, req, DEFAULT_DEADLINE)
+    }
+
+    fn call_with_deadline(
+        &self,
+        addr: WorkerAddr,
+        req: Request,
+        budget: Duration,
+    ) -> Result<Response, TransportError> {
+        let deadline = Instant::now() + budget;
         let frame =
             codec::encode_request(&req, 1).map_err(|e| TransportError::Broken(e.to_string()))?;
-        stream
-            .write_all(&frame)
-            .map_err(|e| TransportError::Broken(e.to_string()))?;
-        let resp_frame = read_frame(&mut stream)
-            .map_err(|e| TransportError::Broken(e.to_string()))?
-            .ok_or(TransportError::Broken("connection closed".into()))?;
-        let (resp, _, _) = codec::decode_response(&resp_frame)
-            .map_err(|e| TransportError::Broken(e.to_string()))?;
-        self.checkin(addr, stream);
-        Ok(resp)
+        let (mut stream, pooled) = self.checkout(addr, deadline)?;
+        match exchange_one(&mut stream, &frame, deadline, addr) {
+            Ok(resp) => {
+                self.checkin(addr, stream);
+                Ok(resp)
+            }
+            Err((retry_safe, e)) => {
+                drop(stream);
+                if pooled && retry_safe {
+                    let mut fresh = self.connect(addr, deadline)?;
+                    match exchange_one(&mut fresh, &frame, deadline, addr) {
+                        Ok(resp) => {
+                            self.checkin(addr, fresh);
+                            Ok(resp)
+                        }
+                        Err((_, e2)) => Err(e2),
+                    }
+                } else {
+                    Err(e)
+                }
+            }
+        }
+    }
+
+    /// One batch envelope out, `reqs.len()` pipelined response frames
+    /// back — a batch costs one request flush and one response drain per
+    /// worker instead of `n` serial round-trips.
+    fn call_many(&self, addr: WorkerAddr, reqs: Vec<Request>, budget: Duration) -> BatchOutcome {
+        let n = reqs.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let deadline = Instant::now() + budget;
+        let frame = match codec::encode_batch_request(&reqs) {
+            Ok(f) => f,
+            Err(e) => return batch_errs(n, TransportError::Broken(e.to_string())),
+        };
+        let (mut stream, pooled) = match self.checkout(addr, deadline) {
+            Ok(s) => s,
+            Err(e) => return batch_errs(n, e),
+        };
+        match exchange_batch(&mut stream, &frame, n, deadline, addr) {
+            Ok(out) => {
+                // A mid-batch failure leaves the stream desynchronised;
+                // only fully-drained connections go back to the pool.
+                if out.iter().all(|r| r.is_ok()) {
+                    self.checkin(addr, stream);
+                }
+                out
+            }
+            Err((retry_safe, e)) => {
+                drop(stream);
+                if !(pooled && retry_safe) {
+                    return batch_errs(n, e);
+                }
+                let mut fresh = match self.connect(addr, deadline) {
+                    Ok(s) => s,
+                    Err(e2) => return batch_errs(n, e2),
+                };
+                match exchange_batch(&mut fresh, &frame, n, deadline, addr) {
+                    Ok(out) => {
+                        if out.iter().all(|r| r.is_ok()) {
+                            self.checkin(addr, fresh);
+                        }
+                        out
+                    }
+                    Err((_, e2)) => batch_errs(n, e2),
+                }
+            }
+        }
+    }
+
+    /// Genuinely non-blocking: hands the frame to the cast pump thread,
+    /// which owns dedicated connections.
+    fn cast(&self, addr: WorkerAddr, req: Request) {
+        let _ = self.cast_tx.send((addr, req));
     }
 }
 
@@ -160,34 +546,43 @@ mod tests {
     use mbal_core::types::CacheletId;
 
     /// A loopback worker that stores into a HashMap (protocol-level test
-    /// without the full server).
+    /// without the full server). Handles both single RPCs and batches.
     fn spawn_map_worker() -> Sender<WorkerMsg> {
         let (tx, rx) = crossbeam_channel::unbounded::<WorkerMsg>();
         std::thread::spawn(move || {
             let mut map: HashMap<Vec<u8>, Vec<u8>> = HashMap::new();
-            while let Ok(WorkerMsg::Rpc { req, reply }) = rx.recv() {
-                let resp = match req {
-                    Request::Get { key, .. } => match map.get(&key) {
-                        Some(v) => Response::Value {
-                            value: v.clone(),
-                            replicas: vec![],
-                        },
-                        None => Response::NotFound,
+            let mut answer = |req: Request, map: &mut HashMap<Vec<u8>, Vec<u8>>| match req {
+                Request::Get { key, .. } => match map.get(&key) {
+                    Some(v) => Response::Value {
+                        value: v.clone(),
+                        replicas: vec![],
                     },
-                    Request::Set { key, value, .. } => {
-                        map.insert(key, value);
-                        Response::Stored
+                    None => Response::NotFound,
+                },
+                Request::Set { key, value, .. } => {
+                    map.insert(key, value);
+                    Response::Stored
+                }
+                Request::Delete { key, .. } => {
+                    map.remove(&key);
+                    Response::Deleted
+                }
+                _ => Response::Fail {
+                    status: Status::Error,
+                    message: "unsupported".into(),
+                },
+            };
+            while let Ok(msg) = rx.recv() {
+                match msg {
+                    WorkerMsg::Rpc { req, reply } => {
+                        let _ = reply.send(answer(req, &mut map));
                     }
-                    Request::Delete { key, .. } => {
-                        map.remove(&key);
-                        Response::Deleted
+                    WorkerMsg::RpcBatch { reqs, reply } => {
+                        let resps = reqs.into_iter().map(|r| answer(r, &mut map)).collect();
+                        let _ = reply.send(resps);
                     }
-                    _ => Response::Fail {
-                        status: Status::Error,
-                        message: "unsupported".into(),
-                    },
-                };
-                let _ = reply.send(resp);
+                    WorkerMsg::Control(_) => {}
+                }
             }
         });
         tx
@@ -283,5 +678,138 @@ mod tests {
         }
         // Exactly one pooled connection after serial calls.
         assert_eq!(transport.pool.lock().get(&worker).map_or(0, |v| v.len()), 1);
+    }
+
+    #[test]
+    fn batch_roundtrips_over_tcp() {
+        let worker = WorkerAddr::new(0, 0);
+        let tx = spawn_map_worker();
+        let bound = serve_tcp(&[(worker, tx)], "127.0.0.1", 0).expect("bind");
+        let transport = TcpTransport::new(bound.into_iter().collect());
+
+        let mut reqs: Vec<Request> = (0..8)
+            .map(|i| Request::Set {
+                cachelet: CacheletId(0),
+                key: format!("k{i}").into_bytes(),
+                value: format!("v{i}").into_bytes(),
+                expiry_ms: 0,
+            })
+            .collect();
+        reqs.extend((0..8).map(|i| Request::Get {
+            cachelet: CacheletId(0),
+            key: format!("k{i}").into_bytes(),
+        }));
+        let out = transport.call_many(worker, reqs, DEFAULT_DEADLINE);
+        assert_eq!(out.len(), 16);
+        for r in &out[..8] {
+            assert_eq!(r, &Ok(Response::Stored));
+        }
+        for (i, r) in out[8..].iter().enumerate() {
+            assert_eq!(
+                r,
+                &Ok(Response::Value {
+                    value: format!("v{i}").into_bytes(),
+                    replicas: vec![]
+                })
+            );
+        }
+        // The whole batch reused (and returned) a single pooled stream.
+        assert_eq!(transport.pool.lock().get(&worker).map_or(0, |v| v.len()), 1);
+    }
+
+    #[test]
+    fn malformed_frame_errors_and_closes_but_worker_survives() {
+        let worker = WorkerAddr::new(0, 0);
+        let tx = spawn_map_worker();
+        let bound = serve_tcp(&[(worker, tx)], "127.0.0.1", 0).expect("bind");
+        let sock = bound[0].1;
+
+        // Bad magic: the server answers with a protocol error, then
+        // closes the connection.
+        let mut raw = TcpStream::connect(sock).expect("connect");
+        raw.write_all(&[0x55u8; HEADER_LEN]).expect("write garbage");
+        let mut buf = Vec::new();
+        raw.read_to_end(&mut buf).expect("drain until close");
+        let (resp, _, _) = codec::decode_response(&buf).expect("protocol error response");
+        assert!(matches!(resp, Response::Fail { .. }));
+
+        // A 4 GiB body length: rejected without the allocation.
+        let mut huge = [0u8; HEADER_LEN];
+        huge[0] = codec::MAGIC_REQUEST;
+        huge[8..12].copy_from_slice(&u32::MAX.to_be_bytes());
+        let mut raw = TcpStream::connect(sock).expect("connect");
+        raw.write_all(&huge).expect("write huge header");
+        let mut buf = Vec::new();
+        raw.read_to_end(&mut buf).expect("drain until close");
+        let (resp, _, _) = codec::decode_response(&buf).expect("protocol error response");
+        assert!(matches!(resp, Response::Fail { .. }));
+
+        // The worker behind the listener is unharmed.
+        let transport = TcpTransport::new(bound.into_iter().collect());
+        assert_eq!(
+            transport.call(
+                worker,
+                Request::Get {
+                    cachelet: CacheletId(0),
+                    key: b"missing".to_vec(),
+                }
+            ),
+            Ok(Response::NotFound)
+        );
+    }
+
+    #[test]
+    fn mid_batch_drop_yields_per_op_errors() {
+        // A fake worker endpoint that answers only the first two
+        // sub-requests of a batch, then drops the connection.
+        let listener = TcpListener::bind(("127.0.0.1", 0)).expect("bind");
+        let sock = listener.local_addr().expect("addr");
+        std::thread::spawn(move || {
+            let (mut conn, _) = listener.accept().expect("accept");
+            let frame = read_frame(&mut conn).expect("read").expect("frame");
+            let subs = codec::decode_batch_request(&frame).expect("batch");
+            for (req, opaque) in subs.into_iter().take(2) {
+                let bytes = codec::encode_response(&Response::Stored, opcode_of(&req), opaque)
+                    .expect("encode");
+                conn.write_all(&bytes).expect("write");
+            }
+            // Dropping `conn` closes the stream mid-batch.
+        });
+
+        let worker = WorkerAddr::new(0, 0);
+        let transport = TcpTransport::new([(worker, sock)].into_iter().collect());
+        let reqs: Vec<Request> = (0..5)
+            .map(|i| Request::Set {
+                cachelet: CacheletId(0),
+                key: format!("k{i}").into_bytes(),
+                value: b"v".to_vec(),
+                expiry_ms: 0,
+            })
+            .collect();
+        let out = transport.call_many(worker, reqs, DEFAULT_DEADLINE);
+        assert_eq!(out.len(), 5);
+        assert_eq!(out[0], Ok(Response::Stored));
+        assert_eq!(out[1], Ok(Response::Stored));
+        for r in &out[2..] {
+            assert!(matches!(r, Err(TransportError::Broken(_))), "got {r:?}");
+        }
+        // The poisoned connection must not be returned to the pool.
+        assert_eq!(transport.pool.lock().get(&worker).map_or(0, |v| v.len()), 0);
+    }
+
+    #[test]
+    fn deadline_expires_as_timeout() {
+        // An endpoint that accepts but never answers.
+        let listener = TcpListener::bind(("127.0.0.1", 0)).expect("bind");
+        let sock = listener.local_addr().expect("addr");
+        std::thread::spawn(move || {
+            let (conn, _) = listener.accept().expect("accept");
+            std::thread::sleep(Duration::from_secs(5));
+            drop(conn);
+        });
+        let worker = WorkerAddr::new(0, 0);
+        let transport = TcpTransport::new([(worker, sock)].into_iter().collect());
+        let out = transport.call_with_deadline(worker, Request::Stats, Duration::from_millis(50));
+        assert_eq!(out, Err(TransportError::Timeout(worker)));
     }
 }

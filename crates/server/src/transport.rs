@@ -38,14 +38,59 @@ impl std::fmt::Display for TransportError {
 
 impl std::error::Error for TransportError {}
 
+/// Default per-call deadline applied when a caller has no tighter budget.
+pub const DEFAULT_DEADLINE: Duration = Duration::from_secs(5);
+
+/// Replicates one error across every slot of a batch result.
+pub(crate) fn batch_errs(n: usize, e: TransportError) -> Vec<Result<Response, TransportError>> {
+    (0..n).map(|_| Err(e.clone())).collect()
+}
+
 /// A synchronous request/response transport addressed by worker.
 pub trait Transport: Send + Sync {
-    /// Sends `req` to `addr` and waits for the response.
+    /// Sends `req` to `addr` and waits for the response under the
+    /// implementation's default deadline.
     fn call(&self, addr: WorkerAddr, req: Request) -> Result<Response, TransportError>;
 
-    /// Fire-and-forget send (asynchronous replication); default
-    /// implementation degrades to a synchronous call discarding the
-    /// response.
+    /// Like [`Transport::call`], but gives up once `deadline` has
+    /// elapsed, returning [`TransportError::Timeout`]. The default
+    /// implementation ignores the deadline and delegates to `call`.
+    fn call_with_deadline(
+        &self,
+        addr: WorkerAddr,
+        req: Request,
+        deadline: Duration,
+    ) -> Result<Response, TransportError> {
+        let _ = deadline;
+        self.call(addr, req)
+    }
+
+    /// Pipelined batch: sends every request to `addr` and returns one
+    /// result per request, in order. Implementations coalesce the batch —
+    /// one frame flush over TCP, one mailbox enqueue in-process — so a
+    /// batch costs one round-trip instead of `reqs.len()`. The default
+    /// implementation is an unbatched serial loop kept only so foreign
+    /// `Transport` impls (mocks, adapters) stay source-compatible.
+    fn call_many(
+        &self,
+        addr: WorkerAddr,
+        reqs: Vec<Request>,
+        deadline: Duration,
+    ) -> Vec<Result<Response, TransportError>> {
+        reqs.into_iter()
+            .map(|r| self.call_with_deadline(addr, r, deadline))
+            .collect()
+    }
+
+    /// Fire-and-forget send (asynchronous replica propagation, §3.2).
+    ///
+    /// **Warning:** the default implementation degrades to a synchronous
+    /// `call` that discards the response — it blocks the caller for a
+    /// full round-trip. Every real implementation must override it with a
+    /// genuinely non-blocking send: [`InProcRegistry`] enqueues without
+    /// waiting, and the TCP transport hands the frame to a background
+    /// cast pump. The default exists only so minimal test doubles
+    /// compile.
     fn cast(&self, addr: WorkerAddr, req: Request) {
         let _ = self.call(addr, req);
     }
@@ -89,22 +134,72 @@ impl InProcRegistry {
     pub fn is_empty(&self) -> bool {
         self.routes.read().is_empty()
     }
+
+    fn route(&self, addr: WorkerAddr) -> Result<Sender<WorkerMsg>, TransportError> {
+        self.routes
+            .read()
+            .get(&addr)
+            .cloned()
+            .ok_or(TransportError::Unreachable(addr))
+    }
 }
 
 impl Transport for InProcRegistry {
     fn call(&self, addr: WorkerAddr, req: Request) -> Result<Response, TransportError> {
-        let tx = {
-            let routes = self.routes.read();
-            routes
-                .get(&addr)
-                .cloned()
-                .ok_or(TransportError::Unreachable(addr))?
-        };
+        self.call_with_deadline(addr, req, self.timeout)
+    }
+
+    fn call_with_deadline(
+        &self,
+        addr: WorkerAddr,
+        req: Request,
+        deadline: Duration,
+    ) -> Result<Response, TransportError> {
+        let tx = self.route(addr)?;
         let (rtx, rrx) = bounded(1);
         tx.send(WorkerMsg::Rpc { req, reply: rtx })
             .map_err(|_| TransportError::Unreachable(addr))?;
-        rrx.recv_timeout(self.timeout)
+        rrx.recv_timeout(deadline)
             .map_err(|_| TransportError::Timeout(addr))
+    }
+
+    /// One mailbox enqueue for the whole batch: the worker drains all of
+    /// `reqs` before replying, so a batch pays a single channel
+    /// round-trip regardless of its size.
+    fn call_many(
+        &self,
+        addr: WorkerAddr,
+        reqs: Vec<Request>,
+        deadline: Duration,
+    ) -> Vec<Result<Response, TransportError>> {
+        let n = reqs.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let tx = match self.route(addr) {
+            Ok(tx) => tx,
+            Err(e) => return batch_errs(n, e),
+        };
+        let (rtx, rrx) = bounded(1);
+        if tx.send(WorkerMsg::RpcBatch { reqs, reply: rtx }).is_err() {
+            return batch_errs(n, TransportError::Unreachable(addr));
+        }
+        match rrx.recv_timeout(deadline) {
+            Ok(resps) if resps.len() == n => resps.into_iter().map(Ok).collect(),
+            Ok(mut resps) => {
+                // A well-behaved worker answers 1:1; pad defensively.
+                resps.truncate(n);
+                let mut out: Vec<Result<Response, TransportError>> =
+                    resps.into_iter().map(Ok).collect();
+                while out.len() < n {
+                    out.push(Err(TransportError::Broken(
+                        "batch reply shorter than the batch".into(),
+                    )));
+                }
+                out
+            }
+            Err(_) => batch_errs(n, TransportError::Timeout(addr)),
+        }
     }
 
     /// Genuinely asynchronous: enqueue and return without waiting. The
@@ -174,6 +269,79 @@ mod tests {
             }
         );
         h.join().expect("worker exits");
+    }
+
+    /// A batch-aware one-shot worker: answers a single `RpcBatch` with
+    /// one echo response per request, then exits.
+    fn spawn_batch_echo(reg: &InProcRegistry, addr: WorkerAddr) -> std::thread::JoinHandle<()> {
+        let (tx, rx) = crossbeam_channel::unbounded();
+        reg.register(addr, tx);
+        std::thread::spawn(move || {
+            if let Ok(WorkerMsg::RpcBatch { reqs, reply }) = rx.recv() {
+                let resps = reqs
+                    .into_iter()
+                    .map(|req| match req {
+                        Request::Get { key, .. } => Response::Value {
+                            value: key,
+                            replicas: vec![],
+                        },
+                        _ => Response::Fail {
+                            status: Status::Error,
+                            message: "unsupported".into(),
+                        },
+                    })
+                    .collect();
+                let _ = reply.send(resps);
+            }
+        })
+    }
+
+    #[test]
+    fn call_many_is_one_enqueue_and_stays_ordered() {
+        let reg = InProcRegistry::new();
+        let h = spawn_batch_echo(&reg, WorkerAddr::new(0, 0));
+        let reqs: Vec<Request> = (0..5)
+            .map(|i| Request::Get {
+                cachelet: mbal_core::types::CacheletId(0),
+                key: format!("k{i}").into_bytes(),
+            })
+            .collect();
+        let out = reg.call_many(WorkerAddr::new(0, 0), reqs, DEFAULT_DEADLINE);
+        assert_eq!(out.len(), 5);
+        for (i, r) in out.into_iter().enumerate() {
+            assert_eq!(
+                r,
+                Ok(Response::Value {
+                    value: format!("k{i}").into_bytes(),
+                    replicas: vec![]
+                })
+            );
+        }
+        h.join().expect("worker exits");
+    }
+
+    #[test]
+    fn call_many_to_unknown_worker_fails_every_op() {
+        let reg = InProcRegistry::new();
+        let reqs: Vec<Request> = (0..3).map(|_| Request::Stats).collect();
+        let out = reg.call_many(WorkerAddr::new(9, 9), reqs, DEFAULT_DEADLINE);
+        assert_eq!(out.len(), 3);
+        for r in out {
+            assert_eq!(r, Err(TransportError::Unreachable(WorkerAddr::new(9, 9))));
+        }
+    }
+
+    #[test]
+    fn call_many_times_out_as_a_unit() {
+        let reg = InProcRegistry::new();
+        let (tx, _rx) = crossbeam_channel::unbounded();
+        reg.register(WorkerAddr::new(0, 2), tx);
+        let reqs: Vec<Request> = (0..2).map(|_| Request::Stats).collect();
+        let out = reg.call_many(WorkerAddr::new(0, 2), reqs, Duration::from_millis(20));
+        assert_eq!(out.len(), 2);
+        for r in out {
+            assert_eq!(r, Err(TransportError::Timeout(WorkerAddr::new(0, 2))));
+        }
     }
 
     #[test]

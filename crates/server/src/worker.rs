@@ -86,6 +86,10 @@ impl Worker {
                     let resp = self.handle_rpc(req);
                     let _ = reply.send(resp);
                 }
+                Ok(WorkerMsg::RpcBatch { reqs, reply }) => {
+                    let resps = reqs.into_iter().map(|r| self.handle_rpc(r)).collect();
+                    let _ = reply.send(resps);
+                }
                 Ok(WorkerMsg::Control(c)) => {
                     if !self.handle_control(c) {
                         return;

@@ -79,6 +79,104 @@ fn tcp_cluster_set_get_delete() {
 }
 
 #[test]
+fn multiget_over_tcp_is_one_flush_per_worker() {
+    use mbal::server::messages::WorkerMsg;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    // Like `build`, but every worker mailbox is wrapped in a counting
+    // relay, so the test observes exactly what the TCP layer enqueues:
+    // a 64-key MultiGET must reach each home worker as ONE pipelined
+    // batch (one request flush, one response drain), never as 64
+    // singleton round-trips.
+    let mut ring = ConsistentRing::new();
+    for s in 0..2u16 {
+        for w in 0..2u16 {
+            ring.add_worker(WorkerAddr::new(s, w));
+        }
+    }
+    let mapping = MappingTable::build(&ring, 4, 256);
+    let coordinator = Arc::new(Coordinator::new(mapping.clone(), BalancerConfig::default()));
+    let registry = InProcRegistry::new();
+    let singles = Arc::new(AtomicUsize::new(0));
+    let batches = Arc::new(AtomicUsize::new(0));
+    let mut routes = HashMap::new();
+    let mut servers = Vec::new();
+    for s in 0..2u16 {
+        let server = Server::spawn(
+            ServerConfig::new(ServerId(s), 2, 64 << 20).cachelets_per_worker(4),
+            &mapping,
+            &registry,
+            Arc::clone(&coordinator),
+            Arc::new(RealClock::new()),
+        );
+        let relayed: Vec<_> = server
+            .worker_mailboxes()
+            .into_iter()
+            .map(|(addr, real)| {
+                let (tx, rx) = crossbeam_channel::unbounded::<WorkerMsg>();
+                let singles = Arc::clone(&singles);
+                let batches = Arc::clone(&batches);
+                std::thread::spawn(move || {
+                    for msg in rx {
+                        match &msg {
+                            WorkerMsg::Rpc { .. } => {
+                                singles.fetch_add(1, Ordering::SeqCst);
+                            }
+                            WorkerMsg::RpcBatch { .. } => {
+                                batches.fetch_add(1, Ordering::SeqCst);
+                            }
+                            WorkerMsg::Control(_) => {}
+                        }
+                        if real.send(msg).is_err() {
+                            break;
+                        }
+                    }
+                });
+                (addr, tx)
+            })
+            .collect();
+        let bound = serve_tcp(&relayed, "127.0.0.1", 0).expect("bind");
+        routes.extend(bound);
+        servers.push(server);
+    }
+    let transport = TcpTransport::new(routes);
+    let mut client = Client::new(
+        Arc::clone(&transport) as Arc<dyn Transport>,
+        Arc::clone(&coordinator) as Arc<dyn mbal::client::CoordinatorLink>,
+    );
+
+    let keys: Vec<Vec<u8>> = (0..64u32)
+        .map(|i| format!("batch:{i}").into_bytes())
+        .collect();
+    for k in &keys {
+        client.set(k, b"v").expect("set");
+    }
+    singles.store(0, Ordering::SeqCst);
+    batches.store(0, Ordering::SeqCst);
+
+    let got = client.multi_get(&keys).expect("multi_get over tcp");
+    assert!(got.iter().all(|v| v.is_some()), "all 64 keys must hit");
+
+    let homes: std::collections::HashSet<WorkerAddr> = keys
+        .iter()
+        .map(|k| mapping.route(k).expect("routed").1)
+        .collect();
+    assert_eq!(
+        batches.load(Ordering::SeqCst),
+        homes.len(),
+        "one pipelined batch per home worker"
+    );
+    assert_eq!(
+        singles.load(Ordering::SeqCst),
+        0,
+        "no singleton round-trips during a fully-hit MultiGET"
+    );
+    for s in &mut servers {
+        s.shutdown();
+    }
+}
+
+#[test]
 fn tcp_frames_interoperate_with_raw_protocol() {
     // A hand-rolled protocol client (no mbal-client) must interoperate:
     // the wire format is the contract.
