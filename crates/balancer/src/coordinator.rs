@@ -189,6 +189,7 @@ mod tests {
                 .collect(),
             load_capacity: 100.0,
             mem_capacity: 1 << 20,
+            metrics: Default::default(),
         }
     }
 

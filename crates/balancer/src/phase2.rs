@@ -479,6 +479,7 @@ mod tests {
                 .collect(),
             load_capacity: capacity,
             mem_capacity: 10 << 20,
+            metrics: Default::default(),
         }
     }
 

@@ -186,6 +186,7 @@ mod tests {
                 .collect(),
             load_capacity: cap,
             mem_capacity: 1 << 20,
+            metrics: Default::default(),
         }
     }
 

@@ -1,39 +1,16 @@
 //! Shared planner types: worker load descriptors and migration commands.
 
-use mbal_core::stats::CacheletLoad;
 use mbal_core::types::{CacheletId, WorkerAddr};
 use serde::{Deserialize, Serialize};
 
-/// The load/memory state of one worker, as fed to the migration planners.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct WorkerLoad {
-    /// The worker's cluster-wide address.
-    pub addr: WorkerAddr,
-    /// Per-cachelet loads (request rates) and memory.
-    pub cachelets: Vec<CacheletLoad>,
-    /// Maximum permissible load `T_j` (ops/s), computed experimentally
-    /// per instance type in the paper (footnote 2).
-    pub load_capacity: f64,
-    /// Memory capacity `M_j` in bytes.
-    pub mem_capacity: u64,
-}
-
-impl WorkerLoad {
-    /// Total current load `L*_j`.
-    pub fn total_load(&self) -> f64 {
-        self.cachelets.iter().map(|c| c.load).sum()
-    }
-
-    /// Total memory in use `M*_j`.
-    pub fn total_mem(&self) -> u64 {
-        self.cachelets.iter().map(|c| c.mem_bytes).sum()
-    }
-
-    /// `true` when above `factor × load_capacity`.
-    pub fn is_overloaded(&self, factor: f64) -> bool {
-        self.total_load() > factor * self.load_capacity
-    }
-}
+/// The load/memory state of one worker, as fed to the migration
+/// planners. This is the telemetry crate's [`WorkerSnapshot`]: epoch
+/// ingestion and the `Stats` wire surface share one type, so the
+/// planners consume exactly what a live worker reports (including its
+/// full metrics snapshot).
+///
+/// [`WorkerSnapshot`]: mbal_telemetry::WorkerSnapshot
+pub use mbal_telemetry::WorkerSnapshot as WorkerLoad;
 
 /// A single cachelet migration command, as emitted by Phase 2/3 planners
 /// and executed by the server runtime.
@@ -93,6 +70,7 @@ pub fn plan_quality(workers: &[WorkerLoad], plan: &[Migration]) -> PlanQuality {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mbal_core::stats::CacheletLoad;
     use mbal_core::types::CacheletId;
 
     fn worker(server: u16, id: u16, loads: &[f64]) -> WorkerLoad {
@@ -110,6 +88,7 @@ mod tests {
                 .collect(),
             load_capacity: 100.0,
             mem_capacity: 1 << 20,
+            metrics: Default::default(),
         }
     }
 

@@ -33,6 +33,7 @@ fn workers_strategy() -> impl Strategy<Value = Vec<WorkerLoad>> {
                     .collect(),
                 load_capacity: 100.0,
                 mem_capacity: 1 << 20,
+                metrics: Default::default(),
             })
             .collect()
     })
@@ -108,6 +109,7 @@ proptest! {
                 .collect(),
             load_capacity: 100.0,
             mem_capacity: 1 << 20,
+            metrics: Default::default(),
         };
         let src = mk(0, &src_loads, &mut next);
         let src_ids: HashSet<CacheletId> =

@@ -76,7 +76,8 @@ fn measure_dispatch_ns(ops: u64) -> f64 {
 /// so the figure still drives the real system (the measured value is
 /// reported but not charged — on a single-core host it is dominated by
 /// context switches that a pipelined server does not pay per request).
-fn measure_stack_rtt_ns(ops: u64) -> f64 {
+/// Returns the mean RTT in ns plus the per-op latency histogram (µs).
+fn measure_stack_rtt_ns(ops: u64) -> (f64, mbal_telemetry::Histogram) {
     let mut ring = ConsistentRing::new();
     ring.add_worker(WorkerAddr::new(0, 0));
     let mapping = MappingTable::build(&ring, 16, 64);
@@ -99,13 +100,16 @@ fn measure_stack_rtt_ns(ops: u64) -> f64 {
             .set(&gen.spec().key_of(i), &gen.make_value(i))
             .expect("preload");
     }
+    let mut hist = mbal_telemetry::Histogram::new();
     let ns = measure_ns(ops, |i| {
         let op = gen.next_op();
         let _ = i;
+        let t0 = std::time::Instant::now();
         std::hint::black_box(client.get(&op.key).expect("get"));
+        hist.record(t0.elapsed().as_micros() as u64);
     });
     server.shutdown();
-    ns
+    (ns, hist)
 }
 
 /// Per-system measured cache-op costs (GET hit / SET) on real code.
@@ -188,9 +192,14 @@ fn main() {
     let sim_ops = scaled(120_000);
     let sweep = [1usize, 2, 4, 6, 8];
 
-    let rtt = measure_stack_rtt_ns(scaled(60_000));
+    let (rtt, rtt_hist) = measure_stack_rtt_ns(scaled(60_000));
     let rpc = measure_dispatch_ns(scaled(200_000));
-    println!("measured: full-stack in-proc RTT {rtt:.0} ns (context-switch bound; informational)");
+    let rtt_p = rtt_hist.percentiles();
+    println!(
+        "measured: full-stack in-proc RTT {rtt:.0} ns, p50 {}µs p99 {}µs \
+         (context-switch bound; informational)",
+        rtt_p.p50_us, rtt_p.p99_us
+    );
     let mbal = measure_mbal(ops);
     let mercury_cache = MercuryLike::new(CAP);
     let mercury = measure_cache(&mercury_cache, ops);

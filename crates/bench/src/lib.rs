@@ -19,6 +19,7 @@
 use mbal_baselines::ConcurrentCache;
 use mbal_core::mem::{GlobalPool, LocalPool, MemConfig, MemPolicy};
 use mbal_core::store::SlabStore;
+use mbal_telemetry::Histogram;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Barrier};
 use std::time::Instant;
@@ -60,6 +61,13 @@ pub fn row(label: &str, values: &[String]) {
 /// Formats a throughput in MQPS.
 pub fn mqps(ops: u64, secs: f64) -> f64 {
     ops as f64 / secs / 1e6
+}
+
+/// Formats a `throughput + tail latency` cell from a per-op latency
+/// histogram: `"<MQPS> (p50 <a>µs p99 <b>µs)"`.
+pub fn mqps_with_tail(mqps: f64, latency: &Histogram) -> String {
+    let p = latency.percentiles();
+    format!("{mqps:.2} (p50 {}µs p99 {}µs)", p.p50_us, p.p99_us)
 }
 
 /// The per-thread MBal shard used by the microbenchmarks: a
@@ -167,6 +175,82 @@ where
     mqps(threads as u64 * ops_per_thread, secs)
 }
 
+/// [`run_shared`] with per-operation latency capture: each thread times
+/// every op into a thread-local [`Histogram`] (µs) and the histograms
+/// are merged after the join. Returns `(MQPS, merged histogram)`.
+pub fn run_shared_latency<C, F>(
+    cache: &Arc<C>,
+    threads: usize,
+    ops_per_thread: u64,
+    op: F,
+) -> (f64, Histogram)
+where
+    C: ConcurrentCache + 'static,
+    F: Fn(&C, usize, u64) + Send + Sync + 'static,
+{
+    let op = Arc::new(op);
+    let barrier = Arc::new(Barrier::new(threads + 1));
+    let mut handles = Vec::new();
+    for t in 0..threads {
+        let cache = Arc::clone(cache);
+        let barrier = Arc::clone(&barrier);
+        let op = Arc::clone(&op);
+        handles.push(std::thread::spawn(move || {
+            let mut hist = Histogram::new();
+            barrier.wait();
+            for i in 0..ops_per_thread {
+                let t0 = Instant::now();
+                op(&cache, t, i);
+                hist.record(t0.elapsed().as_micros() as u64);
+            }
+            hist
+        }));
+    }
+    barrier.wait();
+    let start = Instant::now();
+    let mut merged = Histogram::new();
+    for h in handles {
+        merged.merge(&h.join().expect("worker thread"));
+    }
+    let secs = start.elapsed().as_secs_f64();
+    (mqps(threads as u64 * ops_per_thread, secs), merged)
+}
+
+/// [`run_owned`] with per-operation latency capture; see
+/// [`run_shared_latency`].
+pub fn run_owned_latency<S, F>(shards: Vec<S>, ops_per_thread: u64, op: F) -> (f64, Histogram)
+where
+    S: Send + 'static,
+    F: Fn(&mut S, usize, u64) + Send + Sync + 'static,
+{
+    let threads = shards.len();
+    let op = Arc::new(op);
+    let barrier = Arc::new(Barrier::new(threads + 1));
+    let mut handles = Vec::new();
+    for (t, mut shard) in shards.into_iter().enumerate() {
+        let barrier = Arc::clone(&barrier);
+        let op = Arc::clone(&op);
+        handles.push(std::thread::spawn(move || {
+            let mut hist = Histogram::new();
+            barrier.wait();
+            for i in 0..ops_per_thread {
+                let t0 = Instant::now();
+                op(&mut shard, t, i);
+                hist.record(t0.elapsed().as_micros() as u64);
+            }
+            hist
+        }));
+    }
+    barrier.wait();
+    let start = Instant::now();
+    let mut merged = Histogram::new();
+    for h in handles {
+        merged.merge(&h.join().expect("worker thread"));
+    }
+    let secs = start.elapsed().as_secs_f64();
+    (mqps(threads as u64 * ops_per_thread, secs), merged)
+}
+
 /// A deterministic per-thread key stream: uniform over `keyspace`,
 /// fixed-width keys prefixed by a thread tag so owned shards never
 /// collide.
@@ -242,6 +326,27 @@ mod tests {
         });
         assert!(m > 0.0);
         assert!(!cache.is_empty());
+    }
+
+    #[test]
+    fn latency_runners_record_every_op() {
+        let shards = mbal_shards(2, 8 << 20, true, true);
+        let (m, hist) = run_owned_latency(shards, 2_000, |s, t, i| {
+            let k = key_for(t, i, 1_000, 16);
+            s.set(&k, b"value").expect("set");
+        });
+        assert!(m > 0.0);
+        assert_eq!(hist.count(), 4_000);
+        let cell = mqps_with_tail(m, &hist);
+        assert!(cell.contains("p50") && cell.contains("p99"), "{cell}");
+
+        let cache = Arc::new(MemcachedLike::new(8 << 20));
+        let (m, hist) = run_shared_latency(&cache, 2, 1_000, |c, t, i| {
+            let k = key_for(t, i, 1_000, 16);
+            c.set(&k, b"v").expect("set");
+        });
+        assert!(m > 0.0);
+        assert_eq!(hist.count(), 2_000);
     }
 }
 

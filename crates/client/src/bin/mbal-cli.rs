@@ -9,12 +9,12 @@
 //! mbal-cli --host 127.0.0.1 --port 11311 --workers 4 get user:1
 //! mbal-cli --host 127.0.0.1 --port 11311 --workers 4 del user:1
 //! mbal-cli --host 127.0.0.1 --port 11311 --workers 4 stats
+//! mbal-cli --host 127.0.0.1 --port 11311 --workers 4 stats-reset
 //! ```
 
 use mbal_balancer::coordinator::HeartbeatReply;
 use mbal_client::{Client, CoordinatorLink};
 use mbal_core::types::WorkerAddr;
-use mbal_proto::{Request, Response};
 use mbal_ring::{ConsistentRing, MappingTable};
 use mbal_server::tcp::TcpTransport;
 use mbal_server::Transport;
@@ -51,7 +51,7 @@ impl CoordinatorLink for StaticMapping {
 fn usage() -> ! {
     eprintln!(
         "usage: mbal-cli [--host H] [--port P] [--workers N] [--cachelets N] \
-         <get KEY | set KEY VALUE | del KEY | stats>"
+         <get KEY | set KEY VALUE | del KEY | stats | stats-reset>"
     );
     std::process::exit(2);
 }
@@ -127,14 +127,18 @@ fn main() {
                 std::process::exit(1);
             }
         },
-        "stats" => {
+        cmd @ ("stats" | "stats-reset") => {
+            let reset = cmd == "stats-reset";
             for w in 0..workers {
                 let addr = WorkerAddr::new(0, w);
-                match transport.call(addr, Request::Stats) {
-                    Ok(Response::StatsBlob { payload }) => {
-                        println!("worker {w}: {}", String::from_utf8_lossy(&payload));
+                match client.worker_stats(addr, reset) {
+                    Ok(report) => {
+                        println!("# worker {w}");
+                        for (name, value) in report.named_dump() {
+                            println!("STAT {name} {value}");
+                        }
                     }
-                    other => eprintln!("worker {w}: {other:?}"),
+                    Err(e) => eprintln!("worker {w}: {e}"),
                 }
             }
         }

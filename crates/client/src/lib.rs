@@ -31,6 +31,7 @@ use mbal_core::types::{Key, Value, WorkerAddr};
 use mbal_proto::{Request, Response};
 use mbal_ring::MappingTable;
 use mbal_server::transport::{Transport, TransportError, DEFAULT_DEADLINE};
+use mbal_telemetry::StatsReport;
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -617,5 +618,44 @@ impl Client {
     /// Number of keys with client-side replica routing state.
     pub fn replicated_keys(&self) -> usize {
         self.replicas.len()
+    }
+
+    /// Fetches the server-side stats dump from one worker (the memcached
+    /// `stats` analog). With `reset: true` the worker zeroes its counters
+    /// and latency histograms after snapshotting (`stats reset`); gauges
+    /// describe current state and are left alone.
+    pub fn worker_stats(
+        &mut self,
+        addr: WorkerAddr,
+        reset: bool,
+    ) -> Result<StatsReport, ClientError> {
+        let resp = self
+            .transport
+            .call(addr, Request::Stats { reset })
+            .map_err(ClientError::Transport)?;
+        match resp {
+            Response::StatsBlob { payload } => serde_json::from_slice(&payload)
+                .map_err(|e| ClientError::Rejected(format!("bad stats payload: {e}"))),
+            Response::Fail { message, .. } => Err(ClientError::Rejected(message)),
+            other => Err(ClientError::Rejected(format!(
+                "unexpected response {other:?}"
+            ))),
+        }
+    }
+
+    /// Fetches stats from every worker in the client's mapping table, in
+    /// worker-address order. Workers that fail to answer are skipped.
+    pub fn server_stats(&mut self, reset: bool) -> Result<Vec<StatsReport>, ClientError> {
+        let workers = self.mapping.workers();
+        let mut out = Vec::with_capacity(workers.len());
+        for w in workers {
+            if let Ok(report) = self.worker_stats(w, reset) {
+                out.push(report);
+            }
+        }
+        if out.is_empty() {
+            return Err(ClientError::RetriesExhausted);
+        }
+        Ok(out)
     }
 }

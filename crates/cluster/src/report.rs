@@ -1,4 +1,11 @@
 //! Simulation output: latency percentiles and windowed series.
+//!
+//! Percentiles are computed on the shared log-linear
+//! [`mbal_telemetry::Histogram`] — the same structure the live server
+//! uses — so simulated and measured latency numbers carry identical
+//! bucketing error (≤ 1/16 relative).
+
+use mbal_telemetry::Histogram;
 
 /// Latency percentiles over a sample set (microseconds).
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -18,25 +25,29 @@ pub struct LatencySummary {
 }
 
 impl LatencySummary {
-    /// Computes percentiles from raw samples (sorted internally).
-    pub fn from_samples(samples: &mut [u64]) -> Self {
-        if samples.is_empty() {
+    /// Computes percentiles from a recorded histogram.
+    pub fn from_histogram(h: &Histogram) -> Self {
+        if h.is_empty() {
             return Self::default();
         }
-        samples.sort_unstable();
-        let pct = |p: f64| -> f64 {
-            let idx = ((samples.len() as f64 - 1.0) * p).round() as usize;
-            samples[idx] as f64
-        };
-        let mean = samples.iter().sum::<u64>() as f64 / samples.len() as f64;
+        let p = h.percentiles();
         Self {
-            count: samples.len(),
-            mean_us: mean,
-            p50_us: pct(0.50),
-            p90_us: pct(0.90),
-            p95_us: pct(0.95),
-            p99_us: pct(0.99),
+            count: p.count as usize,
+            mean_us: p.mean_us,
+            p50_us: p.p50_us as f64,
+            p90_us: p.p90_us as f64,
+            p95_us: p.p95_us as f64,
+            p99_us: p.p99_us as f64,
         }
+    }
+
+    /// Computes percentiles from raw samples (bucketed internally).
+    pub fn from_samples(samples: &mut [u64]) -> Self {
+        let mut h = Histogram::new();
+        for &s in samples.iter() {
+            h.record(s);
+        }
+        Self::from_histogram(&h)
     }
 }
 
@@ -85,10 +96,24 @@ mod tests {
         let mut samples: Vec<u64> = (1..=1_000).collect();
         let s = LatencySummary::from_samples(&mut samples);
         assert_eq!(s.count, 1_000);
-        assert!((s.p50_us - 500.0).abs() <= 1.0);
-        assert!((s.p90_us - 900.0).abs() <= 1.0);
-        assert!((s.p99_us - 990.0).abs() <= 1.0);
+        // Bucketed values carry ≤ 1/16 relative error (log-linear
+        // histogram); the mean and count stay exact.
+        assert!((s.p50_us - 500.0).abs() <= 500.0 / 16.0, "p50 {}", s.p50_us);
+        assert!((s.p90_us - 900.0).abs() <= 900.0 / 16.0, "p90 {}", s.p90_us);
+        assert!((s.p99_us - 990.0).abs() <= 990.0 / 16.0, "p99 {}", s.p99_us);
         assert!((s.mean_us - 500.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn from_histogram_matches_from_samples() {
+        let mut h = Histogram::new();
+        for v in [10u64, 20, 30, 40, 1_000, 5_000] {
+            h.record(v);
+        }
+        let a = LatencySummary::from_histogram(&h);
+        let b = LatencySummary::from_samples(&mut [10, 20, 30, 40, 1_000, 5_000]);
+        assert_eq!(a, b);
+        assert_eq!(a.count, 6);
     }
 
     #[test]

@@ -33,6 +33,7 @@ use mbal_core::hotkey::{HotKeyConfig, HotKeyTracker};
 use mbal_core::stats::CacheletLoad;
 use mbal_core::types::{ServerId, WorkerAddr, WorkerId};
 use mbal_ring::{ConsistentRing, MappingTable};
+use mbal_telemetry::Histogram;
 use mbal_workload::{WorkloadGen, WorkloadSpec};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -323,8 +324,8 @@ impl Simulation {
         };
 
         let warmup_us = self.cfg.warmup_ms * 1_000;
-        let mut window_samples: Vec<u64> = Vec::new();
-        let mut all_samples: Vec<u64> = Vec::new();
+        let mut window_hist = Histogram::new();
+        let mut all_hist = Histogram::new();
         let mut steady_completed: u64 = 0;
         let mut windows: Vec<Window> = Vec::new();
         let mut window_start: u64 = 0;
@@ -340,12 +341,12 @@ impl Simulation {
                 windows.push(Window {
                     start_ms: window_start / 1_000,
                     completed: window_completed,
-                    read_latency: LatencySummary::from_samples(&mut window_samples),
+                    read_latency: LatencySummary::from_histogram(&window_hist),
                 });
                 if window_start >= warmup_us {
-                    all_samples.append(&mut window_samples);
+                    all_hist.merge(&window_hist);
                 }
-                window_samples = Vec::new();
+                window_hist = Histogram::new();
                 window_completed = 0;
                 window_start += self.cfg.window_ms * 1_000;
             }
@@ -431,10 +432,7 @@ impl Simulation {
                         steady_completed += ops as u64;
                     }
                     if is_read {
-                        let lat = t - issued_at;
-                        for _ in 0..ops {
-                            window_samples.push(lat);
-                        }
+                        window_hist.record_n(t - issued_at, ops as u64);
                     }
                     if reissue {
                         self.queue.schedule(t, Event::Issue { slot });
@@ -449,14 +447,14 @@ impl Simulation {
         }
 
         // Flush the trailing window.
-        if window_completed > 0 || !window_samples.is_empty() {
+        if window_completed > 0 || !window_hist.is_empty() {
             windows.push(Window {
                 start_ms: window_start / 1_000,
                 completed: window_completed,
-                read_latency: LatencySummary::from_samples(&mut window_samples),
+                read_latency: LatencySummary::from_histogram(&window_hist),
             });
             if window_start >= warmup_us {
-                all_samples.append(&mut window_samples);
+                all_hist.merge(&window_hist);
             }
         }
         let mut events = (0, 0, 0);
@@ -468,7 +466,7 @@ impl Simulation {
             }
         }
         SimReport {
-            overall: LatencySummary::from_samples(&mut all_samples),
+            overall: LatencySummary::from_histogram(&all_hist),
             windows,
             completed: if warmup_us > 0 {
                 steady_completed
@@ -601,6 +599,7 @@ impl Simulation {
                         .collect(),
                     load_capacity: self.cfg.worker_capacity_qps,
                     mem_capacity: u64::MAX / 4,
+                    metrics: Default::default(),
                 }
             })
             .collect()

@@ -37,6 +37,21 @@ pub struct ReplicaStats {
     pub retired: u64,
 }
 
+impl ReplicaStats {
+    /// Returns the difference `self - earlier` for the cumulative
+    /// counters (for epoch deltas). Subtraction saturates at zero, so a
+    /// counter reset between snapshots yields zeros, not underflow.
+    /// `len` is a point-in-time gauge and is taken from `self`.
+    pub fn delta(&self, earlier: &ReplicaStats) -> ReplicaStats {
+        ReplicaStats {
+            len: self.len,
+            hits: self.hits.saturating_sub(earlier.hits),
+            misses: self.misses.saturating_sub(earlier.misses),
+            retired: self.retired.saturating_sub(earlier.retired),
+        }
+    }
+}
+
 impl ReplicaTable {
     /// Creates an empty table.
     pub fn new() -> Self {
@@ -161,6 +176,27 @@ mod tests {
         let s = r.stats();
         assert_eq!(s.retired, 1);
         assert_eq!(s.len, 0);
+    }
+
+    #[test]
+    fn stats_delta_saturates() {
+        let early = ReplicaStats {
+            len: 5,
+            hits: 10,
+            misses: 4,
+            retired: 2,
+        };
+        let late = ReplicaStats {
+            len: 3,
+            hits: 15,
+            misses: 1, // reset between snapshots
+            retired: 2,
+        };
+        let d = late.delta(&early);
+        assert_eq!(d.len, 3, "len is a gauge, taken from self");
+        assert_eq!(d.hits, 5);
+        assert_eq!(d.misses, 0, "saturates instead of underflowing");
+        assert_eq!(d.retired, 0);
     }
 
     #[test]

@@ -53,17 +53,17 @@ impl AccessStats {
 
     /// Returns the difference `self - earlier` (for epoch deltas).
     ///
-    /// # Panics
-    ///
-    /// Panics in debug builds if `earlier` is not a prefix of `self`.
+    /// Subtraction saturates at zero: if a counter was reset between
+    /// the two snapshots (worker restart, `stats reset`), the delta is
+    /// zero for that field rather than an underflow.
     pub fn delta(&self, earlier: &AccessStats) -> AccessStats {
         AccessStats {
-            reads: self.reads - earlier.reads,
-            writes: self.writes - earlier.writes,
-            hits: self.hits - earlier.hits,
-            misses: self.misses - earlier.misses,
-            bytes_in: self.bytes_in - earlier.bytes_in,
-            bytes_out: self.bytes_out - earlier.bytes_out,
+            reads: self.reads.saturating_sub(earlier.reads),
+            writes: self.writes.saturating_sub(earlier.writes),
+            hits: self.hits.saturating_sub(earlier.hits),
+            misses: self.misses.saturating_sub(earlier.misses),
+            bytes_in: self.bytes_in.saturating_sub(earlier.bytes_in),
+            bytes_out: self.bytes_out.saturating_sub(earlier.bytes_out),
         }
     }
 }
@@ -215,6 +215,27 @@ mod tests {
         let d = late.delta(&early);
         assert_eq!(d.reads, 15);
         assert_eq!(d.writes, 5);
+    }
+
+    #[test]
+    fn delta_saturates_after_counter_reset() {
+        // A worker restart (or `stats reset`) makes `self` smaller than
+        // `earlier`; the delta must clamp to zero, not underflow.
+        let early = AccessStats {
+            reads: 100,
+            writes: 50,
+            hits: 90,
+            ..Default::default()
+        };
+        let after_reset = AccessStats {
+            reads: 3,
+            writes: 60,
+            ..Default::default()
+        };
+        let d = after_reset.delta(&early);
+        assert_eq!(d.reads, 0);
+        assert_eq!(d.writes, 10);
+        assert_eq!(d.hits, 0);
     }
 
     #[test]

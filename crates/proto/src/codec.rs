@@ -327,7 +327,11 @@ pub fn encode_request(req: &Request, opaque: u32) -> Result<Vec<u8>, CodecError>
         Request::ReplicaInvalidate { key } => {
             simple_request(Opcode::ReplicaInvalidate, 0, key, &[], opaque, 0)
         }
-        Request::Stats => simple_request(Opcode::Stats, 0, &[], &[], opaque, 0),
+        Request::Stats { reset } => {
+            // The reset flag rides in the cas field, like Concat's
+            // front flag.
+            simple_request(Opcode::Stats, 0, &[], &[], opaque, u64::from(*reset))
+        }
         Request::Heartbeat { version } => {
             simple_request(Opcode::Heartbeat, 0, &[], &[], opaque, *version)
         }
@@ -444,7 +448,7 @@ pub fn decode_request(frame: &[u8]) -> Result<(Request, u32), CodecError> {
         },
         Opcode::ReplicaUpdate => Request::ReplicaUpdate { key, value },
         Opcode::ReplicaInvalidate => Request::ReplicaInvalidate { key },
-        Opcode::Stats => Request::Stats,
+        Opcode::Stats => Request::Stats { reset: h.cas == 1 },
         Opcode::Heartbeat => Request::Heartbeat { version: h.cas },
         Opcode::MigrateCommit => Request::MigrateCommit { cachelet },
         Opcode::Batch => {
@@ -776,7 +780,7 @@ pub fn opcode_of(req: &Request) -> Opcode {
         Request::ReplicaInvalidate { .. } => Opcode::ReplicaInvalidate,
         Request::MigrateEntries { .. } => Opcode::MigrateEntries,
         Request::MigrateCommit { .. } => Opcode::MigrateCommit,
-        Request::Stats => Opcode::Stats,
+        Request::Stats { .. } => Opcode::Stats,
         Request::Heartbeat { .. } => Opcode::Heartbeat,
     }
 }
@@ -847,7 +851,8 @@ mod tests {
         roundtrip_req(Request::MigrateCommit {
             cachelet: CacheletId(5),
         });
-        roundtrip_req(Request::Stats);
+        roundtrip_req(Request::Stats { reset: false });
+        roundtrip_req(Request::Stats { reset: true });
         roundtrip_req(Request::Heartbeat { version: 77 });
         roundtrip_req(Request::Add {
             cachelet: CacheletId(2),
@@ -1019,7 +1024,7 @@ mod tests {
                 key: b"n".to_vec(),
                 delta: -4,
             },
-            Request::Stats,
+            Request::Stats { reset: false },
         ];
         let frame = encode_batch_request(&reqs).expect("encode");
         assert_eq!(frame_len(&frame), Some(frame.len()));
@@ -1040,7 +1045,7 @@ mod tests {
 
     #[test]
     fn batch_frames_are_rejected_by_the_single_decoders() {
-        let frame = encode_batch_request(&[Request::Stats]).expect("encode");
+        let frame = encode_batch_request(&[Request::Stats { reset: false }]).expect("encode");
         assert!(matches!(
             decode_request(&frame),
             Err(CodecError::Malformed(_))
@@ -1056,7 +1061,7 @@ mod tests {
 
     #[test]
     fn malformed_batch_bodies_error() {
-        let good = encode_batch_request(&[Request::Stats]).expect("encode");
+        let good = encode_batch_request(&[Request::Stats { reset: false }]).expect("encode");
         // Claim three sub-frames but carry one.
         let mut short = good.clone();
         short[HEADER_LEN + 3] = 3;
@@ -1074,7 +1079,7 @@ mod tests {
             Err(CodecError::Malformed(_))
         ));
         // Wrong opcode for the batch decoder.
-        let single = encode_request(&Request::Stats, 0).expect("encode");
+        let single = encode_request(&Request::Stats { reset: false }, 0).expect("encode");
         assert!(matches!(
             decode_batch_request(&single),
             Err(CodecError::BadOpcode(_))
@@ -1083,7 +1088,7 @@ mod tests {
 
     #[test]
     fn opcode_of_covers_all_requests() {
-        assert_eq!(opcode_of(&Request::Stats), Opcode::Stats);
+        assert_eq!(opcode_of(&Request::Stats { reset: true }), Opcode::Stats);
         assert_eq!(
             opcode_of(&Request::Heartbeat { version: 0 }),
             Opcode::Heartbeat

@@ -174,8 +174,14 @@ pub enum Request {
         /// The transferred cachelet.
         cachelet: CacheletId,
     },
-    /// Fetch worker statistics (used by the coordinator's stats poller).
-    Stats,
+    /// Fetch worker statistics (used by the coordinator's stats poller
+    /// and the client's `stats` call). The memcached `stats` analog;
+    /// with `reset`, counters and latency histograms are zeroed after
+    /// the snapshot is taken (`stats reset`).
+    Stats {
+        /// Zero counters and histograms after snapshotting.
+        reset: bool,
+    },
     /// Liveness/config probe; `version` is the client's mapping version.
     /// The response carries mapping deltas the client is missing.
     Heartbeat {
@@ -317,7 +323,7 @@ mod tests {
             expiry_ms: 0,
         };
         assert!(!w.is_read());
-        assert!(Request::Stats.key().is_none());
+        assert!(Request::Stats { reset: false }.key().is_none());
     }
 
     #[test]

@@ -70,7 +70,7 @@ fn request_strategy() -> impl Strategy<Value = Request> {
                 entries
             }),
         cachelet_strategy().prop_map(|c| Request::MigrateCommit { cachelet: c }),
-        Just(Request::Stats),
+        any::<bool>().prop_map(|reset| Request::Stats { reset }),
         any::<u64>().prop_map(|v| Request::Heartbeat { version: v }),
         (
             cachelet_strategy(),
@@ -176,7 +176,10 @@ fn response_strategy() -> impl Strategy<Value = (Response, Request)> {
                 key: k
             },
         )),
-        value_strategy().prop_map(|p| (Response::StatsBlob { payload: p }, Request::Stats)),
+        value_strategy().prop_map(|p| (
+            Response::StatsBlob { payload: p },
+            Request::Stats { reset: false }
+        )),
         (any::<u64>(), key_strategy()).prop_map(|(v, k)| (
             Response::Counter { value: v },
             Request::Incr {

@@ -8,7 +8,12 @@
 //!
 //! ```text
 //! mbal-server [--workers N] [--port BASE] [--mem MB] [--cachelets N] [--epoch-ms MS]
+//!             [--metrics-port P]
 //! ```
+//!
+//! `--metrics-port` (0 = disabled, the default) additionally serves the
+//! per-worker counters and latency histograms in Prometheus text format
+//! on `0.0.0.0:P` — scrape with `curl http://host:P/metrics`.
 
 use mbal_balancer::coordinator::Coordinator;
 use mbal_balancer::BalancerConfig;
@@ -34,6 +39,7 @@ fn main() {
     let mem_mb: usize = arg("--mem", 512);
     let cachelets: usize = arg("--cachelets", 16);
     let epoch_ms: u64 = arg("--epoch-ms", 1_000);
+    let metrics_port: u16 = arg("--metrics-port", 0);
 
     let mut ring = ConsistentRing::new();
     for w in 0..workers {
@@ -71,6 +77,15 @@ fn main() {
     println!("ready (Ctrl-C to stop)");
 
     let server = Arc::new(parking_lot::Mutex::new(server));
+    if metrics_port != 0 {
+        let for_metrics = Arc::clone(&server);
+        match mbal_server::serve_metrics_http("0.0.0.0", metrics_port, move || {
+            for_metrics.lock().stats_reports()
+        }) {
+            Ok((addr, _handle)) => println!("  metrics (Prometheus text) on http://{addr}/metrics"),
+            Err(e) => eprintln!("mbal-server: metrics endpoint failed to bind: {e}"),
+        }
+    }
     let _balance = Server::start_balance_thread(Arc::clone(&server));
     loop {
         std::thread::sleep(std::time::Duration::from_secs(3600));

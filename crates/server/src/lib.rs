@@ -24,12 +24,15 @@
 //! - [`server`] — [`server::Server`]: spawns workers, runs the balance
 //!   epoch loop, executes Phase 1/2/3 actions, and performs coordinated
 //!   per-bucket migration with the coordinator.
+//! - [`metrics_http`] — the optional plaintext (Prometheus text format)
+//!   metrics exposition endpoint.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod config;
 pub mod messages;
+pub mod metrics_http;
 pub mod server;
 pub mod tcp;
 pub mod transport;
@@ -37,5 +40,6 @@ pub mod unit;
 pub mod worker;
 
 pub use config::ServerConfig;
+pub use metrics_http::serve_metrics_http;
 pub use server::Server;
 pub use transport::{InProcRegistry, Transport, TransportError};

@@ -110,19 +110,15 @@ pub enum Control {
     Shutdown,
 }
 
-/// A worker's end-of-epoch report.
+/// A worker's end-of-epoch report. Cumulative counters (ops, hits,
+/// latency histograms, …) live in `load.metrics`, the worker's
+/// telemetry snapshot — the same type served over the `Stats` RPC.
 #[derive(Debug, Clone)]
 pub struct EpochReport {
-    /// Balancer-facing load snapshot.
+    /// Balancer-facing load snapshot, including the metrics snapshot.
     pub load: WorkerLoad,
     /// Hot keys observed this epoch.
     pub hot_keys: Vec<HotKey>,
     /// Replica-table size in bytes (Table 2's duplicate-space cost).
     pub replica_bytes: usize,
-    /// Total operations served so far (cumulative).
-    pub ops: u64,
-    /// Cache hits so far (cumulative).
-    pub hits: u64,
-    /// GET requests so far (cumulative).
-    pub reads: u64,
 }

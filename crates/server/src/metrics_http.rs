@@ -1,0 +1,89 @@
+//! Optional plaintext metrics exposition endpoint.
+//!
+//! A tiny single-threaded HTTP responder serving the Prometheus text
+//! exposition format (version 0.0.4): every request, regardless of
+//! path, is answered with the current per-worker [`StatsReport`]s
+//! rendered by [`mbal_telemetry::render_prometheus`]. This is a
+//! monitoring sidecar, not a web server — one connection at a time,
+//! `Connection: close`, no keep-alive, no TLS.
+
+use mbal_telemetry::{render_prometheus, StatsReport};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener};
+use std::thread::JoinHandle;
+
+/// Starts the exposition endpoint on `host:port` (port 0 picks a free
+/// port). `reports` is called once per scrape to collect the current
+/// per-worker stats. Returns the bound address and the serving thread's
+/// handle; the thread runs until the process exits.
+pub fn serve_metrics_http<F>(
+    host: &str,
+    port: u16,
+    reports: F,
+) -> std::io::Result<(SocketAddr, JoinHandle<()>)>
+where
+    F: Fn() -> Vec<StatsReport> + Send + 'static,
+{
+    let listener = TcpListener::bind((host, port))?;
+    let addr = listener.local_addr()?;
+    let handle = std::thread::Builder::new()
+        .name(format!("mbal-metrics-{}", addr.port()))
+        .spawn(move || {
+            for stream in listener.incoming() {
+                let Ok(mut stream) = stream else { continue };
+                // Drain whatever request the scraper sent; the reply is
+                // the same for every path.
+                let mut buf = [0u8; 1024];
+                let _ = stream.read(&mut buf);
+                let body = render_prometheus(&reports());
+                let response = format!(
+                    "HTTP/1.1 200 OK\r\n\
+                     Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
+                     Content-Length: {}\r\n\
+                     Connection: close\r\n\
+                     \r\n\
+                     {}",
+                    body.len(),
+                    body
+                );
+                let _ = stream.write_all(response.as_bytes());
+            }
+        })
+        .expect("spawn metrics endpoint thread");
+    Ok((addr, handle))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbal_telemetry::{MetricsShard, WorkerSnapshot};
+    use mbal_core::types::WorkerAddr;
+    use std::net::TcpStream;
+
+    #[test]
+    fn scrape_returns_prometheus_text() {
+        let (addr, _handle) = serve_metrics_http("127.0.0.1", 0, || {
+            let shard = MetricsShard::new();
+            shard.record_read_us(100);
+            vec![StatsReport::from_snapshot(WorkerSnapshot {
+                addr: WorkerAddr::new(0, 0),
+                cachelets: vec![],
+                load_capacity: 100.0,
+                mem_capacity: 1 << 20,
+                metrics: shard.snapshot(),
+            })]
+        })
+        .expect("bind");
+
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .write_all(b"GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n")
+            .expect("request");
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("response");
+        assert!(response.starts_with("HTTP/1.1 200 OK"));
+        assert!(response.contains("text/plain; version=0.0.4"));
+        assert!(response.contains("mbal_ops_total{server=\"0\",worker=\"0\"} 0"));
+        assert!(response.contains("mbal_read_latency_us_count{server=\"0\",worker=\"0\"} 1"));
+    }
+}

@@ -33,6 +33,7 @@ use mbal_core::mem::GlobalPool;
 use mbal_core::types::{CacheletId, ServerId, WorkerAddr, WorkerId};
 use mbal_proto::{Request, Response};
 use mbal_ring::MappingTable;
+use mbal_telemetry::{Counter, MetricsRegistry, MetricsSnapshot, StatsReport};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -57,6 +58,8 @@ pub struct Server {
     replica_locations: HashMap<Vec<u8>, Vec<WorkerAddr>>,
     /// Cached cluster worker list for shadow selection.
     cluster_workers: Vec<WorkerAddr>,
+    /// Per-worker metrics shards; workers hold `Arc` clones.
+    metrics: Arc<MetricsRegistry>,
     stop: Arc<AtomicBool>,
 }
 
@@ -77,6 +80,7 @@ impl Server {
             cfg.mem.chunk_size,
             cfg.mem.numa_domains,
         ));
+        let metrics = Arc::new(MetricsRegistry::new(cfg.workers as usize));
         let mut workers = Vec::new();
         let mut handles = Vec::new();
         for w in 0..cfg.workers {
@@ -101,6 +105,7 @@ impl Server {
                 load_capacity: cfg.worker_load_capacity,
                 mem_capacity: cfg.worker_mem_capacity(),
                 sync_replication: cfg.sync_replication,
+                metrics: metrics.shard(w as usize),
                 unit_factory: Box::new(move |id| {
                     CacheUnit::new(id, Arc::clone(&factory_pool), &factory_mem, numa)
                 }),
@@ -122,6 +127,7 @@ impl Server {
             driver,
             leases: HashMap::new(),
             replica_locations: HashMap::new(),
+            metrics,
             stop: Arc::new(AtomicBool::new(false)),
         };
         server.seed_cachelets(mapping, &global);
@@ -218,16 +224,41 @@ impl Server {
             .collect()
     }
 
+    /// The server's metrics registry (one shard per worker).
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.metrics
+    }
+
+    /// Aggregated metrics snapshot across every worker shard. Reads the
+    /// registry directly — no worker round-trip, safe on the hot path.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.metrics.snapshot()
+    }
+
     /// Aggregated worker statistics (ops, hits, reads) for experiments.
     pub fn totals(&self) -> (u64, u64, u64) {
-        let reports = self.collect_reports(0.0);
-        let mut t = (0, 0, 0);
-        for r in &reports {
-            t.0 += r.ops;
-            t.1 += r.hits;
-            t.2 += r.reads;
-        }
-        t
+        let s = self.metrics.snapshot();
+        (
+            s.get(Counter::Ops),
+            s.get(Counter::GetHits),
+            s.get(Counter::Gets),
+        )
+    }
+
+    /// Per-worker [`StatsReport`]s, as a monitoring scrape would see
+    /// them: one `Stats` RPC to each worker, so gauges are refreshed and
+    /// percentiles extracted by the worker itself.
+    pub fn stats_reports(&self) -> Vec<StatsReport> {
+        (0..self.cfg.workers)
+            .filter_map(|w| {
+                match self.local_call(WorkerId(w), Request::Stats { reset: false }) {
+                    Some(Response::StatsBlob { payload }) => {
+                        serde_json::from_slice(&payload).ok()
+                    }
+                    _ => None,
+                }
+            })
+            .collect()
     }
 
     /// Runs one balance epoch. Returns the phase in force.

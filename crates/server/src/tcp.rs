@@ -651,7 +651,7 @@ mod tests {
     fn unknown_route_is_unreachable() {
         let transport = TcpTransport::new(HashMap::new());
         assert!(matches!(
-            transport.call(WorkerAddr::new(5, 5), Request::Stats),
+            transport.call(WorkerAddr::new(5, 5), Request::Stats { reset: false }),
             Err(TransportError::Unreachable(_))
         ));
     }
@@ -809,7 +809,11 @@ mod tests {
         });
         let worker = WorkerAddr::new(0, 0);
         let transport = TcpTransport::new([(worker, sock)].into_iter().collect());
-        let out = transport.call_with_deadline(worker, Request::Stats, Duration::from_millis(50));
+        let out = transport.call_with_deadline(
+            worker,
+            Request::Stats { reset: false },
+            Duration::from_millis(50),
+        );
         assert_eq!(out, Err(TransportError::Timeout(worker)));
     }
 }

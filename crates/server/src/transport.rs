@@ -235,7 +235,7 @@ mod tests {
                         value: key,
                         replicas: vec![],
                     },
-                    Request::Stats => Response::StatsBlob {
+                    Request::Stats { .. } => Response::StatsBlob {
                         payload: b"{}".to_vec(),
                     },
                     _ => Response::Fail {
@@ -323,7 +323,7 @@ mod tests {
     #[test]
     fn call_many_to_unknown_worker_fails_every_op() {
         let reg = InProcRegistry::new();
-        let reqs: Vec<Request> = (0..3).map(|_| Request::Stats).collect();
+        let reqs: Vec<Request> = (0..3).map(|_| Request::Stats { reset: false }).collect();
         let out = reg.call_many(WorkerAddr::new(9, 9), reqs, DEFAULT_DEADLINE);
         assert_eq!(out.len(), 3);
         for r in out {
@@ -336,7 +336,7 @@ mod tests {
         let reg = InProcRegistry::new();
         let (tx, _rx) = crossbeam_channel::unbounded();
         reg.register(WorkerAddr::new(0, 2), tx);
-        let reqs: Vec<Request> = (0..2).map(|_| Request::Stats).collect();
+        let reqs: Vec<Request> = (0..2).map(|_| Request::Stats { reset: false }).collect();
         let out = reg.call_many(WorkerAddr::new(0, 2), reqs, Duration::from_millis(20));
         assert_eq!(out.len(), 2);
         for r in out {
@@ -348,7 +348,7 @@ mod tests {
     fn unknown_worker_is_unreachable() {
         let reg = InProcRegistry::new();
         assert_eq!(
-            reg.call(WorkerAddr::new(9, 9), Request::Stats),
+            reg.call(WorkerAddr::new(9, 9), Request::Stats { reset: false }),
             Err(TransportError::Unreachable(WorkerAddr::new(9, 9)))
         );
     }
@@ -362,7 +362,7 @@ mod tests {
         reg.deregister(WorkerAddr::new(0, 1));
         assert!(reg.is_empty());
         assert!(matches!(
-            reg.call(WorkerAddr::new(0, 1), Request::Stats),
+            reg.call(WorkerAddr::new(0, 1), Request::Stats { reset: false }),
             Err(TransportError::Unreachable(_))
         ));
     }

@@ -11,6 +11,11 @@
 //!   `Moved` ("on-the-way routing");
 //! - the proportional-sampling hot-key tracker;
 //! - Write-Invalidate migration state per §3.4.
+//!
+//! Every RPC is counted and timed into the worker's [`MetricsShard`]
+//! (relaxed atomics into a dedicated cache-line-aligned block, so the
+//! fast path stays contention-free), and `Request::Stats` serves the
+//! accumulated [`StatsReport`] back over the wire.
 
 use crate::messages::{Control, EpochReport, WorkerMsg};
 use crate::transport::Transport;
@@ -22,6 +27,7 @@ use mbal_core::hotkey::{HotKey, HotKeyConfig, HotKeyTracker};
 use mbal_core::replica::ReplicaTable;
 use mbal_core::types::{CacheError, CacheletId, WorkerAddr};
 use mbal_proto::{Request, Response, Status};
+use mbal_telemetry::{Counter, Gauge, MetricsShard, StatsReport};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -43,6 +49,9 @@ pub struct WorkerContext {
     pub mem_capacity: u64,
     /// Synchronous (vs asynchronous) replica update propagation.
     pub sync_replication: bool,
+    /// This worker's metrics shard (one per worker in the server's
+    /// registry; the worker is the only writer).
+    pub metrics: Arc<MetricsShard>,
     /// Factory for units adopted on the destination side of coordinated
     /// migration (needs the server's global pool).
     pub unit_factory: Box<dyn FnMut(CacheletId) -> CacheUnit + Send>,
@@ -56,9 +65,6 @@ pub struct Worker {
     replica_table: ReplicaTable,
     replicated: HashMap<Vec<u8>, Vec<WorkerAddr>>,
     tracker: HotKeyTracker,
-    ops: u64,
-    hits: u64,
-    reads: u64,
 }
 
 impl Worker {
@@ -72,9 +78,6 @@ impl Worker {
             replica_table: ReplicaTable::new(),
             replicated: HashMap::new(),
             tracker,
-            ops: 0,
-            hits: 0,
-            reads: 0,
         }
     }
 
@@ -87,6 +90,7 @@ impl Worker {
                     let _ = reply.send(resp);
                 }
                 Ok(WorkerMsg::RpcBatch { reqs, reply }) => {
+                    self.ctx.metrics.incr(Counter::BatchRpcs);
                     let resps = reqs.into_iter().map(|r| self.handle_rpc(r)).collect();
                     let _ = reply.send(resps);
                 }
@@ -104,10 +108,39 @@ impl Worker {
         self.ctx.clock.now_millis()
     }
 
+    /// Serves one RPC: answers `Stats` directly, otherwise dispatches
+    /// the request with latency timing and outcome counting around it.
     fn handle_rpc(&mut self, req: Request) -> Response {
+        if let Request::Stats { reset } = req {
+            return self.do_stats(reset);
+        }
+        let is_read = req.is_read();
+        let start = self.ctx.clock.now_micros();
+        let resp = self.dispatch(req);
+        let elapsed = self.ctx.clock.now_micros().saturating_sub(start);
+        let m = &self.ctx.metrics;
+        if is_read {
+            m.record_read_us(elapsed);
+        } else {
+            m.record_write_us(elapsed);
+        }
+        match &resp {
+            Response::Moved { .. } => m.incr(Counter::MovedRedirects),
+            Response::Fail { status, .. } => m.incr(match status {
+                Status::NotOwner => Counter::NotOwnerErrors,
+                Status::OutOfMemory => Counter::OomErrors,
+                _ => Counter::OtherErrors,
+            }),
+            _ => {}
+        }
+        resp
+    }
+
+    fn dispatch(&mut self, req: Request) -> Response {
         match req {
             Request::Get { cachelet, key } => self.do_get(cachelet, &key),
             Request::MultiGet { keys } => {
+                self.ctx.metrics.incr(Counter::MultiGets);
                 let values = keys
                     .into_iter()
                     .map(|(c, k)| match self.do_get(c, &k) {
@@ -153,12 +186,16 @@ impl Worker {
                 expiry_ms,
             } => self.do_touch(cachelet, key, expiry_ms),
             Request::ReplicaRead { key } => {
+                self.ctx.metrics.incr(Counter::ReplicaReads);
                 let now = self.now_ms();
                 match self.replica_table.get(&key, now) {
-                    Some(v) => Response::Value {
-                        value: v.to_vec(),
-                        replicas: vec![],
-                    },
+                    Some(v) => {
+                        self.ctx.metrics.incr(Counter::ReplicaReadHits);
+                        Response::Value {
+                            value: v.to_vec(),
+                            replicas: vec![],
+                        }
+                    }
                     None => Response::NotFound,
                 }
             }
@@ -167,10 +204,12 @@ impl Worker {
                 value,
                 lease_expiry_ms,
             } => {
+                self.ctx.metrics.incr(Counter::ReplicaInstalls);
                 self.replica_table.install(&key, value, lease_expiry_ms);
                 Response::Stored
             }
             Request::ReplicaUpdate { key, value } => {
+                self.ctx.metrics.incr(Counter::ReplicaUpdates);
                 if self.replica_table.update(&key, value) {
                     Response::Stored
                 } else {
@@ -178,10 +217,14 @@ impl Worker {
                 }
             }
             Request::ReplicaInvalidate { key } => {
+                self.ctx.metrics.incr(Counter::ReplicaInvalidates);
                 self.replica_table.invalidate(&key);
                 Response::Deleted
             }
             Request::MigrateEntries { cachelet, entries } => {
+                self.ctx
+                    .metrics
+                    .add(Counter::MigrateEntriesIn, entries.len() as u64);
                 let now = self.now_ms();
                 let unit = self.units.entry(cachelet).or_insert_with(|| {
                     let mut u = Box::new((self.ctx.unit_factory)(cachelet));
@@ -192,6 +235,7 @@ impl Worker {
                 Response::MigrateAck
             }
             Request::MigrateCommit { cachelet } => {
+                self.ctx.metrics.incr(Counter::MigrateCommits);
                 // An empty cachelet migrates with zero MigrateEntries
                 // batches, so the commit must materialize it here.
                 let unit = self.units.entry(cachelet).or_insert_with(|| {
@@ -203,11 +247,7 @@ impl Worker {
                 self.forwards.remove(&cachelet);
                 Response::MigrateAck
             }
-            Request::Stats => {
-                let report = self.epoch_snapshot(0.0, false);
-                let payload = serde_json::to_vec(&report.load).unwrap_or_default();
-                Response::StatsBlob { payload }
-            }
+            Request::Stats { .. } => unreachable!("Stats is answered in handle_rpc"),
             Request::Heartbeat { .. } => Response::Fail {
                 status: Status::Error,
                 message: "heartbeats are served by the coordinator".into(),
@@ -216,8 +256,8 @@ impl Worker {
     }
 
     fn do_get(&mut self, cachelet: CacheletId, key: &[u8]) -> Response {
-        self.ops += 1;
-        self.reads += 1;
+        self.ctx.metrics.incr(Counter::Ops);
+        self.ctx.metrics.incr(Counter::Gets);
         let now = self.now_ms();
         let Some(unit) = self.units.get_mut(&cachelet) else {
             return self.not_owner(cachelet);
@@ -232,11 +272,15 @@ impl Worker {
         self.tracker.record(key, true);
         match unit.get(key, now) {
             Some(value) => {
-                self.hits += 1;
+                self.ctx.metrics.incr(Counter::GetHits);
+                self.ctx.metrics.add(Counter::BytesOut, value.len() as u64);
                 let replicas = self.replicated.get(key).cloned().unwrap_or_default();
                 Response::Value { value, replicas }
             }
-            None => Response::NotFound,
+            None => {
+                self.ctx.metrics.incr(Counter::GetMisses);
+                Response::NotFound
+            }
         }
     }
 
@@ -247,7 +291,9 @@ impl Worker {
         value: Vec<u8>,
         expiry_ms: u64,
     ) -> Response {
-        self.ops += 1;
+        self.ctx.metrics.incr(Counter::Ops);
+        self.ctx.metrics.incr(Counter::Sets);
+        self.ctx.metrics.add(Counter::BytesIn, value.len() as u64);
         let now = self.now_ms();
         let Some(unit) = self.units.get_mut(&cachelet) else {
             return self.not_owner(cachelet);
@@ -287,7 +333,7 @@ impl Worker {
     /// Write-Invalidate redirect for keys whose bucket already migrated.
     /// Returns `Err(response)` when the op cannot proceed locally.
     fn write_preamble(&mut self, cachelet: CacheletId, key: &[u8]) -> Result<(), Response> {
-        self.ops += 1;
+        self.ctx.metrics.incr(Counter::Ops);
         let Some(unit) = self.units.get_mut(&cachelet) else {
             return Err(self.not_owner(cachelet));
         };
@@ -318,6 +364,7 @@ impl Worker {
         expiry_ms: u64,
         add: bool,
     ) -> Response {
+        self.ctx.metrics.incr(Counter::CondStores);
         if let Err(resp) = self.write_preamble(cachelet, &key) {
             return resp;
         }
@@ -361,6 +408,7 @@ impl Worker {
         value: Vec<u8>,
         front: bool,
     ) -> Response {
+        self.ctx.metrics.incr(Counter::Concats);
         if let Err(resp) = self.write_preamble(cachelet, &key) {
             return resp;
         }
@@ -388,6 +436,7 @@ impl Worker {
     }
 
     fn do_incr(&mut self, cachelet: CacheletId, key: Vec<u8>, delta: i64) -> Response {
+        self.ctx.metrics.incr(Counter::Incrs);
         if let Err(resp) = self.write_preamble(cachelet, &key) {
             return resp;
         }
@@ -411,6 +460,7 @@ impl Worker {
     }
 
     fn do_touch(&mut self, cachelet: CacheletId, key: Vec<u8>, expiry_ms: u64) -> Response {
+        self.ctx.metrics.incr(Counter::Touches);
         if let Err(resp) = self.write_preamble(cachelet, &key) {
             return resp;
         }
@@ -424,7 +474,8 @@ impl Worker {
     }
 
     fn do_delete(&mut self, cachelet: CacheletId, key: &[u8]) -> Response {
-        self.ops += 1;
+        self.ctx.metrics.incr(Counter::Ops);
+        self.ctx.metrics.incr(Counter::Deletes);
         let Some(unit) = self.units.get_mut(&cachelet) else {
             return self.not_owner(cachelet);
         };
@@ -557,6 +608,42 @@ impl Worker {
         true
     }
 
+    /// Answers a `Stats` RPC: snapshot first, then (optionally) zero
+    /// the counters and histograms, so the reply reflects everything up
+    /// to and including this request.
+    fn do_stats(&mut self, reset: bool) -> Response {
+        self.ctx.metrics.incr(Counter::StatsRequests);
+        let report = StatsReport::from_snapshot(self.load_snapshot());
+        if reset {
+            self.ctx.metrics.reset();
+        }
+        let payload = serde_json::to_vec(&report).unwrap_or_default();
+        Response::StatsBlob { payload }
+    }
+
+    /// Refreshes the state gauges and captures the worker's full load
+    /// descriptor (cachelet loads + metrics snapshot). Shared by the
+    /// epoch report and the `Stats` RPC, so the balancer driver and the
+    /// wire surface consume the same snapshot type.
+    fn load_snapshot(&mut self) -> WorkerLoad {
+        let m = &self.ctx.metrics;
+        let rstats = self.replica_table.stats();
+        m.set_gauge(Gauge::CacheletsOwned, self.units.len() as u64);
+        m.set_gauge(Gauge::ForwardedCachelets, self.forwards.len() as u64);
+        m.set_gauge(Gauge::ReplicaTableLen, rstats.len as u64);
+        m.set_gauge(Gauge::ReplicaBytes, self.replica_table.bytes() as u64);
+        m.set_gauge(Gauge::ReplicatedKeys, self.replicated.len() as u64);
+        let cachelets: Vec<_> = self.units.values().map(|u| u.load_record()).collect();
+        m.set_gauge(Gauge::MemBytes, cachelets.iter().map(|c| c.mem_bytes).sum());
+        WorkerLoad {
+            addr: self.ctx.addr,
+            cachelets,
+            load_capacity: self.ctx.load_capacity,
+            mem_capacity: self.ctx.mem_capacity,
+            metrics: m.snapshot(),
+        }
+    }
+
     /// Builds the end-of-epoch report; when `close` is set, rolls the
     /// epoch (EWMA update, tracker decay, replica-lease sweep).
     fn epoch_snapshot(&mut self, epoch_secs: f64, close: bool) -> EpochReport {
@@ -575,17 +662,9 @@ impl Worker {
             }
         }
         EpochReport {
-            load: WorkerLoad {
-                addr: self.ctx.addr,
-                cachelets: self.units.values().map(|u| u.load_record()).collect(),
-                load_capacity: self.ctx.load_capacity,
-                mem_capacity: self.ctx.mem_capacity,
-            },
+            load: self.load_snapshot(),
             hot_keys: hot,
             replica_bytes: self.replica_table.bytes(),
-            ops: self.ops,
-            hits: self.hits,
-            reads: self.reads,
         }
     }
 }

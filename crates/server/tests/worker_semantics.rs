@@ -12,6 +12,7 @@ use mbal_server::messages::{Control, EpochReport, WorkerMsg};
 use mbal_server::transport::InProcRegistry;
 use mbal_server::unit::CacheUnit;
 use mbal_server::worker::{spawn_worker, WorkerContext};
+use mbal_telemetry::{Counter, MetricsShard, StatsReport};
 use std::sync::Arc;
 
 struct Fixture {
@@ -46,6 +47,7 @@ fn fixture(addr: WorkerAddr, cachelets: &[u32]) -> Fixture {
         load_capacity: 10_000.0,
         mem_capacity: 16 << 20,
         sync_replication: true,
+        metrics: Arc::new(MetricsShard::new()),
         unit_factory: Box::new(move |id| {
             CacheUnit::new(id, Arc::clone(&factory_global), &factory_mem, 0)
         }),
@@ -280,6 +282,7 @@ fn writes_propagate_to_shadow_synchronously() {
         load_capacity: 10_000.0,
         mem_capacity: 4 << 20,
         sync_replication: true,
+        metrics: Arc::new(MetricsShard::new()),
         unit_factory: Box::new(move |id| CacheUnit::new(id, Arc::clone(&global), &mem, 0)),
     };
     let _join = spawn_worker(ctx);
@@ -399,9 +402,9 @@ fn epoch_report_counts_and_backoff() {
     let report = f.epoch();
     assert_eq!(report.load.addr, WorkerAddr::new(0, 0));
     assert_eq!(report.load.cachelets.len(), 2);
-    assert_eq!(report.ops, 151);
-    assert_eq!(report.reads, 51);
-    assert_eq!(report.hits, 50);
+    assert_eq!(report.load.metrics.get(Counter::Ops), 151);
+    assert_eq!(report.load.metrics.get(Counter::Gets), 51);
+    assert_eq!(report.load.metrics.get(Counter::GetHits), 50);
     // Full-sampling tracker saw the hammered key.
     assert!(
         report.hot_keys.iter().any(|h| h.key == b"k1"),
@@ -419,13 +422,42 @@ fn epoch_report_counts_and_backoff() {
 fn stats_rpc_returns_parseable_load() {
     let f = fixture(WorkerAddr::new(0, 3), &[5]);
     set(&f, 5, b"k", b"v");
-    let Response::StatsBlob { payload } = f.rpc(Request::Stats) else {
+    let Response::StatsBlob { payload } = f.rpc(Request::Stats { reset: false }) else {
         panic!("expected blob");
     };
-    let load: mbal_balancer::WorkerLoad = serde_json::from_slice(&payload).expect("json");
-    assert_eq!(load.addr, WorkerAddr::new(0, 3));
-    assert_eq!(load.cachelets.len(), 1);
-    assert_eq!(load.addr.worker, WorkerId(3));
+    let report: StatsReport = serde_json::from_slice(&payload).expect("json");
+    assert_eq!(report.load.addr, WorkerAddr::new(0, 3));
+    assert_eq!(report.load.cachelets.len(), 1);
+    assert_eq!(report.load.addr.worker, WorkerId(3));
+    assert_eq!(report.load.metrics.get(Counter::Sets), 1);
+    assert_eq!(report.write_latency.count, 1);
+    f.control(Control::Shutdown);
+}
+
+#[test]
+fn stats_reset_clears_counters_but_keeps_gauges() {
+    let f = fixture(WorkerAddr::new(0, 0), &[1]);
+    set(&f, 1, b"k", b"v");
+    get(&f, 1, b"k");
+    let Response::StatsBlob { payload } = f.rpc(Request::Stats { reset: true }) else {
+        panic!("expected blob");
+    };
+    let report: StatsReport = serde_json::from_slice(&payload).expect("json");
+    assert_eq!(report.load.metrics.get(Counter::Sets), 1);
+    assert_eq!(report.load.metrics.get(Counter::Gets), 1);
+    // The reset happened after the snapshot: a fresh dump starts over.
+    let Response::StatsBlob { payload } = f.rpc(Request::Stats { reset: false }) else {
+        panic!("expected blob");
+    };
+    let report: StatsReport = serde_json::from_slice(&payload).expect("json");
+    assert_eq!(report.load.metrics.get(Counter::Sets), 0);
+    assert_eq!(report.load.metrics.get(Counter::Gets), 0);
+    assert_eq!(report.read_latency.count, 0);
+    // Gauges describe current state and survive the reset.
+    assert_eq!(
+        report.load.metrics.gauge(mbal_telemetry::Gauge::CacheletsOwned),
+        1
+    );
     f.control(Control::Shutdown);
 }
 
@@ -553,6 +585,7 @@ fn concat_propagates_full_value_to_replicas() {
         load_capacity: 10_000.0,
         mem_capacity: 4 << 20,
         sync_replication: true,
+        metrics: Arc::new(MetricsShard::new()),
         unit_factory: Box::new(move |id| CacheUnit::new(id, Arc::clone(&global), &mem, 0)),
     };
     let _join = spawn_worker(ctx);

@@ -1,0 +1,489 @@
+//! Fixed-bucket log-linear latency histograms (HdrHistogram-style).
+//!
+//! Values are bucketed on a log-linear scale: each power-of-two octave
+//! is split into [`SUB_COUNT`] equal-width sub-buckets, so the relative
+//! quantization error is bounded by `1/SUB_COUNT` (6.25%) everywhere,
+//! while the whole `u64` range fits in a constant [`NUM_BUCKETS`]-slot
+//! array. Recording is a single array increment — no allocation, no
+//! branching beyond the bucket-index computation — and histograms merge
+//! bucket-wise, so per-thread histograms can be folded into one without
+//! losing anything the buckets can express.
+//!
+//! Two flavors share the bucket scheme:
+//!
+//! - [`Histogram`] — plain counters, for single-threaded recording
+//!   (simulator, bench harness) and as the snapshot/serde form;
+//! - [`AtomicHistogram`] — relaxed-atomic counters, for the per-worker
+//!   shards of the metrics registry (single writer on the hot path,
+//!   any number of concurrent snapshot readers).
+
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Sub-bucket resolution: each octave is split into `2^SUB_BITS` slots.
+pub const SUB_BITS: u32 = 4;
+
+/// Sub-buckets per octave (16): bounds the relative error at 1/16.
+pub const SUB_COUNT: usize = 1 << SUB_BITS;
+
+/// Total bucket count covering the full `u64` range: one linear group
+/// for values below [`SUB_COUNT`] plus 60 log-linear octave groups.
+pub const NUM_BUCKETS: usize = 61 * SUB_COUNT;
+
+/// Maps a value to its bucket index. Values below [`SUB_COUNT`] map
+/// linearly (exactly); larger values map to octave `h = floor(log2 v)`,
+/// sub-bucket = the [`SUB_BITS`] bits below the leading one.
+pub fn bucket_index(value: u64) -> usize {
+    if value < SUB_COUNT as u64 {
+        value as usize
+    } else {
+        let h = 63 - value.leading_zeros();
+        let group = (h - SUB_BITS + 1) as usize;
+        let sub = ((value >> (h - SUB_BITS)) & (SUB_COUNT as u64 - 1)) as usize;
+        group * SUB_COUNT + sub
+    }
+}
+
+/// The smallest value mapping to bucket `index`.
+pub fn bucket_low(index: usize) -> u64 {
+    if index < SUB_COUNT {
+        index as u64
+    } else {
+        let group = index / SUB_COUNT;
+        let sub = (index % SUB_COUNT) as u64;
+        (SUB_COUNT as u64 + sub) << (group - 1)
+    }
+}
+
+/// A representative (midpoint) value for bucket `index`, used when
+/// reading percentiles back out.
+fn bucket_mid(index: usize) -> u64 {
+    if index < SUB_COUNT {
+        index as u64
+    } else {
+        let group = index / SUB_COUNT;
+        bucket_low(index) + ((1u64 << (group - 1)) >> 1)
+    }
+}
+
+/// Extracted latency percentiles (microseconds), the wire-friendly
+/// summary of one histogram.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct LatencyPercentiles {
+    /// Recorded sample count.
+    pub count: u64,
+    /// Exact mean (the histogram tracks the exact sum).
+    pub mean_us: f64,
+    /// Median.
+    pub p50_us: u64,
+    /// 90th percentile.
+    pub p90_us: u64,
+    /// 95th percentile.
+    pub p95_us: u64,
+    /// 99th percentile.
+    pub p99_us: u64,
+    /// Exact maximum observed.
+    pub max_us: u64,
+}
+
+/// Serde form: only non-zero buckets travel, so an idle histogram
+/// serializes to a few bytes instead of ~8 KiB.
+#[derive(Serialize, Deserialize)]
+struct SparseHistogram {
+    count: u64,
+    sum: u64,
+    max: u64,
+    buckets: Vec<(u32, u64)>,
+}
+
+impl From<Histogram> for SparseHistogram {
+    fn from(h: Histogram) -> Self {
+        SparseHistogram {
+            count: h.count,
+            sum: h.sum,
+            max: h.max,
+            buckets: h
+                .buckets
+                .iter()
+                .enumerate()
+                .filter(|(_, &c)| c != 0)
+                .map(|(i, &c)| (i as u32, c))
+                .collect(),
+        }
+    }
+}
+
+impl From<SparseHistogram> for Histogram {
+    fn from(s: SparseHistogram) -> Self {
+        let mut h = Histogram::new();
+        for (i, c) in s.buckets {
+            if (i as usize) < NUM_BUCKETS {
+                h.buckets[i as usize] = c;
+            }
+        }
+        h.count = s.count;
+        h.sum = s.sum;
+        h.max = s.max;
+        h
+    }
+}
+
+/// A mergeable fixed-size log-linear histogram with exact count, sum
+/// and max tracked alongside the buckets.
+#[derive(Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(from = "SparseHistogram", into = "SparseHistogram")]
+pub struct Histogram {
+    buckets: [u64; NUM_BUCKETS],
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self {
+            buckets: [0; NUM_BUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.record_n(value, 1);
+    }
+
+    /// Records `n` samples of the same value.
+    pub fn record_n(&mut self, value: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        let i = bucket_index(value);
+        self.buckets[i] = self.buckets[i].saturating_add(n);
+        self.count = self.count.saturating_add(n);
+        self.sum = self.sum.saturating_add(value.saturating_mul(n));
+        self.max = self.max.max(value);
+    }
+
+    /// Folds `other` into `self` bucket-wise. Merging is exact: the
+    /// result is identical to having recorded both sample streams into
+    /// one histogram.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b = b.saturating_add(*o);
+        }
+        self.count = self.count.saturating_add(other.count);
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Bucket-wise saturating difference `self - earlier`, for epoch
+    /// deltas over cumulative histograms. `max` cannot be subtracted
+    /// and is taken from `self`.
+    pub fn delta(&self, earlier: &Histogram) -> Histogram {
+        let mut out = Histogram::new();
+        for (o, (s, e)) in out
+            .buckets
+            .iter_mut()
+            .zip(self.buckets.iter().zip(earlier.buckets.iter()))
+        {
+            *o = s.saturating_sub(*e);
+        }
+        out.count = self.count.saturating_sub(earlier.count);
+        out.sum = self.sum.saturating_sub(earlier.sum);
+        out.max = self.max;
+        out
+    }
+
+    /// Recorded sample count.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact sum of recorded values.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Exact maximum recorded value (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// `true` when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Exact mean of recorded values (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The value at quantile `q` in `[0, 1]`, accurate to the bucket
+    /// error bound (relative error ≤ 1/[`SUB_COUNT`]); 0 when empty.
+    pub fn value_at_quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cum = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            cum += c;
+            if cum >= target {
+                return bucket_mid(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Extracts the standard percentile summary.
+    pub fn percentiles(&self) -> LatencyPercentiles {
+        LatencyPercentiles {
+            count: self.count,
+            mean_us: self.mean(),
+            p50_us: self.value_at_quantile(0.50),
+            p90_us: self.value_at_quantile(0.90),
+            p95_us: self.value_at_quantile(0.95),
+            p99_us: self.value_at_quantile(0.99),
+            max_us: self.max,
+        }
+    }
+
+    /// Iterates non-empty buckets as `(bucket_low, count)` pairs.
+    pub fn iter_nonzero(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c != 0)
+            .map(|(i, &c)| (bucket_low(i), c))
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count)
+            .field("sum", &self.sum)
+            .field("max", &self.max)
+            .field("nonzero_buckets", &self.buckets.iter().filter(|&&c| c != 0).count())
+            .finish()
+    }
+}
+
+/// The shared-memory flavor: same buckets, relaxed-atomic counters.
+///
+/// Designed for the registry's single-writer-per-shard discipline: the
+/// owning worker increments with `Relaxed` stores (no read-modify-write
+/// contention, the shard is cache-line-aligned), and any thread may
+/// take a [`AtomicHistogram::snapshot`] at any time. A snapshot taken
+/// concurrently with recording is *per-field* consistent (each counter
+/// is a valid past value) but not a single atomic cut — acceptable for
+/// monitoring, documented here so nobody builds billing on it.
+pub struct AtomicHistogram {
+    buckets: [AtomicU64; NUM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+// Const-init pattern for the big atomic array (AtomicU64 is not Copy).
+#[allow(clippy::declare_interior_mutable_const)]
+const ZERO: AtomicU64 = AtomicU64::new(0);
+
+impl AtomicHistogram {
+    /// Creates an empty atomic histogram.
+    pub fn new() -> Self {
+        Self {
+            buckets: [ZERO; NUM_BUCKETS],
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one sample (relaxed atomics, hot-path safe).
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Recorded sample count.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Copies the current state into a plain [`Histogram`].
+    pub fn snapshot(&self) -> Histogram {
+        let mut h = Histogram::new();
+        for (o, b) in h.buckets.iter_mut().zip(self.buckets.iter()) {
+            *o = b.load(Ordering::Relaxed);
+        }
+        h.count = self.count.load(Ordering::Relaxed);
+        h.sum = self.sum.load(Ordering::Relaxed);
+        h.max = self.max.load(Ordering::Relaxed);
+        h
+    }
+
+    /// Zeroes every counter (the `stats reset` path). Samples recorded
+    /// concurrently with the reset may be lost; resets are a rare
+    /// operator action, not part of the data path.
+    pub fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+    }
+}
+
+impl Default for AtomicHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for AtomicHistogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AtomicHistogram")
+            .field("count", &self.count())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_region_is_exact() {
+        let mut h = Histogram::new();
+        for v in 0..SUB_COUNT as u64 {
+            h.record(v);
+        }
+        for v in 0..SUB_COUNT as u64 {
+            assert_eq!(bucket_low(bucket_index(v)), v);
+        }
+        assert_eq!(h.count(), SUB_COUNT as u64);
+        assert_eq!(h.max(), 15);
+    }
+
+    #[test]
+    fn bucket_bounds_are_monotone_and_tight() {
+        // Every value maps into a bucket whose low bound is <= value,
+        // and the relative width is bounded by 1/SUB_COUNT.
+        for shift in 0..60 {
+            for off in [0u64, 1, 7, 15] {
+                let v = (17u64 << shift) + off;
+                let i = bucket_index(v);
+                let low = bucket_low(i);
+                assert!(low <= v, "low {low} > v {v}");
+                if i + 1 < NUM_BUCKETS {
+                    let next = bucket_low(i + 1);
+                    assert!(v < next, "v {v} >= next bucket low {next}");
+                    assert!(
+                        (next - low) as f64 <= (low as f64 / SUB_COUNT as f64).max(1.0),
+                        "bucket [{low},{next}) too wide"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ramp_percentiles_within_error_bound() {
+        let mut h = Histogram::new();
+        for v in 1..=1_000u64 {
+            h.record(v);
+        }
+        let p = h.percentiles();
+        assert_eq!(p.count, 1_000);
+        assert!((p.mean_us - 500.5).abs() < 1e-9, "mean is exact");
+        for (got, want) in [(p.p50_us, 500.0), (p.p90_us, 900.0), (p.p99_us, 990.0)] {
+            let err = (got as f64 - want).abs() / want;
+            assert!(err <= 1.0 / SUB_COUNT as f64, "got {got} want {want}");
+        }
+        assert_eq!(p.max_us, 1_000);
+    }
+
+    #[test]
+    fn quantile_never_exceeds_max() {
+        let mut h = Histogram::new();
+        h.record(1_000_003);
+        assert_eq!(h.value_at_quantile(0.99), 1_000_003);
+        assert_eq!(h.value_at_quantile(0.0), 1_000_003);
+    }
+
+    #[test]
+    fn merge_equals_concatenation() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut all = Histogram::new();
+        for v in [0u64, 3, 16, 17, 1_000, 65_535, u64::MAX] {
+            a.record(v);
+            all.record(v);
+        }
+        for v in [5u64, 1_000, 1 << 40] {
+            b.record(v);
+            all.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, all);
+    }
+
+    #[test]
+    fn delta_saturates() {
+        let mut early = Histogram::new();
+        early.record_n(100, 5);
+        let mut late = early.clone();
+        late.record_n(100, 3);
+        let d = late.delta(&early);
+        assert_eq!(d.count(), 3);
+        // A reset between snapshots (earlier > self) must not underflow.
+        let d2 = early.delta(&late);
+        assert_eq!(d2.count(), 0);
+        assert_eq!(d2.sum(), 0);
+    }
+
+    #[test]
+    fn sparse_serde_roundtrip() {
+        let mut h = Histogram::new();
+        for v in [0u64, 12, 300, 4_096, 123_456_789] {
+            h.record_n(v, 7);
+        }
+        let json = serde_json::to_string(&h).expect("serialize");
+        // Sparse: far smaller than the dense bucket array.
+        assert!(json.len() < 400, "not sparse: {} bytes", json.len());
+        let back: Histogram = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back, h);
+    }
+
+    #[test]
+    fn atomic_histogram_matches_plain() {
+        let a = AtomicHistogram::new();
+        let mut p = Histogram::new();
+        for v in [1u64, 20, 300, 4_000, 50_000] {
+            a.record(v);
+            p.record(v);
+        }
+        assert_eq!(a.snapshot(), p);
+        a.reset();
+        assert!(a.snapshot().is_empty());
+    }
+}

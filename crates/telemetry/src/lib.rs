@@ -1,0 +1,33 @@
+//! `mbal-telemetry`: lock-free metrics registry, log-linear latency
+//! histograms, and stats snapshot types for MBal.
+//!
+//! The subsystem has three layers, modeled loosely on Pelikan's static
+//! metrics design:
+//!
+//! - [`histogram`] — a fixed-bucket log-linear latency histogram
+//!   ([`Histogram`], plus the lock-free [`AtomicHistogram`] recording
+//!   variant): const-sized, allocation-free on record, mergeable, with
+//!   ≤ 1/16 relative bucket error and exact count/sum/max.
+//! - [`registry`] — the static metric catalog ([`Counter`], [`Gauge`])
+//!   and the sharded registry: one cache-line-padded [`MetricsShard`]
+//!   per worker (relaxed-atomic increments on the hot path), folded
+//!   into plain [`MetricsSnapshot`] values on read, with saturating
+//!   `merge`/`delta` arithmetic.
+//! - [`snapshot`] — the wire surface: [`WorkerSnapshot`] (the balancer
+//!   planners' load descriptor, now carrying metrics) and
+//!   [`StatsReport`] (the `Stats` RPC payload), plus
+//!   [`render_prometheus`] for the plaintext exposition endpoint.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod histogram;
+pub mod registry;
+pub mod snapshot;
+
+pub use histogram::{
+    bucket_index, bucket_low, AtomicHistogram, Histogram, LatencyPercentiles, NUM_BUCKETS,
+    SUB_BITS, SUB_COUNT,
+};
+pub use registry::{Counter, Gauge, MetricsRegistry, MetricsShard, MetricsSnapshot};
+pub use snapshot::{render_prometheus, StatsReport, WorkerSnapshot};

@@ -120,6 +120,7 @@ fn main() {
             .collect(),
         load_capacity: 100.0,
         mem_capacity: 1 << 20,
+        metrics: Default::default(),
     };
     let view = ClusterView {
         servers: vec![

@@ -7,6 +7,8 @@
 //! - [`core`] — cachelets, lockless hash table, slab memory.
 //! - [`ring`] — consistent hashing and key-to-thread mapping.
 //! - [`proto`] — the binary wire protocol.
+//! - [`telemetry`] — lock-free metrics registry, latency
+//!   histograms, and the stats snapshot/report types.
 //! - [`ilp`] — the simplex/branch-and-bound ILP solver behind
 //!   the migration planners.
 //! - [`balancer`] — the multi-phase load balancer.
@@ -29,4 +31,5 @@ pub use mbal_ilp as ilp;
 pub use mbal_proto as proto;
 pub use mbal_ring as ring;
 pub use mbal_server as server;
+pub use mbal_telemetry as telemetry;
 pub use mbal_workload as workload;

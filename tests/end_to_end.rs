@@ -212,18 +212,18 @@ fn tcp_frames_interoperate_with_raw_protocol() {
 }
 
 #[test]
-fn stats_blob_is_valid_json_workerload() {
+fn stats_blob_is_valid_json_stats_report() {
     let (mut servers, _coordinator, transport) = build(1, 1);
     let resp = transport
-        .call(WorkerAddr::new(0, 0), Request::Stats)
+        .call(WorkerAddr::new(0, 0), Request::Stats { reset: false })
         .expect("stats");
     let Response::StatsBlob { payload } = resp else {
         panic!("expected stats blob, got {resp:?}");
     };
-    let load: mbal::balancer::WorkerLoad =
-        serde_json::from_slice(&payload).expect("stats parse as WorkerLoad");
-    assert_eq!(load.addr, WorkerAddr::new(0, 0));
-    assert_eq!(load.cachelets.len(), 4);
+    let report: mbal::telemetry::StatsReport =
+        serde_json::from_slice(&payload).expect("stats parse as StatsReport");
+    assert_eq!(report.load.addr, WorkerAddr::new(0, 0));
+    assert_eq!(report.load.cachelets.len(), 4);
     for s in &mut servers {
         s.shutdown();
     }
