@@ -45,6 +45,7 @@ struct Inner {
     in_flight: HashMap<u32, Migration>,
     planned: u64,
     completed: u64,
+    aborted: u64,
 }
 
 impl Coordinator {
@@ -57,6 +58,7 @@ impl Coordinator {
                 in_flight: HashMap::new(),
                 planned: 0,
                 completed: 0,
+                aborted: 0,
             }),
             cfg,
         }
@@ -126,6 +128,19 @@ impl Coordinator {
         }
     }
 
+    /// Rolls back a migration that could not be executed (transfer or
+    /// commit failed after retries): the cachelet returns to its source
+    /// in the authoritative mapping, so client heartbeats re-learn the
+    /// old owner and stale-routed requests stop chasing a destination
+    /// that never took over.
+    pub fn migration_failed(&self, m: &Migration) {
+        let mut g = self.inner.lock();
+        if g.in_flight.remove(&m.cachelet.0).is_some() {
+            g.aborted += 1;
+        }
+        g.mapping.move_cachelet(m.cachelet, m.from);
+    }
+
     /// Services a client heartbeat carrying the client's mapping version.
     pub fn heartbeat(&self, client_version: u64) -> HeartbeatReply {
         let g = self.inner.lock();
@@ -154,6 +169,11 @@ impl Coordinator {
     pub fn migration_counters(&self) -> (u64, u64) {
         let g = self.inner.lock();
         (g.planned, g.completed)
+    }
+
+    /// Number of migrations rolled back via [`Self::migration_failed`].
+    pub fn aborted_migrations(&self) -> u64 {
+        self.inner.lock().aborted
     }
 }
 
@@ -267,6 +287,28 @@ mod tests {
             moved_twice.is_empty(),
             "cachelets planned twice: {moved_twice:?}"
         );
+    }
+
+    #[test]
+    fn failed_migration_reverts_mapping() {
+        let c = coordinator();
+        let plan = c.request_migration(WorkerAddr::new(0, 0)).expect("plan");
+        assert!(!plan.is_empty());
+        let m = plan[0];
+        assert_eq!(c.mapping_snapshot().worker_of_cachelet(m.cachelet), Some(m.to));
+        let v = c.mapping_version();
+        c.migration_failed(&m);
+        // The cachelet is home again, the rollback is a visible delta,
+        // and the abort is counted exactly once.
+        assert_eq!(
+            c.mapping_snapshot().worker_of_cachelet(m.cachelet),
+            Some(m.from)
+        );
+        assert!(c.mapping_version() > v);
+        assert_eq!(c.aborted_migrations(), 1);
+        assert_eq!(c.migration_counters().1, 0, "not counted as completed");
+        c.migration_failed(&m);
+        assert_eq!(c.aborted_migrations(), 1, "second abort is a no-op");
     }
 
     #[test]

@@ -43,6 +43,10 @@ pub trait CoordinatorService: Send + Sync {
     /// Migration completion notification.
     fn migration_complete(&self, cachelet: CacheletId);
 
+    /// Migration rollback notification: the transfer failed and the
+    /// cachelet stays with (returns to) its source in the mapping.
+    fn migration_failed(&self, m: &Migration);
+
     /// Server-local (Phase 2) mapping change notification.
     fn report_local_move(&self, m: &Migration);
 
@@ -69,6 +73,10 @@ impl CoordinatorService for Coordinator {
 
     fn migration_complete(&self, cachelet: CacheletId) {
         Coordinator::migration_complete(self, cachelet);
+    }
+
+    fn migration_failed(&self, m: &Migration) {
+        Coordinator::migration_failed(self, m);
     }
 
     fn report_local_move(&self, m: &Migration) {
@@ -188,6 +196,14 @@ impl CoordinatorService for ReplicatedCoordinator {
 
     fn migration_complete(&self, cachelet: CacheletId) {
         self.primary_ref().migration_complete(cachelet);
+    }
+
+    fn migration_failed(&self, m: &Migration) {
+        // The mapping reversion is a mutation: mirror it everywhere so a
+        // failover cannot resurrect the reverted move.
+        for member in &self.members {
+            member.migration_failed(m);
+        }
     }
 
     fn report_local_move(&self, m: &Migration) {

@@ -34,6 +34,7 @@ use mbal_server::transport::{Transport, TransportError, DEFAULT_DEADLINE};
 use mbal_telemetry::StatsReport;
 use std::collections::HashMap;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Abstraction over how a client reaches the coordinator (in-process or
 /// remote).
@@ -82,6 +83,9 @@ pub struct ClientStats {
     pub replica_reads: u64,
     /// Requests retried after a transient `Busy` (bucket mid-migration).
     pub busy_retries: u64,
+    /// Idempotent requests retried after a transport error (timeout,
+    /// dropped frame, connection reset), within the operation's budget.
+    pub transport_retries: u64,
     /// Operations that failed after exhausting retries.
     pub failures: u64,
 }
@@ -122,6 +126,10 @@ pub struct Client {
     coordinator: Arc<dyn CoordinatorLink>,
     replicas: HashMap<Key, ReplicaSet>,
     max_retries: usize,
+    /// Total wall-clock budget for one logical operation, shared by all
+    /// of its retries — a retry gets the *remaining* budget as its
+    /// transport deadline, never a fresh full one.
+    op_budget: Duration,
     stats: ClientStats,
 }
 
@@ -136,7 +144,26 @@ impl Client {
             coordinator,
             replicas: HashMap::new(),
             max_retries: 8,
+            op_budget: DEFAULT_DEADLINE,
             stats: ClientStats::default(),
+        }
+    }
+
+    /// Overrides the per-operation time budget (default
+    /// [`DEFAULT_DEADLINE`]). The budget caps one logical operation
+    /// end-to-end: every retry draws its transport deadline from what is
+    /// left, so an operation can never take `retries × deadline`.
+    pub fn set_op_budget(&mut self, budget: Duration) {
+        self.op_budget = budget;
+    }
+
+    /// Remaining budget before `deadline`, or `None` once it has passed.
+    fn remaining(deadline: Instant) -> Option<Duration> {
+        let now = Instant::now();
+        if now >= deadline {
+            None
+        } else {
+            Some(deadline - now)
         }
     }
 
@@ -212,21 +239,37 @@ impl Client {
     }
 
     fn get_home(&mut self, key: &[u8]) -> Result<Option<Value>, ClientError> {
+        let deadline = Instant::now() + self.op_budget;
+        let mut last_err = ClientError::RetriesExhausted;
         for _ in 0..self.max_retries {
+            let Some(left) = Self::remaining(deadline) else {
+                break;
+            };
             let (cachelet, worker) = self
                 .mapping
                 .route(key)
                 .ok_or(ClientError::RetriesExhausted)?;
-            let resp = self
-                .transport
-                .call(
-                    worker,
-                    Request::Get {
-                        cachelet,
-                        key: key.to_vec(),
-                    },
-                )
-                .map_err(ClientError::Transport)?;
+            let resp = match self.transport.call_with_deadline(
+                worker,
+                Request::Get {
+                    cachelet,
+                    key: key.to_vec(),
+                },
+                left,
+            ) {
+                Ok(r) => r,
+                Err(e) => {
+                    // GET is idempotent: retry against refreshed routing
+                    // within the remaining budget. The endpoint may have
+                    // reset or the bucket may have moved, so drop any
+                    // replica routing for the key and resync the mapping.
+                    last_err = ClientError::Transport(e);
+                    self.stats.transport_retries += 1;
+                    self.replicas.remove(key);
+                    self.poll_coordinator();
+                    continue;
+                }
+            };
             match resp {
                 Response::Value { value, replicas } => {
                     self.stats.hits += 1;
@@ -266,7 +309,7 @@ impl Client {
             }
         }
         self.stats.failures += 1;
-        Err(ClientError::RetriesExhausted)
+        Err(last_err)
     }
 
     /// Batched lookup: groups keys by owner worker and issues one
@@ -299,7 +342,7 @@ impl Client {
                     key: k.clone(),
                 })
                 .collect();
-            let results = self.transport.call_many(worker, reqs, DEFAULT_DEADLINE);
+            let results = self.transport.call_many(worker, reqs, self.op_budget);
             for ((i, _, k), result) in batch.iter().zip(results) {
                 match result {
                     Ok(Response::Value { value, replicas }) => {
@@ -349,23 +392,42 @@ impl Client {
         expiry_ms: u64,
     ) -> Result<(), ClientError> {
         self.stats.sets += 1;
+        // A cached replica set must not keep serving the pre-set value
+        // after this write is acknowledged (read-your-writes): route
+        // subsequent reads back to the home worker until the server
+        // piggybacks a fresh replica set.
+        self.replicas.remove(key);
+        let deadline = Instant::now() + self.op_budget;
+        let mut last_err = ClientError::RetriesExhausted;
         for _ in 0..self.max_retries {
+            let Some(left) = Self::remaining(deadline) else {
+                break;
+            };
             let (cachelet, worker) = self
                 .mapping
                 .route(key)
                 .ok_or(ClientError::RetriesExhausted)?;
-            let resp = self
-                .transport
-                .call(
-                    worker,
-                    Request::Set {
-                        cachelet,
-                        key: key.to_vec(),
-                        value: value.to_vec(),
-                        expiry_ms,
-                    },
-                )
-                .map_err(ClientError::Transport)?;
+            let resp = match self.transport.call_with_deadline(
+                worker,
+                Request::Set {
+                    cachelet,
+                    key: key.to_vec(),
+                    value: value.to_vec(),
+                    expiry_ms,
+                },
+                left,
+            ) {
+                Ok(r) => r,
+                Err(e) => {
+                    // SET is idempotent (last-writer-wins on the same
+                    // value): safe to re-send within the budget even if
+                    // the lost frame was actually applied.
+                    last_err = ClientError::Transport(e);
+                    self.stats.transport_retries += 1;
+                    self.poll_coordinator();
+                    continue;
+                }
+            };
             match resp {
                 Response::Stored => return Ok(()),
                 Response::Moved {
@@ -394,27 +456,37 @@ impl Client {
             }
         }
         self.stats.failures += 1;
-        Err(ClientError::RetriesExhausted)
+        Err(last_err)
     }
 
     /// Shared retry loop for single-key write-family operations: routes,
     /// follows `Moved`, retries `Busy`, resyncs on `NotOwner`. The
     /// `request` closure builds the request for the current routing;
     /// `accept` translates terminal responses.
+    ///
+    /// Transport errors are **not** retried here: `add`, `replace`,
+    /// `concat`, `incr`, and `touch` are not idempotent — a lost *ack*
+    /// may still have mutated state, and blindly re-sending would e.g.
+    /// double-apply an increment. The application owns that decision.
+    /// Every attempt still draws its deadline from the shared budget.
     fn write_op<T>(
         &mut self,
         key: &[u8],
         mut request: impl FnMut(mbal_core::types::CacheletId) -> Request,
         mut accept: impl FnMut(Response) -> Result<T, ClientError>,
     ) -> Result<T, ClientError> {
+        let deadline = Instant::now() + self.op_budget;
         for _ in 0..self.max_retries {
+            let Some(left) = Self::remaining(deadline) else {
+                break;
+            };
             let (cachelet, worker) = self
                 .mapping
                 .route(key)
                 .ok_or(ClientError::RetriesExhausted)?;
             let resp = self
                 .transport
-                .call(worker, request(cachelet))
+                .call_with_deadline(worker, request(cachelet), left)
                 .map_err(ClientError::Transport)?;
             match resp {
                 Response::Moved {
@@ -571,21 +643,34 @@ impl Client {
     pub fn delete(&mut self, key: &[u8]) -> Result<bool, ClientError> {
         self.stats.deletes += 1;
         self.replicas.remove(key);
+        let deadline = Instant::now() + self.op_budget;
+        let mut last_err = ClientError::RetriesExhausted;
         for _ in 0..self.max_retries {
+            let Some(left) = Self::remaining(deadline) else {
+                break;
+            };
             let (cachelet, worker) = self
                 .mapping
                 .route(key)
                 .ok_or(ClientError::RetriesExhausted)?;
-            let resp = self
-                .transport
-                .call(
-                    worker,
-                    Request::Delete {
-                        cachelet,
-                        key: key.to_vec(),
-                    },
-                )
-                .map_err(ClientError::Transport)?;
+            let resp = match self.transport.call_with_deadline(
+                worker,
+                Request::Delete {
+                    cachelet,
+                    key: key.to_vec(),
+                },
+                left,
+            ) {
+                Ok(r) => r,
+                Err(e) => {
+                    // DELETE is idempotent: a replay of an applied delete
+                    // just reports NotFound.
+                    last_err = ClientError::Transport(e);
+                    self.stats.transport_retries += 1;
+                    self.poll_coordinator();
+                    continue;
+                }
+            };
             match resp {
                 Response::Deleted => return Ok(true),
                 Response::NotFound => return Ok(false),
@@ -612,7 +697,7 @@ impl Client {
             }
         }
         self.stats.failures += 1;
-        Err(ClientError::RetriesExhausted)
+        Err(last_err)
     }
 
     /// Number of keys with client-side replica routing state.
@@ -657,5 +742,149 @@ impl Client {
             return Err(ClientError::RetriesExhausted);
         }
         Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbal_ring::ConsistentRing;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
+    /// A coordinator whose mapping never changes.
+    struct StaticCoord(MappingTable);
+
+    impl CoordinatorLink for StaticCoord {
+        fn heartbeat(&self, version: u64) -> HeartbeatReply {
+            HeartbeatReply {
+                version,
+                deltas: Vec::new(),
+                full_refetch: false,
+            }
+        }
+
+        fn full_table(&self) -> MappingTable {
+            self.0.clone()
+        }
+    }
+
+    /// Records every per-attempt deadline the client hands the transport
+    /// and times out the first `fail_first` calls.
+    struct FlakyTransport {
+        deadlines: Mutex<Vec<Duration>>,
+        fail_first: AtomicUsize,
+    }
+
+    impl FlakyTransport {
+        fn recorded(&self) -> Vec<Duration> {
+            self.deadlines.lock().unwrap().clone()
+        }
+    }
+
+    impl Transport for FlakyTransport {
+        fn call(&self, addr: WorkerAddr, req: Request) -> Result<Response, TransportError> {
+            self.call_with_deadline(addr, req, DEFAULT_DEADLINE)
+        }
+
+        fn call_with_deadline(
+            &self,
+            addr: WorkerAddr,
+            req: Request,
+            deadline: Duration,
+        ) -> Result<Response, TransportError> {
+            self.deadlines.lock().unwrap().push(deadline);
+            if self.fail_first.load(Ordering::SeqCst) > 0 {
+                self.fail_first.fetch_sub(1, Ordering::SeqCst);
+                return Err(TransportError::Timeout(addr));
+            }
+            Ok(match req {
+                Request::Get { .. } => Response::NotFound,
+                Request::Set { .. } | Request::Add { .. } => Response::Stored,
+                Request::Delete { .. } => Response::Deleted,
+                _ => Response::NotFound,
+            })
+        }
+    }
+
+    fn client_with(fail_first: usize) -> (Client, Arc<FlakyTransport>) {
+        let mut ring = ConsistentRing::new();
+        ring.add_worker(WorkerAddr::new(0, 0));
+        let mapping = MappingTable::build(&ring, 2, 16);
+        let transport = Arc::new(FlakyTransport {
+            deadlines: Mutex::new(Vec::new()),
+            fail_first: AtomicUsize::new(fail_first),
+        });
+        let client = Client::new(transport.clone(), Arc::new(StaticCoord(mapping)));
+        (client, transport)
+    }
+
+    #[test]
+    fn retries_draw_from_one_shared_budget() {
+        let (mut client, transport) = client_with(3);
+        client.set_op_budget(Duration::from_secs(5));
+        assert!(client.get(b"k").expect("succeeds on attempt 4").is_none());
+        let deadlines = transport.recorded();
+        assert_eq!(deadlines.len(), 4, "three timeouts then one success");
+        assert!(deadlines[0] <= Duration::from_secs(5));
+        for pair in deadlines.windows(2) {
+            assert!(
+                pair[1] <= pair[0],
+                "a retry was granted more deadline than its predecessor: {deadlines:?}"
+            );
+        }
+        assert_eq!(client.stats().transport_retries, 3);
+        assert_eq!(client.stats().failures, 0);
+    }
+
+    #[test]
+    fn exhausted_budget_fails_without_touching_the_wire() {
+        let (mut client, transport) = client_with(0);
+        client.set_op_budget(Duration::ZERO);
+        assert!(client.get(b"k").is_err());
+        assert!(
+            transport.recorded().is_empty(),
+            "no transport call may be issued with a spent budget"
+        );
+        assert_eq!(client.stats().failures, 1);
+    }
+
+    #[test]
+    fn non_idempotent_writes_fail_fast_on_transport_errors() {
+        let (mut client, transport) = client_with(1);
+        let res = client.add(b"k", b"v");
+        assert!(
+            matches!(res, Err(ClientError::Transport(_))),
+            "add must not be blindly re-sent: {res:?}"
+        );
+        assert_eq!(transport.recorded().len(), 1, "exactly one attempt");
+        assert_eq!(client.stats().transport_retries, 0);
+    }
+
+    #[test]
+    fn idempotent_delete_retries_within_budget() {
+        let (mut client, transport) = client_with(2);
+        assert!(client.delete(b"k").expect("succeeds on attempt 3"));
+        assert_eq!(transport.recorded().len(), 3);
+        assert_eq!(client.stats().transport_retries, 2);
+    }
+
+    #[test]
+    fn set_drops_replica_routing_for_the_key() {
+        let (mut client, _transport) = client_with(0);
+        client.replicas.insert(
+            b"k".to_vec(),
+            ReplicaSet {
+                targets: vec![WorkerAddr::new(0, 0)],
+                next: 0,
+            },
+        );
+        assert_eq!(client.replicated_keys(), 1);
+        client.set(b"k", b"v").expect("set succeeds");
+        assert_eq!(
+            client.replicated_keys(),
+            0,
+            "a cached replica set must not serve the pre-set value"
+        );
     }
 }

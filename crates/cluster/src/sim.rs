@@ -33,6 +33,7 @@ use mbal_core::hotkey::{HotKeyConfig, HotKeyTracker};
 use mbal_core::stats::CacheletLoad;
 use mbal_core::types::{ServerId, WorkerAddr, WorkerId};
 use mbal_ring::{ConsistentRing, MappingTable};
+use mbal_server::fault::{FaultPlan, SplitMix64};
 use mbal_telemetry::Histogram;
 use mbal_workload::{WorkloadGen, WorkloadSpec};
 use rand::rngs::SmallRng;
@@ -151,6 +152,15 @@ pub struct SimConfig {
     pub warmup_ms: u64,
     /// RNG seed.
     pub seed: u64,
+    /// Optional network-fault model, shared with the live stack's
+    /// `mbal_server::fault::FaultInjector`. In the timing model a
+    /// dropped frame costs the client a retransmission timeout
+    /// ([`DROP_RTO_US`]) and a delayed frame adds the drawn delay;
+    /// duplicate/reorder/reset have no latency effect here (they are
+    /// consistency faults, exercised by the chaos tests against the
+    /// real stack). Uses the plan's own seed, independent of
+    /// [`SimConfig::seed`].
+    pub fault: Option<FaultPlan>,
 }
 
 impl Default for SimConfig {
@@ -181,9 +191,14 @@ impl Default for SimConfig {
             window_ms: 1_000,
             warmup_ms: 0,
             seed: 42,
+            fault: None,
         }
     }
 }
+
+/// What a dropped frame costs the issuing client in the timing model: a
+/// retransmission timeout before the retry lands (µs).
+pub const DROP_RTO_US: u64 = 10_000;
 
 /// Service-time inflation on a worker that is sourcing or sinking a
 /// coordinated migration (it keeps serving, per-bucket, but pays the
@@ -240,6 +255,11 @@ pub struct Simulation {
     cross_zone_migrations: u64,
     drivers: Vec<BalanceDriver>,
     rng: SmallRng,
+    /// Fault-model PRNG, seeded from the plan (not [`SimConfig::seed`])
+    /// so the same fault schedule can be replayed under different
+    /// workload seeds.
+    fault_rng: SplitMix64,
+    faults_injected: u64,
     queue: EventQueue<Event>,
 }
 
@@ -273,6 +293,8 @@ impl Simulation {
             .collect();
         Self {
             rng: SmallRng::seed_from_u64(cfg.seed),
+            fault_rng: SplitMix64::new(cfg.fault.as_ref().map_or(0, |p| p.seed)),
+            faults_injected: 0,
             mapping,
             workers,
             nic_busy: vec![0; cfg.servers as usize],
@@ -289,6 +311,32 @@ impl Simulation {
 
     fn widx(&self, addr: WorkerAddr) -> usize {
         addr.server.0 as usize * self.cfg.workers_per_server as usize + addr.worker.0 as usize
+    }
+
+    /// Latency penalty the fault model charges one round trip: drops
+    /// cost [`DROP_RTO_US`], delays cost the drawn hold time. Draw
+    /// order matches the live injector (drop before delay, one uniform
+    /// draw per call) so the schedule is a pure function of the plan
+    /// seed and the call sequence.
+    fn fault_penalty_us(&mut self) -> u64 {
+        let Some(plan) = &self.cfg.fault else {
+            return 0;
+        };
+        if plan.max_faults > 0 && self.faults_injected >= plan.max_faults {
+            return 0;
+        }
+        let roll = self.fault_rng.next_f64();
+        if roll < plan.drop {
+            self.faults_injected += 1;
+            return DROP_RTO_US;
+        }
+        if roll < plan.drop + plan.delay {
+            let (lo, hi) = plan.delay_ms;
+            let ms = lo + self.fault_rng.next_below(hi.saturating_sub(lo) + 1);
+            self.faults_injected += 1;
+            return ms * 1_000;
+        }
+        0
     }
 
     /// Runs `phases` of workload back to back, reporting windows.
@@ -529,7 +577,7 @@ impl Simulation {
         acct.tracker.record(key, is_read);
         let cachelet = self.mapping.cachelet_of_vn(self.mapping.vn_of(key));
         *acct.cachelet_ops.entry(cachelet.0).or_insert(0) += 1;
-        done + half_rtt
+        done + half_rtt + self.fault_penalty_us()
     }
 
     /// Timing model for one pipelined MultiGET group: the coalesced
@@ -574,7 +622,7 @@ impl Simulation {
             let cachelet = self.mapping.cachelet_of_vn(self.mapping.vn_of(key));
             *acct.cachelet_ops.entry(cachelet.0).or_insert(0) += 1;
         }
-        done + half_rtt
+        done + half_rtt + self.fault_penalty_us()
     }
 
     fn build_loads(&self, server: u16) -> Vec<WorkerLoad> {
@@ -778,6 +826,11 @@ impl Simulation {
         self.replicas.len()
     }
 
+    /// Faults the network model has injected so far.
+    pub fn injected_faults(&self) -> u64 {
+        self.faults_injected
+    }
+
     /// `(intra_zone, cross_zone)` coordinated-migration counts.
     pub fn zone_migration_counts(&self) -> (u64, u64) {
         (self.intra_zone_migrations, self.cross_zone_migrations)
@@ -969,6 +1022,44 @@ mod tests {
                 .completed
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn fault_model_is_deterministic_and_degrades_service() {
+        let run = |fault: Option<FaultPlan>| {
+            let mut cfg = small_cfg(PhaseSet::none());
+            cfg.fault = fault;
+            let mut sim = Simulation::new(cfg);
+            let r = sim.run(&[(spec(0.95, Popularity::Uniform), 3_000)]);
+            (r.completed, r.overall.p99_us, sim.injected_faults())
+        };
+        let clean = run(None);
+        assert_eq!(clean.2, 0, "no plan, no faults");
+        let faulty = run(Some(FaultPlan::drops(7, 0.02)));
+        assert!(faulty.2 > 0, "drops never fired");
+        assert!(
+            faulty.0 < clean.0,
+            "drop RTOs must cost throughput: {} vs clean {}",
+            faulty.0,
+            clean.0
+        );
+        // Same plan seed → identical schedule and identical outcome.
+        let replay = run(Some(FaultPlan::drops(7, 0.02)));
+        assert_eq!(faulty, replay, "fault runs must replay exactly");
+        // A different plan seed diverges even with the workload fixed.
+        let other = run(Some(FaultPlan::drops(8, 0.02)));
+        assert_ne!(faulty.0, other.0, "distinct seeds should diverge");
+    }
+
+    #[test]
+    fn fault_budget_caps_injection() {
+        let mut cfg = small_cfg(PhaseSet::none());
+        let mut plan = FaultPlan::drops(3, 0.5);
+        plan.max_faults = 25;
+        cfg.fault = Some(plan);
+        let mut sim = Simulation::new(cfg);
+        let _ = sim.run(&[(spec(0.95, Popularity::Uniform), 2_000)]);
+        assert_eq!(sim.injected_faults(), 25, "budget must cap the schedule");
     }
 
     #[test]

@@ -52,6 +52,19 @@ impl ReplicaStats {
     }
 }
 
+/// Outcome of a replica-table read, distinguishing a lease-expired
+/// entry (the value may be stale and must not be served) from a key
+/// that was never replicated here.
+#[derive(Debug, PartialEq, Eq)]
+pub enum ReplicaLookup<'a> {
+    /// Live replica within its lease.
+    Hit(&'a [u8]),
+    /// The replica existed but its lease expired; it has been retired.
+    Stale,
+    /// No replica of this key here.
+    Miss,
+}
+
 impl ReplicaTable {
     /// Creates an empty table.
     pub fn new() -> Self {
@@ -71,20 +84,30 @@ impl ReplicaTable {
 
     /// Reads a replicated key if present and its lease is still valid.
     pub fn get(&mut self, key: &[u8], now_ms: u64) -> Option<&[u8]> {
+        match self.lookup(key, now_ms) {
+            ReplicaLookup::Hit(v) => Some(v),
+            ReplicaLookup::Stale | ReplicaLookup::Miss => None,
+        }
+    }
+
+    /// Like [`get`](Self::get), but tells a lease-expired entry apart
+    /// from an absent one, so callers can count rejected stale reads.
+    /// An expired entry is retired on the way.
+    pub fn lookup(&mut self, key: &[u8], now_ms: u64) -> ReplicaLookup<'_> {
         match self.entries.get(key) {
             Some(e) if e.lease_expiry_ms > now_ms => {
                 self.hits += 1;
-                Some(self.entries[key].value.as_slice())
+                ReplicaLookup::Hit(self.entries[key].value.as_slice())
             }
             Some(_) => {
                 self.entries.remove(key);
                 self.retired += 1;
                 self.misses += 1;
-                None
+                ReplicaLookup::Stale
             }
             None => {
                 self.misses += 1;
-                None
+                ReplicaLookup::Miss
             }
         }
     }
@@ -176,6 +199,17 @@ mod tests {
         let s = r.stats();
         assert_eq!(s.retired, 1);
         assert_eq!(s.len, 0);
+    }
+
+    #[test]
+    fn lookup_tells_stale_from_miss() {
+        let mut r = ReplicaTable::new();
+        r.install(b"hot", b"v".to_vec(), 100);
+        assert_eq!(r.lookup(b"hot", 50), ReplicaLookup::Hit(b"v".as_slice()));
+        assert_eq!(r.lookup(b"hot", 100), ReplicaLookup::Stale);
+        // The stale entry was retired; a second read is a plain miss.
+        assert_eq!(r.lookup(b"hot", 100), ReplicaLookup::Miss);
+        assert_eq!(r.lookup(b"never", 0), ReplicaLookup::Miss);
     }
 
     #[test]

@@ -57,6 +57,9 @@ pub enum Opcode {
     /// per sub-request (echoing its opaque) so a connection drop
     /// mid-batch still yields per-operation outcomes.
     Batch = 0x48,
+    /// Migration rollback marker: the destination discards partial
+    /// state for the cachelet and forwards clients to the home worker.
+    MigrateAbort = 0x49,
     /// Conditional insert.
     Add = 0x02,
     /// Conditional overwrite.
@@ -90,6 +93,7 @@ impl Opcode {
             0x46 => Opcode::MigrateCommit,
             0x47 => Opcode::Heartbeat,
             0x48 => Opcode::Batch,
+            0x49 => Opcode::MigrateAbort,
             _ => return None,
         })
     }
@@ -365,6 +369,11 @@ pub fn encode_request(req: &Request, opaque: u32) -> Result<Vec<u8>, CodecError>
             opaque,
             0,
         ),
+        Request::MigrateAbort { cachelet, home } => {
+            let mut body = BytesMut::new();
+            put_worker(&mut body, *home);
+            framed(Opcode::MigrateAbort, vbucket(*cachelet)?, body, opaque, 0)
+        }
     };
     Ok(buf.to_vec())
 }
@@ -451,6 +460,11 @@ pub fn decode_request(frame: &[u8]) -> Result<(Request, u32), CodecError> {
         Opcode::Stats => Request::Stats { reset: h.cas == 1 },
         Opcode::Heartbeat => Request::Heartbeat { version: h.cas },
         Opcode::MigrateCommit => Request::MigrateCommit { cachelet },
+        Opcode::MigrateAbort => {
+            let mut b = body;
+            let home = get_worker(&mut b)?;
+            Request::MigrateAbort { cachelet, home }
+        }
         Opcode::Batch => {
             return Err(CodecError::Malformed(
                 "batch envelopes must go through decode_batch_request",
@@ -721,9 +735,9 @@ pub fn decode_response(frame: &[u8]) -> Result<(Response, Opcode, u32), CodecErr
         (Status::Ok, Opcode::Incr) => Response::Counter { value: h.cas },
         (Status::Ok, Opcode::Touch) => Response::Touched,
         (Status::Ok, Opcode::Delete) | (Status::Ok, Opcode::ReplicaInvalidate) => Response::Deleted,
-        (Status::Ok, Opcode::MigrateEntries) | (Status::Ok, Opcode::MigrateCommit) => {
-            Response::MigrateAck
-        }
+        (Status::Ok, Opcode::MigrateEntries)
+        | (Status::Ok, Opcode::MigrateCommit)
+        | (Status::Ok, Opcode::MigrateAbort) => Response::MigrateAck,
         (Status::Ok, Opcode::Stats) => Response::StatsBlob {
             payload: body.to_vec(),
         },
@@ -780,6 +794,7 @@ pub fn opcode_of(req: &Request) -> Opcode {
         Request::ReplicaInvalidate { .. } => Opcode::ReplicaInvalidate,
         Request::MigrateEntries { .. } => Opcode::MigrateEntries,
         Request::MigrateCommit { .. } => Opcode::MigrateCommit,
+        Request::MigrateAbort { .. } => Opcode::MigrateAbort,
         Request::Stats { .. } => Opcode::Stats,
         Request::Heartbeat { .. } => Opcode::Heartbeat,
     }
@@ -851,6 +866,10 @@ mod tests {
         roundtrip_req(Request::MigrateCommit {
             cachelet: CacheletId(5),
         });
+        roundtrip_req(Request::MigrateAbort {
+            cachelet: CacheletId(5),
+            home: WorkerAddr::new(7, 1),
+        });
         roundtrip_req(Request::Stats { reset: false });
         roundtrip_req(Request::Stats { reset: true });
         roundtrip_req(Request::Heartbeat { version: 77 });
@@ -909,6 +928,7 @@ mod tests {
         roundtrip_resp(Response::Stored, Opcode::Set);
         roundtrip_resp(Response::Deleted, Opcode::Delete);
         roundtrip_resp(Response::MigrateAck, Opcode::MigrateEntries);
+        roundtrip_resp(Response::MigrateAck, Opcode::MigrateAbort);
         roundtrip_resp(
             Response::Moved {
                 cachelet: CacheletId(3),

@@ -174,6 +174,15 @@ pub enum Request {
         /// The transferred cachelet.
         cachelet: CacheletId,
     },
+    /// Migration source → destination: the transfer is being rolled
+    /// back. The destination discards any partially installed state for
+    /// `cachelet` and redirects stale-routed clients to `home`.
+    MigrateAbort {
+        /// The cachelet whose transfer is abandoned.
+        cachelet: CacheletId,
+        /// The authoritative owner after the rollback (the source).
+        home: WorkerAddr,
+    },
     /// Fetch worker statistics (used by the coordinator's stats poller
     /// and the client's `stats` call). The memcached `stats` analog;
     /// with `reset`, counters and latency histograms are zeroed after

@@ -24,6 +24,10 @@
 //! - [`server`] — [`server::Server`]: spawns workers, runs the balance
 //!   epoch loop, executes Phase 1/2/3 actions, and performs coordinated
 //!   per-bucket migration with the coordinator.
+//! - [`fault`] — seeded, deterministic fault injection: a
+//!   [`fault::FaultInjector`] wraps any transport and drops, delays,
+//!   duplicates, reorders and resets frames from a replayable
+//!   [`fault::FaultPlan`].
 //! - [`metrics_http`] — the optional plaintext (Prometheus text format)
 //!   metrics exposition endpoint.
 
@@ -31,6 +35,7 @@
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod fault;
 pub mod messages;
 pub mod metrics_http;
 pub mod server;
@@ -40,6 +45,7 @@ pub mod unit;
 pub mod worker;
 
 pub use config::ServerConfig;
+pub use fault::{FaultEvent, FaultInjector, FaultKind, FaultPlan};
 pub use metrics_http::serve_metrics_http;
 pub use server::Server;
 pub use transport::{InProcRegistry, Transport, TransportError};

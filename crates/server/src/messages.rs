@@ -98,6 +98,17 @@ pub enum Control {
         /// `Some(entries)` to forward; `None` when fully drained.
         reply: Sender<Option<MigrationBatch>>,
     },
+    /// Roll back a failed outbound migration (source side): clear the
+    /// migration state and re-install the already-drained entries so no
+    /// acknowledged write is lost.
+    AbortMigration {
+        /// The cachelet.
+        id: CacheletId,
+        /// Entries drained (and possibly shipped) before the failure.
+        entries: MigrationBatch,
+        /// Ack channel.
+        reply: Sender<()>,
+    },
     /// Drop the fully-drained cachelet and start forwarding (source
     /// side, after the coordinator confirms clients have re-mapped).
     FinishMigration {

@@ -18,8 +18,8 @@
 //! [`Server::start_balance_thread`] on real time.
 
 use crate::config::ServerConfig;
-use crate::messages::{Control, EpochReport, WorkerMsg};
-use crate::transport::{InProcRegistry, Transport, DEFAULT_DEADLINE};
+use crate::messages::{Control, EpochReport, MigrationBatch, WorkerMsg};
+use crate::transport::{InProcRegistry, Transport, TransportError, DEFAULT_DEADLINE};
 use crate::unit::CacheUnit;
 use crate::worker::{spawn_worker, WorkerContext};
 use crossbeam_channel::{bounded, unbounded, Sender};
@@ -73,8 +73,25 @@ impl Server {
         coordinator: Arc<C>,
         clock: Arc<dyn Clock>,
     ) -> Self {
-        let coordinator: Arc<dyn CoordinatorService> = coordinator;
         let transport: Arc<dyn Transport> = Arc::clone(registry) as Arc<dyn Transport>;
+        Self::spawn_with_transport(cfg, mapping, registry, transport, coordinator, clock)
+    }
+
+    /// Like [`Server::spawn`], but server-originated traffic (replica
+    /// propagation, coordinated migration) flows through the given
+    /// `transport` instead of the registry directly — the seam where a
+    /// [`crate::fault::FaultInjector`] slots in for chaos testing.
+    /// Workers still register their mailboxes in `registry` so peers can
+    /// reach them.
+    pub fn spawn_with_transport<C: CoordinatorService + 'static>(
+        cfg: ServerConfig,
+        mapping: &MappingTable,
+        registry: &Arc<InProcRegistry>,
+        transport: Arc<dyn Transport>,
+        coordinator: Arc<C>,
+        clock: Arc<dyn Clock>,
+    ) -> Self {
+        let coordinator: Arc<dyn CoordinatorService> = coordinator;
         let global = Arc::new(GlobalPool::new(
             cfg.mem.capacity,
             cfg.mem.chunk_size,
@@ -473,7 +490,15 @@ impl Server {
     /// batches of [`MIGRATE_FLUSH_BATCH`], so the transfer pays one
     /// round-trip per flush instead of per bucket; the commit travels
     /// under an explicit deadline.
-    pub fn migrate_out(&mut self, m: &Migration) {
+    ///
+    /// Failed batches are retried once (installation is add-if-absent,
+    /// so re-delivery is idempotent), and a transfer that still cannot
+    /// complete is **rolled back**: the destination discards its partial
+    /// state, the source re-installs every drained entry, and the
+    /// coordinator reverts the mapping — no acknowledged write is lost
+    /// to a flaky link. Returns `true` only when the migration
+    /// committed.
+    pub fn migrate_out(&mut self, m: &Migration) -> bool {
         let (rtx, rrx) = bounded(1);
         self.control(
             m.from.worker,
@@ -484,8 +509,12 @@ impl Server {
             },
         );
         if !matches!(rrx.recv(), Ok(true)) {
-            return;
+            return false;
         }
+        // Every drained entry is kept here until the commit is
+        // acknowledged, so a mid-transfer failure can restore the
+        // source exactly.
+        let mut drained: MigrationBatch = Vec::new();
         let mut pending: Vec<Request> = Vec::new();
         loop {
             let (dtx, drx) = bounded(1);
@@ -501,32 +530,33 @@ impl Server {
                     if entries.is_empty() {
                         continue;
                     }
+                    drained.extend(entries.iter().cloned());
                     pending.push(Request::MigrateEntries {
                         cachelet: m.cachelet,
                         entries,
                     });
-                    if pending.len() >= MIGRATE_FLUSH_BATCH {
-                        let _ = self.transport.call_many(
-                            m.to,
-                            std::mem::take(&mut pending),
-                            DEFAULT_DEADLINE,
-                        );
+                    if pending.len() >= MIGRATE_FLUSH_BATCH
+                        && !self.flush_migration_batch(m, std::mem::take(&mut pending))
+                    {
+                        self.rollback_migration(m, drained);
+                        return false;
                     }
                 }
                 Ok(None) => break,
-                Err(_) => return,
+                Err(_) => {
+                    self.rollback_migration(m, drained);
+                    return false;
+                }
             }
         }
-        if !pending.is_empty() {
-            let _ = self.transport.call_many(m.to, pending, DEFAULT_DEADLINE);
+        if !pending.is_empty() && !self.flush_migration_batch(m, pending) {
+            self.rollback_migration(m, drained);
+            return false;
         }
-        let _ = self.transport.call_with_deadline(
-            m.to,
-            Request::MigrateCommit {
-                cachelet: m.cachelet,
-            },
-            DEFAULT_DEADLINE,
-        );
+        if !self.commit_migration(m) {
+            self.rollback_migration(m, drained);
+            return false;
+        }
         let (ftx, frx) = bounded(1);
         self.control(
             m.from.worker,
@@ -537,6 +567,87 @@ impl Server {
         );
         let _ = frx.recv();
         self.coordinator.migration_complete(m.cachelet);
+        true
+    }
+
+    /// Ships one pipelined batch of `MigrateEntries` to the destination,
+    /// retrying only the frames that failed. Safe to re-send because the
+    /// destination installs add-if-absent.
+    fn flush_migration_batch(&self, m: &Migration, reqs: Vec<Request>) -> bool {
+        let shard = self.metrics.shard(m.from.worker.0 as usize);
+        let results = self.transport.call_many(m.to, reqs.clone(), DEFAULT_DEADLINE);
+        let mut retry: Vec<Request> = Vec::new();
+        for (req, res) in reqs.into_iter().zip(&results) {
+            if let Err(e) = res {
+                if matches!(e, TransportError::Timeout(_)) {
+                    shard.incr(Counter::TransportTimeouts);
+                }
+                retry.push(req);
+            }
+        }
+        if retry.is_empty() {
+            return true;
+        }
+        shard.add(Counter::TransportRetries, retry.len() as u64);
+        self.transport
+            .call_many(m.to, retry, DEFAULT_DEADLINE)
+            .iter()
+            .all(|r| r.is_ok())
+    }
+
+    /// Sends the `MigrateCommit`, retrying transport errors — a commit
+    /// whose ack was lost (connection reset) has already taken effect on
+    /// the destination, and re-sending it is idempotent, so retrying
+    /// here avoids a needless full rollback.
+    fn commit_migration(&self, m: &Migration) -> bool {
+        let shard = self.metrics.shard(m.from.worker.0 as usize);
+        let req = Request::MigrateCommit {
+            cachelet: m.cachelet,
+        };
+        for attempt in 0..3 {
+            match self
+                .transport
+                .call_with_deadline(m.to, req.clone(), DEFAULT_DEADLINE)
+            {
+                Ok(Response::MigrateAck) => return true,
+                Ok(_) => return false,
+                Err(e) => {
+                    if matches!(e, TransportError::Timeout(_)) {
+                        shard.incr(Counter::TransportTimeouts);
+                    }
+                    if attempt < 2 {
+                        shard.incr(Counter::TransportRetries);
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    /// Rolls a failed transfer back: best-effort abort at the
+    /// destination (short deadline — it may be the unreachable party),
+    /// re-installation of the drained entries at the source, and a
+    /// mapping reversion at the coordinator.
+    fn rollback_migration(&mut self, m: &Migration, drained: MigrationBatch) {
+        let _ = self.transport.call_with_deadline(
+            m.to,
+            Request::MigrateAbort {
+                cachelet: m.cachelet,
+                home: m.from,
+            },
+            std::time::Duration::from_millis(250),
+        );
+        let (rtx, rrx) = bounded(1);
+        self.control(
+            m.from.worker,
+            Control::AbortMigration {
+                id: m.cachelet,
+                entries: drained,
+                reply: rtx,
+            },
+        );
+        let _ = rrx.recv();
+        self.coordinator.migration_failed(m);
     }
 
     /// Starts a background thread ticking the balancer every epoch on

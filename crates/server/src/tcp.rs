@@ -18,6 +18,7 @@ use crossbeam_channel::{bounded, Receiver, Sender};
 use mbal_core::types::WorkerAddr;
 use mbal_proto::codec::{self, opcode_of, HEADER_LEN};
 use mbal_proto::{Request, Response, Status};
+use mbal_telemetry::{Counter, MetricsShard, MetricsSnapshot};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::io::{ErrorKind, Read, Write};
@@ -381,6 +382,9 @@ pub struct TcpTransport {
     addrs: HashMap<WorkerAddr, SocketAddr>,
     pool: Mutex<HashMap<WorkerAddr, Vec<TcpStream>>>,
     cast_tx: Sender<(WorkerAddr, Request)>,
+    /// Client-side transport health counters
+    /// ([`Counter::TransportRetries`], [`Counter::TransportTimeouts`]).
+    metrics: Arc<MetricsShard>,
 }
 
 impl TcpTransport {
@@ -397,7 +401,34 @@ impl TcpTransport {
             addrs,
             pool: Mutex::new(HashMap::new()),
             cast_tx,
+            metrics: Arc::new(MetricsShard::new()),
         })
+    }
+
+    /// Snapshot of this transport's health counters (retries after
+    /// stale pooled connections, deadline timeouts).
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.metrics.snapshot()
+    }
+
+    /// Counts a timeout on its way out so operators can tell "slow
+    /// worker" from "dead link" without parsing error strings.
+    fn note(&self, e: TransportError) -> TransportError {
+        if matches!(e, TransportError::Timeout(_)) {
+            self.metrics.incr(Counter::TransportTimeouts);
+        }
+        e
+    }
+
+    /// Counts the timeout slots of a finished batch outcome.
+    fn note_outcome(&self, out: &BatchOutcome) {
+        let t = out
+            .iter()
+            .filter(|r| matches!(r, Err(TransportError::Timeout(_))))
+            .count();
+        if t > 0 {
+            self.metrics.add(Counter::TransportTimeouts, t as u64);
+        }
     }
 
     /// Opens a fresh connection with bounded retry/backoff under the
@@ -461,7 +492,7 @@ impl Transport for TcpTransport {
         let deadline = Instant::now() + budget;
         let frame =
             codec::encode_request(&req, 1).map_err(|e| TransportError::Broken(e.to_string()))?;
-        let (mut stream, pooled) = self.checkout(addr, deadline)?;
+        let (mut stream, pooled) = self.checkout(addr, deadline).map_err(|e| self.note(e))?;
         match exchange_one(&mut stream, &frame, deadline, addr) {
             Ok(resp) => {
                 self.checkin(addr, stream);
@@ -470,16 +501,17 @@ impl Transport for TcpTransport {
             Err((retry_safe, e)) => {
                 drop(stream);
                 if pooled && retry_safe {
-                    let mut fresh = self.connect(addr, deadline)?;
+                    self.metrics.incr(Counter::TransportRetries);
+                    let mut fresh = self.connect(addr, deadline).map_err(|e| self.note(e))?;
                     match exchange_one(&mut fresh, &frame, deadline, addr) {
                         Ok(resp) => {
                             self.checkin(addr, fresh);
                             Ok(resp)
                         }
-                        Err((_, e2)) => Err(e2),
+                        Err((_, e2)) => Err(self.note(e2)),
                     }
                 } else {
-                    Err(e)
+                    Err(self.note(e))
                 }
             }
         }
@@ -500,7 +532,7 @@ impl Transport for TcpTransport {
         };
         let (mut stream, pooled) = match self.checkout(addr, deadline) {
             Ok(s) => s,
-            Err(e) => return batch_errs(n, e),
+            Err(e) => return batch_errs(n, self.note(e)),
         };
         match exchange_batch(&mut stream, &frame, n, deadline, addr) {
             Ok(out) => {
@@ -509,25 +541,28 @@ impl Transport for TcpTransport {
                 if out.iter().all(|r| r.is_ok()) {
                     self.checkin(addr, stream);
                 }
+                self.note_outcome(&out);
                 out
             }
             Err((retry_safe, e)) => {
                 drop(stream);
                 if !(pooled && retry_safe) {
-                    return batch_errs(n, e);
+                    return batch_errs(n, self.note(e));
                 }
+                self.metrics.incr(Counter::TransportRetries);
                 let mut fresh = match self.connect(addr, deadline) {
                     Ok(s) => s,
-                    Err(e2) => return batch_errs(n, e2),
+                    Err(e2) => return batch_errs(n, self.note(e2)),
                 };
                 match exchange_batch(&mut fresh, &frame, n, deadline, addr) {
                     Ok(out) => {
                         if out.iter().all(|r| r.is_ok()) {
                             self.checkin(addr, fresh);
                         }
+                        self.note_outcome(&out);
                         out
                     }
-                    Err((_, e2)) => batch_errs(n, e2),
+                    Err((_, e2)) => batch_errs(n, self.note(e2)),
                 }
             }
         }

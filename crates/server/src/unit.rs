@@ -187,17 +187,30 @@ impl CacheUnit {
     }
 
     /// Installs entries received from a migrating source (destination
-    /// side). Entries that fail on memory pressure are counted as
+    /// side). Installation is add-if-absent so a duplicated or reordered
+    /// `MigrateEntries` frame can never clobber a newer write the
+    /// destination already accepted for the same key — replaying a batch
+    /// is a no-op. Entries that fail on memory pressure are counted as
     /// evictions — the paper's constraint (10)–(11) planner makes this
     /// rare.
     pub fn install_entries(&mut self, entries: Vec<(Vec<u8>, Vec<u8>, u64)>, now_ms: u64) -> usize {
         let mut installed = 0;
         for (k, v, exp) in entries {
-            if self.set(&k, &v, now_ms, exp).is_ok() {
+            if self.add(&k, &v, now_ms, exp) == Ok(true) {
                 installed += 1;
             }
         }
         installed
+    }
+
+    /// Rolls back an aborted outbound migration (source side): thaws the
+    /// table, clears progress, and re-installs the entries that had
+    /// already been drained, so every acknowledged write survives the
+    /// failed transfer. Re-installation is add-if-absent, preserving any
+    /// write accepted since the key's bucket was drained.
+    pub fn abort_migration(&mut self, entries: Vec<(Vec<u8>, Vec<u8>, u64)>, now_ms: u64) -> usize {
+        self.finish_migration();
+        self.install_entries(entries, now_ms)
     }
 
     /// Finishes migration bookkeeping (source side, before dropping, or
@@ -328,6 +341,46 @@ mod tests {
             assert_eq!(
                 dst.get(format!("k{i}").as_bytes(), 0).expect("hit"),
                 i.to_le_bytes()
+            );
+        }
+    }
+
+    #[test]
+    fn duplicate_install_never_clobbers_newer_write() {
+        let mut dst = unit(1);
+        let batch = vec![(b"k".to_vec(), b"old".to_vec(), 0u64)];
+        assert_eq!(dst.install_entries(batch.clone(), 0), 1);
+        // A client write lands on the destination after the install...
+        dst.set(b"k", b"new", 0, 0).expect("set");
+        // ...then the same migration batch is delivered again (dup).
+        assert_eq!(dst.install_entries(batch, 0), 0, "replay is a no-op");
+        assert_eq!(dst.get(b"k", 0).expect("hit"), b"new");
+    }
+
+    #[test]
+    fn abort_migration_restores_drained_entries() {
+        let mut u = unit(1);
+        for i in 0..80u32 {
+            u.set(format!("k{i}").as_bytes(), &i.to_le_bytes(), 0, 0)
+                .expect("set");
+        }
+        u.begin_migration(WorkerAddr::new(1, 0));
+        let mut drained: Vec<(Vec<u8>, Vec<u8>, u64)> = Vec::new();
+        // Drain half the buckets, then the transfer "fails".
+        let total = u.migration().expect("migrating").bucket_count;
+        for _ in 0..total / 2 {
+            if let Some(batch) = u.drain_next_bucket() {
+                drained.extend(batch.into_iter().map(|(k, v, e)| (k.into_vec(), v, e)));
+            }
+        }
+        assert!(!drained.is_empty());
+        u.abort_migration(drained, 0);
+        assert!(u.migration().is_none());
+        for i in 0..80u32 {
+            assert_eq!(
+                u.get(format!("k{i}").as_bytes(), 0).expect("hit"),
+                i.to_le_bytes(),
+                "k{i} must survive the rollback"
             );
         }
     }

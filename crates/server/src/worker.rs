@@ -24,7 +24,7 @@ use crossbeam_channel::Receiver;
 use mbal_balancer::WorkerLoad;
 use mbal_core::clock::Clock;
 use mbal_core::hotkey::{HotKey, HotKeyConfig, HotKeyTracker};
-use mbal_core::replica::ReplicaTable;
+use mbal_core::replica::{ReplicaLookup, ReplicaTable};
 use mbal_core::types::{CacheError, CacheletId, WorkerAddr};
 use mbal_proto::{Request, Response, Status};
 use mbal_telemetry::{Counter, Gauge, MetricsShard, StatsReport};
@@ -188,15 +188,24 @@ impl Worker {
             Request::ReplicaRead { key } => {
                 self.ctx.metrics.incr(Counter::ReplicaReads);
                 let now = self.now_ms();
-                match self.replica_table.get(&key, now) {
-                    Some(v) => {
+                match self.replica_table.lookup(&key, now) {
+                    ReplicaLookup::Hit(v) => {
+                        let value = v.to_vec();
                         self.ctx.metrics.incr(Counter::ReplicaReadHits);
                         Response::Value {
-                            value: v.to_vec(),
+                            value,
                             replicas: vec![],
                         }
                     }
-                    None => Response::NotFound,
+                    ReplicaLookup::Stale => {
+                        // A lease-expired replica may be arbitrarily
+                        // behind the home copy; refusing it is the §3.2
+                        // consistency guarantee, and we count how often
+                        // the guarantee actually fires.
+                        self.ctx.metrics.incr(Counter::StaleReadsRejected);
+                        Response::NotFound
+                    }
+                    ReplicaLookup::Miss => Response::NotFound,
                 }
             }
             Request::ReplicaInstall {
@@ -245,6 +254,21 @@ impl Worker {
                 });
                 unit.finish_migration();
                 self.forwards.remove(&cachelet);
+                Response::MigrateAck
+            }
+            Request::MigrateAbort { cachelet, home } => {
+                // The source is rolling back a failed transfer: discard
+                // any partially installed state and send stale-routed
+                // clients back to `home`. Aborts are issued synchronously
+                // by the migration driver before any re-migration can
+                // start, so the unconditional remove cannot race a newer
+                // incarnation of this cachelet.
+                self.units.remove(&cachelet);
+                if home != self.ctx.addr {
+                    self.forwards.insert(cachelet, home);
+                } else {
+                    self.forwards.remove(&cachelet);
+                }
                 Response::MigrateAck
             }
             Request::Stats { .. } => unreachable!("Stats is answered in handle_rpc"),
@@ -497,31 +521,78 @@ impl Worker {
         unit.delete(key);
         // Deleting a replicated key invalidates its replicas.
         if let Some(shadows) = self.replicated.remove(key) {
-            for s in shadows {
-                self.ctx
-                    .transport
-                    .cast(s, Request::ReplicaInvalidate { key: key.to_vec() });
-            }
+            self.invalidate_replicas(key, &shadows);
         }
         Response::Deleted
+    }
+
+    /// Invalidates `key`'s replicas at `shadows`. Under synchronous
+    /// replication the invalidation is called (with one retry per
+    /// shadow) rather than cast: a lost invalidate would let a shadow
+    /// keep serving a value the home worker already deleted.
+    fn invalidate_replicas(&mut self, key: &[u8], shadows: &[WorkerAddr]) {
+        for &s in shadows {
+            let req = Request::ReplicaInvalidate { key: key.to_vec() };
+            if self.ctx.sync_replication {
+                if self.ctx.transport.call(s, req.clone()).is_err() {
+                    self.ctx.metrics.incr(Counter::TransportRetries);
+                    let _ = self.ctx.transport.call(s, req);
+                }
+            } else {
+                self.ctx.transport.cast(s, req);
+            }
+        }
     }
 
     /// Propagates a write to every replica of `key` (§3.2: synchronous
     /// updates pay latency in the critical path; asynchronous updates are
     /// eventually consistent).
+    ///
+    /// Synchronous mode is where reads-after-write consistency is
+    /// promised, so a shadow that cannot be reached (after one retry) is
+    /// evicted from the replica set and best-effort invalidated — a
+    /// stale replica must never outlive a failed update.
     fn propagate_update(&mut self, key: &[u8], value: &[u8]) {
         let Some(shadows) = self.replicated.get(key) else {
             return;
         };
-        for &s in shadows {
+        if !self.ctx.sync_replication {
+            for &s in shadows {
+                self.ctx.transport.cast(
+                    s,
+                    Request::ReplicaUpdate {
+                        key: key.to_vec(),
+                        value: value.to_vec(),
+                    },
+                );
+            }
+            return;
+        }
+        let shadows = shadows.clone();
+        let mut failed = Vec::new();
+        for &s in &shadows {
             let req = Request::ReplicaUpdate {
                 key: key.to_vec(),
                 value: value.to_vec(),
             };
-            if self.ctx.sync_replication {
-                let _ = self.ctx.transport.call(s, req);
-            } else {
-                self.ctx.transport.cast(s, req);
+            if self.ctx.transport.call(s, req.clone()).is_err() {
+                self.ctx.metrics.incr(Counter::TransportRetries);
+                if self.ctx.transport.call(s, req).is_err() {
+                    failed.push(s);
+                }
+            }
+        }
+        if !failed.is_empty() {
+            for &s in &failed {
+                self.ctx
+                    .transport
+                    .cast(s, Request::ReplicaInvalidate { key: key.to_vec() });
+            }
+            if let Some(list) = self.replicated.get_mut(key) {
+                list.retain(|a| !failed.contains(a));
+                if list.is_empty() {
+                    self.replicated.remove(key);
+                }
             }
         }
     }
@@ -594,6 +665,15 @@ impl Worker {
                     })
                 });
                 let _ = reply.send(batch);
+            }
+            Control::AbortMigration { id, entries, reply } => {
+                let now = self.now_ms();
+                if let Some(u) = self.units.get_mut(&id) {
+                    u.abort_migration(entries, now);
+                }
+                // The cachelet is authoritative here again.
+                self.forwards.remove(&id);
+                let _ = reply.send(());
             }
             Control::FinishMigration { id, reply } => {
                 if let Some(u) = self.units.remove(&id) {

@@ -72,11 +72,20 @@ pub enum Counter {
     StatsRequests,
     /// Pipelined RPC batches drained.
     BatchRpcs,
+    /// Faults injected by a fault-injection transport wrapper.
+    FaultsInjected,
+    /// RPC attempts re-issued after a transient transport failure.
+    TransportRetries,
+    /// RPC attempts that exhausted their deadline.
+    TransportTimeouts,
+    /// Replica reads refused because the lease had expired (the value
+    /// may be stale, so the shadow answers `NotFound` instead).
+    StaleReadsRejected,
 }
 
 impl Counter {
     /// Number of counters in the catalog.
-    pub const COUNT: usize = 26;
+    pub const COUNT: usize = 30;
 
     /// Every counter, in index order.
     pub const ALL: [Counter; Self::COUNT] = [
@@ -106,6 +115,10 @@ impl Counter {
         Counter::BytesOut,
         Counter::StatsRequests,
         Counter::BatchRpcs,
+        Counter::FaultsInjected,
+        Counter::TransportRetries,
+        Counter::TransportTimeouts,
+        Counter::StaleReadsRejected,
     ];
 
     /// Stable wire/exposition name.
@@ -137,6 +150,10 @@ impl Counter {
             Counter::BytesOut => "bytes_out",
             Counter::StatsRequests => "stats_requests",
             Counter::BatchRpcs => "batch_rpcs",
+            Counter::FaultsInjected => "faults_injected",
+            Counter::TransportRetries => "retries",
+            Counter::TransportTimeouts => "timeouts",
+            Counter::StaleReadsRejected => "stale_reads_rejected",
         }
     }
 }

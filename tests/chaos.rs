@@ -1,0 +1,345 @@
+//! Chaos model-checked consistency suite.
+//!
+//! Extends the `model_based` harness with a seeded
+//! [`mbal::server::FaultInjector`] between every component and the
+//! in-proc registry: arbitrary op sequences, forced coordinated
+//! migrations and balancer epochs run while frames are dropped, delayed,
+//! duplicated, reordered and connections reset mid-batch. Throughout,
+//! the cluster must agree with a `HashMap` model that tracks an
+//! *uncertainty set* per key — an operation whose ack was lost may or
+//! may not have been applied, so both outcomes stay admissible until a
+//! later read resolves them. The suite asserts, per seed:
+//!
+//! - no acknowledged write is ever lost (a key whose last `set` was
+//!   acked must read back exactly that value over a clean transport);
+//! - no invalidated value is ever served (an acked `delete` makes every
+//!   earlier value inadmissible);
+//! - the same seed replays a byte-identical fault schedule with
+//!   identical verdicts.
+//!
+//! Every assertion message carries the failing seed, and a failing run
+//! writes it to `target/chaos/failing-seed.txt` so CI can surface it as
+//! an artifact. Replay locally with e.g.
+//! `FaultPlan::drops(<seed>, 0.10)` in a unit test or debugger session.
+
+use mbal::balancer::coordinator::Coordinator;
+use mbal::balancer::plan::Migration;
+use mbal::balancer::BalancerConfig;
+use mbal::client::{Client, CoordinatorLink};
+use mbal::core::clock::{Clock, ManualClock};
+use mbal::core::types::{CacheletId, ServerId, WorkerAddr};
+use mbal::ring::{ConsistentRing, MappingTable};
+use mbal::server::fault::SplitMix64;
+use mbal::server::{FaultInjector, FaultPlan, InProcRegistry, Server, ServerConfig, Transport};
+use mbal::telemetry::Counter;
+use std::collections::HashMap;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+/// Distinct keys the scenario touches.
+const KEYS: u64 = 48;
+
+fn key_of(k: u8) -> Vec<u8> {
+    format!("mb:{k:03}").into_bytes()
+}
+
+/// What one chaos run produced, for replayability comparisons.
+#[derive(Debug, PartialEq, Eq)]
+struct Outcome {
+    /// The injector's fault schedule, one line per event.
+    digest: String,
+    /// Per-op verdict log (op index, kind, key, result).
+    log: String,
+    /// Faults injected.
+    injected: u64,
+}
+
+/// Per-key uncertainty set: the values the cluster is allowed to hold
+/// (`None` = absent). A key that was never touched is implicitly
+/// `{None}`; a successful read collapses the set to what was observed.
+type Model = HashMap<u8, Vec<Option<Vec<u8>>>>;
+
+fn admit(model: &mut Model, k: u8, v: Option<Vec<u8>>) {
+    let poss = model.entry(k).or_insert_with(|| vec![None]);
+    if !poss.contains(&v) {
+        poss.push(v);
+    }
+}
+
+/// Runs one seeded chaos scenario; panics (with the seed in the
+/// message) on any consistency violation.
+fn run_scenario(plan: FaultPlan, ops: usize, with_ticks: bool) -> Outcome {
+    let seed = plan.seed;
+    let mut ring = ConsistentRing::new();
+    for s in 0..2u16 {
+        ring.add_worker(WorkerAddr::new(s, 0));
+        ring.add_worker(WorkerAddr::new(s, 1));
+    }
+    let mapping = MappingTable::build(&ring, 4, 128);
+    let bal = BalancerConfig::aggressive();
+    let coordinator = Arc::new(Coordinator::new(mapping.clone(), bal.clone()));
+    let registry = InProcRegistry::new();
+    let clock = ManualClock::new();
+    let injector = FaultInjector::new(Arc::clone(&registry) as Arc<dyn Transport>, plan);
+    let mut servers: Vec<Server> = (0..2u16)
+        .map(|s| {
+            Server::spawn_with_transport(
+                ServerConfig::new(ServerId(s), 2, 32 << 20)
+                    .cachelets_per_worker(4)
+                    .balancer(bal.clone()),
+                &mapping,
+                &registry,
+                Arc::clone(&injector) as Arc<dyn Transport>,
+                Arc::clone(&coordinator),
+                Arc::new(clock.clone()),
+            )
+        })
+        .collect();
+    let mut client = Client::new(
+        Arc::clone(&injector) as Arc<dyn Transport>,
+        Arc::clone(&coordinator) as Arc<dyn CoordinatorLink>,
+    );
+
+    let mut model: Model = HashMap::new();
+    let mut log = String::new();
+    // The op stream draws from its own PRNG, derived from the plan seed
+    // so one number reproduces both the workload and the faults.
+    let mut rng = SplitMix64::new(seed ^ 0xA5A5_5A5A_0D15_EA5E);
+
+    for i in 0..ops {
+        match rng.next_below(100) {
+            0..=39 => {
+                let k = rng.next_below(KEYS) as u8;
+                let v = format!("v{i}-{:04x}", rng.next_u64() & 0xffff).into_bytes();
+                match client.set(&key_of(k), &v) {
+                    Ok(()) => {
+                        // Acked: the value is now the only admissible one.
+                        model.insert(k, vec![Some(v)]);
+                        log.push_str(&format!("{i}:set:{k}:ok\n"));
+                    }
+                    Err(e) => {
+                        // Unacked: may or may not have landed.
+                        admit(&mut model, k, Some(v));
+                        log.push_str(&format!("{i}:set:{k}:err:{e}\n"));
+                    }
+                }
+            }
+            40..=69 => {
+                let k = rng.next_below(KEYS) as u8;
+                match client.get(&key_of(k)) {
+                    Ok(got) => {
+                        let poss = model.entry(k).or_insert_with(|| vec![None]);
+                        assert!(
+                            poss.contains(&got),
+                            "seed {seed}: op {i} read {got:?} for key {k}, \
+                             admissible values were {poss:?} (stale or lost value served)"
+                        );
+                        // The read resolves the uncertainty.
+                        *poss = vec![got.clone()];
+                        log.push_str(&format!("{i}:get:{k}:{got:?}\n"));
+                    }
+                    Err(e) => log.push_str(&format!("{i}:get:{k}:err:{e}\n")),
+                }
+            }
+            70..=81 => {
+                let k = rng.next_below(KEYS) as u8;
+                match client.delete(&key_of(k)) {
+                    Ok(existed) => {
+                        model.insert(k, vec![None]);
+                        log.push_str(&format!("{i}:del:{k}:ok:{existed}\n"));
+                    }
+                    Err(e) => {
+                        admit(&mut model, k, None);
+                        log.push_str(&format!("{i}:del:{k}:err:{e}\n"));
+                    }
+                }
+            }
+            82..=89 if with_ticks => {
+                clock.advance(250_000);
+                let now = Clock::now_millis(&clock);
+                for s in &mut servers {
+                    s.tick(now);
+                }
+                log.push_str(&format!("{i}:tick\n"));
+            }
+            _ => {
+                // Forced coordinated migration of an arbitrary cachelet
+                // to the other server, mid-faults.
+                let snap = coordinator.mapping_snapshot();
+                let c = CacheletId(rng.next_below(snap.num_cachelets() as u64) as u32);
+                let Some(owner) = snap.worker_of_cachelet(c) else {
+                    continue;
+                };
+                let dest_server = if owner.server == ServerId(0) { 1 } else { 0 };
+                let dest = WorkerAddr::new(dest_server, rng.next_below(2) as u16);
+                let m = Migration {
+                    cachelet: c,
+                    from: owner,
+                    to: dest,
+                    load: 0.0,
+                };
+                coordinator.report_local_move(&m);
+                let committed = servers[owner.server.0 as usize].migrate_out(&m);
+                log.push_str(&format!("{i}:migrate:{}:{committed}\n", c.0));
+            }
+        }
+    }
+
+    // Final sweep over a CLEAN transport: whatever the faults did, the
+    // cluster must have converged to an admissible state — every acked
+    // write readable, every acked delete absent.
+    let mut checker = Client::new(
+        Arc::clone(&registry) as Arc<dyn Transport>,
+        Arc::clone(&coordinator) as Arc<dyn CoordinatorLink>,
+    );
+    for k in 0..KEYS as u8 {
+        let got = checker
+            .get(&key_of(k))
+            .unwrap_or_else(|e| panic!("seed {seed}: clean sweep get({k}) failed: {e}"));
+        let poss = model.get(&k).cloned().unwrap_or_else(|| vec![None]);
+        assert!(
+            poss.contains(&got),
+            "seed {seed}: final divergence on key {k}: cluster holds {got:?}, \
+             admissible values are {poss:?} — an acknowledged write was lost \
+             or an invalidated value survived"
+        );
+    }
+    for s in &mut servers {
+        s.shutdown();
+    }
+    Outcome {
+        digest: injector.schedule_digest(),
+        log,
+        injected: injector.injected(),
+    }
+}
+
+/// Wraps [`run_scenario`] so a failing seed lands in
+/// `target/chaos/failing-seed.txt` for CI to pick up as an artifact.
+fn run_chaos(name: &str, plan: FaultPlan, ops: usize, with_ticks: bool) -> Outcome {
+    let seed = plan.seed;
+    match catch_unwind(AssertUnwindSafe(|| run_scenario(plan, ops, with_ticks))) {
+        Ok(out) => out,
+        Err(e) => {
+            let _ = std::fs::create_dir_all("target/chaos");
+            let _ = std::fs::write(
+                "target/chaos/failing-seed.txt",
+                format!("scenario={name} seed={seed}\n"),
+            );
+            eprintln!("chaos scenario '{name}' FAILED — replay with seed {seed}");
+            resume_unwind(e)
+        }
+    }
+}
+
+#[test]
+fn chaos_dropped_frames_never_lose_acked_writes() {
+    for seed in [11, 12, 13] {
+        let out = run_chaos("drops", FaultPlan::drops(seed, 0.10), 140, true);
+        assert!(out.injected > 0, "seed {seed}: drop plan never fired");
+    }
+}
+
+#[test]
+fn chaos_delayed_frames_respect_deadlines() {
+    for seed in [21, 22, 23] {
+        let out = run_chaos("delays", FaultPlan::delays(seed, 0.25, 1, 3), 140, true);
+        assert!(out.injected > 0, "seed {seed}: delay plan never fired");
+    }
+}
+
+#[test]
+fn chaos_duplicate_and_reordered_delivery_is_idempotent() {
+    for seed in [31, 32, 33] {
+        let plan = FaultPlan::none(seed).with_duplicate(0.15).with_reorder(0.5);
+        let out = run_chaos("dup-reorder", plan, 140, true);
+        assert!(out.injected > 0, "seed {seed}: dup/reorder plan never fired");
+    }
+}
+
+#[test]
+fn chaos_connection_resets_roll_back_cleanly() {
+    for seed in [41, 42, 43] {
+        let out = run_chaos("resets", FaultPlan::resets(seed, 0.08), 140, true);
+        assert!(out.injected > 0, "seed {seed}: reset plan never fired");
+    }
+}
+
+#[test]
+fn chaos_all_fault_classes_at_once() {
+    let plan = FaultPlan::drops(51, 0.05)
+        .with_delay(0.10, 1, 2)
+        .with_duplicate(0.05)
+        .with_reorder(0.25)
+        .with_reset(0.04);
+    let out = run_chaos("mixed", plan, 160, true);
+    assert!(out.injected > 0, "mixed plan never fired");
+}
+
+#[test]
+fn chaos_same_seed_replays_byte_identical() {
+    // No ticks: balancer epochs add no transport traffic of their own
+    // here, and keeping every injector call on the driving thread makes
+    // the call order — hence the schedule — provably deterministic.
+    let plan = || {
+        FaultPlan::drops(0xC0FFEE, 0.08)
+            .with_reset(0.05)
+            .with_reorder(0.3)
+    };
+    let a = run_chaos("replay-a", plan(), 120, false);
+    let b = run_chaos("replay-b", plan(), 120, false);
+    assert_eq!(
+        a.digest, b.digest,
+        "same seed must produce a byte-identical fault schedule"
+    );
+    assert_eq!(a.log, b.log, "same seed must produce identical verdicts");
+    assert_eq!(a.injected, b.injected);
+    assert!(a.injected > 0, "replay plan never fired");
+
+    let c = run_chaos("replay-c", FaultPlan::drops(0xDECAF, 0.08), 120, false);
+    assert_ne!(
+        a.digest, c.digest,
+        "different seeds must produce different schedules"
+    );
+}
+
+#[test]
+fn chaos_counters_account_for_injected_faults() {
+    let plan = FaultPlan::drops(61, 0.15);
+    let seed = plan.seed;
+    let mut ring = ConsistentRing::new();
+    ring.add_worker(WorkerAddr::new(0, 0));
+    let mapping = MappingTable::build(&ring, 4, 64);
+    let coordinator = Arc::new(Coordinator::new(mapping.clone(), BalancerConfig::default()));
+    let registry = InProcRegistry::new();
+    let clock = ManualClock::new();
+    let injector = FaultInjector::new(Arc::clone(&registry) as Arc<dyn Transport>, plan);
+    let mut server = Server::spawn_with_transport(
+        ServerConfig::new(ServerId(0), 1, 16 << 20).cachelets_per_worker(4),
+        &mapping,
+        &registry,
+        Arc::clone(&injector) as Arc<dyn Transport>,
+        Arc::clone(&coordinator),
+        Arc::new(clock.clone()),
+    );
+    let mut client = Client::new(
+        Arc::clone(&injector) as Arc<dyn Transport>,
+        Arc::clone(&coordinator) as Arc<dyn CoordinatorLink>,
+    );
+    for i in 0..200u32 {
+        let _ = client.set(format!("k{i}").as_bytes(), b"v");
+    }
+    let injected = injector.injected();
+    assert!(injected > 0, "seed {seed}: no faults at p=0.15 over 200 ops");
+    let snap = injector.metrics().snapshot();
+    assert_eq!(
+        snap.get(Counter::FaultsInjected),
+        injected,
+        "the FaultsInjected counter must match the schedule length"
+    );
+    assert!(
+        client.stats().transport_retries > 0,
+        "dropped frames must surface as client transport retries"
+    );
+    server.shutdown();
+}

@@ -10,8 +10,8 @@ use mbal::core::clock::RealClock;
 use mbal::core::types::{ServerId, WorkerAddr};
 use mbal::ring::{ConsistentRing, MappingTable};
 use mbal::server::tcp::{serve_tcp, TcpTransport};
-use mbal::server::{InProcRegistry, Server, ServerConfig, Transport};
-use mbal::telemetry::Counter;
+use mbal::server::{FaultInjector, FaultPlan, InProcRegistry, Server, ServerConfig, Transport};
+use mbal::telemetry::{Counter, Gauge};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -100,6 +100,86 @@ fn stats_over_tcp_report_issued_traffic() {
         .expect("worker stats");
     assert_eq!(one.load.addr, WorkerAddr::new(0, 0));
     assert!(!one.named_dump().is_empty());
+
+    for s in &mut servers {
+        s.shutdown();
+    }
+}
+
+/// `Stats { reset: true }` raced against live writers, with the stats
+/// scrapes travelling through a delay-injecting fault transport to
+/// widen the race window. Because a worker serves its mailbox serially,
+/// every reset snapshot must partition the write stream exactly: the
+/// sum of harvested deltas plus the final residual equals the writes
+/// issued — nothing lost, nothing double-counted — and gauges (current
+/// state, not rates) must survive every reset.
+#[test]
+fn stats_reset_raced_with_writers_conserves_counts() {
+    const WRITES: u64 = 400;
+    let (mut servers, coordinator, transport) = build(1, 1);
+
+    let writer_transport = Arc::clone(&transport);
+    let writer_coord = Arc::clone(&coordinator);
+    let writer = std::thread::spawn(move || {
+        let mut c = Client::new(
+            writer_transport as Arc<dyn Transport>,
+            writer_coord as Arc<dyn mbal::client::CoordinatorLink>,
+        );
+        for i in 0..WRITES {
+            c.set(format!("race:{}", i % 32).as_bytes(), b"v")
+                .expect("writer set");
+        }
+    });
+
+    // The scraper's frames get held 1–3 ms half the time, so resets land
+    // at arbitrary points of the write stream.
+    let injector = FaultInjector::new(
+        Arc::clone(&transport) as Arc<dyn Transport>,
+        FaultPlan::delays(0xbeef, 0.5, 1, 3),
+    );
+    let mut scraper = Client::new(
+        Arc::clone(&injector) as Arc<dyn Transport>,
+        Arc::clone(&coordinator) as Arc<dyn mbal::client::CoordinatorLink>,
+    );
+
+    let mut harvested = 0u64;
+    let mut owned_gauge = None;
+    let mut scrapes = 0u32;
+    loop {
+        let done = writer.is_finished();
+        let reports = scraper.server_stats(true).expect("stats reset under delay");
+        harvested += reports
+            .iter()
+            .map(|r| r.load.metrics.get(Counter::Sets))
+            .sum::<u64>();
+        let owned = reports[0].load.metrics.gauge(Gauge::CacheletsOwned);
+        assert!(owned > 0, "gauges must survive a counter reset");
+        if let Some(prev) = owned_gauge {
+            assert_eq!(prev, owned, "reset must not disturb gauges");
+        }
+        owned_gauge = Some(owned);
+        scrapes += 1;
+        if done && scrapes >= 3 {
+            break;
+        }
+    }
+    writer.join().expect("writer thread");
+
+    // Writers are synchronous, so after the join every SET has been
+    // counted; whatever the harvest missed sits in the residual.
+    let residual: u64 = scraper
+        .server_stats(false)
+        .expect("final stats")
+        .iter()
+        .map(|r| r.load.metrics.get(Counter::Sets))
+        .sum();
+    assert_eq!(
+        harvested + residual,
+        WRITES,
+        "reset deltas must partition the write stream exactly \
+         (harvested {harvested} + residual {residual})"
+    );
+    assert!(injector.injected() > 0, "delay plan never fired");
 
     for s in &mut servers {
         s.shutdown();

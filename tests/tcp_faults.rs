@@ -1,0 +1,200 @@
+//! TCP transport under failure: connections dying mid-`Batch`, and the
+//! seeded [`FaultInjector`] composed over the real TCP stack — the
+//! injector is transport-agnostic, so the same `FaultPlan` that drives
+//! the in-proc chaos suite drives a socket-backed cluster here.
+
+use mbal::balancer::coordinator::Coordinator;
+use mbal::balancer::BalancerConfig;
+use mbal::client::Client;
+use mbal::core::clock::RealClock;
+use mbal::core::types::{CacheletId, ServerId, WorkerAddr};
+use mbal::proto::codec::{self, opcode_of, HEADER_LEN};
+use mbal::proto::{Request, Response};
+use mbal::ring::{ConsistentRing, MappingTable};
+use mbal::server::tcp::{serve_tcp, TcpTransport};
+use mbal::server::{
+    FaultInjector, FaultPlan, InProcRegistry, Server, ServerConfig, Transport, TransportError,
+};
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Reads one length-framed protocol frame (test-side peer).
+fn read_frame(stream: &mut TcpStream) -> Option<Vec<u8>> {
+    let mut header = [0u8; HEADER_LEN];
+    stream.read_exact(&mut header).ok()?;
+    let total = codec::frame_len(&header)?;
+    let mut frame = vec![0u8; total];
+    frame[..HEADER_LEN].copy_from_slice(&header);
+    stream.read_exact(&mut frame[HEADER_LEN..]).ok()?;
+    Some(frame)
+}
+
+/// A scripted worker endpoint: the first accepted connection answers
+/// only `answer_first` sub-requests of its batch and then closes the
+/// stream mid-batch; every later connection serves batches fully and
+/// keeps the connection open. Returns the socket address and an accept
+/// counter.
+fn scripted_endpoint(answer_first: usize) -> (std::net::SocketAddr, Arc<AtomicUsize>) {
+    let listener = TcpListener::bind(("127.0.0.1", 0)).expect("bind");
+    let sock = listener.local_addr().expect("addr");
+    let accepts = Arc::new(AtomicUsize::new(0));
+    let counter = Arc::clone(&accepts);
+    std::thread::spawn(move || {
+        for conn in listener.incoming() {
+            let Ok(mut conn) = conn else { return };
+            let nth = counter.fetch_add(1, Ordering::SeqCst);
+            std::thread::spawn(move || loop {
+                let Some(frame) = read_frame(&mut conn) else {
+                    return;
+                };
+                let subs = codec::decode_batch_request(&frame).expect("batch frame");
+                let keep = if nth == 0 { answer_first } else { subs.len() };
+                for (req, opaque) in subs.into_iter().take(keep) {
+                    let bytes =
+                        codec::encode_response(&Response::Stored, opcode_of(&req), opaque)
+                            .expect("encode");
+                    conn.write_all(&bytes).expect("write");
+                }
+                if nth == 0 {
+                    // Close mid-batch: the remaining responses never come.
+                    return;
+                }
+            });
+        }
+    });
+    (sock, accepts)
+}
+
+#[test]
+fn tcp_connection_dying_mid_batch_degrades_to_per_op_errors() {
+    let (sock, accepts) = scripted_endpoint(2);
+    let worker = WorkerAddr::new(0, 0);
+    let transport = TcpTransport::new([(worker, sock)].into_iter().collect());
+    let reqs: Vec<Request> = (0..6)
+        .map(|i| Request::Set {
+            cachelet: CacheletId(0),
+            key: format!("k{i}").into_bytes(),
+            value: b"v".to_vec(),
+            expiry_ms: 0,
+        })
+        .collect();
+
+    let started = Instant::now();
+    let out = transport.call_many(worker, reqs.clone(), Duration::from_secs(5));
+    let elapsed = started.elapsed();
+
+    // Per-operation outcomes, no panic, and a prompt return — the two
+    // answered slots succeed, the rest fail with Broken, and nothing
+    // waits out the full deadline.
+    assert_eq!(out.len(), 6);
+    assert_eq!(out[0], Ok(Response::Stored));
+    assert_eq!(out[1], Ok(Response::Stored));
+    for r in &out[2..] {
+        assert!(matches!(r, Err(TransportError::Broken(_))), "got {r:?}");
+    }
+    assert!(
+        elapsed < Duration::from_secs(4),
+        "mid-batch death must not hang until the deadline: took {elapsed:?}"
+    );
+
+    // The poisoned connection was discarded, not pooled: the next batch
+    // dials a fresh connection (second accept) and completes fully.
+    let out2 = transport.call_many(worker, reqs, Duration::from_secs(5));
+    assert!(out2.iter().all(|r| r == &Ok(Response::Stored)), "{out2:?}");
+    assert_eq!(
+        accepts.load(Ordering::SeqCst),
+        2,
+        "retry after a mid-batch death must use a fresh connection"
+    );
+}
+
+fn build_cluster(
+    n_servers: u16,
+    workers: u16,
+) -> (Vec<Server>, Arc<Coordinator>, Arc<TcpTransport>) {
+    let mut ring = ConsistentRing::new();
+    for s in 0..n_servers {
+        for w in 0..workers {
+            ring.add_worker(WorkerAddr::new(s, w));
+        }
+    }
+    let mapping = MappingTable::build(&ring, 4, 256);
+    let coordinator = Arc::new(Coordinator::new(mapping.clone(), BalancerConfig::default()));
+    let registry = InProcRegistry::new();
+    let mut routes = HashMap::new();
+    let servers: Vec<Server> = (0..n_servers)
+        .map(|s| {
+            let server = Server::spawn(
+                ServerConfig::new(ServerId(s), workers, 64 << 20).cachelets_per_worker(4),
+                &mapping,
+                &registry,
+                Arc::clone(&coordinator),
+                Arc::new(RealClock::new()),
+            );
+            let bound = serve_tcp(&server.worker_mailboxes(), "127.0.0.1", 0).expect("bind");
+            routes.extend(bound);
+            server
+        })
+        .collect();
+    (servers, coordinator, TcpTransport::new(routes))
+}
+
+#[test]
+fn fault_injector_composes_over_tcp() {
+    let (mut servers, coordinator, tcp) = build_cluster(1, 2);
+    // Drop the first three frames, then behave: the client's budgeted
+    // retries must ride through without any application-level error.
+    let plan = FaultPlan::drops(0xface, 1.0).with_max_faults(3);
+    let injector = FaultInjector::new(Arc::clone(&tcp) as Arc<dyn Transport>, plan);
+    let mut client = Client::new(
+        Arc::clone(&injector) as Arc<dyn Transport>,
+        Arc::clone(&coordinator) as Arc<dyn mbal::client::CoordinatorLink>,
+    );
+
+    client.set(b"tf:key", b"value").expect("set rides out drops");
+    assert_eq!(
+        client.get(b"tf:key").expect("get over tcp"),
+        Some(b"value".to_vec())
+    );
+    assert_eq!(injector.injected(), 3, "exactly the budgeted drops fired");
+    assert_eq!(
+        client.stats().transport_retries,
+        3,
+        "each dropped frame must surface as one budgeted retry"
+    );
+
+    // The schedule is replayable from the printed seed even over TCP.
+    assert_eq!(injector.seed(), 0xface);
+    assert_eq!(injector.schedule().len(), 3);
+
+    for s in &mut servers {
+        s.shutdown();
+    }
+}
+
+#[test]
+fn dead_endpoint_fails_fast_over_tcp() {
+    let (mut servers, _coordinator, tcp) = build_cluster(1, 2);
+    let dead = WorkerAddr::new(0, 1);
+    let plan = FaultPlan::none(1).with_dead_endpoint(dead);
+    let injector = FaultInjector::new(Arc::clone(&tcp) as Arc<dyn Transport>, plan);
+
+    let started = Instant::now();
+    let res = injector.call(dead, Request::Stats { reset: false });
+    assert_eq!(res, Err(TransportError::Unreachable(dead)));
+    assert!(
+        started.elapsed() < Duration::from_millis(500),
+        "a dead endpoint must short-circuit, not burn the deadline"
+    );
+    // The live sibling still answers through the same injector.
+    let ok = injector.call(WorkerAddr::new(0, 0), Request::Stats { reset: false });
+    assert!(ok.is_ok(), "live endpoint failed: {ok:?}");
+
+    for s in &mut servers {
+        s.shutdown();
+    }
+}
