@@ -1,8 +1,106 @@
 //! Balancer tunables.
 
+/// Which balancing phases are enabled.
+///
+/// The paper evaluates MBal as an ablation ladder — no balancing,
+/// Phase 1 only, Phases 1+2, all phases (Figures 8–10) — so the set is
+/// part of the balancer configuration: the driver plans only the
+/// enabled phases and clamps the state machine's output accordingly.
+/// `Default` is all-off ("MBal w/o load balancer"); a default
+/// [`BalancerConfig`] enables everything.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseSet {
+    /// Phase 1: hot-key replication.
+    pub p1: bool,
+    /// Phase 2: server-local cachelet migration.
+    pub p2: bool,
+    /// Phase 3: coordinated cross-server migration.
+    pub p3: bool,
+}
+
+impl PhaseSet {
+    /// All phases on (the full MBal configuration).
+    pub fn all() -> Self {
+        Self {
+            p1: true,
+            p2: true,
+            p3: true,
+        }
+    }
+
+    /// No balancing (`MBal w/o load balancer`).
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Only Phase 1.
+    pub fn only_p1() -> Self {
+        Self {
+            p1: true,
+            ..Self::default()
+        }
+    }
+
+    /// Only Phase 2.
+    pub fn only_p2() -> Self {
+        Self {
+            p2: true,
+            ..Self::default()
+        }
+    }
+
+    /// Only Phase 3.
+    pub fn only_p3() -> Self {
+        Self {
+            p3: true,
+            ..Self::default()
+        }
+    }
+
+    /// Phases 1 and 2 (the "cheap" ladder rung of the ablation matrix).
+    pub fn p1_p2() -> Self {
+        Self {
+            p1: true,
+            p2: true,
+            p3: false,
+        }
+    }
+
+    /// Short stable label for reports and benchmark matrices.
+    pub fn label(&self) -> &'static str {
+        match (self.p1, self.p2, self.p3) {
+            (false, false, false) => "off",
+            (true, false, false) => "p1",
+            (false, true, false) => "p2",
+            (false, false, true) => "p3",
+            (true, true, false) => "p1p2",
+            (true, false, true) => "p1p3",
+            (false, true, true) => "p2p3",
+            (true, true, true) => "all",
+        }
+    }
+
+    /// Parses the labels produced by [`PhaseSet::label`].
+    pub fn parse(s: &str) -> Option<Self> {
+        Some(match s {
+            "off" | "none" => Self::none(),
+            "p1" => Self::only_p1(),
+            "p2" => Self::only_p2(),
+            "p3" => Self::only_p3(),
+            "p1p2" | "p12" => Self::p1_p2(),
+            "all" => Self::all(),
+            _ => return None,
+        })
+    }
+}
+
 /// Configuration of the multi-phase load balancer.
 #[derive(Debug, Clone)]
 pub struct BalancerConfig {
+    /// Which phases the driver is allowed to run. Defaults to all —
+    /// disabling phases is the evaluation ablation knob, not a normal
+    /// production setting.
+    pub phases: PhaseSet,
     /// `REPL_high`: the replication high watermark — above this many
     /// replicated hot keys, a worker backs off Phase 1 (reduced sampling)
     /// and escalates to migration phases.
@@ -37,6 +135,7 @@ pub struct BalancerConfig {
 impl Default for BalancerConfig {
     fn default() -> Self {
         Self {
+            phases: PhaseSet::all(),
             repl_high: 16,
             imb_thresh: 0.30,
             server_load_thresh: 0.75,
@@ -79,6 +178,23 @@ mod tests {
             "paper: 75%"
         );
         assert!(c.max_replicas >= 2, "hot keys replicate to ≥1 shadow");
+        assert_eq!(c.phases, PhaseSet::all(), "all phases on by default");
+    }
+
+    #[test]
+    fn phase_set_labels_round_trip() {
+        for set in [
+            PhaseSet::none(),
+            PhaseSet::only_p1(),
+            PhaseSet::only_p2(),
+            PhaseSet::only_p3(),
+            PhaseSet::p1_p2(),
+            PhaseSet::all(),
+        ] {
+            assert_eq!(PhaseSet::parse(set.label()), Some(set));
+        }
+        assert_eq!(PhaseSet::parse("p12"), Some(PhaseSet::p1_p2()));
+        assert_eq!(PhaseSet::parse("bogus"), None);
     }
 
     #[test]

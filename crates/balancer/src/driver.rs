@@ -129,6 +129,24 @@ impl BalanceDriver {
     ) -> EpochActions {
         let obs = self.observe(workers, hot_keys);
         let phase = self.machine.observe(&obs);
+        // Ablation gating (`BalancerConfig::phases`): clamp the state
+        // machine's verdict to the enabled phases. A disabled rung falls
+        // through to the nearest enabled escalation (local → coordinated)
+        // or, failing that, de-escalates.
+        let gates = self.cfg.phases;
+        let phase = match phase {
+            Phase::Normal => Phase::Normal,
+            Phase::KeyReplication if gates.p1 => Phase::KeyReplication,
+            Phase::KeyReplication => Phase::Normal,
+            Phase::LocalMigration if gates.p2 => Phase::LocalMigration,
+            Phase::LocalMigration if gates.p3 => Phase::CoordinatedMigration,
+            Phase::LocalMigration if gates.p1 => Phase::KeyReplication,
+            Phase::LocalMigration => Phase::Normal,
+            Phase::CoordinatedMigration if gates.p3 => Phase::CoordinatedMigration,
+            Phase::CoordinatedMigration if gates.p2 => Phase::LocalMigration,
+            Phase::CoordinatedMigration if gates.p1 => Phase::KeyReplication,
+            Phase::CoordinatedMigration => Phase::Normal,
+        };
         let mut out = EpochActions {
             phase: Some(phase),
             sampling_backoff: 1,
@@ -137,10 +155,11 @@ impl BalanceDriver {
 
         // Phase 1 runs whenever we are in it, and keeps running backed
         // off during migration phases (concurrent lower-priority phase).
-        let run_replication = matches!(
-            phase,
-            Phase::KeyReplication | Phase::LocalMigration | Phase::CoordinatedMigration
-        );
+        let run_replication = gates.p1
+            && matches!(
+                phase,
+                Phase::KeyReplication | Phase::LocalMigration | Phase::CoordinatedMigration
+            );
         if run_replication {
             if phase != Phase::KeyReplication {
                 out.sampling_backoff = 4;
@@ -194,7 +213,7 @@ impl BalanceDriver {
                     });
                     out.local_migrations = plan;
                 }
-                Phase2Outcome::Escalate => {
+                Phase2Outcome::Escalate if gates.p3 => {
                     out.coordinate = overloaded_workers(workers, &self.cfg);
                     self.log.record(PhaseEvent {
                         at_ms: now_ms,
@@ -203,19 +222,24 @@ impl BalanceDriver {
                         actions: out.coordinate.len(),
                     });
                 }
+                // Phase 3 disabled: a local shuffle that cannot help is
+                // simply not attempted again; nothing to escalate to.
+                Phase2Outcome::Escalate => {}
                 Phase2Outcome::Nothing => {}
             },
             Phase::CoordinatedMigration => {
                 // First see whether a local shuffle suffices; otherwise
                 // (or additionally, for the workers still hot) escalate.
-                if let Phase2Outcome::Plan(plan) = plan_local(workers, &self.cfg) {
-                    self.log.record(PhaseEvent {
-                        at_ms: now_ms,
-                        server: self.server,
-                        phase: Phase::LocalMigration,
-                        actions: plan.len(),
-                    });
-                    out.local_migrations = plan;
+                if gates.p2 {
+                    if let Phase2Outcome::Plan(plan) = plan_local(workers, &self.cfg) {
+                        self.log.record(PhaseEvent {
+                            at_ms: now_ms,
+                            server: self.server,
+                            phase: Phase::LocalMigration,
+                            actions: plan.len(),
+                        });
+                        out.local_migrations = plan;
+                    }
                 }
                 out.coordinate = overloaded_workers(workers, &self.cfg);
                 if !out.coordinate.is_empty() {
@@ -347,6 +371,50 @@ mod tests {
         assert!(!a.coordinate.is_empty());
         assert_eq!(a.coordinate[0], WorkerAddr::new(0, 0), "hottest first");
         assert_eq!(a.sampling_backoff, 4, "replication backs off");
+    }
+
+    #[test]
+    fn disabled_phases_clamp_to_quiet() {
+        use crate::config::PhaseSet;
+        let ws = vec![worker(0, &[50.0, 40.0]), worker(1, &[2.0])];
+        let mut cfg = BalancerConfig::aggressive();
+        cfg.phases = PhaseSet::none();
+        let mut d = BalanceDriver::new(ServerId(0), cfg, 8.0);
+        let a = d.epoch(0, &ws, &HashMap::new(), &cluster());
+        assert_eq!(a.phase, Some(Phase::Normal), "everything gated off");
+        assert!(a.is_quiet());
+    }
+
+    #[test]
+    fn p1_only_replicates_but_never_migrates() {
+        use crate::config::PhaseSet;
+        let mut cfg = BalancerConfig::aggressive();
+        cfg.phases = PhaseSet::only_p1();
+        let mut d = BalanceDriver::new(ServerId(0), cfg, 8.0);
+        let ws = vec![worker(0, &[50.0, 40.0]), worker(1, &[2.0])];
+        let mut hk = HashMap::new();
+        hk.insert(WorkerId(0), vec![hot("celebrity", 20.0)]);
+        let a = d.epoch(0, &ws, &hk, &cluster());
+        assert!(!a.replication.is_empty(), "phase 1 still runs");
+        assert!(a.local_migrations.is_empty());
+        assert!(a.coordinate.is_empty());
+    }
+
+    #[test]
+    fn p1_p2_never_coordinates() {
+        use crate::config::PhaseSet;
+        let mut cfg = BalancerConfig::aggressive();
+        cfg.phases = PhaseSet::p1_p2();
+        let mut d = BalanceDriver::new(ServerId(0), cfg, 8.0);
+        let ws = vec![worker(0, &[95.0]), worker(1, &[90.0])];
+        let mut hk = HashMap::new();
+        hk.insert(
+            WorkerId(0),
+            (0..20).map(|i| hot(&format!("k{i}"), 20.0)).collect(),
+        );
+        let a = d.epoch(0, &ws, &hk, &cluster());
+        assert!(a.coordinate.is_empty(), "phase 3 gated off");
+        assert_ne!(a.phase, Some(Phase::CoordinatedMigration));
     }
 
     #[test]

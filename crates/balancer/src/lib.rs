@@ -46,7 +46,7 @@ pub mod replicated;
 pub mod state;
 pub mod topology;
 
-pub use config::BalancerConfig;
+pub use config::{BalancerConfig, PhaseSet};
 pub use driver::BalanceDriver;
 pub use events::{EventLog, PhaseEvent};
 pub use plan::{Migration, WorkerLoad};

@@ -18,7 +18,7 @@ use mbal_balancer::BalancerConfig;
 use mbal_baselines::ConcurrentCache;
 use mbal_bench::model::{measure_ns, project, LockModel};
 use mbal_bench::*;
-use mbal_client::Client;
+use mbal_client::{Client, SetOptions};
 use mbal_core::clock::RealClock;
 use mbal_core::types::{ServerId, WorkerAddr};
 use mbal_ring::{ConsistentRing, MappingTable};
@@ -90,14 +90,15 @@ fn measure_stack_rtt_ns(ops: u64) -> (f64, mbal_telemetry::Histogram) {
         Arc::clone(&coordinator),
         Arc::new(RealClock::new()),
     );
-    let mut client = Client::new(
+    let mut client = Client::builder(
         Arc::clone(&registry) as Arc<dyn mbal_server::Transport>,
         coordinator as Arc<dyn mbal_client::CoordinatorLink>,
-    );
+    )
+    .build();
     let mut gen = WorkloadGen::new(spec(1.0), 77);
     for i in 0..10_000 {
         client
-            .set(&gen.spec().key_of(i), &gen.make_value(i))
+            .set_opts(&gen.spec().key_of(i), &gen.make_value(i), SetOptions::new())
             .expect("preload");
     }
     let mut hist = mbal_telemetry::Histogram::new();

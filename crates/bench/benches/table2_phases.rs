@@ -7,7 +7,7 @@ use mbal_balancer::coordinator::Coordinator;
 use mbal_balancer::plan::Migration;
 use mbal_balancer::BalancerConfig;
 use mbal_bench::{header, row};
-use mbal_client::Client;
+use mbal_client::{Client, SetOptions};
 use mbal_core::clock::RealClock;
 use mbal_core::types::{ServerId, WorkerAddr};
 use mbal_ring::{ConsistentRing, MappingTable};
@@ -78,13 +78,14 @@ fn main() {
             )
         })
         .collect();
-    let mut client = Client::new(
+    let mut client = Client::builder(
         Arc::clone(&registry) as Arc<dyn mbal_server::Transport>,
         Arc::clone(&coordinator) as Arc<dyn mbal_client::CoordinatorLink>,
-    );
+    )
+    .build();
     for i in 0..20_000u32 {
         client
-            .set(format!("k{i:08}").as_bytes(), &[0u8; 64])
+            .set_opts(format!("k{i:08}").as_bytes(), &[0u8; 64], SetOptions::new())
             .expect("preload");
     }
 

@@ -1,0 +1,121 @@
+//! `mbal-loadgen` — the open-loop, coordinated-omission-safe load
+//! harness over the real client/server stack.
+//!
+//! Runs a matrix of YCSB mixes × balancer phase configurations, prints
+//! a human-readable summary, and writes the machine-readable report to
+//! `BENCH_results.json` (or `--out PATH`).
+//!
+//! ```text
+//! mbal-loadgen --mix ycsb-b,hotshift --phases off,p1,p1p2,all \
+//!     --rate 20000 --threads 4 --warmup-secs 1 --measure-secs 4 \
+//!     --records 10000 --seed 42 --transport inproc --out BENCH_results.json
+//! ```
+
+use mbal_balancer::PhaseSet;
+use mbal_bench::loadgen::{run_matrix, LoadgenConfig, Mix, TransportMode};
+
+fn flag(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: mbal-loadgen [--mix M1,M2] [--phases P1,P2] [--rate OPS] [--threads N] \
+         [--warmup-secs S] [--measure-secs S] [--records N] [--seed N] \
+         [--transport inproc|tcp] [--servers N] [--workers N] [--out PATH]\n\
+         mixes: ycsb-a ycsb-b ycsb-c hotshift; phases: off p1 p2 p3 p1p2 all …"
+    );
+    std::process::exit(2);
+}
+
+fn parse_list<T>(raw: Option<String>, default: &[T], parse: impl Fn(&str) -> Option<T>) -> Vec<T>
+where
+    T: Copy,
+{
+    match raw {
+        None => default.to_vec(),
+        Some(s) => {
+            let out: Vec<T> = s.split(',').filter_map(|p| parse(p.trim())).collect();
+            if out.is_empty() || out.len() != s.split(',').count() {
+                usage();
+            }
+            out
+        }
+    }
+}
+
+fn main() {
+    let mixes = parse_list(flag("--mix"), &[Mix::B, Mix::HotShift], Mix::parse);
+    let phase_sets = parse_list(
+        flag("--phases"),
+        &[PhaseSet::none(), PhaseSet::all()],
+        PhaseSet::parse,
+    );
+    let num = |name: &str, default: u64| -> u64 {
+        flag(name).map_or(default, |v| v.parse().unwrap_or_else(|_| usage()))
+    };
+    let secs = |name: &str, default: f64| -> f64 {
+        flag(name).map_or(default, |v| v.parse().unwrap_or_else(|_| usage()))
+    };
+    let base = LoadgenConfig {
+        mix: mixes[0],
+        phases: phase_sets[0],
+        rate: num("--rate", 20_000),
+        threads: num("--threads", 4) as usize,
+        warmup_secs: secs("--warmup-secs", 1.0),
+        measure_secs: secs("--measure-secs", 4.0),
+        records: num("--records", 10_000),
+        seed: num("--seed", 42),
+        transport: flag("--transport").map_or(TransportMode::InProc, |v| {
+            TransportMode::parse(&v).unwrap_or_else(|| usage())
+        }),
+        servers: num("--servers", 2) as u16,
+        workers_per_server: num("--workers", 2) as u16,
+    };
+    let out_path = flag("--out").unwrap_or_else(|| "BENCH_results.json".into());
+
+    eprintln!(
+        "mbal-loadgen: {} mix(es) × {} phase set(s), {} ops/s over {} thread(s), \
+         {:.1}s warmup + {:.1}s measure, transport {}",
+        mixes.len(),
+        phase_sets.len(),
+        base.rate,
+        base.threads,
+        base.warmup_secs,
+        base.measure_secs,
+        base.transport.label()
+    );
+    let report = run_matrix(&base, &mixes, &phase_sets);
+
+    println!(
+        "{:<10} {:<6} {:>9} {:>8} {:>8} {:>8} {:>8}  {}",
+        "mix", "phases", "rate", "p50µs", "p99µs", "p999µs", "maxµs", "reconciled"
+    );
+    for c in &report.cells {
+        println!(
+            "{:<10} {:<6} {:>9.0} {:>8} {:>8} {:>8} {:>8}  {}",
+            c.mix,
+            c.phases,
+            c.achieved_rate,
+            c.latency.p50_us,
+            c.latency.p99_us,
+            c.latency.p999_us,
+            c.latency.max_us,
+            if c.counts_reconciled { "exact" } else { "—" }
+        );
+    }
+    for d in &report.phase_deltas {
+        println!(
+            "delta {:<10} {:<6} p99 {:+}µs p999 {:+}µs mqps {:+.4}",
+            d.mix, d.phases, d.p99_improvement_us, d.p999_improvement_us, d.mqps_delta
+        );
+    }
+
+    let json = serde_json::to_string_pretty(&report).expect("serialize report");
+    std::fs::write(&out_path, &json).expect("write report");
+    eprintln!("wrote {out_path}");
+}

@@ -12,9 +12,16 @@
 //! construction, table printing, and experiment scaling via the
 //! `MBAL_BENCH_SCALE` environment variable (1.0 = the defaults used in
 //! `EXPERIMENTS.md`; smaller is faster and noisier).
+//!
+//! The [`loadgen`] module (and its `mbal-loadgen` binary) is the
+//! open-loop complement to these closed-loop benches: a fixed
+//! arrival-rate, coordinated-omission-safe harness over the real
+//! client/server stack with a per-phase comparison matrix.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod loadgen;
 
 use mbal_baselines::ConcurrentCache;
 use mbal_core::mem::{GlobalPool, LocalPool, MemConfig, MemPolicy};

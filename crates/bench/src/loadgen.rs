@@ -1,0 +1,701 @@
+//! `mbal-loadgen`: an open-loop, coordinated-omission-safe load harness
+//! driving the real client → transport → server stack.
+//!
+//! Unlike the closed-loop Criterion microbenchmarks in `benches/`, this
+//! harness fixes the *arrival rate* up front: every operation gets an
+//! intended start time on a pre-computed schedule, and its recorded
+//! latency is `completion − intended start`, not `completion − actual
+//! send`. A stalled server therefore inflates the tail of every queued
+//! operation instead of silently pausing the generator — the classic
+//! coordinated-omission correction (cf. wrk2/HdrHistogram).
+//!
+//! The harness runs a matrix of YCSB mixes × balancer phase
+//! configurations (off, P1 only, P1+P2, all), each against a freshly
+//! built cluster over the in-proc or TCP transport, and emits a
+//! machine-readable report (`BENCH_results.json`) with MQPS,
+//! p50/p99/p999 intended-latency percentiles, per-phase deltas against
+//! the balancing-off baseline, and an exact client-vs-server operation
+//! count reconciliation cross-checked through the `Stats` wire surface.
+
+use mbal_balancer::coordinator::Coordinator;
+use mbal_balancer::{BalancerConfig, PhaseSet};
+use mbal_client::{Client, CoordinatorLink, SetOptions};
+use mbal_core::clock::RealClock;
+use mbal_core::types::{ServerId, WorkerAddr};
+use mbal_ring::{ConsistentRing, MappingTable};
+use mbal_server::tcp::{serve_tcp, TcpTransport};
+use mbal_server::{InProcRegistry, Server, Transport};
+use mbal_telemetry::{Counter, Histogram, LatencyPercentiles};
+use mbal_workload::{Op, OpKind, WorkloadGen, WorkloadSpec};
+use parking_lot::Mutex;
+use serde::Serialize;
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+/// Which transport the generated load travels over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransportMode {
+    /// The in-process channel registry (no serialization).
+    InProc,
+    /// Real TCP loopback through the batched frame codec.
+    Tcp,
+}
+
+impl TransportMode {
+    /// Stable lowercase label used in reports and CLI flags.
+    pub fn label(self) -> &'static str {
+        match self {
+            TransportMode::InProc => "inproc",
+            TransportMode::Tcp => "tcp",
+        }
+    }
+
+    /// Parses a CLI label.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "inproc" | "in-proc" => Some(TransportMode::InProc),
+            "tcp" => Some(TransportMode::Tcp),
+            _ => None,
+        }
+    }
+}
+
+/// The workload mixes the harness knows how to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mix {
+    /// YCSB-A analog (Table 4 WorkloadA): 100% read, zipfian.
+    A,
+    /// YCSB-B analog (Table 4 WorkloadB): 95% read, hotspot 95/5.
+    B,
+    /// YCSB-C analog (Table 4 WorkloadC): 50% read / 50% update, zipfian.
+    C,
+    /// WorkloadB whose hot set rotates to a disjoint key range halfway
+    /// through the run, forcing the balancer to chase a moving target.
+    HotShift,
+}
+
+impl Mix {
+    /// Stable lowercase label used in reports and CLI flags.
+    pub fn label(self) -> &'static str {
+        match self {
+            Mix::A => "ycsb-a",
+            Mix::B => "ycsb-b",
+            Mix::C => "ycsb-c",
+            Mix::HotShift => "hotshift",
+        }
+    }
+
+    /// Parses a CLI label.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "a" | "ycsb-a" => Some(Mix::A),
+            "b" | "ycsb-b" => Some(Mix::B),
+            "c" | "ycsb-c" => Some(Mix::C),
+            "hotshift" | "hotspot-shift" => Some(Mix::HotShift),
+            _ => None,
+        }
+    }
+
+    /// The workload specification for `records` keys.
+    pub fn spec(self, records: u64) -> WorkloadSpec {
+        match self {
+            Mix::A => WorkloadSpec::workload_a(records),
+            Mix::B | Mix::HotShift => WorkloadSpec::workload_b(records),
+            Mix::C => WorkloadSpec::workload_c(records),
+        }
+    }
+}
+
+/// One cell of the harness configuration: a mix, a phase gate set, and
+/// the shared pacing/topology parameters.
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// Workload mix.
+    pub mix: Mix,
+    /// Which balancer phases are allowed to run.
+    pub phases: PhaseSet,
+    /// Target arrival rate, operations per second across all threads.
+    pub rate: u64,
+    /// Generator threads, each owning one [`Client`].
+    pub threads: usize,
+    /// Warmup window: operations whose intended start falls inside it
+    /// are executed but excluded from the measured histogram.
+    pub warmup_secs: f64,
+    /// Measurement window following warmup.
+    pub measure_secs: f64,
+    /// Distinct keys; the cache is pre-populated with all of them.
+    pub records: u64,
+    /// Master seed: per-thread streams derive deterministically from it.
+    pub seed: u64,
+    /// Transport the load travels over.
+    pub transport: TransportMode,
+    /// Servers in the cluster.
+    pub servers: u16,
+    /// Worker threads per server.
+    pub workers_per_server: u16,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        Self {
+            mix: Mix::B,
+            phases: PhaseSet::all(),
+            rate: 20_000,
+            threads: 4,
+            warmup_secs: 1.0,
+            measure_secs: 4.0,
+            records: 10_000,
+            seed: 42,
+            transport: TransportMode::InProc,
+            servers: 2,
+            workers_per_server: 2,
+        }
+    }
+}
+
+impl LoadgenConfig {
+    /// A fast configuration for smoke tests and CI: small keyspace,
+    /// sub-second windows, modest rate.
+    pub fn smoke() -> Self {
+        Self {
+            rate: 4_000,
+            threads: 2,
+            warmup_secs: 0.2,
+            measure_secs: 0.8,
+            records: 500,
+            ..Self::default()
+        }
+    }
+}
+
+/// One operation with its intended start time on the open-loop
+/// schedule, in microseconds from the run origin.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScheduledOp {
+    /// Intended start, µs from the schedule origin.
+    pub intended_us: u64,
+    /// The operation itself.
+    pub op: Op,
+}
+
+/// Builds the per-thread open-loop schedules for `cfg`: fixed-rate
+/// arrivals (rate split evenly across threads), operations drawn from
+/// the mix's deterministic generator. For [`Mix::HotShift`] the key
+/// index rotates by half the key space at the midpoint of each thread's
+/// schedule. Two calls with the same configuration produce identical
+/// schedules (see [`schedule_digest`]).
+pub fn build_schedule(cfg: &LoadgenConfig) -> Vec<Vec<ScheduledOp>> {
+    let threads = cfg.threads.max(1);
+    let per_thread_rate = (cfg.rate as f64 / threads as f64).max(1.0);
+    let total_secs = cfg.warmup_secs + cfg.measure_secs;
+    let ops_per_thread = (per_thread_rate * total_secs).ceil() as u64;
+    let period_ns = (1e9 / per_thread_rate) as u128;
+    (0..threads)
+        .map(|t| {
+            let spec = cfg.mix.spec(cfg.records);
+            let mut gen = WorkloadGen::new(
+                spec,
+                cfg.seed ^ (t as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            );
+            (0..ops_per_thread)
+                .map(|i| {
+                    if cfg.mix == Mix::HotShift && i == ops_per_thread / 2 {
+                        gen.set_index_offset(cfg.records / 2);
+                    }
+                    ScheduledOp {
+                        intended_us: ((i as u128 * period_ns) / 1_000) as u64,
+                        op: gen.next_op(),
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// FNV-1a digest over every scheduled operation, in thread-major order.
+/// Equal configurations must produce equal digests — the replay
+/// guarantee the deterministic-seed smoke test asserts.
+pub fn schedule_digest(schedule: &[Vec<ScheduledOp>]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    };
+    for thread in schedule {
+        for s in thread {
+            eat(&s.intended_us.to_le_bytes());
+            eat(&[match s.op.kind {
+                OpKind::Get => 0,
+                OpKind::Set => 1,
+                OpKind::Delete => 2,
+            }]);
+            eat(&s.op.key);
+        }
+    }
+    h
+}
+
+/// A live cluster owned by the harness for the duration of one cell.
+pub struct Harness {
+    servers: Vec<Arc<Mutex<Server>>>,
+    balance_threads: Vec<std::thread::JoinHandle<()>>,
+    coordinator: Arc<Coordinator>,
+    transport: Arc<dyn Transport>,
+}
+
+impl Harness {
+    /// Builds and starts a cluster for `cfg`: mapping, coordinator,
+    /// servers with per-server balance threads, and the configured
+    /// transport (in-proc registry or real TCP listeners on ephemeral
+    /// loopback ports).
+    pub fn start(cfg: &LoadgenConfig) -> Self {
+        let mut ring = ConsistentRing::new();
+        for s in 0..cfg.servers {
+            for w in 0..cfg.workers_per_server {
+                ring.add_worker(WorkerAddr::new(s, w));
+            }
+        }
+        let workers_total = (cfg.servers * cfg.workers_per_server) as usize;
+        let vns = (workers_total * 4 * 16).next_power_of_two();
+        let mapping = MappingTable::build(&ring, 4, vns);
+        let bal = BalancerConfig {
+            phases: cfg.phases,
+            ..BalancerConfig::aggressive()
+        };
+        let coordinator = Arc::new(Coordinator::new(mapping.clone(), bal.clone()));
+        let registry = InProcRegistry::new();
+        let mut routes = std::collections::HashMap::new();
+        let mut raw_servers = Vec::new();
+        for s in 0..cfg.servers {
+            let server = Server::spawn(
+                mbal_server::ServerConfig::new(ServerId(s), cfg.workers_per_server, 64 << 20)
+                    .cachelets_per_worker(4)
+                    .balancer(bal.clone())
+                    .worker_capacity(cfg.rate as f64 / workers_total as f64),
+                &mapping,
+                &registry,
+                Arc::clone(&coordinator),
+                Arc::new(RealClock::new()),
+            );
+            if cfg.transport == TransportMode::Tcp {
+                let bound =
+                    serve_tcp(&server.worker_mailboxes(), "127.0.0.1", 0).expect("bind loopback");
+                routes.extend(bound);
+            }
+            raw_servers.push(server);
+        }
+        let transport: Arc<dyn Transport> = match cfg.transport {
+            TransportMode::InProc => registry as Arc<dyn Transport>,
+            TransportMode::Tcp => TcpTransport::new(routes) as Arc<dyn Transport>,
+        };
+        let servers: Vec<Arc<Mutex<Server>>> = raw_servers
+            .into_iter()
+            .map(|s| Arc::new(Mutex::new(s)))
+            .collect();
+        let balance_threads = servers
+            .iter()
+            .map(|s| Server::start_balance_thread(Arc::clone(s)))
+            .collect();
+        Self {
+            servers,
+            balance_threads,
+            coordinator,
+            transport,
+        }
+    }
+
+    /// A fresh client bound to this cluster.
+    pub fn client(&self) -> Client {
+        Client::builder(
+            Arc::clone(&self.transport),
+            Arc::clone(&self.coordinator) as Arc<dyn CoordinatorLink>,
+        )
+        .build()
+    }
+
+    /// Pre-populates every record of `spec`, then zeroes all server-side
+    /// counters and histograms so the run starts from a clean slate.
+    pub fn load_phase(&self, spec: &WorkloadSpec, seed: u64) {
+        let mut client = self.client();
+        let gen = WorkloadGen::new(spec.clone(), seed);
+        for (k, v) in gen.load_phase() {
+            client
+                .set_opts(&k, &v, SetOptions::new())
+                .expect("load-phase set");
+        }
+        client.server_stats(true).expect("stats reset after load");
+    }
+
+    /// Stops balance threads and workers.
+    pub fn shutdown(self) {
+        for s in &self.servers {
+            s.lock().shutdown();
+        }
+        for h in self.balance_threads {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Client-side operation counts summed over every generator thread.
+#[derive(Debug, Clone, Copy, Default, Serialize, PartialEq, Eq)]
+pub struct ClientCounts {
+    /// GETs issued.
+    pub gets: u64,
+    /// GETs that hit.
+    pub hits: u64,
+    /// SETs issued.
+    pub sets: u64,
+    /// Reads served by Phase-1 replicas instead of the home worker.
+    pub replica_reads: u64,
+    /// Operations that failed after exhausting retries.
+    pub failures: u64,
+}
+
+/// Server-side counts summed over every worker's `StatsReport`.
+#[derive(Debug, Clone, Copy, Default, Serialize, PartialEq, Eq)]
+pub struct ServerCounts {
+    /// Data-path operations.
+    pub ops: u64,
+    /// GET lookups.
+    pub gets: u64,
+    /// GETs that hit.
+    pub get_hits: u64,
+    /// SET stores.
+    pub sets: u64,
+    /// Replica-table reads (shadow side of Phase 1).
+    pub replica_reads: u64,
+}
+
+/// The measured outcome of one (mix × phases) cell.
+#[derive(Debug, Clone, Serialize)]
+pub struct CellResult {
+    /// Workload mix label.
+    pub mix: String,
+    /// Phase gate label (`off`, `p1`, `p1p2`, `all`, …).
+    pub phases: String,
+    /// Transport label.
+    pub transport: String,
+    /// Configured arrival rate (ops/s).
+    pub target_rate: u64,
+    /// Ops completed in the measure window ÷ window length.
+    pub achieved_rate: f64,
+    /// Achieved rate in MQPS.
+    pub mqps: f64,
+    /// Intended-start-time latency percentiles (µs) over the measure
+    /// window — the coordinated-omission-safe numbers.
+    pub latency: LatencyPercentiles,
+    /// Operations inside the measure window.
+    pub ops_measured: u64,
+    /// All operations executed, warmup included.
+    pub ops_total: u64,
+    /// FNV digest of the full op schedule (replay fingerprint).
+    pub schedule_digest: String,
+    /// Client-side counts (warmup included).
+    pub client: ClientCounts,
+    /// Server-side counts scraped over the stats wire after the run.
+    pub server: ServerCounts,
+    /// Whether client and server agree exactly: every client GET landed
+    /// either at a home worker or a replica, and every SET at a home
+    /// worker, with nothing lost or double-counted. Guaranteed only when
+    /// no migration is mid-flight at scrape time; always true with
+    /// `phases = off`.
+    pub counts_reconciled: bool,
+}
+
+/// Runs one cell: build cluster → load phase → paced open-loop run →
+/// scrape + reconcile → shutdown.
+pub fn run_cell(cfg: &LoadgenConfig) -> CellResult {
+    let schedule = build_schedule(cfg);
+    let digest = schedule_digest(&schedule);
+    let harness = Harness::start(cfg);
+    harness.load_phase(&cfg.mix.spec(cfg.records), cfg.seed);
+
+    let warmup_us = (cfg.warmup_secs * 1e6) as u64;
+    let threads = schedule.len();
+    let barrier = Arc::new(Barrier::new(threads + 1));
+    let mut handles = Vec::new();
+    for thread_schedule in schedule {
+        let barrier = Arc::clone(&barrier);
+        let mut client = harness.client();
+        handles.push(std::thread::spawn(move || {
+            let mut hist = Histogram::new();
+            let mut measured = 0u64;
+            let mut total = 0u64;
+            barrier.wait();
+            let t0 = Instant::now();
+            for s in &thread_schedule {
+                let now_us = t0.elapsed().as_micros() as u64;
+                if s.intended_us > now_us {
+                    std::thread::sleep(Duration::from_micros(s.intended_us - now_us));
+                }
+                let ok = match s.op.kind {
+                    OpKind::Get => client.get(&s.op.key).is_ok(),
+                    OpKind::Set => client
+                        .set_opts(&s.op.key, &s.op.value, SetOptions::new())
+                        .is_ok(),
+                    OpKind::Delete => client.delete(&s.op.key).is_ok(),
+                };
+                total += 1;
+                if s.intended_us >= warmup_us && ok {
+                    // Latency against the *intended* start: queueing
+                    // delay behind a stalled server is charged to the
+                    // operation, never silently absorbed.
+                    let done_us = t0.elapsed().as_micros() as u64;
+                    hist.record(done_us.saturating_sub(s.intended_us));
+                    measured += 1;
+                }
+            }
+            (hist, measured, total, client.stats())
+        }));
+    }
+    barrier.wait();
+    let mut hist = Histogram::new();
+    let mut measured = 0u64;
+    let mut total = 0u64;
+    let mut client_counts = ClientCounts::default();
+    for h in handles {
+        let (th, tm, tt, st) = h.join().expect("loadgen thread");
+        hist.merge(&th);
+        measured += tm;
+        total += tt;
+        client_counts.gets += st.gets;
+        client_counts.hits += st.hits;
+        client_counts.sets += st.sets;
+        client_counts.replica_reads += st.replica_reads;
+        client_counts.failures += st.failures;
+    }
+
+    let reports = harness.client().server_stats(false).expect("final scrape");
+    let mut server_counts = ServerCounts::default();
+    for r in &reports {
+        server_counts.ops += r.load.metrics.get(Counter::Ops);
+        server_counts.gets += r.load.metrics.get(Counter::Gets);
+        server_counts.get_hits += r.load.metrics.get(Counter::GetHits);
+        server_counts.sets += r.load.metrics.get(Counter::Sets);
+        server_counts.replica_reads += r.load.metrics.get(Counter::ReplicaReads);
+    }
+    harness.shutdown();
+
+    let achieved_rate = measured as f64 / cfg.measure_secs.max(1e-9);
+    let counts_reconciled = server_counts.gets + server_counts.replica_reads == client_counts.gets
+        && server_counts.sets == client_counts.sets
+        && client_counts.failures == 0;
+    CellResult {
+        mix: cfg.mix.label().to_string(),
+        phases: cfg.phases.label().to_string(),
+        transport: cfg.transport.label().to_string(),
+        target_rate: cfg.rate,
+        achieved_rate,
+        mqps: achieved_rate / 1e6,
+        latency: hist.percentiles(),
+        ops_measured: measured,
+        ops_total: total,
+        schedule_digest: format!("{digest:016x}"),
+        client: client_counts,
+        server: server_counts,
+        counts_reconciled,
+    }
+}
+
+/// The configuration fingerprint embedded in every report, so a JSON
+/// artifact is traceable to the exact run parameters.
+#[derive(Debug, Clone, Serialize)]
+pub struct ConfigFingerprint {
+    /// Crate version the binary was built from.
+    pub version: String,
+    /// Master seed.
+    pub seed: u64,
+    /// Target rate (ops/s).
+    pub rate: u64,
+    /// Generator threads.
+    pub threads: usize,
+    /// Warmup window (s).
+    pub warmup_secs: f64,
+    /// Measure window (s).
+    pub measure_secs: f64,
+    /// Distinct keys.
+    pub records: u64,
+    /// Transport label.
+    pub transport: String,
+    /// Servers × workers per server.
+    pub servers: u16,
+    /// Workers per server.
+    pub workers_per_server: u16,
+}
+
+/// Tail/throughput movement of one cell against the balancing-off
+/// baseline of the same mix.
+#[derive(Debug, Clone, Serialize)]
+pub struct PhaseDelta {
+    /// Workload mix label.
+    pub mix: String,
+    /// Phase gate label of the compared cell.
+    pub phases: String,
+    /// `p99(off) − p99(cell)` in µs: positive means balancing helped.
+    pub p99_improvement_us: i64,
+    /// `p999(off) − p999(cell)` in µs.
+    pub p999_improvement_us: i64,
+    /// `mqps(cell) − mqps(off)`.
+    pub mqps_delta: f64,
+}
+
+/// The full matrix report serialized to `BENCH_results.json`.
+#[derive(Debug, Clone, Serialize)]
+pub struct LoadgenReport {
+    /// Run parameters.
+    pub config: ConfigFingerprint,
+    /// One entry per (mix × phases) cell, in run order.
+    pub cells: Vec<CellResult>,
+    /// Per-phase movement vs the `off` cell of the same mix (present
+    /// only for mixes that ran an `off` baseline).
+    pub phase_deltas: Vec<PhaseDelta>,
+}
+
+/// Runs the full matrix: every mix × every phase set, sharing the
+/// pacing parameters of `base`.
+pub fn run_matrix(base: &LoadgenConfig, mixes: &[Mix], phase_sets: &[PhaseSet]) -> LoadgenReport {
+    let mut cells = Vec::new();
+    for &mix in mixes {
+        for &phases in phase_sets {
+            let cfg = LoadgenConfig {
+                mix,
+                phases,
+                ..base.clone()
+            };
+            cells.push(run_cell(&cfg));
+        }
+    }
+    let mut phase_deltas = Vec::new();
+    for &mix in mixes {
+        let off = cells
+            .iter()
+            .find(|c| c.mix == mix.label() && c.phases == PhaseSet::none().label());
+        if let Some(off) = off {
+            for c in cells.iter().filter(|c| c.mix == mix.label()) {
+                if c.phases == off.phases {
+                    continue;
+                }
+                phase_deltas.push(PhaseDelta {
+                    mix: c.mix.clone(),
+                    phases: c.phases.clone(),
+                    p99_improvement_us: off.latency.p99_us as i64 - c.latency.p99_us as i64,
+                    p999_improvement_us: off.latency.p999_us as i64 - c.latency.p999_us as i64,
+                    mqps_delta: c.mqps - off.mqps,
+                });
+            }
+        }
+    }
+    LoadgenReport {
+        config: ConfigFingerprint {
+            version: env!("CARGO_PKG_VERSION").to_string(),
+            seed: base.seed,
+            rate: base.rate,
+            threads: base.threads,
+            warmup_secs: base.warmup_secs,
+            measure_secs: base.measure_secs,
+            records: base.records,
+            transport: base.transport.label().to_string(),
+            servers: base.servers,
+            workers_per_server: base.workers_per_server,
+        },
+        cells,
+        phase_deltas,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedules_replay_exactly_for_a_seed() {
+        let cfg = LoadgenConfig {
+            rate: 1_000,
+            threads: 3,
+            warmup_secs: 0.1,
+            measure_secs: 0.4,
+            records: 100,
+            ..LoadgenConfig::default()
+        };
+        let a = build_schedule(&cfg);
+        let b = build_schedule(&cfg);
+        assert_eq!(a, b, "same config must replay the same schedule");
+        assert_eq!(schedule_digest(&a), schedule_digest(&b));
+        let c = build_schedule(&LoadgenConfig {
+            seed: cfg.seed + 1,
+            ..cfg.clone()
+        });
+        assert_ne!(
+            schedule_digest(&a),
+            schedule_digest(&c),
+            "different seeds must diverge"
+        );
+    }
+
+    #[test]
+    fn schedule_paces_at_the_configured_rate() {
+        let cfg = LoadgenConfig {
+            rate: 10_000,
+            threads: 2,
+            warmup_secs: 0.5,
+            measure_secs: 0.5,
+            records: 100,
+            ..LoadgenConfig::default()
+        };
+        let schedule = build_schedule(&cfg);
+        assert_eq!(schedule.len(), 2);
+        for thread in &schedule {
+            assert_eq!(thread.len(), 5_000, "5k ops/s × 1 s per thread");
+            assert_eq!(thread[0].intended_us, 0);
+            // Fixed-rate arrivals: the k-th op is intended at k·period.
+            let period_us = 200;
+            assert_eq!(thread[100].intended_us, 100 * period_us);
+            assert!(thread
+                .windows(2)
+                .all(|w| w[0].intended_us <= w[1].intended_us));
+        }
+    }
+
+    #[test]
+    fn hotshift_rotates_keys_midway() {
+        let cfg = LoadgenConfig {
+            mix: Mix::HotShift,
+            rate: 2_000,
+            threads: 1,
+            warmup_secs: 0.5,
+            measure_secs: 0.5,
+            records: 1_000,
+            ..LoadgenConfig::default()
+        };
+        let plain = build_schedule(&LoadgenConfig {
+            mix: Mix::B,
+            ..cfg.clone()
+        });
+        let shifted = build_schedule(&cfg);
+        let half = shifted[0].len() / 2;
+        assert_eq!(
+            plain[0][..half],
+            shifted[0][..half],
+            "identical before the shift point"
+        );
+        assert_ne!(
+            plain[0][half..],
+            shifted[0][half..],
+            "key stream must rotate after the shift point"
+        );
+    }
+
+    #[test]
+    fn labels_parse_back() {
+        for m in [Mix::A, Mix::B, Mix::C, Mix::HotShift] {
+            assert_eq!(Mix::parse(m.label()), Some(m));
+        }
+        for t in [TransportMode::InProc, TransportMode::Tcp] {
+            assert_eq!(TransportMode::parse(t.label()), Some(t));
+        }
+        assert_eq!(Mix::parse("nope"), None);
+    }
+}

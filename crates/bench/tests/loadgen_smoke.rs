@@ -1,0 +1,94 @@
+//! Loadgen smoke: the deterministic-seed replay guarantee and the exact
+//! client/server count reconciliation, end to end through the real
+//! stack. Kept small enough for tier-1 CI (~2 s wall).
+
+use mbal_balancer::PhaseSet;
+use mbal_bench::loadgen::{
+    build_schedule, run_cell, schedule_digest, LoadgenConfig, Mix, TransportMode,
+};
+use mbal_workload::OpKind;
+
+fn smoke_cfg() -> LoadgenConfig {
+    LoadgenConfig {
+        mix: Mix::C,
+        phases: PhaseSet::none(),
+        rate: 3_000,
+        threads: 2,
+        warmup_secs: 0.15,
+        measure_secs: 0.6,
+        records: 400,
+        seed: 7,
+        transport: TransportMode::InProc,
+        servers: 2,
+        workers_per_server: 2,
+    }
+}
+
+#[test]
+fn identical_seeds_replay_the_identical_op_schedule() {
+    let cfg = smoke_cfg();
+    let a = build_schedule(&cfg);
+    let b = build_schedule(&cfg);
+    assert_eq!(a, b);
+    assert_eq!(schedule_digest(&a), schedule_digest(&b));
+    // The schedule is a genuine mix (reads and writes both present for
+    // WorkloadC) and fully pre-materialized: replaying it can never
+    // depend on runtime timing.
+    let kinds: Vec<OpKind> = a.iter().flatten().map(|s| s.op.kind).collect();
+    assert!(kinds.contains(&OpKind::Get) && kinds.contains(&OpKind::Set));
+}
+
+#[test]
+fn balancing_off_run_reconciles_counts_exactly() {
+    let cfg = smoke_cfg();
+    let cell = run_cell(&cfg);
+
+    assert_eq!(cell.client.failures, 0, "no op may fail: {cell:?}");
+    assert!(cell.ops_measured > 0, "measure window captured nothing");
+    assert!(
+        cell.ops_total > cell.ops_measured,
+        "warmup must be excluded"
+    );
+    assert_eq!(cell.latency.count, cell.ops_measured);
+    assert!(cell.latency.p50_us <= cell.latency.p99_us);
+    assert!(cell.latency.p99_us <= cell.latency.p999_us);
+    assert!(cell.latency.p999_us <= cell.latency.max_us);
+    assert!(cell.achieved_rate > 0.0);
+
+    // With every balancing phase gated off there are no replica reads
+    // and no mid-flight migrations, so the client's issue counts and
+    // the servers' StatsReport counters must agree EXACTLY.
+    assert_eq!(cell.server.replica_reads, 0, "phases off ⇒ no replicas");
+    assert_eq!(
+        cell.server.gets, cell.client.gets,
+        "every client GET must be counted exactly once server-side"
+    );
+    assert_eq!(
+        cell.server.sets, cell.client.sets,
+        "every client SET must be counted exactly once server-side"
+    );
+    assert_eq!(cell.server.ops, cell.server.gets + cell.server.sets);
+    assert!(cell.counts_reconciled, "reconciliation flag must agree");
+
+    // Every record was pre-loaded, so reads never miss.
+    assert_eq!(cell.client.hits, cell.client.gets);
+    assert_eq!(cell.server.get_hits, cell.server.gets);
+}
+
+#[test]
+fn tcp_run_reconciles_counts_exactly() {
+    let cfg = LoadgenConfig {
+        transport: TransportMode::Tcp,
+        rate: 1_500,
+        warmup_secs: 0.1,
+        measure_secs: 0.4,
+        ..smoke_cfg()
+    };
+    let cell = run_cell(&cfg);
+    assert_eq!(cell.client.failures, 0);
+    assert!(cell.ops_measured > 0);
+    assert_eq!(cell.server.gets, cell.client.gets);
+    assert_eq!(cell.server.sets, cell.client.sets);
+    assert!(cell.counts_reconciled);
+    assert_eq!(cell.transport, "tcp");
+}

@@ -13,7 +13,7 @@
 //! ```
 
 use mbal_balancer::coordinator::HeartbeatReply;
-use mbal_client::{Client, CoordinatorLink};
+use mbal_client::{Client, CoordinatorLink, SetOptions};
 use mbal_core::types::WorkerAddr;
 use mbal_ring::{ConsistentRing, MappingTable};
 use mbal_server::tcp::TcpTransport;
@@ -95,10 +95,11 @@ fn main() {
         })
         .collect();
     let transport = TcpTransport::new(routes);
-    let mut client = Client::new(
+    let mut client = Client::builder(
         Arc::clone(&transport) as Arc<dyn Transport>,
         Arc::new(StaticMapping(mapping)) as Arc<dyn CoordinatorLink>,
-    );
+    )
+    .build();
 
     match pos[0].as_str() {
         "get" if pos.len() == 2 => match client.get(pos[1].as_bytes()) {
@@ -112,13 +113,15 @@ fn main() {
                 std::process::exit(1);
             }
         },
-        "set" if pos.len() == 3 => match client.set(pos[1].as_bytes(), pos[2].as_bytes()) {
-            Ok(()) => println!("STORED"),
-            Err(e) => {
-                eprintln!("error: {e}");
-                std::process::exit(1);
+        "set" if pos.len() == 3 => {
+            match client.set_opts(pos[1].as_bytes(), pos[2].as_bytes(), SetOptions::new()) {
+                Ok(_) => println!("STORED"),
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    std::process::exit(1);
+                }
             }
-        },
+        }
         "del" if pos.len() == 2 => match client.delete(pos[1].as_bytes()) {
             Ok(true) => println!("DELETED"),
             Ok(false) => println!("NOT_FOUND"),

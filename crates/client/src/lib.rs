@@ -28,7 +28,7 @@
 use mbal_balancer::coordinator::{Coordinator, HeartbeatReply};
 use mbal_balancer::replicated::ReplicatedCoordinator;
 use mbal_core::types::{Key, Value, WorkerAddr};
-use mbal_proto::{Request, Response};
+use mbal_proto::{Request, Response, Status};
 use mbal_ring::MappingTable;
 use mbal_server::transport::{Transport, TransportError, DEFAULT_DEADLINE};
 use mbal_telemetry::StatsReport;
@@ -91,21 +91,68 @@ pub struct ClientStats {
 }
 
 /// Errors surfaced to the application.
+///
+/// Server-side refusals carry the wire [`Status`] alongside the server's
+/// message, so the client does not maintain a parallel error taxonomy:
+/// `From<Status>` is the single mapping between the two worlds.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ClientError {
     /// The transport could not reach the worker.
     Transport(TransportError),
     /// The cache rejected the operation (out of memory, protocol error).
-    Rejected(String),
+    Rejected {
+        /// The proto status the server answered with ([`Status::Error`]
+        /// for malformed/unexpected responses diagnosed client-side).
+        status: Status,
+        /// Human-readable detail (the server's message where one was
+        /// sent, otherwise [`Status::describe`]).
+        message: String,
+    },
     /// Retries were exhausted (persistent `Busy` or routing flap).
     RetriesExhausted,
+}
+
+impl ClientError {
+    /// The proto status behind this error, if it came from the server.
+    pub fn status(&self) -> Option<Status> {
+        match self {
+            ClientError::Rejected { status, .. } => Some(*status),
+            _ => None,
+        }
+    }
+
+    fn rejected(status: Status, message: String) -> Self {
+        if message.is_empty() {
+            ClientError::from(status)
+        } else {
+            ClientError::Rejected { status, message }
+        }
+    }
+
+    fn unexpected(resp: &Response) -> Self {
+        ClientError::Rejected {
+            status: Status::Error,
+            message: format!("unexpected response {resp:?}"),
+        }
+    }
+}
+
+impl From<Status> for ClientError {
+    fn from(status: Status) -> Self {
+        ClientError::Rejected {
+            status,
+            message: status.describe().to_string(),
+        }
+    }
 }
 
 impl std::fmt::Display for ClientError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ClientError::Transport(e) => write!(f, "transport: {e}"),
-            ClientError::Rejected(m) => write!(f, "rejected: {m}"),
+            ClientError::Rejected { status, message } => {
+                write!(f, "rejected ({status:?}): {message}")
+            }
             ClientError::RetriesExhausted => write!(f, "retries exhausted"),
         }
     }
@@ -113,10 +160,179 @@ impl std::fmt::Display for ClientError {
 
 impl std::error::Error for ClientError {}
 
+/// Typed result of a conditional store ([`Client::set_opts`],
+/// [`Client::touch_opts`]): what the server did, instead of a bare bool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StoreOutcome {
+    /// The value was stored (or the TTL refreshed).
+    Stored,
+    /// A conditional store was declined because its presence condition
+    /// failed: `replace`/`append`/`prepend` on an absent key (memcached
+    /// `NOT_STORED`).
+    NotStored,
+    /// `add` declined: the key already exists.
+    Exists,
+    /// The addressed key was absent (`touch` on a missing key).
+    Missed,
+}
+
+impl StoreOutcome {
+    /// `true` when the server actually stored/refreshed the value.
+    pub fn is_stored(self) -> bool {
+        self == StoreOutcome::Stored
+    }
+}
+
+/// Which store-family verb [`Client::set_opts`] issues.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum StoreMode {
+    /// Unconditional insert-or-replace (memcached `set`).
+    #[default]
+    Set,
+    /// Store only if absent (`add`).
+    Add,
+    /// Store only if present (`replace`).
+    Replace,
+    /// Append bytes to an existing value (`append`).
+    Append,
+    /// Prepend bytes to an existing value (`prepend`).
+    Prepend,
+}
+
+/// Options for [`Client::set_opts`] — the single entry point for the
+/// store family (`set`/`add`/`replace`/`append`/`prepend`, with or
+/// without expiry).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SetOptions {
+    /// Store verb (default [`StoreMode::Set`]).
+    pub mode: StoreMode,
+    /// Absolute expiry in milliseconds (0 = never). Ignored by the
+    /// concatenating modes, which keep the existing entry's expiry.
+    pub expiry_ms: u64,
+}
+
+impl SetOptions {
+    /// Plain unconditional store, no expiry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Store only if absent.
+    pub fn add() -> Self {
+        Self {
+            mode: StoreMode::Add,
+            ..Self::default()
+        }
+    }
+
+    /// Store only if present.
+    pub fn replace() -> Self {
+        Self {
+            mode: StoreMode::Replace,
+            ..Self::default()
+        }
+    }
+
+    /// Append to an existing value.
+    pub fn append() -> Self {
+        Self {
+            mode: StoreMode::Append,
+            ..Self::default()
+        }
+    }
+
+    /// Prepend to an existing value.
+    pub fn prepend() -> Self {
+        Self {
+            mode: StoreMode::Prepend,
+            ..Self::default()
+        }
+    }
+
+    /// Sets the absolute expiry in milliseconds (0 = never).
+    pub fn expiry_ms(mut self, expiry_ms: u64) -> Self {
+        self.expiry_ms = expiry_ms;
+        self
+    }
+}
+
 struct ReplicaSet {
     /// Home worker plus shadows, read round-robin.
     targets: Vec<WorkerAddr>,
     next: usize,
+}
+
+/// Fluent constructor for [`Client`].
+///
+/// The transport and coordinator link are mandatory and positional;
+/// everything else has defaults tuned for the live stack: a
+/// [`DEFAULT_DEADLINE`] per-operation budget, 8 retries, and 100-key
+/// MultiGET batches (the paper's §4.1 batching factor).
+///
+/// ```ignore
+/// let client = Client::builder(transport, coordinator)
+///     .op_budget(Duration::from_millis(250))
+///     .multiget_batch(100)
+///     .build();
+/// ```
+pub struct ClientBuilder {
+    transport: Arc<dyn Transport>,
+    coordinator: Arc<dyn CoordinatorLink>,
+    op_budget: Duration,
+    max_retries: usize,
+    multiget_batch: usize,
+}
+
+impl ClientBuilder {
+    /// Starts a builder over the given transport and coordinator link.
+    pub fn new(transport: Arc<dyn Transport>, coordinator: Arc<dyn CoordinatorLink>) -> Self {
+        Self {
+            transport,
+            coordinator,
+            op_budget: DEFAULT_DEADLINE,
+            max_retries: 8,
+            multiget_batch: 100,
+        }
+    }
+
+    /// Total wall-clock budget for one logical operation, shared by all
+    /// of its retries — a retry gets the *remaining* budget as its
+    /// transport deadline, never a fresh full one. Default
+    /// [`DEFAULT_DEADLINE`].
+    pub fn op_budget(mut self, budget: Duration) -> Self {
+        self.op_budget = budget;
+        self
+    }
+
+    /// Maximum attempts per logical operation (default 8, minimum 1).
+    pub fn max_retries(mut self, n: usize) -> Self {
+        self.max_retries = n.max(1);
+        self
+    }
+
+    /// Maximum keys per pipelined MultiGET batch to one worker (default
+    /// 100, minimum 1). Larger [`Client::multi_get`] calls are split
+    /// into batches of this size per worker.
+    pub fn multiget_batch(mut self, n: usize) -> Self {
+        self.multiget_batch = n.max(1);
+        self
+    }
+
+    /// Builds the client, fetching the initial mapping from the
+    /// coordinator.
+    pub fn build(self) -> Client {
+        let mapping = self.coordinator.full_table();
+        Client {
+            mapping,
+            transport: self.transport,
+            coordinator: self.coordinator,
+            replicas: HashMap::new(),
+            max_retries: self.max_retries,
+            op_budget: self.op_budget,
+            multiget_batch: self.multiget_batch,
+            stats: ClientStats::default(),
+        }
+    }
 }
 
 /// An MBal cache client.
@@ -130,29 +346,31 @@ pub struct Client {
     /// of its retries — a retry gets the *remaining* budget as its
     /// transport deadline, never a fresh full one.
     op_budget: Duration,
+    /// Keys per pipelined MultiGET batch to one worker.
+    multiget_batch: usize,
     stats: ClientStats,
 }
 
 impl Client {
-    /// Creates a client, fetching the initial mapping from the
-    /// coordinator.
-    pub fn new(transport: Arc<dyn Transport>, coordinator: Arc<dyn CoordinatorLink>) -> Self {
-        let mapping = coordinator.full_table();
-        Self {
-            mapping,
-            transport,
-            coordinator,
-            replicas: HashMap::new(),
-            max_retries: 8,
-            op_budget: DEFAULT_DEADLINE,
-            stats: ClientStats::default(),
-        }
+    /// Starts a [`ClientBuilder`] — the way to construct a client.
+    pub fn builder(
+        transport: Arc<dyn Transport>,
+        coordinator: Arc<dyn CoordinatorLink>,
+    ) -> ClientBuilder {
+        ClientBuilder::new(transport, coordinator)
     }
 
-    /// Overrides the per-operation time budget (default
-    /// [`DEFAULT_DEADLINE`]). The budget caps one logical operation
-    /// end-to-end: every retry draws its transport deadline from what is
-    /// left, so an operation can never take `retries × deadline`.
+    /// Creates a client with default settings.
+    #[deprecated(since = "0.1.0", note = "use `Client::builder(...).build()`")]
+    pub fn new(transport: Arc<dyn Transport>, coordinator: Arc<dyn CoordinatorLink>) -> Self {
+        ClientBuilder::new(transport, coordinator).build()
+    }
+
+    /// Overrides the per-operation time budget.
+    #[deprecated(
+        since = "0.1.0",
+        note = "configure via `Client::builder(...).op_budget(...)`"
+    )]
     pub fn set_op_budget(&mut self, budget: Duration) {
         self.op_budget = budget;
     }
@@ -290,35 +508,33 @@ impl Client {
                     continue;
                 }
                 Response::Fail { status, message } => match status {
-                    mbal_proto::Status::Busy => {
+                    Status::Busy => {
                         self.stats.busy_retries += 1;
                         continue;
                     }
-                    mbal_proto::Status::NotOwner => {
+                    Status::NotOwner => {
                         // Stale mapping with no forward: resync.
                         self.poll_coordinator();
                         continue;
                     }
-                    _ => return Err(ClientError::Rejected(message)),
+                    _ => return Err(ClientError::rejected(status, message)),
                 },
-                other => {
-                    return Err(ClientError::Rejected(format!(
-                        "unexpected response {other:?}"
-                    )))
-                }
+                other => return Err(ClientError::unexpected(&other)),
             }
         }
         self.stats.failures += 1;
         Err(last_err)
     }
 
-    /// Batched lookup: groups keys by owner worker and issues one
-    /// pipelined `call_many` batch of GETs per worker — one request
-    /// flush and one response drain per worker, the paper's MultiGET
-    /// amortization (§4.1). Results are positional (`None` = miss).
-    /// Per-operation failures — redirects, mid-migration buckets, a
-    /// connection dropped mid-batch — fall back to the singleton path
-    /// for the affected keys only, instead of poisoning the whole batch.
+    /// Batched lookup: groups keys by owner worker and issues pipelined
+    /// `call_many` batches of GETs per worker — one request flush and
+    /// one response drain per batch, the paper's MultiGET amortization
+    /// (§4.1). Batches are capped at the builder's `multiget_batch`
+    /// (default 100, the paper's batching factor). Results are
+    /// positional (`None` = miss). Per-operation failures — redirects,
+    /// mid-migration buckets, a connection dropped mid-batch — fall back
+    /// to the singleton path for the affected keys only, instead of
+    /// poisoning the whole batch.
     pub fn multi_get(&mut self, keys: &[Key]) -> Result<Vec<Option<Value>>, ClientError> {
         self.stats.gets += keys.len() as u64;
         let mut by_worker: HashMap<WorkerAddr, Vec<(usize, mbal_core::types::CacheletId, Key)>> =
@@ -334,43 +550,42 @@ impl Client {
                 .push((i, cachelet, key.clone()));
         }
         let mut out = vec![None; keys.len()];
+        let cap = self.multiget_batch.max(1);
         for (worker, batch) in by_worker {
-            let reqs: Vec<Request> = batch
-                .iter()
-                .map(|(_, c, k)| Request::Get {
-                    cachelet: *c,
-                    key: k.clone(),
-                })
-                .collect();
-            let results = self.transport.call_many(worker, reqs, self.op_budget);
-            for ((i, _, k), result) in batch.iter().zip(results) {
-                match result {
-                    Ok(Response::Value { value, replicas }) => {
-                        self.stats.hits += 1;
-                        if !replicas.is_empty() {
-                            let mut targets = vec![worker];
-                            targets.extend(replicas);
-                            self.replicas
-                                .insert(k.clone(), ReplicaSet { targets, next: 1 });
+            for chunk in batch.chunks(cap) {
+                let reqs: Vec<Request> = chunk
+                    .iter()
+                    .map(|(_, c, k)| Request::Get {
+                        cachelet: *c,
+                        key: k.clone(),
+                    })
+                    .collect();
+                let results = self.transport.call_many(worker, reqs, self.op_budget);
+                for ((i, _, k), result) in chunk.iter().zip(results) {
+                    match result {
+                        Ok(Response::Value { value, replicas }) => {
+                            self.stats.hits += 1;
+                            if !replicas.is_empty() {
+                                let mut targets = vec![worker];
+                                targets.extend(replicas);
+                                self.replicas
+                                    .insert(k.clone(), ReplicaSet { targets, next: 1 });
+                            }
+                            out[*i] = Some(value);
                         }
-                        out[*i] = Some(value);
-                    }
-                    Ok(Response::NotFound) => out[*i] = None,
-                    Ok(Response::Moved {
-                        cachelet,
-                        new_owner,
-                    }) => {
-                        // Singleton path follows the redirect chain.
-                        self.apply_moved(cachelet, new_owner);
-                        out[*i] = self.get_home(k)?;
-                    }
-                    Ok(Response::Fail { .. }) | Err(_) => {
-                        out[*i] = self.get_home(k)?;
-                    }
-                    Ok(other) => {
-                        return Err(ClientError::Rejected(format!(
-                            "unexpected response {other:?}"
-                        )))
+                        Ok(Response::NotFound) => out[*i] = None,
+                        Ok(Response::Moved {
+                            cachelet,
+                            new_owner,
+                        }) => {
+                            // Singleton path follows the redirect chain.
+                            self.apply_moved(cachelet, new_owner);
+                            out[*i] = self.get_home(k)?;
+                        }
+                        Ok(Response::Fail { .. }) | Err(_) => {
+                            out[*i] = self.get_home(k)?;
+                        }
+                        Ok(other) => return Err(ClientError::unexpected(&other)),
                     }
                 }
             }
@@ -378,25 +593,67 @@ impl Client {
         Ok(out)
     }
 
+    /// The store-family entry point: one call covers `set`, `add`,
+    /// `replace`, `append`, and `prepend`, with or without expiry, and
+    /// answers a typed [`StoreOutcome`] instead of a bare bool.
+    ///
+    /// Retry semantics follow the verb: [`StoreMode::Set`] is idempotent
+    /// (last-writer-wins on the same value) and retries through transport
+    /// errors within the budget; the conditional and concatenating modes
+    /// fail fast on transport errors because a lost *ack* may still have
+    /// mutated state.
+    pub fn set_opts(
+        &mut self,
+        key: &[u8],
+        value: &[u8],
+        opts: SetOptions,
+    ) -> Result<StoreOutcome, ClientError> {
+        self.stats.sets += 1;
+        // A cached replica set must not keep serving the pre-write value
+        // after this write is acknowledged (read-your-writes): route
+        // subsequent reads back to the home worker until the server
+        // piggybacks a fresh replica set.
+        self.replicas.remove(key);
+        match opts.mode {
+            StoreMode::Set => self.set_unconditional(key, value, opts.expiry_ms),
+            StoreMode::Add => self.cond_store(key, value, opts.expiry_ms, true),
+            StoreMode::Replace => self.cond_store(key, value, opts.expiry_ms, false),
+            StoreMode::Append => self.concat_op(key, value, false),
+            StoreMode::Prepend => self.concat_op(key, value, true),
+        }
+    }
+
     /// Stores `key` → `value` (write-through at the home worker; replicas
     /// are updated by the server per the configured consistency mode).
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `set_opts(key, value, SetOptions::new())`"
+    )]
     pub fn set(&mut self, key: &[u8], value: &[u8]) -> Result<(), ClientError> {
-        self.set_with_expiry(key, value, 0)
+        self.set_opts(key, value, SetOptions::new()).map(|_| ())
     }
 
     /// Stores with an absolute expiry (0 = never).
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `set_opts(key, value, SetOptions::new().expiry_ms(ms))`"
+    )]
     pub fn set_with_expiry(
         &mut self,
         key: &[u8],
         value: &[u8],
         expiry_ms: u64,
     ) -> Result<(), ClientError> {
-        self.stats.sets += 1;
-        // A cached replica set must not keep serving the pre-set value
-        // after this write is acknowledged (read-your-writes): route
-        // subsequent reads back to the home worker until the server
-        // piggybacks a fresh replica set.
-        self.replicas.remove(key);
+        self.set_opts(key, value, SetOptions::new().expiry_ms(expiry_ms))
+            .map(|_| ())
+    }
+
+    fn set_unconditional(
+        &mut self,
+        key: &[u8],
+        value: &[u8],
+        expiry_ms: u64,
+    ) -> Result<StoreOutcome, ClientError> {
         let deadline = Instant::now() + self.op_budget;
         let mut last_err = ClientError::RetriesExhausted;
         for _ in 0..self.max_retries {
@@ -429,7 +686,7 @@ impl Client {
                 }
             };
             match resp {
-                Response::Stored => return Ok(()),
+                Response::Stored => return Ok(StoreOutcome::Stored),
                 Response::Moved {
                     cachelet,
                     new_owner,
@@ -438,21 +695,17 @@ impl Client {
                     continue;
                 }
                 Response::Fail { status, message } => match status {
-                    mbal_proto::Status::Busy => {
+                    Status::Busy => {
                         self.stats.busy_retries += 1;
                         continue;
                     }
-                    mbal_proto::Status::NotOwner => {
+                    Status::NotOwner => {
                         self.poll_coordinator();
                         continue;
                     }
-                    _ => return Err(ClientError::Rejected(message)),
+                    _ => return Err(ClientError::rejected(status, message)),
                 },
-                other => {
-                    return Err(ClientError::Rejected(format!(
-                        "unexpected response {other:?}"
-                    )))
-                }
+                other => return Err(ClientError::unexpected(&other)),
             }
         }
         self.stats.failures += 1;
@@ -497,11 +750,11 @@ impl Client {
                     continue;
                 }
                 Response::Fail { status, message } => match status {
-                    mbal_proto::Status::Busy => {
+                    Status::Busy => {
                         self.stats.busy_retries += 1;
                         continue;
                     }
-                    mbal_proto::Status::NotOwner => {
+                    Status::NotOwner => {
                         self.poll_coordinator();
                         continue;
                     }
@@ -516,65 +769,53 @@ impl Client {
         Err(ClientError::RetriesExhausted)
     }
 
-    /// Stores `key` only if absent (Memcached `add`). `Ok(true)` if
-    /// stored, `Ok(false)` if the key already existed.
-    pub fn add(&mut self, key: &[u8], value: &[u8]) -> Result<bool, ClientError> {
-        self.stats.sets += 1;
+    /// Conditional store: `add` (`if_absent`) or `replace`.
+    fn cond_store(
+        &mut self,
+        key: &[u8],
+        value: &[u8],
+        expiry_ms: u64,
+        if_absent: bool,
+    ) -> Result<StoreOutcome, ClientError> {
         let value = value.to_vec();
         self.write_op(
             key,
-            |cachelet| Request::Add {
-                cachelet,
-                key: key.to_vec(),
-                value: value.clone(),
-                expiry_ms: 0,
+            |cachelet| {
+                if if_absent {
+                    Request::Add {
+                        cachelet,
+                        key: key.to_vec(),
+                        value: value.clone(),
+                        expiry_ms,
+                    }
+                } else {
+                    Request::Replace {
+                        cachelet,
+                        key: key.to_vec(),
+                        value: value.clone(),
+                        expiry_ms,
+                    }
+                }
             },
             |resp| match resp {
-                Response::Stored => Ok(true),
+                Response::Stored => Ok(StoreOutcome::Stored),
                 Response::Fail {
-                    status: mbal_proto::Status::Exists,
+                    status: Status::Exists,
                     ..
-                } => Ok(false),
-                Response::Fail { message, .. } => Err(ClientError::Rejected(message)),
-                other => Err(ClientError::Rejected(format!("unexpected {other:?}"))),
+                } => Ok(StoreOutcome::Exists),
+                Response::NotFound => Ok(StoreOutcome::NotStored),
+                Response::Fail { status, message } => Err(ClientError::rejected(status, message)),
+                other => Err(ClientError::unexpected(&other)),
             },
         )
     }
 
-    /// Stores `key` only if present (Memcached `replace`). `Ok(true)` if
-    /// replaced, `Ok(false)` on a miss.
-    pub fn replace(&mut self, key: &[u8], value: &[u8]) -> Result<bool, ClientError> {
-        self.stats.sets += 1;
-        let value = value.to_vec();
-        self.write_op(
-            key,
-            |cachelet| Request::Replace {
-                cachelet,
-                key: key.to_vec(),
-                value: value.clone(),
-                expiry_ms: 0,
-            },
-            |resp| match resp {
-                Response::Stored => Ok(true),
-                Response::NotFound => Ok(false),
-                Response::Fail { message, .. } => Err(ClientError::Rejected(message)),
-                other => Err(ClientError::Rejected(format!("unexpected {other:?}"))),
-            },
-        )
-    }
-
-    /// Appends `suffix` to an existing value; `Ok(false)` on a miss.
-    pub fn append(&mut self, key: &[u8], suffix: &[u8]) -> Result<bool, ClientError> {
-        self.concat(key, suffix, false)
-    }
-
-    /// Prepends `prefix` to an existing value; `Ok(false)` on a miss.
-    pub fn prepend(&mut self, key: &[u8], prefix: &[u8]) -> Result<bool, ClientError> {
-        self.concat(key, prefix, true)
-    }
-
-    fn concat(&mut self, key: &[u8], bytes: &[u8], front: bool) -> Result<bool, ClientError> {
-        self.stats.sets += 1;
+    fn concat_op(
+        &mut self,
+        key: &[u8],
+        bytes: &[u8],
+        front: bool,
+    ) -> Result<StoreOutcome, ClientError> {
         let bytes = bytes.to_vec();
         self.write_op(
             key,
@@ -585,12 +826,52 @@ impl Client {
                 front,
             },
             |resp| match resp {
-                Response::Stored => Ok(true),
-                Response::NotFound => Ok(false),
-                Response::Fail { message, .. } => Err(ClientError::Rejected(message)),
-                other => Err(ClientError::Rejected(format!("unexpected {other:?}"))),
+                Response::Stored => Ok(StoreOutcome::Stored),
+                Response::NotFound => Ok(StoreOutcome::NotStored),
+                Response::Fail { status, message } => Err(ClientError::rejected(status, message)),
+                other => Err(ClientError::unexpected(&other)),
             },
         )
+    }
+
+    /// Stores `key` only if absent (Memcached `add`).
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `set_opts(key, value, SetOptions::add())`"
+    )]
+    pub fn add(&mut self, key: &[u8], value: &[u8]) -> Result<bool, ClientError> {
+        self.set_opts(key, value, SetOptions::add())
+            .map(StoreOutcome::is_stored)
+    }
+
+    /// Stores `key` only if present (Memcached `replace`).
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `set_opts(key, value, SetOptions::replace())`"
+    )]
+    pub fn replace(&mut self, key: &[u8], value: &[u8]) -> Result<bool, ClientError> {
+        self.set_opts(key, value, SetOptions::replace())
+            .map(StoreOutcome::is_stored)
+    }
+
+    /// Appends `suffix` to an existing value.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `set_opts(key, suffix, SetOptions::append())`"
+    )]
+    pub fn append(&mut self, key: &[u8], suffix: &[u8]) -> Result<bool, ClientError> {
+        self.set_opts(key, suffix, SetOptions::append())
+            .map(StoreOutcome::is_stored)
+    }
+
+    /// Prepends `prefix` to an existing value.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `set_opts(key, prefix, SetOptions::prepend())`"
+    )]
+    pub fn prepend(&mut self, key: &[u8], prefix: &[u8]) -> Result<bool, ClientError> {
+        self.set_opts(key, prefix, SetOptions::prepend())
+            .map(StoreOutcome::is_stored)
     }
 
     /// Increments an ASCII-decimal counter; `Ok(None)` on a miss.
@@ -615,14 +896,15 @@ impl Client {
             |resp| match resp {
                 Response::Counter { value } => Ok(Some(value)),
                 Response::NotFound => Ok(None),
-                Response::Fail { message, .. } => Err(ClientError::Rejected(message)),
-                other => Err(ClientError::Rejected(format!("unexpected {other:?}"))),
+                Response::Fail { status, message } => Err(ClientError::rejected(status, message)),
+                other => Err(ClientError::unexpected(&other)),
             },
         )
     }
 
-    /// Refreshes the TTL of an existing key; `Ok(false)` on a miss.
-    pub fn touch(&mut self, key: &[u8], expiry_ms: u64) -> Result<bool, ClientError> {
+    /// Refreshes the TTL of an existing key: [`StoreOutcome::Stored`] on
+    /// success, [`StoreOutcome::Missed`] when the key is absent.
+    pub fn touch_opts(&mut self, key: &[u8], expiry_ms: u64) -> Result<StoreOutcome, ClientError> {
         self.write_op(
             key,
             |cachelet| Request::Touch {
@@ -631,12 +913,18 @@ impl Client {
                 expiry_ms,
             },
             |resp| match resp {
-                Response::Touched => Ok(true),
-                Response::NotFound => Ok(false),
-                Response::Fail { message, .. } => Err(ClientError::Rejected(message)),
-                other => Err(ClientError::Rejected(format!("unexpected {other:?}"))),
+                Response::Touched => Ok(StoreOutcome::Stored),
+                Response::NotFound => Ok(StoreOutcome::Missed),
+                Response::Fail { status, message } => Err(ClientError::rejected(status, message)),
+                other => Err(ClientError::unexpected(&other)),
             },
         )
+    }
+
+    /// Refreshes the TTL of an existing key.
+    #[deprecated(since = "0.1.0", note = "use `touch_opts(key, expiry_ms)`")]
+    pub fn touch(&mut self, key: &[u8], expiry_ms: u64) -> Result<bool, ClientError> {
+        self.touch_opts(key, expiry_ms).map(StoreOutcome::is_stored)
     }
 
     /// Deletes `key`.
@@ -682,18 +970,16 @@ impl Client {
                     continue;
                 }
                 Response::Fail {
-                    status: mbal_proto::Status::NotOwner,
+                    status: Status::NotOwner,
                     ..
                 } => {
                     self.poll_coordinator();
                     continue;
                 }
-                Response::Fail { message, .. } => return Err(ClientError::Rejected(message)),
-                other => {
-                    return Err(ClientError::Rejected(format!(
-                        "unexpected response {other:?}"
-                    )))
+                Response::Fail { status, message } => {
+                    return Err(ClientError::rejected(status, message))
                 }
+                other => return Err(ClientError::unexpected(&other)),
             }
         }
         self.stats.failures += 1;
@@ -719,12 +1005,14 @@ impl Client {
             .call(addr, Request::Stats { reset })
             .map_err(ClientError::Transport)?;
         match resp {
-            Response::StatsBlob { payload } => serde_json::from_slice(&payload)
-                .map_err(|e| ClientError::Rejected(format!("bad stats payload: {e}"))),
-            Response::Fail { message, .. } => Err(ClientError::Rejected(message)),
-            other => Err(ClientError::Rejected(format!(
-                "unexpected response {other:?}"
-            ))),
+            Response::StatsBlob { payload } => {
+                serde_json::from_slice(&payload).map_err(|e| ClientError::Rejected {
+                    status: Status::Error,
+                    message: format!("bad stats payload: {e}"),
+                })
+            }
+            Response::Fail { status, message } => Err(ClientError::rejected(status, message)),
+            other => Err(ClientError::unexpected(&other)),
         }
     }
 
@@ -807,7 +1095,7 @@ mod tests {
         }
     }
 
-    fn client_with(fail_first: usize) -> (Client, Arc<FlakyTransport>) {
+    fn client_with_budget(fail_first: usize, budget: Duration) -> (Client, Arc<FlakyTransport>) {
         let mut ring = ConsistentRing::new();
         ring.add_worker(WorkerAddr::new(0, 0));
         let mapping = MappingTable::build(&ring, 2, 16);
@@ -815,14 +1103,19 @@ mod tests {
             deadlines: Mutex::new(Vec::new()),
             fail_first: AtomicUsize::new(fail_first),
         });
-        let client = Client::new(transport.clone(), Arc::new(StaticCoord(mapping)));
+        let client = Client::builder(transport.clone(), Arc::new(StaticCoord(mapping)))
+            .op_budget(budget)
+            .build();
         (client, transport)
+    }
+
+    fn client_with(fail_first: usize) -> (Client, Arc<FlakyTransport>) {
+        client_with_budget(fail_first, DEFAULT_DEADLINE)
     }
 
     #[test]
     fn retries_draw_from_one_shared_budget() {
-        let (mut client, transport) = client_with(3);
-        client.set_op_budget(Duration::from_secs(5));
+        let (mut client, transport) = client_with_budget(3, Duration::from_secs(5));
         assert!(client.get(b"k").expect("succeeds on attempt 4").is_none());
         let deadlines = transport.recorded();
         assert_eq!(deadlines.len(), 4, "three timeouts then one success");
@@ -839,8 +1132,7 @@ mod tests {
 
     #[test]
     fn exhausted_budget_fails_without_touching_the_wire() {
-        let (mut client, transport) = client_with(0);
-        client.set_op_budget(Duration::ZERO);
+        let (mut client, transport) = client_with_budget(0, Duration::ZERO);
         assert!(client.get(b"k").is_err());
         assert!(
             transport.recorded().is_empty(),
@@ -852,7 +1144,7 @@ mod tests {
     #[test]
     fn non_idempotent_writes_fail_fast_on_transport_errors() {
         let (mut client, transport) = client_with(1);
-        let res = client.add(b"k", b"v");
+        let res = client.set_opts(b"k", b"v", SetOptions::add());
         assert!(
             matches!(res, Err(ClientError::Transport(_))),
             "add must not be blindly re-sent: {res:?}"
@@ -880,11 +1172,134 @@ mod tests {
             },
         );
         assert_eq!(client.replicated_keys(), 1);
-        client.set(b"k", b"v").expect("set succeeds");
+        client
+            .set_opts(b"k", b"v", SetOptions::new())
+            .expect("set succeeds");
         assert_eq!(
             client.replicated_keys(),
             0,
             "a cached replica set must not serve the pre-set value"
         );
+    }
+
+    /// Answers each store verb with its characteristic refusal, so every
+    /// [`StoreOutcome`] variant is exercised.
+    struct RefusingTransport;
+
+    impl Transport for RefusingTransport {
+        fn call(&self, addr: WorkerAddr, req: Request) -> Result<Response, TransportError> {
+            self.call_with_deadline(addr, req, DEFAULT_DEADLINE)
+        }
+
+        fn call_with_deadline(
+            &self,
+            _addr: WorkerAddr,
+            req: Request,
+            _deadline: Duration,
+        ) -> Result<Response, TransportError> {
+            Ok(match req {
+                Request::Set { .. } => Response::Stored,
+                Request::Add { .. } => Response::Fail {
+                    status: Status::Exists,
+                    message: String::new(),
+                },
+                Request::Replace { .. } | Request::Concat { .. } | Request::Touch { .. } => {
+                    Response::NotFound
+                }
+                _ => Response::NotFound,
+            })
+        }
+    }
+
+    fn refusing_client() -> Client {
+        let mut ring = ConsistentRing::new();
+        ring.add_worker(WorkerAddr::new(0, 0));
+        let mapping = MappingTable::build(&ring, 2, 16);
+        Client::builder(Arc::new(RefusingTransport), Arc::new(StaticCoord(mapping))).build()
+    }
+
+    #[test]
+    fn store_outcomes_are_typed() {
+        let mut c = refusing_client();
+        assert_eq!(
+            c.set_opts(b"k", b"v", SetOptions::new()).unwrap(),
+            StoreOutcome::Stored
+        );
+        assert_eq!(
+            c.set_opts(b"k", b"v", SetOptions::add()).unwrap(),
+            StoreOutcome::Exists
+        );
+        assert_eq!(
+            c.set_opts(b"k", b"v", SetOptions::replace()).unwrap(),
+            StoreOutcome::NotStored
+        );
+        assert_eq!(
+            c.set_opts(b"k", b"v", SetOptions::append()).unwrap(),
+            StoreOutcome::NotStored
+        );
+        assert_eq!(
+            c.set_opts(b"k", b"v", SetOptions::prepend()).unwrap(),
+            StoreOutcome::NotStored
+        );
+        assert_eq!(c.touch_opts(b"k", 500).unwrap(), StoreOutcome::Missed);
+        assert!(!StoreOutcome::Exists.is_stored());
+        assert!(StoreOutcome::Stored.is_stored());
+    }
+
+    #[test]
+    fn status_maps_into_client_error() {
+        let e = ClientError::from(Status::OutOfMemory);
+        assert_eq!(e.status(), Some(Status::OutOfMemory));
+        match &e {
+            ClientError::Rejected { message, .. } => {
+                assert_eq!(message, Status::OutOfMemory.describe());
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+        // A server-sent message wins; an empty one falls back to the
+        // canonical description.
+        let kept = ClientError::rejected(Status::Error, "boom".into());
+        assert_eq!(
+            kept,
+            ClientError::Rejected {
+                status: Status::Error,
+                message: "boom".into()
+            }
+        );
+        let filled = ClientError::rejected(Status::Busy, String::new());
+        assert_eq!(filled.status(), Some(Status::Busy));
+        assert!(format!("{filled}").contains(Status::Busy.describe()));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_preserve_bool_semantics() {
+        let mut c = refusing_client();
+        c.set(b"k", b"v").expect("set shim");
+        c.set_with_expiry(b"k", b"v", 99).expect("expiry shim");
+        assert!(!c.add(b"k", b"v").expect("add shim"), "exists → false");
+        assert!(!c.replace(b"k", b"v").expect("replace shim"));
+        assert!(!c.append(b"k", b"v").expect("append shim"));
+        assert!(!c.prepend(b"k", b"v").expect("prepend shim"));
+        assert!(!c.touch(b"k", 1).expect("touch shim"));
+
+        let (mut stored, _t) = client_with(0);
+        assert!(stored.add(b"k", b"v").expect("add shim"), "stored → true");
+    }
+
+    #[test]
+    fn builder_clamps_and_applies_options() {
+        let mut ring = ConsistentRing::new();
+        ring.add_worker(WorkerAddr::new(0, 0));
+        let mapping = MappingTable::build(&ring, 2, 16);
+        let transport = Arc::new(RefusingTransport);
+        let c = Client::builder(transport, Arc::new(StaticCoord(mapping)))
+            .op_budget(Duration::from_millis(250))
+            .max_retries(0)
+            .multiget_batch(0)
+            .build();
+        assert_eq!(c.op_budget, Duration::from_millis(250));
+        assert_eq!(c.max_retries, 1, "retries clamp to at least one attempt");
+        assert_eq!(c.multiget_batch, 1, "batch clamps to at least one key");
     }
 }

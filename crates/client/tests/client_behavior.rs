@@ -4,7 +4,7 @@
 
 use mbal_balancer::coordinator::{Coordinator, HeartbeatReply};
 use mbal_balancer::BalancerConfig;
-use mbal_client::{Client, ClientError, CoordinatorLink};
+use mbal_client::{Client, ClientError, CoordinatorLink, SetOptions, StoreOutcome};
 use mbal_core::types::{CacheletId, WorkerAddr};
 use mbal_proto::{Request, Response, Status};
 use mbal_ring::{ConsistentRing, MappingTable};
@@ -103,10 +103,11 @@ impl CoordinatorLink for StaticCoordinator {
 fn client_with(script: Vec<Response>) -> (Client, Arc<MockTransport>, MappingTable) {
     let map = mapping(2, 2);
     let transport = MockTransport::new(script);
-    let client = Client::new(
+    let client = Client::builder(
         Arc::clone(&transport) as Arc<dyn Transport>,
         Arc::new(StaticCoordinator(map.clone())) as Arc<dyn CoordinatorLink>,
-    );
+    )
+    .build();
     (client, transport, map)
 }
 
@@ -156,7 +157,9 @@ fn busy_is_retried_until_success() {
         },
         Response::Stored,
     ]);
-    client.set(b"k", b"v").expect("eventually stored");
+    client
+        .set_opts(b"k", b"v", SetOptions::new())
+        .expect("eventually stored");
     assert_eq!(client.stats().busy_retries, 2);
     assert_eq!(transport.calls().len(), 3);
 }
@@ -170,7 +173,10 @@ fn persistent_busy_exhausts_retries() {
         })
         .collect();
     let (mut client, _transport, _map) = client_with(script);
-    assert_eq!(client.set(b"k", b"v"), Err(ClientError::RetriesExhausted));
+    assert_eq!(
+        client.set_opts(b"k", b"v", SetOptions::new()),
+        Err(ClientError::RetriesExhausted)
+    );
     assert_eq!(client.stats().failures, 1);
 }
 
@@ -262,8 +268,12 @@ fn writes_never_target_replicas() {
     ]
     .into();
     let _ = client.get(&key).expect("get");
-    client.set(&key, b"v2").expect("set");
-    client.set(&key, b"v3").expect("set");
+    client
+        .set_opts(&key, b"v2", SetOptions::new())
+        .expect("set");
+    client
+        .set_opts(&key, b"v3", SetOptions::new())
+        .expect("set");
     for (addr, req) in transport.calls().into_iter().skip(1) {
         assert_eq!(addr, home, "write routed to a replica");
         assert!(matches!(req, Request::Set { .. }));
@@ -276,10 +286,11 @@ fn coordinator_poll_applies_real_deltas() {
     let map = mapping(2, 1);
     let coordinator = Arc::new(Coordinator::new(map.clone(), BalancerConfig::default()));
     let transport = MockTransport::new(vec![]);
-    let mut client = Client::new(
+    let mut client = Client::builder(
         Arc::clone(&transport) as Arc<dyn Transport>,
         Arc::clone(&coordinator) as Arc<dyn CoordinatorLink>,
-    );
+    )
+    .build();
     let v0 = client.mapping_version();
     // Server-side move.
     let c = CacheletId(0);
@@ -411,10 +422,24 @@ fn add_exists_and_replace_miss_are_not_errors() {
         Response::Touched,
         Response::NotFound,
     ]);
-    assert!(!client.add(b"k", b"v").expect("add"));
-    assert!(!client.replace(b"k", b"v").expect("replace"));
-    assert!(client.touch(b"k", 99).expect("touch"));
-    assert!(!client.touch(b"k", 99).expect("touch"));
+    assert_eq!(
+        client.set_opts(b"k", b"v", SetOptions::add()).expect("add"),
+        StoreOutcome::Exists
+    );
+    assert_eq!(
+        client
+            .set_opts(b"k", b"v", SetOptions::replace())
+            .expect("replace"),
+        StoreOutcome::NotStored
+    );
+    assert_eq!(
+        client.touch_opts(b"k", 99).expect("touch"),
+        StoreOutcome::Stored
+    );
+    assert_eq!(
+        client.touch_opts(b"k", 99).expect("touch"),
+        StoreOutcome::Missed
+    );
     assert_eq!(transport.calls().len(), 4);
 }
 
@@ -425,7 +450,10 @@ fn incr_on_non_numeric_is_rejected() {
         message: "value is not a decimal counter".into(),
     }]);
     match client.incr(b"text", 1) {
-        Err(ClientError::Rejected(m)) => assert!(m.contains("decimal")),
+        Err(ClientError::Rejected { status, message }) => {
+            assert_eq!(status, Status::NotNumeric);
+            assert!(message.contains("decimal"));
+        }
         other => panic!("unexpected {other:?}"),
     }
 }

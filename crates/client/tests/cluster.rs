@@ -5,7 +5,7 @@
 use mbal_balancer::coordinator::Coordinator;
 use mbal_balancer::plan::Migration;
 use mbal_balancer::BalancerConfig;
-use mbal_client::Client;
+use mbal_client::{Client, SetOptions};
 use mbal_core::clock::{Clock, ManualClock};
 use mbal_core::types::{ServerId, WorkerAddr};
 use mbal_ring::{ConsistentRing, MappingTable};
@@ -56,10 +56,11 @@ fn build_cluster(n_servers: u16, workers: u16) -> Cluster {
 
 impl Cluster {
     fn client(&self) -> Client {
-        Client::new(
+        Client::builder(
             Arc::clone(&self.registry) as Arc<dyn mbal_server::Transport>,
             Arc::clone(&self.coordinator) as Arc<dyn mbal_client::CoordinatorLink>,
         )
+        .build()
     }
 
     fn tick_all(&mut self) {
@@ -83,7 +84,8 @@ fn basic_set_get_delete_across_cluster() {
     let mut c = cluster.client();
     for i in 0..500u32 {
         let key = format!("obj:{i}");
-        c.set(key.as_bytes(), &i.to_le_bytes()).expect("set");
+        c.set_opts(key.as_bytes(), &i.to_le_bytes(), SetOptions::new())
+            .expect("set");
     }
     for i in 0..500u32 {
         let key = format!("obj:{i}");
@@ -108,7 +110,8 @@ fn multi_get_spans_workers() {
         .map(|i| format!("batch:{i}").into_bytes())
         .collect();
     for (i, k) in keys.iter().enumerate() {
-        c.set(k, &(i as u32).to_le_bytes()).expect("set");
+        c.set_opts(k, &(i as u32).to_le_bytes(), SetOptions::new())
+            .expect("set");
     }
     let got = c.multi_get(&keys).expect("multi_get");
     assert_eq!(got.len(), 200);
@@ -132,7 +135,8 @@ fn multi_get_spans_workers() {
 fn hot_key_gets_replicated_and_replica_reads_flow() {
     let mut cluster = build_cluster(3, 2);
     let mut c = cluster.client();
-    c.set(b"celebrity", b"profile-data").expect("set");
+    c.set_opts(b"celebrity", b"profile-data", SetOptions::new())
+        .expect("set");
     // Hammer the key so the tracker flags it (sample rate 5% → need
     // hundreds of hits), then run balance epochs.
     for _ in 0..4 {
@@ -157,7 +161,8 @@ fn hot_key_gets_replicated_and_replica_reads_flow() {
         c.stats()
     );
     // Writes still land at the home worker and propagate.
-    c.set(b"celebrity", b"updated").expect("set");
+    c.set_opts(b"celebrity", b"updated", SetOptions::new())
+        .expect("set");
     for _ in 0..8 {
         assert_eq!(
             c.get(b"celebrity").expect("get").expect("hit"),
@@ -173,8 +178,12 @@ fn coordinated_migration_preserves_data_and_redirects() {
     let mut cluster = build_cluster(2, 1);
     let mut c = cluster.client();
     for i in 0..400u32 {
-        c.set(format!("mig:{i}").as_bytes(), &i.to_le_bytes())
-            .expect("set");
+        c.set_opts(
+            format!("mig:{i}").as_bytes(),
+            &i.to_le_bytes(),
+            SetOptions::new(),
+        )
+        .expect("set");
     }
     // Report stats so the coordinator has a view, then force a
     // coordinated migration of one cachelet from server 0 to server 1.
@@ -223,7 +232,7 @@ fn poller_catches_up_after_local_migration() {
     let mut writer = cluster.client();
     for i in 0..200u32 {
         writer
-            .set(format!("skew:{i}").as_bytes(), b"v")
+            .set_opts(format!("skew:{i}").as_bytes(), b"v", SetOptions::new())
             .expect("set");
     }
     // Drive a skewed load against one worker's keys so Phase 2 fires.

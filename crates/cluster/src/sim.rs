@@ -40,56 +40,10 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
 
-/// Which balancing phases are enabled for a run.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct PhaseSet {
-    /// Key replication.
-    pub p1: bool,
-    /// Server-local cachelet migration.
-    pub p2: bool,
-    /// Coordinated cross-server migration.
-    pub p3: bool,
-}
-
-impl PhaseSet {
-    /// All phases on (the full MBal configuration).
-    pub fn all() -> Self {
-        Self {
-            p1: true,
-            p2: true,
-            p3: true,
-        }
-    }
-
-    /// No balancing (`MBal w/o load balancer`).
-    pub fn none() -> Self {
-        Self::default()
-    }
-
-    /// Only Phase 1.
-    pub fn only_p1() -> Self {
-        Self {
-            p1: true,
-            ..Self::default()
-        }
-    }
-
-    /// Only Phase 2.
-    pub fn only_p2() -> Self {
-        Self {
-            p2: true,
-            ..Self::default()
-        }
-    }
-
-    /// Only Phase 3.
-    pub fn only_p3() -> Self {
-        Self {
-            p3: true,
-            ..Self::default()
-        }
-    }
-}
+// The phase-enable set now lives with the balancer tunables (it gates
+// the live `BalanceDriver` too); re-exported here so simulation configs
+// keep reading naturally.
+pub use mbal_balancer::PhaseSet;
 
 /// Simulation parameters.
 #[derive(Debug, Clone)]

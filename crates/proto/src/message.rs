@@ -29,6 +29,22 @@ pub enum Status {
 }
 
 impl Status {
+    /// Canonical human-readable description, used wherever a status
+    /// crosses into an error message (e.g. `mbal-client`'s
+    /// `From<Status> for ClientError`) so the two sides never drift.
+    pub fn describe(self) -> &'static str {
+        match self {
+            Status::Ok => "ok",
+            Status::NotFound => "key not found",
+            Status::OutOfMemory => "out of memory",
+            Status::NotOwner => "cachelet not owned by this worker",
+            Status::Busy => "bucket busy (mid-migration)",
+            Status::Error => "malformed request or internal error",
+            Status::Exists => "key already exists",
+            Status::NotNumeric => "value is not a number",
+        }
+    }
+
     /// Parses a wire status code.
     pub fn from_u16(v: u16) -> Option<Status> {
         Some(match v {
@@ -42,6 +58,12 @@ impl Status {
             7 => Status::NotNumeric,
             _ => return None,
         })
+    }
+}
+
+impl std::fmt::Display for Status {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.describe())
     }
 }
 
@@ -315,6 +337,15 @@ mod tests {
             assert_eq!(s as u16, v);
         }
         assert_eq!(Status::from_u16(99), None);
+    }
+
+    #[test]
+    fn status_describe_is_total_and_displayed() {
+        for v in 0..8u16 {
+            let s = Status::from_u16(v).expect("valid");
+            assert!(!s.describe().is_empty());
+            assert_eq!(format!("{s}"), s.describe());
+        }
     }
 
     #[test]

@@ -82,6 +82,11 @@ pub struct LatencyPercentiles {
     pub p95_us: u64,
     /// 99th percentile.
     pub p99_us: u64,
+    /// 99.9th percentile (the coordinated-omission-sensitive tail the
+    /// load harness reports). Defaults to 0 when deserializing payloads
+    /// produced before it existed.
+    #[serde(default)]
+    pub p999_us: u64,
     /// Exact maximum observed.
     pub max_us: u64,
 }
@@ -253,6 +258,7 @@ impl Histogram {
             p90_us: self.value_at_quantile(0.90),
             p95_us: self.value_at_quantile(0.95),
             p99_us: self.value_at_quantile(0.99),
+            p999_us: self.value_at_quantile(0.999),
             max_us: self.max,
         }
     }
@@ -415,7 +421,12 @@ mod tests {
         let p = h.percentiles();
         assert_eq!(p.count, 1_000);
         assert!((p.mean_us - 500.5).abs() < 1e-9, "mean is exact");
-        for (got, want) in [(p.p50_us, 500.0), (p.p90_us, 900.0), (p.p99_us, 990.0)] {
+        for (got, want) in [
+            (p.p50_us, 500.0),
+            (p.p90_us, 900.0),
+            (p.p99_us, 990.0),
+            (p.p999_us, 999.0),
+        ] {
             let err = (got as f64 - want).abs() / want;
             assert!(err <= 1.0 / SUB_COUNT as f64, "got {got} want {want}");
         }

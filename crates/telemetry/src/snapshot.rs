@@ -91,6 +91,7 @@ impl StatsReport {
             out.push((format!("{prefix}_latency_p90_us"), p.p90_us.to_string()));
             out.push((format!("{prefix}_latency_p95_us"), p.p95_us.to_string()));
             out.push((format!("{prefix}_latency_p99_us"), p.p99_us.to_string()));
+            out.push((format!("{prefix}_latency_p999_us"), p.p999_us.to_string()));
             out.push((format!("{prefix}_latency_max_us"), p.max_us.to_string()));
         }
         out
@@ -120,6 +121,7 @@ pub fn render_prometheus(reports: &[StatsReport]) -> String {
                 ("0.9", p.p90_us),
                 ("0.95", p.p95_us),
                 ("0.99", p.p99_us),
+                ("0.999", p.p999_us),
             ] {
                 let _ = writeln!(
                     out,

@@ -169,6 +169,7 @@ pub struct WorkloadGen {
     rng: SmallRng,
     value_seed: u8,
     generated: u64,
+    index_offset: u64,
 }
 
 impl WorkloadGen {
@@ -192,6 +193,7 @@ impl WorkloadGen {
             rng: SmallRng::seed_from_u64(seed),
             value_seed: (seed & 0xff) as u8,
             generated: 0,
+            index_offset: 0,
         }
     }
 
@@ -205,13 +207,30 @@ impl WorkloadGen {
         self.generated
     }
 
+    /// Rotates every drawn key index by `offset` (mod the record count),
+    /// shifting the entire popular set onto different keys — the
+    /// "hotspot shift" perturbation used to exercise the balancer's
+    /// reaction to a moving working set. An offset of 0 restores the
+    /// original popularity assignment; the op stream stays deterministic
+    /// for a given (seed, offset-change schedule).
+    pub fn set_index_offset(&mut self, offset: u64) {
+        self.index_offset = offset;
+    }
+
+    /// The current key-index rotation (see [`Self::set_index_offset`]).
+    pub fn index_offset(&self) -> u64 {
+        self.index_offset
+    }
+
     fn next_index(&mut self) -> u64 {
-        match &mut self.dist {
+        let raw = match &mut self.dist {
             DistImpl::Uniform(d) => d.next_index(&mut self.rng),
             DistImpl::Zipf(d) => d.next_index(&mut self.rng),
             DistImpl::ZipfClustered(d) => d.next_index(&mut self.rng),
             DistImpl::Hot(d) => d.next_index(&mut self.rng),
-        }
+        };
+        let m = self.spec.records.max(1);
+        (raw + self.index_offset % m) % m
     }
 
     /// Generates the next operation.
@@ -324,6 +343,47 @@ mod tests {
         let keys: std::collections::HashSet<_> = pairs.iter().map(|(k, _)| k.clone()).collect();
         assert_eq!(keys.len(), 1_000, "keys must be unique");
         assert!(pairs.iter().all(|(k, v)| k.len() == 24 && v.len() == 64));
+    }
+
+    #[test]
+    fn index_offset_shifts_the_hot_set() {
+        // With a clustered-zipfian the hot ranks are the low indices, so
+        // a rotation by `records / 2` must move the mass of traffic off
+        // the original hot keys and onto the rotated ones.
+        let spec = WorkloadSpec {
+            records: 1_000,
+            read_fraction: 1.0,
+            popularity: Popularity::ZipfianClustered { theta: 0.99 },
+            key_len: 10,
+            value_len: 20,
+        };
+        let mut g = WorkloadGen::new(spec.clone(), 42);
+        let original_hot: std::collections::HashSet<Vec<u8>> =
+            (0..50).map(|i| g.spec().key_of(i)).collect();
+        let before = (0..5_000)
+            .filter(|_| original_hot.contains(&g.next_op().key))
+            .count();
+        g.set_index_offset(500);
+        assert_eq!(g.index_offset(), 500);
+        let after = (0..5_000)
+            .filter(|_| original_hot.contains(&g.next_op().key))
+            .count();
+        assert!(
+            before > 2_000 && after < before / 4,
+            "shift did not move the hot set: before={before} after={after}"
+        );
+        let shifted_hot: std::collections::HashSet<Vec<u8>> =
+            (500..550).map(|i| g.spec().key_of(i)).collect();
+        let shifted = (0..5_000)
+            .filter(|_| shifted_hot.contains(&g.next_op().key))
+            .count();
+        assert!(shifted > 2_000, "rotated hot set not hot: {shifted}");
+        // Offsets never escape the key space.
+        g.set_index_offset(u64::MAX / 2);
+        for _ in 0..100 {
+            let op = g.next_op();
+            assert_eq!(op.key.len(), 10);
+        }
     }
 
     #[test]

@@ -13,7 +13,7 @@ use mbal::balancer::plan::Migration;
 use mbal::balancer::replicated::CoordinatorService;
 use mbal::balancer::topology::{plan_coordinated_zoned, Topology, ZonedOutcome};
 use mbal::balancer::{BalancerConfig, ReplicatedCoordinator};
-use mbal::client::Client;
+use mbal::client::{Client, SetOptions};
 use mbal::cluster::sim::{PhaseSet, SimConfig};
 use mbal::cluster::Simulation;
 use mbal::core::clock::RealClock;
@@ -49,13 +49,18 @@ fn main() {
             )
         })
         .collect();
-    let mut client = Client::new(
+    let mut client = Client::builder(
         Arc::clone(&registry) as Arc<dyn Transport>,
         Arc::clone(&group) as Arc<dyn mbal::client::CoordinatorLink>,
-    );
+    )
+    .build();
     for i in 0..1_000u32 {
         client
-            .set(format!("obj:{i}").as_bytes(), &i.to_le_bytes())
+            .set_opts(
+                format!("obj:{i}").as_bytes(),
+                &i.to_le_bytes(),
+                SetOptions::new(),
+            )
             .expect("set");
     }
     println!("loaded 1000 objects across 4 servers (2 zones)");
@@ -130,7 +135,12 @@ fn main() {
             (ServerId(3), vec![mk(3, &[2.0])]),              // cold, zone 1
         ],
     };
-    match plan_coordinated_zoned(&view, WorkerAddr::new(0, 0), &topo, &BalancerConfig::default()) {
+    match plan_coordinated_zoned(
+        &view,
+        WorkerAddr::new(0, 0),
+        &topo,
+        &BalancerConfig::default(),
+    ) {
         ZonedOutcome::IntraZone(plan) => {
             println!(
                 "hierarchical planner placed {} cachelets, all inside zone 0 (server 2)",

@@ -13,7 +13,7 @@
 
 use mbal::balancer::coordinator::Coordinator;
 use mbal::balancer::BalancerConfig;
-use mbal::client::Client;
+use mbal::client::{Client, SetOptions};
 use mbal::core::clock::{Clock, ManualClock};
 use mbal::core::types::{ServerId, WorkerAddr};
 use mbal::ring::{ConsistentRing, MappingTable};
@@ -43,15 +43,20 @@ fn main() {
             )
         })
         .collect();
-    let mut client = Client::new(
+    let mut client = Client::builder(
         Arc::clone(&registry) as Arc<dyn mbal::server::Transport>,
         Arc::clone(&coordinator) as Arc<dyn mbal::client::CoordinatorLink>,
-    );
+    )
+    .build();
 
     // Load the photo-metadata working set.
     for i in 0..2_000u32 {
         client
-            .set(format!("photo:{i:06}").as_bytes(), &[0xAB; 64])
+            .set_opts(
+                format!("photo:{i:06}").as_bytes(),
+                &[0xAB; 64],
+                SetOptions::new(),
+            )
             .expect("load");
     }
     println!("loaded 2000 photos");
@@ -97,7 +102,9 @@ fn main() {
 
     // Writes still flow through the home worker and invalidate/update
     // replicas (synchronous mode → no stale reads).
-    client.set(&viral[0], b"updated-tags").expect("set");
+    client
+        .set_opts(&viral[0], b"updated-tags", SetOptions::new())
+        .expect("set");
     for _ in 0..4 {
         let v = client.get(&viral[0]).expect("get").expect("hit");
         assert_eq!(v, b"updated-tags", "stale replica read");

@@ -7,7 +7,7 @@
 
 use mbal::balancer::coordinator::Coordinator;
 use mbal::balancer::BalancerConfig;
-use mbal::client::Client;
+use mbal::client::{Client, SetOptions};
 use mbal::core::clock::RealClock;
 use mbal::core::types::{ServerId, WorkerAddr};
 use mbal::ring::{ConsistentRing, MappingTable};
@@ -49,13 +49,18 @@ fn main() {
 
     // 4. A client: fetches the mapping from the coordinator, routes
     //    every request straight to the owning worker.
-    let mut client = Client::new(
+    let mut client = Client::builder(
         Arc::clone(&registry) as Arc<dyn mbal::server::Transport>,
         Arc::clone(&coordinator) as Arc<dyn mbal::client::CoordinatorLink>,
-    );
+    )
+    .build();
 
-    client.set(b"user:1001", b"alice").expect("set");
-    client.set(b"user:1002", b"bob").expect("set");
+    client
+        .set_opts(b"user:1001", b"alice", SetOptions::new())
+        .expect("set");
+    client
+        .set_opts(b"user:1002", b"bob", SetOptions::new())
+        .expect("set");
     let v = client.get(b"user:1001").expect("get").expect("hit");
     println!("user:1001 -> {}", String::from_utf8_lossy(&v));
 

@@ -13,7 +13,7 @@
 
 use mbal::balancer::coordinator::Coordinator;
 use mbal::balancer::{BalancerConfig, Phase};
-use mbal::client::Client;
+use mbal::client::{Client, SetOptions};
 use mbal::core::clock::{Clock, ManualClock};
 use mbal::core::types::{ServerId, WorkerAddr};
 use mbal::ring::{ConsistentRing, MappingTable};
@@ -52,10 +52,11 @@ fn main() {
             )
         })
         .collect();
-    let mut client = Client::new(
+    let mut client = Client::builder(
         Arc::clone(&registry) as Arc<dyn mbal::server::Transport>,
         Arc::clone(&coordinator) as Arc<dyn mbal::client::CoordinatorLink>,
-    );
+    )
+    .build();
 
     // Build a set of session keys that all live on server 0, worker 0 —
     // a worst-case placement for a write-heavy tenant.
@@ -71,7 +72,11 @@ fn main() {
     }
     for k in &hot_keys {
         client
-            .set(k.as_bytes(), b"{\"last_action\":\"login\"}")
+            .set_opts(
+                k.as_bytes(),
+                b"{\"last_action\":\"login\"}",
+                SetOptions::new(),
+            )
             .expect("set");
     }
     println!(
@@ -88,7 +93,11 @@ fn main() {
                     let _ = client.get(k.as_bytes()).expect("get");
                 } else {
                     client
-                        .set(k.as_bytes(), b"{\"last_action\":\"scroll\"}")
+                        .set_opts(
+                            k.as_bytes(),
+                            b"{\"last_action\":\"scroll\"}",
+                            SetOptions::new(),
+                        )
                         .expect("set");
                 }
             }

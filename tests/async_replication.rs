@@ -5,7 +5,7 @@
 
 use mbal::balancer::coordinator::Coordinator;
 use mbal::balancer::BalancerConfig;
-use mbal::client::Client;
+use mbal::client::{Client, SetOptions};
 use mbal::core::clock::{Clock, ManualClock};
 use mbal::core::types::{ServerId, WorkerAddr};
 use mbal::ring::{ConsistentRing, MappingTable};
@@ -51,7 +51,9 @@ fn build(
 }
 
 fn replicate_hot_key(servers: &mut [Server], clock: &ManualClock, client: &mut Client) {
-    client.set(b"celebrity", b"v0").expect("set");
+    client
+        .set_opts(b"celebrity", b"v0", SetOptions::new())
+        .expect("set");
     for _ in 0..5 {
         for _ in 0..3_000 {
             let _ = client.get(b"celebrity").expect("get");
@@ -70,10 +72,11 @@ fn replicate_hot_key(servers: &mut [Server], clock: &ManualClock, client: &mut C
 #[test]
 fn async_replication_converges() {
     let (mut servers, coordinator, registry, clock) = build(false);
-    let mut client = Client::new(
+    let mut client = Client::builder(
         Arc::clone(&registry) as Arc<dyn Transport>,
         Arc::clone(&coordinator) as Arc<dyn mbal::client::CoordinatorLink>,
-    );
+    )
+    .build();
     replicate_hot_key(&mut servers, &clock, &mut client);
     assert!(
         client.replicated_keys() > 0,
@@ -82,7 +85,9 @@ fn async_replication_converges() {
     );
 
     // Write through the home worker; the async update is in flight.
-    client.set(b"celebrity", b"v1").expect("set");
+    client
+        .set_opts(b"celebrity", b"v1", SetOptions::new())
+        .expect("set");
     // Eventual consistency: within a bounded (wall-clock) window, every
     // read — home or replica — observes v1.
     let deadline = Instant::now() + Duration::from_secs(2);
@@ -104,17 +109,20 @@ fn async_replication_converges() {
 #[test]
 fn sync_replication_never_reads_stale() {
     let (mut servers, coordinator, registry, clock) = build(true);
-    let mut client = Client::new(
+    let mut client = Client::builder(
         Arc::clone(&registry) as Arc<dyn Transport>,
         Arc::clone(&coordinator) as Arc<dyn mbal::client::CoordinatorLink>,
-    );
+    )
+    .build();
     replicate_hot_key(&mut servers, &clock, &mut client);
     assert!(client.replicated_keys() > 0, "hot key never replicated");
     // With synchronous propagation, the very next read after a write —
     // wherever it routes — must see the new value.
     for round in 0..20 {
         let value = format!("v{round}");
-        client.set(b"celebrity", value.as_bytes()).expect("set");
+        client
+            .set_opts(b"celebrity", value.as_bytes(), SetOptions::new())
+            .expect("set");
         for _ in 0..4 {
             assert_eq!(
                 client.get(b"celebrity").expect("get").expect("hit"),

@@ -25,7 +25,7 @@
 use mbal::balancer::coordinator::Coordinator;
 use mbal::balancer::plan::Migration;
 use mbal::balancer::BalancerConfig;
-use mbal::client::{Client, CoordinatorLink};
+use mbal::client::{Client, CoordinatorLink, SetOptions};
 use mbal::core::clock::{Clock, ManualClock};
 use mbal::core::types::{CacheletId, ServerId, WorkerAddr};
 use mbal::ring::{ConsistentRing, MappingTable};
@@ -95,10 +95,11 @@ fn run_scenario(plan: FaultPlan, ops: usize, with_ticks: bool) -> Outcome {
             )
         })
         .collect();
-    let mut client = Client::new(
+    let mut client = Client::builder(
         Arc::clone(&injector) as Arc<dyn Transport>,
         Arc::clone(&coordinator) as Arc<dyn CoordinatorLink>,
-    );
+    )
+    .build();
 
     let mut model: Model = HashMap::new();
     let mut log = String::new();
@@ -111,7 +112,7 @@ fn run_scenario(plan: FaultPlan, ops: usize, with_ticks: bool) -> Outcome {
             0..=39 => {
                 let k = rng.next_below(KEYS) as u8;
                 let v = format!("v{i}-{:04x}", rng.next_u64() & 0xffff).into_bytes();
-                match client.set(&key_of(k), &v) {
+                match client.set_opts(&key_of(k), &v, SetOptions::new()) {
                     Ok(()) => {
                         // Acked: the value is now the only admissible one.
                         model.insert(k, vec![Some(v)]);
@@ -188,10 +189,11 @@ fn run_scenario(plan: FaultPlan, ops: usize, with_ticks: bool) -> Outcome {
     // Final sweep over a CLEAN transport: whatever the faults did, the
     // cluster must have converged to an admissible state — every acked
     // write readable, every acked delete absent.
-    let mut checker = Client::new(
+    let mut checker = Client::builder(
         Arc::clone(&registry) as Arc<dyn Transport>,
         Arc::clone(&coordinator) as Arc<dyn CoordinatorLink>,
-    );
+    )
+    .build();
     for k in 0..KEYS as u8 {
         let got = checker
             .get(&key_of(k))
@@ -253,7 +255,10 @@ fn chaos_duplicate_and_reordered_delivery_is_idempotent() {
     for seed in [31, 32, 33] {
         let plan = FaultPlan::none(seed).with_duplicate(0.15).with_reorder(0.5);
         let out = run_chaos("dup-reorder", plan, 140, true);
-        assert!(out.injected > 0, "seed {seed}: dup/reorder plan never fired");
+        assert!(
+            out.injected > 0,
+            "seed {seed}: dup/reorder plan never fired"
+        );
     }
 }
 
@@ -322,15 +327,19 @@ fn chaos_counters_account_for_injected_faults() {
         Arc::clone(&coordinator),
         Arc::new(clock.clone()),
     );
-    let mut client = Client::new(
+    let mut client = Client::builder(
         Arc::clone(&injector) as Arc<dyn Transport>,
         Arc::clone(&coordinator) as Arc<dyn CoordinatorLink>,
-    );
+    )
+    .build();
     for i in 0..200u32 {
-        let _ = client.set(format!("k{i}").as_bytes(), b"v");
+        let _ = client.set_opts(format!("k{i}").as_bytes(), b"v", SetOptions::new());
     }
     let injected = injector.injected();
-    assert!(injected > 0, "seed {seed}: no faults at p=0.15 over 200 ops");
+    assert!(
+        injected > 0,
+        "seed {seed}: no faults at p=0.15 over 200 ops"
+    );
     let snap = injector.metrics().snapshot();
     assert_eq!(
         snap.get(Counter::FaultsInjected),

@@ -5,7 +5,7 @@
 use mbal::balancer::plan::Migration;
 use mbal::balancer::replicated::CoordinatorService;
 use mbal::balancer::{BalancerConfig, ReplicatedCoordinator};
-use mbal::client::Client;
+use mbal::client::{Client, SetOptions};
 use mbal::core::clock::{Clock, ManualClock};
 use mbal::core::types::{ServerId, WorkerAddr};
 use mbal::ring::{ConsistentRing, MappingTable};
@@ -37,14 +37,19 @@ fn cluster_survives_coordinator_failover() {
             )
         })
         .collect();
-    let mut client = Client::new(
+    let mut client = Client::builder(
         Arc::clone(&registry) as Arc<dyn Transport>,
         Arc::clone(&group) as Arc<dyn mbal::client::CoordinatorLink>,
-    );
+    )
+    .build();
 
     for i in 0..300u32 {
         client
-            .set(format!("fo:{i}").as_bytes(), &i.to_le_bytes())
+            .set_opts(
+                format!("fo:{i}").as_bytes(),
+                &i.to_le_bytes(),
+                SetOptions::new(),
+            )
             .expect("set");
     }
     // A balance epoch and a forced coordinated migration before failover.

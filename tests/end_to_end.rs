@@ -4,7 +4,7 @@
 
 use mbal::balancer::coordinator::Coordinator;
 use mbal::balancer::BalancerConfig;
-use mbal::client::Client;
+use mbal::client::{Client, SetOptions};
 use mbal::core::clock::RealClock;
 use mbal::core::types::{ServerId, WorkerAddr};
 use mbal::proto::{Request, Response};
@@ -45,13 +45,18 @@ fn build(n_servers: u16, workers: u16) -> (Vec<Server>, Arc<Coordinator>, Arc<Tc
 #[test]
 fn tcp_cluster_set_get_delete() {
     let (mut servers, coordinator, transport) = build(2, 2);
-    let mut client = Client::new(
+    let mut client = Client::builder(
         Arc::clone(&transport) as Arc<dyn Transport>,
         Arc::clone(&coordinator) as Arc<dyn mbal::client::CoordinatorLink>,
-    );
+    )
+    .build();
     for i in 0..300u32 {
         client
-            .set(format!("tcp:{i}").as_bytes(), &i.to_be_bytes())
+            .set_opts(
+                format!("tcp:{i}").as_bytes(),
+                &i.to_be_bytes(),
+                SetOptions::new(),
+            )
             .expect("set over tcp");
     }
     for i in 0..300u32 {
@@ -140,16 +145,17 @@ fn multiget_over_tcp_is_one_flush_per_worker() {
         servers.push(server);
     }
     let transport = TcpTransport::new(routes);
-    let mut client = Client::new(
+    let mut client = Client::builder(
         Arc::clone(&transport) as Arc<dyn Transport>,
         Arc::clone(&coordinator) as Arc<dyn mbal::client::CoordinatorLink>,
-    );
+    )
+    .build();
 
     let keys: Vec<Vec<u8>> = (0..64u32)
         .map(|i| format!("batch:{i}").into_bytes())
         .collect();
     for k in &keys {
-        client.set(k, b"v").expect("set");
+        client.set_opts(k, b"v", SetOptions::new()).expect("set");
     }
     singles.store(0, Ordering::SeqCst);
     batches.store(0, Ordering::SeqCst);
@@ -232,12 +238,15 @@ fn stats_blob_is_valid_json_stats_report() {
 #[test]
 fn balance_tick_does_not_disturb_tcp_traffic() {
     let (mut servers, coordinator, transport) = build(2, 2);
-    let mut client = Client::new(
+    let mut client = Client::builder(
         Arc::clone(&transport) as Arc<dyn Transport>,
         Arc::clone(&coordinator) as Arc<dyn mbal::client::CoordinatorLink>,
-    );
+    )
+    .build();
     for i in 0..200u32 {
-        client.set(format!("k{i}").as_bytes(), b"v").expect("set");
+        client
+            .set_opts(format!("k{i}").as_bytes(), b"v", SetOptions::new())
+            .expect("set");
     }
     for s in &mut servers {
         s.tick(1_000);

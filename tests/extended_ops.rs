@@ -4,7 +4,7 @@
 
 use mbal::balancer::coordinator::Coordinator;
 use mbal::balancer::BalancerConfig;
-use mbal::client::Client;
+use mbal::client::{Client, SetOptions, StoreOutcome};
 use mbal::core::clock::{Clock, ManualClock};
 use mbal::core::types::{ServerId, WorkerAddr};
 use mbal::ring::{ConsistentRing, MappingTable};
@@ -45,18 +45,34 @@ fn cluster() -> (
 #[test]
 fn add_replace_semantics_end_to_end() {
     let (mut servers, coordinator, registry, _clock) = cluster();
-    let mut c = Client::new(
+    let mut c = Client::builder(
         Arc::clone(&registry) as Arc<dyn Transport>,
         Arc::clone(&coordinator) as Arc<dyn mbal::client::CoordinatorLink>,
-    );
-    assert!(
-        !c.replace(b"k", b"v").expect("replace miss"),
+    )
+    .build();
+    assert_eq!(
+        c.set_opts(b"k", b"v", SetOptions::replace())
+            .expect("replace miss"),
+        StoreOutcome::NotStored,
         "replace on miss"
     );
-    assert!(c.add(b"k", b"v1").expect("add"), "add on miss stores");
-    assert!(!c.add(b"k", b"v2").expect("add hit"), "add on hit refuses");
+    assert_eq!(
+        c.set_opts(b"k", b"v1", SetOptions::add()).expect("add"),
+        StoreOutcome::Stored,
+        "add on miss stores"
+    );
+    assert_eq!(
+        c.set_opts(b"k", b"v2", SetOptions::add()).expect("add hit"),
+        StoreOutcome::Exists,
+        "add on hit refuses"
+    );
     assert_eq!(c.get(b"k").expect("get").expect("hit"), b"v1");
-    assert!(c.replace(b"k", b"v3").expect("replace"), "replace on hit");
+    assert_eq!(
+        c.set_opts(b"k", b"v3", SetOptions::replace())
+            .expect("replace"),
+        StoreOutcome::Stored,
+        "replace on hit"
+    );
     assert_eq!(c.get(b"k").expect("get").expect("hit"), b"v3");
     for s in &mut servers {
         s.shutdown();
@@ -66,21 +82,32 @@ fn add_replace_semantics_end_to_end() {
 #[test]
 fn append_prepend_and_counters() {
     let (mut servers, coordinator, registry, _clock) = cluster();
-    let mut c = Client::new(
+    let mut c = Client::builder(
         Arc::clone(&registry) as Arc<dyn Transport>,
         Arc::clone(&coordinator) as Arc<dyn mbal::client::CoordinatorLink>,
-    );
-    c.set(b"log", b"mid").expect("set");
-    assert!(c.append(b"log", b"-end").expect("append"));
-    assert!(c.prepend(b"log", b"start-").expect("prepend"));
+    )
+    .build();
+    c.set_opts(b"log", b"mid", SetOptions::new()).expect("set");
+    assert!(c
+        .set_opts(b"log", b"-end", SetOptions::append())
+        .expect("append")
+        .is_stored());
+    assert!(c
+        .set_opts(b"log", b"start-", SetOptions::prepend())
+        .expect("prepend")
+        .is_stored());
     assert_eq!(c.get(b"log").expect("get").expect("hit"), b"start-mid-end");
-    assert!(!c.append(b"missing", b"x").expect("append miss"));
+    assert_eq!(
+        c.set_opts(b"missing", b"x", SetOptions::append())
+            .expect("append miss"),
+        StoreOutcome::NotStored
+    );
 
-    c.set(b"hits", b"100").expect("set");
+    c.set_opts(b"hits", b"100", SetOptions::new()).expect("set");
     assert_eq!(c.incr(b"hits", 5).expect("incr"), Some(105));
     assert_eq!(c.decr(b"hits", 200).expect("decr"), Some(0), "saturates");
     assert_eq!(c.incr(b"nope", 1).expect("incr miss"), None);
-    c.set(b"text", b"abc").expect("set");
+    c.set_opts(b"text", b"abc", SetOptions::new()).expect("set");
     assert!(c.incr(b"text", 1).is_err(), "non-numeric must error");
     for s in &mut servers {
         s.shutdown();
@@ -90,13 +117,18 @@ fn append_prepend_and_counters() {
 #[test]
 fn touch_extends_ttl_end_to_end() {
     let (mut servers, coordinator, registry, clock) = cluster();
-    let mut c = Client::new(
+    let mut c = Client::builder(
         Arc::clone(&registry) as Arc<dyn Transport>,
         Arc::clone(&coordinator) as Arc<dyn mbal::client::CoordinatorLink>,
-    );
+    )
+    .build();
     clock.advance(1_000_000); // t = 1 s
-    c.set_with_expiry(b"session", b"v", 2_000).expect("set");
-    assert!(c.touch(b"session", 60_000).expect("touch"));
+    c.set_opts(b"session", b"v", SetOptions::new().expiry_ms(2_000))
+        .expect("set");
+    assert_eq!(
+        c.touch_opts(b"session", 60_000).expect("touch"),
+        StoreOutcome::Stored
+    );
     clock.advance(10_000_000); // t = 11 s, past the original expiry
     assert_eq!(
         c.get(b"session")
@@ -104,10 +136,17 @@ fn touch_extends_ttl_end_to_end() {
             .expect("touched key survives"),
         b"v"
     );
-    assert!(!c.touch(b"missing", 1).expect("touch miss"));
+    assert_eq!(
+        c.touch_opts(b"missing", 1).expect("touch miss"),
+        StoreOutcome::Missed
+    );
     // Without a touch, TTL still enforces.
-    c.set_with_expiry(b"ephemeral", b"v", clock.now_millis() + 500)
-        .expect("set");
+    c.set_opts(
+        b"ephemeral",
+        b"v",
+        SetOptions::new().expiry_ms(clock.now_millis() + 500),
+    )
+    .expect("set");
     clock.advance(1_000_000);
     assert_eq!(c.get(b"ephemeral").expect("get"), None);
     for s in &mut servers {
@@ -123,15 +162,26 @@ fn extended_ops_work_over_tcp() {
         routes.extend(serve_tcp(&s.worker_mailboxes(), "127.0.0.1", 0).expect("bind"));
     }
     let transport = TcpTransport::new(routes);
-    let mut c = Client::new(
+    let mut c = Client::builder(
         transport as Arc<dyn Transport>,
         Arc::clone(&coordinator) as Arc<dyn mbal::client::CoordinatorLink>,
+    )
+    .build();
+    assert_eq!(
+        c.set_opts(b"tcp-counter", b"41", SetOptions::add())
+            .expect("add"),
+        StoreOutcome::Stored
     );
-    assert!(c.add(b"tcp-counter", b"41").expect("add"));
     assert_eq!(c.incr(b"tcp-counter", 1).expect("incr"), Some(42));
-    assert!(c.append(b"tcp-counter", b"!").expect("append"));
+    assert!(c
+        .set_opts(b"tcp-counter", b"!", SetOptions::append())
+        .expect("append")
+        .is_stored());
     assert_eq!(c.get(b"tcp-counter").expect("get").expect("hit"), b"42!");
-    assert!(c.touch(b"tcp-counter", 0).expect("touch"));
+    assert_eq!(
+        c.touch_opts(b"tcp-counter", 0).expect("touch"),
+        StoreOutcome::Stored
+    );
     for s in &mut servers {
         s.shutdown();
     }

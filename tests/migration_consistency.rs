@@ -5,7 +5,7 @@
 use mbal::balancer::coordinator::Coordinator;
 use mbal::balancer::plan::Migration;
 use mbal::balancer::BalancerConfig;
-use mbal::client::Client;
+use mbal::client::{Client, SetOptions};
 use mbal::core::clock::RealClock;
 use mbal::core::types::{ServerId, WorkerAddr};
 use mbal::ring::{ConsistentRing, MappingTable};
@@ -51,7 +51,7 @@ fn build(n_servers: u16, workers: u16) -> Cluster {
 
 impl Cluster {
     fn client(&self) -> Client {
-        Client::new(
+        Client::builder(
             Arc::clone(&self.registry) as Arc<dyn Transport>,
             Arc::clone(&self.coordinator) as Arc<dyn mbal::client::CoordinatorLink>,
         )
@@ -70,7 +70,11 @@ fn migration_under_concurrent_writes_loses_nothing() {
     let mut seed_client = cluster.client();
     for i in 0..500u32 {
         seed_client
-            .set(format!("cc:{i}").as_bytes(), &0u64.to_le_bytes())
+            .set_opts(
+                format!("cc:{i}").as_bytes(),
+                &0u64.to_le_bytes(),
+                SetOptions::new(),
+            )
             .expect("seed");
     }
     let victim = cluster.mapping.cachelets_of_worker(WorkerAddr::new(0, 0))[0];
@@ -91,7 +95,11 @@ fn migration_under_concurrent_writes_loses_nothing() {
             let mut version = 1u64;
             while !stop.load(Ordering::Relaxed) {
                 for i in (0..500u32).step_by(7) {
-                    let _ = c.set(format!("cc:{i}").as_bytes(), &version.to_le_bytes());
+                    let _ = c.set_opts(
+                        format!("cc:{i}").as_bytes(),
+                        &version.to_le_bytes(),
+                        SetOptions::new(),
+                    );
                 }
                 version += 1;
             }
@@ -104,7 +112,8 @@ fn migration_under_concurrent_writes_loses_nothing() {
     assert!(
         final_version > 1,
         "writer made no progress during migration"
-    );
+    )
+    .build();
 
     // Every key must still be readable and hold either the seed value or
     // some writer version (no garbage, no loss).
@@ -126,7 +135,9 @@ fn stale_client_follows_forwarding_after_migration() {
     let mut stale = cluster.client(); // snapshot mapping now
     let mut fresh = cluster.client();
     for i in 0..200u32 {
-        fresh.set(format!("fw:{i}").as_bytes(), b"v").expect("set");
+        fresh
+            .set_opts(format!("fw:{i}").as_bytes(), b"v", SetOptions::new())
+            .expect("set");
     }
     let victim = cluster.mapping.cachelets_of_worker(WorkerAddr::new(0, 0))[0];
     let m = Migration {
@@ -162,7 +173,7 @@ fn unreachable_destination_degrades_to_miss_not_corruption() {
     let mut client = cluster.client();
     for i in 0..200u32 {
         client
-            .set(format!("dead:{i}").as_bytes(), b"v")
+            .set_opts(format!("dead:{i}").as_bytes(), b"v", SetOptions::new())
             .expect("set");
     }
     let victim = cluster.mapping.cachelets_of_worker(WorkerAddr::new(0, 0))[0];
@@ -211,7 +222,7 @@ fn unreachable_destination_degrades_to_miss_not_corruption() {
         i += 1;
     };
     client
-        .set(fresh_key.as_bytes(), b"v")
+        .set_opts(fresh_key.as_bytes(), b"v", SetOptions::new())
         .expect("set on a live server still works");
     cluster.shutdown();
 }

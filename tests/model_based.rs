@@ -5,7 +5,7 @@
 use mbal::balancer::coordinator::Coordinator;
 use mbal::balancer::plan::Migration;
 use mbal::balancer::BalancerConfig;
-use mbal::client::Client;
+use mbal::client::{Client, SetOptions};
 use mbal::core::clock::ManualClock;
 use mbal::core::types::{ServerId, WorkerAddr};
 use mbal::ring::{ConsistentRing, MappingTable};
@@ -66,16 +66,17 @@ proptest! {
                 )
             })
             .collect();
-        let mut client = Client::new(
+        let mut client = Client::builder(
             Arc::clone(&registry) as Arc<dyn Transport>,
             Arc::clone(&coordinator) as Arc<dyn mbal::client::CoordinatorLink>,
-        );
+        )
+        .build();
         let mut model: HashMap<u8, Vec<u8>> = HashMap::new();
 
         for action in actions {
             match action {
                 Action::Set(k, v) => {
-                    client.set(&key_of(k), &v).expect("set");
+                    client.set_opts(&key_of(k), &v, SetOptions::new()).expect("set");
                     model.insert(k, v);
                 }
                 Action::Get(k) => {

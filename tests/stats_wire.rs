@@ -5,7 +5,7 @@
 
 use mbal::balancer::coordinator::Coordinator;
 use mbal::balancer::BalancerConfig;
-use mbal::client::Client;
+use mbal::client::{Client, SetOptions};
 use mbal::core::clock::RealClock;
 use mbal::core::types::{ServerId, WorkerAddr};
 use mbal::ring::{ConsistentRing, MappingTable};
@@ -47,13 +47,14 @@ fn build(n_servers: u16, workers: u16) -> (Vec<Server>, Arc<Coordinator>, Arc<Tc
 fn stats_over_tcp_report_issued_traffic() {
     const N: u64 = 120;
     let (mut servers, coordinator, transport) = build(2, 2);
-    let mut client = Client::new(
+    let mut client = Client::builder(
         Arc::clone(&transport) as Arc<dyn Transport>,
         Arc::clone(&coordinator) as Arc<dyn mbal::client::CoordinatorLink>,
-    );
+    )
+    .build();
     for i in 0..N {
         client
-            .set(format!("sw:{i}").as_bytes(), b"value")
+            .set_opts(format!("sw:{i}").as_bytes(), b"value", SetOptions::new())
             .expect("set over tcp");
     }
     for i in 0..N {
@@ -121,13 +122,18 @@ fn stats_reset_raced_with_writers_conserves_counts() {
     let writer_transport = Arc::clone(&transport);
     let writer_coord = Arc::clone(&coordinator);
     let writer = std::thread::spawn(move || {
-        let mut c = Client::new(
+        let mut c = Client::builder(
             writer_transport as Arc<dyn Transport>,
             writer_coord as Arc<dyn mbal::client::CoordinatorLink>,
-        );
+        )
+        .build();
         for i in 0..WRITES {
-            c.set(format!("race:{}", i % 32).as_bytes(), b"v")
-                .expect("writer set");
+            c.set_opts(
+                format!("race:{}", i % 32).as_bytes(),
+                b"v",
+                SetOptions::new(),
+            )
+            .expect("writer set");
         }
     });
 
@@ -137,10 +143,11 @@ fn stats_reset_raced_with_writers_conserves_counts() {
         Arc::clone(&transport) as Arc<dyn Transport>,
         FaultPlan::delays(0xbeef, 0.5, 1, 3),
     );
-    let mut scraper = Client::new(
+    let mut scraper = Client::builder(
         Arc::clone(&injector) as Arc<dyn Transport>,
         Arc::clone(&coordinator) as Arc<dyn mbal::client::CoordinatorLink>,
-    );
+    )
+    .build();
 
     let mut harvested = 0u64;
     let mut owned_gauge = None;
@@ -189,12 +196,15 @@ fn stats_reset_raced_with_writers_conserves_counts() {
 #[test]
 fn stats_reset_over_tcp_zeroes_counters() {
     let (mut servers, coordinator, transport) = build(1, 1);
-    let mut client = Client::new(
+    let mut client = Client::builder(
         Arc::clone(&transport) as Arc<dyn Transport>,
         Arc::clone(&coordinator) as Arc<dyn mbal::client::CoordinatorLink>,
-    );
+    )
+    .build();
     for i in 0..10u32 {
-        client.set(format!("r:{i}").as_bytes(), b"v").expect("set");
+        client
+            .set_opts(format!("r:{i}").as_bytes(), b"v", SetOptions::new())
+            .expect("set");
     }
     let before = client.server_stats(true).expect("stats reset");
     assert_eq!(before[0].load.metrics.get(Counter::Sets), 10);

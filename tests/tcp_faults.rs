@@ -5,7 +5,7 @@
 
 use mbal::balancer::coordinator::Coordinator;
 use mbal::balancer::BalancerConfig;
-use mbal::client::Client;
+use mbal::client::{Client, SetOptions};
 use mbal::core::clock::RealClock;
 use mbal::core::types::{CacheletId, ServerId, WorkerAddr};
 use mbal::proto::codec::{self, opcode_of, HEADER_LEN};
@@ -54,9 +54,8 @@ fn scripted_endpoint(answer_first: usize) -> (std::net::SocketAddr, Arc<AtomicUs
                 let subs = codec::decode_batch_request(&frame).expect("batch frame");
                 let keep = if nth == 0 { answer_first } else { subs.len() };
                 for (req, opaque) in subs.into_iter().take(keep) {
-                    let bytes =
-                        codec::encode_response(&Response::Stored, opcode_of(&req), opaque)
-                            .expect("encode");
+                    let bytes = codec::encode_response(&Response::Stored, opcode_of(&req), opaque)
+                        .expect("encode");
                     conn.write_all(&bytes).expect("write");
                 }
                 if nth == 0 {
@@ -150,12 +149,15 @@ fn fault_injector_composes_over_tcp() {
     // retries must ride through without any application-level error.
     let plan = FaultPlan::drops(0xface, 1.0).with_max_faults(3);
     let injector = FaultInjector::new(Arc::clone(&tcp) as Arc<dyn Transport>, plan);
-    let mut client = Client::new(
+    let mut client = Client::builder(
         Arc::clone(&injector) as Arc<dyn Transport>,
         Arc::clone(&coordinator) as Arc<dyn mbal::client::CoordinatorLink>,
-    );
+    )
+    .build();
 
-    client.set(b"tf:key", b"value").expect("set rides out drops");
+    client
+        .set_opts(b"tf:key", b"value", SetOptions::new())
+        .expect("set rides out drops");
     assert_eq!(
         client.get(b"tf:key").expect("get over tcp"),
         Some(b"value".to_vec())
