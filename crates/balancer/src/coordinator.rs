@@ -14,10 +14,13 @@
 use crate::config::BalancerConfig;
 use crate::phase3::{plan_coordinated, ClusterView, Phase3Outcome};
 use crate::plan::{Migration, WorkerLoad};
-use mbal_core::types::{ServerId, WorkerAddr};
+use mbal_core::types::{ServerId, WorkerAddr, WorkerId};
+use mbal_membership::{
+    ClusterMembership, MembershipConfig, MembershipEvent, MembershipView, NodeState,
+};
 use mbal_ring::MappingTable;
 use parking_lot::Mutex;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// A heartbeat reply: the deltas a client is missing, or a full-refetch
 /// directive when it lagged past the retention window.
@@ -43,19 +46,115 @@ struct Inner {
     stats: HashMap<ServerId, Vec<WorkerLoad>>,
     /// In-flight migrations (cachelet → command) awaiting completion.
     in_flight: HashMap<u32, Migration>,
+    /// Membership-driven migrations (join grows, drain evacuations)
+    /// queued for their *source* server, which picks them up on its next
+    /// balance tick via [`Coordinator::pending_moves_for`].
+    pending: HashMap<ServerId, Vec<Migration>>,
+    membership: ClusterMembership,
+    /// The membership table is seeded from the mapping's worker set on
+    /// the first membership call, so it inherits the caller's clock
+    /// instead of timestamping the bootstrap at 0 (which would make the
+    /// whole seed cluster look ancient and instantly suspect).
+    membership_seeded: bool,
     planned: u64,
     completed: u64,
     aborted: u64,
 }
 
+impl Inner {
+    fn ensure_membership(&mut self, now_ms: u64) {
+        if self.membership_seeded {
+            return;
+        }
+        self.membership_seeded = true;
+        let mut counts: BTreeMap<ServerId, u16> = BTreeMap::new();
+        for w in self.mapping.workers() {
+            *counts.entry(w.server).or_insert(0) += 1;
+        }
+        let seed: Vec<(ServerId, u16)> = counts.into_iter().collect();
+        self.membership.bootstrap(&seed, now_ms);
+    }
+
+    /// Applies a membership-driven move the way `request_migration`
+    /// applies a Phase 3 move: the authoritative mapping flips at plan
+    /// time (clients chasing the old owner are forwarded or retried),
+    /// the move joins the in-flight set, the stats view stays coherent,
+    /// and the source server's pending queue gets the command.
+    fn enqueue_membership_move(&mut self, m: Migration) {
+        self.mapping.move_cachelet(m.cachelet, m.to);
+        self.in_flight.insert(m.cachelet.0, m);
+        self.planned += 1;
+        let rec = self
+            .stats
+            .get_mut(&m.from.server)
+            .and_then(|ws| ws.iter_mut().find(|w| w.addr == m.from))
+            .and_then(|w| {
+                w.cachelets
+                    .iter()
+                    .position(|c| c.cachelet == m.cachelet)
+                    .map(|i| w.cachelets.remove(i))
+            });
+        if let (Some(rec), Some(ws)) = (rec, self.stats.get_mut(&m.to.server)) {
+            if let Some(w) = ws.iter_mut().find(|w| w.addr == m.to) {
+                w.cachelets.push(rec);
+            }
+        }
+        self.pending.entry(m.from.server).or_default().push(m);
+    }
+
+    /// Reacts to a confirmed node death: abandons transfers the dead
+    /// node was executing or receiving (an interrupted *incoming*
+    /// transfer falls back to its live source) and reassigns everything
+    /// still homed on the dead node to the survivors. The cache contents
+    /// are gone — the new owners start the cachelets cold and promote
+    /// any Phase 1 replicas they hold — but the mapping never routes to
+    /// a dead address.
+    fn handle_failed(&mut self, server: ServerId) {
+        let involved: Vec<Migration> = self
+            .in_flight
+            .values()
+            .filter(|m| m.from.server == server || m.to.server == server)
+            .copied()
+            .collect();
+        for m in involved {
+            self.in_flight.remove(&m.cachelet.0);
+            self.aborted += 1;
+            if m.to.server == server {
+                self.mapping.move_cachelet(m.cachelet, m.from);
+            }
+        }
+        self.pending.remove(&server);
+        for q in self.pending.values_mut() {
+            q.retain(|m| m.from.server != server && m.to.server != server);
+        }
+        let _ = self.mapping.remove_server(server);
+        self.stats.remove(&server);
+    }
+}
+
 impl Coordinator {
-    /// Creates a coordinator owning `mapping`.
+    /// Creates a coordinator owning `mapping`, with default failure
+    /// detector timings.
     pub fn new(mapping: MappingTable, cfg: BalancerConfig) -> Self {
+        Self::new_with_membership(mapping, cfg, MembershipConfig::default())
+    }
+
+    /// Creates a coordinator with explicit failure detector timings
+    /// (tests and simulations drive virtual clocks and want short
+    /// suspect/confirm windows).
+    pub fn new_with_membership(
+        mapping: MappingTable,
+        cfg: BalancerConfig,
+        membership_cfg: MembershipConfig,
+    ) -> Self {
         Self {
             inner: Mutex::new(Inner {
                 mapping,
                 stats: HashMap::new(),
                 in_flight: HashMap::new(),
+                pending: HashMap::new(),
+                membership: ClusterMembership::new(membership_cfg),
+                membership_seeded: false,
                 planned: 0,
                 completed: 0,
                 aborted: 0,
@@ -84,6 +183,13 @@ impl Coordinator {
     /// in the authoritative mapping), or `None` when the cluster is hot.
     pub fn request_migration(&self, src: WorkerAddr) -> Option<Vec<Migration>> {
         let mut g = self.inner.lock();
+        // Membership rebalances (join grows, drain evacuations) hold the
+        // Phase 3 planner off until their commands have been handed to
+        // the source servers: planning over a mapping that is mid-grow
+        // would tug the same cachelets in two directions.
+        if !g.pending.is_empty() {
+            return Some(Vec::new());
+        }
         let mut servers: Vec<(ServerId, Vec<WorkerLoad>)> =
             g.stats.iter().map(|(&sid, ws)| (sid, ws.clone())).collect();
         servers.sort_by_key(|(sid, _)| *sid);
@@ -120,11 +226,28 @@ impl Coordinator {
     }
 
     /// Marks a migration finished; after all active clients have polled,
-    /// the source worker may drop its forwarding metadata.
+    /// the source worker may drop its forwarding metadata. Completions
+    /// also advance the membership state machine: a `Joining` server
+    /// whose grow rebalance just finished becomes `Up`, and a `Draining`
+    /// server that no longer owns anything is marked `Left`.
     pub fn migration_complete(&self, cachelet: mbal_core::types::CacheletId) {
         let mut g = self.inner.lock();
-        if g.in_flight.remove(&cachelet.0).is_some() {
-            g.completed += 1;
+        let Some(m) = g.in_flight.remove(&cachelet.0) else {
+            return;
+        };
+        g.completed += 1;
+        let dest = m.to.server;
+        if g.membership.state_of(dest) == Some(NodeState::Joining)
+            && !g.in_flight.values().any(|x| x.to.server == dest)
+            && g.pending.values().all(|q| q.iter().all(|x| x.to.server != dest))
+        {
+            let _ = g.membership.mark_up(dest);
+        }
+        let src = m.from.server;
+        if g.membership.state_of(src) == Some(NodeState::Draining)
+            && !g.mapping.workers().iter().any(|w| w.server == src)
+        {
+            let _ = g.membership.mark_left(src);
         }
     }
 
@@ -174,6 +297,119 @@ impl Coordinator {
     /// Number of migrations rolled back via [`Self::migration_failed`].
     pub fn aborted_migrations(&self) -> u64 {
         self.inner.lock().aborted
+    }
+
+    /// Admits `server` (with `workers` worker threads) into the cluster
+    /// and plans a minimal-churn grow rebalance onto it: each existing
+    /// server is handed the migrations it must push to the newcomer.
+    /// Idempotent for servers that are already members. Returns the
+    /// cluster epoch after the operation.
+    pub fn join_server(&self, server: ServerId, workers: u16, now_ms: u64) -> u64 {
+        let mut g = self.inner.lock();
+        g.ensure_membership(now_ms);
+        if g.membership.join(server, workers, now_ms).is_some() {
+            let new_workers: Vec<WorkerAddr> = (0..workers)
+                .map(|w| WorkerAddr {
+                    server,
+                    worker: WorkerId(w),
+                })
+                .collect();
+            let moves = g.mapping.plan_grow(&new_workers);
+            if moves.is_empty() {
+                let _ = g.membership.mark_up(server);
+            } else {
+                for (cachelet, from, to) in moves {
+                    g.enqueue_membership_move(Migration {
+                        cachelet,
+                        from,
+                        to,
+                        load: 0.0,
+                    });
+                }
+            }
+        }
+        g.membership.epoch()
+    }
+
+    /// Starts a graceful drain of `server`: its cachelets are evacuated
+    /// to the survivors (the drained server executes the outbound
+    /// migrations itself), after which it is marked `Left`. Returns the
+    /// cluster epoch after the operation.
+    pub fn drain_server(&self, server: ServerId, now_ms: u64) -> u64 {
+        let mut g = self.inner.lock();
+        g.ensure_membership(now_ms);
+        if g.membership.drain(server, now_ms).is_some() {
+            let moves = g.mapping.plan_evacuate(server);
+            if moves.is_empty() {
+                let _ = g.membership.mark_left(server);
+            } else {
+                for (cachelet, from, to) in moves {
+                    g.enqueue_membership_move(Migration {
+                        cachelet,
+                        from,
+                        to,
+                        load: 0.0,
+                    });
+                }
+            }
+        }
+        g.membership.epoch()
+    }
+
+    /// Records a server's liveness heartbeat. Returns the node's state
+    /// after processing, so a `Suspect` server learns it must bump its
+    /// incarnation and refute.
+    pub fn membership_heartbeat(
+        &self,
+        server: ServerId,
+        incarnation: u64,
+        now_ms: u64,
+    ) -> Option<NodeState> {
+        let mut g = self.inner.lock();
+        g.ensure_membership(now_ms);
+        let (state, _refuted) = g.membership.heartbeat(server, incarnation, now_ms);
+        state
+    }
+
+    /// Advances the failure detector to `now_ms`. Confirmed failures
+    /// immediately reassign the dead node's cachelets to survivors and
+    /// abandon any transfers it was part of. Returns the transitions
+    /// that fired.
+    pub fn membership_tick(&self, now_ms: u64) -> Vec<MembershipEvent> {
+        let mut g = self.inner.lock();
+        g.ensure_membership(now_ms);
+        let events = g.membership.tick(now_ms);
+        for ev in &events {
+            if let MembershipEvent::ConfirmedFailed { server } = *ev {
+                g.handle_failed(server);
+            }
+        }
+        events
+    }
+
+    /// A serializable membership snapshot at `now_ms`.
+    pub fn membership_view(&self, now_ms: u64) -> MembershipView {
+        let mut g = self.inner.lock();
+        g.ensure_membership(now_ms);
+        g.membership.view(now_ms)
+    }
+
+    /// The current cluster epoch (bumped by every routing-affecting
+    /// membership transition).
+    pub fn cluster_epoch(&self) -> u64 {
+        self.inner.lock().membership.epoch()
+    }
+
+    /// Takes (and clears) the membership-driven migrations queued for
+    /// `server` to execute.
+    pub fn pending_moves_for(&self, server: ServerId) -> Vec<Migration> {
+        self.inner.lock().pending.remove(&server).unwrap_or_default()
+    }
+
+    /// Number of migrations currently in flight (Phase 3 and
+    /// membership-driven combined) — the `rebalance_inflight` gauge.
+    pub fn rebalance_inflight(&self) -> u64 {
+        self.inner.lock().in_flight.len() as u64
     }
 }
 
@@ -309,6 +545,120 @@ mod tests {
         assert_eq!(c.migration_counters().1, 0, "not counted as completed");
         c.migration_failed(&m);
         assert_eq!(c.aborted_migrations(), 1, "second abort is a no-op");
+    }
+
+    #[test]
+    fn join_plans_a_grow_rebalance_and_promotes_on_completion() {
+        let c = coordinator();
+        let epoch0 = c.cluster_epoch();
+        let epoch = c.join_server(ServerId(3), 1, 1_000);
+        assert!(epoch > epoch0, "join bumps the cluster epoch");
+        assert_eq!(
+            c.membership_view(1_000).state_of(ServerId(3)),
+            Some(mbal_membership::NodeState::Joining)
+        );
+        // 12 cachelets over 4 workers → 3 moves, all toward the joiner,
+        // already reflected in the authoritative mapping.
+        let mut moves: Vec<Migration> = Vec::new();
+        for s in 0..3u16 {
+            moves.extend(c.pending_moves_for(ServerId(s)));
+        }
+        assert_eq!(moves.len(), 3);
+        let snap = c.mapping_snapshot();
+        for m in &moves {
+            assert_eq!(m.to.server, ServerId(3));
+            assert_eq!(snap.worker_of_cachelet(m.cachelet), Some(m.to));
+        }
+        assert_eq!(c.rebalance_inflight(), 3);
+        // A second join while the first is pending is idempotent.
+        let again = c.join_server(ServerId(3), 1, 1_001);
+        assert_eq!(again, epoch);
+        for m in &moves {
+            c.migration_complete(m.cachelet);
+        }
+        assert_eq!(c.rebalance_inflight(), 0);
+        assert_eq!(
+            c.membership_view(1_002).state_of(ServerId(3)),
+            Some(mbal_membership::NodeState::Up),
+            "finished grow promotes the joiner"
+        );
+    }
+
+    #[test]
+    fn drain_evacuates_then_marks_left() {
+        let c = coordinator();
+        let epoch0 = c.cluster_epoch();
+        let epoch = c.drain_server(ServerId(2), 500);
+        assert!(epoch > epoch0);
+        let moves = c.pending_moves_for(ServerId(2));
+        assert_eq!(moves.len(), 4, "all four of its cachelets leave");
+        for m in &moves {
+            assert_eq!(m.from.server, ServerId(2));
+            assert_ne!(m.to.server, ServerId(2));
+        }
+        for m in &moves {
+            c.migration_complete(m.cachelet);
+        }
+        assert_eq!(
+            c.membership_view(600).state_of(ServerId(2)),
+            Some(mbal_membership::NodeState::Left)
+        );
+        assert!(
+            !c.mapping_snapshot()
+                .workers()
+                .iter()
+                .any(|w| w.server == ServerId(2)),
+            "nothing routes to the drained server"
+        );
+    }
+
+    #[test]
+    fn confirmed_failure_reassigns_the_dead_nodes_cachelets() {
+        let c = coordinator();
+        // Seed the detector at t=1s; servers 0 and 1 keep heartbeating,
+        // server 2 goes silent.
+        let _ = c.membership_heartbeat(ServerId(0), 0, 1_000);
+        let _ = c.membership_heartbeat(ServerId(1), 0, 1_000);
+        let _ = c.membership_heartbeat(ServerId(0), 0, 4_500);
+        let _ = c.membership_heartbeat(ServerId(1), 0, 4_500);
+        let events = c.membership_tick(4_500);
+        assert_eq!(
+            events,
+            vec![mbal_membership::MembershipEvent::Suspected {
+                server: ServerId(2)
+            }]
+        );
+        let client_v = c.mapping_version();
+        let _ = c.membership_heartbeat(ServerId(0), 0, 7_600);
+        let _ = c.membership_heartbeat(ServerId(1), 0, 7_600);
+        let epoch_before = c.cluster_epoch();
+        let events = c.membership_tick(7_600);
+        assert_eq!(
+            events,
+            vec![mbal_membership::MembershipEvent::ConfirmedFailed {
+                server: ServerId(2)
+            }]
+        );
+        assert!(c.cluster_epoch() > epoch_before);
+        let snap = c.mapping_snapshot();
+        assert!(
+            !snap.workers().iter().any(|w| w.server == ServerId(2)),
+            "every cachelet was reassigned off the dead server"
+        );
+        // Clients learn the reassignment through ordinary heartbeats.
+        let hb = c.heartbeat(client_v);
+        assert!(hb.full_refetch || !hb.deltas.is_empty());
+    }
+
+    #[test]
+    fn phase3_planning_pauses_while_membership_moves_are_queued() {
+        let c = coordinator();
+        let _ = c.join_server(ServerId(3), 1, 100);
+        let plan = c.request_migration(WorkerAddr::new(0, 0));
+        assert!(
+            plan.expect("not refused, just empty").is_empty(),
+            "planner idles until the grow commands are handed out"
+        );
     }
 
     #[test]

@@ -20,6 +20,7 @@ use crate::config::BalancerConfig;
 use crate::coordinator::{Coordinator, HeartbeatReply};
 use crate::plan::{Migration, WorkerLoad};
 use mbal_core::types::{CacheletId, ServerId, WorkerAddr};
+use mbal_membership::{MembershipEvent, MembershipView, NodeState};
 use mbal_ring::MappingTable;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -52,6 +53,58 @@ pub trait CoordinatorService: Send + Sync {
 
     /// Client heartbeat.
     fn heartbeat(&self, client_version: u64) -> HeartbeatReply;
+
+    // Membership entry points default to inert no-ops so coordinator
+    // implementations without a failure detector keep compiling; the
+    // real [`Coordinator`] overrides all of them.
+
+    /// Admit `server` and plan a grow rebalance onto it. Returns the
+    /// cluster epoch after the operation (0 when unsupported).
+    fn join_server(&self, _server: ServerId, _workers: u16, _now_ms: u64) -> u64 {
+        0
+    }
+
+    /// Start a graceful drain of `server`. Returns the cluster epoch
+    /// after the operation (0 when unsupported).
+    fn drain_server(&self, _server: ServerId, _now_ms: u64) -> u64 {
+        0
+    }
+
+    /// Record a server liveness heartbeat; returns the node's state so
+    /// a suspect can refute with a bumped incarnation.
+    fn membership_heartbeat(
+        &self,
+        _server: ServerId,
+        _incarnation: u64,
+        _now_ms: u64,
+    ) -> Option<NodeState> {
+        None
+    }
+
+    /// Advance the failure detector; returns the transitions that fired.
+    fn membership_tick(&self, _now_ms: u64) -> Vec<MembershipEvent> {
+        Vec::new()
+    }
+
+    /// Snapshot of the membership table, when one exists.
+    fn membership_view(&self, _now_ms: u64) -> Option<MembershipView> {
+        None
+    }
+
+    /// The current cluster epoch (0 when unsupported).
+    fn cluster_epoch(&self) -> u64 {
+        0
+    }
+
+    /// Take the membership-driven migrations queued for `server`.
+    fn pending_moves_for(&self, _server: ServerId) -> Vec<Migration> {
+        Vec::new()
+    }
+
+    /// Number of migrations currently in flight.
+    fn rebalance_inflight(&self) -> u64 {
+        0
+    }
 }
 
 impl CoordinatorService for Coordinator {
@@ -85,6 +138,43 @@ impl CoordinatorService for Coordinator {
 
     fn heartbeat(&self, client_version: u64) -> HeartbeatReply {
         Coordinator::heartbeat(self, client_version)
+    }
+
+    fn join_server(&self, server: ServerId, workers: u16, now_ms: u64) -> u64 {
+        Coordinator::join_server(self, server, workers, now_ms)
+    }
+
+    fn drain_server(&self, server: ServerId, now_ms: u64) -> u64 {
+        Coordinator::drain_server(self, server, now_ms)
+    }
+
+    fn membership_heartbeat(
+        &self,
+        server: ServerId,
+        incarnation: u64,
+        now_ms: u64,
+    ) -> Option<NodeState> {
+        Coordinator::membership_heartbeat(self, server, incarnation, now_ms)
+    }
+
+    fn membership_tick(&self, now_ms: u64) -> Vec<MembershipEvent> {
+        Coordinator::membership_tick(self, now_ms)
+    }
+
+    fn membership_view(&self, now_ms: u64) -> Option<MembershipView> {
+        Some(Coordinator::membership_view(self, now_ms))
+    }
+
+    fn cluster_epoch(&self) -> u64 {
+        Coordinator::cluster_epoch(self)
+    }
+
+    fn pending_moves_for(&self, server: ServerId) -> Vec<Migration> {
+        Coordinator::pending_moves_for(self, server)
+    }
+
+    fn rebalance_inflight(&self) -> u64 {
+        Coordinator::rebalance_inflight(self)
     }
 }
 
@@ -195,7 +285,12 @@ impl CoordinatorService for ReplicatedCoordinator {
     }
 
     fn migration_complete(&self, cachelet: CacheletId) {
-        self.primary_ref().migration_complete(cachelet);
+        // Completions drive membership promotions (Joining → Up,
+        // Draining → Left), which must not diverge across a failover:
+        // fan out like the other mutations.
+        for member in &self.members {
+            member.migration_complete(cachelet);
+        }
     }
 
     fn migration_failed(&self, m: &Migration) {
@@ -214,6 +309,92 @@ impl CoordinatorService for ReplicatedCoordinator {
 
     fn heartbeat(&self, client_version: u64) -> HeartbeatReply {
         self.primary_ref().heartbeat(client_version)
+    }
+
+    // Membership mutations are mirrored by *replaying* them on every
+    // member: the plans they produce (`plan_grow`/`plan_evacuate`) are
+    // deterministic functions of the mapping, which is identical on all
+    // members, so each member computes the same moves and the tables
+    // stay in lockstep without shipping plans around.
+
+    fn join_server(&self, server: ServerId, workers: u16, now_ms: u64) -> u64 {
+        let primary = self.primary_index();
+        let mut epoch = 0;
+        for (i, m) in self.members.iter().enumerate() {
+            let e = m.join_server(server, workers, now_ms);
+            if i == primary {
+                epoch = e;
+            }
+        }
+        epoch
+    }
+
+    fn drain_server(&self, server: ServerId, now_ms: u64) -> u64 {
+        let primary = self.primary_index();
+        let mut epoch = 0;
+        for (i, m) in self.members.iter().enumerate() {
+            let e = m.drain_server(server, now_ms);
+            if i == primary {
+                epoch = e;
+            }
+        }
+        epoch
+    }
+
+    fn membership_heartbeat(
+        &self,
+        server: ServerId,
+        incarnation: u64,
+        now_ms: u64,
+    ) -> Option<NodeState> {
+        let primary = self.primary_index();
+        let mut state = None;
+        for (i, m) in self.members.iter().enumerate() {
+            let s = m.membership_heartbeat(server, incarnation, now_ms);
+            if i == primary {
+                state = s;
+            }
+        }
+        state
+    }
+
+    fn membership_tick(&self, now_ms: u64) -> Vec<MembershipEvent> {
+        let primary = self.primary_index();
+        let mut events = Vec::new();
+        for (i, m) in self.members.iter().enumerate() {
+            let evs = m.membership_tick(now_ms);
+            if i == primary {
+                events = evs;
+            }
+        }
+        events
+    }
+
+    fn membership_view(&self, now_ms: u64) -> Option<MembershipView> {
+        Some(self.primary_ref().membership_view(now_ms))
+    }
+
+    fn cluster_epoch(&self) -> u64 {
+        self.primary_ref().cluster_epoch()
+    }
+
+    fn pending_moves_for(&self, server: ServerId) -> Vec<Migration> {
+        // Drain every member's queue (the commands are identical) so
+        // standbys do not accumulate stale pending moves; hand out the
+        // primary's copy.
+        let primary = self.primary_index();
+        let mut moves = Vec::new();
+        for (i, m) in self.members.iter().enumerate() {
+            let mv = m.pending_moves_for(server);
+            if i == primary {
+                moves = mv;
+            }
+        }
+        moves
+    }
+
+    fn rebalance_inflight(&self) -> u64 {
+        self.primary_ref().rebalance_inflight()
     }
 }
 
@@ -321,6 +502,29 @@ mod tests {
             .request_migration(WorkerAddr::new(0, 0))
             .expect("standby must be able to plan");
         assert!(!plan.is_empty());
+        g.assert_in_sync();
+    }
+
+    #[test]
+    fn membership_mirrors_and_survives_failover() {
+        let g = group();
+        let epoch0 = g.cluster_epoch();
+        let epoch = g.join_server(ServerId(9), 1, 50);
+        assert!(epoch > epoch0, "join bumps the mirrored epoch");
+        g.assert_in_sync();
+        let moves: Vec<Migration> = (0..3u16)
+            .flat_map(|s| g.pending_moves_for(ServerId(s)))
+            .collect();
+        assert!(!moves.is_empty());
+        for m in &moves {
+            g.migration_complete(m.cachelet);
+        }
+        // The joiner's promotion happened on every member, so a failover
+        // keeps both the mapping and the membership view.
+        g.fail_over();
+        let view = g.membership_view(60).expect("membership is supported");
+        assert_eq!(view.state_of(ServerId(9)), Some(NodeState::Up));
+        assert_eq!(g.cluster_epoch(), epoch + 1, "promotion bumped once more");
         g.assert_in_sync();
     }
 

@@ -10,11 +10,14 @@
 //! mbal-cli --host 127.0.0.1 --port 11311 --workers 4 del user:1
 //! mbal-cli --host 127.0.0.1 --port 11311 --workers 4 stats
 //! mbal-cli --host 127.0.0.1 --port 11311 --workers 4 stats-reset
+//! mbal-cli --host 127.0.0.1 --port 11311 --workers 4 cluster-status
 //! ```
 
 use mbal_balancer::coordinator::HeartbeatReply;
 use mbal_client::{Client, CoordinatorLink, SetOptions};
 use mbal_core::types::WorkerAddr;
+use mbal_membership::{MembershipView, NodeState};
+use mbal_proto::{Request, Response};
 use mbal_ring::{ConsistentRing, MappingTable};
 use mbal_server::tcp::TcpTransport;
 use mbal_server::Transport;
@@ -51,7 +54,7 @@ impl CoordinatorLink for StaticMapping {
 fn usage() -> ! {
     eprintln!(
         "usage: mbal-cli [--host H] [--port P] [--workers N] [--cachelets N] \
-         <get KEY | set KEY VALUE | del KEY | stats | stats-reset>"
+         <get KEY | set KEY VALUE | del KEY | stats | stats-reset | cluster-status>"
     );
     std::process::exit(2);
 }
@@ -145,6 +148,67 @@ fn main() {
                 }
             }
         }
+        "cluster-status" => {
+            // Any worker can answer: servers push the coordinator's view
+            // to every worker each balance epoch. Ask worker 0 first and
+            // fall back down the list if it is unreachable.
+            let mut served = false;
+            for w in 0..workers {
+                let addr = WorkerAddr::new(0, w);
+                match transport.call(addr, Request::ClusterStatus) {
+                    Ok(Response::StatsBlob { payload }) => {
+                        match serde_json::from_slice::<MembershipView>(&payload) {
+                            Ok(view) => print_cluster_status(&view),
+                            Err(e) => {
+                                eprintln!("error: malformed view payload: {e}");
+                                std::process::exit(1);
+                            }
+                        }
+                        served = true;
+                        break;
+                    }
+                    Ok(Response::Fail { message, .. }) => {
+                        eprintln!("worker {w}: {message}");
+                    }
+                    Ok(other) => {
+                        eprintln!("worker {w}: unexpected reply {other:?}");
+                    }
+                    Err(e) => {
+                        eprintln!("worker {w}: {e}");
+                    }
+                }
+            }
+            if !served {
+                std::process::exit(1);
+            }
+        }
         _ => usage(),
+    }
+}
+
+/// Renders a membership snapshot the way `stats` renders counters: one
+/// header line, then one line per node, stable enough to script against.
+fn print_cluster_status(view: &MembershipView) {
+    println!(
+        "epoch {}  members {}  suspects {}",
+        view.epoch,
+        view.cluster_size(),
+        view.suspect_count()
+    );
+    for n in &view.nodes {
+        let mut line = format!(
+            "node {:>3}  state {:<8}  workers {}  incarnation {}  heartbeat-age {}ms",
+            n.server.0,
+            n.state.name(),
+            n.workers,
+            n.incarnation,
+            n.heartbeat_age_ms
+        );
+        if n.state == NodeState::Suspect {
+            if let Some(ms) = n.suspect_remaining_ms {
+                line.push_str(&format!("  confirm-in {ms}ms"));
+            }
+        }
+        println!("{line}");
     }
 }

@@ -86,6 +86,9 @@ pub struct ClientStats {
     /// Idempotent requests retried after a transport error (timeout,
     /// dropped frame, connection reset), within the operation's budget.
     pub transport_retries: u64,
+    /// Coordinator polls skipped because the migration poller was
+    /// backing off after fruitless resyncs.
+    pub backoff_skips: u64,
     /// Operations that failed after exhausting retries.
     pub failures: u64,
 }
@@ -281,6 +284,8 @@ pub struct ClientBuilder {
     op_budget: Duration,
     max_retries: usize,
     multiget_batch: usize,
+    backoff_base: Duration,
+    backoff_max: Duration,
 }
 
 impl ClientBuilder {
@@ -292,6 +297,8 @@ impl ClientBuilder {
             op_budget: DEFAULT_DEADLINE,
             max_retries: 8,
             multiget_batch: 100,
+            backoff_base: Duration::from_millis(2),
+            backoff_max: Duration::from_millis(256),
         }
     }
 
@@ -318,6 +325,16 @@ impl ClientBuilder {
         self
     }
 
+    /// Migration-poller backoff window: a coordinator resync that yields
+    /// no mapping change (the rebalance the client is waiting on has not
+    /// committed yet) opens a jittered window that doubles per fruitless
+    /// resync, from `base` up to `max`. Defaults: 2 ms → 256 ms.
+    pub fn poll_backoff(mut self, base: Duration, max: Duration) -> Self {
+        self.backoff_base = base;
+        self.backoff_max = max.max(base);
+        self
+    }
+
     /// Builds the client, fetching the initial mapping from the
     /// coordinator.
     pub fn build(self) -> Client {
@@ -330,6 +347,11 @@ impl ClientBuilder {
             max_retries: self.max_retries,
             op_budget: self.op_budget,
             multiget_batch: self.multiget_batch,
+            backoff_base: self.backoff_base,
+            backoff_max: self.backoff_max,
+            backoff_streak: 0,
+            backoff_until: None,
+            jitter_rng: 0x9E37_79B9_7F4A_7C15,
             stats: ClientStats::default(),
         }
     }
@@ -348,6 +370,16 @@ pub struct Client {
     op_budget: Duration,
     /// Keys per pipelined MultiGET batch to one worker.
     multiget_batch: usize,
+    /// First fruitless-resync backoff window (doubles per streak).
+    backoff_base: Duration,
+    /// Ceiling on the backoff window.
+    backoff_max: Duration,
+    /// Consecutive coordinator resyncs that changed nothing.
+    backoff_streak: u32,
+    /// No poller resync before this instant.
+    backoff_until: Option<Instant>,
+    /// xorshift64* state for backoff jitter (no RNG dependency).
+    jitter_rng: u64,
     stats: ClientStats,
 }
 
@@ -397,18 +429,64 @@ impl Client {
 
     /// Polls the coordinator (the heartbeat/migration-poller path) and
     /// applies any mapping changes. Returns the number of deltas applied.
+    ///
+    /// Fruitless polls — no deltas, no refetch, meaning the move the
+    /// client is waiting on has not committed yet — open a jittered
+    /// exponential backoff window honoured by the retry paths, so a
+    /// cluster mid-rebalance is not hammered with heartbeats. Any
+    /// mapping change closes the window.
     pub fn poll_coordinator(&mut self) -> usize {
         let reply = self.coordinator.heartbeat(self.mapping.version());
-        if reply.full_refetch {
+        let changes = if reply.full_refetch {
             let table = self.coordinator.full_table();
             self.mapping.replace_with(&table);
-            return 1; // full refresh counts as one change
+            1 // full refresh counts as one change
+        } else {
+            for d in &reply.deltas {
+                self.mapping.apply_delta(d);
+            }
+            reply.deltas.len()
+        };
+        if changes == 0 {
+            let delay = self.next_backoff_delay();
+            self.backoff_until = Some(Instant::now() + delay);
+        } else {
+            self.backoff_streak = 0;
+            self.backoff_until = None;
         }
-        let n = reply.deltas.len();
-        for d in &reply.deltas {
-            self.mapping.apply_delta(d);
+        changes
+    }
+
+    /// The gated resync used by `NotOwner`/transport-error retry paths:
+    /// polls the coordinator unless a backoff window from earlier
+    /// fruitless polls is still open.
+    fn resync_mapping(&mut self) -> usize {
+        if let Some(until) = self.backoff_until {
+            if Instant::now() < until {
+                self.stats.backoff_skips += 1;
+                return 0;
+            }
         }
-        n
+        self.poll_coordinator()
+    }
+
+    /// Next backoff window: `base × 2^streak`, capped at `max`, jittered
+    /// uniformly into `[window/2, window]` so a herd of clients chasing
+    /// the same migration desynchronizes.
+    fn next_backoff_delay(&mut self) -> Duration {
+        let exp = self.backoff_streak.min(16);
+        self.backoff_streak = self.backoff_streak.saturating_add(1);
+        let window = self
+            .backoff_base
+            .saturating_mul(1u32 << exp)
+            .min(self.backoff_max);
+        // xorshift64*: tiny, seedable, and dependency-free.
+        self.jitter_rng ^= self.jitter_rng << 13;
+        self.jitter_rng ^= self.jitter_rng >> 7;
+        self.jitter_rng ^= self.jitter_rng << 17;
+        let nanos = window.as_nanos() as u64;
+        let jittered = nanos / 2 + (nanos / 2 / 512) * (self.jitter_rng % 512);
+        Duration::from_nanos(jittered)
     }
 
     fn apply_moved(&mut self, cachelet: mbal_core::types::CacheletId, new_owner: WorkerAddr) {
@@ -484,7 +562,7 @@ impl Client {
                     last_err = ClientError::Transport(e);
                     self.stats.transport_retries += 1;
                     self.replicas.remove(key);
-                    self.poll_coordinator();
+                    self.resync_mapping();
                     continue;
                 }
             };
@@ -514,7 +592,7 @@ impl Client {
                     }
                     Status::NotOwner => {
                         // Stale mapping with no forward: resync.
-                        self.poll_coordinator();
+                        self.resync_mapping();
                         continue;
                     }
                     _ => return Err(ClientError::rejected(status, message)),
@@ -681,7 +759,7 @@ impl Client {
                     // the lost frame was actually applied.
                     last_err = ClientError::Transport(e);
                     self.stats.transport_retries += 1;
-                    self.poll_coordinator();
+                    self.resync_mapping();
                     continue;
                 }
             };
@@ -700,7 +778,7 @@ impl Client {
                         continue;
                     }
                     Status::NotOwner => {
-                        self.poll_coordinator();
+                        self.resync_mapping();
                         continue;
                     }
                     _ => return Err(ClientError::rejected(status, message)),
@@ -755,7 +833,7 @@ impl Client {
                         continue;
                     }
                     Status::NotOwner => {
-                        self.poll_coordinator();
+                        self.resync_mapping();
                         continue;
                     }
                     _ => {
@@ -955,7 +1033,7 @@ impl Client {
                     // just reports NotFound.
                     last_err = ClientError::Transport(e);
                     self.stats.transport_retries += 1;
-                    self.poll_coordinator();
+                    self.resync_mapping();
                     continue;
                 }
             };
@@ -973,7 +1051,7 @@ impl Client {
                     status: Status::NotOwner,
                     ..
                 } => {
-                    self.poll_coordinator();
+                    self.resync_mapping();
                     continue;
                 }
                 Response::Fail { status, message } => {
@@ -1301,5 +1379,131 @@ mod tests {
         assert_eq!(c.op_budget, Duration::from_millis(250));
         assert_eq!(c.max_retries, 1, "retries clamp to at least one attempt");
         assert_eq!(c.multiget_batch, 1, "batch clamps to at least one key");
+    }
+
+    /// Counts heartbeats and never changes the mapping — a coordinator
+    /// mid-rebalance whose move has not committed yet.
+    struct CountingCoord {
+        mapping: MappingTable,
+        heartbeats: AtomicUsize,
+    }
+
+    impl CoordinatorLink for CountingCoord {
+        fn heartbeat(&self, version: u64) -> HeartbeatReply {
+            self.heartbeats.fetch_add(1, Ordering::SeqCst);
+            HeartbeatReply {
+                version,
+                deltas: Vec::new(),
+                full_refetch: false,
+            }
+        }
+
+        fn full_table(&self) -> MappingTable {
+            self.mapping.clone()
+        }
+    }
+
+    /// Refuses everything with `NotOwner` — routing that never resolves.
+    struct NotOwnerTransport;
+
+    impl Transport for NotOwnerTransport {
+        fn call(&self, addr: WorkerAddr, req: Request) -> Result<Response, TransportError> {
+            self.call_with_deadline(addr, req, DEFAULT_DEADLINE)
+        }
+
+        fn call_with_deadline(
+            &self,
+            _addr: WorkerAddr,
+            _req: Request,
+            _deadline: Duration,
+        ) -> Result<Response, TransportError> {
+            Ok(Response::Fail {
+                status: Status::NotOwner,
+                message: String::new(),
+            })
+        }
+    }
+
+    #[test]
+    fn fruitless_resyncs_back_off_instead_of_hammering_the_coordinator() {
+        let mut ring = ConsistentRing::new();
+        ring.add_worker(WorkerAddr::new(0, 0));
+        let mapping = MappingTable::build(&ring, 2, 16);
+        let coord = Arc::new(CountingCoord {
+            mapping,
+            heartbeats: AtomicUsize::new(0),
+        });
+        let mut client = Client::builder(Arc::new(NotOwnerTransport), coord.clone())
+            .poll_backoff(Duration::from_secs(30), Duration::from_secs(60))
+            .build();
+        assert!(client.get(b"k").is_err(), "every attempt is refused");
+        assert_eq!(
+            coord.heartbeats.load(Ordering::SeqCst),
+            1,
+            "the first fruitless poll opens the window; later retries wait"
+        );
+        assert_eq!(
+            client.stats().backoff_skips,
+            7,
+            "the remaining attempts skip the poll"
+        );
+    }
+
+    #[test]
+    fn mapping_change_resets_poller_backoff() {
+        struct RefetchCoord(MappingTable);
+
+        impl CoordinatorLink for RefetchCoord {
+            fn heartbeat(&self, version: u64) -> HeartbeatReply {
+                HeartbeatReply {
+                    version,
+                    deltas: Vec::new(),
+                    full_refetch: true,
+                }
+            }
+
+            fn full_table(&self) -> MappingTable {
+                self.0.clone()
+            }
+        }
+
+        let mut ring = ConsistentRing::new();
+        ring.add_worker(WorkerAddr::new(0, 0));
+        let mapping = MappingTable::build(&ring, 2, 16);
+        let mut client = Client::builder(
+            Arc::new(NotOwnerTransport),
+            Arc::new(RefetchCoord(mapping)),
+        )
+        .build();
+        client.backoff_streak = 5;
+        client.backoff_until = Some(Instant::now() + Duration::from_secs(60));
+        assert_eq!(client.poll_coordinator(), 1, "full refetch is one change");
+        assert_eq!(client.backoff_streak, 0, "a mapping change resets the streak");
+        assert!(client.backoff_until.is_none(), "and closes the window");
+    }
+
+    #[test]
+    fn backoff_windows_grow_jittered_and_capped() {
+        let (mut client, _t) = client_with(0);
+        // Builder defaults: base 2 ms, cap 256 ms.
+        let delays: Vec<Duration> = (0..12).map(|_| client.next_backoff_delay()).collect();
+        for d in &delays {
+            assert!(*d >= Duration::from_millis(1), "never below base/2: {d:?}");
+            assert!(*d <= Duration::from_millis(256), "never above the cap: {d:?}");
+        }
+        assert!(
+            delays[0] <= Duration::from_millis(2),
+            "streak 0 stays within the base window: {:?}",
+            delays[0]
+        );
+        assert!(
+            delays[11] >= Duration::from_millis(128),
+            "a saturated streak fills at least half the cap: {:?}",
+            delays[11]
+        );
+        assert!(
+            delays.windows(2).any(|p| p[0] != p[1]),
+            "jitter must vary the windows: {delays:?}"
+        );
     }
 }

@@ -32,6 +32,10 @@ use mbal_balancer::{BalanceDriver, BalancerConfig, Phase, WorkerLoad};
 use mbal_core::hotkey::{HotKeyConfig, HotKeyTracker};
 use mbal_core::stats::CacheletLoad;
 use mbal_core::types::{ServerId, WorkerAddr, WorkerId};
+use mbal_membership::{
+    ClusterMembership, MembershipConfig, MembershipEvent, MembershipView, NodeState,
+};
+use mbal_ring::mapping::PlannedMove;
 use mbal_ring::{ConsistentRing, MappingTable};
 use mbal_server::fault::{FaultPlan, SplitMix64};
 use mbal_telemetry::Histogram;
@@ -106,6 +110,22 @@ pub struct SimConfig {
     pub warmup_ms: u64,
     /// RNG seed.
     pub seed: u64,
+    /// Servers that are ring members at `t = 0`. `None` means all
+    /// [`SimConfig::servers`]; set it lower to provision spare servers
+    /// that a scripted [`MembershipAction::Join`] brings in later
+    /// (workers, NICs, and balance drivers exist for *all* servers up
+    /// front — only the mapping and the membership roster start small).
+    pub initial_servers: Option<u16>,
+    /// Scripted membership events, `(at_ms, action)` in virtual time,
+    /// applied at the first balancer epoch at or after `at_ms` (sorted
+    /// ascending). Joins and drains execute the Phase-3-style grow /
+    /// evacuate plans against the live mapping with the usual migration
+    /// tax; kills silence a server's heartbeats so the real
+    /// `mbal-membership` detector walks it Suspect → Failed in virtual
+    /// time, composing with [`SimConfig::fault`] network faults.
+    pub membership: Vec<(u64, MembershipAction)>,
+    /// Failure-detector tunables for the scripted membership events.
+    pub membership_cfg: MembershipConfig,
     /// Optional network-fault model, shared with the live stack's
     /// `mbal_server::fault::FaultInjector`. In the timing model a
     /// dropped frame costs the client a retransmission timeout
@@ -145,9 +165,39 @@ impl Default for SimConfig {
             window_ms: 1_000,
             warmup_ms: 0,
             seed: 42,
+            initial_servers: None,
+            membership: Vec::new(),
+            membership_cfg: MembershipConfig::default(),
             fault: None,
         }
     }
+}
+
+/// One scripted membership action, applied at a virtual-time instant.
+/// The sim provisions [`SimConfig::workers_per_server`] workers for
+/// every server id below [`SimConfig::servers`], so actions address
+/// servers, not individual workers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MembershipAction {
+    /// Admit a spare server: minimal-churn grow rebalance onto its
+    /// workers, then `Joining → Up`.
+    Join {
+        /// The joining server (must be `< SimConfig::servers`).
+        server: ServerId,
+    },
+    /// Gracefully evacuate a member and mark it `Left`.
+    Drain {
+        /// The draining server.
+        server: ServerId,
+    },
+    /// Kill a server outright: its heartbeats stop (the detector must
+    /// notice and reassign its cachelets on confirmation) and requests
+    /// routed to it burn a [`DROP_RTO_US`] retransmission timeout until
+    /// the mapping heals.
+    Kill {
+        /// The killed server.
+        server: ServerId,
+    },
 }
 
 /// What a dropped frame costs the issuing client in the timing model: a
@@ -208,6 +258,18 @@ pub struct Simulation {
     intra_zone_migrations: u64,
     cross_zone_migrations: u64,
     drivers: Vec<BalanceDriver>,
+    /// The real failure detector / epoch state machine, advanced on the
+    /// balancer epoch in virtual time. Engaged only when the config
+    /// scripts membership (otherwise it stays empty and inert).
+    membership: ClusterMembership,
+    /// Whether scripted membership is active for this run.
+    member_sim: bool,
+    /// Index of the next unapplied [`SimConfig::membership`] entry.
+    next_member_event: usize,
+    /// Servers killed by the script: no heartbeats, no service.
+    dead: Vec<ServerId>,
+    /// Cachelet moves executed by scripted join/drain rebalances.
+    membership_moves: u64,
     rng: SmallRng,
     /// Fault-model PRNG, seeded from the plan (not [`SimConfig::seed`])
     /// so the same fault schedule can be replayed under different
@@ -220,13 +282,26 @@ pub struct Simulation {
 impl Simulation {
     /// Builds the cluster.
     pub fn new(cfg: SimConfig) -> Self {
+        let initial = cfg
+            .initial_servers
+            .unwrap_or(cfg.servers)
+            .min(cfg.servers)
+            .max(1);
         let mut ring = ConsistentRing::new();
-        for s in 0..cfg.servers {
+        for s in 0..initial {
             for w in 0..cfg.workers_per_server {
                 ring.add_worker(WorkerAddr::new(s, w));
             }
         }
         let mapping = MappingTable::build(&ring, cfg.cachelets_per_worker, cfg.vns);
+        let member_sim = !cfg.membership.is_empty() || cfg.initial_servers.is_some();
+        let mut membership = ClusterMembership::new(cfg.membership_cfg);
+        if member_sim {
+            let seed: Vec<(ServerId, u16)> = (0..initial)
+                .map(|s| (ServerId(s), cfg.workers_per_server))
+                .collect();
+            membership.bootstrap(&seed, 0);
+        }
         let workers: Vec<SimWorker> = (0..cfg.servers)
             .flat_map(|s| (0..cfg.workers_per_server).map(move |w| WorkerAddr::new(s, w)))
             .map(|addr| SimWorker {
@@ -258,6 +333,11 @@ impl Simulation {
             intra_zone_migrations: 0,
             cross_zone_migrations: 0,
             drivers,
+            membership,
+            member_sim,
+            next_member_event: 0,
+            dead: Vec::new(),
+            membership_moves: 0,
             queue: EventQueue::new(),
             cfg,
         }
@@ -499,6 +579,11 @@ impl Simulation {
 
     /// Timing model: NIC queue then worker queue, exponential service.
     fn serve(&mut self, t: u64, widx: usize, key: &[u8], is_read: bool) -> u64 {
+        if self.dead.contains(&self.workers[widx].addr.server) {
+            // The endpoint is gone: the frame times out and the client
+            // retries once the mapping heals. No service, no accounting.
+            return t + (self.cfg.rtt_us / 2.0) as u64 + DROP_RTO_US;
+        }
         let mut service =
             (-(self.rng.gen::<f64>().max(1e-12)).ln() * self.cfg.service_us).min(50_000.0);
         if t < self.workers[widx].slow_until {
@@ -542,6 +627,9 @@ impl Simulation {
     /// key.
     fn serve_batch(&mut self, t: u64, widx: usize, keys: &[Vec<u8>]) -> u64 {
         let half_rtt = (self.cfg.rtt_us / 2.0) as u64;
+        if self.dead.contains(&self.workers[widx].addr.server) {
+            return t + half_rtt + DROP_RTO_US;
+        }
         let (sidx, effective_widx) = {
             let addr = self.workers[widx].addr;
             let sidx = addr.server.0 as usize;
@@ -608,11 +696,20 @@ impl Simulation {
     }
 
     fn run_balancers(&mut self, now_us: u64) {
+        self.run_membership(now_us);
         let now_ms = now_us / 1_000;
         let cluster: Vec<WorkerAddr> = self.mapping.workers();
+        // Only servers that are in the mapping and alive participate in
+        // balance planning (with membership unscripted that is every
+        // server, as before). Spare servers waiting to join and killed
+        // servers must not look like attractive zero-load destinations.
+        let mut active: Vec<u16> = cluster.iter().map(|w| w.server.0).collect();
+        active.sort_unstable();
+        active.dedup();
+        active.retain(|s| !self.dead.contains(&ServerId(*s)));
         // Collect per-server inputs first (drivers borrow self mutably).
         let mut server_inputs = Vec::new();
-        for s in 0..self.cfg.servers {
+        for &s in &active {
             let loads = self.build_loads(s);
             let mut hot = HashMap::new();
             for w in 0..self.cfg.workers_per_server {
@@ -678,8 +775,9 @@ impl Simulation {
                 continue;
             }
             let view = ClusterView {
-                servers: (0..self.cfg.servers)
-                    .map(|s| (ServerId(s), self.build_loads(s)))
+                servers: active
+                    .iter()
+                    .map(|&s| (ServerId(s), self.build_loads(s)))
                     .collect(),
             };
             let plan: Vec<_> = if self.cfg.zone_planning && self.cfg.zones > 1 {
@@ -759,6 +857,107 @@ impl Simulation {
         }
     }
 
+    /// Advances the membership machinery one balancer epoch: applies
+    /// scripted actions that have come due, heartbeats every live
+    /// member (refuting suspicion with a bumped incarnation, like the
+    /// real servers do), and ticks the detector — a `ConfirmedFailed`
+    /// reassigns the dead server's cachelets and purges its replicas.
+    fn run_membership(&mut self, now_us: u64) {
+        if !self.member_sim {
+            return;
+        }
+        let now_ms = now_us / 1_000;
+        while let Some(&(at_ms, action)) = self.cfg.membership.get(self.next_member_event) {
+            if at_ms > now_ms {
+                break;
+            }
+            self.next_member_event += 1;
+            self.apply_membership_action(action, now_ms, now_us);
+        }
+        let view = self.membership.view(now_ms);
+        for n in &view.nodes {
+            if !n.state.is_member() || self.dead.contains(&n.server) {
+                continue;
+            }
+            let (state, _) = self.membership.heartbeat(n.server, n.incarnation, now_ms);
+            if state == Some(NodeState::Suspect) {
+                // A live-but-slow node refutes with a fresh incarnation.
+                let _ = self
+                    .membership
+                    .heartbeat(n.server, n.incarnation + 1, now_ms);
+            }
+        }
+        for ev in self.membership.tick(now_ms) {
+            if let MembershipEvent::ConfirmedFailed { server } = ev {
+                let _ = self.mapping.remove_server(server);
+                self.purge_replicas_of(server);
+            }
+        }
+    }
+
+    fn apply_membership_action(&mut self, action: MembershipAction, now_ms: u64, now_us: u64) {
+        match action {
+            MembershipAction::Join { server } => {
+                if server.0 >= self.cfg.servers {
+                    return; // no provisioned workers for this id
+                }
+                let workers = self.cfg.workers_per_server;
+                if self.membership.join(server, workers, now_ms).is_none() {
+                    return; // already a member
+                }
+                let new_workers: Vec<WorkerAddr> = (0..workers)
+                    .map(|w| WorkerAddr::new(server.0, w))
+                    .collect();
+                let moves = self.mapping.plan_grow(&new_workers);
+                self.apply_member_moves(&moves, now_us);
+                let _ = self.membership.mark_up(server);
+            }
+            MembershipAction::Drain { server } => {
+                if self.membership.drain(server, now_ms).is_none() {
+                    return; // not in a drainable state
+                }
+                let moves = self.mapping.plan_evacuate(server);
+                self.apply_member_moves(&moves, now_us);
+                let _ = self.membership.mark_left(server);
+                self.purge_replicas_of(server);
+            }
+            MembershipAction::Kill { server } => {
+                if !self.dead.contains(&server) {
+                    self.dead.push(server);
+                }
+            }
+        }
+    }
+
+    /// Commits planned grow/evacuate moves: the mapping flips and both
+    /// endpoints pay the coordinated-transfer tax, exactly like a
+    /// Phase 3 move (the data still has to cross the wire).
+    fn apply_member_moves(&mut self, moves: &[PlannedMove], now_us: u64) {
+        let tax = self.cfg.migration_tax_ms * 1_000;
+        for &(cachelet, from, to) in moves {
+            if self.mapping.move_cachelet(cachelet, to).is_none() {
+                continue;
+            }
+            self.membership_moves += 1;
+            let fi = self.widx(from);
+            self.workers[fi].slow_until = self.workers[fi].slow_until.max(now_us + tax);
+            let ti = self.widx(to);
+            self.workers[ti].slow_until = self.workers[ti].slow_until.max(now_us + tax / 2);
+        }
+    }
+
+    /// Drops replica targets hosted on `server` (its shadows are gone);
+    /// entries left with only their home stop being replica sets.
+    fn purge_replicas_of(&mut self, server: ServerId) {
+        let wps = self.cfg.workers_per_server as usize;
+        let lo = server.0 as usize * wps;
+        let hi = lo + wps;
+        self.replicas.retain(|_, (targets, _)| {
+            targets.retain(|&t| t < lo || t >= hi);
+            targets.len() > 1
+        });
+    }
+
     /// Per-phase balance event counts so far.
     pub fn phase_breakdown(&self) -> (usize, usize, usize) {
         let mut out = (0, 0, 0);
@@ -793,6 +992,22 @@ impl Simulation {
     /// The live mapping table (tests).
     pub fn mapping(&self) -> &MappingTable {
         &self.mapping
+    }
+
+    /// The cluster epoch of the scripted-membership detector (stays at
+    /// its bootstrap value when no membership is scripted).
+    pub fn cluster_epoch(&self) -> u64 {
+        self.membership.epoch()
+    }
+
+    /// The membership view at virtual time `now_ms`.
+    pub fn membership_view(&self, now_ms: u64) -> MembershipView {
+        self.membership.view(now_ms)
+    }
+
+    /// Cachelet moves executed by scripted join/drain rebalances.
+    pub fn membership_moves(&self) -> u64 {
+        self.membership_moves
     }
 }
 
@@ -1014,6 +1229,92 @@ mod tests {
         let mut sim = Simulation::new(cfg);
         let _ = sim.run(&[(spec(0.95, Popularity::Uniform), 2_000)]);
         assert_eq!(sim.injected_faults(), 25, "budget must cap the schedule");
+    }
+
+    #[test]
+    fn scripted_join_grows_the_cluster() {
+        let mut cfg = small_cfg(PhaseSet::none());
+        // Server 3 is provisioned but starts outside the ring.
+        cfg.initial_servers = Some(3);
+        cfg.membership = vec![(1_000, MembershipAction::Join { server: ServerId(3) })];
+        let mut sim = Simulation::new(cfg);
+        let epoch_before = sim.cluster_epoch();
+        assert!(
+            sim.mapping().workers().iter().all(|w| w.server.0 != 3),
+            "spare server must start unmapped"
+        );
+        let report = sim.run(&[(spec(0.95, Popularity::Uniform), 3_000)]);
+        assert!(report.completed > 0);
+        assert!(
+            sim.mapping().workers().iter().any(|w| w.server.0 == 3),
+            "join must place cachelets on the new server"
+        );
+        assert!(sim.membership_moves() > 0, "grow plan must move cachelets");
+        assert!(
+            sim.cluster_epoch() >= epoch_before + 2,
+            "join and became-up each bump the epoch"
+        );
+        assert_eq!(
+            sim.membership_view(3_000).state_of(ServerId(3)),
+            Some(NodeState::Up)
+        );
+    }
+
+    #[test]
+    fn scripted_drain_departs_cleanly() {
+        let mut cfg = small_cfg(PhaseSet::none());
+        cfg.membership = vec![(1_000, MembershipAction::Drain { server: ServerId(0) })];
+        let mut sim = Simulation::new(cfg);
+        let report = sim.run(&[(spec(0.95, Popularity::Uniform), 3_000)]);
+        assert!(report.completed > 0);
+        assert_eq!(
+            sim.membership_view(3_000).state_of(ServerId(0)),
+            Some(NodeState::Left)
+        );
+        assert!(
+            sim.mapping().workers().iter().all(|w| w.server.0 != 0),
+            "evacuation must empty the drained server"
+        );
+        assert!(sim.membership_moves() > 0);
+    }
+
+    #[test]
+    fn scripted_kill_is_detected_and_routed_around() {
+        let mut cfg = small_cfg(PhaseSet::none());
+        cfg.membership = vec![(500, MembershipAction::Kill { server: ServerId(3) })];
+        cfg.membership_cfg.suspect_after_ms = 400;
+        cfg.membership_cfg.confirm_after_ms = 400;
+        let mut sim = Simulation::new(cfg);
+        let epoch_before = sim.cluster_epoch();
+        let report = sim.run(&[(spec(0.95, Popularity::Uniform), 4_000)]);
+        assert!(report.completed > 0);
+        assert_eq!(
+            sim.membership_view(4_000).state_of(ServerId(3)),
+            Some(NodeState::Failed),
+            "silenced heartbeats must walk the node Suspect → Failed"
+        );
+        assert!(
+            sim.mapping().workers().iter().all(|w| w.server.0 != 3),
+            "failed server's cachelets must be reassigned"
+        );
+        assert!(sim.cluster_epoch() > epoch_before, "failure bumps the epoch");
+    }
+
+    #[test]
+    fn kill_composes_with_network_faults_deterministically() {
+        let run = || {
+            let mut cfg = small_cfg(PhaseSet::none());
+            cfg.fault = Some(FaultPlan::drops(11, 0.01));
+            cfg.membership = vec![(500, MembershipAction::Kill { server: ServerId(2) })];
+            cfg.membership_cfg.suspect_after_ms = 400;
+            cfg.membership_cfg.confirm_after_ms = 400;
+            let mut sim = Simulation::new(cfg);
+            let r = sim.run(&[(spec(0.95, Popularity::Uniform), 3_000)]);
+            (r.completed, sim.injected_faults(), sim.cluster_epoch())
+        };
+        let a = run();
+        assert!(a.1 > 0, "network faults must fire alongside the kill");
+        assert_eq!(a, run(), "composed fault+membership runs must replay exactly");
     }
 
     #[test]

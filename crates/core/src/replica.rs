@@ -158,6 +158,33 @@ impl ReplicaTable {
             .is_some_and(|e| e.lease_expiry_ms > now_ms)
     }
 
+    /// Removes and returns every live replica whose key satisfies
+    /// `pred`, as `(key, value)` pairs in unspecified order. Used to
+    /// promote a dead home worker's replicas into a cachelet this worker
+    /// just adopted: the replicas are the freshest surviving copies, so
+    /// they seed the new home table instead of expiring uselessly.
+    /// Lease-expired entries are never returned (a stale promotion would
+    /// violate the no-stale-serve invariant); they are left for the
+    /// normal [`ReplicaTable::retire_expired`] sweep.
+    pub fn take_live_matching<F: FnMut(&[u8]) -> bool>(
+        &mut self,
+        now_ms: u64,
+        mut pred: F,
+    ) -> Vec<(Vec<u8>, Vec<u8>)> {
+        let keys: Vec<Vec<u8>> = self
+            .entries
+            .iter()
+            .filter(|(k, e)| e.lease_expiry_ms > now_ms && pred(k))
+            .map(|(k, _)| k.clone())
+            .collect();
+        keys.into_iter()
+            .map(|k| {
+                let e = self.entries.remove(&k).expect("key just seen");
+                (k, e.value)
+            })
+            .collect()
+    }
+
     /// Snapshot statistics.
     pub fn stats(&self) -> ReplicaStats {
         ReplicaStats {
@@ -253,6 +280,21 @@ mod tests {
         assert!(r.invalidate(b"k"));
         assert!(!r.invalidate(b"k"));
         assert!(!r.update(b"k", b"v3".to_vec()));
+    }
+
+    #[test]
+    fn take_live_matching_promotes_only_live_matches() {
+        let mut r = ReplicaTable::new();
+        r.install(b"hot:1", b"v1".to_vec(), 1_000);
+        r.install(b"hot:2", b"v2".to_vec(), 100); // lease expired at 500
+        r.install(b"cold:3", b"v3".to_vec(), 1_000);
+        let taken = r.take_live_matching(500, |k| k.starts_with(b"hot"));
+        assert_eq!(taken, vec![(b"hot:1".to_vec(), b"v1".to_vec())]);
+        assert!(!r.contains(b"hot:1", 500), "taken entries are removed");
+        assert!(
+            r.contains(b"cold:3", 500),
+            "non-matching entries stay replicated"
+        );
     }
 
     #[test]

@@ -1,0 +1,560 @@
+//! The heartbeat-and-lease failure detector and cluster-epoch state
+//! machine.
+//!
+//! One [`ClusterMembership`] lives inside the coordinator. Servers call
+//! `heartbeat` on the cadence of their balance tick; the coordinator
+//! calls [`ClusterMembership::tick`] to advance suspicion timers and
+//! harvests [`MembershipEvent`]s to drive Phase-3 rebalancing.
+//!
+//! State diagram (epoch-bumping transitions marked `*`):
+//!
+//! ```text
+//!   join*          first heartbeat / rebalance done*
+//!  ──────▶ Joining ────────────────────────────────▶ Up ◀─────────┐
+//!                                                    │            │ refute*
+//!                                   miss window      ▼            │ (incarnation+1)
+//!                                                 Suspect ────────┘
+//!                                                    │ confirm window
+//!                                                    ▼
+//!                                                 Failed*
+//!
+//!   Up/Suspect ──drain*──▶ Draining ──evacuated──▶ Left*
+//! ```
+
+use crate::view::{MembershipView, NodeState, NodeView};
+use mbal_core::types::ServerId;
+use std::collections::BTreeMap;
+
+/// Detector timing knobs (all milliseconds).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MembershipConfig {
+    /// Expected heartbeat cadence; informational (servers heartbeat on
+    /// their balance tick) but exposed for operators.
+    pub heartbeat_interval_ms: u64,
+    /// Silence window after which an `Up` node becomes `Suspect`.
+    pub suspect_after_ms: u64,
+    /// Dwell time in `Suspect` before the detector confirms `Failed`,
+    /// during which the node may refute with a higher incarnation.
+    pub confirm_after_ms: u64,
+}
+
+impl Default for MembershipConfig {
+    fn default() -> Self {
+        Self {
+            heartbeat_interval_ms: 1_000,
+            suspect_after_ms: 3_000,
+            confirm_after_ms: 3_000,
+        }
+    }
+}
+
+/// A membership transition the coordinator must react to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MembershipEvent {
+    /// A new server was admitted (state `Joining`); the coordinator
+    /// should plan a grow rebalance onto it.
+    Joined {
+        /// The admitted server.
+        server: ServerId,
+        /// Worker threads it registered.
+        workers: u16,
+    },
+    /// A joining server finished its rebalance and is a full member.
+    BecameUp {
+        /// The promoted server.
+        server: ServerId,
+    },
+    /// A node missed its heartbeat window.
+    Suspected {
+        /// The suspected server.
+        server: ServerId,
+    },
+    /// A suspect node proved it is alive with a higher incarnation.
+    Refuted {
+        /// The refuting server.
+        server: ServerId,
+        /// Its new incarnation number.
+        incarnation: u64,
+    },
+    /// The confirm window elapsed without refutation; the node is dead.
+    /// The coordinator must reassign its cachelets and promote replicas.
+    ConfirmedFailed {
+        /// The failed server.
+        server: ServerId,
+    },
+    /// A drain was requested; the coordinator should plan an evacuation.
+    DrainStarted {
+        /// The draining server.
+        server: ServerId,
+    },
+    /// A drained node's evacuation completed; it is out of the cluster.
+    Left {
+        /// The departed server.
+        server: ServerId,
+    },
+}
+
+impl MembershipEvent {
+    /// The server this event concerns.
+    pub fn server(&self) -> ServerId {
+        match *self {
+            MembershipEvent::Joined { server, .. }
+            | MembershipEvent::BecameUp { server }
+            | MembershipEvent::Suspected { server }
+            | MembershipEvent::Refuted { server, .. }
+            | MembershipEvent::ConfirmedFailed { server }
+            | MembershipEvent::DrainStarted { server }
+            | MembershipEvent::Left { server } => server,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Node {
+    workers: u16,
+    incarnation: u64,
+    state: NodeState,
+    last_heartbeat_ms: u64,
+    suspect_since_ms: Option<u64>,
+}
+
+/// The coordinator-side membership table.
+#[derive(Debug)]
+pub struct ClusterMembership {
+    cfg: MembershipConfig,
+    epoch: u64,
+    nodes: BTreeMap<ServerId, Node>,
+}
+
+impl ClusterMembership {
+    /// Creates an empty table at epoch 1.
+    pub fn new(cfg: MembershipConfig) -> Self {
+        Self {
+            cfg,
+            epoch: 1,
+            nodes: BTreeMap::new(),
+        }
+    }
+
+    /// Seeds the initial server set as `Up` members without emitting
+    /// per-node events or bumping the epoch: the bootstrap topology *is*
+    /// epoch 1.
+    pub fn bootstrap(&mut self, servers: &[(ServerId, u16)], now_ms: u64) {
+        for &(server, workers) in servers {
+            self.nodes.insert(
+                server,
+                Node {
+                    workers,
+                    incarnation: 0,
+                    state: NodeState::Up,
+                    last_heartbeat_ms: now_ms,
+                    suspect_since_ms: None,
+                },
+            );
+        }
+    }
+
+    /// The current cluster epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The detector configuration.
+    pub fn config(&self) -> MembershipConfig {
+        self.cfg
+    }
+
+    fn bump_epoch(&mut self) {
+        self.epoch += 1;
+    }
+
+    /// Admits `server` as `Joining`. Returns the join event, or `None`
+    /// if the server is already a member (idempotent re-join). A server
+    /// that previously `Left` or `Failed` may join again with a fresh
+    /// incarnation.
+    pub fn join(
+        &mut self,
+        server: ServerId,
+        workers: u16,
+        now_ms: u64,
+    ) -> Option<MembershipEvent> {
+        if let Some(n) = self.nodes.get(&server) {
+            if n.state.is_member() {
+                return None;
+            }
+        }
+        let incarnation = self
+            .nodes
+            .get(&server)
+            .map(|n| n.incarnation + 1)
+            .unwrap_or(0);
+        self.nodes.insert(
+            server,
+            Node {
+                workers,
+                incarnation,
+                state: NodeState::Joining,
+                last_heartbeat_ms: now_ms,
+                suspect_since_ms: None,
+            },
+        );
+        self.bump_epoch();
+        Some(MembershipEvent::Joined { server, workers })
+    }
+
+    /// Promotes a `Joining` server to `Up` (its grow rebalance is done).
+    pub fn mark_up(&mut self, server: ServerId) -> Option<MembershipEvent> {
+        let n = self.nodes.get_mut(&server)?;
+        if n.state != NodeState::Joining {
+            return None;
+        }
+        n.state = NodeState::Up;
+        self.bump_epoch();
+        Some(MembershipEvent::BecameUp { server })
+    }
+
+    /// Records a heartbeat from `server` carrying its incarnation.
+    /// Returns the node's state after processing (so the caller can tell
+    /// the server it is suspected and should refute), plus a `Refuted`
+    /// event when a higher incarnation rescued a suspect.
+    pub fn heartbeat(
+        &mut self,
+        server: ServerId,
+        incarnation: u64,
+        now_ms: u64,
+    ) -> (Option<NodeState>, Option<MembershipEvent>) {
+        let Some(n) = self.nodes.get_mut(&server) else {
+            return (None, None);
+        };
+        if !n.state.is_member() {
+            return (Some(n.state), None);
+        }
+        n.last_heartbeat_ms = n.last_heartbeat_ms.max(now_ms);
+        let mut event = None;
+        if n.state == NodeState::Suspect {
+            if incarnation > n.incarnation {
+                // SWIM refutation: alive after all, with proof of
+                // liveness newer than the suspicion.
+                n.incarnation = incarnation;
+                n.state = NodeState::Up;
+                n.suspect_since_ms = None;
+                event = Some(MembershipEvent::Refuted {
+                    server,
+                    incarnation,
+                });
+                self.bump_epoch();
+            }
+        } else {
+            n.incarnation = n.incarnation.max(incarnation);
+        }
+        (self.nodes.get(&server).map(|n| n.state), event)
+    }
+
+    /// Requests a graceful drain of `server` (planned removal). Valid
+    /// from `Up`, `Suspect` (we would rather evacuate than wait for the
+    /// confirm timer), or `Joining`.
+    pub fn drain(&mut self, server: ServerId, _now_ms: u64) -> Option<MembershipEvent> {
+        let n = self.nodes.get_mut(&server)?;
+        if !matches!(
+            n.state,
+            NodeState::Up | NodeState::Suspect | NodeState::Joining
+        ) {
+            return None;
+        }
+        n.state = NodeState::Draining;
+        n.suspect_since_ms = None;
+        self.bump_epoch();
+        Some(MembershipEvent::DrainStarted { server })
+    }
+
+    /// Marks a `Draining` server as cleanly departed (its evacuation
+    /// finished).
+    pub fn mark_left(&mut self, server: ServerId) -> Option<MembershipEvent> {
+        let n = self.nodes.get_mut(&server)?;
+        if n.state != NodeState::Draining {
+            return None;
+        }
+        n.state = NodeState::Left;
+        self.bump_epoch();
+        Some(MembershipEvent::Left { server })
+    }
+
+    /// Advances suspicion/confirmation timers to `now_ms` and returns the
+    /// transitions that fired, in server-id order.
+    ///
+    /// `Up` and `Draining` nodes whose last heartbeat is older than the
+    /// suspect window become `Suspect`; `Suspect` nodes whose dwell
+    /// exceeds the confirm window become `Failed`.
+    pub fn tick(&mut self, now_ms: u64) -> Vec<MembershipEvent> {
+        let mut events = Vec::new();
+        let mut failed = false;
+        for (&server, n) in self.nodes.iter_mut() {
+            match n.state {
+                NodeState::Up | NodeState::Draining | NodeState::Joining => {
+                    if now_ms.saturating_sub(n.last_heartbeat_ms) > self.cfg.suspect_after_ms {
+                        n.state = NodeState::Suspect;
+                        n.suspect_since_ms = Some(now_ms);
+                        events.push(MembershipEvent::Suspected { server });
+                    }
+                }
+                NodeState::Suspect => {
+                    let since = n.suspect_since_ms.unwrap_or(now_ms);
+                    if now_ms.saturating_sub(since) >= self.cfg.confirm_after_ms {
+                        n.state = NodeState::Failed;
+                        n.suspect_since_ms = None;
+                        events.push(MembershipEvent::ConfirmedFailed { server });
+                        failed = true;
+                    }
+                }
+                NodeState::Left | NodeState::Failed => {}
+            }
+        }
+        if failed {
+            self.bump_epoch();
+        }
+        events
+    }
+
+    /// The state of `server`, if known.
+    pub fn state_of(&self, server: ServerId) -> Option<NodeState> {
+        self.nodes.get(&server).map(|n| n.state)
+    }
+
+    /// The recorded incarnation of `server`, if known.
+    pub fn incarnation_of(&self, server: ServerId) -> Option<u64> {
+        self.nodes.get(&server).map(|n| n.incarnation)
+    }
+
+    /// Number of member nodes.
+    pub fn cluster_size(&self) -> usize {
+        self.nodes.values().filter(|n| n.state.is_member()).count()
+    }
+
+    /// Number of nodes currently suspected.
+    pub fn suspect_count(&self) -> usize {
+        self.nodes
+            .values()
+            .filter(|n| n.state == NodeState::Suspect)
+            .count()
+    }
+
+    /// Serializable snapshot at `now_ms`.
+    pub fn view(&self, now_ms: u64) -> MembershipView {
+        MembershipView {
+            epoch: self.epoch,
+            now_ms,
+            nodes: self
+                .nodes
+                .iter()
+                .map(|(&server, n)| NodeView {
+                    server,
+                    workers: n.workers,
+                    state: n.state,
+                    incarnation: n.incarnation,
+                    heartbeat_age_ms: now_ms.saturating_sub(n.last_heartbeat_ms),
+                    suspect_remaining_ms: n.suspect_since_ms.map(|s| {
+                        self.cfg
+                            .confirm_after_ms
+                            .saturating_sub(now_ms.saturating_sub(s))
+                    }),
+                })
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> MembershipConfig {
+        MembershipConfig {
+            heartbeat_interval_ms: 100,
+            suspect_after_ms: 300,
+            confirm_after_ms: 500,
+        }
+    }
+
+    fn two_node_cluster() -> ClusterMembership {
+        let mut m = ClusterMembership::new(cfg());
+        m.bootstrap(&[(ServerId(0), 2), (ServerId(1), 2)], 0);
+        m
+    }
+
+    #[test]
+    fn bootstrap_does_not_burn_epochs() {
+        let m = two_node_cluster();
+        assert_eq!(m.epoch(), 1);
+        assert_eq!(m.cluster_size(), 2);
+        assert_eq!(m.state_of(ServerId(0)), Some(NodeState::Up));
+    }
+
+    #[test]
+    fn join_then_mark_up_bumps_epoch_twice() {
+        let mut m = two_node_cluster();
+        let e = m.join(ServerId(2), 4, 10).expect("admitted");
+        assert_eq!(
+            e,
+            MembershipEvent::Joined {
+                server: ServerId(2),
+                workers: 4
+            }
+        );
+        assert_eq!(m.epoch(), 2);
+        assert_eq!(m.state_of(ServerId(2)), Some(NodeState::Joining));
+        assert!(m.join(ServerId(2), 4, 11).is_none(), "re-join is idempotent");
+        assert_eq!(
+            m.mark_up(ServerId(2)),
+            Some(MembershipEvent::BecameUp {
+                server: ServerId(2)
+            })
+        );
+        assert_eq!(m.epoch(), 3);
+        assert!(m.mark_up(ServerId(2)).is_none(), "already up");
+        assert_eq!(m.cluster_size(), 3);
+    }
+
+    #[test]
+    fn silence_suspects_then_confirms_failure() {
+        let mut m = two_node_cluster();
+        // Node 0 keeps heartbeating, node 1 goes silent.
+        let (_, _) = m.heartbeat(ServerId(0), 0, 250);
+        let events = m.tick(350);
+        assert_eq!(
+            events,
+            vec![MembershipEvent::Suspected {
+                server: ServerId(1)
+            }]
+        );
+        assert_eq!(m.epoch(), 1, "suspicion alone does not bump the epoch");
+        assert_eq!(m.suspect_count(), 1);
+        // Not confirmed before the dwell elapses (node 0 keeps beating).
+        let (_, _) = m.heartbeat(ServerId(0), 0, 600);
+        assert!(m.tick(849).is_empty());
+        let events = m.tick(850);
+        assert_eq!(
+            events,
+            vec![MembershipEvent::ConfirmedFailed {
+                server: ServerId(1)
+            }]
+        );
+        assert_eq!(m.epoch(), 2);
+        assert_eq!(m.cluster_size(), 1);
+        // A dead node's late heartbeat does not resurrect it.
+        let (state, event) = m.heartbeat(ServerId(1), 5, 900);
+        assert_eq!(state, Some(NodeState::Failed));
+        assert!(event.is_none());
+    }
+
+    #[test]
+    fn higher_incarnation_refutes_suspicion() {
+        let mut m = two_node_cluster();
+        m.tick(400); // both suspected (no heartbeats since 0)
+        assert_eq!(m.suspect_count(), 2);
+        // Same incarnation does not refute — the suspicion stands.
+        let (state, event) = m.heartbeat(ServerId(0), 0, 450);
+        assert_eq!(state, Some(NodeState::Suspect));
+        assert!(event.is_none());
+        // The node sees it is suspected, bumps its incarnation, refutes.
+        let (state, event) = m.heartbeat(ServerId(0), 1, 460);
+        assert_eq!(state, Some(NodeState::Up));
+        assert_eq!(
+            event,
+            Some(MembershipEvent::Refuted {
+                server: ServerId(0),
+                incarnation: 1
+            })
+        );
+        assert_eq!(m.epoch(), 2);
+        // Node 1 never refutes and is confirmed dead.
+        let (_, _) = m.heartbeat(ServerId(0), 1, 700);
+        let events = m.tick(900);
+        assert_eq!(
+            events,
+            vec![MembershipEvent::ConfirmedFailed {
+                server: ServerId(1)
+            }]
+        );
+    }
+
+    #[test]
+    fn drain_then_left_leaves_cleanly() {
+        let mut m = two_node_cluster();
+        assert_eq!(
+            m.drain(ServerId(1), 10),
+            Some(MembershipEvent::DrainStarted {
+                server: ServerId(1)
+            })
+        );
+        assert_eq!(m.state_of(ServerId(1)), Some(NodeState::Draining));
+        assert_eq!(m.cluster_size(), 2, "draining nodes still count");
+        assert!(m.drain(ServerId(1), 11).is_none(), "drain is idempotent");
+        assert_eq!(
+            m.mark_left(ServerId(1)),
+            Some(MembershipEvent::Left {
+                server: ServerId(1)
+            })
+        );
+        assert_eq!(m.cluster_size(), 1);
+        assert_eq!(m.epoch(), 3, "drain and left each bump the epoch");
+        assert!(m.mark_left(ServerId(1)).is_none());
+    }
+
+    #[test]
+    fn failed_node_can_rejoin_with_fresh_incarnation() {
+        let mut m = two_node_cluster();
+        m.tick(400);
+        m.tick(900);
+        assert_eq!(m.state_of(ServerId(1)), Some(NodeState::Failed));
+        let inc_before = m.incarnation_of(ServerId(1)).unwrap();
+        let e = m.join(ServerId(1), 2, 1_000).expect("rejoin allowed");
+        assert_eq!(e.server(), ServerId(1));
+        assert_eq!(m.state_of(ServerId(1)), Some(NodeState::Joining));
+        assert!(m.incarnation_of(ServerId(1)).unwrap() > inc_before);
+    }
+
+    #[test]
+    fn view_reports_timers() {
+        let mut m = two_node_cluster();
+        m.heartbeat(ServerId(0), 0, 300);
+        m.tick(450); // node 1 suspected at 450
+        let v = m.view(650);
+        assert_eq!(v.epoch, m.epoch());
+        assert_eq!(v.nodes.len(), 2);
+        let n0 = &v.nodes[0];
+        assert_eq!(n0.server, ServerId(0));
+        assert_eq!(n0.heartbeat_age_ms, 350);
+        assert_eq!(n0.suspect_remaining_ms, None);
+        let n1 = &v.nodes[1];
+        assert_eq!(n1.state, NodeState::Suspect);
+        assert_eq!(
+            n1.suspect_remaining_ms,
+            Some(300),
+            "500ms confirm window, 200ms elapsed"
+        );
+        assert_eq!(v.cluster_size(), 2);
+        assert_eq!(v.suspect_count(), 1);
+    }
+
+    #[test]
+    fn epochs_are_monotonic_across_a_full_lifecycle() {
+        let mut m = two_node_cluster();
+        let mut last = m.epoch();
+        let mut check = |m: &ClusterMembership| {
+            assert!(m.epoch() >= last);
+            last = m.epoch();
+        };
+        let _ = m.join(ServerId(2), 2, 0);
+        check(&m);
+        let _ = m.mark_up(ServerId(2));
+        check(&m);
+        let _ = m.heartbeat(ServerId(2), 0, 200);
+        check(&m);
+        let _ = m.drain(ServerId(0), 250);
+        check(&m);
+        let _ = m.mark_left(ServerId(0));
+        check(&m);
+        let _ = m.tick(10_000);
+        check(&m);
+    }
+}

@@ -1,0 +1,31 @@
+//! # mbal-membership
+//!
+//! Cluster membership for MBal: a coordinator-led heartbeat-and-lease
+//! failure detector plus the cluster-epoch state machine that turns the
+//! static server set assumed by the paper (§3.4) into an elastic one.
+//!
+//! The detector is SWIM-flavored but centralized: servers heartbeat the
+//! coordinator; a server whose heartbeats stop is moved to `Suspect`
+//! after a miss window, and from `Suspect` to `Failed` after a confirm
+//! window — *unless* it refutes the suspicion by heartbeating with a
+//! **higher incarnation number** (a slow-but-alive node learns it is
+//! suspected from its heartbeat reply, bumps its incarnation, and is
+//! restored to `Up`). Every membership change that affects routing —
+//! a node joining, finishing a drain, or being confirmed failed — bumps
+//! the **cluster epoch**, the signal clients and servers use to refetch
+//! the two-level mapping table.
+//!
+//! This crate is pure state machine: all methods take an explicit
+//! `now_ms`, so the same code runs under the real clock, the virtual-time
+//! cluster simulator, and the chaos harness. The coordinator
+//! (`mbal-balancer`) owns an instance and translates its
+//! [`MembershipEvent`]s into Phase-3 cachelet migrations.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod detector;
+pub mod view;
+
+pub use detector::{ClusterMembership, MembershipConfig, MembershipEvent};
+pub use view::{MembershipView, NodeState, NodeView};

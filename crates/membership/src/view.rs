@@ -1,0 +1,165 @@
+//! Serializable membership snapshots: what `mbal-cli cluster-status`
+//! prints and what servers cache to answer `ClusterStatus` RPCs.
+
+use mbal_core::types::ServerId;
+use serde::{Deserialize, Serialize};
+
+/// Lifecycle state of one server in the cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NodeState {
+    /// Admitted; the join rebalance has not finished yet.
+    Joining,
+    /// Healthy member, heartbeating within its lease.
+    Up,
+    /// Missed its heartbeat window; awaiting refutation or confirmation.
+    Suspect,
+    /// Evacuating its cachelets ahead of a planned removal.
+    Draining,
+    /// Drained and removed cleanly; no longer owns anything.
+    Left,
+    /// Confirmed dead by the detector; cachelets were reassigned.
+    Failed,
+}
+
+impl NodeState {
+    /// `true` for states counted as cluster members (they may still own
+    /// cachelets): everything except [`NodeState::Left`] and
+    /// [`NodeState::Failed`].
+    pub fn is_member(self) -> bool {
+        !matches!(self, NodeState::Left | NodeState::Failed)
+    }
+
+    /// Lowercase human-readable name, stable for display and scripts.
+    pub fn name(self) -> &'static str {
+        match self {
+            NodeState::Joining => "joining",
+            NodeState::Up => "up",
+            NodeState::Suspect => "suspect",
+            NodeState::Draining => "draining",
+            NodeState::Left => "left",
+            NodeState::Failed => "failed",
+        }
+    }
+}
+
+impl std::fmt::Display for NodeState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Point-in-time view of one node, as exposed on the stats wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NodeView {
+    /// The server's id.
+    pub server: ServerId,
+    /// Worker threads the server registered at join time.
+    pub workers: u16,
+    /// Current lifecycle state.
+    pub state: NodeState,
+    /// SWIM incarnation number (bumped by the node to refute suspicion).
+    pub incarnation: u64,
+    /// Milliseconds since the last heartbeat was received.
+    pub heartbeat_age_ms: u64,
+    /// For a [`NodeState::Suspect`] node: milliseconds left on the
+    /// confirm timer before it is declared [`NodeState::Failed`].
+    pub suspect_remaining_ms: Option<u64>,
+}
+
+/// Snapshot of the whole membership table at one instant.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MembershipView {
+    /// Cluster epoch: bumps on every routing-affecting transition.
+    pub epoch: u64,
+    /// The `now_ms` the snapshot was taken at.
+    pub now_ms: u64,
+    /// Per-node views, sorted by server id.
+    pub nodes: Vec<NodeView>,
+}
+
+impl MembershipView {
+    /// Number of member nodes (states where [`NodeState::is_member`]).
+    pub fn cluster_size(&self) -> usize {
+        self.nodes.iter().filter(|n| n.state.is_member()).count()
+    }
+
+    /// Number of nodes currently under suspicion.
+    pub fn suspect_count(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| n.state == NodeState::Suspect)
+            .count()
+    }
+
+    /// The state of `server`, if known.
+    pub fn state_of(&self, server: ServerId) -> Option<NodeState> {
+        self.nodes
+            .iter()
+            .find(|n| n.server == server)
+            .map(|n| n.state)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn membership_counts_and_lookup() {
+        let view = MembershipView {
+            epoch: 7,
+            now_ms: 1_000,
+            nodes: vec![
+                NodeView {
+                    server: ServerId(0),
+                    workers: 4,
+                    state: NodeState::Up,
+                    incarnation: 0,
+                    heartbeat_age_ms: 10,
+                    suspect_remaining_ms: None,
+                },
+                NodeView {
+                    server: ServerId(1),
+                    workers: 4,
+                    state: NodeState::Suspect,
+                    incarnation: 2,
+                    heartbeat_age_ms: 900,
+                    suspect_remaining_ms: Some(2_100),
+                },
+                NodeView {
+                    server: ServerId(2),
+                    workers: 4,
+                    state: NodeState::Failed,
+                    incarnation: 0,
+                    heartbeat_age_ms: 9_999,
+                    suspect_remaining_ms: None,
+                },
+            ],
+        };
+        assert_eq!(view.cluster_size(), 2, "failed nodes are not members");
+        assert_eq!(view.suspect_count(), 1);
+        assert_eq!(view.state_of(ServerId(1)), Some(NodeState::Suspect));
+        assert_eq!(view.state_of(ServerId(9)), None);
+        assert!(!NodeState::Left.is_member());
+        assert_eq!(NodeState::Draining.to_string(), "draining");
+    }
+
+    #[test]
+    fn view_serde_roundtrip() {
+        let view = MembershipView {
+            epoch: 3,
+            now_ms: 42,
+            nodes: vec![NodeView {
+                server: ServerId(5),
+                workers: 2,
+                state: NodeState::Draining,
+                incarnation: 1,
+                heartbeat_age_ms: 0,
+                suspect_remaining_ms: None,
+            }],
+        };
+        let json = serde_json::to_string(&view).expect("serialize");
+        let back: MembershipView = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back, view);
+    }
+}

@@ -60,6 +60,12 @@ pub enum Opcode {
     /// Migration rollback marker: the destination discards partial
     /// state for the cachelet and forwards clients to the home worker.
     MigrateAbort = 0x49,
+    /// Membership: admit a server (coordinator-served).
+    Join = 0x4A,
+    /// Membership: drain a server ahead of removal (coordinator-served).
+    Drain = 0x4B,
+    /// Fetch the cached cluster membership view from a server.
+    ClusterStatus = 0x4C,
     /// Conditional insert.
     Add = 0x02,
     /// Conditional overwrite.
@@ -94,6 +100,9 @@ impl Opcode {
             0x47 => Opcode::Heartbeat,
             0x48 => Opcode::Batch,
             0x49 => Opcode::MigrateAbort,
+            0x4A => Opcode::Join,
+            0x4B => Opcode::Drain,
+            0x4C => Opcode::ClusterStatus,
             _ => return None,
         })
     }
@@ -374,6 +383,26 @@ pub fn encode_request(req: &Request, opaque: u32) -> Result<Vec<u8>, CodecError>
             put_worker(&mut body, *home);
             framed(Opcode::MigrateAbort, vbucket(*cachelet)?, body, opaque, 0)
         }
+        Request::Join {
+            server,
+            workers,
+            incarnation,
+        } => {
+            // Server id and worker count ride in the body; the
+            // incarnation rides in the cas field like other u64 payloads.
+            let mut body = BytesMut::new();
+            body.put_u16(server.0);
+            body.put_u16(*workers);
+            framed(Opcode::Join, 0, body, opaque, *incarnation)
+        }
+        Request::Drain { server } => {
+            let mut body = BytesMut::new();
+            body.put_u16(server.0);
+            framed(Opcode::Drain, 0, body, opaque, 0)
+        }
+        Request::ClusterStatus => {
+            simple_request(Opcode::ClusterStatus, 0, &[], &[], opaque, 0)
+        }
     };
     Ok(buf.to_vec())
 }
@@ -470,6 +499,27 @@ pub fn decode_request(frame: &[u8]) -> Result<(Request, u32), CodecError> {
                 "batch envelopes must go through decode_batch_request",
             ))
         }
+        Opcode::Join => {
+            let mut b = body;
+            if b.remaining() < 4 {
+                return Err(CodecError::Malformed("join body"));
+            }
+            Request::Join {
+                server: ServerId(b.get_u16()),
+                workers: b.get_u16(),
+                incarnation: h.cas,
+            }
+        }
+        Opcode::Drain => {
+            let mut b = body;
+            if b.remaining() < 2 {
+                return Err(CodecError::Malformed("drain body"));
+            }
+            Request::Drain {
+                server: ServerId(b.get_u16()),
+            }
+        }
+        Opcode::ClusterStatus => Request::ClusterStatus,
         Opcode::MultiGet => {
             let mut b = body;
             if b.remaining() < 4 {
@@ -620,6 +670,7 @@ pub fn encode_response(
         | Response::Touched
         | Response::MigrateAck => {}
         Response::Counter { value } => cas = *value,
+        Response::MembershipAck { epoch } => cas = *epoch,
         Response::Moved {
             cachelet,
             new_owner,
@@ -738,9 +789,12 @@ pub fn decode_response(frame: &[u8]) -> Result<(Response, Opcode, u32), CodecErr
         (Status::Ok, Opcode::MigrateEntries)
         | (Status::Ok, Opcode::MigrateCommit)
         | (Status::Ok, Opcode::MigrateAbort) => Response::MigrateAck,
-        (Status::Ok, Opcode::Stats) => Response::StatsBlob {
+        (Status::Ok, Opcode::Stats) | (Status::Ok, Opcode::ClusterStatus) => Response::StatsBlob {
             payload: body.to_vec(),
         },
+        (Status::Ok, Opcode::Join) | (Status::Ok, Opcode::Drain) => {
+            Response::MembershipAck { epoch: h.cas }
+        }
         (Status::Ok, Opcode::Heartbeat) => {
             if body.remaining() < 5 {
                 return Err(CodecError::Malformed("heartbeat header"));
@@ -797,6 +851,9 @@ pub fn opcode_of(req: &Request) -> Opcode {
         Request::MigrateAbort { .. } => Opcode::MigrateAbort,
         Request::Stats { .. } => Opcode::Stats,
         Request::Heartbeat { .. } => Opcode::Heartbeat,
+        Request::Join { .. } => Opcode::Join,
+        Request::Drain { .. } => Opcode::Drain,
+        Request::ClusterStatus => Opcode::ClusterStatus,
     }
 }
 
@@ -873,6 +930,15 @@ mod tests {
         roundtrip_req(Request::Stats { reset: false });
         roundtrip_req(Request::Stats { reset: true });
         roundtrip_req(Request::Heartbeat { version: 77 });
+        roundtrip_req(Request::Join {
+            server: ServerId(3),
+            workers: 4,
+            incarnation: 2,
+        });
+        roundtrip_req(Request::Drain {
+            server: ServerId(1),
+        });
+        roundtrip_req(Request::ClusterStatus);
         roundtrip_req(Request::Add {
             cachelet: CacheletId(2),
             key: b"k".to_vec(),
@@ -949,6 +1015,21 @@ mod tests {
                 full_refetch: false,
             },
             Opcode::Heartbeat,
+        );
+        roundtrip_resp(Response::MembershipAck { epoch: 12 }, Opcode::Join);
+        roundtrip_resp(Response::MembershipAck { epoch: 13 }, Opcode::Drain);
+        roundtrip_resp(
+            Response::StatsBlob {
+                payload: br#"{"epoch":2}"#.to_vec(),
+            },
+            Opcode::ClusterStatus,
+        );
+        roundtrip_resp(
+            Response::Fail {
+                status: Status::Draining,
+                message: "server is draining; writes refused".into(),
+            },
+            Opcode::Set,
         );
         roundtrip_resp(
             Response::Fail {

@@ -4,7 +4,7 @@
 //! transport moves them directly over channels; the TCP transport encodes
 //! them with [`crate::codec`].
 
-use mbal_core::types::{CacheletId, Key, Value, WorkerAddr};
+use mbal_core::types::{CacheletId, Key, ServerId, Value, WorkerAddr};
 
 /// Response status codes (mirrors Memcached's binary status field).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -26,6 +26,9 @@ pub enum Status {
     Exists = 6,
     /// Value is not a number (`incr`/`decr` on non-numeric data).
     NotNumeric = 7,
+    /// The server is draining ahead of removal and refuses writes; the
+    /// client should refetch the mapping and retry at the new owner.
+    Draining = 8,
 }
 
 impl Status {
@@ -42,6 +45,7 @@ impl Status {
             Status::Error => "malformed request or internal error",
             Status::Exists => "key already exists",
             Status::NotNumeric => "value is not a number",
+            Status::Draining => "server is draining; writes refused",
         }
     }
 
@@ -56,6 +60,7 @@ impl Status {
             5 => Status::Error,
             6 => Status::Exists,
             7 => Status::NotNumeric,
+            8 => Status::Draining,
             _ => return None,
         })
     }
@@ -219,6 +224,26 @@ pub enum Request {
         /// Client's current mapping-table version.
         version: u64,
     },
+    /// Membership: admit a server into the cluster (served by the
+    /// coordinator; workers refuse it). Triggers a Phase-3 grow
+    /// rebalance onto the new server.
+    Join {
+        /// The joining server's id.
+        server: ServerId,
+        /// Worker threads the server runs.
+        workers: u16,
+        /// The server's SWIM incarnation number.
+        incarnation: u64,
+    },
+    /// Membership: gracefully evacuate a server ahead of removal
+    /// (served by the coordinator; workers refuse it).
+    Drain {
+        /// The server to drain.
+        server: ServerId,
+    },
+    /// Fetch the cluster membership view (epoch, per-node state and
+    /// suspect timers) from a server's cached copy on the stats wire.
+    ClusterStatus,
 }
 
 impl Request {
@@ -294,6 +319,12 @@ pub enum Response {
         /// Opaque serialized statistics.
         payload: Vec<u8>,
     },
+    /// Membership operation (Join/Drain) acknowledged by the
+    /// coordinator; carries the resulting cluster epoch.
+    MembershipAck {
+        /// The cluster epoch after the operation.
+        epoch: u64,
+    },
     /// Heartbeat reply carrying mapping deltas encoded as
     /// `(version, cachelet, server, worker)` tuples; `full_refetch` tells
     /// the client its version fell outside the delta window.
@@ -332,7 +363,7 @@ mod tests {
 
     #[test]
     fn status_roundtrip() {
-        for v in 0..=7u16 {
+        for v in 0..=8u16 {
             let s = Status::from_u16(v).expect("valid");
             assert_eq!(s as u16, v);
         }
@@ -341,7 +372,7 @@ mod tests {
 
     #[test]
     fn status_describe_is_total_and_displayed() {
-        for v in 0..8u16 {
+        for v in 0..9u16 {
             let s = Status::from_u16(v).expect("valid");
             assert!(!s.describe().is_empty());
             assert_eq!(format!("{s}"), s.describe());

@@ -8,9 +8,14 @@
 
 use crate::ring::ConsistentRing;
 use mbal_core::hash::shard_hash;
-use mbal_core::types::{CacheletId, VnId, WorkerAddr};
+use mbal_core::types::{CacheletId, ServerId, VnId, WorkerAddr};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+
+/// A planned cachelet re-homing: `(cachelet, from, to)`. Pure plan — the
+/// mapping is only mutated once the data transfer commits (grow/drain) or
+/// immediately for a failed node (no data to move).
+pub type PlannedMove = (CacheletId, WorkerAddr, WorkerAddr);
 
 /// A single cachelet re-homing event.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -205,6 +210,98 @@ impl MappingTable {
         self.version = delta.version;
     }
 
+    /// Plans the minimal-churn rebalance that admits `new_workers` into
+    /// the table: each new worker receives `⌊num_cachelets / workers_after⌋`
+    /// cachelets, taken from the currently most-loaded existing workers.
+    /// No cachelet ever moves between two existing workers, so adding one
+    /// server remaps at most `num_cachelets / servers_after` cachelets
+    /// (the minimal-churn bound). Deterministic: ties break toward the
+    /// smallest worker address, and donors give up their highest cachelet
+    /// ids first.
+    ///
+    /// Workers already present in the table are ignored, so re-planning
+    /// a partially applied join is safe. The plan is not applied here —
+    /// callers commit each move with [`MappingTable::move_cachelet`] after
+    /// the Phase-3 data transfer succeeds.
+    pub fn plan_grow(&self, new_workers: &[WorkerAddr]) -> Vec<PlannedMove> {
+        let mut owned: BTreeMap<WorkerAddr, Vec<CacheletId>> = BTreeMap::new();
+        for (&c, &w) in &self.cachelet_to_worker {
+            owned.entry(w).or_default().push(c);
+        }
+        let mut fresh: Vec<WorkerAddr> = new_workers
+            .iter()
+            .copied()
+            .filter(|w| !owned.contains_key(w))
+            .collect();
+        fresh.sort_unstable();
+        fresh.dedup();
+        if fresh.is_empty() || owned.is_empty() {
+            return Vec::new();
+        }
+        let workers_after = owned.len() + fresh.len();
+        let target = self.num_cachelets() / workers_after;
+        let mut moves = Vec::new();
+        for &to in &fresh {
+            for _ in 0..target {
+                // Donor: the most-loaded existing worker (smallest address
+                // on ties), yielding its highest cachelet id.
+                let Some(&from) = owned
+                    .iter()
+                    .filter(|(_, cs)| !cs.is_empty())
+                    .max_by(|(aw, a), (bw, b)| a.len().cmp(&b.len()).then(bw.cmp(aw)))
+                    .map(|(w, _)| w)
+                else {
+                    return moves;
+                };
+                let cs = owned.get_mut(&from).expect("donor exists");
+                let c = cs.pop().expect("donor non-empty");
+                moves.push((c, from, to));
+            }
+        }
+        moves
+    }
+
+    /// Plans the evacuation of every cachelet homed on `server`, spread
+    /// across the remaining workers least-loaded-first (deterministic:
+    /// ties break toward the smallest worker address). Returns an empty
+    /// plan when `server` owns nothing or no other worker exists.
+    pub fn plan_evacuate(&self, server: ServerId) -> Vec<PlannedMove> {
+        let mut survivors: BTreeMap<WorkerAddr, usize> = BTreeMap::new();
+        for &w in self.cachelet_to_worker.values() {
+            if w.server != server {
+                *survivors.entry(w).or_insert(0) += 1;
+            }
+        }
+        if survivors.is_empty() {
+            return Vec::new();
+        }
+        let mut moves = Vec::new();
+        for (&c, &from) in &self.cachelet_to_worker {
+            if from.server != server {
+                continue;
+            }
+            let (&to, _) = survivors
+                .iter()
+                .min_by(|(aw, a), (bw, b)| a.cmp(b).then(aw.cmp(bw)))
+                .expect("non-empty survivors");
+            *survivors.get_mut(&to).expect("recipient exists") += 1;
+            moves.push((c, from, to));
+        }
+        moves
+    }
+
+    /// Immediately reassigns every cachelet homed on `server` to the
+    /// surviving workers (the failure path: the owner is dead, so there
+    /// is no data to move — clients refetch and the new owners warm up
+    /// from replicas or misses). Returns the deltas applied, one per
+    /// moved cachelet.
+    pub fn remove_server(&mut self, server: ServerId) -> Vec<MappingDelta> {
+        self.plan_evacuate(server)
+            .into_iter()
+            .filter_map(|(c, _, to)| self.move_cachelet(c, to))
+            .collect()
+    }
+
     /// Replaces this table wholesale (client full refetch).
     pub fn replace_with(&mut self, other: &MappingTable) {
         self.vn_to_cachelet = other.vn_to_cachelet.clone();
@@ -327,6 +424,142 @@ mod tests {
         let mut client = table(2, 1, 4, 8);
         client.replace_with(&t);
         assert_eq!(client.version(), t.version());
+    }
+
+    #[test]
+    fn plan_grow_fills_each_new_worker_to_target() {
+        let t = table(2, 2, 8, 256); // 32 cachelets over 4 workers
+        let new = [WorkerAddr::new(2, 0), WorkerAddr::new(2, 1)];
+        let moves = t.plan_grow(&new);
+        // 32 cachelets / 6 workers = 5 per new worker.
+        assert_eq!(moves.len(), 10);
+        for &(c, from, to) in &moves {
+            assert_eq!(to.server, ServerId(2));
+            assert_ne!(from.server, ServerId(2));
+            assert_eq!(t.worker_of_cachelet(c), Some(from));
+        }
+        // Planning again with the same (still-absent) workers is stable.
+        assert_eq!(t.plan_grow(&new), moves);
+        // After applying, the new workers are ignored by a re-plan.
+        let mut after = t.clone();
+        for &(c, _, to) in &moves {
+            after.move_cachelet(c, to).expect("applies");
+        }
+        assert!(after.plan_grow(&new).is_empty());
+    }
+
+    #[test]
+    fn plan_evacuate_empties_exactly_the_victim() {
+        let t = table(3, 2, 4, 256); // 24 cachelets, 8 per server
+        let moves = t.plan_evacuate(ServerId(1));
+        assert_eq!(moves.len(), 8);
+        for &(c, from, to) in &moves {
+            assert_eq!(from.server, ServerId(1));
+            assert_ne!(to.server, ServerId(1));
+            assert_eq!(t.worker_of_cachelet(c), Some(from));
+        }
+        // Evacuating the only server is impossible: empty plan.
+        let lone = table(1, 2, 4, 64);
+        assert!(lone.plan_evacuate(ServerId(0)).is_empty());
+        // Evacuating a server that owns nothing is a no-op.
+        assert!(t.plan_evacuate(ServerId(9)).is_empty());
+    }
+
+    #[test]
+    fn remove_server_reroutes_immediately_with_deltas() {
+        let mut t = table(3, 2, 4, 256);
+        let v0 = t.version();
+        let deltas = t.remove_server(ServerId(2));
+        assert_eq!(deltas.len(), 8);
+        assert_eq!(t.version(), v0 + 8);
+        for w in t.workers() {
+            assert_ne!(w.server, ServerId(2), "victim fully evacuated");
+        }
+        // A lagged client catches up via the delta stream alone.
+        let mut client = table(3, 2, 4, 256);
+        for d in t.deltas_since(v0).expect("window intact") {
+            client.apply_delta(&d);
+        }
+        assert_eq!(client.version(), t.version());
+        for i in 0..200 {
+            let key = format!("k:{i}");
+            assert_eq!(client.route(key.as_bytes()), t.route(key.as_bytes()));
+        }
+    }
+
+    // Satellite: the minimal-churn bound, property-tested. Adding or
+    // removing one server must remap at most `cachelets/servers + slack`
+    // cachelets and must never remap a key between two surviving servers.
+    proptest::proptest! {
+        #[test]
+        fn grow_is_minimal_churn(
+            servers in 1u16..6,
+            workers in 1u16..4,
+            cpw in 1usize..6,
+        ) {
+            let t = table(servers, workers, cpw, 1_024);
+            let new_server = ServerId(servers);
+            let new: Vec<WorkerAddr> =
+                (0..workers).map(|w| WorkerAddr::new(servers, w)).collect();
+            let moves = t.plan_grow(&new);
+            let total = t.num_cachelets();
+            let bound = total / (servers as usize + 1) + workers as usize;
+            proptest::prop_assert!(
+                moves.len() <= bound,
+                "churn {} exceeds bound {}", moves.len(), bound
+            );
+            let mut seen = std::collections::HashSet::new();
+            let mut after = t.clone();
+            for &(c, from, to) in &moves {
+                proptest::prop_assert_eq!(to.server, new_server);
+                proptest::prop_assert!(from.server != new_server);
+                proptest::prop_assert_eq!(t.worker_of_cachelet(c), Some(from));
+                proptest::prop_assert!(seen.insert(c), "cachelet moved twice");
+                after.move_cachelet(c, to).expect("plan applies");
+            }
+            for i in 0..300 {
+                let key = format!("key:{i}");
+                let w0 = t.route(key.as_bytes()).expect("routed").1;
+                let w1 = after.route(key.as_bytes()).expect("routed").1;
+                if w0 != w1 {
+                    proptest::prop_assert_eq!(
+                        w1.server, new_server,
+                        "key remapped between two surviving servers"
+                    );
+                }
+            }
+        }
+
+        #[test]
+        fn evacuate_touches_only_the_drained_server(
+            servers in 2u16..6,
+            workers in 1u16..4,
+            cpw in 1usize..6,
+            victim in 0u16..6,
+        ) {
+            let victim = ServerId(victim % servers);
+            let t = table(servers, workers, cpw, 1_024);
+            let moves = t.plan_evacuate(victim);
+            // Exactly the victim's cachelets move, and nothing else.
+            proptest::prop_assert_eq!(moves.len(), workers as usize * cpw);
+            let mut after = t.clone();
+            for &(c, from, to) in &moves {
+                proptest::prop_assert_eq!(from.server, victim);
+                proptest::prop_assert!(to.server != victim);
+                after.move_cachelet(c, to).expect("plan applies");
+            }
+            for i in 0..300 {
+                let key = format!("key:{i}");
+                let w0 = t.route(key.as_bytes()).expect("routed").1;
+                let w1 = after.route(key.as_bytes()).expect("routed").1;
+                if w0.server != victim {
+                    proptest::prop_assert_eq!(
+                        w1, w0,
+                        "a key not homed on the victim was remapped"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -26,6 +26,13 @@ pub struct ServerConfig {
     /// Synchronous replica updates (consistent, slower writes) vs
     /// asynchronous (eventual consistency), §3.2.
     pub sync_replication: bool,
+    /// Participate in the cluster membership protocol: heartbeat the
+    /// coordinator each tick, execute join/drain rebalances queued for
+    /// this server, honour drain mode, and reconcile cachelets
+    /// reassigned here after a peer failure. Off by default so
+    /// single-server deployments (and tests that drive ticks with large
+    /// manual clock jumps) never engage the failure detector.
+    pub membership: bool,
 }
 
 impl ServerConfig {
@@ -41,7 +48,14 @@ impl ServerConfig {
             hotkey: HotKeyConfig::default(),
             worker_load_capacity: 1_000_000.0,
             sync_replication: true,
+            membership: false,
         }
+    }
+
+    /// Enables (or disables) membership participation and returns `self`.
+    pub fn membership(mut self, on: bool) -> Self {
+        self.membership = on;
+        self
     }
 
     /// Overrides the cachelet count and returns `self`.
@@ -80,14 +94,17 @@ mod tests {
         assert_eq!(c.cachelets_per_worker, 16);
         assert_eq!(c.worker_mem_capacity(), (64 << 20) / 8);
         assert!(c.sync_replication);
+        assert!(!c.membership, "membership participation is opt-in");
     }
 
     #[test]
     fn builders_override() {
         let c = ServerConfig::new(ServerId(0), 2, 1 << 20)
             .cachelets_per_worker(0)
-            .worker_capacity(500.0);
+            .worker_capacity(500.0)
+            .membership(true);
         assert_eq!(c.cachelets_per_worker, 1, "clamped to one");
         assert_eq!(c.worker_load_capacity, 500.0);
+        assert!(c.membership);
     }
 }

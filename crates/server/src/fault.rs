@@ -286,6 +286,11 @@ pub struct FaultInjector {
     plan: FaultPlan,
     inner: Arc<dyn Transport>,
     state: Mutex<InjectorState>,
+    /// Endpoints killed at runtime via [`FaultInjector::kill_endpoint`],
+    /// on top of the plan's static [`FaultPlan::dead_endpoints`]. Lets a
+    /// scenario sever a node *mid-run* — the node-kill chaos class —
+    /// without rebuilding the transport stack.
+    killed: Mutex<Vec<WorkerAddr>>,
     metrics: Arc<MetricsShard>,
 }
 
@@ -300,8 +305,25 @@ impl FaultInjector {
                 rng,
                 log: Vec::new(),
             }),
+            killed: Mutex::new(Vec::new()),
             metrics: Arc::new(MetricsShard::new()),
         })
+    }
+
+    /// Kills `addr` from now on: every call to it fails as unreachable,
+    /// exactly like a plan-listed dead endpoint. Irrevocable, like the
+    /// real thing.
+    pub fn kill_endpoint(&self, addr: WorkerAddr) {
+        let mut killed = self.killed.lock();
+        if !killed.contains(&addr) {
+            killed.push(addr);
+        }
+    }
+
+    /// Whether `addr` is dead, statically (plan) or dynamically
+    /// ([`FaultInjector::kill_endpoint`]).
+    fn is_dead(&self, addr: WorkerAddr) -> bool {
+        self.plan.dead_endpoints.contains(&addr) || self.killed.lock().contains(&addr)
     }
 
     /// The seed this injector replays from.
@@ -439,7 +461,7 @@ impl Transport for FaultInjector {
         deadline: Duration,
     ) -> Result<Response, TransportError> {
         let op = opcode_of(&req);
-        if self.plan.dead_endpoints.contains(&addr) {
+        if self.is_dead(addr) {
             self.record(FaultKind::DeadEndpoint, op, addr);
             return Err(self.injected_unreachable(addr));
         }
@@ -495,7 +517,7 @@ impl Transport for FaultInjector {
         if n == 0 {
             return Vec::new();
         }
-        if self.plan.dead_endpoints.contains(&addr) {
+        if self.is_dead(addr) {
             self.record(FaultKind::DeadEndpoint, Opcode::Batch, addr);
             return batch_errs(n, self.injected_unreachable(addr));
         }
@@ -589,7 +611,7 @@ impl Transport for FaultInjector {
 
     fn cast(&self, addr: WorkerAddr, req: Request) {
         let op = opcode_of(&req);
-        if self.plan.dead_endpoints.contains(&addr) {
+        if self.is_dead(addr) {
             self.record(FaultKind::DeadEndpoint, op, addr);
             return;
         }

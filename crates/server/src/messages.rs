@@ -117,6 +117,30 @@ pub enum Control {
         /// Ack channel.
         reply: Sender<()>,
     },
+    /// Enter or leave drain mode. While draining, client value-writes
+    /// are refused with `Status::Draining`; reads, deletes (the
+    /// Write-Invalidate vehicle), replica ops, and migration traffic
+    /// stay open so the evacuation itself can complete.
+    SetDrain(bool),
+    /// Cache the serialized cluster-membership view, so the worker can
+    /// answer `ClusterStatus` RPCs without a coordinator round-trip.
+    SetMembershipView(Vec<u8>),
+    /// Materialize a cachelet reassigned to this worker after a node
+    /// failure, promoting any live shadow replicas of its keys into the
+    /// fresh unit (the Phase-1 copies are the only survivors).
+    /// `num_vns` and `num_cachelets` let the worker recompute
+    /// `key → cachelet` without a mapping table. Replies with the number
+    /// of promoted entries.
+    PromoteReplicas {
+        /// The reassigned cachelet.
+        cachelet: CacheletId,
+        /// Cluster VN count (static after the mapping is built).
+        num_vns: u64,
+        /// Cluster cachelet count (static after the mapping is built).
+        num_cachelets: u64,
+        /// Reply carrying how many replicas were promoted.
+        reply: Sender<usize>,
+    },
     /// Stop the worker loop.
     Shutdown,
 }

@@ -31,9 +31,10 @@ use mbal_core::clock::Clock;
 use mbal_core::hotkey::HotKey;
 use mbal_core::mem::GlobalPool;
 use mbal_core::types::{CacheletId, ServerId, WorkerAddr, WorkerId};
+use mbal_membership::NodeState;
 use mbal_proto::{Request, Response};
 use mbal_ring::MappingTable;
-use mbal_telemetry::{Counter, MetricsRegistry, MetricsSnapshot, StatsReport};
+use mbal_telemetry::{Counter, Gauge, MetricsRegistry, MetricsSnapshot, StatsReport};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -60,6 +61,12 @@ pub struct Server {
     cluster_workers: Vec<WorkerAddr>,
     /// Per-worker metrics shards; workers hold `Arc` clones.
     metrics: Arc<MetricsRegistry>,
+    /// Our SWIM incarnation, bumped to refute a false suspicion.
+    incarnation: u64,
+    /// Mirror of the drain mode pushed to workers.
+    draining: bool,
+    /// Last cluster epoch this server reconciled its cachelets against.
+    seen_epoch: u64,
     stop: Arc<AtomicBool>,
 }
 
@@ -145,6 +152,9 @@ impl Server {
             leases: HashMap::new(),
             replica_locations: HashMap::new(),
             metrics,
+            incarnation: 0,
+            draining: false,
+            seen_epoch: 0,
             stop: Arc::new(AtomicBool::new(false)),
         };
         server.seed_cachelets(mapping, &global);
@@ -313,7 +323,110 @@ impl Server {
             self.execute_coordinated(src);
         }
         self.expire_leases(now_ms);
+        if self.cfg.membership {
+            self.run_membership(now_ms);
+        }
         actions.phase.unwrap_or(Phase::Normal)
+    }
+
+    /// Drives one round of the membership protocol (§ elasticity):
+    /// heartbeat with incarnation-bump refutation, detector tick,
+    /// execution of join/drain transfers queued for this server,
+    /// replica promotion for cachelets reassigned here by a failure,
+    /// drain-mode propagation, and publishing the view + gauges.
+    fn run_membership(&mut self, now_ms: u64) {
+        // Heartbeat; a `Suspect` reply means the coordinator is counting
+        // down our confirm timer — refute with a higher incarnation.
+        if self
+            .coordinator
+            .membership_heartbeat(self.cfg.server, self.incarnation, now_ms)
+            == Some(NodeState::Suspect)
+        {
+            self.incarnation += 1;
+            let _ = self.coordinator.membership_heartbeat(
+                self.cfg.server,
+                self.incarnation,
+                now_ms,
+            );
+        }
+
+        // Advance the detector; confirmed failures reassign the dead
+        // node's cachelets inside the coordinator.
+        let _ = self.coordinator.membership_tick(now_ms);
+
+        // Execute the join/drain transfers queued for this server. A
+        // failed transfer rolls back at the coordinator like any Phase-3
+        // migration, so the mapping never lies about where data is.
+        for m in self.coordinator.pending_moves_for(self.cfg.server) {
+            self.migrate_out(&m);
+        }
+
+        // On any epoch change the mapping may home cachelets here that
+        // no worker owns yet — most importantly after a peer's confirmed
+        // failure, which reassigns its cachelets with no data to move.
+        // The epoch gate (rather than watching for `ConfirmedFailed`
+        // directly) matters because only the *first* server to tick
+        // after the confirm deadline sees the event, while every
+        // survivor may have inherited cachelets. Materialize them,
+        // promoting surviving shadow replicas (the Phase-1 copies) into
+        // the fresh units; for cachelets already owned this is a no-op.
+        let epoch = self.coordinator.cluster_epoch();
+        if epoch != self.seen_epoch {
+            self.seen_epoch = epoch;
+            self.reconcile_owned_cachelets();
+        }
+
+        let Some(view) = self.coordinator.membership_view(now_ms) else {
+            return;
+        };
+        let draining = view.state_of(self.cfg.server) == Some(NodeState::Draining);
+        if draining != self.draining {
+            self.draining = draining;
+            for tx in &self.workers {
+                let _ = tx.send(WorkerMsg::Control(Control::SetDrain(draining)));
+            }
+        }
+        let payload = serde_json::to_vec(&view).unwrap_or_default();
+        for tx in &self.workers {
+            let _ = tx.send(WorkerMsg::Control(Control::SetMembershipView(
+                payload.clone(),
+            )));
+        }
+        // Cluster-level gauges ride on worker 0's shard only: snapshots
+        // sum gauges across shards, so exactly one shard may carry them.
+        let shard = self.metrics.shard(0);
+        shard.set_gauge(Gauge::ClusterSize, view.cluster_size() as u64);
+        shard.set_gauge(Gauge::SuspectNodes, view.suspect_count() as u64);
+        shard.set_gauge(Gauge::RebalanceInflight, self.coordinator.rebalance_inflight());
+    }
+
+    /// Ensures every cachelet the cluster mapping homes on this server
+    /// exists in its worker. New units start cold except for keys with
+    /// live shadow replicas held locally, which are promoted to
+    /// authoritative values.
+    fn reconcile_owned_cachelets(&mut self) {
+        let mapping = self.coordinator.mapping_snapshot();
+        let num_vns = mapping.num_vns() as u64;
+        let num_cachelets = mapping.num_cachelets() as u64;
+        for w in 0..self.cfg.workers {
+            let addr = WorkerAddr {
+                server: self.cfg.server,
+                worker: WorkerId(w),
+            };
+            for cachelet in mapping.cachelets_of_worker(addr) {
+                let (rtx, rrx) = bounded(1);
+                self.control(
+                    WorkerId(w),
+                    Control::PromoteReplicas {
+                        cachelet,
+                        num_vns,
+                        num_cachelets,
+                        reply: rtx,
+                    },
+                );
+                let _ = rrx.recv();
+            }
+        }
     }
 
     fn execute_replication(&mut self, wid: WorkerId, acts: &[ReplicationAction], _now: u64) {

@@ -23,6 +23,7 @@ use crate::unit::CacheUnit;
 use crossbeam_channel::Receiver;
 use mbal_balancer::WorkerLoad;
 use mbal_core::clock::Clock;
+use mbal_core::hash::shard_hash;
 use mbal_core::hotkey::{HotKey, HotKeyConfig, HotKeyTracker};
 use mbal_core::replica::{ReplicaLookup, ReplicaTable};
 use mbal_core::types::{CacheError, CacheletId, WorkerAddr};
@@ -65,6 +66,10 @@ pub struct Worker {
     replica_table: ReplicaTable,
     replicated: HashMap<Vec<u8>, Vec<WorkerAddr>>,
     tracker: HotKeyTracker,
+    /// Drain mode: client value-writes are refused (`Status::Draining`).
+    draining: bool,
+    /// Serialized membership view cached for `ClusterStatus` RPCs.
+    membership_view: Option<Vec<u8>>,
 }
 
 impl Worker {
@@ -78,6 +83,8 @@ impl Worker {
             replica_table: ReplicaTable::new(),
             replicated: HashMap::new(),
             tracker,
+            draining: false,
+            membership_view: None,
         }
     }
 
@@ -137,6 +144,12 @@ impl Worker {
     }
 
     fn dispatch(&mut self, req: Request) -> Response {
+        if self.draining && is_refused_while_draining(&req) {
+            return Response::Fail {
+                status: Status::Draining,
+                message: "server is draining; writes refused".into(),
+            };
+        }
         match req {
             Request::Get { cachelet, key } => self.do_get(cachelet, &key),
             Request::MultiGet { keys } => {
@@ -275,6 +288,19 @@ impl Worker {
             Request::Heartbeat { .. } => Response::Fail {
                 status: Status::Error,
                 message: "heartbeats are served by the coordinator".into(),
+            },
+            Request::Join { .. } | Request::Drain { .. } => Response::Fail {
+                status: Status::Error,
+                message: "membership operations are served by the coordinator".into(),
+            },
+            Request::ClusterStatus => match &self.membership_view {
+                Some(payload) => Response::StatsBlob {
+                    payload: payload.clone(),
+                },
+                None => Response::Fail {
+                    status: Status::Error,
+                    message: "no membership view published yet".into(),
+                },
             },
         }
     }
@@ -683,6 +709,41 @@ impl Worker {
                 }
                 let _ = reply.send(());
             }
+            Control::SetDrain(on) => {
+                self.draining = on;
+            }
+            Control::SetMembershipView(view) => {
+                self.membership_view = Some(view);
+            }
+            Control::PromoteReplicas {
+                cachelet,
+                num_vns,
+                num_cachelets,
+                reply,
+            } => {
+                let now = self.now_ms();
+                // Failure reassignment: this cachelet's home died, so any
+                // live shadow copies held here are the only surviving
+                // values for its keys. `vn → cachelet` is `vn mod
+                // num_cachelets` by construction and never mutated, so
+                // the mapping reduces to two constants.
+                let promoted = self.replica_table.take_live_matching(now, |key| {
+                    ((shard_hash(key) % num_vns) % num_cachelets) as u32 == cachelet.0
+                });
+                let count = promoted.len();
+                self.ctx.metrics.add(Counter::ReplicasPromoted, count as u64);
+                self.forwards.remove(&cachelet);
+                let unit = self.units.entry(cachelet).or_insert_with(|| {
+                    let mut u = Box::new((self.ctx.unit_factory)(cachelet));
+                    u.meta_mut().adopt();
+                    u
+                });
+                // Replica leases are not value TTLs; promote without one.
+                let entries: Vec<(Vec<u8>, Vec<u8>, u64)> =
+                    promoted.into_iter().map(|(k, v)| (k, v, 0)).collect();
+                unit.install_entries(entries, now);
+                let _ = reply.send(count);
+            }
             Control::Shutdown => return false,
         }
         true
@@ -747,6 +808,23 @@ impl Worker {
             replica_bytes: self.replica_table.bytes(),
         }
     }
+}
+
+/// Client value-writes refused in drain mode. Reads keep the cache
+/// useful until removal; deletes must pass because Write-Invalidate
+/// ships them between workers and a dropped invalidation could migrate
+/// a stale value; replica and migration traffic must pass so the
+/// evacuation itself (and Phase 1 upkeep) can complete.
+fn is_refused_while_draining(req: &Request) -> bool {
+    matches!(
+        req,
+        Request::Set { .. }
+            | Request::Add { .. }
+            | Request::Replace { .. }
+            | Request::Concat { .. }
+            | Request::Incr { .. }
+            | Request::Touch { .. }
+    )
 }
 
 /// Spawns a worker thread, returning its mailbox sender and join handle.

@@ -52,6 +52,9 @@ pub enum Counter {
     ReplicaUpdates,
     /// Replica invalidations applied.
     ReplicaInvalidates,
+    /// Shadow replicas promoted to authoritative values after their
+    /// home worker's server was confirmed failed.
+    ReplicasPromoted,
     /// Entries installed by inbound coordinated migration.
     MigrateEntriesIn,
     /// Coordinated-migration commits accepted.
@@ -85,7 +88,7 @@ pub enum Counter {
 
 impl Counter {
     /// Number of counters in the catalog.
-    pub const COUNT: usize = 30;
+    pub const COUNT: usize = 31;
 
     /// Every counter, in index order.
     pub const ALL: [Counter; Self::COUNT] = [
@@ -105,6 +108,7 @@ impl Counter {
         Counter::ReplicaInstalls,
         Counter::ReplicaUpdates,
         Counter::ReplicaInvalidates,
+        Counter::ReplicasPromoted,
         Counter::MigrateEntriesIn,
         Counter::MigrateCommits,
         Counter::MovedRedirects,
@@ -140,6 +144,7 @@ impl Counter {
             Counter::ReplicaInstalls => "replica_installs",
             Counter::ReplicaUpdates => "replica_updates",
             Counter::ReplicaInvalidates => "replica_invalidates",
+            Counter::ReplicasPromoted => "replicas_promoted",
             Counter::MigrateEntriesIn => "migrate_entries_in",
             Counter::MigrateCommits => "migrate_commits",
             Counter::MovedRedirects => "moved_redirects",
@@ -175,11 +180,20 @@ pub enum Gauge {
     ReplicatedKeys,
     /// Bytes resident across the worker's cachelets.
     MemBytes,
+    /// Member servers in the cluster (membership view; cluster-level,
+    /// published on worker 0's shard).
+    ClusterSize,
+    /// Servers currently suspected by the failure detector
+    /// (cluster-level, published on worker 0's shard).
+    SuspectNodes,
+    /// Membership-driven cachelet migrations currently in flight
+    /// (cluster-level, published on worker 0's shard).
+    RebalanceInflight,
 }
 
 impl Gauge {
     /// Number of gauges in the catalog.
-    pub const COUNT: usize = 6;
+    pub const COUNT: usize = 9;
 
     /// Every gauge, in index order.
     pub const ALL: [Gauge; Self::COUNT] = [
@@ -189,6 +203,9 @@ impl Gauge {
         Gauge::ReplicaBytes,
         Gauge::ReplicatedKeys,
         Gauge::MemBytes,
+        Gauge::ClusterSize,
+        Gauge::SuspectNodes,
+        Gauge::RebalanceInflight,
     ];
 
     /// Stable wire/exposition name.
@@ -200,6 +217,9 @@ impl Gauge {
             Gauge::ReplicaBytes => "replica_bytes",
             Gauge::ReplicatedKeys => "replicated_keys",
             Gauge::MemBytes => "mem_bytes",
+            Gauge::ClusterSize => "cluster_size",
+            Gauge::SuspectNodes => "suspect_nodes",
+            Gauge::RebalanceInflight => "rebalance_inflight",
         }
     }
 }

@@ -11,6 +11,8 @@
 //!   histograms, and the stats snapshot/report types.
 //! - [`ilp`] — the simplex/branch-and-bound ILP solver behind
 //!   the migration planners.
+//! - [`membership`] — heartbeat failure detection and the
+//!   cluster-epoch state machine for join/drain/fail.
 //! - [`balancer`] — the multi-phase load balancer.
 //! - [`server`] — the server runtime.
 //! - [`client`] — the client library.
@@ -28,6 +30,7 @@ pub use mbal_client as client;
 pub use mbal_cluster as cluster;
 pub use mbal_core as core;
 pub use mbal_ilp as ilp;
+pub use mbal_membership as membership;
 pub use mbal_proto as proto;
 pub use mbal_ring as ring;
 pub use mbal_server as server;

@@ -17,6 +17,11 @@
 //! - the same seed replays a byte-identical fault schedule with
 //!   identical verdicts.
 //!
+//! The node-kill fault class goes further: a whole server dies mid-run.
+//! The membership detector must confirm the failure, survivors must
+//! inherit the dead node's cachelets and promote shadow replicas, and
+//! the loss rules weaken only for data the dead node alone held.
+//!
 //! Every assertion message carries the failing seed, and a failing run
 //! writes it to `target/chaos/failing-seed.txt` so CI can surface it as
 //! an artifact. Replay locally with e.g.
@@ -28,6 +33,8 @@ use mbal::balancer::BalancerConfig;
 use mbal::client::{Client, CoordinatorLink, SetOptions};
 use mbal::core::clock::{Clock, ManualClock};
 use mbal::core::types::{CacheletId, ServerId, WorkerAddr};
+use mbal::membership::NodeState;
+use mbal::proto::{Request, Response};
 use mbal::ring::{ConsistentRing, MappingTable};
 use mbal::server::fault::SplitMix64;
 use mbal::server::{FaultInjector, FaultPlan, InProcRegistry, Server, ServerConfig, Transport};
@@ -306,6 +313,196 @@ fn chaos_same_seed_replays_byte_identical() {
         a.digest, c.digest,
         "different seeds must produce different schedules"
     );
+}
+
+/// Node-kill fault class: a server dies mid-run — its endpoint vanishes
+/// and its heartbeats stop. The failure detector must walk it
+/// `Suspect → Failed`, the survivors must inherit its cachelets and
+/// promote any live shadow replicas they hold, and every write acked by
+/// a home that survived must still read back exactly. Data homed on the
+/// dead node may be lost (it is a cache, and the node took the only
+/// authoritative copy with it) but must never come back stale.
+fn node_kill_scenario(seed: u64) {
+    let plan = FaultPlan::drops(seed, 0.05);
+    let mut ring = ConsistentRing::new();
+    for s in 0..3u16 {
+        ring.add_worker(WorkerAddr::new(s, 0));
+        ring.add_worker(WorkerAddr::new(s, 1));
+    }
+    let mapping = MappingTable::build(&ring, 4, 128);
+    let coordinator = Arc::new(Coordinator::new(mapping.clone(), BalancerConfig::default()));
+    let registry = InProcRegistry::new();
+    let clock = ManualClock::new();
+    let injector = FaultInjector::new(Arc::clone(&registry) as Arc<dyn Transport>, plan);
+    let mut servers: Vec<Server> = (0..3u16)
+        .map(|s| {
+            Server::spawn_with_transport(
+                ServerConfig::new(ServerId(s), 2, 32 << 20)
+                    .cachelets_per_worker(4)
+                    .membership(true),
+                &mapping,
+                &registry,
+                Arc::clone(&injector) as Arc<dyn Transport>,
+                Arc::clone(&coordinator),
+                Arc::new(clock.clone()),
+            )
+        })
+        .collect();
+    let mut client = Client::builder(
+        Arc::clone(&injector) as Arc<dyn Transport>,
+        Arc::clone(&coordinator) as Arc<dyn CoordinatorLink>,
+    )
+    .build();
+
+    // A few quiet rounds (well inside the suspect window) so every
+    // server heartbeats and membership seeds from the mapping.
+    for _ in 0..3 {
+        clock.advance(500_000);
+        let now = Clock::now_millis(&clock);
+        for s in &mut servers {
+            s.tick(now);
+        }
+    }
+
+    // Seed the keyspace through the faulty transport; remember what was
+    // acked. Unacked writes stay uncertain and are excluded from the
+    // exact-readback sweep.
+    let mut acked: HashMap<u8, Vec<u8>> = HashMap::new();
+    for k in 0..KEYS as u8 {
+        let v = format!("nk-{seed}-{k:03}").into_bytes();
+        if client.set_opts(&key_of(k), &v, SetOptions::new()).is_ok() {
+            acked.insert(k, v);
+        }
+    }
+
+    let snap = coordinator.mapping_snapshot();
+    // A dedicated victim key homed on the doomed server, acked, with
+    // shadow copies handed to every survivor worker — whichever of them
+    // inherits the cachelet must promote its copy.
+    let victim_key: Vec<u8> = (0..10_000u32)
+        .map(|i| format!("mb:victim-{i}").into_bytes())
+        .find(|k| snap.route(k).expect("mapping is total").1.server == ServerId(2))
+        .expect("some key routes to server 2");
+    let victim_value = loop {
+        let v = format!("nk-{seed}-victim").into_bytes();
+        if client.set_opts(&victim_key, &v, SetOptions::new()).is_ok() {
+            break v;
+        }
+    };
+    for s in 0..2u16 {
+        for w in 0..2u16 {
+            let resp = registry
+                .call(
+                    WorkerAddr::new(s, w),
+                    Request::ReplicaInstall {
+                        key: victim_key.clone(),
+                        value: victim_value.clone(),
+                        lease_expiry_ms: 1_000_000_000,
+                    },
+                )
+                .expect("clean transport");
+            assert!(
+                matches!(resp, Response::Stored),
+                "seed {seed}: replica install refused: {resp:?}"
+            );
+        }
+    }
+
+    // Classify every key by its home at kill time: survivor-homed acked
+    // writes must read back verbatim afterwards; dead-homed keys may be
+    // lost with the node but must never resurrect stale.
+    let dead_homed: Vec<u8> = (0..KEYS as u8)
+        .filter(|k| snap.route(&key_of(*k)).expect("mapping is total").1.server == ServerId(2))
+        .collect();
+
+    // Kill server 2: endpoint gone, heartbeats stop.
+    let mut killed = servers.pop().expect("three servers");
+    killed.shutdown();
+    let epoch_before = coordinator.cluster_epoch();
+
+    // Survivors keep ticking; the detector walks the silent node
+    // Suspect → Failed (3 s silence + 3 s dwell with default windows).
+    let mut now = 0;
+    for _ in 0..20 {
+        clock.advance(500_000);
+        now = Clock::now_millis(&clock);
+        for s in &mut servers {
+            s.tick(now);
+        }
+    }
+
+    assert_eq!(
+        coordinator.membership_view(now).state_of(ServerId(2)),
+        Some(NodeState::Failed),
+        "seed {seed}: killed server was never confirmed failed"
+    );
+    assert!(
+        coordinator.cluster_epoch() > epoch_before,
+        "seed {seed}: a confirmed failure must bump the cluster epoch"
+    );
+    assert!(
+        coordinator
+            .mapping_snapshot()
+            .workers()
+            .iter()
+            .all(|w| w.server != ServerId(2)),
+        "seed {seed}: mapping still routes to the dead server"
+    );
+    let promoted: u64 = servers
+        .iter()
+        .map(|s| s.metrics_snapshot().get(Counter::ReplicasPromoted))
+        .sum();
+    assert!(
+        promoted > 0,
+        "seed {seed}: no shadow replicas were promoted on failover"
+    );
+
+    // Clean sweep. The victim key must survive through its promoted
+    // replica even though its home died holding the only primary copy.
+    let mut checker = Client::builder(
+        Arc::clone(&registry) as Arc<dyn Transport>,
+        Arc::clone(&coordinator) as Arc<dyn CoordinatorLink>,
+    )
+    .build();
+    assert_eq!(
+        checker.get(&victim_key).expect("clean transport"),
+        Some(victim_value),
+        "seed {seed}: replicated victim key must survive via promotion"
+    );
+    for (k, v) in &acked {
+        let got = checker
+            .get(&key_of(*k))
+            .unwrap_or_else(|e| panic!("seed {seed}: clean get({k}) failed: {e}"));
+        if dead_homed.contains(k) {
+            assert!(
+                got.is_none() || got.as_ref() == Some(v),
+                "seed {seed}: key {k} died with its server but came back stale: {got:?}"
+            );
+        } else {
+            assert_eq!(
+                got.as_ref(),
+                Some(v),
+                "seed {seed}: acked write on a surviving server was lost (key {k})"
+            );
+        }
+    }
+    for s in &mut servers {
+        s.shutdown();
+    }
+}
+
+#[test]
+fn chaos_node_kill_detects_failure_and_promotes_replicas() {
+    let seed = 71u64;
+    if let Err(e) = catch_unwind(AssertUnwindSafe(|| node_kill_scenario(seed))) {
+        let _ = std::fs::create_dir_all("target/chaos");
+        let _ = std::fs::write(
+            "target/chaos/failing-seed.txt",
+            format!("scenario=node-kill seed={seed}\n"),
+        );
+        eprintln!("chaos scenario 'node-kill' FAILED — replay with seed {seed}");
+        resume_unwind(e);
+    }
 }
 
 #[test]

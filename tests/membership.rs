@@ -1,0 +1,472 @@
+//! End-to-end membership and elasticity tests (§ membership subsystem).
+//!
+//! These exercise the full stack — coordinator membership state machine,
+//! server tick loop, Phase-3 migration plumbing, worker drain gate, and
+//! client reconciliation — against virtual time:
+//!
+//! * **Scale-out then failure** (the acceptance scenario): a two-server
+//!   cluster under load admits a third server, rebalances onto it with
+//!   exact client-visible consistency, then loses it to a transport-level
+//!   kill. The detector must walk the node `Suspect → Failed`, the epoch
+//!   must advance, and no write acked by a surviving home may be lost or
+//!   ever served stale.
+//! * **Graceful drain**: evacuation moves the data, so *nothing* is lost
+//!   when a node leaves cleanly — a strictly stronger guarantee than the
+//!   failure case allows.
+//! * **Stalled drain**: when evacuation targets are unreachable the node
+//!   must park in `Draining`, refusing value writes with
+//!   `Status::Draining` while still serving reads.
+//! * **ClusterStatus RPC**: the worker-served membership view must
+//!   round-trip through the wire encoding the CLI consumes.
+
+use mbal::balancer::coordinator::Coordinator;
+use mbal::balancer::BalancerConfig;
+use mbal::client::{Client, CoordinatorLink, SetOptions};
+use mbal::core::clock::{Clock, ManualClock};
+use mbal::core::types::{ServerId, WorkerAddr};
+use mbal::membership::{MembershipView, NodeState};
+use mbal::proto::{Request, Response, Status};
+use mbal::ring::{ConsistentRing, MappingTable};
+use mbal::server::{FaultInjector, FaultPlan, InProcRegistry, Server, ServerConfig, Transport};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+const KEYS: u8 = 64;
+
+fn key_of(k: u8) -> Vec<u8> {
+    format!("mb:member-{k:03}").into_bytes()
+}
+
+/// Finds a synthetic key the mapping currently homes on `server`.
+fn key_homed_on(snap: &MappingTable, server: ServerId) -> Vec<u8> {
+    (0..10_000u32)
+        .map(|i| format!("mb:homed-{i}").into_bytes())
+        .find(|k| snap.route(k).expect("mapping is total").1.server == server)
+        .unwrap_or_else(|| panic!("no key routes to {server:?}"))
+}
+
+struct Cluster {
+    mapping: MappingTable,
+    coordinator: Arc<Coordinator>,
+    registry: Arc<InProcRegistry>,
+    clock: ManualClock,
+    injector: Arc<FaultInjector>,
+    servers: Vec<Server>,
+}
+
+impl Cluster {
+    /// A cluster of `servers` × 2 workers with membership enabled,
+    /// server-originated traffic routed through a clean fault injector
+    /// (so endpoints can be killed later).
+    fn new(servers: u16) -> Self {
+        let mut ring = ConsistentRing::new();
+        for s in 0..servers {
+            ring.add_worker(WorkerAddr::new(s, 0));
+            ring.add_worker(WorkerAddr::new(s, 1));
+        }
+        let mapping = MappingTable::build(&ring, 4, 128);
+        let coordinator = Arc::new(Coordinator::new(mapping.clone(), BalancerConfig::default()));
+        let registry = InProcRegistry::new();
+        let clock = ManualClock::new();
+        let injector =
+            FaultInjector::new(Arc::clone(&registry) as Arc<dyn Transport>, FaultPlan::none(7));
+        let servers = (0..servers)
+            .map(|s| {
+                Server::spawn_with_transport(
+                    ServerConfig::new(ServerId(s), 2, 32 << 20)
+                        .cachelets_per_worker(4)
+                        .membership(true),
+                    &mapping,
+                    &registry,
+                    Arc::clone(&injector) as Arc<dyn Transport>,
+                    Arc::clone(&coordinator),
+                    Arc::new(clock.clone()),
+                )
+            })
+            .collect();
+        Self {
+            mapping,
+            coordinator,
+            registry,
+            clock,
+            injector,
+            servers,
+        }
+    }
+
+    fn client(&self) -> Client {
+        Client::builder(
+            Arc::clone(&self.injector) as Arc<dyn Transport>,
+            Arc::clone(&self.coordinator) as Arc<dyn CoordinatorLink>,
+        )
+        .build()
+    }
+
+    /// Advances virtual time by 500 ms and ticks every live server —
+    /// well inside the default 3 s suspect window.
+    fn tick_round(&mut self) -> u64 {
+        self.clock.advance(500_000);
+        let now = Clock::now_millis(&self.clock);
+        for s in &mut self.servers {
+            s.tick(now);
+        }
+        now
+    }
+}
+
+/// The acceptance scenario: grow 2 → 3 under load with exact
+/// reconciliation, then crash the newcomer and survive it.
+#[test]
+fn membership_scale_out_then_node_failure() {
+    let mut c = Cluster::new(2);
+    let mut client = c.client();
+    for _ in 0..3 {
+        c.tick_round();
+    }
+
+    // Load the keyspace through the injector; the plan is clean, so
+    // every write must ack.
+    let mut acked: HashMap<u8, Vec<u8>> = HashMap::new();
+    for k in 0..KEYS {
+        let v = format!("scale-{k:03}").into_bytes();
+        client
+            .set_opts(&key_of(k), &v, SetOptions::new())
+            .expect("clean transport");
+        acked.insert(k, v);
+    }
+
+    assert!(
+        c.coordinator
+            .mapping_snapshot()
+            .workers()
+            .iter()
+            .all(|w| w.server != ServerId(2)),
+        "server 2 must not be mapped before it joins"
+    );
+
+    // Spawn the newcomer against the *pre-join* mapping, so it seeds no
+    // cachelets: everything it will own must arrive via migration.
+    let newcomer = Server::spawn_with_transport(
+        ServerConfig::new(ServerId(2), 2, 32 << 20)
+            .cachelets_per_worker(4)
+            .membership(true),
+        &c.mapping,
+        &c.registry,
+        Arc::clone(&c.injector) as Arc<dyn Transport>,
+        Arc::clone(&c.coordinator),
+        Arc::new(c.clock.clone()),
+    );
+    c.servers.push(newcomer);
+
+    let now = Clock::now_millis(&c.clock);
+    let epoch_at_join = c.coordinator.join_server(ServerId(2), 2, now);
+    assert_eq!(
+        c.coordinator.membership_view(now).state_of(ServerId(2)),
+        Some(NodeState::Joining),
+        "admitted server must start Joining"
+    );
+
+    // Sources execute the grow transfers on their ticks; completions
+    // promote the newcomer to Up.
+    for _ in 0..4 {
+        c.tick_round();
+    }
+    let now = Clock::now_millis(&c.clock);
+    assert_eq!(
+        c.coordinator.membership_view(now).state_of(ServerId(2)),
+        Some(NodeState::Up),
+        "grow rebalance never completed"
+    );
+    assert!(
+        c.coordinator.cluster_epoch() > epoch_at_join,
+        "finishing the join must bump the epoch again"
+    );
+    let snap = c.coordinator.mapping_snapshot();
+    assert!(
+        snap.workers().iter().any(|w| w.server == ServerId(2)),
+        "the mapping must route cachelets to the new server"
+    );
+
+    // Joining again is a no-op: same epoch, no new transfers.
+    assert_eq!(
+        c.coordinator.join_server(ServerId(2), 2, now),
+        c.coordinator.cluster_epoch(),
+        "re-joining a member must not change the epoch"
+    );
+
+    // Exact reconciliation: every pre-join write reads back verbatim
+    // through the client, which chases Moved forwards and refetches the
+    // mapping as it goes.
+    for (k, v) in &acked {
+        assert_eq!(
+            client.get(&key_of(*k)).expect("clean transport").as_ref(),
+            Some(v),
+            "key {k} lost or stale after scale-out"
+        );
+    }
+
+    // The newcomer serves authoritative traffic of its own.
+    let fresh_key = key_homed_on(&snap, ServerId(2));
+    client
+        .set_opts(&fresh_key, b"on-the-newcomer", SetOptions::new())
+        .expect("clean transport");
+    assert_eq!(
+        client.get(&fresh_key).expect("clean transport"),
+        Some(b"on-the-newcomer".to_vec()),
+        "new server must serve a key homed on it"
+    );
+
+    // Classify by home at kill time, then crash the newcomer: its
+    // endpoints go dark and it stops ticking (no more heartbeats).
+    let dead_homed: Vec<u8> = (0..KEYS)
+        .filter(|k| snap.route(&key_of(*k)).expect("mapping is total").1.server == ServerId(2))
+        .collect();
+    c.injector.kill_endpoint(WorkerAddr::new(2, 0));
+    c.injector.kill_endpoint(WorkerAddr::new(2, 1));
+    let mut killed = c.servers.pop().expect("three servers");
+    killed.shutdown();
+    let epoch_before_kill = c.coordinator.cluster_epoch();
+
+    let mut now = 0;
+    for _ in 0..20 {
+        now = c.tick_round();
+    }
+    assert_eq!(
+        c.coordinator.membership_view(now).state_of(ServerId(2)),
+        Some(NodeState::Failed),
+        "silent node was never confirmed failed"
+    );
+    assert!(
+        c.coordinator.cluster_epoch() > epoch_before_kill,
+        "a confirmed failure must bump the cluster epoch"
+    );
+    assert!(
+        c.coordinator
+            .mapping_snapshot()
+            .workers()
+            .iter()
+            .all(|w| w.server != ServerId(2)),
+        "mapping still routes to the dead server"
+    );
+
+    // No acked write on a surviving home may be lost; keys that died
+    // with the newcomer may be gone but must never come back stale.
+    let mut checker = Client::builder(
+        Arc::clone(&c.registry) as Arc<dyn Transport>,
+        Arc::clone(&c.coordinator) as Arc<dyn CoordinatorLink>,
+    )
+    .build();
+    for (k, v) in &acked {
+        let got = checker
+            .get(&key_of(*k))
+            .unwrap_or_else(|e| panic!("clean get({k}) failed: {e}"));
+        if dead_homed.contains(k) {
+            assert!(
+                got.is_none() || got.as_ref() == Some(v),
+                "key {k} died with its server but came back stale: {got:?}"
+            );
+        } else {
+            assert_eq!(
+                got.as_ref(),
+                Some(v),
+                "acked write on a surviving server was lost (key {k})"
+            );
+        }
+    }
+    let fresh = checker.get(&fresh_key).expect("clean transport");
+    assert!(
+        fresh.is_none() || fresh.as_deref() == Some(b"on-the-newcomer".as_slice()),
+        "newcomer-homed key resurrected stale: {fresh:?}"
+    );
+
+    for s in &mut c.servers {
+        s.shutdown();
+    }
+}
+
+/// Graceful scale-in: evacuation moves the data, so a clean departure
+/// loses nothing at all.
+#[test]
+fn membership_drain_departs_without_losing_data() {
+    let mut c = Cluster::new(3);
+    let mut client = c.client();
+    for _ in 0..3 {
+        c.tick_round();
+    }
+
+    let mut acked: HashMap<u8, Vec<u8>> = HashMap::new();
+    for k in 0..KEYS {
+        let v = format!("drain-{k:03}").into_bytes();
+        client
+            .set_opts(&key_of(k), &v, SetOptions::new())
+            .expect("clean transport");
+        acked.insert(k, v);
+    }
+
+    let now = Clock::now_millis(&c.clock);
+    let epoch_at_drain = c.coordinator.drain_server(ServerId(2), now);
+    for _ in 0..4 {
+        c.tick_round();
+    }
+    let now = Clock::now_millis(&c.clock);
+    assert_eq!(
+        c.coordinator.membership_view(now).state_of(ServerId(2)),
+        Some(NodeState::Left),
+        "drained server never finished leaving"
+    );
+    assert!(
+        c.coordinator.cluster_epoch() > epoch_at_drain,
+        "completing a drain must bump the epoch again"
+    );
+    assert!(
+        c.coordinator
+            .mapping_snapshot()
+            .workers()
+            .iter()
+            .all(|w| w.server != ServerId(2)),
+        "mapping still routes to the departed server"
+    );
+
+    // Every single acked write survives a graceful departure.
+    for (k, v) in &acked {
+        assert_eq!(
+            client.get(&key_of(*k)).expect("clean transport").as_ref(),
+            Some(v),
+            "graceful drain lost key {k}"
+        );
+    }
+
+    // And the shrunken cluster keeps taking writes.
+    client
+        .set_opts(b"mb:post-drain", b"still-serving", SetOptions::new())
+        .expect("clean transport");
+    assert_eq!(
+        client.get(b"mb:post-drain").expect("clean transport"),
+        Some(b"still-serving".to_vec())
+    );
+
+    for s in &mut c.servers {
+        s.shutdown();
+    }
+}
+
+/// A drain whose evacuation targets are unreachable must *stall*, not
+/// lie: the node parks in `Draining`, its workers refuse value writes
+/// with `Status::Draining`, reads keep being served, and the mapping
+/// rolls every failed transfer back to the live source.
+#[test]
+fn membership_stalled_drain_refuses_writes_but_serves_reads() {
+    let mut c = Cluster::new(2);
+    for _ in 0..2 {
+        c.tick_round();
+    }
+
+    // Make every evacuation destination (server 0) unreachable for
+    // server-originated traffic, then start draining server 1.
+    c.injector.kill_endpoint(WorkerAddr::new(0, 0));
+    c.injector.kill_endpoint(WorkerAddr::new(0, 1));
+    let now = Clock::now_millis(&c.clock);
+    c.coordinator.drain_server(ServerId(1), now);
+
+    // Only the draining server ticks: it picks up its evacuation queue,
+    // every transfer fails against the dead endpoints and rolls back,
+    // and the drain gate reaches its workers.
+    c.clock.advance(500_000);
+    let now = Clock::now_millis(&c.clock);
+    let aborted_before = c.coordinator.aborted_migrations();
+    c.servers[1].tick(now);
+
+    assert_eq!(
+        c.coordinator.membership_view(now).state_of(ServerId(1)),
+        Some(NodeState::Draining),
+        "a stalled evacuation must leave the node Draining"
+    );
+    assert!(
+        c.coordinator.aborted_migrations() > aborted_before,
+        "failed evacuation transfers must roll back via migration_failed"
+    );
+    let snap = c.coordinator.mapping_snapshot();
+    assert!(
+        snap.workers().iter().any(|w| w.server == ServerId(1)),
+        "rolled-back transfers must restore the draining server's cachelets"
+    );
+
+    // Value writes are refused at the worker with the drain status;
+    // reads still answer (via the clean registry, not the injector).
+    let key = key_homed_on(&snap, ServerId(1));
+    let (cachelet, owner) = snap.route(&key).expect("mapping is total");
+    let resp = c
+        .registry
+        .call(
+            owner,
+            Request::Set {
+                cachelet,
+                key: key.clone(),
+                value: b"refused".to_vec(),
+                expiry_ms: 0,
+            },
+        )
+        .expect("in-proc transport");
+    assert!(
+        matches!(
+            resp,
+            Response::Fail {
+                status: Status::Draining,
+                ..
+            }
+        ),
+        "drain mode must refuse value writes, got {resp:?}"
+    );
+    let resp = c
+        .registry
+        .call(owner, Request::Get { cachelet, key })
+        .expect("in-proc transport");
+    assert!(
+        !matches!(
+            resp,
+            Response::Fail {
+                status: Status::Draining,
+                ..
+            }
+        ),
+        "reads must keep being served in drain mode, got {resp:?}"
+    );
+
+    for s in &mut c.servers {
+        s.shutdown();
+    }
+}
+
+/// The worker-served `ClusterStatus` RPC round-trips the published
+/// membership view — the exact wire surface `mbal-cli cluster-status`
+/// consumes.
+#[test]
+fn membership_cluster_status_rpc_round_trips_the_view() {
+    let mut c = Cluster::new(2);
+    for _ in 0..2 {
+        c.tick_round();
+    }
+
+    let resp = c
+        .registry
+        .call(WorkerAddr::new(0, 0), Request::ClusterStatus)
+        .expect("in-proc transport");
+    let Response::StatsBlob { payload } = resp else {
+        panic!("expected a StatsBlob view, got {resp:?}");
+    };
+    let view: MembershipView =
+        serde_json::from_slice(&payload).expect("view payload must be valid JSON");
+    assert!(view.epoch >= 1, "bootstrap starts the epoch at 1");
+    assert_eq!(view.cluster_size(), 2);
+    for s in 0..2u16 {
+        assert_eq!(
+            view.state_of(ServerId(s)),
+            Some(NodeState::Up),
+            "heartbeating server {s} must be Up"
+        );
+    }
+
+    for s in &mut c.servers {
+        s.shutdown();
+    }
+}
