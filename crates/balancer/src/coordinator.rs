@@ -239,7 +239,9 @@ impl Coordinator {
         let dest = m.to.server;
         if g.membership.state_of(dest) == Some(NodeState::Joining)
             && !g.in_flight.values().any(|x| x.to.server == dest)
-            && g.pending.values().all(|q| q.iter().all(|x| x.to.server != dest))
+            && g.pending
+                .values()
+                .all(|q| q.iter().all(|x| x.to.server != dest))
         {
             let _ = g.membership.mark_up(dest);
         }
@@ -403,7 +405,11 @@ impl Coordinator {
     /// Takes (and clears) the membership-driven migrations queued for
     /// `server` to execute.
     pub fn pending_moves_for(&self, server: ServerId) -> Vec<Migration> {
-        self.inner.lock().pending.remove(&server).unwrap_or_default()
+        self.inner
+            .lock()
+            .pending
+            .remove(&server)
+            .unwrap_or_default()
     }
 
     /// Number of migrations currently in flight (Phase 3 and
@@ -531,7 +537,10 @@ mod tests {
         let plan = c.request_migration(WorkerAddr::new(0, 0)).expect("plan");
         assert!(!plan.is_empty());
         let m = plan[0];
-        assert_eq!(c.mapping_snapshot().worker_of_cachelet(m.cachelet), Some(m.to));
+        assert_eq!(
+            c.mapping_snapshot().worker_of_cachelet(m.cachelet),
+            Some(m.to)
+        );
         let v = c.mapping_version();
         c.migration_failed(&m);
         // The cachelet is home again, the rollback is a visible delta,

@@ -55,7 +55,7 @@ impl ConcurrentCache for MemcachedLike {
     fn delete(&self, key: &[u8]) -> bool {
         let mut g = self.inner.lock();
         let Inner { table, store } = &mut *g;
-        table.delete(key, store)
+        table.delete(key, store, 0)
     }
 
     fn len(&self) -> usize {

@@ -152,7 +152,7 @@ impl ConcurrentCache for MercuryLike {
                 if let Some(v) = table.get(&victim, store, 0).map(|c| c.into_owned()) {
                     give_back.push(v.into_boxed_slice());
                 }
-                table.delete(&victim, store);
+                table.delete(&victim, store, 0);
             } else {
                 break;
             }
@@ -174,7 +174,7 @@ impl ConcurrentCache for MercuryLike {
         let Shard { table, store } = &mut *g;
         let existed = match table.get(key, store, 0).map(|c| c.into_owned()) {
             Some(v) => {
-                table.delete(key, store);
+                table.delete(key, store, 0);
                 drop(g);
                 self.pool_free(v.into_boxed_slice());
                 true

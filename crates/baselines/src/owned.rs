@@ -62,7 +62,7 @@ impl<S: ValueStore> OwnedShard<S> {
 
     /// Deletes `key`.
     pub fn delete(&mut self, key: &[u8]) -> bool {
-        self.table.delete(key, &mut self.store)
+        self.table.delete(key, &mut self.store, self.now_ms)
     }
 
     /// Live entries.

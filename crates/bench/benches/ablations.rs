@@ -36,6 +36,7 @@ fn spec() -> WorkloadSpec {
         popularity: Popularity::Zipfian { theta: 0.99 },
         key_len: 24,
         value_len: 64,
+        ttl_range_ms: (0, 0),
     }
 }
 

@@ -26,6 +26,7 @@ fn run(pop: Popularity, ms: u64) -> (f64, f64) {
         popularity: pop,
         key_len: 24,
         value_len: 64,
+        ttl_range_ms: (0, 0),
     };
     let r = sim.run(&[(spec, ms)]);
     let per_client_kqps = r.throughput_kqps() / 12.0;

@@ -40,6 +40,7 @@ fn spec(read: f64) -> WorkloadSpec {
         popularity: Popularity::Zipfian { theta: 0.99 },
         key_len: 16,
         value_len: 20,
+        ttl_range_ms: (0, 0),
     }
 }
 

@@ -38,6 +38,7 @@ fn run(
         popularity: pop,
         key_len: 24,
         value_len: 64,
+        ttl_range_ms: (0, 0),
     };
     let r = sim.run(&[(spec, ms)]);
     (r.throughput_kqps(), r.overall.p99_us / 1_000.0)

@@ -36,6 +36,7 @@ fn run(
         popularity: pop,
         key_len: 24,
         value_len: 64,
+        ttl_range_ms: (0, 0),
     };
     sim.run(&[(spec, ms)]).overall
 }

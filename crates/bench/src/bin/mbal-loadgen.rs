@@ -13,6 +13,7 @@
 
 use mbal_balancer::PhaseSet;
 use mbal_bench::loadgen::{run_matrix, LoadgenConfig, Mix, TransportMode};
+use mbal_core::engine::EngineKind;
 
 fn flag(name: &str) -> Option<String> {
     let args: Vec<String> = std::env::args().collect();
@@ -24,10 +25,11 @@ fn flag(name: &str) -> Option<String> {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: mbal-loadgen [--mix M1,M2] [--phases P1,P2] [--rate OPS] [--threads N] \
-         [--warmup-secs S] [--measure-secs S] [--records N] [--seed N] \
+        "usage: mbal-loadgen [--mix M1,M2] [--phases P1,P2] [--engine E1,E2] [--rate OPS] \
+         [--threads N] [--warmup-secs S] [--measure-secs S] [--records N] [--seed N] \
          [--transport inproc|tcp] [--servers N] [--workers N] [--out PATH]\n\
-         mixes: ycsb-a ycsb-b ycsb-c hotshift; phases: off p1 p2 p3 p1p2 all …"
+         mixes: ycsb-a ycsb-b ycsb-c hotshift ttl-heavy; phases: off p1 p2 p3 p1p2 all …; \
+         engines: slab seg"
     );
     std::process::exit(2);
 }
@@ -55,6 +57,11 @@ fn main() {
         &[PhaseSet::none(), PhaseSet::all()],
         PhaseSet::parse,
     );
+    let engines = parse_list(
+        flag("--engine"),
+        &[EngineKind::from_env()],
+        EngineKind::parse,
+    );
     let num = |name: &str, default: u64| -> u64 {
         flag(name).map_or(default, |v| v.parse().unwrap_or_else(|_| usage()))
     };
@@ -75,12 +82,14 @@ fn main() {
         }),
         servers: num("--servers", 2) as u16,
         workers_per_server: num("--workers", 2) as u16,
+        engine: engines[0],
     };
     let out_path = flag("--out").unwrap_or_else(|| "BENCH_results.json".into());
 
     eprintln!(
-        "mbal-loadgen: {} mix(es) × {} phase set(s), {} ops/s over {} thread(s), \
+        "mbal-loadgen: {} engine(s) × {} mix(es) × {} phase set(s), {} ops/s over {} thread(s), \
          {:.1}s warmup + {:.1}s measure, transport {}",
+        engines.len(),
         mixes.len(),
         phase_sets.len(),
         base.rate,
@@ -89,15 +98,16 @@ fn main() {
         base.measure_secs,
         base.transport.label()
     );
-    let report = run_matrix(&base, &mixes, &phase_sets);
+    let report = run_matrix(&base, &mixes, &phase_sets, &engines);
 
     println!(
-        "{:<10} {:<6} {:>9} {:>8} {:>8} {:>8} {:>8}  {}",
-        "mix", "phases", "rate", "p50µs", "p99µs", "p999µs", "maxµs", "reconciled"
+        "{:<6} {:<10} {:<6} {:>9} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8}  reconciled",
+        "engine", "mix", "phases", "rate", "p50µs", "p99µs", "p999µs", "maxµs", "evict", "expire",
     );
     for c in &report.cells {
         println!(
-            "{:<10} {:<6} {:>9.0} {:>8} {:>8} {:>8} {:>8}  {}",
+            "{:<6} {:<10} {:<6} {:>9.0} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8}  {}",
+            c.engine,
             c.mix,
             c.phases,
             c.achieved_rate,
@@ -105,13 +115,15 @@ fn main() {
             c.latency.p99_us,
             c.latency.p999_us,
             c.latency.max_us,
+            c.server.evictions,
+            c.server.expirations,
             if c.counts_reconciled { "exact" } else { "—" }
         );
     }
     for d in &report.phase_deltas {
         println!(
-            "delta {:<10} {:<6} p99 {:+}µs p999 {:+}µs mqps {:+.4}",
-            d.mix, d.phases, d.p99_improvement_us, d.p999_improvement_us, d.mqps_delta
+            "delta {:<6} {:<10} {:<6} p99 {:+}µs p999 {:+}µs mqps {:+.4}",
+            d.engine, d.mix, d.phases, d.p99_improvement_us, d.p999_improvement_us, d.mqps_delta
         );
     }
 

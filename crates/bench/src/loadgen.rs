@@ -20,7 +20,8 @@
 use mbal_balancer::coordinator::Coordinator;
 use mbal_balancer::{BalancerConfig, PhaseSet};
 use mbal_client::{Client, CoordinatorLink, SetOptions};
-use mbal_core::clock::RealClock;
+use mbal_core::clock::{Clock, RealClock};
+use mbal_core::engine::EngineKind;
 use mbal_core::types::{ServerId, WorkerAddr};
 use mbal_ring::{ConsistentRing, MappingTable};
 use mbal_server::tcp::{serve_tcp, TcpTransport};
@@ -72,6 +73,9 @@ pub enum Mix {
     /// WorkloadB whose hot set rotates to a disjoint key range halfway
     /// through the run, forcing the balancer to chase a moving target.
     HotShift,
+    /// WorkloadC with every update carrying a 1–8 s TTL, exercising the
+    /// engines' expiry and reclamation paths under churn.
+    TtlHeavy,
 }
 
 impl Mix {
@@ -82,6 +86,7 @@ impl Mix {
             Mix::B => "ycsb-b",
             Mix::C => "ycsb-c",
             Mix::HotShift => "hotshift",
+            Mix::TtlHeavy => "ttl-heavy",
         }
     }
 
@@ -92,6 +97,7 @@ impl Mix {
             "b" | "ycsb-b" => Some(Mix::B),
             "c" | "ycsb-c" => Some(Mix::C),
             "hotshift" | "hotspot-shift" => Some(Mix::HotShift),
+            "ttl" | "ttl-heavy" | "ttlheavy" => Some(Mix::TtlHeavy),
             _ => None,
         }
     }
@@ -102,6 +108,7 @@ impl Mix {
             Mix::A => WorkloadSpec::workload_a(records),
             Mix::B | Mix::HotShift => WorkloadSpec::workload_b(records),
             Mix::C => WorkloadSpec::workload_c(records),
+            Mix::TtlHeavy => WorkloadSpec::ttl_heavy(records),
         }
     }
 }
@@ -133,6 +140,8 @@ pub struct LoadgenConfig {
     pub servers: u16,
     /// Worker threads per server.
     pub workers_per_server: u16,
+    /// Storage engine every worker runs.
+    pub engine: EngineKind,
 }
 
 impl Default for LoadgenConfig {
@@ -149,6 +158,7 @@ impl Default for LoadgenConfig {
             transport: TransportMode::InProc,
             servers: 2,
             workers_per_server: 2,
+            engine: EngineKind::from_env(),
         }
     }
 }
@@ -231,6 +241,7 @@ pub fn schedule_digest(schedule: &[Vec<ScheduledOp>]) -> u64 {
                 OpKind::Set => 1,
                 OpKind::Delete => 2,
             }]);
+            eat(&s.op.ttl_ms.to_le_bytes());
             eat(&s.op.key);
         }
     }
@@ -243,6 +254,7 @@ pub struct Harness {
     balance_threads: Vec<std::thread::JoinHandle<()>>,
     coordinator: Arc<Coordinator>,
     transport: Arc<dyn Transport>,
+    clock: Arc<RealClock>,
 }
 
 impl Harness {
@@ -268,16 +280,21 @@ impl Harness {
         let registry = InProcRegistry::new();
         let mut routes = std::collections::HashMap::new();
         let mut raw_servers = Vec::new();
+        // One clock shared by every server AND the generator threads, so
+        // absolute expiry timestamps computed from per-op TTLs mean the
+        // same instant everywhere.
+        let clock = Arc::new(RealClock::new());
         for s in 0..cfg.servers {
             let server = Server::spawn(
                 mbal_server::ServerConfig::new(ServerId(s), cfg.workers_per_server, 64 << 20)
                     .cachelets_per_worker(4)
                     .balancer(bal.clone())
-                    .worker_capacity(cfg.rate as f64 / workers_total as f64),
+                    .worker_capacity(cfg.rate as f64 / workers_total as f64)
+                    .engine(cfg.engine),
                 &mapping,
                 &registry,
                 Arc::clone(&coordinator),
-                Arc::new(RealClock::new()),
+                Arc::clone(&clock) as Arc<dyn Clock>,
             );
             if cfg.transport == TransportMode::Tcp {
                 let bound =
@@ -303,7 +320,15 @@ impl Harness {
             balance_threads,
             coordinator,
             transport,
+            clock,
         }
+    }
+
+    /// The clock shared by every server in this cluster; generator
+    /// threads use it to turn relative per-op TTLs into absolute expiry
+    /// timestamps the servers agree on.
+    pub fn clock(&self) -> Arc<RealClock> {
+        Arc::clone(&self.clock)
     }
 
     /// A fresh client bound to this cluster.
@@ -367,6 +392,18 @@ pub struct ServerCounts {
     pub sets: u64,
     /// Replica-table reads (shadow side of Phase 1).
     pub replica_reads: u64,
+    /// Objects evicted under memory pressure.
+    pub evictions: u64,
+    /// Objects reclaimed because their TTL passed.
+    pub expirations: u64,
+    /// Value bytes freed by eviction.
+    pub evicted_bytes: u64,
+    /// Value bytes freed by expiry.
+    pub expired_bytes: u64,
+    /// Whole segments reclaimed by proactive expiry (seg engine only).
+    pub segments_expired: u64,
+    /// Merge-based eviction passes (seg engine only).
+    pub seg_merges: u64,
 }
 
 /// The measured outcome of one (mix × phases) cell.
@@ -378,6 +415,8 @@ pub struct CellResult {
     pub phases: String,
     /// Transport label.
     pub transport: String,
+    /// Storage engine label (`slab`, `seg`).
+    pub engine: String,
     /// Configured arrival rate (ops/s).
     pub target_rate: u64,
     /// Ops completed in the measure window ÷ window length.
@@ -420,6 +459,7 @@ pub fn run_cell(cfg: &LoadgenConfig) -> CellResult {
     for thread_schedule in schedule {
         let barrier = Arc::clone(&barrier);
         let mut client = harness.client();
+        let clock = harness.clock();
         handles.push(std::thread::spawn(move || {
             let mut hist = Histogram::new();
             let mut measured = 0u64;
@@ -433,9 +473,16 @@ pub fn run_cell(cfg: &LoadgenConfig) -> CellResult {
                 }
                 let ok = match s.op.kind {
                     OpKind::Get => client.get(&s.op.key).is_ok(),
-                    OpKind::Set => client
-                        .set_opts(&s.op.key, &s.op.value, SetOptions::new())
-                        .is_ok(),
+                    OpKind::Set => {
+                        // Relative TTLs become absolute expiries on the
+                        // cluster-shared clock at send time.
+                        let opts = if s.op.ttl_ms > 0 {
+                            SetOptions::new().expiry_ms(clock.now_millis() + s.op.ttl_ms)
+                        } else {
+                            SetOptions::new()
+                        };
+                        client.set_opts(&s.op.key, &s.op.value, opts).is_ok()
+                    }
                     OpKind::Delete => client.delete(&s.op.key).is_ok(),
                 };
                 total += 1;
@@ -476,6 +523,12 @@ pub fn run_cell(cfg: &LoadgenConfig) -> CellResult {
         server_counts.get_hits += r.load.metrics.get(Counter::GetHits);
         server_counts.sets += r.load.metrics.get(Counter::Sets);
         server_counts.replica_reads += r.load.metrics.get(Counter::ReplicaReads);
+        server_counts.evictions += r.load.metrics.get(Counter::Evictions);
+        server_counts.expirations += r.load.metrics.get(Counter::Expirations);
+        server_counts.evicted_bytes += r.load.metrics.get(Counter::EvictedBytes);
+        server_counts.expired_bytes += r.load.metrics.get(Counter::ExpiredBytes);
+        server_counts.segments_expired += r.load.metrics.get(Counter::SegmentsExpired);
+        server_counts.seg_merges += r.load.metrics.get(Counter::SegMerges);
     }
     harness.shutdown();
 
@@ -487,6 +540,7 @@ pub fn run_cell(cfg: &LoadgenConfig) -> CellResult {
         mix: cfg.mix.label().to_string(),
         phases: cfg.phases.label().to_string(),
         transport: cfg.transport.label().to_string(),
+        engine: cfg.engine.label().to_string(),
         target_rate: cfg.rate,
         achieved_rate,
         mqps: achieved_rate / 1e6,
@@ -524,14 +578,18 @@ pub struct ConfigFingerprint {
     pub servers: u16,
     /// Workers per server.
     pub workers_per_server: u16,
+    /// Storage engine labels in the matrix.
+    pub engines: Vec<String>,
 }
 
 /// Tail/throughput movement of one cell against the balancing-off
-/// baseline of the same mix.
+/// baseline of the same mix and engine.
 #[derive(Debug, Clone, Serialize)]
 pub struct PhaseDelta {
     /// Workload mix label.
     pub mix: String,
+    /// Storage engine label.
+    pub engine: String,
     /// Phase gate label of the compared cell.
     pub phases: String,
     /// `p99(off) − p99(cell)` in µs: positive means balancing helped.
@@ -554,37 +612,58 @@ pub struct LoadgenReport {
     pub phase_deltas: Vec<PhaseDelta>,
 }
 
-/// Runs the full matrix: every mix × every phase set, sharing the
+/// Runs the full matrix: every engine × mix × phase set, sharing the
 /// pacing parameters of `base`.
-pub fn run_matrix(base: &LoadgenConfig, mixes: &[Mix], phase_sets: &[PhaseSet]) -> LoadgenReport {
+pub fn run_matrix(
+    base: &LoadgenConfig,
+    mixes: &[Mix],
+    phase_sets: &[PhaseSet],
+    engines: &[EngineKind],
+) -> LoadgenReport {
+    let engines = if engines.is_empty() {
+        vec![base.engine]
+    } else {
+        engines.to_vec()
+    };
     let mut cells = Vec::new();
-    for &mix in mixes {
-        for &phases in phase_sets {
-            let cfg = LoadgenConfig {
-                mix,
-                phases,
-                ..base.clone()
-            };
-            cells.push(run_cell(&cfg));
+    for &engine in &engines {
+        for &mix in mixes {
+            for &phases in phase_sets {
+                let cfg = LoadgenConfig {
+                    mix,
+                    phases,
+                    engine,
+                    ..base.clone()
+                };
+                cells.push(run_cell(&cfg));
+            }
         }
     }
     let mut phase_deltas = Vec::new();
-    for &mix in mixes {
-        let off = cells
-            .iter()
-            .find(|c| c.mix == mix.label() && c.phases == PhaseSet::none().label());
-        if let Some(off) = off {
-            for c in cells.iter().filter(|c| c.mix == mix.label()) {
-                if c.phases == off.phases {
-                    continue;
+    for &engine in &engines {
+        for &mix in mixes {
+            let off = cells.iter().find(|c| {
+                c.mix == mix.label()
+                    && c.engine == engine.label()
+                    && c.phases == PhaseSet::none().label()
+            });
+            if let Some(off) = off {
+                for c in cells
+                    .iter()
+                    .filter(|c| c.mix == mix.label() && c.engine == engine.label())
+                {
+                    if c.phases == off.phases {
+                        continue;
+                    }
+                    phase_deltas.push(PhaseDelta {
+                        mix: c.mix.clone(),
+                        engine: c.engine.clone(),
+                        phases: c.phases.clone(),
+                        p99_improvement_us: off.latency.p99_us as i64 - c.latency.p99_us as i64,
+                        p999_improvement_us: off.latency.p999_us as i64 - c.latency.p999_us as i64,
+                        mqps_delta: c.mqps - off.mqps,
+                    });
                 }
-                phase_deltas.push(PhaseDelta {
-                    mix: c.mix.clone(),
-                    phases: c.phases.clone(),
-                    p99_improvement_us: off.latency.p99_us as i64 - c.latency.p99_us as i64,
-                    p999_improvement_us: off.latency.p999_us as i64 - c.latency.p999_us as i64,
-                    mqps_delta: c.mqps - off.mqps,
-                });
             }
         }
     }
@@ -600,6 +679,7 @@ pub fn run_matrix(base: &LoadgenConfig, mixes: &[Mix], phase_sets: &[PhaseSet]) 
             transport: base.transport.label().to_string(),
             servers: base.servers,
             workers_per_server: base.workers_per_server,
+            engines: engines.iter().map(|e| e.label().to_string()).collect(),
         },
         cells,
         phase_deltas,
@@ -690,7 +770,7 @@ mod tests {
 
     #[test]
     fn labels_parse_back() {
-        for m in [Mix::A, Mix::B, Mix::C, Mix::HotShift] {
+        for m in [Mix::A, Mix::B, Mix::C, Mix::HotShift, Mix::TtlHeavy] {
             assert_eq!(Mix::parse(m.label()), Some(m));
         }
         for t in [TransportMode::InProc, TransportMode::Tcp] {

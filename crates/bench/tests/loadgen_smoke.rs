@@ -6,6 +6,7 @@ use mbal_balancer::PhaseSet;
 use mbal_bench::loadgen::{
     build_schedule, run_cell, schedule_digest, LoadgenConfig, Mix, TransportMode,
 };
+use mbal_core::engine::EngineKind;
 use mbal_workload::OpKind;
 
 fn smoke_cfg() -> LoadgenConfig {
@@ -21,6 +22,7 @@ fn smoke_cfg() -> LoadgenConfig {
         transport: TransportMode::InProc,
         servers: 2,
         workers_per_server: 2,
+        engine: EngineKind::from_env(),
     }
 }
 
@@ -73,6 +75,55 @@ fn balancing_off_run_reconciles_counts_exactly() {
     // Every record was pre-loaded, so reads never miss.
     assert_eq!(cell.client.hits, cell.client.gets);
     assert_eq!(cell.server.get_hits, cell.server.gets);
+}
+
+#[test]
+fn seg_engine_run_reconciles_counts_exactly() {
+    // The segment engine must serve the full op surface through the
+    // real client → worker path with nothing lost or double-counted.
+    let cfg = LoadgenConfig {
+        engine: EngineKind::Seg,
+        ..smoke_cfg()
+    };
+    let cell = run_cell(&cfg);
+    assert_eq!(cell.engine, "seg");
+    assert_eq!(cell.client.failures, 0, "no op may fail: {cell:?}");
+    assert_eq!(cell.server.gets, cell.client.gets);
+    assert_eq!(cell.server.sets, cell.client.sets);
+    assert!(cell.counts_reconciled);
+    assert_eq!(cell.client.hits, cell.client.gets, "pre-loaded, no TTLs");
+}
+
+#[test]
+fn ttl_heavy_schedule_carries_per_op_ttls() {
+    let cfg = LoadgenConfig {
+        mix: Mix::TtlHeavy,
+        ..smoke_cfg()
+    };
+    let schedule = build_schedule(&cfg);
+    let ops: Vec<_> = schedule.iter().flatten().collect();
+    assert!(
+        ops.iter()
+            .filter(|s| s.op.kind == OpKind::Set)
+            .all(|s| (1_000..=8_000).contains(&s.op.ttl_ms)),
+        "every SET carries a TTL in the preset range"
+    );
+    assert!(
+        ops.iter()
+            .filter(|s| s.op.kind != OpKind::Set)
+            .all(|s| s.op.ttl_ms == 0),
+        "non-SETs carry no TTL"
+    );
+    // TTLs are part of the replay fingerprint.
+    let plain = build_schedule(&LoadgenConfig {
+        mix: Mix::C,
+        ..cfg.clone()
+    });
+    assert_ne!(schedule_digest(&schedule), schedule_digest(&plain));
+    assert_eq!(
+        schedule_digest(&schedule),
+        schedule_digest(&build_schedule(&cfg))
+    );
 }
 
 #[test]

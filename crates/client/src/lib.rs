@@ -1470,15 +1470,15 @@ mod tests {
         let mut ring = ConsistentRing::new();
         ring.add_worker(WorkerAddr::new(0, 0));
         let mapping = MappingTable::build(&ring, 2, 16);
-        let mut client = Client::builder(
-            Arc::new(NotOwnerTransport),
-            Arc::new(RefetchCoord(mapping)),
-        )
-        .build();
+        let mut client =
+            Client::builder(Arc::new(NotOwnerTransport), Arc::new(RefetchCoord(mapping))).build();
         client.backoff_streak = 5;
         client.backoff_until = Some(Instant::now() + Duration::from_secs(60));
         assert_eq!(client.poll_coordinator(), 1, "full refetch is one change");
-        assert_eq!(client.backoff_streak, 0, "a mapping change resets the streak");
+        assert_eq!(
+            client.backoff_streak, 0,
+            "a mapping change resets the streak"
+        );
         assert!(client.backoff_until.is_none(), "and closes the window");
     }
 
@@ -1489,7 +1489,10 @@ mod tests {
         let delays: Vec<Duration> = (0..12).map(|_| client.next_backoff_delay()).collect();
         for d in &delays {
             assert!(*d >= Duration::from_millis(1), "never below base/2: {d:?}");
-            assert!(*d <= Duration::from_millis(256), "never above the cap: {d:?}");
+            assert!(
+                *d <= Duration::from_millis(256),
+                "never above the cap: {d:?}"
+            );
         }
         assert!(
             delays[0] <= Duration::from_millis(2),

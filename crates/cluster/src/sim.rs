@@ -905,9 +905,8 @@ impl Simulation {
                 if self.membership.join(server, workers, now_ms).is_none() {
                     return; // already a member
                 }
-                let new_workers: Vec<WorkerAddr> = (0..workers)
-                    .map(|w| WorkerAddr::new(server.0, w))
-                    .collect();
+                let new_workers: Vec<WorkerAddr> =
+                    (0..workers).map(|w| WorkerAddr::new(server.0, w)).collect();
                 let moves = self.mapping.plan_grow(&new_workers);
                 self.apply_member_moves(&moves, now_us);
                 let _ = self.membership.mark_up(server);
@@ -1042,6 +1041,7 @@ mod tests {
             popularity: pop,
             key_len: 16,
             value_len: 64,
+            ttl_range_ms: (0, 0),
         }
     }
 
@@ -1236,7 +1236,12 @@ mod tests {
         let mut cfg = small_cfg(PhaseSet::none());
         // Server 3 is provisioned but starts outside the ring.
         cfg.initial_servers = Some(3);
-        cfg.membership = vec![(1_000, MembershipAction::Join { server: ServerId(3) })];
+        cfg.membership = vec![(
+            1_000,
+            MembershipAction::Join {
+                server: ServerId(3),
+            },
+        )];
         let mut sim = Simulation::new(cfg);
         let epoch_before = sim.cluster_epoch();
         assert!(
@@ -1263,7 +1268,12 @@ mod tests {
     #[test]
     fn scripted_drain_departs_cleanly() {
         let mut cfg = small_cfg(PhaseSet::none());
-        cfg.membership = vec![(1_000, MembershipAction::Drain { server: ServerId(0) })];
+        cfg.membership = vec![(
+            1_000,
+            MembershipAction::Drain {
+                server: ServerId(0),
+            },
+        )];
         let mut sim = Simulation::new(cfg);
         let report = sim.run(&[(spec(0.95, Popularity::Uniform), 3_000)]);
         assert!(report.completed > 0);
@@ -1281,7 +1291,12 @@ mod tests {
     #[test]
     fn scripted_kill_is_detected_and_routed_around() {
         let mut cfg = small_cfg(PhaseSet::none());
-        cfg.membership = vec![(500, MembershipAction::Kill { server: ServerId(3) })];
+        cfg.membership = vec![(
+            500,
+            MembershipAction::Kill {
+                server: ServerId(3),
+            },
+        )];
         cfg.membership_cfg.suspect_after_ms = 400;
         cfg.membership_cfg.confirm_after_ms = 400;
         let mut sim = Simulation::new(cfg);
@@ -1297,7 +1312,10 @@ mod tests {
             sim.mapping().workers().iter().all(|w| w.server.0 != 3),
             "failed server's cachelets must be reassigned"
         );
-        assert!(sim.cluster_epoch() > epoch_before, "failure bumps the epoch");
+        assert!(
+            sim.cluster_epoch() > epoch_before,
+            "failure bumps the epoch"
+        );
     }
 
     #[test]
@@ -1305,7 +1323,12 @@ mod tests {
         let run = || {
             let mut cfg = small_cfg(PhaseSet::none());
             cfg.fault = Some(FaultPlan::drops(11, 0.01));
-            cfg.membership = vec![(500, MembershipAction::Kill { server: ServerId(2) })];
+            cfg.membership = vec![(
+                500,
+                MembershipAction::Kill {
+                    server: ServerId(2),
+                },
+            )];
             cfg.membership_cfg.suspect_after_ms = 400;
             cfg.membership_cfg.confirm_after_ms = 400;
             let mut sim = Simulation::new(cfg);
@@ -1314,7 +1337,11 @@ mod tests {
         };
         let a = run();
         assert!(a.1 > 0, "network faults must fire alongside the kill");
-        assert_eq!(a, run(), "composed fault+membership runs must replay exactly");
+        assert_eq!(
+            a,
+            run(),
+            "composed fault+membership runs must replay exactly"
+        );
     }
 
     #[test]

@@ -67,7 +67,9 @@ proptest! {
         prop_assert!(s.p90_us <= s.p95_us + 1e-9);
         prop_assert!(s.p95_us <= s.p99_us + 1e-9);
         prop_assert!(s.p99_us <= max);
-        prop_assert!(s.p50_us >= min);
+        // Bucketed percentiles carry ≤ 1/16 relative error, so the
+        // reported p50 may sit up to half a bucket below the true min.
+        prop_assert!(s.p50_us >= min - min / 16.0 - 1.0);
         prop_assert!(s.mean_us >= min && s.mean_us <= max);
         prop_assert_eq!(s.count, samples.len());
     }

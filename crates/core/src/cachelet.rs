@@ -2,13 +2,14 @@
 //!
 //! A cachelet is a configurable resource container that encapsulates
 //! multiple virtual nodes and is managed as a separate entity by a single
-//! worker thread. It bundles a [`HashTable`], access statistics, an EWMA
-//! load estimate, and migration/lease state. Because exactly one worker
-//! owns a cachelet at any time, none of its operations synchronize.
+//! worker thread. It bundles a storage [`Engine`] (the slab+LRU table or
+//! the segment-structured engine), access statistics, an EWMA load
+//! estimate, and migration/lease state. Because exactly one worker owns a
+//! cachelet at any time, none of its operations synchronize.
 
+use crate::engine::{slab_lru::SlabLru, Engine, EngineStats};
 use crate::stats::{AccessStats, CacheletLoad, Ewma};
-use crate::store::ValueStore;
-use crate::table::{HashTable, SetOutcome, TableStats};
+use crate::table::SetOutcome;
 use crate::types::{CacheError, CacheletId, WorkerId};
 use std::borrow::Cow;
 
@@ -33,11 +34,11 @@ pub enum Residency {
     Adopted,
 }
 
-/// A cachelet: hash table + statistics + residency state.
+/// A cachelet: storage engine + statistics + residency state.
 #[derive(Debug)]
 pub struct Cachelet {
     id: CacheletId,
-    table: HashTable,
+    engine: Box<dyn Engine>,
     stats: AccessStats,
     epoch_base: AccessStats,
     load: Ewma,
@@ -45,11 +46,18 @@ pub struct Cachelet {
 }
 
 impl Cachelet {
-    /// Creates an empty cachelet with the given `id`.
+    /// Creates an empty cachelet with the given `id`, backed by an
+    /// unbounded heap slab+LRU engine (tests and tools; servers inject
+    /// their engine via [`Cachelet::with_engine`]).
     pub fn new(id: CacheletId) -> Self {
+        Self::with_engine(id, Box::new(SlabLru::unbounded()))
+    }
+
+    /// Creates an empty cachelet over the given storage engine.
+    pub fn with_engine(id: CacheletId, engine: Box<dyn Engine>) -> Self {
         Self {
             id,
-            table: HashTable::new(64),
+            engine,
             stats: AccessStats::default(),
             epoch_base: AccessStats::default(),
             load: Ewma::default(),
@@ -98,14 +106,9 @@ impl Cachelet {
     }
 
     /// Looks up `key` and records the access.
-    pub fn get<'s, S: ValueStore>(
-        &mut self,
-        key: &[u8],
-        store: &'s mut S,
-        now_ms: u64,
-    ) -> Option<Cow<'s, [u8]>> {
+    pub fn get(&mut self, key: &[u8], now_ms: u64) -> Option<Cow<'_, [u8]>> {
         self.stats.reads += 1;
-        match self.table.get(key, store, now_ms) {
+        match self.engine.get(key, now_ms) {
             Some(v) => {
                 self.stats.hits += 1;
                 self.stats.bytes_out += v.len() as u64;
@@ -119,93 +122,84 @@ impl Cachelet {
     }
 
     /// Inserts or replaces `key` and records the access.
-    pub fn set<S: ValueStore>(
+    pub fn set(
         &mut self,
         key: &[u8],
         value: &[u8],
-        store: &mut S,
         now_ms: u64,
         expiry_ms: u64,
     ) -> Result<SetOutcome, CacheError> {
         self.stats.writes += 1;
         self.stats.bytes_in += value.len() as u64;
-        self.table.set(key, value, store, now_ms, expiry_ms)
+        self.engine.set(key, value, now_ms, expiry_ms)
     }
 
     /// Deletes `key` and records the access.
-    pub fn delete<S: ValueStore>(&mut self, key: &[u8], store: &mut S) -> bool {
+    pub fn delete(&mut self, key: &[u8], now_ms: u64) -> bool {
         self.stats.writes += 1;
-        self.table.delete(key, store)
+        self.engine.delete(key, now_ms)
     }
 
     /// Conditional insert (Memcached `add`); records the write.
-    pub fn add<S: ValueStore>(
+    pub fn add(
         &mut self,
         key: &[u8],
         value: &[u8],
-        store: &mut S,
         now_ms: u64,
         expiry_ms: u64,
     ) -> Result<bool, CacheError> {
         self.stats.writes += 1;
         self.stats.bytes_in += value.len() as u64;
-        self.table.add(key, value, store, now_ms, expiry_ms)
+        self.engine.add(key, value, now_ms, expiry_ms)
     }
 
     /// Conditional overwrite (Memcached `replace`); records the write.
-    pub fn replace<S: ValueStore>(
+    pub fn replace(
         &mut self,
         key: &[u8],
         value: &[u8],
-        store: &mut S,
         now_ms: u64,
         expiry_ms: u64,
     ) -> Result<bool, CacheError> {
         self.stats.writes += 1;
         self.stats.bytes_in += value.len() as u64;
-        self.table.replace(key, value, store, now_ms, expiry_ms)
+        self.engine.replace(key, value, now_ms, expiry_ms)
     }
 
     /// Append/prepend (Memcached `append`/`prepend`); records the write.
-    pub fn concat<S: ValueStore>(
+    pub fn concat(
         &mut self,
         key: &[u8],
         suffix: &[u8],
         front: bool,
-        store: &mut S,
         now_ms: u64,
     ) -> Result<Option<usize>, CacheError> {
         self.stats.writes += 1;
         self.stats.bytes_in += suffix.len() as u64;
-        self.table.concat(key, suffix, front, store, now_ms)
+        self.engine.concat(key, suffix, front, now_ms)
     }
 
     /// Counter arithmetic (Memcached `incr`/`decr`); records the write.
-    pub fn incr<S: ValueStore>(
-        &mut self,
-        key: &[u8],
-        delta: i64,
-        store: &mut S,
-        now_ms: u64,
-    ) -> Result<Option<u64>, CacheError> {
+    pub fn incr(&mut self, key: &[u8], delta: i64, now_ms: u64) -> Result<Option<u64>, CacheError> {
         self.stats.writes += 1;
-        self.table.incr(key, delta, store, now_ms)
+        self.engine.incr(key, delta, now_ms)
     }
 
     /// TTL refresh (Memcached `touch`); records the write.
     pub fn touch(&mut self, key: &[u8], now_ms: u64, expiry_ms: u64) -> bool {
         self.stats.writes += 1;
-        self.table.touch(key, now_ms, expiry_ms)
+        self.engine.touch(key, now_ms, expiry_ms)
     }
 
-    /// Read access to the underlying table (migration & inspection).
-    pub fn table(&self) -> &HashTable {
-        &self.table
+    /// Read access to the storage engine (migration & inspection).
+    pub fn engine(&self) -> &dyn Engine {
+        self.engine.as_ref()
     }
 
-    /// Mutable access to the underlying table (migration machinery).
-    pub fn table_mut(&mut self) -> &mut HashTable {
-        &mut self.table
+    /// Mutable access to the storage engine (migration machinery,
+    /// epoch maintenance).
+    pub fn engine_mut(&mut self) -> &mut dyn Engine {
+        self.engine.as_mut()
     }
 
     /// Cumulative access statistics.
@@ -213,9 +207,9 @@ impl Cachelet {
         self.stats
     }
 
-    /// Table statistics (length, evictions, …).
-    pub fn table_stats(&self) -> TableStats {
-        self.table.stats()
+    /// Engine statistics (length, evictions, expirations, …).
+    pub fn engine_stats(&self) -> EngineStats {
+        self.engine.stats()
     }
 
     /// Closes an epoch of `epoch_secs` seconds: feeds the request rate into
@@ -237,20 +231,19 @@ impl Cachelet {
         self.load.value()
     }
 
-    /// Memory charged to this cachelet in bytes. `value_bytes` is the
-    /// caller-tracked portion held in the worker's [`ValueStore`]; the
-    /// cachelet adds its key and entry overhead.
-    pub fn mem_bytes(&self, value_bytes: usize) -> u64 {
-        (self.table.overhead_bytes() + value_bytes) as u64
+    /// Memory charged to this cachelet in bytes: values plus key/entry
+    /// overhead, as accounted by the engine.
+    pub fn mem_bytes(&self) -> u64 {
+        self.engine.used_bytes() as u64
     }
 
     /// Builds the balancer-facing load record.
-    pub fn load_record(&self, value_bytes: usize) -> CacheletLoad {
+    pub fn load_record(&self) -> CacheletLoad {
         let delta = self.stats.delta(&self.epoch_base);
         CacheletLoad {
             cachelet: self.id,
             load: self.load(),
-            mem_bytes: self.mem_bytes(value_bytes),
+            mem_bytes: self.mem_bytes(),
             read_ratio: if delta.ops() > 0 {
                 delta.read_ratio()
             } else {
@@ -263,18 +256,18 @@ impl Cachelet {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::store::MallocStore;
+    use crate::engine::seg::SegEngine;
 
-    fn fixture() -> (Cachelet, MallocStore) {
-        (Cachelet::new(CacheletId(3)), MallocStore::new(usize::MAX))
+    fn fixture() -> Cachelet {
+        Cachelet::new(CacheletId(3))
     }
 
     #[test]
     fn get_set_updates_stats() {
-        let (mut c, mut s) = fixture();
-        assert!(c.get(b"missing", &mut s, 0).is_none());
-        c.set(b"k", b"value", &mut s, 0, 0).expect("set");
-        assert_eq!(c.get(b"k", &mut s, 0).expect("hit").as_ref(), b"value");
+        let mut c = fixture();
+        assert!(c.get(b"missing", 0).is_none());
+        c.set(b"k", b"value", 0, 0).expect("set");
+        assert_eq!(c.get(b"k", 0).expect("hit").as_ref(), b"value");
         let st = c.stats();
         assert_eq!(st.reads, 2);
         assert_eq!(st.writes, 1);
@@ -286,10 +279,9 @@ mod tests {
 
     #[test]
     fn epoch_updates_ewma_load() {
-        let (mut c, mut s) = fixture();
+        let mut c = fixture();
         for i in 0..100u32 {
-            c.set(format!("k{i}").as_bytes(), b"v", &mut s, 0, 0)
-                .expect("set");
+            c.set(format!("k{i}").as_bytes(), b"v", 0, 0).expect("set");
         }
         let delta = c.end_epoch(1.0);
         assert_eq!(delta.writes, 100);
@@ -300,7 +292,7 @@ mod tests {
 
     #[test]
     fn lease_lifecycle() {
-        let (mut c, _s) = fixture();
+        let mut c = fixture();
         assert_eq!(c.residency(), Residency::Home);
         c.lease_out(WorkerId(1), 1_000);
         assert_eq!(c.lease_expired(999), None);
@@ -314,13 +306,24 @@ mod tests {
 
     #[test]
     fn mem_accounting_includes_overhead() {
-        let (mut c, mut s) = fixture();
-        c.set(b"key-bytes", b"0123456789", &mut s, 0, 0)
-            .expect("set");
-        let m = c.mem_bytes(10);
+        let mut c = fixture();
+        c.set(b"key-bytes", b"0123456789", 0, 0).expect("set");
+        let m = c.mem_bytes();
         assert!(m >= (9 + 10) as u64, "must cover key and value bytes");
-        let rec = c.load_record(10);
+        let rec = c.load_record();
         assert_eq!(rec.cachelet, CacheletId(3));
         assert_eq!(rec.mem_bytes, m);
+    }
+
+    #[test]
+    fn seg_backed_cachelet_serves_the_same_surface() {
+        let mut c = Cachelet::with_engine(CacheletId(9), Box::new(SegEngine::new(1 << 20)));
+        c.set(b"k", b"v", 0, 1_000).expect("set");
+        assert_eq!(c.get(b"k", 500).expect("hit").as_ref(), b"v");
+        assert!(c.touch(b"k", 500, 2_000));
+        assert!(c.get(b"k", 1_500).is_some(), "touch extended life");
+        assert!(c.delete(b"k", 1_500));
+        assert_eq!(c.engine_stats().len, 0);
+        assert_eq!(c.stats().writes, 3);
     }
 }

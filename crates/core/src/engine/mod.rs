@@ -1,0 +1,346 @@
+//! Pluggable storage engines.
+//!
+//! A storage engine owns everything between the cachelet's op surface and
+//! raw memory: indexing, eviction policy, TTL expiry, and byte accounting.
+//! [`crate::store::ValueStore`] stays underneath as the *allocator*
+//! abstraction (the Figure-8 ablation); [`Engine`] sits above it and is
+//! the unit the server selects per worker (`--engine slab|seg`).
+//!
+//! Two engines ship today:
+//!
+//! - [`slab_lru`] — the paper's design: the single-writer
+//!   [`crate::table::HashTable`] (open chaining + intrusive LRU) over a
+//!   [`crate::store::ValueStore`].
+//! - [`seg`] — a Segcache-style segment-structured engine: TTL-bucketed
+//!   append-only segments with proactive whole-segment expiry and
+//!   merge-based eviction.
+//!
+//! ## Observable semantics contract
+//!
+//! Engines may differ in *when* they physically reclaim an expired
+//! object (per-entry lazily vs whole segments at once), so every
+//! observable result is defined over **live** state only: an expired
+//! entry behaves exactly like an absent one for `get`, `contains`,
+//! `touch`, `delete`, `add`, `replace`, and for the
+//! `Inserted`/`Updated` outcome of `set`. The differential proptest in
+//! `tests/engine_differential.rs` holds both engines to this contract.
+
+pub mod seg;
+pub mod slab_lru;
+
+pub use seg::SegEngine;
+pub use slab_lru::SlabLru;
+
+use crate::table::SetOutcome;
+use crate::types::CacheError;
+use std::borrow::Cow;
+use std::fmt;
+
+/// Which storage engine a worker runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EngineKind {
+    /// Slab allocator + hash table + LRU (the paper's design).
+    #[default]
+    SlabLru,
+    /// Segment-structured, Segcache-style.
+    Seg,
+}
+
+impl EngineKind {
+    /// Stable CLI/report label.
+    pub fn label(self) -> &'static str {
+        match self {
+            EngineKind::SlabLru => "slab",
+            EngineKind::Seg => "seg",
+        }
+    }
+
+    /// Parses a CLI label (`slab` or `seg`, with a few aliases).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "slab" | "slab_lru" | "slab-lru" | "lru" => Some(EngineKind::SlabLru),
+            "seg" | "segcache" | "segment" => Some(EngineKind::Seg),
+            _ => None,
+        }
+    }
+
+    /// Engine selected by the `MBAL_ENGINE` environment variable, or the
+    /// default ([`EngineKind::SlabLru`]) when unset/unrecognized. CI uses
+    /// this to run the whole test suite under each engine.
+    pub fn from_env() -> Self {
+        std::env::var("MBAL_ENGINE")
+            .ok()
+            .and_then(|s| Self::parse(&s))
+            .unwrap_or_default()
+    }
+}
+
+impl fmt::Display for EngineKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Cumulative engine statistics. Counters are monotone over the life of
+/// the engine; `len`/`value_bytes`/`used_bytes` are point-in-time.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Live (unexpired-or-not-yet-reclaimed) entries.
+    pub len: usize,
+    /// Bytes of stored values.
+    pub value_bytes: usize,
+    /// Total bytes charged (values + per-object metadata).
+    pub used_bytes: usize,
+    /// Entries dropped by the eviction policy.
+    pub evictions: u64,
+    /// Entries dropped because they had expired.
+    pub expirations: u64,
+    /// Value bytes released by eviction.
+    pub evicted_bytes: u64,
+    /// Value bytes released by expiry.
+    pub expired_bytes: u64,
+    /// Whole segments reclaimed by proactive TTL-bucket expiry
+    /// (seg engine only).
+    pub segments_expired: u64,
+    /// Merge-based eviction passes (seg engine only).
+    pub seg_merges: u64,
+}
+
+impl EngineStats {
+    /// Counter-wise delta since `base` (saturating); point-in-time
+    /// fields are taken from `self`.
+    pub fn counter_delta(&self, base: &EngineStats) -> EngineStats {
+        EngineStats {
+            len: self.len,
+            value_bytes: self.value_bytes,
+            used_bytes: self.used_bytes,
+            evictions: self.evictions.saturating_sub(base.evictions),
+            expirations: self.expirations.saturating_sub(base.expirations),
+            evicted_bytes: self.evicted_bytes.saturating_sub(base.evicted_bytes),
+            expired_bytes: self.expired_bytes.saturating_sub(base.expired_bytes),
+            segments_expired: self.segments_expired.saturating_sub(base.segments_expired),
+            seg_merges: self.seg_merges.saturating_sub(base.seg_merges),
+        }
+    }
+}
+
+/// A pluggable storage engine: index + eviction + expiry + accounting.
+///
+/// Engines are single-writer like everything else in a cachelet: all
+/// methods take `&mut self` (even logical reads, which may reclaim
+/// expired entries and update recency/frequency state) and implementors
+/// only need to be [`Send`] so a unit can migrate between worker
+/// threads.
+pub trait Engine: Send + fmt::Debug {
+    /// Looks up `key`, refreshing its recency/frequency state. Expired
+    /// entries are reclaimed lazily and reported as a miss.
+    fn get(&mut self, key: &[u8], now_ms: u64) -> Option<Cow<'_, [u8]>>;
+
+    /// Inserts or replaces `key` → `value`. `expiry_ms` of 0 means no
+    /// expiry. Replacing an *expired* entry reports `Inserted`.
+    fn set(
+        &mut self,
+        key: &[u8],
+        value: &[u8],
+        now_ms: u64,
+        expiry_ms: u64,
+    ) -> Result<SetOutcome, CacheError>;
+
+    /// Deletes `key`, returning `true` if it was present and unexpired.
+    fn delete(&mut self, key: &[u8], now_ms: u64) -> bool;
+
+    /// Returns `true` if `key` is present and unexpired, reclaiming an
+    /// expired entry it finds.
+    fn contains(&mut self, key: &[u8], now_ms: u64) -> bool;
+
+    /// Updates the expiry of a live key (Memcached `touch`); `true` on
+    /// success. An expired entry is reclaimed and reported absent.
+    fn touch(&mut self, key: &[u8], now_ms: u64, expiry_ms: u64) -> bool;
+
+    /// Reads a live value and its current expiry for a read-modify-write
+    /// (`concat`/`incr`), without refreshing recency. Expired entries
+    /// are reclaimed and reported as a miss.
+    fn read_for_update(&mut self, key: &[u8], now_ms: u64) -> Option<(Vec<u8>, u64)>;
+
+    /// Stores `key` only if absent (Memcached `add`).
+    fn add(
+        &mut self,
+        key: &[u8],
+        value: &[u8],
+        now_ms: u64,
+        expiry_ms: u64,
+    ) -> Result<bool, CacheError> {
+        if self.contains(key, now_ms) {
+            return Ok(false);
+        }
+        self.set(key, value, now_ms, expiry_ms)?;
+        Ok(true)
+    }
+
+    /// Stores `key` only if present (Memcached `replace`).
+    fn replace(
+        &mut self,
+        key: &[u8],
+        value: &[u8],
+        now_ms: u64,
+        expiry_ms: u64,
+    ) -> Result<bool, CacheError> {
+        if !self.contains(key, now_ms) {
+            return Ok(false);
+        }
+        self.set(key, value, now_ms, expiry_ms)?;
+        Ok(true)
+    }
+
+    /// Appends (or with `front`, prepends) to an existing value,
+    /// preserving its expiry. Returns the new length, `Ok(None)` on a
+    /// miss.
+    fn concat(
+        &mut self,
+        key: &[u8],
+        suffix: &[u8],
+        front: bool,
+        now_ms: u64,
+    ) -> Result<Option<usize>, CacheError> {
+        let Some((current, expiry)) = self.read_for_update(key, now_ms) else {
+            return Ok(None);
+        };
+        let mut combined = Vec::with_capacity(current.len() + suffix.len());
+        if front {
+            combined.extend_from_slice(suffix);
+            combined.extend_from_slice(&current);
+        } else {
+            combined.extend_from_slice(&current);
+            combined.extend_from_slice(suffix);
+        }
+        self.set(key, &combined, now_ms, expiry)?;
+        Ok(Some(combined.len()))
+    }
+
+    /// Adds `delta` to an ASCII-decimal `u64` value, saturating at the
+    /// ends, preserving expiry. Returns the new value, `Ok(None)` on a
+    /// miss, `Err` on a non-numeric value.
+    fn incr(&mut self, key: &[u8], delta: i64, now_ms: u64) -> Result<Option<u64>, CacheError> {
+        let Some((current, expiry)) = self.read_for_update(key, now_ms) else {
+            return Ok(None);
+        };
+        let text = std::str::from_utf8(&current)
+            .map_err(|_| CacheError::Internal("counter is not valid UTF-8"))?;
+        let n: u64 = text
+            .trim()
+            .parse()
+            .map_err(|_| CacheError::Internal("counter is not a decimal number"))?;
+        let new = if delta >= 0 {
+            n.saturating_add(delta as u64)
+        } else {
+            n.saturating_sub(delta.unsigned_abs())
+        };
+        self.set(key, new.to_string().as_bytes(), now_ms, expiry)?;
+        Ok(Some(new))
+    }
+
+    /// Background maintenance: proactive expiry (bounded work). Called
+    /// once per epoch by the worker.
+    fn maintain(&mut self, now_ms: u64);
+
+    /// Live entry count.
+    fn len(&self) -> usize;
+
+    /// Returns `true` when the engine holds no entries.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total bytes charged to this engine (values + metadata overhead).
+    fn used_bytes(&self) -> usize;
+
+    /// Byte budget, `usize::MAX` when unbounded or externally governed.
+    fn capacity_bytes(&self) -> usize;
+
+    /// Point-in-time statistics snapshot.
+    fn stats(&self) -> EngineStats;
+
+    // --- migration surface (§3.4: per-partition, Write-Invalidate) ---
+
+    /// Freezes partition indices so [`Engine::partition_of`] stays
+    /// stable while a drain is in flight.
+    fn freeze(&mut self);
+
+    /// Thaws partition indices after a finished/aborted migration.
+    fn thaw(&mut self);
+
+    /// Whether partitions are currently frozen.
+    fn is_frozen(&self) -> bool;
+
+    /// Number of drainable partitions (stable while frozen).
+    fn partition_count(&self) -> usize;
+
+    /// The partition `key` maps to (stable while frozen).
+    fn partition_of(&self, key: &[u8]) -> usize;
+
+    /// Removes every entry of partition `p`, returning `(key, value,
+    /// expiry_ms)` triples — the unit of migration transfer. Entries are
+    /// moved with their remaining TTL, expired or not.
+    fn drain_partition(&mut self, p: usize) -> Vec<(Box<[u8]>, Vec<u8>, u64)>;
+}
+
+/// Builds a boxed engine of the given kind.
+///
+/// `capacity_bytes` is the engine's byte budget. The slab engine ignores
+/// it here (its budget is enforced by the [`crate::store::ValueStore`]
+/// it is built over — pass the store explicitly via
+/// [`SlabLru::new`] for that); this helper builds the slab engine over
+/// an unbounded heap store and is what tests and single-process tools
+/// use. Servers construct engines through `CacheUnit` so the slab
+/// variant draws from the shared global pool.
+pub fn build_engine(kind: EngineKind, capacity_bytes: usize) -> Box<dyn Engine> {
+    match kind {
+        EngineKind::SlabLru => {
+            Box::new(SlabLru::new(crate::store::MallocStore::new(capacity_bytes)))
+        }
+        EngineKind::Seg => Box::new(SegEngine::new(capacity_bytes)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_labels_roundtrip() {
+        for k in [EngineKind::SlabLru, EngineKind::Seg] {
+            assert_eq!(EngineKind::parse(k.label()), Some(k));
+        }
+        assert_eq!(EngineKind::parse("segcache"), Some(EngineKind::Seg));
+        assert_eq!(EngineKind::parse("bogus"), None);
+        assert_eq!(EngineKind::default(), EngineKind::SlabLru);
+    }
+
+    #[test]
+    fn stats_counter_delta_saturates() {
+        let a = EngineStats {
+            evictions: 5,
+            expired_bytes: 100,
+            ..EngineStats::default()
+        };
+        let b = EngineStats {
+            evictions: 7,
+            len: 3,
+            ..EngineStats::default()
+        };
+        let d = b.counter_delta(&a);
+        assert_eq!(d.evictions, 2);
+        assert_eq!(d.expired_bytes, 0, "saturates, never underflows");
+        assert_eq!(d.len, 3, "point-in-time fields come from self");
+    }
+
+    #[test]
+    fn build_engine_produces_both_kinds() {
+        for kind in [EngineKind::SlabLru, EngineKind::Seg] {
+            let mut e = build_engine(kind, 1 << 20);
+            e.set(b"k", b"v", 0, 0).expect("set");
+            assert_eq!(e.get(b"k", 0).expect("hit").as_ref(), b"v");
+            assert_eq!(e.len(), 1);
+        }
+    }
+}

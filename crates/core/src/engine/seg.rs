@@ -1,0 +1,944 @@
+//! Segment-structured storage engine (Segcache-style).
+//!
+//! Objects are appended into fixed-size **segments**; a segment belongs
+//! to one **TTL bucket** (geometric TTL ranges), so all objects in a
+//! segment expire within a bounded window and a whole segment can be
+//! reclaimed at once when its window passes — proactive expiry with *no
+//! per-key scans* of the index. Eviction is **merge-based**: the oldest
+//! sealed segments of a crowded TTL bucket are compacted into one,
+//! retaining the most frequently accessed objects and dropping the
+//! rest, which reclaims whole segments while keeping the hot working
+//! set.
+//!
+//! Per-object metadata is a compact 16-byte header inline in the
+//! segment (`expiry_ms` u64, `vlen` u32, `klen` u8, flags u8, `freq`
+//! u8), far smaller than the slab table's ~64-byte entry. The key index
+//! is a plain `HashMap` from key to `(segment, offset)` — a documented
+//! simplification of Segcache's bulk-chained hash table; the segment
+//! memory layout and reclamation machinery are the point here, not the
+//! index micro-layout.
+//!
+//! Observable semantics follow the engine contract (see
+//! [`crate::engine`]): expired-but-unreclaimed objects behave exactly
+//! like absent ones, so results never depend on *when* a segment is
+//! reclaimed.
+
+use crate::engine::{Engine, EngineStats};
+use crate::hash::bucket_hash;
+use crate::table::SetOutcome;
+use crate::types::{CacheError, MAX_KEY_LEN, MAX_VALUE_LEN};
+use std::borrow::Cow;
+use std::collections::HashMap;
+
+/// Inline per-object header: expiry u64 | vlen u32 | klen u8 | flags u8
+/// | freq u8 | pad u8.
+const HEADER_LEN: usize = 16;
+/// Flag bit: the object is dead (deleted/replaced/expired/drained).
+const FLAG_DEAD: u8 = 1;
+
+/// Smallest segment we will carve.
+const MIN_SEG_SIZE: usize = 16 * 1024;
+/// Largest useful segment: one maximal object plus header.
+const MAX_SEG_SIZE: usize = MAX_VALUE_LEN + MAX_KEY_LEN + HEADER_LEN;
+
+/// Number of geometric TTL buckets; bucket `i` holds TTLs below
+/// `1s << i`, the last one also holds everything longer.
+const TTL_BUCKETS: usize = 16;
+/// Extra bucket for objects without expiry.
+const NO_TTL_BUCKET: usize = TTL_BUCKETS;
+
+/// Sealed segments merged per eviction pass.
+const MERGE_FANIN: usize = 3;
+
+/// A live object lifted out of merge-source segments:
+/// `(key, value, expiry_ms, decayed_freq)`.
+type MergeCandidate = (Box<[u8]>, Vec<u8>, u64, u8);
+
+/// Fixed partition count for the migration drain surface (the
+/// hash-derived partition of a key never changes, so freezing is
+/// trivially stable).
+const SEG_PARTITIONS: usize = 64;
+
+/// Bytes charged per index entry on top of the inline header
+/// (hash-map slot + boxed key bookkeeping).
+const INDEX_ENTRY_OVERHEAD: usize = 48;
+
+/// Location of a live object: segment id + byte offset of its header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Loc {
+    seg: u32,
+    off: u32,
+}
+
+#[derive(Debug)]
+struct Segment {
+    data: Box<[u8]>,
+    /// Append cursor; bytes past it are unused.
+    write_off: usize,
+    live_items: usize,
+    /// Header+key+value bytes of live objects.
+    live_bytes: usize,
+    /// Value bytes of live objects.
+    live_value_bytes: usize,
+    /// Allocation sequence number (older = smaller).
+    seq: u64,
+    /// Upper bound on the expiry of every live object (0 until the
+    /// first TTL'd object lands). Only widened, never narrowed, so
+    /// whole-segment expiry can never fire early.
+    max_expiry_ms: u64,
+    /// `true` once any object without expiry lives here (the segment
+    /// then never whole-expires).
+    has_no_ttl: bool,
+}
+
+impl Segment {
+    fn fully_expired(&self, now_ms: u64) -> bool {
+        !self.has_no_ttl && self.max_expiry_ms != 0 && self.max_expiry_ms <= now_ms
+    }
+}
+
+#[derive(Debug, Default)]
+struct TtlBucket {
+    /// The segment currently being appended to.
+    active: Option<u32>,
+    /// Full segments, oldest first.
+    sealed: Vec<u32>,
+}
+
+/// The segment-structured engine.
+#[derive(Debug)]
+pub struct SegEngine {
+    segs: Vec<Option<Segment>>,
+    free_ids: Vec<u32>,
+    buckets: Vec<TtlBucket>,
+    index: HashMap<Box<[u8]>, Loc>,
+    seg_size: usize,
+    max_segments: usize,
+    allocated: usize,
+    capacity: usize,
+    len: usize,
+    live_bytes: usize,
+    live_value_bytes: usize,
+    next_seq: u64,
+    frozen: bool,
+    evictions: u64,
+    expirations: u64,
+    evicted_bytes: u64,
+    expired_bytes: u64,
+    segments_expired: u64,
+    seg_merges: u64,
+}
+
+fn is_expired(expiry_ms: u64, now_ms: u64) -> bool {
+    expiry_ms != 0 && expiry_ms <= now_ms
+}
+
+fn read_u64(d: &[u8], off: usize) -> u64 {
+    u64::from_le_bytes(d[off..off + 8].try_into().expect("8 bytes"))
+}
+
+fn read_u32(d: &[u8], off: usize) -> u32 {
+    u32::from_le_bytes(d[off..off + 4].try_into().expect("4 bytes"))
+}
+
+/// Decoded object header.
+#[derive(Debug, Clone, Copy)]
+struct Header {
+    expiry_ms: u64,
+    vlen: usize,
+    klen: usize,
+    dead: bool,
+    freq: u8,
+}
+
+impl Header {
+    fn item_len(&self) -> usize {
+        HEADER_LEN + self.klen + self.vlen
+    }
+}
+
+impl SegEngine {
+    /// Creates an engine with a byte `capacity` budget. Segment size is
+    /// derived from the budget (clamped to `[16 KiB, ~1 MiB]`), so small
+    /// budgets still get several segments to rotate through while an
+    /// unbounded engine can hold maximal objects.
+    pub fn new(capacity: usize) -> Self {
+        let seg_size = (capacity / 16).clamp(MIN_SEG_SIZE, MAX_SEG_SIZE);
+        let max_segments = (capacity / seg_size).max(2);
+        Self::with_geometry(capacity, seg_size, max_segments)
+    }
+
+    /// Creates an engine with explicit segment geometry (tests and
+    /// benchmarks; [`SegEngine::new`] derives geometry from capacity).
+    pub fn with_geometry(capacity: usize, seg_size: usize, max_segments: usize) -> Self {
+        Self {
+            segs: Vec::new(),
+            free_ids: Vec::new(),
+            buckets: (0..=NO_TTL_BUCKET).map(|_| TtlBucket::default()).collect(),
+            index: HashMap::new(),
+            seg_size,
+            max_segments: max_segments.max(2),
+            allocated: 0,
+            capacity,
+            len: 0,
+            live_bytes: 0,
+            live_value_bytes: 0,
+            next_seq: 0,
+            frozen: false,
+            evictions: 0,
+            expirations: 0,
+            evicted_bytes: 0,
+            expired_bytes: 0,
+            segments_expired: 0,
+            seg_merges: 0,
+        }
+    }
+
+    /// Segment size in bytes (inspection/tests).
+    pub fn seg_size(&self) -> usize {
+        self.seg_size
+    }
+
+    /// Currently allocated segments (inspection/tests).
+    pub fn allocated_segments(&self) -> usize {
+        self.allocated
+    }
+
+    fn ttl_bucket_of(&self, expiry_ms: u64, now_ms: u64) -> usize {
+        if expiry_ms == 0 {
+            return NO_TTL_BUCKET;
+        }
+        let ttl = expiry_ms.saturating_sub(now_ms);
+        for i in 0..TTL_BUCKETS {
+            if ttl < 1000u64 << i {
+                return i;
+            }
+        }
+        TTL_BUCKETS - 1
+    }
+
+    fn seg(&self, id: u32) -> &Segment {
+        self.segs[id as usize].as_ref().expect("live segment")
+    }
+
+    fn seg_mut(&mut self, id: u32) -> &mut Segment {
+        self.segs[id as usize].as_mut().expect("live segment")
+    }
+
+    fn header_at(&self, loc: Loc) -> Header {
+        let d = &self.seg(loc.seg).data;
+        let off = loc.off as usize;
+        Header {
+            expiry_ms: read_u64(d, off),
+            vlen: read_u32(d, off + 8) as usize,
+            klen: d[off + 12] as usize,
+            dead: d[off + 13] & FLAG_DEAD != 0,
+            freq: d[off + 14],
+        }
+    }
+
+    /// Marks the object at `loc` dead and discounts it from segment and
+    /// engine live accounting. The index entry must be removed by the
+    /// caller (which usually still holds the key).
+    fn mark_dead(&mut self, loc: Loc) {
+        let h = self.header_at(loc);
+        debug_assert!(!h.dead, "double kill");
+        let item_len = h.item_len();
+        let seg = self.seg_mut(loc.seg);
+        seg.data[loc.off as usize + 13] |= FLAG_DEAD;
+        seg.live_items -= 1;
+        seg.live_bytes -= item_len;
+        seg.live_value_bytes -= h.vlen;
+        self.len -= 1;
+        self.live_bytes -= item_len;
+        self.live_value_bytes -= h.vlen;
+    }
+
+    /// Reclaims an expired object found on a lookup path.
+    fn reclaim_expired(&mut self, key: &[u8], loc: Loc) {
+        let vlen = self.header_at(loc).vlen;
+        self.index.remove(key);
+        self.mark_dead(loc);
+        self.expirations += 1;
+        self.expired_bytes += vlen as u64;
+    }
+
+    fn alloc_segment(&mut self) -> Option<u32> {
+        if let Some(id) = self.free_ids.pop() {
+            self.next_seq += 1;
+            self.segs[id as usize] = Some(Segment {
+                data: vec![0u8; self.seg_size].into_boxed_slice(),
+                write_off: 0,
+                live_items: 0,
+                live_bytes: 0,
+                live_value_bytes: 0,
+                seq: self.next_seq,
+                max_expiry_ms: 0,
+                has_no_ttl: false,
+            });
+            self.allocated += 1;
+            return Some(id);
+        }
+        if self.allocated < self.max_segments {
+            self.next_seq += 1;
+            self.segs.push(Some(Segment {
+                data: vec![0u8; self.seg_size].into_boxed_slice(),
+                write_off: 0,
+                live_items: 0,
+                live_bytes: 0,
+                live_value_bytes: 0,
+                seq: self.next_seq,
+                max_expiry_ms: 0,
+                has_no_ttl: false,
+            }));
+            self.allocated += 1;
+            return Some((self.segs.len() - 1) as u32);
+        }
+        None
+    }
+
+    fn free_segment(&mut self, id: u32) {
+        debug_assert_eq!(
+            self.seg(id).live_items,
+            0,
+            "freeing a segment with live objects"
+        );
+        self.segs[id as usize] = None;
+        self.free_ids.push(id);
+        self.allocated -= 1;
+    }
+
+    /// Object offsets in segment `id`, in append order.
+    fn scan_offsets(&self, id: u32) -> Vec<u32> {
+        let seg = self.seg(id);
+        let mut out = Vec::new();
+        let mut off = 0usize;
+        while off < seg.write_off {
+            out.push(off as u32);
+            let vlen = read_u32(&seg.data, off + 8) as usize;
+            let klen = seg.data[off + 12] as usize;
+            off += HEADER_LEN + klen + vlen;
+        }
+        out
+    }
+
+    fn key_at(&self, loc: Loc) -> &[u8] {
+        let seg = self.seg(loc.seg);
+        let off = loc.off as usize;
+        let klen = seg.data[off + 12] as usize;
+        &seg.data[off + HEADER_LEN..off + HEADER_LEN + klen]
+    }
+
+    fn value_at(&self, loc: Loc) -> &[u8] {
+        let seg = self.seg(loc.seg);
+        let off = loc.off as usize;
+        let h = self.header_at(loc);
+        let start = off + HEADER_LEN + h.klen;
+        &seg.data[start..start + h.vlen]
+    }
+
+    /// Raw append into segment `id` (the caller guarantees room).
+    /// Updates segment and engine accounting and the index.
+    fn append_to_segment(
+        &mut self,
+        id: u32,
+        key: &[u8],
+        value: &[u8],
+        expiry_ms: u64,
+        freq: u8,
+    ) -> Loc {
+        let item_len = HEADER_LEN + key.len() + value.len();
+        let seg = self.seg_mut(id);
+        debug_assert!(
+            seg.write_off + item_len <= seg.data.len(),
+            "segment overflow"
+        );
+        let off = seg.write_off;
+        seg.data[off..off + 8].copy_from_slice(&expiry_ms.to_le_bytes());
+        seg.data[off + 8..off + 12].copy_from_slice(&(value.len() as u32).to_le_bytes());
+        seg.data[off + 12] = key.len() as u8;
+        seg.data[off + 13] = 0;
+        seg.data[off + 14] = freq;
+        seg.data[off + 15] = 0;
+        seg.data[off + HEADER_LEN..off + HEADER_LEN + key.len()].copy_from_slice(key);
+        let vstart = off + HEADER_LEN + key.len();
+        seg.data[vstart..vstart + value.len()].copy_from_slice(value);
+        seg.write_off += item_len;
+        seg.live_items += 1;
+        seg.live_bytes += item_len;
+        seg.live_value_bytes += value.len();
+        if expiry_ms == 0 {
+            seg.has_no_ttl = true;
+        } else if expiry_ms > seg.max_expiry_ms {
+            seg.max_expiry_ms = expiry_ms;
+        }
+        self.len += 1;
+        self.live_bytes += item_len;
+        self.live_value_bytes += value.len();
+        let loc = Loc {
+            seg: id,
+            off: off as u32,
+        };
+        self.index.insert(key.into(), loc);
+        loc
+    }
+
+    /// Finds (or makes) room in `bucket` and appends the object.
+    fn append_item(
+        &mut self,
+        key: &[u8],
+        value: &[u8],
+        now_ms: u64,
+        expiry_ms: u64,
+    ) -> Result<Loc, CacheError> {
+        let item_len = HEADER_LEN + key.len() + value.len();
+        if item_len > self.seg_size {
+            // The object cannot fit in any segment of this engine's
+            // geometry; with budget-derived geometry this only happens
+            // for near-max values under small byte budgets.
+            return Err(CacheError::OutOfMemory);
+        }
+        let bucket = self.ttl_bucket_of(expiry_ms, now_ms);
+        loop {
+            if let Some(id) = self.buckets[bucket].active {
+                if self.seg(id).write_off + item_len <= self.seg_size {
+                    return Ok(self.append_to_segment(id, key, value, expiry_ms, 0));
+                }
+                // Seal the full segment and fall through to allocate.
+                self.buckets[bucket].active = None;
+                self.buckets[bucket].sealed.push(id);
+            }
+            if let Some(id) = self.alloc_segment() {
+                self.buckets[bucket].active = Some(id);
+                continue;
+            }
+            if !self.make_room(now_ms) {
+                return Err(CacheError::OutOfMemory);
+            }
+        }
+    }
+
+    /// Reclaims at least one segment: proactive whole-segment expiry
+    /// first, then merge-based eviction, then wholesale eviction of the
+    /// oldest segment. Returns `false` only when nothing can be freed.
+    fn make_room(&mut self, now_ms: u64) -> bool {
+        if self.expire_segments(now_ms) > 0 {
+            return true;
+        }
+        // Merge the bucket with the most sealed segments.
+        if let Some(b) = (0..self.buckets.len())
+            .filter(|&b| self.buckets[b].sealed.len() >= 2)
+            .max_by_key(|&b| self.buckets[b].sealed.len())
+        {
+            return self.merge_bucket(b, now_ms);
+        }
+        // Fall back: evict the oldest segment wholesale (sealed
+        // preferred, then active).
+        let oldest_sealed = (0..self.buckets.len())
+            .filter_map(|b| {
+                self.buckets[b]
+                    .sealed
+                    .first()
+                    .map(|&id| (self.seg(id).seq, b))
+            })
+            .min();
+        if let Some((_, b)) = oldest_sealed {
+            let id = self.buckets[b].sealed.remove(0);
+            self.evict_segment(id, now_ms);
+            return true;
+        }
+        let oldest_active = (0..self.buckets.len())
+            .filter_map(|b| self.buckets[b].active.map(|id| (self.seg(id).seq, b)))
+            .min();
+        if let Some((_, b)) = oldest_active {
+            let id = self.buckets[b].active.take().expect("checked");
+            self.evict_segment(id, now_ms);
+            return true;
+        }
+        false
+    }
+
+    /// Frees every fully-expired (and every fully-dead) segment.
+    /// Returns how many segments were reclaimed. This is the proactive
+    /// expiry path: a TTL bucket's segments age out together, so no
+    /// index-wide scan is ever needed.
+    fn expire_segments(&mut self, now_ms: u64) -> usize {
+        let mut freed = 0;
+        for b in 0..self.buckets.len() {
+            let mut i = 0;
+            while i < self.buckets[b].sealed.len() {
+                let id = self.buckets[b].sealed[i];
+                if self.seg(id).fully_expired(now_ms) {
+                    self.buckets[b].sealed.remove(i);
+                    self.expire_segment(id);
+                    freed += 1;
+                } else if self.seg(id).live_items == 0 {
+                    // All objects already dead (replaced/deleted):
+                    // plain garbage, reclaim without counters.
+                    self.buckets[b].sealed.remove(i);
+                    self.free_segment(id);
+                    freed += 1;
+                } else {
+                    i += 1;
+                }
+            }
+            if let Some(id) = self.buckets[b].active {
+                if self.seg(id).fully_expired(now_ms) {
+                    self.buckets[b].active = None;
+                    self.expire_segment(id);
+                    freed += 1;
+                }
+            }
+        }
+        freed
+    }
+
+    /// Drops a fully-expired segment: every remaining live object is an
+    /// expiration.
+    fn expire_segment(&mut self, id: u32) {
+        for off in self.scan_offsets(id) {
+            let loc = Loc { seg: id, off };
+            let h = self.header_at(loc);
+            if h.dead {
+                continue;
+            }
+            let key = self.key_at(loc).to_vec();
+            self.index.remove(key.as_slice());
+            self.mark_dead(loc);
+            self.expirations += 1;
+            self.expired_bytes += h.vlen as u64;
+        }
+        self.segments_expired += 1;
+        self.free_segment(id);
+    }
+
+    /// Drops a segment wholesale: live unexpired objects count as
+    /// evictions, expired ones as expirations.
+    fn evict_segment(&mut self, id: u32, now_ms: u64) {
+        for off in self.scan_offsets(id) {
+            let loc = Loc { seg: id, off };
+            let h = self.header_at(loc);
+            if h.dead {
+                continue;
+            }
+            let key = self.key_at(loc).to_vec();
+            self.index.remove(key.as_slice());
+            self.mark_dead(loc);
+            if is_expired(h.expiry_ms, now_ms) {
+                self.expirations += 1;
+                self.expired_bytes += h.vlen as u64;
+            } else {
+                self.evictions += 1;
+                self.evicted_bytes += h.vlen as u64;
+            }
+        }
+        self.free_segment(id);
+    }
+
+    /// Merge-based eviction: compacts the oldest sealed segments of
+    /// bucket `b` into one, retaining the most frequently accessed
+    /// objects and evicting the rest. Frees at least one segment.
+    fn merge_bucket(&mut self, b: usize, now_ms: u64) -> bool {
+        let take = self.buckets[b].sealed.len().min(MERGE_FANIN);
+        if take < 2 {
+            return false;
+        }
+        let srcs: Vec<u32> = self.buckets[b].sealed.drain(..take).collect();
+
+        // Pull every live object out of the sources. Expired ones are
+        // expirations; the rest are merge candidates with decayed
+        // frequency.
+        let mut candidates: Vec<MergeCandidate> = Vec::new();
+        for &id in &srcs {
+            for off in self.scan_offsets(id) {
+                let loc = Loc { seg: id, off };
+                let h = self.header_at(loc);
+                if h.dead {
+                    continue;
+                }
+                let key: Box<[u8]> = self.key_at(loc).into();
+                self.index.remove(&key);
+                self.mark_dead(loc);
+                if is_expired(h.expiry_ms, now_ms) {
+                    self.expirations += 1;
+                    self.expired_bytes += h.vlen as u64;
+                } else {
+                    candidates.push((key, self.value_at(loc).to_vec(), h.expiry_ms, h.freq / 2));
+                }
+            }
+        }
+        for id in srcs {
+            self.free_segment(id);
+        }
+
+        // Hottest first; retain while the destination segment has room.
+        candidates.sort_by_key(|c| std::cmp::Reverse(c.3));
+        let dest = self.alloc_segment().expect("merge freed segments");
+        let mut used = 0usize;
+        for (key, value, expiry, freq) in candidates {
+            let item_len = HEADER_LEN + key.len() + value.len();
+            if used + item_len <= self.seg_size {
+                self.append_to_segment(dest, &key, &value, expiry, freq);
+                used += item_len;
+            } else {
+                self.evictions += 1;
+                self.evicted_bytes += value.len() as u64;
+            }
+        }
+        // The merged segment holds the bucket's oldest surviving data.
+        self.buckets[b].sealed.insert(0, dest);
+        self.seg_merges += 1;
+        true
+    }
+}
+
+impl Engine for SegEngine {
+    fn get(&mut self, key: &[u8], now_ms: u64) -> Option<Cow<'_, [u8]>> {
+        let loc = *self.index.get(key)?;
+        let h = self.header_at(loc);
+        if is_expired(h.expiry_ms, now_ms) {
+            self.reclaim_expired(key, loc);
+            return None;
+        }
+        let seg = self.seg_mut(loc.seg);
+        let off = loc.off as usize;
+        seg.data[off + 14] = seg.data[off + 14].saturating_add(1);
+        let start = off + HEADER_LEN + h.klen;
+        let seg = self.seg(loc.seg);
+        Some(Cow::Borrowed(&seg.data[start..start + h.vlen]))
+    }
+
+    fn set(
+        &mut self,
+        key: &[u8],
+        value: &[u8],
+        now_ms: u64,
+        expiry_ms: u64,
+    ) -> Result<SetOutcome, CacheError> {
+        if key.len() > MAX_KEY_LEN {
+            return Err(CacheError::KeyTooLong(key.len()));
+        }
+        if value.len() > MAX_VALUE_LEN {
+            return Err(CacheError::ValueTooLong(value.len()));
+        }
+        let existed = match self.index.get(key).copied() {
+            Some(loc) => {
+                let h = self.header_at(loc);
+                if is_expired(h.expiry_ms, now_ms) {
+                    self.reclaim_expired(key, loc);
+                    false
+                } else {
+                    self.index.remove(key);
+                    self.mark_dead(loc);
+                    true
+                }
+            }
+            None => false,
+        };
+        self.append_item(key, value, now_ms, expiry_ms)?;
+        Ok(if existed {
+            SetOutcome::Updated
+        } else {
+            SetOutcome::Inserted
+        })
+    }
+
+    fn delete(&mut self, key: &[u8], now_ms: u64) -> bool {
+        let Some(loc) = self.index.get(key).copied() else {
+            return false;
+        };
+        let h = self.header_at(loc);
+        if is_expired(h.expiry_ms, now_ms) {
+            self.reclaim_expired(key, loc);
+            return false;
+        }
+        self.index.remove(key);
+        self.mark_dead(loc);
+        true
+    }
+
+    fn contains(&mut self, key: &[u8], now_ms: u64) -> bool {
+        let Some(loc) = self.index.get(key).copied() else {
+            return false;
+        };
+        if is_expired(self.header_at(loc).expiry_ms, now_ms) {
+            self.reclaim_expired(key, loc);
+            return false;
+        }
+        true
+    }
+
+    fn touch(&mut self, key: &[u8], now_ms: u64, expiry_ms: u64) -> bool {
+        let Some(loc) = self.index.get(key).copied() else {
+            return false;
+        };
+        if is_expired(self.header_at(loc).expiry_ms, now_ms) {
+            self.reclaim_expired(key, loc);
+            return false;
+        }
+        // Rewrite the inline expiry and widen the segment's expiry
+        // bound. The object stays in its segment (its TTL bucket is
+        // stale after a touch), which is safe: the bound only widens,
+        // so whole-segment expiry can only fire late, never early, and
+        // per-object lazy expiry stays exact.
+        let seg = self.seg_mut(loc.seg);
+        let off = loc.off as usize;
+        seg.data[off..off + 8].copy_from_slice(&expiry_ms.to_le_bytes());
+        if expiry_ms == 0 {
+            seg.has_no_ttl = true;
+        } else if expiry_ms > seg.max_expiry_ms {
+            seg.max_expiry_ms = expiry_ms;
+        }
+        true
+    }
+
+    fn read_for_update(&mut self, key: &[u8], now_ms: u64) -> Option<(Vec<u8>, u64)> {
+        let loc = *self.index.get(key)?;
+        let h = self.header_at(loc);
+        if is_expired(h.expiry_ms, now_ms) {
+            self.reclaim_expired(key, loc);
+            return None;
+        }
+        Some((self.value_at(loc).to_vec(), h.expiry_ms))
+    }
+
+    fn maintain(&mut self, now_ms: u64) {
+        self.expire_segments(now_ms);
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn used_bytes(&self) -> usize {
+        self.live_bytes + self.len * INDEX_ENTRY_OVERHEAD
+    }
+
+    fn capacity_bytes(&self) -> usize {
+        self.capacity
+    }
+
+    fn stats(&self) -> EngineStats {
+        EngineStats {
+            len: self.len,
+            value_bytes: self.live_value_bytes,
+            used_bytes: self.used_bytes(),
+            evictions: self.evictions,
+            expirations: self.expirations,
+            evicted_bytes: self.evicted_bytes,
+            expired_bytes: self.expired_bytes,
+            segments_expired: self.segments_expired,
+            seg_merges: self.seg_merges,
+        }
+    }
+
+    fn freeze(&mut self) {
+        self.frozen = true;
+    }
+
+    fn thaw(&mut self) {
+        self.frozen = false;
+    }
+
+    fn is_frozen(&self) -> bool {
+        self.frozen
+    }
+
+    fn partition_count(&self) -> usize {
+        SEG_PARTITIONS
+    }
+
+    fn partition_of(&self, key: &[u8]) -> usize {
+        (bucket_hash(key) & (SEG_PARTITIONS as u64 - 1)) as usize
+    }
+
+    fn drain_partition(&mut self, p: usize) -> Vec<(Box<[u8]>, Vec<u8>, u64)> {
+        let keys: Vec<Box<[u8]>> = self
+            .index
+            .keys()
+            .filter(|k| self.partition_of(k) == p)
+            .cloned()
+            .collect();
+        let mut out = Vec::with_capacity(keys.len());
+        for key in keys {
+            let loc = self.index[&key];
+            let h = self.header_at(loc);
+            let value = self.value_at(loc).to_vec();
+            self.index.remove(&key);
+            self.mark_dead(loc);
+            out.push((key, value, h.expiry_ms));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_delete_ttl_roundtrip() {
+        let mut e = SegEngine::new(usize::MAX);
+        assert_eq!(e.set(b"k", b"v1", 0, 0), Ok(SetOutcome::Inserted));
+        assert_eq!(e.get(b"k", 0).expect("hit").as_ref(), b"v1");
+        assert_eq!(e.set(b"k", b"v2", 0, 0), Ok(SetOutcome::Updated));
+        assert_eq!(e.get(b"k", 0).expect("hit").as_ref(), b"v2");
+        e.set(b"ttl", b"v", 0, 1_000).expect("set");
+        assert!(e.get(b"ttl", 999).is_some());
+        assert!(e.get(b"ttl", 1_000).is_none(), "expired at t=1000");
+        assert_eq!(e.set(b"ttl", b"w", 2_000, 0), Ok(SetOutcome::Inserted));
+        assert!(e.delete(b"k", 0));
+        assert!(!e.delete(b"k", 0));
+        assert_eq!(e.len(), 1);
+        assert_eq!(e.stats().expirations, 1);
+        assert!(e.incr(b"missing", 1, 0) == Ok(None));
+        e.set(b"n", b"41", 0, 0).expect("set");
+        assert_eq!(e.incr(b"n", 1, 0), Ok(Some(42)));
+        assert_eq!(e.concat(b"n", b"!", false, 0), Ok(Some(3)));
+    }
+
+    #[test]
+    fn rejects_oversize_key_and_value() {
+        let mut e = SegEngine::new(usize::MAX);
+        let long_key = vec![b'k'; MAX_KEY_LEN + 1];
+        assert_eq!(
+            e.set(&long_key, b"v", 0, 0),
+            Err(CacheError::KeyTooLong(MAX_KEY_LEN + 1))
+        );
+        let long_val = vec![0u8; MAX_VALUE_LEN + 1];
+        assert_eq!(
+            e.set(b"k", &long_val, 0, 0),
+            Err(CacheError::ValueTooLong(MAX_VALUE_LEN + 1))
+        );
+        // A maximal object fits the unbounded geometry.
+        let max_key = vec![b'k'; MAX_KEY_LEN];
+        let max_val = vec![0u8; MAX_VALUE_LEN];
+        assert_eq!(e.set(&max_key, &max_val, 0, 0), Ok(SetOutcome::Inserted));
+    }
+
+    #[test]
+    fn whole_segment_expiry_frees_all_bucket_bytes() {
+        let mut e = SegEngine::with_geometry(1 << 20, 4 * 1024, 16);
+        // One TTL cohort that all expires by t=5000, plus no-TTL keys
+        // that must survive.
+        for i in 0..200u32 {
+            e.set(
+                format!("ttl{i}").as_bytes(),
+                &[7u8; 40],
+                0,
+                4_000 + u64::from(i),
+            )
+            .expect("set");
+        }
+        for i in 0..50u32 {
+            e.set(format!("keep{i}").as_bytes(), &[9u8; 40], 0, 0)
+                .expect("set");
+        }
+        let before = e.stats();
+        assert_eq!(before.len, 250);
+        assert!(before.value_bytes >= 250 * 40);
+        let ttl_segments = e.allocated_segments();
+        assert!(ttl_segments > 2, "cohort spans several segments");
+
+        e.maintain(10_000);
+
+        let after = e.stats();
+        assert_eq!(after.len, 50, "only no-TTL keys survive");
+        assert_eq!(after.value_bytes, 50 * 40, "every expired byte freed");
+        assert_eq!(after.expirations, 200);
+        assert_eq!(after.expired_bytes, 200 * 40);
+        assert!(
+            after.segments_expired >= 2,
+            "whole segments reclaimed, got {}",
+            after.segments_expired
+        );
+        for i in 0..50u32 {
+            assert!(e.contains(format!("keep{i}").as_bytes(), 10_000), "keep{i}");
+        }
+    }
+
+    #[test]
+    fn merge_eviction_retains_hot_keys() {
+        // 4 segments of 4 KiB: ~64 objects of 64 B each in total.
+        let mut e = SegEngine::with_geometry(16 * 1024, 4 * 1024, 4);
+        for i in 0..30u32 {
+            e.set(format!("k{i:03}").as_bytes(), &[1u8; 42], 0, 0)
+                .expect("set");
+        }
+        // Heat up a handful of keys.
+        let hot: Vec<String> = (0..5).map(|i| format!("k{i:03}")).collect();
+        for _ in 0..50 {
+            for k in &hot {
+                assert!(e.get(k.as_bytes(), 0).is_some());
+            }
+        }
+        // Keep inserting until merges must have happened: 4 segments of
+        // 4 KiB hold ~264 of these 62-byte objects, so 600 inserts
+        // overrun the budget several times over.
+        for i in 30..600u32 {
+            e.set(format!("k{i:03}").as_bytes(), &[1u8; 42], 0, 0)
+                .expect("set");
+        }
+        let st = e.stats();
+        assert!(st.seg_merges > 0, "merges ran");
+        assert!(st.evictions > 0, "cold objects were dropped");
+        for k in &hot {
+            assert!(
+                e.contains(k.as_bytes(), 0),
+                "hot key {k} must survive merge-based eviction"
+            );
+        }
+    }
+
+    #[test]
+    fn touch_widens_segment_bound_safely() {
+        let mut e = SegEngine::with_geometry(1 << 20, 4 * 1024, 16);
+        e.set(b"a", b"v", 0, 2_000).expect("set");
+        e.set(b"b", b"v", 0, 2_000).expect("set");
+        // Extend `a` past the cohort expiry; the segment must not
+        // whole-expire while `a` is live.
+        assert!(e.touch(b"a", 0, 50_000));
+        e.maintain(10_000);
+        assert!(e.contains(b"a", 10_000), "touched key survives");
+        assert!(!e.contains(b"b", 10_000), "untouched key expired");
+        // Touch to no-expiry pins the segment out of whole-expiry.
+        assert!(e.touch(b"a", 10_000, 0));
+        e.maintain(u64::MAX);
+        assert!(e.contains(b"a", 100_000));
+    }
+
+    #[test]
+    fn drain_partitions_move_everything_once() {
+        let mut e = SegEngine::new(usize::MAX);
+        for i in 0..300u32 {
+            e.set(format!("k{i}").as_bytes(), &i.to_le_bytes(), 0, 5_000)
+                .expect("set");
+        }
+        e.freeze();
+        let mut moved = Vec::new();
+        for p in 0..e.partition_count() {
+            moved.extend(e.drain_partition(p));
+        }
+        e.thaw();
+        assert_eq!(moved.len(), 300);
+        assert!(e.is_empty());
+        assert_eq!(e.stats().value_bytes, 0);
+        let uniq: std::collections::HashSet<_> = moved.iter().map(|(k, _, _)| k.clone()).collect();
+        assert_eq!(uniq.len(), 300);
+        for (_, _, exp) in &moved {
+            assert_eq!(*exp, 5_000, "expiry travels with the object");
+        }
+    }
+
+    #[test]
+    fn small_budget_evicts_instead_of_erroring() {
+        let mut e = SegEngine::with_geometry(8 * 1024, 4 * 1024, 2);
+        for i in 0..500u32 {
+            e.set(format!("k{i}").as_bytes(), &[0u8; 100], 0, 0)
+                .expect("set always succeeds under eviction");
+        }
+        assert!(e.stats().evictions > 0);
+        assert!(e.len() > 0);
+        assert!(e.contains(b"k499", 0), "newest write survives");
+    }
+}

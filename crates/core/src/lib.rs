@@ -22,7 +22,12 @@
 //!   by Figure 8 of the paper.
 //! - [`table`] — the single-writer open-chaining hash table with an
 //!   intrusive LRU list threaded through its entry slab.
-//! - [`cachelet`] — the cachelet abstraction: hash table + statistics +
+//! - [`engine`] — pluggable storage engines behind the [`engine::Engine`]
+//!   trait: the slab+LRU table as [`engine::slab_lru`], plus a
+//!   Segcache-style segment-structured engine ([`engine::seg`]) with
+//!   TTL-bucketed segments, whole-segment expiry, and merge-based
+//!   eviction.
+//! - [`cachelet`] — the cachelet abstraction: storage engine + statistics +
 //!   memory accounting + lease state.
 //! - [`stats`] — epoch-based access statistics and EWMA load tracking
 //!   consumed by the load balancer.
@@ -38,6 +43,7 @@
 
 pub mod cachelet;
 pub mod clock;
+pub mod engine;
 pub mod hash;
 pub mod hotkey;
 pub mod mem;
@@ -49,5 +55,6 @@ pub mod types;
 
 pub use cachelet::Cachelet;
 pub use clock::{Clock, ManualClock, RealClock};
+pub use engine::{Engine, EngineKind, EngineStats};
 pub use stats::AccessStats;
 pub use types::{CacheError, CacheletId, Key, ServerId, Value, VnId, WorkerId};

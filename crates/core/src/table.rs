@@ -57,6 +57,10 @@ pub struct TableStats {
     pub evictions: u64,
     /// Entries dropped because they had expired.
     pub expirations: u64,
+    /// Value bytes released by LRU eviction.
+    pub evicted_bytes: u64,
+    /// Value bytes released by expiry (lazy or purged).
+    pub expired_bytes: u64,
     /// Number of rehash operations performed.
     pub rehashes: u64,
 }
@@ -73,6 +77,8 @@ pub struct HashTable {
     key_bytes: usize,
     evictions: u64,
     expirations: u64,
+    evicted_bytes: u64,
+    expired_bytes: u64,
     rehashes: u64,
     /// While `true`, rehashing is suppressed so bucket indices stay
     /// stable — required during per-bucket migration (§3.4), where "which
@@ -95,6 +101,8 @@ impl HashTable {
             key_bytes: 0,
             evictions: 0,
             expirations: 0,
+            evicted_bytes: 0,
+            expired_bytes: 0,
             rehashes: 0,
             frozen: false,
         }
@@ -147,6 +155,8 @@ impl HashTable {
             buckets: self.buckets.len(),
             evictions: self.evictions,
             expirations: self.expirations,
+            evicted_bytes: self.evicted_bytes,
+            expired_bytes: self.expired_bytes,
             rehashes: self.rehashes,
         }
     }
@@ -234,6 +244,17 @@ impl HashTable {
         exp != 0 && exp <= now_ms
     }
 
+    /// Removes an expired entry, freeing its value bytes and charging
+    /// the expiration counters. Every path that discovers an expired
+    /// entry (`get`, `contains`, `touch`, `set`, `delete`, `concat`,
+    /// `incr`, `purge_expired`) reclaims through here, so no path leaks
+    /// value bytes or undercounts `expirations`.
+    fn expire_entry<S: ValueStore>(&mut self, idx: u32, store: &mut S) {
+        self.expired_bytes += self.entries[idx as usize].val.len() as u64;
+        self.remove_entry(idx, store);
+        self.expirations += 1;
+    }
+
     /// Looks up `key`, refreshing its LRU position.
     ///
     /// Expired entries are removed lazily and reported as a miss.
@@ -246,8 +267,7 @@ impl HashTable {
         let hash = bucket_hash(key);
         let idx = self.find(key, hash)?;
         if self.is_expired(idx, now_ms) {
-            self.remove_entry(idx, store);
-            self.expirations += 1;
+            self.expire_entry(idx, store);
             return None;
         }
         self.lru_unlink(idx);
@@ -272,10 +292,18 @@ impl HashTable {
     }
 
     /// Returns `true` if `key` is present and unexpired.
-    pub fn contains(&self, key: &[u8], now_ms: u64) -> bool {
+    ///
+    /// An expired entry discovered here is reclaimed immediately (its
+    /// value bytes freed, `expirations` charged) just like on the `get`
+    /// path, so repeated membership probes cannot pin dead values.
+    pub fn contains<S: ValueStore>(&mut self, key: &[u8], store: &mut S, now_ms: u64) -> bool {
         let hash = bucket_hash(key);
         match self.find(key, hash) {
-            Some(idx) => !self.is_expired(idx, now_ms),
+            Some(idx) if self.is_expired(idx, now_ms) => {
+                self.expire_entry(idx, store);
+                false
+            }
+            Some(_) => true,
             None => false,
         }
     }
@@ -301,10 +329,19 @@ impl HashTable {
         }
         let hash = bucket_hash(key);
         let existed = if let Some(idx) = self.find(key, hash) {
-            // Replace: free the old value first so in-place updates of the
-            // same size recycle their own slot.
-            self.remove_entry(idx, store);
-            true
+            if self.is_expired(idx, now_ms) {
+                // An expired entry counts as absent: reclaim it and
+                // report the set as an insert, so the outcome depends
+                // only on live state (engines that physically remove
+                // expired entries at different times must still agree).
+                self.expire_entry(idx, store);
+                false
+            } else {
+                // Replace: free the old value first so in-place updates
+                // of the same size recycle their own slot.
+                self.remove_entry(idx, store);
+                true
+            }
         } else {
             false
         };
@@ -322,7 +359,6 @@ impl HashTable {
         };
 
         self.insert_fresh(key, hash, val, expiry_ms);
-        let _ = now_ms;
         Ok(if existed {
             SetOutcome::Updated
         } else {
@@ -374,7 +410,7 @@ impl HashTable {
         now_ms: u64,
         expiry_ms: u64,
     ) -> Result<bool, CacheError> {
-        if self.contains(key, now_ms) {
+        if self.contains(key, store, now_ms) {
             return Ok(false);
         }
         self.set(key, value, store, now_ms, expiry_ms)?;
@@ -391,7 +427,7 @@ impl HashTable {
         now_ms: u64,
         expiry_ms: u64,
     ) -> Result<bool, CacheError> {
-        if !self.contains(key, now_ms) {
+        if !self.contains(key, store, now_ms) {
             return Ok(false);
         }
         self.set(key, value, store, now_ms, expiry_ms)?;
@@ -414,8 +450,7 @@ impl HashTable {
                 return Ok(None);
             };
             if self.is_expired(idx, now_ms) {
-                self.remove_entry(idx, store);
-                self.expirations += 1;
+                self.expire_entry(idx, store);
                 return Ok(None);
             }
             let e = &self.entries[idx as usize];
@@ -449,8 +484,7 @@ impl HashTable {
                 return Ok(None);
             };
             if self.is_expired(idx, now_ms) {
-                self.remove_entry(idx, store);
-                self.expirations += 1;
+                self.expire_entry(idx, store);
                 return Ok(None);
             }
             let e = &self.entries[idx as usize];
@@ -471,23 +505,63 @@ impl HashTable {
         Ok(Some(new))
     }
 
+    /// Reads a live value and its expiry for a read-modify-write
+    /// (`concat`/`incr`-style) path, without refreshing the LRU.
+    /// An expired entry is reclaimed and reported as a miss.
+    pub fn read_for_update<S: ValueStore>(
+        &mut self,
+        key: &[u8],
+        store: &mut S,
+        now_ms: u64,
+    ) -> Option<(Vec<u8>, u64)> {
+        let hash = bucket_hash(key);
+        let idx = self.find(key, hash)?;
+        if self.is_expired(idx, now_ms) {
+            self.expire_entry(idx, store);
+            return None;
+        }
+        let e = &self.entries[idx as usize];
+        Some((store.read(&e.val).into_owned(), e.expiry_ms))
+    }
+
     /// Updates the expiry of an existing key (Memcached `touch`).
-    /// Returns `true` if the key was present.
-    pub fn touch(&mut self, key: &[u8], now_ms: u64, expiry_ms: u64) -> bool {
+    /// Returns `true` if the key was present and unexpired.
+    ///
+    /// An expired entry discovered here is reclaimed immediately,
+    /// like on the `get`/`contains` paths.
+    pub fn touch<S: ValueStore>(
+        &mut self,
+        key: &[u8],
+        store: &mut S,
+        now_ms: u64,
+        expiry_ms: u64,
+    ) -> bool {
         let hash = bucket_hash(key);
         match self.find(key, hash) {
-            Some(idx) if !self.is_expired(idx, now_ms) => {
+            Some(idx) if self.is_expired(idx, now_ms) => {
+                self.expire_entry(idx, store);
+                false
+            }
+            Some(idx) => {
                 self.entries[idx as usize].expiry_ms = expiry_ms;
                 true
             }
-            _ => false,
+            None => false,
         }
     }
 
-    /// Deletes `key`, returning `true` if it was present.
-    pub fn delete<S: ValueStore>(&mut self, key: &[u8], store: &mut S) -> bool {
+    /// Deletes `key`, returning `true` if it was present and unexpired.
+    ///
+    /// Deleting an already-expired entry reclaims it but reports `false`
+    /// (it was logically absent), charged as an expiration — not a
+    /// delete-hit.
+    pub fn delete<S: ValueStore>(&mut self, key: &[u8], store: &mut S, now_ms: u64) -> bool {
         let hash = bucket_hash(key);
         match self.find(key, hash) {
+            Some(idx) if self.is_expired(idx, now_ms) => {
+                self.expire_entry(idx, store);
+                false
+            }
             Some(idx) => {
                 self.remove_entry(idx, store);
                 true
@@ -503,6 +577,7 @@ impl HashTable {
         if tail == NIL {
             return false;
         }
+        self.evicted_bytes += self.entries[tail as usize].val.len() as u64;
         self.remove_entry(tail, store);
         self.evictions += 1;
         true
@@ -525,8 +600,7 @@ impl HashTable {
         while idx != NIL && visited < limit {
             let prev = self.entries[idx as usize].lru_prev;
             if self.is_expired(idx, now_ms) {
-                self.remove_entry(idx, store);
-                self.expirations += 1;
+                self.expire_entry(idx, store);
                 purged += 1;
             }
             visited += 1;
@@ -672,8 +746,8 @@ mod tests {
             SetOutcome::Updated
         );
         assert_eq!(t.get(b"k1", &mut s, 0).expect("hit").as_ref(), b"v2");
-        assert!(t.delete(b"k1", &mut s));
-        assert!(!t.delete(b"k1", &mut s));
+        assert!(t.delete(b"k1", &mut s, 0));
+        assert!(!t.delete(b"k1", &mut s, 0));
         assert!(t.get(b"k1", &mut s, 0).is_none());
         assert_eq!(s.used_bytes(), 0, "value storage leaked");
         t.check_invariants();
@@ -706,8 +780,8 @@ mod tests {
         assert!(t.get(b"k0", &mut s, 0).is_some());
         assert_eq!(t.lru_victim().expect("victim"), b"k1");
         assert!(t.evict_one(&mut s));
-        assert!(!t.contains(b"k1", 0));
-        assert!(t.contains(b"k0", 0));
+        assert!(!t.contains(b"k1", &mut s, 0));
+        assert!(t.contains(b"k0", &mut s, 0));
         t.check_invariants();
     }
 
@@ -724,7 +798,10 @@ mod tests {
         assert!(t.stats().evictions >= 4);
         // The most recent four survive.
         for i in 4..8 {
-            assert!(t.contains(format!("k{i}").as_bytes(), 0), "k{i} missing");
+            assert!(
+                t.contains(format!("k{i}").as_bytes(), &mut s, 0),
+                "k{i} missing"
+            );
         }
         t.check_invariants();
     }
@@ -750,7 +827,7 @@ mod tests {
         assert_eq!(t.len(), 1);
         t.set(b"stale2", b"v", &mut s, 0, 100).expect("set");
         assert_eq!(t.purge_expired(&mut s, 200, 100), 1);
-        assert!(t.contains(b"fresh", 200));
+        assert!(t.contains(b"fresh", &mut s, 200));
         t.check_invariants();
     }
 
@@ -886,11 +963,11 @@ mod tests {
     fn touch_updates_expiry() {
         let (mut t, mut s) = fixture();
         t.set(b"k", b"v", &mut s, 0, 100).expect("set");
-        assert!(t.touch(b"k", 50, 1_000));
+        assert!(t.touch(b"k", &mut s, 50, 1_000));
         assert!(t.get(b"k", &mut s, 500).is_some(), "touch extended life");
-        assert!(!t.touch(b"missing", 0, 1_000));
+        assert!(!t.touch(b"missing", &mut s, 0, 1_000));
         assert!(
-            !t.touch(b"k", 2_000, 9_000),
+            !t.touch(b"k", &mut s, 2_000, 9_000),
             "expired key cannot be touched"
         );
     }

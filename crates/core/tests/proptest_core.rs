@@ -61,7 +61,7 @@ proptest! {
                     }
                 }
                 Op::Delete(k) => {
-                    let was = table.delete(&key_bytes(k), &mut store);
+                    let was = table.delete(&key_bytes(k), &mut store, 0);
                     prop_assert_eq!(was, model.remove(&k).is_some(), "delete({})", k);
                     recency.retain(|&x| x != k);
                 }

@@ -172,12 +172,7 @@ impl ClusterMembership {
     /// if the server is already a member (idempotent re-join). A server
     /// that previously `Left` or `Failed` may join again with a fresh
     /// incarnation.
-    pub fn join(
-        &mut self,
-        server: ServerId,
-        workers: u16,
-        now_ms: u64,
-    ) -> Option<MembershipEvent> {
+    pub fn join(&mut self, server: ServerId, workers: u16, now_ms: u64) -> Option<MembershipEvent> {
         if let Some(n) = self.nodes.get(&server) {
             if n.state.is_member() {
                 return None;
@@ -402,7 +397,10 @@ mod tests {
         );
         assert_eq!(m.epoch(), 2);
         assert_eq!(m.state_of(ServerId(2)), Some(NodeState::Joining));
-        assert!(m.join(ServerId(2), 4, 11).is_none(), "re-join is idempotent");
+        assert!(
+            m.join(ServerId(2), 4, 11).is_none(),
+            "re-join is idempotent"
+        );
         assert_eq!(
             m.mark_up(ServerId(2)),
             Some(MembershipEvent::BecameUp {

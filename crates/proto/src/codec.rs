@@ -400,9 +400,7 @@ pub fn encode_request(req: &Request, opaque: u32) -> Result<Vec<u8>, CodecError>
             body.put_u16(server.0);
             framed(Opcode::Drain, 0, body, opaque, 0)
         }
-        Request::ClusterStatus => {
-            simple_request(Opcode::ClusterStatus, 0, &[], &[], opaque, 0)
-        }
+        Request::ClusterStatus => simple_request(Opcode::ClusterStatus, 0, &[], &[], opaque, 0),
     };
     Ok(buf.to_vec())
 }

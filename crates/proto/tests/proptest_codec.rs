@@ -70,8 +70,10 @@ fn request_strategy() -> impl Strategy<Value = Request> {
                 entries
             }),
         cachelet_strategy().prop_map(|c| Request::MigrateCommit { cachelet: c }),
-        (cachelet_strategy(), worker_strategy())
-            .prop_map(|(c, h)| Request::MigrateAbort { cachelet: c, home: h }),
+        (cachelet_strategy(), worker_strategy()).prop_map(|(c, h)| Request::MigrateAbort {
+            cachelet: c,
+            home: h
+        }),
         any::<bool>().prop_map(|reset| Request::Stats { reset }),
         any::<u64>().prop_map(|v| Request::Heartbeat { version: v }),
         (

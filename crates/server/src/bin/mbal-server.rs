@@ -8,8 +8,13 @@
 //!
 //! ```text
 //! mbal-server [--workers N] [--port BASE] [--mem MB] [--cachelets N] [--epoch-ms MS]
-//!             [--metrics-port P]
+//!             [--engine slab|seg] [--metrics-port P]
 //! ```
+//!
+//! `--engine` selects the storage engine every worker runs: `slab`
+//! (slab allocator + LRU, the default) or `seg` (segment-structured,
+//! Segcache-style). Defaults to the `MBAL_ENGINE` environment variable
+//! when the flag is absent.
 //!
 //! `--metrics-port` (0 = disabled, the default) additionally serves the
 //! per-worker counters and latency histograms in Prometheus text format
@@ -18,6 +23,7 @@
 use mbal_balancer::coordinator::Coordinator;
 use mbal_balancer::BalancerConfig;
 use mbal_core::clock::RealClock;
+use mbal_core::engine::EngineKind;
 use mbal_core::types::{ServerId, WorkerAddr};
 use mbal_ring::{ConsistentRing, MappingTable};
 use mbal_server::tcp::serve_tcp;
@@ -40,6 +46,13 @@ fn main() {
     let cachelets: usize = arg("--cachelets", 16);
     let epoch_ms: u64 = arg("--epoch-ms", 1_000);
     let metrics_port: u16 = arg("--metrics-port", 0);
+    let engine = match arg::<String>("--engine", String::new()).as_str() {
+        "" => EngineKind::from_env(),
+        s => EngineKind::parse(s).unwrap_or_else(|| {
+            eprintln!("mbal-server: unknown engine {s:?} (expected slab|seg)");
+            std::process::exit(2);
+        }),
+    };
 
     let mut ring = ConsistentRing::new();
     for w in 0..workers {
@@ -56,7 +69,8 @@ fn main() {
     let server = Server::spawn(
         ServerConfig::new(ServerId(0), workers, mem_mb << 20)
             .cachelets_per_worker(cachelets)
-            .balancer(balancer),
+            .balancer(balancer)
+            .engine(engine),
         &mapping,
         &registry,
         coordinator,
@@ -70,7 +84,10 @@ fn main() {
             std::process::exit(1);
         }
     };
-    println!("mbal-server: {workers} workers, {mem_mb} MiB, {cachelets} cachelets/worker");
+    println!(
+        "mbal-server: {workers} workers, {mem_mb} MiB, {cachelets} cachelets/worker, {} engine",
+        engine.label()
+    );
     for (addr, sock) in &bound {
         println!("  worker {addr} listening on {sock}");
     }

@@ -1,6 +1,7 @@
 //! Server configuration.
 
 use mbal_balancer::BalancerConfig;
+use mbal_core::engine::EngineKind;
 use mbal_core::hotkey::HotKeyConfig;
 use mbal_core::mem::MemConfig;
 use mbal_core::types::ServerId;
@@ -33,6 +34,11 @@ pub struct ServerConfig {
     /// single-server deployments (and tests that drive ticks with large
     /// manual clock jumps) never engage the failure detector.
     pub membership: bool,
+    /// Storage engine backing every cachelet on this server
+    /// (`--engine slab|seg`). Defaults to the `MBAL_ENGINE`
+    /// environment variable, falling back to slab+LRU, so CI can run
+    /// the whole suite under either engine without touching call sites.
+    pub engine: EngineKind,
 }
 
 impl ServerConfig {
@@ -49,7 +55,14 @@ impl ServerConfig {
             worker_load_capacity: 1_000_000.0,
             sync_replication: true,
             membership: false,
+            engine: EngineKind::from_env(),
         }
+    }
+
+    /// Overrides the storage engine and returns `self`.
+    pub fn engine(mut self, kind: EngineKind) -> Self {
+        self.engine = kind;
+        self
     }
 
     /// Enables (or disables) membership participation and returns `self`.
@@ -80,6 +93,14 @@ impl ServerConfig {
     pub fn worker_mem_capacity(&self) -> u64 {
         (self.mem.capacity / self.workers.max(1) as usize) as u64
     }
+
+    /// Per-cachelet byte budget: the memory budget split evenly across
+    /// every unit. Sizes each seg engine's private arena (the slab
+    /// engine shares the global pool instead).
+    pub fn unit_mem_budget(&self) -> usize {
+        let units = (self.workers.max(1) as usize) * self.cachelets_per_worker.max(1);
+        (self.mem.capacity / units).max(1)
+    }
 }
 
 #[cfg(test)]
@@ -106,5 +127,13 @@ mod tests {
         assert_eq!(c.cachelets_per_worker, 1, "clamped to one");
         assert_eq!(c.worker_load_capacity, 500.0);
         assert!(c.membership);
+        let c = c.engine(EngineKind::Seg);
+        assert_eq!(c.engine, EngineKind::Seg);
+    }
+
+    #[test]
+    fn unit_budget_splits_capacity() {
+        let c = ServerConfig::new(ServerId(0), 4, 64 << 20).cachelets_per_worker(8);
+        assert_eq!(c.unit_mem_budget(), (64 << 20) / 32);
     }
 }

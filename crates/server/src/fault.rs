@@ -524,7 +524,9 @@ impl Transport for FaultInjector {
         // Per-opcode failures split the batch: matching slots fail,
         // the rest forwards as one smaller batch.
         if !self.plan.fail_opcodes.is_empty()
-            && reqs.iter().any(|r| self.plan.fail_opcodes.contains(&opcode_of(r)))
+            && reqs
+                .iter()
+                .any(|r| self.plan.fail_opcodes.contains(&opcode_of(r)))
         {
             let mut out: Vec<Option<Result<Response, TransportError>>> = vec![None; n];
             let mut fwd = Vec::new();
@@ -768,7 +770,10 @@ mod tests {
             DEFAULT_DEADLINE,
         );
         assert_eq!(out.len(), 8);
-        let cut = out.iter().position(|r| r.is_err()).expect("some slot fails");
+        let cut = out
+            .iter()
+            .position(|r| r.is_err())
+            .expect("some slot fails");
         assert!(out[..cut].iter().all(|r| r.is_ok()));
         assert!(out[cut..].iter().all(|r| r.is_err()));
     }
@@ -800,7 +805,10 @@ mod tests {
             Arc::clone(&counting) as Arc<dyn Transport>,
             FaultPlan::duplicates(9, 1.0),
         );
-        assert_eq!(inj.call(WorkerAddr::new(0, 0), get(0)), Ok(Response::Stored));
+        assert_eq!(
+            inj.call(WorkerAddr::new(0, 0), get(0)),
+            Ok(Response::Stored)
+        );
         assert_eq!(counting.0.load(Ordering::SeqCst), 2);
         inj.cast(WorkerAddr::new(0, 0), get(1));
         assert_eq!(counting.0.load(Ordering::SeqCst), 4);

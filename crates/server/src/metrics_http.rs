@@ -56,8 +56,8 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mbal_telemetry::{MetricsShard, WorkerSnapshot};
     use mbal_core::types::WorkerAddr;
+    use mbal_telemetry::{MetricsShard, WorkerSnapshot};
     use std::net::TcpStream;
 
     #[test]

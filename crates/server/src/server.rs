@@ -120,6 +120,8 @@ impl Server {
             };
             let factory_pool = Arc::clone(&global);
             let factory_mem = cfg.mem.clone();
+            let factory_engine = cfg.engine;
+            let factory_budget = cfg.unit_mem_budget();
             let ctx = WorkerContext {
                 addr,
                 rx,
@@ -131,7 +133,14 @@ impl Server {
                 sync_replication: cfg.sync_replication,
                 metrics: metrics.shard(w as usize),
                 unit_factory: Box::new(move |id| {
-                    CacheUnit::new(id, Arc::clone(&factory_pool), &factory_mem, numa)
+                    CacheUnit::with_engine_kind(
+                        factory_engine,
+                        id,
+                        Arc::clone(&factory_pool),
+                        &factory_mem,
+                        numa,
+                        factory_budget,
+                    )
                 }),
             };
             handles.push(spawn_worker(ctx));
@@ -173,7 +182,14 @@ impl Server {
                 0
             };
             for c in mapping.cachelets_of_worker(addr) {
-                let unit = Box::new(CacheUnit::new(c, Arc::clone(global), &self.cfg.mem, numa));
+                let unit = Box::new(CacheUnit::with_engine_kind(
+                    self.cfg.engine,
+                    c,
+                    Arc::clone(global),
+                    &self.cfg.mem,
+                    numa,
+                    self.cfg.unit_mem_budget(),
+                ));
                 let (rtx, rrx) = bounded(1);
                 let _ = self.workers[w as usize].send(WorkerMsg::Control(Control::Adopt {
                     unit,
@@ -277,14 +293,12 @@ impl Server {
     /// percentiles extracted by the worker itself.
     pub fn stats_reports(&self) -> Vec<StatsReport> {
         (0..self.cfg.workers)
-            .filter_map(|w| {
-                match self.local_call(WorkerId(w), Request::Stats { reset: false }) {
-                    Some(Response::StatsBlob { payload }) => {
-                        serde_json::from_slice(&payload).ok()
-                    }
+            .filter_map(
+                |w| match self.local_call(WorkerId(w), Request::Stats { reset: false }) {
+                    Some(Response::StatsBlob { payload }) => serde_json::from_slice(&payload).ok(),
                     _ => None,
-                }
-            })
+                },
+            )
             .collect()
     }
 
@@ -343,11 +357,9 @@ impl Server {
             == Some(NodeState::Suspect)
         {
             self.incarnation += 1;
-            let _ = self.coordinator.membership_heartbeat(
-                self.cfg.server,
-                self.incarnation,
-                now_ms,
-            );
+            let _ =
+                self.coordinator
+                    .membership_heartbeat(self.cfg.server, self.incarnation, now_ms);
         }
 
         // Advance the detector; confirmed failures reassign the dead
@@ -397,7 +409,10 @@ impl Server {
         let shard = self.metrics.shard(0);
         shard.set_gauge(Gauge::ClusterSize, view.cluster_size() as u64);
         shard.set_gauge(Gauge::SuspectNodes, view.suspect_count() as u64);
-        shard.set_gauge(Gauge::RebalanceInflight, self.coordinator.rebalance_inflight());
+        shard.set_gauge(
+            Gauge::RebalanceInflight,
+            self.coordinator.rebalance_inflight(),
+        );
     }
 
     /// Ensures every cachelet the cluster mapping homes on this server
@@ -600,7 +615,7 @@ impl Server {
 
     /// Per-bucket Write-Invalidate transfer of one cachelet (§3.4).
     /// Drained buckets accumulate into pipelined `MigrateEntries`
-    /// batches of [`MIGRATE_FLUSH_BATCH`], so the transfer pays one
+    /// batches of `MIGRATE_FLUSH_BATCH`, so the transfer pays one
     /// round-trip per flush instead of per bucket; the commit travels
     /// under an explicit deadline.
     ///
@@ -688,7 +703,9 @@ impl Server {
     /// destination installs add-if-absent.
     fn flush_migration_batch(&self, m: &Migration, reqs: Vec<Request>) -> bool {
         let shard = self.metrics.shard(m.from.worker.0 as usize);
-        let results = self.transport.call_many(m.to, reqs.clone(), DEFAULT_DEADLINE);
+        let results = self
+            .transport
+            .call_many(m.to, reqs.clone(), DEFAULT_DEADLINE);
         let mut retry: Vec<Request> = Vec::new();
         for (req, res) in reqs.into_iter().zip(&results) {
             if let Err(e) = res {

@@ -353,12 +353,12 @@ fn cast_pump(addrs: HashMap<WorkerAddr, SocketAddr>, rx: Receiver<(WorkerAddr, R
         // A pooled pump connection may have gone stale while idle; retry
         // once on a fresh one.
         for _ in 0..2 {
-            if !conns.contains_key(&addr) {
+            if let std::collections::hash_map::Entry::Vacant(e) = conns.entry(addr) {
                 match TcpStream::connect(sock) {
                     Ok(s) => {
                         s.set_nodelay(true).ok();
                         s.set_read_timeout(Some(CAST_READ_TIMEOUT)).ok();
-                        conns.insert(addr, s);
+                        e.insert(s);
                     }
                     Err(_) => break,
                 }
@@ -586,7 +586,7 @@ mod tests {
         let (tx, rx) = crossbeam_channel::unbounded::<WorkerMsg>();
         std::thread::spawn(move || {
             let mut map: HashMap<Vec<u8>, Vec<u8>> = HashMap::new();
-            let mut answer = |req: Request, map: &mut HashMap<Vec<u8>, Vec<u8>>| match req {
+            let answer = |req: Request, map: &mut HashMap<Vec<u8>, Vec<u8>>| match req {
                 Request::Get { key, .. } => match map.get(&key) {
                     Some(v) => Response::Value {
                         value: v.clone(),

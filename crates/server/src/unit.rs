@@ -1,51 +1,80 @@
-//! [`CacheUnit`]: a cachelet bundled with its own slab store.
+//! [`CacheUnit`]: a cachelet bundled with its storage engine.
 //!
 //! MBal describes a cachelet as "a configurable resource container"
 //! (§2.1) — it owns not just its keys but the memory they live in. We
-//! realize that literally: the unit carries its [`SlabStore`] (which
-//! refills from the server-wide global pool), so handing a unit to
-//! another worker thread moves the data with it at pointer cost.
+//! realize that literally: the unit carries its [`Engine`] (for the
+//! slab engine, a [`SlabStore`] refilled from the server-wide global
+//! pool; for the seg engine, its own segment arena), so handing a unit
+//! to another worker thread moves the data with it at pointer cost.
 
 use mbal_core::cachelet::Cachelet;
+use mbal_core::engine::{Engine, EngineKind, EngineStats, SegEngine, SlabLru};
 use mbal_core::mem::{GlobalPool, LocalPool, MemConfig, MemPolicy};
 use mbal_core::stats::CacheletLoad;
-use mbal_core::store::{SlabStore, ValueStore};
+use mbal_core::store::SlabStore;
 use mbal_core::table::SetOutcome;
 use mbal_core::types::{CacheError, CacheletId, WorkerAddr};
 use std::sync::Arc;
 
 /// Migration progress attached to a unit that is being transferred to
-/// another server (§3.4: per-bucket, Write-Invalidate).
+/// another server (§3.4: per-partition, Write-Invalidate).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MigrationProgress {
     /// Destination worker.
     pub dest: WorkerAddr,
-    /// Buckets `0..next_bucket` have been drained and now live at the
-    /// destination.
+    /// Partitions `0..next_bucket` have been drained and now live at
+    /// the destination.
     pub next_bucket: usize,
-    /// Total buckets at freeze time.
+    /// Total partitions at freeze time.
     pub bucket_count: usize,
 }
 
-/// A drained bucket: `(key, value, expiry_ms)` triples ready to ship.
+/// A drained partition: `(key, value, expiry_ms)` triples ready to ship.
 pub type DrainedBucket = Vec<(Box<[u8]>, Vec<u8>, u64)>;
 
-/// A cachelet plus its value store and migration state.
+/// A cachelet plus its storage engine and migration state.
 #[derive(Debug)]
 pub struct CacheUnit {
     meta: Cachelet,
-    store: SlabStore,
     migration: Option<MigrationProgress>,
+    /// Engine counters already reported via [`CacheUnit::take_stats_delta`].
+    stats_base: EngineStats,
 }
 
 impl CacheUnit {
-    /// Creates an empty unit drawing memory from `global`.
+    /// Creates an empty unit with the engine named by `MBAL_ENGINE`
+    /// (default slab+LRU), drawing memory from `global`. A seg unit gets
+    /// the whole `mem.capacity` as its budget; servers that run many
+    /// units size each one explicitly via
+    /// [`CacheUnit::with_engine_kind`].
     pub fn new(id: CacheletId, global: Arc<GlobalPool>, mem: &MemConfig, numa: u8) -> Self {
-        let pool = LocalPool::new(global, mem, numa, MemPolicy::ThreadLocal);
+        Self::with_engine_kind(EngineKind::from_env(), id, global, mem, numa, mem.capacity)
+    }
+
+    /// Creates an empty unit over the given engine kind.
+    ///
+    /// The slab engine allocates through a [`LocalPool`] over `global`,
+    /// so its effective budget is governed by the shared pool;
+    /// `seg_budget_bytes` only sizes the seg engine's private arena.
+    pub fn with_engine_kind(
+        kind: EngineKind,
+        id: CacheletId,
+        global: Arc<GlobalPool>,
+        mem: &MemConfig,
+        numa: u8,
+        seg_budget_bytes: usize,
+    ) -> Self {
+        let engine: Box<dyn Engine> = match kind {
+            EngineKind::SlabLru => {
+                let pool = LocalPool::new(global, mem, numa, MemPolicy::ThreadLocal);
+                Box::new(SlabLru::new(SlabStore::new(pool)))
+            }
+            EngineKind::Seg => Box::new(SegEngine::new(seg_budget_bytes)),
+        };
         Self {
-            meta: Cachelet::new(id),
-            store: SlabStore::new(pool),
+            meta: Cachelet::with_engine(id, engine),
             migration: None,
+            stats_base: EngineStats::default(),
         }
     }
 
@@ -66,9 +95,7 @@ impl CacheUnit {
 
     /// Looks up `key`.
     pub fn get(&mut self, key: &[u8], now_ms: u64) -> Option<Vec<u8>> {
-        self.meta
-            .get(key, &mut self.store, now_ms)
-            .map(|c| c.into_owned())
+        self.meta.get(key, now_ms).map(|c| c.into_owned())
     }
 
     /// Inserts or replaces `key`.
@@ -79,13 +106,12 @@ impl CacheUnit {
         now_ms: u64,
         expiry_ms: u64,
     ) -> Result<SetOutcome, CacheError> {
-        self.meta
-            .set(key, value, &mut self.store, now_ms, expiry_ms)
+        self.meta.set(key, value, now_ms, expiry_ms)
     }
 
     /// Deletes `key`.
-    pub fn delete(&mut self, key: &[u8]) -> bool {
-        self.meta.delete(key, &mut self.store)
+    pub fn delete(&mut self, key: &[u8], now_ms: u64) -> bool {
+        self.meta.delete(key, now_ms)
     }
 
     /// Conditional insert (Memcached `add`): `Ok(true)` if stored.
@@ -96,8 +122,7 @@ impl CacheUnit {
         now_ms: u64,
         expiry_ms: u64,
     ) -> Result<bool, CacheError> {
-        self.meta
-            .add(key, value, &mut self.store, now_ms, expiry_ms)
+        self.meta.add(key, value, now_ms, expiry_ms)
     }
 
     /// Conditional overwrite (Memcached `replace`): `Ok(true)` if stored.
@@ -108,8 +133,7 @@ impl CacheUnit {
         now_ms: u64,
         expiry_ms: u64,
     ) -> Result<bool, CacheError> {
-        self.meta
-            .replace(key, value, &mut self.store, now_ms, expiry_ms)
+        self.meta.replace(key, value, now_ms, expiry_ms)
     }
 
     /// Append/prepend to an existing value; `Ok(Some(new_len))` on hit.
@@ -120,13 +144,12 @@ impl CacheUnit {
         front: bool,
         now_ms: u64,
     ) -> Result<Option<usize>, CacheError> {
-        self.meta
-            .concat(key, suffix, front, &mut self.store, now_ms)
+        self.meta.concat(key, suffix, front, now_ms)
     }
 
     /// Counter arithmetic; `Ok(Some(new_value))` on hit.
     pub fn incr(&mut self, key: &[u8], delta: i64, now_ms: u64) -> Result<Option<u64>, CacheError> {
-        self.meta.incr(key, delta, &mut self.store, now_ms)
+        self.meta.incr(key, delta, now_ms)
     }
 
     /// TTL refresh; `true` if the key was present.
@@ -136,12 +159,12 @@ impl CacheUnit {
 
     /// Bytes of payload stored.
     pub fn value_bytes(&self) -> usize {
-        self.store.used_bytes()
+        self.meta.engine_stats().value_bytes
     }
 
     /// The balancer-facing load record.
     pub fn load_record(&self) -> CacheletLoad {
-        self.meta.load_record(self.store.used_bytes())
+        self.meta.load_record()
     }
 
     /// Closes an epoch (EWMA load update).
@@ -149,14 +172,32 @@ impl CacheUnit {
         self.meta.end_epoch(epoch_secs);
     }
 
-    /// Begins outbound migration to `dest`: freezes bucket indices and
-    /// initializes progress.
+    /// Runs the engine's background maintenance (proactive expiry).
+    pub fn maintain(&mut self, now_ms: u64) {
+        self.meta.engine_mut().maintain(now_ms);
+    }
+
+    /// Engine counter increments since the previous call (evictions,
+    /// expirations, reclaimed bytes, segment events), for pumping into
+    /// the worker's metrics shard. Point-in-time fields carry current
+    /// values.
+    pub fn take_stats_delta(&mut self) -> EngineStats {
+        let now = self.meta.engine_stats();
+        let delta = now.counter_delta(&self.stats_base);
+        self.stats_base = now;
+        delta
+    }
+
+    /// Begins outbound migration to `dest`: freezes partition indices
+    /// and initializes progress.
     pub fn begin_migration(&mut self, dest: WorkerAddr) {
-        self.meta.table_mut().set_frozen(true);
+        let engine = self.meta.engine_mut();
+        engine.freeze();
+        let bucket_count = engine.partition_count();
         self.migration = Some(MigrationProgress {
             dest,
             next_bucket: 0,
-            bucket_count: self.meta.table().bucket_count(),
+            bucket_count,
         });
     }
 
@@ -165,17 +206,17 @@ impl CacheUnit {
         self.migration
     }
 
-    /// Whether `key`'s bucket has already been drained to the
+    /// Whether `key`'s partition has already been drained to the
     /// destination.
     pub fn key_migrated(&self, key: &[u8]) -> bool {
         match self.migration {
-            Some(p) => self.meta.table().bucket_of(key) < p.next_bucket,
+            Some(p) => self.meta.engine().partition_of(key) < p.next_bucket,
             None => false,
         }
     }
 
-    /// Drains the next bucket for transfer. Returns the entries, or
-    /// `None` when every bucket has been drained.
+    /// Drains the next partition for transfer. Returns the entries, or
+    /// `None` when every partition has been drained.
     pub fn drain_next_bucket(&mut self) -> Option<DrainedBucket> {
         let p = self.migration.as_mut()?;
         if p.next_bucket >= p.bucket_count {
@@ -183,7 +224,7 @@ impl CacheUnit {
         }
         let b = p.next_bucket;
         p.next_bucket += 1;
-        Some(self.meta.table_mut().drain_bucket(b, &mut self.store))
+        Some(self.meta.engine_mut().drain_partition(b))
     }
 
     /// Installs entries received from a migrating source (destination
@@ -204,19 +245,19 @@ impl CacheUnit {
     }
 
     /// Rolls back an aborted outbound migration (source side): thaws the
-    /// table, clears progress, and re-installs the entries that had
+    /// engine, clears progress, and re-installs the entries that had
     /// already been drained, so every acknowledged write survives the
     /// failed transfer. Re-installation is add-if-absent, preserving any
-    /// write accepted since the key's bucket was drained.
+    /// write accepted since the key's partition was drained.
     pub fn abort_migration(&mut self, entries: Vec<(Vec<u8>, Vec<u8>, u64)>, now_ms: u64) -> usize {
         self.finish_migration();
         self.install_entries(entries, now_ms)
     }
 
     /// Finishes migration bookkeeping (source side, before dropping, or
-    /// destination side after commit): thaws the table.
+    /// destination side after commit): thaws the engine.
     pub fn finish_migration(&mut self) {
-        self.meta.table_mut().set_frozen(false);
+        self.meta.engine_mut().thaw();
         self.migration = None;
     }
 }
@@ -226,11 +267,15 @@ mod tests {
     use super::*;
     use mbal_core::mem::GlobalPool;
 
-    fn unit(id: u32) -> CacheUnit {
+    fn unit_of(kind: EngineKind, id: u32) -> CacheUnit {
         let mut mem = MemConfig::with_capacity(1 << 20);
         mem.chunk_size = 1 << 14;
         let global = Arc::new(GlobalPool::new(1 << 20, 1 << 14, 1));
-        CacheUnit::new(CacheletId(id), global, &mem, 0)
+        CacheUnit::with_engine_kind(kind, CacheletId(id), global, &mem, 0, 1 << 20)
+    }
+
+    fn unit(id: u32) -> CacheUnit {
+        unit_of(EngineKind::SlabLru, id)
     }
 
     #[test]
@@ -242,8 +287,36 @@ mod tests {
         let rec = u.load_record();
         assert_eq!(rec.cachelet, CacheletId(7));
         assert!(rec.mem_bytes > 5);
-        assert!(u.delete(b"k"));
+        assert!(u.delete(b"k", 0));
         assert_eq!(u.value_bytes(), 0);
+    }
+
+    #[test]
+    fn seg_unit_serves_the_full_surface() {
+        let mut u = unit_of(EngineKind::Seg, 7);
+        u.set(b"k", b"value", 0, 0).expect("set");
+        assert_eq!(u.get(b"k", 0).expect("hit"), b"value");
+        assert_eq!(u.value_bytes(), 5);
+        assert_eq!(u.add(b"k", b"x", 0, 0), Ok(false));
+        assert_eq!(u.replace(b"k", b"value2", 0, 0), Ok(true));
+        assert_eq!(u.concat(b"k", b"!", false, 0), Ok(Some(7)));
+        u.set(b"n", b"41", 0, 0).expect("set");
+        assert_eq!(u.incr(b"n", 1, 0), Ok(Some(42)));
+        assert!(u.touch(b"k", 0, 5_000));
+        assert!(u.delete(b"k", 0));
+        assert!(u.get(b"k", 0).is_none());
+    }
+
+    #[test]
+    fn take_stats_delta_rebase() {
+        let mut u = unit(3);
+        u.set(b"k", b"v", 0, 100).expect("set");
+        assert!(u.get(b"k", 200).is_none(), "expired");
+        let d = u.take_stats_delta();
+        assert_eq!(d.expirations, 1);
+        assert_eq!(d.expired_bytes, 1);
+        let d2 = u.take_stats_delta();
+        assert_eq!(d2.expirations, 0, "second take reports only new events");
     }
 
     #[test]
@@ -254,23 +327,26 @@ mod tests {
 
     #[test]
     fn migration_drains_every_bucket_exactly_once() {
-        let mut u = unit(1);
-        for i in 0..300u32 {
-            u.set(format!("k{i}").as_bytes(), &i.to_le_bytes(), 0, 0)
-                .expect("set");
+        for kind in [EngineKind::SlabLru, EngineKind::Seg] {
+            let mut u = unit_of(kind, 1);
+            for i in 0..300u32 {
+                u.set(format!("k{i}").as_bytes(), &i.to_le_bytes(), 0, 0)
+                    .expect("set");
+            }
+            u.begin_migration(WorkerAddr::new(1, 0));
+            let mut moved = Vec::new();
+            while let Some(batch) = u.drain_next_bucket() {
+                moved.extend(batch);
+            }
+            assert_eq!(moved.len(), 300, "engine {kind}");
+            assert_eq!(u.value_bytes(), 0, "engine {kind}");
+            // Keys are unique.
+            let set: std::collections::HashSet<_> =
+                moved.iter().map(|(k, _, _)| k.clone()).collect();
+            assert_eq!(set.len(), 300, "engine {kind}");
+            u.finish_migration();
+            assert!(u.migration().is_none());
         }
-        u.begin_migration(WorkerAddr::new(1, 0));
-        let mut moved = Vec::new();
-        while let Some(batch) = u.drain_next_bucket() {
-            moved.extend(batch);
-        }
-        assert_eq!(moved.len(), 300);
-        assert_eq!(u.value_bytes(), 0);
-        // Keys are unique.
-        let set: std::collections::HashSet<_> = moved.iter().map(|(k, _, _)| k.clone()).collect();
-        assert_eq!(set.len(), 300);
-        u.finish_migration();
-        assert!(u.migration().is_none());
     }
 
     #[test]
@@ -281,19 +357,19 @@ mod tests {
         }
         u.begin_migration(WorkerAddr::new(1, 1));
         assert!(!u.key_migrated(b"k0"));
-        // Drain half the buckets.
+        // Drain half the partitions.
         let total = u.migration().expect("migrating").bucket_count;
         for _ in 0..total / 2 {
             u.drain_next_bucket();
         }
         let frontier = u.migration().expect("migrating").next_bucket;
-        // Any key whose bucket is below the frontier reports migrated.
+        // Any key whose partition is below the frontier reports migrated.
         let mut some_migrated = false;
         for i in 0..100u32 {
             let k = format!("k{i}");
             let migrated = u.key_migrated(k.as_bytes());
-            let bucket = u.meta().table().bucket_of(k.as_bytes());
-            assert_eq!(migrated, bucket < frontier, "key {k}");
+            let partition = u.meta().engine().partition_of(k.as_bytes());
+            assert_eq!(migrated, partition < frontier, "key {k}");
             some_migrated |= migrated;
         }
         assert!(some_migrated);
@@ -301,47 +377,58 @@ mod tests {
 
     #[test]
     fn inserts_during_migration_stay_in_undrained_buckets() {
-        let mut u = unit(1);
-        for i in 0..200u32 {
-            u.set(format!("k{i}").as_bytes(), b"v", 0, 0).expect("set");
+        for kind in [EngineKind::SlabLru, EngineKind::Seg] {
+            let mut u = unit_of(kind, 1);
+            for i in 0..200u32 {
+                u.set(format!("k{i}").as_bytes(), b"v", 0, 0).expect("set");
+            }
+            u.begin_migration(WorkerAddr::new(1, 0));
+            let partitions = u.meta().engine().partition_count();
+            // Freeze holds even under further inserts.
+            for i in 200..1_000u32 {
+                u.set(format!("k{i}").as_bytes(), b"v", 0, 0).expect("set");
+            }
+            assert_eq!(u.meta().engine().partition_count(), partitions);
+            // And the full drain still moves everything.
+            let mut moved = 0;
+            while let Some(batch) = u.drain_next_bucket() {
+                moved += batch.len();
+            }
+            assert_eq!(moved, 1_000, "engine {kind}");
         }
-        u.begin_migration(WorkerAddr::new(1, 0));
-        let buckets = u.meta().table().bucket_count();
-        // Freeze holds even under further inserts.
-        for i in 200..1_000u32 {
-            u.set(format!("k{i}").as_bytes(), b"v", 0, 0).expect("set");
-        }
-        assert_eq!(u.meta().table().bucket_count(), buckets);
-        // And the full drain still moves everything.
-        let mut moved = 0;
-        while let Some(batch) = u.drain_next_bucket() {
-            moved += batch.len();
-        }
-        assert_eq!(moved, 1_000);
     }
 
     #[test]
     fn install_entries_on_destination() {
-        let mut src = unit(1);
-        for i in 0..50u32 {
-            src.set(format!("k{i}").as_bytes(), &i.to_le_bytes(), 0, 0)
-                .expect("set");
-        }
-        src.begin_migration(WorkerAddr::new(1, 0));
-        let mut dst = unit(1);
-        while let Some(batch) = src.drain_next_bucket() {
-            let entries: Vec<(Vec<u8>, Vec<u8>, u64)> = batch
-                .into_iter()
-                .map(|(k, v, e)| (k.into_vec(), v, e))
-                .collect();
-            let n = entries.len();
-            assert_eq!(dst.install_entries(entries, 0), n);
-        }
-        for i in 0..50u32 {
-            assert_eq!(
-                dst.get(format!("k{i}").as_bytes(), 0).expect("hit"),
-                i.to_le_bytes()
-            );
+        // Cross-engine migration: drain a slab unit into a seg unit and
+        // back, exercising the shared `(key, value, expiry)` transfer
+        // format.
+        for (src_kind, dst_kind) in [
+            (EngineKind::SlabLru, EngineKind::Seg),
+            (EngineKind::Seg, EngineKind::SlabLru),
+        ] {
+            let mut src = unit_of(src_kind, 1);
+            for i in 0..50u32 {
+                src.set(format!("k{i}").as_bytes(), &i.to_le_bytes(), 0, 0)
+                    .expect("set");
+            }
+            src.begin_migration(WorkerAddr::new(1, 0));
+            let mut dst = unit_of(dst_kind, 1);
+            while let Some(batch) = src.drain_next_bucket() {
+                let entries: Vec<(Vec<u8>, Vec<u8>, u64)> = batch
+                    .into_iter()
+                    .map(|(k, v, e)| (k.into_vec(), v, e))
+                    .collect();
+                let n = entries.len();
+                assert_eq!(dst.install_entries(entries, 0), n);
+            }
+            for i in 0..50u32 {
+                assert_eq!(
+                    dst.get(format!("k{i}").as_bytes(), 0).expect("hit"),
+                    i.to_le_bytes(),
+                    "{src_kind}->{dst_kind}"
+                );
+            }
         }
     }
 
@@ -366,7 +453,7 @@ mod tests {
         }
         u.begin_migration(WorkerAddr::new(1, 0));
         let mut drained: Vec<(Vec<u8>, Vec<u8>, u64)> = Vec::new();
-        // Drain half the buckets, then the transfer "fails".
+        // Drain half the partitions, then the transfer "fails".
         let total = u.migration().expect("migrating").bucket_count;
         for _ in 0..total / 2 {
             if let Some(batch) = u.drain_next_bucket() {
@@ -379,7 +466,7 @@ mod tests {
         for i in 0..80u32 {
             assert_eq!(
                 u.get(format!("k{i}").as_bytes(), 0).expect("hit"),
-                i.to_le_bytes(),
+                u32::to_le_bytes(i),
                 "k{i} must survive the rollback"
             );
         }

@@ -353,7 +353,7 @@ impl Worker {
             // Invalidate any stale copy on both sides and redirect the
             // writer (MBal is a write-through cache, so no data is lost).
             let dest = unit.migration().expect("migrating").dest;
-            unit.delete(&key);
+            unit.delete(&key, now);
             self.ctx
                 .transport
                 .cast(dest, Request::Delete { cachelet, key });
@@ -384,12 +384,13 @@ impl Worker {
     /// Returns `Err(response)` when the op cannot proceed locally.
     fn write_preamble(&mut self, cachelet: CacheletId, key: &[u8]) -> Result<(), Response> {
         self.ctx.metrics.incr(Counter::Ops);
+        let now = self.ctx.clock.now_millis();
         let Some(unit) = self.units.get_mut(&cachelet) else {
             return Err(self.not_owner(cachelet));
         };
         if unit.key_migrated(key) {
             let dest = unit.migration().expect("migrating").dest;
-            unit.delete(key);
+            unit.delete(key, now);
             self.ctx.transport.cast(
                 dest,
                 Request::Delete {
@@ -526,6 +527,7 @@ impl Worker {
     fn do_delete(&mut self, cachelet: CacheletId, key: &[u8]) -> Response {
         self.ctx.metrics.incr(Counter::Ops);
         self.ctx.metrics.incr(Counter::Deletes);
+        let now = self.now_ms();
         let Some(unit) = self.units.get_mut(&cachelet) else {
             return self.not_owner(cachelet);
         };
@@ -544,7 +546,7 @@ impl Worker {
             };
         }
         self.tracker.record(key, false);
-        unit.delete(key);
+        unit.delete(key, now);
         // Deleting a replicated key invalidates its replicas.
         if let Some(shadows) = self.replicated.remove(key) {
             self.invalidate_replicas(key, &shadows);
@@ -731,7 +733,9 @@ impl Worker {
                     ((shard_hash(key) % num_vns) % num_cachelets) as u32 == cachelet.0
                 });
                 let count = promoted.len();
-                self.ctx.metrics.add(Counter::ReplicasPromoted, count as u64);
+                self.ctx
+                    .metrics
+                    .add(Counter::ReplicasPromoted, count as u64);
                 self.forwards.remove(&cachelet);
                 let unit = self.units.entry(cachelet).or_insert_with(|| {
                     let mut u = Box::new((self.ctx.unit_factory)(cachelet));
@@ -774,6 +778,18 @@ impl Worker {
         m.set_gauge(Gauge::ReplicaTableLen, rstats.len as u64);
         m.set_gauge(Gauge::ReplicaBytes, self.replica_table.bytes() as u64);
         m.set_gauge(Gauge::ReplicatedKeys, self.replicated.len() as u64);
+        // Pump engine-side eviction/expiry counters into the shard so
+        // they surface in `StatsReport` and Prometheus alongside the
+        // RPC counters.
+        for u in self.units.values_mut() {
+            let d = u.take_stats_delta();
+            m.add(Counter::Evictions, d.evictions);
+            m.add(Counter::Expirations, d.expirations);
+            m.add(Counter::EvictedBytes, d.evicted_bytes);
+            m.add(Counter::ExpiredBytes, d.expired_bytes);
+            m.add(Counter::SegmentsExpired, d.segments_expired);
+            m.add(Counter::SegMerges, d.seg_merges);
+        }
         let cachelets: Vec<_> = self.units.values().map(|u| u.load_record()).collect();
         m.set_gauge(Gauge::MemBytes, cachelets.iter().map(|c| c.mem_bytes).sum());
         WorkerLoad {
@@ -789,11 +805,14 @@ impl Worker {
     /// epoch (EWMA update, tracker decay, replica-lease sweep).
     fn epoch_snapshot(&mut self, epoch_secs: f64, close: bool) -> EpochReport {
         if close {
+            let now = self.now_ms();
             for u in self.units.values_mut() {
                 u.end_epoch(epoch_secs);
+                // Per-epoch engine maintenance: proactive TTL expiry
+                // (whole-segment reclamation under the seg engine).
+                u.maintain(now);
             }
             self.tracker.end_epoch();
-            let now = self.now_ms();
             self.replica_table.retire_expired(now);
         }
         let mut hot = self.tracker.hot_keys();

@@ -4,6 +4,7 @@
 
 use crossbeam_channel::{bounded, unbounded, Sender};
 use mbal_core::clock::ManualClock;
+use mbal_core::engine::EngineKind;
 use mbal_core::hotkey::HotKeyConfig;
 use mbal_core::mem::{GlobalPool, MemConfig};
 use mbal_core::types::{CacheletId, WorkerAddr, WorkerId};
@@ -23,6 +24,10 @@ struct Fixture {
 }
 
 fn fixture(addr: WorkerAddr, cachelets: &[u32]) -> Fixture {
+    fixture_with_engine(addr, cachelets, EngineKind::from_env())
+}
+
+fn fixture_with_engine(addr: WorkerAddr, cachelets: &[u32], engine: EngineKind) -> Fixture {
     let registry = InProcRegistry::new();
     let clock = ManualClock::new();
     let (tx, rx) = unbounded();
@@ -49,7 +54,14 @@ fn fixture(addr: WorkerAddr, cachelets: &[u32]) -> Fixture {
         sync_replication: true,
         metrics: Arc::new(MetricsShard::new()),
         unit_factory: Box::new(move |id| {
-            CacheUnit::new(id, Arc::clone(&factory_global), &factory_mem, 0)
+            CacheUnit::with_engine_kind(
+                engine,
+                id,
+                Arc::clone(&factory_global),
+                &factory_mem,
+                0,
+                16 << 20,
+            )
         }),
     };
     let join = spawn_worker(ctx);
@@ -60,7 +72,14 @@ fn fixture(addr: WorkerAddr, cachelets: &[u32]) -> Fixture {
         _join: join,
     };
     for &c in cachelets {
-        let unit = Box::new(CacheUnit::new(CacheletId(c), Arc::clone(&global), &mem, 0));
+        let unit = Box::new(CacheUnit::with_engine_kind(
+            engine,
+            CacheletId(c),
+            Arc::clone(&global),
+            &mem,
+            0,
+            16 << 20,
+        ));
         let (rtx, rrx) = bounded(1);
         f.control(Control::Adopt {
             unit,
@@ -390,6 +409,54 @@ fn migration_write_invalidate_rules() {
 }
 
 #[test]
+fn seg_engine_whole_segment_expiry_reaches_stats_report() {
+    let f = fixture_with_engine(WorkerAddr::new(0, 0), &[1], EngineKind::Seg);
+    for i in 0..40u32 {
+        // One TTL cohort, all expired by t = 6 s.
+        let r = f.rpc(Request::Set {
+            cachelet: CacheletId(1),
+            key: format!("ttl{i}").as_bytes().to_vec(),
+            value: vec![7u8; 50],
+            expiry_ms: 5_000 + u64::from(i),
+        });
+        assert_eq!(r, Response::Stored);
+    }
+    // Advance past every expiry; the per-epoch maintenance pass must
+    // reclaim the whole cohort and surface it through the report.
+    f.clock.advance(10_000_000);
+    let report = f.epoch();
+    assert_eq!(report.load.metrics.get(Counter::Expirations), 40);
+    assert_eq!(report.load.metrics.get(Counter::ExpiredBytes), 40 * 50);
+    assert!(
+        report.load.metrics.get(Counter::SegmentsExpired) >= 1,
+        "whole-segment reclamation must be visible"
+    );
+    // Expired keys read as misses afterwards.
+    assert_eq!(get(&f, 1, b"ttl0"), Response::NotFound);
+    f.control(Control::Shutdown);
+}
+
+#[test]
+fn slab_engine_lazy_expiry_reaches_stats_report() {
+    let f = fixture_with_engine(WorkerAddr::new(0, 0), &[1], EngineKind::SlabLru);
+    let r = f.rpc(Request::Set {
+        cachelet: CacheletId(1),
+        key: b"soon".to_vec(),
+        value: vec![9u8; 33],
+        expiry_ms: 1_000,
+    });
+    assert_eq!(r, Response::Stored);
+    f.clock.advance(2_000_000);
+    // A lookup finds the entry expired: the value bytes must be freed
+    // and the expiry counted — the lazy-expiry leak fix.
+    assert_eq!(get(&f, 1, b"soon"), Response::NotFound);
+    let report = f.epoch();
+    assert_eq!(report.load.metrics.get(Counter::Expirations), 1);
+    assert_eq!(report.load.metrics.get(Counter::ExpiredBytes), 33);
+    f.control(Control::Shutdown);
+}
+
+#[test]
 fn epoch_report_counts_and_backoff() {
     let f = fixture(WorkerAddr::new(0, 0), &[1, 2]);
     for i in 0..100u32 {
@@ -455,7 +522,10 @@ fn stats_reset_clears_counters_but_keeps_gauges() {
     assert_eq!(report.read_latency.count, 0);
     // Gauges describe current state and survive the reset.
     assert_eq!(
-        report.load.metrics.gauge(mbal_telemetry::Gauge::CacheletsOwned),
+        report
+            .load
+            .metrics
+            .gauge(mbal_telemetry::Gauge::CacheletsOwned),
         1
     );
     f.control(Control::Shutdown);

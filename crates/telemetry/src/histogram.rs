@@ -243,6 +243,12 @@ impl Histogram {
         for (i, &c) in self.buckets.iter().enumerate() {
             cum += c;
             if cum >= target {
+                if cum == self.count {
+                    // The quantile falls in the highest nonzero
+                    // bucket, whose midpoint can undershoot the exact
+                    // tracked maximum; report the maximum instead.
+                    return self.max;
+                }
                 return bucket_mid(i).min(self.max);
             }
         }
@@ -285,7 +291,10 @@ impl std::fmt::Debug for Histogram {
             .field("count", &self.count)
             .field("sum", &self.sum)
             .field("max", &self.max)
-            .field("nonzero_buckets", &self.buckets.iter().filter(|&&c| c != 0).count())
+            .field(
+                "nonzero_buckets",
+                &self.buckets.iter().filter(|&&c| c != 0).count(),
+            )
             .finish()
     }
 }

@@ -84,11 +84,24 @@ pub enum Counter {
     /// Replica reads refused because the lease had expired (the value
     /// may be stale, so the shadow answers `NotFound` instead).
     StaleReadsRejected,
+    /// Entries dropped by the storage engine's eviction policy.
+    Evictions,
+    /// Entries reclaimed because their TTL had passed.
+    Expirations,
+    /// Value bytes released by eviction.
+    EvictedBytes,
+    /// Value bytes released by TTL expiry.
+    ExpiredBytes,
+    /// Whole segments reclaimed by proactive TTL-bucket expiry (seg
+    /// engine only).
+    SegmentsExpired,
+    /// Merge-based eviction passes (seg engine only).
+    SegMerges,
 }
 
 impl Counter {
     /// Number of counters in the catalog.
-    pub const COUNT: usize = 31;
+    pub const COUNT: usize = 37;
 
     /// Every counter, in index order.
     pub const ALL: [Counter; Self::COUNT] = [
@@ -123,6 +136,12 @@ impl Counter {
         Counter::TransportRetries,
         Counter::TransportTimeouts,
         Counter::StaleReadsRejected,
+        Counter::Evictions,
+        Counter::Expirations,
+        Counter::EvictedBytes,
+        Counter::ExpiredBytes,
+        Counter::SegmentsExpired,
+        Counter::SegMerges,
     ];
 
     /// Stable wire/exposition name.
@@ -159,6 +178,12 @@ impl Counter {
             Counter::TransportRetries => "retries",
             Counter::TransportTimeouts => "timeouts",
             Counter::StaleReadsRejected => "stale_reads_rejected",
+            Counter::Evictions => "evictions",
+            Counter::Expirations => "expirations",
+            Counter::EvictedBytes => "evicted_bytes",
+            Counter::ExpiredBytes => "expired_bytes",
+            Counter::SegmentsExpired => "segments_expired",
+            Counter::SegMerges => "seg_merges",
         }
     }
 }
@@ -342,7 +367,9 @@ impl MetricsRegistry {
     /// Creates a registry with `workers` shards.
     pub fn new(workers: usize) -> Self {
         Self {
-            shards: (0..workers.max(1)).map(|_| Arc::new(MetricsShard::new())).collect(),
+            shards: (0..workers.max(1))
+                .map(|_| Arc::new(MetricsShard::new()))
+                .collect(),
         }
     }
 
@@ -389,10 +416,13 @@ impl MetricsRegistry {
 /// across workers and [`delta`](Self::delta) across time, both
 /// saturating, so a worker restart or counter reset between epochs
 /// yields zeros instead of underflow.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct MetricsSnapshot {
-    /// Counter values, indexed by [`Counter`].
-    pub counters: [u64; Counter::COUNT],
+    /// Counter values, indexed by [`Counter`]. A `Vec` (always
+    /// `Counter::COUNT` long when built here) so the catalog can grow
+    /// past serde's fixed-size-array limits; reads treat a missing tail
+    /// as zeros, which also keeps old serialized snapshots loadable.
+    pub counters: Vec<u64>,
     /// Gauge values, indexed by [`Gauge`].
     pub gauges: [u64; Gauge::COUNT],
     /// Read-family RPC latency histogram (µs).
@@ -401,10 +431,21 @@ pub struct MetricsSnapshot {
     pub write_us: Histogram,
 }
 
+impl Default for MetricsSnapshot {
+    fn default() -> Self {
+        Self {
+            counters: vec![0; Counter::COUNT],
+            gauges: [0; Gauge::COUNT],
+            read_us: Histogram::default(),
+            write_us: Histogram::default(),
+        }
+    }
+}
+
 impl MetricsSnapshot {
-    /// Value of counter `c`.
+    /// Value of counter `c` (zero when the snapshot predates `c`).
     pub fn get(&self, c: Counter) -> u64 {
-        self.counters[c as usize]
+        self.counters.get(c as usize).copied().unwrap_or(0)
     }
 
     /// Value of gauge `g`.
@@ -414,6 +455,9 @@ impl MetricsSnapshot {
 
     /// Folds `other` in: counters and gauges add, histograms merge.
     pub fn merge(&mut self, other: &MetricsSnapshot) {
+        if self.counters.len() < other.counters.len() {
+            self.counters.resize(other.counters.len(), 0);
+        }
         for (a, b) in self.counters.iter_mut().zip(other.counters.iter()) {
             *a = a.saturating_add(*b);
         }
@@ -511,7 +555,11 @@ mod tests {
         let after = s.snapshot();
         assert_eq!(after.get(Counter::Ops), 0);
         assert!(after.read_us.is_empty());
-        assert_eq!(after.gauge(Gauge::CacheletsOwned), 4, "gauges survive reset");
+        assert_eq!(
+            after.gauge(Gauge::CacheletsOwned),
+            4,
+            "gauges survive reset"
+        );
     }
 
     #[test]

@@ -69,7 +69,11 @@ impl StatsReport {
     pub fn from_snapshot(load: WorkerSnapshot) -> Self {
         let read_latency = load.metrics.read_latency();
         let write_latency = load.metrics.write_latency();
-        Self { load, read_latency, write_latency }
+        Self {
+            load,
+            read_latency,
+            write_latency,
+        }
     }
 
     /// Named-metric dump in memcached `stats` style: one
@@ -83,10 +87,16 @@ impl StatsReport {
         for (name, v) in self.load.metrics.gauges_named() {
             out.push((name.to_string(), v.to_string()));
         }
-        out.push(("total_load".to_string(), format!("{:.3}", self.load.total_load())));
+        out.push((
+            "total_load".to_string(),
+            format!("{:.3}", self.load.total_load()),
+        ));
         for (prefix, p) in [("read", &self.read_latency), ("write", &self.write_latency)] {
             out.push((format!("{prefix}_latency_count"), p.count.to_string()));
-            out.push((format!("{prefix}_latency_mean_us"), format!("{:.1}", p.mean_us)));
+            out.push((
+                format!("{prefix}_latency_mean_us"),
+                format!("{:.1}", p.mean_us),
+            ));
             out.push((format!("{prefix}_latency_p50_us"), p.p50_us.to_string()));
             out.push((format!("{prefix}_latency_p90_us"), p.p90_us.to_string()));
             out.push((format!("{prefix}_latency_p95_us"), p.p95_us.to_string()));
@@ -147,13 +157,25 @@ mod tests {
         shard.incr(Counter::Gets);
         shard.incr(Counter::GetHits);
         shard.set_gauge(Gauge::CacheletsOwned, 2);
+        shard.add(Counter::SegmentsExpired, 3);
+        shard.add(Counter::ExpiredBytes, 1_024);
         shard.record_read_us(120);
         shard.record_write_us(300);
         WorkerSnapshot {
             addr: WorkerAddr::new(1, 2),
             cachelets: vec![
-                CacheletLoad { cachelet: CacheletId(7), load: 10.0, mem_bytes: 512, read_ratio: 0.9 },
-                CacheletLoad { cachelet: CacheletId(8), load: 5.0, mem_bytes: 256, read_ratio: 0.5 },
+                CacheletLoad {
+                    cachelet: CacheletId(7),
+                    load: 10.0,
+                    mem_bytes: 512,
+                    read_ratio: 0.9,
+                },
+                CacheletLoad {
+                    cachelet: CacheletId(8),
+                    load: 5.0,
+                    mem_bytes: 256,
+                    read_ratio: 0.5,
+                },
             ],
             load_capacity: 1000.0,
             mem_capacity: 1 << 20,
@@ -210,11 +232,17 @@ mod tests {
         let text = render_prometheus(std::slice::from_ref(&r));
         assert!(text.contains("mbal_ops_total{server=\"1\",worker=\"2\"} 1"));
         assert!(text.contains("mbal_cachelets_owned{server=\"1\",worker=\"2\"} 2"));
+        // Storage-engine reclamation counters reach the scrape surface.
+        assert!(text.contains("mbal_segments_expired_total{server=\"1\",worker=\"2\"} 3"));
+        assert!(text.contains("mbal_expired_bytes_total{server=\"1\",worker=\"2\"} 1024"));
         assert!(text.contains("quantile=\"0.99\""));
         assert!(text.contains("mbal_read_latency_us_count{server=\"1\",worker=\"2\"} 1"));
         // Every line is `name{labels} value`.
         for line in text.lines() {
-            assert!(line.contains('{') && line.contains("} "), "bad line: {line}");
+            assert!(
+                line.contains('{') && line.contains("} "),
+                "bad line: {line}"
+            );
         }
     }
 }

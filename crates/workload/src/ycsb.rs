@@ -24,6 +24,9 @@ pub struct Op {
     pub key: Vec<u8>,
     /// Value bytes for `Set`; empty otherwise.
     pub value: Vec<u8>,
+    /// Relative TTL in milliseconds for `Set` (0 = no expiry). The
+    /// consumer converts it to an absolute expiry at send time.
+    pub ttl_ms: u64,
 }
 
 /// Which key-popularity distribution a workload uses.
@@ -64,6 +67,11 @@ pub struct WorkloadSpec {
     pub key_len: usize,
     /// Value length in bytes.
     pub value_len: usize,
+    /// Relative TTL range `[lo, hi]` in milliseconds applied to every
+    /// generated SET; `(0, 0)` (the default for all presets) means no
+    /// expiry. Each SET draws its TTL uniformly from the range, so a
+    /// TTL-heavy mix exercises the engines' expiry paths.
+    pub ttl_range_ms: (u64, u64),
 }
 
 impl WorkloadSpec {
@@ -76,6 +84,7 @@ impl WorkloadSpec {
             popularity: Popularity::Uniform,
             key_len: 10,
             value_len: 20,
+            ttl_range_ms: (0, 0),
         }
     }
 
@@ -87,6 +96,7 @@ impl WorkloadSpec {
             popularity: Popularity::Zipfian { theta: 0.99 },
             key_len: 10,
             value_len: 20,
+            ttl_range_ms: (0, 0),
         }
     }
 
@@ -99,6 +109,7 @@ impl WorkloadSpec {
             popularity: Popularity::Zipfian { theta: 0.99 },
             key_len: 24,
             value_len: 64,
+            ttl_range_ms: (0, 0),
         }
     }
 
@@ -111,6 +122,7 @@ impl WorkloadSpec {
             popularity: Popularity::Zipfian { theta: 0.99 },
             key_len: 24,
             value_len: 64,
+            ttl_range_ms: (0, 0),
         }
     }
 
@@ -126,6 +138,7 @@ impl WorkloadSpec {
             },
             key_len: 24,
             value_len: 64,
+            ttl_range_ms: (0, 0),
         }
     }
 
@@ -138,6 +151,19 @@ impl WorkloadSpec {
             popularity: Popularity::Zipfian { theta: 0.99 },
             key_len: 24,
             value_len: 64,
+            ttl_range_ms: (0, 0),
+        }
+    }
+
+    /// A TTL-heavy session-store mix: WorkloadC's 50% read / 50%
+    /// update zipfian stream, but every update carries a short TTL
+    /// drawn from `[1 s, 8 s]`, so entries churn through expiry (and
+    /// the seg engine through whole-segment reclamation) within a
+    /// normal measurement window.
+    pub fn ttl_heavy(records: u64) -> Self {
+        Self {
+            ttl_range_ms: (1_000, 8_000),
+            ..Self::workload_c(records)
         }
     }
 
@@ -243,12 +269,21 @@ impl WorkloadGen {
                 kind: OpKind::Get,
                 key,
                 value: Vec::new(),
+                ttl_ms: 0,
             }
         } else {
+            // The TTL draw happens only on the write path, so presets
+            // without TTLs generate bit-identical streams to before the
+            // field existed.
+            let ttl_ms = match self.spec.ttl_range_ms {
+                (0, 0) => 0,
+                (lo, hi) => self.rng.gen_range(lo..=hi.max(lo)),
+            };
             Op {
                 kind: OpKind::Set,
                 key,
                 value: self.make_value(idx),
+                ttl_ms,
             }
         }
     }
@@ -356,6 +391,7 @@ mod tests {
             popularity: Popularity::ZipfianClustered { theta: 0.99 },
             key_len: 10,
             value_len: 20,
+            ttl_range_ms: (0, 0),
         };
         let mut g = WorkloadGen::new(spec.clone(), 42);
         let original_hot: std::collections::HashSet<Vec<u8>> =
@@ -383,6 +419,33 @@ mod tests {
         for _ in 0..100 {
             let op = g.next_op();
             assert_eq!(op.key.len(), 10);
+        }
+    }
+
+    #[test]
+    fn ttl_heavy_sets_carry_ttls_in_range() {
+        let mut g = WorkloadGen::new(WorkloadSpec::ttl_heavy(1_000), 13);
+        let mut sets = 0;
+        for _ in 0..5_000 {
+            let op = g.next_op();
+            match op.kind {
+                OpKind::Set => {
+                    sets += 1;
+                    assert!(
+                        (1_000..=8_000).contains(&op.ttl_ms),
+                        "ttl {} out of range",
+                        op.ttl_ms
+                    );
+                }
+                _ => assert_eq!(op.ttl_ms, 0, "only SETs carry TTLs"),
+            }
+        }
+        assert!(sets > 1_000, "mix must be write-heavy enough: {sets}");
+        // TTL draws stay deterministic per seed.
+        let mut a = WorkloadGen::new(WorkloadSpec::ttl_heavy(1_000), 13);
+        let mut b = WorkloadGen::new(WorkloadSpec::ttl_heavy(1_000), 13);
+        for _ in 0..1_000 {
+            assert_eq!(a.next_op(), b.next_op());
         }
     }
 

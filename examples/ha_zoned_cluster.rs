@@ -170,6 +170,7 @@ fn main() {
             popularity: Popularity::Zipfian { theta: 0.99 },
             key_len: 24,
             value_len: 64,
+            ttl_range_ms: (0, 0),
         };
         let r = sim.run(&[(spec, 4_000)]);
         let (intra, cross) = sim.zone_migration_counts();

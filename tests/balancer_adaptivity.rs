@@ -29,6 +29,7 @@ fn zipf_spec(records: u64, read: f64) -> WorkloadSpec {
         popularity: Popularity::Zipfian { theta: 0.99 },
         key_len: 24,
         value_len: 64,
+        ttl_range_ms: (0, 0),
     }
 }
 
@@ -108,6 +109,7 @@ fn write_heavy_workload_does_not_replicate() {
         },
         key_len: 24,
         value_len: 64,
+        ttl_range_ms: (0, 0),
     };
     let mut sim = Simulation::new(cfg(PhaseSet::all()));
     let _ = sim.run(&[(spec, 4_000)]);

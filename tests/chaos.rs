@@ -120,7 +120,7 @@ fn run_scenario(plan: FaultPlan, ops: usize, with_ticks: bool) -> Outcome {
                 let k = rng.next_below(KEYS) as u8;
                 let v = format!("v{i}-{:04x}", rng.next_u64() & 0xffff).into_bytes();
                 match client.set_opts(&key_of(k), &v, SetOptions::new()) {
-                    Ok(()) => {
+                    Ok(_) => {
                         // Acked: the value is now the only admissible one.
                         model.insert(k, vec![Some(v)]);
                         log.push_str(&format!("{i}:set:{k}:ok\n"));

@@ -68,8 +68,10 @@ impl Cluster {
         let coordinator = Arc::new(Coordinator::new(mapping.clone(), BalancerConfig::default()));
         let registry = InProcRegistry::new();
         let clock = ManualClock::new();
-        let injector =
-            FaultInjector::new(Arc::clone(&registry) as Arc<dyn Transport>, FaultPlan::none(7));
+        let injector = FaultInjector::new(
+            Arc::clone(&registry) as Arc<dyn Transport>,
+            FaultPlan::none(7),
+        );
         let servers = (0..servers)
             .map(|s| {
                 Server::spawn_with_transport(

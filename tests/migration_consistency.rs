@@ -55,6 +55,7 @@ impl Cluster {
             Arc::clone(&self.registry) as Arc<dyn Transport>,
             Arc::clone(&self.coordinator) as Arc<dyn mbal::client::CoordinatorLink>,
         )
+        .build()
     }
 
     fn shutdown(mut self) {
@@ -112,8 +113,7 @@ fn migration_under_concurrent_writes_loses_nothing() {
     assert!(
         final_version > 1,
         "writer made no progress during migration"
-    )
-    .build();
+    );
 
     // Every key must still be readable and hold either the seed value or
     // some writer version (no garbage, no loss).
