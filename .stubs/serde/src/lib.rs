@@ -1,0 +1,401 @@
+//! Offline stand-in for `serde`: a self-describing value data model with
+//! `Serialize`/`Deserialize` traits over it. `serde_derive` (the stub)
+//! generates impls against `__private::Value`, and `serde_json` (the
+//! stub) renders that model to and from JSON text. Only the surface the
+//! workspace actually uses is provided.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub mod __private {
+    /// The self-describing data model every `Serialize` impl produces
+    /// and every `Deserialize` impl consumes.
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Value {
+        Null,
+        Bool(bool),
+        U64(u64),
+        I64(i64),
+        F64(f64),
+        Str(String),
+        Seq(Vec<Value>),
+        Map(Vec<(String, Value)>),
+    }
+
+    impl Value {
+        pub fn get<'a>(&'a self, key: &str) -> Option<&'a Value> {
+            match self {
+                Value::Map(entries) => entries
+                    .iter()
+                    .find_map(|(k, v)| (k == key).then_some(v)),
+                _ => None,
+            }
+        }
+
+        pub fn kind(&self) -> &'static str {
+            match self {
+                Value::Null => "null",
+                Value::Bool(_) => "bool",
+                Value::U64(_) | Value::I64(_) | Value::F64(_) => "number",
+                Value::Str(_) => "string",
+                Value::Seq(_) => "sequence",
+                Value::Map(_) => "map",
+            }
+        }
+    }
+
+    /// Renders a map key: the JSON object key for whatever the key type
+    /// serialized to (serde_json stringifies integer keys).
+    pub fn key_string(v: &Value) -> Result<String, String> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            Value::U64(n) => Ok(n.to_string()),
+            Value::I64(n) => Ok(n.to_string()),
+            Value::Bool(b) => Ok(b.to_string()),
+            other => Err(format!("unsupported map key type: {}", other.kind())),
+        }
+    }
+}
+
+use __private::Value;
+
+/// A data structure that can be serialized into the data model.
+pub trait Serialize {
+    fn to_model(&self) -> Value;
+}
+
+/// A data structure that can be deserialized from the data model.
+pub trait Deserialize: Sized {
+    fn from_model(v: &Value) -> Result<Self, String>;
+}
+
+pub mod ser {
+    pub use crate::Serialize;
+}
+
+pub mod de {
+    pub use crate::Deserialize;
+
+    /// Marker matching serde's owned-deserialization bound.
+    pub trait DeserializeOwned: Deserialize {}
+
+    impl<T: Deserialize> DeserializeOwned for T {}
+}
+
+fn u64_from(v: &Value, what: &str) -> Result<u64, String> {
+    match v {
+        Value::U64(n) => Ok(*n),
+        Value::I64(n) if *n >= 0 => Ok(*n as u64),
+        Value::F64(f) if f.fract() == 0.0 && *f >= 0.0 => Ok(*f as u64),
+        // Integer map keys arrive as JSON object keys (strings).
+        Value::Str(s) => s.parse().map_err(|_| format!("invalid {what}: {s:?}")),
+        other => Err(format!("expected {what}, found {}", other.kind())),
+    }
+}
+
+fn i64_from(v: &Value, what: &str) -> Result<i64, String> {
+    match v {
+        Value::I64(n) => Ok(*n),
+        Value::U64(n) if *n <= i64::MAX as u64 => Ok(*n as i64),
+        Value::F64(f) if f.fract() == 0.0 => Ok(*f as i64),
+        Value::Str(s) => s.parse().map_err(|_| format!("invalid {what}: {s:?}")),
+        other => Err(format!("expected {what}, found {}", other.kind())),
+    }
+}
+
+macro_rules! impl_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_model(&self) -> Value {
+                Value::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_model(v: &Value) -> Result<Self, String> {
+                let n = u64_from(v, stringify!($t))?;
+                <$t>::try_from(n).map_err(|_| format!("{n} out of range for {}", stringify!($t)))
+            }
+        }
+    )*};
+}
+
+impl_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_model(&self) -> Value {
+                Value::I64(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_model(v: &Value) -> Result<Self, String> {
+                let n = i64_from(v, stringify!($t))?;
+                <$t>::try_from(n).map_err(|_| format!("{n} out of range for {}", stringify!($t)))
+            }
+        }
+    )*};
+}
+
+impl_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for bool {
+    fn to_model(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_model(v: &Value) -> Result<Self, String> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(format!("expected bool, found {}", other.kind())),
+        }
+    }
+}
+
+impl Serialize for f64 {
+    fn to_model(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_model(v: &Value) -> Result<Self, String> {
+        match v {
+            Value::F64(f) => Ok(*f),
+            Value::U64(n) => Ok(*n as f64),
+            Value::I64(n) => Ok(*n as f64),
+            other => Err(format!("expected f64, found {}", other.kind())),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_model(&self) -> Value {
+        Value::F64(*self as f64)
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_model(v: &Value) -> Result<Self, String> {
+        f64::from_model(v).map(|f| f as f32)
+    }
+}
+
+impl Serialize for String {
+    fn to_model(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_model(v: &Value) -> Result<Self, String> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(format!("expected string, found {}", other.kind())),
+        }
+    }
+}
+
+// Upstream serde deserializes `&str` zero-copy from borrowed input; this
+// model-based stand-in has no input to borrow from, so it leaks the
+// (small, test-only) string to get `'static`.
+impl Deserialize for &'static str {
+    fn from_model(v: &Value) -> Result<Self, String> {
+        match v {
+            Value::Str(s) => Ok(Box::leak(s.clone().into_boxed_str())),
+            other => Err(format!("expected string, found {}", other.kind())),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_model(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl Serialize for char {
+    fn to_model(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_model(&self) -> Value {
+        (**self).to_model()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_model(&self) -> Value {
+        (**self).to_model()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_model(v: &Value) -> Result<Self, String> {
+        T::from_model(v).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_model(&self) -> Value {
+        match self {
+            Some(t) => t.to_model(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_model(v: &Value) -> Result<Self, String> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_model(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_model(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_model).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_model(v: &Value) -> Result<Self, String> {
+        match v {
+            Value::Seq(items) => items.iter().map(T::from_model).collect(),
+            other => Err(format!("expected sequence, found {}", other.kind())),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_model(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_model).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_model(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_model).collect())
+    }
+}
+
+impl<T: Deserialize + Copy + Default, const N: usize> Deserialize for [T; N] {
+    fn from_model(v: &Value) -> Result<Self, String> {
+        match v {
+            Value::Seq(items) if items.len() == N => {
+                let mut out = [T::default(); N];
+                for (slot, item) in out.iter_mut().zip(items) {
+                    *slot = T::from_model(item)?;
+                }
+                Ok(out)
+            }
+            Value::Seq(items) => Err(format!(
+                "expected an array of length {N}, found {}",
+                items.len()
+            )),
+            other => Err(format!("expected sequence, found {}", other.kind())),
+        }
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_model(&self) -> Value {
+                Value::Seq(vec![$(self.$n.to_model()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_model(v: &Value) -> Result<Self, String> {
+                match v {
+                    Value::Seq(items) => {
+                        let mut it = items.iter();
+                        let out = ($({
+                            let item = it.next().ok_or("tuple too short")?;
+                            $t::from_model(item)?
+                        },)+);
+                        if it.next().is_some() {
+                            return Err("tuple too long".into());
+                        }
+                        Ok(out)
+                    }
+                    other => Err(format!("expected sequence, found {}", other.kind())),
+                }
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+    (0 A, 1 B, 2 C, 3 D, 4 E)
+}
+
+impl<K: Serialize, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn to_model(&self) -> Value {
+        Value::Map(
+            self.iter()
+                .map(|(k, v)| {
+                    let key = __private::key_string(&k.to_model())
+                        .expect("map key must serialize to a string or integer");
+                    (key, v.to_model())
+                })
+                .collect(),
+        )
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for std::collections::BTreeMap<K, V> {
+    fn from_model(v: &Value) -> Result<Self, String> {
+        match v {
+            Value::Map(entries) => entries
+                .iter()
+                .map(|(k, v)| {
+                    Ok((K::from_model(&Value::Str(k.clone()))?, V::from_model(v)?))
+                })
+                .collect(),
+            other => Err(format!("expected map, found {}", other.kind())),
+        }
+    }
+}
+
+impl<K: Serialize, V: Serialize, S> Serialize for std::collections::HashMap<K, V, S> {
+    fn to_model(&self) -> Value {
+        Value::Map(
+            self.iter()
+                .map(|(k, v)| {
+                    let key = __private::key_string(&k.to_model())
+                        .expect("map key must serialize to a string or integer");
+                    (key, v.to_model())
+                })
+                .collect(),
+        )
+    }
+}
+
+impl<K, V, S> Deserialize for std::collections::HashMap<K, V, S>
+where
+    K: Deserialize + std::hash::Hash + Eq,
+    V: Deserialize,
+    S: std::hash::BuildHasher + Default,
+{
+    fn from_model(v: &Value) -> Result<Self, String> {
+        match v {
+            Value::Map(entries) => entries
+                .iter()
+                .map(|(k, v)| {
+                    Ok((K::from_model(&Value::Str(k.clone()))?, V::from_model(v)?))
+                })
+                .collect(),
+            other => Err(format!("expected map, found {}", other.kind())),
+        }
+    }
+}

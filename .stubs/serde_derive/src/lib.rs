@@ -1,0 +1,377 @@
+//! Offline stand-in for `serde_derive`: generates impls of the stub
+//! `serde::Serialize`/`serde::Deserialize` traits (which target the
+//! `serde::__private::Value` data model) for the shapes the workspace
+//! uses — named-field structs, tuple structs, and unit-variant enums —
+//! honoring `#[serde(default)]`, `#[serde(skip)]`, and the container
+//! `#[serde(from = "...", into = "...")]` attributes.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse(input);
+    gen_serialize(&item).parse().expect("generated Serialize impl must parse")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse(input);
+    gen_deserialize(&item).parse().expect("generated Deserialize impl must parse")
+}
+
+struct Field {
+    name: String,
+    default: bool,
+    skip: bool,
+}
+
+enum Shape {
+    Named(Vec<Field>),
+    Tuple(usize),
+    UnitEnum(Vec<String>),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+    /// `#[serde(from = "T")]` — deserialize through `T` + `From<T>`.
+    from_ty: Option<String>,
+    /// `#[serde(into = "T")]` — serialize through `Clone` + `Into<T>`.
+    into_ty: Option<String>,
+}
+
+/// Serde attribute markers found in one `#[serde(...)]` group.
+#[derive(Default)]
+struct SerdeAttrs {
+    default: bool,
+    skip: bool,
+    from_ty: Option<String>,
+    into_ty: Option<String>,
+}
+
+fn parse_serde_attr(tokens: Vec<TokenTree>, out: &mut SerdeAttrs) {
+    // tokens = contents of the bracket group: `serde ( ... )` or other
+    // attributes (doc comments etc.), which are ignored.
+    let mut it = tokens.into_iter();
+    match it.next() {
+        Some(TokenTree::Ident(w)) if w.to_string() == "serde" => {}
+        _ => return,
+    }
+    let inner = match it.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g.stream(),
+        _ => return,
+    };
+    let mut toks = inner.into_iter().peekable();
+    while let Some(tok) = toks.next() {
+        let TokenTree::Ident(word) = tok else { continue };
+        match word.to_string().as_str() {
+            "default" => out.default = true,
+            "skip" => out.skip = true,
+            key @ ("from" | "into") => {
+                // expect `= "Type"`
+                let Some(TokenTree::Punct(eq)) = toks.next() else { continue };
+                if eq.as_char() != '=' {
+                    continue;
+                }
+                let Some(TokenTree::Literal(lit)) = toks.next() else { continue };
+                let raw = lit.to_string();
+                let ty = raw.trim_matches('"').to_string();
+                if key == "from" {
+                    out.from_ty = Some(ty);
+                } else {
+                    out.into_ty = Some(ty);
+                }
+            }
+            other => panic!("serde stub derive: unsupported serde attribute `{other}`"),
+        }
+    }
+}
+
+/// Consumes leading `#[...]` attributes, folding serde markers into `attrs`.
+fn eat_attrs(toks: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>, attrs: &mut SerdeAttrs) {
+    loop {
+        match toks.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                toks.next();
+                match toks.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                        parse_serde_attr(g.stream().into_iter().collect(), attrs);
+                    }
+                    _ => panic!("serde stub derive: malformed attribute"),
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Consumes an optional `pub` / `pub(crate)` visibility.
+fn eat_vis(toks: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) {
+    if let Some(TokenTree::Ident(w)) = toks.peek() {
+        if w.to_string() == "pub" {
+            toks.next();
+            if let Some(TokenTree::Group(g)) = toks.peek() {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    toks.next();
+                }
+            }
+        }
+    }
+}
+
+fn parse(input: TokenStream) -> Item {
+    let mut toks = input.into_iter().peekable();
+    let mut container = SerdeAttrs::default();
+    eat_attrs(&mut toks, &mut container);
+    eat_vis(&mut toks);
+
+    let kind = match toks.next() {
+        Some(TokenTree::Ident(w)) => w.to_string(),
+        other => panic!("serde stub derive: expected struct/enum, found {other:?}"),
+    };
+    let name = match toks.next() {
+        Some(TokenTree::Ident(w)) => w.to_string(),
+        other => panic!("serde stub derive: expected item name, found {other:?}"),
+    };
+    if let Some(TokenTree::Punct(p)) = toks.peek() {
+        if p.as_char() == '<' {
+            panic!("serde stub derive: generic types are not supported ({name})");
+        }
+    }
+
+    let body = match toks.next() {
+        Some(TokenTree::Group(g)) => g,
+        other => panic!("serde stub derive: expected item body for {name}, found {other:?}"),
+    };
+
+    let shape = match (kind.as_str(), body.delimiter()) {
+        ("struct", Delimiter::Brace) => Shape::Named(parse_named_fields(body.stream())),
+        ("struct", Delimiter::Parenthesis) => Shape::Tuple(count_tuple_fields(body.stream())),
+        ("enum", Delimiter::Brace) => Shape::UnitEnum(parse_unit_variants(&name, body.stream())),
+        other => panic!("serde stub derive: unsupported item shape {other:?} for {name}"),
+    };
+
+    Item {
+        name,
+        shape,
+        from_ty: container.from_ty,
+        into_ty: container.into_ty,
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let mut toks = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        let mut attrs = SerdeAttrs::default();
+        eat_attrs(&mut toks, &mut attrs);
+        eat_vis(&mut toks);
+        let Some(tok) = toks.next() else { break };
+        let TokenTree::Ident(fname) = tok else {
+            panic!("serde stub derive: expected field name, found {tok:?}");
+        };
+        match toks.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde stub derive: expected `:` after field, found {other:?}"),
+        }
+        // Skip the type: consume until a comma at angle-bracket depth 0.
+        let mut depth = 0i32;
+        for tok in toks.by_ref() {
+            match tok {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => break,
+                _ => {}
+            }
+        }
+        fields.push(Field {
+            name: fname.to_string(),
+            default: attrs.default,
+            skip: attrs.skip,
+        });
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut depth = 0i32;
+    let mut fields = 0usize;
+    let mut saw_any = false;
+    for tok in stream {
+        saw_any = true;
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => fields += 1,
+            _ => {}
+        }
+    }
+    if saw_any {
+        fields + 1
+    } else {
+        0
+    }
+}
+
+fn parse_unit_variants(name: &str, stream: TokenStream) -> Vec<String> {
+    let mut toks = stream.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        let mut attrs = SerdeAttrs::default();
+        eat_attrs(&mut toks, &mut attrs);
+        let Some(tok) = toks.next() else { break };
+        let TokenTree::Ident(vname) = tok else {
+            panic!("serde stub derive: expected variant name in {name}, found {tok:?}");
+        };
+        match toks.peek() {
+            Some(TokenTree::Group(_)) => {
+                panic!("serde stub derive: data-carrying enum variants are not supported ({name}::{vname})")
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {
+                toks.next();
+            }
+            _ => {}
+        }
+        variants.push(vname.to_string());
+    }
+    variants
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = if let Some(into_ty) = &item.into_ty {
+        format!(
+            "let proxy: {into_ty} = ::std::convert::Into::into(::std::clone::Clone::clone(self));\n\
+             ::serde::Serialize::to_model(&proxy)"
+        )
+    } else {
+        match &item.shape {
+            Shape::Named(fields) => {
+                let mut s = String::from(
+                    "let mut entries: ::std::vec::Vec<(::std::string::String, ::serde::__private::Value)> = ::std::vec::Vec::new();\n",
+                );
+                for f in fields {
+                    if f.skip {
+                        continue;
+                    }
+                    s.push_str(&format!(
+                        "entries.push((::std::string::String::from(\"{0}\"), ::serde::Serialize::to_model(&self.{0})));\n",
+                        f.name
+                    ));
+                }
+                s.push_str("::serde::__private::Value::Map(entries)");
+                s
+            }
+            Shape::Tuple(1) => "::serde::Serialize::to_model(&self.0)".to_string(),
+            Shape::Tuple(n) => {
+                let items: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Serialize::to_model(&self.{i})"))
+                    .collect();
+                format!(
+                    "::serde::__private::Value::Seq(::std::vec![{}])",
+                    items.join(", ")
+                )
+            }
+            Shape::UnitEnum(variants) => {
+                let arms: Vec<String> = variants
+                    .iter()
+                    .map(|v| {
+                        format!(
+                            "{name}::{v} => ::serde::__private::Value::Str(::std::string::String::from(\"{v}\"))"
+                        )
+                    })
+                    .collect();
+                format!("match self {{ {} }}", arms.join(", "))
+            }
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_model(&self) -> ::serde::__private::Value {{\n{body}\n}}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = if let Some(from_ty) = &item.from_ty {
+        format!(
+            "let proxy: {from_ty} = ::serde::Deserialize::from_model(v)?;\n\
+             ::std::result::Result::Ok(::std::convert::From::from(proxy))"
+        )
+    } else {
+        match &item.shape {
+            Shape::Named(fields) => {
+                let mut inits = String::new();
+                for f in fields {
+                    if f.skip {
+                        inits.push_str(&format!(
+                            "{}: ::std::default::Default::default(),\n",
+                            f.name
+                        ));
+                        continue;
+                    }
+                    let missing = if f.default {
+                        "::std::default::Default::default()".to_string()
+                    } else {
+                        format!(
+                            "return ::std::result::Result::Err(::std::format!(\"missing field `{}` in {name}\"))",
+                            f.name
+                        )
+                    };
+                    inits.push_str(&format!(
+                        "{0}: match v.get(\"{0}\") {{\n\
+                             ::std::option::Option::Some(fv) => ::serde::Deserialize::from_model(fv)?,\n\
+                             ::std::option::Option::None => {missing},\n\
+                         }},\n",
+                        f.name
+                    ));
+                }
+                format!(
+                    "match v {{\n\
+                         ::serde::__private::Value::Map(_) => ::std::result::Result::Ok({name} {{\n{inits}}}),\n\
+                         other => ::std::result::Result::Err(::std::format!(\"expected map for {name}, found {{}}\", other.kind())),\n\
+                     }}"
+                )
+            }
+            Shape::Tuple(1) => format!(
+                "::std::result::Result::Ok({name}(::serde::Deserialize::from_model(v)?))"
+            ),
+            Shape::Tuple(n) => {
+                let mut grabs = String::new();
+                for i in 0..*n {
+                    grabs.push_str(&format!(
+                        "::serde::Deserialize::from_model(items.get({i}).ok_or_else(|| ::std::string::String::from(\"tuple too short\"))?)?,\n"
+                    ));
+                }
+                format!(
+                    "match v {{\n\
+                         ::serde::__private::Value::Seq(items) => ::std::result::Result::Ok({name}(\n{grabs})),\n\
+                         other => ::std::result::Result::Err(::std::format!(\"expected sequence for {name}, found {{}}\", other.kind())),\n\
+                     }}"
+                )
+            }
+            Shape::UnitEnum(variants) => {
+                let arms: Vec<String> = variants
+                    .iter()
+                    .map(|v| format!("\"{v}\" => ::std::result::Result::Ok({name}::{v})"))
+                    .collect();
+                format!(
+                    "match v {{\n\
+                         ::serde::__private::Value::Str(s) => match s.as_str() {{\n\
+                             {},\n\
+                             other => ::std::result::Result::Err(::std::format!(\"unknown {name} variant {{other:?}}\")),\n\
+                         }},\n\
+                         other => ::std::result::Result::Err(::std::format!(\"expected string for {name}, found {{}}\", other.kind())),\n\
+                     }}",
+                    arms.join(",\n")
+                )
+            }
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_model(v: &::serde::__private::Value) -> ::std::result::Result<Self, ::std::string::String> {{\n{body}\n}}\n\
+         }}"
+    )
+}

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-111b45341805d699.d: crates/bench/benches/ablations.rs
+
+/root/repo/target/debug/deps/libablations-111b45341805d699.rmeta: crates/bench/benches/ablations.rs
+
+crates/bench/benches/ablations.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/async_replication-408251e434124171.d: tests/async_replication.rs Cargo.toml
+
+/root/repo/target/debug/deps/libasync_replication-408251e434124171.rmeta: tests/async_replication.rs Cargo.toml
+
+tests/async_replication.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/async_replication-5574c0d3f4619855.d: tests/async_replication.rs
+
+/root/repo/target/debug/deps/async_replication-5574c0d3f4619855: tests/async_replication.rs
+
+tests/async_replication.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/async_replication-81320fa404b9c9da.d: tests/async_replication.rs
+
+/root/repo/target/debug/deps/libasync_replication-81320fa404b9c9da.rmeta: tests/async_replication.rs
+
+tests/async_replication.rs:

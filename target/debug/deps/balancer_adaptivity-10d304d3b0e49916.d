@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/balancer_adaptivity-10d304d3b0e49916.d: tests/balancer_adaptivity.rs
+
+/root/repo/target/debug/deps/balancer_adaptivity-10d304d3b0e49916: tests/balancer_adaptivity.rs
+
+tests/balancer_adaptivity.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/balancer_adaptivity-c120a41edff752a6.d: tests/balancer_adaptivity.rs
+
+/root/repo/target/debug/deps/libbalancer_adaptivity-c120a41edff752a6.rmeta: tests/balancer_adaptivity.rs
+
+tests/balancer_adaptivity.rs:

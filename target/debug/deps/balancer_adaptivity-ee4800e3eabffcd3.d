@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/balancer_adaptivity-ee4800e3eabffcd3.d: tests/balancer_adaptivity.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbalancer_adaptivity-ee4800e3eabffcd3.rmeta: tests/balancer_adaptivity.rs Cargo.toml
+
+tests/balancer_adaptivity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/bytes-0bb1cc2f019ba86a.d: /root/repo/.stubs/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-0bb1cc2f019ba86a.rlib: /root/repo/.stubs/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-0bb1cc2f019ba86a.rmeta: /root/repo/.stubs/bytes/src/lib.rs
+
+/root/repo/.stubs/bytes/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bytes-57769da16122040d.d: /root/repo/.stubs/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-57769da16122040d.rmeta: /root/repo/.stubs/bytes/src/lib.rs
+
+/root/repo/.stubs/bytes/src/lib.rs:

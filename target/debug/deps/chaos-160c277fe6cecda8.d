@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/chaos-160c277fe6cecda8.d: tests/chaos.rs
+
+/root/repo/target/debug/deps/chaos-160c277fe6cecda8: tests/chaos.rs
+
+tests/chaos.rs:

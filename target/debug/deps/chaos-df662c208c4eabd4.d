@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/chaos-df662c208c4eabd4.d: tests/chaos.rs
+
+/root/repo/target/debug/deps/libchaos-df662c208c4eabd4.rmeta: tests/chaos.rs
+
+tests/chaos.rs:

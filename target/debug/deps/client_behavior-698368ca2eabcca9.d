@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/client_behavior-698368ca2eabcca9.d: crates/client/tests/client_behavior.rs
+
+/root/repo/target/debug/deps/client_behavior-698368ca2eabcca9: crates/client/tests/client_behavior.rs
+
+crates/client/tests/client_behavior.rs:

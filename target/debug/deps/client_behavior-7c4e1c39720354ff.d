@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/client_behavior-7c4e1c39720354ff.d: crates/client/tests/client_behavior.rs Cargo.toml
+
+/root/repo/target/debug/deps/libclient_behavior-7c4e1c39720354ff.rmeta: crates/client/tests/client_behavior.rs Cargo.toml
+
+crates/client/tests/client_behavior.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

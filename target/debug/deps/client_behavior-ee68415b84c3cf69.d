@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/client_behavior-ee68415b84c3cf69.d: crates/client/tests/client_behavior.rs
+
+/root/repo/target/debug/deps/libclient_behavior-ee68415b84c3cf69.rmeta: crates/client/tests/client_behavior.rs
+
+crates/client/tests/client_behavior.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cluster-3f94d02aa8662aa6.d: crates/client/tests/cluster.rs
+
+/root/repo/target/debug/deps/cluster-3f94d02aa8662aa6: crates/client/tests/cluster.rs
+
+crates/client/tests/cluster.rs:

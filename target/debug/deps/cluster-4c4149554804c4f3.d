@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cluster-4c4149554804c4f3.d: crates/client/tests/cluster.rs
+
+/root/repo/target/debug/deps/libcluster-4c4149554804c4f3.rmeta: crates/client/tests/cluster.rs
+
+crates/client/tests/cluster.rs:

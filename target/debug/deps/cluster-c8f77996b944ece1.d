@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cluster-c8f77996b944ece1.d: crates/client/tests/cluster.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcluster-c8f77996b944ece1.rmeta: crates/client/tests/cluster.rs Cargo.toml
+
+crates/client/tests/cluster.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/coordinator_failover-285f5929eb2318ce.d: tests/coordinator_failover.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcoordinator_failover-285f5929eb2318ce.rmeta: tests/coordinator_failover.rs Cargo.toml
+
+tests/coordinator_failover.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/coordinator_failover-a3bd9c027ac52a6f.d: tests/coordinator_failover.rs
+
+/root/repo/target/debug/deps/coordinator_failover-a3bd9c027ac52a6f: tests/coordinator_failover.rs
+
+tests/coordinator_failover.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/coordinator_failover-e8939d3406094efa.d: tests/coordinator_failover.rs
+
+/root/repo/target/debug/deps/libcoordinator_failover-e8939d3406094efa.rmeta: tests/coordinator_failover.rs
+
+tests/coordinator_failover.rs:

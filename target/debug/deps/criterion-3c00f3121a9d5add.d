@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-3c00f3121a9d5add.d: /root/repo/.stubs/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-3c00f3121a9d5add.rmeta: /root/repo/.stubs/criterion/src/lib.rs
+
+/root/repo/.stubs/criterion/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/criterion-59e271b68fe0ac37.d: /root/repo/.stubs/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-59e271b68fe0ac37.rlib: /root/repo/.stubs/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-59e271b68fe0ac37.rmeta: /root/repo/.stubs/criterion/src/lib.rs
+
+/root/repo/.stubs/criterion/src/lib.rs:

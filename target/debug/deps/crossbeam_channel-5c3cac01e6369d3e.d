@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/crossbeam_channel-5c3cac01e6369d3e.d: /root/repo/.stubs/crossbeam-channel/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam_channel-5c3cac01e6369d3e.rlib: /root/repo/.stubs/crossbeam-channel/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam_channel-5c3cac01e6369d3e.rmeta: /root/repo/.stubs/crossbeam-channel/src/lib.rs
+
+/root/repo/.stubs/crossbeam-channel/src/lib.rs:

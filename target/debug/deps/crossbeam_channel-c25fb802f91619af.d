@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/crossbeam_channel-c25fb802f91619af.d: /root/repo/.stubs/crossbeam-channel/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam_channel-c25fb802f91619af.rmeta: /root/repo/.stubs/crossbeam-channel/src/lib.rs
+
+/root/repo/.stubs/crossbeam-channel/src/lib.rs:

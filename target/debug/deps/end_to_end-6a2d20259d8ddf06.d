@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-6a2d20259d8ddf06.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-6a2d20259d8ddf06: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-d22a9499166db73b.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/libend_to_end-d22a9499166db73b.rmeta: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/engine_differential-46c1ff0ba4f469ca.d: crates/core/tests/engine_differential.rs Cargo.toml
+
+/root/repo/target/debug/deps/libengine_differential-46c1ff0ba4f469ca.rmeta: crates/core/tests/engine_differential.rs Cargo.toml
+
+crates/core/tests/engine_differential.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

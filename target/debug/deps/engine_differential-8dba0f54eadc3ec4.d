@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/engine_differential-8dba0f54eadc3ec4.d: crates/core/tests/engine_differential.rs
+
+/root/repo/target/debug/deps/engine_differential-8dba0f54eadc3ec4: crates/core/tests/engine_differential.rs
+
+crates/core/tests/engine_differential.rs:

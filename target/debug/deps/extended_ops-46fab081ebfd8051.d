@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extended_ops-46fab081ebfd8051.d: tests/extended_ops.rs
+
+/root/repo/target/debug/deps/extended_ops-46fab081ebfd8051: tests/extended_ops.rs
+
+tests/extended_ops.rs:

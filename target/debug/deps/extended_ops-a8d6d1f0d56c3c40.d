@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/extended_ops-a8d6d1f0d56c3c40.d: tests/extended_ops.rs Cargo.toml
+
+/root/repo/target/debug/deps/libextended_ops-a8d6d1f0d56c3c40.rmeta: tests/extended_ops.rs Cargo.toml
+
+tests/extended_ops.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extended_ops-e342b64eb6db8b3f.d: tests/extended_ops.rs
+
+/root/repo/target/debug/deps/libextended_ops-e342b64eb6db8b3f.rmeta: tests/extended_ops.rs
+
+tests/extended_ops.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig01_provisioning-a04613e92b7b9cb8.d: crates/bench/benches/fig01_provisioning.rs
+
+/root/repo/target/debug/deps/libfig01_provisioning-a04613e92b7b9cb8.rmeta: crates/bench/benches/fig01_provisioning.rs
+
+crates/bench/benches/fig01_provisioning.rs:

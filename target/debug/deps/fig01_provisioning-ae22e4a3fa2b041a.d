@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig01_provisioning-ae22e4a3fa2b041a.d: crates/bench/benches/fig01_provisioning.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig01_provisioning-ae22e4a3fa2b041a.rmeta: crates/bench/benches/fig01_provisioning.rs Cargo.toml
+
+crates/bench/benches/fig01_provisioning.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

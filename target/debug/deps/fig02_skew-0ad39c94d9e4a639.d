@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig02_skew-0ad39c94d9e4a639.d: crates/bench/benches/fig02_skew.rs
+
+/root/repo/target/debug/deps/libfig02_skew-0ad39c94d9e4a639.rmeta: crates/bench/benches/fig02_skew.rs
+
+crates/bench/benches/fig02_skew.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig02_skew-7a30685d4118c746.d: crates/bench/benches/fig02_skew.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig02_skew-7a30685d4118c746.rmeta: crates/bench/benches/fig02_skew.rs Cargo.toml
+
+crates/bench/benches/fig02_skew.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

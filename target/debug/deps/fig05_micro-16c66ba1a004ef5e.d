@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig05_micro-16c66ba1a004ef5e.d: crates/bench/benches/fig05_micro.rs
+
+/root/repo/target/debug/deps/libfig05_micro-16c66ba1a004ef5e.rmeta: crates/bench/benches/fig05_micro.rs
+
+crates/bench/benches/fig05_micro.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig05_micro-4e01ad1e0cabfb58.d: crates/bench/benches/fig05_micro.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig05_micro-4e01ad1e0cabfb58.rmeta: crates/bench/benches/fig05_micro.rs Cargo.toml
+
+crates/bench/benches/fig05_micro.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

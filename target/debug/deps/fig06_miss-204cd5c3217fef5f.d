@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig06_miss-204cd5c3217fef5f.d: crates/bench/benches/fig06_miss.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig06_miss-204cd5c3217fef5f.rmeta: crates/bench/benches/fig06_miss.rs Cargo.toml
+
+crates/bench/benches/fig06_miss.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

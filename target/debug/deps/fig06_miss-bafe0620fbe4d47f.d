@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig06_miss-bafe0620fbe4d47f.d: crates/bench/benches/fig06_miss.rs
+
+/root/repo/target/debug/deps/libfig06_miss-bafe0620fbe4d47f.rmeta: crates/bench/benches/fig06_miss.rs
+
+crates/bench/benches/fig06_miss.rs:

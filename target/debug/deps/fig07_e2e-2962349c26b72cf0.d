@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig07_e2e-2962349c26b72cf0.d: crates/bench/benches/fig07_e2e.rs
+
+/root/repo/target/debug/deps/libfig07_e2e-2962349c26b72cf0.rmeta: crates/bench/benches/fig07_e2e.rs
+
+crates/bench/benches/fig07_e2e.rs:

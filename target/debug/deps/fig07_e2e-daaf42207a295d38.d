@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig07_e2e-daaf42207a295d38.d: crates/bench/benches/fig07_e2e.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig07_e2e-daaf42207a295d38.rmeta: crates/bench/benches/fig07_e2e.rs Cargo.toml
+
+crates/bench/benches/fig07_e2e.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

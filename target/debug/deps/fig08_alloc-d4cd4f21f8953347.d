@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig08_alloc-d4cd4f21f8953347.d: crates/bench/benches/fig08_alloc.rs
+
+/root/repo/target/debug/deps/libfig08_alloc-d4cd4f21f8953347.rmeta: crates/bench/benches/fig08_alloc.rs
+
+crates/bench/benches/fig08_alloc.rs:

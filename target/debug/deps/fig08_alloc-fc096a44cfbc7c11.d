@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig08_alloc-fc096a44cfbc7c11.d: crates/bench/benches/fig08_alloc.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig08_alloc-fc096a44cfbc7c11.rmeta: crates/bench/benches/fig08_alloc.rs Cargo.toml
+
+crates/bench/benches/fig08_alloc.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

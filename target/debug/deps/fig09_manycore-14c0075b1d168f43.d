@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig09_manycore-14c0075b1d168f43.d: crates/bench/benches/fig09_manycore.rs
+
+/root/repo/target/debug/deps/libfig09_manycore-14c0075b1d168f43.rmeta: crates/bench/benches/fig09_manycore.rs
+
+crates/bench/benches/fig09_manycore.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig09_manycore-b0ee7e78b045a1bd.d: crates/bench/benches/fig09_manycore.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig09_manycore-b0ee7e78b045a1bd.rmeta: crates/bench/benches/fig09_manycore.rs Cargo.toml
+
+crates/bench/benches/fig09_manycore.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig10_phases-6151035ce80fb25f.d: crates/bench/benches/fig10_phases.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig10_phases-6151035ce80fb25f.rmeta: crates/bench/benches/fig10_phases.rs Cargo.toml
+
+crates/bench/benches/fig10_phases.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_phases-6a4f9ccb1735074d.d: crates/bench/benches/fig10_phases.rs
+
+/root/repo/target/debug/deps/libfig10_phases-6a4f9ccb1735074d.rmeta: crates/bench/benches/fig10_phases.rs
+
+crates/bench/benches/fig10_phases.rs:

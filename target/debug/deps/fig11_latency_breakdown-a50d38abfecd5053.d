@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11_latency_breakdown-a50d38abfecd5053.d: crates/bench/benches/fig11_latency_breakdown.rs
+
+/root/repo/target/debug/deps/libfig11_latency_breakdown-a50d38abfecd5053.rmeta: crates/bench/benches/fig11_latency_breakdown.rs
+
+crates/bench/benches/fig11_latency_breakdown.rs:

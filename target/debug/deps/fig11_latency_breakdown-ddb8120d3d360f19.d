@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig11_latency_breakdown-ddb8120d3d360f19.d: crates/bench/benches/fig11_latency_breakdown.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig11_latency_breakdown-ddb8120d3d360f19.rmeta: crates/bench/benches/fig11_latency_breakdown.rs Cargo.toml
+
+crates/bench/benches/fig11_latency_breakdown.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

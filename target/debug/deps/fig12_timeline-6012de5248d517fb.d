@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig12_timeline-6012de5248d517fb.d: crates/bench/benches/fig12_timeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig12_timeline-6012de5248d517fb.rmeta: crates/bench/benches/fig12_timeline.rs Cargo.toml
+
+crates/bench/benches/fig12_timeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

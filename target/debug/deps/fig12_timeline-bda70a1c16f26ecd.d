@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12_timeline-bda70a1c16f26ecd.d: crates/bench/benches/fig12_timeline.rs
+
+/root/repo/target/debug/deps/libfig12_timeline-bda70a1c16f26ecd.rmeta: crates/bench/benches/fig12_timeline.rs
+
+crates/bench/benches/fig12_timeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13_events-1511a9546f825ee2.d: crates/bench/benches/fig13_events.rs
+
+/root/repo/target/debug/deps/libfig13_events-1511a9546f825ee2.rmeta: crates/bench/benches/fig13_events.rs
+
+crates/bench/benches/fig13_events.rs:

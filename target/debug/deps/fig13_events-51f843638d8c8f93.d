@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig13_events-51f843638d8c8f93.d: crates/bench/benches/fig13_events.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig13_events-51f843638d8c8f93.rmeta: crates/bench/benches/fig13_events.rs Cargo.toml
+
+crates/bench/benches/fig13_events.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/loadgen_smoke-0604ea35091b1519.d: crates/bench/tests/loadgen_smoke.rs
+
+/root/repo/target/debug/deps/loadgen_smoke-0604ea35091b1519: crates/bench/tests/loadgen_smoke.rs
+
+crates/bench/tests/loadgen_smoke.rs:

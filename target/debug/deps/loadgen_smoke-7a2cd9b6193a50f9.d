@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/loadgen_smoke-7a2cd9b6193a50f9.d: crates/bench/tests/loadgen_smoke.rs
+
+/root/repo/target/debug/deps/libloadgen_smoke-7a2cd9b6193a50f9.rmeta: crates/bench/tests/loadgen_smoke.rs
+
+crates/bench/tests/loadgen_smoke.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/loadgen_smoke-8297364dd9b9c4b1.d: crates/bench/tests/loadgen_smoke.rs Cargo.toml
+
+/root/repo/target/debug/deps/libloadgen_smoke-8297364dd9b9c4b1.rmeta: crates/bench/tests/loadgen_smoke.rs Cargo.toml
+
+crates/bench/tests/loadgen_smoke.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mbal-372d0c047d8a9e9b.d: src/lib.rs
+
+/root/repo/target/debug/deps/mbal-372d0c047d8a9e9b: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/mbal-3ee2a891be182023.d: src/lib.rs
+
+/root/repo/target/debug/deps/libmbal-3ee2a891be182023.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libmbal-3ee2a891be182023.rmeta: src/lib.rs
+
+src/lib.rs:

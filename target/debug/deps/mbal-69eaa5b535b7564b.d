@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mbal-69eaa5b535b7564b.d: src/lib.rs
+
+/root/repo/target/debug/deps/libmbal-69eaa5b535b7564b.rmeta: src/lib.rs
+
+src/lib.rs:

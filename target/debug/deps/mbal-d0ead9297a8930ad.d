@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mbal-d0ead9297a8930ad.d: src/lib.rs
+
+/root/repo/target/debug/deps/libmbal-d0ead9297a8930ad.rmeta: src/lib.rs
+
+src/lib.rs:

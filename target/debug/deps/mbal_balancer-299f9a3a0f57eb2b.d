@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/mbal_balancer-299f9a3a0f57eb2b.d: crates/balancer/src/lib.rs crates/balancer/src/config.rs crates/balancer/src/coordinator.rs crates/balancer/src/driver.rs crates/balancer/src/events.rs crates/balancer/src/phase1.rs crates/balancer/src/phase2.rs crates/balancer/src/phase3.rs crates/balancer/src/plan.rs crates/balancer/src/replicated.rs crates/balancer/src/state.rs crates/balancer/src/topology.rs
+
+/root/repo/target/debug/deps/libmbal_balancer-299f9a3a0f57eb2b.rmeta: crates/balancer/src/lib.rs crates/balancer/src/config.rs crates/balancer/src/coordinator.rs crates/balancer/src/driver.rs crates/balancer/src/events.rs crates/balancer/src/phase1.rs crates/balancer/src/phase2.rs crates/balancer/src/phase3.rs crates/balancer/src/plan.rs crates/balancer/src/replicated.rs crates/balancer/src/state.rs crates/balancer/src/topology.rs
+
+crates/balancer/src/lib.rs:
+crates/balancer/src/config.rs:
+crates/balancer/src/coordinator.rs:
+crates/balancer/src/driver.rs:
+crates/balancer/src/events.rs:
+crates/balancer/src/phase1.rs:
+crates/balancer/src/phase2.rs:
+crates/balancer/src/phase3.rs:
+crates/balancer/src/plan.rs:
+crates/balancer/src/replicated.rs:
+crates/balancer/src/state.rs:
+crates/balancer/src/topology.rs:

@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/mbal_balancer-38f218fc99b34614.d: crates/balancer/src/lib.rs crates/balancer/src/config.rs crates/balancer/src/coordinator.rs crates/balancer/src/driver.rs crates/balancer/src/events.rs crates/balancer/src/phase1.rs crates/balancer/src/phase2.rs crates/balancer/src/phase3.rs crates/balancer/src/plan.rs crates/balancer/src/replicated.rs crates/balancer/src/state.rs crates/balancer/src/topology.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmbal_balancer-38f218fc99b34614.rmeta: crates/balancer/src/lib.rs crates/balancer/src/config.rs crates/balancer/src/coordinator.rs crates/balancer/src/driver.rs crates/balancer/src/events.rs crates/balancer/src/phase1.rs crates/balancer/src/phase2.rs crates/balancer/src/phase3.rs crates/balancer/src/plan.rs crates/balancer/src/replicated.rs crates/balancer/src/state.rs crates/balancer/src/topology.rs Cargo.toml
+
+crates/balancer/src/lib.rs:
+crates/balancer/src/config.rs:
+crates/balancer/src/coordinator.rs:
+crates/balancer/src/driver.rs:
+crates/balancer/src/events.rs:
+crates/balancer/src/phase1.rs:
+crates/balancer/src/phase2.rs:
+crates/balancer/src/phase3.rs:
+crates/balancer/src/plan.rs:
+crates/balancer/src/replicated.rs:
+crates/balancer/src/state.rs:
+crates/balancer/src/topology.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mbal_baselines-459ada4d46cb932e.d: crates/baselines/src/lib.rs crates/baselines/src/memcached.rs crates/baselines/src/mercury.rs crates/baselines/src/multi_instance.rs crates/baselines/src/owned.rs
+
+/root/repo/target/debug/deps/libmbal_baselines-459ada4d46cb932e.rmeta: crates/baselines/src/lib.rs crates/baselines/src/memcached.rs crates/baselines/src/mercury.rs crates/baselines/src/multi_instance.rs crates/baselines/src/owned.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/memcached.rs:
+crates/baselines/src/mercury.rs:
+crates/baselines/src/multi_instance.rs:
+crates/baselines/src/owned.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/mbal_baselines-8d68d4a2120b02c8.d: crates/baselines/src/lib.rs crates/baselines/src/memcached.rs crates/baselines/src/mercury.rs crates/baselines/src/multi_instance.rs crates/baselines/src/owned.rs
+
+/root/repo/target/debug/deps/libmbal_baselines-8d68d4a2120b02c8.rlib: crates/baselines/src/lib.rs crates/baselines/src/memcached.rs crates/baselines/src/mercury.rs crates/baselines/src/multi_instance.rs crates/baselines/src/owned.rs
+
+/root/repo/target/debug/deps/libmbal_baselines-8d68d4a2120b02c8.rmeta: crates/baselines/src/lib.rs crates/baselines/src/memcached.rs crates/baselines/src/mercury.rs crates/baselines/src/multi_instance.rs crates/baselines/src/owned.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/memcached.rs:
+crates/baselines/src/mercury.rs:
+crates/baselines/src/multi_instance.rs:
+crates/baselines/src/owned.rs:

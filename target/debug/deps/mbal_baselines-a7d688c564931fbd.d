@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/mbal_baselines-a7d688c564931fbd.d: crates/baselines/src/lib.rs crates/baselines/src/memcached.rs crates/baselines/src/mercury.rs crates/baselines/src/multi_instance.rs crates/baselines/src/owned.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmbal_baselines-a7d688c564931fbd.rmeta: crates/baselines/src/lib.rs crates/baselines/src/memcached.rs crates/baselines/src/mercury.rs crates/baselines/src/multi_instance.rs crates/baselines/src/owned.rs Cargo.toml
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/memcached.rs:
+crates/baselines/src/mercury.rs:
+crates/baselines/src/multi_instance.rs:
+crates/baselines/src/owned.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/mbal_baselines-c09766887ef33949.d: crates/baselines/src/lib.rs crates/baselines/src/memcached.rs crates/baselines/src/mercury.rs crates/baselines/src/multi_instance.rs crates/baselines/src/owned.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmbal_baselines-c09766887ef33949.rmeta: crates/baselines/src/lib.rs crates/baselines/src/memcached.rs crates/baselines/src/mercury.rs crates/baselines/src/multi_instance.rs crates/baselines/src/owned.rs Cargo.toml
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/memcached.rs:
+crates/baselines/src/mercury.rs:
+crates/baselines/src/multi_instance.rs:
+crates/baselines/src/owned.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/mbal_bench-252c534e97eb4f19.d: crates/bench/src/lib.rs crates/bench/src/loadgen.rs
+
+/root/repo/target/debug/deps/libmbal_bench-252c534e97eb4f19.rmeta: crates/bench/src/lib.rs crates/bench/src/loadgen.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/loadgen.rs:
+
+# env-dep:CARGO_PKG_VERSION=0.1.0

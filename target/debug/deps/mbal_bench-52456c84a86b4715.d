@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/mbal_bench-52456c84a86b4715.d: crates/bench/src/lib.rs crates/bench/src/loadgen.rs
+
+/root/repo/target/debug/deps/libmbal_bench-52456c84a86b4715.rlib: crates/bench/src/lib.rs crates/bench/src/loadgen.rs
+
+/root/repo/target/debug/deps/libmbal_bench-52456c84a86b4715.rmeta: crates/bench/src/lib.rs crates/bench/src/loadgen.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/loadgen.rs:
+
+# env-dep:CARGO_PKG_VERSION=0.1.0

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/mbal_bench-623d3286d3595989.d: crates/bench/src/lib.rs crates/bench/src/loadgen.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmbal_bench-623d3286d3595989.rmeta: crates/bench/src/lib.rs crates/bench/src/loadgen.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/loadgen.rs:
+Cargo.toml:
+
+# env-dep:CARGO_PKG_VERSION=0.1.0
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/mbal_bench-f27e175ee20a97e8.d: crates/bench/src/lib.rs crates/bench/src/loadgen.rs
+
+/root/repo/target/debug/deps/mbal_bench-f27e175ee20a97e8: crates/bench/src/lib.rs crates/bench/src/loadgen.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/loadgen.rs:
+
+# env-dep:CARGO_PKG_VERSION=0.1.0

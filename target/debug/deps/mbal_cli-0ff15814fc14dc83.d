@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mbal_cli-0ff15814fc14dc83.d: crates/client/src/bin/mbal-cli.rs
+
+/root/repo/target/debug/deps/libmbal_cli-0ff15814fc14dc83.rmeta: crates/client/src/bin/mbal-cli.rs
+
+crates/client/src/bin/mbal-cli.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mbal_cli-2b5771a9b9a81011.d: crates/client/src/bin/mbal-cli.rs
+
+/root/repo/target/debug/deps/mbal_cli-2b5771a9b9a81011: crates/client/src/bin/mbal-cli.rs
+
+crates/client/src/bin/mbal-cli.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mbal_cli-36b13c33318881b7.d: crates/client/src/bin/mbal-cli.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmbal_cli-36b13c33318881b7.rmeta: crates/client/src/bin/mbal-cli.rs Cargo.toml
+
+crates/client/src/bin/mbal-cli.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mbal_cli-84f3c36cda4c1018.d: crates/client/src/bin/mbal-cli.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmbal_cli-84f3c36cda4c1018.rmeta: crates/client/src/bin/mbal-cli.rs Cargo.toml
+
+crates/client/src/bin/mbal-cli.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mbal_cli-bfa41d0c15ad1b56.d: crates/client/src/bin/mbal-cli.rs
+
+/root/repo/target/debug/deps/mbal_cli-bfa41d0c15ad1b56: crates/client/src/bin/mbal-cli.rs
+
+crates/client/src/bin/mbal-cli.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mbal_cli-d1c5178df04247b3.d: crates/client/src/bin/mbal-cli.rs
+
+/root/repo/target/debug/deps/libmbal_cli-d1c5178df04247b3.rmeta: crates/client/src/bin/mbal-cli.rs
+
+crates/client/src/bin/mbal-cli.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/mbal_client-335538a8fd9c15ec.d: crates/client/src/lib.rs
+
+/root/repo/target/debug/deps/libmbal_client-335538a8fd9c15ec.rlib: crates/client/src/lib.rs
+
+/root/repo/target/debug/deps/libmbal_client-335538a8fd9c15ec.rmeta: crates/client/src/lib.rs
+
+crates/client/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mbal_client-537c6420dbc5f029.d: crates/client/src/lib.rs
+
+/root/repo/target/debug/deps/libmbal_client-537c6420dbc5f029.rmeta: crates/client/src/lib.rs
+
+crates/client/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mbal_client-5ac507537433cc2b.d: crates/client/src/lib.rs
+
+/root/repo/target/debug/deps/libmbal_client-5ac507537433cc2b.rmeta: crates/client/src/lib.rs
+
+crates/client/src/lib.rs:

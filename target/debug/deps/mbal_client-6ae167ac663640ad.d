@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mbal_client-6ae167ac663640ad.d: crates/client/src/lib.rs
+
+/root/repo/target/debug/deps/mbal_client-6ae167ac663640ad: crates/client/src/lib.rs
+
+crates/client/src/lib.rs:

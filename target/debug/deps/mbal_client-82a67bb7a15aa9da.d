@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mbal_client-82a67bb7a15aa9da.d: crates/client/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmbal_client-82a67bb7a15aa9da.rmeta: crates/client/src/lib.rs Cargo.toml
+
+crates/client/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

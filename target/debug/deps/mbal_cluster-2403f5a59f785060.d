@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/mbal_cluster-2403f5a59f785060.d: crates/cluster/src/lib.rs crates/cluster/src/ec2.rs crates/cluster/src/engine.rs crates/cluster/src/multicore.rs crates/cluster/src/report.rs crates/cluster/src/sim.rs
+
+/root/repo/target/debug/deps/libmbal_cluster-2403f5a59f785060.rmeta: crates/cluster/src/lib.rs crates/cluster/src/ec2.rs crates/cluster/src/engine.rs crates/cluster/src/multicore.rs crates/cluster/src/report.rs crates/cluster/src/sim.rs
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/ec2.rs:
+crates/cluster/src/engine.rs:
+crates/cluster/src/multicore.rs:
+crates/cluster/src/report.rs:
+crates/cluster/src/sim.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/mbal_cluster-5b5ecd4bfd3d6def.d: crates/cluster/src/lib.rs crates/cluster/src/ec2.rs crates/cluster/src/engine.rs crates/cluster/src/multicore.rs crates/cluster/src/report.rs crates/cluster/src/sim.rs
+
+/root/repo/target/debug/deps/libmbal_cluster-5b5ecd4bfd3d6def.rlib: crates/cluster/src/lib.rs crates/cluster/src/ec2.rs crates/cluster/src/engine.rs crates/cluster/src/multicore.rs crates/cluster/src/report.rs crates/cluster/src/sim.rs
+
+/root/repo/target/debug/deps/libmbal_cluster-5b5ecd4bfd3d6def.rmeta: crates/cluster/src/lib.rs crates/cluster/src/ec2.rs crates/cluster/src/engine.rs crates/cluster/src/multicore.rs crates/cluster/src/report.rs crates/cluster/src/sim.rs
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/ec2.rs:
+crates/cluster/src/engine.rs:
+crates/cluster/src/multicore.rs:
+crates/cluster/src/report.rs:
+crates/cluster/src/sim.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/mbal_cluster-a8b7b32bea0a8d36.d: crates/cluster/src/lib.rs crates/cluster/src/ec2.rs crates/cluster/src/engine.rs crates/cluster/src/multicore.rs crates/cluster/src/report.rs crates/cluster/src/sim.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmbal_cluster-a8b7b32bea0a8d36.rmeta: crates/cluster/src/lib.rs crates/cluster/src/ec2.rs crates/cluster/src/engine.rs crates/cluster/src/multicore.rs crates/cluster/src/report.rs crates/cluster/src/sim.rs Cargo.toml
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/ec2.rs:
+crates/cluster/src/engine.rs:
+crates/cluster/src/multicore.rs:
+crates/cluster/src/report.rs:
+crates/cluster/src/sim.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/mbal_cluster-e48e4dd5038047ec.d: crates/cluster/src/lib.rs crates/cluster/src/ec2.rs crates/cluster/src/engine.rs crates/cluster/src/multicore.rs crates/cluster/src/report.rs crates/cluster/src/sim.rs
+
+/root/repo/target/debug/deps/mbal_cluster-e48e4dd5038047ec: crates/cluster/src/lib.rs crates/cluster/src/ec2.rs crates/cluster/src/engine.rs crates/cluster/src/multicore.rs crates/cluster/src/report.rs crates/cluster/src/sim.rs
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/ec2.rs:
+crates/cluster/src/engine.rs:
+crates/cluster/src/multicore.rs:
+crates/cluster/src/report.rs:
+crates/cluster/src/sim.rs:

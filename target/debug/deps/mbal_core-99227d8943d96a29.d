@@ -1,0 +1,23 @@
+/root/repo/target/debug/deps/mbal_core-99227d8943d96a29.d: crates/core/src/lib.rs crates/core/src/cachelet.rs crates/core/src/clock.rs crates/core/src/engine/mod.rs crates/core/src/engine/seg.rs crates/core/src/engine/slab_lru.rs crates/core/src/hash.rs crates/core/src/hotkey.rs crates/core/src/mem/mod.rs crates/core/src/mem/global.rs crates/core/src/mem/local.rs crates/core/src/mem/sizeclass.rs crates/core/src/replica.rs crates/core/src/stats.rs crates/core/src/store.rs crates/core/src/table.rs crates/core/src/types.rs
+
+/root/repo/target/debug/deps/libmbal_core-99227d8943d96a29.rlib: crates/core/src/lib.rs crates/core/src/cachelet.rs crates/core/src/clock.rs crates/core/src/engine/mod.rs crates/core/src/engine/seg.rs crates/core/src/engine/slab_lru.rs crates/core/src/hash.rs crates/core/src/hotkey.rs crates/core/src/mem/mod.rs crates/core/src/mem/global.rs crates/core/src/mem/local.rs crates/core/src/mem/sizeclass.rs crates/core/src/replica.rs crates/core/src/stats.rs crates/core/src/store.rs crates/core/src/table.rs crates/core/src/types.rs
+
+/root/repo/target/debug/deps/libmbal_core-99227d8943d96a29.rmeta: crates/core/src/lib.rs crates/core/src/cachelet.rs crates/core/src/clock.rs crates/core/src/engine/mod.rs crates/core/src/engine/seg.rs crates/core/src/engine/slab_lru.rs crates/core/src/hash.rs crates/core/src/hotkey.rs crates/core/src/mem/mod.rs crates/core/src/mem/global.rs crates/core/src/mem/local.rs crates/core/src/mem/sizeclass.rs crates/core/src/replica.rs crates/core/src/stats.rs crates/core/src/store.rs crates/core/src/table.rs crates/core/src/types.rs
+
+crates/core/src/lib.rs:
+crates/core/src/cachelet.rs:
+crates/core/src/clock.rs:
+crates/core/src/engine/mod.rs:
+crates/core/src/engine/seg.rs:
+crates/core/src/engine/slab_lru.rs:
+crates/core/src/hash.rs:
+crates/core/src/hotkey.rs:
+crates/core/src/mem/mod.rs:
+crates/core/src/mem/global.rs:
+crates/core/src/mem/local.rs:
+crates/core/src/mem/sizeclass.rs:
+crates/core/src/replica.rs:
+crates/core/src/stats.rs:
+crates/core/src/store.rs:
+crates/core/src/table.rs:
+crates/core/src/types.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/mbal_ilp-01fdd6b0dd738dd7.d: crates/ilp/src/lib.rs crates/ilp/src/branch.rs crates/ilp/src/model.rs crates/ilp/src/simplex.rs
+
+/root/repo/target/debug/deps/libmbal_ilp-01fdd6b0dd738dd7.rlib: crates/ilp/src/lib.rs crates/ilp/src/branch.rs crates/ilp/src/model.rs crates/ilp/src/simplex.rs
+
+/root/repo/target/debug/deps/libmbal_ilp-01fdd6b0dd738dd7.rmeta: crates/ilp/src/lib.rs crates/ilp/src/branch.rs crates/ilp/src/model.rs crates/ilp/src/simplex.rs
+
+crates/ilp/src/lib.rs:
+crates/ilp/src/branch.rs:
+crates/ilp/src/model.rs:
+crates/ilp/src/simplex.rs:

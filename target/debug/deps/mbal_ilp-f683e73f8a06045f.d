@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/mbal_ilp-f683e73f8a06045f.d: crates/ilp/src/lib.rs crates/ilp/src/branch.rs crates/ilp/src/model.rs crates/ilp/src/simplex.rs
+
+/root/repo/target/debug/deps/mbal_ilp-f683e73f8a06045f: crates/ilp/src/lib.rs crates/ilp/src/branch.rs crates/ilp/src/model.rs crates/ilp/src/simplex.rs
+
+crates/ilp/src/lib.rs:
+crates/ilp/src/branch.rs:
+crates/ilp/src/model.rs:
+crates/ilp/src/simplex.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mbal_loadgen-17ee1127588822bd.d: crates/bench/src/bin/mbal-loadgen.rs
+
+/root/repo/target/debug/deps/mbal_loadgen-17ee1127588822bd: crates/bench/src/bin/mbal-loadgen.rs
+
+crates/bench/src/bin/mbal-loadgen.rs:

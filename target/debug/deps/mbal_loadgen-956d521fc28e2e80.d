@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mbal_loadgen-956d521fc28e2e80.d: crates/bench/src/bin/mbal-loadgen.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmbal_loadgen-956d521fc28e2e80.rmeta: crates/bench/src/bin/mbal-loadgen.rs Cargo.toml
+
+crates/bench/src/bin/mbal-loadgen.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mbal_loadgen-a515dd57b327402e.d: crates/bench/src/bin/mbal-loadgen.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmbal_loadgen-a515dd57b327402e.rmeta: crates/bench/src/bin/mbal-loadgen.rs Cargo.toml
+
+crates/bench/src/bin/mbal-loadgen.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mbal_loadgen-cb8ec047ead71445.d: crates/bench/src/bin/mbal-loadgen.rs
+
+/root/repo/target/debug/deps/mbal_loadgen-cb8ec047ead71445: crates/bench/src/bin/mbal-loadgen.rs
+
+crates/bench/src/bin/mbal-loadgen.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mbal_loadgen-f9305556f6e61ffe.d: crates/bench/src/bin/mbal-loadgen.rs
+
+/root/repo/target/debug/deps/libmbal_loadgen-f9305556f6e61ffe.rmeta: crates/bench/src/bin/mbal-loadgen.rs
+
+crates/bench/src/bin/mbal-loadgen.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mbal_loadgen-fe3a4655321dc7bd.d: crates/bench/src/bin/mbal-loadgen.rs
+
+/root/repo/target/debug/deps/libmbal_loadgen-fe3a4655321dc7bd.rmeta: crates/bench/src/bin/mbal-loadgen.rs
+
+crates/bench/src/bin/mbal-loadgen.rs:

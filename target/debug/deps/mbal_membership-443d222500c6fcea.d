@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/mbal_membership-443d222500c6fcea.d: crates/membership/src/lib.rs crates/membership/src/detector.rs crates/membership/src/view.rs
+
+/root/repo/target/debug/deps/libmbal_membership-443d222500c6fcea.rmeta: crates/membership/src/lib.rs crates/membership/src/detector.rs crates/membership/src/view.rs
+
+crates/membership/src/lib.rs:
+crates/membership/src/detector.rs:
+crates/membership/src/view.rs:

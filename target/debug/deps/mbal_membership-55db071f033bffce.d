@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/mbal_membership-55db071f033bffce.d: crates/membership/src/lib.rs crates/membership/src/detector.rs crates/membership/src/view.rs
+
+/root/repo/target/debug/deps/mbal_membership-55db071f033bffce: crates/membership/src/lib.rs crates/membership/src/detector.rs crates/membership/src/view.rs
+
+crates/membership/src/lib.rs:
+crates/membership/src/detector.rs:
+crates/membership/src/view.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mbal_membership-69e8285ca1309a3d.d: crates/membership/src/lib.rs crates/membership/src/detector.rs crates/membership/src/view.rs
+
+/root/repo/target/debug/deps/libmbal_membership-69e8285ca1309a3d.rlib: crates/membership/src/lib.rs crates/membership/src/detector.rs crates/membership/src/view.rs
+
+/root/repo/target/debug/deps/libmbal_membership-69e8285ca1309a3d.rmeta: crates/membership/src/lib.rs crates/membership/src/detector.rs crates/membership/src/view.rs
+
+crates/membership/src/lib.rs:
+crates/membership/src/detector.rs:
+crates/membership/src/view.rs:

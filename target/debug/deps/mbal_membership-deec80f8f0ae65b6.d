@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/mbal_membership-deec80f8f0ae65b6.d: crates/membership/src/lib.rs crates/membership/src/detector.rs crates/membership/src/view.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmbal_membership-deec80f8f0ae65b6.rmeta: crates/membership/src/lib.rs crates/membership/src/detector.rs crates/membership/src/view.rs Cargo.toml
+
+crates/membership/src/lib.rs:
+crates/membership/src/detector.rs:
+crates/membership/src/view.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mbal_proto-0710d60e1809148a.d: crates/proto/src/lib.rs crates/proto/src/codec.rs crates/proto/src/message.rs
+
+/root/repo/target/debug/deps/libmbal_proto-0710d60e1809148a.rlib: crates/proto/src/lib.rs crates/proto/src/codec.rs crates/proto/src/message.rs
+
+/root/repo/target/debug/deps/libmbal_proto-0710d60e1809148a.rmeta: crates/proto/src/lib.rs crates/proto/src/codec.rs crates/proto/src/message.rs
+
+crates/proto/src/lib.rs:
+crates/proto/src/codec.rs:
+crates/proto/src/message.rs:

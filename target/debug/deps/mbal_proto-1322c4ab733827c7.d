@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/mbal_proto-1322c4ab733827c7.d: crates/proto/src/lib.rs crates/proto/src/codec.rs crates/proto/src/message.rs
+
+/root/repo/target/debug/deps/mbal_proto-1322c4ab733827c7: crates/proto/src/lib.rs crates/proto/src/codec.rs crates/proto/src/message.rs
+
+crates/proto/src/lib.rs:
+crates/proto/src/codec.rs:
+crates/proto/src/message.rs:

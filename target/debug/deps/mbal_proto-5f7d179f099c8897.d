@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/mbal_proto-5f7d179f099c8897.d: crates/proto/src/lib.rs crates/proto/src/codec.rs crates/proto/src/message.rs
+
+/root/repo/target/debug/deps/libmbal_proto-5f7d179f099c8897.rmeta: crates/proto/src/lib.rs crates/proto/src/codec.rs crates/proto/src/message.rs
+
+crates/proto/src/lib.rs:
+crates/proto/src/codec.rs:
+crates/proto/src/message.rs:

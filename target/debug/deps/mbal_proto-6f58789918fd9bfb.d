@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/mbal_proto-6f58789918fd9bfb.d: crates/proto/src/lib.rs crates/proto/src/codec.rs crates/proto/src/message.rs
+
+/root/repo/target/debug/deps/libmbal_proto-6f58789918fd9bfb.rmeta: crates/proto/src/lib.rs crates/proto/src/codec.rs crates/proto/src/message.rs
+
+crates/proto/src/lib.rs:
+crates/proto/src/codec.rs:
+crates/proto/src/message.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/mbal_proto-dc8af8bb60dcb337.d: crates/proto/src/lib.rs crates/proto/src/codec.rs crates/proto/src/message.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmbal_proto-dc8af8bb60dcb337.rmeta: crates/proto/src/lib.rs crates/proto/src/codec.rs crates/proto/src/message.rs Cargo.toml
+
+crates/proto/src/lib.rs:
+crates/proto/src/codec.rs:
+crates/proto/src/message.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

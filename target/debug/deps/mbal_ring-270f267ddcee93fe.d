@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/mbal_ring-270f267ddcee93fe.d: crates/ring/src/lib.rs crates/ring/src/mapping.rs crates/ring/src/ring.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmbal_ring-270f267ddcee93fe.rmeta: crates/ring/src/lib.rs crates/ring/src/mapping.rs crates/ring/src/ring.rs Cargo.toml
+
+crates/ring/src/lib.rs:
+crates/ring/src/mapping.rs:
+crates/ring/src/ring.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

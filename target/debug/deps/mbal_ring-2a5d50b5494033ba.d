@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/mbal_ring-2a5d50b5494033ba.d: crates/ring/src/lib.rs crates/ring/src/mapping.rs crates/ring/src/ring.rs
+
+/root/repo/target/debug/deps/libmbal_ring-2a5d50b5494033ba.rmeta: crates/ring/src/lib.rs crates/ring/src/mapping.rs crates/ring/src/ring.rs
+
+crates/ring/src/lib.rs:
+crates/ring/src/mapping.rs:
+crates/ring/src/ring.rs:

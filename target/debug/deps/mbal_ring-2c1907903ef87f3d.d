@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/mbal_ring-2c1907903ef87f3d.d: crates/ring/src/lib.rs crates/ring/src/mapping.rs crates/ring/src/ring.rs
+
+/root/repo/target/debug/deps/mbal_ring-2c1907903ef87f3d: crates/ring/src/lib.rs crates/ring/src/mapping.rs crates/ring/src/ring.rs
+
+crates/ring/src/lib.rs:
+crates/ring/src/mapping.rs:
+crates/ring/src/ring.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/mbal_ring-66ca0e139e40a34d.d: crates/ring/src/lib.rs crates/ring/src/mapping.rs crates/ring/src/ring.rs
+
+/root/repo/target/debug/deps/libmbal_ring-66ca0e139e40a34d.rmeta: crates/ring/src/lib.rs crates/ring/src/mapping.rs crates/ring/src/ring.rs
+
+crates/ring/src/lib.rs:
+crates/ring/src/mapping.rs:
+crates/ring/src/ring.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mbal_ring-6a4f6111eb5dde25.d: crates/ring/src/lib.rs crates/ring/src/mapping.rs crates/ring/src/ring.rs
+
+/root/repo/target/debug/deps/libmbal_ring-6a4f6111eb5dde25.rlib: crates/ring/src/lib.rs crates/ring/src/mapping.rs crates/ring/src/ring.rs
+
+/root/repo/target/debug/deps/libmbal_ring-6a4f6111eb5dde25.rmeta: crates/ring/src/lib.rs crates/ring/src/mapping.rs crates/ring/src/ring.rs
+
+crates/ring/src/lib.rs:
+crates/ring/src/mapping.rs:
+crates/ring/src/ring.rs:

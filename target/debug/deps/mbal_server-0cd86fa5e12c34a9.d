@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/mbal_server-0cd86fa5e12c34a9.d: crates/server/src/lib.rs crates/server/src/config.rs crates/server/src/fault.rs crates/server/src/messages.rs crates/server/src/metrics_http.rs crates/server/src/server.rs crates/server/src/tcp.rs crates/server/src/transport.rs crates/server/src/unit.rs crates/server/src/worker.rs
+
+/root/repo/target/debug/deps/mbal_server-0cd86fa5e12c34a9: crates/server/src/lib.rs crates/server/src/config.rs crates/server/src/fault.rs crates/server/src/messages.rs crates/server/src/metrics_http.rs crates/server/src/server.rs crates/server/src/tcp.rs crates/server/src/transport.rs crates/server/src/unit.rs crates/server/src/worker.rs
+
+crates/server/src/lib.rs:
+crates/server/src/config.rs:
+crates/server/src/fault.rs:
+crates/server/src/messages.rs:
+crates/server/src/metrics_http.rs:
+crates/server/src/server.rs:
+crates/server/src/tcp.rs:
+crates/server/src/transport.rs:
+crates/server/src/unit.rs:
+crates/server/src/worker.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mbal_server-1eb1d2b34c91c4f9.d: crates/server/src/bin/mbal-server.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmbal_server-1eb1d2b34c91c4f9.rmeta: crates/server/src/bin/mbal-server.rs Cargo.toml
+
+crates/server/src/bin/mbal-server.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mbal_server-24c207fef8a71326.d: crates/server/src/bin/mbal-server.rs
+
+/root/repo/target/debug/deps/mbal_server-24c207fef8a71326: crates/server/src/bin/mbal-server.rs
+
+crates/server/src/bin/mbal-server.rs:

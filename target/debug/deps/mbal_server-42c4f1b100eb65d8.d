@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mbal_server-42c4f1b100eb65d8.d: crates/server/src/bin/mbal-server.rs
+
+/root/repo/target/debug/deps/libmbal_server-42c4f1b100eb65d8.rmeta: crates/server/src/bin/mbal-server.rs
+
+crates/server/src/bin/mbal-server.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/mbal_server-657c4644163b55da.d: crates/server/src/lib.rs crates/server/src/config.rs crates/server/src/fault.rs crates/server/src/messages.rs crates/server/src/metrics_http.rs crates/server/src/server.rs crates/server/src/tcp.rs crates/server/src/transport.rs crates/server/src/unit.rs crates/server/src/worker.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmbal_server-657c4644163b55da.rmeta: crates/server/src/lib.rs crates/server/src/config.rs crates/server/src/fault.rs crates/server/src/messages.rs crates/server/src/metrics_http.rs crates/server/src/server.rs crates/server/src/tcp.rs crates/server/src/transport.rs crates/server/src/unit.rs crates/server/src/worker.rs Cargo.toml
+
+crates/server/src/lib.rs:
+crates/server/src/config.rs:
+crates/server/src/fault.rs:
+crates/server/src/messages.rs:
+crates/server/src/metrics_http.rs:
+crates/server/src/server.rs:
+crates/server/src/tcp.rs:
+crates/server/src/transport.rs:
+crates/server/src/unit.rs:
+crates/server/src/worker.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

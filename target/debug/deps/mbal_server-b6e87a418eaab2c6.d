@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mbal_server-b6e87a418eaab2c6.d: crates/server/src/bin/mbal-server.rs
+
+/root/repo/target/debug/deps/libmbal_server-b6e87a418eaab2c6.rmeta: crates/server/src/bin/mbal-server.rs
+
+crates/server/src/bin/mbal-server.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mbal_server-c444cb9d4748ab64.d: crates/server/src/bin/mbal-server.rs
+
+/root/repo/target/debug/deps/mbal_server-c444cb9d4748ab64: crates/server/src/bin/mbal-server.rs
+
+crates/server/src/bin/mbal-server.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/mbal_telemetry-43b3d39c3ede4dfe.d: crates/telemetry/src/lib.rs crates/telemetry/src/histogram.rs crates/telemetry/src/registry.rs crates/telemetry/src/snapshot.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmbal_telemetry-43b3d39c3ede4dfe.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/histogram.rs crates/telemetry/src/registry.rs crates/telemetry/src/snapshot.rs Cargo.toml
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/histogram.rs:
+crates/telemetry/src/registry.rs:
+crates/telemetry/src/snapshot.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

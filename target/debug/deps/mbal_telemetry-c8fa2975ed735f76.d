@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/mbal_telemetry-c8fa2975ed735f76.d: crates/telemetry/src/lib.rs crates/telemetry/src/histogram.rs crates/telemetry/src/registry.rs crates/telemetry/src/snapshot.rs
+
+/root/repo/target/debug/deps/libmbal_telemetry-c8fa2975ed735f76.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/histogram.rs crates/telemetry/src/registry.rs crates/telemetry/src/snapshot.rs
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/histogram.rs:
+crates/telemetry/src/registry.rs:
+crates/telemetry/src/snapshot.rs:

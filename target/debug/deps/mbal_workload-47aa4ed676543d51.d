@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/mbal_workload-47aa4ed676543d51.d: crates/workload/src/lib.rs crates/workload/src/dist.rs crates/workload/src/latest.rs crates/workload/src/ycsb.rs
+
+/root/repo/target/debug/deps/mbal_workload-47aa4ed676543d51: crates/workload/src/lib.rs crates/workload/src/dist.rs crates/workload/src/latest.rs crates/workload/src/ycsb.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/dist.rs:
+crates/workload/src/latest.rs:
+crates/workload/src/ycsb.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/mbal_workload-6fc331ddc01d039c.d: crates/workload/src/lib.rs crates/workload/src/dist.rs crates/workload/src/latest.rs crates/workload/src/ycsb.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmbal_workload-6fc331ddc01d039c.rmeta: crates/workload/src/lib.rs crates/workload/src/dist.rs crates/workload/src/latest.rs crates/workload/src/ycsb.rs Cargo.toml
+
+crates/workload/src/lib.rs:
+crates/workload/src/dist.rs:
+crates/workload/src/latest.rs:
+crates/workload/src/ycsb.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/mbal_workload-b3e1e38214ad9ff0.d: crates/workload/src/lib.rs crates/workload/src/dist.rs crates/workload/src/latest.rs crates/workload/src/ycsb.rs
+
+/root/repo/target/debug/deps/libmbal_workload-b3e1e38214ad9ff0.rmeta: crates/workload/src/lib.rs crates/workload/src/dist.rs crates/workload/src/latest.rs crates/workload/src/ycsb.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/dist.rs:
+crates/workload/src/latest.rs:
+crates/workload/src/ycsb.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/mbal_workload-c598bc6faa9b1b16.d: crates/workload/src/lib.rs crates/workload/src/dist.rs crates/workload/src/latest.rs crates/workload/src/ycsb.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmbal_workload-c598bc6faa9b1b16.rmeta: crates/workload/src/lib.rs crates/workload/src/dist.rs crates/workload/src/latest.rs crates/workload/src/ycsb.rs Cargo.toml
+
+crates/workload/src/lib.rs:
+crates/workload/src/dist.rs:
+crates/workload/src/latest.rs:
+crates/workload/src/ycsb.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/mbal_workload-c7b3e1ff9b40b11f.d: crates/workload/src/lib.rs crates/workload/src/dist.rs crates/workload/src/latest.rs crates/workload/src/ycsb.rs
+
+/root/repo/target/debug/deps/libmbal_workload-c7b3e1ff9b40b11f.rlib: crates/workload/src/lib.rs crates/workload/src/dist.rs crates/workload/src/latest.rs crates/workload/src/ycsb.rs
+
+/root/repo/target/debug/deps/libmbal_workload-c7b3e1ff9b40b11f.rmeta: crates/workload/src/lib.rs crates/workload/src/dist.rs crates/workload/src/latest.rs crates/workload/src/ycsb.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/dist.rs:
+crates/workload/src/latest.rs:
+crates/workload/src/ycsb.rs:

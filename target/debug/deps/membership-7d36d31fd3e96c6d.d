@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/membership-7d36d31fd3e96c6d.d: tests/membership.rs
+
+/root/repo/target/debug/deps/membership-7d36d31fd3e96c6d: tests/membership.rs
+
+tests/membership.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/membership-c275474b10c5076c.d: tests/membership.rs
+
+/root/repo/target/debug/deps/libmembership-c275474b10c5076c.rmeta: tests/membership.rs
+
+tests/membership.rs:

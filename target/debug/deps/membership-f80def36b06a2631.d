@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/membership-f80def36b06a2631.d: tests/membership.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmembership-f80def36b06a2631.rmeta: tests/membership.rs Cargo.toml
+
+tests/membership.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

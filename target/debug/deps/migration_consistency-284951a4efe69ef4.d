@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/migration_consistency-284951a4efe69ef4.d: tests/migration_consistency.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmigration_consistency-284951a4efe69ef4.rmeta: tests/migration_consistency.rs Cargo.toml
+
+tests/migration_consistency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/migration_consistency-3ac6a1345afc654a.d: tests/migration_consistency.rs
+
+/root/repo/target/debug/deps/libmigration_consistency-3ac6a1345afc654a.rmeta: tests/migration_consistency.rs
+
+tests/migration_consistency.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/migration_consistency-81b0af0bb853e025.d: tests/migration_consistency.rs
+
+/root/repo/target/debug/deps/migration_consistency-81b0af0bb853e025: tests/migration_consistency.rs
+
+tests/migration_consistency.rs:

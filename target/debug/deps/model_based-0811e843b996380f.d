@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/model_based-0811e843b996380f.d: tests/model_based.rs
+
+/root/repo/target/debug/deps/model_based-0811e843b996380f: tests/model_based.rs
+
+tests/model_based.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/model_based-5bf20102f810e24e.d: tests/model_based.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmodel_based-5bf20102f810e24e.rmeta: tests/model_based.rs Cargo.toml
+
+tests/model_based.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/model_based-bb083f264834d1ec.d: tests/model_based.rs
+
+/root/repo/target/debug/deps/libmodel_based-bb083f264834d1ec.rmeta: tests/model_based.rs
+
+tests/model_based.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/multiget_batch-49f940fa1dca7d2d.d: crates/bench/benches/multiget_batch.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmultiget_batch-49f940fa1dca7d2d.rmeta: crates/bench/benches/multiget_batch.rs Cargo.toml
+
+crates/bench/benches/multiget_batch.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

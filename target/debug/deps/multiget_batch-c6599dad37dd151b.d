@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/multiget_batch-c6599dad37dd151b.d: crates/bench/benches/multiget_batch.rs
+
+/root/repo/target/debug/deps/libmultiget_batch-c6599dad37dd151b.rmeta: crates/bench/benches/multiget_batch.rs
+
+crates/bench/benches/multiget_batch.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ops_micro-675bbf33d5c5b484.d: crates/bench/benches/ops_micro.rs
+
+/root/repo/target/debug/deps/libops_micro-675bbf33d5c5b484.rmeta: crates/bench/benches/ops_micro.rs
+
+crates/bench/benches/ops_micro.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ops_micro-f5c2daf16f1b8945.d: crates/bench/benches/ops_micro.rs Cargo.toml
+
+/root/repo/target/debug/deps/libops_micro-f5c2daf16f1b8945.rmeta: crates/bench/benches/ops_micro.rs Cargo.toml
+
+crates/bench/benches/ops_micro.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

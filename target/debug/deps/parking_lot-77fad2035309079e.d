@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/parking_lot-77fad2035309079e.d: /root/repo/.stubs/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-77fad2035309079e.rlib: /root/repo/.stubs/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-77fad2035309079e.rmeta: /root/repo/.stubs/parking_lot/src/lib.rs
+
+/root/repo/.stubs/parking_lot/src/lib.rs:

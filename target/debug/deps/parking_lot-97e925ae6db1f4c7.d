@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parking_lot-97e925ae6db1f4c7.d: /root/repo/.stubs/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-97e925ae6db1f4c7.rmeta: /root/repo/.stubs/parking_lot/src/lib.rs
+
+/root/repo/.stubs/parking_lot/src/lib.rs:

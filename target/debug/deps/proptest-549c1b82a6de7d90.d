@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-549c1b82a6de7d90.d: /root/repo/.stubs/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-549c1b82a6de7d90.rlib: /root/repo/.stubs/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-549c1b82a6de7d90.rmeta: /root/repo/.stubs/proptest/src/lib.rs
+
+/root/repo/.stubs/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-9d36930b34fe25fc.d: /root/repo/.stubs/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-9d36930b34fe25fc.rmeta: /root/repo/.stubs/proptest/src/lib.rs
+
+/root/repo/.stubs/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_cluster-249fdb79049fb420.d: crates/cluster/tests/proptest_cluster.rs
+
+/root/repo/target/debug/deps/libproptest_cluster-249fdb79049fb420.rmeta: crates/cluster/tests/proptest_cluster.rs
+
+crates/cluster/tests/proptest_cluster.rs:

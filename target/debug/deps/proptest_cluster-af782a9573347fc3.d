@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_cluster-af782a9573347fc3.d: crates/cluster/tests/proptest_cluster.rs
+
+/root/repo/target/debug/deps/proptest_cluster-af782a9573347fc3: crates/cluster/tests/proptest_cluster.rs
+
+crates/cluster/tests/proptest_cluster.rs:

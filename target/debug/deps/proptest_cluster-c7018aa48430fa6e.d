@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_cluster-c7018aa48430fa6e.d: crates/cluster/tests/proptest_cluster.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_cluster-c7018aa48430fa6e.rmeta: crates/cluster/tests/proptest_cluster.rs Cargo.toml
+
+crates/cluster/tests/proptest_cluster.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

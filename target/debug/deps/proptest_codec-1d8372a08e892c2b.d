@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_codec-1d8372a08e892c2b.d: crates/proto/tests/proptest_codec.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_codec-1d8372a08e892c2b.rmeta: crates/proto/tests/proptest_codec.rs Cargo.toml
+
+crates/proto/tests/proptest_codec.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_codec-24f00b241d0505d2.d: crates/proto/tests/proptest_codec.rs
+
+/root/repo/target/debug/deps/libproptest_codec-24f00b241d0505d2.rmeta: crates/proto/tests/proptest_codec.rs
+
+crates/proto/tests/proptest_codec.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_codec-3120923b04d47fa8.d: crates/proto/tests/proptest_codec.rs
+
+/root/repo/target/debug/deps/proptest_codec-3120923b04d47fa8: crates/proto/tests/proptest_codec.rs
+
+crates/proto/tests/proptest_codec.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_core-4fe6229da4936d39.d: crates/core/tests/proptest_core.rs
+
+/root/repo/target/debug/deps/libproptest_core-4fe6229da4936d39.rmeta: crates/core/tests/proptest_core.rs
+
+crates/core/tests/proptest_core.rs:

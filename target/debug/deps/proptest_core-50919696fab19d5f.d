@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_core-50919696fab19d5f.d: crates/core/tests/proptest_core.rs
+
+/root/repo/target/debug/deps/proptest_core-50919696fab19d5f: crates/core/tests/proptest_core.rs
+
+crates/core/tests/proptest_core.rs:

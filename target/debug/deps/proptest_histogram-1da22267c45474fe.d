@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_histogram-1da22267c45474fe.d: crates/telemetry/tests/proptest_histogram.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_histogram-1da22267c45474fe.rmeta: crates/telemetry/tests/proptest_histogram.rs Cargo.toml
+
+crates/telemetry/tests/proptest_histogram.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

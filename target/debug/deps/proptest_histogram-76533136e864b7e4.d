@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_histogram-76533136e864b7e4.d: crates/telemetry/tests/proptest_histogram.rs
+
+/root/repo/target/debug/deps/libproptest_histogram-76533136e864b7e4.rmeta: crates/telemetry/tests/proptest_histogram.rs
+
+crates/telemetry/tests/proptest_histogram.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_histogram-99507e7af8a0bb88.d: crates/telemetry/tests/proptest_histogram.rs
+
+/root/repo/target/debug/deps/proptest_histogram-99507e7af8a0bb88: crates/telemetry/tests/proptest_histogram.rs
+
+crates/telemetry/tests/proptest_histogram.rs:

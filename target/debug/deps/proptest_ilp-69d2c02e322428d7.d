@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_ilp-69d2c02e322428d7.d: crates/ilp/tests/proptest_ilp.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_ilp-69d2c02e322428d7.rmeta: crates/ilp/tests/proptest_ilp.rs Cargo.toml
+
+crates/ilp/tests/proptest_ilp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

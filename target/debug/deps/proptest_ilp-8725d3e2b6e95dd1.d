@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_ilp-8725d3e2b6e95dd1.d: crates/ilp/tests/proptest_ilp.rs
+
+/root/repo/target/debug/deps/proptest_ilp-8725d3e2b6e95dd1: crates/ilp/tests/proptest_ilp.rs
+
+crates/ilp/tests/proptest_ilp.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_ilp-89cf66d1ea1aa954.d: crates/ilp/tests/proptest_ilp.rs
+
+/root/repo/target/debug/deps/libproptest_ilp-89cf66d1ea1aa954.rmeta: crates/ilp/tests/proptest_ilp.rs
+
+crates/ilp/tests/proptest_ilp.rs:

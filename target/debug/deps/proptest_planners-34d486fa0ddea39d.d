@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_planners-34d486fa0ddea39d.d: crates/balancer/tests/proptest_planners.rs
+
+/root/repo/target/debug/deps/proptest_planners-34d486fa0ddea39d: crates/balancer/tests/proptest_planners.rs
+
+crates/balancer/tests/proptest_planners.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_planners-687f6a073b9824c1.d: crates/balancer/tests/proptest_planners.rs
+
+/root/repo/target/debug/deps/libproptest_planners-687f6a073b9824c1.rmeta: crates/balancer/tests/proptest_planners.rs
+
+crates/balancer/tests/proptest_planners.rs:

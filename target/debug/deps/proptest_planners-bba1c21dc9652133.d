@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_planners-bba1c21dc9652133.d: crates/balancer/tests/proptest_planners.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_planners-bba1c21dc9652133.rmeta: crates/balancer/tests/proptest_planners.rs Cargo.toml
+
+crates/balancer/tests/proptest_planners.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_ring-090e84ebbce931e7.d: crates/ring/tests/proptest_ring.rs
+
+/root/repo/target/debug/deps/libproptest_ring-090e84ebbce931e7.rmeta: crates/ring/tests/proptest_ring.rs
+
+crates/ring/tests/proptest_ring.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_ring-8236a3bb5826b5a3.d: crates/ring/tests/proptest_ring.rs
+
+/root/repo/target/debug/deps/proptest_ring-8236a3bb5826b5a3: crates/ring/tests/proptest_ring.rs
+
+crates/ring/tests/proptest_ring.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_ring-b9e18b18095b3e32.d: crates/ring/tests/proptest_ring.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_ring-b9e18b18095b3e32.rmeta: crates/ring/tests/proptest_ring.rs Cargo.toml
+
+crates/ring/tests/proptest_ring.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

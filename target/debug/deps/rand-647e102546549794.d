@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-647e102546549794.d: /root/repo/.stubs/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-647e102546549794.rmeta: /root/repo/.stubs/rand/src/lib.rs
+
+/root/repo/.stubs/rand/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-66c1b69e2b923854.d: /root/repo/.stubs/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-66c1b69e2b923854.rlib: /root/repo/.stubs/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-66c1b69e2b923854.rmeta: /root/repo/.stubs/rand/src/lib.rs
+
+/root/repo/.stubs/rand/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-550efca165687cfa.d: /root/repo/.stubs/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-550efca165687cfa.rlib: /root/repo/.stubs/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-550efca165687cfa.rmeta: /root/repo/.stubs/serde/src/lib.rs
+
+/root/repo/.stubs/serde/src/lib.rs:

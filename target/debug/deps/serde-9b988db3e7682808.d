@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-9b988db3e7682808.d: /root/repo/.stubs/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-9b988db3e7682808.rmeta: /root/repo/.stubs/serde/src/lib.rs
+
+/root/repo/.stubs/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_derive-8d322efff2530563.d: /root/repo/.stubs/serde_derive/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_derive-8d322efff2530563.so: /root/repo/.stubs/serde_derive/src/lib.rs
+
+/root/repo/.stubs/serde_derive/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde_json-0135de635ec6f449.d: /root/repo/.stubs/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-0135de635ec6f449.rlib: /root/repo/.stubs/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-0135de635ec6f449.rmeta: /root/repo/.stubs/serde_json/src/lib.rs
+
+/root/repo/.stubs/serde_json/src/lib.rs:

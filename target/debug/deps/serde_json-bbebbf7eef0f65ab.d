@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_json-bbebbf7eef0f65ab.d: /root/repo/.stubs/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-bbebbf7eef0f65ab.rmeta: /root/repo/.stubs/serde_json/src/lib.rs
+
+/root/repo/.stubs/serde_json/src/lib.rs:

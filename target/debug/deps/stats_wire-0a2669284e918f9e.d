@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/stats_wire-0a2669284e918f9e.d: tests/stats_wire.rs
+
+/root/repo/target/debug/deps/stats_wire-0a2669284e918f9e: tests/stats_wire.rs
+
+tests/stats_wire.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/stats_wire-20769d38c98186ad.d: tests/stats_wire.rs
+
+/root/repo/target/debug/deps/libstats_wire-20769d38c98186ad.rmeta: tests/stats_wire.rs
+
+tests/stats_wire.rs:

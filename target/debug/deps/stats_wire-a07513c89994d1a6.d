@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/stats_wire-a07513c89994d1a6.d: tests/stats_wire.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstats_wire-a07513c89994d1a6.rmeta: tests/stats_wire.rs Cargo.toml
+
+tests/stats_wire.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table1_instances-50f90e02ca54613d.d: crates/bench/benches/table1_instances.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable1_instances-50f90e02ca54613d.rmeta: crates/bench/benches/table1_instances.rs Cargo.toml
+
+crates/bench/benches/table1_instances.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

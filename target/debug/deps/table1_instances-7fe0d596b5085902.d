@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_instances-7fe0d596b5085902.d: crates/bench/benches/table1_instances.rs
+
+/root/repo/target/debug/deps/libtable1_instances-7fe0d596b5085902.rmeta: crates/bench/benches/table1_instances.rs
+
+crates/bench/benches/table1_instances.rs:

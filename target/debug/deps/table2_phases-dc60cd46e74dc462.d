@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table2_phases-dc60cd46e74dc462.d: crates/bench/benches/table2_phases.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable2_phases-dc60cd46e74dc462.rmeta: crates/bench/benches/table2_phases.rs Cargo.toml
+
+crates/bench/benches/table2_phases.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

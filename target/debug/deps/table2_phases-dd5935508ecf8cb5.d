@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_phases-dd5935508ecf8cb5.d: crates/bench/benches/table2_phases.rs
+
+/root/repo/target/debug/deps/libtable2_phases-dd5935508ecf8cb5.rmeta: crates/bench/benches/table2_phases.rs
+
+crates/bench/benches/table2_phases.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tcp_faults-24caca1282922810.d: tests/tcp_faults.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtcp_faults-24caca1282922810.rmeta: tests/tcp_faults.rs Cargo.toml
+
+tests/tcp_faults.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

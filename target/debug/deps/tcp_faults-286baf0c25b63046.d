@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tcp_faults-286baf0c25b63046.d: tests/tcp_faults.rs
+
+/root/repo/target/debug/deps/libtcp_faults-286baf0c25b63046.rmeta: tests/tcp_faults.rs
+
+tests/tcp_faults.rs:

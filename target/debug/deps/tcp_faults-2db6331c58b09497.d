@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tcp_faults-2db6331c58b09497.d: tests/tcp_faults.rs
+
+/root/repo/target/debug/deps/tcp_faults-2db6331c58b09497: tests/tcp_faults.rs
+
+tests/tcp_faults.rs:

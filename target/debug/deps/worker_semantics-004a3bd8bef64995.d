@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/worker_semantics-004a3bd8bef64995.d: crates/server/tests/worker_semantics.rs Cargo.toml
+
+/root/repo/target/debug/deps/libworker_semantics-004a3bd8bef64995.rmeta: crates/server/tests/worker_semantics.rs Cargo.toml
+
+crates/server/tests/worker_semantics.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

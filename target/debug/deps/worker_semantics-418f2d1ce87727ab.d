@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/worker_semantics-418f2d1ce87727ab.d: crates/server/tests/worker_semantics.rs
+
+/root/repo/target/debug/deps/libworker_semantics-418f2d1ce87727ab.rmeta: crates/server/tests/worker_semantics.rs
+
+crates/server/tests/worker_semantics.rs:

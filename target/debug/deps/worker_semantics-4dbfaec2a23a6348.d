@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/worker_semantics-4dbfaec2a23a6348.d: crates/server/tests/worker_semantics.rs
+
+/root/repo/target/debug/deps/worker_semantics-4dbfaec2a23a6348: crates/server/tests/worker_semantics.rs
+
+crates/server/tests/worker_semantics.rs:

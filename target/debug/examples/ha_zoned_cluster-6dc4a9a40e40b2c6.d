@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/ha_zoned_cluster-6dc4a9a40e40b2c6.d: examples/ha_zoned_cluster.rs
+
+/root/repo/target/debug/examples/libha_zoned_cluster-6dc4a9a40e40b2c6.rmeta: examples/ha_zoned_cluster.rs
+
+examples/ha_zoned_cluster.rs:

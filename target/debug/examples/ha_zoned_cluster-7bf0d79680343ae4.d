@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/ha_zoned_cluster-7bf0d79680343ae4.d: examples/ha_zoned_cluster.rs Cargo.toml
+
+/root/repo/target/debug/examples/libha_zoned_cluster-7bf0d79680343ae4.rmeta: examples/ha_zoned_cluster.rs Cargo.toml
+
+examples/ha_zoned_cluster.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/ha_zoned_cluster-9f2810468d377e56.d: examples/ha_zoned_cluster.rs
+
+/root/repo/target/debug/examples/ha_zoned_cluster-9f2810468d377e56: examples/ha_zoned_cluster.rs
+
+examples/ha_zoned_cluster.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/photo_tagging-44dae4c3eaa3ffff.d: examples/photo_tagging.rs
+
+/root/repo/target/debug/examples/libphoto_tagging-44dae4c3eaa3ffff.rmeta: examples/photo_tagging.rs
+
+examples/photo_tagging.rs:

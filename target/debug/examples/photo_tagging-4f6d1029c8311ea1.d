@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/photo_tagging-4f6d1029c8311ea1.d: examples/photo_tagging.rs
+
+/root/repo/target/debug/examples/photo_tagging-4f6d1029c8311ea1: examples/photo_tagging.rs
+
+examples/photo_tagging.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/photo_tagging-cf6120f113c02d66.d: examples/photo_tagging.rs Cargo.toml
+
+/root/repo/target/debug/examples/libphoto_tagging-cf6120f113c02d66.rmeta: examples/photo_tagging.rs Cargo.toml
+
+examples/photo_tagging.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

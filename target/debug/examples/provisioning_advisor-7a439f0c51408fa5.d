@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/provisioning_advisor-7a439f0c51408fa5.d: examples/provisioning_advisor.rs
+
+/root/repo/target/debug/examples/provisioning_advisor-7a439f0c51408fa5: examples/provisioning_advisor.rs
+
+examples/provisioning_advisor.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/provisioning_advisor-7b0b58ea7cd07a7a.d: examples/provisioning_advisor.rs Cargo.toml
+
+/root/repo/target/debug/examples/libprovisioning_advisor-7b0b58ea7cd07a7a.rmeta: examples/provisioning_advisor.rs Cargo.toml
+
+examples/provisioning_advisor.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/provisioning_advisor-c7c71cc5ba42ad75.d: examples/provisioning_advisor.rs
+
+/root/repo/target/debug/examples/libprovisioning_advisor-c7c71cc5ba42ad75.rmeta: examples/provisioning_advisor.rs
+
+examples/provisioning_advisor.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-aabcfdc73195d7cc.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/libquickstart-aabcfdc73195d7cc.rmeta: examples/quickstart.rs
+
+examples/quickstart.rs:

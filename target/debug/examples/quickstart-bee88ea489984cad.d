@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-bee88ea489984cad.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-bee88ea489984cad: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/session_store-1269596bbfe2c3bd.d: examples/session_store.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsession_store-1269596bbfe2c3bd.rmeta: examples/session_store.rs Cargo.toml
+
+examples/session_store.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

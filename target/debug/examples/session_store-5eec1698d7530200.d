@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/session_store-5eec1698d7530200.d: examples/session_store.rs
+
+/root/repo/target/debug/examples/libsession_store-5eec1698d7530200.rmeta: examples/session_store.rs
+
+examples/session_store.rs:

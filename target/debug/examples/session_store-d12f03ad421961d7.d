@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/session_store-d12f03ad421961d7.d: examples/session_store.rs
+
+/root/repo/target/debug/examples/session_store-d12f03ad421961d7: examples/session_store.rs
+
+examples/session_store.rs:

@@ -1,0 +1,9 @@
+(function() {
+    const implementors = Object.fromEntries([["mbal_core",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/cmp/trait.Ord.html\" title=\"trait core::cmp::Ord\">Ord</a> for <a class=\"struct\" href=\"mbal_core/types/struct.CacheletId.html\" title=\"struct mbal_core::types::CacheletId\">CacheletId</a>",0],["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/cmp/trait.Ord.html\" title=\"trait core::cmp::Ord\">Ord</a> for <a class=\"struct\" href=\"mbal_core/types/struct.ServerId.html\" title=\"struct mbal_core::types::ServerId\">ServerId</a>",0],["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/cmp/trait.Ord.html\" title=\"trait core::cmp::Ord\">Ord</a> for <a class=\"struct\" href=\"mbal_core/types/struct.VnId.html\" title=\"struct mbal_core::types::VnId\">VnId</a>",0],["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/cmp/trait.Ord.html\" title=\"trait core::cmp::Ord\">Ord</a> for <a class=\"struct\" href=\"mbal_core/types/struct.WorkerAddr.html\" title=\"struct mbal_core::types::WorkerAddr\">WorkerAddr</a>",0],["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/cmp/trait.Ord.html\" title=\"trait core::cmp::Ord\">Ord</a> for <a class=\"struct\" href=\"mbal_core/types/struct.WorkerId.html\" title=\"struct mbal_core::types::WorkerId\">WorkerId</a>",0]]]]);
+    if (window.register_implementors) {
+        window.register_implementors(implementors);
+    } else {
+        window.pending_implementors = implementors;
+    }
+})()
+//{"start":59,"fragment_lengths":[1325]}

@@ -1,0 +1,9 @@
+(function() {
+    const implementors = Object.fromEntries([["mbal_client",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/convert/trait.From.html\" title=\"trait core::convert::From\">From</a>&lt;Status&gt; for <a class=\"enum\" href=\"mbal_client/enum.ClientError.html\" title=\"enum mbal_client::ClientError\">ClientError</a>",0]]]]);
+    if (window.register_implementors) {
+        window.register_implementors(implementors);
+    } else {
+        window.pending_implementors = implementors;
+    }
+})()
+//{"start":59,"fragment_lengths":[298]}

@@ -1,0 +1,9 @@
+(function() {
+    const implementors = Object.fromEntries([["mbal_client",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/error/trait.Error.html\" title=\"trait core::error::Error\">Error</a> for <a class=\"enum\" href=\"mbal_client/enum.ClientError.html\" title=\"enum mbal_client::ClientError\">ClientError</a>",0]]],["mbal_core",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/error/trait.Error.html\" title=\"trait core::error::Error\">Error</a> for <a class=\"enum\" href=\"mbal_core/types/enum.CacheError.html\" title=\"enum mbal_core::types::CacheError\">CacheError</a>",0]]],["mbal_proto",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/error/trait.Error.html\" title=\"trait core::error::Error\">Error</a> for <a class=\"enum\" href=\"mbal_proto/codec/enum.CodecError.html\" title=\"enum mbal_proto::codec::CodecError\">CodecError</a>",0]]],["mbal_server",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/error/trait.Error.html\" title=\"trait core::error::Error\">Error</a> for <a class=\"enum\" href=\"mbal_server/transport/enum.TransportError.html\" title=\"enum mbal_server::transport::TransportError\">TransportError</a>",0]]]]);
+    if (window.register_implementors) {
+        window.register_implementors(implementors);
+    } else {
+        window.pending_implementors = implementors;
+    }
+})()
+//{"start":59,"fragment_lengths":[283,288,291,314]}

@@ -1,0 +1,9 @@
+(function() {
+    const implementors = Object.fromEntries([["mbal_cli",[["impl <a class=\"trait\" href=\"mbal_client/trait.CoordinatorLink.html\" title=\"trait mbal_client::CoordinatorLink\">CoordinatorLink</a> for <a class=\"struct\" href=\"mbal_cli/struct.StaticMapping.html\" title=\"struct mbal_cli::StaticMapping\">StaticMapping</a>",0]]],["mbal_client",[]]]);
+    if (window.register_implementors) {
+        window.register_implementors(implementors);
+    } else {
+        window.pending_implementors = implementors;
+    }
+})()
+//{"start":59,"fragment_lengths":[284,19]}

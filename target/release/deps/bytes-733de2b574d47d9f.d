@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/bytes-733de2b574d47d9f.d: /root/repo/.stubs/bytes/src/lib.rs
+
+/root/repo/target/release/deps/libbytes-733de2b574d47d9f.rlib: /root/repo/.stubs/bytes/src/lib.rs
+
+/root/repo/target/release/deps/libbytes-733de2b574d47d9f.rmeta: /root/repo/.stubs/bytes/src/lib.rs
+
+/root/repo/.stubs/bytes/src/lib.rs:

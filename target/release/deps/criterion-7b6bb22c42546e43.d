@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-7b6bb22c42546e43.d: /root/repo/.stubs/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-7b6bb22c42546e43.rlib: /root/repo/.stubs/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-7b6bb22c42546e43.rmeta: /root/repo/.stubs/criterion/src/lib.rs
+
+/root/repo/.stubs/criterion/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/crossbeam_channel-ec48daa7aac3beae.d: /root/repo/.stubs/crossbeam-channel/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam_channel-ec48daa7aac3beae.rlib: /root/repo/.stubs/crossbeam-channel/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam_channel-ec48daa7aac3beae.rmeta: /root/repo/.stubs/crossbeam-channel/src/lib.rs
+
+/root/repo/.stubs/crossbeam-channel/src/lib.rs:

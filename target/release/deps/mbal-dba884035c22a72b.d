@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/mbal-dba884035c22a72b.d: src/lib.rs
+
+/root/repo/target/release/deps/libmbal-dba884035c22a72b.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libmbal-dba884035c22a72b.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/mbal_balancer-7967acc088b2f864.d: crates/balancer/src/lib.rs crates/balancer/src/config.rs crates/balancer/src/coordinator.rs crates/balancer/src/driver.rs crates/balancer/src/events.rs crates/balancer/src/phase1.rs crates/balancer/src/phase2.rs crates/balancer/src/phase3.rs crates/balancer/src/plan.rs crates/balancer/src/replicated.rs crates/balancer/src/state.rs crates/balancer/src/topology.rs
+
+/root/repo/target/release/deps/libmbal_balancer-7967acc088b2f864.rlib: crates/balancer/src/lib.rs crates/balancer/src/config.rs crates/balancer/src/coordinator.rs crates/balancer/src/driver.rs crates/balancer/src/events.rs crates/balancer/src/phase1.rs crates/balancer/src/phase2.rs crates/balancer/src/phase3.rs crates/balancer/src/plan.rs crates/balancer/src/replicated.rs crates/balancer/src/state.rs crates/balancer/src/topology.rs
+
+/root/repo/target/release/deps/libmbal_balancer-7967acc088b2f864.rmeta: crates/balancer/src/lib.rs crates/balancer/src/config.rs crates/balancer/src/coordinator.rs crates/balancer/src/driver.rs crates/balancer/src/events.rs crates/balancer/src/phase1.rs crates/balancer/src/phase2.rs crates/balancer/src/phase3.rs crates/balancer/src/plan.rs crates/balancer/src/replicated.rs crates/balancer/src/state.rs crates/balancer/src/topology.rs
+
+crates/balancer/src/lib.rs:
+crates/balancer/src/config.rs:
+crates/balancer/src/coordinator.rs:
+crates/balancer/src/driver.rs:
+crates/balancer/src/events.rs:
+crates/balancer/src/phase1.rs:
+crates/balancer/src/phase2.rs:
+crates/balancer/src/phase3.rs:
+crates/balancer/src/plan.rs:
+crates/balancer/src/replicated.rs:
+crates/balancer/src/state.rs:
+crates/balancer/src/topology.rs:

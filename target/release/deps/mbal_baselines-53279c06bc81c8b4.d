@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/mbal_baselines-53279c06bc81c8b4.d: crates/baselines/src/lib.rs crates/baselines/src/memcached.rs crates/baselines/src/mercury.rs crates/baselines/src/multi_instance.rs crates/baselines/src/owned.rs
+
+/root/repo/target/release/deps/libmbal_baselines-53279c06bc81c8b4.rlib: crates/baselines/src/lib.rs crates/baselines/src/memcached.rs crates/baselines/src/mercury.rs crates/baselines/src/multi_instance.rs crates/baselines/src/owned.rs
+
+/root/repo/target/release/deps/libmbal_baselines-53279c06bc81c8b4.rmeta: crates/baselines/src/lib.rs crates/baselines/src/memcached.rs crates/baselines/src/mercury.rs crates/baselines/src/multi_instance.rs crates/baselines/src/owned.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/memcached.rs:
+crates/baselines/src/mercury.rs:
+crates/baselines/src/multi_instance.rs:
+crates/baselines/src/owned.rs:

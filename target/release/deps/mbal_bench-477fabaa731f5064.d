@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/mbal_bench-477fabaa731f5064.d: crates/bench/src/lib.rs crates/bench/src/loadgen.rs
+
+/root/repo/target/release/deps/libmbal_bench-477fabaa731f5064.rlib: crates/bench/src/lib.rs crates/bench/src/loadgen.rs
+
+/root/repo/target/release/deps/libmbal_bench-477fabaa731f5064.rmeta: crates/bench/src/lib.rs crates/bench/src/loadgen.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/loadgen.rs:
+
+# env-dep:CARGO_PKG_VERSION=0.1.0

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/mbal_cli-fca2056d4814c603.d: crates/client/src/bin/mbal-cli.rs
+
+/root/repo/target/release/deps/mbal_cli-fca2056d4814c603: crates/client/src/bin/mbal-cli.rs
+
+crates/client/src/bin/mbal-cli.rs:

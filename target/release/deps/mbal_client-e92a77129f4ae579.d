@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/mbal_client-e92a77129f4ae579.d: crates/client/src/lib.rs
+
+/root/repo/target/release/deps/libmbal_client-e92a77129f4ae579.rlib: crates/client/src/lib.rs
+
+/root/repo/target/release/deps/libmbal_client-e92a77129f4ae579.rmeta: crates/client/src/lib.rs
+
+crates/client/src/lib.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/mbal_cluster-2c09346f4a0941fa.d: crates/cluster/src/lib.rs crates/cluster/src/ec2.rs crates/cluster/src/engine.rs crates/cluster/src/multicore.rs crates/cluster/src/report.rs crates/cluster/src/sim.rs
+
+/root/repo/target/release/deps/libmbal_cluster-2c09346f4a0941fa.rlib: crates/cluster/src/lib.rs crates/cluster/src/ec2.rs crates/cluster/src/engine.rs crates/cluster/src/multicore.rs crates/cluster/src/report.rs crates/cluster/src/sim.rs
+
+/root/repo/target/release/deps/libmbal_cluster-2c09346f4a0941fa.rmeta: crates/cluster/src/lib.rs crates/cluster/src/ec2.rs crates/cluster/src/engine.rs crates/cluster/src/multicore.rs crates/cluster/src/report.rs crates/cluster/src/sim.rs
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/ec2.rs:
+crates/cluster/src/engine.rs:
+crates/cluster/src/multicore.rs:
+crates/cluster/src/report.rs:
+crates/cluster/src/sim.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/mbal_ilp-5c7c9c952c482b09.d: crates/ilp/src/lib.rs crates/ilp/src/branch.rs crates/ilp/src/model.rs crates/ilp/src/simplex.rs
+
+/root/repo/target/release/deps/libmbal_ilp-5c7c9c952c482b09.rlib: crates/ilp/src/lib.rs crates/ilp/src/branch.rs crates/ilp/src/model.rs crates/ilp/src/simplex.rs
+
+/root/repo/target/release/deps/libmbal_ilp-5c7c9c952c482b09.rmeta: crates/ilp/src/lib.rs crates/ilp/src/branch.rs crates/ilp/src/model.rs crates/ilp/src/simplex.rs
+
+crates/ilp/src/lib.rs:
+crates/ilp/src/branch.rs:
+crates/ilp/src/model.rs:
+crates/ilp/src/simplex.rs:

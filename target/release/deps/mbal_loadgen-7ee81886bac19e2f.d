@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/mbal_loadgen-7ee81886bac19e2f.d: crates/bench/src/bin/mbal-loadgen.rs
+
+/root/repo/target/release/deps/mbal_loadgen-7ee81886bac19e2f: crates/bench/src/bin/mbal-loadgen.rs
+
+crates/bench/src/bin/mbal-loadgen.rs:

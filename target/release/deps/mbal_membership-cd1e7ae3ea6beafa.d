@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/mbal_membership-cd1e7ae3ea6beafa.d: crates/membership/src/lib.rs crates/membership/src/detector.rs crates/membership/src/view.rs
+
+/root/repo/target/release/deps/libmbal_membership-cd1e7ae3ea6beafa.rlib: crates/membership/src/lib.rs crates/membership/src/detector.rs crates/membership/src/view.rs
+
+/root/repo/target/release/deps/libmbal_membership-cd1e7ae3ea6beafa.rmeta: crates/membership/src/lib.rs crates/membership/src/detector.rs crates/membership/src/view.rs
+
+crates/membership/src/lib.rs:
+crates/membership/src/detector.rs:
+crates/membership/src/view.rs:

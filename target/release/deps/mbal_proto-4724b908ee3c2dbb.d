@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/mbal_proto-4724b908ee3c2dbb.d: crates/proto/src/lib.rs crates/proto/src/codec.rs crates/proto/src/message.rs
+
+/root/repo/target/release/deps/libmbal_proto-4724b908ee3c2dbb.rlib: crates/proto/src/lib.rs crates/proto/src/codec.rs crates/proto/src/message.rs
+
+/root/repo/target/release/deps/libmbal_proto-4724b908ee3c2dbb.rmeta: crates/proto/src/lib.rs crates/proto/src/codec.rs crates/proto/src/message.rs
+
+crates/proto/src/lib.rs:
+crates/proto/src/codec.rs:
+crates/proto/src/message.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/mbal_ring-0233c2bd052a0bb6.d: crates/ring/src/lib.rs crates/ring/src/mapping.rs crates/ring/src/ring.rs
+
+/root/repo/target/release/deps/libmbal_ring-0233c2bd052a0bb6.rlib: crates/ring/src/lib.rs crates/ring/src/mapping.rs crates/ring/src/ring.rs
+
+/root/repo/target/release/deps/libmbal_ring-0233c2bd052a0bb6.rmeta: crates/ring/src/lib.rs crates/ring/src/mapping.rs crates/ring/src/ring.rs
+
+crates/ring/src/lib.rs:
+crates/ring/src/mapping.rs:
+crates/ring/src/ring.rs:

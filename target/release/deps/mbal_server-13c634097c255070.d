@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/mbal_server-13c634097c255070.d: crates/server/src/bin/mbal-server.rs
+
+/root/repo/target/release/deps/mbal_server-13c634097c255070: crates/server/src/bin/mbal-server.rs
+
+crates/server/src/bin/mbal-server.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/mbal_server-a3060d66134ee780.d: crates/server/src/lib.rs crates/server/src/config.rs crates/server/src/fault.rs crates/server/src/messages.rs crates/server/src/metrics_http.rs crates/server/src/server.rs crates/server/src/tcp.rs crates/server/src/transport.rs crates/server/src/unit.rs crates/server/src/worker.rs
+
+/root/repo/target/release/deps/libmbal_server-a3060d66134ee780.rlib: crates/server/src/lib.rs crates/server/src/config.rs crates/server/src/fault.rs crates/server/src/messages.rs crates/server/src/metrics_http.rs crates/server/src/server.rs crates/server/src/tcp.rs crates/server/src/transport.rs crates/server/src/unit.rs crates/server/src/worker.rs
+
+/root/repo/target/release/deps/libmbal_server-a3060d66134ee780.rmeta: crates/server/src/lib.rs crates/server/src/config.rs crates/server/src/fault.rs crates/server/src/messages.rs crates/server/src/metrics_http.rs crates/server/src/server.rs crates/server/src/tcp.rs crates/server/src/transport.rs crates/server/src/unit.rs crates/server/src/worker.rs
+
+crates/server/src/lib.rs:
+crates/server/src/config.rs:
+crates/server/src/fault.rs:
+crates/server/src/messages.rs:
+crates/server/src/metrics_http.rs:
+crates/server/src/server.rs:
+crates/server/src/tcp.rs:
+crates/server/src/transport.rs:
+crates/server/src/unit.rs:
+crates/server/src/worker.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/mbal_workload-8b516b3749a31544.d: crates/workload/src/lib.rs crates/workload/src/dist.rs crates/workload/src/latest.rs crates/workload/src/ycsb.rs
+
+/root/repo/target/release/deps/libmbal_workload-8b516b3749a31544.rlib: crates/workload/src/lib.rs crates/workload/src/dist.rs crates/workload/src/latest.rs crates/workload/src/ycsb.rs
+
+/root/repo/target/release/deps/libmbal_workload-8b516b3749a31544.rmeta: crates/workload/src/lib.rs crates/workload/src/dist.rs crates/workload/src/latest.rs crates/workload/src/ycsb.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/dist.rs:
+crates/workload/src/latest.rs:
+crates/workload/src/ycsb.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-0a5e81a0e4a6ed1e.d: /root/repo/.stubs/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-0a5e81a0e4a6ed1e.rlib: /root/repo/.stubs/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-0a5e81a0e4a6ed1e.rmeta: /root/repo/.stubs/proptest/src/lib.rs
+
+/root/repo/.stubs/proptest/src/lib.rs:

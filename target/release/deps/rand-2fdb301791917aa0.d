@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-2fdb301791917aa0.d: /root/repo/.stubs/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-2fdb301791917aa0.rlib: /root/repo/.stubs/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-2fdb301791917aa0.rmeta: /root/repo/.stubs/rand/src/lib.rs
+
+/root/repo/.stubs/rand/src/lib.rs:

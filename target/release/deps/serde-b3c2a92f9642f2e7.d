@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde-b3c2a92f9642f2e7.d: /root/repo/.stubs/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-b3c2a92f9642f2e7.rlib: /root/repo/.stubs/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-b3c2a92f9642f2e7.rmeta: /root/repo/.stubs/serde/src/lib.rs
+
+/root/repo/.stubs/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_derive-748a0a94ce9fd323.d: /root/repo/.stubs/serde_derive/src/lib.rs
+
+/root/repo/target/release/deps/libserde_derive-748a0a94ce9fd323.so: /root/repo/.stubs/serde_derive/src/lib.rs
+
+/root/repo/.stubs/serde_derive/src/lib.rs:

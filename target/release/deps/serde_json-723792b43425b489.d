@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde_json-723792b43425b489.d: /root/repo/.stubs/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-723792b43425b489.rlib: /root/repo/.stubs/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-723792b43425b489.rmeta: /root/repo/.stubs/serde_json/src/lib.rs
+
+/root/repo/.stubs/serde_json/src/lib.rs:

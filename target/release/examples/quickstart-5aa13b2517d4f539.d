@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-5aa13b2517d4f539.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-5aa13b2517d4f539: examples/quickstart.rs
+
+examples/quickstart.rs:
