@@ -1,5 +1,7 @@
 //! Balancer tunables.
 
+use mbal_tenant::ArbiterConfig;
+
 /// Which balancing phases are enabled.
 ///
 /// The paper evaluates MBal as an ablation ladder — no balancing,
@@ -130,6 +132,13 @@ pub struct BalancerConfig {
     pub max_iter: usize,
     /// Branch & bound node budget per ILP solve.
     pub ilp_node_budget: usize,
+    /// Memshare-style per-epoch tenant memory arbitration: move budget
+    /// from tenants with low marginal hit-rate toward tenants with high
+    /// marginal hit-rate, within quota floors/ceilings. Disabling it
+    /// freezes every tenant at its static (midpoint) budget.
+    pub tenant_arbitration: bool,
+    /// Step size / move bound / hysteresis of the tenant arbiter.
+    pub tenant_arbiter: ArbiterConfig,
 }
 
 impl Default for BalancerConfig {
@@ -147,6 +156,8 @@ impl Default for BalancerConfig {
             max_replicas: 3,
             max_iter: 8,
             ilp_node_budget: 5_000,
+            tenant_arbitration: true,
+            tenant_arbiter: ArbiterConfig::default(),
         }
     }
 }

@@ -17,8 +17,9 @@ use crate::plan::{Migration, WorkerLoad};
 use crate::state::{Observation, Phase, StateMachine};
 use mbal_core::hotkey::HotKey;
 use mbal_core::stats::relative_imbalance;
-use mbal_core::types::{ServerId, WorkerAddr, WorkerId};
-use std::collections::HashMap;
+use mbal_core::types::{ServerId, TenantId, WorkerAddr, WorkerId};
+use mbal_tenant::{arbitrate, TenantLoad};
+use std::collections::{BTreeMap, HashMap};
 
 /// What the server runtime should do after an epoch tick.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -33,6 +34,11 @@ pub struct EpochActions {
     pub coordinate: Vec<WorkerAddr>,
     /// Hot-key sampling backoff factor workers should apply.
     pub sampling_backoff: u64,
+    /// New absolute tenant memory budgets (summed over every reporting
+    /// worker's units) decided by this epoch's Memshare-style
+    /// arbitration; empty when the allocation is already optimal or
+    /// arbitration is disabled.
+    pub tenant_budgets: Vec<(TenantId, u64)>,
 }
 
 impl EpochActions {
@@ -41,6 +47,7 @@ impl EpochActions {
         self.replication.iter().all(|(_, a)| a.is_empty())
             && self.local_migrations.is_empty()
             && self.coordinate.is_empty()
+            && self.tenant_budgets.is_empty()
     }
 }
 
@@ -253,6 +260,17 @@ impl BalanceDriver {
             }
             Phase::Normal | Phase::KeyReplication => {}
         }
+
+        // Tenant memory arbitration runs every epoch regardless of the
+        // load-balancing phase: it redistributes *memory* between
+        // tenants on the same workers, orthogonal to the request-load
+        // phases above.
+        if self.cfg.tenant_arbitration {
+            let rows = merge_tenant_rows(workers);
+            if rows.len() >= 2 {
+                out.tenant_budgets = arbitrate(&rows, &self.cfg.tenant_arbiter);
+            }
+        }
         out
     }
 
@@ -263,6 +281,33 @@ impl BalanceDriver {
             p.forget(key);
         }
     }
+}
+
+/// Sums each tenant's per-worker telemetry rows into one server-wide
+/// row: resident bytes, budgets, floors, and ceilings add up across
+/// workers (quotas are per cache unit), and so does the marginal
+/// signal — total extra hits per MiB granted everywhere at once.
+fn merge_tenant_rows(workers: &[WorkerLoad]) -> Vec<TenantLoad> {
+    let mut by_tenant: BTreeMap<u16, TenantLoad> = BTreeMap::new();
+    for w in workers {
+        for t in &w.tenants {
+            by_tenant
+                .entry(t.tenant.0)
+                .and_modify(|acc| {
+                    acc.resident_bytes = acc.resident_bytes.saturating_add(t.resident_bytes);
+                    acc.budget_bytes = acc.budget_bytes.saturating_add(t.budget_bytes);
+                    acc.reserved_bytes = acc.reserved_bytes.saturating_add(t.reserved_bytes);
+                    acc.ceiling_bytes = acc.ceiling_bytes.saturating_add(t.ceiling_bytes);
+                    acc.gets += t.gets;
+                    acc.hits += t.hits;
+                    acc.sets += t.sets;
+                    acc.evictions += t.evictions;
+                    acc.marginal_hits_per_mb += t.marginal_hits_per_mb;
+                })
+                .or_insert_with(|| t.clone());
+        }
+    }
+    by_tenant.into_values().collect()
 }
 
 fn overloaded_workers(workers: &[WorkerLoad], cfg: &BalancerConfig) -> Vec<WorkerAddr> {
@@ -300,6 +345,7 @@ mod tests {
             load_capacity: 100.0,
             mem_capacity: 1 << 20,
             metrics: Default::default(),
+            tenants: vec![],
         }
     }
 
@@ -319,6 +365,66 @@ mod tests {
             score,
             write_ratio: 0.0,
         }
+    }
+
+    fn tenant_row(t: u16, budget: u64, marginal: f64) -> TenantLoad {
+        TenantLoad {
+            tenant: TenantId(t),
+            resident_bytes: budget / 2,
+            budget_bytes: budget,
+            reserved_bytes: 1 << 20,
+            ceiling_bytes: 64 << 20,
+            gets: 1_000,
+            hits: 800,
+            sets: 100,
+            evictions: 0,
+            marginal_hits_per_mb: marginal,
+        }
+    }
+
+    #[test]
+    fn epoch_arbitrates_tenant_budgets_toward_marginal_utility() {
+        let mut d = driver();
+        // Two workers each report the same two tenants; tenant 1 has a
+        // far steeper miss-ratio curve than tenant 2.
+        let mut w0 = worker(0, &[10.0]);
+        w0.tenants = vec![tenant_row(1, 8 << 20, 50.0), tenant_row(2, 8 << 20, 0.1)];
+        let mut w1 = worker(1, &[12.0]);
+        w1.tenants = vec![tenant_row(1, 8 << 20, 40.0), tenant_row(2, 8 << 20, 0.2)];
+        let a = d.epoch(0, &[w0, w1], &HashMap::new(), &cluster());
+        assert!(!a.tenant_budgets.is_empty(), "arbitration ran");
+        assert!(!a.is_quiet());
+        let get = |t: u16| {
+            a.tenant_budgets
+                .iter()
+                .find(|(id, _)| *id == TenantId(t))
+                .map(|&(_, b)| b)
+        };
+        // Rows merged across workers: both tenants start at 16 MiB
+        // total; budget must have moved 2 → 1, floors respected.
+        assert!(get(1).expect("receiver changed") > 16 << 20);
+        assert!(get(2).expect("donor changed") < 16 << 20);
+        assert!(get(2).expect("donor") >= 2 << 20, "merged floor held");
+    }
+
+    #[test]
+    fn tenant_arbitration_knob_gates_the_policy() {
+        let mut cfg = BalancerConfig::aggressive();
+        cfg.tenant_arbitration = false;
+        let mut d = BalanceDriver::new(ServerId(0), cfg, 8.0);
+        let mut w0 = worker(0, &[10.0]);
+        w0.tenants = vec![tenant_row(1, 8 << 20, 50.0), tenant_row(2, 8 << 20, 0.1)];
+        let a = d.epoch(0, &[w0], &HashMap::new(), &cluster());
+        assert!(a.tenant_budgets.is_empty(), "knob off: budgets frozen");
+    }
+
+    #[test]
+    fn single_tenant_rows_never_arbitrate() {
+        let mut d = driver();
+        let mut w0 = worker(0, &[10.0]);
+        w0.tenants = vec![tenant_row(1, 8 << 20, 50.0)];
+        let a = d.epoch(0, &[w0], &HashMap::new(), &cluster());
+        assert!(a.tenant_budgets.is_empty(), "no peer to take from");
     }
 
     #[test]

@@ -480,6 +480,7 @@ mod tests {
             load_capacity: capacity,
             mem_capacity: 10 << 20,
             metrics: Default::default(),
+            tenants: vec![],
         }
     }
 

@@ -89,6 +89,7 @@ mod tests {
             load_capacity: 100.0,
             mem_capacity: 1 << 20,
             metrics: Default::default(),
+            tenants: vec![],
         }
     }
 

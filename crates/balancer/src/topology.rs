@@ -128,6 +128,7 @@ mod tests {
             load_capacity: cap,
             mem_capacity: 1 << 20,
             metrics: Default::default(),
+            tenants: vec![],
         }
     }
 

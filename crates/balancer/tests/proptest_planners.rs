@@ -34,6 +34,7 @@ fn workers_strategy() -> impl Strategy<Value = Vec<WorkerLoad>> {
                 load_capacity: 100.0,
                 mem_capacity: 1 << 20,
                 metrics: Default::default(),
+                tenants: vec![],
             })
             .collect()
     })
@@ -110,6 +111,7 @@ proptest! {
             load_capacity: 100.0,
             mem_capacity: 1 << 20,
             metrics: Default::default(),
+            tenants: vec![],
         };
         let src = mk(0, &src_loads, &mut next);
         let src_ids: HashSet<CacheletId> =

@@ -12,7 +12,7 @@
 //! ```
 
 use mbal_balancer::PhaseSet;
-use mbal_bench::loadgen::{run_matrix, LoadgenConfig, Mix, TransportMode};
+use mbal_bench::loadgen::{run_matrix, LoadgenConfig, Mix, TenancyMode, TransportMode};
 use mbal_core::engine::EngineKind;
 
 fn flag(name: &str) -> Option<String> {
@@ -28,8 +28,9 @@ fn usage() -> ! {
         "usage: mbal-loadgen [--mix M1,M2] [--phases P1,P2] [--engine E1,E2] [--rate OPS] \
          [--threads N] [--warmup-secs S] [--measure-secs S] [--records N] [--seed N] \
          [--transport inproc|tcp] [--servers N] [--workers N] [--out PATH]\n\
-         mixes: ycsb-a ycsb-b ycsb-c hotshift ttl-heavy; phases: off p1 p2 p3 p1p2 all …; \
-         engines: slab seg"
+         mixes: ycsb-a ycsb-b ycsb-c hotshift ttl-heavy multi-tenant; \
+         phases: off p1 p2 p3 p1p2 all …; engines: slab seg\n\
+         (multi-tenant runs each cell twice: static partitioning, then arbitrated)"
     );
     std::process::exit(2);
 }
@@ -83,6 +84,7 @@ fn main() {
         servers: num("--servers", 2) as u16,
         workers_per_server: num("--workers", 2) as u16,
         engine: engines[0],
+        tenancy: TenancyMode::Off,
     };
     let out_path = flag("--out").unwrap_or_else(|| "BENCH_results.json".into());
 
@@ -101,15 +103,26 @@ fn main() {
     let report = run_matrix(&base, &mixes, &phase_sets, &engines);
 
     println!(
-        "{:<6} {:<10} {:<6} {:>9} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8}  reconciled",
-        "engine", "mix", "phases", "rate", "p50µs", "p99µs", "p999µs", "maxµs", "evict", "expire",
+        "{:<6} {:<12} {:<6} {:<10} {:>9} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8}  reconciled",
+        "engine",
+        "mix",
+        "phases",
+        "tenancy",
+        "rate",
+        "p50µs",
+        "p99µs",
+        "p999µs",
+        "maxµs",
+        "evict",
+        "expire",
     );
     for c in &report.cells {
         println!(
-            "{:<6} {:<10} {:<6} {:>9.0} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8}  {}",
+            "{:<6} {:<12} {:<6} {:<10} {:>9.0} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8}  {}",
             c.engine,
             c.mix,
             c.phases,
+            c.tenancy,
             c.achieved_rate,
             c.latency.p50_us,
             c.latency.p99_us,
@@ -119,11 +132,36 @@ fn main() {
             c.server.expirations,
             if c.counts_reconciled { "exact" } else { "—" }
         );
+        for t in &c.tenants {
+            println!(
+                "       tenant {:<3} {:<5} hit {:>6.3} p50 {:>6}µs p99 {:>6}µs \
+                 resident {:>10} budget {:>10} evict {:>7}",
+                t.tenant,
+                if t.noisy { "noisy" } else { "quiet" },
+                t.hit_rate,
+                t.p50_us,
+                t.p99_us,
+                t.resident_bytes,
+                t.budget_bytes,
+                t.evictions,
+            );
+        }
     }
     for d in &report.phase_deltas {
         println!(
             "delta {:<6} {:<10} {:<6} p99 {:+}µs p999 {:+}µs mqps {:+.4}",
             d.engine, d.mix, d.phases, d.p99_improvement_us, d.p999_improvement_us, d.mqps_delta
+        );
+    }
+    for d in &report.tenant_deltas {
+        println!(
+            "tenant-delta {:<6} {:<6} arbitrated−static hit-rate: overall {:+.4} quiet {:+.4} \
+             noisy {:+.4}",
+            d.engine,
+            d.phases,
+            d.overall_hit_rate_gain,
+            d.quiet_hit_rate_gain,
+            d.noisy_hit_rate_gain,
         );
     }
 

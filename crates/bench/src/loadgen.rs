@@ -22,14 +22,16 @@ use mbal_balancer::{BalancerConfig, PhaseSet};
 use mbal_client::{Client, CoordinatorLink, SetOptions};
 use mbal_core::clock::{Clock, RealClock};
 use mbal_core::engine::EngineKind;
-use mbal_core::types::{ServerId, WorkerAddr};
+use mbal_core::types::{ServerId, TenantId, WorkerAddr};
 use mbal_ring::{ConsistentRing, MappingTable};
 use mbal_server::tcp::{serve_tcp, TcpTransport};
 use mbal_server::{InProcRegistry, Server, Transport};
 use mbal_telemetry::{Counter, Histogram, LatencyPercentiles};
-use mbal_workload::{Op, OpKind, WorkloadGen, WorkloadSpec};
+use mbal_tenant::{TenantDirectory, TenantQuota};
+use mbal_workload::{Op, OpKind, Popularity, WorkloadGen, WorkloadSpec};
 use parking_lot::Mutex;
 use serde::Serialize;
+use std::collections::BTreeMap;
 use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
 
@@ -61,6 +63,31 @@ impl TransportMode {
     }
 }
 
+/// How multi-tenancy is configured for one cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TenancyMode {
+    /// Single-tenant: no directory admitted, keys not namespaced.
+    Off,
+    /// Tenants admitted with quotas but the arbiter frozen: every
+    /// tenant keeps its static midpoint budget for the whole run —
+    /// the Memshare "static partitioning" baseline.
+    Static,
+    /// Tenants admitted and the epoch-driven memory arbiter live,
+    /// moving budget toward the highest marginal hit-rate.
+    Arbitrated,
+}
+
+impl TenancyMode {
+    /// Stable lowercase label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            TenancyMode::Off => "off",
+            TenancyMode::Static => "static",
+            TenancyMode::Arbitrated => "arbitrated",
+        }
+    }
+}
+
 /// The workload mixes the harness knows how to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Mix {
@@ -76,6 +103,12 @@ pub enum Mix {
     /// WorkloadC with every update carrying a 1–8 s TTL, exercising the
     /// engines' expiry and reclamation paths under churn.
     TtlHeavy,
+    /// Three tenants with deliberately mismatched footprints and skews
+    /// sharing one cluster (see [`tenant_plan`]): two well-behaved
+    /// skewed readers and one noisy uniform write-flooder. Run once
+    /// with static partitioning and once arbitrated to reproduce the
+    /// Memshare comparison.
+    MultiTenant,
 }
 
 impl Mix {
@@ -87,6 +120,7 @@ impl Mix {
             Mix::C => "ycsb-c",
             Mix::HotShift => "hotshift",
             Mix::TtlHeavy => "ttl-heavy",
+            Mix::MultiTenant => "multi-tenant",
         }
     }
 
@@ -98,19 +132,112 @@ impl Mix {
             "c" | "ycsb-c" => Some(Mix::C),
             "hotshift" | "hotspot-shift" => Some(Mix::HotShift),
             "ttl" | "ttl-heavy" | "ttlheavy" => Some(Mix::TtlHeavy),
+            "mt" | "multi-tenant" | "multitenant" => Some(Mix::MultiTenant),
             _ => None,
         }
     }
 
-    /// The workload specification for `records` keys.
+    /// The workload specification for `records` keys. For
+    /// [`Mix::MultiTenant`] this is only the representative
+    /// quiet-tenant spec — real runs draw per-tenant specs from
+    /// [`tenant_plan`].
     pub fn spec(self, records: u64) -> WorkloadSpec {
         match self {
             Mix::A => WorkloadSpec::workload_a(records),
             Mix::B | Mix::HotShift => WorkloadSpec::workload_b(records),
             Mix::C => WorkloadSpec::workload_c(records),
             Mix::TtlHeavy => WorkloadSpec::ttl_heavy(records),
+            Mix::MultiTenant => tenant_plan(records)[0].spec.clone(),
         }
     }
+}
+
+/// One tenant of the [`Mix::MultiTenant`] mix: identity, cluster-wide
+/// quota, private workload, and whether it is the designated noisy
+/// neighbour.
+#[derive(Debug, Clone)]
+pub struct TenantPlan {
+    /// The tenant.
+    pub tenant: TenantId,
+    /// Cluster-wide reserved floor in bytes (divided across cache
+    /// units when the directory is built).
+    pub reserved_total: u64,
+    /// Cluster-wide burstable ceiling in bytes.
+    pub ceiling_total: u64,
+    /// The tenant's private workload.
+    pub spec: WorkloadSpec,
+    /// Whether this is the deliberately antisocial tenant.
+    pub noisy: bool,
+}
+
+/// The canonical three-tenant plan for `records` keys. All three get
+/// the IDENTICAL quota, sized off the quiet footprint, so any outcome
+/// difference is policy, not provisioning:
+///
+/// * tenant 1 — zipfian(0.99) 95%-read over `records/2` keys, 256 B
+///   values: a steep miss-ratio curve that rewards extra memory.
+/// * tenant 2 — hotspot(5%/95%) 95%-read over `records/2` keys: a
+///   second well-behaved shape the arbiter must not starve.
+/// * tenant 3 — uniform 50%-write over `records` keys with 1 KiB
+///   values: a footprint several times its budget, flooding the
+///   cluster with cold writes.
+///
+/// Under static partitioning everyone is frozen at the quota midpoint:
+/// the quiet tenants fit with slack while the flooder thrashes. The
+/// arbiter's job is to notice the slack (flat marginal curves) and
+/// move it to whoever's curve is steepest — without ever pushing a
+/// tenant below its reserved floor.
+pub fn tenant_plan(records: u64) -> Vec<TenantPlan> {
+    let records = records.max(64);
+    let quiet_records = records / 2;
+    // Approximate resident bytes per entry: 24 B key + value + engine
+    // metadata. Only used for quota sizing, so precision is not load-
+    // bearing.
+    let entry_overhead = 104;
+    let quiet_fp = quiet_records * (256 + entry_overhead);
+    let reserved_total = (quiet_fp / 2).max(64 << 10);
+    let ceiling_total = (quiet_fp * 3).max(512 << 10);
+    let quiet = |popularity| WorkloadSpec {
+        records: quiet_records,
+        read_fraction: 0.95,
+        popularity,
+        key_len: 24,
+        value_len: 256,
+        ttl_range_ms: (0, 0),
+    };
+    vec![
+        TenantPlan {
+            tenant: TenantId(1),
+            reserved_total,
+            ceiling_total,
+            spec: quiet(Popularity::Zipfian { theta: 0.99 }),
+            noisy: false,
+        },
+        TenantPlan {
+            tenant: TenantId(2),
+            reserved_total,
+            ceiling_total,
+            spec: quiet(Popularity::Hotspot {
+                hot_data: 0.05,
+                hot_ops: 0.95,
+            }),
+            noisy: false,
+        },
+        TenantPlan {
+            tenant: TenantId(3),
+            reserved_total,
+            ceiling_total,
+            spec: WorkloadSpec {
+                records,
+                read_fraction: 0.5,
+                popularity: Popularity::Uniform,
+                key_len: 24,
+                value_len: 1024,
+                ttl_range_ms: (0, 0),
+            },
+            noisy: true,
+        },
+    ]
 }
 
 /// One cell of the harness configuration: a mix, a phase gate set, and
@@ -142,6 +269,8 @@ pub struct LoadgenConfig {
     pub workers_per_server: u16,
     /// Storage engine every worker runs.
     pub engine: EngineKind,
+    /// Multi-tenancy mode (admitted tenants + arbitration policy).
+    pub tenancy: TenancyMode,
 }
 
 impl Default for LoadgenConfig {
@@ -159,6 +288,7 @@ impl Default for LoadgenConfig {
             servers: 2,
             workers_per_server: 2,
             engine: EngineKind::from_env(),
+            tenancy: TenancyMode::Off,
         }
     }
 }
@@ -174,6 +304,33 @@ impl LoadgenConfig {
             measure_secs: 0.8,
             records: 500,
             ..Self::default()
+        }
+    }
+
+    /// The configuration a run actually executes: the multi-tenant mix
+    /// needs at least one generator thread per tenant (each thread is
+    /// bound to a single tenant) and tenants must be admitted, so `Off`
+    /// is bumped to `Static`. A no-op for every other mix; idempotent.
+    pub fn normalized(&self) -> Self {
+        let mut cfg = self.clone();
+        if cfg.mix == Mix::MultiTenant {
+            cfg.threads = cfg.threads.max(tenant_plan(cfg.records).len());
+            if cfg.tenancy == TenancyMode::Off {
+                cfg.tenancy = TenancyMode::Static;
+            }
+        }
+        cfg
+    }
+
+    /// The tenant a generator thread drives: round-robin over the
+    /// tenant plan for the multi-tenant mix, the default tenant
+    /// otherwise.
+    pub fn thread_tenant(&self, thread: usize) -> TenantId {
+        if self.mix == Mix::MultiTenant {
+            let plans = tenant_plan(self.records);
+            plans[thread % plans.len()].tenant
+        } else {
+            TenantId::DEFAULT
         }
     }
 }
@@ -195,6 +352,7 @@ pub struct ScheduledOp {
 /// schedule. Two calls with the same configuration produce identical
 /// schedules (see [`schedule_digest`]).
 pub fn build_schedule(cfg: &LoadgenConfig) -> Vec<Vec<ScheduledOp>> {
+    let cfg = &cfg.normalized();
     let threads = cfg.threads.max(1);
     let per_thread_rate = (cfg.rate as f64 / threads as f64).max(1.0);
     let total_secs = cfg.warmup_secs + cfg.measure_secs;
@@ -202,7 +360,12 @@ pub fn build_schedule(cfg: &LoadgenConfig) -> Vec<Vec<ScheduledOp>> {
     let period_ns = (1e9 / per_thread_rate) as u128;
     (0..threads)
         .map(|t| {
-            let spec = cfg.mix.spec(cfg.records);
+            let spec = if cfg.mix == Mix::MultiTenant {
+                let plans = tenant_plan(cfg.records);
+                plans[t % plans.len()].spec.clone()
+            } else {
+                cfg.mix.spec(cfg.records)
+            };
             let mut gen = WorkloadGen::new(
                 spec,
                 cfg.seed ^ (t as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
@@ -274,8 +437,24 @@ impl Harness {
         let mapping = MappingTable::build(&ring, 4, vns);
         let bal = BalancerConfig {
             phases: cfg.phases,
+            tenant_arbitration: cfg.tenancy == TenancyMode::Arbitrated,
             ..BalancerConfig::aggressive()
         };
+        // Quotas in the directory are per cache unit: divide each
+        // tenant's cluster-wide allotment across every unit.
+        let mut tenants = TenantDirectory::new();
+        if cfg.tenancy != TenancyMode::Off {
+            let units = (cfg.servers as u64 * cfg.workers_per_server as u64 * 4).max(1);
+            for p in tenant_plan(cfg.records) {
+                tenants.admit(
+                    p.tenant,
+                    TenantQuota::new(
+                        (p.reserved_total / units).max(4 << 10),
+                        (p.ceiling_total / units).max(16 << 10),
+                    ),
+                );
+            }
+        }
         let coordinator = Arc::new(Coordinator::new(mapping.clone(), bal.clone()));
         let registry = InProcRegistry::new();
         let mut routes = std::collections::HashMap::new();
@@ -290,7 +469,8 @@ impl Harness {
                     .cachelets_per_worker(4)
                     .balancer(bal.clone())
                     .worker_capacity(cfg.rate as f64 / workers_total as f64)
-                    .engine(cfg.engine),
+                    .engine(cfg.engine)
+                    .tenants(tenants.clone()),
                 &mapping,
                 &registry,
                 Arc::clone(&coordinator),
@@ -333,10 +513,16 @@ impl Harness {
 
     /// A fresh client bound to this cluster.
     pub fn client(&self) -> Client {
+        self.client_for(TenantId::DEFAULT)
+    }
+
+    /// A fresh client whose data operations are tagged with `tenant`.
+    pub fn client_for(&self, tenant: TenantId) -> Client {
         Client::builder(
             Arc::clone(&self.transport),
             Arc::clone(&self.coordinator) as Arc<dyn CoordinatorLink>,
         )
+        .tenant(tenant)
         .build()
     }
 
@@ -351,6 +537,29 @@ impl Harness {
                 .expect("load-phase set");
         }
         client.server_stats(true).expect("stats reset after load");
+    }
+
+    /// Pre-populates every tenant's private records through a client
+    /// tagged with that tenant, then zeroes the server-side counters.
+    /// (The noisy tenant's footprint exceeds its budget, so its load
+    /// phase already churns through its own — and only its own —
+    /// evictions.)
+    pub fn load_phase_tenants(&self, plans: &[TenantPlan], seed: u64) {
+        for p in plans {
+            let mut client = self.client_for(p.tenant);
+            let gen = WorkloadGen::new(
+                p.spec.clone(),
+                seed ^ (p.tenant.0 as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            );
+            for (k, v) in gen.load_phase() {
+                client
+                    .set_opts(&k, &v, SetOptions::new())
+                    .expect("tenant load-phase set");
+            }
+        }
+        self.client()
+            .server_stats(true)
+            .expect("stats reset after load");
     }
 
     /// Stops balance threads and workers.
@@ -406,6 +615,36 @@ pub struct ServerCounts {
     pub seg_merges: u64,
 }
 
+/// Per-tenant outcome inside one multi-tenant cell: client-observed
+/// latency/hit-rate for the tenant's own traffic plus the server-side
+/// accounting rows scraped over the stats wire.
+#[derive(Debug, Clone, Serialize)]
+pub struct TenantCellResult {
+    /// The tenant.
+    pub tenant: u16,
+    /// Whether this is the plan's designated noisy neighbour.
+    pub noisy: bool,
+    /// GETs this tenant's threads issued (warmup included).
+    pub gets: u64,
+    /// GETs that hit.
+    pub hits: u64,
+    /// Client-observed hit rate (1.0 when no GETs ran).
+    pub hit_rate: f64,
+    /// SETs this tenant's threads issued.
+    pub sets: u64,
+    /// Intended-latency p50 over the tenant's measure-window ops (µs).
+    pub p50_us: u64,
+    /// Intended-latency p99 (µs).
+    pub p99_us: u64,
+    /// Bytes resident under this tenant, summed over every worker.
+    pub resident_bytes: u64,
+    /// The tenant's memory budget at scrape time, summed over every
+    /// worker (moves during arbitrated runs, frozen during static).
+    pub budget_bytes: u64,
+    /// Entries this tenant lost to eviction, summed over every worker.
+    pub evictions: u64,
+}
+
 /// The measured outcome of one (mix × phases) cell.
 #[derive(Debug, Clone, Serialize)]
 pub struct CellResult {
@@ -417,6 +656,8 @@ pub struct CellResult {
     pub transport: String,
     /// Storage engine label (`slab`, `seg`).
     pub engine: String,
+    /// Tenancy label (`off`, `static`, `arbitrated`).
+    pub tenancy: String,
     /// Configured arrival rate (ops/s).
     pub target_rate: u64,
     /// Ops completed in the measure window ÷ window length.
@@ -442,23 +683,31 @@ pub struct CellResult {
     /// no migration is mid-flight at scrape time; always true with
     /// `phases = off`.
     pub counts_reconciled: bool,
+    /// Per-tenant breakdown; empty for single-tenant cells.
+    pub tenants: Vec<TenantCellResult>,
 }
 
 /// Runs one cell: build cluster → load phase → paced open-loop run →
 /// scrape + reconcile → shutdown.
 pub fn run_cell(cfg: &LoadgenConfig) -> CellResult {
+    let cfg = &cfg.normalized();
     let schedule = build_schedule(cfg);
     let digest = schedule_digest(&schedule);
     let harness = Harness::start(cfg);
-    harness.load_phase(&cfg.mix.spec(cfg.records), cfg.seed);
+    if cfg.mix == Mix::MultiTenant {
+        harness.load_phase_tenants(&tenant_plan(cfg.records), cfg.seed);
+    } else {
+        harness.load_phase(&cfg.mix.spec(cfg.records), cfg.seed);
+    }
 
     let warmup_us = (cfg.warmup_secs * 1e6) as u64;
     let threads = schedule.len();
     let barrier = Arc::new(Barrier::new(threads + 1));
     let mut handles = Vec::new();
-    for thread_schedule in schedule {
+    for (t, thread_schedule) in schedule.into_iter().enumerate() {
         let barrier = Arc::clone(&barrier);
-        let mut client = harness.client();
+        let tenant = cfg.thread_tenant(t);
+        let mut client = harness.client_for(tenant);
         let clock = harness.clock();
         handles.push(std::thread::spawn(move || {
             let mut hist = Histogram::new();
@@ -495,7 +744,7 @@ pub fn run_cell(cfg: &LoadgenConfig) -> CellResult {
                     measured += 1;
                 }
             }
-            (hist, measured, total, client.stats())
+            (hist, measured, total, client.stats(), tenant)
         }));
     }
     barrier.wait();
@@ -503,8 +752,19 @@ pub fn run_cell(cfg: &LoadgenConfig) -> CellResult {
     let mut measured = 0u64;
     let mut total = 0u64;
     let mut client_counts = ClientCounts::default();
+    // Per-tenant client-side aggregation (threads of one tenant merge).
+    let mut by_tenant: BTreeMap<u16, (Histogram, u64, u64, u64)> = BTreeMap::new();
     for h in handles {
-        let (th, tm, tt, st) = h.join().expect("loadgen thread");
+        let (th, tm, tt, st, tenant) = h.join().expect("loadgen thread");
+        if !tenant.is_default() {
+            let e = by_tenant
+                .entry(tenant.0)
+                .or_insert_with(|| (Histogram::new(), 0, 0, 0));
+            e.0.merge(&th);
+            e.1 += st.gets;
+            e.2 += st.hits;
+            e.3 += st.sets;
+        }
         hist.merge(&th);
         measured += tm;
         total += tt;
@@ -530,7 +790,48 @@ pub fn run_cell(cfg: &LoadgenConfig) -> CellResult {
         server_counts.segments_expired += r.load.metrics.get(Counter::SegmentsExpired);
         server_counts.seg_merges += r.load.metrics.get(Counter::SegMerges);
     }
+    // Server-side per-tenant rows, summed across workers.
+    let mut server_tenants: BTreeMap<u16, (u64, u64, u64)> = BTreeMap::new();
+    for r in &reports {
+        for t in &r.load.tenants {
+            let e = server_tenants.entry(t.tenant.0).or_insert((0, 0, 0));
+            e.0 = e.0.saturating_add(t.resident_bytes);
+            e.1 = e.1.saturating_add(t.budget_bytes);
+            e.2 = e.2.saturating_add(t.evictions);
+        }
+    }
     harness.shutdown();
+
+    let noisy: std::collections::BTreeSet<u16> = tenant_plan(cfg.records)
+        .iter()
+        .filter(|p| p.noisy)
+        .map(|p| p.tenant.0)
+        .collect();
+    let tenants: Vec<TenantCellResult> = by_tenant
+        .into_iter()
+        .map(|(t, (th, gets, hits, sets))| {
+            let pct = th.percentiles();
+            let (resident_bytes, budget_bytes, evictions) =
+                server_tenants.get(&t).copied().unwrap_or((0, 0, 0));
+            TenantCellResult {
+                tenant: t,
+                noisy: noisy.contains(&t),
+                gets,
+                hits,
+                hit_rate: if gets == 0 {
+                    1.0
+                } else {
+                    hits as f64 / gets as f64
+                },
+                sets,
+                p50_us: pct.p50_us,
+                p99_us: pct.p99_us,
+                resident_bytes,
+                budget_bytes,
+                evictions,
+            }
+        })
+        .collect();
 
     let achieved_rate = measured as f64 / cfg.measure_secs.max(1e-9);
     let counts_reconciled = server_counts.gets + server_counts.replica_reads == client_counts.gets
@@ -541,6 +842,7 @@ pub fn run_cell(cfg: &LoadgenConfig) -> CellResult {
         phases: cfg.phases.label().to_string(),
         transport: cfg.transport.label().to_string(),
         engine: cfg.engine.label().to_string(),
+        tenancy: cfg.tenancy.label().to_string(),
         target_rate: cfg.rate,
         achieved_rate,
         mqps: achieved_rate / 1e6,
@@ -551,6 +853,7 @@ pub fn run_cell(cfg: &LoadgenConfig) -> CellResult {
         client: client_counts,
         server: server_counts,
         counts_reconciled,
+        tenants,
     }
 }
 
@@ -600,6 +903,24 @@ pub struct PhaseDelta {
     pub mqps_delta: f64,
 }
 
+/// Arbitrated-vs-static movement of one multi-tenant cell pair (same
+/// engine and phase set). Positive gains mean arbitration helped.
+#[derive(Debug, Clone, Serialize)]
+pub struct TenantDelta {
+    /// Storage engine label.
+    pub engine: String,
+    /// Phase gate label.
+    pub phases: String,
+    /// `hit_rate(arbitrated) − hit_rate(static)` over every tenant's
+    /// GETs combined.
+    pub overall_hit_rate_gain: f64,
+    /// Same, over the well-behaved (non-noisy) tenants only: the
+    /// arbiter must not buy its overall gain by starving them.
+    pub quiet_hit_rate_gain: f64,
+    /// Same, over the noisy tenant alone.
+    pub noisy_hit_rate_gain: f64,
+}
+
 /// The full matrix report serialized to `BENCH_results.json`.
 #[derive(Debug, Clone, Serialize)]
 pub struct LoadgenReport {
@@ -610,6 +931,8 @@ pub struct LoadgenReport {
     /// Per-phase movement vs the `off` cell of the same mix (present
     /// only for mixes that ran an `off` baseline).
     pub phase_deltas: Vec<PhaseDelta>,
+    /// Arbitrated-vs-static movement for every multi-tenant cell pair.
+    pub tenant_deltas: Vec<TenantDelta>,
 }
 
 /// Runs the full matrix: every engine × mix × phase set, sharing the
@@ -629,13 +952,24 @@ pub fn run_matrix(
     for &engine in &engines {
         for &mix in mixes {
             for &phases in phase_sets {
-                let cfg = LoadgenConfig {
-                    mix,
-                    phases,
-                    engine,
-                    ..base.clone()
+                // The multi-tenant mix is always a pair: the static-
+                // partitioning baseline and the arbitrated run, same
+                // schedule, so the delta is pure policy.
+                let tenancies: &[TenancyMode] = if mix == Mix::MultiTenant {
+                    &[TenancyMode::Static, TenancyMode::Arbitrated]
+                } else {
+                    &[TenancyMode::Off]
                 };
-                cells.push(run_cell(&cfg));
+                for &tenancy in tenancies {
+                    let cfg = LoadgenConfig {
+                        mix,
+                        phases,
+                        engine,
+                        tenancy,
+                        ..base.clone()
+                    };
+                    cells.push(run_cell(&cfg));
+                }
             }
         }
     }
@@ -645,13 +979,13 @@ pub fn run_matrix(
             let off = cells.iter().find(|c| {
                 c.mix == mix.label()
                     && c.engine == engine.label()
+                    && c.tenancy == "off"
                     && c.phases == PhaseSet::none().label()
             });
             if let Some(off) = off {
-                for c in cells
-                    .iter()
-                    .filter(|c| c.mix == mix.label() && c.engine == engine.label())
-                {
+                for c in cells.iter().filter(|c| {
+                    c.mix == mix.label() && c.engine == engine.label() && c.tenancy == "off"
+                }) {
                     if c.phases == off.phases {
                         continue;
                     }
@@ -666,6 +1000,39 @@ pub fn run_matrix(
                 }
             }
         }
+    }
+    let hit_rate = |rows: &[&TenantCellResult]| -> f64 {
+        let gets: u64 = rows.iter().map(|t| t.gets).sum();
+        let hits: u64 = rows.iter().map(|t| t.hits).sum();
+        if gets == 0 {
+            1.0
+        } else {
+            hits as f64 / gets as f64
+        }
+    };
+    let mut tenant_deltas = Vec::new();
+    for arb in cells.iter().filter(|c| c.tenancy == "arbitrated") {
+        let Some(stat) = cells.iter().find(|c| {
+            c.tenancy == "static"
+                && c.mix == arb.mix
+                && c.engine == arb.engine
+                && c.phases == arb.phases
+        }) else {
+            continue;
+        };
+        fn split(c: &CellResult, noisy: bool) -> Vec<&TenantCellResult> {
+            c.tenants.iter().filter(|t| t.noisy == noisy).collect()
+        }
+        fn all(c: &CellResult) -> Vec<&TenantCellResult> {
+            c.tenants.iter().collect()
+        }
+        tenant_deltas.push(TenantDelta {
+            engine: arb.engine.clone(),
+            phases: arb.phases.clone(),
+            overall_hit_rate_gain: hit_rate(&all(arb)) - hit_rate(&all(stat)),
+            quiet_hit_rate_gain: hit_rate(&split(arb, false)) - hit_rate(&split(stat, false)),
+            noisy_hit_rate_gain: hit_rate(&split(arb, true)) - hit_rate(&split(stat, true)),
+        });
     }
     LoadgenReport {
         config: ConfigFingerprint {
@@ -683,6 +1050,7 @@ pub fn run_matrix(
         },
         cells,
         phase_deltas,
+        tenant_deltas,
     }
 }
 

@@ -4,7 +4,7 @@
 
 use mbal_balancer::PhaseSet;
 use mbal_bench::loadgen::{
-    build_schedule, run_cell, schedule_digest, LoadgenConfig, Mix, TransportMode,
+    build_schedule, run_cell, schedule_digest, LoadgenConfig, Mix, TenancyMode, TransportMode,
 };
 use mbal_core::engine::EngineKind;
 use mbal_workload::OpKind;
@@ -23,6 +23,7 @@ fn smoke_cfg() -> LoadgenConfig {
         servers: 2,
         workers_per_server: 2,
         engine: EngineKind::from_env(),
+        tenancy: TenancyMode::Off,
     }
 }
 
@@ -142,4 +143,52 @@ fn tcp_run_reconciles_counts_exactly() {
     assert_eq!(cell.server.sets, cell.client.sets);
     assert!(cell.counts_reconciled);
     assert_eq!(cell.transport, "tcp");
+}
+
+#[test]
+fn multi_tenant_run_reports_per_tenant_cells() {
+    let cfg = LoadgenConfig {
+        mix: Mix::MultiTenant,
+        tenancy: TenancyMode::Arbitrated,
+        rate: 3_000,
+        ..smoke_cfg()
+    };
+    // The static-partitioning baseline and the arbitrated run replay
+    // the exact same schedule: the comparison is pure policy.
+    let static_cfg = LoadgenConfig {
+        tenancy: TenancyMode::Static,
+        ..cfg.clone()
+    };
+    assert_eq!(
+        schedule_digest(&build_schedule(&cfg)),
+        schedule_digest(&build_schedule(&static_cfg)),
+    );
+
+    let cell = run_cell(&cfg);
+    assert_eq!(cell.tenancy, "arbitrated");
+    assert_eq!(cell.client.failures, 0, "no op may fail: {cell:?}");
+    assert!(cell.counts_reconciled, "tenant tagging must not lose ops");
+
+    // Three tenants, exactly one of them the designated flooder, and
+    // the server kept per-tenant books for each.
+    assert_eq!(cell.tenants.len(), 3, "one row per planned tenant");
+    assert_eq!(cell.tenants.iter().filter(|t| t.noisy).count(), 1);
+    for t in &cell.tenants {
+        assert!(t.gets + t.sets > 0, "tenant {} drove no traffic", t.tenant);
+        assert!(
+            t.resident_bytes > 0,
+            "tenant {} has no resident bytes in the scrape",
+            t.tenant
+        );
+        assert!(t.budget_bytes > 0, "tenant {} has no budget", t.tenant);
+    }
+
+    // The flooder's footprint exceeds its budget by design, so its own
+    // eviction churn must show up in its row — and only its row can be
+    // forced: the quiet tenants fit inside their static midpoints.
+    let noisy = cell.tenants.iter().find(|t| t.noisy).unwrap();
+    assert!(
+        noisy.evictions > 0,
+        "the noisy tenant must be thrashing: {noisy:?}"
+    );
 }

@@ -11,11 +11,16 @@
 //! mbal-cli --host 127.0.0.1 --port 11311 --workers 4 stats
 //! mbal-cli --host 127.0.0.1 --port 11311 --workers 4 stats-reset
 //! mbal-cli --host 127.0.0.1 --port 11311 --workers 4 cluster-status
+//! mbal-cli --host 127.0.0.1 --port 11311 --workers 4 tenants
+//! mbal-cli --host 127.0.0.1 --port 11311 --workers 4 --tenant 3 get user:1
 //! ```
+//!
+//! `--tenant T` tags data ops with tenant `T` (multi-tenant servers);
+//! `tenants` prints per-tenant residency, budget, and hit rate.
 
 use mbal_balancer::coordinator::HeartbeatReply;
 use mbal_client::{Client, CoordinatorLink, SetOptions};
-use mbal_core::types::WorkerAddr;
+use mbal_core::types::{TenantId, WorkerAddr};
 use mbal_membership::{MembershipView, NodeState};
 use mbal_proto::{Request, Response};
 use mbal_ring::{ConsistentRing, MappingTable};
@@ -54,7 +59,8 @@ impl CoordinatorLink for StaticMapping {
 fn usage() -> ! {
     eprintln!(
         "usage: mbal-cli [--host H] [--port P] [--workers N] [--cachelets N] \
-         <get KEY | set KEY VALUE | del KEY | stats | stats-reset | cluster-status>"
+         [--tenant T] \\
+         <get KEY | set KEY VALUE | del KEY | stats | stats-reset | cluster-status | tenants>"
     );
     std::process::exit(2);
 }
@@ -66,6 +72,7 @@ fn main() {
     let cachelets: usize = flag("--cachelets")
         .and_then(|v| v.parse().ok())
         .unwrap_or(16);
+    let tenant: u16 = flag("--tenant").and_then(|v| v.parse().ok()).unwrap_or(0);
 
     // Positional command starts after the flags.
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -102,6 +109,7 @@ fn main() {
         Arc::clone(&transport) as Arc<dyn Transport>,
         Arc::new(StaticMapping(mapping)) as Arc<dyn CoordinatorLink>,
     )
+    .tenant(TenantId(tenant))
     .build();
 
     match pos[0].as_str() {
@@ -145,6 +153,55 @@ fn main() {
                         }
                     }
                     Err(e) => eprintln!("worker {w}: {e}"),
+                }
+            }
+        }
+        "tenants" => {
+            // Aggregate per-tenant accounting rows across every worker.
+            use std::collections::BTreeMap;
+            let mut rows: BTreeMap<u16, (u64, u64, u64, u64, u64)> = BTreeMap::new();
+            let mut reached = false;
+            for w in 0..workers {
+                let addr = WorkerAddr::new(0, w);
+                match client.worker_stats(addr, false) {
+                    Ok(report) => {
+                        reached = true;
+                        for t in &report.load.tenants {
+                            let e = rows.entry(t.tenant.0).or_insert((0, 0, 0, 0, 0));
+                            e.0 = e.0.saturating_add(t.resident_bytes);
+                            e.1 = e.1.saturating_add(t.budget_bytes);
+                            e.2 += t.gets;
+                            e.3 += t.hits;
+                            e.4 += t.evictions;
+                        }
+                    }
+                    Err(e) => eprintln!("worker {w}: {e}"),
+                }
+            }
+            if !reached {
+                std::process::exit(1);
+            }
+            if rows.is_empty() {
+                println!("(single-tenant deployment: no tenants admitted)");
+            } else {
+                println!(
+                    "{:>6} {:>14} {:>14} {:>12} {:>12} {:>10} {:>8}",
+                    "tenant", "resident", "budget", "gets", "hits", "evictions", "hit-rate"
+                );
+                for (t, (resident, budget, gets, hits, evictions)) in rows {
+                    let rate = if gets == 0 {
+                        1.0
+                    } else {
+                        hits as f64 / gets as f64
+                    };
+                    let budget_s = if budget == u64::MAX {
+                        "unlimited".to_string()
+                    } else {
+                        budget.to_string()
+                    };
+                    println!(
+                        "{t:>6} {resident:>14} {budget_s:>14} {gets:>12} {hits:>12} {evictions:>10} {rate:>8.3}"
+                    );
                 }
             }
         }

@@ -27,7 +27,7 @@
 
 use mbal_balancer::coordinator::{Coordinator, HeartbeatReply};
 use mbal_balancer::replicated::ReplicatedCoordinator;
-use mbal_core::types::{Key, Value, WorkerAddr};
+use mbal_core::types::{Key, TenantId, Value, WorkerAddr};
 use mbal_proto::{Request, Response, Status};
 use mbal_ring::MappingTable;
 use mbal_server::transport::{Transport, TransportError, DEFAULT_DEADLINE};
@@ -286,6 +286,7 @@ pub struct ClientBuilder {
     multiget_batch: usize,
     backoff_base: Duration,
     backoff_max: Duration,
+    tenant: TenantId,
 }
 
 impl ClientBuilder {
@@ -299,7 +300,19 @@ impl ClientBuilder {
             multiget_batch: 100,
             backoff_base: Duration::from_millis(2),
             backoff_max: Duration::from_millis(256),
+            tenant: TenantId::DEFAULT,
         }
+    }
+
+    /// The tenant this client acts for (default: [`TenantId::DEFAULT`]).
+    /// Every data operation is tagged with the tenant on the wire; a
+    /// server without that tenant admitted answers a typed
+    /// `Status::UnknownTenant` refusal rather than dropping the
+    /// connection. The default tenant sends unchanged frames, so
+    /// single-tenant deployments pay nothing.
+    pub fn tenant(mut self, tenant: TenantId) -> Self {
+        self.tenant = tenant;
+        self
     }
 
     /// Total wall-clock budget for one logical operation, shared by all
@@ -352,6 +365,7 @@ impl ClientBuilder {
             backoff_streak: 0,
             backoff_until: None,
             jitter_rng: 0x9E37_79B9_7F4A_7C15,
+            tenant: self.tenant,
             stats: ClientStats::default(),
         }
     }
@@ -380,6 +394,8 @@ pub struct Client {
     backoff_until: Option<Instant>,
     /// xorshift64* state for backoff jitter (no RNG dependency).
     jitter_rng: u64,
+    /// The tenant every data op is tagged with on the wire.
+    tenant: TenantId,
     stats: ClientStats,
 }
 
@@ -504,32 +520,36 @@ impl Client {
     /// home worker and shadows.
     pub fn get(&mut self, key: &[u8]) -> Result<Option<Value>, ClientError> {
         self.stats.gets += 1;
-        // Replica fast path.
-        if let Some(set) = self.replicas.get_mut(key) {
-            let target = set.targets[set.next % set.targets.len()];
-            set.next += 1;
-            let (cachelet, home) = self
-                .mapping
-                .route(key)
-                .ok_or(ClientError::RetriesExhausted)?;
-            if target != home {
-                match self
-                    .transport
-                    .call(target, Request::ReplicaRead { key: key.to_vec() })
-                {
-                    Ok(Response::Value { value, .. }) => {
-                        self.stats.hits += 1;
-                        self.stats.replica_reads += 1;
-                        return Ok(Some(value));
-                    }
-                    _ => {
-                        // Replica expired or unreachable: forget and fall
-                        // through to the home worker.
-                        self.replicas.remove(key);
+        // Replica fast path. Phase-1 replication only covers the default
+        // tenant (replica ops speak raw keys), so tenant clients always
+        // read from the home worker.
+        if self.tenant.is_default() {
+            if let Some(set) = self.replicas.get_mut(key) {
+                let target = set.targets[set.next % set.targets.len()];
+                set.next += 1;
+                let (cachelet, home) = self
+                    .mapping
+                    .route(key)
+                    .ok_or(ClientError::RetriesExhausted)?;
+                if target != home {
+                    match self
+                        .transport
+                        .call(target, Request::ReplicaRead { key: key.to_vec() })
+                    {
+                        Ok(Response::Value { value, .. }) => {
+                            self.stats.hits += 1;
+                            self.stats.replica_reads += 1;
+                            return Ok(Some(value));
+                        }
+                        _ => {
+                            // Replica expired or unreachable: forget and fall
+                            // through to the home worker.
+                            self.replicas.remove(key);
+                        }
                     }
                 }
+                let _ = cachelet;
             }
-            let _ = cachelet;
         }
         self.get_home(key)
     }
@@ -550,7 +570,8 @@ impl Client {
                 Request::Get {
                     cachelet,
                     key: key.to_vec(),
-                },
+                }
+                .for_tenant(self.tenant),
                 left,
             ) {
                 Ok(r) => r,
@@ -633,9 +654,12 @@ impl Client {
             for chunk in batch.chunks(cap) {
                 let reqs: Vec<Request> = chunk
                     .iter()
-                    .map(|(_, c, k)| Request::Get {
-                        cachelet: *c,
-                        key: k.clone(),
+                    .map(|(_, c, k)| {
+                        Request::Get {
+                            cachelet: *c,
+                            key: k.clone(),
+                        }
+                        .for_tenant(self.tenant)
                     })
                     .collect();
                 let results = self.transport.call_many(worker, reqs, self.op_budget);
@@ -749,7 +773,8 @@ impl Client {
                     key: key.to_vec(),
                     value: value.to_vec(),
                     expiry_ms,
-                },
+                }
+                .for_tenant(self.tenant),
                 left,
             ) {
                 Ok(r) => r,
@@ -817,7 +842,7 @@ impl Client {
                 .ok_or(ClientError::RetriesExhausted)?;
             let resp = self
                 .transport
-                .call_with_deadline(worker, request(cachelet), left)
+                .call_with_deadline(worker, request(cachelet).for_tenant(self.tenant), left)
                 .map_err(ClientError::Transport)?;
             match resp {
                 Response::Moved {
@@ -1024,7 +1049,8 @@ impl Client {
                 Request::Delete {
                     cachelet,
                     key: key.to_vec(),
-                },
+                }
+                .for_tenant(self.tenant),
                 left,
             ) {
                 Ok(r) => r,
@@ -1480,6 +1506,131 @@ mod tests {
             "a mapping change resets the streak"
         );
         assert!(client.backoff_until.is_none(), "and closes the window");
+    }
+
+    /// Asserts every data op arrives wrapped for tenant 7 and answers
+    /// the inner verb's happy response.
+    struct TenantCheckingTransport;
+
+    impl Transport for TenantCheckingTransport {
+        fn call(&self, addr: WorkerAddr, req: Request) -> Result<Response, TransportError> {
+            self.call_with_deadline(addr, req, DEFAULT_DEADLINE)
+        }
+
+        fn call_with_deadline(
+            &self,
+            _addr: WorkerAddr,
+            req: Request,
+            _deadline: Duration,
+        ) -> Result<Response, TransportError> {
+            let (tenant, inner) = req.tenant_parts();
+            assert_eq!(
+                tenant,
+                TenantId(7),
+                "every data op must carry the tenant tag: {inner:?}"
+            );
+            Ok(match inner {
+                Request::Get { .. } => Response::NotFound,
+                Request::Set { .. } | Request::Add { .. } | Request::Concat { .. } => {
+                    Response::Stored
+                }
+                Request::Delete { .. } => Response::Deleted,
+                Request::Touch { .. } => Response::Touched,
+                _ => Response::NotFound,
+            })
+        }
+    }
+
+    #[test]
+    fn tenant_client_tags_every_data_op() {
+        let mut ring = ConsistentRing::new();
+        ring.add_worker(WorkerAddr::new(0, 0));
+        let mapping = MappingTable::build(&ring, 2, 16);
+        let mut c = Client::builder(
+            Arc::new(TenantCheckingTransport),
+            Arc::new(StaticCoord(mapping)),
+        )
+        .tenant(TenantId(7))
+        .build();
+        assert_eq!(c.get(b"k").unwrap(), None);
+        assert!(c
+            .set_opts(b"k", b"v", SetOptions::new())
+            .unwrap()
+            .is_stored());
+        assert!(c
+            .set_opts(b"k", b"v", SetOptions::add())
+            .unwrap()
+            .is_stored());
+        assert_eq!(c.touch_opts(b"k", 9).unwrap(), StoreOutcome::Stored);
+        assert!(c.delete(b"k").unwrap());
+        let got = c.multi_get(&[b"a".to_vec(), b"b".to_vec()]).unwrap();
+        assert_eq!(got, vec![None, None]);
+    }
+
+    #[test]
+    fn tenant_client_skips_the_replica_fast_path() {
+        let mut ring = ConsistentRing::new();
+        ring.add_worker(WorkerAddr::new(0, 0));
+        let mapping = MappingTable::build(&ring, 2, 16);
+        let mut c = Client::builder(
+            Arc::new(TenantCheckingTransport),
+            Arc::new(StaticCoord(mapping)),
+        )
+        .tenant(TenantId(7))
+        .build();
+        // Even with poisoned replica routing state, a tenant client must
+        // go to the home worker (a ReplicaRead would trip the transport's
+        // tenant assertion, since replica ops are never wrapped).
+        c.replicas.insert(
+            b"k".to_vec(),
+            ReplicaSet {
+                targets: vec![WorkerAddr::new(0, 0), WorkerAddr::new(9, 9)],
+                next: 1,
+            },
+        );
+        assert_eq!(c.get(b"k").unwrap(), None);
+        assert_eq!(c.stats().replica_reads, 0);
+    }
+
+    #[test]
+    fn unknown_tenant_surfaces_as_a_typed_rejection() {
+        struct UnknownTenantTransport;
+
+        impl Transport for UnknownTenantTransport {
+            fn call(&self, addr: WorkerAddr, req: Request) -> Result<Response, TransportError> {
+                self.call_with_deadline(addr, req, DEFAULT_DEADLINE)
+            }
+
+            fn call_with_deadline(
+                &self,
+                _addr: WorkerAddr,
+                _req: Request,
+                _deadline: Duration,
+            ) -> Result<Response, TransportError> {
+                Ok(Response::Fail {
+                    status: Status::UnknownTenant,
+                    message: "tenant 9 is not admitted on this server".into(),
+                })
+            }
+        }
+
+        let mut ring = ConsistentRing::new();
+        ring.add_worker(WorkerAddr::new(0, 0));
+        let mapping = MappingTable::build(&ring, 2, 16);
+        let mut c = Client::builder(
+            Arc::new(UnknownTenantTransport),
+            Arc::new(StaticCoord(mapping)),
+        )
+        .tenant(TenantId(9))
+        .build();
+        let err = c.set_opts(b"k", b"v", SetOptions::new()).unwrap_err();
+        assert_eq!(err.status(), Some(Status::UnknownTenant));
+        let err = c.get(b"k").unwrap_err();
+        assert_eq!(
+            err.status(),
+            Some(Status::UnknownTenant),
+            "an unadmitted tenant gets a typed error, not a dead session"
+        );
     }
 
     #[test]

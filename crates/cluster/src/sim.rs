@@ -690,6 +690,7 @@ impl Simulation {
                     load_capacity: self.cfg.worker_capacity_qps,
                     mem_capacity: u64::MAX / 4,
                     metrics: Default::default(),
+                    tenants: vec![],
                 }
             })
             .collect()

@@ -32,7 +32,7 @@ pub use seg::SegEngine;
 pub use slab_lru::SlabLru;
 
 use crate::table::SetOutcome;
-use crate::types::CacheError;
+use crate::types::{CacheError, TenantId};
 use std::borrow::Cow;
 use std::fmt;
 
@@ -122,6 +122,26 @@ impl EngineStats {
             seg_merges: self.seg_merges.saturating_sub(base.seg_merges),
         }
     }
+}
+
+/// One tenant's slice of a multiplexing engine: point-in-time occupancy
+/// against its arbitrated budget, plus reclamation counters, as surfaced
+/// by [`Engine::tenant_usage`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TenantUsage {
+    /// The tenant this row describes.
+    pub tenant: TenantId,
+    /// Live entries in the tenant's namespace.
+    pub len: usize,
+    /// Bytes charged to the tenant (values + metadata).
+    pub used_bytes: usize,
+    /// The tenant's current arbitrated byte budget.
+    pub budget_bytes: usize,
+    /// Entries evicted from this tenant's namespace (always by its own
+    /// pressure — isolation is structural).
+    pub evictions: u64,
+    /// Value bytes released by those evictions.
+    pub evicted_bytes: u64,
 }
 
 /// A pluggable storage engine: index + eviction + expiry + accounting.
@@ -256,6 +276,28 @@ pub trait Engine: Send + fmt::Debug {
 
     /// Byte budget, `usize::MAX` when unbounded or externally governed.
     fn capacity_bytes(&self) -> usize;
+
+    /// Adjusts the byte budget at runtime (memory arbitration moves
+    /// budget between tenants each epoch). Enforcement is lazy: an
+    /// engine shrunk below its current usage converges by evicting on
+    /// subsequent inserts rather than reclaiming immediately. Engines
+    /// whose budget is externally governed ignore the call.
+    fn set_capacity_bytes(&mut self, _bytes: usize) {}
+
+    // --- multi-tenant surface (implemented by tenant multiplexers) ---
+
+    /// Per-tenant occupancy/budget breakdown. Non-empty only for engines
+    /// that multiplex tenants (`mbal-tenant`'s `TenantEngine`); plain
+    /// single-namespace engines report nothing.
+    fn tenant_usage(&self) -> Vec<TenantUsage> {
+        Vec::new()
+    }
+
+    /// Sets one tenant's byte budget; `true` if the engine routes
+    /// tenants and applied the change. Plain engines refuse.
+    fn set_tenant_budget(&mut self, _tenant: TenantId, _bytes: usize) -> bool {
+        false
+    }
 
     /// Point-in-time statistics snapshot.
     fn stats(&self) -> EngineStats;

@@ -718,6 +718,15 @@ impl Engine for SegEngine {
         self.capacity
     }
 
+    fn set_capacity_bytes(&mut self, bytes: usize) {
+        // Keep the existing segment geometry (live segments already have
+        // `seg_size` bytes) and move the segment-count ceiling. Shrinking
+        // below the currently allocated count converges lazily: the next
+        // append that needs a fresh segment merge-evicts instead.
+        self.capacity = bytes;
+        self.max_segments = (bytes / self.seg_size).max(2);
+    }
+
     fn stats(&self) -> EngineStats {
         EngineStats {
             len: self.len,

@@ -111,6 +111,12 @@ impl<S: ValueStore + Send + fmt::Debug> Engine for SlabLru<S> {
         usize::MAX
     }
 
+    fn set_capacity_bytes(&mut self, bytes: usize) {
+        // Budget changes pass through to the value store; backends with
+        // an externally governed budget (the slab pool) ignore them.
+        self.store.set_capacity(bytes);
+    }
+
     fn stats(&self) -> EngineStats {
         let t = self.table.stats();
         EngineStats {

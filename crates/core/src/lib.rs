@@ -57,4 +57,4 @@ pub use cachelet::Cachelet;
 pub use clock::{Clock, ManualClock, RealClock};
 pub use engine::{Engine, EngineKind, EngineStats};
 pub use stats::AccessStats;
-pub use types::{CacheError, CacheletId, Key, ServerId, Value, VnId, WorkerId};
+pub use types::{CacheError, CacheletId, Key, ServerId, TenantId, Value, VnId, WorkerId};

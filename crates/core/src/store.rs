@@ -49,6 +49,12 @@ pub trait ValueStore {
 
     /// Bytes of payload currently stored (logical, not slot-rounded).
     fn used_bytes(&self) -> usize;
+
+    /// Adjusts the store's byte budget at runtime; stores whose budget
+    /// is externally governed (the slab pool hierarchy) ignore this.
+    /// Shrinking below current usage is allowed — the engine above
+    /// converges by evicting on subsequent allocation failures.
+    fn set_capacity(&mut self, _bytes: usize) {}
 }
 
 /// The production backend: MBal's hierarchical slab pool.
@@ -112,6 +118,11 @@ impl MallocStore {
             ..Self::default()
         }
     }
+
+    /// Current byte budget.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
 }
 
 impl ValueStore for MallocStore {
@@ -157,6 +168,10 @@ impl ValueStore for MallocStore {
 
     fn used_bytes(&self) -> usize {
         self.used
+    }
+
+    fn set_capacity(&mut self, bytes: usize) {
+        self.capacity = bytes;
     }
 }
 

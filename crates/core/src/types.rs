@@ -27,6 +27,28 @@ pub struct VnId(pub u32);
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct CacheletId(pub u32);
 
+/// Identifier of a cache tenant (an application sharing the cluster).
+///
+/// Tenant 0 is the **default tenant**: requests that carry no tenant
+/// envelope belong to it, which keeps single-tenant deployments and the
+/// pre-tenancy wire format working unchanged. On the wire the id rides
+/// the Memcached binary extras field (2 bytes, big-endian); inside an
+/// engine it prefixes the key (see `mbal-tenant`).
+#[derive(
+    Debug, Clone, Copy, Default, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub struct TenantId(pub u16);
+
+impl TenantId {
+    /// The default tenant: unwrapped requests and pre-tenancy clients.
+    pub const DEFAULT: TenantId = TenantId(0);
+
+    /// `true` for the default tenant.
+    pub fn is_default(self) -> bool {
+        self.0 == 0
+    }
+}
+
 /// Identifier of a worker thread within one cache server.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct WorkerId(pub u16);
@@ -72,7 +94,7 @@ macro_rules! fmt_display_newtype {
         }
     )+};
 }
-fmt_display_newtype!(CacheletId, VnId, WorkerId, ServerId);
+fmt_display_newtype!(CacheletId, VnId, WorkerId, ServerId, TenantId);
 
 /// Errors surfaced by core cache operations.
 #[derive(Debug, Clone, PartialEq, Eq)]

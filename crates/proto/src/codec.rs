@@ -9,7 +9,7 @@
 
 use crate::message::{Request, Response, Status};
 use bytes::{Buf, BufMut, BytesMut};
-use mbal_core::types::{CacheletId, ServerId, WorkerAddr, WorkerId};
+use mbal_core::types::{CacheletId, ServerId, TenantId, WorkerAddr, WorkerId};
 
 /// Request magic byte.
 pub const MAGIC_REQUEST: u8 = 0x80;
@@ -21,6 +21,11 @@ pub const HEADER_LEN: usize = 24;
 /// attacker-controlled u32s; without a cap a malicious header could make
 /// the framing layer allocate 4 GiB before reading a single body byte.
 pub const MAX_FRAME_LEN: usize = 64 << 20;
+/// Extras length carried by a request acting for a non-default tenant:
+/// a big-endian `u16` tenant id in the (otherwise unused) extras field.
+/// Default-tenant frames carry no extras, so pre-tenant peers and frames
+/// interoperate unchanged.
+pub const TENANT_EXTRAS_LEN: u8 = 2;
 
 /// Wire opcodes. Standard Memcached values where they exist; MBal
 /// extensions start at 0x40.
@@ -237,7 +242,20 @@ fn simple_request(
 
 /// Encodes a request into a complete wire frame. `opaque` is echoed in the
 /// matching response for correlation.
+///
+/// A [`Request::ForTenant`] wrapper is not an opcode of its own: the
+/// inner request is encoded normally and the tenant id rides the
+/// header's extras field ([`TENANT_EXTRAS_LEN`] bytes before the key).
 pub fn encode_request(req: &Request, opaque: u32) -> Result<Vec<u8>, CodecError> {
+    let (tenant, req) = match req {
+        Request::ForTenant { tenant, req } => {
+            if matches!(req.as_ref(), Request::ForTenant { .. }) {
+                return Err(CodecError::Malformed("nested tenant wrapper"));
+            }
+            (tenant.0, req.as_ref())
+        }
+        other => (0u16, other),
+    };
     let buf = match req {
         Request::Get { cachelet, key } => {
             simple_request(Opcode::Get, vbucket(*cachelet)?, key, &[], opaque, 0)
@@ -401,8 +419,20 @@ pub fn encode_request(req: &Request, opaque: u32) -> Result<Vec<u8>, CodecError>
             framed(Opcode::Drain, 0, body, opaque, 0)
         }
         Request::ClusterStatus => simple_request(Opcode::ClusterStatus, 0, &[], &[], opaque, 0),
+        Request::ForTenant { .. } => unreachable!("tenant wrapper unwrapped above"),
     };
-    Ok(buf.to_vec())
+    let mut frame = buf.to_vec();
+    if tenant != 0 {
+        // Splice the tenant id in as extras and patch the two header
+        // fields that change; every request frame above is built with
+        // zero extras, so the insert point is fixed.
+        frame.splice(HEADER_LEN..HEADER_LEN, tenant.to_be_bytes());
+        frame[4] = TENANT_EXTRAS_LEN;
+        let body_len = u32::from_be_bytes(frame[8..12].try_into().expect("4 bytes"))
+            + TENANT_EXTRAS_LEN as u32;
+        frame[8..12].copy_from_slice(&body_len.to_be_bytes());
+    }
+    Ok(frame)
 }
 
 fn framed(opcode: Opcode, vb: u16, body: BytesMut, opaque: u32, cas: u64) -> BytesMut {
@@ -438,6 +468,15 @@ pub fn decode_request(frame: &[u8]) -> Result<(Request, u32), CodecError> {
     }
     let key = body[h.extras_len as usize..key_end].to_vec();
     let value = body[key_end..].to_vec();
+    // Structured bodies (counted lists) start after the extras too.
+    let sbody = &body[h.extras_len as usize..];
+    // A non-default tenant rides the extras field; absent extras mean
+    // the default tenant, so pre-tenant frames decode unchanged.
+    let tenant = if h.extras_len as usize >= TENANT_EXTRAS_LEN as usize {
+        u16::from_be_bytes([body[0], body[1]])
+    } else {
+        0
+    };
     let cachelet = CacheletId(h.vbucket_or_status as u32);
     let req = match op {
         Opcode::Get => Request::Get { cachelet, key },
@@ -488,7 +527,7 @@ pub fn decode_request(frame: &[u8]) -> Result<(Request, u32), CodecError> {
         Opcode::Heartbeat => Request::Heartbeat { version: h.cas },
         Opcode::MigrateCommit => Request::MigrateCommit { cachelet },
         Opcode::MigrateAbort => {
-            let mut b = body;
+            let mut b = sbody;
             let home = get_worker(&mut b)?;
             Request::MigrateAbort { cachelet, home }
         }
@@ -498,7 +537,7 @@ pub fn decode_request(frame: &[u8]) -> Result<(Request, u32), CodecError> {
             ))
         }
         Opcode::Join => {
-            let mut b = body;
+            let mut b = sbody;
             if b.remaining() < 4 {
                 return Err(CodecError::Malformed("join body"));
             }
@@ -509,7 +548,7 @@ pub fn decode_request(frame: &[u8]) -> Result<(Request, u32), CodecError> {
             }
         }
         Opcode::Drain => {
-            let mut b = body;
+            let mut b = sbody;
             if b.remaining() < 2 {
                 return Err(CodecError::Malformed("drain body"));
             }
@@ -519,7 +558,7 @@ pub fn decode_request(frame: &[u8]) -> Result<(Request, u32), CodecError> {
         }
         Opcode::ClusterStatus => Request::ClusterStatus,
         Opcode::MultiGet => {
-            let mut b = body;
+            let mut b = sbody;
             if b.remaining() < 4 {
                 return Err(CodecError::Malformed("multiget count"));
             }
@@ -539,7 +578,7 @@ pub fn decode_request(frame: &[u8]) -> Result<(Request, u32), CodecError> {
             Request::MultiGet { keys }
         }
         Opcode::MigrateEntries => {
-            let mut b = body;
+            let mut b = sbody;
             if b.remaining() < 4 {
                 return Err(CodecError::Malformed("migrate count"));
             }
@@ -561,6 +600,14 @@ pub fn decode_request(frame: &[u8]) -> Result<(Request, u32), CodecError> {
             }
             Request::MigrateEntries { cachelet, entries }
         }
+    };
+    let req = if tenant != 0 {
+        Request::ForTenant {
+            tenant: TenantId(tenant),
+            req: Box::new(req),
+        }
+    } else {
+        req
     };
     Ok((req, h.opaque))
 }
@@ -852,6 +899,7 @@ pub fn opcode_of(req: &Request) -> Opcode {
         Request::Join { .. } => Opcode::Join,
         Request::Drain { .. } => Opcode::Drain,
         Request::ClusterStatus => Opcode::ClusterStatus,
+        Request::ForTenant { req, .. } => opcode_of(req),
     }
 }
 
@@ -1192,5 +1240,129 @@ mod tests {
             opcode_of(&Request::Heartbeat { version: 0 }),
             Opcode::Heartbeat
         );
+        let wrapped = Request::Get {
+            cachelet: CacheletId(1),
+            key: b"k".to_vec(),
+        }
+        .for_tenant(TenantId(4));
+        assert_eq!(opcode_of(&wrapped), Opcode::Get, "wrapper is transparent");
+    }
+
+    #[test]
+    fn tenant_requests_roundtrip_via_extras() {
+        // Simple, value-carrying, and structured-body requests all keep
+        // their tenant through the wire.
+        for inner in [
+            Request::Get {
+                cachelet: CacheletId(42),
+                key: b"user:1001".to_vec(),
+            },
+            Request::Set {
+                cachelet: CacheletId(9),
+                key: b"k".to_vec(),
+                value: vec![0xAB; 300],
+                expiry_ms: 123_456_789,
+            },
+            Request::Incr {
+                cachelet: CacheletId(4),
+                key: b"n".to_vec(),
+                delta: -17,
+            },
+            Request::MultiGet {
+                keys: (0..50u32)
+                    .map(|i| (CacheletId(i % 16), format!("k{i}").into_bytes()))
+                    .collect(),
+            },
+            Request::MigrateEntries {
+                cachelet: CacheletId(5),
+                entries: vec![
+                    (b"a".to_vec(), b"1".to_vec(), 0),
+                    (b"b".to_vec(), vec![9; 1000], 555),
+                ],
+            },
+        ] {
+            roundtrip_req(inner.for_tenant(TenantId(7)));
+        }
+        // The maximum tenant id survives too.
+        roundtrip_req(
+            Request::Delete {
+                cachelet: CacheletId(0),
+                key: b"gone".to_vec(),
+            }
+            .for_tenant(TenantId(u16::MAX)),
+        );
+    }
+
+    #[test]
+    fn tenant_frames_differ_only_in_extras() {
+        let get = Request::Get {
+            cachelet: CacheletId(3),
+            key: b"key".to_vec(),
+        };
+        let plain = encode_request(&get, 1).expect("encode");
+        let tagged = encode_request(&get.clone().for_tenant(TenantId(0x0102)), 1).expect("encode");
+        assert_eq!(plain[4], 0, "default tenant carries no extras");
+        assert_eq!(tagged[4], TENANT_EXTRAS_LEN);
+        assert_eq!(tagged.len(), plain.len() + TENANT_EXTRAS_LEN as usize);
+        assert_eq!(
+            &tagged[HEADER_LEN..HEADER_LEN + 2],
+            &[0x01, 0x02],
+            "big-endian tenant id right after the header"
+        );
+        assert_eq!(frame_len(&tagged), Some(tagged.len()));
+        // Stripping the extras by hand recovers a frame the decoder
+        // reads as the default tenant — old peers see plain requests.
+        let (decoded, _) = decode_request(&plain).expect("decode");
+        assert_eq!(decoded, get);
+    }
+
+    #[test]
+    fn nested_tenant_wrappers_are_rejected_by_the_encoder() {
+        let inner = Request::Get {
+            cachelet: CacheletId(1),
+            key: b"k".to_vec(),
+        };
+        // `for_tenant` cannot build a nested wrapper, so assemble one
+        // manually.
+        let nested = Request::ForTenant {
+            tenant: TenantId(1),
+            req: Box::new(Request::ForTenant {
+                tenant: TenantId(2),
+                req: Box::new(inner),
+            }),
+        };
+        assert!(matches!(
+            encode_request(&nested, 0),
+            Err(CodecError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn batches_carry_mixed_tenants() {
+        let reqs = vec![
+            Request::Get {
+                cachelet: CacheletId(1),
+                key: b"a".to_vec(),
+            },
+            Request::Set {
+                cachelet: CacheletId(2),
+                key: b"b".to_vec(),
+                value: b"payload".to_vec(),
+                expiry_ms: 9,
+            }
+            .for_tenant(TenantId(5)),
+            Request::Get {
+                cachelet: CacheletId(3),
+                key: b"c".to_vec(),
+            }
+            .for_tenant(TenantId(6)),
+        ];
+        let frame = encode_batch_request(&reqs).expect("encode");
+        let decoded = decode_batch_request(&frame).expect("decode");
+        assert_eq!(decoded.len(), reqs.len());
+        for (i, (req, opaque)) in decoded.into_iter().enumerate() {
+            assert_eq!(req, reqs[i]);
+            assert_eq!(opaque, i as u32);
+        }
     }
 }

@@ -4,7 +4,7 @@
 //! transport moves them directly over channels; the TCP transport encodes
 //! them with [`crate::codec`].
 
-use mbal_core::types::{CacheletId, Key, ServerId, Value, WorkerAddr};
+use mbal_core::types::{CacheletId, Key, ServerId, TenantId, Value, WorkerAddr};
 
 /// Response status codes (mirrors Memcached's binary status field).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -29,6 +29,10 @@ pub enum Status {
     /// The server is draining ahead of removal and refuses writes; the
     /// client should refetch the mapping and retry at the new owner.
     Draining = 8,
+    /// The request named a tenant this server has not admitted. A typed
+    /// rejection, not a connection close: the client keeps its session
+    /// and surfaces a clean error.
+    UnknownTenant = 9,
 }
 
 impl Status {
@@ -46,6 +50,7 @@ impl Status {
             Status::Exists => "key already exists",
             Status::NotNumeric => "value is not a number",
             Status::Draining => "server is draining; writes refused",
+            Status::UnknownTenant => "unknown tenant",
         }
     }
 
@@ -61,6 +66,7 @@ impl Status {
             6 => Status::Exists,
             7 => Status::NotNumeric,
             8 => Status::Draining,
+            9 => Status::UnknownTenant,
             _ => return None,
         })
     }
@@ -244,6 +250,19 @@ pub enum Request {
     /// Fetch the cluster membership view (epoch, per-node state and
     /// suspect timers) from a server's cached copy on the stats wire.
     ClusterStatus,
+    /// A request issued on behalf of a non-default tenant. The wrapper
+    /// (never nested) carries the tenant id; on the wire it rides the
+    /// binary header's extras field, so plain frames decode as the
+    /// default tenant and old peers interoperate unchanged. Workers
+    /// unwrap it at dispatch, refuse unadmitted tenants with
+    /// [`Status::UnknownTenant`], and namespace every key the inner
+    /// request touches.
+    ForTenant {
+        /// The tenant the inner request acts for (never the default).
+        tenant: TenantId,
+        /// The wrapped request (never itself `ForTenant`).
+        req: Box<Request>,
+    },
 }
 
 impl Request {
@@ -262,16 +281,54 @@ impl Request {
             | Request::ReplicaInstall { key, .. }
             | Request::ReplicaUpdate { key, .. }
             | Request::ReplicaInvalidate { key } => Some(key),
+            Request::ForTenant { req, .. } => req.key(),
             _ => None,
         }
     }
 
     /// Returns `true` for read-type requests (GET/MultiGET/replica read).
     pub fn is_read(&self) -> bool {
-        matches!(
-            self,
-            Request::Get { .. } | Request::MultiGet { .. } | Request::ReplicaRead { .. }
-        )
+        match self {
+            Request::Get { .. } | Request::MultiGet { .. } | Request::ReplicaRead { .. } => true,
+            Request::ForTenant { req, .. } => req.is_read(),
+            _ => false,
+        }
+    }
+
+    /// Wraps a request for `tenant`. The default tenant needs no
+    /// wrapper, so the request is returned unchanged; wrapping an
+    /// already-wrapped request re-tags it rather than nesting.
+    pub fn for_tenant(self, tenant: TenantId) -> Request {
+        let inner = match self {
+            Request::ForTenant { req, .. } => *req,
+            other => other,
+        };
+        if tenant.is_default() {
+            inner
+        } else {
+            Request::ForTenant {
+                tenant,
+                req: Box::new(inner),
+            }
+        }
+    }
+
+    /// Splits into `(tenant, inner request)`; unwrapped requests belong
+    /// to the default tenant.
+    pub fn tenant_parts(&self) -> (TenantId, &Request) {
+        match self {
+            Request::ForTenant { tenant, req } => (*tenant, req),
+            other => (TenantId::DEFAULT, other),
+        }
+    }
+
+    /// Consuming form of [`Request::tenant_parts`], for dispatch paths
+    /// that go on to own the inner request.
+    pub fn into_tenant_parts(self) -> (TenantId, Request) {
+        match self {
+            Request::ForTenant { tenant, req } => (tenant, *req),
+            other => (TenantId::DEFAULT, other),
+        }
     }
 }
 
@@ -363,7 +420,7 @@ mod tests {
 
     #[test]
     fn status_roundtrip() {
-        for v in 0..=8u16 {
+        for v in 0..=9u16 {
             let s = Status::from_u16(v).expect("valid");
             assert_eq!(s as u16, v);
         }
@@ -372,7 +429,7 @@ mod tests {
 
     #[test]
     fn status_describe_is_total_and_displayed() {
-        for v in 0..9u16 {
+        for v in 0..10u16 {
             let s = Status::from_u16(v).expect("valid");
             assert!(!s.describe().is_empty());
             assert_eq!(format!("{s}"), s.describe());
@@ -395,6 +452,31 @@ mod tests {
         };
         assert!(!w.is_read());
         assert!(Request::Stats { reset: false }.key().is_none());
+    }
+
+    #[test]
+    fn tenant_wrapping_and_unwrapping() {
+        let get = Request::Get {
+            cachelet: CacheletId(1),
+            key: b"k".to_vec(),
+        };
+        // Default tenant never wraps.
+        assert_eq!(get.clone().for_tenant(TenantId::DEFAULT), get);
+        let wrapped = get.clone().for_tenant(TenantId(7));
+        assert_eq!(wrapped.tenant_parts(), (TenantId(7), &get));
+        assert_eq!(
+            wrapped.key(),
+            Some(&b"k"[..]),
+            "key sees through the wrapper"
+        );
+        assert!(wrapped.is_read(), "is_read sees through the wrapper");
+        // Re-wrapping re-tags instead of nesting.
+        let retagged = wrapped.for_tenant(TenantId(9));
+        assert_eq!(retagged.tenant_parts(), (TenantId(9), &get));
+        // Re-tagging to the default tenant strips the wrapper.
+        assert_eq!(retagged.for_tenant(TenantId::DEFAULT), get);
+        // Unwrapped requests belong to the default tenant.
+        assert_eq!(get.tenant_parts(), (TenantId::DEFAULT, &get));
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //!
 //! ```text
 //! mbal-server [--workers N] [--port BASE] [--mem MB] [--cachelets N] [--epoch-ms MS]
-//!             [--engine slab|seg] [--metrics-port P]
+//!             [--engine slab|seg] [--metrics-port P] [--tenants SPEC]
 //! ```
 //!
 //! `--engine` selects the storage engine every worker runs: `slab`
@@ -19,6 +19,12 @@
 //! `--metrics-port` (0 = disabled, the default) additionally serves the
 //! per-worker counters and latency histograms in Prometheus text format
 //! on `0.0.0.0:P` — scrape with `curl http://host:P/metrics`.
+//!
+//! `--tenants` admits tenants with per-unit memory quotas and turns on
+//! multi-tenant mode. The spec is a comma list of
+//! `id:reserved:ceiling` with `k`/`m`/`g` suffixes, e.g.
+//! `--tenants "1:256k:1m,2:64k:512k"`. Inspect the books with
+//! `mbal-cli tenants`; tag client traffic with `mbal-cli --tenant T`.
 
 use mbal_balancer::coordinator::Coordinator;
 use mbal_balancer::BalancerConfig;
@@ -28,6 +34,7 @@ use mbal_core::types::{ServerId, WorkerAddr};
 use mbal_ring::{ConsistentRing, MappingTable};
 use mbal_server::tcp::serve_tcp;
 use mbal_server::{InProcRegistry, Server, ServerConfig};
+use mbal_tenant::TenantDirectory;
 use std::sync::Arc;
 
 fn arg<T: std::str::FromStr>(name: &str, default: T) -> T {
@@ -46,6 +53,13 @@ fn main() {
     let cachelets: usize = arg("--cachelets", 16);
     let epoch_ms: u64 = arg("--epoch-ms", 1_000);
     let metrics_port: u16 = arg("--metrics-port", 0);
+    let tenants = match arg::<String>("--tenants", String::new()).as_str() {
+        "" => TenantDirectory::new(),
+        spec => TenantDirectory::parse(spec).unwrap_or_else(|e| {
+            eprintln!("mbal-server: bad --tenants spec: {e}");
+            std::process::exit(2);
+        }),
+    };
     let engine = match arg::<String>("--engine", String::new()).as_str() {
         "" => EngineKind::from_env(),
         s => EngineKind::parse(s).unwrap_or_else(|| {
@@ -70,7 +84,8 @@ fn main() {
         ServerConfig::new(ServerId(0), workers, mem_mb << 20)
             .cachelets_per_worker(cachelets)
             .balancer(balancer)
-            .engine(engine),
+            .engine(engine)
+            .tenants(tenants.clone()),
         &mapping,
         &registry,
         coordinator,
@@ -88,6 +103,9 @@ fn main() {
         "mbal-server: {workers} workers, {mem_mb} MiB, {cachelets} cachelets/worker, {} engine",
         engine.label()
     );
+    if tenants.len() > 1 {
+        println!("  multi-tenant: {} tenants admitted", tenants.len() - 1);
+    }
     for (addr, sock) in &bound {
         println!("  worker {addr} listening on {sock}");
     }

@@ -5,6 +5,7 @@ use mbal_core::engine::EngineKind;
 use mbal_core::hotkey::HotKeyConfig;
 use mbal_core::mem::MemConfig;
 use mbal_core::types::ServerId;
+use mbal_tenant::TenantDirectory;
 
 /// Configuration of one MBal cache server.
 #[derive(Debug, Clone)]
@@ -39,6 +40,13 @@ pub struct ServerConfig {
     /// environment variable, falling back to slab+LRU, so CI can run
     /// the whole suite under either engine without touching call sites.
     pub engine: EngineKind,
+    /// Admitted tenants and their per-unit memory quotas. The default
+    /// directory holds only tenant 0, which disables multi-tenancy:
+    /// keys stay un-namespaced and requests naming any other tenant are
+    /// refused with `Status::UnknownTenant`. Admitting tenants switches
+    /// every cache unit to per-tenant inner engines with quota
+    /// enforcement and epoch-driven memory arbitration.
+    pub tenants: TenantDirectory,
 }
 
 impl ServerConfig {
@@ -56,6 +64,7 @@ impl ServerConfig {
             sync_replication: true,
             membership: false,
             engine: EngineKind::from_env(),
+            tenants: TenantDirectory::new(),
         }
     }
 
@@ -63,6 +72,18 @@ impl ServerConfig {
     pub fn engine(mut self, kind: EngineKind) -> Self {
         self.engine = kind;
         self
+    }
+
+    /// Replaces the tenant directory and returns `self`.
+    pub fn tenants(mut self, dir: TenantDirectory) -> Self {
+        self.tenants = dir;
+        self
+    }
+
+    /// `true` when tenants beyond the default are admitted, i.e. the
+    /// tenant layer (key namespacing, quotas, arbitration) is active.
+    pub fn tenancy_enabled(&self) -> bool {
+        self.tenants.len() > 1
     }
 
     /// Enables (or disables) membership participation and returns `self`.
@@ -129,6 +150,18 @@ mod tests {
         assert!(c.membership);
         let c = c.engine(EngineKind::Seg);
         assert_eq!(c.engine, EngineKind::Seg);
+    }
+
+    #[test]
+    fn tenancy_is_off_until_tenants_are_admitted() {
+        use mbal_core::types::TenantId;
+        use mbal_tenant::TenantQuota;
+        let c = ServerConfig::new(ServerId(0), 2, 1 << 20);
+        assert!(!c.tenancy_enabled(), "default directory: tenant 0 only");
+        let c = c.tenants(
+            TenantDirectory::new().with_tenant(TenantId(1), TenantQuota::new(1 << 16, 1 << 18)),
+        );
+        assert!(c.tenancy_enabled());
     }
 
     #[test]

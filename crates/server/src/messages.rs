@@ -9,7 +9,7 @@ use crate::unit::CacheUnit;
 use crossbeam_channel::Sender;
 use mbal_balancer::WorkerLoad;
 use mbal_core::hotkey::HotKey;
-use mbal_core::types::{CacheletId, WorkerAddr, WorkerId};
+use mbal_core::types::{CacheletId, TenantId, WorkerAddr, WorkerId};
 use mbal_proto::{Request, Response};
 
 /// A drained migration batch: `(key, value, expiry_ms)` triples.
@@ -81,6 +81,11 @@ pub enum Control {
     },
     /// Apply a hot-key sampling backoff factor (Phase 1 pressure).
     SetSamplingBackoff(u64),
+    /// Apply arbitrated per-unit tenant memory budgets: each entry is
+    /// `(tenant, bytes per cache unit)`, applied to every unit the
+    /// worker owns. A tenant now over its shrunk budget evicts its own
+    /// coldest entries; no other tenant is touched.
+    SetTenantBudgets(Vec<(TenantId, u64)>),
     /// Begin outbound coordinated migration of `id` towards `dest`.
     /// Replies `false` if the cachelet is not owned here.
     BeginMigration {
@@ -150,7 +155,9 @@ pub enum Control {
 /// telemetry snapshot — the same type served over the `Stats` RPC.
 #[derive(Debug, Clone)]
 pub struct EpochReport {
-    /// Balancer-facing load snapshot, including the metrics snapshot.
+    /// Balancer-facing load snapshot, including the metrics snapshot
+    /// and (under multi-tenancy) the per-tenant accounting rows the
+    /// memory arbiter consumes.
     pub load: WorkerLoad,
     /// Hot keys observed this epoch.
     pub hot_keys: Vec<HotKey>,

@@ -71,6 +71,7 @@ mod tests {
                 load_capacity: 100.0,
                 mem_capacity: 1 << 20,
                 metrics: shard.snapshot(),
+                tenants: vec![],
             })]
         })
         .expect("bind");

@@ -30,7 +30,7 @@ use mbal_balancer::{BalanceDriver, Phase, WorkerLoad};
 use mbal_core::clock::Clock;
 use mbal_core::hotkey::HotKey;
 use mbal_core::mem::GlobalPool;
-use mbal_core::types::{CacheletId, ServerId, WorkerAddr, WorkerId};
+use mbal_core::types::{CacheletId, ServerId, TenantId, WorkerAddr, WorkerId};
 use mbal_membership::NodeState;
 use mbal_proto::{Request, Response};
 use mbal_ring::MappingTable;
@@ -122,6 +122,7 @@ impl Server {
             let factory_mem = cfg.mem.clone();
             let factory_engine = cfg.engine;
             let factory_budget = cfg.unit_mem_budget();
+            let factory_tenants = cfg.tenants.clone();
             let ctx = WorkerContext {
                 addr,
                 rx,
@@ -133,15 +134,17 @@ impl Server {
                 sync_replication: cfg.sync_replication,
                 metrics: metrics.shard(w as usize),
                 unit_factory: Box::new(move |id| {
-                    CacheUnit::with_engine_kind(
+                    CacheUnit::with_tenancy(
                         factory_engine,
                         id,
                         Arc::clone(&factory_pool),
                         &factory_mem,
                         numa,
                         factory_budget,
+                        &factory_tenants,
                     )
                 }),
+                tenants: cfg.tenants.clone(),
             };
             handles.push(spawn_worker(ctx));
             registry.register(addr, tx.clone());
@@ -182,13 +185,14 @@ impl Server {
                 0
             };
             for c in mapping.cachelets_of_worker(addr) {
-                let unit = Box::new(CacheUnit::with_engine_kind(
+                let unit = Box::new(CacheUnit::with_tenancy(
                     self.cfg.engine,
                     c,
                     Arc::clone(global),
                     &self.cfg.mem,
                     numa,
                     self.cfg.unit_mem_budget(),
+                    &self.cfg.tenants,
                 ));
                 let (rtx, rrx) = bounded(1);
                 let _ = self.workers[w as usize].send(WorkerMsg::Control(Control::Adopt {
@@ -326,6 +330,21 @@ impl Server {
             let _ = tx.send(WorkerMsg::Control(Control::SetSamplingBackoff(
                 actions.sampling_backoff,
             )));
+        }
+        if !actions.tenant_budgets.is_empty() {
+            // The arbiter reallocates server-wide totals; each unit gets
+            // an equal share, matching how quotas scale per unit.
+            let total_units: usize = loads.iter().map(|l| l.cachelets.len()).sum();
+            let per_unit: Vec<(TenantId, u64)> = actions
+                .tenant_budgets
+                .iter()
+                .map(|&(t, b)| (t, b / total_units.max(1) as u64))
+                .collect();
+            for tx in &self.workers {
+                let _ = tx.send(WorkerMsg::Control(Control::SetTenantBudgets(
+                    per_unit.clone(),
+                )));
+            }
         }
         for (wid, acts) in &actions.replication {
             self.execute_replication(*wid, acts, now_ms);

@@ -8,12 +8,14 @@
 //! to another worker thread moves the data with it at pointer cost.
 
 use mbal_core::cachelet::Cachelet;
-use mbal_core::engine::{Engine, EngineKind, EngineStats, SegEngine, SlabLru};
+use mbal_core::engine::TenantUsage;
+use mbal_core::engine::{build_engine, Engine, EngineKind, EngineStats, SegEngine, SlabLru};
 use mbal_core::mem::{GlobalPool, LocalPool, MemConfig, MemPolicy};
 use mbal_core::stats::CacheletLoad;
 use mbal_core::store::SlabStore;
 use mbal_core::table::SetOutcome;
-use mbal_core::types::{CacheError, CacheletId, WorkerAddr};
+use mbal_core::types::{CacheError, CacheletId, TenantId, WorkerAddr};
+use mbal_tenant::{EngineFactory, TenantDirectory, TenantEngine};
 use std::sync::Arc;
 
 /// Migration progress attached to a unit that is being transferred to
@@ -76,6 +78,64 @@ impl CacheUnit {
             migration: None,
             stats_base: EngineStats::default(),
         }
+    }
+
+    /// Creates an empty unit with multi-tenancy: the engine is a
+    /// [`TenantEngine`] multiplexing one inner engine per admitted
+    /// tenant, so eviction (and therefore one tenant's flood) is
+    /// structurally confined to the offending tenant's own budget.
+    ///
+    /// The default tenant's inner engine is built exactly as in
+    /// [`CacheUnit::with_engine_kind`] (pool-backed slab store or
+    /// `seg_budget_bytes`-sized segment arena); every other tenant gets
+    /// a private engine sized by its quota's initial budget and resized
+    /// by arbitration. With no tenants beyond the default configured
+    /// this degrades to a plain single-engine unit — keys are only
+    /// namespaced when tenancy is on.
+    pub fn with_tenancy(
+        kind: EngineKind,
+        id: CacheletId,
+        global: Arc<GlobalPool>,
+        mem: &MemConfig,
+        numa: u8,
+        seg_budget_bytes: usize,
+        tenants: &TenantDirectory,
+    ) -> Self {
+        if tenants.len() <= 1 {
+            return Self::with_engine_kind(kind, id, global, mem, numa, seg_budget_bytes);
+        }
+        let mem = mem.clone();
+        let factory: EngineFactory = Box::new(move |tenant: TenantId, budget: usize| {
+            if tenant.is_default() {
+                match kind {
+                    EngineKind::SlabLru => {
+                        let pool =
+                            LocalPool::new(Arc::clone(&global), &mem, numa, MemPolicy::ThreadLocal);
+                        Box::new(SlabLru::new(SlabStore::new(pool)))
+                    }
+                    EngineKind::Seg => Box::new(SegEngine::new(seg_budget_bytes)),
+                }
+            } else {
+                build_engine(kind, budget)
+            }
+        });
+        Self {
+            meta: Cachelet::with_engine(id, Box::new(TenantEngine::new(tenants.clone(), factory))),
+            migration: None,
+            stats_base: EngineStats::default(),
+        }
+    }
+
+    /// Per-tenant accounting rows (empty for non-tenant units).
+    pub fn tenant_usage(&self) -> Vec<TenantUsage> {
+        self.meta.engine().tenant_usage()
+    }
+
+    /// Applies an arbitrated budget to one tenant's inner engine,
+    /// evicting the tenant's own coldest entries if it now overshoots.
+    /// Returns `false` on non-tenant units.
+    pub fn set_tenant_budget(&mut self, tenant: TenantId, bytes: usize) -> bool {
+        self.meta.engine_mut().set_tenant_budget(tenant, bytes)
     }
 
     /// The cachelet id.

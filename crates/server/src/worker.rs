@@ -26,10 +26,13 @@ use mbal_core::clock::Clock;
 use mbal_core::hash::shard_hash;
 use mbal_core::hotkey::{HotKey, HotKeyConfig, HotKeyTracker};
 use mbal_core::replica::{ReplicaLookup, ReplicaTable};
-use mbal_core::types::{CacheError, CacheletId, WorkerAddr};
+use mbal_core::types::{CacheError, CacheletId, TenantId, WorkerAddr};
 use mbal_proto::{Request, Response, Status};
 use mbal_telemetry::{Counter, Gauge, MetricsShard, StatsReport};
-use std::collections::HashMap;
+use mbal_tenant::{
+    namespaced_key, split_namespaced, ArbiterConfig, MrcEstimator, TenantDirectory, TenantLoad,
+};
+use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
 /// Everything a worker thread needs at spawn time.
@@ -56,6 +59,27 @@ pub struct WorkerContext {
     /// Factory for units adopted on the destination side of coordinated
     /// migration (needs the server's global pool).
     pub unit_factory: Box<dyn FnMut(CacheletId) -> CacheUnit + Send>,
+    /// Admitted tenants and their quotas. With only the default tenant
+    /// present the tenant layer is inert: keys are not namespaced and
+    /// any `ForTenant`-wrapped request is refused as `UnknownTenant`.
+    pub tenants: TenantDirectory,
+}
+
+/// Per-tenant request counters kept by the worker (feeds telemetry and
+/// the arbiter's `TenantLoad` rows).
+#[derive(Debug, Default, Clone, Copy)]
+struct TenantCounters {
+    gets: u64,
+    hits: u64,
+    sets: u64,
+}
+
+/// What a data op contributes to its tenant's miss-ratio curve.
+enum TenantOp {
+    /// A GET: hash of the (namespaced) key.
+    Read(u64),
+    /// A value write: hash and entry footprint in bytes.
+    Write(u64, usize),
 }
 
 /// The worker state machine; drive it with [`Worker::run`].
@@ -70,6 +94,11 @@ pub struct Worker {
     draining: bool,
     /// Serialized membership view cached for `ClusterStatus` RPCs.
     membership_view: Option<Vec<u8>>,
+    /// Per-tenant request counters (tenant mode only).
+    tenant_stats: HashMap<u16, TenantCounters>,
+    /// Per-tenant miss-ratio-curve estimators feeding the arbiter's
+    /// marginal-utility signal (tenant mode only).
+    mrcs: HashMap<u16, MrcEstimator>,
 }
 
 impl Worker {
@@ -85,7 +114,15 @@ impl Worker {
             tracker,
             draining: false,
             membership_view: None,
+            tenant_stats: HashMap::new(),
+            mrcs: HashMap::new(),
         }
+    }
+
+    /// `true` when tenants beyond the default are admitted, i.e. keys
+    /// are tenant-namespaced and quotas/arbitration are live.
+    fn tenant_mode(&self) -> bool {
+        self.ctx.tenants.len() > 1
     }
 
     /// Runs the event loop until `Control::Shutdown` or channel close.
@@ -143,13 +180,38 @@ impl Worker {
         resp
     }
 
+    /// Peels the tenant wrapper, enforces admission, rewrites data-op
+    /// keys into the tenant's namespace (tenant mode only), and records
+    /// per-tenant counters/MRC samples around the inner dispatch.
     fn dispatch(&mut self, req: Request) -> Response {
+        let (tenant, mut req) = req.into_tenant_parts();
+        if !self.ctx.tenants.is_known(tenant) {
+            // Typed rejection, not a dropped connection: the client keeps
+            // its session and can retry against an admitted tenant.
+            return Response::Fail {
+                status: Status::UnknownTenant,
+                message: format!("tenant {} is not admitted on this server", tenant.0),
+            };
+        }
+        let tenant_mode = self.tenant_mode();
+        if tenant_mode {
+            namespace_request(tenant, &mut req);
+        }
         if self.draining && is_refused_while_draining(&req) {
             return Response::Fail {
                 status: Status::Draining,
                 message: "server is draining; writes refused".into(),
             };
         }
+        let op = if tenant_mode { tenant_op(&req) } else { None };
+        let resp = self.dispatch_inner(req);
+        if let Some(op) = op {
+            self.record_tenant_op(tenant, op, &resp);
+        }
+        resp
+    }
+
+    fn dispatch_inner(&mut self, req: Request) -> Response {
         match req {
             Request::Get { cachelet, key } => self.do_get(cachelet, &key),
             Request::MultiGet { keys } => {
@@ -284,7 +346,13 @@ impl Worker {
                 }
                 Response::MigrateAck
             }
-            Request::Stats { .. } => unreachable!("Stats is answered in handle_rpc"),
+            // A tenant-wrapped Stats bypasses the handle_rpc fast path;
+            // serve it here rather than panic.
+            Request::Stats { reset } => self.do_stats(reset),
+            Request::ForTenant { .. } => Response::Fail {
+                status: Status::Error,
+                message: "nested tenant wrapper refused".into(),
+            },
             Request::Heartbeat { .. } => Response::Fail {
                 status: Status::Error,
                 message: "heartbeats are served by the coordinator".into(),
@@ -319,12 +387,17 @@ impl Worker {
                 new_owner: dest,
             };
         }
-        self.tracker.record(key, true);
+        self.track_key(key, true);
+        let unit = self.units.get_mut(&cachelet).expect("checked above");
         match unit.get(key, now) {
             Some(value) => {
                 self.ctx.metrics.incr(Counter::GetHits);
                 self.ctx.metrics.add(Counter::BytesOut, value.len() as u64);
-                let replicas = self.replicated.get(key).cloned().unwrap_or_default();
+                let replicas = self
+                    .home_replica_key(key)
+                    .and_then(|k| self.replicated.get(k))
+                    .cloned()
+                    .unwrap_or_default();
                 Response::Value { value, replicas }
             }
             None => {
@@ -354,15 +427,15 @@ impl Worker {
             // writer (MBal is a write-through cache, so no data is lost).
             let dest = unit.migration().expect("migrating").dest;
             unit.delete(&key, now);
-            self.ctx
-                .transport
-                .cast(dest, Request::Delete { cachelet, key });
+            let fwd = self.peer_delete_req(cachelet, &key);
+            self.ctx.transport.cast(dest, fwd);
             return Response::Moved {
                 cachelet,
                 new_owner: dest,
             };
         }
-        self.tracker.record(&key, false);
+        self.track_key(&key, false);
+        let unit = self.units.get_mut(&cachelet).expect("checked above");
         match unit.set(&key, &value, now, expiry_ms) {
             Ok(_) => {
                 self.propagate_update(&key, &value);
@@ -391,19 +464,14 @@ impl Worker {
         if unit.key_migrated(key) {
             let dest = unit.migration().expect("migrating").dest;
             unit.delete(key, now);
-            self.ctx.transport.cast(
-                dest,
-                Request::Delete {
-                    cachelet,
-                    key: key.to_vec(),
-                },
-            );
+            let fwd = self.peer_delete_req(cachelet, key);
+            self.ctx.transport.cast(dest, fwd);
             return Err(Response::Moved {
                 cachelet,
                 new_owner: dest,
             });
         }
-        self.tracker.record(key, false);
+        self.track_key(key, false);
         Ok(())
     }
 
@@ -533,23 +601,21 @@ impl Worker {
         };
         if unit.key_migrated(key) {
             let dest = unit.migration().expect("migrating").dest;
-            self.ctx.transport.cast(
-                dest,
-                Request::Delete {
-                    cachelet,
-                    key: key.to_vec(),
-                },
-            );
+            let fwd = self.peer_delete_req(cachelet, key);
+            self.ctx.transport.cast(dest, fwd);
             return Response::Moved {
                 cachelet,
                 new_owner: dest,
             };
         }
-        self.tracker.record(key, false);
+        self.track_key(key, false);
+        let unit = self.units.get_mut(&cachelet).expect("checked above");
         unit.delete(key, now);
         // Deleting a replicated key invalidates its replicas.
-        if let Some(shadows) = self.replicated.remove(key) {
-            self.invalidate_replicas(key, &shadows);
+        if let Some(k) = self.home_replica_key(key) {
+            if let Some(shadows) = self.replicated.remove(k) {
+                self.invalidate_replicas(k, &shadows);
+            }
         }
         Response::Deleted
     }
@@ -581,6 +647,11 @@ impl Worker {
     /// evicted from the replica set and best-effort invalidated — a
     /// stale replica must never outlive a failed update.
     fn propagate_update(&mut self, key: &[u8], value: &[u8]) {
+        // In tenant mode only default-tenant keys are replicated, and
+        // the replica plane speaks raw (namespace-stripped) keys.
+        let Some(key) = self.home_replica_key(key) else {
+            return;
+        };
         let Some(shadows) = self.replicated.get(key) else {
             return;
         };
@@ -620,6 +691,83 @@ impl Worker {
                 list.retain(|a| !failed.contains(a));
                 if list.is_empty() {
                     self.replicated.remove(key);
+                }
+            }
+        }
+    }
+
+    /// Records a key access with the hot-key tracker. In tenant mode
+    /// only default-tenant keys participate in Phase-1 replication, and
+    /// they are recorded with the namespace stripped: the balancer,
+    /// coordinator, and clients all speak raw keys, and the server-side
+    /// replica ops carry raw keys end-to-end.
+    fn track_key(&mut self, key: &[u8], read: bool) {
+        if !self.tenant_mode() {
+            self.tracker.record(key, read);
+            return;
+        }
+        let (t, rest) = split_namespaced(key);
+        if t.is_default() {
+            self.tracker.record(rest, read);
+        }
+    }
+
+    /// Maps an engine key to its replica-map key: identity outside
+    /// tenant mode; in tenant mode only default-tenant keys replicate,
+    /// with the namespace stripped.
+    fn home_replica_key<'a>(&self, key: &'a [u8]) -> Option<&'a [u8]> {
+        if !self.tenant_mode() {
+            return Some(key);
+        }
+        let (t, rest) = split_namespaced(key);
+        t.is_default().then_some(rest)
+    }
+
+    /// Builds the Write-Invalidate delete cast to a migration peer. In
+    /// tenant mode the local key carries this server's namespace prefix;
+    /// the peer must receive the raw key wrapped in `ForTenant` so its
+    /// own dispatch re-namespaces it exactly once.
+    fn peer_delete_req(&self, cachelet: CacheletId, key: &[u8]) -> Request {
+        if !self.tenant_mode() {
+            return Request::Delete {
+                cachelet,
+                key: key.to_vec(),
+            };
+        }
+        let (t, rest) = split_namespaced(key);
+        Request::Delete {
+            cachelet,
+            key: rest.to_vec(),
+        }
+        .for_tenant(t)
+    }
+
+    /// Folds a data op's outcome into its tenant's counters and MRC.
+    fn record_tenant_op(&mut self, tenant: TenantId, op: TenantOp, resp: &Response) {
+        match op {
+            TenantOp::Read(hash) => {
+                let hit = match resp {
+                    Response::Value { value, .. } => Some(value.len()),
+                    _ => None,
+                };
+                let bytes = hit.unwrap_or(0);
+                let c = self.tenant_stats.entry(tenant.0).or_default();
+                c.gets += 1;
+                if hit.is_some() {
+                    c.hits += 1;
+                }
+                self.mrcs
+                    .entry(tenant.0)
+                    .or_default()
+                    .record_access(hash, bytes);
+            }
+            TenantOp::Write(hash, bytes) => {
+                self.tenant_stats.entry(tenant.0).or_default().sets += 1;
+                if matches!(resp, Response::Stored) {
+                    self.mrcs
+                        .entry(tenant.0)
+                        .or_default()
+                        .record_access(hash, bytes);
                 }
             }
         }
@@ -672,6 +820,13 @@ impl Worker {
             }
             Control::SetSamplingBackoff(b) => {
                 self.tracker.set_backoff(b);
+            }
+            Control::SetTenantBudgets(budgets) => {
+                for u in self.units.values_mut() {
+                    for &(t, b) in &budgets {
+                        u.set_tenant_budget(t, usize::try_from(b).unwrap_or(usize::MAX));
+                    }
+                }
             }
             Control::BeginMigration { id, dest, reply } => {
                 let ok = match self.units.get_mut(&id) {
@@ -798,7 +953,63 @@ impl Worker {
             load_capacity: self.ctx.load_capacity,
             mem_capacity: self.ctx.mem_capacity,
             metrics: m.snapshot(),
+            tenants: self.tenant_rows(),
         }
+    }
+
+    /// Builds the per-tenant accounting rows the balancer's arbiter and
+    /// the telemetry surface consume: engine-side usage summed across
+    /// every unit this worker owns, plus request counters and the MRC
+    /// marginal-utility signal. Empty outside tenant mode. Quota floors
+    /// and ceilings are per *unit*, so they scale by the unit count.
+    fn tenant_rows(&self) -> Vec<TenantLoad> {
+        if !self.tenant_mode() {
+            return Vec::new();
+        }
+        let mut usage: BTreeMap<u16, (u64, u64, u64)> = BTreeMap::new();
+        for u in self.units.values() {
+            for t in u.tenant_usage() {
+                let e = usage.entry(t.tenant.0).or_insert((0, 0, 0));
+                e.0 = e.0.saturating_add(t.used_bytes as u64);
+                e.1 = e.1.saturating_add(t.budget_bytes as u64);
+                e.2 = e.2.saturating_add(t.evictions);
+            }
+        }
+        let units = self.units.len().max(1) as u64;
+        let step = ArbiterConfig::default().step_bytes;
+        self.ctx
+            .tenants
+            .iter()
+            .map(|(tenant, quota)| {
+                let (resident, budget, evictions) = usage.get(&tenant.0).copied().unwrap_or((
+                    0,
+                    quota.initial_budget().saturating_mul(units),
+                    0,
+                ));
+                let c = self
+                    .tenant_stats
+                    .get(&tenant.0)
+                    .copied()
+                    .unwrap_or_default();
+                let marginal = self
+                    .mrcs
+                    .get(&tenant.0)
+                    .map(|mrc| mrc.marginal_hits_per_mb(budget, step))
+                    .unwrap_or(0.0);
+                TenantLoad {
+                    tenant,
+                    resident_bytes: resident,
+                    budget_bytes: budget,
+                    reserved_bytes: quota.reserved_bytes.saturating_mul(units),
+                    ceiling_bytes: quota.ceiling_bytes.saturating_mul(units),
+                    gets: c.gets,
+                    hits: c.hits,
+                    sets: c.sets,
+                    evictions,
+                    marginal_hits_per_mb: marginal,
+                }
+            })
+            .collect()
     }
 
     /// Builds the end-of-epoch report; when `close` is set, rolls the
@@ -814,6 +1025,11 @@ impl Worker {
             }
             self.tracker.end_epoch();
             self.replica_table.retire_expired(now);
+            // Age the per-tenant miss-ratio curves so the marginal
+            // signal tracks the current workload, not history.
+            for mrc in self.mrcs.values_mut() {
+                mrc.decay();
+            }
         }
         let mut hot = self.tracker.hot_keys();
         for wh in self.tracker.write_hot_keys() {
@@ -844,6 +1060,47 @@ fn is_refused_while_draining(req: &Request) -> bool {
             | Request::Incr { .. }
             | Request::Touch { .. }
     )
+}
+
+/// Prefixes every client-facing data-op key with the tenant namespace.
+/// Replica and migration traffic already carries full engine keys and is
+/// never rewritten; coordinator-plane requests have no keys.
+fn namespace_request(tenant: TenantId, req: &mut Request) {
+    match req {
+        Request::Get { key, .. }
+        | Request::Set { key, .. }
+        | Request::Delete { key, .. }
+        | Request::Add { key, .. }
+        | Request::Replace { key, .. }
+        | Request::Concat { key, .. }
+        | Request::Incr { key, .. }
+        | Request::Touch { key, .. } => {
+            let nk = namespaced_key(tenant, key);
+            *key = nk;
+        }
+        Request::MultiGet { keys } => {
+            for (_, k) in keys.iter_mut() {
+                let nk = namespaced_key(tenant, k);
+                *k = nk;
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Extracts the MRC-relevant shape of a data op before dispatch
+/// consumes it. Only value reads and full-value writes feed the
+/// estimator; deletes and metadata ops carry no reuse signal.
+fn tenant_op(req: &Request) -> Option<TenantOp> {
+    match req {
+        Request::Get { key, .. } => Some(TenantOp::Read(shard_hash(key))),
+        Request::Set { key, value, .. }
+        | Request::Add { key, value, .. }
+        | Request::Replace { key, value, .. } => {
+            Some(TenantOp::Write(shard_hash(key), key.len() + value.len()))
+        }
+        _ => None,
+    }
 }
 
 /// Spawns a worker thread, returning its mailbox sender and join handle.

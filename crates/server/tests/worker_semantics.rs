@@ -63,6 +63,7 @@ fn fixture_with_engine(addr: WorkerAddr, cachelets: &[u32], engine: EngineKind) 
                 16 << 20,
             )
         }),
+        tenants: mbal_tenant::TenantDirectory::new(),
     };
     let join = spawn_worker(ctx);
     let f = Fixture {
@@ -303,6 +304,7 @@ fn writes_propagate_to_shadow_synchronously() {
         sync_replication: true,
         metrics: Arc::new(MetricsShard::new()),
         unit_factory: Box::new(move |id| CacheUnit::new(id, Arc::clone(&global), &mem, 0)),
+        tenants: mbal_tenant::TenantDirectory::new(),
     };
     let _join = spawn_worker(ctx);
 
@@ -657,6 +659,7 @@ fn concat_propagates_full_value_to_replicas() {
         sync_replication: true,
         metrics: Arc::new(MetricsShard::new()),
         unit_factory: Box::new(move |id| CacheUnit::new(id, Arc::clone(&global), &mem, 0)),
+        tenants: mbal_tenant::TenantDirectory::new(),
     };
     let _join = spawn_worker(ctx);
 

@@ -11,6 +11,7 @@ use crate::histogram::LatencyPercentiles;
 use crate::registry::MetricsSnapshot;
 use mbal_core::stats::CacheletLoad;
 use mbal_core::types::WorkerAddr;
+use mbal_tenant::TenantLoad;
 use serde::{Deserialize, Serialize};
 use std::fmt::Write as _;
 
@@ -32,6 +33,12 @@ pub struct WorkerSnapshot {
     /// serialized snapshots still deserialize.
     #[serde(default)]
     pub metrics: MetricsSnapshot,
+    /// Per-tenant accounting rows (resident bytes, budgets, hit/miss
+    /// counters, and the marginal-utility signal the memory arbiter
+    /// consumes). Empty on servers without multi-tenancy configured,
+    /// and when deserializing pre-tenancy snapshots.
+    #[serde(default)]
+    pub tenants: Vec<TenantLoad>,
 }
 
 impl WorkerSnapshot {
@@ -91,6 +98,15 @@ impl StatsReport {
             "total_load".to_string(),
             format!("{:.3}", self.load.total_load()),
         ));
+        for t in &self.load.tenants {
+            let p = format!("tenant_{}", t.tenant.0);
+            out.push((format!("{p}_resident_bytes"), t.resident_bytes.to_string()));
+            out.push((format!("{p}_budget_bytes"), t.budget_bytes.to_string()));
+            out.push((format!("{p}_gets"), t.gets.to_string()));
+            out.push((format!("{p}_hits"), t.hits.to_string()));
+            out.push((format!("{p}_evictions"), t.evictions.to_string()));
+            out.push((format!("{p}_hit_rate"), format!("{:.4}", t.hit_rate())));
+        }
         for (prefix, p) in [("read", &self.read_latency), ("write", &self.write_latency)] {
             out.push((format!("{prefix}_latency_count"), p.count.to_string()));
             out.push((
@@ -125,6 +141,25 @@ pub fn render_prometheus(reports: &[StatsReport]) -> String {
             let _ = writeln!(out, "mbal_{name}{{{labels}}} {v}");
         }
         let _ = writeln!(out, "mbal_total_load{{{labels}}} {}", r.load.total_load());
+        for t in &r.load.tenants {
+            let tl = format!("{labels},tenant=\"{}\"", t.tenant.0);
+            let _ = writeln!(
+                out,
+                "mbal_tenant_resident_bytes{{{tl}}} {}",
+                t.resident_bytes
+            );
+            let _ = writeln!(out, "mbal_tenant_budget_bytes{{{tl}}} {}", t.budget_bytes);
+            let _ = writeln!(out, "mbal_tenant_gets_total{{{tl}}} {}", t.gets);
+            let _ = writeln!(out, "mbal_tenant_hits_total{{{tl}}} {}", t.hits);
+            let _ = writeln!(out, "mbal_tenant_sets_total{{{tl}}} {}", t.sets);
+            let _ = writeln!(out, "mbal_tenant_evictions_total{{{tl}}} {}", t.evictions);
+            let _ = writeln!(out, "mbal_tenant_hit_rate{{{tl}}} {:.6}", t.hit_rate());
+            let _ = writeln!(
+                out,
+                "mbal_tenant_marginal_hits_per_mb{{{tl}}} {:.6}",
+                t.marginal_hits_per_mb
+            );
+        }
         for (path, p) in [("read", &r.read_latency), ("write", &r.write_latency)] {
             for (q, v) in [
                 ("0.5", p.p50_us),
@@ -180,6 +215,18 @@ mod tests {
             load_capacity: 1000.0,
             mem_capacity: 1 << 20,
             metrics: shard.snapshot(),
+            tenants: vec![TenantLoad {
+                tenant: mbal_core::types::TenantId(3),
+                resident_bytes: 4_096,
+                budget_bytes: 8_192,
+                reserved_bytes: 1_024,
+                ceiling_bytes: 16_384,
+                gets: 10,
+                hits: 7,
+                sets: 2,
+                evictions: 1,
+                marginal_hits_per_mb: 0.5,
+            }],
         }
     }
 
@@ -216,6 +263,7 @@ mod tests {
         let w: WorkerSnapshot = serde_json::from_str(json).expect("parse");
         assert_eq!(w.addr, WorkerAddr::new(0, 3));
         assert_eq!(w.metrics.ops(), 0);
+        assert!(w.tenants.is_empty(), "pre-tenancy snapshots parse");
     }
 
     #[test]
@@ -237,6 +285,10 @@ mod tests {
         assert!(text.contains("mbal_expired_bytes_total{server=\"1\",worker=\"2\"} 1024"));
         assert!(text.contains("quantile=\"0.99\""));
         assert!(text.contains("mbal_read_latency_us_count{server=\"1\",worker=\"2\"} 1"));
+        // Tenant accounting reaches the scrape surface, tenant-labeled.
+        assert!(text
+            .contains("mbal_tenant_resident_bytes{server=\"1\",worker=\"2\",tenant=\"3\"} 4096"));
+        assert!(text.contains("mbal_tenant_hit_rate{server=\"1\",worker=\"2\",tenant=\"3\"} 0.7"));
         // Every line is `name{labels} value`.
         for line in text.lines() {
             assert!(

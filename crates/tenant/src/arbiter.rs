@@ -1,0 +1,238 @@
+//! The per-epoch memory arbitration policy.
+//!
+//! Each epoch the balancer collects one [`TenantLoad`] row per tenant
+//! (aggregated across a worker's units) and calls [`arbitrate`], which
+//! proposes a bounded number of fixed-size budget moves from the tenant
+//! with the *lowest* marginal hit-rate to the tenant with the
+//! *highest* — the Memshare policy. Floors and ceilings are hard
+//! bounds: a donor is never pushed below its reserved floor, a receiver
+//! never above its burstable ceiling, so arbitration can speed tenants
+//! up but never break the isolation guarantee.
+
+use mbal_core::types::TenantId;
+use serde::{Deserialize, Serialize};
+
+/// Per-tenant load and utility observed over one epoch, as reported by
+/// a worker's telemetry and consumed by the arbiter and dashboards.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TenantLoad {
+    /// The tenant this row describes.
+    pub tenant: TenantId,
+    /// Bytes the tenant currently holds resident.
+    pub resident_bytes: u64,
+    /// The tenant's current arbitrated budget (bytes per unit).
+    pub budget_bytes: u64,
+    /// Quota floor: arbitration never takes the budget below this.
+    pub reserved_bytes: u64,
+    /// Quota ceiling: arbitration never grants more than this.
+    pub ceiling_bytes: u64,
+    /// GET-class operations served this epoch.
+    pub gets: u64,
+    /// GET-class operations that hit.
+    pub hits: u64,
+    /// SET-class operations served this epoch.
+    pub sets: u64,
+    /// Entries the tenant evicted (always its own) this epoch.
+    pub evictions: u64,
+    /// Marginal utility: estimated extra hits per MiB of extra budget,
+    /// from the tenant's miss-ratio-curve estimator.
+    pub marginal_hits_per_mb: f64,
+}
+
+impl TenantLoad {
+    /// The tenant's hit rate this epoch (1.0 when it saw no gets).
+    pub fn hit_rate(&self) -> f64 {
+        if self.gets == 0 {
+            1.0
+        } else {
+            self.hits as f64 / self.gets as f64
+        }
+    }
+}
+
+/// Tuning knobs for [`arbitrate`].
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ArbiterConfig {
+    /// Bytes moved per reallocation step.
+    pub step_bytes: u64,
+    /// Most steps applied in one epoch (bounds churn).
+    pub max_moves: usize,
+    /// Hysteresis: the receiver's marginal utility must exceed the
+    /// donor's by this factor before a move happens, so budget does not
+    /// oscillate between near-equal tenants.
+    pub min_gain: f64,
+}
+
+impl Default for ArbiterConfig {
+    fn default() -> Self {
+        Self {
+            step_bytes: 256 << 10,
+            max_moves: 4,
+            min_gain: 1.1,
+        }
+    }
+}
+
+/// Computes this epoch's budget moves. Returns the **new absolute
+/// budgets** for every tenant whose budget changed (empty when the
+/// allocation is already as good as the signal can tell).
+///
+/// Tenants with an unlimited budget (`u64::MAX`, i.e. the default
+/// tenant governed by the worker's own pool) do not participate.
+pub fn arbitrate(rows: &[TenantLoad], cfg: &ArbiterConfig) -> Vec<(TenantId, u64)> {
+    let mut budgets: Vec<(usize, u64)> = rows
+        .iter()
+        .enumerate()
+        .filter(|(_, r)| r.budget_bytes != u64::MAX)
+        .map(|(i, r)| (i, r.budget_bytes))
+        .collect();
+    if budgets.len() < 2 {
+        return Vec::new();
+    }
+    let mut changed = vec![false; rows.len()];
+    for _ in 0..cfg.max_moves {
+        // Receiver: highest marginal utility with ceiling headroom.
+        let recv = budgets
+            .iter()
+            .enumerate()
+            .filter(|(_, &(i, b))| b.saturating_add(cfg.step_bytes) <= rows[i].ceiling_bytes)
+            .max_by(|(_, &(a, _)), (_, &(b, _))| {
+                rows[a]
+                    .marginal_hits_per_mb
+                    .total_cmp(&rows[b].marginal_hits_per_mb)
+            })
+            .map(|(slot, _)| slot);
+        let Some(recv) = recv else { break };
+        // Donor: lowest marginal utility with floor headroom.
+        let donor = budgets
+            .iter()
+            .enumerate()
+            .filter(|&(slot, &(i, b))| {
+                slot != recv && b >= rows[i].reserved_bytes.saturating_add(cfg.step_bytes)
+            })
+            .min_by(|(_, &(a, _)), (_, &(b, _))| {
+                rows[a]
+                    .marginal_hits_per_mb
+                    .total_cmp(&rows[b].marginal_hits_per_mb)
+            })
+            .map(|(slot, _)| slot);
+        let Some(donor) = donor else { break };
+        let (ri, di) = (budgets[recv].0, budgets[donor].0);
+        let gain = rows[ri].marginal_hits_per_mb;
+        let loss = rows[di].marginal_hits_per_mb;
+        // Hysteresis gate: only move when the receiver clearly gains
+        // more than the donor loses.
+        if gain <= 0.0 || gain < loss * cfg.min_gain {
+            break;
+        }
+        budgets[recv].1 += cfg.step_bytes;
+        budgets[donor].1 -= cfg.step_bytes;
+        changed[ri] = true;
+        changed[di] = true;
+    }
+    budgets
+        .into_iter()
+        .filter(|&(i, _)| changed[i])
+        .map(|(i, b)| (rows[i].tenant, b))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(tenant: u16, budget: u64, floor: u64, ceiling: u64, marginal: f64) -> TenantLoad {
+        TenantLoad {
+            tenant: TenantId(tenant),
+            resident_bytes: budget,
+            budget_bytes: budget,
+            reserved_bytes: floor,
+            ceiling_bytes: ceiling,
+            gets: 100,
+            hits: 50,
+            sets: 10,
+            evictions: 0,
+            marginal_hits_per_mb: marginal,
+        }
+    }
+
+    #[test]
+    fn moves_budget_toward_higher_marginal_utility() {
+        let mib = 1u64 << 20;
+        let rows = vec![
+            row(1, 8 * mib, 2 * mib, 32 * mib, 50.0),
+            row(2, 8 * mib, 2 * mib, 32 * mib, 1.0),
+        ];
+        let cfg = ArbiterConfig::default();
+        let out = arbitrate(&rows, &cfg);
+        assert_eq!(out.len(), 2);
+        let get = |t: u16| out.iter().find(|(id, _)| id.0 == t).expect("row").1;
+        let moved = cfg.step_bytes * cfg.max_moves as u64;
+        assert_eq!(get(1), 8 * mib + moved);
+        assert_eq!(get(2), 8 * mib - moved);
+    }
+
+    #[test]
+    fn donor_never_dips_below_its_reserved_floor() {
+        let mib = 1u64 << 20;
+        // Donor sits just one step above its floor: exactly one move fits.
+        let step = ArbiterConfig::default().step_bytes;
+        let rows = vec![
+            row(1, 8 * mib, 2 * mib, 32 * mib, 50.0),
+            row(2, 2 * mib + step, 2 * mib, 32 * mib, 0.0),
+        ];
+        let out = arbitrate(&rows, &ArbiterConfig::default());
+        let donor = out.iter().find(|(id, _)| id.0 == 2).expect("donor").1;
+        assert_eq!(donor, 2 * mib, "stopped exactly at the floor");
+    }
+
+    #[test]
+    fn receiver_never_exceeds_its_ceiling() {
+        let mib = 1u64 << 20;
+        let step = ArbiterConfig::default().step_bytes;
+        let rows = vec![
+            row(1, 8 * mib, 2 * mib, 8 * mib + step, 50.0),
+            row(2, 8 * mib, 2 * mib, 32 * mib, 0.0),
+        ];
+        let out = arbitrate(&rows, &ArbiterConfig::default());
+        let recv = out.iter().find(|(id, _)| id.0 == 1).expect("receiver").1;
+        assert_eq!(recv, 8 * mib + step, "stopped exactly at the ceiling");
+    }
+
+    #[test]
+    fn hysteresis_blocks_near_equal_tenants_and_idle_clusters() {
+        let mib = 1u64 << 20;
+        let rows = vec![
+            row(1, 8 * mib, 2 * mib, 32 * mib, 10.0),
+            row(2, 8 * mib, 2 * mib, 32 * mib, 9.99),
+        ];
+        assert!(arbitrate(&rows, &ArbiterConfig::default()).is_empty());
+        let idle = vec![
+            row(1, 8 * mib, 2 * mib, 32 * mib, 0.0),
+            row(2, 8 * mib, 2 * mib, 32 * mib, 0.0),
+        ];
+        assert!(arbitrate(&idle, &ArbiterConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn unlimited_default_tenant_does_not_participate() {
+        let mib = 1u64 << 20;
+        let rows = vec![
+            row(0, u64::MAX, 0, u64::MAX, 100.0),
+            row(1, 8 * mib, 2 * mib, 32 * mib, 50.0),
+        ];
+        assert!(
+            arbitrate(&rows, &ArbiterConfig::default()).is_empty(),
+            "one limited tenant alone has no counterparty"
+        );
+    }
+
+    #[test]
+    fn tenant_load_serde_roundtrip() {
+        let r = row(3, 1 << 20, 0, 1 << 22, 2.5);
+        let json = serde_json::to_string(&r).expect("serialize");
+        let back: TenantLoad = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back, r);
+        assert!((r.hit_rate() - 0.5).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,47 @@
+//! # mbal-tenant
+//!
+//! The multi-tenancy subsystem: tenant namespaces, quotas, per-tenant
+//! miss-ratio-curve estimation, and Memshare-style dynamic memory
+//! arbitration between the applications sharing one MBal cluster.
+//!
+//! The paper's balancer reallocates *load* across servers; a shared
+//! production cache must also arbitrate *memory* between tenants inside
+//! each server. Memshare showed that continuously moving cache memory
+//! toward the tenant with the highest marginal hit-rate substantially
+//! beats static partitioning. This crate supplies the pieces, and the
+//! rest of the workspace threads them end-to-end:
+//!
+//! - [`quota`] — [`quota::TenantQuota`] (reserved floor + burstable
+//!   ceiling, in bytes per cache unit) and the [`quota::TenantDirectory`]
+//!   of admitted tenants. Requests for a tenant not in the directory are
+//!   refused with the typed `Status::UnknownTenant`.
+//! - [`engine`] — [`engine::TenantEngine`], an `Engine` implementation
+//!   that multiplexes per-tenant inner engines keyed by a 2-byte tenant
+//!   prefix on every stored key. Isolation is *structural*: each tenant
+//!   evicts only inside its own engine and budget, so one tenant's flood
+//!   can never push another below its reserved floor.
+//! - [`mrc`] — [`mrc::MrcEstimator`], a bucketed reuse-distance sampler
+//!   that approximates each tenant's miss-ratio curve and answers "how
+//!   many extra hits would +Δ bytes buy?" — the marginal-utility signal.
+//! - [`arbiter`] — [`arbiter::arbitrate`], the per-epoch policy that
+//!   moves budget from low-marginal-utility tenants to high ones, never
+//!   below a floor or above a ceiling, plus the serializable
+//!   [`arbiter::TenantLoad`] rows that carry per-tenant telemetry
+//!   worker → `StatsReport` → balancer → Prometheus.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arbiter;
+pub mod engine;
+pub mod mrc;
+pub mod quota;
+
+pub use arbiter::{arbitrate, ArbiterConfig, TenantLoad};
+pub use engine::{
+    namespaced_key, split_namespaced, EngineFactory, TenantEngine, TENANT_PREFIX_LEN,
+};
+pub use mrc::MrcEstimator;
+pub use quota::{TenantDirectory, TenantQuota};
+
+pub use mbal_core::types::TenantId;

@@ -1,0 +1,223 @@
+//! Tenant quotas and the directory of admitted tenants.
+//!
+//! A quota is two byte amounts **per cache unit** (the cachelet
+//! container a worker owns; a worker hosting N units gives the tenant
+//! N× the bytes):
+//!
+//! - **reserved floor** — memory the tenant can always claim. The
+//!   arbiter never shrinks a tenant's budget below its floor, so no
+//!   other tenant's traffic can evict it out of this slice.
+//! - **burstable ceiling** — the most memory arbitration may ever grant
+//!   the tenant. A tenant over its ceiling evicts only its own entries.
+//!
+//! Between floor and ceiling the actual budget floats, moved each epoch
+//! by [`crate::arbiter::arbitrate`] toward the highest marginal
+//! hit-rate.
+
+use mbal_core::types::TenantId;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One tenant's memory quota, in bytes per cache unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TenantQuota {
+    /// Guaranteed floor: arbitration never takes the budget below this.
+    pub reserved_bytes: u64,
+    /// Burstable ceiling: arbitration never grants more than this.
+    pub ceiling_bytes: u64,
+}
+
+impl TenantQuota {
+    /// A quota with the given floor and ceiling (ceiling is raised to
+    /// the floor if given smaller).
+    pub fn new(reserved_bytes: u64, ceiling_bytes: u64) -> Self {
+        Self {
+            reserved_bytes,
+            ceiling_bytes: ceiling_bytes.max(reserved_bytes),
+        }
+    }
+
+    /// A fixed quota: floor == ceiling, opting the tenant out of
+    /// arbitration entirely.
+    pub fn fixed(bytes: u64) -> Self {
+        Self::new(bytes, bytes)
+    }
+
+    /// The effectively unlimited quota of the default tenant (whose
+    /// memory is governed by the worker's own budget, not the arbiter).
+    pub fn unlimited() -> Self {
+        Self::new(0, u64::MAX)
+    }
+
+    /// Where a tenant's budget starts before any arbitration: midway
+    /// between floor and ceiling, so a static (arbitration-off) run is
+    /// an even compromise and the arbiter has room to move both ways.
+    pub fn initial_budget(&self) -> u64 {
+        if self.ceiling_bytes == u64::MAX {
+            return u64::MAX;
+        }
+        self.reserved_bytes + (self.ceiling_bytes - self.reserved_bytes) / 2
+    }
+
+    /// Clamps a proposed budget into `[reserved, ceiling]`.
+    pub fn clamp(&self, budget: u64) -> u64 {
+        budget.clamp(self.reserved_bytes, self.ceiling_bytes)
+    }
+}
+
+/// The set of tenants admitted to a server, with their quotas.
+///
+/// Tenant 0 (the default tenant) is always present: unwrapped requests
+/// belong to it and its memory is governed by the worker's own budget.
+/// Requests naming any other tenant not in the directory are refused
+/// with `Status::UnknownTenant`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TenantDirectory {
+    tenants: BTreeMap<u16, TenantQuota>,
+}
+
+impl Default for TenantDirectory {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TenantDirectory {
+    /// A directory containing only the default tenant.
+    pub fn new() -> Self {
+        let mut tenants = BTreeMap::new();
+        tenants.insert(0, TenantQuota::unlimited());
+        Self { tenants }
+    }
+
+    /// Builder-style tenant admission.
+    pub fn with_tenant(mut self, tenant: TenantId, quota: TenantQuota) -> Self {
+        self.admit(tenant, quota);
+        self
+    }
+
+    /// Admits (or re-quotas) a tenant.
+    pub fn admit(&mut self, tenant: TenantId, quota: TenantQuota) {
+        self.tenants.insert(tenant.0, quota);
+    }
+
+    /// `true` when requests for `tenant` are accepted.
+    pub fn is_known(&self, tenant: TenantId) -> bool {
+        self.tenants.contains_key(&tenant.0)
+    }
+
+    /// The tenant's quota, if admitted.
+    pub fn quota(&self, tenant: TenantId) -> Option<TenantQuota> {
+        self.tenants.get(&tenant.0).copied()
+    }
+
+    /// Admitted tenants in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (TenantId, TenantQuota)> + '_ {
+        self.tenants.iter().map(|(&t, &q)| (TenantId(t), q))
+    }
+
+    /// Number of admitted tenants (the default tenant included).
+    pub fn len(&self) -> usize {
+        self.tenants.len()
+    }
+
+    /// Always `false`: the default tenant is never removed.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Parses a compact CLI spec: comma-separated `id:reserved:ceiling`
+    /// entries with optional `k`/`m`/`g` suffixes, e.g.
+    /// `1:4m:16m,2:8m:8m`. An empty spec yields the default directory.
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let mut dir = Self::new();
+        for entry in spec.split(',').map(str::trim).filter(|e| !e.is_empty()) {
+            let parts: Vec<&str> = entry.split(':').collect();
+            if parts.len() != 3 {
+                return Err(format!("tenant spec `{entry}`: want id:reserved:ceiling"));
+            }
+            let id: u16 = parts[0]
+                .parse()
+                .map_err(|_| format!("tenant spec `{entry}`: bad tenant id"))?;
+            let reserved = parse_bytes(parts[1])
+                .ok_or_else(|| format!("tenant spec `{entry}`: bad reserved bytes"))?;
+            let ceiling = parse_bytes(parts[2])
+                .ok_or_else(|| format!("tenant spec `{entry}`: bad ceiling bytes"))?;
+            if ceiling < reserved {
+                return Err(format!("tenant spec `{entry}`: ceiling below reserved"));
+            }
+            dir.admit(TenantId(id), TenantQuota::new(reserved, ceiling));
+        }
+        Ok(dir)
+    }
+}
+
+fn parse_bytes(s: &str) -> Option<u64> {
+    let s = s.trim().to_ascii_lowercase();
+    let (digits, mult) = match s.strip_suffix(['k', 'm', 'g']) {
+        Some(d) => {
+            let mult = match s.as_bytes()[s.len() - 1] {
+                b'k' => 1u64 << 10,
+                b'm' => 1 << 20,
+                _ => 1 << 30,
+            };
+            (d, mult)
+        }
+        None => (s.as_str(), 1),
+    };
+    digits.parse::<u64>().ok().map(|n| n * mult)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quota_clamps_and_initial_budget() {
+        let q = TenantQuota::new(4 << 20, 16 << 20);
+        assert_eq!(q.clamp(0), 4 << 20);
+        assert_eq!(q.clamp(u64::MAX), 16 << 20);
+        assert_eq!(q.initial_budget(), 10 << 20, "midway between 4M and 16M");
+        let fixed = TenantQuota::fixed(8 << 20);
+        assert_eq!(fixed.initial_budget(), 8 << 20);
+        assert_eq!(fixed.clamp(1), 8 << 20);
+        // A ceiling below the floor is raised to it.
+        assert_eq!(TenantQuota::new(10, 3).ceiling_bytes, 10);
+        assert_eq!(TenantQuota::unlimited().initial_budget(), u64::MAX);
+    }
+
+    #[test]
+    fn directory_always_knows_the_default_tenant() {
+        let dir = TenantDirectory::new();
+        assert!(dir.is_known(TenantId::DEFAULT));
+        assert!(!dir.is_known(TenantId(7)));
+        assert_eq!(dir.len(), 1);
+        assert!(!dir.is_empty());
+    }
+
+    #[test]
+    fn spec_parsing_roundtrips() {
+        let dir = TenantDirectory::parse("1:4m:16m, 2:512k:512k").expect("parse");
+        assert_eq!(
+            dir.quota(TenantId(1)),
+            Some(TenantQuota::new(4 << 20, 16 << 20))
+        );
+        assert_eq!(dir.quota(TenantId(2)), Some(TenantQuota::fixed(512 << 10)));
+        assert!(dir.is_known(TenantId::DEFAULT));
+        assert_eq!(
+            TenantDirectory::parse("").expect("empty"),
+            TenantDirectory::new()
+        );
+        assert!(TenantDirectory::parse("1:2m").is_err());
+        assert!(TenantDirectory::parse("x:1:2").is_err());
+        assert!(TenantDirectory::parse("1:4m:2m").is_err(), "inverted quota");
+    }
+
+    #[test]
+    fn directory_serde_roundtrip() {
+        let dir = TenantDirectory::new().with_tenant(TenantId(3), TenantQuota::new(1, 2));
+        let json = serde_json::to_string(&dir).expect("serialize");
+        let back: TenantDirectory = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back, dir);
+    }
+}

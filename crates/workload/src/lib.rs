@@ -23,4 +23,4 @@ pub mod ycsb;
 
 pub use dist::{Hotspot, KeyDist, ScrambledZipfian, Uniform, Zipfian};
 pub use latest::Latest;
-pub use ycsb::{Op, OpKind, WorkloadGen, WorkloadSpec};
+pub use ycsb::{Op, OpKind, Popularity, WorkloadGen, WorkloadSpec};

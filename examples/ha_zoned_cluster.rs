@@ -126,6 +126,7 @@ fn main() {
         load_capacity: 100.0,
         mem_capacity: 1 << 20,
         metrics: Default::default(),
+        tenants: vec![],
     };
     let view = ClusterView {
         servers: vec![

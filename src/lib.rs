@@ -9,6 +9,8 @@
 //! - [`proto`] — the binary wire protocol.
 //! - [`telemetry`] — lock-free metrics registry, latency
 //!   histograms, and the stats snapshot/report types.
+//! - [`tenant`] — tenant namespaces, quotas, and the Memshare-style
+//!   memory arbiter.
 //! - [`ilp`] — the simplex/branch-and-bound ILP solver behind
 //!   the migration planners.
 //! - [`membership`] — heartbeat failure detection and the
@@ -35,4 +37,5 @@ pub use mbal_proto as proto;
 pub use mbal_ring as ring;
 pub use mbal_server as server;
 pub use mbal_telemetry as telemetry;
+pub use mbal_tenant as tenant;
 pub use mbal_workload as workload;

@@ -32,16 +32,18 @@ use mbal::balancer::plan::Migration;
 use mbal::balancer::BalancerConfig;
 use mbal::client::{Client, CoordinatorLink, SetOptions};
 use mbal::core::clock::{Clock, ManualClock};
-use mbal::core::types::{CacheletId, ServerId, WorkerAddr};
+use mbal::core::types::{CacheletId, ServerId, TenantId, WorkerAddr};
 use mbal::membership::NodeState;
 use mbal::proto::{Request, Response};
 use mbal::ring::{ConsistentRing, MappingTable};
 use mbal::server::fault::SplitMix64;
 use mbal::server::{FaultInjector, FaultPlan, InProcRegistry, Server, ServerConfig, Transport};
 use mbal::telemetry::Counter;
+use mbal::tenant::{TenantDirectory, TenantQuota};
 use std::collections::HashMap;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Distinct keys the scenario touches.
 const KEYS: u64 = 48;
@@ -102,10 +104,18 @@ fn run_scenario(plan: FaultPlan, ops: usize, with_ticks: bool) -> Outcome {
             )
         })
         .collect();
+    // The driving client must be wall-clock-free or the schedule is
+    // only *usually* reproducible: a per-op deadline can truncate the
+    // retry loop early under CPU contention, and the resync backoff
+    // window gates coordinator polls on real elapsed time. A huge op
+    // budget leaves `max_retries` as the (deterministic) bound, and a
+    // zero backoff window closes before it is ever consulted.
     let mut client = Client::builder(
         Arc::clone(&injector) as Arc<dyn Transport>,
         Arc::clone(&coordinator) as Arc<dyn CoordinatorLink>,
     )
+    .op_budget(Duration::from_secs(3600))
+    .poll_backoff(Duration::ZERO, Duration::ZERO)
     .build();
 
     let mut model: Model = HashMap::new();
@@ -548,4 +558,215 @@ fn chaos_counters_account_for_injected_faults() {
         "dropped frames must surface as client transport retries"
     );
     server.shutdown();
+}
+
+/// Tenant-isolation chaos class: a quiet tenant's acked writes must
+/// survive a noisy tenant's flood even while frames drop, cachelets
+/// migrate between servers mid-flood, and finally a whole node dies.
+/// The isolation contract weakens exactly like the single-tenant loss
+/// rules do — data homed on the dead node may vanish with it — but a
+/// quiet-tenant key on a SURVIVING server must read back verbatim: no
+/// amount of cross-tenant pressure, fault retry, or migration churn is
+/// an excuse to evict it, and it must never come back stale.
+fn tenant_chaos_scenario(seed: u64) {
+    let plan = FaultPlan::drops(seed, 0.05);
+    let quiet_t = TenantId(1);
+    let flood_t = TenantId(2);
+    // Per-unit quotas: the quiet tenant's footprint sits far below its
+    // reserved floor; the flooder gets a budget it will overrun ~4×.
+    let tenants = TenantDirectory::new()
+        .with_tenant(quiet_t, TenantQuota::new(256 << 10, 1 << 20))
+        .with_tenant(flood_t, TenantQuota::new(32 << 10, 128 << 10));
+
+    let mut ring = ConsistentRing::new();
+    for s in 0..3u16 {
+        ring.add_worker(WorkerAddr::new(s, 0));
+        ring.add_worker(WorkerAddr::new(s, 1));
+    }
+    let mapping = MappingTable::build(&ring, 4, 128);
+    let coordinator = Arc::new(Coordinator::new(mapping.clone(), BalancerConfig::default()));
+    let registry = InProcRegistry::new();
+    let clock = ManualClock::new();
+    let injector = FaultInjector::new(Arc::clone(&registry) as Arc<dyn Transport>, plan);
+    let mut servers: Vec<Server> = (0..3u16)
+        .map(|s| {
+            Server::spawn_with_transport(
+                ServerConfig::new(ServerId(s), 2, 32 << 20)
+                    .cachelets_per_worker(4)
+                    .membership(true)
+                    .tenants(tenants.clone()),
+                &mapping,
+                &registry,
+                Arc::clone(&injector) as Arc<dyn Transport>,
+                Arc::clone(&coordinator),
+                Arc::new(clock.clone()),
+            )
+        })
+        .collect();
+    // Wall-clock-free clients, for the same replayability reason as
+    // `run_scenario`: retry counts and resync decisions must not shift
+    // with CPU contention, so a failing seed reproduces.
+    let mut quiet = Client::builder(
+        Arc::clone(&injector) as Arc<dyn Transport>,
+        Arc::clone(&coordinator) as Arc<dyn CoordinatorLink>,
+    )
+    .tenant(quiet_t)
+    .op_budget(Duration::from_secs(3600))
+    .poll_backoff(Duration::ZERO, Duration::ZERO)
+    .build();
+    let mut flood = Client::builder(
+        Arc::clone(&injector) as Arc<dyn Transport>,
+        Arc::clone(&coordinator) as Arc<dyn CoordinatorLink>,
+    )
+    .tenant(flood_t)
+    .op_budget(Duration::from_secs(3600))
+    .poll_backoff(Duration::ZERO, Duration::ZERO)
+    .build();
+
+    // Quiet rounds so membership seeds before the abuse starts.
+    for _ in 0..3 {
+        clock.advance(500_000);
+        let now = Clock::now_millis(&clock);
+        for s in &mut servers {
+            s.tick(now);
+        }
+    }
+
+    // The quiet tenant writes its working set through the faulty
+    // transport; only acked writes join the must-survive ledger.
+    let mut acked: HashMap<u8, Vec<u8>> = HashMap::new();
+    for k in 0..KEYS as u8 {
+        let v = format!("tq-{seed}-{k:03}").into_bytes();
+        if quiet.set_opts(&key_of(k), &v, SetOptions::new()).is_ok() {
+            acked.insert(k, v);
+        }
+    }
+
+    // Flood bursts interleaved with forced migrations, all under the
+    // same fault plan. Migration targets rotate over every cachelet id
+    // so some of them carry quiet-tenant data.
+    let big = vec![0xEEu8; 2048];
+    let mut rng = SplitMix64::new(seed ^ 0x007E_4A17);
+    for round in 0..6u32 {
+        for i in 0..250u32 {
+            let _ = flood.set_opts(
+                format!("fl:{round:02}:{i:04}").as_bytes(),
+                &big,
+                SetOptions::new(),
+            );
+        }
+        let snap = coordinator.mapping_snapshot();
+        let c = CacheletId(rng.next_below(snap.num_cachelets() as u64) as u32);
+        let Some(owner) = snap.worker_of_cachelet(c) else {
+            continue;
+        };
+        let dest_server = (owner.server.0 + 1) % 3;
+        let m = Migration {
+            cachelet: c,
+            from: owner,
+            to: WorkerAddr::new(dest_server, rng.next_below(2) as u16),
+            load: 0.0,
+        };
+        coordinator.report_local_move(&m);
+        let _ = servers[owner.server.0 as usize].migrate_out(&m);
+    }
+
+    // Classify the quiet keys by their home BEFORE the kill, then take
+    // server 2 down and let the detector confirm it.
+    let snap = coordinator.mapping_snapshot();
+    let dead_homed: Vec<u8> = (0..KEYS as u8)
+        .filter(|k| snap.route(&key_of(*k)).expect("mapping is total").1.server == ServerId(2))
+        .collect();
+    let mut killed = servers.pop().expect("three servers");
+    killed.shutdown();
+    let mut now = 0;
+    for _ in 0..20 {
+        clock.advance(500_000);
+        now = Clock::now_millis(&clock);
+        for s in &mut servers {
+            s.tick(now);
+        }
+    }
+    assert_eq!(
+        coordinator.membership_view(now).state_of(ServerId(2)),
+        Some(NodeState::Failed),
+        "seed {seed}: killed server was never confirmed failed"
+    );
+
+    // One more flood burst against the survivors: the shrunken cluster
+    // must still not let the flooder lean on the quiet tenant.
+    for i in 0..400u32 {
+        let _ = flood.set_opts(
+            format!("fl:post:{i:04}").as_bytes(),
+            &big,
+            SetOptions::new(),
+        );
+    }
+
+    // Clean sweep: quiet keys on survivors read back verbatim; keys
+    // that died with their home may be gone but never stale. And the
+    // per-tenant books on the survivors show the flood paid for its
+    // own churn while the quiet tenant was never evicted.
+    let mut checker = Client::builder(
+        Arc::clone(&registry) as Arc<dyn Transport>,
+        Arc::clone(&coordinator) as Arc<dyn CoordinatorLink>,
+    )
+    .tenant(quiet_t)
+    .build();
+    for (k, v) in &acked {
+        let got = checker
+            .get(&key_of(*k))
+            .unwrap_or_else(|e| panic!("seed {seed}: clean get({k}) failed: {e}"));
+        if dead_homed.contains(k) {
+            assert!(
+                got.is_none() || got.as_ref() == Some(v),
+                "seed {seed}: quiet key {k} died with its server but came back stale: {got:?}"
+            );
+        } else {
+            assert_eq!(
+                got.as_ref(),
+                Some(v),
+                "seed {seed}: quiet tenant's acked write on a surviving server was lost \
+                 (key {k}) — cross-tenant eviction or migration loss"
+            );
+        }
+    }
+    let reports = checker.server_stats(false).expect("stats scrape");
+    let mut quiet_evictions = 0u64;
+    let mut flood_evictions = 0u64;
+    for r in &reports {
+        for t in &r.load.tenants {
+            if t.tenant == quiet_t {
+                quiet_evictions += t.evictions;
+            } else if t.tenant == flood_t {
+                flood_evictions += t.evictions;
+            }
+        }
+    }
+    assert_eq!(
+        quiet_evictions, 0,
+        "seed {seed}: the quiet tenant must never be evicted"
+    );
+    assert!(
+        flood_evictions > 0,
+        "seed {seed}: the flooder must have churned through its own budget"
+    );
+    for s in &mut servers {
+        s.shutdown();
+    }
+}
+
+#[test]
+fn chaos_tenant_isolation_survives_faults_migrations_and_node_kill() {
+    for seed in [81, 82] {
+        if let Err(e) = catch_unwind(AssertUnwindSafe(|| tenant_chaos_scenario(seed))) {
+            let _ = std::fs::create_dir_all("target/chaos");
+            let _ = std::fs::write(
+                "target/chaos/failing-seed.txt",
+                format!("scenario=tenant-isolation seed={seed}\n"),
+            );
+            eprintln!("chaos scenario 'tenant-isolation' FAILED — replay with seed {seed}");
+            resume_unwind(e);
+        }
+    }
 }
