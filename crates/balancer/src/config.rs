@@ -139,6 +139,14 @@ pub struct BalancerConfig {
     pub tenant_arbitration: bool,
     /// Step size / move bound / hysteresis of the tenant arbiter.
     pub tenant_arbiter: ArbiterConfig,
+    /// Bounded-load cap `c` (> 1): each epoch, any worker carrying more
+    /// than `c ×` the mean worker load sheds cachelets (hottest first,
+    /// by local migration) until it is back under the ceiling. `None`
+    /// (the default) disables the defense. Runs independently of the
+    /// [`PhaseSet`] ladder — it is a hard safety cap, not an
+    /// optimization phase — and counts each shed cachelet as a
+    /// `ring_cap_spills` telemetry event on the source worker.
+    pub load_cap: Option<f64>,
 }
 
 impl Default for BalancerConfig {
@@ -158,6 +166,7 @@ impl Default for BalancerConfig {
             ilp_node_budget: 5_000,
             tenant_arbitration: true,
             tenant_arbiter: ArbiterConfig::default(),
+            load_cap: None,
         }
     }
 }

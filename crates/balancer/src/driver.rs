@@ -39,6 +39,12 @@ pub struct EpochActions {
     /// arbitration; empty when the allocation is already optimal or
     /// arbitration is disabled.
     pub tenant_budgets: Vec<(TenantId, u64)>,
+    /// Bounded-load shedding (`BalancerConfig::load_cap`): local
+    /// migrations that bring every worker back under `cap × mean`.
+    /// Executed like `local_migrations`, but each one also counts a
+    /// `ring_cap_spills` telemetry event on the source worker. Runs
+    /// independently of the phase ladder — it is a hard safety cap.
+    pub cap_shed: Vec<Migration>,
 }
 
 impl EpochActions {
@@ -48,6 +54,7 @@ impl EpochActions {
             && self.local_migrations.is_empty()
             && self.coordinate.is_empty()
             && self.tenant_budgets.is_empty()
+            && self.cap_shed.is_empty()
     }
 }
 
@@ -261,6 +268,22 @@ impl BalanceDriver {
             Phase::Normal | Phase::KeyReplication => {}
         }
 
+        // Bounded-load safety cap: independent of the phase ladder, any
+        // worker above `cap × mean` sheds cachelets until it is back
+        // under the ceiling. The state machine optimizes; the cap
+        // guarantees.
+        if let Some(cap) = self.cfg.load_cap {
+            out.cap_shed = plan_cap_shed(workers, cap, &out.local_migrations);
+            if !out.cap_shed.is_empty() {
+                self.log.record(PhaseEvent {
+                    at_ms: now_ms,
+                    server: self.server,
+                    phase: Phase::LocalMigration,
+                    actions: out.cap_shed.len(),
+                });
+            }
+        }
+
         // Tenant memory arbitration runs every epoch regardless of the
         // load-balancing phase: it redistributes *memory* between
         // tenants on the same workers, orthogonal to the request-load
@@ -308,6 +331,85 @@ fn merge_tenant_rows(workers: &[WorkerLoad]) -> Vec<TenantLoad> {
         }
     }
     by_tenant.into_values().collect()
+}
+
+/// Plans the bounded-load shed: for every worker above `cap × mean`
+/// (mean taken over this server's workers), move its smallest cachelets
+/// to the least-loaded workers until the source is back under the
+/// ceiling, never pushing a receiver over it. Cachelets the phase
+/// planner already scheduled this epoch are left alone, and a worker is
+/// never emptied. Deterministic: workers hottest-first, receivers
+/// coldest-first.
+fn plan_cap_shed(
+    workers: &[WorkerLoad],
+    cap: f64,
+    already_planned: &[Migration],
+) -> Vec<Migration> {
+    if workers.len() < 2 {
+        return Vec::new();
+    }
+    let total: f64 = workers.iter().map(|w| w.total_load()).sum();
+    let mean = total / workers.len() as f64;
+    if mean <= 0.0 {
+        return Vec::new();
+    }
+    let ceiling = cap * mean;
+    let scheduled: std::collections::HashSet<_> =
+        already_planned.iter().map(|m| m.cachelet).collect();
+    let mut loads: HashMap<WorkerAddr, f64> =
+        workers.iter().map(|w| (w.addr, w.total_load())).collect();
+    let mut sources: Vec<&WorkerLoad> = workers
+        .iter()
+        .filter(|w| w.total_load() > ceiling)
+        .collect();
+    sources.sort_by(|a, b| {
+        b.total_load()
+            .partial_cmp(&a.total_load())
+            .expect("finite load")
+            .then(a.addr.cmp(&b.addr))
+    });
+    let mut moves = Vec::new();
+    for src in sources {
+        // Smallest first: shedding giant (usually hot-key) cachelets
+        // would just relocate the hotspot; trimming the tail sheds
+        // exactly the excess.
+        let mut candidates: Vec<_> = src
+            .cachelets
+            .iter()
+            .filter(|c| !scheduled.contains(&c.cachelet))
+            .collect();
+        candidates.sort_by(|a, b| {
+            a.load
+                .partial_cmp(&b.load)
+                .expect("finite load")
+                .then(a.cachelet.0.cmp(&b.cachelet.0))
+        });
+        let mut remaining = candidates.len();
+        for c in candidates {
+            if loads[&src.addr] <= ceiling || remaining <= 1 {
+                break;
+            }
+            // Coldest receiver that stays under the ceiling.
+            let target = loads
+                .iter()
+                .filter(|(&w, &l)| w != src.addr && l + c.load <= ceiling)
+                .min_by(|(wa, la), (wb, lb)| {
+                    la.partial_cmp(lb).expect("finite load").then(wa.cmp(wb))
+                })
+                .map(|(&w, _)| w);
+            let Some(target) = target else { break };
+            *loads.get_mut(&src.addr).expect("source") -= c.load;
+            *loads.get_mut(&target).expect("target") += c.load;
+            remaining -= 1;
+            moves.push(Migration {
+                cachelet: c.cachelet,
+                from: src.addr,
+                to: target,
+                load: c.load,
+            });
+        }
+    }
+    moves
 }
 
 fn overloaded_workers(workers: &[WorkerLoad], cfg: &BalancerConfig) -> Vec<WorkerAddr> {
@@ -521,6 +623,75 @@ mod tests {
         let a = d.epoch(0, &ws, &hk, &cluster());
         assert!(a.coordinate.is_empty(), "phase 3 gated off");
         assert_ne!(a.phase, Some(Phase::CoordinatedMigration));
+    }
+
+    #[test]
+    fn load_cap_sheds_to_the_ceiling_even_with_phases_off() {
+        use crate::config::PhaseSet;
+        use crate::plan::apply_plan;
+        let mut cfg = BalancerConfig::aggressive();
+        cfg.phases = PhaseSet::none();
+        cfg.load_cap = Some(1.25);
+        let mut d = BalanceDriver::new(ServerId(0), cfg, 8.0);
+        // total 60 over 3 workers: mean 20, ceiling 25; worker 0 at 50.
+        let ws = vec![
+            worker(0, &[10.0, 10.0, 10.0, 10.0, 10.0]),
+            worker(1, &[5.0]),
+            worker(2, &[5.0]),
+        ];
+        let a = d.epoch(0, &ws, &HashMap::new(), &cluster());
+        assert!(a.local_migrations.is_empty(), "phase ladder is off");
+        assert!(!a.cap_shed.is_empty(), "the cap is not a phase");
+        assert!(!a.is_quiet());
+        let after = apply_plan(&ws, &a.cap_shed);
+        for (w, l) in ws.iter().zip(&after) {
+            assert!(
+                *l <= 25.0 + f64::EPSILON,
+                "worker {} ends at {} > ceiling 25",
+                w.addr,
+                l
+            );
+        }
+    }
+
+    #[test]
+    fn unset_load_cap_never_sheds() {
+        let mut d = driver();
+        let ws = vec![worker(0, &[50.0, 40.0]), worker(1, &[2.0])];
+        let a = d.epoch(0, &ws, &HashMap::new(), &cluster());
+        assert!(a.cap_shed.is_empty(), "defense off by default");
+    }
+
+    #[test]
+    fn cap_shed_skips_cachelets_the_phase_planner_already_moved() {
+        let mut cfg = BalancerConfig::aggressive();
+        cfg.load_cap = Some(1.1);
+        let mut d = BalanceDriver::new(ServerId(0), cfg, 8.0);
+        let ws = vec![worker(0, &[50.0, 40.0, 3.0, 2.0]), worker(1, &[2.0])];
+        let a = d.epoch(0, &ws, &HashMap::new(), &cluster());
+        let planned: std::collections::HashSet<_> =
+            a.local_migrations.iter().map(|m| m.cachelet).collect();
+        for m in &a.cap_shed {
+            assert!(
+                !planned.contains(&m.cachelet),
+                "cachelet {:?} double-scheduled",
+                m.cachelet
+            );
+        }
+    }
+
+    #[test]
+    fn cap_shed_leaves_unfixable_giants_alone() {
+        use crate::config::PhaseSet;
+        let mut cfg = BalancerConfig::aggressive();
+        cfg.phases = PhaseSet::none();
+        cfg.load_cap = Some(1.25);
+        let mut d = BalanceDriver::new(ServerId(0), cfg, 8.0);
+        // One monolithic cachelet above the ceiling: migration cannot
+        // split it, so nothing useful can move (that is Phase 1's job).
+        let ws = vec![worker(0, &[60.0]), worker(1, &[5.0]), worker(2, &[5.0])];
+        let a = d.epoch(0, &ws, &HashMap::new(), &cluster());
+        assert!(a.cap_shed.is_empty(), "never empties a worker");
     }
 
     #[test]

@@ -12,7 +12,10 @@
 //! ```
 
 use mbal_balancer::PhaseSet;
-use mbal_bench::loadgen::{run_matrix, LoadgenConfig, Mix, TenancyMode, TransportMode};
+use mbal_bench::loadgen::{
+    compare_to_baseline_with, run_cell, run_matrix, CellResult, DefenseMode, LoadgenConfig,
+    LoadgenReport, Mix, TenancyMode, TransportMode,
+};
 use mbal_core::engine::EngineKind;
 
 fn flag(name: &str) -> Option<String> {
@@ -25,12 +28,15 @@ fn flag(name: &str) -> Option<String> {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: mbal-loadgen [--mix M1,M2] [--phases P1,P2] [--engine E1,E2] [--rate OPS] \
-         [--threads N] [--warmup-secs S] [--measure-secs S] [--records N] [--seed N] \
-         [--transport inproc|tcp] [--servers N] [--workers N] [--out PATH]\n\
-         mixes: ycsb-a ycsb-b ycsb-c hotshift ttl-heavy multi-tenant; \
-         phases: off p1 p2 p3 p1p2 all …; engines: slab seg\n\
-         (multi-tenant runs each cell twice: static partitioning, then arbitrated)"
+        "usage: mbal-loadgen [--mix M1,M2] [--phases P1,P2] [--engine E1,E2] [--defense D] \
+         [--rate OPS] [--threads N] [--warmup-secs S] [--measure-secs S] [--records N] [--seed N] \
+         [--transport inproc|tcp] [--servers N] [--workers N] [--out PATH] \
+         [--compare BASELINE.json [--tolerance FRAC]]\n\
+         mixes: ycsb-a ycsb-b ycsb-c hotshift ttl-heavy multi-tenant extreme-zipf; \
+         phases: off p1 p2 p3 p1p2 all …; engines: slab seg; \
+         defenses: off front bounded both\n\
+         (multi-tenant runs each cell twice: static partitioning, then arbitrated; \
+         extreme-zipf runs each cell once per defense combination)"
     );
     std::process::exit(2);
 }
@@ -85,6 +91,9 @@ fn main() {
         workers_per_server: num("--workers", 2) as u16,
         engine: engines[0],
         tenancy: TenancyMode::Off,
+        defense: flag("--defense").map_or(DefenseMode::Off, |v| {
+            DefenseMode::parse(&v).unwrap_or_else(|| usage())
+        }),
     };
     let out_path = flag("--out").unwrap_or_else(|| "BENCH_results.json".into());
 
@@ -103,33 +112,35 @@ fn main() {
     let report = run_matrix(&base, &mixes, &phase_sets, &engines);
 
     println!(
-        "{:<6} {:<12} {:<6} {:<10} {:>9} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8}  reconciled",
+        "{:<6} {:<12} {:<6} {:<10} {:<8} {:>9} {:>8} {:>8} {:>8} {:>8} {:>6} {:>6}  reconciled",
         "engine",
         "mix",
         "phases",
         "tenancy",
+        "defense",
         "rate",
         "p50µs",
         "p99µs",
         "p999µs",
         "maxµs",
-        "evict",
-        "expire",
+        "worst",
+        "spills",
     );
     for c in &report.cells {
         println!(
-            "{:<6} {:<12} {:<6} {:<10} {:>9.0} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8}  {}",
+            "{:<6} {:<12} {:<6} {:<10} {:<8} {:>9.0} {:>8} {:>8} {:>8} {:>8} {:>6.2} {:>6}  {}",
             c.engine,
             c.mix,
             c.phases,
             c.tenancy,
+            c.defense,
             c.achieved_rate,
             c.latency.p50_us,
             c.latency.p99_us,
             c.latency.p999_us,
             c.latency.max_us,
-            c.server.evictions,
-            c.server.expirations,
+            c.worst_worker_utilization,
+            c.server.ring_cap_spills,
             if c.counts_reconciled { "exact" } else { "—" }
         );
         for t in &c.tenants {
@@ -153,6 +164,21 @@ fn main() {
             d.engine, d.mix, d.phases, d.p99_improvement_us, d.p999_improvement_us, d.mqps_delta
         );
     }
+    for d in &report.defense_deltas {
+        println!(
+            "defense-delta {:<6} {:<12} {:<6} {:<8} p99 {:+}µs p999 {:+}µs worst {:+.2} \
+             front-hit {:.3} spills {}",
+            d.engine,
+            d.mix,
+            d.phases,
+            d.defense,
+            d.p99_improvement_us,
+            d.p999_improvement_us,
+            d.worst_worker_utilization_drop,
+            d.front_hit_rate,
+            d.ring_cap_spills,
+        );
+    }
     for d in &report.tenant_deltas {
         println!(
             "tenant-delta {:<6} {:<6} arbitrated−static hit-rate: overall {:+.4} quiet {:+.4} \
@@ -168,4 +194,56 @@ fn main() {
     let json = serde_json::to_string_pretty(&report).expect("serialize report");
     std::fs::write(&out_path, &json).expect("write report");
     eprintln!("wrote {out_path}");
+
+    // Perf-trajectory gate: against a committed baseline report, any
+    // matching cell whose p99 regresses past the tolerance fails the
+    // run (and CI with it). A failing cell is independently re-measured
+    // (fresh cluster, same replayed schedule, up to twice) before it
+    // counts: the CO-safe clock charges scheduler stalls to p99, so a
+    // single stall on a small runner blows one arbitrary cell's budget
+    // — but a genuine regression reproduces on every recheck.
+    if let Some(baseline_path) = flag("--compare") {
+        let tolerance: f64 =
+            flag("--tolerance").map_or(0.20, |v| v.parse().unwrap_or_else(|_| usage()));
+        let raw = std::fs::read_to_string(&baseline_path).unwrap_or_else(|e| {
+            eprintln!("mbal-loadgen: cannot read baseline {baseline_path}: {e}");
+            std::process::exit(1);
+        });
+        let baseline: LoadgenReport = serde_json::from_str(&raw).unwrap_or_else(|e| {
+            eprintln!("mbal-loadgen: malformed baseline {baseline_path}: {e}");
+            std::process::exit(1);
+        });
+        let recheck = |cell: &CellResult| -> Option<CellResult> {
+            let cfg = LoadgenConfig {
+                mix: Mix::parse(&cell.mix)?,
+                phases: PhaseSet::parse(&cell.phases)?,
+                engine: EngineKind::parse(&cell.engine)?,
+                transport: TransportMode::parse(&cell.transport)?,
+                tenancy: match cell.tenancy.as_str() {
+                    "static" => TenancyMode::Static,
+                    "arbitrated" => TenancyMode::Arbitrated,
+                    _ => TenancyMode::Off,
+                },
+                defense: DefenseMode::parse(&cell.defense)?,
+                ..base.clone()
+            };
+            eprintln!(
+                "baseline gate: re-measuring {}/{}/{}/{}/{} (transient-stall check)",
+                cell.engine, cell.mix, cell.phases, cell.tenancy, cell.defense
+            );
+            Some(run_cell(&cfg))
+        };
+        let failures = compare_to_baseline_with(&report, &baseline, tolerance, recheck);
+        if failures.is_empty() {
+            eprintln!(
+                "baseline gate: all matching cells within {:.0}% of {baseline_path}",
+                tolerance * 100.0
+            );
+        } else {
+            for f in &failures {
+                eprintln!("baseline gate FAIL: {f}");
+            }
+            std::process::exit(1);
+        }
+    }
 }

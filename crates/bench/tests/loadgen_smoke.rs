@@ -4,7 +4,8 @@
 
 use mbal_balancer::PhaseSet;
 use mbal_bench::loadgen::{
-    build_schedule, run_cell, schedule_digest, LoadgenConfig, Mix, TenancyMode, TransportMode,
+    build_schedule, run_cell, schedule_digest, DefenseMode, LoadgenConfig, Mix, TenancyMode,
+    TransportMode,
 };
 use mbal_core::engine::EngineKind;
 use mbal_workload::OpKind;
@@ -24,6 +25,7 @@ fn smoke_cfg() -> LoadgenConfig {
         workers_per_server: 2,
         engine: EngineKind::from_env(),
         tenancy: TenancyMode::Off,
+        defense: DefenseMode::Off,
     }
 }
 
@@ -143,6 +145,61 @@ fn tcp_run_reconciles_counts_exactly() {
     assert_eq!(cell.server.sets, cell.client.sets);
     assert!(cell.counts_reconciled);
     assert_eq!(cell.transport, "tcp");
+}
+
+#[test]
+fn front_cache_defense_reconciles_counts_exactly() {
+    // Extreme skew with the front tier armed: a meaningful share of
+    // GETs never reaches the wire, and the reconciliation must account
+    // for every one of them.
+    let cfg = LoadgenConfig {
+        mix: Mix::ExtremeZipf,
+        defense: DefenseMode::Front,
+        ..smoke_cfg()
+    };
+    let cell = run_cell(&cfg);
+    assert_eq!(cell.defense, "front");
+    assert_eq!(cell.client.failures, 0, "no op may fail: {cell:?}");
+    assert!(
+        cell.client.front_hits > 0,
+        "θ=1.3 must drive the hottest keys into the front cache: {cell:?}"
+    );
+    assert!(cell.client.sketch_promotions > 0);
+    assert_eq!(
+        cell.server.gets + cell.server.replica_reads + cell.client.front_hits,
+        cell.client.gets,
+        "every GET is served exactly once: wire, replica, or front cache"
+    );
+    assert!(cell.counts_reconciled, "front hits must reconcile");
+    // Pre-loaded keyspace: front hits count as hits like any other.
+    assert_eq!(cell.client.hits, cell.client.gets);
+}
+
+#[test]
+fn bounded_load_defense_arms_the_balancer_cap() {
+    // The cap plans through the live balance thread; this smoke only
+    // pins the wiring (cap armed, counters scraped, run completes) —
+    // the skew benefit itself is the loadgen matrix's job.
+    let cfg = LoadgenConfig {
+        mix: Mix::ExtremeZipf,
+        defense: DefenseMode::Bounded,
+        ..smoke_cfg()
+    };
+    let cell = run_cell(&cfg);
+    assert_eq!(cell.defense, "bounded");
+    // Cap sheds are real migrations racing live traffic, so a handful
+    // of ops may exhaust retries mid-move — unlike the phases-off
+    // cells, zero-failure is not a guarantee here.
+    assert!(
+        cell.client.failures <= 5,
+        "cap sheds may cost a few retries, not wholesale failure: {cell:?}"
+    );
+    assert_eq!(cell.client.front_hits, 0, "no front tier in bounded mode");
+    assert!(
+        cell.server.ring_cap_spills > 0,
+        "θ=1.3 must push a worker over the cap within the run: {cell:?}"
+    );
+    assert!(cell.worst_worker_utilization >= 1.0);
 }
 
 #[test]

@@ -17,9 +17,16 @@
 //!
 //! `--tenant T` tags data ops with tenant `T` (multi-tenant servers);
 //! `tenants` prints per-tenant residency, budget, and hit rate.
+//!
+//! `--front-cache N` arms the client front tier with room for `N`
+//! sketch-confirmed hot keys (TTL-bounded staleness; see the client
+//! `front` module). A single-shot CLI process cannot profit from it —
+//! every invocation starts cold — but the flag exercises the exact
+//! builder path long-lived embedders use, and `mget`-style scripted
+//! loops inside one process do benefit.
 
 use mbal_balancer::coordinator::HeartbeatReply;
-use mbal_client::{Client, CoordinatorLink, SetOptions};
+use mbal_client::{Client, CoordinatorLink, FrontCacheConfig, SetOptions};
 use mbal_core::types::{TenantId, WorkerAddr};
 use mbal_membership::{MembershipView, NodeState};
 use mbal_proto::{Request, Response};
@@ -59,7 +66,7 @@ impl CoordinatorLink for StaticMapping {
 fn usage() -> ! {
     eprintln!(
         "usage: mbal-cli [--host H] [--port P] [--workers N] [--cachelets N] \
-         [--tenant T] \\
+         [--tenant T] [--front-cache N] \\
          <get KEY | set KEY VALUE | del KEY | stats | stats-reset | cluster-status | tenants>"
     );
     std::process::exit(2);
@@ -73,6 +80,9 @@ fn main() {
         .and_then(|v| v.parse().ok())
         .unwrap_or(16);
     let tenant: u16 = flag("--tenant").and_then(|v| v.parse().ok()).unwrap_or(0);
+    let front_entries: usize = flag("--front-cache")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
 
     // Positional command starts after the flags.
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -105,12 +115,15 @@ fn main() {
         })
         .collect();
     let transport = TcpTransport::new(routes);
-    let mut client = Client::builder(
+    let mut builder = Client::builder(
         Arc::clone(&transport) as Arc<dyn Transport>,
         Arc::new(StaticMapping(mapping)) as Arc<dyn CoordinatorLink>,
     )
-    .tenant(TenantId(tenant))
-    .build();
+    .tenant(TenantId(tenant));
+    if front_entries > 0 {
+        builder = builder.front_cache(FrontCacheConfig::new().max_entries(front_entries));
+    }
+    let mut client = builder.build();
 
     match pos[0].as_str() {
         "get" if pos.len() == 2 => match client.get(pos[1].as_bytes()) {

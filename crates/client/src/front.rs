@@ -1,0 +1,490 @@
+//! The client-side front tier: a heavy-hitter sketch feeding a tiny
+//! bounded cache (CoT-style).
+//!
+//! The balancer reacts to skew at epoch granularity; an extreme zipfian
+//! flash crowd saturates a worker faster than any plan can fire. The
+//! front tier absorbs exactly that traffic at its source: a
+//! [`SpaceSaving`] summary tracks the client's recent GET frequencies,
+//! and only sketch-confirmed hot keys are admitted into a [`FrontCache`]
+//! of a few dozen entries, bounded in both entries and bytes.
+//!
+//! **Staleness model.** A front-cached read may serve a value up to
+//! `ttl` old with respect to *other* clients' writes — that is the
+//! explicit, bounded trade the tier makes. Three rules keep it tight:
+//!
+//! 1. every local write or delete invalidates the key immediately
+//!    (read-your-writes always holds for the owning client),
+//! 2. an entry never outlives its TTL,
+//! 3. an entry cached under mapping version `v` is rejected once the
+//!    client's mapping version moves past `v` — a version bump means a
+//!    migration or failover touched the cluster, so anything cached
+//!    before it is suspect.
+
+use mbal_core::types::{Key, Value};
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+/// Configuration for the client front tier, passed to
+/// `ClientBuilder::front_cache`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FrontCacheConfig {
+    /// Maximum cached entries (default 64 — tiny by design).
+    pub max_entries: usize,
+    /// Maximum cached value bytes across all entries (default 256 KiB).
+    pub max_bytes: usize,
+    /// Upper bound on how stale a front-cached value may be with respect
+    /// to other clients' writes (default 50 ms).
+    pub ttl: Duration,
+    /// Space-saving summary capacity `k`: any key taking more than
+    /// `1/k` of recent GETs is guaranteed to be tracked (default 128).
+    pub sketch_entries: usize,
+    /// Minimum estimated GET count before a key is considered hot enough
+    /// to admit (default 8).
+    pub promote_min_count: u64,
+}
+
+impl Default for FrontCacheConfig {
+    fn default() -> Self {
+        Self {
+            max_entries: 64,
+            max_bytes: 256 << 10,
+            ttl: Duration::from_millis(50),
+            sketch_entries: 128,
+            promote_min_count: 8,
+        }
+    }
+}
+
+impl FrontCacheConfig {
+    /// The default configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the entry bound.
+    pub fn max_entries(mut self, n: usize) -> Self {
+        self.max_entries = n.max(1);
+        self
+    }
+
+    /// Sets the byte bound.
+    pub fn max_bytes(mut self, n: usize) -> Self {
+        self.max_bytes = n.max(1);
+        self
+    }
+
+    /// Sets the staleness TTL.
+    pub fn ttl(mut self, ttl: Duration) -> Self {
+        self.ttl = ttl;
+        self
+    }
+
+    /// Sets the sketch capacity.
+    pub fn sketch_entries(mut self, k: usize) -> Self {
+        self.sketch_entries = k.max(1);
+        self
+    }
+
+    /// Sets the admission threshold.
+    pub fn promote_min_count(mut self, n: u64) -> Self {
+        self.promote_min_count = n.max(1);
+        self
+    }
+}
+
+/// A space-saving heavy-hitter summary (Metwally et al.): `k` counters,
+/// each an *overestimate* of its key's true frequency with a recorded
+/// error bound. Any key whose true count exceeds `n/k` of the `n`
+/// observed items is guaranteed to be present.
+#[derive(Debug, Clone)]
+pub struct SpaceSaving {
+    capacity: usize,
+    counters: HashMap<Key, SketchCounter>,
+    observed: u64,
+}
+
+/// One tracked key: `count` overestimates the true frequency by at most
+/// `err` (the count it inherited from the entry it displaced).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SketchCounter {
+    /// Estimated count (an upper bound on the true count).
+    pub count: u64,
+    /// Maximum overestimation: `count - err` is a guaranteed lower bound.
+    pub err: u64,
+}
+
+impl SpaceSaving {
+    /// Creates a summary with `capacity` counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "sketch needs at least one counter");
+        Self {
+            capacity,
+            counters: HashMap::with_capacity(capacity),
+            observed: 0,
+        }
+    }
+
+    /// Records one occurrence of `key` and returns its updated estimate.
+    pub fn observe(&mut self, key: &[u8]) -> u64 {
+        self.observed += 1;
+        if let Some(c) = self.counters.get_mut(key) {
+            c.count += 1;
+            return c.count;
+        }
+        if self.counters.len() < self.capacity {
+            self.counters
+                .insert(key.to_vec(), SketchCounter { count: 1, err: 0 });
+            return 1;
+        }
+        // Displace the minimum counter: the newcomer inherits its count
+        // as the error bound (the classic space-saving replacement).
+        let (victim, min) = self
+            .counters
+            .iter()
+            .min_by_key(|(k, c)| (c.count, (*k).clone()))
+            .map(|(k, c)| (k.clone(), c.count))
+            .expect("non-empty at capacity");
+        self.counters.remove(&victim);
+        let fresh = SketchCounter {
+            count: min + 1,
+            err: min,
+        };
+        self.counters.insert(key.to_vec(), fresh);
+        fresh.count
+    }
+
+    /// The tracked estimate for `key`, if present.
+    pub fn estimate(&self, key: &[u8]) -> Option<SketchCounter> {
+        self.counters.get(key).copied()
+    }
+
+    /// Total observations fed to the sketch.
+    pub fn observed(&self) -> u64 {
+        self.observed
+    }
+
+    /// Number of tracked keys (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.counters.len()
+    }
+
+    /// `true` when nothing has been observed.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+    }
+
+    /// Keys whose *guaranteed* count (`count − err`) is at least
+    /// `threshold` — reported heavy hitters carry no false positives
+    /// under this cut.
+    pub fn heavy_hitters(&self, threshold: u64) -> Vec<(Key, SketchCounter)> {
+        let mut v: Vec<(Key, SketchCounter)> = self
+            .counters
+            .iter()
+            .filter(|(_, c)| c.count - c.err >= threshold)
+            .map(|(k, c)| (k.clone(), *c))
+            .collect();
+        v.sort_by(|a, b| b.1.count.cmp(&a.1.count).then(a.0.cmp(&b.0)));
+        v
+    }
+}
+
+/// Why a front-cache lookup did not serve a value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrontLookup {
+    /// Served locally.
+    Hit(Value),
+    /// An entry existed but was rejected — TTL expired or the mapping
+    /// version moved past the one it was cached under. The entry has
+    /// been dropped.
+    Stale,
+    /// Nothing cached.
+    Miss,
+}
+
+#[derive(Debug, Clone)]
+struct FrontEntry {
+    value: Value,
+    inserted: Instant,
+    mapping_version: u64,
+}
+
+/// The bounded front cache: sketch-admitted hot keys only.
+#[derive(Debug, Clone)]
+pub struct FrontCache {
+    cfg: FrontCacheConfig,
+    sketch: SpaceSaving,
+    entries: HashMap<Key, FrontEntry>,
+    bytes: usize,
+}
+
+impl FrontCache {
+    /// Creates an empty front cache.
+    pub fn new(cfg: FrontCacheConfig) -> Self {
+        Self {
+            sketch: SpaceSaving::new(cfg.sketch_entries),
+            entries: HashMap::with_capacity(cfg.max_entries),
+            bytes: 0,
+            cfg,
+        }
+    }
+
+    /// Feeds one GET into the sketch and returns the key's estimate.
+    pub fn observe_get(&mut self, key: &[u8]) -> u64 {
+        self.sketch.observe(key)
+    }
+
+    /// `true` when the sketch currently considers `key` hot enough for
+    /// admission (used both for admission and for hot-read fanout).
+    pub fn is_hot(&self, key: &[u8]) -> bool {
+        self.sketch
+            .estimate(key)
+            .is_some_and(|c| c.count >= self.cfg.promote_min_count)
+    }
+
+    /// Looks `key` up, enforcing TTL and mapping-version coherence at
+    /// read time.
+    pub fn lookup(&mut self, key: &[u8], now: Instant, mapping_version: u64) -> FrontLookup {
+        let Some(e) = self.entries.get(key) else {
+            return FrontLookup::Miss;
+        };
+        let expired = now.duration_since(e.inserted) > self.cfg.ttl;
+        if expired || e.mapping_version != mapping_version {
+            self.invalidate(key);
+            return FrontLookup::Stale;
+        }
+        FrontLookup::Hit(self.entries[key].value.clone())
+    }
+
+    /// Admits `key` → `value` if the sketch confirms it hot; returns
+    /// `true` on a *new* promotion (refreshing an already-cached key is
+    /// not counted again). Values larger than the byte bound are never
+    /// admitted.
+    pub fn admit(&mut self, key: &[u8], value: &[u8], now: Instant, mapping_version: u64) -> bool {
+        if !self.is_hot(key) || value.len() > self.cfg.max_bytes {
+            return false;
+        }
+        let fresh = !self.entries.contains_key(key);
+        self.invalidate(key);
+        while self.entries.len() >= self.cfg.max_entries
+            || self.bytes + value.len() > self.cfg.max_bytes
+        {
+            let Some(victim) = self.coldest() else { break };
+            self.invalidate(&victim);
+        }
+        self.bytes += value.len();
+        self.entries.insert(
+            key.to_vec(),
+            FrontEntry {
+                value: value.to_vec(),
+                inserted: now,
+                mapping_version,
+            },
+        );
+        fresh
+    }
+
+    /// Drops `key` (local write, delete, or staleness rejection).
+    pub fn invalidate(&mut self, key: &[u8]) {
+        if let Some(e) = self.entries.remove(key) {
+            self.bytes -= e.value.len();
+        }
+    }
+
+    /// Drops everything (mapping refetch, reconfiguration).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.bytes = 0;
+    }
+
+    /// The cached entry with the lowest sketch estimate — the first to
+    /// go when the cache is full.
+    fn coldest(&self) -> Option<Key> {
+        self.entries
+            .keys()
+            .min_by_key(|k| (self.sketch.estimate(k).map_or(0, |c| c.count), (*k).clone()))
+            .cloned()
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Cached value bytes.
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// The underlying sketch (diagnostics, tests).
+    pub fn sketch(&self) -> &SpaceSaving {
+        &self.sketch
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn now() -> Instant {
+        Instant::now()
+    }
+
+    #[test]
+    fn sketch_tracks_exact_counts_under_capacity() {
+        let mut s = SpaceSaving::new(8);
+        for _ in 0..5 {
+            s.observe(b"a");
+        }
+        for _ in 0..3 {
+            s.observe(b"b");
+        }
+        assert_eq!(s.estimate(b"a"), Some(SketchCounter { count: 5, err: 0 }));
+        assert_eq!(s.estimate(b"b"), Some(SketchCounter { count: 3, err: 0 }));
+        assert_eq!(s.observed(), 8);
+    }
+
+    #[test]
+    fn sketch_displacement_records_the_error_bound() {
+        let mut s = SpaceSaving::new(2);
+        s.observe(b"a");
+        s.observe(b"a");
+        s.observe(b"b");
+        // Capacity reached: "c" displaces the minimum ("b", count 1).
+        s.observe(b"c");
+        let c = s.estimate(b"c").expect("tracked");
+        assert_eq!(c, SketchCounter { count: 2, err: 1 });
+        assert!(s.estimate(b"b").is_none(), "victim dropped");
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn heavy_hitters_have_no_false_positives() {
+        let mut s = SpaceSaving::new(4);
+        for _ in 0..40 {
+            s.observe(b"hot");
+        }
+        for i in 0..30u32 {
+            s.observe(format!("cold:{i}").as_bytes());
+        }
+        for (k, c) in s.heavy_hitters(20) {
+            assert_eq!(k, b"hot".to_vec());
+            assert!(c.count - c.err >= 20);
+        }
+        assert_eq!(s.heavy_hitters(20).len(), 1);
+    }
+
+    fn hot_cache(cfg: FrontCacheConfig) -> FrontCache {
+        let mut f = FrontCache::new(cfg);
+        for _ in 0..cfg.promote_min_count {
+            f.observe_get(b"hot");
+        }
+        f
+    }
+
+    #[test]
+    fn admission_requires_sketch_confirmation() {
+        let mut f = FrontCache::new(FrontCacheConfig::default());
+        assert!(!f.admit(b"cold", b"v", now(), 1), "cold key rejected");
+        assert!(f.is_empty());
+        for _ in 0..8 {
+            f.observe_get(b"hot");
+        }
+        assert!(f.admit(b"hot", b"v", now(), 1), "hot key promoted");
+        assert_eq!(f.lookup(b"hot", now(), 1), FrontLookup::Hit(b"v".to_vec()));
+    }
+
+    #[test]
+    fn readmission_is_not_a_new_promotion() {
+        let mut f = hot_cache(FrontCacheConfig::default());
+        assert!(f.admit(b"hot", b"v1", now(), 1));
+        assert!(!f.admit(b"hot", b"v2", now(), 1), "refresh, not promotion");
+        assert_eq!(f.lookup(b"hot", now(), 1), FrontLookup::Hit(b"v2".to_vec()));
+    }
+
+    #[test]
+    fn ttl_expiry_rejects_at_read_time() {
+        let mut f = hot_cache(FrontCacheConfig::default().ttl(Duration::from_millis(10)));
+        let t0 = now();
+        assert!(f.admit(b"hot", b"v", t0, 1));
+        assert_eq!(
+            f.lookup(b"hot", t0 + Duration::from_millis(5), 1),
+            FrontLookup::Hit(b"v".to_vec())
+        );
+        assert_eq!(
+            f.lookup(b"hot", t0 + Duration::from_millis(11), 1),
+            FrontLookup::Stale
+        );
+        assert_eq!(
+            f.lookup(b"hot", t0 + Duration::from_millis(5), 1),
+            FrontLookup::Miss,
+            "a rejected entry is gone"
+        );
+    }
+
+    #[test]
+    fn mapping_version_bump_rejects_cached_entries() {
+        let mut f = hot_cache(FrontCacheConfig::default());
+        assert!(f.admit(b"hot", b"v", now(), 3));
+        assert_eq!(f.lookup(b"hot", now(), 4), FrontLookup::Stale);
+        assert_eq!(f.lookup(b"hot", now(), 4), FrontLookup::Miss);
+    }
+
+    #[test]
+    fn invalidation_gives_read_your_writes() {
+        let mut f = hot_cache(FrontCacheConfig::default());
+        assert!(f.admit(b"hot", b"old", now(), 1));
+        f.invalidate(b"hot");
+        assert_eq!(f.lookup(b"hot", now(), 1), FrontLookup::Miss);
+    }
+
+    #[test]
+    fn entry_bound_evicts_the_coldest() {
+        let mut f = FrontCache::new(FrontCacheConfig::default().max_entries(2));
+        for _ in 0..20 {
+            f.observe_get(b"hottest");
+        }
+        for _ in 0..12 {
+            f.observe_get(b"warm");
+        }
+        for _ in 0..9 {
+            f.observe_get(b"tepid");
+        }
+        assert!(f.admit(b"hottest", b"v", now(), 1));
+        assert!(f.admit(b"warm", b"v", now(), 1));
+        assert!(f.admit(b"tepid", b"v", now(), 1));
+        assert_eq!(f.len(), 2);
+        assert_eq!(
+            f.lookup(b"warm", now(), 1),
+            FrontLookup::Miss,
+            "the coldest cached key made room"
+        );
+        assert!(matches!(
+            f.lookup(b"hottest", now(), 1),
+            FrontLookup::Hit(_)
+        ));
+        assert!(matches!(f.lookup(b"tepid", now(), 1), FrontLookup::Hit(_)));
+    }
+
+    #[test]
+    fn byte_bound_is_enforced() {
+        let mut f = FrontCache::new(FrontCacheConfig::default().max_bytes(10));
+        for _ in 0..8 {
+            f.observe_get(b"a");
+            f.observe_get(b"b");
+        }
+        assert!(!f.admit(b"a", &[0u8; 11], now(), 1), "oversized value");
+        assert!(f.admit(b"a", &[0u8; 6], now(), 1));
+        assert!(f.admit(b"b", &[0u8; 6], now(), 1), "evicts to fit");
+        assert!(f.bytes() <= 10);
+        assert_eq!(f.len(), 1);
+    }
+}

@@ -21,9 +21,18 @@
 //! - **MultiGET batching** — [`Client::multi_get`] groups keys by owner
 //!   worker and issues one batched request per worker, the technique the
 //!   paper uses to amortize network overhead (100-GET batches, §4.1).
+//! - **Front tier** (optional, [`ClientBuilder::front_cache`]) — a
+//!   heavy-hitter sketch over recent GETs feeding a tiny TTL-bounded
+//!   cache of sketch-confirmed hot keys, plus power-of-two-choices
+//!   replica reads for hot keys. See the [`front`] module for the
+//!   staleness model.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod front;
+
+pub use front::{FrontCache, FrontCacheConfig, FrontLookup, SketchCounter, SpaceSaving};
 
 use mbal_balancer::coordinator::{Coordinator, HeartbeatReply};
 use mbal_balancer::replicated::ReplicatedCoordinator;
@@ -91,6 +100,15 @@ pub struct ClientStats {
     pub backoff_skips: u64,
     /// Operations that failed after exhausting retries.
     pub failures: u64,
+    /// GETs served from the client's front cache without touching the
+    /// wire (a subset of `hits`).
+    pub front_hits: u64,
+    /// Front-cache entries rejected at read time — TTL expired or the
+    /// mapping version moved past the one they were cached under.
+    pub front_stale_rejected: u64,
+    /// Keys newly admitted into the front cache after the sketch
+    /// confirmed them hot.
+    pub sketch_promotions: u64,
 }
 
 /// Errors surfaced to the application.
@@ -287,6 +305,7 @@ pub struct ClientBuilder {
     backoff_base: Duration,
     backoff_max: Duration,
     tenant: TenantId,
+    front: Option<FrontCacheConfig>,
 }
 
 impl ClientBuilder {
@@ -301,6 +320,7 @@ impl ClientBuilder {
             backoff_base: Duration::from_millis(2),
             backoff_max: Duration::from_millis(256),
             tenant: TenantId::DEFAULT,
+            front: None,
         }
     }
 
@@ -348,6 +368,19 @@ impl ClientBuilder {
         self
     }
 
+    /// Enables the client front tier: a heavy-hitter sketch over recent
+    /// GETs feeding a tiny bounded cache of hot keys, plus
+    /// power-of-two-choices replica reads for hot keys. Off by default —
+    /// a client without a front tier pays nothing. The front cache is
+    /// per-client (and therefore per-tenant: a tenant's client never
+    /// sees another tenant's values), TTL-bounded, invalidated by every
+    /// local write, and rejects entries cached under an older mapping
+    /// version. See [`front`] for the full staleness model.
+    pub fn front_cache(mut self, cfg: FrontCacheConfig) -> Self {
+        self.front = Some(cfg);
+        self
+    }
+
     /// Builds the client, fetching the initial mapping from the
     /// coordinator.
     pub fn build(self) -> Client {
@@ -366,6 +399,8 @@ impl ClientBuilder {
             backoff_until: None,
             jitter_rng: 0x9E37_79B9_7F4A_7C15,
             tenant: self.tenant,
+            front: self.front.map(FrontCache::new),
+            latency_ewma_us: HashMap::new(),
             stats: ClientStats::default(),
         }
     }
@@ -392,10 +427,17 @@ pub struct Client {
     backoff_streak: u32,
     /// No poller resync before this instant.
     backoff_until: Option<Instant>,
-    /// xorshift64* state for backoff jitter (no RNG dependency).
+    /// xorshift64* state for backoff jitter and power-of-two-choices
+    /// replica picks (no RNG dependency).
     jitter_rng: u64,
     /// The tenant every data op is tagged with on the wire.
     tenant: TenantId,
+    /// Optional front tier: hot-key sketch + tiny bounded cache.
+    front: Option<FrontCache>,
+    /// Per-target EWMA service time in µs, the load signal behind
+    /// power-of-two-choices replica reads. Only maintained when the
+    /// front tier is enabled.
+    latency_ewma_us: HashMap<WorkerAddr, u64>,
     stats: ClientStats,
 }
 
@@ -496,13 +538,45 @@ impl Client {
             .backoff_base
             .saturating_mul(1u32 << exp)
             .min(self.backoff_max);
-        // xorshift64*: tiny, seedable, and dependency-free.
+        let rng = self.rng_next();
+        let nanos = window.as_nanos() as u64;
+        let jittered = nanos / 2 + (nanos / 2 / 512) * (rng % 512);
+        Duration::from_nanos(jittered)
+    }
+
+    /// xorshift64*: tiny, seedable, and dependency-free — shared by
+    /// backoff jitter and power-of-two-choices replica picks.
+    fn rng_next(&mut self) -> u64 {
         self.jitter_rng ^= self.jitter_rng << 13;
         self.jitter_rng ^= self.jitter_rng >> 7;
         self.jitter_rng ^= self.jitter_rng << 17;
-        let nanos = window.as_nanos() as u64;
-        let jittered = nanos / 2 + (nanos / 2 / 512) * (self.jitter_rng % 512);
-        Duration::from_nanos(jittered)
+        self.jitter_rng
+    }
+
+    /// Folds one observed service time into the target's EWMA (α = 1/8).
+    fn note_latency(&mut self, target: WorkerAddr, elapsed: Duration) {
+        let us = elapsed.as_micros() as u64;
+        let e = self.latency_ewma_us.entry(target).or_insert(us);
+        *e = (*e * 7 + us) / 8;
+    }
+
+    /// Drops `key` from the front cache after a local write, so the
+    /// owning client never reads its own stale value.
+    fn front_invalidate(&mut self, key: &[u8]) {
+        if let Some(front) = self.front.as_mut() {
+            front.invalidate(key);
+        }
+    }
+
+    /// Offers a freshly fetched value to the front cache; counts the
+    /// promotion if the sketch admitted a new key.
+    fn front_admit(&mut self, key: &[u8], value: &[u8]) {
+        let version = self.mapping.version();
+        if let Some(front) = self.front.as_mut() {
+            if front.admit(key, value, Instant::now(), version) {
+                self.stats.sketch_promotions += 1;
+            }
+        }
     }
 
     fn apply_moved(&mut self, cachelet: mbal_core::types::CacheletId, new_owner: WorkerAddr) {
@@ -516,29 +590,47 @@ impl Client {
         self.mapping.apply_delta(&d);
     }
 
-    /// Looks up `key`. Replica-aware: hot keys round-robin across their
-    /// home worker and shadows.
+    /// Looks up `key`. Replica-aware: hot keys spread across their home
+    /// worker and shadows — power-of-two-choices by observed latency
+    /// when the front tier confirms the key hot, round-robin otherwise.
     pub fn get(&mut self, key: &[u8]) -> Result<Option<Value>, ClientError> {
         self.stats.gets += 1;
+        // Front tier: feed the sketch, then try the local hot cache.
+        // TTL and mapping-version coherence are enforced at read time.
+        if let Some(front) = self.front.as_mut() {
+            front.observe_get(key);
+            match front.lookup(key, Instant::now(), self.mapping.version()) {
+                FrontLookup::Hit(value) => {
+                    self.stats.front_hits += 1;
+                    self.stats.hits += 1;
+                    return Ok(Some(value));
+                }
+                FrontLookup::Stale => self.stats.front_stale_rejected += 1,
+                FrontLookup::Miss => {}
+            }
+        }
         // Replica fast path. Phase-1 replication only covers the default
         // tenant (replica ops speak raw keys), so tenant clients always
         // read from the home worker.
         if self.tenant.is_default() {
-            if let Some(set) = self.replicas.get_mut(key) {
-                let target = set.targets[set.next % set.targets.len()];
-                set.next += 1;
-                let (cachelet, home) = self
+            if let Some(target) = self.pick_replica(key) {
+                let (_cachelet, home) = self
                     .mapping
                     .route(key)
                     .ok_or(ClientError::RetriesExhausted)?;
                 if target != home {
+                    let start = Instant::now();
                     match self
                         .transport
                         .call(target, Request::ReplicaRead { key: key.to_vec() })
                     {
                         Ok(Response::Value { value, .. }) => {
+                            if self.front.is_some() {
+                                self.note_latency(target, start.elapsed());
+                            }
                             self.stats.hits += 1;
                             self.stats.replica_reads += 1;
+                            self.front_admit(key, &value);
                             return Ok(Some(value));
                         }
                         _ => {
@@ -548,10 +640,39 @@ impl Client {
                         }
                     }
                 }
-                let _ = cachelet;
             }
         }
         self.get_home(key)
+    }
+
+    /// Picks the read target for a key with replica routing state.
+    /// Sketch-confirmed hot keys use power-of-two-choices over the
+    /// target set, keyed by each target's latency EWMA (an unsampled
+    /// target scores zero and gets explored); everything else keeps the
+    /// round-robin rotation.
+    fn pick_replica(&mut self, key: &[u8]) -> Option<WorkerAddr> {
+        let set = self.replicas.get(key)?;
+        let n = set.targets.len();
+        let hot = self.front.as_ref().is_some_and(|f| f.is_hot(key));
+        if hot && n > 1 {
+            let targets = set.targets.clone();
+            let a = (self.rng_next() % n as u64) as usize;
+            let mut b = (self.rng_next() % (n as u64 - 1)) as usize;
+            if b >= a {
+                b += 1;
+            }
+            let load = |w: &WorkerAddr| self.latency_ewma_us.get(w).copied().unwrap_or(0);
+            let pick = if load(&targets[a]) <= load(&targets[b]) {
+                a
+            } else {
+                b
+            };
+            return Some(targets[pick]);
+        }
+        let set = self.replicas.get_mut(key).expect("present above");
+        let target = set.targets[set.next % n];
+        set.next += 1;
+        Some(target)
     }
 
     fn get_home(&mut self, key: &[u8]) -> Result<Option<Value>, ClientError> {
@@ -565,6 +686,7 @@ impl Client {
                 .mapping
                 .route(key)
                 .ok_or(ClientError::RetriesExhausted)?;
+            let start = Instant::now();
             let resp = match self.transport.call_with_deadline(
                 worker,
                 Request::Get {
@@ -587,6 +709,9 @@ impl Client {
                     continue;
                 }
             };
+            if self.front.is_some() {
+                self.note_latency(worker, start.elapsed());
+            }
             match resp {
                 Response::Value { value, replicas } => {
                     self.stats.hits += 1;
@@ -596,6 +721,7 @@ impl Client {
                         self.replicas
                             .insert(key.to_vec(), ReplicaSet { targets, next: 1 });
                     }
+                    self.front_admit(key, &value);
                     return Ok(Some(value));
                 }
                 Response::NotFound => return Ok(None),
@@ -714,8 +840,10 @@ impl Client {
         // A cached replica set must not keep serving the pre-write value
         // after this write is acknowledged (read-your-writes): route
         // subsequent reads back to the home worker until the server
-        // piggybacks a fresh replica set.
+        // piggybacks a fresh replica set. The front cache drops the key
+        // for the same reason.
         self.replicas.remove(key);
+        self.front_invalidate(key);
         match opts.mode {
             StoreMode::Set => self.set_unconditional(key, value, opts.expiry_ms),
             StoreMode::Add => self.cond_store(key, value, opts.expiry_ms, true),
@@ -989,6 +1117,7 @@ impl Client {
 
     fn counter_op(&mut self, key: &[u8], delta: i64) -> Result<Option<u64>, ClientError> {
         self.stats.sets += 1;
+        self.front_invalidate(key);
         self.write_op(
             key,
             |cachelet| Request::Incr {
@@ -1008,6 +1137,9 @@ impl Client {
     /// Refreshes the TTL of an existing key: [`StoreOutcome::Stored`] on
     /// success, [`StoreOutcome::Missed`] when the key is absent.
     pub fn touch_opts(&mut self, key: &[u8], expiry_ms: u64) -> Result<StoreOutcome, ClientError> {
+        // Conservative: a TTL change can shorten the entry's server-side
+        // life below the front window.
+        self.front_invalidate(key);
         self.write_op(
             key,
             |cachelet| Request::Touch {
@@ -1034,6 +1166,7 @@ impl Client {
     pub fn delete(&mut self, key: &[u8]) -> Result<bool, ClientError> {
         self.stats.deletes += 1;
         self.replicas.remove(key);
+        self.front_invalidate(key);
         let deadline = Instant::now() + self.op_budget;
         let mut last_err = ClientError::RetriesExhausted;
         for _ in 0..self.max_retries {
@@ -1093,6 +1226,11 @@ impl Client {
     /// Number of keys with client-side replica routing state.
     pub fn replicated_keys(&self) -> usize {
         self.replicas.len()
+    }
+
+    /// The front tier, when one was configured (diagnostics, tests).
+    pub fn front_cache(&self) -> Option<&FrontCache> {
+        self.front.as_ref()
     }
 
     /// Fetches the server-side stats dump from one worker (the memcached
@@ -1630,6 +1768,181 @@ mod tests {
             err.status(),
             Some(Status::UnknownTenant),
             "an unadmitted tenant gets a typed error, not a dead session"
+        );
+    }
+
+    /// Always answers GETs (home or replica) with `b"v"` and counts
+    /// every wire call — the front tier's effect is visible as calls
+    /// that never happen.
+    struct ValueTransport {
+        calls: AtomicUsize,
+    }
+
+    impl Transport for ValueTransport {
+        fn call(&self, addr: WorkerAddr, req: Request) -> Result<Response, TransportError> {
+            self.call_with_deadline(addr, req, DEFAULT_DEADLINE)
+        }
+
+        fn call_with_deadline(
+            &self,
+            _addr: WorkerAddr,
+            req: Request,
+            _deadline: Duration,
+        ) -> Result<Response, TransportError> {
+            self.calls.fetch_add(1, Ordering::SeqCst);
+            Ok(match req.tenant_parts().1 {
+                Request::Get { .. } | Request::ReplicaRead { .. } => Response::Value {
+                    value: b"v".to_vec(),
+                    replicas: Vec::new(),
+                },
+                Request::Set { .. } => Response::Stored,
+                Request::Delete { .. } => Response::Deleted,
+                _ => Response::NotFound,
+            })
+        }
+    }
+
+    fn front_client(cfg: FrontCacheConfig) -> (Client, Arc<ValueTransport>) {
+        let mut ring = ConsistentRing::new();
+        ring.add_worker(WorkerAddr::new(0, 0));
+        let mapping = MappingTable::build(&ring, 2, 16);
+        let transport = Arc::new(ValueTransport {
+            calls: AtomicUsize::new(0),
+        });
+        let client = Client::builder(transport.clone(), Arc::new(StaticCoord(mapping)))
+            .front_cache(cfg)
+            .build();
+        (client, transport)
+    }
+
+    #[test]
+    fn hot_keys_are_served_from_the_front_cache() {
+        let (mut c, t) = front_client(
+            FrontCacheConfig::default()
+                .promote_min_count(3)
+                .ttl(Duration::from_secs(60)),
+        );
+        // GETs 1–2 are below the admission threshold; GET 3 crosses it
+        // and the fetched value is admitted.
+        for _ in 0..3 {
+            assert_eq!(c.get(b"hot").unwrap(), Some(b"v".to_vec()));
+        }
+        assert_eq!(c.stats().sketch_promotions, 1);
+        let wire = t.calls.load(Ordering::SeqCst);
+        assert_eq!(c.get(b"hot").unwrap(), Some(b"v".to_vec()));
+        assert_eq!(
+            t.calls.load(Ordering::SeqCst),
+            wire,
+            "a front hit must not touch the wire"
+        );
+        assert_eq!(c.stats().front_hits, 1);
+        assert_eq!(c.stats().hits, 4, "front hits still count as hits");
+    }
+
+    #[test]
+    fn cold_keys_never_enter_the_front_cache() {
+        let (mut c, t) = front_client(FrontCacheConfig::default().promote_min_count(100));
+        for i in 0..10u32 {
+            c.get(format!("k{i}").as_bytes()).unwrap();
+        }
+        assert_eq!(c.stats().front_hits, 0);
+        assert_eq!(c.stats().sketch_promotions, 0);
+        assert_eq!(t.calls.load(Ordering::SeqCst), 10, "every GET went out");
+    }
+
+    #[test]
+    fn local_writes_invalidate_the_front_cache() {
+        let (mut c, t) = front_client(
+            FrontCacheConfig::default()
+                .promote_min_count(2)
+                .ttl(Duration::from_secs(60)),
+        );
+        for _ in 0..3 {
+            c.get(b"k").unwrap();
+        }
+        assert_eq!(c.stats().front_hits, 1, "cached after promotion");
+        c.set_opts(b"k", b"w", SetOptions::new()).expect("set");
+        let wire = t.calls.load(Ordering::SeqCst);
+        c.get(b"k").unwrap();
+        assert_eq!(
+            t.calls.load(Ordering::SeqCst),
+            wire + 1,
+            "read-your-writes: the GET after a local write goes out"
+        );
+    }
+
+    #[test]
+    fn delete_and_counter_ops_invalidate_the_front_cache() {
+        let (mut c, _t) = front_client(
+            FrontCacheConfig::default()
+                .promote_min_count(2)
+                .ttl(Duration::from_secs(60)),
+        );
+        for _ in 0..3 {
+            c.get(b"k").unwrap();
+        }
+        assert_eq!(c.front_cache().unwrap().len(), 1);
+        c.delete(b"k").expect("delete");
+        assert_eq!(c.front_cache().unwrap().len(), 0);
+        for _ in 0..2 {
+            c.get(b"k").unwrap();
+        }
+        assert_eq!(c.front_cache().unwrap().len(), 1);
+        let _ = c.incr(b"k", 1);
+        assert_eq!(c.front_cache().unwrap().len(), 0);
+    }
+
+    #[test]
+    fn mapping_version_bump_rejects_front_entries() {
+        let (mut c, t) = front_client(
+            FrontCacheConfig::default()
+                .promote_min_count(2)
+                .ttl(Duration::from_secs(60)),
+        );
+        for _ in 0..3 {
+            c.get(b"k").unwrap();
+        }
+        assert_eq!(c.stats().front_hits, 1);
+        // A migration (even one that lands on the same owner) bumps the
+        // mapping version; entries cached before it are suspect.
+        c.apply_moved(mbal_core::types::CacheletId(0), WorkerAddr::new(0, 0));
+        let wire = t.calls.load(Ordering::SeqCst);
+        c.get(b"k").unwrap();
+        assert_eq!(c.stats().front_stale_rejected, 1);
+        assert_eq!(t.calls.load(Ordering::SeqCst), wire + 1, "refetched");
+    }
+
+    #[test]
+    fn hot_replicated_keys_use_power_of_two_choices() {
+        // TTL zero: every admitted entry is stale by its next read, so
+        // each GET exercises target selection instead of the front cache.
+        let (mut c, _t) = front_client(
+            FrontCacheConfig::default()
+                .promote_min_count(2)
+                .ttl(Duration::ZERO),
+        );
+        c.replicas.insert(
+            b"k".to_vec(),
+            ReplicaSet {
+                targets: vec![
+                    WorkerAddr::new(0, 0),
+                    WorkerAddr::new(1, 0),
+                    WorkerAddr::new(2, 0),
+                ],
+                next: 0,
+            },
+        );
+        for _ in 0..20 {
+            assert_eq!(c.get(b"k").unwrap(), Some(b"v".to_vec()));
+        }
+        assert!(
+            c.stats().replica_reads > 0,
+            "p2c must route some hot reads to shadows: {:?}",
+            c.stats()
+        );
+        assert!(
+            !c.latency_ewma_us.is_empty(),
+            "replica reads feed the latency signal"
         );
     }
 

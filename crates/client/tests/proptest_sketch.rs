@@ -1,0 +1,128 @@
+//! Property tests for the front tier's space-saving heavy-hitter sketch,
+//! checked against exact frequency counts over random zipfian streams:
+//! every true heavy key is reported, estimates bracket the truth, and
+//! the guaranteed-count cut admits no false positives.
+
+use mbal_client::SpaceSaving;
+use mbal_workload::dist::{KeyDist, Zipfian};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+
+/// Draws a zipfian stream and returns it with its exact counts.
+fn zipf_stream(
+    items: u64,
+    theta: f64,
+    len: usize,
+    seed: u64,
+) -> (Vec<Vec<u8>>, HashMap<Vec<u8>, u64>) {
+    let mut dist = Zipfian::new(items, theta);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut stream = Vec::with_capacity(len);
+    let mut exact: HashMap<Vec<u8>, u64> = HashMap::new();
+    for _ in 0..len {
+        let key = format!("k{}", dist.next_index(&mut rng)).into_bytes();
+        *exact.entry(key.clone()).or_insert(0) += 1;
+        stream.push(key);
+    }
+    (stream, exact)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Space-saving guarantees vs ground truth: every key with true
+    /// count above `n/k` is tracked, every tracked estimate brackets the
+    /// true count (`count − err ≤ true ≤ count`), and every truly heavy
+    /// key clears the guaranteed-count reporting cut by the sketch's
+    /// error margin.
+    #[test]
+    fn sketch_brackets_exact_counts_and_misses_no_heavy_hitter(
+        items in 50u64..2_000,
+        theta_centi in 50u32..150,
+        len in 500usize..4_000,
+        capacity in 16usize..128,
+        seed in any::<u64>(),
+    ) {
+        // θ spans moderate to extreme skew; exactly 1.0 is undefined for
+        // the generator, so nudge it.
+        let theta = if theta_centi == 100 { 1.01 } else { theta_centi as f64 / 100.0 };
+        let (stream, exact) = zipf_stream(items, theta, len, seed);
+        let mut sketch = SpaceSaving::new(capacity);
+        for key in &stream {
+            sketch.observe(key);
+        }
+        let n = stream.len() as u64;
+        // Maximum overestimation any counter can carry: the minimum
+        // counter value never exceeds n/k.
+        let margin = n / capacity as u64;
+
+        for (key, &true_count) in &exact {
+            if true_count > margin {
+                let c = sketch.estimate(key);
+                prop_assert!(
+                    c.is_some(),
+                    "key with {} > n/k = {} occurrences untracked", true_count, margin
+                );
+                let c = c.unwrap();
+                prop_assert!(c.count >= true_count, "estimate must overcount");
+                prop_assert!(
+                    c.count - c.err <= true_count,
+                    "guaranteed count {} exceeds truth {}", c.count - c.err, true_count
+                );
+            }
+        }
+
+        // Completeness of reporting: a key whose true count clears the
+        // threshold by the error margin must be in the report.
+        let threshold = margin + 1;
+        let reported = sketch.heavy_hitters(threshold);
+        for (key, &true_count) in &exact {
+            if true_count >= threshold + margin {
+                prop_assert!(
+                    reported.iter().any(|(k, _)| k == key),
+                    "true heavy hitter ({} ≥ {}) missing from report",
+                    true_count, threshold + margin
+                );
+            }
+        }
+
+        // Soundness of reporting: the guaranteed-count cut admits no
+        // false positives at all.
+        for (key, c) in &reported {
+            let true_count = exact.get(key).copied().unwrap_or(0);
+            prop_assert!(
+                true_count >= threshold,
+                "reported key has true count {} < threshold {} (count {}, err {})",
+                true_count, threshold, c.count, c.err
+            );
+        }
+    }
+
+    /// The estimate for any key is never off by more than `n/k` in
+    /// either direction, across streams of any shape.
+    #[test]
+    fn sketch_error_is_bounded_by_stream_over_capacity(
+        theta_centi in 60u32..140,
+        capacity in 8usize..64,
+        seed in any::<u64>(),
+    ) {
+        let theta = if theta_centi == 100 { 1.01 } else { theta_centi as f64 / 100.0 };
+        let (stream, exact) = zipf_stream(300, theta, 2_000, seed);
+        let mut sketch = SpaceSaving::new(capacity);
+        for key in &stream {
+            sketch.observe(key);
+        }
+        let margin = stream.len() as u64 / capacity as u64;
+        for (key, c) in exact.keys().filter_map(|k| sketch.estimate(k).map(|c| (k, c))) {
+            let true_count = exact[key];
+            prop_assert!(c.count >= true_count);
+            prop_assert!(
+                c.count - true_count <= margin,
+                "overestimate {} exceeds n/k = {}", c.count - true_count, margin
+            );
+            prop_assert!(c.err <= margin, "recorded error exceeds n/k");
+        }
+    }
+}

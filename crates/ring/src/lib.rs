@@ -21,4 +21,4 @@ pub mod mapping;
 pub mod ring;
 
 pub use mapping::{MappingDelta, MappingTable};
-pub use ring::ConsistentRing;
+pub use ring::{BoundedAssignment, ConsistentRing, RingConfig};

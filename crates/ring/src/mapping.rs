@@ -66,23 +66,20 @@ impl MappingTable {
         // Place each cachelet on the ring by hashing its id; then rebalance
         // so every worker holds exactly `cachelets_per_worker` (the paper
         // assigns cachelets evenly; the ring matters for key→VN spread and
-        // for join/leave placement).
+        // for join/leave placement). Overflow walks the ring successors
+        // (local-rendezvous candidates) rather than jumping to the
+        // globally least-loaded worker, so a spilled cachelet stays
+        // adjacent to its hash arc; since total capacity equals the
+        // cachelet count, the walk always finds a worker under the cap.
         let mut cachelet_to_worker = BTreeMap::new();
         let mut per_worker: BTreeMap<WorkerAddr, usize> = workers.iter().map(|&w| (w, 0)).collect();
         for c in 0..num_cachelets as u32 {
-            let preferred = ring
-                .owner_of_hash(shard_hash(format!("cachelet:{c}").as_bytes()))
-                .expect("non-empty ring");
-            let owner = if per_worker[&preferred] < cachelets_per_worker {
-                preferred
-            } else {
-                // Spill to the least-loaded worker.
-                *per_worker
-                    .iter()
-                    .min_by_key(|&(_, &n)| n)
-                    .expect("non-empty")
-                    .0
-            };
+            let hash = shard_hash(format!("cachelet:{c}").as_bytes());
+            let owner = ring
+                .candidates_of_hash(hash)
+                .into_iter()
+                .find(|w| per_worker[w] < cachelets_per_worker)
+                .expect("capacity equals cachelet count");
             *per_worker.get_mut(&owner).expect("known worker") += 1;
             cachelet_to_worker.insert(CacheletId(c), owner);
         }

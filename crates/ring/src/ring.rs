@@ -13,12 +13,62 @@ use mbal_core::types::WorkerAddr;
 /// Number of ring points per worker by default.
 pub const DEFAULT_POINTS_PER_WORKER: usize = 64;
 
+/// Ring construction parameters.
+///
+/// `load_cap` turns on bounded-load assignment (consistent hashing with
+/// bounded loads): no worker is handed more than `cap × mean` assigned
+/// weight — overflow walks to the next candidate on the ring instead
+/// (local rendezvous: candidates are the cache-local ring successors, so
+/// a spilled item lands on a worker that already neighbours its arc).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RingConfig {
+    /// Virtual points per worker.
+    pub points_per_worker: usize,
+    /// Bounded-load cap `c > 1`; `None` is classic unbounded consistent
+    /// hashing (every item goes to its successor, whatever the load).
+    pub load_cap: Option<f64>,
+}
+
+impl Default for RingConfig {
+    fn default() -> Self {
+        Self {
+            points_per_worker: DEFAULT_POINTS_PER_WORKER,
+            load_cap: None,
+        }
+    }
+}
+
+impl RingConfig {
+    /// A config with `load_cap` set (points stay at the default).
+    pub fn with_load_cap(cap: f64) -> Self {
+        Self {
+            load_cap: Some(cap),
+            ..Self::default()
+        }
+    }
+}
+
+/// The result of a bounded-load assignment pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BoundedAssignment {
+    /// Owner of each input item, in input order.
+    pub owners: Vec<WorkerAddr>,
+    /// Items that could not stay on their first-choice successor because
+    /// it was already at the cap (the `ring_cap_spills` signal).
+    pub spills: u64,
+    /// The per-worker load ceiling used: `cap × (total weight / workers)`.
+    pub cap_load: f64,
+}
+
 /// A consistent-hash ring over [`WorkerAddr`]s.
 #[derive(Debug, Clone, Default)]
 pub struct ConsistentRing {
     /// Sorted `(point, worker)` pairs.
     points: Vec<(u64, WorkerAddr)>,
     points_per_worker: usize,
+    /// Bounded-load cap from [`RingConfig`], used by
+    /// [`ConsistentRing::assign_bounded_default`].
+    load_cap: Option<f64>,
 }
 
 impl ConsistentRing {
@@ -34,11 +84,36 @@ impl ConsistentRing {
     ///
     /// Panics if `points_per_worker` is zero.
     pub fn with_points(points_per_worker: usize) -> Self {
-        assert!(points_per_worker > 0, "need at least one point per worker");
+        Self::with_config(RingConfig {
+            points_per_worker,
+            load_cap: None,
+        })
+    }
+
+    /// Creates an empty ring from a [`RingConfig`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points_per_worker` is zero or `load_cap` is `Some(c)`
+    /// with `c <= 1` (a cap of 1 or below cannot absorb hash variance).
+    pub fn with_config(cfg: RingConfig) -> Self {
+        assert!(
+            cfg.points_per_worker > 0,
+            "need at least one point per worker"
+        );
+        if let Some(c) = cfg.load_cap {
+            assert!(c > 1.0, "load_cap must exceed 1.0, got {c}");
+        }
         Self {
             points: Vec::new(),
-            points_per_worker,
+            points_per_worker: cfg.points_per_worker,
+            load_cap: cfg.load_cap,
         }
+    }
+
+    /// The configured bounded-load cap, if any.
+    pub fn load_cap(&self) -> Option<f64> {
+        self.load_cap
     }
 
     fn point_hash(worker: WorkerAddr, replica: usize) -> u64 {
@@ -78,6 +153,95 @@ impl ConsistentRing {
     /// The worker owning `key`.
     pub fn owner_of_key(&self, key: &[u8]) -> Option<WorkerAddr> {
         self.owner_of_hash(mbal_core::hash::shard_hash(key))
+    }
+
+    /// The distinct workers in ring order starting at the successor of
+    /// `hash` — the local-rendezvous candidate list for bounded-load
+    /// assignment. The first entry is [`ConsistentRing::owner_of_hash`];
+    /// every worker appears exactly once.
+    pub fn candidates_of_hash(&self, hash: u64) -> Vec<WorkerAddr> {
+        if self.points.is_empty() {
+            return Vec::new();
+        }
+        let start = {
+            let i = self.points.partition_point(|&(p, _)| p < hash);
+            if i == self.points.len() {
+                0
+            } else {
+                i
+            }
+        };
+        let mut seen = Vec::with_capacity(self.worker_count());
+        for off in 0..self.points.len() {
+            let (_, w) = self.points[(start + off) % self.points.len()];
+            if !seen.contains(&w) {
+                seen.push(w);
+            }
+        }
+        seen
+    }
+
+    /// Assigns weighted items to workers under the bounded-load rule:
+    /// an item goes to the first candidate (ring successor order) whose
+    /// load is still *below* `cap × mean`, where `mean` is total weight
+    /// over workers. A worker already at or above the ceiling never takes
+    /// another item, so its final load stays under `cap × mean` plus one
+    /// item — for unit weights, at most `⌈cap × items / workers⌉`.
+    /// Because `cap > 1`, some candidate is always below the ceiling
+    /// (if all were at it, they would already hold more than the total),
+    /// so every item is placed and placement is order-deterministic.
+    ///
+    /// `items` are `(ring position, weight)` pairs; weights must be
+    /// non-negative and finite.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ring is empty or `cap <= 1`.
+    pub fn assign_bounded(&self, items: &[(u64, f64)], cap: f64) -> BoundedAssignment {
+        assert!(cap > 1.0, "load_cap must exceed 1.0, got {cap}");
+        let n = self.worker_count();
+        assert!(n > 0, "cannot assign on an empty ring");
+        let total: f64 = items.iter().map(|&(_, w)| w).sum();
+        let cap_load = cap * total / n as f64;
+        let mut loads: std::collections::BTreeMap<WorkerAddr, f64> =
+            self.workers().into_iter().map(|w| (w, 0.0)).collect();
+        let mut owners = Vec::with_capacity(items.len());
+        let mut spills = 0u64;
+        for &(hash, weight) in items {
+            let candidates = self.candidates_of_hash(hash);
+            let chosen = candidates
+                .iter()
+                .position(|w| loads[w] < cap_load)
+                .unwrap_or(0);
+            if chosen > 0 {
+                spills += 1;
+            }
+            let owner = candidates[chosen];
+            *loads.get_mut(&owner).expect("known worker") += weight;
+            owners.push(owner);
+        }
+        BoundedAssignment {
+            owners,
+            spills,
+            cap_load,
+        }
+    }
+
+    /// [`ConsistentRing::assign_bounded`] with the ring's configured
+    /// [`RingConfig::load_cap`]; falls back to plain successor assignment
+    /// (zero spills) when no cap is configured.
+    pub fn assign_bounded_default(&self, items: &[(u64, f64)]) -> BoundedAssignment {
+        match self.load_cap {
+            Some(cap) => self.assign_bounded(items, cap),
+            None => BoundedAssignment {
+                owners: items
+                    .iter()
+                    .map(|&(h, _)| self.owner_of_hash(h).expect("non-empty ring"))
+                    .collect(),
+                spills: 0,
+                cap_load: f64::INFINITY,
+            },
+        }
     }
 
     /// Number of distinct workers on the ring.
@@ -180,6 +344,113 @@ mod tests {
                 assert_ne!(*a, victim, "key {k} still owned by removed worker");
             }
         }
+    }
+
+    #[test]
+    fn candidates_start_at_the_successor_and_cover_every_worker() {
+        let r = ring_with(3, 2);
+        for i in 0..200u64 {
+            let h = mbal_core::hash::shard_hash(format!("k{i}").as_bytes());
+            let c = r.candidates_of_hash(h);
+            assert_eq!(c.len(), 6, "every worker listed once");
+            assert_eq!(Some(c[0]), r.owner_of_hash(h), "first is the owner");
+            let mut dedup = c.clone();
+            dedup.sort_unstable();
+            dedup.dedup();
+            assert_eq!(dedup.len(), 6, "no duplicates");
+        }
+    }
+
+    #[test]
+    fn bounded_assignment_respects_the_cap() {
+        // Few points per worker → lumpy arcs, so the unbounded successor
+        // distribution is visibly imbalanced and the cap must intervene.
+        let mut r = ConsistentRing::with_points(4);
+        for s in 0..4 {
+            for w in 0..2 {
+                r.add_worker(WorkerAddr::new(s, w));
+            }
+        }
+        let items: Vec<(u64, f64)> = (0..4_000u64)
+            .map(|i| {
+                (
+                    mbal_core::hash::shard_hash(format!("it:{i}").as_bytes()),
+                    1.0,
+                )
+            })
+            .collect();
+        let a = r.assign_bounded(&items, 1.25);
+        assert_eq!(a.owners.len(), items.len());
+        let mut counts = std::collections::HashMap::new();
+        for &w in &a.owners {
+            *counts.entry(w).or_insert(0u64) += 1;
+        }
+        let ceiling = (1.25 * items.len() as f64 / 8.0).ceil() as u64;
+        for (&w, &c) in &counts {
+            assert!(c <= ceiling, "worker {w} got {c} > ceiling {ceiling}");
+        }
+        // Plain successor assignment on the same items is more imbalanced.
+        let plain = r.assign_bounded_default(&items);
+        let mut plain_counts = std::collections::HashMap::new();
+        for &w in &plain.owners {
+            *plain_counts.entry(w).or_insert(0u64) += 1;
+        }
+        let plain_max = *plain_counts.values().max().expect("non-empty");
+        let bounded_max = *counts.values().max().expect("non-empty");
+        assert!(plain.spills == 0);
+        assert!(a.spills > 0, "a tight cap must spill something");
+        assert!(
+            bounded_max <= plain_max,
+            "bounded max {bounded_max} worse than plain {plain_max}"
+        );
+    }
+
+    #[test]
+    fn uncapped_ring_falls_back_to_successor_assignment() {
+        let r = ring_with(2, 2);
+        let items: Vec<(u64, f64)> = (0..100u64)
+            .map(|i| {
+                (
+                    mbal_core::hash::shard_hash(format!("it:{i}").as_bytes()),
+                    1.0,
+                )
+            })
+            .collect();
+        let a = r.assign_bounded_default(&items);
+        for (&(h, _), &w) in items.iter().zip(&a.owners) {
+            assert_eq!(Some(w), r.owner_of_hash(h));
+        }
+        assert_eq!(a.spills, 0);
+    }
+
+    #[test]
+    fn configured_cap_is_used_by_default_assignment() {
+        let mut r = ConsistentRing::with_config(RingConfig::with_load_cap(1.5));
+        for w in 0..4 {
+            r.add_worker(WorkerAddr::new(0, w));
+        }
+        assert_eq!(r.load_cap(), Some(1.5));
+        let items: Vec<(u64, f64)> = (0..1_000u64)
+            .map(|i| {
+                (
+                    mbal_core::hash::shard_hash(format!("it:{i}").as_bytes()),
+                    1.0,
+                )
+            })
+            .collect();
+        let a = r.assign_bounded_default(&items);
+        let mut counts = std::collections::HashMap::new();
+        for &w in &a.owners {
+            *counts.entry(w).or_insert(0u64) += 1;
+        }
+        let ceiling = (1.5f64 * 1_000.0 / 4.0).ceil() as u64;
+        assert!(counts.values().all(|&c| c <= ceiling));
+    }
+
+    #[test]
+    #[should_panic(expected = "load_cap must exceed 1.0")]
+    fn cap_at_or_below_one_is_rejected() {
+        let _ = ConsistentRing::with_config(RingConfig::with_load_cap(1.0));
     }
 
     #[test]

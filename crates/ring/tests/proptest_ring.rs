@@ -5,6 +5,17 @@ use mbal_core::types::{CacheletId, WorkerAddr};
 use mbal_ring::{ConsistentRing, MappingTable};
 use proptest::prelude::*;
 
+fn hashes_for(salt: u64, n: usize) -> Vec<(u64, f64)> {
+    (0..n)
+        .map(|i| {
+            (
+                mbal_core::hash::shard_hash(format!("bl:{salt}:{i}").as_bytes()),
+                1.0,
+            )
+        })
+        .collect()
+}
+
 fn build_table(servers: u16, workers: u16, cpw: usize, vns: usize) -> MappingTable {
     let mut ring = ConsistentRing::new();
     for s in 0..servers {
@@ -95,6 +106,81 @@ proptest! {
                 "cachelet {} diverged", c
             );
         }
+    }
+
+    /// Bounded-load invariant: with `load_cap` set, no worker's assigned
+    /// weight ever exceeds `⌈cap × mean⌉`, across random keyspaces and
+    /// arbitrary node add/remove sequences — even while classic
+    /// successor assignment would pile arbitrarily high.
+    #[test]
+    fn bounded_assignment_never_exceeds_cap_times_mean(
+        n in 3u16..10,
+        cap_milli in 1_100u32..2_500,
+        salt in any::<u64>(),
+        churn_ops in prop::collection::vec((any::<bool>(), 0u16..16), 0..6),
+    ) {
+        let cap = cap_milli as f64 / 1_000.0;
+        let mut ring = ConsistentRing::new();
+        for s in 0..n {
+            ring.add_worker(WorkerAddr::new(s, 0));
+        }
+        let items = hashes_for(salt, 1_500);
+        let check = |ring: &ConsistentRing| {
+            let a = ring.assign_bounded(&items, cap);
+            let mut counts = std::collections::HashMap::new();
+            for &w in &a.owners {
+                *counts.entry(w).or_insert(0u64) += 1;
+            }
+            let ceiling =
+                (cap * items.len() as f64 / ring.worker_count() as f64).ceil() as u64;
+            for (&w, &c) in &counts {
+                prop_assert!(c <= ceiling, "worker {} got {} > ceiling {}", w, c, ceiling);
+            }
+        };
+        check(&ring);
+        // Mutate membership and re-check after every step: the cap is an
+        // invariant of the assignment, not of one lucky topology.
+        for (add, seed) in churn_ops {
+            let w = WorkerAddr::new(seed % (n + 4), 0);
+            if add {
+                ring.add_worker(w);
+            } else if ring.worker_count() > 2 {
+                ring.remove_worker(w);
+            }
+            check(&ring);
+        }
+    }
+
+    /// Bounded-load churn: adding one worker to an n-worker ring re-homes
+    /// roughly the joining worker's fair share, staying within the same
+    /// order as the plain-ring disruption bound below (3× ideal + slack)
+    /// — bounding the load does not sacrifice minimal churn.
+    #[test]
+    fn bounded_assignment_churn_is_minimal(
+        n in 3u16..10,
+        cap_milli in 1_250u32..2_500,
+        salt in any::<u64>(),
+    ) {
+        let cap = cap_milli as f64 / 1_000.0;
+        let mut ring = ConsistentRing::new();
+        for s in 0..n {
+            ring.add_worker(WorkerAddr::new(s, 0));
+        }
+        let items = hashes_for(salt, 2_000);
+        let before = ring.assign_bounded(&items, cap);
+        ring.add_worker(WorkerAddr::new(n, 0));
+        let after = ring.assign_bounded(&items, cap);
+        let moved = before
+            .owners
+            .iter()
+            .zip(&after.owners)
+            .filter(|(b, a)| b != a)
+            .count();
+        let ideal = items.len() / (n as usize + 1);
+        prop_assert!(
+            moved <= ideal * 3 + 60,
+            "moved {} of {} items, ideal {}", moved, items.len(), ideal
+        );
     }
 
     /// Ring disruption bound: adding a worker to an n-worker ring moves

@@ -8,7 +8,7 @@
 //!
 //! ```text
 //! mbal-server [--workers N] [--port BASE] [--mem MB] [--cachelets N] [--epoch-ms MS]
-//!             [--engine slab|seg] [--metrics-port P] [--tenants SPEC]
+//!             [--engine slab|seg] [--metrics-port P] [--tenants SPEC] [--load-cap C]
 //! ```
 //!
 //! `--engine` selects the storage engine every worker runs: `slab`
@@ -25,6 +25,12 @@
 //! `id:reserved:ceiling` with `k`/`m`/`g` suffixes, e.g.
 //! `--tenants "1:256k:1m,2:64k:512k"`. Inspect the books with
 //! `mbal-cli tenants`; tag client traffic with `mbal-cli --tenant T`.
+//!
+//! `--load-cap C` (C > 1, e.g. `1.25`) arms the bounded-load skew
+//! defense: every balance epoch, any worker carrying more than `C ×`
+//! the mean worker load sheds cachelets to colder workers until it is
+//! back under the ceiling, independent of the phase ladder. Shed counts
+//! show up as `ring_cap_spills` in `mbal-cli stats`.
 
 use mbal_balancer::coordinator::Coordinator;
 use mbal_balancer::BalancerConfig;
@@ -53,6 +59,11 @@ fn main() {
     let cachelets: usize = arg("--cachelets", 16);
     let epoch_ms: u64 = arg("--epoch-ms", 1_000);
     let metrics_port: u16 = arg("--metrics-port", 0);
+    let load_cap: f64 = arg("--load-cap", 0.0);
+    if load_cap != 0.0 && load_cap <= 1.0 {
+        eprintln!("mbal-server: --load-cap must be > 1 (got {load_cap})");
+        std::process::exit(2);
+    }
     let tenants = match arg::<String>("--tenants", String::new()).as_str() {
         "" => TenantDirectory::new(),
         spec => TenantDirectory::parse(spec).unwrap_or_else(|e| {
@@ -76,6 +87,7 @@ fn main() {
     let mapping = MappingTable::build(&ring, cachelets, vns);
     let balancer = BalancerConfig {
         epoch_ms,
+        load_cap: (load_cap != 0.0).then_some(load_cap),
         ..BalancerConfig::default()
     };
     let coordinator = Arc::new(Coordinator::new(mapping.clone(), balancer.clone()));
@@ -105,6 +117,9 @@ fn main() {
     );
     if tenants.len() > 1 {
         println!("  multi-tenant: {} tenants admitted", tenants.len() - 1);
+    }
+    if load_cap != 0.0 {
+        println!("  bounded-load cap: {load_cap} × mean worker load");
     }
     for (addr, sock) in &bound {
         println!("  worker {addr} listening on {sock}");

@@ -352,6 +352,9 @@ impl Server {
         if !actions.local_migrations.is_empty() {
             self.execute_local_migrations(&actions.local_migrations, now_ms);
         }
+        if !actions.cap_shed.is_empty() {
+            self.execute_cap_shed(&actions.cap_shed);
+        }
         for &src in &actions.coordinate {
             self.execute_coordinated(src);
         }
@@ -567,6 +570,49 @@ impl Server {
             let _ = arx.recv();
             self.leases
                 .insert(m.cachelet, (m.from.worker, m.to.worker, lease_expiry));
+            self.coordinator.report_local_move(m);
+        }
+    }
+
+    /// Executes the bounded-load shed (`BalancerConfig::load_cap`).
+    /// Unlike a Phase-2 hotspot lease, a cap shed is a *durable*
+    /// re-homing — the cap would just have to shed again when a lease
+    /// expired under sustained skew — and each executed move counts a
+    /// `ring_cap_spills` event on the source worker.
+    fn execute_cap_shed(&mut self, plan: &[Migration]) {
+        for m in plan {
+            if m.from.server != self.cfg.server || m.to.server != self.cfg.server {
+                continue; // the cap plans over this server's workers only
+            }
+            let (rtx, rrx) = bounded(1);
+            self.control(
+                m.from.worker,
+                Control::Release {
+                    id: m.cachelet,
+                    new_owner: m.to,
+                    reply: rtx,
+                },
+            );
+            let Ok(Some(mut unit)) = rrx.recv() else {
+                continue;
+            };
+            // The destination owns it outright: clear any hotspot-lease
+            // residue so an old lease expiry cannot bounce it back.
+            unit.meta_mut().adopt();
+            self.leases.remove(&m.cachelet);
+            let (atx, arx) = bounded(1);
+            self.control(
+                m.to.worker,
+                Control::Adopt {
+                    unit,
+                    lease: None,
+                    reply: atx,
+                },
+            );
+            let _ = arx.recv();
+            self.metrics
+                .shard(m.from.worker.0 as usize)
+                .incr(Counter::RingCapSpills);
             self.coordinator.report_local_move(m);
         }
     }

@@ -97,11 +97,20 @@ pub enum Counter {
     SegmentsExpired,
     /// Merge-based eviction passes (seg engine only).
     SegMerges,
+    /// Client front-cache reads served locally (never reached the wire).
+    FrontHits,
+    /// Front-cache entries rejected at read time for TTL expiry or a
+    /// mapping-version mismatch.
+    FrontStaleRejected,
+    /// Keys the heavy-hitter sketch promoted into the front cache.
+    SketchPromotions,
+    /// Assignments redirected off a worker at the bounded-load cap.
+    RingCapSpills,
 }
 
 impl Counter {
     /// Number of counters in the catalog.
-    pub const COUNT: usize = 37;
+    pub const COUNT: usize = 41;
 
     /// Every counter, in index order.
     pub const ALL: [Counter; Self::COUNT] = [
@@ -142,6 +151,10 @@ impl Counter {
         Counter::ExpiredBytes,
         Counter::SegmentsExpired,
         Counter::SegMerges,
+        Counter::FrontHits,
+        Counter::FrontStaleRejected,
+        Counter::SketchPromotions,
+        Counter::RingCapSpills,
     ];
 
     /// Stable wire/exposition name.
@@ -184,6 +197,10 @@ impl Counter {
             Counter::ExpiredBytes => "expired_bytes",
             Counter::SegmentsExpired => "segments_expired",
             Counter::SegMerges => "seg_merges",
+            Counter::FrontHits => "front_hits",
+            Counter::FrontStaleRejected => "front_stale_rejected",
+            Counter::SketchPromotions => "sketch_promotions",
+            Counter::RingCapSpills => "ring_cap_spills",
         }
     }
 }

@@ -55,15 +55,21 @@ pub struct Zipfian {
 
 impl Zipfian {
     /// Creates a zipfian distribution over `items` items with skew
-    /// `theta` (YCSB default 0.99; larger is more skewed; must be in
-    /// `(0, 1)`).
+    /// `theta` (YCSB default 0.99; larger is more skewed). The Gray et
+    /// al. inverse-CDF below is valid for any positive `theta` except
+    /// exactly 1 (where `alpha = 1/(1-θ)` blows up): `theta > 1` gives
+    /// the extreme, flash-crowd-style skew the front tier defends
+    /// against.
     ///
     /// # Panics
     ///
-    /// Panics if `items == 0` or `theta` is outside `(0, 1)`.
+    /// Panics if `items == 0`, `theta <= 0`, or `theta == 1`.
     pub fn new(items: u64, theta: f64) -> Self {
         assert!(items > 0, "empty item space");
-        assert!(theta > 0.0 && theta < 1.0, "theta must be in (0,1)");
+        assert!(
+            theta > 0.0 && theta != 1.0,
+            "theta must be positive and not exactly 1"
+        );
         let zetan = Self::zeta(items, theta);
         let zeta2 = Self::zeta(2, theta);
         let alpha = 1.0 / (1.0 - theta);
@@ -312,8 +318,28 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "theta must be in (0,1)")]
+    #[should_panic(expected = "theta must be positive and not exactly 1")]
     fn zipfian_rejects_theta_one() {
         let _ = Zipfian::new(10, 1.0);
+    }
+
+    #[test]
+    fn extreme_zipfian_is_more_skewed_than_ycsb_default() {
+        let mass_on_top_item = |theta: f64| {
+            let mut z = Zipfian::new(10_000, theta);
+            let mut rng = SmallRng::seed_from_u64(7);
+            let draws = 20_000;
+            (0..draws).filter(|_| z.next_index(&mut rng) == 0).count() as f64 / draws as f64
+        };
+        let ycsb = mass_on_top_item(0.99);
+        let extreme = mass_on_top_item(1.3);
+        assert!(
+            extreme > ycsb * 2.0,
+            "θ=1.3 must concentrate far harder on the head: {extreme} vs {ycsb}"
+        );
+        assert!(
+            extreme > 0.2,
+            "θ=1.3 puts >20% of draws on item 0: {extreme}"
+        );
     }
 }

@@ -167,6 +167,21 @@ impl WorkloadSpec {
         }
     }
 
+    /// An extreme-skew flash-crowd mix: zipfian θ = 1.3 (well past the
+    /// YCSB default 0.99 — a handful of keys take most of the traffic),
+    /// 95% GET. This is the adversarial input for the skew defenses:
+    /// client front caching and bounded-load assignment.
+    pub fn extreme_zipf(records: u64) -> Self {
+        Self {
+            records,
+            read_fraction: 0.95,
+            popularity: Popularity::Zipfian { theta: 1.3 },
+            key_len: 24,
+            value_len: 64,
+            ttl_range_ms: (0, 0),
+        }
+    }
+
     /// Formats the key for item `index` at this spec's key length.
     pub fn key_of(&self, index: u64) -> Vec<u8> {
         format_key(index, self.key_len)
