@@ -1,12 +1,366 @@
-//! Offline stand-in for `bytes`: the `Buf`/`BufMut` trait surface the
-//! wire codec uses, implemented for `&[u8]` and `Vec<u8>` with the same
-//! big-endian defaults and advancing-cursor semantics as upstream.
+//! Offline stand-in for `bytes`: a reference-counted, cheaply cloneable
+//! byte container with the slicing API the zero-copy value path relies
+//! on, plus the `Buf`/`BufMut` trait surface the wire codec uses,
+//! implemented with the same big-endian defaults and advancing-cursor
+//! semantics as upstream.
+//!
+//! [`Bytes`] is an `Arc<[u8]>` plus an `(offset, len)` window: `clone`
+//! bumps a refcount, `slice` narrows the window, and no operation copies
+//! payload bytes. Pointer identity (`as_ptr`) is therefore preserved
+//! across clones and slices, which the engine→writev zero-copy tests
+//! assert on.
 //!
 //! Like upstream, the fixed-width getters panic when the buffer holds
 //! fewer bytes than requested — codec code guards with `remaining()`.
 
-pub type Bytes = Vec<u8>;
-pub type BytesMut = Vec<u8>;
+use std::borrow::Borrow;
+use std::hash::{Hash, Hasher};
+use std::ops::{Bound, Deref, RangeBounds};
+use std::sync::Arc;
+
+/// A cheaply cloneable, immutable, reference-counted slice of memory.
+pub struct Bytes {
+    data: Arc<[u8]>,
+    off: usize,
+    len: usize,
+}
+
+impl Bytes {
+    /// Creates an empty `Bytes`.
+    pub fn new() -> Self {
+        Self::from_vec(Vec::new())
+    }
+
+    /// Creates `Bytes` from a static slice (copies once into the shared
+    /// allocation; upstream borrows, but the observable API matches).
+    pub fn from_static(s: &'static [u8]) -> Self {
+        Self::copy_from_slice(s)
+    }
+
+    /// Copies `s` into a fresh shared allocation.
+    pub fn copy_from_slice(s: &[u8]) -> Self {
+        Self::from_vec(s.to_vec())
+    }
+
+    fn from_vec(v: Vec<u8>) -> Self {
+        let len = v.len();
+        Self {
+            data: Arc::from(v.into_boxed_slice()),
+            off: 0,
+            len,
+        }
+    }
+
+    /// Number of visible bytes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when the window is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Returns a slice of self for the provided range — a refcount bump
+    /// and window arithmetic, no copy.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Self {
+        let start = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let end = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => self.len,
+        };
+        assert!(
+            start <= end && end <= self.len,
+            "range {start}..{end} out of bounds for Bytes of length {}",
+            self.len
+        );
+        Self {
+            data: Arc::clone(&self.data),
+            off: self.off + start,
+            len: end - start,
+        }
+    }
+
+    /// Splits off and returns the first `at` bytes; `self` keeps the
+    /// rest. No copy.
+    pub fn split_to(&mut self, at: usize) -> Self {
+        assert!(at <= self.len, "split_to({at}) past length {}", self.len);
+        let head = self.slice(..at);
+        self.off += at;
+        self.len -= at;
+        head
+    }
+
+    /// Splits off and returns the bytes from `at` onward; `self` keeps
+    /// the prefix. No copy.
+    pub fn split_off(&mut self, at: usize) -> Self {
+        assert!(at <= self.len, "split_off({at}) past length {}", self.len);
+        let tail = self.slice(at..);
+        self.len = at;
+        tail
+    }
+
+    fn as_slice(&self) -> &[u8] {
+        &self.data[self.off..self.off + self.len]
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clone for Bytes {
+    fn clone(&self) -> Self {
+        Self {
+            data: Arc::clone(&self.data),
+            off: self.off,
+            len: self.len,
+        }
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl Borrow<[u8]> for Bytes {
+    fn borrow(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Self::from_vec(v)
+    }
+}
+
+impl From<Box<[u8]>> for Bytes {
+    fn from(b: Box<[u8]>) -> Self {
+        let len = b.len();
+        Self {
+            data: Arc::from(b),
+            off: 0,
+            len,
+        }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(s: &[u8]) -> Self {
+        Self::copy_from_slice(s)
+    }
+}
+
+impl<const N: usize> From<&[u8; N]> for Bytes {
+    fn from(s: &[u8; N]) -> Self {
+        Self::copy_from_slice(s)
+    }
+}
+
+impl From<String> for Bytes {
+    fn from(s: String) -> Self {
+        Self::from_vec(s.into_bytes())
+    }
+}
+
+impl From<&str> for Bytes {
+    fn from(s: &str) -> Self {
+        Self::copy_from_slice(s.as_bytes())
+    }
+}
+
+impl From<Bytes> for Vec<u8> {
+    fn from(b: Bytes) -> Vec<u8> {
+        b.as_slice().to_vec()
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+impl Eq for Bytes {}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_slice() == other
+    }
+}
+impl PartialEq<&[u8]> for Bytes {
+    fn eq(&self, other: &&[u8]) -> bool {
+        self.as_slice() == *other
+    }
+}
+impl<const N: usize> PartialEq<[u8; N]> for Bytes {
+    fn eq(&self, other: &[u8; N]) -> bool {
+        self.as_slice() == other
+    }
+}
+impl<const N: usize> PartialEq<&[u8; N]> for Bytes {
+    fn eq(&self, other: &&[u8; N]) -> bool {
+        self.as_slice() == *other
+    }
+}
+impl PartialEq<Vec<u8>> for Bytes {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+impl PartialEq<Bytes> for Vec<u8> {
+    fn eq(&self, other: &Bytes) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+impl PartialEq<Bytes> for [u8] {
+    fn eq(&self, other: &Bytes) -> bool {
+        self == other.as_slice()
+    }
+}
+
+impl PartialOrd for Bytes {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Bytes {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.as_slice().cmp(other.as_slice())
+    }
+}
+
+impl Hash for Bytes {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
+    }
+}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.as_slice() {
+            for esc in std::ascii::escape_default(b) {
+                write!(f, "{}", esc as char)?;
+            }
+        }
+        write!(f, "\"")
+    }
+}
+
+impl FromIterator<u8> for Bytes {
+    fn from_iter<T: IntoIterator<Item = u8>>(iter: T) -> Self {
+        Self::from_vec(iter.into_iter().collect())
+    }
+}
+
+impl IntoIterator for Bytes {
+    type Item = u8;
+    type IntoIter = std::vec::IntoIter<u8>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().to_vec().into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a Bytes {
+    type Item = &'a u8;
+    type IntoIter = std::slice::Iter<'a, u8>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+/// Growable write buffer; `freeze()` hands the accumulated bytes to a
+/// [`Bytes`] without copying.
+#[derive(Default, Clone, Debug, PartialEq, Eq)]
+pub struct BytesMut {
+    buf: Vec<u8>,
+}
+
+impl BytesMut {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn with_capacity(cap: usize) -> Self {
+        Self {
+            buf: Vec::with_capacity(cap),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    pub fn extend_from_slice(&mut self, s: &[u8]) {
+        self.buf.extend_from_slice(s);
+    }
+
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.buf.clone()
+    }
+
+    /// Converts into an immutable [`Bytes`] — moves the allocation, no
+    /// copy.
+    pub fn freeze(self) -> Bytes {
+        Bytes::from_vec(self.buf)
+    }
+
+    pub fn clear(&mut self) {
+        self.buf.clear();
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+impl std::ops::DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.buf
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+impl From<Vec<u8>> for BytesMut {
+    fn from(buf: Vec<u8>) -> Self {
+        Self { buf }
+    }
+}
+
+impl From<BytesMut> for Vec<u8> {
+    fn from(b: BytesMut) -> Vec<u8> {
+        b.buf
+    }
+}
 
 pub trait Buf {
     fn remaining(&self) -> usize;
@@ -52,7 +406,7 @@ pub trait Buf {
     }
 
     fn copy_to_bytes(&mut self, len: usize) -> Bytes {
-        let out = self.chunk()[..len].to_vec();
+        let out = Bytes::copy_from_slice(&self.chunk()[..len]);
         self.advance(len);
         out
     }
@@ -69,6 +423,27 @@ impl Buf for &[u8] {
 
     fn chunk(&self) -> &[u8] {
         self
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len, "advance({cnt}) past length {}", self.len);
+        self.off += cnt;
+        self.len -= cnt;
+    }
+
+    fn chunk(&self) -> &[u8] {
+        self.as_slice()
+    }
+
+    /// Zero-copy override: narrows the shared window instead of copying.
+    fn copy_to_bytes(&mut self, len: usize) -> Bytes {
+        self.split_to(len)
     }
 }
 
@@ -95,5 +470,57 @@ pub trait BufMut {
 impl BufMut for Vec<u8> {
     fn put_slice(&mut self, src: &[u8]) {
         self.extend_from_slice(src);
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.buf.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clone_and_slice_share_storage() {
+        let b = Bytes::from(vec![1u8, 2, 3, 4, 5]);
+        let c = b.clone();
+        assert_eq!(b.as_ptr(), c.as_ptr());
+        let s = b.slice(1..4);
+        assert_eq!(&s[..], &[2, 3, 4]);
+        assert_eq!(s.as_ptr(), unsafe { b.as_ptr().add(1) });
+    }
+
+    #[test]
+    fn split_preserves_identity() {
+        let mut b = Bytes::from(vec![9u8; 10]);
+        let base = b.as_ptr();
+        let head = b.split_to(4);
+        assert_eq!(head.len(), 4);
+        assert_eq!(head.as_ptr(), base);
+        assert_eq!(b.as_ptr(), unsafe { base.add(4) });
+        assert_eq!(b.len(), 6);
+    }
+
+    #[test]
+    fn freeze_moves_without_copy() {
+        let mut m = BytesMut::with_capacity(8);
+        m.put_u32(0xdead_beef);
+        let b = m.freeze();
+        assert_eq!(&b[..], &0xdead_beefu32.to_be_bytes());
+    }
+
+    #[test]
+    fn buf_cursor_semantics_match_slices() {
+        let b = Bytes::from(vec![0u8, 1, 0, 2, 0, 0, 0, 3]);
+        let mut cur = b.clone();
+        assert_eq!(cur.get_u16(), 1);
+        assert_eq!(cur.get_u16(), 2);
+        assert_eq!(cur.get_u32(), 3);
+        assert!(!cur.has_remaining());
+        let zc = b.clone().copy_to_bytes(3);
+        assert_eq!(zc.as_ptr(), b.as_ptr());
     }
 }

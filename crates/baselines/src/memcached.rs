@@ -43,7 +43,7 @@ impl ConcurrentCache for MemcachedLike {
     fn get(&self, key: &[u8]) -> Option<Vec<u8>> {
         let mut g = self.inner.lock();
         let Inner { table, store } = &mut *g;
-        table.get(key, store, 0).map(|c| c.into_owned())
+        table.get(key, store, 0).map(|c| c.to_vec())
     }
 
     fn set(&self, key: &[u8], value: &[u8]) -> Result<(), CacheError> {

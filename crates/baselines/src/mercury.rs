@@ -131,7 +131,7 @@ impl ConcurrentCache for MercuryLike {
     fn get(&self, key: &[u8]) -> Option<Vec<u8>> {
         let mut g = self.shards[self.shard_of(key)].lock();
         let Shard { table, store } = &mut *g;
-        table.get(key, store, 0).map(|c| c.into_owned())
+        table.get(key, store, 0).map(|c| c.to_vec())
     }
 
     fn set(&self, key: &[u8], value: &[u8]) -> Result<(), CacheError> {
@@ -149,7 +149,7 @@ impl ConcurrentCache for MercuryLike {
         while store.used_bytes() > self.capacity_per_shard {
             // Capture the victim's bytes so the free pool sees them.
             if let Some(victim) = table.lru_victim().map(|k| k.to_vec()) {
-                if let Some(v) = table.get(&victim, store, 0).map(|c| c.into_owned()) {
+                if let Some(v) = table.get(&victim, store, 0).map(|c| c.to_vec()) {
                     give_back.push(v.into_boxed_slice());
                 }
                 table.delete(&victim, store, 0);
@@ -172,7 +172,7 @@ impl ConcurrentCache for MercuryLike {
     fn delete(&self, key: &[u8]) -> bool {
         let mut g = self.shards[self.shard_of(key)].lock();
         let Shard { table, store } = &mut *g;
-        let existed = match table.get(key, store, 0).map(|c| c.into_owned()) {
+        match table.get(key, store, 0).map(|c| c.to_vec()) {
             Some(v) => {
                 table.delete(key, store, 0);
                 drop(g);
@@ -180,8 +180,7 @@ impl ConcurrentCache for MercuryLike {
                 true
             }
             None => false,
-        };
-        existed
+        }
     }
 
     fn len(&self) -> usize {

@@ -51,7 +51,7 @@ impl<S: ValueStore> OwnedShard<S> {
     pub fn get(&mut self, key: &[u8]) -> Option<Vec<u8>> {
         self.table
             .get(key, &mut self.store, self.now_ms)
-            .map(|c| c.into_owned())
+            .map(|c| c.to_vec())
     }
 
     /// Inserts or replaces `key` → `value`, evicting LRU entries on

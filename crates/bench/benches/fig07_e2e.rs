@@ -59,7 +59,7 @@ fn measure_dispatch_ns(ops: u64) -> f64 {
         key: b"user000000001234".to_vec(),
     };
     let resp = Response::Value {
-        value: vec![9u8; 20],
+        value: vec![9u8; 20].into(),
         replicas: vec![],
     };
     let op = opcode_of(&req);

@@ -112,7 +112,7 @@ fn main() {
                     Request::Set {
                         cachelet,
                         key: key.clone(),
-                        value: vec![7u8; 64],
+                        value: vec![7u8; 64].into(),
                         expiry_ms: 0,
                     },
                 )

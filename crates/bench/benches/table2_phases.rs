@@ -99,7 +99,7 @@ fn main() {
             WorkerAddr::new(1, 0),
             Request::ReplicaInstall {
                 key: format!("hot{i}").into_bytes(),
-                value: vec![0u8; 64],
+                value: vec![0u8; 64].into(),
                 lease_expiry_ms: u64::MAX,
             },
         );

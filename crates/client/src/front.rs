@@ -279,7 +279,7 @@ impl FrontCache {
         self.entries.insert(
             key.to_vec(),
             FrontEntry {
-                value: value.to_vec(),
+                value: Value::copy_from_slice(value),
                 inserted: now,
                 mapping_version,
             },
@@ -399,7 +399,10 @@ mod tests {
             f.observe_get(b"hot");
         }
         assert!(f.admit(b"hot", b"v", now(), 1), "hot key promoted");
-        assert_eq!(f.lookup(b"hot", now(), 1), FrontLookup::Hit(b"v".to_vec()));
+        assert_eq!(
+            f.lookup(b"hot", now(), 1),
+            FrontLookup::Hit(b"v".to_vec().into())
+        );
     }
 
     #[test]
@@ -407,7 +410,10 @@ mod tests {
         let mut f = hot_cache(FrontCacheConfig::default());
         assert!(f.admit(b"hot", b"v1", now(), 1));
         assert!(!f.admit(b"hot", b"v2", now(), 1), "refresh, not promotion");
-        assert_eq!(f.lookup(b"hot", now(), 1), FrontLookup::Hit(b"v2".to_vec()));
+        assert_eq!(
+            f.lookup(b"hot", now(), 1),
+            FrontLookup::Hit(b"v2".to_vec().into())
+        );
     }
 
     #[test]
@@ -417,7 +423,7 @@ mod tests {
         assert!(f.admit(b"hot", b"v", t0, 1));
         assert_eq!(
             f.lookup(b"hot", t0 + Duration::from_millis(5), 1),
-            FrontLookup::Hit(b"v".to_vec())
+            FrontLookup::Hit(b"v".to_vec().into())
         );
         assert_eq!(
             f.lookup(b"hot", t0 + Duration::from_millis(11), 1),

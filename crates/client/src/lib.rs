@@ -450,21 +450,6 @@ impl Client {
         ClientBuilder::new(transport, coordinator)
     }
 
-    /// Creates a client with default settings.
-    #[deprecated(since = "0.1.0", note = "use `Client::builder(...).build()`")]
-    pub fn new(transport: Arc<dyn Transport>, coordinator: Arc<dyn CoordinatorLink>) -> Self {
-        ClientBuilder::new(transport, coordinator).build()
-    }
-
-    /// Overrides the per-operation time budget.
-    #[deprecated(
-        since = "0.1.0",
-        note = "configure via `Client::builder(...).op_budget(...)`"
-    )]
-    pub fn set_op_budget(&mut self, budget: Duration) {
-        self.op_budget = budget;
-    }
-
     /// Remaining budget before `deadline`, or `None` once it has passed.
     fn remaining(deadline: Instant) -> Option<Duration> {
         let now = Instant::now();
@@ -853,37 +838,15 @@ impl Client {
         }
     }
 
-    /// Stores `key` → `value` (write-through at the home worker; replicas
-    /// are updated by the server per the configured consistency mode).
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `set_opts(key, value, SetOptions::new())`"
-    )]
-    pub fn set(&mut self, key: &[u8], value: &[u8]) -> Result<(), ClientError> {
-        self.set_opts(key, value, SetOptions::new()).map(|_| ())
-    }
-
-    /// Stores with an absolute expiry (0 = never).
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `set_opts(key, value, SetOptions::new().expiry_ms(ms))`"
-    )]
-    pub fn set_with_expiry(
-        &mut self,
-        key: &[u8],
-        value: &[u8],
-        expiry_ms: u64,
-    ) -> Result<(), ClientError> {
-        self.set_opts(key, value, SetOptions::new().expiry_ms(expiry_ms))
-            .map(|_| ())
-    }
-
     fn set_unconditional(
         &mut self,
         key: &[u8],
         value: &[u8],
         expiry_ms: u64,
     ) -> Result<StoreOutcome, ClientError> {
+        // Copy the caller's slice once into a refcounted [`Value`]; every
+        // retry below is then a refcount bump, not another payload copy.
+        let value = Value::copy_from_slice(value);
         let deadline = Instant::now() + self.op_budget;
         let mut last_err = ClientError::RetriesExhausted;
         for _ in 0..self.max_retries {
@@ -899,7 +862,7 @@ impl Client {
                 Request::Set {
                     cachelet,
                     key: key.to_vec(),
-                    value: value.to_vec(),
+                    value: value.clone(),
                     expiry_ms,
                 }
                 .for_tenant(self.tenant),
@@ -1008,7 +971,7 @@ impl Client {
         expiry_ms: u64,
         if_absent: bool,
     ) -> Result<StoreOutcome, ClientError> {
-        let value = value.to_vec();
+        let value = Value::copy_from_slice(value);
         self.write_op(
             key,
             |cachelet| {
@@ -1047,7 +1010,7 @@ impl Client {
         bytes: &[u8],
         front: bool,
     ) -> Result<StoreOutcome, ClientError> {
-        let bytes = bytes.to_vec();
+        let bytes = Value::copy_from_slice(bytes);
         self.write_op(
             key,
             |cachelet| Request::Concat {
@@ -1063,46 +1026,6 @@ impl Client {
                 other => Err(ClientError::unexpected(&other)),
             },
         )
-    }
-
-    /// Stores `key` only if absent (Memcached `add`).
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `set_opts(key, value, SetOptions::add())`"
-    )]
-    pub fn add(&mut self, key: &[u8], value: &[u8]) -> Result<bool, ClientError> {
-        self.set_opts(key, value, SetOptions::add())
-            .map(StoreOutcome::is_stored)
-    }
-
-    /// Stores `key` only if present (Memcached `replace`).
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `set_opts(key, value, SetOptions::replace())`"
-    )]
-    pub fn replace(&mut self, key: &[u8], value: &[u8]) -> Result<bool, ClientError> {
-        self.set_opts(key, value, SetOptions::replace())
-            .map(StoreOutcome::is_stored)
-    }
-
-    /// Appends `suffix` to an existing value.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `set_opts(key, suffix, SetOptions::append())`"
-    )]
-    pub fn append(&mut self, key: &[u8], suffix: &[u8]) -> Result<bool, ClientError> {
-        self.set_opts(key, suffix, SetOptions::append())
-            .map(StoreOutcome::is_stored)
-    }
-
-    /// Prepends `prefix` to an existing value.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `set_opts(key, prefix, SetOptions::prepend())`"
-    )]
-    pub fn prepend(&mut self, key: &[u8], prefix: &[u8]) -> Result<bool, ClientError> {
-        self.set_opts(key, prefix, SetOptions::prepend())
-            .map(StoreOutcome::is_stored)
     }
 
     /// Increments an ASCII-decimal counter; `Ok(None)` on a miss.
@@ -1154,12 +1077,6 @@ impl Client {
                 other => Err(ClientError::unexpected(&other)),
             },
         )
-    }
-
-    /// Refreshes the TTL of an existing key.
-    #[deprecated(since = "0.1.0", note = "use `touch_opts(key, expiry_ms)`")]
-    pub fn touch(&mut self, key: &[u8], expiry_ms: u64) -> Result<bool, ClientError> {
-        self.touch_opts(key, expiry_ms).map(StoreOutcome::is_stored)
     }
 
     /// Deletes `key`.
@@ -1514,22 +1431,6 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_preserve_bool_semantics() {
-        let mut c = refusing_client();
-        c.set(b"k", b"v").expect("set shim");
-        c.set_with_expiry(b"k", b"v", 99).expect("expiry shim");
-        assert!(!c.add(b"k", b"v").expect("add shim"), "exists → false");
-        assert!(!c.replace(b"k", b"v").expect("replace shim"));
-        assert!(!c.append(b"k", b"v").expect("append shim"));
-        assert!(!c.prepend(b"k", b"v").expect("prepend shim"));
-        assert!(!c.touch(b"k", 1).expect("touch shim"));
-
-        let (mut stored, _t) = client_with(0);
-        assert!(stored.add(b"k", b"v").expect("add shim"), "stored → true");
-    }
-
-    #[test]
     fn builder_clamps_and_applies_options() {
         let mut ring = ConsistentRing::new();
         ring.add_worker(WorkerAddr::new(0, 0));
@@ -1792,7 +1693,7 @@ mod tests {
             self.calls.fetch_add(1, Ordering::SeqCst);
             Ok(match req.tenant_parts().1 {
                 Request::Get { .. } | Request::ReplicaRead { .. } => Response::Value {
-                    value: b"v".to_vec(),
+                    value: b"v".to_vec().into(),
                     replicas: Vec::new(),
                 },
                 Request::Set { .. } => Response::Stored,
@@ -1825,11 +1726,11 @@ mod tests {
         // GETs 1–2 are below the admission threshold; GET 3 crosses it
         // and the fetched value is admitted.
         for _ in 0..3 {
-            assert_eq!(c.get(b"hot").unwrap(), Some(b"v".to_vec()));
+            assert_eq!(c.get(b"hot").unwrap(), Some(b"v".to_vec().into()));
         }
         assert_eq!(c.stats().sketch_promotions, 1);
         let wire = t.calls.load(Ordering::SeqCst);
-        assert_eq!(c.get(b"hot").unwrap(), Some(b"v".to_vec()));
+        assert_eq!(c.get(b"hot").unwrap(), Some(b"v".to_vec().into()));
         assert_eq!(
             t.calls.load(Ordering::SeqCst),
             wire,
@@ -1933,7 +1834,7 @@ mod tests {
             },
         );
         for _ in 0..20 {
-            assert_eq!(c.get(b"k").unwrap(), Some(b"v".to_vec()));
+            assert_eq!(c.get(b"k").unwrap(), Some(b"v".to_vec().into()));
         }
         assert!(
             c.stats().replica_reads > 0,

@@ -64,7 +64,7 @@ impl Transport for MockTransport {
             .map(|(i, _)| match fail_from {
                 Some(f) if i >= f => Err(TransportError::Broken("mid-batch drop".into())),
                 _ => Ok(Response::Value {
-                    value: b"v".to_vec(),
+                    value: b"v".to_vec().into(),
                     replicas: vec![],
                 }),
             })
@@ -127,12 +127,12 @@ fn moved_response_updates_mapping_and_retries() {
             new_owner,
         },
         Response::Value {
-            value: b"v".to_vec(),
+            value: b"v".to_vec().into(),
             replicas: vec![],
         },
     ]
     .into();
-    assert_eq!(client.get(&key).expect("get"), Some(b"v".to_vec()));
+    assert_eq!(client.get(&key).expect("get"), Some(b"v".to_vec().into()));
     let calls = transport.calls();
     assert_eq!(calls.len(), 2);
     assert_eq!(calls[0].0, old_owner);
@@ -193,23 +193,23 @@ fn replica_hints_round_robin_reads() {
     *transport.script.lock() = vec![
         // First read: home returns the value plus the replica hint.
         Response::Value {
-            value: b"v".to_vec(),
+            value: b"v".to_vec().into(),
             replicas: vec![shadow],
         },
         // Second read: client should pick the shadow (ReplicaRead).
         Response::Value {
-            value: b"v".to_vec(),
+            value: b"v".to_vec().into(),
             replicas: vec![],
         },
         // Third read: back to home (round robin).
         Response::Value {
-            value: b"v".to_vec(),
+            value: b"v".to_vec().into(),
             replicas: vec![shadow],
         },
     ]
     .into();
     for _ in 0..3 {
-        assert_eq!(client.get(&key).expect("get"), Some(b"v".to_vec()));
+        assert_eq!(client.get(&key).expect("get"), Some(b"v".to_vec().into()));
     }
     let calls = transport.calls();
     assert_eq!(calls[0].0, home);
@@ -232,19 +232,19 @@ fn dead_replica_falls_back_to_home() {
         .expect("shadow");
     *transport.script.lock() = vec![
         Response::Value {
-            value: b"v".to_vec(),
+            value: b"v".to_vec().into(),
             replicas: vec![shadow],
         },
         // Replica read misses (lease lapsed) → client falls back home.
         Response::NotFound,
         Response::Value {
-            value: b"v".to_vec(),
+            value: b"v".to_vec().into(),
             replicas: vec![],
         },
     ]
     .into();
-    assert_eq!(client.get(&key).expect("get"), Some(b"v".to_vec()));
-    assert_eq!(client.get(&key).expect("get"), Some(b"v".to_vec()));
+    assert_eq!(client.get(&key).expect("get"), Some(b"v".to_vec().into()));
+    assert_eq!(client.get(&key).expect("get"), Some(b"v".to_vec().into()));
     assert_eq!(
         client.replicated_keys(),
         0,
@@ -260,7 +260,7 @@ fn writes_never_target_replicas() {
     let shadow = map.workers().into_iter().find(|&w| w != home).expect("s");
     *transport.script.lock() = vec![
         Response::Value {
-            value: b"v".to_vec(),
+            value: b"v".to_vec().into(),
             replicas: vec![shadow],
         },
         Response::Stored,
@@ -355,21 +355,29 @@ fn multi_get_mid_batch_failure_degrades_per_key() {
     *transport.batch_fail_from.lock() = Some(2);
     *transport.script.lock() = vec![
         Response::Value {
-            value: b"f".to_vec(),
+            value: b"f".to_vec().into(),
             replicas: vec![],
         },
         Response::Value {
-            value: b"f".to_vec(),
+            value: b"f".to_vec().into(),
             replicas: vec![],
         },
     ]
     .into();
     let got = client.multi_get(&keys).expect("multi_get");
     assert_eq!(got.len(), 4);
-    assert_eq!(got[0], Some(b"v".to_vec()));
-    assert_eq!(got[1], Some(b"v".to_vec()));
-    assert_eq!(got[2], Some(b"f".to_vec()), "failed op recovered per-key");
-    assert_eq!(got[3], Some(b"f".to_vec()), "failed op recovered per-key");
+    assert_eq!(got[0], Some(b"v".to_vec().into()));
+    assert_eq!(got[1], Some(b"v".to_vec().into()));
+    assert_eq!(
+        got[2],
+        Some(b"f".to_vec().into()),
+        "failed op recovered per-key"
+    );
+    assert_eq!(
+        got[3],
+        Some(b"f".to_vec().into()),
+        "failed op recovered per-key"
+    );
     assert_eq!(transport.batches.lock().len(), 1, "batch issued once");
     assert_eq!(
         transport.calls().len(),

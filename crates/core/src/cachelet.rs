@@ -10,8 +10,7 @@
 use crate::engine::{slab_lru::SlabLru, Engine, EngineStats};
 use crate::stats::{AccessStats, CacheletLoad, Ewma};
 use crate::table::SetOutcome;
-use crate::types::{CacheError, CacheletId, WorkerId};
-use std::borrow::Cow;
+use crate::types::{CacheError, CacheletId, Value, WorkerId};
 
 /// Where a cachelet currently lives relative to its home worker.
 ///
@@ -105,8 +104,10 @@ impl Cachelet {
         }
     }
 
-    /// Looks up `key` and records the access.
-    pub fn get(&mut self, key: &[u8], now_ms: u64) -> Option<Cow<'_, [u8]>> {
+    /// Looks up `key` and records the access. The returned [`Value`] is
+    /// a refcounted view shared with the engine where its storage
+    /// permits (see [`Engine::get`]).
+    pub fn get(&mut self, key: &[u8], now_ms: u64) -> Option<Value> {
         self.stats.reads += 1;
         match self.engine.get(key, now_ms) {
             Some(v) => {

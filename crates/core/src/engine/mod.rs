@@ -32,8 +32,7 @@ pub use seg::SegEngine;
 pub use slab_lru::SlabLru;
 
 use crate::table::SetOutcome;
-use crate::types::{CacheError, TenantId};
-use std::borrow::Cow;
+use crate::types::{CacheError, TenantId, Value};
 use std::fmt;
 
 /// Which storage engine a worker runs.
@@ -154,7 +153,11 @@ pub struct TenantUsage {
 pub trait Engine: Send + fmt::Debug {
     /// Looks up `key`, refreshing its recency/frequency state. Expired
     /// entries are reclaimed lazily and reported as a miss.
-    fn get(&mut self, key: &[u8], now_ms: u64) -> Option<Cow<'_, [u8]>>;
+    ///
+    /// Returns a reference-counted [`Value`]: engines whose storage can
+    /// be shared (the `Bytes`-backed heap store) serve it zero-copy;
+    /// arena-backed engines copy once here and never again downstream.
+    fn get(&mut self, key: &[u8], now_ms: u64) -> Option<Value>;
 
     /// Inserts or replaces `key` → `value`. `expiry_ms` of 0 means no
     /// expiry. Replacing an *expired* entry reports `Inserted`.

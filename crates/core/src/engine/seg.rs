@@ -26,8 +26,7 @@
 use crate::engine::{Engine, EngineStats};
 use crate::hash::bucket_hash;
 use crate::table::SetOutcome;
-use crate::types::{CacheError, MAX_KEY_LEN, MAX_VALUE_LEN};
-use std::borrow::Cow;
+use crate::types::{CacheError, Value, MAX_KEY_LEN, MAX_VALUE_LEN};
 use std::collections::HashMap;
 
 /// Inline per-object header: expiry u64 | vlen u32 | klen u8 | flags u8
@@ -593,7 +592,7 @@ impl SegEngine {
 }
 
 impl Engine for SegEngine {
-    fn get(&mut self, key: &[u8], now_ms: u64) -> Option<Cow<'_, [u8]>> {
+    fn get(&mut self, key: &[u8], now_ms: u64) -> Option<Value> {
         let loc = *self.index.get(key)?;
         let h = self.header_at(loc);
         if is_expired(h.expiry_ms, now_ms) {
@@ -605,7 +604,10 @@ impl Engine for SegEngine {
         seg.data[off + 14] = seg.data[off + 14].saturating_add(1);
         let start = off + HEADER_LEN + h.klen;
         let seg = self.seg(loc.seg);
-        Some(Cow::Borrowed(&seg.data[start..start + h.vlen]))
+        // Segment arenas are recycled by merge/expiry, so the engine
+        // boundary pays its one copy here; everything downstream shares
+        // the returned buffer.
+        Some(Value::copy_from_slice(&seg.data[start..start + h.vlen]))
     }
 
     fn set(

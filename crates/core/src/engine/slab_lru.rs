@@ -11,8 +11,7 @@
 use crate::engine::{Engine, EngineStats};
 use crate::store::{MallocStore, ValueStore};
 use crate::table::{HashTable, SetOutcome};
-use crate::types::CacheError;
-use std::borrow::Cow;
+use crate::types::{CacheError, Value};
 use std::fmt;
 
 /// Upper bound on entries visited per [`Engine::maintain`] call, so
@@ -60,7 +59,7 @@ impl SlabLru<MallocStore> {
 }
 
 impl<S: ValueStore + Send + fmt::Debug> Engine for SlabLru<S> {
-    fn get(&mut self, key: &[u8], now_ms: u64) -> Option<Cow<'_, [u8]>> {
+    fn get(&mut self, key: &[u8], now_ms: u64) -> Option<Value> {
         self.table.get(key, &mut self.store, now_ms)
     }
 

@@ -6,12 +6,13 @@
 //! Every replica carries a lease; expired replicas are retired
 //! automatically unless the home worker renews them.
 
+use crate::types::Value;
 use std::collections::HashMap;
 
 /// A replica entry: value bytes plus lease expiry.
 #[derive(Debug, Clone)]
 struct ReplicaEntry {
-    value: Vec<u8>,
+    value: Value,
     lease_expiry_ms: u64,
 }
 
@@ -56,9 +57,10 @@ impl ReplicaStats {
 /// entry (the value may be stale and must not be served) from a key
 /// that was never replicated here.
 #[derive(Debug, PartialEq, Eq)]
-pub enum ReplicaLookup<'a> {
-    /// Live replica within its lease.
-    Hit(&'a [u8]),
+pub enum ReplicaLookup {
+    /// Live replica within its lease (a refcounted view of the stored
+    /// bytes — cloning it never copies the payload).
+    Hit(Value),
     /// The replica existed but its lease expired; it has been retired.
     Stale,
     /// No replica of this key here.
@@ -72,7 +74,7 @@ impl ReplicaTable {
     }
 
     /// Installs (or refreshes) a replica of `key` with the given lease.
-    pub fn install(&mut self, key: &[u8], value: Vec<u8>, lease_expiry_ms: u64) {
+    pub fn install(&mut self, key: &[u8], value: Value, lease_expiry_ms: u64) {
         self.entries.insert(
             key.to_vec(),
             ReplicaEntry {
@@ -83,7 +85,7 @@ impl ReplicaTable {
     }
 
     /// Reads a replicated key if present and its lease is still valid.
-    pub fn get(&mut self, key: &[u8], now_ms: u64) -> Option<&[u8]> {
+    pub fn get(&mut self, key: &[u8], now_ms: u64) -> Option<Value> {
         match self.lookup(key, now_ms) {
             ReplicaLookup::Hit(v) => Some(v),
             ReplicaLookup::Stale | ReplicaLookup::Miss => None,
@@ -93,11 +95,11 @@ impl ReplicaTable {
     /// Like [`get`](Self::get), but tells a lease-expired entry apart
     /// from an absent one, so callers can count rejected stale reads.
     /// An expired entry is retired on the way.
-    pub fn lookup(&mut self, key: &[u8], now_ms: u64) -> ReplicaLookup<'_> {
+    pub fn lookup(&mut self, key: &[u8], now_ms: u64) -> ReplicaLookup {
         match self.entries.get(key) {
             Some(e) if e.lease_expiry_ms > now_ms => {
                 self.hits += 1;
-                ReplicaLookup::Hit(self.entries[key].value.as_slice())
+                ReplicaLookup::Hit(e.value.clone())
             }
             Some(_) => {
                 self.entries.remove(key);
@@ -115,7 +117,7 @@ impl ReplicaTable {
     /// Applies a propagated update from the home worker (synchronous or
     /// asynchronous replication both land here). Returns `false` if the
     /// replica no longer exists locally.
-    pub fn update(&mut self, key: &[u8], value: Vec<u8>) -> bool {
+    pub fn update(&mut self, key: &[u8], value: Value) -> bool {
         match self.entries.get_mut(key) {
             Some(e) => {
                 e.value = value;
@@ -170,7 +172,7 @@ impl ReplicaTable {
         &mut self,
         now_ms: u64,
         mut pred: F,
-    ) -> Vec<(Vec<u8>, Vec<u8>)> {
+    ) -> Vec<(Vec<u8>, Value)> {
         let keys: Vec<Vec<u8>> = self
             .entries
             .iter()
@@ -212,7 +214,7 @@ mod tests {
     #[test]
     fn install_get_within_lease() {
         let mut r = ReplicaTable::new();
-        r.install(b"hot", b"value".to_vec(), 1_000);
+        r.install(b"hot", Value::from(&b"value"[..]), 1_000);
         assert_eq!(r.get(b"hot", 500).expect("live"), b"value");
         assert!(r.contains(b"hot", 999));
         assert!(!r.contains(b"hot", 1_000));
@@ -221,7 +223,7 @@ mod tests {
     #[test]
     fn lease_expiry_retires_on_read() {
         let mut r = ReplicaTable::new();
-        r.install(b"hot", b"v".to_vec(), 100);
+        r.install(b"hot", Value::from(&b"v"[..]), 100);
         assert!(r.get(b"hot", 100).is_none());
         let s = r.stats();
         assert_eq!(s.retired, 1);
@@ -231,8 +233,11 @@ mod tests {
     #[test]
     fn lookup_tells_stale_from_miss() {
         let mut r = ReplicaTable::new();
-        r.install(b"hot", b"v".to_vec(), 100);
-        assert_eq!(r.lookup(b"hot", 50), ReplicaLookup::Hit(b"v".as_slice()));
+        r.install(b"hot", Value::from(&b"v"[..]), 100);
+        assert_eq!(
+            r.lookup(b"hot", 50),
+            ReplicaLookup::Hit(Value::from(&b"v"[..]))
+        );
         assert_eq!(r.lookup(b"hot", 100), ReplicaLookup::Stale);
         // The stale entry was retired; a second read is a plain miss.
         assert_eq!(r.lookup(b"hot", 100), ReplicaLookup::Miss);
@@ -263,7 +268,7 @@ mod tests {
     #[test]
     fn renew_extends_but_never_shortens() {
         let mut r = ReplicaTable::new();
-        r.install(b"k", b"v".to_vec(), 1_000);
+        r.install(b"k", Value::from(&b"v"[..]), 1_000);
         assert!(r.renew(b"k", 2_000));
         assert!(r.contains(b"k", 1_500));
         assert!(r.renew(b"k", 500), "renew succeeds but cannot shorten");
@@ -274,22 +279,22 @@ mod tests {
     #[test]
     fn update_and_invalidate() {
         let mut r = ReplicaTable::new();
-        r.install(b"k", b"v1".to_vec(), 1_000);
-        assert!(r.update(b"k", b"v2".to_vec()));
+        r.install(b"k", Value::from(&b"v1"[..]), 1_000);
+        assert!(r.update(b"k", Value::from(&b"v2"[..])));
         assert_eq!(r.get(b"k", 0).expect("live"), b"v2");
         assert!(r.invalidate(b"k"));
         assert!(!r.invalidate(b"k"));
-        assert!(!r.update(b"k", b"v3".to_vec()));
+        assert!(!r.update(b"k", Value::from(&b"v3"[..])));
     }
 
     #[test]
     fn take_live_matching_promotes_only_live_matches() {
         let mut r = ReplicaTable::new();
-        r.install(b"hot:1", b"v1".to_vec(), 1_000);
-        r.install(b"hot:2", b"v2".to_vec(), 100); // lease expired at 500
-        r.install(b"cold:3", b"v3".to_vec(), 1_000);
+        r.install(b"hot:1", Value::from(&b"v1"[..]), 1_000);
+        r.install(b"hot:2", Value::from(&b"v2"[..]), 100); // lease expired at 500
+        r.install(b"cold:3", Value::from(&b"v3"[..]), 1_000);
         let taken = r.take_live_matching(500, |k| k.starts_with(b"hot"));
-        assert_eq!(taken, vec![(b"hot:1".to_vec(), b"v1".to_vec())]);
+        assert_eq!(taken, vec![(b"hot:1".to_vec(), Value::from(&b"v1"[..]))]);
         assert!(!r.contains(b"hot:1", 500), "taken entries are removed");
         assert!(
             r.contains(b"cold:3", 500),
@@ -303,7 +308,7 @@ mod tests {
         for i in 0..10u32 {
             r.install(
                 format!("k{i}").as_bytes(),
-                vec![0u8; 10],
+                Value::from(vec![0u8; 10]),
                 if i % 2 == 0 { 100 } else { 1_000 },
             );
         }

@@ -7,6 +7,7 @@
 //! [`crate::mem::LocalPool`].
 
 use crate::mem::{Extent, LocalPool};
+use bytes::Bytes;
 use parking_lot::Mutex;
 use std::borrow::Cow;
 use std::sync::Arc;
@@ -43,6 +44,15 @@ pub trait ValueStore {
     /// (which cannot lend borrows across their internal mutex) return an
     /// owned copy.
     fn read(&self, r: &ValRef) -> Cow<'_, [u8]>;
+
+    /// Returns a reference-counted shared view of the bytes behind `r`,
+    /// or `None` for backends whose storage cannot be safely shared
+    /// outside the store (slab/static arenas recycle extents eagerly, so
+    /// a refcounted view could observe a recycled slot). Callers fall
+    /// back to one copy at the engine boundary via [`ValueStore::read`].
+    fn read_shared(&self, _r: &ValRef) -> Option<Bytes> {
+        None
+    }
 
     /// Releases the storage behind `r`.
     fn free(&mut self, r: ValRef);
@@ -100,10 +110,13 @@ impl ValueStore for SlabStore {
 /// `malloc` ablation: every value is an individual heap allocation.
 ///
 /// Models running a cache instance on per-request dynamic allocation
-/// (`Multi-inst Mc(malloc)` / `MBal(malloc)` in Figure 8).
+/// (`Multi-inst Mc(malloc)` / `MBal(malloc)` in Figure 8). Slots hold
+/// reference-counted [`Bytes`], so [`ValueStore::read_shared`] serves a
+/// zero-copy view: freeing the slot drops this store's reference while
+/// in-flight readers keep theirs alive.
 #[derive(Debug, Default)]
 pub struct MallocStore {
-    slots: Vec<Option<Box<[u8]>>>,
+    slots: Vec<Option<Bytes>>,
     free_ids: Vec<u32>,
     used: usize,
     /// Budget in bytes; `usize::MAX` means unlimited.
@@ -130,14 +143,14 @@ impl ValueStore for MallocStore {
         if self.used + data.len() > self.capacity {
             return None;
         }
-        let boxed: Box<[u8]> = data.into();
+        let shared = Bytes::copy_from_slice(data);
         let id = match self.free_ids.pop() {
             Some(id) => {
-                self.slots[id as usize] = Some(boxed);
+                self.slots[id as usize] = Some(shared);
                 id
             }
             None => {
-                self.slots.push(Some(boxed));
+                self.slots.push(Some(shared));
                 (self.slots.len() - 1) as u32
             }
         };
@@ -154,6 +167,14 @@ impl ValueStore for MallocStore {
         Cow::Borrowed(
             self.slots[r.0.chunk as usize]
                 .as_deref()
+                .expect("live malloc slot"),
+        )
+    }
+
+    fn read_shared(&self, r: &ValRef) -> Option<Bytes> {
+        Some(
+            self.slots[r.0.chunk as usize]
+                .clone()
                 .expect("live malloc slot"),
         )
     }

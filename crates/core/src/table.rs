@@ -13,10 +13,18 @@
 use crate::hash::bucket_hash;
 use crate::store::{ValRef, ValueStore};
 use crate::types::{CacheError, MAX_KEY_LEN, MAX_VALUE_LEN};
-use std::borrow::Cow;
+use bytes::Bytes;
 
 /// Sentinel "null" handle for chain and LRU links.
 const NIL: u32 = u32::MAX;
+
+/// Reads a value as shared [`Bytes`]: zero-copy where the backend
+/// supports it, one copy at the engine boundary otherwise.
+fn shared_read<S: ValueStore>(store: &S, val: &ValRef) -> Bytes {
+    store
+        .read_shared(val)
+        .unwrap_or_else(|| Bytes::from(store.read(val).into_owned()))
+}
 
 /// Approximate per-entry bookkeeping overhead in bytes, charged to memory
 /// accounting (entry struct + bucket share).
@@ -258,12 +266,12 @@ impl HashTable {
     /// Looks up `key`, refreshing its LRU position.
     ///
     /// Expired entries are removed lazily and reported as a miss.
-    pub fn get<'s, S: ValueStore>(
-        &mut self,
-        key: &[u8],
-        store: &'s mut S,
-        now_ms: u64,
-    ) -> Option<Cow<'s, [u8]>> {
+    ///
+    /// Returns a reference-counted [`Bytes`] view: backends that can
+    /// share their storage ([`ValueStore::read_shared`]) serve it with a
+    /// refcount bump and zero copies; arena-backed stores copy once here
+    /// at the engine boundary.
+    pub fn get<S: ValueStore>(&mut self, key: &[u8], store: &mut S, now_ms: u64) -> Option<Bytes> {
         let hash = bucket_hash(key);
         let idx = self.find(key, hash)?;
         if self.is_expired(idx, now_ms) {
@@ -273,22 +281,17 @@ impl HashTable {
         self.lru_unlink(idx);
         self.lru_push_front(idx);
         let val = self.entries[idx as usize].val;
-        Some(store.read(&val))
+        Some(shared_read(store, &val))
     }
 
     /// Looks up `key` without touching the LRU (used by migration reads).
-    pub fn peek<'s, S: ValueStore>(
-        &self,
-        key: &[u8],
-        store: &'s S,
-        now_ms: u64,
-    ) -> Option<Cow<'s, [u8]>> {
+    pub fn peek<S: ValueStore>(&self, key: &[u8], store: &S, now_ms: u64) -> Option<Bytes> {
         let hash = bucket_hash(key);
         let idx = self.find(key, hash)?;
         if self.is_expired(idx, now_ms) {
             return None;
         }
-        Some(store.read(&self.entries[idx as usize].val))
+        Some(shared_read(store, &self.entries[idx as usize].val))
     }
 
     /// Returns `true` if `key` is present and unexpired.

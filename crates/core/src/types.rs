@@ -6,8 +6,13 @@ use std::fmt;
 /// A cache key: an opaque byte string (Memcached keys are ≤ 250 bytes).
 pub type Key = Vec<u8>;
 
-/// A cache value: an opaque byte string.
-pub type Value = Vec<u8>;
+/// A cache value: an opaque, reference-counted byte string.
+///
+/// `bytes::Bytes` end-to-end means a GET can serve a refcounted view of
+/// the engine's own buffer — cloning a `Value` bumps a refcount instead
+/// of copying payload bytes, and the TCP write path hands the same
+/// buffer to `writev` untouched.
+pub type Value = bytes::Bytes;
 
 /// Maximum key length accepted by the cache, matching Memcached's limit.
 pub const MAX_KEY_LEN: usize = 250;

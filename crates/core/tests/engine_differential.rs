@@ -90,7 +90,7 @@ proptest! {
                     let key = key_bytes(k);
                     let results: Vec<_> = engines
                         .iter_mut()
-                        .map(|e| e.get(&key, now).map(|v| v.into_owned()))
+                        .map(|e| e.get(&key, now).map(Vec::from))
                         .collect();
                     prop_assert_eq!(&results[0], &results[1], "get({}) at t={}", k, now);
                 }
@@ -172,7 +172,7 @@ proptest! {
             let key = key_bytes(k);
             let results: Vec<_> = engines
                 .iter_mut()
-                .map(|e| e.get(&key, now).map(|v| v.into_owned()))
+                .map(|e| e.get(&key, now).map(Vec::from))
                 .collect();
             prop_assert_eq!(&results[0], &results[1], "final get({})", k);
         }

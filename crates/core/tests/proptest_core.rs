@@ -53,7 +53,7 @@ proptest! {
                     recency.push(k);
                 }
                 Op::Get(k) => {
-                    let got = table.get(&key_bytes(k), &mut store, 0).map(|c| c.into_owned());
+                    let got = table.get(&key_bytes(k), &mut store, 0).map(Vec::from);
                     prop_assert_eq!(got.as_ref(), model.get(&k), "get({})", k);
                     if model.contains_key(&k) {
                         recency.retain(|&x| x != k);

@@ -8,8 +8,8 @@
 //! structured lists in the body.
 
 use crate::message::{Request, Response, Status};
-use bytes::{Buf, BufMut, BytesMut};
-use mbal_core::types::{CacheletId, ServerId, TenantId, WorkerAddr, WorkerId};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use mbal_core::types::{CacheletId, ServerId, TenantId, Value, WorkerAddr, WorkerId};
 
 /// Request magic byte.
 pub const MAGIC_REQUEST: u8 = 0x80;
@@ -126,6 +126,8 @@ pub enum CodecError {
     BadStatus(u16),
     /// A cachelet id exceeded the 16-bit vbucket field.
     CacheletOverflow(u32),
+    /// A frame header advertised a body past [`MAX_FRAME_LEN`].
+    FrameTooLarge(usize),
     /// Structured body failed to parse.
     Malformed(&'static str),
 }
@@ -139,6 +141,9 @@ impl std::fmt::Display for CodecError {
             CodecError::BadStatus(s) => write!(f, "bad status {s}"),
             CodecError::CacheletOverflow(c) => {
                 write!(f, "cachelet id {c} exceeds the 16-bit vbucket field")
+            }
+            CodecError::FrameTooLarge(n) => {
+                write!(f, "frame of {n} bytes exceeds the {MAX_FRAME_LEN} byte cap")
             }
             CodecError::Malformed(m) => write!(f, "malformed body: {m}"),
         }
@@ -467,7 +472,7 @@ pub fn decode_request(frame: &[u8]) -> Result<(Request, u32), CodecError> {
         return Err(CodecError::Malformed("key extends past body"));
     }
     let key = body[h.extras_len as usize..key_end].to_vec();
-    let value = body[key_end..].to_vec();
+    let value = Value::copy_from_slice(&body[key_end..]);
     // Structured bodies (counted lists) start after the extras too.
     let sbody = &body[h.extras_len as usize..];
     // A non-default tenant rides the extras field; absent extras mean
@@ -595,7 +600,7 @@ pub fn decode_request(frame: &[u8]) -> Result<(Request, u32), CodecError> {
                     return Err(CodecError::Malformed("migrate entry bytes"));
                 }
                 let k = b.copy_to_bytes(klen).to_vec();
-                let v = b.copy_to_bytes(vlen).to_vec();
+                let v = b.copy_to_bytes(vlen);
                 entries.push((k, v, exp));
             }
             Request::MigrateEntries { cachelet, entries }
@@ -678,34 +683,76 @@ fn get_worker(b: &mut &[u8]) -> Result<WorkerAddr, CodecError> {
     })
 }
 
-/// Encodes a response into a complete wire frame. `opcode` is the opcode
-/// of the request being answered; `opaque` is echoed back.
-pub fn encode_response(
+/// Accumulates a response body as iovec-ready fragments: metadata bytes
+/// collect in one owned buffer, while value payloads are appended as
+/// refcounted [`Bytes`] views — a refcount bump, never a copy.
+#[derive(Default)]
+struct FragBuf {
+    frags: Vec<Bytes>,
+    cur: BytesMut,
+}
+
+impl FragBuf {
+    /// The owned accumulator for metadata bytes.
+    fn owned(&mut self) -> &mut BytesMut {
+        &mut self.cur
+    }
+
+    /// Appends a value payload by reference count, not by copy.
+    fn put_shared(&mut self, b: &Bytes) {
+        if b.is_empty() {
+            return;
+        }
+        if !self.cur.is_empty() {
+            self.frags.push(std::mem::take(&mut self.cur).freeze());
+        }
+        self.frags.push(b.clone());
+    }
+
+    fn len(&self) -> usize {
+        self.frags.iter().map(Bytes::len).sum::<usize>() + self.cur.len()
+    }
+
+    fn finish(mut self) -> Vec<Bytes> {
+        if !self.cur.is_empty() {
+            self.frags.push(self.cur.freeze());
+        }
+        self.frags
+    }
+}
+
+/// Encodes a response as write-ready fragments: an owned header/metadata
+/// fragment followed by any value payloads as shared [`Bytes`] views of
+/// the engine's buffer. Concatenated, the fragments are byte-identical
+/// to the frame [`encode_response`] builds, but the value bytes are
+/// never copied — event-loop writers hand the fragments straight to
+/// vectored writes.
+pub fn encode_response_frags(
     resp: &Response,
     opcode: Opcode,
     opaque: u32,
-) -> Result<Vec<u8>, CodecError> {
-    let mut body = BytesMut::new();
+) -> Result<Vec<Bytes>, CodecError> {
+    let mut body = FragBuf::default();
     let mut cas = 0u64;
     let mut vb_status = resp.status() as u16;
     match resp {
         Response::Value { value, replicas } => {
-            body.put_u16(replicas.len() as u16);
+            body.owned().put_u16(replicas.len() as u16);
             for &r in replicas {
-                put_worker(&mut body, r);
+                put_worker(body.owned(), r);
             }
-            body.put_slice(value);
+            body.put_shared(value);
         }
         Response::Values { values } => {
-            body.put_u32(values.len() as u32);
+            body.owned().put_u32(values.len() as u32);
             for v in values {
                 match v {
                     Some(bytes) => {
-                        body.put_u8(1);
-                        body.put_u32(bytes.len() as u32);
-                        body.put_slice(bytes);
+                        body.owned().put_u8(1);
+                        body.owned().put_u32(bytes.len() as u32);
+                        body.put_shared(bytes);
                     }
-                    None => body.put_u8(0),
+                    None => body.owned().put_u8(0),
                 }
             }
         }
@@ -721,29 +768,29 @@ pub fn encode_response(
             new_owner,
         } => {
             vb_status = Status::NotOwner as u16;
-            body.put_u16(vbucket(*cachelet)?);
-            put_worker(&mut body, *new_owner);
+            body.owned().put_u16(vbucket(*cachelet)?);
+            put_worker(body.owned(), *new_owner);
         }
-        Response::StatsBlob { payload } => body.put_slice(payload),
+        Response::StatsBlob { payload } => body.owned().put_slice(payload),
         Response::HeartbeatAck {
             version,
             deltas,
             full_refetch,
         } => {
             cas = *version;
-            body.put_u8(u8::from(*full_refetch));
-            body.put_u32(deltas.len() as u32);
+            body.owned().put_u8(u8::from(*full_refetch));
+            body.owned().put_u32(deltas.len() as u32);
             for (ver, c, w) in deltas {
-                body.put_u64(*ver);
-                body.put_u32(c.0);
-                put_worker(&mut body, *w);
+                body.owned().put_u64(*ver);
+                body.owned().put_u32(c.0);
+                put_worker(body.owned(), *w);
             }
         }
-        Response::Fail { message, .. } => body.put_slice(message.as_bytes()),
+        Response::Fail { message, .. } => body.owned().put_slice(message.as_bytes()),
     }
-    let mut buf = BytesMut::with_capacity(HEADER_LEN + body.len());
+    let mut head = BytesMut::with_capacity(HEADER_LEN);
     put_header(
-        &mut buf,
+        &mut head,
         &Header {
             magic: MAGIC_RESPONSE,
             opcode: opcode as u8,
@@ -755,8 +802,25 @@ pub fn encode_response(
             cas,
         },
     );
-    buf.put_slice(&body);
-    Ok(buf.to_vec())
+    let mut frags = Vec::with_capacity(1 + body.frags.len() + 1);
+    frags.push(head.freeze());
+    frags.extend(body.finish());
+    Ok(frags)
+}
+
+/// Encodes a response into a complete wire frame. `opcode` is the opcode
+/// of the request being answered; `opaque` is echoed back.
+pub fn encode_response(
+    resp: &Response,
+    opcode: Opcode,
+    opaque: u32,
+) -> Result<Vec<u8>, CodecError> {
+    let frags = encode_response_frags(resp, opcode, opaque)?;
+    let mut out = Vec::with_capacity(frags.iter().map(Bytes::len).sum());
+    for f in &frags {
+        out.extend_from_slice(f);
+    }
+    Ok(out)
 }
 
 /// Decodes a response frame, returning the response, the opcode it
@@ -793,7 +857,7 @@ pub fn decode_response(frame: &[u8]) -> Result<(Response, Opcode, u32), CodecErr
                 replicas.push(get_worker(&mut body)?);
             }
             Response::Value {
-                value: body.to_vec(),
+                value: Value::copy_from_slice(body),
                 replicas,
             }
         }
@@ -815,7 +879,7 @@ pub fn decode_response(frame: &[u8]) -> Result<(Response, Opcode, u32), CodecErr
                     if body.remaining() < len {
                         return Err(CodecError::Malformed("value bytes"));
                     }
-                    values.push(Some(body.copy_to_bytes(len).to_vec()));
+                    values.push(Some(body.copy_to_bytes(len)));
                 } else {
                     values.push(None);
                 }
@@ -932,7 +996,7 @@ mod tests {
         roundtrip_req(Request::Set {
             cachelet: CacheletId(9),
             key: b"k".to_vec(),
-            value: vec![0xAB; 300],
+            value: vec![0xAB; 300].into(),
             expiry_ms: 123_456_789,
         });
         roundtrip_req(Request::Delete {
@@ -949,12 +1013,12 @@ mod tests {
         });
         roundtrip_req(Request::ReplicaInstall {
             key: b"hot".to_vec(),
-            value: b"v".to_vec(),
+            value: b"v".to_vec().into(),
             lease_expiry_ms: 99,
         });
         roundtrip_req(Request::ReplicaUpdate {
             key: b"hot".to_vec(),
-            value: b"v2".to_vec(),
+            value: b"v2".to_vec().into(),
         });
         roundtrip_req(Request::ReplicaInvalidate {
             key: b"hot".to_vec(),
@@ -962,8 +1026,8 @@ mod tests {
         roundtrip_req(Request::MigrateEntries {
             cachelet: CacheletId(5),
             entries: vec![
-                (b"a".to_vec(), b"1".to_vec(), 0),
-                (b"b".to_vec(), vec![9; 1000], 555),
+                (b"a".to_vec(), b"1".to_vec().into(), 0),
+                (b"b".to_vec(), vec![9; 1000].into(), 555),
             ],
         });
         roundtrip_req(Request::MigrateCommit {
@@ -988,25 +1052,25 @@ mod tests {
         roundtrip_req(Request::Add {
             cachelet: CacheletId(2),
             key: b"k".to_vec(),
-            value: b"v".to_vec(),
+            value: b"v".to_vec().into(),
             expiry_ms: 42,
         });
         roundtrip_req(Request::Replace {
             cachelet: CacheletId(2),
             key: b"k".to_vec(),
-            value: b"v".to_vec(),
+            value: b"v".to_vec().into(),
             expiry_ms: 0,
         });
         roundtrip_req(Request::Concat {
             cachelet: CacheletId(3),
             key: b"k".to_vec(),
-            value: b"-tail".to_vec(),
+            value: b"-tail".to_vec().into(),
             front: false,
         });
         roundtrip_req(Request::Concat {
             cachelet: CacheletId(3),
             key: b"k".to_vec(),
-            value: b"head-".to_vec(),
+            value: b"head-".to_vec().into(),
             front: true,
         });
         roundtrip_req(Request::Incr {
@@ -1025,14 +1089,14 @@ mod tests {
     fn response_roundtrips() {
         roundtrip_resp(
             Response::Value {
-                value: b"payload".to_vec(),
+                value: b"payload".to_vec().into(),
                 replicas: vec![WorkerAddr::new(1, 2), WorkerAddr::new(3, 4)],
             },
             Opcode::Get,
         );
         roundtrip_resp(
             Response::Values {
-                values: vec![Some(b"x".to_vec()), None, Some(vec![])],
+                values: vec![Some(b"x".to_vec().into()), None, Some(Value::new())],
             },
             Opcode::MultiGet,
         );
@@ -1163,7 +1227,7 @@ mod tests {
             Request::Set {
                 cachelet: CacheletId(2),
                 key: b"b".to_vec(),
-                value: b"payload".to_vec(),
+                value: b"payload".to_vec().into(),
                 expiry_ms: 9,
             },
             Request::Incr {
@@ -1260,7 +1324,7 @@ mod tests {
             Request::Set {
                 cachelet: CacheletId(9),
                 key: b"k".to_vec(),
-                value: vec![0xAB; 300],
+                value: vec![0xAB; 300].into(),
                 expiry_ms: 123_456_789,
             },
             Request::Incr {
@@ -1276,8 +1340,8 @@ mod tests {
             Request::MigrateEntries {
                 cachelet: CacheletId(5),
                 entries: vec![
-                    (b"a".to_vec(), b"1".to_vec(), 0),
-                    (b"b".to_vec(), vec![9; 1000], 555),
+                    (b"a".to_vec(), b"1".to_vec().into(), 0),
+                    (b"b".to_vec(), vec![9; 1000].into(), 555),
                 ],
             },
         ] {
@@ -1347,7 +1411,7 @@ mod tests {
             Request::Set {
                 cachelet: CacheletId(2),
                 key: b"b".to_vec(),
-                value: b"payload".to_vec(),
+                value: b"payload".to_vec().into(),
                 expiry_ms: 9,
             }
             .for_tenant(TenantId(5)),

@@ -19,7 +19,9 @@
 #![warn(missing_docs)]
 
 pub mod codec;
+pub mod frame;
 pub mod message;
 
 pub use codec::{decode_request, decode_response, encode_request, encode_response, CodecError};
+pub use frame::FrameDecoder;
 pub use message::{Request, Response, Status};

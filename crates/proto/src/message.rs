@@ -447,7 +447,7 @@ mod tests {
         let w = Request::Set {
             cachelet: CacheletId(1),
             key: b"k".to_vec(),
-            value: b"v".to_vec(),
+            value: b"v".to_vec().into(),
             expiry_ms: 0,
         };
         assert!(!w.is_read());

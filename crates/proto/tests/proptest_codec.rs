@@ -2,7 +2,7 @@
 //! the wire codec bit-exactly, and arbitrary byte soup never panics the
 //! decoder — it errors.
 
-use mbal_core::types::{CacheletId, WorkerAddr};
+use mbal_core::types::{CacheletId, Value, WorkerAddr};
 use mbal_proto::codec::{
     decode_batch_request, decode_request, decode_response, encode_batch_request, encode_request,
     encode_response, opcode_of,
@@ -16,6 +16,10 @@ fn key_strategy() -> impl Strategy<Value = Vec<u8>> {
 
 fn value_strategy() -> impl Strategy<Value = Vec<u8>> {
     prop::collection::vec(any::<u8>(), 0..512)
+}
+
+fn bytes_strategy() -> impl Strategy<Value = Value> {
+    value_strategy().prop_map(Value::from)
 }
 
 fn cachelet_strategy() -> impl Strategy<Value = CacheletId> {
@@ -35,7 +39,7 @@ fn request_strategy() -> impl Strategy<Value = Request> {
         (
             cachelet_strategy(),
             key_strategy(),
-            value_strategy(),
+            bytes_strategy(),
             any::<u64>()
         )
             .prop_map(|(c, k, v, e)| Request::Set {
@@ -51,19 +55,19 @@ fn request_strategy() -> impl Strategy<Value = Request> {
         prop::collection::vec((cachelet_strategy(), key_strategy()), 0..32)
             .prop_map(|keys| Request::MultiGet { keys }),
         key_strategy().prop_map(|k| Request::ReplicaRead { key: k }),
-        (key_strategy(), value_strategy(), any::<u64>()).prop_map(|(k, v, l)| {
+        (key_strategy(), bytes_strategy(), any::<u64>()).prop_map(|(k, v, l)| {
             Request::ReplicaInstall {
                 key: k,
                 value: v,
                 lease_expiry_ms: l,
             }
         }),
-        (key_strategy(), value_strategy())
+        (key_strategy(), bytes_strategy())
             .prop_map(|(k, v)| Request::ReplicaUpdate { key: k, value: v }),
         key_strategy().prop_map(|k| Request::ReplicaInvalidate { key: k }),
         (
             cachelet_strategy(),
-            prop::collection::vec((key_strategy(), value_strategy(), any::<u64>()), 0..16)
+            prop::collection::vec((key_strategy(), bytes_strategy(), any::<u64>()), 0..16)
         )
             .prop_map(|(c, entries)| Request::MigrateEntries {
                 cachelet: c,
@@ -79,7 +83,7 @@ fn request_strategy() -> impl Strategy<Value = Request> {
         (
             cachelet_strategy(),
             key_strategy(),
-            value_strategy(),
+            bytes_strategy(),
             any::<u64>()
         )
             .prop_map(|(c, k, v, e)| Request::Add {
@@ -91,7 +95,7 @@ fn request_strategy() -> impl Strategy<Value = Request> {
         (
             cachelet_strategy(),
             key_strategy(),
-            value_strategy(),
+            bytes_strategy(),
             any::<u64>()
         )
             .prop_map(|(c, k, v, e)| Request::Replace {
@@ -103,7 +107,7 @@ fn request_strategy() -> impl Strategy<Value = Request> {
         (
             cachelet_strategy(),
             key_strategy(),
-            value_strategy(),
+            bytes_strategy(),
             any::<bool>()
         )
             .prop_map(|(c, k, v, f)| Request::Concat {
@@ -129,7 +133,7 @@ fn response_strategy() -> impl Strategy<Value = (Response, Request)> {
     // Pair each response with a request whose opcode legitimizes it.
     prop_oneof![
         (
-            value_strategy(),
+            bytes_strategy(),
             prop::collection::vec(worker_strategy(), 0..8),
             key_strategy()
         )
@@ -143,7 +147,7 @@ fn response_strategy() -> impl Strategy<Value = (Response, Request)> {
                     key: k
                 },
             )),
-        prop::collection::vec(prop::option::of(value_strategy()), 0..32).prop_map(|values| (
+        prop::collection::vec(prop::option::of(bytes_strategy()), 0..32).prop_map(|values| (
             Response::Values { values },
             Request::MultiGet { keys: vec![] },
         )),
@@ -159,7 +163,7 @@ fn response_strategy() -> impl Strategy<Value = (Response, Request)> {
             Request::Set {
                 cachelet: CacheletId(0),
                 key: k,
-                value: vec![],
+                value: Value::new(),
                 expiry_ms: 0
             }
         )),
@@ -233,7 +237,7 @@ fn response_strategy() -> impl Strategy<Value = (Response, Request)> {
                 Request::Set {
                     cachelet: CacheletId(0),
                     key: k,
-                    value: vec![],
+                    value: Value::new(),
                     expiry_ms: 0
                 },
             )),

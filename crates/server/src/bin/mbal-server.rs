@@ -9,6 +9,7 @@
 //! ```text
 //! mbal-server [--workers N] [--port BASE] [--mem MB] [--cachelets N] [--epoch-ms MS]
 //!             [--engine slab|seg] [--metrics-port P] [--tenants SPEC] [--load-cap C]
+//!             [--io-backend event-loop|threaded] [--max-conns N] [--idle-timeout-ms MS]
 //! ```
 //!
 //! `--engine` selects the storage engine every worker runs: `slab`
@@ -31,6 +32,15 @@
 //! the mean worker load sheds cachelets to colder workers until it is
 //! back under the ceiling, independent of the phase ladder. Shed counts
 //! show up as `ring_cap_spills` in `mbal-cli stats`.
+//!
+//! `--io-backend` picks the connection-serving backend: `event-loop`
+//! (the default — one nonblocking epoll loop per worker multiplexing
+//! every connection) or `threaded` (one blocking thread per accepted
+//! connection). `--max-conns` caps open connections per worker under
+//! the event loop; `--idle-timeout-ms` reaps connections idle that
+//! long (0 disables reaping). Each flag defaults to its `MBAL_*`
+//! environment variable (`MBAL_IO_BACKEND`, `MBAL_MAX_CONNS_PER_WORKER`,
+//! `MBAL_IDLE_TIMEOUT_MS`) when absent.
 
 use mbal_balancer::coordinator::Coordinator;
 use mbal_balancer::BalancerConfig;
@@ -38,8 +48,8 @@ use mbal_core::clock::RealClock;
 use mbal_core::engine::EngineKind;
 use mbal_core::types::{ServerId, WorkerAddr};
 use mbal_ring::{ConsistentRing, MappingTable};
-use mbal_server::tcp::serve_tcp;
-use mbal_server::{InProcRegistry, Server, ServerConfig};
+use mbal_server::tcp::serve_tcp_with;
+use mbal_server::{InProcRegistry, IoBackend, Server, ServerConfig};
 use mbal_tenant::TenantDirectory;
 use std::sync::Arc;
 
@@ -79,6 +89,18 @@ fn main() {
         }),
     };
 
+    // I/O flags layer over the MBAL_* environment defaults (already
+    // folded into the builder's starting config).
+    let io_backend = match arg::<String>("--io-backend", String::new()).as_str() {
+        "" => None,
+        s => Some(IoBackend::parse(s).unwrap_or_else(|| {
+            eprintln!("mbal-server: unknown io backend {s:?} (expected event-loop|threaded)");
+            std::process::exit(2);
+        })),
+    };
+    let max_conns: usize = arg("--max-conns", 0);
+    let idle_timeout_ms: i64 = arg("--idle-timeout-ms", -1);
+
     let mut ring = ConsistentRing::new();
     for w in 0..workers {
         ring.add_worker(WorkerAddr::new(0, w));
@@ -92,19 +114,39 @@ fn main() {
     };
     let coordinator = Arc::new(Coordinator::new(mapping.clone(), balancer.clone()));
     let registry = InProcRegistry::new();
+    let mut builder = ServerConfig::builder(ServerId(0))
+        .workers(workers)
+        .cache_bytes(mem_mb << 20)
+        .cachelets_per_worker(cachelets)
+        .balancer(balancer)
+        .engine(engine)
+        .tenants(tenants.clone());
+    if metrics_port != 0 {
+        builder = builder.metrics_port(Some(metrics_port));
+    }
+    if let Some(backend) = io_backend {
+        builder = builder.io_backend(backend);
+    }
+    if max_conns != 0 {
+        builder = builder.max_conns_per_worker(max_conns);
+    }
+    if idle_timeout_ms >= 0 {
+        builder = builder.idle_timeout(
+            (idle_timeout_ms > 0).then(|| std::time::Duration::from_millis(idle_timeout_ms as u64)),
+        );
+    }
+    let config = builder.build();
+    let io = config.io.clone();
+    let metrics_port = config.metrics_port.unwrap_or(0);
     let server = Server::spawn(
-        ServerConfig::new(ServerId(0), workers, mem_mb << 20)
-            .cachelets_per_worker(cachelets)
-            .balancer(balancer)
-            .engine(engine)
-            .tenants(tenants.clone()),
+        config,
         &mapping,
         &registry,
         coordinator,
         Arc::new(RealClock::new()),
     );
 
-    let bound = match serve_tcp(&server.worker_mailboxes(), "0.0.0.0", port) {
+    let bound = match serve_tcp_with(&server.worker_mailboxes(), "0.0.0.0", port, io.clone()) {
         Ok(b) => b,
         Err(e) => {
             eprintln!("mbal-server: failed to bind on port {port}: {e}");
@@ -120,6 +162,13 @@ fn main() {
     }
     if load_cap != 0.0 {
         println!("  bounded-load cap: {load_cap} × mean worker load");
+    }
+    match io.backend {
+        IoBackend::EventLoop => println!(
+            "  io: event loop, up to {} connections/worker",
+            io.max_conns_per_worker
+        ),
+        IoBackend::Threaded => println!("  io: thread per connection"),
     }
     for (addr, sock) in &bound {
         println!("  worker {addr} listening on {sock}");

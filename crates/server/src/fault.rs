@@ -647,7 +647,7 @@ mod tests {
         fn call(&self, _addr: WorkerAddr, req: Request) -> Result<Response, TransportError> {
             Ok(match req {
                 Request::Get { key, .. } => Response::Value {
-                    value: key,
+                    value: key.into(),
                     replicas: vec![],
                 },
                 Request::Stats { .. } => Response::StatsBlob {
@@ -753,7 +753,7 @@ mod tests {
             assert_eq!(
                 r,
                 Ok(Response::Value {
-                    value: format!("k{i}").into_bytes(),
+                    value: format!("k{i}").into_bytes().into(),
                     replicas: vec![]
                 }),
                 "slot {i} must hold its own result despite shuffled execution"

@@ -5,15 +5,33 @@
 //! server's balance/migration machinery. Replies travel over bounded
 //! crossbeam channels.
 
+use crate::event_loop::LoopWaker;
 use crate::unit::CacheUnit;
 use crossbeam_channel::Sender;
 use mbal_balancer::WorkerLoad;
 use mbal_core::hotkey::HotKey;
-use mbal_core::types::{CacheletId, TenantId, WorkerAddr, WorkerId};
+use mbal_core::types::{CacheletId, TenantId, Value, WorkerAddr, WorkerId};
+use mbal_proto::codec::Opcode;
 use mbal_proto::{Request, Response};
+use std::sync::Arc;
 
-/// A drained migration batch: `(key, value, expiry_ms)` triples.
-pub type MigrationBatch = Vec<(Vec<u8>, Vec<u8>, u64)>;
+/// A drained migration batch: `(key, value, expiry_ms)` triples. Values
+/// are refcounted [`Value`]s, so shipping a batch through channels and
+/// the codec never copies payload bytes.
+pub type MigrationBatch = Vec<(Vec<u8>, Value, u64)>;
+
+/// Correlates a tagged RPC batch back to the connection (and wire
+/// frames) it came from. The worker echoes the tag untouched, so the
+/// event loop needs no in-flight bookkeeping beyond a per-connection
+/// count.
+#[derive(Debug)]
+pub struct RpcTag {
+    /// Event-loop token of the originating connection.
+    pub conn: u64,
+    /// `(request opcode, wire opaque)` per request, in order — exactly
+    /// what response encoding needs.
+    pub meta: Vec<(Opcode, u32)>,
+}
 
 /// Everything a worker can receive.
 pub enum WorkerMsg {
@@ -33,6 +51,20 @@ pub enum WorkerMsg {
         reqs: Vec<Request>,
         /// Where to send the responses (same length and order as `reqs`).
         reply: Sender<Vec<Response>>,
+    },
+    /// RPCs from the nonblocking event-loop transport: like
+    /// [`WorkerMsg::RpcBatch`], but the reply channel is shared by every
+    /// connection on the loop (the [`RpcTag`] says which), and the
+    /// worker rings `notify` after replying so the parked loop wakes.
+    RpcTagged {
+        /// The requests, answered in order.
+        reqs: Vec<Request>,
+        /// Echoed verbatim alongside the responses.
+        tag: RpcTag,
+        /// The event loop's completion queue.
+        reply: Sender<(RpcTag, Vec<Response>)>,
+        /// Wakes the event loop out of `epoll_wait`.
+        notify: Arc<LoopWaker>,
     },
     /// A control-plane message.
     Control(Control),

@@ -2,16 +2,21 @@
 //!
 //! "We associate a TCP/UDP port with each cache server worker thread so
 //! that clients can directly interact with workers without any
-//! centralized component." Each worker gets its own listener; accepted
-//! connections are served by lightweight framing threads that decode
-//! `mbal-proto` frames, enqueue them into the worker mailbox, and write
-//! the response back.
+//! centralized component." Each worker gets its own listener. By
+//! default ([`IoBackend::EventLoop`]) the listener and all of its
+//! connections are multiplexed on one nonblocking poll loop per worker
+//! (see [`crate::event_loop`]); the legacy [`IoBackend::Threaded`]
+//! backend — one blocking framing thread per accepted connection — is
+//! retained as a config option and as the automatic fallback on
+//! platforms without epoll.
 //!
 //! Batches travel as one [`codec::Opcode::Batch`] envelope per
 //! direction-in, and as pipelined individual response frames (written in
 //! a single flush) direction-out, so a connection drop mid-batch still
 //! yields per-operation outcomes via opaque correlation.
 
+use crate::config::{IoBackend, IoConfig};
+use crate::event_loop;
 use crate::messages::WorkerMsg;
 use crate::transport::{batch_errs, Transport, TransportError, DEFAULT_DEADLINE};
 use crossbeam_channel::{bounded, Receiver, Sender};
@@ -30,9 +35,6 @@ use std::time::{Duration, Instant};
 const CONNECT_RETRIES: u32 = 3;
 /// Base backoff between connect attempts; doubles each retry.
 const RETRY_BACKOFF: Duration = Duration::from_millis(10);
-/// Read timeout on cast-pump connections, so one dead shadow cannot
-/// stall the pump indefinitely.
-const CAST_READ_TIMEOUT: Duration = Duration::from_secs(1);
 
 /// Per-operation results of a batch exchange.
 type BatchOutcome = Vec<Result<Response, TransportError>>;
@@ -184,12 +186,38 @@ fn serve_connection(mut stream: TcpStream, worker: Sender<WorkerMsg>) {
 
 /// Binds one listener per worker on consecutive ports starting at
 /// `base_port` (0 picks ephemeral ports) and returns the bound
-/// addresses. Listener threads run until the process exits.
+/// addresses, serving with the default I/O configuration (event loop,
+/// environment-overridable). Serving threads run until the process
+/// exits.
 pub fn serve_tcp(
     workers: &[(WorkerAddr, Sender<WorkerMsg>)],
     host: &str,
     base_port: u16,
 ) -> std::io::Result<Vec<(WorkerAddr, SocketAddr)>> {
+    serve_tcp_with(workers, host, base_port, IoConfig::from_env())
+}
+
+/// [`serve_tcp`] with explicit I/O knobs: serving backend, per-worker
+/// connection cap, and idle-connection reaping.
+///
+/// Under [`IoBackend::EventLoop`] each worker gets exactly one loop
+/// thread multiplexing every connection on its port, so the server's
+/// thread count is bounded by the worker count regardless of how many
+/// clients connect. Under [`IoBackend::Threaded`] (or when epoll is
+/// unavailable) each accepted connection gets a blocking framing
+/// thread, as before.
+pub fn serve_tcp_with(
+    workers: &[(WorkerAddr, Sender<WorkerMsg>)],
+    host: &str,
+    base_port: u16,
+    io: IoConfig,
+) -> std::io::Result<Vec<(WorkerAddr, SocketAddr)>> {
+    // Accept storms under the event loop are bounded by the connection
+    // cap, not the thread count; make sure the fd table keeps up.
+    if io.backend == IoBackend::EventLoop {
+        let want = workers.len() as u64 * io.max_conns_per_worker as u64 + 64;
+        mbal_netpoll::raise_nofile_limit(want).ok();
+    }
     let mut bound = Vec::new();
     for (i, (addr, tx)) in workers.iter().enumerate() {
         let port = if base_port == 0 {
@@ -200,17 +228,43 @@ pub fn serve_tcp(
         let listener = TcpListener::bind((host, port))?;
         bound.push((*addr, listener.local_addr()?));
         let tx = tx.clone();
+        let cfg = io.clone();
         std::thread::Builder::new()
             .name(format!("mbal-tcp-{addr}"))
             .spawn(move || {
-                for conn in listener.incoming().flatten() {
-                    let tx = tx.clone();
-                    std::thread::spawn(move || serve_connection(conn, tx));
+                if cfg.backend == IoBackend::EventLoop {
+                    match event_loop::run(&listener, tx.clone(), cfg) {
+                        // The loop only returns on an unrecoverable
+                        // poller error; Unsupported never reaches here
+                        // because construction is the first fallible
+                        // step, so fall through to the threaded backend.
+                        Err(e) if e.kind() == ErrorKind::Unsupported => {}
+                        _ => return,
+                    }
+                    // `event_loop::run` flipped the listener
+                    // nonblocking before failing; undo for the
+                    // blocking accept loop.
+                    // (Unreachable on Linux: Poller::new is the first
+                    // fallible step and epoll is always present.)
+                    #[allow(unused_must_use)]
+                    {
+                        listener.set_nonblocking(false);
+                    }
                 }
+                serve_threaded(listener, tx);
             })
             .expect("spawn listener thread");
     }
     Ok(bound)
+}
+
+/// The legacy backend: a blocking framing thread per accepted
+/// connection.
+fn serve_threaded(listener: TcpListener, tx: Sender<WorkerMsg>) {
+    for conn in listener.incoming().flatten() {
+        let tx = tx.clone();
+        std::thread::spawn(move || serve_connection(conn, tx));
+    }
 }
 
 /// Maps an I/O failure to a transport error, classifying read/write
@@ -337,11 +391,18 @@ fn exchange_batch(
 
 /// Drains fire-and-forget casts over dedicated connections, so a slow or
 /// dead shadow never blocks the worker that enqueued the cast. Each
-/// response is read (with a bounded timeout) and discarded to keep the
-/// stream framed; failures drop the connection and the cast —
-/// asynchronous replication is best-effort (§3.2). The pump exits when
-/// the owning transport is dropped.
-fn cast_pump(addrs: HashMap<WorkerAddr, SocketAddr>, rx: Receiver<(WorkerAddr, Request)>) {
+/// response is read (with the configured `read_timeout`) and discarded
+/// to keep the stream framed; a shadow that times out counts a
+/// [`Counter::TransportTimeouts`] tick and loses its pump connection —
+/// never a silent retry — because asynchronous replication is
+/// best-effort (§3.2) but operators still need to see the drops. The
+/// pump exits when the owning transport is dropped.
+fn cast_pump(
+    addrs: HashMap<WorkerAddr, SocketAddr>,
+    rx: Receiver<(WorkerAddr, Request)>,
+    read_timeout: Duration,
+    metrics: Arc<MetricsShard>,
+) {
     let mut conns: HashMap<WorkerAddr, TcpStream> = HashMap::new();
     while let Ok((addr, req)) = rx.recv() {
         let Ok(frame) = codec::encode_request(&req, 0) else {
@@ -351,13 +412,14 @@ fn cast_pump(addrs: HashMap<WorkerAddr, SocketAddr>, rx: Receiver<(WorkerAddr, R
             continue;
         };
         // A pooled pump connection may have gone stale while idle; retry
-        // once on a fresh one.
+        // once on a fresh one (write failures only — a read timeout is a
+        // live-but-slow shadow, where resending would double-apply).
         for _ in 0..2 {
             if let std::collections::hash_map::Entry::Vacant(e) = conns.entry(addr) {
                 match TcpStream::connect(sock) {
                     Ok(s) => {
                         s.set_nodelay(true).ok();
-                        s.set_read_timeout(Some(CAST_READ_TIMEOUT)).ok();
+                        s.set_read_timeout(Some(read_timeout)).ok();
                         e.insert(s);
                     }
                     Err(_) => break,
@@ -365,8 +427,15 @@ fn cast_pump(addrs: HashMap<WorkerAddr, SocketAddr>, rx: Receiver<(WorkerAddr, R
             }
             let stream = conns.get_mut(&addr).expect("just inserted");
             if stream.write_all(&frame).is_ok() {
-                if !matches!(read_frame(stream), Ok(Some(_))) {
-                    conns.remove(&addr);
+                match read_frame(stream) {
+                    Ok(Some(_)) => {}
+                    Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                        metrics.incr(Counter::TransportTimeouts);
+                        conns.remove(&addr);
+                    }
+                    _ => {
+                        conns.remove(&addr);
+                    }
                 }
                 break;
             }
@@ -390,18 +459,32 @@ pub struct TcpTransport {
 impl TcpTransport {
     /// Creates a transport from a worker→socket address map and spawns
     /// its cast pump thread (which exits when the transport is dropped).
+    /// The pump's read timeout comes from the default [`IoConfig`]
+    /// (overridable via `MBAL_CAST_TIMEOUT_MS`).
     pub fn new(addrs: HashMap<WorkerAddr, SocketAddr>) -> Arc<Self> {
+        Self::with_cast_timeout(addrs, IoConfig::from_env().cast_read_timeout)
+    }
+
+    /// [`TcpTransport::new`] with an explicit cast-pump read timeout.
+    /// Pump timeouts surface as [`Counter::TransportTimeouts`] in this
+    /// transport's [`metrics`](TcpTransport::metrics).
+    pub fn with_cast_timeout(
+        addrs: HashMap<WorkerAddr, SocketAddr>,
+        cast_read_timeout: Duration,
+    ) -> Arc<Self> {
         let (cast_tx, cast_rx) = crossbeam_channel::unbounded();
         let pump_addrs = addrs.clone();
+        let metrics = Arc::new(MetricsShard::new());
+        let pump_metrics = metrics.clone();
         std::thread::Builder::new()
             .name("mbal-cast-pump".into())
-            .spawn(move || cast_pump(pump_addrs, cast_rx))
+            .spawn(move || cast_pump(pump_addrs, cast_rx, cast_read_timeout, pump_metrics))
             .expect("spawn cast pump");
         Arc::new(Self {
             addrs,
             pool: Mutex::new(HashMap::new()),
             cast_tx,
-            metrics: Arc::new(MetricsShard::new()),
+            metrics,
         })
     }
 
@@ -583,10 +666,11 @@ mod tests {
     /// A loopback worker that stores into a HashMap (protocol-level test
     /// without the full server). Handles both single RPCs and batches.
     fn spawn_map_worker() -> Sender<WorkerMsg> {
+        use mbal_core::types::Value;
         let (tx, rx) = crossbeam_channel::unbounded::<WorkerMsg>();
         std::thread::spawn(move || {
-            let mut map: HashMap<Vec<u8>, Vec<u8>> = HashMap::new();
-            let answer = |req: Request, map: &mut HashMap<Vec<u8>, Vec<u8>>| match req {
+            let mut map: HashMap<Vec<u8>, Value> = HashMap::new();
+            let answer = |req: Request, map: &mut HashMap<Vec<u8>, Value>| match req {
                 Request::Get { key, .. } => match map.get(&key) {
                     Some(v) => Response::Value {
                         value: v.clone(),
@@ -616,6 +700,16 @@ mod tests {
                         let resps = reqs.into_iter().map(|r| answer(r, &mut map)).collect();
                         let _ = reply.send(resps);
                     }
+                    WorkerMsg::RpcTagged {
+                        reqs,
+                        tag,
+                        reply,
+                        notify,
+                    } => {
+                        let resps = reqs.into_iter().map(|r| answer(r, &mut map)).collect();
+                        let _ = reply.send((tag, resps));
+                        notify.wake();
+                    }
                     WorkerMsg::Control(_) => {}
                 }
             }
@@ -636,7 +730,7 @@ mod tests {
                 Request::Set {
                     cachelet: CacheletId(1),
                     key: b"alpha".to_vec(),
-                    value: b"beta".to_vec(),
+                    value: b"beta".to_vec().into(),
                     expiry_ms: 0,
                 },
             )
@@ -655,7 +749,7 @@ mod tests {
         assert_eq!(
             get,
             Response::Value {
-                value: b"beta".to_vec(),
+                value: b"beta".to_vec().into(),
                 replicas: vec![]
             }
         );
@@ -704,7 +798,7 @@ mod tests {
                     Request::Set {
                         cachelet: CacheletId(0),
                         key: format!("k{i}").into_bytes(),
-                        value: i.to_le_bytes().to_vec(),
+                        value: i.to_le_bytes().to_vec().into(),
                         expiry_ms: 0,
                     },
                 )
@@ -726,7 +820,7 @@ mod tests {
             .map(|i| Request::Set {
                 cachelet: CacheletId(0),
                 key: format!("k{i}").into_bytes(),
-                value: format!("v{i}").into_bytes(),
+                value: format!("v{i}").into_bytes().into(),
                 expiry_ms: 0,
             })
             .collect();
@@ -743,7 +837,7 @@ mod tests {
             assert_eq!(
                 r,
                 &Ok(Response::Value {
-                    value: format!("v{i}").into_bytes(),
+                    value: format!("v{i}").into_bytes().into(),
                     replicas: vec![]
                 })
             );
@@ -817,7 +911,7 @@ mod tests {
             .map(|i| Request::Set {
                 cachelet: CacheletId(0),
                 key: format!("k{i}").into_bytes(),
-                value: b"v".to_vec(),
+                value: b"v".to_vec().into(),
                 expiry_ms: 0,
             })
             .collect();

@@ -232,7 +232,7 @@ mod tests {
             if let Ok(WorkerMsg::Rpc { req, reply }) = rx.recv() {
                 let resp = match req {
                     Request::Get { key, .. } => Response::Value {
-                        value: key,
+                        value: key.into(),
                         replicas: vec![],
                     },
                     Request::Stats { .. } => Response::StatsBlob {
@@ -264,7 +264,7 @@ mod tests {
         assert_eq!(
             resp,
             Response::Value {
-                value: b"echo".to_vec(),
+                value: b"echo".to_vec().into(),
                 replicas: vec![]
             }
         );
@@ -282,7 +282,7 @@ mod tests {
                     .into_iter()
                     .map(|req| match req {
                         Request::Get { key, .. } => Response::Value {
-                            value: key,
+                            value: key.into(),
                             replicas: vec![],
                         },
                         _ => Response::Fail {
@@ -312,7 +312,7 @@ mod tests {
             assert_eq!(
                 r,
                 Ok(Response::Value {
-                    value: format!("k{i}").into_bytes(),
+                    value: format!("k{i}").into_bytes().into(),
                     replicas: vec![]
                 })
             );

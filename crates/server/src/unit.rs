@@ -14,7 +14,7 @@ use mbal_core::mem::{GlobalPool, LocalPool, MemConfig, MemPolicy};
 use mbal_core::stats::CacheletLoad;
 use mbal_core::store::SlabStore;
 use mbal_core::table::SetOutcome;
-use mbal_core::types::{CacheError, CacheletId, TenantId, WorkerAddr};
+use mbal_core::types::{CacheError, CacheletId, TenantId, Value, WorkerAddr};
 use mbal_tenant::{EngineFactory, TenantDirectory, TenantEngine};
 use std::sync::Arc;
 
@@ -153,9 +153,11 @@ impl CacheUnit {
         &mut self.meta
     }
 
-    /// Looks up `key`.
-    pub fn get(&mut self, key: &[u8], now_ms: u64) -> Option<Vec<u8>> {
-        self.meta.get(key, now_ms).map(|c| c.into_owned())
+    /// Looks up `key`. The returned [`Value`] is a refcounted view of
+    /// (or single copy out of) the engine's buffer; cloning it further
+    /// downstream never copies the payload again.
+    pub fn get(&mut self, key: &[u8], now_ms: u64) -> Option<Value> {
+        self.meta.get(key, now_ms)
     }
 
     /// Inserts or replaces `key`.
@@ -294,7 +296,7 @@ impl CacheUnit {
     /// is a no-op. Entries that fail on memory pressure are counted as
     /// evictions — the paper's constraint (10)–(11) planner makes this
     /// rare.
-    pub fn install_entries(&mut self, entries: Vec<(Vec<u8>, Vec<u8>, u64)>, now_ms: u64) -> usize {
+    pub fn install_entries(&mut self, entries: Vec<(Vec<u8>, Value, u64)>, now_ms: u64) -> usize {
         let mut installed = 0;
         for (k, v, exp) in entries {
             if self.add(&k, &v, now_ms, exp) == Ok(true) {
@@ -309,7 +311,7 @@ impl CacheUnit {
     /// already been drained, so every acknowledged write survives the
     /// failed transfer. Re-installation is add-if-absent, preserving any
     /// write accepted since the key's partition was drained.
-    pub fn abort_migration(&mut self, entries: Vec<(Vec<u8>, Vec<u8>, u64)>, now_ms: u64) -> usize {
+    pub fn abort_migration(&mut self, entries: Vec<(Vec<u8>, Value, u64)>, now_ms: u64) -> usize {
         self.finish_migration();
         self.install_entries(entries, now_ms)
     }
@@ -475,9 +477,9 @@ mod tests {
             src.begin_migration(WorkerAddr::new(1, 0));
             let mut dst = unit_of(dst_kind, 1);
             while let Some(batch) = src.drain_next_bucket() {
-                let entries: Vec<(Vec<u8>, Vec<u8>, u64)> = batch
+                let entries: Vec<(Vec<u8>, Value, u64)> = batch
                     .into_iter()
-                    .map(|(k, v, e)| (k.into_vec(), v, e))
+                    .map(|(k, v, e)| (k.into_vec(), v.into(), e))
                     .collect();
                 let n = entries.len();
                 assert_eq!(dst.install_entries(entries, 0), n);
@@ -495,7 +497,7 @@ mod tests {
     #[test]
     fn duplicate_install_never_clobbers_newer_write() {
         let mut dst = unit(1);
-        let batch = vec![(b"k".to_vec(), b"old".to_vec(), 0u64)];
+        let batch = vec![(b"k".to_vec(), Value::from(b"old".to_vec()), 0u64)];
         assert_eq!(dst.install_entries(batch.clone(), 0), 1);
         // A client write lands on the destination after the install...
         dst.set(b"k", b"new", 0, 0).expect("set");
@@ -512,12 +514,16 @@ mod tests {
                 .expect("set");
         }
         u.begin_migration(WorkerAddr::new(1, 0));
-        let mut drained: Vec<(Vec<u8>, Vec<u8>, u64)> = Vec::new();
+        let mut drained: Vec<(Vec<u8>, Value, u64)> = Vec::new();
         // Drain half the partitions, then the transfer "fails".
         let total = u.migration().expect("migrating").bucket_count;
         for _ in 0..total / 2 {
             if let Some(batch) = u.drain_next_bucket() {
-                drained.extend(batch.into_iter().map(|(k, v, e)| (k.into_vec(), v, e)));
+                drained.extend(
+                    batch
+                        .into_iter()
+                        .map(|(k, v, e)| (k.into_vec(), v.into(), e)),
+                );
             }
         }
         assert!(!drained.is_empty());

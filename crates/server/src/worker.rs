@@ -26,7 +26,7 @@ use mbal_core::clock::Clock;
 use mbal_core::hash::shard_hash;
 use mbal_core::hotkey::{HotKey, HotKeyConfig, HotKeyTracker};
 use mbal_core::replica::{ReplicaLookup, ReplicaTable};
-use mbal_core::types::{CacheError, CacheletId, TenantId, WorkerAddr};
+use mbal_core::types::{CacheError, CacheletId, TenantId, Value, WorkerAddr};
 use mbal_proto::{Request, Response, Status};
 use mbal_telemetry::{Counter, Gauge, MetricsShard, StatsReport};
 use mbal_tenant::{
@@ -137,6 +137,19 @@ impl Worker {
                     self.ctx.metrics.incr(Counter::BatchRpcs);
                     let resps = reqs.into_iter().map(|r| self.handle_rpc(r)).collect();
                     let _ = reply.send(resps);
+                }
+                Ok(WorkerMsg::RpcTagged {
+                    reqs,
+                    tag,
+                    reply,
+                    notify,
+                }) => {
+                    if reqs.len() > 1 {
+                        self.ctx.metrics.incr(Counter::BatchRpcs);
+                    }
+                    let resps = reqs.into_iter().map(|r| self.handle_rpc(r)).collect();
+                    let _ = reply.send((tag, resps));
+                    notify.wake();
                 }
                 Ok(WorkerMsg::Control(c)) => {
                     if !self.handle_control(c) {
@@ -264,8 +277,7 @@ impl Worker {
                 self.ctx.metrics.incr(Counter::ReplicaReads);
                 let now = self.now_ms();
                 match self.replica_table.lookup(&key, now) {
-                    ReplicaLookup::Hit(v) => {
-                        let value = v.to_vec();
+                    ReplicaLookup::Hit(value) => {
                         self.ctx.metrics.incr(Counter::ReplicaReadHits);
                         Response::Value {
                             value,
@@ -411,7 +423,7 @@ impl Worker {
         &mut self,
         cachelet: CacheletId,
         key: Vec<u8>,
-        value: Vec<u8>,
+        value: Value,
         expiry_ms: u64,
     ) -> Response {
         self.ctx.metrics.incr(Counter::Ops);
@@ -479,7 +491,7 @@ impl Worker {
         &mut self,
         cachelet: CacheletId,
         key: Vec<u8>,
-        value: Vec<u8>,
+        value: Value,
         expiry_ms: u64,
         add: bool,
     ) -> Response {
@@ -524,7 +536,7 @@ impl Worker {
         &mut self,
         cachelet: CacheletId,
         key: Vec<u8>,
-        value: Vec<u8>,
+        value: Value,
         front: bool,
     ) -> Response {
         self.ctx.metrics.incr(Counter::Concats);
@@ -563,7 +575,7 @@ impl Worker {
         let unit = self.units.get_mut(&cachelet).expect("checked by preamble");
         match unit.incr(&key, delta, now) {
             Ok(Some(value)) => {
-                self.propagate_update(&key, value.to_string().as_bytes());
+                self.propagate_update(&key, &Value::from(value.to_string().into_bytes()));
                 Response::Counter { value }
             }
             Ok(None) => Response::NotFound,
@@ -646,7 +658,7 @@ impl Worker {
     /// promised, so a shadow that cannot be reached (after one retry) is
     /// evicted from the replica set and best-effort invalidated — a
     /// stale replica must never outlive a failed update.
-    fn propagate_update(&mut self, key: &[u8], value: &[u8]) {
+    fn propagate_update(&mut self, key: &[u8], value: &Value) {
         // In tenant mode only default-tenant keys are replicated, and
         // the replica plane speaks raw (namespace-stripped) keys.
         let Some(key) = self.home_replica_key(key) else {
@@ -661,7 +673,7 @@ impl Worker {
                     s,
                     Request::ReplicaUpdate {
                         key: key.to_vec(),
-                        value: value.to_vec(),
+                        value: value.clone(),
                     },
                 );
             }
@@ -672,7 +684,7 @@ impl Worker {
         for &s in &shadows {
             let req = Request::ReplicaUpdate {
                 key: key.to_vec(),
-                value: value.to_vec(),
+                value: value.clone(),
             };
             if self.ctx.transport.call(s, req.clone()).is_err() {
                 self.ctx.metrics.incr(Counter::TransportRetries);
@@ -843,7 +855,7 @@ impl Worker {
                     u.drain_next_bucket().map(|entries| {
                         entries
                             .into_iter()
-                            .map(|(k, v, e)| (k.into_vec(), v, e))
+                            .map(|(k, v, e)| (k.into_vec(), v.into(), e))
                             .collect::<Vec<_>>()
                     })
                 });
@@ -898,7 +910,7 @@ impl Worker {
                     u
                 });
                 // Replica leases are not value TTLs; promote without one.
-                let entries: Vec<(Vec<u8>, Vec<u8>, u64)> =
+                let entries: Vec<(Vec<u8>, Value, u64)> =
                     promoted.into_iter().map(|(k, v)| (k, v, 0)).collect();
                 unit.install_entries(entries, now);
                 let _ = reply.send(count);

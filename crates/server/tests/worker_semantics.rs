@@ -7,7 +7,7 @@ use mbal_core::clock::ManualClock;
 use mbal_core::engine::EngineKind;
 use mbal_core::hotkey::HotKeyConfig;
 use mbal_core::mem::{GlobalPool, MemConfig};
-use mbal_core::types::{CacheletId, WorkerAddr, WorkerId};
+use mbal_core::types::{CacheletId, Value, WorkerAddr, WorkerId};
 use mbal_proto::{Request, Response, Status};
 use mbal_server::messages::{Control, EpochReport, WorkerMsg};
 use mbal_server::transport::InProcRegistry;
@@ -119,7 +119,7 @@ fn set(f: &Fixture, c: u32, key: &[u8], value: &[u8]) -> Response {
     f.rpc(Request::Set {
         cachelet: CacheletId(c),
         key: key.to_vec(),
-        value: value.to_vec(),
+        value: Value::copy_from_slice(value),
         expiry_ms: 0,
     })
 }
@@ -138,7 +138,7 @@ fn ownership_is_enforced() {
     assert_eq!(
         get(&f, 1, b"k"),
         Response::Value {
-            value: b"v".to_vec(),
+            value: b"v".to_vec().into(),
             replicas: vec![]
         }
     );
@@ -189,7 +189,12 @@ fn multiget_returns_positional_hits() {
     assert_eq!(
         resp,
         Response::Values {
-            values: vec![Some(b"1".to_vec()), None, Some(b"2".to_vec()), None]
+            values: vec![
+                Some(b"1".to_vec().into()),
+                None,
+                Some(b"2".to_vec().into()),
+                None
+            ]
         }
     );
     f.control(Control::Shutdown);
@@ -202,7 +207,7 @@ fn replica_table_lifecycle_via_rpc() {
     assert_eq!(
         f.rpc(Request::ReplicaInstall {
             key: b"hot".to_vec(),
-            value: b"v1".to_vec(),
+            value: b"v1".to_vec().into(),
             lease_expiry_ms: 5_000,
         }),
         Response::Stored
@@ -212,14 +217,14 @@ fn replica_table_lifecycle_via_rpc() {
             key: b"hot".to_vec()
         }),
         Response::Value {
-            value: b"v1".to_vec(),
+            value: b"v1".to_vec().into(),
             replicas: vec![]
         }
     );
     assert_eq!(
         f.rpc(Request::ReplicaUpdate {
             key: b"hot".to_vec(),
-            value: b"v2".to_vec(),
+            value: b"v2".to_vec().into(),
         }),
         Response::Stored
     );
@@ -228,7 +233,7 @@ fn replica_table_lifecycle_via_rpc() {
             key: b"hot".to_vec()
         }),
         Response::Value {
-            value: b"v2".to_vec(),
+            value: b"v2".to_vec().into(),
             replicas: vec![]
         }
     );
@@ -244,7 +249,7 @@ fn replica_table_lifecycle_via_rpc() {
     assert_eq!(
         f.rpc(Request::ReplicaUpdate {
             key: b"hot".to_vec(),
-            value: b"v3".to_vec(),
+            value: b"v3".to_vec().into(),
         }),
         Response::NotFound
     );
@@ -262,7 +267,7 @@ fn get_piggybacks_replica_locations() {
     assert_eq!(
         get(&f, 1, b"hot"),
         Response::Value {
-            value: b"v".to_vec(),
+            value: b"v".to_vec().into(),
             replicas: vec![WorkerAddr::new(1, 0), WorkerAddr::new(2, 1)]
         }
     );
@@ -272,7 +277,7 @@ fn get_piggybacks_replica_locations() {
     assert_eq!(
         get(&f, 1, b"hot"),
         Response::Value {
-            value: b"v".to_vec(),
+            value: b"v".to_vec().into(),
             replicas: vec![]
         }
     );
@@ -314,7 +319,7 @@ fn writes_propagate_to_shadow_synchronously() {
     stx.send(WorkerMsg::Rpc {
         req: Request::ReplicaInstall {
             key: b"hot".to_vec(),
-            value: b"v1".to_vec(),
+            value: b"v1".to_vec().into(),
             lease_expiry_ms: u64::MAX,
         },
         reply: rtx,
@@ -339,7 +344,7 @@ fn writes_propagate_to_shadow_synchronously() {
     assert_eq!(
         rrx.recv().expect("read"),
         Response::Value {
-            value: b"v2".to_vec(),
+            value: b"v2".to_vec().into(),
             replicas: vec![]
         }
     );
@@ -418,7 +423,7 @@ fn seg_engine_whole_segment_expiry_reaches_stats_report() {
         let r = f.rpc(Request::Set {
             cachelet: CacheletId(1),
             key: format!("ttl{i}").as_bytes().to_vec(),
-            value: vec![7u8; 50],
+            value: vec![7u8; 50].into(),
             expiry_ms: 5_000 + u64::from(i),
         });
         assert_eq!(r, Response::Stored);
@@ -444,7 +449,7 @@ fn slab_engine_lazy_expiry_reaches_stats_report() {
     let r = f.rpc(Request::Set {
         cachelet: CacheletId(1),
         key: b"soon".to_vec(),
-        value: vec![9u8; 33],
+        value: vec![9u8; 33].into(),
         expiry_ms: 1_000,
     });
     assert_eq!(r, Response::Stored);
@@ -576,19 +581,19 @@ fn extended_write_ops_redirect_on_migrated_buckets() {
         Request::Add {
             cachelet: CacheletId(1),
             key: key.clone(),
-            value: b"x".to_vec(),
+            value: b"x".to_vec().into(),
             expiry_ms: 0,
         },
         Request::Replace {
             cachelet: CacheletId(1),
             key: key.clone(),
-            value: b"x".to_vec(),
+            value: b"x".to_vec().into(),
             expiry_ms: 0,
         },
         Request::Concat {
             cachelet: CacheletId(1),
             key: key.clone(),
-            value: b"x".to_vec(),
+            value: b"x".to_vec().into(),
             front: false,
         },
         Request::Incr {
@@ -668,7 +673,7 @@ fn concat_propagates_full_value_to_replicas() {
     stx.send(WorkerMsg::Rpc {
         req: Request::ReplicaInstall {
             key: b"hot".to_vec(),
-            value: b"base".to_vec(),
+            value: b"base".to_vec().into(),
             lease_expiry_ms: u64::MAX,
         },
         reply: rtx,
@@ -683,7 +688,7 @@ fn concat_propagates_full_value_to_replicas() {
     let resp = home.rpc(Request::Concat {
         cachelet: CacheletId(1),
         key: b"hot".to_vec(),
-        value: b"+tail".to_vec(),
+        value: b"+tail".to_vec().into(),
         front: false,
     });
     assert_eq!(resp, Response::Stored);
@@ -698,7 +703,7 @@ fn concat_propagates_full_value_to_replicas() {
     assert_eq!(
         rrx.recv().expect("read"),
         Response::Value {
-            value: b"base+tail".to_vec(),
+            value: b"base+tail".to_vec().into(),
             replicas: vec![]
         }
     );

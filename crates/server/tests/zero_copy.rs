@@ -1,0 +1,45 @@
+//! Pointer-identity proof of the zero-copy value path: on a
+//! shared-storage backend ([`MallocStore`]) the bytes the engine holds,
+//! the bytes a `GET` returns, and the bytes the wire encoder hands to
+//! vectored writes are all the same heap allocation — the payload is
+//! refcounted end to end, never copied.
+
+use mbal_core::store::MallocStore;
+use mbal_core::table::HashTable;
+use mbal_proto::codec::{encode_response_frags, Opcode};
+use mbal_proto::Response;
+
+#[test]
+fn malloc_get_and_wire_fragments_share_the_engine_allocation() {
+    let mut table = HashTable::new(16);
+    let mut store = MallocStore::new(usize::MAX);
+    let payload = vec![0xAB; 4096];
+    table.set(b"k", &payload, &mut store, 0, 0).expect("stored");
+
+    // Two reads serve the same allocation: the engine's buffer, not
+    // per-read copies.
+    let first = table.get(b"k", &mut store, 0).expect("hit");
+    let second = table.get(b"k", &mut store, 0).expect("hit");
+    assert_eq!(first, payload);
+    assert_eq!(
+        first.as_ptr(),
+        second.as_ptr(),
+        "repeated GETs must alias the engine's buffer"
+    );
+
+    // The response encoder keeps the value as a shared fragment: the
+    // bytes handed to `writev` are still that same allocation.
+    let resp = Response::Value {
+        value: first.clone(),
+        replicas: vec![],
+    };
+    let frags = encode_response_frags(&resp, Opcode::Get, 7).expect("encode");
+    let value_frag = frags
+        .iter()
+        .find(|f| f.len() == payload.len() && f.as_ptr() == first.as_ptr());
+    assert!(
+        value_frag.is_some(),
+        "no wire fragment aliases the engine buffer — the value payload \
+         was copied between the engine and the vectored write"
+    );
+}

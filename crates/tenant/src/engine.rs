@@ -23,8 +23,7 @@
 use crate::quota::{TenantDirectory, TenantQuota};
 use mbal_core::engine::{build_engine, Engine, EngineKind, EngineStats, TenantUsage};
 use mbal_core::table::SetOutcome;
-use mbal_core::types::{CacheError, TenantId};
-use std::borrow::Cow;
+use mbal_core::types::{CacheError, TenantId, Value};
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -158,7 +157,7 @@ impl TenantEngine {
 }
 
 impl Engine for TenantEngine {
-    fn get(&mut self, key: &[u8], now_ms: u64) -> Option<Cow<'_, [u8]>> {
+    fn get(&mut self, key: &[u8], now_ms: u64) -> Option<Value> {
         let (t, rest) = split_namespaced(key);
         self.slot_mut(t.0).engine.get(rest, now_ms)
     }

@@ -146,6 +146,7 @@ fn run_scenario(plan: FaultPlan, ops: usize, with_ticks: bool) -> Outcome {
                 let k = rng.next_below(KEYS) as u8;
                 match client.get(&key_of(k)) {
                     Ok(got) => {
+                        let got = got.map(|v| v.to_vec());
                         let poss = model.entry(k).or_insert_with(|| vec![None]);
                         assert!(
                             poss.contains(&got),
@@ -214,7 +215,8 @@ fn run_scenario(plan: FaultPlan, ops: usize, with_ticks: bool) -> Outcome {
     for k in 0..KEYS as u8 {
         let got = checker
             .get(&key_of(k))
-            .unwrap_or_else(|e| panic!("seed {seed}: clean sweep get({k}) failed: {e}"));
+            .unwrap_or_else(|e| panic!("seed {seed}: clean sweep get({k}) failed: {e}"))
+            .map(|v| v.to_vec());
         let poss = model.get(&k).cloned().unwrap_or_else(|| vec![None]);
         assert!(
             poss.contains(&got),
@@ -406,7 +408,7 @@ fn node_kill_scenario(seed: u64) {
                     WorkerAddr::new(s, w),
                     Request::ReplicaInstall {
                         key: victim_key.clone(),
-                        value: victim_value.clone(),
+                        value: victim_value.clone().into(),
                         lease_expiry_ms: 1_000_000_000,
                     },
                 )
@@ -476,7 +478,7 @@ fn node_kill_scenario(seed: u64) {
     .build();
     assert_eq!(
         checker.get(&victim_key).expect("clean transport"),
-        Some(victim_value),
+        Some(victim_value.into()),
         "seed {seed}: replicated victim key must survive via promotion"
     );
     for (k, v) in &acked {
@@ -485,12 +487,12 @@ fn node_kill_scenario(seed: u64) {
             .unwrap_or_else(|e| panic!("seed {seed}: clean get({k}) failed: {e}"));
         if dead_homed.contains(k) {
             assert!(
-                got.is_none() || got.as_ref() == Some(v),
+                got.is_none() || got.as_ref().map(|x| x.to_vec()).as_ref() == Some(v),
                 "seed {seed}: key {k} died with its server but came back stale: {got:?}"
             );
         } else {
             assert_eq!(
-                got.as_ref(),
+                got.as_ref().map(|x| x.to_vec()).as_ref(),
                 Some(v),
                 "seed {seed}: acked write on a surviving server was lost (key {k})"
             );
@@ -719,12 +721,12 @@ fn tenant_chaos_scenario(seed: u64) {
             .unwrap_or_else(|e| panic!("seed {seed}: clean get({k}) failed: {e}"));
         if dead_homed.contains(k) {
             assert!(
-                got.is_none() || got.as_ref() == Some(v),
+                got.is_none() || got.as_ref().map(|x| x.to_vec()).as_ref() == Some(v),
                 "seed {seed}: quiet key {k} died with its server but came back stale: {got:?}"
             );
         } else {
             assert_eq!(
-                got.as_ref(),
+                got.as_ref().map(|x| x.to_vec()).as_ref(),
                 Some(v),
                 "seed {seed}: quiet tenant's acked write on a surviving server was lost \
                  (key {k}) — cross-tenant eviction or migration loss"

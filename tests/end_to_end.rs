@@ -130,6 +130,16 @@ fn multiget_over_tcp_is_one_flush_per_worker() {
                             WorkerMsg::RpcBatch { .. } => {
                                 batches.fetch_add(1, Ordering::SeqCst);
                             }
+                            // The event-loop backend tags every enqueue;
+                            // a pipelined envelope shows up as one
+                            // multi-request message.
+                            WorkerMsg::RpcTagged { reqs, .. } => {
+                                if reqs.len() > 1 {
+                                    batches.fetch_add(1, Ordering::SeqCst);
+                                } else {
+                                    singles.fetch_add(1, Ordering::SeqCst);
+                                }
+                            }
                             WorkerMsg::Control(_) => {}
                         }
                         if real.send(msg).is_err() {
@@ -196,7 +206,7 @@ fn tcp_frames_interoperate_with_raw_protocol() {
             Request::Set {
                 cachelet,
                 key: key.clone(),
-                value: b"raw-value".to_vec(),
+                value: b"raw-value".to_vec().into(),
                 expiry_ms: 0,
             },
         )
@@ -208,7 +218,7 @@ fn tcp_frames_interoperate_with_raw_protocol() {
     assert_eq!(
         resp,
         Response::Value {
-            value: b"raw-value".to_vec(),
+            value: b"raw-value".to_vec().into(),
             replicas: vec![]
         }
     );

@@ -180,7 +180,7 @@ fn promote(client: &mut Client, key: &[u8], expect: &[u8]) {
     for _ in 0..4 {
         assert_eq!(
             client.get(key).expect("get"),
-            Some(expect.to_vec()),
+            Some(expect.to_vec().into()),
             "wrong value while promoting"
         );
     }
@@ -207,7 +207,7 @@ fn read_your_writes_scenario(engine: EngineKind) {
         for _ in 0..4 {
             assert_eq!(
                 c.get(key).expect("get"),
-                Some(value.clone()),
+                Some(value.clone().into()),
                 "[{engine:?}] round {round}: front tier served a value \
                  older than the client's own acked write"
             );
@@ -269,7 +269,7 @@ fn front_entries_never_outlive_their_ttl() {
     let before = reader.stats().front_stale_rejected;
     assert_eq!(
         reader.get(key).expect("get"),
-        Some(b"new".to_vec()),
+        Some(b"new".to_vec().into()),
         "front entry served past its TTL: foreign write invisible"
     );
     assert!(
@@ -305,7 +305,7 @@ fn migration_version_bump_rejects_front_entries() {
     let stale_before = c.stats().front_stale_rejected;
     assert_eq!(
         c.get(key).expect("get across migration"),
-        Some(b"before-move".to_vec()),
+        Some(b"before-move".to_vec().into()),
         "value lost across coordinated migration"
     );
     assert!(
@@ -351,7 +351,7 @@ fn read_your_writes_survives_chaos_and_migration() {
         for _ in 0..3 {
             if let Ok(got) = c.get(&key) {
                 let poss = admissible.entry(k).or_default();
-                let got = got.expect("written key must not vanish");
+                let got = got.expect("written key must not vanish").to_vec();
                 assert!(
                     poss.contains(&got),
                     "round {round}: read {:?} not in admissible set {:?}",
@@ -408,12 +408,12 @@ fn per_tenant_front_caches_never_leak_across_tenants() {
         for _ in 0..3 {
             assert_eq!(
                 red.get(key).expect("red get"),
-                Some(rv.clone()),
+                Some(rv.clone().into()),
                 "red tenant leaked a foreign or stale value"
             );
             assert_eq!(
                 blue.get(key).expect("blue get"),
-                Some(b"blue-value".to_vec()),
+                Some(b"blue-value".to_vec().into()),
                 "blue tenant observed red's write through the front tier"
             );
         }

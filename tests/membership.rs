@@ -201,7 +201,11 @@ fn membership_scale_out_then_node_failure() {
     // mapping as it goes.
     for (k, v) in &acked {
         assert_eq!(
-            client.get(&key_of(*k)).expect("clean transport").as_ref(),
+            client
+                .get(&key_of(*k))
+                .expect("clean transport")
+                .map(|x| x.to_vec())
+                .as_ref(),
             Some(v),
             "key {k} lost or stale after scale-out"
         );
@@ -214,7 +218,7 @@ fn membership_scale_out_then_node_failure() {
         .expect("clean transport");
     assert_eq!(
         client.get(&fresh_key).expect("clean transport"),
-        Some(b"on-the-newcomer".to_vec()),
+        Some(b"on-the-newcomer".to_vec().into()),
         "new server must serve a key homed on it"
     );
 
@@ -264,12 +268,12 @@ fn membership_scale_out_then_node_failure() {
             .unwrap_or_else(|e| panic!("clean get({k}) failed: {e}"));
         if dead_homed.contains(k) {
             assert!(
-                got.is_none() || got.as_ref() == Some(v),
+                got.is_none() || got.as_ref().map(|x| x.to_vec()).as_ref() == Some(v),
                 "key {k} died with its server but came back stale: {got:?}"
             );
         } else {
             assert_eq!(
-                got.as_ref(),
+                got.as_ref().map(|x| x.to_vec()).as_ref(),
                 Some(v),
                 "acked write on a surviving server was lost (key {k})"
             );
@@ -332,7 +336,11 @@ fn membership_drain_departs_without_losing_data() {
     // Every single acked write survives a graceful departure.
     for (k, v) in &acked {
         assert_eq!(
-            client.get(&key_of(*k)).expect("clean transport").as_ref(),
+            client
+                .get(&key_of(*k))
+                .expect("clean transport")
+                .map(|x| x.to_vec())
+                .as_ref(),
             Some(v),
             "graceful drain lost key {k}"
         );
@@ -344,7 +352,7 @@ fn membership_drain_departs_without_losing_data() {
         .expect("clean transport");
     assert_eq!(
         client.get(b"mb:post-drain").expect("clean transport"),
-        Some(b"still-serving".to_vec())
+        Some(b"still-serving".to_vec().into())
     );
 
     for s in &mut c.servers {
@@ -404,7 +412,7 @@ fn membership_stalled_drain_refuses_writes_but_serves_reads() {
             Request::Set {
                 cachelet,
                 key: key.clone(),
-                value: b"refused".to_vec(),
+                value: b"refused".to_vec().into(),
                 expiry_ms: 0,
             },
         )

@@ -123,7 +123,7 @@ fn migration_under_concurrent_writes_loses_nothing() {
             .get(format!("cc:{i}").as_bytes())
             .expect("get")
             .unwrap_or_else(|| panic!("key cc:{i} lost in migration"));
-        let n = u64::from_le_bytes(v.try_into().expect("8-byte value"));
+        let n = u64::from_le_bytes(v.as_ref().try_into().expect("8-byte value"));
         assert!(n <= final_version, "key cc:{i} has impossible version {n}");
     }
     cluster.shutdown();

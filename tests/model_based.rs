@@ -81,7 +81,7 @@ proptest! {
                 }
                 Action::Get(k) => {
                     let got = client.get(&key_of(k)).expect("get");
-                    prop_assert_eq!(got.as_ref(), model.get(&k), "divergence on key {}", k);
+                    prop_assert_eq!(got.map(|v| v.to_vec()).as_ref(), model.get(&k), "divergence on key {}", k);
                 }
                 Action::Delete(k) => {
                     client.delete(&key_of(k)).expect("delete");
@@ -114,7 +114,7 @@ proptest! {
         // right value; every deleted key is absent.
         for k in 0..=u8::MAX {
             let got = client.get(&key_of(k)).expect("get");
-            prop_assert_eq!(got.as_ref(), model.get(&k), "final divergence on key {}", k);
+            prop_assert_eq!(got.map(|v| v.to_vec()).as_ref(), model.get(&k), "final divergence on key {}", k);
         }
         for s in &mut servers {
             s.shutdown();

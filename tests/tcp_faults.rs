@@ -77,7 +77,7 @@ fn tcp_connection_dying_mid_batch_degrades_to_per_op_errors() {
         .map(|i| Request::Set {
             cachelet: CacheletId(0),
             key: format!("k{i}").into_bytes(),
-            value: b"v".to_vec(),
+            value: b"v".to_vec().into(),
             expiry_ms: 0,
         })
         .collect();
@@ -160,7 +160,7 @@ fn fault_injector_composes_over_tcp() {
         .expect("set rides out drops");
     assert_eq!(
         client.get(b"tf:key").expect("get over tcp"),
-        Some(b"value".to_vec())
+        Some(b"value".to_vec().into())
     );
     assert_eq!(injector.injected(), 3, "exactly the budgeted drops fired");
     assert_eq!(

@@ -125,7 +125,7 @@ fn flood_scenario(engine: EngineKind) {
     for i in 0..QUIET_KEYS {
         assert_eq!(
             quiet.get(&quiet_key(i)).expect("quiet get"),
-            Some(quiet_value(i)),
+            Some(quiet_value(i).into()),
             "[{engine:?}] flood evicted quiet key {i}: cross-tenant eviction"
         );
     }
@@ -196,7 +196,10 @@ fn unknown_tenant_is_a_typed_rejection_not_a_dropped_session() {
     quiet
         .set_opts(b"alive", b"yes", SetOptions::new())
         .expect("admitted tenant unaffected by the rejection");
-    assert_eq!(quiet.get(b"alive").expect("get"), Some(b"yes".to_vec()));
+    assert_eq!(
+        quiet.get(b"alive").expect("get"),
+        Some(b"yes".to_vec().into())
+    );
     cluster.shutdown();
 }
 
@@ -253,7 +256,7 @@ fn quiet_tenant_survives_a_flood_racing_a_migration() {
     for i in 0..QUIET_KEYS {
         assert_eq!(
             quiet.get(&quiet_key(i)).expect("quiet get"),
-            Some(quiet_value(i)),
+            Some(quiet_value(i).into()),
             "quiet key {i} lost across migration + flood"
         );
     }
