@@ -17,6 +17,7 @@ use mbal_bench::loadgen::{
     LoadgenReport, Mix, TenancyMode, TransportMode,
 };
 use mbal_core::engine::EngineKind;
+use mbal_scenario::{AutoscalerConfig, DiurnalCurve};
 
 fn flag(name: &str) -> Option<String> {
     let args: Vec<String> = std::env::args().collect();
@@ -31,14 +32,29 @@ fn usage() -> ! {
         "usage: mbal-loadgen [--mix M1,M2] [--phases P1,P2] [--engine E1,E2] [--defense D] \
          [--rate OPS] [--threads N] [--warmup-secs S] [--measure-secs S] [--records N] [--seed N] \
          [--transport inproc|tcp] [--servers N] [--workers N] [--out PATH] \
-         [--compare BASELINE.json [--tolerance FRAC]]\n\
-         mixes: ycsb-a ycsb-b ycsb-c hotshift ttl-heavy multi-tenant extreme-zipf; \
+         [--diurnal flat|two-phase:LOW|T:M,T:M,…] [--autoscale on|off] [--spares N] \
+         [--origin-fetch-ms MS] [--compare BASELINE.json [--tolerance FRAC]]\n\
+         mixes: ycsb-a ycsb-b ycsb-c hotshift ttl-heavy multi-tenant extreme-zipf \
+         video-cdn social-feed session-store; \
          phases: off p1 p2 p3 p1p2 all …; engines: slab seg; \
          defenses: off front bounded both\n\
          (multi-tenant runs each cell twice: static partitioning, then arbitrated; \
-         extreme-zipf runs each cell once per defense combination)"
+         extreme-zipf runs each cell once per defense combination; --autoscale holds \
+         --spares cold nodes the reactive scaler can join on the diurnal ramp)"
     );
     std::process::exit(2);
+}
+
+/// `flat` → no curve; `two-phase:LOW` → the canonical day/night shape;
+/// anything else is raw `t:mult,t:mult` control points.
+fn parse_diurnal(s: &str) -> Option<Option<DiurnalCurve>> {
+    if s == "flat" {
+        return Some(None);
+    }
+    if let Some(low) = s.strip_prefix("two-phase:") {
+        return low.parse().ok().map(|l| Some(DiurnalCurve::two_phase(l)));
+    }
+    DiurnalCurve::parse(s).map(Some)
 }
 
 fn parse_list<T>(raw: Option<String>, default: &[T], parse: impl Fn(&str) -> Option<T>) -> Vec<T>
@@ -94,6 +110,14 @@ fn main() {
         defense: flag("--defense").map_or(DefenseMode::Off, |v| {
             DefenseMode::parse(&v).unwrap_or_else(|| usage())
         }),
+        diurnal: flag("--diurnal").and_then(|v| parse_diurnal(&v).unwrap_or_else(|| usage())),
+        autoscale: flag("--autoscale").and_then(|v| match v.as_str() {
+            "on" => Some(AutoscalerConfig::default()),
+            "off" => None,
+            _ => usage(),
+        }),
+        spares: num("--spares", 0) as u16,
+        origin_fetch_ms: num("--origin-fetch-ms", 0),
     };
     let out_path = flag("--out").unwrap_or_else(|| "BENCH_results.json".into());
 
@@ -225,6 +249,11 @@ fn main() {
                     _ => TenancyMode::Off,
                 },
                 defense: DefenseMode::parse(&cell.defense)?,
+                diurnal: match cell.diurnal.as_str() {
+                    "" | "flat" => None,
+                    s => Some(DiurnalCurve::parse(s)?),
+                },
+                autoscale: (cell.autoscale == "on").then(AutoscalerConfig::default),
                 ..base.clone()
             };
             eprintln!(

@@ -19,20 +19,27 @@
 
 use mbal_balancer::coordinator::Coordinator;
 use mbal_balancer::{BalancerConfig, PhaseSet};
-use mbal_client::{Client, CoordinatorLink, FrontCacheConfig, SetOptions};
+use mbal_client::{Client, ClientStats, CoordinatorLink, FrontCacheConfig, SetOptions};
 use mbal_core::clock::{Clock, RealClock};
 use mbal_core::engine::EngineKind;
-use mbal_core::types::{ServerId, TenantId, WorkerAddr};
+use mbal_core::types::{Key, ServerId, TenantId, WorkerAddr};
+use mbal_membership::NodeState;
 use mbal_ring::{ConsistentRing, MappingTable};
+use mbal_scenario::{
+    fleet_utilization, origin_value, Autoscaler, AutoscalerConfig, DiurnalCurve, ScaleDecision,
+    ScenarioGen, ScenarioPack,
+};
 use mbal_server::tcp::{serve_tcp, TcpTransport};
 use mbal_server::{InProcRegistry, Server, Transport};
-use mbal_telemetry::{Counter, Histogram, LatencyPercentiles};
+use mbal_telemetry::{Counter, Histogram, LatencyPercentiles, WorkerSnapshot};
 use mbal_tenant::{TenantDirectory, TenantQuota};
 use mbal_workload::{Op, OpKind, Popularity, WorkloadGen, WorkloadSpec};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Barrier};
+use std::sync::{Condvar as StdCondvar, Mutex as StdMutex};
 use std::time::{Duration, Instant};
 
 /// Which transport the generated load travels over.
@@ -180,6 +187,11 @@ pub enum Mix {
     /// this mix once per [`DefenseMode`] against the identical
     /// schedule.
     ExtremeZipf,
+    /// A trace-style scenario pack (`video-cdn`, `social-feed`,
+    /// `session-store`): weighted value sizes and TTLs, `Touch`
+    /// renewals, MultiGET bursts, and a rotating hot head, all drawn
+    /// from seeded streams so the schedule stays digest-stable.
+    Scenario(ScenarioPack),
 }
 
 impl Mix {
@@ -193,6 +205,7 @@ impl Mix {
             Mix::TtlHeavy => "ttl-heavy",
             Mix::MultiTenant => "multi-tenant",
             Mix::ExtremeZipf => "extreme-zipf",
+            Mix::Scenario(pack) => pack.label(),
         }
     }
 
@@ -206,7 +219,7 @@ impl Mix {
             "ttl" | "ttl-heavy" | "ttlheavy" => Some(Mix::TtlHeavy),
             "mt" | "multi-tenant" | "multitenant" => Some(Mix::MultiTenant),
             "extreme-zipf" | "xzipf" | "extremezipf" => Some(Mix::ExtremeZipf),
-            _ => None,
+            _ => ScenarioPack::parse(s).map(Mix::Scenario),
         }
     }
 
@@ -222,6 +235,7 @@ impl Mix {
             Mix::TtlHeavy => WorkloadSpec::ttl_heavy(records),
             Mix::MultiTenant => tenant_plan(records)[0].spec.clone(),
             Mix::ExtremeZipf => WorkloadSpec::extreme_zipf(records),
+            Mix::Scenario(pack) => pack.spec(records).base,
         }
     }
 }
@@ -347,6 +361,19 @@ pub struct LoadgenConfig {
     pub tenancy: TenancyMode,
     /// Which skew defenses are armed.
     pub defense: DefenseMode,
+    /// Diurnal load curve stretching/compressing inter-arrival gaps
+    /// over the run (`None` = constant rate, byte-identical schedules
+    /// to the pre-curve harness).
+    pub diurnal: Option<DiurnalCurve>,
+    /// Reactive autoscaler driving the membership join/drain path off
+    /// epoch fleet utilization (`None` = fixed fleet).
+    pub autoscale: Option<AutoscalerConfig>,
+    /// Cold spare servers spawned outside the initial ring, available
+    /// for the autoscaler to join. Ignored unless `autoscale` is set.
+    pub spares: u16,
+    /// Simulated origin (backing store) fetch cost on a GET miss, in
+    /// milliseconds. `0` disables the delayed-hits model.
+    pub origin_fetch_ms: u64,
 }
 
 impl Default for LoadgenConfig {
@@ -366,6 +393,10 @@ impl Default for LoadgenConfig {
             engine: EngineKind::from_env(),
             tenancy: TenancyMode::Off,
             defense: DefenseMode::Off,
+            diurnal: None,
+            autoscale: None,
+            spares: 0,
+            origin_fetch_ms: 0,
         }
     }
 }
@@ -387,7 +418,10 @@ impl LoadgenConfig {
     /// The configuration a run actually executes: the multi-tenant mix
     /// needs at least one generator thread per tenant (each thread is
     /// bound to a single tenant) and tenants must be admitted, so `Off`
-    /// is bumped to `Static`. A no-op for every other mix; idempotent.
+    /// is bumped to `Static`. An autoscaling cell needs at least one
+    /// spare to join, and the controller's fleet bounds are clamped to
+    /// what the harness actually spawned. A no-op for every other
+    /// configuration; idempotent.
     pub fn normalized(&self) -> Self {
         let mut cfg = self.clone();
         if cfg.mix == Mix::MultiTenant {
@@ -395,6 +429,13 @@ impl LoadgenConfig {
             if cfg.tenancy == TenancyMode::Off {
                 cfg.tenancy = TenancyMode::Static;
             }
+        }
+        if let Some(a) = cfg.autoscale.as_mut() {
+            cfg.spares = cfg.spares.max(1);
+            a.min_nodes = a.min_nodes.clamp(1, cfg.servers as usize);
+            a.max_nodes = a
+                .max_nodes
+                .clamp(a.min_nodes, (cfg.servers + cfg.spares) as usize);
         }
         cfg
     }
@@ -422,14 +463,137 @@ pub struct ScheduledOp {
     pub op: Op,
 }
 
-/// Builds the per-thread open-loop schedules for `cfg`: fixed-rate
-/// arrivals (rate split evenly across threads), operations drawn from
-/// the mix's deterministic generator. For [`Mix::HotShift`] the key
-/// index rotates by half the key space at the midpoint of each thread's
-/// schedule. Two calls with the same configuration produce identical
-/// schedules (see [`schedule_digest`]).
-pub fn build_schedule(cfg: &LoadgenConfig) -> Vec<Vec<ScheduledOp>> {
-    let cfg = &cfg.normalized();
+/// The deterministic op source behind one thread's schedule.
+enum GenKind {
+    /// A plain YCSB-style generator (one op per pacing slot).
+    Plain(WorkloadGen),
+    /// A scenario pack (may emit MultiGET bursts). Boxed: the pack
+    /// generator carries per-pack RNG + spec state that dwarfs the
+    /// plain variant.
+    Scenario(Box<ScenarioGen>),
+}
+
+impl GenKind {
+    fn next_burst(&mut self) -> Vec<Op> {
+        match self {
+            GenKind::Plain(g) => vec![g.next_op()],
+            GenKind::Scenario(g) => g.next_burst(),
+        }
+    }
+
+    fn set_index_offset(&mut self, offset: u64) {
+        if let GenKind::Plain(g) = self {
+            g.set_index_offset(offset);
+        }
+    }
+}
+
+/// One thread's open-loop schedule as a *stream*: operations are
+/// generated on demand instead of materialized up front, so an
+/// hours-long schedule costs the same memory as a one-second one. The
+/// stream is a pure function of the configuration — collecting it twice
+/// yields identical ops at identical intended times, which is what
+/// [`config_digest`] fingerprints.
+///
+/// Pacing has two modes:
+///
+/// * **Constant rate** (no curve): the k-th pacing slot is intended at
+///   `k × period` — bit-identical arithmetic to the original
+///   pre-materialized schedules, so historical digests still hold.
+/// * **Diurnal** ([`DiurnalCurve`]): each slot advances an accumulator
+///   by `period ÷ multiplier(progress)`, so the instantaneous arrival
+///   rate is `rate × multiplier` while the wall-clock duration stays
+///   `warmup + measure`.
+///
+/// A scenario MultiGET burst consumes one pacing slot per member but
+/// shares the first member's intended instant: arrivals cluster the way
+/// a feed-page fetch does without inflating the configured average
+/// rate.
+pub struct ThreadSchedule {
+    gen: GenKind,
+    curve: Option<DiurnalCurve>,
+    period_ns: u128,
+    total_ns: u128,
+    ops_limit: u64,
+    /// `(at_emitted, offset)` — [`Mix::HotShift`]'s midpoint rotation.
+    shift_at: Option<(u64, u64)>,
+    emitted: u64,
+    slot: u64,
+    acc_ns: u128,
+    pending: VecDeque<Op>,
+    pending_intended: u64,
+}
+
+impl ThreadSchedule {
+    fn exhausted(&self) -> bool {
+        match self.curve {
+            None => self.slot >= self.ops_limit,
+            Some(_) => self.acc_ns >= self.total_ns,
+        }
+    }
+
+    fn intended_us(&self) -> u64 {
+        match self.curve {
+            None => ((self.slot as u128 * self.period_ns) / 1_000) as u64,
+            Some(_) => (self.acc_ns / 1_000) as u64,
+        }
+    }
+
+    fn advance(&mut self, slots: u64) {
+        match &self.curve {
+            None => self.slot += slots,
+            Some(c) => {
+                for _ in 0..slots {
+                    let frac = self.acc_ns as f64 / self.total_ns.max(1) as f64;
+                    let step = self.period_ns as f64 / c.multiplier_at(frac);
+                    self.acc_ns += step as u128;
+                }
+            }
+        }
+    }
+}
+
+impl Iterator for ThreadSchedule {
+    type Item = ScheduledOp;
+
+    fn next(&mut self) -> Option<ScheduledOp> {
+        if let Some(op) = self.pending.pop_front() {
+            return Some(ScheduledOp {
+                intended_us: self.pending_intended,
+                op,
+            });
+        }
+        if self.exhausted() {
+            return None;
+        }
+        if let Some((at, offset)) = self.shift_at {
+            if self.emitted == at {
+                self.gen.set_index_offset(offset);
+            }
+        }
+        let intended_us = self.intended_us();
+        let mut ops = self.gen.next_burst();
+        let n = ops.len() as u64;
+        self.emitted += n;
+        self.advance(n);
+        let first = ops.remove(0);
+        self.pending_intended = intended_us;
+        self.pending.extend(ops);
+        Some(ScheduledOp {
+            intended_us,
+            op: first,
+        })
+    }
+}
+
+/// The per-thread schedule streams for `cfg`: fixed-rate arrivals (rate
+/// split evenly across threads, optionally shaped by the diurnal
+/// curve), operations drawn from the mix's deterministic generator. For
+/// [`Mix::HotShift`] the key index rotates by half the key space at the
+/// midpoint of each thread's schedule. Two calls with the same
+/// configuration produce identical streams (see [`config_digest`]).
+pub fn thread_schedules(cfg: &LoadgenConfig) -> Vec<ThreadSchedule> {
+    let cfg = cfg.normalized();
     let threads = cfg.threads.max(1);
     let per_thread_rate = (cfg.rate as f64 / threads as f64).max(1.0);
     let total_secs = cfg.warmup_secs + cfg.measure_secs;
@@ -437,55 +601,135 @@ pub fn build_schedule(cfg: &LoadgenConfig) -> Vec<Vec<ScheduledOp>> {
     let period_ns = (1e9 / per_thread_rate) as u128;
     (0..threads)
         .map(|t| {
-            let spec = if cfg.mix == Mix::MultiTenant {
-                let plans = tenant_plan(cfg.records);
-                plans[t % plans.len()].spec.clone()
-            } else {
-                cfg.mix.spec(cfg.records)
+            let seed = cfg.seed ^ (t as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            let gen = match cfg.mix {
+                Mix::Scenario(pack) => {
+                    GenKind::Scenario(Box::new(ScenarioGen::new(pack.spec(cfg.records), seed)))
+                }
+                Mix::MultiTenant => {
+                    let plans = tenant_plan(cfg.records);
+                    GenKind::Plain(WorkloadGen::new(plans[t % plans.len()].spec.clone(), seed))
+                }
+                _ => GenKind::Plain(WorkloadGen::new(cfg.mix.spec(cfg.records), seed)),
             };
-            let mut gen = WorkloadGen::new(
-                spec,
-                cfg.seed ^ (t as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
-            );
-            (0..ops_per_thread)
-                .map(|i| {
-                    if cfg.mix == Mix::HotShift && i == ops_per_thread / 2 {
-                        gen.set_index_offset(cfg.records / 2);
-                    }
-                    ScheduledOp {
-                        intended_us: ((i as u128 * period_ns) / 1_000) as u64,
-                        op: gen.next_op(),
-                    }
-                })
-                .collect()
+            ThreadSchedule {
+                gen,
+                curve: cfg.diurnal.clone(),
+                period_ns,
+                total_ns: (total_secs * 1e9) as u128,
+                ops_limit: ops_per_thread,
+                shift_at: (cfg.mix == Mix::HotShift)
+                    .then_some((ops_per_thread / 2, cfg.records / 2)),
+                emitted: 0,
+                slot: 0,
+                acc_ns: 0,
+                pending: VecDeque::new(),
+                pending_intended: 0,
+            }
         })
         .collect()
+}
+
+/// Materializes the full per-thread schedules (tests and offline
+/// inspection; the harness itself streams via [`thread_schedules`]).
+pub fn build_schedule(cfg: &LoadgenConfig) -> Vec<Vec<ScheduledOp>> {
+    thread_schedules(cfg)
+        .into_iter()
+        .map(Iterator::collect)
+        .collect()
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+
+fn digest_op(h: &mut u64, s: &ScheduledOp) {
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            *h ^= b as u64;
+            *h = h.wrapping_mul(FNV_PRIME);
+        }
+    };
+    eat(&s.intended_us.to_le_bytes());
+    eat(&[match s.op.kind {
+        OpKind::Get => 0,
+        OpKind::Set => 1,
+        OpKind::Delete => 2,
+        OpKind::Touch => 3,
+    }]);
+    eat(&s.op.ttl_ms.to_le_bytes());
+    eat(&s.op.key);
 }
 
 /// FNV-1a digest over every scheduled operation, in thread-major order.
 /// Equal configurations must produce equal digests — the replay
 /// guarantee the deterministic-seed smoke test asserts.
 pub fn schedule_digest(schedule: &[Vec<ScheduledOp>]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    let mut eat = |bytes: &[u8]| {
-        for &b in bytes {
-            h ^= b as u64;
-            h = h.wrapping_mul(0x0000_0100_0000_01B3);
-        }
-    };
+    let mut h: u64 = FNV_OFFSET;
     for thread in schedule {
         for s in thread {
-            eat(&s.intended_us.to_le_bytes());
-            eat(&[match s.op.kind {
-                OpKind::Get => 0,
-                OpKind::Set => 1,
-                OpKind::Delete => 2,
-            }]);
-            eat(&s.op.ttl_ms.to_le_bytes());
-            eat(&s.op.key);
+            digest_op(&mut h, s);
         }
     }
     h
+}
+
+/// [`schedule_digest`] computed by streaming `cfg`'s schedules without
+/// materializing them — byte-for-byte the same digest the
+/// pre-streaming harness produced for the same configuration.
+pub fn config_digest(cfg: &LoadgenConfig) -> u64 {
+    let mut h: u64 = FNV_OFFSET;
+    for ts in thread_schedules(cfg) {
+        for s in ts {
+            digest_op(&mut h, &s);
+        }
+    }
+    h
+}
+
+/// Bounded-memory consumer over a [`ThreadSchedule`]: the generator
+/// thread pulls operations in chunks instead of materializing the whole
+/// schedule. The refill runs before the pre-op pacing sleep, so on a
+/// healthy schedule its cost is absorbed by pacing slack rather than
+/// charged to an in-flight operation's latency.
+struct ChunkedSchedule {
+    src: ThreadSchedule,
+    buf: VecDeque<ScheduledOp>,
+}
+
+impl ChunkedSchedule {
+    /// Ops generated per refill — bounds generator memory at a few
+    /// thousand ops regardless of schedule length.
+    const CHUNK: usize = 1_024;
+
+    fn new(src: ThreadSchedule) -> Self {
+        Self {
+            src,
+            buf: VecDeque::with_capacity(Self::CHUNK),
+        }
+    }
+
+    fn refill(&mut self) {
+        while self.buf.len() < Self::CHUNK {
+            match self.src.next() {
+                Some(s) => self.buf.push_back(s),
+                None => break,
+            }
+        }
+    }
+
+    fn pop(&mut self) -> Option<ScheduledOp> {
+        if self.buf.is_empty() {
+            self.refill();
+        }
+        self.buf.pop_front()
+    }
+
+    fn peek(&mut self) -> Option<&ScheduledOp> {
+        if self.buf.is_empty() {
+            self.refill();
+        }
+        self.buf.front()
+    }
 }
 
 /// A live cluster owned by the harness for the duration of one cell.
@@ -498,6 +742,8 @@ pub struct Harness {
     /// Armed when the cell's defense mode includes the front tier;
     /// every generator client gets one.
     front: Option<FrontCacheConfig>,
+    /// Balance-epoch length of the spawned servers (autoscaler cadence).
+    epoch_ms: u64,
 }
 
 impl Harness {
@@ -505,6 +751,12 @@ impl Harness {
     /// servers with per-server balance threads, and the configured
     /// transport (in-proc registry or real TCP listeners on ephemeral
     /// loopback ports).
+    ///
+    /// When the cell autoscales, `cfg.spares` extra servers are spawned
+    /// *outside* the initial ring — cold, no cachelets — with the
+    /// membership protocol armed on every server, so a later
+    /// [`Coordinator::join_server`] pulls a spare in through the real
+    /// grow/migrate path.
     pub fn start(cfg: &LoadgenConfig) -> Self {
         let mut ring = ConsistentRing::new();
         for s in 0..cfg.servers {
@@ -512,6 +764,11 @@ impl Harness {
                 ring.add_worker(WorkerAddr::new(s, w));
             }
         }
+        let spares = if cfg.autoscale.is_some() {
+            cfg.spares
+        } else {
+            0
+        };
         let workers_total = (cfg.servers * cfg.workers_per_server) as usize;
         let vns = (workers_total * 4 * 16).next_power_of_two();
         let mapping = MappingTable::build(&ring, 4, vns);
@@ -544,13 +801,14 @@ impl Harness {
         // absolute expiry timestamps computed from per-op TTLs mean the
         // same instant everywhere.
         let clock = Arc::new(RealClock::new());
-        for s in 0..cfg.servers {
+        for s in 0..cfg.servers + spares {
             let server = Server::spawn(
                 mbal_server::ServerConfig::new(ServerId(s), cfg.workers_per_server, 64 << 20)
                     .cachelets_per_worker(4)
                     .balancer(bal.clone())
                     .worker_capacity(cfg.rate as f64 / workers_total as f64)
                     .engine(cfg.engine)
+                    .membership(cfg.autoscale.is_some())
                     .tenants(tenants.clone()),
                 &mapping,
                 &registry,
@@ -583,6 +841,7 @@ impl Harness {
             transport,
             clock,
             front: cfg.defense.front(),
+            epoch_ms: bal.epoch_ms,
         }
     }
 
@@ -591,6 +850,16 @@ impl Harness {
     /// timestamps the servers agree on.
     pub fn clock(&self) -> Arc<RealClock> {
         Arc::clone(&self.clock)
+    }
+
+    /// The coordinator owning mapping + membership for this cluster.
+    pub fn coordinator(&self) -> Arc<Coordinator> {
+        Arc::clone(&self.coordinator)
+    }
+
+    /// The servers' balance-epoch length in milliseconds.
+    pub fn epoch_ms(&self) -> u64 {
+        self.epoch_ms
     }
 
     /// A fresh client bound to this cluster.
@@ -676,6 +945,10 @@ pub struct ClientCounts {
     pub front_stale_rejected: u64,
     /// Keys newly promoted into a front cache by the sketch.
     pub sketch_promotions: u64,
+    /// Front-sketch decays triggered by mapping movement (migration,
+    /// failover, membership epoch).
+    #[serde(default)]
+    pub sketch_decays: u64,
     /// Operations that failed after exhausting retries.
     pub failures: u64,
 }
@@ -739,6 +1012,26 @@ pub struct TenantCellResult {
     pub evictions: u64,
 }
 
+/// One latency class of the delayed-hits model (hit / miss /
+/// delayed hit), measured against intended start times like everything
+/// else in the harness.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct OriginResult {
+    /// Configured origin fetch cost (ms).
+    pub fetch_ms: u64,
+    /// Origin fetches actually issued (coalesced misses share one).
+    pub fetches: u64,
+    /// Misses that coalesced behind an already-in-flight fetch for the
+    /// same key — the delayed hits.
+    pub coalesced: u64,
+    /// GETs served from the cache.
+    pub hit: LatencyPercentiles,
+    /// GETs that missed and led their origin fetch.
+    pub miss: LatencyPercentiles,
+    /// GETs that missed but waited out a peer's in-flight fetch.
+    pub delayed_hit: LatencyPercentiles,
+}
+
 /// The measured outcome of one (mix × phases) cell.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct CellResult {
@@ -786,14 +1079,149 @@ pub struct CellResult {
     pub counts_reconciled: bool,
     /// Per-tenant breakdown; empty for single-tenant cells.
     pub tenants: Vec<TenantCellResult>,
+    /// Diurnal curve label (`flat` for constant rate) — part of the
+    /// cell's identity in the baseline gate. Baselines committed before
+    /// this field existed deserialize it empty; the gate reads empty as
+    /// `flat`.
+    #[serde(default)]
+    pub diurnal: String,
+    /// `on` when the reactive autoscaler drove membership, else `off` —
+    /// part of the cell's identity in the baseline gate (empty in old
+    /// baselines reads as `off`).
+    #[serde(default)]
+    pub autoscale: String,
+    /// Nodes the autoscaler joined during the run.
+    #[serde(default)]
+    pub scale_joins: u64,
+    /// Nodes the autoscaler drained during the run.
+    #[serde(default)]
+    pub scale_drains: u64,
+    /// Fleet-size integral over the run, in node-hours — the cost side
+    /// of the autoscaler's node-hours × p99 trade-off.
+    #[serde(default)]
+    pub node_hours: f64,
+    /// Mean member count over the run.
+    #[serde(default)]
+    pub avg_nodes: f64,
+    /// Delayed-hits model outcome; `None` when `origin_fetch_ms = 0`.
+    #[serde(default)]
+    pub origin: Option<OriginResult>,
 }
 
-/// Runs one cell: build cluster → load phase → paced open-loop run →
+/// Client-side origin (backing store) model for the delayed-hits
+/// experiments. A GET miss triggers a simulated origin fetch costing
+/// `fetch` of wall time, after which the leader stores the fetched
+/// value back into the cache; concurrent misses on the same key
+/// coalesce behind the in-flight fetch instead of issuing their own —
+/// the followers are *delayed hits*, cheaper than a full miss but
+/// slower than a cache hit.
+struct OriginSim {
+    fetch: Duration,
+    inflight: Mutex<HashMap<Key, Arc<FetchState>>>,
+    // (`inflight` stays on parking_lot for lock-poisoning-free hot
+    // path; `FetchState` needs std's Condvar pairing.)
+    fetches: AtomicU64,
+    coalesced: AtomicU64,
+}
+
+struct FetchState {
+    done: StdMutex<bool>,
+    cv: StdCondvar,
+}
+
+/// How a missed GET resolved under the origin model.
+enum MissClass {
+    /// This op led the origin fetch (a full miss).
+    Fetched,
+    /// This op coalesced behind a peer's in-flight fetch.
+    Delayed,
+}
+
+impl OriginSim {
+    fn new(fetch_ms: u64) -> Self {
+        Self {
+            fetch: Duration::from_millis(fetch_ms),
+            inflight: Mutex::new(HashMap::new()),
+            fetches: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
+        }
+    }
+
+    /// Resolves a miss on `key`: the first caller becomes the leader —
+    /// it pays the fetch delay, runs `store` to install the value, and
+    /// wakes every follower; followers block on the leader's fetch.
+    fn on_miss(&self, key: &[u8], store: impl FnOnce()) -> MissClass {
+        let (state, leader) = {
+            let mut g = self.inflight.lock();
+            match g.get(key) {
+                Some(f) => (Arc::clone(f), false),
+                None => {
+                    let f = Arc::new(FetchState {
+                        done: StdMutex::new(false),
+                        cv: StdCondvar::new(),
+                    });
+                    g.insert(key.to_vec(), Arc::clone(&f));
+                    (f, true)
+                }
+            }
+        };
+        if leader {
+            std::thread::sleep(self.fetch);
+            store();
+            // Remove only after the store: a miss arriving post-removal
+            // finds the value cached and never reaches this path.
+            self.inflight.lock().remove(key);
+            *state.done.lock().expect("origin fetch lock") = true;
+            state.cv.notify_all();
+            self.fetches.fetch_add(1, Ordering::Relaxed);
+            MissClass::Fetched
+        } else {
+            let done = state.done.lock().expect("origin fetch lock");
+            // Bounded wait: a leader cancelled mid-fetch (run teardown)
+            // must not strand its followers.
+            let timeout = self.fetch * 4 + Duration::from_millis(100);
+            let _ = state
+                .cv
+                .wait_timeout_while(done, timeout, |d| !*d)
+                .expect("origin fetch lock");
+            self.coalesced.fetch_add(1, Ordering::Relaxed);
+            MissClass::Delayed
+        }
+    }
+}
+
+/// Everything one generator thread brings home.
+struct ThreadOutcome {
+    hist: Histogram,
+    hit: Histogram,
+    miss: Histogram,
+    delayed: Histogram,
+    measured: u64,
+    total: u64,
+    stats: ClientStats,
+    tenant: TenantId,
+}
+
+/// What the autoscaler thread reports at teardown.
+struct ScaleOutcome {
+    joins: u64,
+    drains: u64,
+    node_seconds: f64,
+    avg_nodes: f64,
+}
+
+enum OpClass {
+    Hit,
+    Miss,
+    DelayedHit,
+}
+
+/// Runs one cell: build cluster → load phase → paced open-loop run
+/// (with the autoscaler and origin model armed if configured) →
 /// scrape + reconcile → shutdown.
 pub fn run_cell(cfg: &LoadgenConfig) -> CellResult {
     let cfg = &cfg.normalized();
-    let schedule = build_schedule(cfg);
-    let digest = schedule_digest(&schedule);
+    let digest = config_digest(cfg);
     let harness = Harness::start(cfg);
     if cfg.mix == Mix::MultiTenant {
         harness.load_phase_tenants(&tenant_plan(cfg.records), cfg.seed);
@@ -802,73 +1230,237 @@ pub fn run_cell(cfg: &LoadgenConfig) -> CellResult {
     }
 
     let warmup_us = (cfg.warmup_secs * 1e6) as u64;
-    let threads = schedule.len();
+    let origin = (cfg.origin_fetch_ms > 0).then(|| Arc::new(OriginSim::new(cfg.origin_fetch_ms)));
+    let origin_len = cfg.mix.spec(cfg.records).value_len;
+    let batch_bursts = matches!(cfg.mix, Mix::Scenario(_));
+    let schedules = thread_schedules(cfg);
+    let threads = schedules.len();
     let barrier = Arc::new(Barrier::new(threads + 1));
     let mut handles = Vec::new();
-    for (t, thread_schedule) in schedule.into_iter().enumerate() {
+    for (t, ts) in schedules.into_iter().enumerate() {
         let barrier = Arc::clone(&barrier);
         let tenant = cfg.thread_tenant(t);
         let mut client = harness.client_for(tenant);
         let clock = harness.clock();
+        let origin = origin.clone();
         handles.push(std::thread::spawn(move || {
-            let mut hist = Histogram::new();
-            let mut measured = 0u64;
-            let mut total = 0u64;
+            let mut out = ThreadOutcome {
+                hist: Histogram::new(),
+                hit: Histogram::new(),
+                miss: Histogram::new(),
+                delayed: Histogram::new(),
+                measured: 0,
+                total: 0,
+                stats: ClientStats::default(),
+                tenant,
+            };
+            let mut sched = ChunkedSchedule::new(ts);
             barrier.wait();
             let t0 = Instant::now();
-            for s in &thread_schedule {
+            while let Some(s) = sched.pop() {
+                // A scenario MultiGET burst arrives as consecutive GETs
+                // sharing one intended instant — reassemble it into a
+                // real MultiGET (one batched request per owner worker).
+                let mut burst: Vec<Key> = Vec::new();
+                if batch_bursts && s.op.kind == OpKind::Get {
+                    while sched
+                        .peek()
+                        .is_some_and(|n| n.intended_us == s.intended_us && n.op.kind == OpKind::Get)
+                    {
+                        if burst.is_empty() {
+                            burst.push(s.op.key.clone());
+                        }
+                        burst.push(sched.pop().expect("peeked").op.key);
+                    }
+                }
                 let now_us = t0.elapsed().as_micros() as u64;
                 if s.intended_us > now_us {
                     std::thread::sleep(Duration::from_micros(s.intended_us - now_us));
                 }
-                let ok = match s.op.kind {
-                    OpKind::Get => client.get(&s.op.key).is_ok(),
-                    OpKind::Set => {
-                        // Relative TTLs become absolute expiries on the
-                        // cluster-shared clock at send time.
-                        let opts = if s.op.ttl_ms > 0 {
-                            SetOptions::new().expiry_ms(clock.now_millis() + s.op.ttl_ms)
-                        } else {
-                            SetOptions::new()
-                        };
-                        client.set_opts(&s.op.key, &s.op.value, opts).is_ok()
-                    }
-                    OpKind::Delete => client.delete(&s.op.key).is_ok(),
+                let mut class = None;
+                let (ok, n_ops) = if burst.is_empty() {
+                    let ok = match s.op.kind {
+                        OpKind::Get => match client.get(&s.op.key) {
+                            Ok(Some(_)) => {
+                                class = Some(OpClass::Hit);
+                                true
+                            }
+                            Ok(None) => {
+                                if let Some(o) = &origin {
+                                    let resolved = o.on_miss(&s.op.key, || {
+                                        let v = origin_value(&s.op.key, origin_len);
+                                        let _ = client.set_opts(&s.op.key, &v, SetOptions::new());
+                                    });
+                                    class = Some(match resolved {
+                                        MissClass::Fetched => OpClass::Miss,
+                                        MissClass::Delayed => OpClass::DelayedHit,
+                                    });
+                                }
+                                true
+                            }
+                            Err(_) => false,
+                        },
+                        OpKind::Set => {
+                            // Relative TTLs become absolute expiries on
+                            // the cluster-shared clock at send time.
+                            let opts = if s.op.ttl_ms > 0 {
+                                SetOptions::new().expiry_ms(clock.now_millis() + s.op.ttl_ms)
+                            } else {
+                                SetOptions::new()
+                            };
+                            client.set_opts(&s.op.key, &s.op.value, opts).is_ok()
+                        }
+                        OpKind::Delete => client.delete(&s.op.key).is_ok(),
+                        OpKind::Touch => client
+                            .touch_opts(&s.op.key, clock.now_millis() + s.op.ttl_ms)
+                            .is_ok(),
+                    };
+                    (ok, 1u64)
+                } else {
+                    let n = burst.len() as u64;
+                    (client.multi_get(&burst).is_ok(), n)
                 };
-                total += 1;
+                out.total += n_ops;
                 if s.intended_us >= warmup_us && ok {
                     // Latency against the *intended* start: queueing
                     // delay behind a stalled server is charged to the
                     // operation, never silently absorbed.
                     let done_us = t0.elapsed().as_micros() as u64;
-                    hist.record(done_us.saturating_sub(s.intended_us));
-                    measured += 1;
+                    let lat = done_us.saturating_sub(s.intended_us);
+                    out.hist.record_n(lat, n_ops);
+                    out.measured += n_ops;
+                    match class {
+                        Some(OpClass::Hit) => out.hit.record(lat),
+                        Some(OpClass::Miss) => out.miss.record(lat),
+                        Some(OpClass::DelayedHit) => out.delayed.record(lat),
+                        None => {}
+                    }
                 }
             }
-            (hist, measured, total, client.stats(), tenant)
+            out.stats = client.stats();
+            out
         }));
     }
+
+    // The autoscaler thread: once per balance epoch, derive fleet
+    // utilization from the same worker snapshots the balancer sees and
+    // let the controller decide. Joins pull cold spares in through the
+    // coordinator's real grow path; drains evacuate the most recently
+    // joined node (the base fleet is never drained).
+    let scale_stop = Arc::new(AtomicBool::new(false));
+    let scaler_handle = cfg.autoscale.map(|ascfg| {
+        let stop = Arc::clone(&scale_stop);
+        let coordinator = harness.coordinator();
+        let mut scrape = harness.client();
+        let clock = harness.clock();
+        let epoch_ms = harness.epoch_ms();
+        let wps = cfg.workers_per_server;
+        // `pop()` takes the back, so reverse to join lowest spare first.
+        let spare_ids: Vec<u16> = (cfg.servers..cfg.servers + cfg.spares).rev().collect();
+        std::thread::spawn(move || {
+            let mut scaler = Autoscaler::new(ascfg);
+            let mut spares = spare_ids;
+            let mut joined: Vec<u16> = Vec::new();
+            let mut node_epochs = 0.0f64;
+            let mut epochs = 0u64;
+            // Joins/drains *acted on* — the controller can decide to
+            // scale out with no spare left to give it.
+            let mut joins = 0u64;
+            let mut drains = 0u64;
+            // A drained node isn't lost — once its evacuation finishes
+            // (state Left) it returns to the spare pool and can rejoin
+            // on the next day's ramp, incarnation bumped.
+            let mut draining: Vec<u16> = Vec::new();
+            // The load phase leaves a huge EWMA residue in every
+            // worker's load signal; decisions hold until the warmup
+            // window has flushed it (node accounting still runs).
+            let warmup_epochs = (warmup_us / 1_000).div_ceil(epoch_ms.max(1));
+            while !stop.load(Ordering::Relaxed) {
+                std::thread::sleep(Duration::from_millis(epoch_ms));
+                let view = coordinator.membership_view(clock.now_millis());
+                let members = view.cluster_size();
+                node_epochs += members as f64;
+                epochs += 1;
+                draining.retain(|&s| {
+                    let left = view
+                        .nodes
+                        .iter()
+                        .any(|n| n.server == ServerId(s) && n.state == NodeState::Left);
+                    if left {
+                        spares.push(s);
+                    }
+                    !left
+                });
+                // The scrape mapping must track joins/drains, or the
+                // fleet's capacity (the utilization denominator) would
+                // freeze at the starting fleet.
+                scrape.poll_coordinator();
+                let Ok(reports) = scrape.server_stats(false) else {
+                    continue;
+                };
+                let snaps: Vec<WorkerSnapshot> = reports.into_iter().map(|r| r.load).collect();
+                if epochs <= warmup_epochs {
+                    continue;
+                }
+                match scaler.observe(members, fleet_utilization(&snaps)) {
+                    ScaleDecision::ScaleOut => {
+                        if let Some(s) = spares.pop() {
+                            coordinator.join_server(ServerId(s), wps, clock.now_millis());
+                            joined.push(s);
+                            joins += 1;
+                        }
+                    }
+                    ScaleDecision::ScaleIn => {
+                        if let Some(s) = joined.pop() {
+                            coordinator.drain_server(ServerId(s), clock.now_millis());
+                            draining.push(s);
+                            drains += 1;
+                        }
+                    }
+                    ScaleDecision::Hold => {}
+                }
+            }
+            ScaleOutcome {
+                joins,
+                drains,
+                node_seconds: node_epochs * epoch_ms as f64 / 1_000.0,
+                avg_nodes: if epochs == 0 {
+                    0.0
+                } else {
+                    node_epochs / epochs as f64
+                },
+            }
+        })
+    });
+
     barrier.wait();
     let mut hist = Histogram::new();
+    let mut hit_hist = Histogram::new();
+    let mut miss_hist = Histogram::new();
+    let mut delayed_hist = Histogram::new();
     let mut measured = 0u64;
     let mut total = 0u64;
     let mut client_counts = ClientCounts::default();
     // Per-tenant client-side aggregation (threads of one tenant merge).
     let mut by_tenant: BTreeMap<u16, (Histogram, u64, u64, u64)> = BTreeMap::new();
     for h in handles {
-        let (th, tm, tt, st, tenant) = h.join().expect("loadgen thread");
-        if !tenant.is_default() {
+        let out = h.join().expect("loadgen thread");
+        let st = out.stats;
+        if !out.tenant.is_default() {
             let e = by_tenant
-                .entry(tenant.0)
+                .entry(out.tenant.0)
                 .or_insert_with(|| (Histogram::new(), 0, 0, 0));
-            e.0.merge(&th);
+            e.0.merge(&out.hist);
             e.1 += st.gets;
             e.2 += st.hits;
             e.3 += st.sets;
         }
-        hist.merge(&th);
-        measured += tm;
-        total += tt;
+        hist.merge(&out.hist);
+        hit_hist.merge(&out.hit);
+        miss_hist.merge(&out.miss);
+        delayed_hist.merge(&out.delayed);
+        measured += out.measured;
+        total += out.total;
         client_counts.gets += st.gets;
         client_counts.hits += st.hits;
         client_counts.sets += st.sets;
@@ -876,10 +1468,53 @@ pub fn run_cell(cfg: &LoadgenConfig) -> CellResult {
         client_counts.front_hits += st.front_hits;
         client_counts.front_stale_rejected += st.front_stale_rejected;
         client_counts.sketch_promotions += st.sketch_promotions;
+        client_counts.sketch_decays += st.sketch_decays;
         client_counts.failures += st.failures;
     }
 
-    let reports = harness.client().server_stats(false).expect("final scrape");
+    // Stop the autoscaler, then let any in-flight membership transfer
+    // settle (drain → Left, join → Up) before the final scrape: a
+    // mid-flight move would make the ledgers legitimately disagree.
+    let scale = scaler_handle.map(|h| {
+        scale_stop.store(true, Ordering::Relaxed);
+        let outcome = h.join().expect("autoscaler thread");
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            let view = harness
+                .coordinator()
+                .membership_view(harness.clock().now_millis());
+            let settling = view
+                .nodes
+                .iter()
+                .any(|n| matches!(n.state, NodeState::Joining | NodeState::Draining));
+            if !settling || Instant::now() > deadline {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(harness.epoch_ms()));
+        }
+        // One extra epoch for the final migration-complete to promote.
+        std::thread::sleep(Duration::from_millis(2 * harness.epoch_ms()));
+        outcome
+    });
+
+    // With the autoscaler on, a drained spare's workers have left the
+    // mapping by now — but the ops they served while joined live in
+    // *their* counters. Reconciliation across a resize must therefore
+    // scrape every spawned worker by address, not just current members.
+    let reports = if cfg.autoscale.is_some() {
+        let mut c = harness.client();
+        let mut out = Vec::new();
+        for s in 0..cfg.servers + cfg.spares {
+            for w in 0..cfg.workers_per_server {
+                if let Ok(r) = c.worker_stats(WorkerAddr::new(s, w), false) {
+                    out.push(r);
+                }
+            }
+        }
+        out
+    } else {
+        harness.client().server_stats(false).expect("final scrape")
+    };
     let mut server_counts = ServerCounts::default();
     let mut worker_ops: Vec<u64> = Vec::with_capacity(reports.len());
     for r in &reports {
@@ -956,6 +1591,26 @@ pub fn run_cell(cfg: &LoadgenConfig) -> CellResult {
             0.0
         }
     };
+    // Node-hours: with the autoscaler on, the per-epoch membership
+    // integral; off, the fixed fleet for the whole run.
+    let run_secs = cfg.warmup_secs + cfg.measure_secs;
+    let (scale_joins, scale_drains, node_hours, avg_nodes) = match &scale {
+        Some(s) => (s.joins, s.drains, s.node_seconds / 3600.0, s.avg_nodes),
+        None => (
+            0,
+            0,
+            cfg.servers as f64 * run_secs / 3600.0,
+            cfg.servers as f64,
+        ),
+    };
+    let origin_result = origin.map(|o| OriginResult {
+        fetch_ms: cfg.origin_fetch_ms,
+        fetches: o.fetches.load(Ordering::Relaxed),
+        coalesced: o.coalesced.load(Ordering::Relaxed),
+        hit: hit_hist.percentiles(),
+        miss: miss_hist.percentiles(),
+        delayed_hit: delayed_hist.percentiles(),
+    });
     CellResult {
         mix: cfg.mix.label().to_string(),
         phases: cfg.phases.label().to_string(),
@@ -963,6 +1618,12 @@ pub fn run_cell(cfg: &LoadgenConfig) -> CellResult {
         engine: cfg.engine.label().to_string(),
         tenancy: cfg.tenancy.label().to_string(),
         defense: cfg.defense.label().to_string(),
+        diurnal: cfg
+            .diurnal
+            .as_ref()
+            .map(|c| c.label())
+            .unwrap_or_else(|| "flat".to_string()),
+        autoscale: if cfg.autoscale.is_some() { "on" } else { "off" }.to_string(),
         target_rate: cfg.rate,
         achieved_rate,
         mqps: achieved_rate / 1e6,
@@ -974,6 +1635,11 @@ pub fn run_cell(cfg: &LoadgenConfig) -> CellResult {
         server: server_counts,
         worst_worker_utilization,
         counts_reconciled,
+        scale_joins,
+        scale_drains,
+        node_hours,
+        avg_nodes,
+        origin: origin_result,
         tenants,
     }
 }
@@ -1085,8 +1751,9 @@ pub struct LoadgenReport {
 }
 
 /// Compares a fresh report against a committed baseline: every cell
-/// whose coordinates (mix, phases, engine, tenancy, defense, transport)
-/// appear in both reports must keep its p99 within `tolerance`
+/// whose coordinates (mix, phases, engine, tenancy, defense, transport,
+/// diurnal, autoscale) appear in both reports must keep its p99 within
+/// `tolerance`
 /// (fractional, e.g. `0.20` = +20%) of the baseline, plus a small
 /// absolute allowance so microsecond-scale baselines don't fail on
 /// scheduler noise. Returns one human-readable line per violation;
@@ -1124,6 +1791,16 @@ pub fn compare_to_baseline_with(
     /// (a defense unwired, a lock on the hot path) move p99 by
     /// multiples, which still clears this slack.
     const ABS_SLACK_US: u64 = 1_000;
+    // Baselines committed before the elasticity coordinates existed
+    // carry them as empty strings — read those as the flat/off cells
+    // every pre-elasticity run actually was.
+    fn norm<'a>(s: &'a str, missing: &'a str) -> &'a str {
+        if s.is_empty() {
+            missing
+        } else {
+            s
+        }
+    }
     let mut failures = Vec::new();
     for base in &baseline.cells {
         let Some(cur) = current.cells.iter().find(|c| {
@@ -1133,6 +1810,8 @@ pub fn compare_to_baseline_with(
                 && c.tenancy == base.tenancy
                 && c.defense == base.defense
                 && c.transport == base.transport
+                && norm(&c.diurnal, "flat") == norm(&base.diurnal, "flat")
+                && norm(&c.autoscale, "off") == norm(&base.autoscale, "off")
         }) else {
             continue;
         };
@@ -1411,6 +2090,9 @@ mod tests {
             Mix::TtlHeavy,
             Mix::MultiTenant,
             Mix::ExtremeZipf,
+            Mix::Scenario(ScenarioPack::VideoCdn),
+            Mix::Scenario(ScenarioPack::SocialFeed),
+            Mix::Scenario(ScenarioPack::SessionStore),
         ] {
             assert_eq!(Mix::parse(m.label()), Some(m));
         }
@@ -1432,6 +2114,8 @@ mod tests {
             engine: "slab".into(),
             tenancy: "off".into(),
             defense: defense.into(),
+            diurnal: "flat".into(),
+            autoscale: "off".into(),
             target_rate: 1000,
             achieved_rate: 1000.0,
             mqps: 0.001,
@@ -1446,6 +2130,11 @@ mod tests {
             server: ServerCounts::default(),
             worst_worker_utilization: 1.0,
             counts_reconciled: true,
+            scale_joins: 0,
+            scale_drains: 0,
+            node_hours: 0.0,
+            avg_nodes: 2.0,
+            origin: None,
             tenants: vec![],
         }
     }
@@ -1546,6 +2235,200 @@ mod tests {
             panic!("no recheck for a passing cell")
         });
         assert!(failures.is_empty());
+    }
+
+    /// The streamed generator must replay the exact byte-for-byte
+    /// schedules of the fully-materialized implementation it replaced.
+    /// These digests were captured from the pre-streaming code; a
+    /// mismatch means committed baselines no longer describe the runs.
+    #[test]
+    fn streamed_schedules_match_pinned_digests() {
+        let pin = LoadgenConfig {
+            rate: 8_000,
+            threads: 2,
+            warmup_secs: 0.5,
+            measure_secs: 2.0,
+            records: 4_000,
+            seed: 42,
+            ..LoadgenConfig::default()
+        };
+        let pin2 = LoadgenConfig {
+            rate: 3_000,
+            threads: 3,
+            warmup_secs: 0.15,
+            measure_secs: 0.6,
+            records: 400,
+            seed: 7,
+            ..LoadgenConfig::default()
+        };
+        let pinned: [(Mix, u64, u64); 7] = [
+            (Mix::A, 15888823837573180473, 12600607677667349621),
+            (Mix::B, 4259103438952254696, 8120209872834679380),
+            (Mix::C, 2478245565823579101, 9251963053529161845),
+            (Mix::HotShift, 10038153267685077720, 17777198603061315574),
+            (Mix::TtlHeavy, 11949389470945714920, 9159858056968513582),
+            (Mix::MultiTenant, 11024186252967614692, 3844852061421095439),
+            (Mix::ExtremeZipf, 3200851058511634371, 17475542349080588867),
+        ];
+        for (mix, d1, d2) in pinned {
+            let got1 = config_digest(&LoadgenConfig { mix, ..pin.clone() });
+            assert_eq!(got1, d1, "{} diverged at PIN", mix.label());
+            let got2 = config_digest(&LoadgenConfig {
+                mix,
+                ..pin2.clone()
+            });
+            assert_eq!(got2, d2, "{} diverged at PIN2", mix.label());
+            // config_digest streams; schedule_digest materializes. Both
+            // views of the same config must agree.
+            let materialized = schedule_digest(&build_schedule(&LoadgenConfig {
+                mix,
+                ..pin2.clone()
+            }));
+            assert_eq!(materialized, d2, "{} streamed ≠ materialized", mix.label());
+        }
+    }
+
+    #[test]
+    fn scenario_schedules_replay_and_carry_bursts() {
+        for pack in ScenarioPack::ALL {
+            let cfg = LoadgenConfig {
+                mix: Mix::Scenario(pack),
+                rate: 4_000,
+                threads: 2,
+                warmup_secs: 0.1,
+                measure_secs: 0.4,
+                records: 500,
+                ..LoadgenConfig::default()
+            };
+            let a = build_schedule(&cfg);
+            let b = build_schedule(&cfg);
+            assert_eq!(a, b, "{} must replay by seed", pack.label());
+            assert_eq!(config_digest(&cfg), schedule_digest(&a));
+            let diverged = config_digest(&LoadgenConfig {
+                seed: cfg.seed + 1,
+                ..cfg.clone()
+            });
+            assert_ne!(diverged, schedule_digest(&a), "{}", pack.label());
+        }
+        // social-feed is the MultiGET-heavy pack: its schedule must
+        // contain runs of consecutive GETs sharing one intended slot
+        // (the burst the run loop reassembles into one MultiGET).
+        let cfg = LoadgenConfig {
+            mix: Mix::Scenario(ScenarioPack::SocialFeed),
+            rate: 4_000,
+            threads: 1,
+            warmup_secs: 0.1,
+            measure_secs: 0.9,
+            records: 500,
+            ..LoadgenConfig::default()
+        };
+        let sched = build_schedule(&cfg);
+        let bursts = sched[0]
+            .windows(2)
+            .filter(|w| {
+                w[0].intended_us == w[1].intended_us
+                    && w[0].op.kind == OpKind::Get
+                    && w[1].op.kind == OpKind::Get
+            })
+            .count();
+        assert!(bursts > 0, "social-feed schedule lost its MultiGET bursts");
+        // session-store renews TTLs via Touch.
+        let cfg = LoadgenConfig {
+            mix: Mix::Scenario(ScenarioPack::SessionStore),
+            ..cfg.clone()
+        };
+        let sched = build_schedule(&cfg);
+        assert!(
+            sched[0].iter().any(|s| s.op.kind == OpKind::Touch),
+            "session-store schedule lost its Touch ops"
+        );
+    }
+
+    #[test]
+    fn diurnal_curve_stretches_the_arrival_process() {
+        let flat = LoadgenConfig {
+            rate: 8_000,
+            threads: 1,
+            warmup_secs: 0.1,
+            measure_secs: 0.9,
+            records: 200,
+            ..LoadgenConfig::default()
+        };
+        let curved = LoadgenConfig {
+            diurnal: Some(DiurnalCurve::two_phase(0.25)),
+            ..flat.clone()
+        };
+        let f = build_schedule(&flat);
+        let c = build_schedule(&curved);
+        // The curve spends most of the run below multiplier 1, so the
+        // same wall-clock window carries fewer ops.
+        assert!(
+            c[0].len() < f[0].len(),
+            "trough multiplier must thin arrivals: {} vs {}",
+            c[0].len(),
+            f[0].len()
+        );
+        // Arrivals stay monotone and span the full run.
+        assert!(c[0]
+            .windows(2)
+            .all(|w| w[0].intended_us <= w[1].intended_us));
+        let last = c[0].last().expect("non-empty").intended_us;
+        assert!(last > 900_000, "arrivals must cover the window: {last}");
+        // The curve changes pacing, never the op *content* stream: the
+        // k-th op of both schedules is the same op at different times.
+        for (a, b) in f[0].iter().zip(c[0].iter()) {
+            assert_eq!(a.op, b.op);
+        }
+        // And the digest (which covers intended times) must diverge, so
+        // diurnal cells can never be confused with flat ones.
+        assert_ne!(config_digest(&flat), config_digest(&curved));
+    }
+
+    #[test]
+    fn origin_sim_coalesces_concurrent_misses() {
+        let origin = Arc::new(OriginSim::new(30));
+        let stored = Arc::new(AtomicU64::new(0));
+        let start = Arc::new(Barrier::new(6));
+        let mut handles = Vec::new();
+        for _ in 0..6 {
+            let origin = Arc::clone(&origin);
+            let stored = Arc::clone(&stored);
+            let start = Arc::clone(&start);
+            handles.push(std::thread::spawn(move || {
+                start.wait();
+                let t0 = Instant::now();
+                let class = origin.on_miss(b"the-key", || {
+                    stored.fetch_add(1, Ordering::Relaxed);
+                });
+                (class, t0.elapsed())
+            }));
+        }
+        let mut fetched = 0;
+        let mut delayed = 0;
+        for h in handles {
+            let (class, dt) = h.join().expect("miss thread");
+            match class {
+                MissClass::Fetched => fetched += 1,
+                MissClass::Delayed => delayed += 1,
+            }
+            assert!(
+                dt >= Duration::from_millis(5),
+                "every miss waits on the fetch: {dt:?}"
+            );
+        }
+        assert_eq!(fetched, 1, "exactly one origin fetch per key");
+        assert_eq!(delayed, 5, "latecomers coalesce behind it");
+        assert_eq!(stored.load(Ordering::Relaxed), 1, "one store-back");
+        assert_eq!(origin.fetches.load(Ordering::Relaxed), 1);
+        assert_eq!(origin.coalesced.load(Ordering::Relaxed), 5);
+
+        // After the fetch completes the key is no longer in flight: a
+        // later miss leads a fresh fetch.
+        match origin.on_miss(b"the-key", || {}) {
+            MissClass::Fetched => {}
+            MissClass::Delayed => panic!("completed fetch must not linger"),
+        }
+        assert_eq!(origin.fetches.load(Ordering::Relaxed), 2);
     }
 
     #[test]

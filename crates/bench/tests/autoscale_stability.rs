@@ -1,0 +1,103 @@
+//! Autoscaler stability under a step load: the fleet must scale out
+//! exactly once when the step lands, then *hold* — no join/drain
+//! flapping while utilization sits between the watermarks — and hand
+//! every op off losslessly across the one resize.
+//!
+//! The companion diurnal test (`tests/diurnal.rs`) exercises the full
+//! up-and-down cycle; this one pins the opposite property: a scaler
+//! that reacts once and then stays put.
+
+use mbal_bench::loadgen::{run_cell, LoadgenConfig, Mix, TransportMode};
+use mbal_scenario::{AutoscalerConfig, DiurnalCurve, ScenarioPack};
+
+fn step_cfg() -> LoadgenConfig {
+    LoadgenConfig {
+        mix: Mix::Scenario(ScenarioPack::VideoCdn),
+        rate: 6_000,
+        threads: 2,
+        // A longer warmup than the diurnal test: the load-phase EWMA
+        // residue must fully decay before the first observed epoch, or
+        // the quiet shoulder would read as a phantom peak.
+        warmup_secs: 0.8,
+        measure_secs: 7.2,
+        records: 1_500,
+        seed: 42,
+        transport: TransportMode::InProc,
+        servers: 2,
+        workers_per_server: 2,
+        // A step, not a cycle: quiet shoulder at 0.45× (inside the
+        // 0.3–0.7 hysteresis band), then up to 1.0× and *stay* there.
+        // After the join the fleet runs at 1.0 × 4/6 ≈ 0.67 — still
+        // inside the band, so the correct behaviour from then on is
+        // Hold, forever.
+        diurnal: Some(DiurnalCurve::parse("0:0.45,0.3:0.45,0.35:1,1:1").expect("valid curve")),
+        ..LoadgenConfig::default()
+    }
+}
+
+#[test]
+fn step_load_scales_out_once_and_never_flaps() {
+    let autoscaled = LoadgenConfig {
+        autoscale: Some(AutoscalerConfig {
+            up_epochs: 2,
+            down_epochs: 3,
+            cooldown_epochs: 4,
+            ..AutoscalerConfig::default()
+        }),
+        spares: 1,
+        ..step_cfg()
+    };
+    let fixed = step_cfg();
+
+    let on = run_cell(&autoscaled);
+    let off = run_cell(&fixed);
+
+    // Elasticity must not perturb the replayed schedule.
+    assert_eq!(
+        on.schedule_digest, off.schedule_digest,
+        "autoscaling must not perturb the op schedule"
+    );
+
+    // Exactly one scale-out when the step lands, and then nothing:
+    // post-join utilization sits between the watermarks, so any drain
+    // (or second join decision acted on) is flapping.
+    assert_eq!(
+        on.scale_joins, 1,
+        "the step must trigger exactly one join: {on:?}"
+    );
+    assert_eq!(
+        on.scale_drains, 0,
+        "steady state above the drain watermark must never drain: {on:?}"
+    );
+    assert_eq!(off.scale_joins, 0);
+    assert_eq!(off.scale_drains, 0);
+
+    // Lossless across the resize: every op answered and every count
+    // reconciled exactly against the per-worker ledgers.
+    assert_eq!(on.client.failures, 0, "no op may fail mid-join: {on:?}");
+    assert!(
+        on.counts_reconciled,
+        "the grow migration must not lose a single op: {on:?}"
+    );
+    assert_eq!(off.client.failures, 0);
+    assert!(off.counts_reconciled);
+
+    // The fleet spent the shoulder at base size and the plateau at
+    // base+1, so the average sits strictly between the two.
+    assert!(
+        on.avg_nodes > fixed.servers as f64 && on.avg_nodes < (fixed.servers + 1) as f64,
+        "average fleet must sit between base and base+1: {}",
+        on.avg_nodes
+    );
+    let run_hours = (fixed.warmup_secs + fixed.measure_secs) / 3600.0;
+    assert!(
+        on.node_hours < (fixed.servers + autoscaled.spares) as f64 * run_hours,
+        "one late join must beat always-peak: {}",
+        on.node_hours
+    );
+
+    // Both cells measured real traffic and report sane tails.
+    assert!(on.ops_measured > 0 && off.ops_measured > 0);
+    assert!(on.latency.p50_us <= on.latency.p99_us);
+    assert!(off.latency.p50_us <= off.latency.p99_us);
+}

@@ -1,0 +1,105 @@
+//! End-to-end diurnal elasticity: the video-cdn scenario pack under a
+//! two-phase day/night curve, with the reactive autoscaler driving
+//! joins and drains through the *real* membership/migration path —
+//! versus a fixed fleet replaying the digest-identical schedule.
+//!
+//! This is the PR's flagship experiment in miniature (seconds, not
+//! hours): the autoscaled cell must grow on the ramp, give the nodes
+//! back after the peak, lose nothing across either resize, and come in
+//! under the fixed fleet's node-hours.
+
+use mbal_bench::loadgen::{run_cell, LoadgenConfig, Mix, TransportMode};
+use mbal_scenario::{AutoscalerConfig, DiurnalCurve, ScenarioPack};
+
+fn diurnal_cfg() -> LoadgenConfig {
+    LoadgenConfig {
+        mix: Mix::Scenario(ScenarioPack::VideoCdn),
+        rate: 6_000,
+        threads: 2,
+        warmup_secs: 0.5,
+        measure_secs: 7.5,
+        records: 1_500,
+        seed: 42,
+        transport: TransportMode::InProc,
+        servers: 2,
+        workers_per_server: 2,
+        diurnal: Some(DiurnalCurve::two_phase(0.35)),
+        ..LoadgenConfig::default()
+    }
+}
+
+#[test]
+fn autoscaler_rides_the_diurnal_curve_losslessly() {
+    // Harness capacity is rate/worker at the base fleet, so the curve
+    // maps straight onto fleet utilization: peak ≈ 1.0 (> 0.7 joins),
+    // trough ≈ 0.35 — which only falls below the 0.3 drain watermark
+    // *after* the join grew the fleet (0.35 × 4/6 ≈ 0.23). The scaler
+    // must chase the day up and give the node back at night.
+    let autoscaled = LoadgenConfig {
+        autoscale: Some(AutoscalerConfig {
+            up_epochs: 2,
+            down_epochs: 3,
+            cooldown_epochs: 4,
+            ..AutoscalerConfig::default()
+        }),
+        spares: 1,
+        ..diurnal_cfg()
+    };
+    let fixed = diurnal_cfg();
+
+    let on = run_cell(&autoscaled);
+    let off = run_cell(&fixed);
+
+    // Identical schedule bytes: elasticity is the only variable.
+    assert_eq!(
+        on.schedule_digest, off.schedule_digest,
+        "autoscaling must not perturb the op schedule"
+    );
+    assert_eq!(on.diurnal, off.diurnal);
+    assert_eq!(on.autoscale, "on");
+    assert_eq!(off.autoscale, "off");
+
+    // The scaler actually drove the membership path, both directions.
+    assert!(
+        on.scale_joins >= 1,
+        "the day ramp must join a spare: {on:?}"
+    );
+    assert!(
+        on.scale_drains >= 1,
+        "the night trough must drain it back: {on:?}"
+    );
+
+    // Lossless across both resizes: every op answered, every count
+    // reconciled exactly against the per-worker ledgers (including the
+    // drained spare's).
+    assert_eq!(on.client.failures, 0, "no op may fail mid-resize: {on:?}");
+    assert!(
+        on.counts_reconciled,
+        "join + drain must hand off without losing a single op: {on:?}"
+    );
+    assert_eq!(off.client.failures, 0);
+    assert!(off.counts_reconciled);
+
+    // The cost story: the autoscaled fleet spends fewer node-hours than
+    // pinning the peak fleet for the whole run would, and its average
+    // fleet sits between the base and the peak.
+    assert!(on.node_hours > 0.0 && off.node_hours > 0.0);
+    let run_hours = (fixed.warmup_secs + fixed.measure_secs) / 3600.0;
+    let peak_fleet_hours = (fixed.servers + autoscaled.spares) as f64 * run_hours;
+    assert!(
+        on.node_hours < peak_fleet_hours,
+        "elasticity must beat always-peak: {} vs {}",
+        on.node_hours,
+        peak_fleet_hours
+    );
+    assert!(
+        on.avg_nodes >= fixed.servers as f64 && on.avg_nodes < (fixed.servers + 1) as f64,
+        "average fleet must sit between base and peak: {}",
+        on.avg_nodes
+    );
+
+    // Both cells measured real traffic and report sane tails.
+    assert!(on.ops_measured > 0 && off.ops_measured > 0);
+    assert!(on.latency.p50_us <= on.latency.p99_us);
+    assert!(off.latency.p50_us <= off.latency.p99_us);
+}

@@ -26,6 +26,10 @@ fn smoke_cfg() -> LoadgenConfig {
         engine: EngineKind::from_env(),
         tenancy: TenancyMode::Off,
         defense: DefenseMode::Off,
+        diurnal: None,
+        autoscale: None,
+        spares: 0,
+        origin_fetch_ms: 0,
     }
 }
 

@@ -66,8 +66,10 @@ impl CoordinatorLink for StaticMapping {
 fn usage() -> ! {
     eprintln!(
         "usage: mbal-cli [--host H] [--port P] [--workers N] [--cachelets N] \
-         [--tenant T] [--front-cache N] \\
-         <get KEY | set KEY VALUE | del KEY | stats | stats-reset | cluster-status | tenants>"
+         [--tenant T] [--front-cache N] [--instance TYPE] \\
+         <get KEY | set KEY VALUE | del KEY | stats | stats-reset | cluster-status | tenants>\n\
+         --instance picks the Table-1 cost-model row for the cluster-status \
+         cost footer (default c3.large)"
     );
     std::process::exit(2);
 }
@@ -83,6 +85,7 @@ fn main() {
     let front_entries: usize = flag("--front-cache")
         .and_then(|v| v.parse().ok())
         .unwrap_or(0);
+    let instance_name = flag("--instance").unwrap_or_else(|| "c3.large".into());
 
     // Positional command starts after the flags.
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -228,7 +231,10 @@ fn main() {
                 match transport.call(addr, Request::ClusterStatus) {
                     Ok(Response::StatsBlob { payload }) => {
                         match serde_json::from_slice::<MembershipView>(&payload) {
-                            Ok(view) => print_cluster_status(&view),
+                            Ok(view) => {
+                                print_cluster_status(&view);
+                                print_cost_summary(&view, &mut client, workers, &instance_name);
+                            }
                             Err(e) => {
                                 eprintln!("error: malformed view payload: {e}");
                                 std::process::exit(1);
@@ -280,5 +286,62 @@ fn print_cluster_status(view: &MembershipView) {
             }
         }
         println!("{line}");
+    }
+}
+
+/// The Table-1 cost footer under `cluster-status`: what the membership
+/// roster costs on the paper's instance catalogue (fleet capacity,
+/// hourly/daily dollars, estimated instance-hours), plus the measured
+/// utilization of the node this CLI is pointed at. Remote nodes are not
+/// reachable over this transport (the CLI maps one host's worker
+/// ports), so their utilization rows come from the loadgen's
+/// `BENCH_results.json` instead.
+fn print_cost_summary(view: &MembershipView, client: &mut Client, workers: u16, instance: &str) {
+    let Some(inst) = mbal_cluster::ec2::instance(instance) else {
+        eprintln!(
+            "unknown instance type {instance}; known: {}",
+            mbal_cluster::INSTANCES
+                .iter()
+                .map(|i| i.name)
+                .collect::<Vec<_>>()
+                .join(" ")
+        );
+        return;
+    };
+    let members = view.cluster_size() as u32;
+    println!(
+        "cost model {} ({} vcpu, {:.2} GiB, ${:.3}/h): fleet {} member(s), \
+         peak capacity ≈ {:.0} KQPS",
+        inst.name,
+        inst.vcpus,
+        inst.memory_gb,
+        inst.cost_per_hour,
+        members,
+        mbal_cluster::ec2::cluster_kqps(inst, members.max(1)),
+    );
+    println!(
+        "  hourly ${:.3}  est. instance-hours/day {:.1}  (${:.2}/day)",
+        inst.cost_per_hour * members as f64,
+        members as f64 * 24.0,
+        inst.cost_per_hour * members as f64 * 24.0,
+    );
+    let mut load = 0.0;
+    let mut capacity = 0.0;
+    let mut reached = 0u16;
+    for w in 0..workers {
+        if let Ok(report) = client.worker_stats(WorkerAddr::new(0, w), false) {
+            load += report.load.cachelets.iter().map(|c| c.load).sum::<f64>();
+            capacity += report.load.load_capacity;
+            reached += 1;
+        }
+    }
+    if reached > 0 && capacity > 0.0 {
+        println!(
+            "  node 0 (this host): utilization {:.2}  ({:.0} ops/s over {:.0} ops/s \
+             across {reached} worker(s))",
+            load / capacity,
+            load,
+            capacity,
+        );
     }
 }

@@ -177,6 +177,20 @@ impl SpaceSaving {
         self.counters.is_empty()
     }
 
+    /// Halves every counter (and its error bound), dropping keys that
+    /// decay to zero. Called when the stream the sketch summarizes
+    /// changes regime — a mapping epoch or workload phase rotation —
+    /// so yesterday's heavy hitters must re-prove themselves instead of
+    /// squatting on counters forever.
+    pub fn decay(&mut self) {
+        self.counters.retain(|_, c| {
+            c.count /= 2;
+            c.err /= 2;
+            c.count > 0
+        });
+        self.observed /= 2;
+    }
+
     /// Keys whose *guaranteed* count (`count − err`) is at least
     /// `threshold` — reported heavy hitters carry no false positives
     /// under this cut.
@@ -328,6 +342,13 @@ impl FrontCache {
     pub fn sketch(&self) -> &SpaceSaving {
         &self.sketch
     }
+
+    /// Decays the admission sketch (see [`SpaceSaving::decay`]). Cached
+    /// entries are left alone — mapping-version coherence already
+    /// rejects them at read time after a remap.
+    pub fn decay_sketch(&mut self) {
+        self.sketch.decay();
+    }
 }
 
 #[cfg(test)]
@@ -364,6 +385,24 @@ mod tests {
         assert_eq!(c, SketchCounter { count: 2, err: 1 });
         assert!(s.estimate(b"b").is_none(), "victim dropped");
         assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn decay_halves_counts_and_drops_dead_keys() {
+        let mut s = SpaceSaving::new(8);
+        for _ in 0..9 {
+            s.observe(b"hot");
+        }
+        s.observe(b"once");
+        s.decay();
+        assert_eq!(s.estimate(b"hot"), Some(SketchCounter { count: 4, err: 0 }));
+        assert!(s.estimate(b"once").is_none(), "count 1 decays to zero");
+        assert_eq!(s.observed(), 5);
+        // Repeated decay eventually empties the sketch entirely.
+        for _ in 0..4 {
+            s.decay();
+        }
+        assert!(s.is_empty());
     }
 
     #[test]

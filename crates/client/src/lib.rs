@@ -109,6 +109,10 @@ pub struct ClientStats {
     /// Keys newly admitted into the front cache after the sketch
     /// confirmed them hot.
     pub sketch_promotions: u64,
+    /// Times the front sketch was decayed because the mapping moved (a
+    /// migration, failover, or membership epoch) — the hot-key regime
+    /// the sketch summarized may have shifted with it.
+    pub sketch_decays: u64,
 }
 
 /// Errors surfaced to the application.
@@ -496,8 +500,22 @@ impl Client {
         } else {
             self.backoff_streak = 0;
             self.backoff_until = None;
+            self.decay_front_sketch();
         }
         changes
+    }
+
+    /// Decays the front tier's heavy-hitter sketch after a remap: the
+    /// mapping moving means a migration, failover, or membership epoch
+    /// touched the cluster, and the traffic regime the sketch
+    /// summarized may have rotated with it. Halving (rather than
+    /// clearing) keeps genuinely persistent hot keys warm while letting
+    /// a rotated head displace them quickly.
+    fn decay_front_sketch(&mut self) {
+        if let Some(front) = self.front.as_mut() {
+            front.decay_sketch();
+            self.stats.sketch_decays += 1;
+        }
     }
 
     /// The gated resync used by `NotOwner`/transport-error retry paths:
@@ -573,6 +591,7 @@ impl Client {
             new_owner,
         };
         self.mapping.apply_delta(&d);
+        self.decay_front_sketch();
     }
 
     /// Looks up `key`. Replica-aware: hot keys spread across their home

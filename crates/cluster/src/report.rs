@@ -75,6 +75,19 @@ pub struct SimReport {
     pub duration_ms: u64,
     /// Balance events per phase `(p1, p2, p3)` over the run.
     pub phase_events: (usize, usize, usize),
+    /// Plain-hit read latency under the delayed-hits origin model
+    /// (all-zero unless `SimConfig::origin_fetch_us` > 0).
+    pub hit_latency: LatencySummary,
+    /// Leader misses: reads that paid the full origin fetch.
+    pub miss_latency: LatencySummary,
+    /// Delayed hits: reads that coalesced behind an in-flight fetch
+    /// and completed when its fill landed.
+    pub delayed_hit_latency: LatencySummary,
+    /// Origin fetches issued (one per leader miss, however many
+    /// readers coalesced behind it).
+    pub origin_fetches: u64,
+    /// Reads that coalesced behind an in-flight origin fetch.
+    pub delayed_hits: u64,
 }
 
 impl SimReport {

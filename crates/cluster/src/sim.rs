@@ -135,6 +135,16 @@ pub struct SimConfig {
     /// real stack). Uses the plan's own seed, independent of
     /// [`SimConfig::seed`].
     pub fault: Option<FaultPlan>,
+    /// Origin fetch cost for the delayed-hits miss model (µs); `0`
+    /// disables it. When armed, the cache starts cold: the first read
+    /// of a key is a *miss* whose response is held for the full origin
+    /// round trip, reads arriving while that fetch is in flight
+    /// coalesce behind it and complete as *delayed hits* the moment it
+    /// lands (one origin fetch, N waiters), and writes fill their key
+    /// directly. Per-class latency summaries land in
+    /// [`SimReport::hit_latency`] / `miss_latency` /
+    /// `delayed_hit_latency`.
+    pub origin_fetch_us: u64,
 }
 
 impl Default for SimConfig {
@@ -169,6 +179,7 @@ impl Default for SimConfig {
             membership: Vec::new(),
             membership_cfg: MembershipConfig::default(),
             fault: None,
+            origin_fetch_us: 0,
         }
     }
 }
@@ -208,6 +219,24 @@ pub const DROP_RTO_US: u64 = 10_000;
 /// coordinated migration (it keeps serving, per-bucket, but pays the
 /// serialization and transfer CPU).
 pub const MIGRATION_SLOWDOWN: f64 = 1.35;
+
+/// Per-key cache-fill state for the delayed-hits origin model.
+#[derive(Debug, Clone, Copy)]
+enum OriginEntry {
+    /// The key is resident: reads are plain hits.
+    Cached,
+    /// A leader fetch is in flight and lands at `ready_at` (µs);
+    /// reads arriving before then coalesce behind it.
+    Fetching { ready_at: u64 },
+}
+
+/// Latency class of one read under the origin model.
+#[derive(Debug, Clone, Copy)]
+enum OpClass {
+    Hit,
+    Miss,
+    DelayedHit,
+}
 
 struct SimWorker {
     addr: WorkerAddr,
@@ -276,6 +305,14 @@ pub struct Simulation {
     /// workload seeds.
     fault_rng: SplitMix64,
     faults_injected: u64,
+    /// Delayed-hits origin model: per-key fill state by key id.
+    /// Engaged only when [`SimConfig::origin_fetch_us`] > 0.
+    origin: HashMap<u64, OriginEntry>,
+    origin_fetches: u64,
+    origin_delayed: u64,
+    hit_hist: Histogram,
+    miss_hist: Histogram,
+    delayed_hist: Histogram,
     queue: EventQueue<Event>,
 }
 
@@ -338,6 +375,12 @@ impl Simulation {
             next_member_event: 0,
             dead: Vec::new(),
             membership_moves: 0,
+            origin: HashMap::new(),
+            origin_fetches: 0,
+            origin_delayed: 0,
+            hit_hist: Histogram::new(),
+            miss_hist: Histogram::new(),
+            delayed_hist: Histogram::new(),
             queue: EventQueue::new(),
             cfg,
         }
@@ -557,6 +600,11 @@ impl Simulation {
             },
             duration_ms: total_ms - self.cfg.warmup_ms.min(total_ms),
             phase_events: events,
+            hit_latency: LatencySummary::from_histogram(&self.hit_hist),
+            miss_latency: LatencySummary::from_histogram(&self.miss_hist),
+            delayed_hit_latency: LatencySummary::from_histogram(&self.delayed_hist),
+            origin_fetches: self.origin_fetches,
+            delayed_hits: self.origin_delayed,
         }
     }
 
@@ -616,7 +664,55 @@ impl Simulation {
         acct.tracker.record(key, is_read);
         let cachelet = self.mapping.cachelet_of_vn(self.mapping.vn_of(key));
         *acct.cachelet_ops.entry(cachelet.0).or_insert(0) += 1;
-        done + half_rtt + self.fault_penalty_us()
+        let completion = done + half_rtt + self.fault_penalty_us();
+        self.origin_adjust(t, completion, key, is_read)
+    }
+
+    /// Delayed-hits origin model. The first read of a key misses: the
+    /// worker discovers the absence at service completion and holds the
+    /// response for the full [`SimConfig::origin_fetch_us`] round trip.
+    /// Reads that arrive while that fetch is in flight coalesce behind
+    /// it — no second origin fetch — and complete as delayed hits the
+    /// moment the fill lands. Writes fill their key directly. Returns
+    /// the (possibly deferred) completion time and records the op into
+    /// the per-class latency histograms.
+    fn origin_adjust(&mut self, t: u64, completion: u64, key: &[u8], is_read: bool) -> u64 {
+        if self.cfg.origin_fetch_us == 0 {
+            return completion;
+        }
+        let kid = key_id(key);
+        if !is_read {
+            self.origin.insert(kid, OriginEntry::Cached);
+            return completion;
+        }
+        let half_rtt = (self.cfg.rtt_us / 2.0) as u64;
+        let (class, adjusted) = match self.origin.get(&kid).copied() {
+            Some(OriginEntry::Cached) => (OpClass::Hit, completion),
+            Some(OriginEntry::Fetching { ready_at }) if t < ready_at => {
+                self.origin_delayed += 1;
+                (OpClass::DelayedHit, completion.max(ready_at + half_rtt))
+            }
+            Some(OriginEntry::Fetching { .. }) => {
+                // The fill landed before this read arrived: promote.
+                self.origin.insert(kid, OriginEntry::Cached);
+                (OpClass::Hit, completion)
+            }
+            None => {
+                let ready_at = completion - half_rtt + self.cfg.origin_fetch_us;
+                self.origin.insert(kid, OriginEntry::Fetching { ready_at });
+                self.origin_fetches += 1;
+                (OpClass::Miss, ready_at + half_rtt)
+            }
+        };
+        if adjusted >= self.cfg.warmup_ms * 1_000 {
+            let lat = adjusted - t;
+            match class {
+                OpClass::Hit => self.hit_hist.record(lat),
+                OpClass::Miss => self.miss_hist.record(lat),
+                OpClass::DelayedHit => self.delayed_hist.record(lat),
+            }
+        }
+        adjusted
     }
 
     /// Timing model for one pipelined MultiGET group: the coalesced
@@ -664,7 +760,14 @@ impl Simulation {
             let cachelet = self.mapping.cachelet_of_vn(self.mapping.vn_of(key));
             *acct.cachelet_ops.entry(cachelet.0).or_insert(0) += 1;
         }
-        done + half_rtt + self.fault_penalty_us()
+        let base = done + half_rtt + self.fault_penalty_us();
+        // The batch response travels as one frame: a missing key defers
+        // the whole group until its origin fill lands.
+        let mut latest = base;
+        for key in keys {
+            latest = latest.max(self.origin_adjust(t, base, key, true));
+        }
+        latest
     }
 
     fn build_loads(&self, server: u16) -> Vec<WorkerLoad> {
@@ -1058,6 +1161,116 @@ mod tests {
         assert!(report.overall.p99_us > 0.0);
         assert!(report.throughput_kqps() > 1.0);
         assert!(!report.windows.is_empty());
+    }
+
+    #[test]
+    fn concurrent_misses_coalesce_into_one_origin_fetch() {
+        // Eight closed-loop slots hammer a single cold key behind a
+        // slow origin: exactly one leader pays the fetch, the seven
+        // readers that arrive inside its window coalesce as delayed
+        // hits, and once the fill lands every later read is a plain
+        // hit. Delayed-hit latency must sit strictly between the hit
+        // and full-miss classes.
+        let cfg = SimConfig {
+            servers: 1,
+            workers_per_server: 1,
+            cachelets_per_worker: 4,
+            vns: 64,
+            clients: 8,
+            concurrency: 1,
+            origin_fetch_us: 200_000,
+            ..SimConfig::default()
+        };
+        let mut sim = Simulation::new(cfg);
+        let one_key = WorkloadSpec {
+            records: 1,
+            read_fraction: 1.0,
+            popularity: Popularity::Uniform,
+            key_len: 16,
+            value_len: 64,
+            ttl_range_ms: (0, 0),
+        };
+        let report = sim.run(&[(one_key, 2_000)]);
+
+        assert_eq!(
+            report.origin_fetches, 1,
+            "eight concurrent misses must coalesce into exactly one fetch"
+        );
+        assert_eq!(
+            report.delayed_hits, 7,
+            "the seven followers ride the leader"
+        );
+        assert_eq!(report.miss_latency.count, 1);
+        assert_eq!(report.delayed_hit_latency.count, 7);
+        assert!(
+            report.hit_latency.count > 100,
+            "post-fill traffic must be plain hits: {}",
+            report.hit_latency.count
+        );
+        // The ordering that defines the model: hit < delayed hit <
+        // full miss (means are exact, immune to bucketing error).
+        assert!(
+            report.hit_latency.mean_us < report.delayed_hit_latency.mean_us,
+            "hit {} vs delayed {}",
+            report.hit_latency.mean_us,
+            report.delayed_hit_latency.mean_us
+        );
+        assert!(
+            report.delayed_hit_latency.mean_us < report.miss_latency.mean_us,
+            "delayed {} vs miss {}",
+            report.delayed_hit_latency.mean_us,
+            report.miss_latency.mean_us
+        );
+        // A delayed hit still waits most of the origin fetch; a miss
+        // pays at least the whole thing.
+        assert!(report.delayed_hit_latency.mean_us > 150_000.0);
+        assert!(report.miss_latency.mean_us >= 200_000.0);
+        assert!(report.hit_latency.mean_us < 10_000.0);
+    }
+
+    #[test]
+    fn origin_model_off_leaves_classes_empty() {
+        let mut sim = Simulation::new(small_cfg(PhaseSet::none()));
+        let report = sim.run(&[(spec(0.95, Popularity::Uniform), 1_000)]);
+        assert_eq!(report.origin_fetches, 0);
+        assert_eq!(report.delayed_hits, 0);
+        assert_eq!(report.hit_latency.count, 0);
+        assert_eq!(report.miss_latency.count, 0);
+        assert_eq!(report.delayed_hit_latency.count, 0);
+    }
+
+    #[test]
+    fn writes_fill_keys_and_suppress_misses() {
+        // A write-heavy single-key run: the very first op decides the
+        // story. If it is a write there is no miss at all; if a read
+        // sneaks in first there is exactly one. Either way the origin
+        // is touched at most once because writes fill the key.
+        let cfg = SimConfig {
+            servers: 1,
+            workers_per_server: 1,
+            cachelets_per_worker: 4,
+            vns: 64,
+            clients: 4,
+            concurrency: 1,
+            origin_fetch_us: 50_000,
+            ..SimConfig::default()
+        };
+        let mut sim = Simulation::new(cfg);
+        let writey = WorkloadSpec {
+            records: 1,
+            read_fraction: 0.5,
+            popularity: Popularity::Uniform,
+            key_len: 16,
+            value_len: 64,
+            ttl_range_ms: (0, 0),
+        };
+        let report = sim.run(&[(writey, 1_000)]);
+        assert!(
+            report.origin_fetches <= 1,
+            "writes fill the key; at most the opening read misses: {}",
+            report.origin_fetches
+        );
+        assert!(report.hit_latency.count > 50);
     }
 
     #[test]

@@ -1,0 +1,251 @@
+//! The reactive autoscaler: fleet utilization in, join/drain decisions
+//! out.
+//!
+//! The controller is deliberately boring — watermarks with consecutive
+//! -epoch hysteresis and a post-action cooldown — because it sits in
+//! front of the membership machinery, where a flapping decision costs a
+//! real grow/evacuate rebalance each way. The invariants the tests pin:
+//!
+//! 1. a single noisy epoch never scales (hysteresis),
+//! 2. after an action, nothing fires until the cooldown expires (the
+//!    rebalance gets to finish and the signal to settle),
+//! 3. the fleet never leaves `[min_nodes, max_nodes]`.
+
+use mbal_telemetry::WorkerSnapshot;
+use serde::{Deserialize, Serialize};
+
+/// What the autoscaler wants done this epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScaleDecision {
+    /// No change.
+    Hold,
+    /// Join one node (the caller picks which spare).
+    ScaleOut,
+    /// Drain one node (the caller picks the victim).
+    ScaleIn,
+}
+
+/// Autoscaler tuning.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AutoscalerConfig {
+    /// Fleet utilization above which the controller wants to grow.
+    pub high_watermark: f64,
+    /// Fleet utilization below which the controller wants to shrink.
+    pub low_watermark: f64,
+    /// Consecutive epochs above the high watermark before a join fires.
+    pub up_epochs: u32,
+    /// Consecutive epochs below the low watermark before a drain fires.
+    pub down_epochs: u32,
+    /// Epochs to hold after any action before another may fire.
+    pub cooldown_epochs: u32,
+    /// Smallest fleet the controller will drain down to.
+    pub min_nodes: usize,
+    /// Largest fleet the controller will grow to.
+    pub max_nodes: usize,
+}
+
+impl Default for AutoscalerConfig {
+    fn default() -> Self {
+        Self {
+            high_watermark: 0.7,
+            low_watermark: 0.3,
+            up_epochs: 2,
+            down_epochs: 4,
+            cooldown_epochs: 4,
+            min_nodes: 1,
+            max_nodes: 64,
+        }
+    }
+}
+
+/// The reactive controller. Feed it one utilization sample per epoch
+/// via [`Autoscaler::observe`].
+#[derive(Debug, Clone)]
+pub struct Autoscaler {
+    cfg: AutoscalerConfig,
+    high_streak: u32,
+    low_streak: u32,
+    cooldown: u32,
+    joins: u64,
+    drains: u64,
+}
+
+impl Autoscaler {
+    /// Creates a controller with the given tuning.
+    pub fn new(cfg: AutoscalerConfig) -> Self {
+        Self {
+            cfg,
+            high_streak: 0,
+            low_streak: 0,
+            cooldown: 0,
+            joins: 0,
+            drains: 0,
+        }
+    }
+
+    /// The tuning in effect.
+    pub fn config(&self) -> &AutoscalerConfig {
+        &self.cfg
+    }
+
+    /// Joins decided so far.
+    pub fn joins(&self) -> u64 {
+        self.joins
+    }
+
+    /// Drains decided so far.
+    pub fn drains(&self) -> u64 {
+        self.drains
+    }
+
+    /// Consumes one epoch's fleet signal: `members` live nodes at
+    /// aggregate `utilization` (load / capacity over the whole fleet).
+    /// Returns what to do; a non-`Hold` answer starts the cooldown and
+    /// assumes the caller acts on it.
+    pub fn observe(&mut self, members: usize, utilization: f64) -> ScaleDecision {
+        if self.cooldown > 0 {
+            // While cooling down the signal reflects a half-finished
+            // rebalance; it must not accumulate toward the next action.
+            self.cooldown -= 1;
+            self.high_streak = 0;
+            self.low_streak = 0;
+            return ScaleDecision::Hold;
+        }
+        if utilization > self.cfg.high_watermark {
+            self.high_streak += 1;
+            self.low_streak = 0;
+        } else if utilization < self.cfg.low_watermark {
+            self.low_streak += 1;
+            self.high_streak = 0;
+        } else {
+            self.high_streak = 0;
+            self.low_streak = 0;
+        }
+        if self.high_streak >= self.cfg.up_epochs && members < self.cfg.max_nodes {
+            self.high_streak = 0;
+            self.cooldown = self.cfg.cooldown_epochs;
+            self.joins += 1;
+            return ScaleDecision::ScaleOut;
+        }
+        if self.low_streak >= self.cfg.down_epochs && members > self.cfg.min_nodes {
+            self.low_streak = 0;
+            self.cooldown = self.cfg.cooldown_epochs;
+            self.drains += 1;
+            return ScaleDecision::ScaleIn;
+        }
+        ScaleDecision::Hold
+    }
+}
+
+/// Aggregate fleet utilization from one epoch's worker snapshots:
+/// total load over total capacity, `0` for an empty or capacity-less
+/// fleet.
+pub fn fleet_utilization(snapshots: &[WorkerSnapshot]) -> f64 {
+    let capacity: f64 = snapshots.iter().map(|s| s.load_capacity).sum();
+    if capacity <= 0.0 {
+        return 0.0;
+    }
+    snapshots.iter().map(|s| s.total_load()).sum::<f64>() / capacity
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbal_core::stats::CacheletLoad;
+    use mbal_core::types::{ServerId, WorkerAddr, WorkerId};
+
+    fn cfg() -> AutoscalerConfig {
+        AutoscalerConfig {
+            high_watermark: 0.7,
+            low_watermark: 0.3,
+            up_epochs: 2,
+            down_epochs: 3,
+            cooldown_epochs: 3,
+            min_nodes: 2,
+            max_nodes: 4,
+        }
+    }
+
+    #[test]
+    fn one_noisy_epoch_never_scales() {
+        let mut a = Autoscaler::new(cfg());
+        assert_eq!(a.observe(2, 0.95), ScaleDecision::Hold);
+        assert_eq!(a.observe(2, 0.5), ScaleDecision::Hold);
+        assert_eq!(a.observe(2, 0.95), ScaleDecision::Hold);
+        assert_eq!(a.observe(2, 0.5), ScaleDecision::Hold);
+        assert_eq!(a.joins(), 0);
+    }
+
+    #[test]
+    fn sustained_overload_joins_then_cools_down() {
+        let mut a = Autoscaler::new(cfg());
+        assert_eq!(a.observe(2, 0.9), ScaleDecision::Hold);
+        assert_eq!(a.observe(2, 0.9), ScaleDecision::ScaleOut);
+        // Cooldown: even a screaming signal holds for 3 epochs.
+        for _ in 0..3 {
+            assert_eq!(a.observe(3, 0.99), ScaleDecision::Hold);
+        }
+        // And the streak restarted from zero after the cooldown.
+        assert_eq!(a.observe(3, 0.9), ScaleDecision::Hold);
+        assert_eq!(a.observe(3, 0.9), ScaleDecision::ScaleOut);
+        assert_eq!(a.joins(), 2);
+    }
+
+    #[test]
+    fn sustained_idle_drains_with_longer_hysteresis() {
+        let mut a = Autoscaler::new(cfg());
+        assert_eq!(a.observe(3, 0.1), ScaleDecision::Hold);
+        assert_eq!(a.observe(3, 0.1), ScaleDecision::Hold);
+        assert_eq!(a.observe(3, 0.1), ScaleDecision::ScaleIn);
+        assert_eq!(a.drains(), 1);
+    }
+
+    #[test]
+    fn fleet_bounds_are_hard() {
+        let mut a = Autoscaler::new(cfg());
+        for _ in 0..10 {
+            assert_eq!(a.observe(4, 0.99), ScaleDecision::Hold, "at max_nodes");
+        }
+        let mut a = Autoscaler::new(cfg());
+        for _ in 0..10 {
+            assert_eq!(a.observe(2, 0.01), ScaleDecision::Hold, "at min_nodes");
+        }
+    }
+
+    #[test]
+    fn mid_band_resets_streaks() {
+        let mut a = Autoscaler::new(cfg());
+        assert_eq!(a.observe(2, 0.9), ScaleDecision::Hold);
+        assert_eq!(a.observe(2, 0.5), ScaleDecision::Hold);
+        assert_eq!(a.observe(2, 0.9), ScaleDecision::Hold);
+        assert_eq!(a.observe(2, 0.9), ScaleDecision::ScaleOut);
+    }
+
+    fn snap(server: u16, load: f64, capacity: f64) -> WorkerSnapshot {
+        WorkerSnapshot {
+            addr: WorkerAddr {
+                server: ServerId(server),
+                worker: WorkerId(0),
+            },
+            cachelets: vec![CacheletLoad {
+                cachelet: mbal_core::types::CacheletId(server as u32),
+                load,
+                mem_bytes: 0,
+                read_ratio: 1.0,
+            }],
+            load_capacity: capacity,
+            mem_capacity: 0,
+            metrics: Default::default(),
+            tenants: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn utilization_is_load_over_capacity() {
+        let snaps = [snap(0, 700.0, 1_000.0), snap(1, 100.0, 1_000.0)];
+        let u = fleet_utilization(&snaps);
+        assert!((u - 0.4).abs() < 1e-9, "utilization {u}");
+        assert_eq!(fleet_utilization(&[]), 0.0);
+        assert_eq!(fleet_utilization(&[snap(0, 5.0, 0.0)]), 0.0);
+    }
+}

@@ -1,0 +1,171 @@
+//! Diurnal load curves: a piecewise-linear rate multiplier over the
+//! fractional progress of a run.
+//!
+//! The load generator divides its base inter-arrival gap by the
+//! multiplier, so `1.0` is the configured rate, `0.35` is the overnight
+//! trough, and the linear segments between control points are the
+//! morning/evening ramps an autoscaler has to chase.
+
+use serde::{Deserialize, Serialize};
+
+/// A piecewise-linear curve of `(time_fraction, multiplier)` control
+/// points over `[0, 1]`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DiurnalCurve {
+    points: Vec<(f64, f64)>,
+}
+
+/// Multipliers are clamped here so a curve can never stall the
+/// schedule (a zero multiplier would push every later op to infinity).
+const MIN_MULT: f64 = 0.05;
+const MAX_MULT: f64 = 20.0;
+
+impl DiurnalCurve {
+    /// Builds a curve from control points; they are sorted by time and
+    /// clamped to sane ranges. An empty list yields the flat curve.
+    pub fn new(mut points: Vec<(f64, f64)>) -> Self {
+        if points.is_empty() {
+            points.push((0.0, 1.0));
+        }
+        for p in &mut points {
+            p.0 = p.0.clamp(0.0, 1.0);
+            p.1 = p.1.clamp(MIN_MULT, MAX_MULT);
+        }
+        points.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite times"));
+        Self { points }
+    }
+
+    /// The constant-rate curve (multiplier 1 everywhere).
+    pub fn flat() -> Self {
+        Self::new(vec![(0.0, 1.0)])
+    }
+
+    /// The canonical two-phase day/night shape used by the diurnal
+    /// experiments: a trough at `low`, a ramp up to the full-rate peak
+    /// through the middle of the run, and a ramp back down.
+    pub fn two_phase(low: f64) -> Self {
+        Self::new(vec![
+            (0.0, low),
+            (0.2, low),
+            (0.35, 1.0),
+            (0.6, 1.0),
+            (0.8, low),
+            (1.0, low),
+        ])
+    }
+
+    /// The multiplier at run fraction `frac` (clamped to `[0, 1]`),
+    /// linearly interpolated between control points.
+    pub fn multiplier_at(&self, frac: f64) -> f64 {
+        let f = frac.clamp(0.0, 1.0);
+        let pts = &self.points;
+        if f <= pts[0].0 {
+            return pts[0].1;
+        }
+        for w in pts.windows(2) {
+            let (t0, m0) = w[0];
+            let (t1, m1) = w[1];
+            if f <= t1 {
+                if t1 - t0 <= f64::EPSILON {
+                    return m1;
+                }
+                return m0 + (m1 - m0) * (f - t0) / (t1 - t0);
+            }
+        }
+        pts.last().expect("non-empty").1
+    }
+
+    /// Mean multiplier over the whole run (trapezoidal integral) —
+    /// what the achieved rate works out to relative to the base rate.
+    pub fn mean(&self) -> f64 {
+        let pts = &self.points;
+        let mut area = pts[0].0 * pts[0].1;
+        for w in pts.windows(2) {
+            area += (w[1].0 - w[0].0) * (w[0].1 + w[1].1) / 2.0;
+        }
+        let last = pts.last().expect("non-empty");
+        area += (1.0 - last.0) * last.1;
+        area
+    }
+
+    /// Parses `"t:mult,t:mult,..."` (e.g. `"0:0.35,0.4:1,0.8:0.35"`).
+    pub fn parse(s: &str) -> Option<Self> {
+        let mut pts = Vec::new();
+        for part in s.split(',').filter(|p| !p.is_empty()) {
+            let (t, m) = part.split_once(':')?;
+            pts.push((t.trim().parse().ok()?, m.trim().parse().ok()?));
+        }
+        if pts.is_empty() {
+            return None;
+        }
+        Some(Self::new(pts))
+    }
+
+    /// Renders the curve back into the [`Self::parse`] format.
+    pub fn label(&self) -> String {
+        self.points
+            .iter()
+            .map(|(t, m)| format!("{t}:{m}"))
+            .collect::<Vec<_>>()
+            .join(",")
+    }
+
+    /// The control points (diagnostics, tests).
+    pub fn points(&self) -> &[(f64, f64)] {
+        &self.points
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_curve_is_one_everywhere() {
+        let c = DiurnalCurve::flat();
+        for f in [0.0, 0.3, 0.99, 1.0, 2.0] {
+            assert_eq!(c.multiplier_at(f), 1.0);
+        }
+        assert!((c.mean() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn two_phase_ramps_linearly() {
+        let c = DiurnalCurve::two_phase(0.4);
+        assert_eq!(c.multiplier_at(0.0), 0.4);
+        assert_eq!(c.multiplier_at(0.5), 1.0);
+        assert_eq!(c.multiplier_at(1.0), 0.4);
+        // Midpoint of the 0.2 -> 0.35 ramp.
+        let mid = c.multiplier_at(0.275);
+        assert!(
+            (mid - 0.7).abs() < 1e-9,
+            "ramp must interpolate linearly: {mid}"
+        );
+        let mean = c.mean();
+        assert!(mean > 0.4 && mean < 1.0, "mean {mean}");
+    }
+
+    #[test]
+    fn parse_roundtrips_and_rejects_garbage() {
+        let c = DiurnalCurve::parse("0:0.35,0.4:1,0.8:0.35").expect("parses");
+        assert_eq!(c.points().len(), 3);
+        assert_eq!(DiurnalCurve::parse(&c.label()), Some(c));
+        assert!(DiurnalCurve::parse("").is_none());
+        assert!(DiurnalCurve::parse("0.5").is_none());
+        assert!(DiurnalCurve::parse("a:b").is_none());
+    }
+
+    #[test]
+    fn multipliers_are_clamped_against_stalls() {
+        let c = DiurnalCurve::new(vec![(0.0, 0.0), (1.0, 1e9)]);
+        assert!(c.multiplier_at(0.0) >= 0.05);
+        assert!(c.multiplier_at(1.0) <= 20.0);
+    }
+
+    #[test]
+    fn unsorted_points_are_sorted() {
+        let c = DiurnalCurve::new(vec![(0.8, 0.5), (0.2, 2.0)]);
+        assert_eq!(c.multiplier_at(0.0), 2.0);
+        assert_eq!(c.multiplier_at(1.0), 0.5);
+    }
+}

@@ -1,0 +1,36 @@
+//! # mbal-scenario
+//!
+//! Trace-style workload scenarios and the elasticity machinery that
+//! turns them into end-to-end experiments:
+//!
+//! - [`ScenarioPack`]: three seeded traffic generators modelled on real
+//!   cache deployments — `video-cdn` (large long-tail objects, long
+//!   TTLs), `social-feed` (hot rotating head, small values, heavy
+//!   MultiGET), `session-store` (write-heavy with per-key TTL renewal
+//!   via `Touch`). Each wraps [`mbal_workload::WorkloadGen`] and adds
+//!   per-op value-size, TTL and op-kind draws from an independent
+//!   seeded stream, so a pack's schedule is digest-stable per seed.
+//! - [`DiurnalCurve`]: a piecewise-linear load multiplier over the run
+//!   (ramps between phases), used by the load generator to stretch or
+//!   compress inter-arrival gaps — the "day/night" shape an autoscaler
+//!   must follow.
+//! - [`Autoscaler`]: a reactive controller that consumes fleet
+//!   utilization derived from epoch [`mbal_telemetry::WorkerSnapshot`]
+//!   loads and decides join/drain actions with watermarks, consecutive
+//!   -epoch hysteresis, and post-action cooldowns, so a noisy signal
+//!   cannot flap the membership machinery.
+//!
+//! The crate is deliberately mechanism-free: it decides *what* the
+//! traffic looks like and *when* to scale; the bench harness and the
+//! cluster sim own the wiring to the real membership/migration path.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod autoscale;
+pub mod diurnal;
+pub mod packs;
+
+pub use autoscale::{fleet_utilization, Autoscaler, AutoscalerConfig, ScaleDecision};
+pub use diurnal::DiurnalCurve;
+pub use packs::{origin_value, ScenarioGen, ScenarioPack, ScenarioSpec};

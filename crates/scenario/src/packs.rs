@@ -1,0 +1,355 @@
+//! The trace-style scenario packs.
+//!
+//! Each pack is a [`ScenarioSpec`]: a base [`WorkloadSpec`] (records,
+//! popularity, read mix) plus the distributions YCSB does not model —
+//! weighted value sizes, weighted TTLs, a `Touch`-renewal fraction, a
+//! MultiGET burst cadence, and a rotating hot head. A [`ScenarioGen`]
+//! draws all of the extras from a second seeded RNG stream, so the base
+//! key/op stream stays exactly [`mbal_workload::WorkloadGen`]'s and the
+//! whole pack replays bit-identically for a seed.
+
+use mbal_workload::{Op, OpKind, Popularity, WorkloadGen, WorkloadSpec};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A named trace-style traffic scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScenarioPack {
+    /// Video CDN: 98% GET over a long-tail (θ=0.7) catalogue of large
+    /// objects (1 KiB – 64 KiB, weighted toward small), TTLs of
+    /// minutes. Misses are expensive — the pack that makes the origin
+    /// model and delayed hits matter.
+    VideoCdn,
+    /// Social feed: small values, a hot zipfian head that rotates
+    /// through the key space during the run, and every few reads a
+    /// MultiGET burst (a feed-page fetch).
+    SocialFeed,
+    /// Session store: write-heavy (55% mutation), short weighted TTLs,
+    /// and a fraction of reads replaced by `Touch` renewals that push a
+    /// live session's expiry out instead of re-writing it.
+    SessionStore,
+}
+
+impl ScenarioPack {
+    /// All packs, in label order.
+    pub const ALL: [ScenarioPack; 3] = [
+        ScenarioPack::VideoCdn,
+        ScenarioPack::SocialFeed,
+        ScenarioPack::SessionStore,
+    ];
+
+    /// The CLI/report label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ScenarioPack::VideoCdn => "video-cdn",
+            ScenarioPack::SocialFeed => "social-feed",
+            ScenarioPack::SessionStore => "session-store",
+        }
+    }
+
+    /// Parses a label back into a pack.
+    pub fn parse(s: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|p| p.label() == s)
+    }
+
+    /// The pack's full specification over `records` distinct keys.
+    pub fn spec(&self, records: u64) -> ScenarioSpec {
+        match self {
+            ScenarioPack::VideoCdn => ScenarioSpec {
+                base: WorkloadSpec {
+                    records,
+                    read_fraction: 0.98,
+                    popularity: Popularity::Zipfian { theta: 0.7 },
+                    key_len: 24,
+                    value_len: 4096,
+                    ttl_range_ms: (0, 0),
+                },
+                value_sizes: &[(1024, 50), (4096, 30), (16384, 18), (65536, 2)],
+                ttl_choices_ms: &[(300_000, 2), (1_800_000, 1)],
+                touch_fraction: 0.0,
+                touch_ttl_ms: 0,
+                multiget_every: 0,
+                multiget_batch: 1,
+                rotate_every: 0,
+                rotate_step: 0,
+            },
+            ScenarioPack::SocialFeed => ScenarioSpec {
+                base: WorkloadSpec {
+                    records,
+                    read_fraction: 0.9,
+                    popularity: Popularity::Zipfian { theta: 0.99 },
+                    key_len: 24,
+                    value_len: 256,
+                    ttl_range_ms: (0, 0),
+                },
+                value_sizes: &[(64, 50), (256, 35), (1024, 15)],
+                ttl_choices_ms: &[(30_000, 1), (120_000, 1)],
+                touch_fraction: 0.0,
+                touch_ttl_ms: 0,
+                multiget_every: 4,
+                multiget_batch: 8,
+                rotate_every: 20_000,
+                rotate_step: records / 6,
+            },
+            ScenarioPack::SessionStore => ScenarioSpec {
+                base: WorkloadSpec {
+                    records,
+                    read_fraction: 0.45,
+                    popularity: Popularity::Zipfian { theta: 0.99 },
+                    key_len: 24,
+                    value_len: 512,
+                    ttl_range_ms: (0, 0),
+                },
+                value_sizes: &[(128, 40), (512, 40), (2048, 20)],
+                ttl_choices_ms: &[(2_000, 1), (5_000, 2), (10_000, 1)],
+                touch_fraction: 0.3,
+                touch_ttl_ms: 8_000,
+                multiget_every: 0,
+                multiget_batch: 1,
+                rotate_every: 0,
+                rotate_step: 0,
+            },
+        }
+    }
+}
+
+/// The full parameterization of one scenario pack.
+#[derive(Debug, Clone)]
+pub struct ScenarioSpec {
+    /// Key space, popularity and read mix (the YCSB-shaped core).
+    /// `base.value_len` is the load-phase size, roughly the size mean.
+    pub base: WorkloadSpec,
+    /// Weighted `(bytes, weight)` choices for SET value sizes.
+    pub value_sizes: &'static [(usize, u32)],
+    /// Weighted `(ttl_ms, weight)` choices applied to every SET.
+    pub ttl_choices_ms: &'static [(u64, u32)],
+    /// Fraction of reads converted into `Touch` TTL renewals.
+    pub touch_fraction: f64,
+    /// The TTL a `Touch` renewal installs.
+    pub touch_ttl_ms: u64,
+    /// Every `multiget_every`-th read becomes a MultiGET burst
+    /// (0 = never).
+    pub multiget_every: u64,
+    /// Keys per MultiGET burst.
+    pub multiget_batch: usize,
+    /// Rotate the hot head every `rotate_every` generated ops
+    /// (0 = never).
+    pub rotate_every: u64,
+    /// Key-index offset added per rotation.
+    pub rotate_step: u64,
+}
+
+/// A deterministic op stream for a [`ScenarioSpec`].
+///
+/// [`ScenarioGen::next_burst`] returns one *or more* ops: a MultiGET
+/// burst comes back as a run of GETs the consumer should issue at the
+/// same instant (the loadgen assigns the whole burst one intended start
+/// time, and the client coalesces consecutive same-tick GETs into a
+/// real MultiGET).
+pub struct ScenarioGen {
+    spec: ScenarioSpec,
+    base: WorkloadGen,
+    extra: SmallRng,
+    ops: u64,
+    reads: u64,
+    offset: u64,
+}
+
+impl ScenarioGen {
+    /// Creates a generator for `spec` with the given `seed`.
+    pub fn new(spec: ScenarioSpec, seed: u64) -> Self {
+        let base = WorkloadGen::new(spec.base.clone(), seed);
+        Self {
+            spec,
+            base,
+            // An independent stream for the scenario-only draws, so the
+            // base key/op stream is exactly the YCSB generator's.
+            extra: SmallRng::seed_from_u64(seed ^ 0x5CE7_A210_D15E_A5E5),
+            ops: 0,
+            reads: 0,
+            offset: 0,
+        }
+    }
+
+    /// The underlying specification.
+    pub fn spec(&self) -> &ScenarioSpec {
+        &self.spec
+    }
+
+    /// Ops generated so far (burst members each count once).
+    pub fn generated(&self) -> u64 {
+        self.ops
+    }
+
+    /// The load phase of the base spec (pre-populates every record at
+    /// the mean value size).
+    pub fn load_phase(&self) -> impl Iterator<Item = (Vec<u8>, Vec<u8>)> + '_ {
+        self.base.load_phase()
+    }
+
+    fn weighted<T: Copy>(rng: &mut SmallRng, choices: &[(T, u32)]) -> T {
+        let total: u32 = choices.iter().map(|(_, w)| w).sum();
+        let mut draw = rng.gen_range(0..total.max(1));
+        for &(v, w) in choices {
+            if draw < w {
+                return v;
+            }
+            draw -= w;
+        }
+        choices.last().expect("non-empty choices").0
+    }
+
+    /// A deterministic value of `len` bytes derived from the key, so a
+    /// re-set of the same key at the same drawn size replays the same
+    /// bytes.
+    fn sized_value(key: &[u8], len: usize) -> Vec<u8> {
+        origin_value(key, len)
+    }
+
+    fn next_single(&mut self) -> Op {
+        self.ops += 1;
+        if self.spec.rotate_every > 0 && self.ops.is_multiple_of(self.spec.rotate_every) {
+            self.offset = self.offset.wrapping_add(self.spec.rotate_step);
+            self.base.set_index_offset(self.offset);
+        }
+        let mut op = self.base.next_op();
+        match op.kind {
+            OpKind::Set => {
+                let len = Self::weighted(&mut self.extra, self.spec.value_sizes);
+                op.value = Self::sized_value(&op.key, len);
+                op.ttl_ms = Self::weighted(&mut self.extra, self.spec.ttl_choices_ms);
+            }
+            OpKind::Get => {
+                if self.spec.touch_fraction > 0.0
+                    && self.extra.gen::<f64>() < self.spec.touch_fraction
+                {
+                    op.kind = OpKind::Touch;
+                    op.ttl_ms = self.spec.touch_ttl_ms;
+                }
+            }
+            OpKind::Delete | OpKind::Touch => {}
+        }
+        op
+    }
+
+    /// Generates the next op, or a MultiGET burst of ops meant to be
+    /// issued together.
+    pub fn next_burst(&mut self) -> Vec<Op> {
+        let op = self.next_single();
+        if op.kind != OpKind::Get || self.spec.multiget_every == 0 {
+            return vec![op];
+        }
+        self.reads += 1;
+        if !self.reads.is_multiple_of(self.spec.multiget_every) {
+            return vec![op];
+        }
+        let mut burst = vec![op];
+        while burst.len() < self.spec.multiget_batch {
+            // Draw follow-up keys from the base stream; whatever op kind
+            // came out, the page fetch reads the key.
+            let mut extra = self.next_single();
+            extra.kind = OpKind::Get;
+            extra.value = Vec::new();
+            extra.ttl_ms = 0;
+            burst.push(extra);
+        }
+        burst
+    }
+}
+
+/// A deterministic pseudo-value of `len` bytes derived from `key` (FNV
+/// keyed) — the bytes [`ScenarioGen`] stores on SET, and the bytes an
+/// origin/backing-store model refills after a simulated miss fetch, so
+/// both paths replay identically across runs.
+pub fn origin_value(key: &[u8], len: usize) -> Vec<u8> {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in key {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    let seed = h.to_le_bytes();
+    (0..len).map(|i| seed[i % 8] ^ (i as u8)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain(pack: ScenarioPack, seed: u64, n: usize) -> Vec<Op> {
+        let mut g = ScenarioGen::new(pack.spec(10_000), seed);
+        let mut out = Vec::new();
+        while out.len() < n {
+            out.extend(g.next_burst());
+        }
+        out
+    }
+
+    #[test]
+    fn packs_replay_bit_identically_per_seed() {
+        for pack in ScenarioPack::ALL {
+            assert_eq!(drain(pack, 42, 5_000), drain(pack, 42, 5_000));
+            assert_ne!(
+                drain(pack, 42, 5_000),
+                drain(pack, 43, 5_000),
+                "{}: different seeds must diverge",
+                pack.label()
+            );
+        }
+    }
+
+    #[test]
+    fn labels_parse_back() {
+        for pack in ScenarioPack::ALL {
+            assert_eq!(ScenarioPack::parse(pack.label()), Some(pack));
+        }
+        assert_eq!(ScenarioPack::parse("nope"), None);
+    }
+
+    #[test]
+    fn video_cdn_draws_long_tail_sizes_and_long_ttls() {
+        let ops = drain(ScenarioPack::VideoCdn, 7, 50_000);
+        let sets: Vec<&Op> = ops.iter().filter(|o| o.kind == OpKind::Set).collect();
+        assert!(!sets.is_empty());
+        let sizes: std::collections::HashSet<usize> = sets.iter().map(|o| o.value.len()).collect();
+        assert!(sizes.len() >= 3, "size distribution collapsed: {sizes:?}");
+        assert!(sets.iter().all(|o| o.ttl_ms >= 300_000));
+        let reads = ops.iter().filter(|o| o.kind == OpKind::Get).count();
+        assert!(reads as f64 / ops.len() as f64 > 0.95, "CDN is read-heavy");
+    }
+
+    #[test]
+    fn social_feed_bursts_multigets_and_rotates_the_head() {
+        let spec = ScenarioPack::SocialFeed.spec(10_000);
+        let mut g = ScenarioGen::new(spec, 11);
+        let mut burst_sizes = Vec::new();
+        for _ in 0..2_000 {
+            burst_sizes.push(g.next_burst().len());
+        }
+        assert!(burst_sizes.contains(&8), "no MultiGET bursts emitted");
+        assert!(burst_sizes.iter().filter(|&&b| b == 1).count() > 100);
+        // Rotation: after enough ops the index offset must have moved.
+        while g.generated() < 45_000 {
+            g.next_burst();
+        }
+        assert!(g.offset > 0, "hot head never rotated");
+    }
+
+    #[test]
+    fn session_store_touches_renew_ttls() {
+        let ops = drain(ScenarioPack::SessionStore, 3, 20_000);
+        let touches = ops.iter().filter(|o| o.kind == OpKind::Touch).count();
+        let gets = ops.iter().filter(|o| o.kind == OpKind::Get).count();
+        let sets = ops.iter().filter(|o| o.kind == OpKind::Set).count();
+        assert!(touches > 1_000, "touch renewals missing: {touches}");
+        assert!(gets > touches, "touches are a minority of reads");
+        assert!(sets as f64 / ops.len() as f64 > 0.4, "write-heavy mix");
+        assert!(ops
+            .iter()
+            .filter(|o| o.kind == OpKind::Touch)
+            .all(|o| o.ttl_ms == 8_000));
+        assert!(ops
+            .iter()
+            .filter(|o| o.kind == OpKind::Set)
+            .all(|o| (2_000..=10_000).contains(&o.ttl_ms)));
+    }
+}

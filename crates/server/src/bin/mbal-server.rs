@@ -10,6 +10,7 @@
 //! mbal-server [--workers N] [--port BASE] [--mem MB] [--cachelets N] [--epoch-ms MS]
 //!             [--engine slab|seg] [--metrics-port P] [--tenants SPEC] [--load-cap C]
 //!             [--io-backend event-loop|threaded] [--max-conns N] [--idle-timeout-ms MS]
+//!             [--membership on|off]
 //! ```
 //!
 //! `--engine` selects the storage engine every worker runs: `slab`
@@ -32,6 +33,13 @@
 //! the mean worker load sheds cachelets to colder workers until it is
 //! back under the ceiling, independent of the phase ladder. Shed counts
 //! show up as `ring_cap_spills` in `mbal-cli stats`.
+//!
+//! `--membership on` opts this node into the cluster-membership
+//! protocol: it heartbeats the coordinator each balance epoch and the
+//! workers cache the published view, so `mbal-cli cluster-status`
+//! answers (with the Table-1 cost footer) instead of reporting that no
+//! view exists. Single-node it is a one-member cluster; multi-server
+//! elasticity needs the shared-coordinator library deployment.
 //!
 //! `--io-backend` picks the connection-serving backend: `event-loop`
 //! (the default — one nonblocking epoll loop per worker multiplexing
@@ -100,6 +108,14 @@ fn main() {
     };
     let max_conns: usize = arg("--max-conns", 0);
     let idle_timeout_ms: i64 = arg("--idle-timeout-ms", -1);
+    let membership = match arg::<String>("--membership", "off".into()).as_str() {
+        "on" => true,
+        "off" => false,
+        s => {
+            eprintln!("mbal-server: bad --membership {s:?} (expected on|off)");
+            std::process::exit(2);
+        }
+    };
 
     let mut ring = ConsistentRing::new();
     for w in 0..workers {
@@ -120,7 +136,8 @@ fn main() {
         .cachelets_per_worker(cachelets)
         .balancer(balancer)
         .engine(engine)
-        .tenants(tenants.clone());
+        .tenants(tenants.clone())
+        .membership(membership);
     if metrics_port != 0 {
         builder = builder.metrics_port(Some(metrics_port));
     }
@@ -162,6 +179,9 @@ fn main() {
     }
     if load_cap != 0.0 {
         println!("  bounded-load cap: {load_cap} × mean worker load");
+    }
+    if membership {
+        println!("  membership: on (cluster-status view published each epoch)");
     }
     match io.backend {
         IoBackend::EventLoop => println!(

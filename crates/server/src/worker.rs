@@ -386,8 +386,6 @@ impl Worker {
     }
 
     fn do_get(&mut self, cachelet: CacheletId, key: &[u8]) -> Response {
-        self.ctx.metrics.incr(Counter::Ops);
-        self.ctx.metrics.incr(Counter::Gets);
         let now = self.now_ms();
         let Some(unit) = self.units.get_mut(&cachelet) else {
             return self.not_owner(cachelet);
@@ -399,6 +397,12 @@ impl Worker {
                 new_owner: dest,
             };
         }
+        // Counted only when actually served here: a redirected op is
+        // retried (and counted) at its new owner and shows up in
+        // `MovedRedirects` instead, so client and server ledgers agree
+        // exactly even across live migrations.
+        self.ctx.metrics.incr(Counter::Ops);
+        self.ctx.metrics.incr(Counter::Gets);
         self.track_key(key, true);
         let unit = self.units.get_mut(&cachelet).expect("checked above");
         match unit.get(key, now) {
@@ -426,9 +430,6 @@ impl Worker {
         value: Value,
         expiry_ms: u64,
     ) -> Response {
-        self.ctx.metrics.incr(Counter::Ops);
-        self.ctx.metrics.incr(Counter::Sets);
-        self.ctx.metrics.add(Counter::BytesIn, value.len() as u64);
         let now = self.now_ms();
         let Some(unit) = self.units.get_mut(&cachelet) else {
             return self.not_owner(cachelet);
@@ -446,6 +447,10 @@ impl Worker {
                 new_owner: dest,
             };
         }
+        // Counted only when served (see `do_get`).
+        self.ctx.metrics.incr(Counter::Ops);
+        self.ctx.metrics.incr(Counter::Sets);
+        self.ctx.metrics.add(Counter::BytesIn, value.len() as u64);
         self.track_key(&key, false);
         let unit = self.units.get_mut(&cachelet).expect("checked above");
         match unit.set(&key, &value, now, expiry_ms) {
@@ -468,7 +473,6 @@ impl Worker {
     /// Write-Invalidate redirect for keys whose bucket already migrated.
     /// Returns `Err(response)` when the op cannot proceed locally.
     fn write_preamble(&mut self, cachelet: CacheletId, key: &[u8]) -> Result<(), Response> {
-        self.ctx.metrics.incr(Counter::Ops);
         let now = self.ctx.clock.now_millis();
         let Some(unit) = self.units.get_mut(&cachelet) else {
             return Err(self.not_owner(cachelet));
@@ -483,6 +487,8 @@ impl Worker {
                 new_owner: dest,
             });
         }
+        // Counted only when served (see `do_get`).
+        self.ctx.metrics.incr(Counter::Ops);
         self.track_key(key, false);
         Ok(())
     }
@@ -495,10 +501,10 @@ impl Worker {
         expiry_ms: u64,
         add: bool,
     ) -> Response {
-        self.ctx.metrics.incr(Counter::CondStores);
         if let Err(resp) = self.write_preamble(cachelet, &key) {
             return resp;
         }
+        self.ctx.metrics.incr(Counter::CondStores);
         let now = self.now_ms();
         let unit = self.units.get_mut(&cachelet).expect("checked by preamble");
         let outcome = if add {
@@ -567,10 +573,10 @@ impl Worker {
     }
 
     fn do_incr(&mut self, cachelet: CacheletId, key: Vec<u8>, delta: i64) -> Response {
-        self.ctx.metrics.incr(Counter::Incrs);
         if let Err(resp) = self.write_preamble(cachelet, &key) {
             return resp;
         }
+        self.ctx.metrics.incr(Counter::Incrs);
         let now = self.now_ms();
         let unit = self.units.get_mut(&cachelet).expect("checked by preamble");
         match unit.incr(&key, delta, now) {
@@ -591,10 +597,10 @@ impl Worker {
     }
 
     fn do_touch(&mut self, cachelet: CacheletId, key: Vec<u8>, expiry_ms: u64) -> Response {
-        self.ctx.metrics.incr(Counter::Touches);
         if let Err(resp) = self.write_preamble(cachelet, &key) {
             return resp;
         }
+        self.ctx.metrics.incr(Counter::Touches);
         let now = self.now_ms();
         let unit = self.units.get_mut(&cachelet).expect("checked by preamble");
         if unit.touch(&key, now, expiry_ms) {
@@ -605,8 +611,6 @@ impl Worker {
     }
 
     fn do_delete(&mut self, cachelet: CacheletId, key: &[u8]) -> Response {
-        self.ctx.metrics.incr(Counter::Ops);
-        self.ctx.metrics.incr(Counter::Deletes);
         let now = self.now_ms();
         let Some(unit) = self.units.get_mut(&cachelet) else {
             return self.not_owner(cachelet);
@@ -620,6 +624,9 @@ impl Worker {
                 new_owner: dest,
             };
         }
+        // Counted only when served (see `do_get`).
+        self.ctx.metrics.incr(Counter::Ops);
+        self.ctx.metrics.incr(Counter::Deletes);
         self.track_key(key, false);
         let unit = self.units.get_mut(&cachelet).expect("checked above");
         unit.delete(key, now);

@@ -13,6 +13,12 @@ pub enum OpKind {
     Set,
     /// A delete.
     Delete,
+    /// A TTL renewal: pushes the key's expiry out to `ttl_ms` from now
+    /// without rewriting the value. Never emitted by the YCSB presets
+    /// (their streams predate the variant and must stay bit-identical);
+    /// the scenario packs' session-store mix uses it for per-key
+    /// session keep-alive.
+    Touch,
 }
 
 /// One generated operation.
